@@ -1,0 +1,187 @@
+// Ablation studies for the design choices DESIGN.md calls out:
+//
+//   A1. Random initial mapping in the FLTR family (the paper seeds the
+//       working mapping randomly so the gain function is non-trivial from
+//       step one) — on vs off.
+//   A2. HeavyOps-LargeMsgs "large message" threshold — scaling the
+//       transfer-time side of the (a)/(b) decision.
+//   A3. Local-search headroom — how much combined cost a hill climber
+//       recovers on top of each heuristic (greedy optimality gap).
+//   A4. Line-Line phase 2 (critical-bridge fix) and fill direction.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "src/cost/cost_model.h"
+#include "src/deploy/algorithm.h"
+#include "src/deploy/fl_merge.h"
+#include "src/deploy/fltr.h"
+#include "src/deploy/fltr2.h"
+#include "src/deploy/heavy_ops.h"
+#include "src/deploy/line_line.h"
+#include "src/deploy/local_search.h"
+#include "src/exp/config.h"
+
+namespace {
+
+using namespace wsflow;
+
+constexpr size_t kTrials = 40;
+
+/// Mean combined cost of `algo` over Class C line trials at `bus_bps`.
+template <typename MakeAlgo>
+SummaryStats MeanCombined(MakeAlgo make_algo, WorkloadKind kind,
+                          double bus_bps) {
+  ExperimentConfig cfg = MakeClassCConfig(kind);
+  cfg.fixed_bus_speed_bps = bus_bps;
+  cfg.trials = kTrials;
+  SummaryStats stats;
+  for (size_t trial = 0; trial < cfg.trials; ++trial) {
+    Result<TrialInstance> t = DrawTrial(cfg, trial);
+    if (!t.ok()) continue;
+    const ExecutionProfile* profile = t->profile ? &*t->profile : nullptr;
+    CostModel model(t->workflow, t->network, profile);
+    DeployContext ctx;
+    ctx.workflow = &t->workflow;
+    ctx.network = &t->network;
+    ctx.profile = profile;
+    ctx.seed = trial;
+    auto algo = make_algo();
+    Result<Mapping> m = algo.Run(ctx);
+    if (!m.ok()) continue;
+    Result<CostBreakdown> cost = model.Evaluate(*m);
+    if (cost.ok()) stats.Add(cost->combined);
+  }
+  return stats;
+}
+
+void AblationRandomInit() {
+  std::printf("\nA1: FLTR-family random initial mapping (mean combined cost,"
+              " ms; %zu Class C line trials)\n", kTrials);
+  std::printf("%-10s %-12s %14s %14s\n", "bus", "algorithm", "random-init",
+              "empty-init");
+  for (double bus : {paperconst::kBus1Mbps, paperconst::kBus100Mbps}) {
+    auto row = [&](const char* name, auto with, auto without) {
+      SummaryStats a = MeanCombined(with, WorkloadKind::kLine, bus);
+      SummaryStats b = MeanCombined(without, WorkloadKind::kLine, bus);
+      std::printf("%-10s %-12s %14.3f %14.3f\n",
+                  wsflow::bench::BusLabel(bus).c_str(), name,
+                  a.mean() * 1e3, b.mean() * 1e3);
+    };
+    row("fltr", [] { return FltrAlgorithm(true); },
+        [] { return FltrAlgorithm(false); });
+    row("fltr2", [] { return Fltr2Algorithm(true); },
+        [] { return Fltr2Algorithm(false); });
+    row("fl-merge", [] { return FlMergeAlgorithm(true); },
+        [] { return FlMergeAlgorithm(false); });
+  }
+}
+
+void AblationHolmThreshold() {
+  std::printf("\nA2: HeavyOps-LargeMsgs transfer-time scale (mean combined "
+              "cost, ms; %zu Class C line trials)\n", kTrials);
+  std::printf("%-10s", "bus");
+  const double kScales[] = {0.25, 0.5, 1.0, 2.0, 4.0};
+  for (double s : kScales) std::printf(" %11.2fx", s);
+  std::printf("\n");
+  for (double bus : {paperconst::kBus1Mbps, paperconst::kBus100Mbps}) {
+    std::printf("%-10s", wsflow::bench::BusLabel(bus).c_str());
+    for (double scale : kScales) {
+      SummaryStats stats = MeanCombined(
+          [scale] { return HeavyOpsAlgorithm(scale); }, WorkloadKind::kLine,
+          bus);
+      std::printf(" %12.3f", stats.mean() * 1e3);
+    }
+    std::printf("\n");
+  }
+  std::printf("(1.0x is the paper's rule; the minimum of each row shows how "
+              "sensitive the decision threshold is)\n");
+}
+
+void AblationLocalSearchHeadroom() {
+  std::printf("\nA3: local-search headroom on top of each heuristic "
+              "(mean %% combined-cost reduction; %zu Class C line trials, "
+              "10 Mbps bus)\n", kTrials);
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+  cfg.fixed_bus_speed_bps = paperconst::kBus10Mbps;
+  cfg.trials = kTrials;
+  for (const std::string& name : PaperBusAlgorithms()) {
+    SummaryStats reduction;
+    for (size_t trial = 0; trial < cfg.trials; ++trial) {
+      Result<TrialInstance> t = DrawTrial(cfg, trial);
+      if (!t.ok()) continue;
+      CostModel model(t->workflow, t->network);
+      DeployContext ctx;
+      ctx.workflow = &t->workflow;
+      ctx.network = &t->network;
+      ctx.seed = trial;
+      Result<Mapping> start = RunAlgorithm(name, ctx);
+      if (!start.ok()) continue;
+      LocalSearchStats stats;
+      Result<Mapping> end = HillClimb(model, *start, {}, {}, &stats);
+      if (!end.ok() || stats.initial_cost <= 0) continue;
+      reduction.Add(100.0 * (stats.initial_cost - stats.final_cost) /
+                    stats.initial_cost);
+    }
+    std::printf("  %-12s %6.2f%% mean, %6.2f%% worst-trial max\n",
+                name.c_str(), reduction.mean(), reduction.max());
+  }
+}
+
+void AblationLineLine() {
+  std::printf("\nA4: Line-Line variants (mean combined cost, ms; %zu Class C"
+              " line trials, descending-speed line network)\n", kTrials);
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+  cfg.trials = kTrials;
+  const std::vector<double> kSpeeds{1e9, 100e6, 10e6, 1e6};
+  struct Variant {
+    const char* label;
+    LineLineOptions options;
+  };
+  Variant variants[4];
+  variants[0] = {"fix+fwd", {}};
+  variants[1].label = "nofix+fwd";
+  variants[1].options.fix_bridges = false;
+  variants[2].label = "fix+bidir";
+  variants[2].options.both_directions = true;
+  variants[3].label = "nofix+bidir";
+  variants[3].options.fix_bridges = false;
+  variants[3].options.both_directions = true;
+
+  for (const Variant& v : variants) {
+    SummaryStats stats;
+    for (size_t trial = 0; trial < cfg.trials; ++trial) {
+      Result<TrialInstance> t = DrawTrial(cfg, trial);
+      if (!t.ok()) continue;
+      std::vector<double> powers;
+      for (const Server& s : t->network.servers()) {
+        powers.push_back(s.power_hz());
+      }
+      Result<Network> line = MakeLineNetwork(powers, kSpeeds);
+      if (!line.ok()) continue;
+      CostModel model(t->workflow, *line);
+      DeployContext ctx;
+      ctx.workflow = &t->workflow;
+      ctx.network = &*line;
+      LineLineAlgorithm algo(v.options);
+      Result<Mapping> m = algo.Run(ctx);
+      if (!m.ok()) continue;
+      Result<CostBreakdown> cost = model.Evaluate(*m);
+      if (cost.ok()) stats.Add(cost->combined);
+    }
+    std::printf("  %-12s %10.3f ms\n", v.label, stats.mean() * 1e3);
+  }
+}
+
+}  // namespace
+
+int main() {
+  wsflow::RegisterBuiltinAlgorithms();
+  wsflow::bench::PrintBanner("ABL", "design-choice ablations");
+  AblationRandomInit();
+  AblationHolmThreshold();
+  AblationLocalSearchHeadroom();
+  AblationLineLine();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// wsflow: shared helpers for the paper-reproduction bench binaries.
+//
+// Each bench regenerates one table or figure of the paper. Output goes to
+// stdout as fixed-width tables; the raw per-trial scatter data additionally
+// lands as CSV under ./bench_results/ for external plotting.
+
+#ifndef WSFLOW_BENCH_BENCH_UTIL_H_
+#define WSFLOW_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/common/string_util.h"
+#include "src/exp/report.h"
+#include "src/exp/runner.h"
+
+namespace wsflow::bench {
+
+inline void PrintBanner(const std::string& id, const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), what.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Writes the per-trial scatter points of `result` to
+/// bench_results/<file>.csv; failures are reported but non-fatal.
+inline void DumpScatterCsv(const ExperimentResult& result,
+                           const std::string& file) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  if (ec) {
+    std::fprintf(stderr, "note: cannot create bench_results/: %s\n",
+                 ec.message().c_str());
+    return;
+  }
+  std::string path = "bench_results/" + file + ".csv";
+  Status st = WriteCsv(path,
+                       {"algorithm", "trial", "execution_time_s",
+                        "time_penalty_s"},
+                       ScatterRows(result));
+  if (!st.ok()) {
+    std::fprintf(stderr, "note: %s\n", st.ToString().c_str());
+  } else {
+    std::printf("(scatter data -> %s)\n", path.c_str());
+  }
+}
+
+/// Prints one figure panel: the per-algorithm mean (T_execute, TimePenalty)
+/// markers, like the paper's scatter plots, plus spreads.
+inline void PrintPanel(const std::string& title,
+                       const ExperimentResult& result) {
+  std::printf("\n--- %s ---\n", title.c_str());
+  std::cout << SummaryTable(result).ToString();
+}
+
+/// Label helper: "bus=10Mbps".
+inline std::string BusLabel(double bus_bps) {
+  return "bus=" + FormatDouble(bus_bps / 1e6, 6) + "Mbps";
+}
+
+}  // namespace wsflow::bench
+
+#endif  // WSFLOW_BENCH_BENCH_UTIL_H_

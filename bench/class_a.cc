@@ -1,0 +1,54 @@
+// Class A experiments (paper §4.1): vary the link capacity and the size of
+// the exchanged messages while pinning the compute side (CPU power and
+// operation costs at the Table 6 midpoints). The paper describes this class
+// but reports only Class C for space; this bench fills in the sweep.
+//
+// Expected shape: as messages grow or the bus slows, the message-aware
+// algorithms (FL-Merge, HeavyOps) pull ahead on execution time; with tiny
+// messages on a fast bus all algorithms converge to Fair Load's behaviour.
+
+#include "bench/bench_util.h"
+#include "src/exp/config.h"
+
+int main() {
+  using namespace wsflow;
+  bench::PrintBanner("CLS-A",
+                     "Class A: vary link capacity x message size; compute "
+                     "pinned (M=19, N=5, 30 trials per cell)");
+
+  struct MsgMix {
+    const char* label;
+    DiscreteDistribution dist;
+  };
+  const MsgMix kMixes[] = {
+      {"simple-only",
+       DiscreteDistribution::Constant(paperconst::kSimpleMessageBits)},
+      {"table6-mix",
+       DiscreteDistribution::Make({{paperconst::kSimpleMessageBits, 0.25},
+                                   {paperconst::kMediumMessageBits, 0.50},
+                                   {paperconst::kComplexMessageBits, 0.25}})
+           .value()},
+      {"complex-only",
+       DiscreteDistribution::Constant(paperconst::kComplexMessageBits)},
+  };
+
+  for (const MsgMix& mix : kMixes) {
+    for (double bus : PaperBusSweepBps()) {
+      ExperimentConfig cfg = MakeClassAConfig(WorkloadKind::kLine);
+      cfg.message_bits = mix.dist;
+      cfg.fixed_bus_speed_bps = bus;
+      cfg.trials = 30;
+      cfg.name = std::string("class-a-") + mix.label + "-" +
+                 bench::BusLabel(bus);
+      Result<ExperimentResult> result =
+          RunExperiment(cfg, PaperBusAlgorithms());
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      bench::PrintPanel(std::string(mix.label) + ", " + bench::BusLabel(bus),
+                        *result);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Class B experiments (paper §4.1): vary the CPU power of the servers and
+// the workload (operation cycle costs) while pinning the network side
+// (medium messages, 100 Mbps bus). The paper describes this class but
+// reports only Class C; this bench fills in the sweep.
+//
+// Expected shape: heavier operations and more heterogeneous servers raise
+// the stakes of load balance; the Fair Load family keeps the penalty near
+// zero while execution times scale with the cycle budget.
+
+#include "bench/bench_util.h"
+#include "src/exp/config.h"
+
+int main() {
+  using namespace wsflow;
+  bench::PrintBanner("CLS-B",
+                     "Class B: vary CPU power x operation cost; network "
+                     "pinned (M=19, N=5, 100 Mbps bus, 30 trials per cell)");
+
+  struct Mix {
+    const char* label;
+    DiscreteDistribution dist;
+  };
+  const Mix kPowers[] = {
+      {"uniform-2GHz", DiscreteDistribution::Constant(paperconst::kPower2GHz)},
+      {"table6-power",
+       DiscreteDistribution::Make({{paperconst::kPower1GHz, 0.25},
+                                   {paperconst::kPower2GHz, 0.50},
+                                   {paperconst::kPower3GHz, 0.25}})
+           .value()},
+      {"extreme-1-3GHz",
+       DiscreteDistribution::Make(
+           {{paperconst::kPower1GHz, 0.5}, {paperconst::kPower3GHz, 0.5}})
+           .value()},
+  };
+  const Mix kCycles[] = {
+      {"simple-ops",
+       DiscreteDistribution::Constant(paperconst::kSimpleOperationCycles)},
+      {"table6-cycles",
+       DiscreteDistribution::Make({{paperconst::kClassCOpCyclesLow, 0.25},
+                                   {paperconst::kClassCOpCyclesMid, 0.50},
+                                   {paperconst::kClassCOpCyclesHigh, 0.25}})
+           .value()},
+      {"heavy-ops-500M",
+       DiscreteDistribution::Make(
+           {{paperconst::kMediumOperationCycles, 0.5},
+            {paperconst::kHeavyOperationCycles, 0.5}})
+           .value()},
+  };
+
+  for (const Mix& power : kPowers) {
+    for (const Mix& cycles : kCycles) {
+      ExperimentConfig cfg = MakeClassBConfig(WorkloadKind::kLine);
+      cfg.server_power = power.dist;
+      cfg.operation_cycles = cycles.dist;
+      cfg.trials = 30;
+      cfg.name = std::string("class-b-") + power.label + "-" + cycles.label;
+      Result<ExperimentResult> result =
+          RunExperiment(cfg, PaperBusAlgorithms());
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      bench::PrintPanel(std::string(power.label) + " x " + cycles.label,
+                        *result);
+    }
+  }
+  return 0;
+}

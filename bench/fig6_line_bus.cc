@@ -1,0 +1,38 @@
+// Reproduces Fig. 6 of the paper: Line-Bus algorithms on Class C workloads
+// with 19 operations over 5 servers, one panel per bus speed. Each panel
+// plots T_execute (x) against TimePenalty (y); here each algorithm's marker
+// is its per-trial mean, with the raw scatter dumped as CSV.
+//
+// Expected shape (paper §4.2): the Tie Resolver algorithms improve both
+// dimensions slightly over Fair Load; FL-Merge-Messages'-Ends improves
+// execution time while deteriorating balance; HeavyOps-LargeMsgs gives
+// consistently good execution times, most visibly on slow buses.
+
+#include "bench/bench_util.h"
+#include "src/exp/config.h"
+
+int main() {
+  using namespace wsflow;
+  bench::PrintBanner("FIG6",
+                     "Line-Bus, Class C (Table 6), M=19 operations, N=5 "
+                     "servers, 50 trials per bus speed");
+
+  for (double bus : PaperBusSweepBps()) {
+    ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+    cfg.fixed_bus_speed_bps = bus;
+    cfg.name = "fig6-" + bench::BusLabel(bus);
+    Result<ExperimentResult> result =
+        RunExperiment(cfg, PaperBusAlgorithms());
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    bench::PrintPanel(bench::BusLabel(bus), *result);
+    bench::DumpScatterCsv(*result, cfg.name);
+  }
+
+  std::printf(
+      "\nreading guide: lower-left is better (closer to (0,0) in the "
+      "paper's plots).\n");
+  return 0;
+}

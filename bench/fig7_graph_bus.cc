@@ -1,0 +1,54 @@
+// Reproduces Fig. 7 of the paper: overall Random-Graph-Bus results. Class C
+// workloads, 19 operations, 5 servers; the three graph families (bushy,
+// lengthy, hybrid) are pooled, one panel per bus speed.
+//
+// Expected shape (paper §4.2): HeavyOps-LargeMsgs is the clear winner on
+// execution time and close to best on fairness; FL-Merge-Messages'-Ends is
+// close on execution time but unstable on fairness.
+
+#include "bench/bench_util.h"
+#include "src/exp/config.h"
+
+int main() {
+  using namespace wsflow;
+  bench::PrintBanner("FIG7",
+                     "Random Graph-Bus, Class C, M=19, N=5; bushy+lengthy+"
+                     "hybrid pooled (50 trials each) per bus speed");
+
+  const WorkloadKind kShapes[] = {WorkloadKind::kBushyGraph,
+                                  WorkloadKind::kLengthyGraph,
+                                  WorkloadKind::kHybridGraph};
+
+  for (double bus : PaperBusSweepBps()) {
+    // Pool the three families into one ExperimentResult.
+    ExperimentResult pooled;
+    pooled.name = "fig7-" + bench::BusLabel(bus);
+    for (const std::string& algo : PaperBusAlgorithms()) {
+      AlgorithmSummary s;
+      s.algorithm = algo;
+      pooled.per_algorithm.push_back(s);
+    }
+    for (WorkloadKind shape : kShapes) {
+      ExperimentConfig cfg = MakeClassCConfig(shape);
+      cfg.fixed_bus_speed_bps = bus;
+      Result<ExperimentResult> result =
+          RunExperiment(cfg, PaperBusAlgorithms());
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      for (size_t i = 0; i < pooled.per_algorithm.size(); ++i) {
+        AlgorithmSummary& dst = pooled.per_algorithm[i];
+        const AlgorithmSummary& src = result->per_algorithm[i];
+        dst.execution_time.Merge(src.execution_time);
+        dst.time_penalty.Merge(src.time_penalty);
+        dst.points.insert(dst.points.end(), src.points.begin(),
+                          src.points.end());
+        dst.failures += src.failures;
+      }
+    }
+    bench::PrintPanel(bench::BusLabel(bus), pooled);
+    bench::DumpScatterCsv(pooled, pooled.name);
+  }
+  return 0;
+}

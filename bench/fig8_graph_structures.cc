@@ -1,0 +1,41 @@
+// Reproduces Fig. 8 of the paper: Graph-Bus results organized per graph
+// structure — bushy (50% decision nodes), lengthy (16%) and hybrid (35%) —
+// at the two bus speeds the paper highlights in its quality discussion
+// (1 Mbps and 100 Mbps).
+
+#include "bench/bench_util.h"
+#include "src/exp/config.h"
+
+int main() {
+  using namespace wsflow;
+  bench::PrintBanner("FIG8",
+                     "Graph-Bus per structure: bushy 50/50, lengthy 16/84, "
+                     "hybrid 35/65 decision/operational; M=19, N=5, 50 "
+                     "trials");
+
+  const WorkloadKind kShapes[] = {WorkloadKind::kBushyGraph,
+                                  WorkloadKind::kLengthyGraph,
+                                  WorkloadKind::kHybridGraph};
+  const double kBuses[] = {paperconst::kBus1Mbps, paperconst::kBus100Mbps};
+
+  for (WorkloadKind shape : kShapes) {
+    for (double bus : kBuses) {
+      ExperimentConfig cfg = MakeClassCConfig(shape);
+      cfg.fixed_bus_speed_bps = bus;
+      cfg.name = std::string("fig8-") +
+                 std::string(WorkloadKindToString(shape)) + "-" +
+                 bench::BusLabel(bus);
+      Result<ExperimentResult> result =
+          RunExperiment(cfg, PaperBusAlgorithms());
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      bench::PrintPanel(std::string(WorkloadKindToString(shape)) + ", " +
+                            bench::BusLabel(bus),
+                        *result);
+      bench::DumpScatterCsv(*result, cfg.name);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Line-Line experiments (paper §3.2): line workflows deployed over a line
+// of servers. The paper reports no figure for this configuration ("mainly
+// for initial experimental reasons") but discusses the four algorithm
+// variants — with/without the critical-bridge fix, and one- vs
+// bi-directional fill. This bench measures all four against Fair Load on
+// line networks with mixed link speeds.
+//
+// Expected shape: the bridge fix helps exactly when slow links meet large
+// crossing messages; bidirectional fill helps when the workflow's weight is
+// skewed toward one end.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/cost/cost_model.h"
+#include "src/deploy/algorithm.h"
+#include "src/exp/config.h"
+
+int main() {
+  using namespace wsflow;
+  bench::PrintBanner("LL",
+                     "Line-Line variants; Class C line workflows (M=19) "
+                     "over N=5 line networks, 50 trials per link profile");
+
+  const char* kAlgorithms[] = {"line-line", "line-line-nofix",
+                               "line-line-bidir", "line-line-bidir-nofix",
+                               "fair-load"};
+
+  struct LinkProfile {
+    const char* label;
+    std::vector<double> speeds;  // N-1 = 4 links
+  };
+  const LinkProfile kProfiles[] = {
+      {"uniform-100Mbps", {100e6, 100e6, 100e6, 100e6}},
+      {"one-slow-middle", {100e6, 100e6, 1e6, 100e6}},
+      {"descending", {1e9, 100e6, 10e6, 1e6}},
+  };
+
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+  for (const LinkProfile& profile : kProfiles) {
+    ExperimentResult result;
+    result.name = std::string("line-line-") + profile.label;
+    for (const char* name : kAlgorithms) {
+      AlgorithmSummary s;
+      s.algorithm = name;
+      result.per_algorithm.push_back(s);
+    }
+    for (size_t trial = 0; trial < cfg.trials; ++trial) {
+      Result<TrialInstance> t = DrawTrial(cfg, trial);
+      if (!t.ok()) {
+        std::fprintf(stderr, "%s\n", t.status().ToString().c_str());
+        return 1;
+      }
+      // Replace the drawn bus network with the line network under test,
+      // keeping the drawn server powers.
+      std::vector<double> powers;
+      for (const Server& s : t->network.servers()) {
+        powers.push_back(s.power_hz());
+      }
+      Result<Network> line = MakeLineNetwork(powers, profile.speeds);
+      if (!line.ok()) {
+        std::fprintf(stderr, "%s\n", line.status().ToString().c_str());
+        return 1;
+      }
+      CostModel model(t->workflow, *line);
+      DeployContext ctx;
+      ctx.workflow = &t->workflow;
+      ctx.network = &*line;
+      ctx.seed = trial;
+      for (size_t i = 0; i < result.per_algorithm.size(); ++i) {
+        AlgorithmSummary& summary = result.per_algorithm[i];
+        Result<Mapping> m = RunAlgorithm(summary.algorithm, ctx);
+        if (!m.ok()) {
+          ++summary.failures;
+          continue;
+        }
+        Result<CostBreakdown> cost = model.Evaluate(*m);
+        if (!cost.ok()) {
+          ++summary.failures;
+          continue;
+        }
+        summary.execution_time.Add(cost->execution_time);
+        summary.time_penalty.Add(cost->time_penalty);
+        summary.points.push_back(
+            {cost->execution_time, cost->time_penalty});
+      }
+    }
+    bench::PrintPanel(profile.label, result);
+    bench::DumpScatterCsv(result, result.name);
+  }
+  return 0;
+}

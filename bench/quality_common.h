@@ -1,0 +1,80 @@
+// Shared driver for the solution-quality experiments (paper §4.1-4.2):
+// per trial, 32 000 sampled solutions bound the per-objective best; each
+// algorithm's deviation from those bests is tracked and the worst case over
+// all trials is reported — the exact form the paper quotes, e.g.
+// HeavyOps-LargeMsgs at (2.9%, 12%) exec/penalty on a 1 Mbps Line-Bus.
+
+#ifndef WSFLOW_BENCH_QUALITY_COMMON_H_
+#define WSFLOW_BENCH_QUALITY_COMMON_H_
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/cost/cost_model.h"
+#include "src/deploy/algorithm.h"
+#include "src/exp/config.h"
+#include "src/exp/sampling.h"
+
+namespace wsflow::bench {
+
+inline int RunQualityStudy(WorkloadKind workload, size_t trials,
+                           size_t samples) {
+  for (double bus : {paperconst::kBus1Mbps, paperconst::kBus100Mbps}) {
+    ExperimentConfig cfg = MakeClassCConfig(workload);
+    cfg.fixed_bus_speed_bps = bus;
+    cfg.trials = trials;
+
+    std::map<std::string, QualityDeviation> records;
+    for (size_t trial = 0; trial < cfg.trials; ++trial) {
+      Result<TrialInstance> t = DrawTrial(cfg, trial);
+      if (!t.ok()) {
+        std::fprintf(stderr, "%s\n", t.status().ToString().c_str());
+        return 1;
+      }
+      const ExecutionProfile* profile =
+          t->profile ? &*t->profile : nullptr;
+      CostModel model(t->workflow, t->network, profile);
+      SamplingOptions soptions;
+      soptions.samples = samples;
+      soptions.seed = 1000 + trial;
+      Result<SampleBest> best = SampleSolutionSpace(model, soptions);
+      if (!best.ok()) {
+        std::fprintf(stderr, "%s\n", best.status().ToString().c_str());
+        return 1;
+      }
+      DeployContext ctx;
+      ctx.workflow = &t->workflow;
+      ctx.network = &t->network;
+      ctx.profile = profile;
+      ctx.seed = trial;
+      for (const std::string& name : PaperBusAlgorithms()) {
+        Result<Mapping> m = RunAlgorithm(name, ctx);
+        if (!m.ok()) continue;
+        Result<CostBreakdown> cost = model.Evaluate(*m);
+        if (!cost.ok()) continue;
+        AccumulateDeviation({cost->execution_time, cost->time_penalty},
+                            *best, &records[name]);
+      }
+    }
+
+    std::printf("\n--- %s: worst/mean %% deviation from the best of %zu "
+                "sampled solutions over %zu trials ---\n",
+                BusLabel(bus).c_str(), samples, trials);
+    std::printf("%-12s %12s %12s %12s %12s\n", "algorithm", "worst exec%",
+                "worst pen%", "mean exec%", "mean pen%");
+    for (const std::string& name : PaperBusAlgorithms()) {
+      const QualityDeviation& r = records[name];
+      std::printf("%-12s %12.1f %12.1f %12.1f %12.1f\n", name.c_str(),
+                  r.worst_execution_pct, r.worst_penalty_pct,
+                  r.mean_execution_pct, r.mean_penalty_pct);
+    }
+  }
+  return 0;
+}
+
+}  // namespace wsflow::bench
+
+#endif  // WSFLOW_BENCH_QUALITY_COMMON_H_

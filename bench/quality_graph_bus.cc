@@ -1,0 +1,17 @@
+// Reproduces the §4.2 Graph-Bus solution-quality numbers: worst-case
+// percentage deviations from the best of 32 000 sampled solutions over 50
+// experiments (hybrid random graphs, 5 servers, 19 operations).
+//
+// Paper reference points for HeavyOps-LargeMsgs: (29%, 1.8%) exec/penalty
+// deviation on the 1 Mbps bus and (0%, 0%) on the 100 Mbps bus.
+
+#include "bench/quality_common.h"
+
+int main() {
+  using namespace wsflow;
+  bench::PrintBanner("QUAL-GB",
+                     "Graph-Bus quality vs 32000-sample best; hybrid graphs, "
+                     "M=19, N=5, 50 experiments (paper §4.2)");
+  return bench::RunQualityStudy(WorkloadKind::kHybridGraph, /*trials=*/50,
+                                /*samples=*/32000);
+}

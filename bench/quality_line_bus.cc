@@ -1,0 +1,18 @@
+// Reproduces the §4.2 Line-Bus solution-quality numbers: worst-case
+// percentage deviations of each heuristic from the best of 32 000 sampled
+// solutions, over 50 experiments with 5 servers and 19 operations.
+//
+// Paper reference points for HeavyOps-LargeMsgs: (2.9%, 12%) exec/penalty
+// deviation on the 1 Mbps bus and (29%, 0.3%) on the 100 Mbps bus — slow
+// buses favour its execution time, fast buses its fairness.
+
+#include "bench/quality_common.h"
+
+int main() {
+  using namespace wsflow;
+  bench::PrintBanner("QUAL-LB",
+                     "Line-Bus quality vs 32000-sample best; M=19, N=5, 50 "
+                     "experiments (paper §4.1-4.2)");
+  return bench::RunQualityStudy(WorkloadKind::kLine, /*trials=*/50,
+                                /*samples=*/32000);
+}

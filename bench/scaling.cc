@@ -1,0 +1,125 @@
+// Algorithm runtime scaling (google-benchmark): measures each deployment
+// heuristic as the workflow (M) and the server farm (N) grow, backing the
+// paper's complexity claims — O(M logM + N logN + MN) for Fair Load,
+// O(M * (...)) for the tie-resolver family, and near-O(M^2) for
+// HeavyOps-LargeMsgs on a line of messages.
+
+#include <benchmark/benchmark.h>
+
+#include "src/deploy/algorithm.h"
+#include "src/exp/config.h"
+
+namespace {
+
+using namespace wsflow;
+
+struct ScalingFixture {
+  Workflow workflow;
+  Network network;
+  std::optional<ExecutionProfile> profile;
+
+  static ScalingFixture Make(size_t ops, size_t servers, bool graph) {
+    ExperimentConfig cfg = MakeClassCConfig(
+        graph ? WorkloadKind::kHybridGraph : WorkloadKind::kLine);
+    cfg.num_operations = ops;
+    cfg.num_servers = servers;
+    Result<TrialInstance> t = DrawTrial(cfg, 0);
+    if (!t.ok()) {
+      throw std::runtime_error(t.status().ToString());
+    }
+    return ScalingFixture{std::move(t->workflow), std::move(t->network),
+                          std::move(t->profile)};
+  }
+};
+
+void RunAlgorithmBenchmark(benchmark::State& state, const char* name,
+                           bool graph) {
+  RegisterBuiltinAlgorithms();
+  size_t ops = static_cast<size_t>(state.range(0));
+  size_t servers = static_cast<size_t>(state.range(1));
+  ScalingFixture fx = ScalingFixture::Make(ops, servers, graph);
+  auto algo = AlgorithmRegistry::Global().Create(name);
+  if (!algo.ok()) {
+    state.SkipWithError(algo.status().ToString().c_str());
+    return;
+  }
+  DeployContext ctx;
+  ctx.workflow = &fx.workflow;
+  ctx.network = &fx.network;
+  ctx.profile = fx.profile ? &*fx.profile : nullptr;
+  ctx.seed = 1;
+  for (auto _ : state) {
+    Result<Mapping> m = (*algo)->Run(ctx);
+    if (!m.ok()) {
+      state.SkipWithError(m.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(m.value());
+  }
+  state.SetComplexityN(static_cast<int64_t>(ops));
+}
+
+void SweepArgs(benchmark::internal::Benchmark* b) {
+  // Sweep M at N=5, then N at M=40.
+  for (int m : {10, 20, 40, 80, 160}) b->Args({m, 5});
+  for (int n : {2, 4, 8, 16}) b->Args({40, n});
+}
+
+#define WSFLOW_SCALING_BENCH(name, algo, graph)                  \
+  void name(benchmark::State& state) {                           \
+    RunAlgorithmBenchmark(state, algo, graph);                   \
+  }                                                              \
+  BENCHMARK(name)->Apply(SweepArgs)->Unit(benchmark::kMicrosecond)
+
+WSFLOW_SCALING_BENCH(BM_FairLoad_Line, "fair-load", false);
+WSFLOW_SCALING_BENCH(BM_Fltr_Line, "fltr", false);
+WSFLOW_SCALING_BENCH(BM_Fltr2_Line, "fltr2", false);
+WSFLOW_SCALING_BENCH(BM_FlMerge_Line, "fl-merge", false);
+WSFLOW_SCALING_BENCH(BM_HeavyOps_Line, "heavy-ops", false);
+WSFLOW_SCALING_BENCH(BM_FairLoad_Graph, "fair-load", true);
+WSFLOW_SCALING_BENCH(BM_HeavyOps_Graph, "heavy-ops", true);
+
+// The exhaustive baseline explodes: only tiny instances.
+void BM_Exhaustive(benchmark::State& state) {
+  RunAlgorithmBenchmark(state, "exhaustive", false);
+}
+BENCHMARK(BM_Exhaustive)
+    ->Args({6, 3})
+    ->Args({8, 3})
+    ->Args({10, 3})
+    ->Unit(benchmark::kMillisecond);
+
+// Cost-model evaluation throughput (the inner loop of sampling and search).
+void BM_EvaluateLine(benchmark::State& state) {
+  ScalingFixture fx = ScalingFixture::Make(
+      static_cast<size_t>(state.range(0)), 5, false);
+  CostModel model(fx.workflow, fx.network);
+  DeployContext ctx;
+  ctx.workflow = &fx.workflow;
+  ctx.network = &fx.network;
+  Result<Mapping> m = RunAlgorithm("fair-load", ctx);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Evaluate(*m));
+  }
+}
+BENCHMARK(BM_EvaluateLine)->Arg(19)->Arg(80)->Unit(benchmark::kMicrosecond);
+
+void BM_EvaluateGraph(benchmark::State& state) {
+  ScalingFixture fx = ScalingFixture::Make(
+      static_cast<size_t>(state.range(0)), 5, true);
+  CostModel model(fx.workflow, fx.network,
+                  fx.profile ? &*fx.profile : nullptr);
+  DeployContext ctx;
+  ctx.workflow = &fx.workflow;
+  ctx.network = &fx.network;
+  ctx.profile = fx.profile ? &*fx.profile : nullptr;
+  Result<Mapping> m = RunAlgorithm("fair-load", ctx);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Evaluate(*m));
+  }
+}
+BENCHMARK(BM_EvaluateGraph)->Arg(19)->Arg(80)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Reproduces Table 6 of the paper: the Class C experimental configuration.
+// Prints the specified distributions and verifies them empirically against
+// 50 generated trials (the realized frequencies of message sizes, operation
+// costs, server powers and bus speeds).
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "src/exp/config.h"
+
+namespace {
+
+void PrintRealized(const char* what,
+                   const std::map<double, size_t>& counts, size_t total,
+                   double unit, const char* unit_name) {
+  std::printf("  realized %-22s", what);
+  for (const auto& [value, count] : counts) {
+    std::printf("  %g %s: %.1f%%", value / unit, unit_name,
+                100.0 * static_cast<double>(count) /
+                    static_cast<double>(total));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace wsflow;
+  bench::PrintBanner("TBL6", "Class C experimental configuration (Table 6)");
+
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+  std::printf("MsgSize(O_i, O_i+1) bits : %s\n",
+              cfg.message_bits.ToString().c_str());
+  std::printf("C(O_i) cycles            : %s\n",
+              cfg.operation_cycles.ToString().c_str());
+  std::printf("P(S_i) Hz                : %s\n",
+              cfg.server_power.ToString().c_str());
+  std::printf("Line_Speed bus bps       : %s\n",
+              cfg.bus_speed.ToString().c_str());
+  std::printf("(message sizes are 873/7581/21392 bytes = %.5f/%.5f/%.5f "
+              "Mbit with Mbit=2^20, as in §4.1)\n\n",
+              paperconst::kSimpleMessageBits / 1048576.0,
+              paperconst::kMediumMessageBits / 1048576.0,
+              paperconst::kComplexMessageBits / 1048576.0);
+
+  std::map<double, size_t> msg_counts, cycle_counts, power_counts,
+      bus_counts;
+  size_t msgs = 0, ops = 0, servers = 0, buses = 0;
+  for (size_t trial = 0; trial < cfg.trials; ++trial) {
+    Result<TrialInstance> t = DrawTrial(cfg, trial);
+    if (!t.ok()) {
+      std::fprintf(stderr, "%s\n", t.status().ToString().c_str());
+      return 1;
+    }
+    for (const Transition& tr : t->workflow.transitions()) {
+      ++msg_counts[tr.message_bits];
+      ++msgs;
+    }
+    for (const Operation& op : t->workflow.operations()) {
+      ++cycle_counts[op.cycles()];
+      ++ops;
+    }
+    for (const Server& s : t->network.servers()) {
+      ++power_counts[s.power_hz()];
+      ++servers;
+    }
+    ++bus_counts[t->network.link(t->network.bus()).speed_bps];
+    ++buses;
+  }
+  std::printf("empirical check over %zu trials (expect 25/50/25%%):\n",
+              cfg.trials);
+  PrintRealized("message sizes", msg_counts, msgs, 1.0, "bit");
+  PrintRealized("operation cycles", cycle_counts, ops, 1e6, "Mcycles");
+  PrintRealized("server powers", power_counts, servers, 1e9, "GHz");
+  PrintRealized("bus speeds", bus_counts, buses, 1e6, "Mbps");
+  return 0;
+}

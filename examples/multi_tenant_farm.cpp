@@ -1,0 +1,87 @@
+// Multi-workflow deployment (the paper's §6 future work): a provider hosts
+// several tenants' workflows on one server farm. Deploying each workflow in
+// isolation piles the big operations onto the strongest servers; the
+// shared-ledger strategies keep the *combined* load fair.
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/deploy/multi_workflow.h"
+#include "src/exp/config.h"
+#include "src/workflow/generator.h"
+
+namespace {
+
+wsflow::Result<wsflow::Workflow> Tenant(const std::string& name, size_t ops,
+                                        uint64_t seed) {
+  using namespace wsflow;
+  Rng rng(seed);
+  LineWorkflowParams params;
+  params.name = name;
+  params.num_operations = ops;
+  params.cycles = [](Rng* r) {
+    double u = r->NextDouble();
+    if (u < 0.25) return paperconst::kClassCOpCyclesLow;
+    if (u < 0.75) return paperconst::kClassCOpCyclesMid;
+    return paperconst::kClassCOpCyclesHigh;
+  };
+  params.message_bits = [](Rng* r) {
+    return r->NextBool(0.5) ? paperconst::kMediumMessageBits
+                            : paperconst::kSimpleMessageBits;
+  };
+  return GenerateLineWorkflow(params, &rng);
+}
+
+}  // namespace
+
+int main() {
+  using namespace wsflow;
+
+  Result<Workflow> bookings = Tenant("bookings", 14, 1);
+  Result<Workflow> billing = Tenant("billing", 9, 2);
+  Result<Workflow> reporting = Tenant("reporting", 21, 3);
+  if (!bookings.ok() || !billing.ok() || !reporting.ok()) {
+    std::cerr << "tenant generation failed\n";
+    return 1;
+  }
+  std::vector<const Workflow*> tenants{&*bookings, &*billing, &*reporting};
+
+  Result<Network> network = MakeBusNetwork({1e9, 2e9, 3e9, 2e9}, 100e6);
+  if (!network.ok()) {
+    std::cerr << network.status() << "\n";
+    return 1;
+  }
+
+  for (auto [strategy, label] :
+       {std::pair{MultiWorkflowStrategy::kJointFairLoad, "joint-fair-load"},
+        std::pair{MultiWorkflowStrategy::kSequentialHeavyOps,
+                  "sequential-heavy-ops"}}) {
+    MultiWorkflowOptions options;
+    options.strategy = strategy;
+    Result<MultiWorkflowResult> result =
+        DeployMultipleWorkflows(tenants, *network, options);
+    if (!result.ok()) {
+      std::cerr << label << ": " << result.status() << "\n";
+      continue;
+    }
+    std::printf("strategy %s\n", label);
+    for (size_t i = 0; i < tenants.size(); ++i) {
+      std::printf("  %-10s T_execute %8.3f ms over servers:",
+                  tenants[i]->name().c_str(),
+                  result->execution_times[i] * 1e3);
+      for (const Server& s : network->servers()) {
+        std::printf(" %s=%zu", s.name().c_str(),
+                    result->mappings[i].OperationsOn(s.id()).size());
+      }
+      std::printf("\n");
+    }
+    std::printf("  combined fairness penalty: %.3f ms\n\n",
+                result->combined_time_penalty * 1e3);
+  }
+
+  std::printf(
+      "joint-fair-load optimizes only the combined balance; "
+      "sequential-heavy-ops\nalso keeps each tenant's chatty operations "
+      "co-located, trading a little\nfairness for execution time.\n");
+  return 0;
+}

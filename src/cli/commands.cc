@@ -1,0 +1,718 @@
+#include "src/cli/commands.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include <fstream>
+
+#include "src/cli/flags.h"
+#include "src/common/string_util.h"
+#include "src/workflow/bpel_import.h"
+#include "src/cost/cost_model.h"
+#include "src/cost/response_time.h"
+#include "src/deploy/algorithm.h"
+#include "src/deploy/failover.h"
+#include "src/exp/config.h"
+#include "src/exp/report.h"
+#include "src/exp/runner.h"
+#include "src/exp/sampling.h"
+#include "src/network/serialization.h"
+#include "src/sim/simulator.h"
+#include "src/workflow/dot.h"
+#include "src/workflow/generator.h"
+#include "src/workflow/metrics.h"
+#include "src/workflow/serialization.h"
+#include "src/workflow/validate.h"
+
+namespace wsflow::cli {
+
+namespace {
+
+/// Loaded (workflow, network, profile) triple shared by most commands.
+struct Inputs {
+  Workflow workflow;
+  Network network;
+  std::optional<ExecutionProfile> profile;
+
+  const ExecutionProfile* profile_ptr() const {
+    return profile ? &*profile : nullptr;
+  }
+};
+
+void AddInputFlags(FlagSet* flags) {
+  flags->AddString("workflow", "",
+                   "path to the workflow XML — flat <workflow> or "
+                   "structured <process> form (required)");
+  flags->AddString("network", "", "path to the network XML (required)");
+}
+
+/// Loads either workflow format by dispatching on the document's root tag.
+Result<Workflow> LoadAnyWorkflow(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  WSFLOW_ASSIGN_OR_RETURN(XmlNode root, ParseXml(buffer.str()));
+  if (root.tag() == "process") return WorkflowFromProcessXml(root);
+  return WorkflowFromXml(root);
+}
+
+Result<Inputs> LoadInputs(const FlagSet& flags) {
+  if (flags.GetString("workflow").empty()) {
+    return Status::InvalidArgument("--workflow is required");
+  }
+  if (flags.GetString("network").empty()) {
+    return Status::InvalidArgument("--network is required");
+  }
+  Inputs in;
+  WSFLOW_ASSIGN_OR_RETURN(in.workflow,
+                          LoadAnyWorkflow(flags.GetString("workflow")));
+  WSFLOW_ASSIGN_OR_RETURN(in.network,
+                          LoadNetwork(flags.GetString("network")));
+  WSFLOW_RETURN_IF_ERROR(ValidateAll(in.workflow));
+  if (!in.workflow.IsLine()) {
+    WSFLOW_ASSIGN_OR_RETURN(ExecutionProfile profile,
+                            ComputeExecutionProfile(in.workflow));
+    in.profile = std::move(profile);
+  }
+  return in;
+}
+
+DeployContext MakeContext(const Inputs& in, uint64_t seed) {
+  DeployContext ctx;
+  ctx.workflow = &in.workflow;
+  ctx.network = &in.network;
+  ctx.profile = in.profile_ptr();
+  ctx.seed = seed;
+  return ctx;
+}
+
+void PrintCosts(std::ostream& out, const CostBreakdown& cost) {
+  out << "T_execute:    " << FormatSeconds(cost.execution_time) << "\n"
+      << "TimePenalty:  " << FormatSeconds(cost.time_penalty) << "\n"
+      << "combined:     " << FormatSeconds(cost.combined) << "\n";
+}
+
+}  // namespace
+
+Result<Mapping> ParseMappingSpec(const std::string& spec,
+                                 size_t num_operations, size_t num_servers) {
+  std::vector<std::string> fields = Split(spec, ',');
+  if (fields.size() != num_operations) {
+    return Status::InvalidArgument(
+        "mapping spec has " + std::to_string(fields.size()) +
+        " entries, workflow has " + std::to_string(num_operations) +
+        " operations");
+  }
+  Mapping m(num_operations);
+  for (size_t i = 0; i < fields.size(); ++i) {
+    WSFLOW_ASSIGN_OR_RETURN(int64_t server, ParseInt64(fields[i]));
+    if (server < 0 || static_cast<size_t>(server) >= num_servers) {
+      return Status::OutOfRange("server index " + std::to_string(server) +
+                                " out of range [0, " +
+                                std::to_string(num_servers) + ")");
+    }
+    m.Assign(OperationId(static_cast<uint32_t>(i)),
+             ServerId(static_cast<uint32_t>(server)));
+  }
+  return m;
+}
+
+std::string FormatMappingSpec(const Mapping& m) {
+  std::string out;
+  for (size_t i = 0; i < m.num_operations(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(m.ServerOf(OperationId(static_cast<uint32_t>(i)))
+                              .value);
+  }
+  return out;
+}
+
+Status CmdGenerate(const std::vector<std::string>& args, std::ostream& out) {
+  FlagSet flags;
+  flags.AddString("type", "line", "line | bushy | lengthy | hybrid");
+  flags.AddInt("ops", 19, "number of operations");
+  flags.AddInt("seed", 1, "generator seed");
+  flags.AddString("out", "", "output workflow XML path (required)");
+  WSFLOW_ASSIGN_OR_RETURN(std::vector<std::string> positional,
+                          flags.Parse(args));
+  (void)positional;
+  if (flags.GetString("out").empty()) {
+    return Status::InvalidArgument("--out is required");
+  }
+  const size_t ops = static_cast<size_t>(flags.GetInt("ops"));
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+
+  // Table 6 distributions drive the synthetic quantities.
+  ExperimentConfig table6 = MakeClassCConfig(WorkloadKind::kLine);
+  Workflow workflow;
+  const std::string& type = flags.GetString("type");
+  if (type == "line") {
+    LineWorkflowParams params;
+    params.num_operations = ops;
+    params.cycles = table6.operation_cycles.ToSampler();
+    params.message_bits = table6.message_bits.ToSampler();
+    WSFLOW_ASSIGN_OR_RETURN(workflow, GenerateLineWorkflow(params, &rng));
+  } else {
+    GraphShape shape;
+    if (type == "bushy") {
+      shape = GraphShape::kBushy;
+    } else if (type == "lengthy") {
+      shape = GraphShape::kLengthy;
+    } else if (type == "hybrid") {
+      shape = GraphShape::kHybrid;
+    } else {
+      return Status::InvalidArgument("unknown --type '" + type + "'");
+    }
+    RandomGraphParams params = ParamsForShape(shape, ops);
+    params.cycles = table6.operation_cycles.ToSampler();
+    params.message_bits = table6.message_bits.ToSampler();
+    WSFLOW_ASSIGN_OR_RETURN(workflow,
+                            GenerateRandomGraphWorkflow(params, &rng));
+  }
+  WSFLOW_RETURN_IF_ERROR(SaveWorkflow(workflow, flags.GetString("out")));
+  out << "wrote " << type << " workflow with " << workflow.num_operations()
+      << " operations (" << workflow.NumDecisionNodes() << " decision) to "
+      << flags.GetString("out") << "\n";
+  return Status::OK();
+}
+
+Status CmdMakeNetwork(const std::vector<std::string>& args,
+                      std::ostream& out) {
+  FlagSet flags;
+  flags.AddString("kind", "bus", "bus | line | star | ring");
+  flags.AddString("powers", "1e9,2e9,3e9,2e9,1e9",
+                  "comma-separated server powers in Hz");
+  flags.AddString("speeds", "1e8",
+                  "link speeds bps: one value for bus, a list otherwise");
+  flags.AddDouble("propagation", 0.0, "per-link propagation delay, seconds");
+  flags.AddString("out", "", "output network XML path (required)");
+  WSFLOW_ASSIGN_OR_RETURN(std::vector<std::string> positional,
+                          flags.Parse(args));
+  (void)positional;
+  if (flags.GetString("out").empty()) {
+    return Status::InvalidArgument("--out is required");
+  }
+  WSFLOW_ASSIGN_OR_RETURN(std::vector<double> powers,
+                          ParseDoubleList(flags.GetString("powers")));
+  WSFLOW_ASSIGN_OR_RETURN(std::vector<double> speeds,
+                          ParseDoubleList(flags.GetString("speeds")));
+  double propagation = flags.GetDouble("propagation");
+
+  Network network;
+  const std::string& kind = flags.GetString("kind");
+  if (kind == "bus") {
+    if (speeds.size() != 1) {
+      return Status::InvalidArgument("bus networks take one --speeds value");
+    }
+    WSFLOW_ASSIGN_OR_RETURN(network,
+                            MakeBusNetwork(powers, speeds[0], propagation));
+  } else if (kind == "line") {
+    WSFLOW_ASSIGN_OR_RETURN(network,
+                            MakeLineNetwork(powers, speeds, propagation));
+  } else if (kind == "star") {
+    WSFLOW_ASSIGN_OR_RETURN(network,
+                            MakeStarNetwork(powers, speeds, propagation));
+  } else if (kind == "ring") {
+    WSFLOW_ASSIGN_OR_RETURN(network,
+                            MakeRingNetwork(powers, speeds, propagation));
+  } else {
+    return Status::InvalidArgument("unknown --kind '" + kind + "'");
+  }
+  WSFLOW_RETURN_IF_ERROR(SaveNetwork(network, flags.GetString("out")));
+  out << "wrote " << kind << " network with " << network.num_servers()
+      << " servers to " << flags.GetString("out") << "\n";
+  return Status::OK();
+}
+
+Status CmdDeploy(const std::vector<std::string>& args, std::ostream& out) {
+  FlagSet flags;
+  AddInputFlags(&flags);
+  flags.AddString("algorithm", "heavy-ops", "registry name (see "
+                  "list-algorithms)");
+  flags.AddInt("seed", 1, "seed for randomized steps");
+  flags.AddDouble("exec-weight", 0.5, "objective weight of T_execute");
+  flags.AddDouble("fair-weight", 0.5, "objective weight of TimePenalty");
+  WSFLOW_ASSIGN_OR_RETURN(std::vector<std::string> positional,
+                          flags.Parse(args));
+  (void)positional;
+  WSFLOW_ASSIGN_OR_RETURN(Inputs in, LoadInputs(flags));
+  DeployContext ctx = MakeContext(in, static_cast<uint64_t>(
+                                           flags.GetInt("seed")));
+  ctx.cost_options.execution_weight = flags.GetDouble("exec-weight");
+  ctx.cost_options.fairness_weight = flags.GetDouble("fair-weight");
+  WSFLOW_ASSIGN_OR_RETURN(Mapping m,
+                          RunAlgorithm(flags.GetString("algorithm"), ctx));
+  out << "mapping: " << m.ToString(in.workflow, in.network) << "\n";
+  out << "spec:    " << FormatMappingSpec(m) << "\n";
+  CostModel model(in.workflow, in.network, in.profile_ptr());
+  WSFLOW_ASSIGN_OR_RETURN(CostBreakdown cost,
+                          model.Evaluate(m, ctx.cost_options));
+  PrintCosts(out, cost);
+  return Status::OK();
+}
+
+Status CmdEvaluate(const std::vector<std::string>& args, std::ostream& out) {
+  FlagSet flags;
+  AddInputFlags(&flags);
+  flags.AddString("mapping", "",
+                  "server index per operation, comma separated (required)");
+  WSFLOW_ASSIGN_OR_RETURN(std::vector<std::string> positional,
+                          flags.Parse(args));
+  (void)positional;
+  WSFLOW_ASSIGN_OR_RETURN(Inputs in, LoadInputs(flags));
+  if (flags.GetString("mapping").empty()) {
+    return Status::InvalidArgument("--mapping is required");
+  }
+  WSFLOW_ASSIGN_OR_RETURN(
+      Mapping m, ParseMappingSpec(flags.GetString("mapping"),
+                                  in.workflow.num_operations(),
+                                  in.network.num_servers()));
+  CostModel model(in.workflow, in.network, in.profile_ptr());
+  WSFLOW_ASSIGN_OR_RETURN(CostBreakdown cost, model.Evaluate(m));
+  PrintCosts(out, cost);
+  std::vector<double> loads = model.Loads(m);
+  for (const Server& s : in.network.servers()) {
+    out << "load " << s.name() << ": "
+        << FormatSeconds(loads[s.id().value]) << "\n";
+  }
+  return Status::OK();
+}
+
+Status CmdSimulate(const std::vector<std::string>& args, std::ostream& out) {
+  FlagSet flags;
+  AddInputFlags(&flags);
+  flags.AddString("algorithm", "heavy-ops", "deployment algorithm");
+  flags.AddString("mapping", "", "explicit mapping spec (overrides "
+                  "--algorithm)");
+  flags.AddInt("runs", 1000, "Monte-Carlo runs");
+  flags.AddInt("seed", 1, "simulation seed");
+  flags.AddBool("trace", false, "print the first run's event trace");
+  flags.AddBool("server-contention", false,
+                "serialize operations sharing a server");
+  flags.AddBool("bus-contention", false, "serialize bus transfers");
+  WSFLOW_ASSIGN_OR_RETURN(std::vector<std::string> positional,
+                          flags.Parse(args));
+  (void)positional;
+  WSFLOW_ASSIGN_OR_RETURN(Inputs in, LoadInputs(flags));
+
+  Mapping m;
+  if (!flags.GetString("mapping").empty()) {
+    WSFLOW_ASSIGN_OR_RETURN(
+        m, ParseMappingSpec(flags.GetString("mapping"),
+                            in.workflow.num_operations(),
+                            in.network.num_servers()));
+  } else {
+    DeployContext ctx = MakeContext(in, 1);
+    WSFLOW_ASSIGN_OR_RETURN(m,
+                            RunAlgorithm(flags.GetString("algorithm"), ctx));
+  }
+
+  SimOptions options;
+  options.num_runs = static_cast<size_t>(flags.GetInt("runs"));
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  options.record_trace = flags.GetBool("trace");
+  options.server_contention = flags.GetBool("server-contention");
+  options.bus_contention = flags.GetBool("bus-contention");
+  WSFLOW_ASSIGN_OR_RETURN(
+      SimResult result, SimulateWorkflow(in.workflow, in.network, m, options));
+  out << "mean makespan over " << result.makespans.size()
+      << " runs: " << FormatSeconds(result.mean_makespan) << "\n";
+  CostModel model(in.workflow, in.network, in.profile_ptr());
+  WSFLOW_ASSIGN_OR_RETURN(double analytic, model.ExecutionTime(m));
+  out << "analytic expectation:      " << FormatSeconds(analytic) << "\n";
+  for (const Server& s : in.network.servers()) {
+    out << "mean busy " << s.name() << ": "
+        << FormatSeconds(result.server_busy[s.id().value]) << "\n";
+  }
+  if (options.record_trace) {
+    out << "\ntrace of run 1:\n"
+        << result.trace.ToString(in.workflow, in.network);
+  }
+  return Status::OK();
+}
+
+Status CmdSample(const std::vector<std::string>& args, std::ostream& out) {
+  FlagSet flags;
+  AddInputFlags(&flags);
+  flags.AddInt("samples", 32000, "sample budget");
+  flags.AddInt("seed", 1, "sampling seed");
+  WSFLOW_ASSIGN_OR_RETURN(std::vector<std::string> positional,
+                          flags.Parse(args));
+  (void)positional;
+  WSFLOW_ASSIGN_OR_RETURN(Inputs in, LoadInputs(flags));
+  CostModel model(in.workflow, in.network, in.profile_ptr());
+  SamplingOptions options;
+  options.samples = static_cast<size_t>(flags.GetInt("samples"));
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  WSFLOW_ASSIGN_OR_RETURN(SampleBest best,
+                          SampleSolutionSpace(model, options));
+  out << (best.exhaustive ? "enumerated all " : "sampled ")
+      << best.evaluated << " mappings\n";
+  out << "best T_execute:   " << FormatSeconds(best.best_execution_time)
+      << "  (worst " << FormatSeconds(best.worst_execution_time) << ")\n";
+  out << "best TimePenalty: " << FormatSeconds(best.best_time_penalty)
+      << "  (worst " << FormatSeconds(best.worst_time_penalty) << ")\n";
+  out << "best combined:    " << FormatSeconds(best.best_combined) << "\n";
+  out << "best-combined spec: "
+      << FormatMappingSpec(best.best_combined_mapping) << "\n";
+  return Status::OK();
+}
+
+Status CmdCompare(const std::vector<std::string>& args, std::ostream& out) {
+  FlagSet flags;
+  AddInputFlags(&flags);
+  flags.AddInt("seed", 1, "seed for randomized steps");
+  flags.AddBool("extensions", false,
+                "also run the non-paper extension algorithms");
+  WSFLOW_ASSIGN_OR_RETURN(std::vector<std::string> positional,
+                          flags.Parse(args));
+  (void)positional;
+  WSFLOW_ASSIGN_OR_RETURN(Inputs in, LoadInputs(flags));
+  CostModel model(in.workflow, in.network, in.profile_ptr());
+  DeployContext ctx = MakeContext(in, static_cast<uint64_t>(
+                                           flags.GetInt("seed")));
+  std::vector<std::string> algorithms{"fair-load", "fltr", "fltr2",
+                                      "fl-merge", "heavy-ops"};
+  if (flags.GetBool("extensions")) {
+    for (const char* extra : {"random", "round-robin", "critical-path",
+                              "hill-climb", "annealing"}) {
+      algorithms.push_back(extra);
+    }
+  }
+  out << std::left << std::setw(16) << "algorithm" << std::right
+      << std::setw(16) << "T_execute" << std::setw(16) << "TimePenalty"
+      << std::setw(16) << "combined" << "\n";
+  for (const std::string& name : algorithms) {
+    Result<Mapping> m = RunAlgorithm(name, ctx);
+    if (!m.ok()) {
+      out << std::left << std::setw(16) << name
+          << "  error: " << m.status().ToString() << "\n";
+      continue;
+    }
+    Result<CostBreakdown> cost = model.Evaluate(*m);
+    if (!cost.ok()) {
+      out << std::left << std::setw(16) << name
+          << "  error: " << cost.status().ToString() << "\n";
+      continue;
+    }
+    out << std::left << std::setw(16) << name << std::right << std::setw(16)
+        << FormatSeconds(cost->execution_time) << std::setw(16)
+        << FormatSeconds(cost->time_penalty) << std::setw(16)
+        << FormatSeconds(cost->combined) << "\n";
+  }
+  return Status::OK();
+}
+
+Status CmdExperiment(const std::vector<std::string>& args,
+                     std::ostream& out) {
+  FlagSet flags;
+  flags.AddString("class", "c", "experiment class: a | b | c (paper §4.1)");
+  flags.AddString("workload", "line", "line | bushy | lengthy | hybrid");
+  flags.AddInt("trials", 50, "independently drawn instances");
+  flags.AddInt("ops", 19, "operations per workflow");
+  flags.AddInt("servers", 5, "servers in the farm");
+  flags.AddInt("seed", 42, "experiment seed");
+  flags.AddDouble("bus", 0.0, "fixed bus speed bps (0 = draw from the "
+                  "class distribution)");
+  flags.AddString("algorithms", "",
+                  "comma-separated registry names (default: the paper's "
+                  "five bus algorithms)");
+  flags.AddString("csv", "", "also write per-trial scatter CSV here");
+  WSFLOW_ASSIGN_OR_RETURN(std::vector<std::string> positional,
+                          flags.Parse(args));
+  (void)positional;
+
+  WorkloadKind workload;
+  const std::string& workload_str = flags.GetString("workload");
+  if (workload_str == "line") {
+    workload = WorkloadKind::kLine;
+  } else if (workload_str == "bushy") {
+    workload = WorkloadKind::kBushyGraph;
+  } else if (workload_str == "lengthy") {
+    workload = WorkloadKind::kLengthyGraph;
+  } else if (workload_str == "hybrid") {
+    workload = WorkloadKind::kHybridGraph;
+  } else {
+    return Status::InvalidArgument("unknown --workload '" + workload_str +
+                                   "'");
+  }
+  ExperimentConfig cfg;
+  const std::string& cls = flags.GetString("class");
+  if (cls == "a") {
+    cfg = MakeClassAConfig(workload);
+  } else if (cls == "b") {
+    cfg = MakeClassBConfig(workload);
+  } else if (cls == "c") {
+    cfg = MakeClassCConfig(workload);
+  } else {
+    return Status::InvalidArgument("unknown --class '" + cls + "'");
+  }
+  cfg.trials = static_cast<size_t>(flags.GetInt("trials"));
+  cfg.num_operations = static_cast<size_t>(flags.GetInt("ops"));
+  cfg.num_servers = static_cast<size_t>(flags.GetInt("servers"));
+  cfg.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  if (flags.GetDouble("bus") > 0) {
+    cfg.fixed_bus_speed_bps = flags.GetDouble("bus");
+  }
+
+  std::vector<std::string> algorithms = PaperBusAlgorithms();
+  if (!flags.GetString("algorithms").empty()) {
+    algorithms.clear();
+    for (const std::string& name :
+         Split(flags.GetString("algorithms"), ',')) {
+      algorithms.emplace_back(Trim(name));
+    }
+  }
+
+  WSFLOW_ASSIGN_OR_RETURN(ExperimentResult result,
+                          RunExperiment(cfg, algorithms));
+  out << "experiment " << cfg.name << ": " << cfg.trials << " trials, M="
+      << cfg.num_operations << ", N=" << cfg.num_servers << "\n";
+  out << SummaryTable(result).ToString();
+  if (!flags.GetString("csv").empty()) {
+    WSFLOW_RETURN_IF_ERROR(WriteCsv(
+        flags.GetString("csv"),
+        {"algorithm", "trial", "execution_time_s", "time_penalty_s"},
+        ScatterRows(result)));
+    out << "(scatter data -> " << flags.GetString("csv") << ")\n";
+  }
+  return Status::OK();
+}
+
+Status CmdResponseTimes(const std::vector<std::string>& args,
+                        std::ostream& out) {
+  FlagSet flags;
+  AddInputFlags(&flags);
+  flags.AddString("algorithm", "heavy-ops", "deployment algorithm");
+  flags.AddString("mapping", "", "explicit mapping spec (overrides "
+                  "--algorithm)");
+  flags.AddInt("seed", 1, "seed for randomized steps");
+  WSFLOW_ASSIGN_OR_RETURN(std::vector<std::string> positional,
+                          flags.Parse(args));
+  (void)positional;
+  WSFLOW_ASSIGN_OR_RETURN(Inputs in, LoadInputs(flags));
+  Mapping m;
+  if (!flags.GetString("mapping").empty()) {
+    WSFLOW_ASSIGN_OR_RETURN(
+        m, ParseMappingSpec(flags.GetString("mapping"),
+                            in.workflow.num_operations(),
+                            in.network.num_servers()));
+  } else {
+    DeployContext ctx = MakeContext(in, static_cast<uint64_t>(
+                                            flags.GetInt("seed")));
+    WSFLOW_ASSIGN_OR_RETURN(m,
+                            RunAlgorithm(flags.GetString("algorithm"), ctx));
+  }
+  CostModel model(in.workflow, in.network, in.profile_ptr());
+  WSFLOW_ASSIGN_OR_RETURN(ResponseTimes times,
+                          ComputeResponseTimes(model, m));
+  for (const Operation& op : in.workflow.operations()) {
+    out << std::left << std::setw(24) << op.name() << " completes at "
+        << FormatSeconds(times[op.id().value]) << " on "
+        << in.network.server(m.ServerOf(op.id())).name() << "\n";
+  }
+  return Status::OK();
+}
+
+Status CmdStats(const std::vector<std::string>& args, std::ostream& out) {
+  FlagSet flags;
+  flags.AddString("workflow", "", "path to the workflow XML (required)");
+  WSFLOW_ASSIGN_OR_RETURN(std::vector<std::string> positional,
+                          flags.Parse(args));
+  (void)positional;
+  if (flags.GetString("workflow").empty()) {
+    return Status::InvalidArgument("--workflow is required");
+  }
+  WSFLOW_ASSIGN_OR_RETURN(Workflow w,
+                          LoadAnyWorkflow(flags.GetString("workflow")));
+  WSFLOW_ASSIGN_OR_RETURN(WorkflowMetrics metrics,
+                          ComputeWorkflowMetrics(w));
+  out << "workflow '" << w.name() << "'\n";
+  out << "  operations:       " << metrics.num_operations << " ("
+      << metrics.num_decision_nodes << " decision, "
+      << FormatDouble(metrics.decision_fraction * 100, 4) << "%)\n";
+  out << "  messages:         " << metrics.num_transitions << "\n";
+  out << "  depth:            " << metrics.depth << "\n";
+  out << "  max fan-out:      " << metrics.max_fan_out << "\n";
+  out << "  max nesting:      " << metrics.max_nesting << "\n";
+  out << "  E[ops per run]:   "
+      << FormatDouble(metrics.expected_executed_operations, 6) << "\n";
+  out << "  total cycles:     " << FormatDouble(metrics.total_cycles, 6)
+      << " (E[per run] " << FormatDouble(metrics.expected_cycles, 6)
+      << ")\n";
+  out << "  total msg bits:   "
+      << FormatBits(metrics.total_message_bits) << " (E[per run] "
+      << FormatBits(metrics.expected_message_bits) << ")\n";
+  return Status::OK();
+}
+
+Status CmdFailover(const std::vector<std::string>& args, std::ostream& out) {
+  FlagSet flags;
+  AddInputFlags(&flags);
+  flags.AddString("algorithm", "heavy-ops", "deployment algorithm");
+  flags.AddString("mapping", "", "explicit mapping spec (overrides "
+                  "--algorithm)");
+  flags.AddString("strategy", "worst-fit",
+                  "orphan redistribution: worst-fit | co-locate");
+  flags.AddInt("seed", 1, "seed for randomized steps");
+  WSFLOW_ASSIGN_OR_RETURN(std::vector<std::string> positional,
+                          flags.Parse(args));
+  (void)positional;
+  WSFLOW_ASSIGN_OR_RETURN(Inputs in, LoadInputs(flags));
+  FailoverStrategy strategy;
+  if (flags.GetString("strategy") == "worst-fit") {
+    strategy = FailoverStrategy::kWorstFit;
+  } else if (flags.GetString("strategy") == "co-locate") {
+    strategy = FailoverStrategy::kCoLocate;
+  } else {
+    return Status::InvalidArgument("unknown --strategy '" +
+                                   flags.GetString("strategy") + "'");
+  }
+  Mapping m;
+  if (!flags.GetString("mapping").empty()) {
+    WSFLOW_ASSIGN_OR_RETURN(
+        m, ParseMappingSpec(flags.GetString("mapping"),
+                            in.workflow.num_operations(),
+                            in.network.num_servers()));
+  } else {
+    DeployContext ctx = MakeContext(in, static_cast<uint64_t>(
+                                            flags.GetInt("seed")));
+    WSFLOW_ASSIGN_OR_RETURN(m,
+                            RunAlgorithm(flags.GetString("algorithm"), ctx));
+  }
+  CostModel model(in.workflow, in.network, in.profile_ptr());
+  WSFLOW_ASSIGN_OR_RETURN(std::vector<FailoverReport> reports,
+                          AnalyzeAllFailovers(model, m, strategy));
+  out << std::left << std::setw(10) << "failed" << std::right
+      << std::setw(10) << "orphans" << std::setw(16) << "exec before"
+      << std::setw(16) << "exec after" << std::setw(16) << "penalty after"
+      << std::setw(12) << "scale-up" << "\n";
+  for (const FailoverReport& r : reports) {
+    out << std::left << std::setw(10)
+        << in.network.server(r.failed_server).name() << std::right
+        << std::setw(10) << r.orphaned_operations << std::setw(16)
+        << FormatSeconds(r.execution_time_before) << std::setw(16)
+        << FormatSeconds(r.execution_time_after) << std::setw(16)
+        << FormatSeconds(r.time_penalty_after) << std::setw(12)
+        << FormatDouble(r.worst_load_scale_up, 4) << "\n";
+  }
+  return Status::OK();
+}
+
+Status CmdDot(const std::vector<std::string>& args, std::ostream& out) {
+  FlagSet flags;
+  flags.AddString("workflow", "", "workflow XML to render");
+  flags.AddString("network", "", "network XML to render (or to color a "
+                  "deployment)");
+  flags.AddString("algorithm", "", "when set with both inputs, color the "
+                  "deployment this algorithm produces");
+  flags.AddInt("seed", 1, "seed for randomized steps");
+  WSFLOW_ASSIGN_OR_RETURN(std::vector<std::string> positional,
+                          flags.Parse(args));
+  (void)positional;
+  bool have_workflow = !flags.GetString("workflow").empty();
+  bool have_network = !flags.GetString("network").empty();
+  if (!have_workflow && !have_network) {
+    return Status::InvalidArgument("need --workflow and/or --network");
+  }
+  if (have_workflow && have_network && !flags.GetString("algorithm").empty()) {
+    WSFLOW_ASSIGN_OR_RETURN(Inputs in, LoadInputs(flags));
+    DeployContext ctx = MakeContext(in, static_cast<uint64_t>(
+                                            flags.GetInt("seed")));
+    WSFLOW_ASSIGN_OR_RETURN(Mapping m,
+                            RunAlgorithm(flags.GetString("algorithm"), ctx));
+    out << DeploymentToDot(in.workflow, in.network, m);
+    return Status::OK();
+  }
+  if (have_workflow) {
+    WSFLOW_ASSIGN_OR_RETURN(Workflow w,
+                            LoadWorkflow(flags.GetString("workflow")));
+    out << WorkflowToDot(w);
+  }
+  if (have_network) {
+    WSFLOW_ASSIGN_OR_RETURN(Network n,
+                            LoadNetwork(flags.GetString("network")));
+    out << NetworkToDot(n);
+  }
+  return Status::OK();
+}
+
+Status CmdListAlgorithms(const std::vector<std::string>& args,
+                         std::ostream& out) {
+  (void)args;
+  RegisterBuiltinAlgorithms();
+  for (const std::string& name : AlgorithmRegistry::Global().Names()) {
+    out << name << "\n";
+  }
+  return Status::OK();
+}
+
+int RunCli(int argc, const char* const* argv, std::ostream& out,
+           std::ostream& err) {
+  static constexpr const char* kUsage =
+      "usage: wsflow <command> [flags]\n"
+      "commands:\n"
+      "  generate         synthesize a workflow XML\n"
+      "  make-network     synthesize a network XML\n"
+      "  deploy           run one deployment algorithm\n"
+      "  evaluate         cost an explicit mapping\n"
+      "  simulate         event-simulate a deployment\n"
+      "  sample           bound the solution space by sampling\n"
+      "  compare          compare algorithms on one instance\n"
+      "  experiment       run a paper-style multi-trial experiment\n"
+      "  response-times   per-operation completion times\n"
+      "  stats            structural workflow metrics\n"
+      "  failover         per-server failure impact of a deployment\n"
+      "  dot              GraphViz export (workflow/network/deployment)\n"
+      "  list-algorithms  show the algorithm registry\n";
+  if (argc < 2) {
+    err << kUsage;
+    return 2;
+  }
+  std::string command = argv[1];
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+
+  Status st;
+  if (command == "generate") {
+    st = CmdGenerate(args, out);
+  } else if (command == "make-network") {
+    st = CmdMakeNetwork(args, out);
+  } else if (command == "deploy") {
+    st = CmdDeploy(args, out);
+  } else if (command == "evaluate") {
+    st = CmdEvaluate(args, out);
+  } else if (command == "simulate") {
+    st = CmdSimulate(args, out);
+  } else if (command == "sample") {
+    st = CmdSample(args, out);
+  } else if (command == "compare") {
+    st = CmdCompare(args, out);
+  } else if (command == "experiment") {
+    st = CmdExperiment(args, out);
+  } else if (command == "response-times") {
+    st = CmdResponseTimes(args, out);
+  } else if (command == "stats") {
+    st = CmdStats(args, out);
+  } else if (command == "failover") {
+    st = CmdFailover(args, out);
+  } else if (command == "dot") {
+    st = CmdDot(args, out);
+  } else if (command == "list-algorithms") {
+    st = CmdListAlgorithms(args, out);
+  } else if (command == "help" || command == "--help") {
+    out << kUsage;
+    return 0;
+  } else {
+    err << "unknown command '" << command << "'\n" << kUsage;
+    return 2;
+  }
+  if (!st.ok()) {
+    err << "wsflow " << command << ": " << st.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace wsflow::cli

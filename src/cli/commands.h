@@ -1,0 +1,68 @@
+// wsflow: CLI command layer.
+//
+// Each subcommand of the `wsflow` binary is a function taking its argument
+// vector and the output stream, returning a Status — fully unit-testable
+// without spawning processes. The thin main() in tools/wsflow_main.cc only
+// dispatches.
+//
+// Subcommands:
+//   generate        synthesize a workflow XML (line/bushy/lengthy/hybrid)
+//   make-network    synthesize a network XML (bus/line/star/ring)
+//   deploy          run one algorithm, print mapping + costs
+//   evaluate        cost a given mapping
+//   simulate        discrete-event-simulate a deployment
+//   sample          bound the solution space by random sampling
+//   compare         run every registered algorithm, print the comparison
+//   experiment      run a paper-style multi-trial experiment (Class A/B/C)
+//   response-times  per-operation completion times under a deployment
+//   stats           structural workflow metrics
+//   failover        per-server failure impact of a deployment
+//   dot             GraphViz export of a workflow, network or deployment
+//   list-algorithms registry contents
+
+#ifndef WSFLOW_CLI_COMMANDS_H_
+#define WSFLOW_CLI_COMMANDS_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/deploy/mapping.h"
+
+namespace wsflow::cli {
+
+Status CmdGenerate(const std::vector<std::string>& args, std::ostream& out);
+Status CmdMakeNetwork(const std::vector<std::string>& args,
+                      std::ostream& out);
+Status CmdDeploy(const std::vector<std::string>& args, std::ostream& out);
+Status CmdEvaluate(const std::vector<std::string>& args, std::ostream& out);
+Status CmdSimulate(const std::vector<std::string>& args, std::ostream& out);
+Status CmdSample(const std::vector<std::string>& args, std::ostream& out);
+Status CmdCompare(const std::vector<std::string>& args, std::ostream& out);
+Status CmdExperiment(const std::vector<std::string>& args,
+                     std::ostream& out);
+Status CmdResponseTimes(const std::vector<std::string>& args,
+                        std::ostream& out);
+Status CmdStats(const std::vector<std::string>& args, std::ostream& out);
+Status CmdFailover(const std::vector<std::string>& args, std::ostream& out);
+Status CmdDot(const std::vector<std::string>& args, std::ostream& out);
+Status CmdListAlgorithms(const std::vector<std::string>& args,
+                         std::ostream& out);
+
+/// Top-level dispatcher; argv[0] is ignored, argv[1] selects the
+/// subcommand. Prints usage on errors. Returns the process exit code.
+int RunCli(int argc, const char* const* argv, std::ostream& out,
+           std::ostream& err);
+
+/// Mapping spec: comma-separated server indices, one per operation in id
+/// order — "2,0,1,1" deploys op0 on s2, op1 on s0, ...
+Result<Mapping> ParseMappingSpec(const std::string& spec,
+                                 size_t num_operations, size_t num_servers);
+
+/// Inverse of ParseMappingSpec; the mapping must be total.
+std::string FormatMappingSpec(const Mapping& m);
+
+}  // namespace wsflow::cli
+
+#endif  // WSFLOW_CLI_COMMANDS_H_

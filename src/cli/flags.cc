@@ -1,0 +1,187 @@
+#include "src/cli/flags.h"
+
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace wsflow::cli {
+
+void FlagSet::AddString(const std::string& name, std::string default_value,
+                        std::string help) {
+  Flag f;
+  f.type = Type::kString;
+  f.help = std::move(help);
+  f.string_value = std::move(default_value);
+  WSFLOW_CHECK(flags_.emplace(name, std::move(f)).second)
+      << "duplicate flag --" << name;
+}
+
+void FlagSet::AddDouble(const std::string& name, double default_value,
+                        std::string help) {
+  Flag f;
+  f.type = Type::kDouble;
+  f.help = std::move(help);
+  f.double_value = default_value;
+  WSFLOW_CHECK(flags_.emplace(name, std::move(f)).second)
+      << "duplicate flag --" << name;
+}
+
+void FlagSet::AddInt(const std::string& name, int64_t default_value,
+                     std::string help) {
+  Flag f;
+  f.type = Type::kInt;
+  f.help = std::move(help);
+  f.int_value = default_value;
+  WSFLOW_CHECK(flags_.emplace(name, std::move(f)).second)
+      << "duplicate flag --" << name;
+}
+
+void FlagSet::AddBool(const std::string& name, bool default_value,
+                      std::string help) {
+  Flag f;
+  f.type = Type::kBool;
+  f.help = std::move(help);
+  f.bool_value = default_value;
+  WSFLOW_CHECK(flags_.emplace(name, std::move(f)).second)
+      << "duplicate flag --" << name;
+}
+
+Status FlagSet::SetValue(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  Flag& f = it->second;
+  switch (f.type) {
+    case Type::kString:
+      f.string_value = value;
+      break;
+    case Type::kDouble: {
+      Result<double> parsed = ParseDouble(value);
+      if (!parsed.ok()) {
+        return parsed.status().WithContext("--" + name);
+      }
+      f.double_value = *parsed;
+      break;
+    }
+    case Type::kInt: {
+      Result<int64_t> parsed = ParseInt64(value);
+      if (!parsed.ok()) {
+        return parsed.status().WithContext("--" + name);
+      }
+      f.int_value = *parsed;
+      break;
+    }
+    case Type::kBool:
+      if (value == "true" || value == "1") {
+        f.bool_value = true;
+      } else if (value == "false" || value == "0") {
+        f.bool_value = false;
+      } else {
+        return Status::InvalidArgument("--" + name +
+                                       " expects true/false, got '" + value +
+                                       "'");
+      }
+      break;
+  }
+  f.set = true;
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> FlagSet::Parse(
+    const std::vector<std::string>& args) {
+  std::vector<std::string> positional;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (!StartsWith(arg, "--")) {
+      positional.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      WSFLOW_RETURN_IF_ERROR(
+          SetValue(body.substr(0, eq), body.substr(eq + 1)));
+      continue;
+    }
+    auto it = flags_.find(body);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + body);
+    }
+    if (it->second.type == Type::kBool) {
+      // Bare boolean form: --flag means true.
+      it->second.bool_value = true;
+      it->second.set = true;
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      return Status::InvalidArgument("flag --" + body + " needs a value");
+    }
+    WSFLOW_RETURN_IF_ERROR(SetValue(body, args[++i]));
+  }
+  return positional;
+}
+
+const FlagSet::Flag& FlagSet::Get(const std::string& name, Type type) const {
+  auto it = flags_.find(name);
+  WSFLOW_CHECK(it != flags_.end()) << "undeclared flag --" << name;
+  WSFLOW_CHECK(it->second.type == type) << "flag --" << name << " type";
+  return it->second;
+}
+
+const std::string& FlagSet::GetString(const std::string& name) const {
+  return Get(name, Type::kString).string_value;
+}
+
+double FlagSet::GetDouble(const std::string& name) const {
+  return Get(name, Type::kDouble).double_value;
+}
+
+int64_t FlagSet::GetInt(const std::string& name) const {
+  return Get(name, Type::kInt).int_value;
+}
+
+bool FlagSet::GetBool(const std::string& name) const {
+  return Get(name, Type::kBool).bool_value;
+}
+
+bool FlagSet::WasSet(const std::string& name) const {
+  auto it = flags_.find(name);
+  WSFLOW_CHECK(it != flags_.end()) << "undeclared flag --" << name;
+  return it->second.set;
+}
+
+std::string FlagSet::Help() const {
+  std::ostringstream os;
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: ";
+    switch (flag.type) {
+      case Type::kString:
+        os << "'" << flag.string_value << "'";
+        break;
+      case Type::kDouble:
+        os << FormatDouble(flag.double_value, 6);
+        break;
+      case Type::kInt:
+        os << flag.int_value;
+        break;
+      case Type::kBool:
+        os << (flag.bool_value ? "true" : "false");
+        break;
+    }
+    os << ")\n      " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+Result<std::vector<double>> ParseDoubleList(const std::string& csv) {
+  std::vector<double> out;
+  for (const std::string& field : Split(csv, ',')) {
+    WSFLOW_ASSIGN_OR_RETURN(double value, ParseDouble(field));
+    out.push_back(value);
+  }
+  return out;
+}
+
+}  // namespace wsflow::cli

@@ -1,0 +1,72 @@
+// wsflow: minimal command-line flag parsing for the wsflow CLI.
+//
+// Supports `--name value`, `--name=value` and boolean `--name` forms plus
+// positional arguments. Flags are declared up front with defaults and help
+// text; unknown flags are errors. No global state — each command builds its
+// own FlagSet, which keeps the parser unit-testable.
+
+#ifndef WSFLOW_CLI_FLAGS_H_
+#define WSFLOW_CLI_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace wsflow::cli {
+
+class FlagSet {
+ public:
+  /// Declares flags; duplicate names abort (programming error).
+  void AddString(const std::string& name, std::string default_value,
+                 std::string help);
+  void AddDouble(const std::string& name, double default_value,
+                 std::string help);
+  void AddInt(const std::string& name, int64_t default_value,
+              std::string help);
+  void AddBool(const std::string& name, bool default_value, std::string help);
+
+  /// Parses `args` (not including the program/command name). Returns the
+  /// positional arguments in order. Fails on unknown flags, missing values
+  /// or unparsable numbers.
+  Result<std::vector<std::string>> Parse(
+      const std::vector<std::string>& args);
+
+  /// Typed access after Parse (or defaults before). Unknown names abort.
+  const std::string& GetString(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  /// True when the flag was explicitly set on the command line.
+  bool WasSet(const std::string& name) const;
+
+  /// One help line per flag: "--name (default: ...)  help".
+  std::string Help() const;
+
+ private:
+  enum class Type { kString, kDouble, kInt, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string string_value;
+    double double_value = 0;
+    int64_t int_value = 0;
+    bool bool_value = false;
+    bool set = false;
+  };
+
+  Status SetValue(const std::string& name, const std::string& value);
+  const Flag& Get(const std::string& name, Type type) const;
+
+  std::map<std::string, Flag> flags_;
+};
+
+/// Parses a comma-separated list of doubles ("1e9,2e9,3e9").
+Result<std::vector<double>> ParseDoubleList(const std::string& csv);
+
+}  // namespace wsflow::cli
+
+#endif  // WSFLOW_CLI_FLAGS_H_

@@ -1,0 +1,85 @@
+// wsflow: minimal leveled logging and check macros.
+//
+// Logging goes to stderr. The level is process-global and defaults to
+// kWarning so that library users are not spammed; benches and examples raise
+// it explicitly. WSFLOW_CHECK* abort on violation — they guard programmer
+// invariants, not user input (user input errors surface as Status).
+
+#ifndef WSFLOW_COMMON_LOGGING_H_
+#define WSFLOW_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace wsflow {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the process-global minimum level that is emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction. Fatal aborts the process.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log statement below the active level without evaluating
+/// the streamed operands' formatting.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace wsflow
+
+#define WSFLOW_LOG_INTERNAL(level)                                     \
+  ::wsflow::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define WSFLOW_LOG(severity)                                           \
+  (::wsflow::LogLevel::k##severity < ::wsflow::GetLogLevel())          \
+      ? (void)0                                                        \
+      : ::wsflow::internal::LogMessageVoidify() &                      \
+            WSFLOW_LOG_INTERNAL(::wsflow::LogLevel::k##severity)
+
+/// Aborts with a message when `condition` is false.
+#define WSFLOW_CHECK(condition)                                        \
+  (condition) ? (void)0                                                \
+              : ::wsflow::internal::LogMessageVoidify() &              \
+                    WSFLOW_LOG_INTERNAL(::wsflow::LogLevel::kFatal)    \
+                        << "Check failed: " #condition " "
+
+#define WSFLOW_CHECK_EQ(a, b) WSFLOW_CHECK((a) == (b))
+#define WSFLOW_CHECK_NE(a, b) WSFLOW_CHECK((a) != (b))
+#define WSFLOW_CHECK_LT(a, b) WSFLOW_CHECK((a) < (b))
+#define WSFLOW_CHECK_LE(a, b) WSFLOW_CHECK((a) <= (b))
+#define WSFLOW_CHECK_GT(a, b) WSFLOW_CHECK((a) > (b))
+#define WSFLOW_CHECK_GE(a, b) WSFLOW_CHECK((a) >= (b))
+
+/// Like WSFLOW_CHECK but compiled out of release builds.
+#ifndef NDEBUG
+#define WSFLOW_DCHECK(condition) WSFLOW_CHECK(condition)
+#else
+#define WSFLOW_DCHECK(condition) \
+  while (false) WSFLOW_CHECK(condition)
+#endif
+
+#endif  // WSFLOW_COMMON_LOGGING_H_

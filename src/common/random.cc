@@ -1,0 +1,98 @@
+#include "src/common/random.h"
+
+#include <cmath>
+
+namespace wsflow {
+
+namespace {
+// splitmix64: seed expander recommended by the xoshiro authors.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  WSFLOW_CHECK_GT(bound, 0u);
+  // Rejection sampling: discard values from the final partial bucket.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  WSFLOW_CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextUint64());  // full range
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  // 53 top bits -> uniform double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  WSFLOW_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::NextBool(double p) {
+  WSFLOW_CHECK_GE(p, 0.0);
+  WSFLOW_CHECK_LE(p, 1.0);
+  return NextDouble() < p;
+}
+
+size_t Rng::NextDiscrete(const std::vector<double>& weights) {
+  WSFLOW_CHECK(!weights.empty());
+  double total = 0;
+  for (double w : weights) {
+    WSFLOW_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  WSFLOW_CHECK_GT(total, 0.0);
+  double x = NextDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (x < acc) return i;
+  }
+  // Floating-point edge: return the last index with positive weight.
+  for (size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork() {
+  return Rng(NextUint64() ^ 0xA5A5A5A5DEADBEEFULL);
+}
+
+}  // namespace wsflow

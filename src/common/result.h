@@ -1,0 +1,79 @@
+// wsflow: Result<T> — value-or-Status return type.
+//
+// A Result<T> holds either a T (the success value) or an error Status.
+// Accessing value() on an error result aborts, mirroring the behaviour of
+// arrow::Result / absl::StatusOr.
+
+#ifndef WSFLOW_COMMON_RESULT_H_
+#define WSFLOW_COMMON_RESULT_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "src/common/status.h"
+
+namespace wsflow {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs a success result (implicit so `return value;` works).
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs an error result from a non-OK status (implicit so
+  /// `return Status::InvalidArgument(...)` works). An OK status is a
+  /// programming error and is converted to an Internal error.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(rep_).ok()) {
+      rep_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The error status; OK when the result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this result is an error.
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "wsflow: Result::value() on error: %s\n",
+                   std::get<Status>(rep_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_COMMON_RESULT_H_

@@ -1,0 +1,58 @@
+// wsflow: streaming summary statistics and percentile helpers.
+//
+// Used by the experiment harness to aggregate per-trial measurements and by
+// algorithms that need percentile thresholds (e.g. the Line-Line critical-
+// bridge test uses 20th-percentile link speeds and message sizes).
+
+#ifndef WSFLOW_COMMON_STATS_H_
+#define WSFLOW_COMMON_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wsflow {
+
+/// Welford-style streaming accumulator for count/mean/variance/min/max.
+class SummaryStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one.
+  void Merge(const SummaryStats& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+  /// "n=.. mean=.. sd=.. min=.. max=.." one-line rendering.
+  std::string ToString() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Returns the q-quantile (q in [0,1]) of `values` using linear
+/// interpolation between order statistics. Empty input yields 0.
+double Quantile(std::vector<double> values, double q);
+
+/// Arithmetic mean of `values`; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+/// Median shorthand for Quantile(values, 0.5).
+double Median(std::vector<double> values);
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_COMMON_STATS_H_

@@ -1,0 +1,68 @@
+#include "src/common/status.h"
+
+namespace wsflow {
+
+namespace {
+const std::string& EmptyString() {
+  static const std::string kEmpty;
+  return kEmpty;
+}
+}  // namespace
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
+    case StatusCode::kNotFound: return "not-found";
+    case StatusCode::kAlreadyExists: return "already-exists";
+    case StatusCode::kFailedPrecondition: return "failed-precondition";
+    case StatusCode::kOutOfRange: return "out-of-range";
+    case StatusCode::kUnimplemented: return "unimplemented";
+    case StatusCode::kInternal: return "internal";
+    case StatusCode::kResourceExhausted: return "resource-exhausted";
+    case StatusCode::kParseError: return "parse-error";
+    case StatusCode::kConstraintViolation: return "constraint-violation";
+  }
+  return "unknown";
+}
+
+Status::Status(StatusCode code, std::string msg)
+    : rep_(code == StatusCode::kOk
+               ? nullptr
+               : std::make_unique<Rep>(Rep{code, std::move(msg)})) {}
+
+Status::Status(const Status& other)
+    : rep_(other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr) {}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
+  }
+  return *this;
+}
+
+const std::string& Status::message() const {
+  return rep_ ? rep_->message : EmptyString();
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code()));
+  out += ": ";
+  out += message();
+  return out;
+}
+
+Status Status::WithContext(std::string_view context) const {
+  if (ok()) return *this;
+  std::string msg(context);
+  msg += ": ";
+  msg += message();
+  return Status(code(), std::move(msg));
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace wsflow

@@ -1,0 +1,151 @@
+// wsflow: Status — lightweight error propagation without exceptions.
+//
+// Modeled after the RocksDB/Arrow idiom: functions that can fail return a
+// Status (or a Result<T>, see result.h) instead of throwing. A Status is
+// either OK or carries an error code plus a human-readable message.
+
+#ifndef WSFLOW_COMMON_STATUS_H_
+#define WSFLOW_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace wsflow {
+
+/// Error categories used across the library.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller passed a malformed value.
+  kNotFound = 2,          ///< A referenced entity does not exist.
+  kAlreadyExists = 3,     ///< Attempt to create a duplicate entity.
+  kFailedPrecondition = 4,///< Object state does not admit the operation.
+  kOutOfRange = 5,        ///< Index or parameter outside the valid domain.
+  kUnimplemented = 6,     ///< Feature intentionally not provided.
+  kInternal = 7,          ///< Invariant violation inside the library.
+  kResourceExhausted = 8, ///< A configured limit was exceeded.
+  kParseError = 9,        ///< Input text could not be parsed.
+  kConstraintViolation = 10, ///< A user deployment constraint cannot be met.
+};
+
+/// Returns a stable lower-case name for a code ("ok", "invalid-argument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation: OK, or an error code with a message.
+///
+/// The OK state is represented by a null rep pointer so that returning OK is
+/// free of allocation; error construction allocates once.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// kOk; use the default constructor for success.
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Named constructors, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : rep_->code; }
+  /// Error message; empty for OK statuses.
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsConstraintViolation() const {
+    return code() == StatusCode::kConstraintViolation;
+  }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy of this status with `context` prepended to the message,
+  /// e.g. `st.WithContext("loading workflow")`. OK stays OK.
+  Status WithContext(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<Rep> rep_;  // null == OK
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace wsflow
+
+/// Propagates an error Status out of the current function.
+#define WSFLOW_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::wsflow::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+// Internal helper for token pasting inside WSFLOW_ASSIGN_OR_RETURN.
+#define WSFLOW_CONCAT_IMPL_(x, y) x##y
+#define WSFLOW_CONCAT_(x, y) WSFLOW_CONCAT_IMPL_(x, y)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// assigns the value to `lhs` (which may include a declaration).
+#define WSFLOW_ASSIGN_OR_RETURN(lhs, expr)                        \
+  auto WSFLOW_CONCAT_(_res_, __LINE__) = (expr);                  \
+  if (!WSFLOW_CONCAT_(_res_, __LINE__).ok())                      \
+    return WSFLOW_CONCAT_(_res_, __LINE__).status();              \
+  lhs = std::move(WSFLOW_CONCAT_(_res_, __LINE__)).value()
+
+#endif  // WSFLOW_COMMON_STATUS_H_

@@ -1,0 +1,44 @@
+// wsflow: small string helpers shared by serialization and reporting.
+
+#ifndef WSFLOW_COMMON_STRING_UTIL_H_
+#define WSFLOW_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace wsflow {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Parses a decimal signed integer; the whole string must be consumed.
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// Parses a floating-point number; the whole string must be consumed.
+Result<double> ParseDouble(std::string_view s);
+
+/// Formats `value` with `digits` significant digits (for report tables).
+std::string FormatDouble(double value, int digits = 6);
+
+/// Renders bits as a human-readable size, e.g. "21392 B" or "2.5 Mbit".
+std::string FormatBits(double bits);
+
+/// Renders seconds with an adaptive unit, e.g. "12.3 ms".
+std::string FormatSeconds(double seconds);
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_COMMON_STRING_UTIL_H_

@@ -1,0 +1,115 @@
+#include "src/cost/cost_model.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/cost/execution_time.h"
+
+namespace wsflow {
+
+CostModel::CostModel(const Workflow& workflow, const Network& network,
+                     const ExecutionProfile* profile)
+    : workflow_(workflow),
+      network_(network),
+      profile_(profile),
+      router_(network) {
+  if (profile_ != nullptr) {
+    WSFLOW_CHECK_EQ(profile_->op_prob.size(), workflow.num_operations());
+    WSFLOW_CHECK_EQ(profile_->edge_prob.size(), workflow.num_transitions());
+  }
+}
+
+double CostModel::OperationProb(OperationId op) const {
+  return profile_ == nullptr ? 1.0 : profile_->OperationProb(op);
+}
+
+double CostModel::TransitionProb(TransitionId t) const {
+  return profile_ == nullptr ? 1.0 : profile_->TransitionProb(t);
+}
+
+double CostModel::Tproc(OperationId op, const Mapping& m) const {
+  ServerId s = m.ServerOf(op);
+  WSFLOW_CHECK(s.valid());
+  return TprocOn(op, s);
+}
+
+double CostModel::TprocOn(OperationId op, ServerId server) const {
+  return workflow_.operation(op).cycles() / network_.server(server).power_hz();
+}
+
+Result<double> CostModel::Tcomm(TransitionId t, const Mapping& m) const {
+  const Transition& edge = workflow_.transition(t);
+  ServerId from = m.ServerOf(edge.from);
+  ServerId to = m.ServerOf(edge.to);
+  if (!from.valid() || !to.valid()) {
+    return Status::FailedPrecondition(
+        "Tcomm requires both transition endpoints assigned");
+  }
+  if (from == to) return 0.0;
+  WSFLOW_ASSIGN_OR_RETURN(Route route, router_.FindRoute(from, to));
+  return route.TotalPropagation(network_) +
+         route.TransmissionTime(network_, edge.message_bits);
+}
+
+Result<double> CostModel::WeightedTcomm(TransitionId t,
+                                        const Mapping& m) const {
+  WSFLOW_ASSIGN_OR_RETURN(double comm, Tcomm(t, m));
+  return TransitionProb(t) * comm;
+}
+
+double CostModel::Load(ServerId server, const Mapping& m) const {
+  double load = 0;
+  for (const Operation& op : workflow_.operations()) {
+    if (m.ServerOf(op.id()) == server) {
+      load += OperationProb(op.id()) * TprocOn(op.id(), server);
+    }
+  }
+  return load;
+}
+
+std::vector<double> CostModel::Loads(const Mapping& m) const {
+  std::vector<double> loads(network_.num_servers(), 0.0);
+  for (const Operation& op : workflow_.operations()) {
+    ServerId s = m.ServerOf(op.id());
+    if (s.valid()) {
+      loads[s.value] += OperationProb(op.id()) * TprocOn(op.id(), s);
+    }
+  }
+  return loads;
+}
+
+double CostModel::TimePenalty(const Mapping& m) const {
+  std::vector<double> loads = Loads(m);
+  if (loads.empty()) return 0.0;
+  double avg = 0;
+  for (double l : loads) avg += l;
+  avg /= static_cast<double>(loads.size());
+  double penalty = 0;
+  for (double l : loads) penalty += std::fabs(l - avg) / 2.0;
+  return penalty;
+}
+
+Result<double> CostModel::ExecutionTime(const Mapping& m) const {
+  if (!is_line_.has_value()) is_line_ = workflow_.IsLine();
+  if (*is_line_) {
+    return LineExecutionTime(*this, m);
+  }
+  if (!root_.has_value()) {
+    WSFLOW_ASSIGN_OR_RETURN(Block root, DecomposeBlocks(workflow_));
+    root_ = std::move(root);
+  }
+  return GraphExecutionTime(*this, *root_, m);
+}
+
+Result<CostBreakdown> CostModel::Evaluate(const Mapping& m,
+                                          const CostOptions& options) const {
+  WSFLOW_RETURN_IF_ERROR(m.ValidateAgainst(workflow_, network_));
+  CostBreakdown out;
+  WSFLOW_ASSIGN_OR_RETURN(out.execution_time, ExecutionTime(m));
+  out.time_penalty = TimePenalty(m);
+  out.combined = options.execution_weight * out.execution_time +
+                 options.fairness_weight * out.time_penalty;
+  return out;
+}
+
+}  // namespace wsflow

@@ -1,0 +1,112 @@
+// wsflow: the paper's cost model (Table 1).
+//
+// All times in seconds, sizes in bits, powers in Hz:
+//
+//   T_proc(op)        = C(op) / P(Server(op))
+//   T_trans(e, link)  = MsgSize(e) / Line_Speed(link)
+//   T_comm(e)         = Sum over links of Path(Server(from), Server(to)) of
+//                       (T_refl(link) + T_trans(e, link)); 0 if co-located
+//   Load(s)           = Sum of p(op) * T_proc(op) over ops deployed on s
+//   TimePenalty       = Sum over servers of |Load(s) - avg Load| / 2
+//   T_execute         = execution time of the workflow (execution_time.h)
+//   Combined          = w_e * T_execute + w_f * TimePenalty
+//
+// Loads are weighted by the operations' execution probabilities p(op)
+// (1 for line workflows), matching the paper's amortized view for graph
+// workflows (§3.4). TimePenalty translates fairness into time units: it is
+// the total time servers deviate from the fair share; the /2 keeps a unit
+// of load moved between two servers from being counted twice.
+
+#ifndef WSFLOW_COST_COST_MODEL_H_
+#define WSFLOW_COST_COST_MODEL_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/deploy/mapping.h"
+#include "src/network/routing.h"
+#include "src/network/topology.h"
+#include "src/workflow/blocks.h"
+#include "src/workflow/probability.h"
+#include "src/workflow/workflow.h"
+
+namespace wsflow {
+
+/// Weights of the double optimization objective. The paper's default is the
+/// equally weighted sum.
+struct CostOptions {
+  double execution_weight = 0.5;
+  double fairness_weight = 0.5;
+};
+
+/// The two antagonistic measures plus their weighted combination.
+struct CostBreakdown {
+  double execution_time = 0;  ///< T_execute in seconds.
+  double time_penalty = 0;    ///< Fairness penalty in seconds.
+  double combined = 0;        ///< Weighted sum under the CostOptions used.
+};
+
+/// Evaluates mappings of one workflow over one network. The workflow,
+/// network and profile must outlive the model.
+class CostModel {
+ public:
+  /// `profile` supplies execution probabilities; pass nullptr to use
+  /// probability 1 everywhere (single-execution / line semantics).
+  CostModel(const Workflow& workflow, const Network& network,
+            const ExecutionProfile* profile = nullptr);
+
+  const Workflow& workflow() const { return workflow_; }
+  const Network& network() const { return network_; }
+  const Router& router() const { return router_; }
+
+  /// Execution probability of an operation under the active profile.
+  double OperationProb(OperationId op) const;
+  /// Execution probability of a transition under the active profile.
+  double TransitionProb(TransitionId t) const;
+
+  /// T_proc(op) under `m`; op must be assigned.
+  double Tproc(OperationId op, const Mapping& m) const;
+
+  /// T_proc of `op` if it were placed on `server`.
+  double TprocOn(OperationId op, ServerId server) const;
+
+  /// T_comm of transition `t` under `m`; both endpoints must be assigned.
+  /// Fails when the hosting servers are disconnected.
+  Result<double> Tcomm(TransitionId t, const Mapping& m) const;
+
+  /// Probability-weighted T_comm: p(t) * Tcomm(t).
+  Result<double> WeightedTcomm(TransitionId t, const Mapping& m) const;
+
+  /// Probability-weighted load of `server`: sum of p(op) * T_proc(op).
+  double Load(ServerId server, const Mapping& m) const;
+
+  /// Loads of all servers, indexed by ServerId::value.
+  std::vector<double> Loads(const Mapping& m) const;
+
+  /// Sum over servers of |Load(s) - avg| / 2.
+  double TimePenalty(const Mapping& m) const;
+
+  /// T_execute: line workflows use the closed form Sum T_proc + Sum T_comm;
+  /// graph workflows use the recursive block evaluation (execution_time.h).
+  /// The mapping must be total.
+  Result<double> ExecutionTime(const Mapping& m) const;
+
+  /// Full evaluation under the given objective weights.
+  Result<CostBreakdown> Evaluate(const Mapping& m,
+                                 const CostOptions& options = {}) const;
+
+ private:
+  const Workflow& workflow_;
+  const Network& network_;
+  const ExecutionProfile* profile_;  // may be null (probability 1)
+  Router router_;
+  // Lazily cached structure shared by repeated evaluations of the same
+  // workflow (the heuristics and samplers evaluate thousands of mappings).
+  mutable std::optional<bool> is_line_;
+  mutable std::optional<Block> root_;
+};
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_COST_COST_MODEL_H_

@@ -1,0 +1,129 @@
+#include "src/cost/execution_time.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace wsflow {
+
+Result<double> LineExecutionTime(const CostModel& model, const Mapping& m) {
+  const Workflow& w = model.workflow();
+  WSFLOW_RETURN_IF_ERROR(m.ValidateAgainst(w, model.network()));
+  WSFLOW_ASSIGN_OR_RETURN(std::vector<OperationId> order, w.LineOrder());
+  double total = 0;
+  for (OperationId op : order) total += model.Tproc(op, m);
+  for (const Transition& t : w.transitions()) {
+    WSFLOW_ASSIGN_OR_RETURN(double comm, model.Tcomm(t.id, m));
+    total += comm;
+  }
+  return total;
+}
+
+namespace {
+
+/// Recursive block evaluator. Returns the time from the first operation of
+/// the block starting to the last finishing, including internal messages but
+/// excluding the block's inbound/outbound messages (the enclosing sequence
+/// accounts for those).
+class BlockEvaluator {
+ public:
+  BlockEvaluator(const CostModel& model, const Mapping& m)
+      : model_(model), m_(m) {}
+
+  Result<double> Eval(const Block& block) {
+    switch (block.kind) {
+      case Block::Kind::kLeaf:
+        return model_.Tproc(block.op, m_);
+      case Block::Kind::kSequence:
+        return EvalSequence(block);
+      case Block::Kind::kBranch:
+        return EvalBranch(block);
+    }
+    return Status::Internal("unknown block kind");
+  }
+
+ private:
+  Result<double> Comm(OperationId from, OperationId to) {
+    WSFLOW_ASSIGN_OR_RETURN(TransitionId t,
+                            model_.workflow().FindTransition(from, to));
+    return model_.Tcomm(t, m_);
+  }
+
+  Result<double> EvalSequence(const Block& seq) {
+    double total = 0;
+    for (size_t i = 0; i < seq.children.size(); ++i) {
+      WSFLOW_ASSIGN_OR_RETURN(double t, Eval(seq.children[i]));
+      total += t;
+      if (i + 1 < seq.children.size()) {
+        WSFLOW_ASSIGN_OR_RETURN(
+            double comm,
+            Comm(TailOperation(seq.children[i]),
+                 HeadOperation(seq.children[i + 1])));
+        total += comm;
+      }
+    }
+    return total;
+  }
+
+  Result<double> EvalBranch(const Block& block) {
+    double split_time = model_.Tproc(block.split, m_);
+    double join_time = model_.Tproc(block.join, m_);
+
+    std::vector<double> branch_times;
+    branch_times.reserve(block.children.size());
+    for (const Block& body : block.children) {
+      if (body.kind == Block::Kind::kSequence && body.children.empty()) {
+        // Empty branch: one direct split -> join message.
+        WSFLOW_ASSIGN_OR_RETURN(double comm, Comm(block.split, block.join));
+        branch_times.push_back(comm);
+        continue;
+      }
+      WSFLOW_ASSIGN_OR_RETURN(double entry, Comm(block.split, HeadOperation(body)));
+      WSFLOW_ASSIGN_OR_RETURN(double body_time, Eval(body));
+      WSFLOW_ASSIGN_OR_RETURN(double exit, Comm(TailOperation(body), block.join));
+      branch_times.push_back(entry + body_time + exit);
+    }
+    if (branch_times.empty()) {
+      return Status::Internal("branch block with no branches");
+    }
+
+    double combined = 0;
+    switch (block.branch_type) {
+      case OperationType::kAndSplit:
+        // Rendezvous at /AND: the slowest branch gates the join.
+        combined = *std::max_element(branch_times.begin(), branch_times.end());
+        break;
+      case OperationType::kOrSplit:
+        // One successful arrival at /OR suffices: the fastest branch gates.
+        combined = *std::min_element(branch_times.begin(), branch_times.end());
+        break;
+      case OperationType::kXorSplit:
+        // Probabilistically weighted pick: expected branch time.
+        for (size_t i = 0; i < branch_times.size(); ++i) {
+          combined += block.branch_probs[i] * branch_times[i];
+        }
+        break;
+      default:
+        return Status::Internal("branch block with non-split type");
+    }
+    return split_time + combined + join_time;
+  }
+
+  const CostModel& model_;
+  const Mapping& m_;
+};
+
+}  // namespace
+
+Result<double> GraphExecutionTime(const CostModel& model, const Block& root,
+                                  const Mapping& m) {
+  WSFLOW_RETURN_IF_ERROR(m.ValidateAgainst(model.workflow(), model.network()));
+  return BlockEvaluator(model, m).Eval(root);
+}
+
+Result<double> GraphExecutionTime(const CostModel& model, const Mapping& m) {
+  WSFLOW_ASSIGN_OR_RETURN(Block root, DecomposeBlocks(model.workflow()));
+  return GraphExecutionTime(model, root, m);
+}
+
+}  // namespace wsflow

@@ -1,0 +1,44 @@
+// wsflow: workflow execution-time evaluation T_execute.
+//
+// Line workflows (paper Table 1): every operation waits for its predecessor,
+// so T_execute = Sum T_proc(O_i) + Sum T_comm(O_i, O_{i+1}).
+//
+// Graph workflows: evaluated recursively over the block tree:
+//   * leaf           -> T_proc(op)
+//   * sequence       -> sum of children + T_comm of the messages linking
+//                       consecutive children
+//   * AND block      -> T_proc(split) + max over branches + T_proc(join)
+//                       (rendezvous: all branches must finish, paper §2.2a)
+//   * OR block       -> T_proc(split) + min over branches + T_proc(join)
+//                       (one successful path suffices, paper §2.2b)
+//   * XOR block      -> T_proc(split) + expected branch time (probability-
+//                       weighted pick, paper §2.2c) + T_proc(join)
+// where a branch time includes its entry and exit messages. The XOR
+// expectation makes T_execute the *expected* completion time over many
+// workflow executions, consistent with the amortized view of §3.4.
+
+#ifndef WSFLOW_COST_EXECUTION_TIME_H_
+#define WSFLOW_COST_EXECUTION_TIME_H_
+
+#include "src/common/result.h"
+#include "src/cost/cost_model.h"
+#include "src/deploy/mapping.h"
+#include "src/workflow/blocks.h"
+
+namespace wsflow {
+
+/// T_execute for a line workflow; fails when the workflow is not a line or
+/// the mapping is not total.
+Result<double> LineExecutionTime(const CostModel& model, const Mapping& m);
+
+/// T_execute for any well-formed workflow, given its block decomposition.
+Result<double> GraphExecutionTime(const CostModel& model, const Block& root,
+                                  const Mapping& m);
+
+/// Convenience: decomposes the workflow and evaluates. Prefer the Block
+/// overload in loops.
+Result<double> GraphExecutionTime(const CostModel& model, const Mapping& m);
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_COST_EXECUTION_TIME_H_

@@ -1,0 +1,40 @@
+#include "src/cost/pareto.h"
+
+#include <cmath>
+
+namespace wsflow {
+
+bool Dominates(const ObjectivePoint& a, const ObjectivePoint& b) {
+  bool no_worse = a.execution_time <= b.execution_time &&
+                  a.time_penalty <= b.time_penalty;
+  bool strictly_better = a.execution_time < b.execution_time ||
+                         a.time_penalty < b.time_penalty;
+  return no_worse && strictly_better;
+}
+
+std::vector<size_t> ParetoFrontIndices(
+    const std::vector<ObjectivePoint>& pts) {
+  std::vector<size_t> front;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < pts.size() && !dominated; ++j) {
+      if (j != i && Dominates(pts[j], pts[i])) dominated = true;
+      // Keep only the first of exact duplicates.
+      if (j < i && pts[j] == pts[i]) dominated = true;
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+double DistanceToOrigin(const ObjectivePoint& p) {
+  return std::hypot(p.execution_time, p.time_penalty);
+}
+
+double WeightedSum(const ObjectivePoint& p, double execution_weight,
+                   double fairness_weight) {
+  return execution_weight * p.execution_time +
+         fairness_weight * p.time_penalty;
+}
+
+}  // namespace wsflow

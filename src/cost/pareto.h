@@ -1,0 +1,44 @@
+// wsflow: Pareto utilities over the (T_execute, TimePenalty) plane.
+//
+// The paper's two measures are antagonistic (§3.1); its figures plot
+// solutions as points where "the closer a solution is to (0,0), the better".
+// These helpers compute dominance, Pareto fronts and distance scores for the
+// experiment reports.
+
+#ifndef WSFLOW_COST_PARETO_H_
+#define WSFLOW_COST_PARETO_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace wsflow {
+
+/// One solution in objective space.
+struct ObjectivePoint {
+  double execution_time = 0;
+  double time_penalty = 0;
+
+  friend bool operator==(const ObjectivePoint& a, const ObjectivePoint& b) {
+    return a.execution_time == b.execution_time &&
+           a.time_penalty == b.time_penalty;
+  }
+};
+
+/// True when `a` dominates `b`: no worse in both objectives, strictly
+/// better in at least one.
+bool Dominates(const ObjectivePoint& a, const ObjectivePoint& b);
+
+/// Indices of the non-dominated points, in input order.
+std::vector<size_t> ParetoFrontIndices(const std::vector<ObjectivePoint>& pts);
+
+/// Euclidean distance from the origin (the paper's "closer to (0,0)"
+/// reading); useful as a scalar ranking consistent with the figures.
+double DistanceToOrigin(const ObjectivePoint& p);
+
+/// Weighted sum w_e * execution_time + w_f * time_penalty.
+double WeightedSum(const ObjectivePoint& p, double execution_weight,
+                   double fairness_weight);
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_COST_PARETO_H_

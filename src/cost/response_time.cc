@@ -1,0 +1,119 @@
+#include "src/cost/response_time.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace wsflow {
+
+namespace {
+
+class ResponseWalker {
+ public:
+  ResponseWalker(const CostModel& model, const Mapping& m,
+                 ResponseTimes* out)
+      : model_(model), m_(m), out_(out) {}
+
+  /// Walks `block` starting at absolute time `start`; returns the time the
+  /// block's last operation completes.
+  Result<double> Walk(const Block& block, double start) {
+    switch (block.kind) {
+      case Block::Kind::kLeaf: {
+        double done = start + model_.Tproc(block.op, m_);
+        (*out_)[block.op.value] = done;
+        return done;
+      }
+      case Block::Kind::kSequence: {
+        double t = start;
+        for (size_t i = 0; i < block.children.size(); ++i) {
+          WSFLOW_ASSIGN_OR_RETURN(t, Walk(block.children[i], t));
+          if (i + 1 < block.children.size()) {
+            WSFLOW_ASSIGN_OR_RETURN(
+                double comm, Comm(TailOperation(block.children[i]),
+                                  HeadOperation(block.children[i + 1])));
+            t += comm;
+          }
+        }
+        return t;
+      }
+      case Block::Kind::kBranch:
+        return WalkBranch(block, start);
+    }
+    return Status::Internal("unknown block kind");
+  }
+
+ private:
+  Result<double> Comm(OperationId from, OperationId to) {
+    WSFLOW_ASSIGN_OR_RETURN(TransitionId t,
+                            model_.workflow().FindTransition(from, to));
+    return model_.Tcomm(t, m_);
+  }
+
+  Result<double> WalkBranch(const Block& block, double start) {
+    double split_done = start + model_.Tproc(block.split, m_);
+    (*out_)[block.split.value] = split_done;
+
+    std::vector<double> arrivals;
+    arrivals.reserve(block.children.size());
+    for (const Block& body : block.children) {
+      if (body.kind == Block::Kind::kSequence && body.children.empty()) {
+        WSFLOW_ASSIGN_OR_RETURN(double comm, Comm(block.split, block.join));
+        arrivals.push_back(split_done + comm);
+        continue;
+      }
+      WSFLOW_ASSIGN_OR_RETURN(double entry,
+                              Comm(block.split, HeadOperation(body)));
+      WSFLOW_ASSIGN_OR_RETURN(double body_done,
+                              Walk(body, split_done + entry));
+      WSFLOW_ASSIGN_OR_RETURN(double exit,
+                              Comm(TailOperation(body), block.join));
+      arrivals.push_back(body_done + exit);
+    }
+    WSFLOW_CHECK(!arrivals.empty());
+
+    double join_start = 0;
+    switch (block.branch_type) {
+      case OperationType::kAndSplit:
+        join_start = *std::max_element(arrivals.begin(), arrivals.end());
+        break;
+      case OperationType::kOrSplit:
+        join_start = *std::min_element(arrivals.begin(), arrivals.end());
+        break;
+      case OperationType::kXorSplit:
+        for (size_t i = 0; i < arrivals.size(); ++i) {
+          join_start += block.branch_probs[i] * arrivals[i];
+        }
+        break;
+      default:
+        return Status::Internal("branch block with non-split type");
+    }
+    double join_done = join_start + model_.Tproc(block.join, m_);
+    (*out_)[block.join.value] = join_done;
+    return join_done;
+  }
+
+  const CostModel& model_;
+  const Mapping& m_;
+  ResponseTimes* out_;
+};
+
+}  // namespace
+
+Result<ResponseTimes> ComputeResponseTimes(const CostModel& model,
+                                           const Block& root,
+                                           const Mapping& m) {
+  WSFLOW_RETURN_IF_ERROR(m.ValidateAgainst(model.workflow(), model.network()));
+  ResponseTimes times(model.workflow().num_operations(), 0.0);
+  ResponseWalker walker(model, m, &times);
+  WSFLOW_ASSIGN_OR_RETURN(double end, walker.Walk(root, 0.0));
+  (void)end;
+  return times;
+}
+
+Result<ResponseTimes> ComputeResponseTimes(const CostModel& model,
+                                           const Mapping& m) {
+  WSFLOW_ASSIGN_OR_RETURN(Block root, DecomposeBlocks(model.workflow()));
+  return ComputeResponseTimes(model, root, m);
+}
+
+}  // namespace wsflow

@@ -1,0 +1,48 @@
+// wsflow: per-operation response times (paper §6 future work, implemented
+// as an extension).
+//
+// Beyond the overall T_execute, a provider often cares when *individual*
+// operations complete — e.g. the paper suggests bounding the response time
+// of specific operations as part of the cost model. This module computes,
+// for a total mapping, the (expected) completion time of every operation
+// measured from workflow start:
+//
+//   * sequences accumulate processing and message time;
+//   * AND joins start at the latest branch arrival, OR joins at the
+//     earliest;
+//   * inside an XOR branch, times are conditional on that branch being
+//     taken; the XOR join's start is the probability-weighted expectation
+//     over branches, mirroring the T_execute semantics.
+//
+// For deterministic workflows (no XOR) the sink's response time equals
+// T_execute exactly; tests assert this and the simulator agreement.
+
+#ifndef WSFLOW_COST_RESPONSE_TIME_H_
+#define WSFLOW_COST_RESPONSE_TIME_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/cost/cost_model.h"
+#include "src/deploy/mapping.h"
+#include "src/workflow/blocks.h"
+
+namespace wsflow {
+
+/// Completion time per operation (seconds from workflow start), indexed by
+/// OperationId::value. XOR-arm entries are conditional on their branch.
+using ResponseTimes = std::vector<double>;
+
+/// Computes response times under `m`, which must be total. Fails when the
+/// workflow is not well-formed.
+Result<ResponseTimes> ComputeResponseTimes(const CostModel& model,
+                                           const Mapping& m);
+
+/// As above but reuses an existing block decomposition.
+Result<ResponseTimes> ComputeResponseTimes(const CostModel& model,
+                                           const Block& root,
+                                           const Mapping& m);
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_COST_RESPONSE_TIME_H_

@@ -1,0 +1,143 @@
+#include "src/deploy/algorithm.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "src/common/logging.h"
+#include "src/deploy/annealing.h"
+#include "src/deploy/branch_bound.h"
+#include "src/deploy/critical_path.h"
+#include "src/deploy/exhaustive.h"
+#include "src/deploy/fair_load.h"
+#include "src/deploy/fl_merge.h"
+#include "src/deploy/fltr.h"
+#include "src/deploy/fltr2.h"
+#include "src/deploy/heavy_ops.h"
+#include "src/deploy/line_line.h"
+#include "src/deploy/local_search.h"
+#include "src/deploy/portfolio.h"
+#include "src/deploy/random_baseline.h"
+#include "src/deploy/round_robin.h"
+
+namespace wsflow {
+
+Status DeploymentAlgorithm::CheckContext(const DeployContext& ctx) {
+  if (ctx.workflow == nullptr || ctx.network == nullptr) {
+    return Status::InvalidArgument("context needs a workflow and a network");
+  }
+  if (ctx.workflow->num_operations() == 0) {
+    return Status::InvalidArgument("workflow has no operations");
+  }
+  if (ctx.network->num_servers() == 0) {
+    return Status::InvalidArgument("network has no servers");
+  }
+  if (ctx.profile != nullptr) {
+    if (ctx.profile->op_prob.size() != ctx.workflow->num_operations() ||
+        ctx.profile->edge_prob.size() != ctx.workflow->num_transitions()) {
+      return Status::InvalidArgument(
+          "execution profile does not match the workflow");
+    }
+  }
+  return Status::OK();
+}
+
+AlgorithmRegistry& AlgorithmRegistry::Global() {
+  static AlgorithmRegistry* registry = new AlgorithmRegistry();
+  return *registry;
+}
+
+Status AlgorithmRegistry::Register(const std::string& name,
+                                   AlgorithmFactory factory) {
+  if (Contains(name)) {
+    return Status::AlreadyExists("algorithm '" + name +
+                                 "' already registered");
+  }
+  if (!factory) {
+    return Status::InvalidArgument("null algorithm factory");
+  }
+  entries_.emplace_back(name, std::move(factory));
+  return Status::OK();
+}
+
+Result<std::unique_ptr<DeploymentAlgorithm>> AlgorithmRegistry::Create(
+    const std::string& name) const {
+  for (const auto& [key, factory] : entries_) {
+    if (key == name) return factory();
+  }
+  return Status::NotFound("no algorithm named '" + name + "'");
+}
+
+bool AlgorithmRegistry::Contains(const std::string& name) const {
+  for (const auto& [key, factory] : entries_) {
+    if (key == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> AlgorithmRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [key, factory] : entries_) names.push_back(key);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void RegisterBuiltinAlgorithms() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    AlgorithmRegistry& r = AlgorithmRegistry::Global();
+    auto add = [&r](const std::string& name, AlgorithmFactory factory) {
+      Status st = r.Register(name, std::move(factory));
+      WSFLOW_CHECK(st.ok()) << st.ToString();
+    };
+    add("exhaustive",
+        [] { return std::make_unique<ExhaustiveAlgorithm>(); });
+    add("random", [] { return std::make_unique<RandomDeployment>(); });
+    add("line-line", [] {
+      return std::make_unique<LineLineAlgorithm>(LineLineOptions{});
+    });
+    add("line-line-nofix", [] {
+      LineLineOptions opt;
+      opt.fix_bridges = false;
+      return std::make_unique<LineLineAlgorithm>(opt);
+    });
+    add("line-line-bidir", [] {
+      LineLineOptions opt;
+      opt.both_directions = true;
+      return std::make_unique<LineLineAlgorithm>(opt);
+    });
+    add("line-line-bidir-nofix", [] {
+      LineLineOptions opt;
+      opt.both_directions = true;
+      opt.fix_bridges = false;
+      return std::make_unique<LineLineAlgorithm>(opt);
+    });
+    add("fair-load", [] { return std::make_unique<FairLoadAlgorithm>(); });
+    add("fltr", [] { return std::make_unique<FltrAlgorithm>(); });
+    add("fltr2", [] { return std::make_unique<Fltr2Algorithm>(); });
+    add("fl-merge", [] { return std::make_unique<FlMergeAlgorithm>(); });
+    add("heavy-ops", [] { return std::make_unique<HeavyOpsAlgorithm>(); });
+    add("hill-climb", [] {
+      return std::make_unique<HillClimbAlgorithm>(LocalSearchOptions{});
+    });
+    add("round-robin", [] { return std::make_unique<RoundRobinAlgorithm>(); });
+    add("annealing", [] {
+      return std::make_unique<AnnealingAlgorithm>(AnnealingOptions{});
+    });
+    add("critical-path",
+        [] { return std::make_unique<CriticalPathAlgorithm>(); });
+    add("portfolio", [] { return std::make_unique<PortfolioAlgorithm>(); });
+    add("branch-bound",
+        [] { return std::make_unique<BranchBoundAlgorithm>(); });
+  });
+}
+
+Result<Mapping> RunAlgorithm(const std::string& name,
+                             const DeployContext& ctx) {
+  RegisterBuiltinAlgorithms();
+  WSFLOW_ASSIGN_OR_RETURN(std::unique_ptr<DeploymentAlgorithm> algo,
+                          AlgorithmRegistry::Global().Create(name));
+  return algo->Run(ctx);
+}
+
+}  // namespace wsflow

@@ -1,0 +1,93 @@
+// wsflow: deployment algorithm interface and registry.
+//
+// Every algorithm of the paper is a DeploymentAlgorithm: given the workflow,
+// the server network and (for graph workflows) an execution profile, produce
+// a total Mapping. Algorithms register themselves in a global string-keyed
+// registry so experiments and examples can iterate "all algorithms".
+
+#ifndef WSFLOW_DEPLOY_ALGORITHM_H_
+#define WSFLOW_DEPLOY_ALGORITHM_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/cost/cost_model.h"
+#include "src/deploy/mapping.h"
+#include "src/network/topology.h"
+#include "src/workflow/probability.h"
+#include "src/workflow/workflow.h"
+
+namespace wsflow {
+
+/// Everything an algorithm may consult. The referenced objects must outlive
+/// the Run() call.
+struct DeployContext {
+  const Workflow* workflow = nullptr;
+  const Network* network = nullptr;
+  /// Execution probabilities for graph workflows (paper §3.4); null means
+  /// probability 1 everywhere (line semantics).
+  const ExecutionProfile* profile = nullptr;
+  /// Seed for any randomized step (e.g. the FLTR family's random initial
+  /// mapping). Equal seeds give identical outputs.
+  uint64_t seed = 0;
+  /// Objective weights for algorithms that evaluate candidate mappings
+  /// (exhaustive, local search).
+  CostOptions cost_options;
+};
+
+class DeploymentAlgorithm {
+ public:
+  virtual ~DeploymentAlgorithm() = default;
+
+  /// Stable registry name, e.g. "heavy-ops".
+  virtual std::string_view name() const = 0;
+
+  /// Computes a total mapping. Implementations must not retain `ctx`.
+  virtual Result<Mapping> Run(const DeployContext& ctx) const = 0;
+
+ protected:
+  /// Shared argument validation: non-null workflow/network, at least one
+  /// server, positive server powers.
+  static Status CheckContext(const DeployContext& ctx);
+};
+
+using AlgorithmFactory = std::function<std::unique_ptr<DeploymentAlgorithm>()>;
+
+/// Global algorithm registry.
+class AlgorithmRegistry {
+ public:
+  static AlgorithmRegistry& Global();
+
+  /// Registers a factory under `name`; duplicate names are rejected.
+  Status Register(const std::string& name, AlgorithmFactory factory);
+
+  /// Instantiates the algorithm registered under `name`.
+  Result<std::unique_ptr<DeploymentAlgorithm>> Create(
+      const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::vector<std::pair<std::string, AlgorithmFactory>> entries_;
+};
+
+/// Registers all built-in algorithms (idempotent): the paper's exhaustive,
+/// Line-Line variants, fair-load, fltr, fltr2, fl-merge and heavy-ops, plus
+/// the extension set — random, round-robin, hill-climb, annealing and
+/// critical-path. Called lazily by RunAlgorithm and the experiment harness.
+void RegisterBuiltinAlgorithms();
+
+/// Convenience: create + run a registered algorithm by name.
+Result<Mapping> RunAlgorithm(const std::string& name,
+                             const DeployContext& ctx);
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_DEPLOY_ALGORITHM_H_

@@ -1,0 +1,58 @@
+#include "src/deploy/annealing.h"
+
+#include <cmath>
+
+#include "src/common/random.h"
+#include "src/deploy/random_baseline.h"
+
+namespace wsflow {
+
+Result<Mapping> AnnealingAlgorithm::Run(const DeployContext& ctx) const {
+  WSFLOW_RETURN_IF_ERROR(CheckContext(ctx));
+  const size_t ops = ctx.workflow->num_operations();
+  const size_t servers = ctx.network->num_servers();
+  CostModel model(*ctx.workflow, *ctx.network, ctx.profile);
+  Rng rng(ctx.seed);
+
+  Mapping current = RandomMapping(ops, servers, &rng);
+  WSFLOW_ASSIGN_OR_RETURN(CostBreakdown cost,
+                          model.Evaluate(current, ctx.cost_options));
+  double current_cost = cost.combined;
+  Mapping best = current;
+  double best_cost = current_cost;
+
+  if (servers < 2) return best;  // nothing to move
+
+  double temperature =
+      std::max(current_cost * options_.initial_temperature_factor, 1e-12);
+  for (size_t i = 0; i < options_.iterations; ++i) {
+    if (i > 0 && i % options_.cooling_interval == 0) {
+      temperature *= options_.cooling_rate;
+    }
+    OperationId op(static_cast<uint32_t>(rng.NextBounded(ops)));
+    ServerId old_server = current.ServerOf(op);
+    // Propose a different server.
+    uint32_t shift =
+        static_cast<uint32_t>(1 + rng.NextBounded(servers - 1));
+    ServerId new_server(
+        static_cast<uint32_t>((old_server.value + shift) % servers));
+    current.Assign(op, new_server);
+    WSFLOW_ASSIGN_OR_RETURN(CostBreakdown proposal,
+                            model.Evaluate(current, ctx.cost_options));
+    double delta = proposal.combined - current_cost;
+    bool accept =
+        delta <= 0 || rng.NextDouble() < std::exp(-delta / temperature);
+    if (accept) {
+      current_cost = proposal.combined;
+      if (current_cost < best_cost) {
+        best_cost = current_cost;
+        best = current;
+      }
+    } else {
+      current.Assign(op, old_server);  // revert
+    }
+  }
+  return best;
+}
+
+}  // namespace wsflow

@@ -1,0 +1,44 @@
+// wsflow: simulated-annealing deployment (extension; not in the paper).
+//
+// A metaheuristic upper bound on what iterative search can achieve within a
+// time budget, used to contextualize the paper's greedy heuristics: start
+// from a random mapping, propose single-operation reassignments, accept
+// improvements always and regressions with probability exp(-delta/T) under
+// a geometric cooling schedule, and return the best mapping seen.
+// Deterministic given the context seed.
+
+#ifndef WSFLOW_DEPLOY_ANNEALING_H_
+#define WSFLOW_DEPLOY_ANNEALING_H_
+
+#include <cstddef>
+
+#include "src/deploy/algorithm.h"
+
+namespace wsflow {
+
+struct AnnealingOptions {
+  /// Proposal count. Each proposal costs one full cost evaluation.
+  size_t iterations = 20000;
+  /// Initial temperature as a fraction of the start mapping's cost.
+  double initial_temperature_factor = 0.5;
+  /// Geometric cooling multiplier applied every `cooling_interval`
+  /// proposals.
+  double cooling_rate = 0.95;
+  size_t cooling_interval = 100;
+};
+
+class AnnealingAlgorithm : public DeploymentAlgorithm {
+ public:
+  explicit AnnealingAlgorithm(AnnealingOptions options = {})
+      : options_(options) {}
+
+  std::string_view name() const override { return "annealing"; }
+  Result<Mapping> Run(const DeployContext& ctx) const override;
+
+ private:
+  AnnealingOptions options_;
+};
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_DEPLOY_ANNEALING_H_

@@ -1,0 +1,61 @@
+#include "src/deploy/constraints.h"
+
+#include <algorithm>
+
+#include "src/cost/response_time.h"
+
+namespace wsflow {
+
+Status CheckConstraints(const CostModel& model, const Mapping& m,
+                        const DeploymentConstraints& constraints) {
+  WSFLOW_ASSIGN_OR_RETURN(double violation,
+                          ConstraintViolation(model, m, constraints));
+  if (violation > 0) {
+    return Status::ConstraintViolation(
+        "mapping violates constraints by " + std::to_string(violation));
+  }
+  return Status::OK();
+}
+
+Result<double> ConstraintViolation(const CostModel& model, const Mapping& m,
+                                   const DeploymentConstraints& constraints) {
+  WSFLOW_RETURN_IF_ERROR(m.ValidateAgainst(model.workflow(), model.network()));
+  double violation = 0;
+  if (constraints.max_execution_time || constraints.max_time_penalty) {
+    if (constraints.max_execution_time) {
+      WSFLOW_ASSIGN_OR_RETURN(double exec, model.ExecutionTime(m));
+      violation += std::max(0.0, exec - *constraints.max_execution_time);
+    }
+    if (constraints.max_time_penalty) {
+      violation +=
+          std::max(0.0, model.TimePenalty(m) - *constraints.max_time_penalty);
+    }
+  }
+  if (constraints.max_server_load) {
+    for (double load : model.Loads(m)) {
+      violation += std::max(0.0, load - *constraints.max_server_load);
+    }
+  }
+  for (const auto& [op, server] : constraints.pinned) {
+    if (m.ServerOf(op) != server) violation += 1.0;
+  }
+  for (const auto& [op, server] : constraints.forbidden) {
+    if (m.ServerOf(op) == server) violation += 1.0;
+  }
+  if (!constraints.max_response_time.empty()) {
+    WSFLOW_ASSIGN_OR_RETURN(ResponseTimes times,
+                            ComputeResponseTimes(model, m));
+    for (const auto& [op, ceiling] : constraints.max_response_time) {
+      violation += std::max(0.0, times[op.value] - ceiling);
+    }
+  }
+  return violation;
+}
+
+void ApplyPins(const DeploymentConstraints& constraints, Mapping* m) {
+  for (const auto& [op, server] : constraints.pinned) {
+    m->Assign(op, server);
+  }
+}
+
+}  // namespace wsflow

@@ -1,0 +1,62 @@
+// wsflow: user-defined deployment constraints (paper §2.2 set C; flagged as
+// future work in §6 and implemented here as an extension).
+//
+// Constraints bound the solution space: a ceiling on the workflow's
+// completion time or on the fairness penalty, a per-server load cap, and
+// placement pins/bans for individual operations (e.g. an operation that must
+// stay on the server holding its data, or may not share a host with
+// untrusted code).
+
+#ifndef WSFLOW_DEPLOY_CONSTRAINTS_H_
+#define WSFLOW_DEPLOY_CONSTRAINTS_H_
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/cost/cost_model.h"
+#include "src/deploy/mapping.h"
+
+namespace wsflow {
+
+struct DeploymentConstraints {
+  /// Upper bound on T_execute (seconds).
+  std::optional<double> max_execution_time;
+  /// Upper bound on the fairness TimePenalty (seconds).
+  std::optional<double> max_time_penalty;
+  /// Upper bound on any single server's Load (seconds).
+  std::optional<double> max_server_load;
+  /// Operations that must live on a specific server.
+  std::vector<std::pair<OperationId, ServerId>> pinned;
+  /// Operation/server combinations that are forbidden.
+  std::vector<std::pair<OperationId, ServerId>> forbidden;
+  /// Ceilings on individual operations' (expected) completion times,
+  /// seconds from workflow start (paper §6: response time of individual
+  /// operations as part of the cost model).
+  std::vector<std::pair<OperationId, double>> max_response_time;
+
+  bool empty() const {
+    return !max_execution_time && !max_time_penalty && !max_server_load &&
+           pinned.empty() && forbidden.empty() && max_response_time.empty();
+  }
+};
+
+/// OK when `m` satisfies every constraint; otherwise ConstraintViolation
+/// naming the first violated one. The mapping must be total.
+Status CheckConstraints(const CostModel& model, const Mapping& m,
+                        const DeploymentConstraints& constraints);
+
+/// Quantitative violation: 0 when satisfied, otherwise the sum of
+/// constraint excesses (seconds) plus 1 per placement violation. Used as a
+/// penalty term by search-based repair.
+Result<double> ConstraintViolation(const CostModel& model, const Mapping& m,
+                                   const DeploymentConstraints& constraints);
+
+/// Enforces pins by rewriting `m` in place (placement constraints only;
+/// quantitative constraints cannot be patched locally).
+void ApplyPins(const DeploymentConstraints& constraints, Mapping* m);
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_DEPLOY_CONSTRAINTS_H_

@@ -1,0 +1,97 @@
+#include "src/deploy/critical_path.h"
+
+#include <algorithm>
+
+#include "src/deploy/graph_view.h"
+#include "src/network/routing.h"
+
+namespace wsflow {
+
+namespace {
+
+/// Mean server power (Hz) used for mapping-independent ranks.
+double MeanPower(const Network& n) {
+  return n.TotalPowerHz() / static_cast<double>(n.num_servers());
+}
+
+/// Reference per-bit time for ranks: the bus when present, else the mean
+/// point-to-point link.
+double ReferenceSecondsPerBit(const Network& n) {
+  if (n.num_links() == 0) return 0.0;
+  if (n.has_bus()) return 1.0 / n.link(n.bus()).speed_bps;
+  double total = 0;
+  for (const Link& link : n.links()) total += 1.0 / link.speed_bps;
+  return total / static_cast<double>(n.num_links());
+}
+
+}  // namespace
+
+Result<Mapping> CriticalPathAlgorithm::Run(const DeployContext& ctx) const {
+  WSFLOW_RETURN_IF_ERROR(CheckContext(ctx));
+  const Workflow& w = *ctx.workflow;
+  const Network& n = *ctx.network;
+  WorkflowView view(w, ctx.profile);
+  Router router(n);
+
+  WSFLOW_ASSIGN_OR_RETURN(std::vector<OperationId> topo,
+                          w.TopologicalOrder());
+
+  // Upward rank: longest expected path from the operation to the sink.
+  const double mean_power = MeanPower(n);
+  const double ref_bit_time = ReferenceSecondsPerBit(n);
+  std::vector<double> rank(w.num_operations(), 0.0);
+  for (size_t i = topo.size(); i-- > 0;) {
+    OperationId op = topo[i];
+    double best_successor = 0;
+    for (TransitionId t : w.out_edges(op)) {
+      const Transition& edge = w.transition(t);
+      double path = view.MessageBits(t) * ref_bit_time + rank[edge.to.value];
+      best_successor = std::max(best_successor, path);
+    }
+    rank[op.value] = view.Cycles(op) / mean_power + best_successor;
+  }
+
+  // Schedule in decreasing rank (ties: topological position, so
+  // predecessors are always placed before their successors).
+  std::vector<OperationId> order = topo;
+  std::stable_sort(order.begin(), order.end(),
+                   [&rank](OperationId a, OperationId b) {
+                     return rank[a.value] > rank[b.value];
+                   });
+
+  Mapping m(w.num_operations());
+  std::vector<double> finish(w.num_operations(), 0.0);
+  std::vector<double> server_ready(n.num_servers(), 0.0);
+  for (OperationId op : order) {
+    ServerId best_server;
+    double best_finish = 0;
+    for (const Server& server : n.servers()) {
+      // Latest input arrival if `op` ran on this server.
+      double arrival = 0;
+      for (TransitionId t : w.in_edges(op)) {
+        const Transition& edge = w.transition(t);
+        ServerId pred_server = m.ServerOf(edge.from);
+        double comm = 0;
+        if (pred_server.valid() && pred_server != server.id()) {
+          WSFLOW_ASSIGN_OR_RETURN(Route route,
+                                  router.FindRoute(pred_server, server.id()));
+          comm = route.TotalPropagation(n) +
+                 route.TransmissionTime(n, view.MessageBits(t));
+        }
+        arrival = std::max(arrival, finish[edge.from.value] + comm);
+      }
+      double start = std::max(arrival, server_ready[server.id().value]);
+      double end = start + view.Cycles(op) / server.power_hz();
+      if (!best_server.valid() || end < best_finish) {
+        best_server = server.id();
+        best_finish = end;
+      }
+    }
+    m.Assign(op, best_server);
+    finish[op.value] = best_finish;
+    server_ready[best_server.value] = best_finish;
+  }
+  return m;
+}
+
+}  // namespace wsflow

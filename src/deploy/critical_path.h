@@ -1,0 +1,28 @@
+// wsflow: critical-path list scheduling (extension; not in the paper).
+//
+// A HEFT-style baseline adapted to the paper's model: rank every operation
+// by its longest downstream path (probability-weighted processing on the
+// mean-power server plus message time over the reference link), then place
+// operations in decreasing rank order on the server that minimizes the
+// operation's earliest finish time — the arrival of its latest input
+// (predecessor finish + T_comm) or the server's ready time, plus T_proc.
+// Scheduling-literature classic, included to contextualize the paper's
+// bin-packing-flavoured heuristics: it optimizes makespan directly and
+// ignores fairness.
+
+#ifndef WSFLOW_DEPLOY_CRITICAL_PATH_H_
+#define WSFLOW_DEPLOY_CRITICAL_PATH_H_
+
+#include "src/deploy/algorithm.h"
+
+namespace wsflow {
+
+class CriticalPathAlgorithm : public DeploymentAlgorithm {
+ public:
+  std::string_view name() const override { return "critical-path"; }
+  Result<Mapping> Run(const DeployContext& ctx) const override;
+};
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_DEPLOY_CRITICAL_PATH_H_

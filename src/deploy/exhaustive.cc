@@ -1,0 +1,60 @@
+#include "src/deploy/exhaustive.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace wsflow {
+
+Result<Mapping> ExhaustiveAlgorithm::Run(const DeployContext& ctx) const {
+  WSFLOW_RETURN_IF_ERROR(CheckContext(ctx));
+  const Workflow& w = *ctx.workflow;
+  const Network& n = *ctx.network;
+  const size_t M = w.num_operations();
+  const size_t N = n.num_servers();
+
+  double space = std::pow(static_cast<double>(N), static_cast<double>(M));
+  if (space > max_configurations_) {
+    return Status::ResourceExhausted(
+        "exhaustive search space " + std::to_string(space) +
+        " exceeds the cap of " + std::to_string(max_configurations_));
+  }
+
+  CostModel model(w, n, ctx.profile);
+  // Odometer over server indices, least-significant digit first.
+  std::vector<uint32_t> digits(M, 0);
+  Mapping current(M);
+  for (size_t i = 0; i < M; ++i) {
+    current.Assign(OperationId(static_cast<uint32_t>(i)), ServerId(0));
+  }
+
+  Mapping best;
+  double best_cost = 0;
+  bool have_best = false;
+  for (;;) {
+    WSFLOW_ASSIGN_OR_RETURN(CostBreakdown cost,
+                            model.Evaluate(current, ctx.cost_options));
+    if (!have_best || cost.combined < best_cost) {
+      best = current;
+      best_cost = cost.combined;
+      have_best = true;
+    }
+    // Advance the odometer.
+    size_t pos = 0;
+    while (pos < M) {
+      if (++digits[pos] < N) {
+        current.Assign(OperationId(static_cast<uint32_t>(pos)),
+                       ServerId(digits[pos]));
+        break;
+      }
+      digits[pos] = 0;
+      current.Assign(OperationId(static_cast<uint32_t>(pos)), ServerId(0));
+      ++pos;
+    }
+    if (pos == M) break;
+  }
+  WSFLOW_CHECK(have_best);
+  return best;
+}
+
+}  // namespace wsflow

@@ -1,0 +1,34 @@
+// wsflow: exhaustive deployment search (paper §3.1).
+//
+// Enumerates all N^M mappings of M operations to N servers and returns the
+// one minimizing the weighted objective. Exponential: used as the optimality
+// oracle in tests and in the solution-quality experiments on small
+// configurations; Run() refuses search spaces above a configurable cap.
+
+#ifndef WSFLOW_DEPLOY_EXHAUSTIVE_H_
+#define WSFLOW_DEPLOY_EXHAUSTIVE_H_
+
+#include "src/deploy/algorithm.h"
+
+namespace wsflow {
+
+class ExhaustiveAlgorithm : public DeploymentAlgorithm {
+ public:
+  /// `max_configurations` caps N^M; larger spaces are rejected with
+  /// ResourceExhausted instead of running for hours.
+  explicit ExhaustiveAlgorithm(double max_configurations = 2e7)
+      : max_configurations_(max_configurations) {}
+
+  std::string_view name() const override { return "exhaustive"; }
+
+  /// Minimizes cost_options-weighted combined cost. Ties keep the first
+  /// mapping in odometer order (all ops on S_0 is enumerated first).
+  Result<Mapping> Run(const DeployContext& ctx) const override;
+
+ private:
+  double max_configurations_;
+};
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_DEPLOY_EXHAUSTIVE_H_

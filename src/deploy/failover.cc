@@ -1,0 +1,183 @@
+#include "src/deploy/failover.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/logging.h"
+#include "src/deploy/graph_view.h"
+
+namespace wsflow {
+
+namespace {
+
+/// Ideal-cycles headroom of the surviving servers under the partial
+/// mapping: share of the total weighted cycles proportional to power,
+/// minus what each survivor already hosts.
+std::vector<double> SurvivorHeadroom(const WorkflowView& view,
+                                     const Network& n, const Mapping& m,
+                                     ServerId failed) {
+  double surviving_power = 0;
+  for (const Server& s : n.servers()) {
+    if (s.id() != failed) surviving_power += s.power_hz();
+  }
+  double total_cycles = view.TotalCycles();
+  std::vector<double> headroom(n.num_servers(),
+                               -std::numeric_limits<double>::infinity());
+  for (const Server& s : n.servers()) {
+    if (s.id() == failed) continue;
+    headroom[s.id().value] = total_cycles * s.power_hz() / surviving_power;
+  }
+  for (size_t i = 0; i < m.num_operations(); ++i) {
+    OperationId op(static_cast<uint32_t>(i));
+    ServerId s = m.ServerOf(op);
+    if (s.valid() && s != failed) {
+      headroom[s.value] -= view.Cycles(op);
+    }
+  }
+  return headroom;
+}
+
+/// The survivor hosting the neighbour connected to `op` by the biggest
+/// (weighted) message; invalid when every neighbour is orphaned too.
+ServerId HeaviestSurvivingNeighbor(const WorkflowView& view, OperationId op,
+                                   const Mapping& m, ServerId failed) {
+  ServerId best;
+  double best_bits = -1;
+  for (TransitionId t : view.IncidentTransitions(op)) {
+    OperationId peer = view.Neighbor(t, op);
+    ServerId s = m.ServerOf(peer);
+    if (!s.valid() || s == failed) continue;
+    double bits = view.MessageBits(t);
+    if (bits > best_bits) {
+      best_bits = bits;
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<FailoverReport> AnalyzeFailover(const CostModel& model,
+                                       const Mapping& m, ServerId failed,
+                                       FailoverStrategy strategy) {
+  const Workflow& w = model.workflow();
+  const Network& n = model.network();
+  WSFLOW_RETURN_IF_ERROR(m.ValidateAgainst(w, n));
+  if (!n.Contains(failed)) {
+    return Status::NotFound("failed server is not in the network");
+  }
+  if (n.num_servers() < 2) {
+    return Status::FailedPrecondition(
+        "failover needs at least one surviving server");
+  }
+
+  FailoverReport report;
+  report.failed_server = failed;
+  WSFLOW_ASSIGN_OR_RETURN(report.execution_time_before,
+                          model.ExecutionTime(m));
+  std::vector<double> loads_before = model.Loads(m);
+
+  // Profile-aware view: reuse the model's probabilities via a thin shim.
+  // CostModel does not expose its profile, so rebuild weighted cycles from
+  // it: OperationProb is available.
+  // (WorkflowView wants an ExecutionProfile*, so assemble one.)
+  ExecutionProfile profile;
+  profile.op_prob.resize(w.num_operations());
+  profile.edge_prob.resize(w.num_transitions());
+  for (size_t i = 0; i < w.num_operations(); ++i) {
+    profile.op_prob[i] =
+        model.OperationProb(OperationId(static_cast<uint32_t>(i)));
+  }
+  for (size_t i = 0; i < w.num_transitions(); ++i) {
+    profile.edge_prob[i] =
+        model.TransitionProb(TransitionId(static_cast<uint32_t>(i)));
+  }
+  WorkflowView view(w, &profile);
+
+  // Collect and detach the orphans, heaviest first.
+  Mapping repaired = m;
+  std::vector<OperationId> orphans;
+  for (size_t i = 0; i < w.num_operations(); ++i) {
+    OperationId op(static_cast<uint32_t>(i));
+    if (m.ServerOf(op) == failed) {
+      orphans.push_back(op);
+      repaired.Unassign(op);
+    }
+  }
+  report.orphaned_operations = orphans.size();
+  std::stable_sort(orphans.begin(), orphans.end(),
+                   [&view](OperationId a, OperationId b) {
+                     return view.Cycles(a) > view.Cycles(b);
+                   });
+
+  std::vector<double> headroom = SurvivorHeadroom(view, n, repaired, failed);
+  for (OperationId op : orphans) {
+    ServerId target;
+    if (strategy == FailoverStrategy::kCoLocate) {
+      target = HeaviestSurvivingNeighbor(view, op, repaired, failed);
+    }
+    if (!target.valid()) {
+      // Worst fit over the survivors.
+      size_t best = 0;
+      double best_headroom = -std::numeric_limits<double>::infinity();
+      for (size_t s = 0; s < headroom.size(); ++s) {
+        if (ServerId(static_cast<uint32_t>(s)) == failed) continue;
+        if (headroom[s] > best_headroom) {
+          best_headroom = headroom[s];
+          best = s;
+        }
+      }
+      target = ServerId(static_cast<uint32_t>(best));
+    }
+    repaired.Assign(op, target);
+    headroom[target.value] -= view.Cycles(op);
+  }
+
+  WSFLOW_RETURN_IF_ERROR(repaired.ValidateAgainst(w, n));
+  report.repaired = repaired;
+  WSFLOW_ASSIGN_OR_RETURN(report.execution_time_after,
+                          model.ExecutionTime(repaired));
+
+  // Fairness among survivors only.
+  std::vector<double> loads_after = model.Loads(repaired);
+  double avg = 0;
+  size_t survivors = 0;
+  for (size_t s = 0; s < loads_after.size(); ++s) {
+    if (ServerId(static_cast<uint32_t>(s)) == failed) continue;
+    avg += loads_after[s];
+    ++survivors;
+  }
+  avg /= static_cast<double>(survivors);
+  double penalty = 0;
+  for (size_t s = 0; s < loads_after.size(); ++s) {
+    if (ServerId(static_cast<uint32_t>(s)) == failed) continue;
+    penalty += std::fabs(loads_after[s] - avg) / 2.0;
+  }
+  report.time_penalty_after = penalty;
+
+  double worst = 1.0;
+  for (size_t s = 0; s < loads_after.size(); ++s) {
+    if (ServerId(static_cast<uint32_t>(s)) == failed) continue;
+    if (loads_after[s] <= loads_before[s]) continue;
+    worst = loads_before[s] > 0
+                ? std::max(worst, loads_after[s] / loads_before[s])
+                : std::numeric_limits<double>::infinity();
+  }
+  report.worst_load_scale_up = worst;
+  return report;
+}
+
+Result<std::vector<FailoverReport>> AnalyzeAllFailovers(
+    const CostModel& model, const Mapping& m, FailoverStrategy strategy) {
+  std::vector<FailoverReport> reports;
+  for (const Server& s : model.network().servers()) {
+    WSFLOW_ASSIGN_OR_RETURN(FailoverReport report,
+                            AnalyzeFailover(model, m, s.id(), strategy));
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+}  // namespace wsflow

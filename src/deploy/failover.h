@@ -1,0 +1,65 @@
+// wsflow: server-failure analysis (motivated by the paper's §2.1: a fair
+// deployment means that "whenever additional workflows are deployed, or a
+// server fails, a reasonable load scale-up is still possible").
+//
+// Given a deployed workflow and a failed server, the orphaned operations
+// are redistributed over the survivors and the damage is quantified: the
+// post-failure execution time, the surviving servers' load scale-up, and
+// the new fairness penalty. Two redistribution strategies:
+//
+//   * kWorstFit   — orphaned operations go one by one (heaviest first) to
+//                   the survivor with the most remaining capacity-
+//                   proportional headroom (Fair Load's rule);
+//   * kCoLocate   — each orphaned operation follows its heaviest-message
+//                   neighbour when that neighbour survived, falling back
+//                   to worst-fit (message-locality preserving).
+//
+// AnalyzeAllFailovers sweeps every server, yielding the worst case — the
+// number a capacity planner cares about.
+
+#ifndef WSFLOW_DEPLOY_FAILOVER_H_
+#define WSFLOW_DEPLOY_FAILOVER_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/cost/cost_model.h"
+#include "src/deploy/mapping.h"
+
+namespace wsflow {
+
+enum class FailoverStrategy {
+  kWorstFit,
+  kCoLocate,
+};
+
+struct FailoverReport {
+  ServerId failed_server;
+  /// The repaired mapping (orphans reassigned; unaffected operations keep
+  /// their hosts).
+  Mapping repaired;
+  size_t orphaned_operations = 0;
+  /// T_execute before and after the failure.
+  double execution_time_before = 0;
+  double execution_time_after = 0;
+  /// Fairness penalty among the *surviving* servers after repair.
+  double time_penalty_after = 0;
+  /// Largest relative load increase over the surviving servers:
+  /// max_s load_after(s) / load_before(s) (survivors with zero prior load
+  /// that receive work report as +infinity; ones that stay empty as 1).
+  double worst_load_scale_up = 1.0;
+};
+
+/// Analyzes the failure of `failed` under `m`. The network must keep at
+/// least one surviving server.
+Result<FailoverReport> AnalyzeFailover(const CostModel& model,
+                                       const Mapping& m, ServerId failed,
+                                       FailoverStrategy strategy);
+
+/// Sweeps every server; reports are ordered by ServerId.
+Result<std::vector<FailoverReport>> AnalyzeAllFailovers(
+    const CostModel& model, const Mapping& m, FailoverStrategy strategy);
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_DEPLOY_FAILOVER_H_

@@ -1,0 +1,73 @@
+#include "src/deploy/fair_load.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace wsflow {
+
+ServerLedger::ServerLedger(const WorkflowView& view, const Network& network)
+    : remaining_(IdealCycles(view, network)) {}
+
+ServerId ServerLedger::Top() const {
+  WSFLOW_CHECK(!remaining_.empty());
+  size_t best = 0;
+  for (size_t i = 1; i < remaining_.size(); ++i) {
+    if (remaining_[i] > remaining_[best]) best = i;
+  }
+  return ServerId(static_cast<uint32_t>(best));
+}
+
+std::vector<ServerId> ServerLedger::TopTies() const {
+  ServerId top = Top();
+  std::vector<ServerId> ties;
+  for (size_t i = 0; i < remaining_.size(); ++i) {
+    if (remaining_[i] == remaining_[top.value]) {
+      ties.push_back(ServerId(static_cast<uint32_t>(i)));
+    }
+  }
+  return ties;
+}
+
+void ServerLedger::Charge(ServerId server, double cycles) {
+  WSFLOW_CHECK_LT(server.value, remaining_.size());
+  remaining_[server.value] -= cycles;
+}
+
+double ServerLedger::Remaining(ServerId server) const {
+  WSFLOW_CHECK_LT(server.value, remaining_.size());
+  return remaining_[server.value];
+}
+
+std::vector<OperationId> OperationsByDescendingCycles(
+    const WorkflowView& view) {
+  std::vector<OperationId> ops;
+  ops.reserve(view.num_operations());
+  for (size_t i = 0; i < view.num_operations(); ++i) {
+    ops.push_back(OperationId(static_cast<uint32_t>(i)));
+  }
+  std::stable_sort(ops.begin(), ops.end(),
+                   [&view](OperationId a, OperationId b) {
+                     double ca = view.Cycles(a);
+                     double cb = view.Cycles(b);
+                     if (ca != cb) return ca > cb;
+                     return a.value < b.value;
+                   });
+  return ops;
+}
+
+Result<Mapping> FairLoadAlgorithm::Run(const DeployContext& ctx) const {
+  WSFLOW_RETURN_IF_ERROR(CheckContext(ctx));
+  WorkflowView view(*ctx.workflow, ctx.profile);
+  ServerLedger ledger(view, *ctx.network);
+
+  Mapping m(ctx.workflow->num_operations());
+  for (OperationId op : OperationsByDescendingCycles(view)) {
+    ServerId s = ledger.Top();
+    m.Assign(op, s);
+    ledger.Charge(s, view.Cycles(op));
+  }
+  return m;
+}
+
+}  // namespace wsflow

@@ -1,0 +1,60 @@
+// wsflow: algorithm Fair Load (paper §3.3, appendix).
+//
+// A worst-fit bin-packing heuristic tuned purely for load fairness:
+// compute each server's ideal cycle share Ideal_Cycles(S_i) =
+// Sum_Cycles * P(S_i) / Sum_Capacity, sort operations by descending cycle
+// cost, and repeatedly give the next heaviest operation to the server that
+// is currently missing the most cycles to its ideal share. Messages are
+// ignored entirely. Complexity O(M logM + N logN + M N).
+//
+// For graph workflows the cycle costs are the probability-weighted
+// amortized costs supplied by the execution profile (paper §3.4 notes Fair
+// Load "remains exactly the same"; the weighting only changes the inputs).
+
+#ifndef WSFLOW_DEPLOY_FAIR_LOAD_H_
+#define WSFLOW_DEPLOY_FAIR_LOAD_H_
+
+#include <vector>
+
+#include "src/deploy/algorithm.h"
+#include "src/deploy/graph_view.h"
+
+namespace wsflow {
+
+/// Server states for the Fair Load family: remaining ideal cycles per
+/// server, ordered worst-fit style.
+class ServerLedger {
+ public:
+  ServerLedger(const WorkflowView& view, const Network& network);
+
+  /// Server currently needing the most cycles (ties: smallest id).
+  ServerId Top() const;
+
+  /// All servers whose remaining cycles equal Top()'s (the FLTR2 server tie
+  /// group), in id order.
+  std::vector<ServerId> TopTies() const;
+
+  /// Records `cycles` of work placed on `server`.
+  void Charge(ServerId server, double cycles);
+
+  double Remaining(ServerId server) const;
+  size_t num_servers() const { return remaining_.size(); }
+
+ private:
+  std::vector<double> remaining_;
+};
+
+/// Operations sorted by descending view-weighted cycles (ties: ascending
+/// id, for determinism).
+std::vector<OperationId> OperationsByDescendingCycles(
+    const WorkflowView& view);
+
+class FairLoadAlgorithm : public DeploymentAlgorithm {
+ public:
+  std::string_view name() const override { return "fair-load"; }
+  Result<Mapping> Run(const DeployContext& ctx) const override;
+};
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_DEPLOY_FAIR_LOAD_H_

@@ -1,0 +1,87 @@
+#include "src/deploy/fl_merge.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/random.h"
+#include "src/deploy/fair_load.h"
+#include "src/deploy/fltr2.h"
+#include "src/deploy/graph_view.h"
+#include "src/deploy/random_baseline.h"
+
+namespace wsflow {
+
+namespace {
+
+/// Threshold below which a message is not "big": the size found `quantile`
+/// of the way down the descending sorted sizes. Returns +infinity when the
+/// workflow has no messages (nothing is big).
+double BigMessageThreshold(const WorkflowView& view, double quantile) {
+  std::vector<double> sizes;
+  sizes.reserve(view.num_transitions());
+  for (size_t i = 0; i < view.num_transitions(); ++i) {
+    sizes.push_back(view.MessageBits(TransitionId(static_cast<uint32_t>(i))));
+  }
+  if (sizes.empty()) return std::numeric_limits<double>::infinity();
+  std::sort(sizes.begin(), sizes.end(), std::greater<double>());
+  size_t index = static_cast<size_t>(
+      quantile * static_cast<double>(sizes.size() - 1));
+  return sizes[std::min(index, sizes.size() - 1)];
+}
+
+/// The appendix's There_Is_Constraints: the biggest incident message of
+/// `op` that is at or above `threshold`, or an invalid id when none
+/// qualifies. On ties the bigger message wins; the line workflow's
+/// left/right cases fall out of in- vs out-edges.
+TransitionId FindConstraint(const WorkflowView& view, OperationId op,
+                            double threshold) {
+  TransitionId best;
+  double best_bits = -1;
+  for (TransitionId t : view.IncidentTransitions(op)) {
+    double bits = view.MessageBits(t);
+    if (bits >= threshold && bits > best_bits) {
+      best = t;
+      best_bits = bits;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<Mapping> FlMergeAlgorithm::Run(const DeployContext& ctx) const {
+  WSFLOW_RETURN_IF_ERROR(CheckContext(ctx));
+  WorkflowView view(*ctx.workflow, ctx.profile);
+  ServerLedger ledger(view, *ctx.network);
+
+  const size_t num_ops = ctx.workflow->num_operations();
+  Rng rng(ctx.seed);
+  Mapping m = random_init_
+                  ? RandomMapping(num_ops, ctx.network->num_servers(), &rng)
+                  : Mapping(num_ops);
+
+  const double threshold = BigMessageThreshold(view, big_message_quantile_);
+
+  std::vector<OperationId> pending = OperationsByDescendingCycles(view);
+  while (!pending.empty()) {
+    TieSelection sel = SelectByGain(view, ledger, pending, m);
+    OperationId chosen = pending[sel.pending_index];
+    pending.erase(pending.begin() +
+                  static_cast<ptrdiff_t>(sel.pending_index));
+
+    ServerId target = sel.server;
+    TransitionId constraint = FindConstraint(view, chosen, threshold);
+    if (constraint.valid()) {
+      OperationId partner = view.Neighbor(constraint, chosen);
+      ServerId partner_server = m.ServerOf(partner);
+      // Cancel the gain-selected placement and merge the message's ends on
+      // the partner's server so the big message stays local.
+      if (partner_server.valid()) target = partner_server;
+    }
+    m.Assign(chosen, target);
+    ledger.Charge(target, view.Cycles(chosen));
+  }
+  return m;
+}
+
+}  // namespace wsflow

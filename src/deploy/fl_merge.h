@@ -1,0 +1,43 @@
+// wsflow: algorithm Fair Load - Merge Messages' Ends (FLMME, paper §3.3,
+// appendix).
+//
+// Extends FLTR2 with a large-message veto: before committing the gain-
+// selected assignment, check the chosen operation's incident messages. If
+// one is "big" — at or above the size of the message 10% from the top of
+// the descending message-size list (the appendix's MsgSize(m_(M-1)*0.1))
+// — the planned placement is cancelled and the operation is co-located with
+// the partner of that message instead, so the big message never crosses the
+// network. When both sides trigger, the bigger message wins (function
+// There_Is_Constraints). The partner's server is read from the working
+// mapping, which the paper seeds randomly; if the partner is genuinely
+// unassigned (random_init = false) the veto is skipped.
+// Complexity O(M * (M logM + N logN + M N)).
+
+#ifndef WSFLOW_DEPLOY_FL_MERGE_H_
+#define WSFLOW_DEPLOY_FL_MERGE_H_
+
+#include "src/deploy/algorithm.h"
+
+namespace wsflow {
+
+class FlMergeAlgorithm : public DeploymentAlgorithm {
+ public:
+  /// `big_message_quantile` positions the threshold within the descending
+  /// sorted message sizes; 0.1 reproduces the paper ("top 10% are big").
+  /// See FltrAlgorithm for `random_init`.
+  explicit FlMergeAlgorithm(bool random_init = true,
+                            double big_message_quantile = 0.1)
+      : random_init_(random_init),
+        big_message_quantile_(big_message_quantile) {}
+
+  std::string_view name() const override { return "fl-merge"; }
+  Result<Mapping> Run(const DeployContext& ctx) const override;
+
+ private:
+  bool random_init_;
+  double big_message_quantile_;
+};
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_DEPLOY_FL_MERGE_H_

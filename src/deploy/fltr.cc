@@ -1,0 +1,59 @@
+#include "src/deploy/fltr.h"
+
+#include <algorithm>
+
+#include "src/common/random.h"
+#include "src/deploy/fair_load.h"
+#include "src/deploy/graph_view.h"
+#include "src/deploy/random_baseline.h"
+
+namespace wsflow {
+
+namespace {
+
+/// Gain of placing `op` on `server` given the working mapping: message bits
+/// kept off the network (Fig. 5, generalized to any in/out degree). Ignores
+/// the operation's own current (possibly random) placement.
+double Gain(const WorkflowView& view, OperationId op, ServerId server,
+            const Mapping& m) {
+  return view.GainAtServer(op, server, m);
+}
+
+}  // namespace
+
+Result<Mapping> FltrAlgorithm::Run(const DeployContext& ctx) const {
+  WSFLOW_RETURN_IF_ERROR(CheckContext(ctx));
+  WorkflowView view(*ctx.workflow, ctx.profile);
+  ServerLedger ledger(view, *ctx.network);
+
+  const size_t num_ops = ctx.workflow->num_operations();
+  Rng rng(ctx.seed);
+  Mapping m = random_init_
+                  ? RandomMapping(num_ops, ctx.network->num_servers(), &rng)
+                  : Mapping(num_ops);
+
+  std::vector<OperationId> pending = OperationsByDescendingCycles(view);
+
+  while (!pending.empty()) {
+    ServerId s1 = ledger.Top();
+    // Tie group: every pending operation with the head's cycle cost.
+    double head_cycles = view.Cycles(pending.front());
+    size_t best_index = 0;
+    double best_gain = Gain(view, pending[0], s1, m);
+    for (size_t i = 1;
+         i < pending.size() && view.Cycles(pending[i]) == head_cycles; ++i) {
+      double gain = Gain(view, pending[i], s1, m);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_index = i;
+      }
+    }
+    OperationId chosen = pending[best_index];
+    pending.erase(pending.begin() + static_cast<ptrdiff_t>(best_index));
+    m.Assign(chosen, s1);  // overwrites any random placement
+    ledger.Charge(s1, view.Cycles(chosen));
+  }
+  return m;
+}
+
+}  // namespace wsflow

@@ -1,0 +1,38 @@
+// wsflow: algorithm Fair Load - Tie Resolver for Cycles (FLTR, paper §3.3,
+// Fig. 4/5).
+//
+// Fair Load with one refinement: when several not-yet-assigned operations
+// tie on cycle cost at the head of the sorted list, the tie is broken by the
+// gain function Gain_Of_Operation_At_Server — the message bits that stay off
+// the bus if the candidate operation lands on the currently neediest server
+// next to already-placed neighbours. Following the paper, the working
+// mapping starts from a *random* configuration (seeded by the context) so
+// the gain function returns non-trivial values from the first step; proper
+// assignments overwrite the random ones as operations are processed.
+// Complexity O(M * (M logM + N logN + M N)).
+
+#ifndef WSFLOW_DEPLOY_FLTR_H_
+#define WSFLOW_DEPLOY_FLTR_H_
+
+#include "src/deploy/algorithm.h"
+
+namespace wsflow {
+
+class FltrAlgorithm : public DeploymentAlgorithm {
+ public:
+  /// `random_init` = false replaces the paper's random initial mapping with
+  /// an empty one (gains then only see properly assigned neighbours);
+  /// exposed for the ablation bench.
+  explicit FltrAlgorithm(bool random_init = true)
+      : random_init_(random_init) {}
+
+  std::string_view name() const override { return "fltr"; }
+  Result<Mapping> Run(const DeployContext& ctx) const override;
+
+ private:
+  bool random_init_;
+};
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_DEPLOY_FLTR_H_

@@ -1,0 +1,57 @@
+#include "src/deploy/fltr2.h"
+
+#include "src/common/random.h"
+#include "src/deploy/fair_load.h"
+#include "src/deploy/graph_view.h"
+#include "src/deploy/random_baseline.h"
+
+namespace wsflow {
+
+TieSelection SelectByGain(const WorkflowView& view, const ServerLedger& ledger,
+                          const std::vector<OperationId>& pending,
+                          const Mapping& m) {
+  std::vector<ServerId> server_ties = ledger.TopTies();
+  double head_cycles = view.Cycles(pending.front());
+
+  TieSelection best;
+  best.pending_index = 0;
+  best.server = server_ties.front();
+  best.gain = -1;  // ensure the first candidate is taken even at gain 0
+  for (size_t i = 0;
+       i < pending.size() && view.Cycles(pending[i]) == head_cycles; ++i) {
+    for (ServerId s : server_ties) {
+      double gain = view.GainAtServer(pending[i], s, m);
+      if (gain > best.gain) {
+        best.gain = gain;
+        best.pending_index = i;
+        best.server = s;
+      }
+    }
+  }
+  return best;
+}
+
+Result<Mapping> Fltr2Algorithm::Run(const DeployContext& ctx) const {
+  WSFLOW_RETURN_IF_ERROR(CheckContext(ctx));
+  WorkflowView view(*ctx.workflow, ctx.profile);
+  ServerLedger ledger(view, *ctx.network);
+
+  const size_t num_ops = ctx.workflow->num_operations();
+  Rng rng(ctx.seed);
+  Mapping m = random_init_
+                  ? RandomMapping(num_ops, ctx.network->num_servers(), &rng)
+                  : Mapping(num_ops);
+
+  std::vector<OperationId> pending = OperationsByDescendingCycles(view);
+  while (!pending.empty()) {
+    TieSelection sel = SelectByGain(view, ledger, pending, m);
+    OperationId chosen = pending[sel.pending_index];
+    pending.erase(pending.begin() +
+                  static_cast<ptrdiff_t>(sel.pending_index));
+    m.Assign(chosen, sel.server);
+    ledger.Charge(sel.server, view.Cycles(chosen));
+  }
+  return m;
+}
+
+}  // namespace wsflow

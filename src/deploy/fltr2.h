@@ -1,0 +1,48 @@
+// wsflow: algorithm Fair Load - Tie Resolver for Cycles and Servers
+// (FLTR2, paper §3.3, appendix).
+//
+// Extends FLTR: when servers also tie on remaining ideal cycles, the gain
+// function is maximized jointly over the operation tie group and the server
+// tie group, picking the (operation, server) pair that keeps the most
+// message bits off the network. Complexity O(M * (M logM + N logN + M N)).
+
+#ifndef WSFLOW_DEPLOY_FLTR2_H_
+#define WSFLOW_DEPLOY_FLTR2_H_
+
+#include "src/deploy/algorithm.h"
+
+namespace wsflow {
+
+class Fltr2Algorithm : public DeploymentAlgorithm {
+ public:
+  /// See FltrAlgorithm for `random_init`.
+  explicit Fltr2Algorithm(bool random_init = true)
+      : random_init_(random_init) {}
+
+  std::string_view name() const override { return "fltr2"; }
+  Result<Mapping> Run(const DeployContext& ctx) const override;
+
+ private:
+  bool random_init_;
+};
+
+/// One FLTR2 selection step, shared with FL-Merge-Messages'-Ends: among
+/// pending operations tied with the heaviest and servers tied with the
+/// neediest, the pair with the maximal gain (first in operation-then-server
+/// order on equal gain). Returns the index into `pending` and the server.
+struct TieSelection {
+  size_t pending_index = 0;
+  ServerId server;
+  double gain = 0;
+};
+
+class WorkflowView;
+class ServerLedger;
+
+TieSelection SelectByGain(const WorkflowView& view, const ServerLedger& ledger,
+                          const std::vector<OperationId>& pending,
+                          const Mapping& m);
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_DEPLOY_FLTR2_H_

@@ -1,0 +1,72 @@
+#include "src/deploy/graph_view.h"
+
+#include "src/common/logging.h"
+#include "src/network/topology.h"
+
+namespace wsflow {
+
+WorkflowView::WorkflowView(const Workflow& workflow,
+                           const ExecutionProfile* profile)
+    : w_(workflow), profile_(profile) {
+  if (profile_ != nullptr) {
+    WSFLOW_CHECK_EQ(profile_->op_prob.size(), w_.num_operations());
+    WSFLOW_CHECK_EQ(profile_->edge_prob.size(), w_.num_transitions());
+  }
+}
+
+double WorkflowView::Cycles(OperationId op) const {
+  double p = profile_ == nullptr ? 1.0 : profile_->OperationProb(op);
+  return p * w_.operation(op).cycles();
+}
+
+double WorkflowView::MessageBits(TransitionId t) const {
+  double p = profile_ == nullptr ? 1.0 : profile_->TransitionProb(t);
+  return p * w_.transition(t).message_bits;
+}
+
+std::vector<TransitionId> WorkflowView::IncidentTransitions(
+    OperationId op) const {
+  std::vector<TransitionId> out;
+  const auto& in = w_.in_edges(op);
+  const auto& outs = w_.out_edges(op);
+  out.reserve(in.size() + outs.size());
+  out.insert(out.end(), in.begin(), in.end());
+  out.insert(out.end(), outs.begin(), outs.end());
+  return out;
+}
+
+OperationId WorkflowView::Neighbor(TransitionId t, OperationId op) const {
+  const Transition& edge = w_.transition(t);
+  WSFLOW_CHECK(edge.from == op || edge.to == op);
+  return edge.from == op ? edge.to : edge.from;
+}
+
+double WorkflowView::GainAtServer(OperationId op, ServerId server,
+                                  const Mapping& m) const {
+  double gain = 0;
+  for (TransitionId t : w_.in_edges(op)) {
+    if (m.ServerOf(w_.transition(t).from) == server) gain += MessageBits(t);
+  }
+  for (TransitionId t : w_.out_edges(op)) {
+    if (m.ServerOf(w_.transition(t).to) == server) gain += MessageBits(t);
+  }
+  return gain;
+}
+
+double WorkflowView::TotalCycles() const {
+  double total = 0;
+  for (const Operation& op : w_.operations()) total += Cycles(op.id());
+  return total;
+}
+
+std::vector<double> IdealCycles(const WorkflowView& view, const Network& n) {
+  double sum_cycles = view.TotalCycles();
+  double sum_capacity = n.TotalPowerHz();
+  std::vector<double> ideal(n.num_servers());
+  for (const Server& s : n.servers()) {
+    ideal[s.id().value] = sum_cycles * s.power_hz() / sum_capacity;
+  }
+  return ideal;
+}
+
+}  // namespace wsflow

@@ -1,0 +1,65 @@
+// wsflow: probability-weighted view of a workflow for deployment heuristics.
+//
+// The Line-Bus algorithms of §3.3 reason about operation costs, message
+// sizes and *neighbouring* operations. §3.4 adapts them to graph workflows
+// by (a) letting an operation have several incident messages and (b)
+// weighting every cost by its execution probability. WorkflowView provides
+// exactly that interface, so one implementation of each heuristic serves
+// both configurations: with a null profile it reproduces the line behaviour
+// (probability 1, at most one predecessor and successor).
+
+#ifndef WSFLOW_DEPLOY_GRAPH_VIEW_H_
+#define WSFLOW_DEPLOY_GRAPH_VIEW_H_
+
+#include <vector>
+
+#include "src/deploy/mapping.h"
+#include "src/workflow/probability.h"
+#include "src/workflow/workflow.h"
+
+namespace wsflow {
+
+class WorkflowView {
+ public:
+  /// `profile` may be null (probability 1 everywhere). Both referents must
+  /// outlive the view.
+  WorkflowView(const Workflow& workflow, const ExecutionProfile* profile);
+
+  const Workflow& workflow() const { return w_; }
+
+  size_t num_operations() const { return w_.num_operations(); }
+  size_t num_transitions() const { return w_.num_transitions(); }
+
+  /// Amortized cycle cost of an operation: p(op) * C(op).
+  double Cycles(OperationId op) const;
+
+  /// Amortized size of a message in bits: p(t) * MsgSize(t).
+  double MessageBits(TransitionId t) const;
+
+  /// All transitions incident to `op` (in-edges then out-edges).
+  std::vector<TransitionId> IncidentTransitions(OperationId op) const;
+
+  /// The endpoint of `t` that is not `op`.
+  OperationId Neighbor(TransitionId t, OperationId op) const;
+
+  /// Total amortized message bits between `op` and operations currently
+  /// assigned to `server` under `m` — the Gain_Of_Operation_At_Server
+  /// function of Fig. 5, generalized to any in/out degree.
+  double GainAtServer(OperationId op, ServerId server, const Mapping& m) const;
+
+  /// Sum of amortized cycles over all operations (the paper's Sum_Cycles
+  /// with probability weighting).
+  double TotalCycles() const;
+
+ private:
+  const Workflow& w_;
+  const ExecutionProfile* profile_;
+};
+
+/// Ideal_Cycles(S_i) = Sum_Cycles * P(S_i) / Sum_Capacity for every server
+/// (paper, all Fair Load variants). Indexed by ServerId::value.
+std::vector<double> IdealCycles(const WorkflowView& view, const Network& n);
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_DEPLOY_GRAPH_VIEW_H_

@@ -1,0 +1,197 @@
+#include "src/deploy/heavy_ops.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/logging.h"
+#include "src/deploy/graph_view.h"
+
+namespace wsflow {
+
+namespace {
+
+/// Union-find over operations with per-root cycle totals.
+class Groups {
+ public:
+  explicit Groups(const WorkflowView& view) : parent_(view.num_operations()) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+    cycles_.resize(view.num_operations());
+    for (size_t i = 0; i < parent_.size(); ++i) {
+      cycles_[i] = view.Cycles(OperationId(static_cast<uint32_t>(i)));
+    }
+  }
+
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the groups of a and b; returns the surviving root.
+  uint32_t Union(uint32_t a, uint32_t b) {
+    uint32_t ra = Find(a);
+    uint32_t rb = Find(b);
+    if (ra == rb) return ra;
+    parent_[rb] = ra;
+    cycles_[ra] += cycles_[rb];
+    return ra;
+  }
+
+  double CyclesOf(uint32_t root) { return cycles_[Find(root)]; }
+
+  bool SameGroup(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<double> cycles_;
+};
+
+/// Transfer time of one message over the network's shared medium (or the
+/// slowest point-to-point link as the conservative stand-in).
+double TransferTime(const Network& n, double bits) {
+  if (n.num_links() == 0) return 0.0;
+  const Link* slowest = nullptr;
+  if (n.has_bus()) {
+    slowest = &n.link(n.bus());
+  } else {
+    for (const Link& link : n.links()) {
+      if (slowest == nullptr || link.speed_bps < slowest->speed_bps) {
+        slowest = &link;
+      }
+    }
+  }
+  return slowest->propagation_s + bits / slowest->speed_bps;
+}
+
+}  // namespace
+
+Result<Mapping> HeavyOpsAlgorithm::Run(const DeployContext& ctx) const {
+  WSFLOW_RETURN_IF_ERROR(CheckContext(ctx));
+  WorkflowView view(*ctx.workflow, ctx.profile);
+  std::vector<double> remaining = IdealCycles(view, *ctx.network);
+  return RunWithLedger(ctx, &remaining);
+}
+
+Result<Mapping> HeavyOpsAlgorithm::RunWithLedger(
+    const DeployContext& ctx, std::vector<double>* remaining_cycles) const {
+  WSFLOW_RETURN_IF_ERROR(CheckContext(ctx));
+  const Workflow& w = *ctx.workflow;
+  const Network& n = *ctx.network;
+  if (remaining_cycles == nullptr ||
+      remaining_cycles->size() != n.num_servers()) {
+    return Status::InvalidArgument(
+        "remaining-cycles ledger must have one entry per server");
+  }
+  WorkflowView view(w, ctx.profile);
+  std::vector<double>& remaining = *remaining_cycles;
+
+  Groups groups(view);
+  const size_t num_ops = w.num_operations();
+  Mapping m(num_ops);
+  size_t unassigned = num_ops;
+
+  // Members per group root; updated on merges.
+  std::vector<std::vector<OperationId>> members(num_ops);
+  for (size_t i = 0; i < num_ops; ++i) {
+    members[i].push_back(OperationId(static_cast<uint32_t>(i)));
+  }
+
+  // Live messages: both endpoints unassigned and in different groups.
+  std::vector<TransitionId> messages;
+  messages.reserve(w.num_transitions());
+  for (const Transition& t : w.transitions()) messages.push_back(t.id);
+
+  auto purge_messages = [&] {
+    messages.erase(
+        std::remove_if(messages.begin(), messages.end(),
+                       [&](TransitionId t) {
+                         const Transition& edge = w.transition(t);
+                         if (m.IsAssigned(edge.from) &&
+                             m.IsAssigned(edge.to)) {
+                           return true;
+                         }
+                         return groups.SameGroup(edge.from.value,
+                                                 edge.to.value);
+                       }),
+        messages.end());
+  };
+
+  auto assign_group = [&](uint32_t root, ServerId server) {
+    root = groups.Find(root);
+    for (OperationId op : members[root]) {
+      m.Assign(op, server);
+      --unassigned;
+    }
+    remaining[server.value] -= groups.CyclesOf(root);
+    members[root].clear();
+  };
+
+  purge_messages();
+  while (unassigned > 0) {
+    // s1: neediest server.
+    size_t s1 = 0;
+    for (size_t i = 1; i < remaining.size(); ++i) {
+      if (remaining[i] > remaining[s1]) s1 = i;
+    }
+    // g1: costliest unassigned group.
+    uint32_t g1 = 0;
+    double g1_cycles = -1;
+    for (size_t i = 0; i < num_ops; ++i) {
+      uint32_t root = groups.Find(static_cast<uint32_t>(i));
+      if (root == i && !members[i].empty() &&
+          groups.CyclesOf(root) > g1_cycles) {
+        g1 = root;
+        g1_cycles = groups.CyclesOf(root);
+      }
+    }
+    WSFLOW_CHECK_GE(g1_cycles, 0.0);
+    // m1: biggest live message.
+    TransitionId m1;
+    double m1_bits = -1;
+    for (TransitionId t : messages) {
+      double bits = view.MessageBits(t);
+      if (bits > m1_bits) {
+        m1 = t;
+        m1_bits = bits;
+      }
+    }
+
+    double proc_time = g1_cycles / n.server(ServerId(static_cast<uint32_t>(s1)))
+                                       .power_hz();
+    double send_time =
+        m1.valid() ? large_message_scale_ * TransferTime(n, m1_bits) : -1;
+
+    if (!m1.valid() || proc_time > send_time) {
+      // (a) heavy operations beat the biggest message: place the group.
+      assign_group(g1, ServerId(static_cast<uint32_t>(s1)));
+    } else {
+      const Transition& edge = w.transition(m1);
+      bool from_assigned = m.IsAssigned(edge.from);
+      bool to_assigned = m.IsAssigned(edge.to);
+      WSFLOW_CHECK(!(from_assigned && to_assigned));  // purged
+      if (from_assigned || to_assigned) {
+        // (b1) co-locate the free endpoint's whole group with the placed
+        // endpoint (prose-faithful group move; see header).
+        OperationId placed = from_assigned ? edge.from : edge.to;
+        OperationId free = from_assigned ? edge.to : edge.from;
+        assign_group(free.value, m.ServerOf(placed));
+      } else {
+        // (b2) merge: the two ends will always be deployed together.
+        uint32_t ra = groups.Find(edge.from.value);
+        uint32_t rb = groups.Find(edge.to.value);
+        WSFLOW_CHECK_NE(ra, rb);  // purged
+        uint32_t keep = groups.Union(ra, rb);
+        uint32_t gone = keep == ra ? rb : ra;
+        members[keep].insert(members[keep].end(), members[gone].begin(),
+                             members[gone].end());
+        members[gone].clear();
+      }
+    }
+    purge_messages();
+  }
+  return m;
+}
+
+}  // namespace wsflow

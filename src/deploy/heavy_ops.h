@@ -1,0 +1,62 @@
+// wsflow: algorithm Heavy Operations - Large Messages (HOLM, paper §3.3,
+// appendix).
+//
+// The paper's overall winner. Operations are treated as *groups* (initially
+// singletons). Each step compares the top of three sorted lists — servers by
+// remaining ideal cycles, groups by total cycle cost, messages by size — and
+// decides:
+//
+//   (a) when processing the costliest group on the neediest server takes
+//       longer than shipping the biggest live message, place that group
+//       there (the heavy-operations move);
+//   (b) otherwise neutralize the big message: if one of its endpoints is
+//       already placed, co-locate the other endpoint's group with it (b1);
+//       if neither is placed, merge their groups so they will always land
+//       together (b2).
+//
+// Messages whose endpoints are placed, or fall in the same group, leave the
+// message list (they can never cross the network again). Grouped operations
+// are always deployed together; where the appendix's pseudocode detaches a
+// single operation from its group in case (b1), we follow the paper's prose
+// ("activities that have been grouped together are always assigned to the
+// same server") and move the whole group — see DESIGN.md. Complexity
+// O(M * (M logM + N logN)).
+//
+// The message transfer time uses the shared bus when the network has one
+// (the configuration the paper evaluates); on point-to-point topologies the
+// slowest link stands in as the conservative estimate.
+
+#ifndef WSFLOW_DEPLOY_HEAVY_OPS_H_
+#define WSFLOW_DEPLOY_HEAVY_OPS_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/deploy/algorithm.h"
+
+namespace wsflow {
+
+class HeavyOpsAlgorithm : public DeploymentAlgorithm {
+ public:
+  /// `large_message_scale` multiplies the message transfer time before the
+  /// (a)/(b) comparison; 1.0 reproduces the paper. Exposed for the
+  /// threshold-sensitivity ablation.
+  explicit HeavyOpsAlgorithm(double large_message_scale = 1.0)
+      : large_message_scale_(large_message_scale) {}
+
+  std::string_view name() const override { return "heavy-ops"; }
+  Result<Mapping> Run(const DeployContext& ctx) const override;
+
+  /// As Run(), but starts from (and updates) an external remaining-ideal-
+  /// cycles ledger, letting several workflows share the servers (the multi-
+  /// workflow extension). `remaining_cycles` is indexed by ServerId::value.
+  Result<Mapping> RunWithLedger(const DeployContext& ctx,
+                                std::vector<double>* remaining_cycles) const;
+
+ private:
+  double large_message_scale_;
+};
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_DEPLOY_HEAVY_OPS_H_

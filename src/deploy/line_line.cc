@@ -1,0 +1,162 @@
+#include "src/deploy/line_line.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/stats.h"
+#include "src/deploy/graph_view.h"
+
+namespace wsflow {
+
+namespace {
+
+/// Phase 1: ordered fill of `servers` (in the given order) with `ops` (in
+/// workflow order), moving to the next server when the current one exceeds
+/// its ideal share by the slack factor. Once as many servers as operations
+/// remain, one operation goes to each remaining server.
+Mapping FillLine(const WorkflowView& view, const Network& n,
+                 const std::vector<OperationId>& ops,
+                 const std::vector<ServerId>& servers, double slack) {
+  double sum_cycles = view.TotalCycles();
+  double sum_capacity = n.TotalPowerHz();
+
+  Mapping m(view.num_operations());
+  size_t server_index = 0;
+  ServerId s = servers[server_index];
+  double ideal = sum_cycles * n.server(s).power_hz() / sum_capacity;
+  double current = 0;
+
+  for (size_t i = 0; i < ops.size(); ++i) {
+    size_t ops_left = ops.size() - i;  // including ops[i]
+    size_t fresh_servers =
+        servers.size() - server_index - (current > 0 ? 1 : 0);
+    double c = view.Cycles(ops[i]);
+    if (ops_left <= fresh_servers) {
+      // Tail mode: enough empty servers remain to give every leftover
+      // operation its own, so nobody is left idle.
+      if (current > 0) {
+        ++server_index;
+        s = servers[server_index];
+      }
+      m.Assign(ops[i], s);
+      current = c > 0 ? c : 1;  // mark the server as used
+      continue;
+    }
+    bool last_server = server_index + 1 == servers.size();
+    bool fits = current + c < (1.0 + slack) * ideal;
+    if (!(fits || current == 0 || last_server)) {
+      ++server_index;
+      s = servers[server_index];
+      ideal = sum_cycles * n.server(s).power_hz() / sum_capacity;
+      current = 0;
+    }
+    m.Assign(ops[i], s);
+    current += c;
+  }
+  return m;
+}
+
+/// Ordered pair of (operations on server, in line order) lookups for
+/// phase 2.
+std::vector<std::vector<OperationId>> OpsPerServer(
+    const std::vector<OperationId>& ops, const Mapping& m, size_t servers) {
+  std::vector<std::vector<OperationId>> per(servers);
+  for (OperationId op : ops) {
+    ServerId s = m.ServerOf(op);
+    if (s.valid()) per[s.value].push_back(op);
+  }
+  return per;
+}
+
+/// Phase 2 (Fix_Bad_Bridges): shift a boundary operation across each
+/// critical bridge. Operates in place on `m`.
+void FixBadBridges(const WorkflowView& view, const Network& n,
+                   const std::vector<OperationId>& ops, double quantile,
+                   Mapping* m) {
+  if (n.kind() != NetworkKind::kLine || n.num_servers() < 2) return;
+  const Workflow& w = view.workflow();
+
+  // L1: all line speeds; slow = at or below the `quantile` quantile.
+  std::vector<double> speeds;
+  for (const Link& link : n.links()) speeds.push_back(link.speed_bps);
+  double slow_speed = Quantile(speeds, quantile);
+
+  // L2: all message sizes; small/large thresholds.
+  std::vector<double> sizes;
+  for (size_t i = 0; i < w.num_transitions(); ++i) {
+    sizes.push_back(view.MessageBits(TransitionId(static_cast<uint32_t>(i))));
+  }
+  if (sizes.empty()) return;
+  double small_size = Quantile(sizes, quantile);
+  double large_size = Quantile(sizes, 1.0 - quantile);
+
+  auto msg_bits = [&](OperationId from, OperationId to) -> double {
+    Result<TransitionId> t = w.FindTransition(from, to);
+    return t.ok() ? view.MessageBits(*t) : 0.0;
+  };
+
+  for (uint32_t i = 0; i + 1 < n.num_servers(); ++i) {
+    ServerId left(i);
+    ServerId right(i + 1);
+    Result<LinkId> bridge = n.FindLink(left, right);
+    if (!bridge.ok()) continue;
+    if (n.link(*bridge).speed_bps > slow_speed) continue;
+
+    std::vector<std::vector<OperationId>> per =
+        OpsPerServer(ops, *m, n.num_servers());
+    const std::vector<OperationId>& lops = per[left.value];
+    const std::vector<OperationId>& rops = per[right.value];
+    if (lops.empty() || rops.empty()) continue;
+
+    double crossing = msg_bits(lops.back(), rops.front());
+    if (crossing < large_size) continue;
+
+    // Critical bridge found. Shift right when the message behind the
+    // sender is small; otherwise shift left when the message ahead of the
+    // receiver is small.
+    if (lops.size() >= 2 &&
+        msg_bits(lops[lops.size() - 2], lops.back()) <= small_size) {
+      m->Assign(lops.back(), right);
+    } else if (rops.size() >= 2 &&
+               msg_bits(rops.front(), rops[1]) <= small_size) {
+      m->Assign(rops.front(), left);
+    }
+  }
+}
+
+}  // namespace
+
+Result<Mapping> LineLineAlgorithm::Run(const DeployContext& ctx) const {
+  WSFLOW_RETURN_IF_ERROR(CheckContext(ctx));
+  const Workflow& w = *ctx.workflow;
+  const Network& n = *ctx.network;
+  WSFLOW_ASSIGN_OR_RETURN(std::vector<OperationId> ops, w.LineOrder());
+
+  WorkflowView view(w, ctx.profile);
+  std::vector<ServerId> servers;
+  for (const Server& s : n.servers()) servers.push_back(s.id());
+
+  Mapping forward = FillLine(view, n, ops, servers, options_.slack);
+  if (options_.fix_bridges) {
+    FixBadBridges(view, n, ops, options_.bridge_quantile, &forward);
+  }
+  if (!options_.both_directions) return forward;
+
+  // Right-to-left variant: reverse both the workflow walk and the server
+  // order, then keep the cheaper mapping.
+  std::vector<OperationId> rops(ops.rbegin(), ops.rend());
+  std::vector<ServerId> rservers(servers.rbegin(), servers.rend());
+  Mapping backward = FillLine(view, n, rops, rservers, options_.slack);
+  if (options_.fix_bridges) {
+    FixBadBridges(view, n, ops, options_.bridge_quantile, &backward);
+  }
+
+  CostModel model(w, n, ctx.profile);
+  WSFLOW_ASSIGN_OR_RETURN(CostBreakdown fwd,
+                          model.Evaluate(forward, ctx.cost_options));
+  WSFLOW_ASSIGN_OR_RETURN(CostBreakdown bwd,
+                          model.Evaluate(backward, ctx.cost_options));
+  return bwd.combined < fwd.combined ? backward : forward;
+}
+
+}  // namespace wsflow

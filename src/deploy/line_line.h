@@ -1,0 +1,53 @@
+// wsflow: algorithm Line-Line and its variants (paper §3.2, appendix).
+//
+// Both the workflow and the server network are lines. Phase 1 walks the
+// workflow left to right, filling servers in order up to a 20% slack over
+// their ideal cycle share (Sum_Cycles * P(s) / Sum_Capacity); once the
+// remaining operations are no more numerous than the remaining servers it
+// degrades to one-operation-per-server so nobody is left idle. Phase 2
+// (Fix_Bad_Bridges) scans every server boundary for a *critical bridge* — a
+// link in the slowest 20% carrying a crossing message in the largest 20% —
+// and shifts the boundary operation across it when the message freed by the
+// shift is in the smallest 20% (Fig. 3). Complexity O(M) + O(N).
+//
+// Variants (paper §3.2): with/without phase 2, and optionally running the
+// fill both left-to-right and right-to-left, keeping the better mapping
+// under the context's objective weights.
+
+#ifndef WSFLOW_DEPLOY_LINE_LINE_H_
+#define WSFLOW_DEPLOY_LINE_LINE_H_
+
+#include "src/deploy/algorithm.h"
+
+namespace wsflow {
+
+struct LineLineOptions {
+  /// Run phase 2 (critical-bridge fixing).
+  bool fix_bridges = true;
+  /// Try both fill directions and keep the cheaper mapping.
+  bool both_directions = false;
+  /// Phase-1 slack over the ideal share (paper: 0.2).
+  double slack = 0.2;
+  /// "Slow link" and "small message" quantile for the bridge test
+  /// (paper: 20%).
+  double bridge_quantile = 0.2;
+};
+
+class LineLineAlgorithm : public DeploymentAlgorithm {
+ public:
+  explicit LineLineAlgorithm(LineLineOptions options = {})
+      : options_(options) {}
+
+  std::string_view name() const override { return "line-line"; }
+
+  /// Requires a line workflow; the network may be a line (full algorithm)
+  /// or any other topology (phase 2 is skipped — there are no bridges).
+  Result<Mapping> Run(const DeployContext& ctx) const override;
+
+ private:
+  LineLineOptions options_;
+};
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_DEPLOY_LINE_LINE_H_

@@ -1,0 +1,119 @@
+#include "src/deploy/local_search.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/random.h"
+#include "src/deploy/random_baseline.h"
+
+namespace wsflow {
+
+namespace {
+
+/// Combined cost; infinity for constraint-violating mappings so they are
+/// never accepted.
+Result<double> CostOf(const CostModel& model, const Mapping& m,
+                      const CostOptions& cost_options,
+                      const LocalSearchOptions& options, size_t* evaluations) {
+  ++*evaluations;
+  if (options.constraints != nullptr && !options.constraints->empty()) {
+    WSFLOW_ASSIGN_OR_RETURN(
+        double violation,
+        ConstraintViolation(model, m, *options.constraints));
+    if (violation > 0) return std::numeric_limits<double>::infinity();
+  }
+  WSFLOW_ASSIGN_OR_RETURN(CostBreakdown cost, model.Evaluate(m, cost_options));
+  return cost.combined;
+}
+
+}  // namespace
+
+Result<Mapping> HillClimb(const CostModel& model, const Mapping& start,
+                          const CostOptions& cost_options,
+                          const LocalSearchOptions& options,
+                          LocalSearchStats* stats) {
+  WSFLOW_RETURN_IF_ERROR(
+      start.ValidateAgainst(model.workflow(), model.network()));
+  const size_t M = model.workflow().num_operations();
+  const size_t N = model.network().num_servers();
+
+  LocalSearchStats local;
+  Mapping current = start;
+  WSFLOW_ASSIGN_OR_RETURN(
+      double current_cost,
+      CostOf(model, current, cost_options, options, &local.evaluations));
+  if (std::isinf(current_cost)) {
+    return Status::ConstraintViolation(
+        "hill climb started from a constraint-violating mapping");
+  }
+  local.initial_cost = current_cost;
+
+  while (local.steps < options.max_steps) {
+    double best_cost = current_cost;
+    Mapping best = current;
+    bool improved = false;
+
+    // Moves: reassign one operation.
+    for (uint32_t op = 0; op < M; ++op) {
+      ServerId from = current.ServerOf(OperationId(op));
+      for (uint32_t s = 0; s < N; ++s) {
+        if (ServerId(s) == from) continue;
+        Mapping candidate = current;
+        candidate.Assign(OperationId(op), ServerId(s));
+        WSFLOW_ASSIGN_OR_RETURN(
+            double cost, CostOf(model, candidate, cost_options, options,
+                                &local.evaluations));
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = std::move(candidate);
+          improved = true;
+        }
+      }
+    }
+    // Swaps: exchange the servers of two operations on distinct servers.
+    if (options.use_swaps) {
+      for (uint32_t a = 0; a < M; ++a) {
+        for (uint32_t b = a + 1; b < M; ++b) {
+          ServerId sa = current.ServerOf(OperationId(a));
+          ServerId sb = current.ServerOf(OperationId(b));
+          if (sa == sb) continue;
+          Mapping candidate = current;
+          candidate.Assign(OperationId(a), sb);
+          candidate.Assign(OperationId(b), sa);
+          WSFLOW_ASSIGN_OR_RETURN(
+              double cost, CostOf(model, candidate, cost_options, options,
+                                  &local.evaluations));
+          if (cost < best_cost) {
+            best_cost = cost;
+            best = std::move(candidate);
+            improved = true;
+          }
+        }
+      }
+    }
+
+    if (!improved) break;
+    current = std::move(best);
+    current_cost = best_cost;
+    ++local.steps;
+  }
+
+  local.final_cost = current_cost;
+  if (stats != nullptr) *stats = local;
+  return current;
+}
+
+Result<Mapping> HillClimbAlgorithm::Run(const DeployContext& ctx) const {
+  WSFLOW_RETURN_IF_ERROR(CheckContext(ctx));
+  CostModel model(*ctx.workflow, *ctx.network, ctx.profile);
+  Rng rng(ctx.seed);
+  Mapping start = RandomMapping(ctx.workflow->num_operations(),
+                                ctx.network->num_servers(), &rng);
+  LocalSearchOptions options = options_;
+  if (options.constraints != nullptr) {
+    ApplyPins(*options.constraints, &start);
+  }
+  return HillClimb(model, start, ctx.cost_options, options);
+}
+
+}  // namespace wsflow

@@ -1,0 +1,59 @@
+// wsflow: local-search refinement (extension; not in the paper).
+//
+// A best-improvement hill climber over the mapping space: moves reassign
+// one operation to another server, swaps exchange the servers of two
+// operations. Used by the ablation bench to measure how much headroom the
+// paper's greedy heuristics leave, and as the standalone "hill-climb"
+// baseline (random start + climb). Deterministic given the start mapping.
+
+#ifndef WSFLOW_DEPLOY_LOCAL_SEARCH_H_
+#define WSFLOW_DEPLOY_LOCAL_SEARCH_H_
+
+#include <cstddef>
+
+#include "src/deploy/algorithm.h"
+#include "src/deploy/constraints.h"
+
+namespace wsflow {
+
+struct LocalSearchOptions {
+  /// Stop after this many accepted improvements.
+  size_t max_steps = 10000;
+  /// Also explore pairwise swaps (quadratic per step but stronger).
+  bool use_swaps = true;
+  /// Optional hard constraints; violating neighbours are skipped and a
+  /// violating start fails with ConstraintViolation.
+  const DeploymentConstraints* constraints = nullptr;
+};
+
+/// Statistics of one climb.
+struct LocalSearchStats {
+  size_t steps = 0;          ///< Accepted improvements.
+  size_t evaluations = 0;    ///< Candidate mappings costed.
+  double initial_cost = 0;   ///< Combined cost of the start mapping.
+  double final_cost = 0;     ///< Combined cost of the local optimum.
+};
+
+/// Climbs from `start` to a local optimum of the weighted combined cost.
+/// `stats` may be null.
+Result<Mapping> HillClimb(const CostModel& model, const Mapping& start,
+                          const CostOptions& cost_options,
+                          const LocalSearchOptions& options,
+                          LocalSearchStats* stats = nullptr);
+
+/// Random restart + climb, registered as "hill-climb".
+class HillClimbAlgorithm : public DeploymentAlgorithm {
+ public:
+  explicit HillClimbAlgorithm(LocalSearchOptions options = {})
+      : options_(options) {}
+
+  std::string_view name() const override { return "hill-climb"; }
+  Result<Mapping> Run(const DeployContext& ctx) const override;
+
+ private:
+  LocalSearchOptions options_;
+};
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_DEPLOY_LOCAL_SEARCH_H_

@@ -1,0 +1,91 @@
+#include "src/deploy/mapping.h"
+
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace wsflow {
+
+void Mapping::Assign(OperationId op, ServerId server) {
+  WSFLOW_CHECK_LT(op.value, assignment_.size());
+  WSFLOW_CHECK(server.valid());
+  assignment_[op.value] = server;
+}
+
+void Mapping::Unassign(OperationId op) {
+  WSFLOW_CHECK_LT(op.value, assignment_.size());
+  assignment_[op.value] = ServerId();
+}
+
+ServerId Mapping::ServerOf(OperationId op) const {
+  WSFLOW_CHECK_LT(op.value, assignment_.size());
+  return assignment_[op.value];
+}
+
+bool Mapping::IsTotal() const {
+  for (ServerId s : assignment_) {
+    if (!s.valid()) return false;
+  }
+  return !assignment_.empty();
+}
+
+size_t Mapping::NumAssigned() const {
+  size_t n = 0;
+  for (ServerId s : assignment_) {
+    if (s.valid()) ++n;
+  }
+  return n;
+}
+
+bool Mapping::CoLocated(OperationId a, OperationId b) const {
+  ServerId sa = ServerOf(a);
+  ServerId sb = ServerOf(b);
+  return sa.valid() && sa == sb;
+}
+
+std::vector<OperationId> Mapping::OperationsOn(ServerId server) const {
+  std::vector<OperationId> out;
+  for (size_t i = 0; i < assignment_.size(); ++i) {
+    if (assignment_[i] == server) {
+      out.push_back(OperationId(static_cast<uint32_t>(i)));
+    }
+  }
+  return out;
+}
+
+Status Mapping::ValidateAgainst(const Workflow& w, const Network& n) const {
+  if (assignment_.size() != w.num_operations()) {
+    return Status::FailedPrecondition(
+        "mapping covers " + std::to_string(assignment_.size()) +
+        " operations, workflow has " + std::to_string(w.num_operations()));
+  }
+  for (size_t i = 0; i < assignment_.size(); ++i) {
+    if (!assignment_[i].valid()) {
+      return Status::FailedPrecondition(
+          "operation " + w.operation(OperationId(static_cast<uint32_t>(i))).name() +
+          " is unassigned");
+    }
+    if (!n.Contains(assignment_[i])) {
+      return Status::FailedPrecondition("assignment references a server "
+                                        "outside the network");
+    }
+  }
+  return Status::OK();
+}
+
+std::string Mapping::ToString(const Workflow& w, const Network& n) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < assignment_.size(); ++i) {
+    if (i > 0) os << " ";
+    OperationId op(static_cast<uint32_t>(i));
+    os << w.operation(op).name() << "->";
+    if (assignment_[i].valid() && n.Contains(assignment_[i])) {
+      os << n.server(assignment_[i]).name();
+    } else {
+      os << "?";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace wsflow

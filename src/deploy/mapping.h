@@ -1,0 +1,70 @@
+// wsflow: deployment mapping of operations to servers.
+//
+// A Mapping assigns each workflow operation to the server hosting it
+// (paper §2.2: o -> s). Algorithms build mappings incrementally; a mapping
+// is *total* when every operation is assigned, which the cost model
+// requires.
+
+#ifndef WSFLOW_DEPLOY_MAPPING_H_
+#define WSFLOW_DEPLOY_MAPPING_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/network/server.h"
+#include "src/network/topology.h"
+#include "src/workflow/operation.h"
+#include "src/workflow/workflow.h"
+
+namespace wsflow {
+
+class Mapping {
+ public:
+  Mapping() = default;
+  /// Creates a mapping for `num_operations` operations, all unassigned.
+  explicit Mapping(size_t num_operations)
+      : assignment_(num_operations, ServerId()) {}
+
+  size_t num_operations() const { return assignment_.size(); }
+
+  /// Assigns (or reassigns) an operation.
+  void Assign(OperationId op, ServerId server);
+
+  /// Removes an assignment; no-op when unassigned.
+  void Unassign(OperationId op);
+
+  /// Server(op); invalid when unassigned.
+  ServerId ServerOf(OperationId op) const;
+
+  bool IsAssigned(OperationId op) const { return ServerOf(op).valid(); }
+
+  /// True when an assignment exists for every operation.
+  bool IsTotal() const;
+
+  size_t NumAssigned() const;
+
+  /// True when `a` and `b` are assigned to the same server.
+  bool CoLocated(OperationId a, OperationId b) const;
+
+  /// Operations assigned to `server`, in id order.
+  std::vector<OperationId> OperationsOn(ServerId server) const;
+
+  /// Checks the mapping is total and references only servers of `n` /
+  /// operations of `w`.
+  Status ValidateAgainst(const Workflow& w, const Network& n) const;
+
+  /// "op1->s2 op2->s1 ..." rendering using workflow / network names.
+  std::string ToString(const Workflow& w, const Network& n) const;
+
+  friend bool operator==(const Mapping& a, const Mapping& b) {
+    return a.assignment_ == b.assignment_;
+  }
+
+ private:
+  std::vector<ServerId> assignment_;
+};
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_DEPLOY_MAPPING_H_

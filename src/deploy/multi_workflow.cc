@@ -1,0 +1,179 @@
+#include "src/deploy/multi_workflow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/deploy/algorithm.h"
+#include "src/deploy/graph_view.h"
+#include "src/deploy/heavy_ops.h"
+
+namespace wsflow {
+
+namespace {
+
+Status CheckInputs(const std::vector<const Workflow*>& workflows,
+                   const Network& network,
+                   const MultiWorkflowOptions& options) {
+  if (workflows.empty()) {
+    return Status::InvalidArgument("no workflows to deploy");
+  }
+  for (const Workflow* w : workflows) {
+    if (w == nullptr || w->num_operations() == 0) {
+      return Status::InvalidArgument("null or empty workflow in batch");
+    }
+  }
+  if (network.num_servers() == 0) {
+    return Status::InvalidArgument("network has no servers");
+  }
+  if (!options.profiles.empty() &&
+      options.profiles.size() != workflows.size()) {
+    return Status::InvalidArgument(
+        "profiles must be empty or match the workflow count");
+  }
+  return Status::OK();
+}
+
+const ExecutionProfile* ProfileFor(const MultiWorkflowOptions& options,
+                                   size_t index) {
+  return options.profiles.empty() ? nullptr : options.profiles[index];
+}
+
+Result<std::vector<Mapping>> JointFairLoad(
+    const std::vector<const Workflow*>& workflows, const Network& network,
+    const MultiWorkflowOptions& options) {
+  // Pool every operation with its weighted cycles, then worst-fit against
+  // ideal shares computed from the combined totals.
+  struct PooledOp {
+    size_t workflow_index;
+    OperationId op;
+    double cycles;
+  };
+  std::vector<PooledOp> pool;
+  double sum_cycles = 0;
+  std::vector<WorkflowView> views;
+  views.reserve(workflows.size());
+  for (size_t i = 0; i < workflows.size(); ++i) {
+    views.emplace_back(*workflows[i], ProfileFor(options, i));
+    for (const Operation& op : workflows[i]->operations()) {
+      double cycles = views[i].Cycles(op.id());
+      pool.push_back(PooledOp{i, op.id(), cycles});
+      sum_cycles += cycles;
+    }
+  }
+  std::stable_sort(pool.begin(), pool.end(),
+                   [](const PooledOp& a, const PooledOp& b) {
+                     return a.cycles > b.cycles;
+                   });
+
+  double sum_capacity = network.TotalPowerHz();
+  std::vector<double> remaining(network.num_servers());
+  for (const Server& s : network.servers()) {
+    remaining[s.id().value] = sum_cycles * s.power_hz() / sum_capacity;
+  }
+
+  std::vector<Mapping> mappings;
+  mappings.reserve(workflows.size());
+  for (const Workflow* w : workflows) {
+    mappings.emplace_back(w->num_operations());
+  }
+  for (const PooledOp& p : pool) {
+    size_t best = 0;
+    for (size_t s = 1; s < remaining.size(); ++s) {
+      if (remaining[s] > remaining[best]) best = s;
+    }
+    mappings[p.workflow_index].Assign(p.op,
+                                      ServerId(static_cast<uint32_t>(best)));
+    remaining[best] -= p.cycles;
+  }
+  return mappings;
+}
+
+Result<std::vector<Mapping>> SequentialHeavyOps(
+    const std::vector<const Workflow*>& workflows, const Network& network,
+    const MultiWorkflowOptions& options) {
+  // One ledger across all runs: ideal shares are computed from the combined
+  // cycle totals, then each HOLM run draws them down.
+  double sum_cycles = 0;
+  for (size_t i = 0; i < workflows.size(); ++i) {
+    WorkflowView view(*workflows[i], ProfileFor(options, i));
+    sum_cycles += view.TotalCycles();
+  }
+  double sum_capacity = network.TotalPowerHz();
+  std::vector<double> remaining(network.num_servers());
+  for (const Server& s : network.servers()) {
+    remaining[s.id().value] = sum_cycles * s.power_hz() / sum_capacity;
+  }
+
+  HeavyOpsAlgorithm holm;
+  std::vector<Mapping> mappings;
+  mappings.reserve(workflows.size());
+  for (size_t i = 0; i < workflows.size(); ++i) {
+    DeployContext ctx;
+    ctx.workflow = workflows[i];
+    ctx.network = &network;
+    ctx.profile = ProfileFor(options, i);
+    ctx.seed = options.seed + i;
+    WSFLOW_ASSIGN_OR_RETURN(Mapping m, holm.RunWithLedger(ctx, &remaining));
+    mappings.push_back(std::move(m));
+  }
+  return mappings;
+}
+
+}  // namespace
+
+double CombinedTimePenalty(
+    const std::vector<const Workflow*>& workflows,
+    const std::vector<Mapping>& mappings, const Network& network,
+    const std::vector<const ExecutionProfile*>& profiles) {
+  std::vector<double> loads(network.num_servers(), 0.0);
+  for (size_t i = 0; i < workflows.size(); ++i) {
+    const ExecutionProfile* profile =
+        profiles.empty() ? nullptr : profiles[i];
+    WorkflowView view(*workflows[i], profile);
+    for (const Operation& op : workflows[i]->operations()) {
+      ServerId s = mappings[i].ServerOf(op.id());
+      if (s.valid()) {
+        loads[s.value] += view.Cycles(op.id()) / network.server(s).power_hz();
+      }
+    }
+  }
+  double avg =
+      std::accumulate(loads.begin(), loads.end(), 0.0) /
+      static_cast<double>(loads.size());
+  double penalty = 0;
+  for (double l : loads) penalty += std::fabs(l - avg) / 2.0;
+  return penalty;
+}
+
+Result<MultiWorkflowResult> DeployMultipleWorkflows(
+    const std::vector<const Workflow*>& workflows, const Network& network,
+    const MultiWorkflowOptions& options) {
+  WSFLOW_RETURN_IF_ERROR(CheckInputs(workflows, network, options));
+
+  MultiWorkflowResult result;
+  switch (options.strategy) {
+    case MultiWorkflowStrategy::kJointFairLoad: {
+      WSFLOW_ASSIGN_OR_RETURN(result.mappings,
+                              JointFairLoad(workflows, network, options));
+      break;
+    }
+    case MultiWorkflowStrategy::kSequentialHeavyOps: {
+      WSFLOW_ASSIGN_OR_RETURN(result.mappings,
+                              SequentialHeavyOps(workflows, network, options));
+      break;
+    }
+  }
+
+  for (size_t i = 0; i < workflows.size(); ++i) {
+    CostModel model(*workflows[i], network, ProfileFor(options, i));
+    WSFLOW_ASSIGN_OR_RETURN(double exec,
+                            model.ExecutionTime(result.mappings[i]));
+    result.execution_times.push_back(exec);
+  }
+  result.combined_time_penalty = CombinedTimePenalty(
+      workflows, result.mappings, network, options.profiles);
+  return result;
+}
+
+}  // namespace wsflow

@@ -1,0 +1,65 @@
+// wsflow: multi-workflow deployment (paper §6 future work, implemented as
+// an extension).
+//
+// Several workflows share one server farm. Fairness is now a property of
+// the *combined* load, so deploying each workflow in isolation double-books
+// the strongest servers. Two strategies:
+//
+//   * kJointFairLoad — global worst-fit: all operations of all workflows
+//     are pooled, sorted by descending (weighted) cycles and packed against
+//     ideal shares computed from the combined totals.
+//   * kSequentialHeavyOps — Heavy Operations - Large Messages per workflow,
+//     threading one remaining-ideal-cycles ledger through the runs so later
+//     workflows see the capacity earlier ones consumed. Message locality is
+//     preserved per workflow.
+
+#ifndef WSFLOW_DEPLOY_MULTI_WORKFLOW_H_
+#define WSFLOW_DEPLOY_MULTI_WORKFLOW_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/cost/cost_model.h"
+#include "src/deploy/mapping.h"
+#include "src/workflow/probability.h"
+
+namespace wsflow {
+
+enum class MultiWorkflowStrategy {
+  kJointFairLoad,
+  kSequentialHeavyOps,
+};
+
+struct MultiWorkflowOptions {
+  MultiWorkflowStrategy strategy = MultiWorkflowStrategy::kSequentialHeavyOps;
+  /// Profiles parallel to the workflows; empty means probability 1 for all.
+  std::vector<const ExecutionProfile*> profiles;
+  uint64_t seed = 0;
+};
+
+struct MultiWorkflowResult {
+  /// One mapping per input workflow, in order.
+  std::vector<Mapping> mappings;
+  /// T_execute per workflow.
+  std::vector<double> execution_times;
+  /// Fairness penalty of the combined per-server load.
+  double combined_time_penalty = 0;
+};
+
+/// Deploys every workflow onto `network`. All workflows must be non-empty;
+/// `options.profiles`, when non-empty, must have one entry per workflow
+/// (null entries mean probability 1).
+Result<MultiWorkflowResult> DeployMultipleWorkflows(
+    const std::vector<const Workflow*>& workflows, const Network& network,
+    const MultiWorkflowOptions& options = {});
+
+/// Fairness penalty of combined loads: sum_s |load(s) - avg| / 2 where
+/// load(s) accumulates over all (workflow, mapping) pairs.
+double CombinedTimePenalty(const std::vector<const Workflow*>& workflows,
+                           const std::vector<Mapping>& mappings,
+                           const Network& network,
+                           const std::vector<const ExecutionProfile*>& profiles);
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_DEPLOY_MULTI_WORKFLOW_H_

@@ -1,0 +1,52 @@
+#include "src/deploy/portfolio.h"
+
+#include "src/common/logging.h"
+#include "src/cost/cost_model.h"
+
+namespace wsflow {
+
+PortfolioAlgorithm::PortfolioAlgorithm(std::vector<std::string> members)
+    : members_(std::move(members)) {
+  if (members_.empty()) {
+    members_ = {"fair-load", "fltr",      "fltr2",
+                "fl-merge",  "heavy-ops", "critical-path"};
+  }
+  for (const std::string& member : members_) {
+    WSFLOW_CHECK_NE(member, "portfolio") << "portfolio cannot nest itself";
+  }
+}
+
+Result<Mapping> PortfolioAlgorithm::Run(const DeployContext& ctx) const {
+  WSFLOW_RETURN_IF_ERROR(CheckContext(ctx));
+  RegisterBuiltinAlgorithms();
+  CostModel model(*ctx.workflow, *ctx.network, ctx.profile);
+
+  Mapping best;
+  double best_cost = 0;
+  bool have_best = false;
+  Status last_error = Status::Internal("portfolio has no members");
+  for (const std::string& member : members_) {
+    Result<std::unique_ptr<DeploymentAlgorithm>> algo =
+        AlgorithmRegistry::Global().Create(member);
+    if (!algo.ok()) return algo.status();  // unknown member: config error
+    Result<Mapping> m = (*algo)->Run(ctx);
+    if (!m.ok()) {
+      last_error = m.status().WithContext(member);
+      continue;
+    }
+    Result<CostBreakdown> cost = model.Evaluate(*m, ctx.cost_options);
+    if (!cost.ok()) {
+      last_error = cost.status().WithContext(member);
+      continue;
+    }
+    if (!have_best || cost->combined < best_cost) {
+      have_best = true;
+      best_cost = cost->combined;
+      best = std::move(*m);
+    }
+  }
+  if (!have_best) return last_error;
+  return best;
+}
+
+}  // namespace wsflow

@@ -1,0 +1,43 @@
+// wsflow: portfolio deployment (extension; not in the paper).
+//
+// The paper's own conclusion is that no single heuristic dominates: the
+// fair family wins on fairness, HOLM on execution time, with the balance
+// shifting with bus speed and workload. Since every heuristic runs in
+// microseconds (bench/scaling), a deployment tool can simply run them all
+// and keep the best mapping under the caller's objective weights — a
+// portfolio that, by construction, is at least as good as every member on
+// every instance. Members default to the five paper algorithms plus the
+// critical-path scheduler; any registry names can be configured.
+
+#ifndef WSFLOW_DEPLOY_PORTFOLIO_H_
+#define WSFLOW_DEPLOY_PORTFOLIO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/deploy/algorithm.h"
+
+namespace wsflow {
+
+class PortfolioAlgorithm : public DeploymentAlgorithm {
+ public:
+  /// `members` are registry names; empty selects the default set. The
+  /// portfolio itself must not be a member.
+  explicit PortfolioAlgorithm(std::vector<std::string> members = {});
+
+  std::string_view name() const override { return "portfolio"; }
+
+  /// Runs every member and returns the mapping with the lowest weighted
+  /// combined cost (ties keep the earliest member). Members that fail on
+  /// an instance are skipped; only if all fail does Run fail.
+  Result<Mapping> Run(const DeployContext& ctx) const override;
+
+  const std::vector<std::string>& members() const { return members_; }
+
+ private:
+  std::vector<std::string> members_;
+};
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_DEPLOY_PORTFOLIO_H_

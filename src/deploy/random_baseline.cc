@@ -1,0 +1,21 @@
+#include "src/deploy/random_baseline.h"
+
+namespace wsflow {
+
+Mapping RandomMapping(size_t num_operations, size_t num_servers, Rng* rng) {
+  Mapping m(num_operations);
+  for (size_t i = 0; i < num_operations; ++i) {
+    m.Assign(OperationId(static_cast<uint32_t>(i)),
+             ServerId(static_cast<uint32_t>(rng->NextBounded(num_servers))));
+  }
+  return m;
+}
+
+Result<Mapping> RandomDeployment::Run(const DeployContext& ctx) const {
+  WSFLOW_RETURN_IF_ERROR(CheckContext(ctx));
+  Rng rng(ctx.seed);
+  return RandomMapping(ctx.workflow->num_operations(),
+                       ctx.network->num_servers(), &rng);
+}
+
+}  // namespace wsflow

@@ -1,0 +1,29 @@
+// wsflow: uniform random deployment.
+//
+// Assigns every operation to a uniformly random server. Serves as the
+// experiments' sanity baseline and as the random initial mapping required
+// by the FLTR family (the paper initializes M randomly so the gain function
+// returns non-trivial values from the first step).
+
+#ifndef WSFLOW_DEPLOY_RANDOM_BASELINE_H_
+#define WSFLOW_DEPLOY_RANDOM_BASELINE_H_
+
+#include "src/common/random.h"
+#include "src/deploy/algorithm.h"
+
+namespace wsflow {
+
+class RandomDeployment : public DeploymentAlgorithm {
+ public:
+  std::string_view name() const override { return "random"; }
+
+  /// Uses ctx.seed; equal seeds give equal mappings.
+  Result<Mapping> Run(const DeployContext& ctx) const override;
+};
+
+/// Draws a uniformly random total mapping using `rng`.
+Mapping RandomMapping(size_t num_operations, size_t num_servers, Rng* rng);
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_DEPLOY_RANDOM_BASELINE_H_

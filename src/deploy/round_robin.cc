@@ -1,0 +1,17 @@
+#include "src/deploy/round_robin.h"
+
+namespace wsflow {
+
+Result<Mapping> RoundRobinAlgorithm::Run(const DeployContext& ctx) const {
+  WSFLOW_RETURN_IF_ERROR(CheckContext(ctx));
+  const size_t ops = ctx.workflow->num_operations();
+  const size_t servers = ctx.network->num_servers();
+  Mapping m(ops);
+  for (size_t i = 0; i < ops; ++i) {
+    m.Assign(OperationId(static_cast<uint32_t>(i)),
+             ServerId(static_cast<uint32_t>(i % servers)));
+  }
+  return m;
+}
+
+}  // namespace wsflow

@@ -1,0 +1,23 @@
+// wsflow: round-robin deployment baseline (extension; not in the paper).
+//
+// Assigns operations to servers cyclically in workflow-id order, the
+// classic naive placement. It load-balances operation *counts*, not cycle
+// costs, and ignores both server heterogeneity and messages — a useful
+// lower bar between the random baseline and the Fair Load family.
+
+#ifndef WSFLOW_DEPLOY_ROUND_ROBIN_H_
+#define WSFLOW_DEPLOY_ROUND_ROBIN_H_
+
+#include "src/deploy/algorithm.h"
+
+namespace wsflow {
+
+class RoundRobinAlgorithm : public DeploymentAlgorithm {
+ public:
+  std::string_view name() const override { return "round-robin"; }
+  Result<Mapping> Run(const DeployContext& ctx) const override;
+};
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_DEPLOY_ROUND_ROBIN_H_

@@ -1,0 +1,144 @@
+#include "src/exp/config.h"
+
+#include "src/common/logging.h"
+
+namespace wsflow {
+
+using namespace paperconst;  // NOLINT(build/namespaces) — local constants
+
+std::string_view WorkloadKindToString(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kLine: return "line";
+    case WorkloadKind::kBushyGraph: return "bushy";
+    case WorkloadKind::kLengthyGraph: return "lengthy";
+    case WorkloadKind::kHybridGraph: return "hybrid";
+  }
+  return "unknown";
+}
+
+namespace {
+
+DiscreteDistribution MustMake(
+    std::vector<std::pair<double, double>> entries) {
+  Result<DiscreteDistribution> d = DiscreteDistribution::Make(std::move(entries));
+  WSFLOW_CHECK(d.ok()) << d.status().ToString();
+  return *d;
+}
+
+DiscreteDistribution Table6Messages() {
+  return MustMake({{kSimpleMessageBits, 0.25},
+                   {kMediumMessageBits, 0.50},
+                   {kComplexMessageBits, 0.25}});
+}
+
+DiscreteDistribution Table6Cycles() {
+  return MustMake({{kClassCOpCyclesLow, 0.25},
+                   {kClassCOpCyclesMid, 0.50},
+                   {kClassCOpCyclesHigh, 0.25}});
+}
+
+DiscreteDistribution Table6Power() {
+  return MustMake(
+      {{kPower1GHz, 0.25}, {kPower2GHz, 0.50}, {kPower3GHz, 0.25}});
+}
+
+DiscreteDistribution Table6Bus() {
+  return MustMake(
+      {{kBus10Mbps, 0.25}, {kBus100Mbps, 0.50}, {kBus1000Mbps, 0.25}});
+}
+
+ExperimentConfig BaseConfig(WorkloadKind workload, const std::string& cls) {
+  ExperimentConfig cfg;
+  cfg.workload = workload;
+  cfg.name = "class-" + cls + "-" + std::string(WorkloadKindToString(workload));
+  return cfg;
+}
+
+}  // namespace
+
+ExperimentConfig MakeClassCConfig(WorkloadKind workload) {
+  ExperimentConfig cfg = BaseConfig(workload, "c");
+  cfg.message_bits = Table6Messages();
+  cfg.operation_cycles = Table6Cycles();
+  cfg.server_power = Table6Power();
+  cfg.bus_speed = Table6Bus();
+  return cfg;
+}
+
+ExperimentConfig MakeClassAConfig(WorkloadKind workload) {
+  ExperimentConfig cfg = BaseConfig(workload, "a");
+  cfg.message_bits = Table6Messages();
+  cfg.bus_speed = Table6Bus();
+  // Pinned at the Table 6 midpoints: only network-side quantities vary.
+  cfg.operation_cycles = DiscreteDistribution::Constant(kClassCOpCyclesMid);
+  cfg.server_power = DiscreteDistribution::Constant(kPower2GHz);
+  return cfg;
+}
+
+ExperimentConfig MakeClassBConfig(WorkloadKind workload) {
+  ExperimentConfig cfg = BaseConfig(workload, "b");
+  cfg.operation_cycles = Table6Cycles();
+  cfg.server_power = Table6Power();
+  // Pinned: only compute-side quantities vary.
+  cfg.message_bits = DiscreteDistribution::Constant(kMediumMessageBits);
+  cfg.fixed_bus_speed_bps = kBus100Mbps;
+  cfg.bus_speed = DiscreteDistribution::Constant(kBus100Mbps);
+  return cfg;
+}
+
+std::vector<double> PaperBusSweepBps() {
+  return {kBus1Mbps, kBus10Mbps, kBus100Mbps, kBus1000Mbps};
+}
+
+Result<TrialInstance> DrawTrial(const ExperimentConfig& config,
+                                size_t trial_index) {
+  if (config.message_bits.empty() || config.operation_cycles.empty() ||
+      config.server_power.empty()) {
+    return Status::InvalidArgument(
+        "experiment config is missing a distribution");
+  }
+  if (!config.fixed_bus_speed_bps && config.bus_speed.empty()) {
+    return Status::InvalidArgument("experiment config has no bus speed");
+  }
+  // One independent stream per trial: reordering or subsetting trials does
+  // not change what each one draws.
+  Rng rng(config.seed * 0x9E3779B97F4A7C15ULL + trial_index + 1);
+
+  TrialInstance instance;
+  if (config.workload == WorkloadKind::kLine) {
+    LineWorkflowParams params;
+    params.name = config.name + "-t" + std::to_string(trial_index);
+    params.num_operations = config.num_operations;
+    params.cycles = config.operation_cycles.ToSampler();
+    params.message_bits = config.message_bits.ToSampler();
+    WSFLOW_ASSIGN_OR_RETURN(instance.workflow,
+                            GenerateLineWorkflow(params, &rng));
+  } else {
+    GraphShape shape = GraphShape::kHybrid;
+    if (config.workload == WorkloadKind::kBushyGraph) {
+      shape = GraphShape::kBushy;
+    } else if (config.workload == WorkloadKind::kLengthyGraph) {
+      shape = GraphShape::kLengthy;
+    }
+    RandomGraphParams params = ParamsForShape(shape, config.num_operations);
+    params.name = config.name + "-t" + std::to_string(trial_index);
+    params.cycles = config.operation_cycles.ToSampler();
+    params.message_bits = config.message_bits.ToSampler();
+    WSFLOW_ASSIGN_OR_RETURN(instance.workflow,
+                            GenerateRandomGraphWorkflow(params, &rng));
+    WSFLOW_ASSIGN_OR_RETURN(ExecutionProfile profile,
+                            ComputeExecutionProfile(instance.workflow));
+    instance.profile = std::move(profile);
+  }
+
+  std::vector<double> powers(config.num_servers);
+  for (double& p : powers) p = config.server_power.Sample(&rng);
+  double bus = config.fixed_bus_speed_bps ? *config.fixed_bus_speed_bps
+                                          : config.bus_speed.Sample(&rng);
+  WSFLOW_ASSIGN_OR_RETURN(
+      instance.network,
+      MakeBusNetwork(powers, bus, config.bus_propagation_s));
+  return instance;
+}
+
+}  // namespace wsflow

@@ -1,0 +1,115 @@
+// wsflow: experiment configurations (paper §4.1, Table 6).
+//
+// Constants from the paper's calibration on [NgCG04]/[HGSL+05]:
+// SOAP messages of 873 B (simple), 7 581 B (medium) and 21 392 B (complex);
+// the paper quotes them as 0.00666 / 0.057838 / 0.163208 Mbit, i.e. Mbit =
+// 2^20 bits — we store exact bit counts (bytes * 8). Web-service operations
+// weigh 5 M (simple), 50 M (medium) and 500 M (heavy) cycles; Class C draws
+// operation costs from 10/20/30 Mcycles at 25/50/25%, server powers from
+// 1/2/3 GHz at 25/50/25% and bus speeds from 10/100/1000 Mbps at 25/50/25%.
+// The quality experiments additionally use a 1 Mbps bus.
+
+#ifndef WSFLOW_EXP_CONFIG_H_
+#define WSFLOW_EXP_CONFIG_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/exp/distributions.h"
+#include "src/network/topology.h"
+#include "src/workflow/generator.h"
+#include "src/workflow/probability.h"
+#include "src/workflow/workflow.h"
+
+namespace wsflow {
+
+namespace paperconst {
+
+// Message sizes in bits ([NgCG04] measurements, §4.1).
+inline constexpr double kSimpleMessageBits = 873.0 * 8;    // 6 984
+inline constexpr double kMediumMessageBits = 7581.0 * 8;   // 60 648
+inline constexpr double kComplexMessageBits = 21392.0 * 8; // 171 136
+
+// Operation weights in cycles (§4.1).
+inline constexpr double kSimpleOperationCycles = 5e6;
+inline constexpr double kMediumOperationCycles = 50e6;
+inline constexpr double kHeavyOperationCycles = 500e6;
+
+// Class C operation-cost levels (Table 6).
+inline constexpr double kClassCOpCyclesLow = 10e6;
+inline constexpr double kClassCOpCyclesMid = 20e6;
+inline constexpr double kClassCOpCyclesHigh = 30e6;
+
+// Server powers (Table 6).
+inline constexpr double kPower1GHz = 1e9;
+inline constexpr double kPower2GHz = 2e9;
+inline constexpr double kPower3GHz = 3e9;
+
+// Bus speeds in bits/s (Table 6 plus the 1 Mbps quality setting).
+inline constexpr double kBus1Mbps = 1e6;
+inline constexpr double kBus10Mbps = 10e6;
+inline constexpr double kBus100Mbps = 100e6;
+inline constexpr double kBus1000Mbps = 1000e6;
+
+}  // namespace paperconst
+
+/// Workload families of the evaluation.
+enum class WorkloadKind {
+  kLine,          ///< §4.2 Line-Bus experiments.
+  kBushyGraph,    ///< 50/50 decision/operational nodes.
+  kLengthyGraph,  ///< 16/84.
+  kHybridGraph,   ///< 35/65.
+};
+
+std::string_view WorkloadKindToString(WorkloadKind kind);
+
+/// One experiment: `trials` independently drawn (workflow, network) pairs.
+struct ExperimentConfig {
+  std::string name = "experiment";
+  WorkloadKind workload = WorkloadKind::kLine;
+  size_t num_operations = 19;
+  size_t num_servers = 5;
+  size_t trials = 50;
+  uint64_t seed = 42;
+
+  DiscreteDistribution message_bits;
+  DiscreteDistribution operation_cycles;
+  DiscreteDistribution server_power;
+  /// Bus speed per trial; set `fixed_bus_speed_bps` to sweep specific
+  /// speeds instead.
+  DiscreteDistribution bus_speed;
+  std::optional<double> fixed_bus_speed_bps;
+  double bus_propagation_s = 0;
+};
+
+/// Table 6 distributions (Class C): everything varies.
+ExperimentConfig MakeClassCConfig(WorkloadKind workload);
+
+/// Class A: link capacity and message sizes vary; CPU power and operation
+/// costs are pinned to their Table 6 midpoints (§4.1).
+ExperimentConfig MakeClassAConfig(WorkloadKind workload);
+
+/// Class B: CPU power and operation costs vary; messages and bus speed are
+/// pinned to their Table 6 midpoints (§4.1).
+ExperimentConfig MakeClassBConfig(WorkloadKind workload);
+
+/// The bus-speed sweep values of the figures: 1, 10, 100, 1000 Mbps.
+std::vector<double> PaperBusSweepBps();
+
+/// One drawn trial instance.
+struct TrialInstance {
+  Workflow workflow;
+  Network network;
+  /// Valid only for graph workloads.
+  std::optional<ExecutionProfile> profile;
+};
+
+/// Draws the `trial_index`-th instance of `config` (deterministic in
+/// (config.seed, trial_index)).
+Result<TrialInstance> DrawTrial(const ExperimentConfig& config,
+                                size_t trial_index);
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_EXP_CONFIG_H_

@@ -1,0 +1,67 @@
+#include "src/exp/distributions.h"
+
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace wsflow {
+
+Result<DiscreteDistribution> DiscreteDistribution::Make(
+    std::vector<std::pair<double, double>> entries) {
+  if (entries.empty()) {
+    return Status::InvalidArgument("empty distribution");
+  }
+  double total = 0;
+  for (const auto& [value, prob] : entries) {
+    if (prob < 0) {
+      return Status::InvalidArgument("negative probability");
+    }
+    total += prob;
+  }
+  if (total <= 0) {
+    return Status::InvalidArgument("probabilities sum to zero");
+  }
+  DiscreteDistribution d;
+  for (const auto& [value, prob] : entries) {
+    d.values_.push_back(value);
+    d.probs_.push_back(prob / total);
+  }
+  return d;
+}
+
+DiscreteDistribution DiscreteDistribution::Constant(double value) {
+  DiscreteDistribution d;
+  d.values_.push_back(value);
+  d.probs_.push_back(1.0);
+  return d;
+}
+
+double DiscreteDistribution::Sample(Rng* rng) const {
+  WSFLOW_CHECK(!empty());
+  return values_[rng->NextDiscrete(probs_)];
+}
+
+double DiscreteDistribution::Mean() const {
+  double mean = 0;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    mean += values_[i] * probs_[i];
+  }
+  return mean;
+}
+
+Sampler DiscreteDistribution::ToSampler() const {
+  return [this](Rng* rng) { return Sample(rng); };
+}
+
+std::string DiscreteDistribution::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) os << " ";
+    os << FormatDouble(values_[i], 6) << "@"
+       << FormatDouble(probs_[i] * 100, 4) << "%";
+  }
+  return os.str();
+}
+
+}  // namespace wsflow

@@ -1,0 +1,58 @@
+// wsflow: discrete value distributions for experiment parameters.
+//
+// Table 6 of the paper draws every experimental quantity from a small
+// discrete distribution (e.g. operation cost = 10/20/30 Mcycles with
+// probability 25/50/25%). DiscreteDistribution captures that and converts
+// to the generators' Sampler interface.
+
+#ifndef WSFLOW_EXP_DISTRIBUTIONS_H_
+#define WSFLOW_EXP_DISTRIBUTIONS_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/workflow/generator.h"
+
+namespace wsflow {
+
+class DiscreteDistribution {
+ public:
+  DiscreteDistribution() = default;
+
+  /// Builds from (value, probability) pairs; probabilities need not be
+  /// normalized but must be non-negative with a positive sum.
+  static Result<DiscreteDistribution> Make(
+      std::vector<std::pair<double, double>> entries);
+
+  /// A point distribution always producing `value`.
+  static DiscreteDistribution Constant(double value);
+
+  bool empty() const { return values_.empty(); }
+  const std::vector<double>& values() const { return values_; }
+  /// Normalized probabilities, parallel to values().
+  const std::vector<double>& probabilities() const { return probs_; }
+
+  /// Draws one value.
+  double Sample(Rng* rng) const;
+
+  /// Expected value.
+  double Mean() const;
+
+  /// Adapter for the workflow generators. The distribution must outlive
+  /// every call of the returned sampler.
+  Sampler ToSampler() const;
+
+  /// "10M@25% 20M@50% 30M@25%"-style rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<double> values_;
+  std::vector<double> probs_;
+};
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_EXP_DISTRIBUTIONS_H_

@@ -1,0 +1,116 @@
+#include "src/exp/report.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace wsflow {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  WSFLOW_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << "  ";
+      os << row[c];
+      for (size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << "\n";
+  };
+  emit(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w;
+  total += 2 * (widths.size() - 1);
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+TextTable SummaryTable(const ExperimentResult& result) {
+  TextTable table({"algorithm", "exec_mean_ms", "exec_sd_ms",
+                   "penalty_mean_ms", "penalty_sd_ms", "trials", "failures"});
+  for (const AlgorithmSummary& s : result.per_algorithm) {
+    table.AddRow({s.algorithm,
+                  FormatDouble(s.execution_time.mean() * 1e3, 5),
+                  FormatDouble(s.execution_time.stddev() * 1e3, 5),
+                  FormatDouble(s.time_penalty.mean() * 1e3, 5),
+                  FormatDouble(s.time_penalty.stddev() * 1e3, 5),
+                  std::to_string(s.execution_time.count()),
+                  std::to_string(s.failures)});
+  }
+  return table;
+}
+
+namespace {
+
+std::string CsvQuote(const std::string& field) {
+  bool needs_quote = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Status WriteCsv(const std::string& path,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  auto emit = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << CsvQuote(row[i]);
+    }
+    out << '\n';
+  };
+  emit(header);
+  for (const auto& row : rows) {
+    if (row.size() != header.size()) {
+      return Status::InvalidArgument("CSV row width mismatch");
+    }
+    emit(row);
+  }
+  out.close();
+  if (!out) return Status::Internal("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+std::vector<std::vector<std::string>> ScatterRows(
+    const ExperimentResult& result) {
+  std::vector<std::vector<std::string>> rows;
+  for (const AlgorithmSummary& s : result.per_algorithm) {
+    for (size_t i = 0; i < s.points.size(); ++i) {
+      rows.push_back({s.algorithm, std::to_string(i),
+                      FormatDouble(s.points[i].execution_time, 9),
+                      FormatDouble(s.points[i].time_penalty, 9)});
+    }
+  }
+  return rows;
+}
+
+}  // namespace wsflow

@@ -1,0 +1,51 @@
+// wsflow: experiment reporting — fixed-width console tables and CSV files.
+//
+// Benches print one table per paper figure in a stable text form and can
+// drop the same data as CSV next to the binary for external plotting.
+
+#ifndef WSFLOW_EXP_REPORT_H_
+#define WSFLOW_EXP_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/exp/runner.h"
+
+namespace wsflow {
+
+/// Simple fixed-width text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a row; it must match the header width.
+  void AddRow(std::vector<std::string> row);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with column auto-sizing and a header rule.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders an experiment result as the figures' summary table: one row per
+/// algorithm with mean/stddev of both objectives.
+TextTable SummaryTable(const ExperimentResult& result);
+
+/// Writes rows as CSV (RFC-4180-style quoting).
+Status WriteCsv(const std::string& path,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows);
+
+/// Renders per-trial scatter points (the raw figure data) as CSV rows:
+/// algorithm, trial, execution_time, time_penalty.
+std::vector<std::vector<std::string>> ScatterRows(
+    const ExperimentResult& result);
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_EXP_REPORT_H_

@@ -1,0 +1,76 @@
+#include "src/exp/runner.h"
+
+#include "src/common/logging.h"
+#include "src/cost/cost_model.h"
+#include "src/deploy/algorithm.h"
+
+namespace wsflow {
+
+Result<const AlgorithmSummary*> ExperimentResult::Find(
+    const std::string& algorithm) const {
+  for (const AlgorithmSummary& s : per_algorithm) {
+    if (s.algorithm == algorithm) return &s;
+  }
+  return Status::NotFound("experiment has no summary for '" + algorithm +
+                          "'");
+}
+
+std::vector<std::string> PaperBusAlgorithms() {
+  return {"fair-load", "fltr", "fltr2", "fl-merge", "heavy-ops"};
+}
+
+Result<ExperimentResult> RunExperiment(
+    const ExperimentConfig& config,
+    const std::vector<std::string>& algorithms) {
+  RegisterBuiltinAlgorithms();
+  AlgorithmRegistry& registry = AlgorithmRegistry::Global();
+
+  ExperimentResult result;
+  result.name = config.name;
+  std::vector<std::unique_ptr<DeploymentAlgorithm>> instances;
+  for (const std::string& name : algorithms) {
+    WSFLOW_ASSIGN_OR_RETURN(std::unique_ptr<DeploymentAlgorithm> algo,
+                            registry.Create(name));
+    instances.push_back(std::move(algo));
+    result.per_algorithm.push_back(AlgorithmSummary{});
+    result.per_algorithm.back().algorithm = name;
+  }
+
+  for (size_t trial = 0; trial < config.trials; ++trial) {
+    WSFLOW_ASSIGN_OR_RETURN(TrialInstance instance, DrawTrial(config, trial));
+    const ExecutionProfile* profile =
+        instance.profile ? &*instance.profile : nullptr;
+    CostModel model(instance.workflow, instance.network, profile);
+
+    DeployContext ctx;
+    ctx.workflow = &instance.workflow;
+    ctx.network = &instance.network;
+    ctx.profile = profile;
+    ctx.seed = config.seed ^ (trial * 0x2545F4914F6CDD1DULL + 17);
+
+    for (size_t i = 0; i < instances.size(); ++i) {
+      AlgorithmSummary& summary = result.per_algorithm[i];
+      Result<Mapping> mapping = instances[i]->Run(ctx);
+      if (!mapping.ok()) {
+        ++summary.failures;
+        WSFLOW_LOG(Warning) << summary.algorithm << " failed trial " << trial
+                            << ": " << mapping.status().ToString();
+        continue;
+      }
+      Result<CostBreakdown> cost = model.Evaluate(*mapping);
+      if (!cost.ok()) {
+        ++summary.failures;
+        WSFLOW_LOG(Warning) << summary.algorithm << " unevaluable on trial "
+                            << trial << ": " << cost.status().ToString();
+        continue;
+      }
+      summary.execution_time.Add(cost->execution_time);
+      summary.time_penalty.Add(cost->time_penalty);
+      summary.points.push_back(
+          ObjectivePoint{cost->execution_time, cost->time_penalty});
+    }
+  }
+  return result;
+}
+
+}  // namespace wsflow

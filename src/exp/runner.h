@@ -1,0 +1,55 @@
+// wsflow: experiment runner.
+//
+// Executes an ExperimentConfig: draws each trial, runs every requested
+// algorithm on it, evaluates execution time and time penalty, and
+// aggregates per-algorithm summaries — the data behind the paper's
+// scatter plots (Figs. 6-8).
+
+#ifndef WSFLOW_EXP_RUNNER_H_
+#define WSFLOW_EXP_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/stats.h"
+#include "src/cost/pareto.h"
+#include "src/exp/config.h"
+
+namespace wsflow {
+
+/// Aggregate outcome of one algorithm over the trials of one experiment.
+struct AlgorithmSummary {
+  std::string algorithm;
+  SummaryStats execution_time;  ///< Seconds.
+  SummaryStats time_penalty;    ///< Seconds.
+  /// One (T_execute, TimePenalty) point per successful trial.
+  std::vector<ObjectivePoint> points;
+  size_t failures = 0;  ///< Trials where the algorithm returned an error.
+
+  /// Mean point, the figures' marker position.
+  ObjectivePoint MeanPoint() const {
+    return {execution_time.mean(), time_penalty.mean()};
+  }
+};
+
+struct ExperimentResult {
+  std::string name;
+  std::vector<AlgorithmSummary> per_algorithm;
+
+  /// Summary for `algorithm`; NotFound when it did not run.
+  Result<const AlgorithmSummary*> Find(const std::string& algorithm) const;
+};
+
+/// Runs `algorithms` (registry names) over all trials of `config`. An
+/// algorithm failing a trial is counted, not fatal; an unknown algorithm
+/// name is fatal.
+Result<ExperimentResult> RunExperiment(
+    const ExperimentConfig& config, const std::vector<std::string>& algorithms);
+
+/// The §4.2 contenders for bus-based configurations, in the paper's order.
+std::vector<std::string> PaperBusAlgorithms();
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_EXP_RUNNER_H_

@@ -1,0 +1,121 @@
+#include "src/exp/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/random.h"
+#include "src/deploy/random_baseline.h"
+
+namespace wsflow {
+
+Result<SampleBest> SampleSolutionSpace(const CostModel& model,
+                                       const SamplingOptions& options,
+                                       const CostOptions& cost_options) {
+  const size_t M = model.workflow().num_operations();
+  const size_t N = model.network().num_servers();
+  if (options.samples == 0) {
+    return Status::InvalidArgument("sample budget must be >= 1");
+  }
+
+  SampleBest best;
+  best.best_execution_time = std::numeric_limits<double>::infinity();
+  best.best_time_penalty = std::numeric_limits<double>::infinity();
+  best.best_combined = std::numeric_limits<double>::infinity();
+  best.worst_execution_time = -std::numeric_limits<double>::infinity();
+  best.worst_time_penalty = -std::numeric_limits<double>::infinity();
+
+  auto consider = [&](const Mapping& m) -> Status {
+    Result<CostBreakdown> cost = model.Evaluate(m, cost_options);
+    if (!cost.ok()) return cost.status();
+    ++best.evaluated;
+    best.best_execution_time =
+        std::min(best.best_execution_time, cost->execution_time);
+    best.best_time_penalty =
+        std::min(best.best_time_penalty, cost->time_penalty);
+    best.worst_execution_time =
+        std::max(best.worst_execution_time, cost->execution_time);
+    best.worst_time_penalty =
+        std::max(best.worst_time_penalty, cost->time_penalty);
+    if (cost->combined < best.best_combined) {
+      best.best_combined = cost->combined;
+      best.best_combined_mapping = m;
+    }
+    return Status::OK();
+  };
+
+  double space = std::pow(static_cast<double>(N), static_cast<double>(M));
+  if (space <= static_cast<double>(options.samples)) {
+    // Small space: enumerate it exactly.
+    best.exhaustive = true;
+    std::vector<uint32_t> digits(M, 0);
+    Mapping current(M);
+    for (size_t i = 0; i < M; ++i) {
+      current.Assign(OperationId(static_cast<uint32_t>(i)), ServerId(0));
+    }
+    for (;;) {
+      WSFLOW_RETURN_IF_ERROR(consider(current));
+      size_t pos = 0;
+      while (pos < M) {
+        if (++digits[pos] < N) {
+          current.Assign(OperationId(static_cast<uint32_t>(pos)),
+                         ServerId(digits[pos]));
+          break;
+        }
+        digits[pos] = 0;
+        current.Assign(OperationId(static_cast<uint32_t>(pos)), ServerId(0));
+        ++pos;
+      }
+      if (pos == M) break;
+    }
+  } else {
+    Rng rng(options.seed);
+    for (size_t i = 0; i < options.samples; ++i) {
+      Mapping m = RandomMapping(M, N, &rng);
+      WSFLOW_RETURN_IF_ERROR(consider(m));
+    }
+  }
+  return best;
+}
+
+double DeviationPct(double value, double best) {
+  if (value <= best) return 0.0;
+  if (best == 0.0) {
+    return value == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return 100.0 * (value - best) / best;
+}
+
+namespace {
+
+/// Range-normalized regret in percent; 0 when the objective is degenerate
+/// over the sample.
+double RangeRegretPct(double value, double lo, double hi) {
+  if (hi <= lo) return 0.0;
+  if (value <= lo) return 0.0;
+  return 100.0 * (value - lo) / (hi - lo);
+}
+
+}  // namespace
+
+void AccumulateDeviation(const ObjectivePoint& point, const SampleBest& best,
+                         QualityDeviation* record) {
+  double exec_pct =
+      RangeRegretPct(point.execution_time, best.best_execution_time,
+                     best.worst_execution_time);
+  double penalty_pct = RangeRegretPct(
+      point.time_penalty, best.best_time_penalty, best.worst_time_penalty);
+  record->worst_execution_pct =
+      std::max(record->worst_execution_pct, exec_pct);
+  record->worst_penalty_pct =
+      std::max(record->worst_penalty_pct, penalty_pct);
+  // Running means.
+  double n = static_cast<double>(record->trials);
+  record->mean_execution_pct =
+      (record->mean_execution_pct * n + exec_pct) / (n + 1);
+  record->mean_penalty_pct =
+      (record->mean_penalty_pct * n + penalty_pct) / (n + 1);
+  ++record->trials;
+}
+
+}  // namespace wsflow

@@ -1,0 +1,75 @@
+// wsflow: solution-space sampling for quality assessment (paper §4.1-4.2).
+//
+// The paper judges heuristic quality against the best of 32 000 uniformly
+// sampled mappings ("each sample involved 32,000 potential solutions over
+// search spaces from 32,000 to 10^19") and reports worst-case percentage
+// deviations over 50 experiments, e.g. HOLM at (2.9%, 12%) for execution
+// time / time penalty on a 1 Mbps bus. This module reproduces that
+// machinery. When the true search space N^M is no larger than the sample
+// budget, the sample enumerates it exhaustively instead.
+
+#ifndef WSFLOW_EXP_SAMPLING_H_
+#define WSFLOW_EXP_SAMPLING_H_
+
+#include <cstddef>
+
+#include "src/common/result.h"
+#include "src/cost/cost_model.h"
+#include "src/cost/pareto.h"
+#include "src/deploy/mapping.h"
+
+namespace wsflow {
+
+struct SamplingOptions {
+  size_t samples = 32000;
+  uint64_t seed = 0;
+};
+
+/// Per-objective minima and maxima over the sample (independently — the
+/// best execution time and the best penalty usually come from different
+/// mappings).
+struct SampleBest {
+  double best_execution_time = 0;
+  double best_time_penalty = 0;
+  double best_combined = 0;
+  double worst_execution_time = 0;
+  double worst_time_penalty = 0;
+  /// The mapping attaining best_combined.
+  Mapping best_combined_mapping;
+  /// True when the whole space was enumerated (sample == exhaustive).
+  bool exhaustive = false;
+  size_t evaluated = 0;
+};
+
+/// Samples (or enumerates) the mapping space of `model`'s workflow/network.
+Result<SampleBest> SampleSolutionSpace(const CostModel& model,
+                                       const SamplingOptions& options,
+                                       const CostOptions& cost_options = {});
+
+/// Percentage deviation of `value` above `best` (0 when value <= best;
+/// returns 0 when best == 0 and value == 0, +inf when best == 0 < value).
+double DeviationPct(double value, double best);
+
+/// Worst-case (max) deviations of one algorithm's points against per-trial
+/// sample bests, the form the paper quotes.
+struct QualityDeviation {
+  double worst_execution_pct = 0;
+  double worst_penalty_pct = 0;
+  double mean_execution_pct = 0;
+  double mean_penalty_pct = 0;
+  size_t trials = 0;
+};
+
+/// Folds one trial into the running deviation record. Deviations are
+/// *range-normalized regrets*: 100 * (value - best) / (worst - best) over
+/// the sampled solution space, per objective. This keeps the statistic in
+/// [0, 100] (values above 100 would mean "worse than every sampled
+/// solution"), is robust to near-zero bests, and matches the magnitude of
+/// the percentages the paper quotes. A degenerate objective (worst == best)
+/// contributes 0.
+void AccumulateDeviation(const ObjectivePoint& point, const SampleBest& best,
+                         QualityDeviation* record);
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_EXP_SAMPLING_H_

@@ -1,0 +1,84 @@
+#include "src/network/routing.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace wsflow {
+
+double Route::TotalPropagation(const Network& n) const {
+  double total = 0;
+  for (LinkId l : links) total += n.link(l).propagation_s;
+  return total;
+}
+
+double Route::TransmissionTime(const Network& n, double bits) const {
+  double total = 0;
+  for (LinkId l : links) total += bits / n.link(l).speed_bps;
+  return total;
+}
+
+Router::Router(const Network& network)
+    : network_(network),
+      parent_link_(network.num_servers()),
+      source_done_(network.num_servers(), false) {}
+
+void Router::EnsureSource(ServerId from) const {
+  if (source_done_[from.value]) return;
+  std::vector<LinkId>& parents = parent_link_[from.value];
+  parents.assign(network_.num_servers(), LinkId());
+  std::vector<bool> visited(network_.num_servers(), false);
+  visited[from.value] = true;
+  std::deque<ServerId> queue{from};
+  while (!queue.empty()) {
+    ServerId cur = queue.front();
+    queue.pop_front();
+    for (LinkId l : network_.incident_links(cur)) {
+      const Link& link = network_.link(l);
+      ServerId next = link.a == cur ? link.b : link.a;
+      if (!visited[next.value]) {
+        visited[next.value] = true;
+        parents[next.value] = l;
+        queue.push_back(next);
+      }
+    }
+  }
+  source_done_[from.value] = true;
+}
+
+Result<Route> Router::FindRoute(ServerId from, ServerId to) const {
+  if (!network_.Contains(from) || !network_.Contains(to)) {
+    return Status::NotFound("route endpoint not in network");
+  }
+  if (from == to) return Route{};
+  if (network_.has_bus()) {
+    return Route{{network_.bus()}};
+  }
+  EnsureSource(from);
+  const std::vector<LinkId>& parents = parent_link_[from.value];
+  if (!parents[to.value].valid()) {
+    std::ostringstream os;
+    os << "servers " << from << " and " << to << " are disconnected";
+    return Status::FailedPrecondition(os.str());
+  }
+  Route route;
+  ServerId cur = to;
+  while (cur != from) {
+    LinkId l = parents[cur.value];
+    WSFLOW_CHECK(l.valid());
+    route.links.push_back(l);
+    const Link& link = network_.link(l);
+    cur = link.a == cur ? link.b : link.a;
+  }
+  std::reverse(route.links.begin(), route.links.end());
+  return route;
+}
+
+Result<size_t> Router::HopCount(ServerId from, ServerId to) const {
+  WSFLOW_ASSIGN_OR_RETURN(Route route, FindRoute(from, to));
+  return route.links.size();
+}
+
+}  // namespace wsflow

@@ -1,0 +1,60 @@
+// wsflow: message routing over the server network.
+//
+// Path(s, s') in the paper's cost model (Table 1) is the sequence of links a
+// message traverses from the server of the sending operation to the server
+// of the receiving one. On a bus every pair shares the single medium; on
+// point-to-point topologies the route is the shortest path by hop count,
+// with total propagation delay as the tie-breaker.
+
+#ifndef WSFLOW_NETWORK_ROUTING_H_
+#define WSFLOW_NETWORK_ROUTING_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/network/topology.h"
+
+namespace wsflow {
+
+/// A route: the links traversed in order. Empty for co-located endpoints.
+struct Route {
+  std::vector<LinkId> links;
+
+  bool co_located() const { return links.empty(); }
+
+  /// Sum of T_refl over the route's links.
+  double TotalPropagation(const Network& n) const;
+
+  /// Transmission time of `bits` over the route: Sum of bits/speed per link
+  /// (store-and-forward; each hop retransmits the full message).
+  double TransmissionTime(const Network& n, double bits) const;
+};
+
+/// Router with per-network all-pairs cache. Routes are computed lazily per
+/// source with BFS (O(N + L)) and memoized; bus networks answer in O(1).
+class Router {
+ public:
+  explicit Router(const Network& network);
+
+  /// The route from `from` to `to`. Co-located endpoints get the empty
+  /// route. Fails when the servers are disconnected.
+  Result<Route> FindRoute(ServerId from, ServerId to) const;
+
+  /// Number of links on the route (0 for co-located, 1 on a bus).
+  Result<size_t> HopCount(ServerId from, ServerId to) const;
+
+  const Network& network() const { return network_; }
+
+ private:
+  void EnsureSource(ServerId from) const;
+
+  const Network& network_;
+  // parent_link_[src][dst]: link towards dst's BFS parent, per source;
+  // lazily filled. An invalid id marks "unvisited".
+  mutable std::vector<std::vector<LinkId>> parent_link_;
+  mutable std::vector<bool> source_done_;
+};
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_NETWORK_ROUTING_H_

@@ -1,0 +1,133 @@
+#include "src/network/serialization.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace wsflow {
+
+namespace {
+
+Result<NetworkKind> KindFromString(const std::string& s) {
+  for (NetworkKind k : {NetworkKind::kGeneral, NetworkKind::kLine,
+                        NetworkKind::kBus, NetworkKind::kStar,
+                        NetworkKind::kRing}) {
+    if (NetworkKindToString(k) == s) return k;
+  }
+  return Status::ParseError("unknown network kind '" + s + "'");
+}
+
+}  // namespace
+
+XmlNode NetworkToXml(const Network& n) {
+  XmlNode root("network");
+  root.SetAttr("name", n.name());
+  root.SetAttr("kind", std::string(NetworkKindToString(n.kind())));
+  for (const Server& s : n.servers()) {
+    XmlNode& node = root.AddChild("server");
+    node.SetAttr("id", static_cast<int64_t>(s.id().value));
+    node.SetAttr("name", s.name());
+    node.SetAttr("power_hz", s.power_hz());
+  }
+  for (const Link& link : n.links()) {
+    if (link.is_shared_medium()) {
+      XmlNode& node = root.AddChild("bus");
+      node.SetAttr("speed_bps", link.speed_bps);
+      node.SetAttr("propagation_s", link.propagation_s);
+    } else {
+      XmlNode& node = root.AddChild("link");
+      node.SetAttr("a", static_cast<int64_t>(link.a.value));
+      node.SetAttr("b", static_cast<int64_t>(link.b.value));
+      node.SetAttr("speed_bps", link.speed_bps);
+      node.SetAttr("propagation_s", link.propagation_s);
+    }
+  }
+  return root;
+}
+
+std::string NetworkToXmlString(const Network& n) {
+  return WriteXml(NetworkToXml(n));
+}
+
+Result<Network> NetworkFromXml(const XmlNode& root) {
+  if (root.tag() != "network") {
+    return Status::ParseError("expected <network>, got <" + root.tag() + ">");
+  }
+  Network n(root.Attr("name").value_or("network"));
+  if (root.HasAttr("kind")) {
+    WSFLOW_ASSIGN_OR_RETURN(std::string kind_str, root.Attr("kind"));
+    WSFLOW_ASSIGN_OR_RETURN(NetworkKind kind, KindFromString(kind_str));
+    n.set_kind(kind);
+  }
+  std::vector<const XmlNode*> servers = root.Children("server");
+  for (size_t i = 0; i < servers.size(); ++i) {
+    const XmlNode& node = *servers[i];
+    WSFLOW_ASSIGN_OR_RETURN(int64_t id, node.IntAttr("id"));
+    if (id != static_cast<int64_t>(i)) {
+      return Status::ParseError(
+          "server ids must be dense and in order; expected " +
+          std::to_string(i) + ", got " + std::to_string(id));
+    }
+    WSFLOW_ASSIGN_OR_RETURN(std::string name, node.Attr("name"));
+    WSFLOW_ASSIGN_OR_RETURN(double power, node.DoubleAttr("power_hz"));
+    if (power <= 0) {
+      return Status::ParseError("server '" + name +
+                                "' has non-positive power");
+    }
+    n.AddServer(name, power);
+  }
+  for (const XmlNode* node : root.Children("bus")) {
+    WSFLOW_ASSIGN_OR_RETURN(double speed, node->DoubleAttr("speed_bps"));
+    double propagation = 0;
+    if (node->HasAttr("propagation_s")) {
+      WSFLOW_ASSIGN_OR_RETURN(propagation, node->DoubleAttr("propagation_s"));
+    }
+    Result<LinkId> r = n.SetBus(speed, propagation);
+    if (!r.ok()) return r.status().WithContext("loading bus");
+  }
+  for (const XmlNode* node : root.Children("link")) {
+    WSFLOW_ASSIGN_OR_RETURN(int64_t a, node->IntAttr("a"));
+    WSFLOW_ASSIGN_OR_RETURN(int64_t b, node->IntAttr("b"));
+    WSFLOW_ASSIGN_OR_RETURN(double speed, node->DoubleAttr("speed_bps"));
+    double propagation = 0;
+    if (node->HasAttr("propagation_s")) {
+      WSFLOW_ASSIGN_OR_RETURN(propagation, node->DoubleAttr("propagation_s"));
+    }
+    if (a < 0 || b < 0 || static_cast<size_t>(a) >= n.num_servers() ||
+        static_cast<size_t>(b) >= n.num_servers()) {
+      return Status::ParseError("link endpoint out of range");
+    }
+    Result<LinkId> r =
+        n.AddLink(ServerId(static_cast<uint32_t>(a)),
+                  ServerId(static_cast<uint32_t>(b)), speed, propagation);
+    if (!r.ok()) return r.status().WithContext("loading link");
+  }
+  return n;
+}
+
+Result<Network> NetworkFromXmlString(const std::string& text) {
+  WSFLOW_ASSIGN_OR_RETURN(XmlNode root, ParseXml(text));
+  return NetworkFromXml(root);
+}
+
+Status SaveNetwork(const Network& n, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  out << NetworkToXmlString(n);
+  out.close();
+  if (!out) return Status::Internal("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<Network> LoadNetwork(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return NetworkFromXmlString(buffer.str());
+}
+
+}  // namespace wsflow

@@ -1,0 +1,46 @@
+// wsflow: network persistence in XML.
+//
+// Format:
+//
+//   <network name="farm" kind="bus">
+//     <server id="0" name="s1" power_hz="1e9"/>
+//     ...
+//     <bus speed_bps="1e8" propagation_s="0"/>        (bus networks)
+//     <link a="0" b="1" speed_bps="1e7" propagation_s="0"/>  (otherwise)
+//   </network>
+//
+// Server ids must be the dense indices 0..N-1. Round-tripping preserves
+// names, powers, kind, link speeds and propagation delays exactly.
+
+#ifndef WSFLOW_NETWORK_SERIALIZATION_H_
+#define WSFLOW_NETWORK_SERIALIZATION_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/network/topology.h"
+#include "src/workflow/xml.h"
+
+namespace wsflow {
+
+/// Converts `n` to its XML element form.
+XmlNode NetworkToXml(const Network& n);
+
+/// Renders `n` as a <network> XML document.
+std::string NetworkToXmlString(const Network& n);
+
+/// Converts a parsed <network> element to a Network.
+Result<Network> NetworkFromXml(const XmlNode& root);
+
+/// Parses a network from XML text.
+Result<Network> NetworkFromXmlString(const std::string& text);
+
+/// Writes `n` to `path` in XML form.
+Status SaveNetwork(const Network& n, const std::string& path);
+
+/// Loads a network from the XML file at `path`.
+Result<Network> LoadNetwork(const std::string& path);
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_NETWORK_SERIALIZATION_H_

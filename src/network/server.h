@@ -1,0 +1,74 @@
+// wsflow: server model.
+//
+// A server is a host in the provider's farm onto which web-service
+// operations are deployed. Its computational power P(s) is expressed in Hz
+// (cycles per second), so an operation of C(op) cycles takes C(op)/P(s)
+// seconds of processing time on it (paper Table 1).
+
+#ifndef WSFLOW_NETWORK_SERVER_H_
+#define WSFLOW_NETWORK_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace wsflow {
+
+/// Strongly-typed index of a server within its network.
+struct ServerId {
+  uint32_t value = kInvalid;
+
+  static constexpr uint32_t kInvalid = 0xFFFFFFFFu;
+
+  constexpr ServerId() = default;
+  constexpr explicit ServerId(uint32_t v) : value(v) {}
+
+  constexpr bool valid() const { return value != kInvalid; }
+
+  friend constexpr bool operator==(ServerId a, ServerId b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator!=(ServerId a, ServerId b) {
+    return a.value != b.value;
+  }
+  friend constexpr bool operator<(ServerId a, ServerId b) {
+    return a.value < b.value;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, ServerId id) {
+  if (!id.valid()) return os << "S<invalid>";
+  return os << "S" << id.value;
+}
+
+/// A deployment host.
+class Server {
+ public:
+  Server() = default;
+  Server(ServerId id, std::string name, double power_hz)
+      : id_(id), name_(std::move(name)), power_hz_(power_hz) {}
+
+  ServerId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Computational power P(s) in cycles per second.
+  double power_hz() const { return power_hz_; }
+  void set_power_hz(double hz) { power_hz_ = hz; }
+
+ private:
+  ServerId id_;
+  std::string name_;
+  double power_hz_ = 0;
+};
+
+}  // namespace wsflow
+
+template <>
+struct std::hash<wsflow::ServerId> {
+  size_t operator()(wsflow::ServerId id) const noexcept {
+    return std::hash<uint32_t>()(id.value);
+  }
+};
+
+#endif  // WSFLOW_NETWORK_SERVER_H_

@@ -1,0 +1,215 @@
+#include "src/network/topology.h"
+
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace wsflow {
+
+std::string_view NetworkKindToString(NetworkKind kind) {
+  switch (kind) {
+    case NetworkKind::kGeneral: return "general";
+    case NetworkKind::kLine: return "line";
+    case NetworkKind::kBus: return "bus";
+    case NetworkKind::kStar: return "star";
+    case NetworkKind::kRing: return "ring";
+  }
+  return "unknown";
+}
+
+ServerId Network::AddServer(std::string name, double power_hz) {
+  WSFLOW_CHECK_GT(power_hz, 0.0);
+  ServerId id(static_cast<uint32_t>(servers_.size()));
+  servers_.emplace_back(id, std::move(name), power_hz);
+  incident_.emplace_back();
+  return id;
+}
+
+Result<LinkId> Network::AddLink(ServerId a, ServerId b, double speed_bps,
+                                double propagation_s) {
+  if (!Contains(a) || !Contains(b)) {
+    return Status::NotFound("link endpoint not in network");
+  }
+  if (a == b) {
+    return Status::InvalidArgument("self-link on server " +
+                                   server(a).name());
+  }
+  if (speed_bps <= 0) {
+    return Status::InvalidArgument("link speed must be positive");
+  }
+  if (propagation_s < 0) {
+    return Status::InvalidArgument("negative propagation time");
+  }
+  if (has_bus()) {
+    return Status::FailedPrecondition(
+        "cannot mix point-to-point links with a shared bus");
+  }
+  if (FindLink(a, b).ok()) {
+    std::ostringstream os;
+    os << "duplicate link " << a << " - " << b;
+    return Status::AlreadyExists(os.str());
+  }
+  LinkId id(static_cast<uint32_t>(links_.size()));
+  links_.push_back(Link{id, a, b, speed_bps, propagation_s});
+  incident_[a.value].push_back(id);
+  incident_[b.value].push_back(id);
+  return id;
+}
+
+Result<LinkId> Network::SetBus(double speed_bps, double propagation_s) {
+  if (speed_bps <= 0) {
+    return Status::InvalidArgument("bus speed must be positive");
+  }
+  if (propagation_s < 0) {
+    return Status::InvalidArgument("negative propagation time");
+  }
+  if (has_bus()) {
+    return Status::AlreadyExists("bus already installed");
+  }
+  if (!links_.empty()) {
+    return Status::FailedPrecondition(
+        "cannot mix a shared bus with point-to-point links");
+  }
+  LinkId id(static_cast<uint32_t>(links_.size()));
+  links_.push_back(Link{id, ServerId(), ServerId(), speed_bps, propagation_s});
+  bus_ = id;
+  return id;
+}
+
+const Server& Network::server(ServerId id) const {
+  WSFLOW_CHECK(Contains(id));
+  return servers_[id.value];
+}
+
+Server& Network::mutable_server(ServerId id) {
+  WSFLOW_CHECK(Contains(id));
+  return servers_[id.value];
+}
+
+const Link& Network::link(LinkId id) const {
+  WSFLOW_CHECK_LT(id.value, links_.size());
+  return links_[id.value];
+}
+
+Result<LinkId> Network::FindLink(ServerId a, ServerId b) const {
+  if (!Contains(a) || !Contains(b)) {
+    return Status::NotFound("link endpoint not in network");
+  }
+  for (LinkId l : incident_[a.value]) {
+    const Link& link = links_[l.value];
+    if (link.a == b || link.b == b) return l;
+  }
+  std::ostringstream os;
+  os << "no link " << a << " - " << b;
+  return Status::NotFound(os.str());
+}
+
+const std::vector<LinkId>& Network::incident_links(ServerId id) const {
+  WSFLOW_CHECK(Contains(id));
+  return incident_[id.value];
+}
+
+double Network::TotalPowerHz() const {
+  double total = 0;
+  for (const Server& s : servers_) total += s.power_hz();
+  return total;
+}
+
+namespace {
+
+Result<Network> MakeServers(const std::vector<double>& powers_hz,
+                            const std::string& name) {
+  if (powers_hz.empty()) {
+    return Status::InvalidArgument("network needs >= 1 server");
+  }
+  Network n(name);
+  for (size_t i = 0; i < powers_hz.size(); ++i) {
+    if (powers_hz[i] <= 0) {
+      return Status::InvalidArgument("server power must be positive");
+    }
+    n.AddServer("s" + std::to_string(i + 1), powers_hz[i]);
+  }
+  return n;
+}
+
+}  // namespace
+
+Result<Network> MakeLineNetwork(const std::vector<double>& powers_hz,
+                                const std::vector<double>& link_speeds_bps,
+                                double propagation_s) {
+  if (link_speeds_bps.size() + 1 != powers_hz.size()) {
+    return Status::InvalidArgument(
+        "line network needs exactly one link per consecutive server pair");
+  }
+  WSFLOW_ASSIGN_OR_RETURN(Network n, MakeServers(powers_hz, "line"));
+  for (size_t i = 0; i + 1 < powers_hz.size(); ++i) {
+    WSFLOW_ASSIGN_OR_RETURN(
+        LinkId l,
+        n.AddLink(ServerId(static_cast<uint32_t>(i)),
+                  ServerId(static_cast<uint32_t>(i + 1)), link_speeds_bps[i],
+                  propagation_s));
+    (void)l;
+  }
+  n.set_kind(NetworkKind::kLine);
+  return n;
+}
+
+Result<Network> MakeBusNetwork(const std::vector<double>& powers_hz,
+                               double bus_speed_bps, double propagation_s) {
+  WSFLOW_ASSIGN_OR_RETURN(Network n, MakeServers(powers_hz, "bus"));
+  WSFLOW_ASSIGN_OR_RETURN(LinkId l, n.SetBus(bus_speed_bps, propagation_s));
+  (void)l;
+  n.set_kind(NetworkKind::kBus);
+  return n;
+}
+
+Result<Network> MakeStarNetwork(const std::vector<double>& powers_hz,
+                                const std::vector<double>& spoke_speeds_bps,
+                                double propagation_s) {
+  if (powers_hz.size() < 2) {
+    return Status::InvalidArgument("star network needs >= 2 servers");
+  }
+  if (spoke_speeds_bps.size() + 1 != powers_hz.size()) {
+    return Status::InvalidArgument(
+        "star network needs one spoke per non-hub server");
+  }
+  WSFLOW_ASSIGN_OR_RETURN(Network n, MakeServers(powers_hz, "star"));
+  for (size_t i = 1; i < powers_hz.size(); ++i) {
+    WSFLOW_ASSIGN_OR_RETURN(
+        LinkId l, n.AddLink(ServerId(0), ServerId(static_cast<uint32_t>(i)),
+                            spoke_speeds_bps[i - 1], propagation_s));
+    (void)l;
+  }
+  n.set_kind(NetworkKind::kStar);
+  return n;
+}
+
+Result<Network> MakeRingNetwork(const std::vector<double>& powers_hz,
+                                const std::vector<double>& link_speeds_bps,
+                                double propagation_s) {
+  if (powers_hz.size() < 3) {
+    return Status::InvalidArgument("ring network needs >= 3 servers");
+  }
+  if (link_speeds_bps.size() != powers_hz.size()) {
+    return Status::InvalidArgument(
+        "ring network needs exactly one link per server");
+  }
+  WSFLOW_ASSIGN_OR_RETURN(Network n, MakeServers(powers_hz, "ring"));
+  for (size_t i = 0; i + 1 < powers_hz.size(); ++i) {
+    WSFLOW_ASSIGN_OR_RETURN(
+        LinkId l,
+        n.AddLink(ServerId(static_cast<uint32_t>(i)),
+                  ServerId(static_cast<uint32_t>(i + 1)), link_speeds_bps[i],
+                  propagation_s));
+    (void)l;
+  }
+  WSFLOW_ASSIGN_OR_RETURN(
+      LinkId closing,
+      n.AddLink(ServerId(static_cast<uint32_t>(powers_hz.size() - 1)),
+                ServerId(0), link_speeds_bps.back(), propagation_s));
+  (void)closing;
+  n.set_kind(NetworkKind::kRing);
+  return n;
+}
+
+}  // namespace wsflow

@@ -1,0 +1,144 @@
+// wsflow: the server network N(S, L).
+//
+// The network is an undirected graph of servers. Two families matter to the
+// paper: the *line* (a path of point-to-point links, used for the Line-Line
+// algorithms) and the *bus* (one shared medium connecting all servers with
+// identical pairwise cost, used by the Line-Bus and Graph-Bus algorithms).
+// Star and ring builders are provided as extensions. Link speeds are in
+// bits per second; propagation delays (T_refl) in seconds.
+
+#ifndef WSFLOW_NETWORK_TOPOLOGY_H_
+#define WSFLOW_NETWORK_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/network/server.h"
+
+namespace wsflow {
+
+/// Strongly-typed index of a link within its network.
+struct LinkId {
+  uint32_t value = 0xFFFFFFFFu;
+
+  constexpr LinkId() = default;
+  constexpr explicit LinkId(uint32_t v) : value(v) {}
+  constexpr bool valid() const { return value != 0xFFFFFFFFu; }
+
+  friend constexpr bool operator==(LinkId a, LinkId b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator!=(LinkId a, LinkId b) {
+    return a.value != b.value;
+  }
+};
+
+/// An undirected communication link. A shared-medium link (the bus) has
+/// invalid endpoints and connects every pair of servers.
+struct Link {
+  LinkId id;
+  ServerId a;
+  ServerId b;
+  /// Line_Speed in bits per second.
+  double speed_bps = 0;
+  /// Propagation time T_refl in seconds.
+  double propagation_s = 0;
+
+  bool is_shared_medium() const { return !a.valid() && !b.valid(); }
+};
+
+/// Topology family tag; routing exploits it.
+enum class NetworkKind : uint8_t {
+  kGeneral = 0,  ///< Arbitrary point-to-point links.
+  kLine,         ///< S_1 - S_2 - ... - S_N.
+  kBus,          ///< Single shared medium.
+  kStar,         ///< All servers attached to a hub server.
+  kRing,         ///< Closed chain.
+};
+
+std::string_view NetworkKindToString(NetworkKind kind);
+
+/// The server farm and its interconnect.
+class Network {
+ public:
+  Network() = default;
+  explicit Network(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  NetworkKind kind() const { return kind_; }
+  void set_kind(NetworkKind kind) { kind_ = kind; }
+
+  /// Adds a server; power must be positive.
+  ServerId AddServer(std::string name, double power_hz);
+
+  /// Adds a point-to-point link between distinct existing servers.
+  /// Duplicate pairs are rejected (one link per pair).
+  Result<LinkId> AddLink(ServerId a, ServerId b, double speed_bps,
+                         double propagation_s = 0);
+
+  /// Installs the shared bus medium. Only valid once, and incompatible with
+  /// point-to-point links.
+  Result<LinkId> SetBus(double speed_bps, double propagation_s = 0);
+
+  size_t num_servers() const { return servers_.size(); }
+  size_t num_links() const { return links_.size(); }
+
+  bool Contains(ServerId id) const { return id.value < servers_.size(); }
+
+  const Server& server(ServerId id) const;
+  Server& mutable_server(ServerId id);
+  const std::vector<Server>& servers() const { return servers_; }
+
+  const Link& link(LinkId id) const;
+  const std::vector<Link>& links() const { return links_; }
+
+  /// Point-to-point link between a and b if present (either direction).
+  Result<LinkId> FindLink(ServerId a, ServerId b) const;
+
+  /// Link ids incident to `id` (excluding a shared medium).
+  const std::vector<LinkId>& incident_links(ServerId id) const;
+
+  /// True when a shared bus medium is installed.
+  bool has_bus() const { return bus_.valid(); }
+  /// The bus link id; invalid when no bus is installed.
+  LinkId bus() const { return bus_; }
+
+  /// Sum of P(s) over all servers (the paper's Sum_Capacity).
+  double TotalPowerHz() const;
+
+ private:
+  std::string name_;
+  NetworkKind kind_ = NetworkKind::kGeneral;
+  std::vector<Server> servers_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> incident_;
+  LinkId bus_;
+};
+
+/// Builds the line S_1 - ... - S_N. `link_speeds_bps` must have N-1 entries
+/// (speed of the link between consecutive servers).
+Result<Network> MakeLineNetwork(const std::vector<double>& powers_hz,
+                                const std::vector<double>& link_speeds_bps,
+                                double propagation_s = 0);
+
+/// Builds a bus network of the given server powers sharing one medium.
+Result<Network> MakeBusNetwork(const std::vector<double>& powers_hz,
+                               double bus_speed_bps,
+                               double propagation_s = 0);
+
+/// Builds a star: servers[0] is the hub, every other server links to it.
+Result<Network> MakeStarNetwork(const std::vector<double>& powers_hz,
+                                const std::vector<double>& spoke_speeds_bps,
+                                double propagation_s = 0);
+
+/// Builds a ring: the line plus a closing link S_N - S_1. Speeds has N
+/// entries, the last being the closing link.
+Result<Network> MakeRingNetwork(const std::vector<double>& powers_hz,
+                                const std::vector<double>& link_speeds_bps,
+                                double propagation_s = 0);
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_NETWORK_TOPOLOGY_H_

@@ -1,0 +1,66 @@
+// wsflow: discrete-event simulation of a deployed workflow.
+//
+// The simulator is the library's independent oracle: it *executes* a mapped
+// workflow over the server network event by event — operations fire when
+// their control tokens arrive, messages travel with T_comm latency, XOR
+// splits sample one branch, AND joins rendezvous, OR joins fire on the
+// first arrival — and reports the makespan. For deterministic workflows
+// (no XOR) the makespan must equal the analytic T_execute exactly; for XOR
+// workflows the Monte-Carlo mean converges to the analytic expectation.
+// Tests assert both.
+//
+// By default every server executes its operations with unbounded
+// parallelism and the bus carries any number of simultaneous transfers,
+// matching the analytic model's assumptions. Two contention switches make
+// the simulation more physical than the paper's model (extensions):
+// serialize operations per server, and serialize transfers on the bus.
+
+#ifndef WSFLOW_SIM_SIMULATOR_H_
+#define WSFLOW_SIM_SIMULATOR_H_
+
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/deploy/mapping.h"
+#include "src/network/topology.h"
+#include "src/sim/trace.h"
+#include "src/workflow/workflow.h"
+
+namespace wsflow {
+
+struct SimOptions {
+  /// Monte-Carlo runs; XOR branches re-sample each run. Deterministic
+  /// workflows need only 1.
+  size_t num_runs = 1;
+  /// Seed for XOR branch sampling.
+  uint64_t seed = 0;
+  /// Serialize operations sharing a server (FIFO by ready time).
+  bool server_contention = false;
+  /// Serialize message transfers on a shared bus (FIFO by send time).
+  bool bus_contention = false;
+  /// Record a Trace for the first run.
+  bool record_trace = false;
+};
+
+struct SimResult {
+  /// Mean makespan over the runs, in seconds.
+  double mean_makespan = 0;
+  /// Per-run makespans.
+  std::vector<double> makespans;
+  /// Mean busy seconds per server (indexed by ServerId::value).
+  std::vector<double> server_busy;
+  /// Trace of the first run when requested.
+  Trace trace;
+};
+
+/// Simulates `options.num_runs` executions of the workflow deployed per
+/// `m` over `network`. The mapping must be total and the workflow
+/// well-formed.
+Result<SimResult> SimulateWorkflow(const Workflow& workflow,
+                                   const Network& network, const Mapping& m,
+                                   const SimOptions& options = {});
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_SIM_SIMULATOR_H_

@@ -1,0 +1,231 @@
+#include "src/sim/stream.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "src/common/logging.h"
+#include "src/common/random.h"
+#include "src/common/stats.h"
+#include "src/network/routing.h"
+#include "src/workflow/validate.h"
+
+namespace wsflow {
+
+namespace {
+
+enum class EventKind : uint8_t { kArrival, kTokenArrive, kOpComplete };
+
+struct Event {
+  double time;
+  uint64_t seq;
+  EventKind kind;
+  uint32_t instance;
+  OperationId op;
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+/// Per-instance execution state.
+struct InstanceState {
+  std::vector<uint8_t> started;
+  std::vector<uint32_t> tokens;
+  double arrival = 0;
+  double completion = -1;
+};
+
+class StreamSim {
+ public:
+  StreamSim(const Workflow& w, const Network& n, const Mapping& m,
+            const StreamOptions& options)
+      : w_(w),
+        n_(n),
+        m_(m),
+        options_(options),
+        router_(n),
+        rng_(options.seed),
+        server_free_(n.num_servers(), 0),
+        link_free_(n.num_links(), 0),
+        busy_(n.num_servers(), 0) {}
+
+  Result<StreamResult> Run() {
+    OperationId source = w_.Sources()[0];
+    OperationId sink = w_.Sinks()[0];
+
+    instances_.resize(options_.num_instances);
+    double t = 0;
+    for (size_t i = 0; i < options_.num_instances; ++i) {
+      // Exponential interarrival times with the configured rate; the first
+      // instance arrives immediately.
+      if (i > 0) {
+        t += -std::log(1.0 - rng_.NextDouble()) / options_.arrival_rate;
+      }
+      instances_[i].arrival = t;
+      instances_[i].started.assign(w_.num_operations(), 0);
+      instances_[i].tokens.assign(w_.num_operations(), 0);
+      Push(t, EventKind::kArrival, static_cast<uint32_t>(i), source);
+    }
+
+    while (!queue_.empty()) {
+      Event e = queue_.top();
+      queue_.pop();
+      switch (e.kind) {
+        case EventKind::kArrival:
+          StartOperation(e.instance, e.op, e.time);
+          break;
+        case EventKind::kTokenArrive:
+          HandleToken(e);
+          break;
+        case EventKind::kOpComplete:
+          WSFLOW_RETURN_IF_ERROR(HandleComplete(e, sink));
+          break;
+      }
+    }
+
+    StreamResult result;
+    result.server_busy = busy_;
+    for (const InstanceState& inst : instances_) {
+      if (inst.completion < 0) {
+        return Status::Internal("an instance never completed");
+      }
+      result.latencies.push_back(inst.completion - inst.arrival);
+      result.total_time = std::max(result.total_time, inst.completion);
+    }
+    result.mean_latency = Mean(result.latencies);
+    result.p95_latency = Quantile(result.latencies, 0.95);
+    result.max_latency = Quantile(result.latencies, 1.0);
+    result.throughput = result.total_time > 0
+                            ? static_cast<double>(options_.num_instances) /
+                                  result.total_time
+                            : 0.0;
+    result.server_utilization.resize(busy_.size(), 0.0);
+    if (result.total_time > 0) {
+      for (size_t s = 0; s < busy_.size(); ++s) {
+        result.server_utilization[s] = busy_[s] / result.total_time;
+      }
+    }
+    return result;
+  }
+
+ private:
+  void Push(double time, EventKind kind, uint32_t instance, OperationId op) {
+    queue_.push(Event{time, seq_++, kind, instance, op});
+  }
+
+  void StartOperation(uint32_t instance, OperationId op, double ready) {
+    InstanceState& inst = instances_[instance];
+    WSFLOW_DCHECK(!inst.started[op.value]);
+    inst.started[op.value] = 1;
+    ServerId s = m_.ServerOf(op);
+    double start = ready;
+    if (options_.server_contention) {
+      start = std::max(start, server_free_[s.value]);
+    }
+    double proc = w_.operation(op).cycles() / n_.server(s).power_hz();
+    if (options_.server_contention) {
+      server_free_[s.value] = start + proc;
+    }
+    busy_[s.value] += proc;
+    Push(start + proc, EventKind::kOpComplete, instance, op);
+  }
+
+  void HandleToken(const Event& e) {
+    InstanceState& inst = instances_[e.instance];
+    if (inst.started[e.op.value]) return;  // OR-join stragglers
+    ++inst.tokens[e.op.value];
+    const Operation& op = w_.operation(e.op);
+    size_t needed =
+        op.type() == OperationType::kAndJoin ? w_.in_degree(e.op) : 1;
+    if (inst.tokens[e.op.value] >= needed) {
+      StartOperation(e.instance, e.op, e.time);
+    }
+  }
+
+  Result<double> Deliver(TransitionId t, uint32_t instance, double time) {
+    const Transition& edge = w_.transition(t);
+    ServerId from = m_.ServerOf(edge.from);
+    ServerId to = m_.ServerOf(edge.to);
+    if (from == to) {
+      Push(time, EventKind::kTokenArrive, instance, edge.to);
+      return time;
+    }
+    WSFLOW_ASSIGN_OR_RETURN(Route route, router_.FindRoute(from, to));
+    double arrival = time;
+    for (LinkId l : route.links) {
+      const Link& link = n_.link(l);
+      double transmit = edge.message_bits / link.speed_bps;
+      double start = arrival;
+      if (options_.bus_contention) {
+        start = std::max(start, link_free_[l.value]);
+        link_free_[l.value] = start + transmit;
+      }
+      arrival = start + transmit + link.propagation_s;
+    }
+    Push(arrival, EventKind::kTokenArrive, instance, edge.to);
+    return arrival;
+  }
+
+  Status HandleComplete(const Event& e, OperationId sink) {
+    if (e.op == sink) {
+      instances_[e.instance].completion = e.time;
+      return Status::OK();
+    }
+    const Operation& op = w_.operation(e.op);
+    const auto& outs = w_.out_edges(e.op);
+    if (op.type() == OperationType::kXorSplit) {
+      std::vector<double> weights;
+      weights.reserve(outs.size());
+      for (TransitionId t : outs) {
+        weights.push_back(w_.transition(t).branch_weight);
+      }
+      size_t pick = rng_.NextDiscrete(weights);
+      WSFLOW_ASSIGN_OR_RETURN(double ignored,
+                              Deliver(outs[pick], e.instance, e.time));
+      (void)ignored;
+      return Status::OK();
+    }
+    for (TransitionId t : outs) {
+      WSFLOW_ASSIGN_OR_RETURN(double ignored, Deliver(t, e.instance, e.time));
+      (void)ignored;
+    }
+    return Status::OK();
+  }
+
+  const Workflow& w_;
+  const Network& n_;
+  const Mapping& m_;
+  const StreamOptions& options_;
+  Router router_;
+  Rng rng_;
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  uint64_t seq_ = 0;
+  std::vector<InstanceState> instances_;
+  std::vector<double> server_free_;
+  std::vector<double> link_free_;
+  std::vector<double> busy_;
+};
+
+}  // namespace
+
+Result<StreamResult> SimulateWorkflowStream(const Workflow& workflow,
+                                            const Network& network,
+                                            const Mapping& m,
+                                            const StreamOptions& options) {
+  WSFLOW_RETURN_IF_ERROR(ValidateAll(workflow));
+  WSFLOW_RETURN_IF_ERROR(m.ValidateAgainst(workflow, network));
+  if (options.num_instances == 0) {
+    return Status::InvalidArgument("num_instances must be >= 1");
+  }
+  if (options.arrival_rate <= 0) {
+    return Status::InvalidArgument("arrival_rate must be positive");
+  }
+  return StreamSim(workflow, network, m, options).Run();
+}
+
+}  // namespace wsflow

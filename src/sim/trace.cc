@@ -1,0 +1,39 @@
+#include "src/sim/trace.h"
+
+#include <sstream>
+
+#include "src/common/string_util.h"
+
+namespace wsflow {
+
+std::string_view TraceEventTypeToString(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kOperationStart: return "start";
+    case TraceEventType::kOperationComplete: return "complete";
+    case TraceEventType::kMessageSent: return "send";
+    case TraceEventType::kMessageDelivered: return "deliver";
+  }
+  return "unknown";
+}
+
+std::vector<TraceEvent> Trace::EventsOfType(TraceEventType type) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.type == type) out.push_back(e);
+  }
+  return out;
+}
+
+std::string Trace::ToString(const Workflow& w, const Network& n) const {
+  std::ostringstream os;
+  for (const TraceEvent& e : events_) {
+    os << FormatSeconds(e.time) << "  " << TraceEventTypeToString(e.type)
+       << " " << w.operation(e.op).name();
+    if (e.peer.valid()) os << " -> " << w.operation(e.peer).name();
+    if (e.server.valid()) os << " @" << n.server(e.server).name();
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace wsflow

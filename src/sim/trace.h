@@ -1,0 +1,58 @@
+// wsflow: simulation traces.
+//
+// The simulator optionally records every event it processes; traces are
+// used by tests to assert ordering properties and by examples to show the
+// workflow unfolding over the server farm.
+
+#ifndef WSFLOW_SIM_TRACE_H_
+#define WSFLOW_SIM_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/network/server.h"
+#include "src/network/topology.h"
+#include "src/workflow/operation.h"
+#include "src/workflow/workflow.h"
+
+namespace wsflow {
+
+enum class TraceEventType : uint8_t {
+  kOperationStart,
+  kOperationComplete,
+  kMessageSent,
+  kMessageDelivered,
+};
+
+std::string_view TraceEventTypeToString(TraceEventType type);
+
+struct TraceEvent {
+  double time = 0;  ///< Simulation seconds.
+  TraceEventType type = TraceEventType::kOperationStart;
+  OperationId op;       ///< The acting operation (sender for messages).
+  OperationId peer;     ///< Message receiver; invalid for operation events.
+  ServerId server;      ///< Host of `op` at event time.
+};
+
+/// Chronological list of simulation events.
+class Trace {
+ public:
+  void Record(TraceEvent event) { events_.push_back(event); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// Events of one type, in order.
+  std::vector<TraceEvent> EventsOfType(TraceEventType type) const;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString(const Workflow& w, const Network& n) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_SIM_TRACE_H_

@@ -1,0 +1,275 @@
+#include "src/workflow/blocks.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "src/common/logging.h"
+
+namespace wsflow {
+
+size_t Block::CountOperations() const {
+  switch (kind) {
+    case Kind::kLeaf:
+      return 1;
+    case Kind::kSequence: {
+      size_t n = 0;
+      for (const Block& c : children) n += c.CountOperations();
+      return n;
+    }
+    case Kind::kBranch: {
+      size_t n = 2;  // split + join
+      for (const Block& c : children) n += c.CountOperations();
+      return n;
+    }
+  }
+  return 0;
+}
+
+std::string Block::ToString(const Workflow& w, int indent) const {
+  std::ostringstream os;
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  switch (kind) {
+    case Kind::kLeaf:
+      os << pad << "leaf " << w.operation(op).name() << "\n";
+      break;
+    case Kind::kSequence:
+      os << pad << "sequence\n";
+      for (const Block& c : children) os << c.ToString(w, indent + 1);
+      break;
+    case Kind::kBranch:
+      os << pad << "branch " << OperationTypeToString(branch_type) << " ("
+         << w.operation(split).name() << " .. " << w.operation(join).name()
+         << ")\n";
+      for (size_t i = 0; i < children.size(); ++i) {
+        os << pad << "  [p=" << branch_probs[i] << "]\n";
+        os << children[i].ToString(w, indent + 2);
+      }
+      break;
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Recursive-descent parser over the workflow digraph.
+class BlockParser {
+ public:
+  explicit BlockParser(const Workflow& w) : w_(w) {}
+
+  Result<Block> Parse() {
+    if (w_.num_operations() == 0) {
+      return Status::FailedPrecondition("empty workflow");
+    }
+    std::vector<OperationId> sources = w_.Sources();
+    if (sources.size() != 1) {
+      return Status::FailedPrecondition(
+          "well-formed workflow must have exactly one source, found " +
+          std::to_string(sources.size()));
+    }
+    WSFLOW_ASSIGN_OR_RETURN(Block root,
+                            ParseSequence(sources[0], OperationId()));
+    if (visited_.size() != w_.num_operations()) {
+      return Status::FailedPrecondition(
+          "workflow is disconnected: reached " +
+          std::to_string(visited_.size()) + " of " +
+          std::to_string(w_.num_operations()) + " operations");
+    }
+    return root;
+  }
+
+ private:
+  /// Parses the sequence starting at `cur` and stopping when `stop` is
+  /// reached (exclusive); an invalid `stop` means "parse to a sink".
+  Result<Block> ParseSequence(OperationId cur, OperationId stop) {
+    Block seq;
+    seq.kind = Block::Kind::kSequence;
+    while (cur.valid() && cur != stop) {
+      const Operation& op = w_.operation(cur);
+      if (op.is_join()) {
+        return Status::FailedPrecondition(
+            "join node " + op.name() +
+            " reached outside its branch block (unbalanced complement)");
+      }
+      WSFLOW_RETURN_IF_ERROR(MarkVisited(cur));
+      if (op.is_split()) {
+        WSFLOW_ASSIGN_OR_RETURN(Block branch, ParseBranch(cur));
+        OperationId join = branch.join;
+        seq.children.push_back(std::move(branch));
+        WSFLOW_ASSIGN_OR_RETURN(cur, SingleSuccessor(join));
+      } else {
+        if (w_.out_degree(cur) > 1) {
+          return Status::FailedPrecondition(
+              "operational node " + op.name() +
+              " has out-degree > 1; only decision nodes may branch");
+        }
+        seq.children.push_back(Block::Leaf(cur));
+        WSFLOW_ASSIGN_OR_RETURN(cur, SingleSuccessor(cur));
+      }
+      if (cur.valid() && !w_.Contains(cur)) {
+        return Status::Internal("parser walked off the workflow");
+      }
+    }
+    if (stop.valid() && cur != stop) {
+      return Status::FailedPrecondition(
+          "branch path ended before reaching the matching join " +
+          w_.operation(stop).name());
+    }
+    return seq;
+  }
+
+  /// Parses the branch block delimited by `split` and its matching join.
+  Result<Block> ParseBranch(OperationId split) {
+    const Operation& split_op = w_.operation(split);
+    if (w_.out_degree(split) < 2) {
+      return Status::FailedPrecondition(
+          "split node " + split_op.name() + " has out-degree < 2");
+    }
+    WSFLOW_ASSIGN_OR_RETURN(OperationId join, FindMatchingJoin(split));
+    const Operation& join_op = w_.operation(join);
+    if (join_op.type() != ComplementType(split_op.type())) {
+      return Status::FailedPrecondition(
+          "split " + split_op.name() + " (" +
+          std::string(OperationTypeToString(split_op.type())) +
+          ") matched by " + join_op.name() + " (" +
+          std::string(OperationTypeToString(join_op.type())) +
+          "), which is not its complement");
+    }
+    WSFLOW_RETURN_IF_ERROR(MarkVisited(join));
+
+    Block branch;
+    branch.kind = Block::Kind::kBranch;
+    branch.split = split;
+    branch.join = join;
+    branch.branch_type = split_op.type();
+
+    std::vector<double> weights;
+    for (TransitionId t : w_.out_edges(split)) {
+      const Transition& edge = w_.transition(t);
+      weights.push_back(edge.branch_weight);
+      if (edge.to == join) {
+        // Empty branch body: the split feeds the join directly.
+        Block empty;
+        empty.kind = Block::Kind::kSequence;
+        branch.children.push_back(std::move(empty));
+      } else {
+        WSFLOW_ASSIGN_OR_RETURN(Block body, ParseSequence(edge.to, join));
+        branch.children.push_back(std::move(body));
+      }
+    }
+    if (w_.in_degree(join) != branch.children.size()) {
+      return Status::FailedPrecondition(
+          "join " + join_op.name() + " has in-degree " +
+          std::to_string(w_.in_degree(join)) + " but split " +
+          split_op.name() + " has " +
+          std::to_string(branch.children.size()) + " branches");
+    }
+
+    // Normalize branch probabilities. XOR picks exactly one branch; AND/OR
+    // start all branches.
+    branch.branch_probs.resize(branch.children.size(), 1.0);
+    if (split_op.type() == OperationType::kXorSplit) {
+      double total = 0;
+      for (double wgt : weights) total += wgt;
+      if (total <= 0) {
+        return Status::FailedPrecondition(
+            "XOR split " + split_op.name() +
+            " has no positive branch weight");
+      }
+      for (size_t i = 0; i < weights.size(); ++i) {
+        branch.branch_probs[i] = weights[i] / total;
+      }
+    }
+    return branch;
+  }
+
+  /// Finds the complement of `split` by depth counting along the first
+  /// outgoing path: splits push, joins pop; the join that returns the depth
+  /// to zero is the match. In a well-formed workflow every path yields the
+  /// same answer; divergent paths are caught later when branch bodies are
+  /// parsed against this join.
+  Result<OperationId> FindMatchingJoin(OperationId split) {
+    int depth = 1;
+    OperationId cur = split;
+    size_t steps = 0;
+    while (steps++ <= w_.num_operations()) {
+      if (w_.out_degree(cur) == 0) {
+        return Status::FailedPrecondition(
+            "split " + w_.operation(split).name() +
+            " has a path that reaches a sink before its complement");
+      }
+      cur = w_.transition(w_.out_edges(cur)[0]).to;
+      const Operation& op = w_.operation(cur);
+      if (op.is_split()) {
+        ++depth;
+      } else if (op.is_join()) {
+        if (--depth == 0) return cur;
+      }
+    }
+    return Status::FailedPrecondition(
+        "no matching complement found for split " +
+        w_.operation(split).name() + " (cycle suspected)");
+  }
+
+  /// The unique successor of `id`; invalid when `id` is a sink. Fails when
+  /// out-degree exceeds one.
+  Result<OperationId> SingleSuccessor(OperationId id) {
+    const auto& outs = w_.out_edges(id);
+    if (outs.empty()) return OperationId();
+    if (outs.size() > 1) {
+      return Status::FailedPrecondition(
+          "node " + w_.operation(id).name() +
+          " has multiple successors outside a branch block");
+    }
+    return w_.transition(outs[0]).to;
+  }
+
+  Status MarkVisited(OperationId id) {
+    if (!visited_.insert(id.value).second) {
+      return Status::FailedPrecondition(
+          "operation " + w_.operation(id).name() +
+          " reachable along two control paths; branches must be disjoint");
+    }
+    return Status::OK();
+  }
+
+  const Workflow& w_;
+  std::unordered_set<uint32_t> visited_;
+};
+
+}  // namespace
+
+OperationId HeadOperation(const Block& block) {
+  switch (block.kind) {
+    case Block::Kind::kLeaf:
+      return block.op;
+    case Block::Kind::kSequence:
+      return block.children.empty() ? OperationId()
+                                    : HeadOperation(block.children.front());
+    case Block::Kind::kBranch:
+      return block.split;
+  }
+  return OperationId();
+}
+
+OperationId TailOperation(const Block& block) {
+  switch (block.kind) {
+    case Block::Kind::kLeaf:
+      return block.op;
+    case Block::Kind::kSequence:
+      return block.children.empty() ? OperationId()
+                                    : TailOperation(block.children.back());
+    case Block::Kind::kBranch:
+      return block.join;
+  }
+  return OperationId();
+}
+
+Result<Block> DecomposeBlocks(const Workflow& w) {
+  // Reject cyclic graphs up front; the parser's step bounds would catch
+  // them too, but a topological check gives a clearer error.
+  Result<std::vector<OperationId>> topo = w.TopologicalOrder();
+  if (!topo.ok()) return topo.status();
+  return BlockParser(w).Parse();
+}
+
+}  // namespace wsflow

@@ -1,0 +1,88 @@
+// wsflow: block decomposition of well-formed workflows.
+//
+// A workflow is *well-formed* (paper §2.2) when every decision node `a` has a
+// complement `/a` and every path out of `a` passes through `/a` — decision
+// nodes nest like parentheses. Such a workflow decomposes uniquely into a
+// tree of blocks:
+//
+//   * a leaf block is a single operation;
+//   * a sequence block is a chain of blocks executed one after the other;
+//   * a branch block is a split node, k parallel branch bodies (each itself a
+//     sequence, possibly empty), and the matching join node.
+//
+// The decomposition is the foundation for well-formedness validation,
+// execution-probability annotation (probability.h) and the graph
+// execution-time evaluator (cost/execution_time.h).
+
+#ifndef WSFLOW_WORKFLOW_BLOCKS_H_
+#define WSFLOW_WORKFLOW_BLOCKS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/workflow/workflow.h"
+
+namespace wsflow {
+
+/// One node of the block tree.
+struct Block {
+  enum class Kind {
+    kLeaf,      ///< A single operation.
+    kSequence,  ///< Children executed in order.
+    kBranch,    ///< split -> parallel branch bodies -> join.
+  };
+
+  Kind kind = Kind::kLeaf;
+
+  /// kLeaf: the operation.
+  OperationId op;
+
+  /// kBranch: the split / join decision operations delimiting the block.
+  OperationId split;
+  OperationId join;
+  /// kBranch: kAndSplit, kOrSplit or kXorSplit.
+  OperationType branch_type = OperationType::kOperational;
+  /// kBranch: normalized execution probability per branch body. For XOR
+  /// splits these are the branch weights normalized to sum 1; for AND/OR
+  /// every entry is 1 (all branches start).
+  std::vector<double> branch_probs;
+
+  /// kSequence: the elements; kBranch: one body per outgoing split edge,
+  /// in the split's edge insertion order.
+  std::vector<Block> children;
+
+  static Block Leaf(OperationId id) {
+    Block b;
+    b.kind = Kind::kLeaf;
+    b.op = id;
+    return b;
+  }
+
+  /// Number of operations contained in this block (leaves + split/join
+  /// delimiters of nested branch blocks).
+  size_t CountOperations() const;
+
+  /// Multi-line indented rendering for debugging.
+  std::string ToString(const Workflow& w, int indent = 0) const;
+};
+
+/// Decomposes `w` into its block tree. The root is a sequence block (or a
+/// leaf for single-operation workflows). Fails with FailedPrecondition when
+/// the workflow is not well-formed: multiple sources/sinks, branch paths that
+/// do not reconverge at the matching complement node, mismatched split/join
+/// types, degree violations, cycles, or disconnected operations.
+Result<Block> DecomposeBlocks(const Workflow& w);
+
+/// The first operation executed inside `block` (the split for branch
+/// blocks); invalid for an empty sequence.
+OperationId HeadOperation(const Block& block);
+
+/// The last operation executed inside `block` (the join for branch
+/// blocks); invalid for an empty sequence.
+OperationId TailOperation(const Block& block);
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_WORKFLOW_BLOCKS_H_

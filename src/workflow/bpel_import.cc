@@ -1,0 +1,139 @@
+#include "src/workflow/bpel_import.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/workflow/builder.h"
+
+namespace wsflow {
+
+namespace {
+
+class ProcessImporter {
+ public:
+  explicit ProcessImporter(double default_bits)
+      : default_bits_(default_bits) {}
+
+  Status EmitInto(WorkflowBuilder* b, const XmlNode& element) {
+    const std::string& tag = element.tag();
+    if (tag == "invoke") return EmitInvoke(b, element);
+    if (tag == "sequence") return EmitChildren(b, element);
+    if (tag == "flow") {
+      return EmitBlock(b, element, OperationType::kAndSplit, "");
+    }
+    if (tag == "switch") {
+      return EmitBlock(b, element, OperationType::kXorSplit, "case");
+    }
+    if (tag == "pick") {
+      return EmitBlock(b, element, OperationType::kOrSplit, "branch");
+    }
+    return Status::ParseError("unknown process element <" + tag + ">");
+  }
+
+  Status EmitChildren(WorkflowBuilder* b, const XmlNode& parent) {
+    for (const XmlNode& child : parent.children()) {
+      WSFLOW_RETURN_IF_ERROR(EmitInto(b, child));
+    }
+    return Status::OK();
+  }
+
+ private:
+  Result<double> InBits(const XmlNode& element) const {
+    if (!element.HasAttr("in_bits")) return default_bits_;
+    return element.DoubleAttr("in_bits");
+  }
+
+  Status EmitInvoke(WorkflowBuilder* b, const XmlNode& element) {
+    WSFLOW_ASSIGN_OR_RETURN(std::string name, element.Attr("name"));
+    WSFLOW_ASSIGN_OR_RETURN(double cycles, element.DoubleAttr("cycles"));
+    WSFLOW_ASSIGN_OR_RETURN(double in_bits, InBits(element));
+    b->Op(name, cycles, in_bits);
+    return Status::OK();
+  }
+
+  /// Emits a flow/switch/pick block. `branch_tag` constrains the direct
+  /// children ("case"/"branch"); empty means any child is its own branch
+  /// (the <flow> form).
+  Status EmitBlock(WorkflowBuilder* b, const XmlNode& element,
+                   OperationType split_type, const std::string& branch_tag) {
+    WSFLOW_ASSIGN_OR_RETURN(std::string name, element.Attr("name"));
+    WSFLOW_ASSIGN_OR_RETURN(double cycles, element.DoubleAttr("cycles"));
+    WSFLOW_ASSIGN_OR_RETURN(double in_bits, InBits(element));
+    double join_cycles = cycles;
+    if (element.HasAttr("join_cycles")) {
+      WSFLOW_ASSIGN_OR_RETURN(join_cycles, element.DoubleAttr("join_cycles"));
+    }
+    double join_bits = default_bits_;
+    if (element.HasAttr("join_bits")) {
+      WSFLOW_ASSIGN_OR_RETURN(join_bits, element.DoubleAttr("join_bits"));
+    }
+
+    b->Split(split_type, name, cycles, in_bits);
+    if (element.children().empty()) {
+      return Status::ParseError("<" + element.tag() + " name=\"" + name +
+                                "\"> has no branches");
+    }
+    for (const XmlNode& child : element.children()) {
+      double weight = 1.0;
+      if (!branch_tag.empty()) {
+        if (child.tag() != branch_tag) {
+          return Status::ParseError("<" + element.tag() +
+                                    "> children must be <" + branch_tag +
+                                    ">, got <" + child.tag() + ">");
+        }
+        if (child.HasAttr("probability")) {
+          WSFLOW_ASSIGN_OR_RETURN(weight, child.DoubleAttr("probability"));
+        }
+      }
+      b->Branch(weight);
+      if (branch_tag.empty()) {
+        // <flow>: the child itself is the branch content.
+        WSFLOW_RETURN_IF_ERROR(EmitInto(b, child));
+      } else {
+        // <case>/<branch>: the wrapper's children are the content; an
+        // empty wrapper is an empty branch.
+        WSFLOW_RETURN_IF_ERROR(EmitChildren(b, child));
+      }
+    }
+    b->Join(name + "__join", join_cycles, join_bits);
+    return Status::OK();
+  }
+
+  double default_bits_;
+};
+
+}  // namespace
+
+Result<Workflow> WorkflowFromProcessXml(const XmlNode& root) {
+  if (root.tag() != "process") {
+    return Status::ParseError("expected <process>, got <" + root.tag() +
+                              ">");
+  }
+  double default_bits = 0;
+  if (root.HasAttr("default_bits")) {
+    WSFLOW_ASSIGN_OR_RETURN(default_bits, root.DoubleAttr("default_bits"));
+  }
+  WorkflowBuilder builder(root.Attr("name").value_or("process"));
+  ProcessImporter importer(default_bits);
+  WSFLOW_RETURN_IF_ERROR(importer.EmitChildren(&builder, root));
+  Result<Workflow> w = builder.Build();
+  if (!w.ok()) return w.status().WithContext("importing <process>");
+  return w;
+}
+
+Result<Workflow> WorkflowFromProcessString(const std::string& text) {
+  WSFLOW_ASSIGN_OR_RETURN(XmlNode root, ParseXml(text));
+  return WorkflowFromProcessXml(root);
+}
+
+Result<Workflow> LoadProcessWorkflow(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return WorkflowFromProcessString(buffer.str());
+}
+
+}  // namespace wsflow

@@ -1,0 +1,70 @@
+// wsflow: structured workflow import (BPEL-flavoured dialect).
+//
+// The paper's workflows come from composition languages like BPEL or WSFL
+// (§1). Besides wsflow's flat XML (serialization.h: explicit operations +
+// transitions), this module accepts a *structured* description that mirrors
+// how such languages nest control flow — well-formedness holds by
+// construction and authors never write explicit split/join nodes:
+//
+//   <process name="rendezvous" default_bits="6984">
+//     <invoke name="receive" cycles="5e6"/>
+//     <invoke name="lookup" cycles="50e6" in_bits="60648"/>
+//     <switch name="available" cycles="1e6">        <!-- XOR -->
+//       <case probability="0.7">
+//         <invoke name="book" cycles="50e6"/>
+//       </case>
+//       <case probability="0.3">
+//         <invoke name="waitlist" cycles="5e6"/>
+//       </case>
+//     </switch>
+//     <flow name="close" cycles="1e6">              <!-- AND -->
+//       <invoke name="bill" cycles="50e6"/>
+//       <sequence>
+//         <invoke name="archive" cycles="500e6"/>
+//         <invoke name="notify" cycles="5e6"/>
+//       </sequence>
+//     </flow>
+//     <pick name="confirm" cycles="1e6">            <!-- OR -->
+//       <branch><invoke name="sms" cycles="5e6"/></branch>
+//       <branch><invoke name="email" cycles="5e6"/></branch>
+//     </pick>
+//   </process>
+//
+// Elements:
+//   <invoke name cycles [in_bits]>            an operation
+//   <sequence>...</sequence>                  inline grouping
+//   <flow name cycles [in_bits] [join_cycles] [join_bits]>   AND block;
+//         every direct child is one branch
+//   <switch ...> with <case [probability]> children          XOR block
+//   <pick ...> with <branch> children                        OR block
+//
+// `in_bits` is the size of the element's incoming message (bits) and
+// defaults to the process's `default_bits` (default 0). Split elements
+// close with an auto-generated join named `<name>__join`, weighing
+// `join_cycles` (default: the split's cycles) and receiving `join_bits`
+// (default `default_bits`) from every branch. An empty <case>/<branch> is
+// an empty branch (direct split->join message).
+
+#ifndef WSFLOW_WORKFLOW_BPEL_IMPORT_H_
+#define WSFLOW_WORKFLOW_BPEL_IMPORT_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/workflow/workflow.h"
+#include "src/workflow/xml.h"
+
+namespace wsflow {
+
+/// Converts a parsed <process> element into a validated workflow.
+Result<Workflow> WorkflowFromProcessXml(const XmlNode& root);
+
+/// Parses and converts a structured process description.
+Result<Workflow> WorkflowFromProcessString(const std::string& text);
+
+/// Loads a structured process file.
+Result<Workflow> LoadProcessWorkflow(const std::string& path);
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_WORKFLOW_BPEL_IMPORT_H_

@@ -1,0 +1,166 @@
+#include "src/workflow/builder.h"
+
+#include "src/workflow/validate.h"
+
+namespace wsflow {
+
+WorkflowBuilder::WorkflowBuilder(std::string name) : w_(std::move(name)) {}
+
+void WorkflowBuilder::Fail(Status status) {
+  if (status_.ok()) status_ = std::move(status);
+}
+
+void WorkflowBuilder::Link(OperationId to, double msg_bits) {
+  if (!status_.ok()) return;
+  if (tail_.valid()) {
+    Result<TransitionId> r = w_.AddTransition(tail_, to, msg_bits);
+    if (!r.ok()) Fail(r.status());
+  } else if (!frames_.empty() && frames_.back().branch_open) {
+    Frame& f = frames_.back();
+    if (!f.branch_has_elements) {
+      // First element of the branch: entry edge from the split carries the
+      // branch weight.
+      Result<TransitionId> r =
+          w_.AddTransition(f.split, to, msg_bits, f.pending_weight);
+      if (!r.ok()) Fail(r.status());
+      f.branch_has_elements = true;
+    }
+  } else if (has_elements_) {
+    Fail(Status::FailedPrecondition(
+        "internal builder state: detached element"));
+  }
+  tail_ = to;
+  has_elements_ = true;
+}
+
+WorkflowBuilder& WorkflowBuilder::Op(const std::string& name, double cycles,
+                                     double in_msg_bits) {
+  if (!status_.ok()) return *this;
+  if (!frames_.empty() && !frames_.back().branch_open) {
+    Fail(Status::FailedPrecondition(
+        "element '" + name + "' added after Split() without Branch()"));
+    return *this;
+  }
+  if (Id(name).ok()) {
+    Fail(Status::AlreadyExists("duplicate operation name '" + name + "'"));
+    return *this;
+  }
+  OperationId id = w_.AddOperation(name, OperationType::kOperational, cycles);
+  Link(id, in_msg_bits);
+  return *this;
+}
+
+WorkflowBuilder& WorkflowBuilder::Split(OperationType type,
+                                        const std::string& name, double cycles,
+                                        double in_msg_bits) {
+  if (!status_.ok()) return *this;
+  if (!IsSplit(type)) {
+    Fail(Status::InvalidArgument("Split() requires a split type, got " +
+                                 std::string(OperationTypeToString(type))));
+    return *this;
+  }
+  if (!frames_.empty() && !frames_.back().branch_open) {
+    Fail(Status::FailedPrecondition(
+        "split '" + name + "' added after Split() without Branch()"));
+    return *this;
+  }
+  if (Id(name).ok()) {
+    Fail(Status::AlreadyExists("duplicate operation name '" + name + "'"));
+    return *this;
+  }
+  OperationId id = w_.AddOperation(name, type, cycles);
+  Link(id, in_msg_bits);
+  Frame f;
+  f.split = id;
+  f.split_type = type;
+  frames_.push_back(f);
+  tail_ = OperationId();  // the next element belongs to a branch
+  return *this;
+}
+
+WorkflowBuilder& WorkflowBuilder::Branch(double weight) {
+  if (!status_.ok()) return *this;
+  if (frames_.empty()) {
+    Fail(Status::FailedPrecondition("Branch() without an open Split()"));
+    return *this;
+  }
+  if (weight < 0) {
+    Fail(Status::InvalidArgument("negative branch weight"));
+    return *this;
+  }
+  Frame& f = frames_.back();
+  if (f.branch_open) {
+    // Close the previous branch section.
+    f.tails.push_back(tail_);  // invalid tail == empty branch
+    f.weights.push_back(f.pending_weight);
+  }
+  f.branch_open = true;
+  f.branch_has_elements = false;
+  f.pending_weight = weight;
+  tail_ = OperationId();
+  return *this;
+}
+
+WorkflowBuilder& WorkflowBuilder::Join(const std::string& name, double cycles,
+                                       double in_msg_bits) {
+  if (!status_.ok()) return *this;
+  if (frames_.empty()) {
+    Fail(Status::FailedPrecondition("Join() without an open Split()"));
+    return *this;
+  }
+  Frame& f = frames_.back();
+  if (!f.branch_open) {
+    Fail(Status::FailedPrecondition(
+        "Join() on a block with no Branch() sections"));
+    return *this;
+  }
+  if (Id(name).ok()) {
+    Fail(Status::AlreadyExists("duplicate operation name '" + name + "'"));
+    return *this;
+  }
+  f.tails.push_back(tail_);
+  f.weights.push_back(f.pending_weight);
+  if (f.tails.size() < 2) {
+    Fail(Status::FailedPrecondition(
+        "block '" + w_.operation(f.split).name() +
+        "' needs at least two branches"));
+    return *this;
+  }
+  OperationId join =
+      w_.AddOperation(name, ComplementType(f.split_type), cycles);
+  for (size_t i = 0; i < f.tails.size(); ++i) {
+    Result<TransitionId> r =
+        f.tails[i].valid()
+            ? w_.AddTransition(f.tails[i], join, in_msg_bits)
+            // Empty branch: the split feeds the join directly; the entry
+            // edge carries the branch weight.
+            : w_.AddTransition(f.split, join, in_msg_bits, f.weights[i]);
+    if (!r.ok()) {
+      Fail(r.status().WithContext("closing block '" +
+                                  w_.operation(f.split).name() + "'"));
+      return *this;
+    }
+  }
+  frames_.pop_back();
+  tail_ = join;
+  return *this;
+}
+
+Result<OperationId> WorkflowBuilder::Id(const std::string& name) const {
+  for (const Operation& op : w_.operations()) {
+    if (op.name() == name) return op.id();
+  }
+  return Status::NotFound("no operation named '" + name + "'");
+}
+
+Result<Workflow> WorkflowBuilder::Build() {
+  if (!status_.ok()) return status_;
+  if (!frames_.empty()) {
+    return Status::FailedPrecondition(
+        std::to_string(frames_.size()) + " unclosed Split() block(s)");
+  }
+  WSFLOW_RETURN_IF_ERROR(ValidateAll(w_));
+  return w_;  // copy: the builder stays usable (e.g. for Id() lookups)
+}
+
+}  // namespace wsflow

@@ -1,0 +1,89 @@
+// wsflow: fluent builder for well-formed workflows.
+//
+// The builder assembles a workflow as a sequence of operations and nested
+// branch blocks, guaranteeing well-formedness by construction:
+//
+//   WorkflowBuilder b("rendezvous");
+//   b.Op("request", 5e6)
+//    .Split(OperationType::kXorSplit, "avail?", 1e6, 7000)
+//      .Branch(0.7).Op("book", 50e6, 7000)
+//      .Branch(0.3).Op("waitlist", 5e6, 7000)
+//    .Join("booked", 1e6, 7000)
+//    .Op("notify", 5e6, 7000);
+//   Result<Workflow> w = b.Build();
+//
+// Each appended element names the size (bits) of its *incoming* message; the
+// first element of the workflow has none. Errors are sticky: the first
+// failure is reported by Build() and later calls are no-ops.
+
+#ifndef WSFLOW_WORKFLOW_BUILDER_H_
+#define WSFLOW_WORKFLOW_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/workflow/workflow.h"
+
+namespace wsflow {
+
+class WorkflowBuilder {
+ public:
+  explicit WorkflowBuilder(std::string name);
+
+  /// Appends an operational node, linked from the current tail by a message
+  /// of `in_msg_bits` bits (ignored for the first element).
+  WorkflowBuilder& Op(const std::string& name, double cycles,
+                      double in_msg_bits = 0);
+
+  /// Opens a branch block with the given split decision node. `type` must
+  /// be a split type. Follow with one or more Branch() sections and close
+  /// with Join().
+  WorkflowBuilder& Split(OperationType type, const std::string& name,
+                         double cycles, double in_msg_bits = 0);
+
+  /// Starts the next branch of the innermost open block. `weight` is the
+  /// XOR branch weight (ignored for AND/OR splits).
+  WorkflowBuilder& Branch(double weight = 1.0);
+
+  /// Closes the innermost open block with its complement decision node.
+  /// `in_msg_bits` is used for every branch-tail -> join message.
+  WorkflowBuilder& Join(const std::string& name, double cycles,
+                        double in_msg_bits = 0);
+
+  /// Id of a previously added operation by name.
+  Result<OperationId> Id(const std::string& name) const;
+
+  /// Finalizes, validates and returns a copy of the workflow. The builder
+  /// remains usable afterwards — in particular Id() lookups still work.
+  Result<Workflow> Build();
+
+ private:
+  struct Frame {
+    OperationId split;
+    OperationType split_type;
+    bool branch_open = false;      // Branch() called for the current section
+    bool branch_has_elements = false;
+    double pending_weight = 1.0;   // weight of the current branch entry edge
+    // Tails of completed branches; an invalid id marks an empty branch
+    // (split wired directly to the join).
+    std::vector<OperationId> tails;
+    // Entry-edge weight of each completed branch, parallel to `tails`
+    // (consumed at Join() time only for empty branches).
+    std::vector<double> weights;
+  };
+
+  /// Links the current attach point to `to` and makes `to` the new tail.
+  void Link(OperationId to, double msg_bits);
+  void Fail(Status status);
+
+  Workflow w_;
+  Status status_;
+  std::vector<Frame> frames_;
+  OperationId tail_;        // current sequence tail; invalid at start/branch
+  bool has_elements_ = false;
+};
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_WORKFLOW_BUILDER_H_

@@ -1,0 +1,123 @@
+#include "src/workflow/dot.h"
+
+#include <sstream>
+
+#include "src/common/string_util.h"
+
+namespace wsflow {
+
+namespace {
+
+/// Escapes a DOT double-quoted string.
+std::string DotEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+const char* ShapeFor(OperationType type) {
+  return IsDecision(type) ? "diamond" : "box";
+}
+
+// A qualitative palette that stays readable on white; cycled when the farm
+// has more servers than entries.
+constexpr const char* kPalette[] = {
+    "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f",
+    "#cab2d6", "#ffff99", "#1f78b4", "#33a02c",
+};
+constexpr size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+void EmitOperations(const Workflow& w, const Network* n, const Mapping* m,
+                    std::ostringstream& os) {
+  for (const Operation& op : w.operations()) {
+    os << "  op" << op.id().value << " [label=\"" << DotEscape(op.name());
+    if (op.is_decision()) {
+      os << "\\n(" << OperationTypeToString(op.type()) << ")";
+    }
+    os << "\" shape=" << ShapeFor(op.type());
+    if (m != nullptr) {
+      ServerId s = m->ServerOf(op.id());
+      if (s.valid()) {
+        os << " style=filled fillcolor=\"" << kPalette[s.value % kPaletteSize]
+           << "\"";
+        if (n != nullptr && n->Contains(s)) {
+          os << " tooltip=\"" << DotEscape(n->server(s).name()) << "\"";
+        }
+      }
+    }
+    os << "];\n";
+  }
+}
+
+void EmitTransitions(const Workflow& w, std::ostringstream& os) {
+  for (const Transition& t : w.transitions()) {
+    os << "  op" << t.from.value << " -> op" << t.to.value << " [label=\""
+       << FormatBits(t.message_bits);
+    if (w.operation(t.from).type() == OperationType::kXorSplit) {
+      os << "\\nw=" << FormatDouble(t.branch_weight, 3);
+    }
+    os << "\"];\n";
+  }
+}
+
+}  // namespace
+
+std::string WorkflowToDot(const Workflow& w) {
+  std::ostringstream os;
+  os << "digraph \"" << DotEscape(w.name()) << "\" {\n"
+     << "  rankdir=LR;\n  node [fontsize=10]; edge [fontsize=9];\n";
+  EmitOperations(w, nullptr, nullptr, os);
+  EmitTransitions(w, os);
+  os << "}\n";
+  return os.str();
+}
+
+std::string DeploymentToDot(const Workflow& w, const Network& n,
+                            const Mapping& m) {
+  std::ostringstream os;
+  os << "digraph \"" << DotEscape(w.name()) << "\" {\n"
+     << "  rankdir=LR;\n  node [fontsize=10]; edge [fontsize=9];\n";
+  EmitOperations(w, &n, &m, os);
+  EmitTransitions(w, os);
+  // Legend: one swatch per server.
+  os << "  subgraph cluster_legend {\n    label=\"servers\";\n";
+  for (const Server& s : n.servers()) {
+    os << "    legend" << s.id().value << " [label=\""
+       << DotEscape(s.name()) << "\\n" << FormatDouble(s.power_hz() / 1e9, 3)
+       << " GHz\" shape=box style=filled fillcolor=\""
+       << kPalette[s.id().value % kPaletteSize] << "\"];\n";
+  }
+  os << "  }\n}\n";
+  return os.str();
+}
+
+std::string NetworkToDot(const Network& n) {
+  std::ostringstream os;
+  os << "graph \"" << DotEscape(n.name()) << "\" {\n"
+     << "  node [shape=box fontsize=10]; edge [fontsize=9];\n";
+  for (const Server& s : n.servers()) {
+    os << "  s" << s.id().value << " [label=\"" << DotEscape(s.name())
+       << "\\n" << FormatDouble(s.power_hz() / 1e9, 3) << " GHz\"];\n";
+  }
+  if (n.has_bus()) {
+    const Link& bus = n.link(n.bus());
+    os << "  bus [label=\"bus\\n" << FormatDouble(bus.speed_bps / 1e6, 4)
+       << " Mbps\" shape=ellipse];\n";
+    for (const Server& s : n.servers()) {
+      os << "  s" << s.id().value << " -- bus;\n";
+    }
+  } else {
+    for (const Link& link : n.links()) {
+      os << "  s" << link.a.value << " -- s" << link.b.value << " [label=\""
+         << FormatDouble(link.speed_bps / 1e6, 4) << " Mbps\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace wsflow

@@ -1,0 +1,33 @@
+// wsflow: GraphViz DOT export for workflows, networks and deployments.
+//
+// Produces `dot`-renderable descriptions: workflows as digraphs with
+// decision nodes shaped as diamonds and message sizes as edge labels;
+// deployed workflows additionally color operations by hosting server so a
+// mapping can be inspected visually.
+
+#ifndef WSFLOW_WORKFLOW_DOT_H_
+#define WSFLOW_WORKFLOW_DOT_H_
+
+#include <string>
+
+#include "src/deploy/mapping.h"
+#include "src/network/topology.h"
+#include "src/workflow/workflow.h"
+
+namespace wsflow {
+
+/// Renders the workflow as a DOT digraph.
+std::string WorkflowToDot(const Workflow& w);
+
+/// Renders the workflow with operations colored by their hosting server
+/// under `m` (unassigned operations stay uncolored). Includes a legend of
+/// server names.
+std::string DeploymentToDot(const Workflow& w, const Network& n,
+                            const Mapping& m);
+
+/// Renders the server network as a DOT graph (undirected).
+std::string NetworkToDot(const Network& n);
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_WORKFLOW_DOT_H_

@@ -1,0 +1,285 @@
+#include "src/workflow/generator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/workflow/validate.h"
+
+namespace wsflow {
+
+Sampler ConstantSampler(double value) {
+  return [value](Rng*) { return value; };
+}
+
+std::string_view GraphShapeToString(GraphShape shape) {
+  switch (shape) {
+    case GraphShape::kBushy: return "bushy";
+    case GraphShape::kLengthy: return "lengthy";
+    case GraphShape::kHybrid: return "hybrid";
+  }
+  return "unknown";
+}
+
+Result<Workflow> GenerateLineWorkflow(const LineWorkflowParams& params,
+                                      Rng* rng) {
+  if (params.num_operations == 0) {
+    return Status::InvalidArgument("line workflow needs >= 1 operation");
+  }
+  if (!params.cycles || !params.message_bits) {
+    return Status::InvalidArgument("line generator needs both samplers");
+  }
+  std::vector<double> cycles(params.num_operations);
+  for (double& c : cycles) c = params.cycles(rng);
+  std::vector<double> msgs(params.num_operations - 1);
+  for (double& m : msgs) m = params.message_bits(rng);
+  return MakeLineWorkflow(params.name, cycles, msgs);
+}
+
+RandomGraphParams ParamsForShape(GraphShape shape, size_t num_operations) {
+  RandomGraphParams p;
+  p.name = std::string(GraphShapeToString(shape));
+  p.num_operations = num_operations;
+  switch (shape) {
+    case GraphShape::kBushy:
+      p.decision_fraction = 0.50;  // paper §4.2: 50%-50%
+      break;
+    case GraphShape::kLengthy:
+      p.decision_fraction = 0.16;  // 16%-84%
+      break;
+    case GraphShape::kHybrid:
+      p.decision_fraction = 0.35;  // 35%-65%
+      break;
+  }
+  return p;
+}
+
+namespace {
+
+/// An element of a sequence in the generated skeleton: either an anonymous
+/// operational node or a reference to a branch block.
+struct Item {
+  bool is_block = false;
+  size_t block_index = 0;
+};
+
+struct SkeletonBlock {
+  OperationType type = OperationType::kAndSplit;
+  std::vector<std::vector<Item>> branches;
+};
+
+/// Identifies a sequence in the skeleton: the root (block < 0) or one
+/// branch of a block.
+struct SeqRef {
+  int block = -1;
+  size_t branch = 0;
+};
+
+/// Random block skeleton: a root sequence plus nested branch blocks. Built
+/// in two passes: nest the blocks, then place operational nodes so that
+/// every block keeps at most one empty branch (two empty branches would
+/// need two identical split->join messages, which the model forbids) and
+/// every block subtree contains at least one operational node.
+class SkeletonBuilder {
+ public:
+  SkeletonBuilder(const RandomGraphParams& params, Rng* rng)
+      : params_(params), rng_(rng) {}
+
+  /// Attempts to build a skeleton with `num_blocks` blocks and `num_ops`
+  /// operational nodes. `force_binary` restricts fan-out to 2, which
+  /// minimizes the operations required to keep branches non-empty.
+  Status Build(size_t num_blocks, size_t num_ops, bool force_binary) {
+    root_.clear();
+    blocks_.assign(num_blocks, SkeletonBlock());
+    std::vector<SeqRef> seqs{SeqRef{-1, 0}};
+
+    std::vector<double> type_weights{params_.and_weight, params_.or_weight,
+                                     params_.xor_weight};
+    for (size_t b = 0; b < num_blocks; ++b) {
+      size_t fan = force_binary
+                       ? 2
+                       : static_cast<size_t>(rng_->NextInt(
+                             2, static_cast<int64_t>(
+                                    std::max<size_t>(2, params_.max_branches))));
+      switch (rng_->NextDiscrete(type_weights)) {
+        case 0: blocks_[b].type = OperationType::kAndSplit; break;
+        case 1: blocks_[b].type = OperationType::kOrSplit; break;
+        default: blocks_[b].type = OperationType::kXorSplit; break;
+      }
+      blocks_[b].branches.resize(fan);
+      // Nest under a uniformly random existing sequence. Blocks created
+      // later can only nest inside earlier ones, so index order is a
+      // topological order of the containment tree.
+      SeqRef parent = seqs[rng_->NextBounded(seqs.size())];
+      Seq(parent).push_back(Item{true, b});
+      for (size_t i = 0; i < fan; ++i) {
+        seqs.push_back(SeqRef{static_cast<int>(b), i});
+      }
+    }
+
+    // Bottom-up constraint pass: each block may keep at most one empty
+    // branch. Processing in decreasing index order guarantees nested blocks
+    // are already content-bearing.
+    size_t ops_left = num_ops;
+    for (size_t b = num_blocks; b-- > 0;) {
+      SkeletonBlock& blk = blocks_[b];
+      size_t empty = 0;
+      for (const auto& br : blk.branches) {
+        if (br.empty()) ++empty;
+      }
+      while (empty > 1) {
+        if (ops_left == 0) {
+          return Status::ResourceExhausted(
+              "not enough operational nodes to fill branch bodies");
+        }
+        for (auto& br : blk.branches) {
+          if (br.empty()) {
+            br.push_back(Item{});
+            --ops_left;
+            --empty;
+            break;
+          }
+        }
+      }
+    }
+
+    // Scatter the remaining operational nodes uniformly over all sequences.
+    for (; ops_left > 0; --ops_left) {
+      std::vector<Item>& seq = Seq(seqs[rng_->NextBounded(seqs.size())]);
+      size_t pos = rng_->NextBounded(seq.size() + 1);
+      seq.insert(seq.begin() + static_cast<ptrdiff_t>(pos), Item{});
+    }
+    return Status::OK();
+  }
+
+  /// Emits the skeleton into a Workflow, sampling cycle costs, message
+  /// sizes and XOR branch weights.
+  Result<Workflow> Emit() {
+    Workflow w(params_.name);
+    WSFLOW_ASSIGN_OR_RETURN(auto ends, EmitSeq(&w, root_));
+    (void)ends;
+    WSFLOW_RETURN_IF_ERROR(ValidateAll(w));
+    return w;
+  }
+
+ private:
+  std::vector<Item>& Seq(SeqRef ref) {
+    if (ref.block < 0) return root_;
+    return blocks_[static_cast<size_t>(ref.block)].branches[ref.branch];
+  }
+
+  double SampleCycles() { return params_.cycles(rng_); }
+  double SampleDecisionCycles() {
+    return params_.decision_cycles ? params_.decision_cycles(rng_)
+                                   : params_.cycles(rng_);
+  }
+  double SampleMessage() { return params_.message_bits(rng_); }
+
+  using Ends = std::pair<OperationId, OperationId>;  // head, tail
+
+  Result<Ends> EmitSeq(Workflow* w, const std::vector<Item>& items) {
+    OperationId head, tail;
+    for (const Item& item : items) {
+      Ends ends;
+      if (item.is_block) {
+        WSFLOW_ASSIGN_OR_RETURN(ends, EmitBlock(w, blocks_[item.block_index]));
+      } else {
+        OperationId id =
+            w->AddOperation("op" + std::to_string(++op_counter_),
+                            OperationType::kOperational, SampleCycles());
+        ends = {id, id};
+      }
+      if (tail.valid()) {
+        WSFLOW_ASSIGN_OR_RETURN(
+            TransitionId t,
+            w->AddTransition(tail, ends.first, SampleMessage()));
+        (void)t;
+      } else {
+        head = ends.first;
+      }
+      tail = ends.second;
+    }
+    return Ends{head, tail};
+  }
+
+  Result<Ends> EmitBlock(Workflow* w, const SkeletonBlock& blk) {
+    size_t n = ++block_counter_;
+    OperationId split =
+        w->AddOperation("split" + std::to_string(n), blk.type,
+                        SampleDecisionCycles());
+    OperationId join =
+        w->AddOperation("join" + std::to_string(n), ComplementType(blk.type),
+                        SampleDecisionCycles());
+    for (const auto& branch : blk.branches) {
+      // XOR branch weights are uniform in (0.1, 1]; AND/OR ignore them.
+      double weight = blk.type == OperationType::kXorSplit
+                          ? rng_->NextDouble(0.1, 1.0)
+                          : 1.0;
+      if (branch.empty()) {
+        WSFLOW_ASSIGN_OR_RETURN(
+            TransitionId t,
+            w->AddTransition(split, join, SampleMessage(), weight));
+        (void)t;
+      } else {
+        WSFLOW_ASSIGN_OR_RETURN(Ends ends, EmitSeq(w, branch));
+        WSFLOW_ASSIGN_OR_RETURN(
+            TransitionId in,
+            w->AddTransition(split, ends.first, SampleMessage(), weight));
+        (void)in;
+        WSFLOW_ASSIGN_OR_RETURN(
+            TransitionId out,
+            w->AddTransition(ends.second, join, SampleMessage()));
+        (void)out;
+      }
+    }
+    return Ends{split, join};
+  }
+
+  const RandomGraphParams& params_;
+  Rng* rng_;
+  std::vector<Item> root_;
+  std::vector<SkeletonBlock> blocks_;
+  size_t op_counter_ = 0;
+  size_t block_counter_ = 0;
+};
+
+}  // namespace
+
+Result<Workflow> GenerateRandomGraphWorkflow(const RandomGraphParams& params,
+                                             Rng* rng) {
+  if (params.num_operations == 0) {
+    return Status::InvalidArgument("graph workflow needs >= 1 operation");
+  }
+  if (!params.cycles || !params.message_bits) {
+    return Status::InvalidArgument("graph generator needs both samplers");
+  }
+  if (params.decision_fraction < 0 || params.decision_fraction > 1) {
+    return Status::InvalidArgument("decision fraction must be in [0, 1]");
+  }
+  if (params.max_branches < 2) {
+    return Status::InvalidArgument("max_branches must be >= 2");
+  }
+  // Each block contributes a split and a join, so the decision node count is
+  // rounded down to even.
+  size_t num_blocks = static_cast<size_t>(
+      params.decision_fraction * static_cast<double>(params.num_operations) /
+      2.0);
+  size_t num_ops = params.num_operations - 2 * num_blocks;
+  if (num_blocks > 0 && num_ops == 0) {
+    return Status::InvalidArgument(
+        "decision fraction leaves no operational nodes; every block needs "
+        "at least one");
+  }
+
+  SkeletonBuilder builder(params, rng);
+  Status st = builder.Build(num_blocks, num_ops, /*force_binary=*/false);
+  if (st.IsResourceExhausted()) {
+    // High fan-out drew too many branches for the available operational
+    // nodes; binary blocks need the fewest fillers.
+    st = builder.Build(num_blocks, num_ops, /*force_binary=*/true);
+  }
+  WSFLOW_RETURN_IF_ERROR(st);
+  return builder.Emit();
+}
+
+}  // namespace wsflow

@@ -1,0 +1,81 @@
+// wsflow: synthetic workflow generators.
+//
+// The experiments of the paper (§4) run on synthetic workflows: simple lines
+// of M operations, and random well-formed graphs classified by the ratio of
+// decision to operational nodes — *bushy* graphs are 50%/50% decision/
+// operational (short, high fan-out), *lengthy* graphs 16%/84% (long paths),
+// and *hybrid* graphs 35%/65% (paper §4.2). Generators draw operation cycle
+// costs and message sizes from caller-supplied samplers so the experiment
+// harness can plug in the Table 6 distributions.
+
+#ifndef WSFLOW_WORKFLOW_GENERATOR_H_
+#define WSFLOW_WORKFLOW_GENERATOR_H_
+
+#include <functional>
+#include <string>
+
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/workflow/workflow.h"
+
+namespace wsflow {
+
+/// Draws one value from a distribution; receives the experiment RNG.
+using Sampler = std::function<double(Rng*)>;
+
+/// Returns a sampler producing the constant `value`.
+Sampler ConstantSampler(double value);
+
+/// Parameters for line workflow generation.
+struct LineWorkflowParams {
+  std::string name = "line";
+  size_t num_operations = 19;
+  Sampler cycles;        ///< C(op) per operation.
+  Sampler message_bits;  ///< MsgSize per consecutive pair.
+};
+
+/// Generates the line workflow O_1 -> ... -> O_M.
+Result<Workflow> GenerateLineWorkflow(const LineWorkflowParams& params,
+                                      Rng* rng);
+
+/// The three random-graph families of §4.2.
+enum class GraphShape { kBushy, kLengthy, kHybrid };
+
+std::string_view GraphShapeToString(GraphShape shape);
+
+/// Parameters for random well-formed graph generation.
+struct RandomGraphParams {
+  std::string name = "graph";
+  /// Total operation count, decision nodes included. The generator matches
+  /// this exactly when feasible (see GenerateRandomGraphWorkflow).
+  size_t num_operations = 19;
+  /// Fraction of operations that are decision nodes (each branch block
+  /// contributes two: split + join). Rounded down to an even node count.
+  double decision_fraction = 0.35;
+  /// Branch fan-out of each block is uniform in [2, max_branches].
+  size_t max_branches = 3;
+  Sampler cycles;          ///< C(op) for operational nodes.
+  Sampler decision_cycles; ///< C(op) for decision nodes; falls back to cycles.
+  Sampler message_bits;    ///< MsgSize per transition.
+  /// Relative frequency of AND / OR / XOR blocks.
+  double and_weight = 1.0;
+  double or_weight = 1.0;
+  double xor_weight = 1.0;
+};
+
+/// Returns params preset to the paper's decision/operational ratio for the
+/// given shape: bushy 0.5, lengthy 0.16, hybrid 0.35. Samplers still need
+/// to be assigned.
+RandomGraphParams ParamsForShape(GraphShape shape, size_t num_operations);
+
+/// Generates a random well-formed graph workflow. The number of decision
+/// nodes is 2*floor(decision_fraction*num_operations/2); blocks are nested
+/// uniformly at random and XOR branch weights are drawn uniformly from
+/// (0, 1]. Fails when num_operations is 0 or the decision fraction is
+/// infeasible (e.g. decision nodes but not enough total operations).
+Result<Workflow> GenerateRandomGraphWorkflow(const RandomGraphParams& params,
+                                             Rng* rng);
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_WORKFLOW_GENERATOR_H_

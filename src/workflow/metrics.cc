@@ -1,0 +1,102 @@
+#include "src/workflow/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/string_util.h"
+#include "src/workflow/probability.h"
+
+namespace wsflow {
+
+namespace {
+
+/// Operations on the longest path through `block` (sequence depth of the
+/// deepest branch alternative).
+size_t BlockDepth(const Block& block) {
+  switch (block.kind) {
+    case Block::Kind::kLeaf:
+      return 1;
+    case Block::Kind::kSequence: {
+      size_t depth = 0;
+      for (const Block& c : block.children) depth += BlockDepth(c);
+      return depth;
+    }
+    case Block::Kind::kBranch: {
+      size_t deepest = 0;
+      for (const Block& c : block.children) {
+        deepest = std::max(deepest, BlockDepth(c));
+      }
+      return 2 + deepest;  // split + join
+    }
+  }
+  return 0;
+}
+
+size_t BlockNesting(const Block& block) {
+  switch (block.kind) {
+    case Block::Kind::kLeaf:
+      return 0;
+    case Block::Kind::kSequence: {
+      size_t nesting = 0;
+      for (const Block& c : block.children) {
+        nesting = std::max(nesting, BlockNesting(c));
+      }
+      return nesting;
+    }
+    case Block::Kind::kBranch: {
+      size_t inner = 0;
+      for (const Block& c : block.children) {
+        inner = std::max(inner, BlockNesting(c));
+      }
+      return 1 + inner;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string WorkflowMetrics::ToString() const {
+  std::ostringstream os;
+  os << "ops=" << num_operations << " (decision=" << num_decision_nodes
+     << ", " << FormatDouble(decision_fraction * 100, 3) << "%)"
+     << " msgs=" << num_transitions << " depth=" << depth
+     << " fanout=" << max_fan_out << " nesting=" << max_nesting
+     << " E[ops/run]=" << FormatDouble(expected_executed_operations, 4)
+     << " cycles=" << FormatDouble(total_cycles, 4)
+     << " E[cycles/run]=" << FormatDouble(expected_cycles, 4);
+  return os.str();
+}
+
+Result<WorkflowMetrics> ComputeWorkflowMetrics(const Workflow& w) {
+  WSFLOW_ASSIGN_OR_RETURN(Block root, DecomposeBlocks(w));
+  ExecutionProfile profile = ComputeExecutionProfile(w, root);
+
+  WorkflowMetrics m;
+  m.num_operations = w.num_operations();
+  m.num_transitions = w.num_transitions();
+  m.num_decision_nodes = w.NumDecisionNodes();
+  m.decision_fraction =
+      m.num_operations == 0
+          ? 0.0
+          : static_cast<double>(m.num_decision_nodes) /
+                static_cast<double>(m.num_operations);
+  m.depth = BlockDepth(root);
+  m.max_nesting = BlockNesting(root);
+  for (const Operation& op : w.operations()) {
+    if (op.is_split()) {
+      m.max_fan_out = std::max(m.max_fan_out, w.out_degree(op.id()));
+    }
+    m.expected_executed_operations += profile.OperationProb(op.id());
+    m.total_cycles += op.cycles();
+    m.expected_cycles += profile.OperationProb(op.id()) * op.cycles();
+  }
+  for (const Transition& t : w.transitions()) {
+    m.total_message_bits += t.message_bits;
+    m.expected_message_bits +=
+        profile.TransitionProb(t.id) * t.message_bits;
+  }
+  return m;
+}
+
+}  // namespace wsflow

@@ -1,0 +1,54 @@
+// wsflow: structural workflow metrics.
+//
+// Quantifies the shape properties the paper's §4.2 workload taxonomy talks
+// about — bushy graphs are "shorter in length but with a higher fan-out",
+// lengthy graphs "involve lengthy paths" — so generators can be validated
+// and workloads characterized in reports.
+
+#ifndef WSFLOW_WORKFLOW_METRICS_H_
+#define WSFLOW_WORKFLOW_METRICS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/workflow/blocks.h"
+#include "src/workflow/workflow.h"
+
+namespace wsflow {
+
+struct WorkflowMetrics {
+  size_t num_operations = 0;
+  size_t num_transitions = 0;
+  size_t num_decision_nodes = 0;
+  /// num_decision_nodes / num_operations.
+  double decision_fraction = 0;
+  /// Operations on the longest control path source -> sink (counting both
+  /// ends); equals num_operations for a line.
+  size_t depth = 0;
+  /// Largest split fan-out; 0 when there are no splits.
+  size_t max_fan_out = 0;
+  /// Deepest branch-block nesting; 0 for lines.
+  size_t max_nesting = 0;
+  /// Expected number of operations executed in one run (XOR arms weighted
+  /// by probability); equals num_operations when there is no XOR.
+  double expected_executed_operations = 0;
+  /// Sum of C(op) over all operations.
+  double total_cycles = 0;
+  /// Expected executed cycles per run (probability-weighted).
+  double expected_cycles = 0;
+  /// Sum of message bits over all transitions.
+  double total_message_bits = 0;
+  /// Expected transferred bits per run (probability-weighted).
+  double expected_message_bits = 0;
+
+  /// One-line rendering for reports.
+  std::string ToString() const;
+};
+
+/// Computes the metrics; requires a well-formed workflow.
+Result<WorkflowMetrics> ComputeWorkflowMetrics(const Workflow& w);
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_WORKFLOW_METRICS_H_

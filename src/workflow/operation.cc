@@ -1,0 +1,61 @@
+#include "src/workflow/operation.h"
+
+namespace wsflow {
+
+bool IsDecision(OperationType type) {
+  return type != OperationType::kOperational;
+}
+
+bool IsSplit(OperationType type) {
+  switch (type) {
+    case OperationType::kAndSplit:
+    case OperationType::kOrSplit:
+    case OperationType::kXorSplit:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsJoin(OperationType type) {
+  switch (type) {
+    case OperationType::kAndJoin:
+    case OperationType::kOrJoin:
+    case OperationType::kXorJoin:
+      return true;
+    default:
+      return false;
+  }
+}
+
+OperationType ComplementType(OperationType type) {
+  switch (type) {
+    case OperationType::kAndSplit: return OperationType::kAndJoin;
+    case OperationType::kAndJoin: return OperationType::kAndSplit;
+    case OperationType::kOrSplit: return OperationType::kOrJoin;
+    case OperationType::kOrJoin: return OperationType::kOrSplit;
+    case OperationType::kXorSplit: return OperationType::kXorJoin;
+    case OperationType::kXorJoin: return OperationType::kXorSplit;
+    case OperationType::kOperational: return OperationType::kOperational;
+  }
+  return OperationType::kOperational;
+}
+
+std::string_view OperationTypeToString(OperationType type) {
+  switch (type) {
+    case OperationType::kOperational: return "operational";
+    case OperationType::kAndSplit: return "and-split";
+    case OperationType::kAndJoin: return "and-join";
+    case OperationType::kOrSplit: return "or-split";
+    case OperationType::kOrJoin: return "or-join";
+    case OperationType::kXorSplit: return "xor-split";
+    case OperationType::kXorJoin: return "xor-join";
+  }
+  return "unknown";
+}
+
+std::ostream& operator<<(std::ostream& os, OperationType type) {
+  return os << OperationTypeToString(type);
+}
+
+}  // namespace wsflow

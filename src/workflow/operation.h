@@ -1,0 +1,110 @@
+// wsflow: web-service operation model.
+//
+// An operation is a WSDL-style module that consumes one input XML message and
+// produces one output XML message (paper §2.2). Operations are either
+// *operational* (they do workflow work) or *decision* nodes that control the
+// flow: AND / OR / XOR splits and their complements (/AND, /OR, /XOR), which
+// we call joins. Decision nodes are deployable operations like any other —
+// they run on a server and consume cycles.
+
+#ifndef WSFLOW_WORKFLOW_OPERATION_H_
+#define WSFLOW_WORKFLOW_OPERATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace wsflow {
+
+/// Strongly-typed index of an operation within its workflow.
+struct OperationId {
+  uint32_t value = kInvalid;
+
+  static constexpr uint32_t kInvalid = 0xFFFFFFFFu;
+
+  constexpr OperationId() = default;
+  constexpr explicit OperationId(uint32_t v) : value(v) {}
+
+  constexpr bool valid() const { return value != kInvalid; }
+
+  friend constexpr bool operator==(OperationId a, OperationId b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator!=(OperationId a, OperationId b) {
+    return a.value != b.value;
+  }
+  friend constexpr bool operator<(OperationId a, OperationId b) {
+    return a.value < b.value;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, OperationId id) {
+  if (!id.valid()) return os << "O<invalid>";
+  return os << "O" << id.value;
+}
+
+/// Kind of a workflow node (paper §2.2).
+enum class OperationType : uint8_t {
+  kOperational = 0,  ///< Performs a task.
+  kAndSplit,         ///< All outgoing paths execute; rendezvous at kAndJoin.
+  kAndJoin,          ///< Complement of kAndSplit (the paper's /AND).
+  kOrSplit,          ///< All paths start; one success suffices at kOrJoin.
+  kOrJoin,           ///< Complement of kOrSplit (/OR).
+  kXorSplit,         ///< Probabilistically weighted pick of one path.
+  kXorJoin,          ///< Complement of kXorSplit (/XOR).
+};
+
+/// True for AND/OR/XOR splits and joins.
+bool IsDecision(OperationType type);
+/// True for the three split types.
+bool IsSplit(OperationType type);
+/// True for the three join types.
+bool IsJoin(OperationType type);
+/// The matching join type of a split (and vice versa); operational maps to
+/// itself.
+OperationType ComplementType(OperationType type);
+
+/// Stable lower-case name: "operational", "and-split", ...
+std::string_view OperationTypeToString(OperationType type);
+
+std::ostream& operator<<(std::ostream& os, OperationType type);
+
+/// A deployable web-service operation.
+class Operation {
+ public:
+  Operation() = default;
+  Operation(OperationId id, std::string name, OperationType type,
+            double cycles)
+      : id_(id), name_(std::move(name)), type_(type), cycles_(cycles) {}
+
+  OperationId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  OperationType type() const { return type_; }
+
+  /// CPU cycles C(op) needed for one execution of the operation.
+  double cycles() const { return cycles_; }
+  void set_cycles(double cycles) { cycles_ = cycles; }
+
+  bool is_decision() const { return IsDecision(type_); }
+  bool is_split() const { return IsSplit(type_); }
+  bool is_join() const { return IsJoin(type_); }
+
+ private:
+  OperationId id_;
+  std::string name_;
+  OperationType type_ = OperationType::kOperational;
+  double cycles_ = 0;
+};
+
+}  // namespace wsflow
+
+template <>
+struct std::hash<wsflow::OperationId> {
+  size_t operator()(wsflow::OperationId id) const noexcept {
+    return std::hash<uint32_t>()(id.value);
+  }
+};
+
+#endif  // WSFLOW_WORKFLOW_OPERATION_H_

@@ -1,0 +1,82 @@
+#include "src/workflow/probability.h"
+
+namespace wsflow {
+
+namespace {
+
+/// Fills op_prob and edge_prob by walking the block tree. Edge
+/// probabilities are assigned structurally: edges within a control context
+/// carry that context's probability; a branch's entry/exit edges (and the
+/// direct split->join edge of an empty branch) carry the branch's
+/// probability — which matters for XOR, where the branch executes less
+/// often than its split.
+class ProbabilityAssigner {
+ public:
+  ProbabilityAssigner(const Workflow& w, ExecutionProfile* profile)
+      : w_(w), profile_(profile) {}
+
+  void Assign(const Block& block, double p) {
+    switch (block.kind) {
+      case Block::Kind::kLeaf:
+        profile_->op_prob[block.op.value] = p;
+        break;
+      case Block::Kind::kSequence:
+        for (const Block& c : block.children) Assign(c, p);
+        for (size_t i = 0; i + 1 < block.children.size(); ++i) {
+          SetEdge(TailOperation(block.children[i]),
+                  HeadOperation(block.children[i + 1]), p);
+        }
+        break;
+      case Block::Kind::kBranch: {
+        profile_->op_prob[block.split.value] = p;
+        profile_->op_prob[block.join.value] = p;
+        for (size_t i = 0; i < block.children.size(); ++i) {
+          const Block& body = block.children[i];
+          double branch_p = p * block.branch_probs[i];
+          if (body.kind == Block::Kind::kSequence && body.children.empty()) {
+            SetEdge(block.split, block.join, branch_p);
+            continue;
+          }
+          SetEdge(block.split, HeadOperation(body), branch_p);
+          Assign(body, branch_p);
+          SetEdge(TailOperation(body), block.join, branch_p);
+        }
+        break;
+      }
+    }
+  }
+
+ private:
+  void SetEdge(OperationId from, OperationId to, double p) {
+    Result<TransitionId> t = w_.FindTransition(from, to);
+    if (t.ok()) profile_->edge_prob[t->value] = p;
+  }
+
+  const Workflow& w_;
+  ExecutionProfile* profile_;
+};
+
+}  // namespace
+
+ExecutionProfile ComputeExecutionProfile(const Workflow& w,
+                                         const Block& root) {
+  ExecutionProfile profile;
+  profile.op_prob.assign(w.num_operations(), 0.0);
+  profile.edge_prob.assign(w.num_transitions(), 0.0);
+  ProbabilityAssigner(w, &profile).Assign(root, 1.0);
+  return profile;
+}
+
+Result<ExecutionProfile> ComputeExecutionProfile(const Workflow& w) {
+  WSFLOW_ASSIGN_OR_RETURN(Block root, DecomposeBlocks(w));
+  return ComputeExecutionProfile(w, root);
+}
+
+ExecutionProfile UnitProfile(const Workflow& w) {
+  ExecutionProfile profile;
+  profile.op_prob.assign(w.num_operations(), 1.0);
+  profile.edge_prob.assign(w.num_transitions(), 1.0);
+  return profile;
+}
+
+}  // namespace wsflow

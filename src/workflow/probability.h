@@ -1,0 +1,67 @@
+// wsflow: execution-probability annotation.
+//
+// XOR decision nodes execute exactly one of their branches, so in a graph
+// workflow each operation and message has an *execution probability*
+// (paper §3.4: "all the algorithms of this family assign an execution
+// probability to each operation (and thus, each message)"). The paper
+// obtains the XOR branch weights by monitoring initial executions or simple
+// prediction; here they are part of the workflow model (Transition::
+// branch_weight) and this module derives per-node / per-edge probabilities.
+//
+// AND and OR branches all start executing, so they inherit the enclosing
+// probability unchanged. Probabilities compose multiplicatively through
+// nested XOR blocks. Edge probabilities are assigned structurally from the
+// block tree: a branch's entry and exit messages (including the direct
+// split->join message of an empty branch) carry the *branch's* probability,
+// and messages between consecutive sequence elements carry the enclosing
+// context's probability.
+
+#ifndef WSFLOW_WORKFLOW_PROBABILITY_H_
+#define WSFLOW_WORKFLOW_PROBABILITY_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/workflow/blocks.h"
+#include "src/workflow/workflow.h"
+
+namespace wsflow {
+
+/// Per-operation and per-transition execution probabilities, indexed by
+/// OperationId::value / TransitionId::value.
+struct ExecutionProfile {
+  std::vector<double> op_prob;
+  std::vector<double> edge_prob;
+
+  double OperationProb(OperationId id) const { return op_prob[id.value]; }
+  double TransitionProb(TransitionId id) const { return edge_prob[id.value]; }
+
+  /// Probability-weighted cycles of an operation: p(op) * C(op). This is the
+  /// amortized cost over many workflow executions used by the graph-aware
+  /// deployment algorithms.
+  double WeightedCycles(const Workflow& w, OperationId id) const {
+    return OperationProb(id) * w.operation(id).cycles();
+  }
+
+  /// Probability-weighted message size of a transition in bits.
+  double WeightedMessageBits(const Workflow& w, TransitionId id) const {
+    return TransitionProb(id) * w.transition(id).message_bits;
+  }
+};
+
+/// Computes the execution profile of a well-formed workflow. For line
+/// workflows every probability is 1. Fails when the workflow is not
+/// well-formed.
+Result<ExecutionProfile> ComputeExecutionProfile(const Workflow& w);
+
+/// As above but reuses an existing block decomposition of `w`.
+ExecutionProfile ComputeExecutionProfile(const Workflow& w,
+                                         const Block& root);
+
+/// Returns a profile with every probability set to 1 (single-execution
+/// semantics, used for line workflows where all operations always run).
+ExecutionProfile UnitProfile(const Workflow& w);
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_WORKFLOW_PROBABILITY_H_

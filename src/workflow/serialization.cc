@@ -1,0 +1,118 @@
+#include "src/workflow/serialization.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace wsflow {
+
+namespace {
+
+Result<OperationType> TypeFromString(const std::string& s) {
+  for (OperationType t :
+       {OperationType::kOperational, OperationType::kAndSplit,
+        OperationType::kAndJoin, OperationType::kOrSplit,
+        OperationType::kOrJoin, OperationType::kXorSplit,
+        OperationType::kXorJoin}) {
+    if (OperationTypeToString(t) == s) return t;
+  }
+  return Status::ParseError("unknown operation type '" + s + "'");
+}
+
+}  // namespace
+
+XmlNode WorkflowToXml(const Workflow& w) {
+  XmlNode root("workflow");
+  root.SetAttr("name", w.name());
+  for (const Operation& op : w.operations()) {
+    XmlNode& node = root.AddChild("operation");
+    node.SetAttr("id", static_cast<int64_t>(op.id().value));
+    node.SetAttr("name", op.name());
+    node.SetAttr("type", std::string(OperationTypeToString(op.type())));
+    node.SetAttr("cycles", op.cycles());
+  }
+  for (const Transition& t : w.transitions()) {
+    XmlNode& node = root.AddChild("transition");
+    node.SetAttr("from", static_cast<int64_t>(t.from.value));
+    node.SetAttr("to", static_cast<int64_t>(t.to.value));
+    node.SetAttr("bits", t.message_bits);
+    node.SetAttr("weight", t.branch_weight);
+  }
+  return root;
+}
+
+std::string WorkflowToXmlString(const Workflow& w) {
+  return WriteXml(WorkflowToXml(w));
+}
+
+Result<Workflow> WorkflowFromXml(const XmlNode& root) {
+  if (root.tag() != "workflow") {
+    return Status::ParseError("expected <workflow>, got <" + root.tag() +
+                              ">");
+  }
+  Workflow w(root.Attr("name").value_or("workflow"));
+  std::vector<const XmlNode*> ops = root.Children("operation");
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const XmlNode& node = *ops[i];
+    WSFLOW_ASSIGN_OR_RETURN(int64_t id, node.IntAttr("id"));
+    if (id != static_cast<int64_t>(i)) {
+      return Status::ParseError(
+          "operation ids must be dense and in order; expected " +
+          std::to_string(i) + ", got " + std::to_string(id));
+    }
+    WSFLOW_ASSIGN_OR_RETURN(std::string name, node.Attr("name"));
+    WSFLOW_ASSIGN_OR_RETURN(std::string type_str, node.Attr("type"));
+    WSFLOW_ASSIGN_OR_RETURN(OperationType type, TypeFromString(type_str));
+    WSFLOW_ASSIGN_OR_RETURN(double cycles, node.DoubleAttr("cycles"));
+    if (cycles < 0) {
+      return Status::ParseError("operation '" + name + "' has negative cycles");
+    }
+    w.AddOperation(name, type, cycles);
+  }
+  for (const XmlNode* node : root.Children("transition")) {
+    WSFLOW_ASSIGN_OR_RETURN(int64_t from, node->IntAttr("from"));
+    WSFLOW_ASSIGN_OR_RETURN(int64_t to, node->IntAttr("to"));
+    WSFLOW_ASSIGN_OR_RETURN(double bits, node->DoubleAttr("bits"));
+    double weight = 1.0;
+    if (node->HasAttr("weight")) {
+      WSFLOW_ASSIGN_OR_RETURN(weight, node->DoubleAttr("weight"));
+    }
+    if (from < 0 || to < 0 ||
+        static_cast<size_t>(from) >= w.num_operations() ||
+        static_cast<size_t>(to) >= w.num_operations()) {
+      return Status::ParseError("transition endpoint out of range");
+    }
+    Result<TransitionId> r =
+        w.AddTransition(OperationId(static_cast<uint32_t>(from)),
+                        OperationId(static_cast<uint32_t>(to)), bits, weight);
+    if (!r.ok()) return r.status().WithContext("loading transition");
+  }
+  return w;
+}
+
+Result<Workflow> WorkflowFromXmlString(const std::string& text) {
+  WSFLOW_ASSIGN_OR_RETURN(XmlNode root, ParseXml(text));
+  return WorkflowFromXml(root);
+}
+
+Status SaveWorkflow(const Workflow& w, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  out << WorkflowToXmlString(w);
+  out.close();
+  if (!out) return Status::Internal("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<Workflow> LoadWorkflow(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return WorkflowFromXmlString(buffer.str());
+}
+
+}  // namespace wsflow

@@ -1,0 +1,48 @@
+// wsflow: workflow persistence in a WSFL-inspired XML format.
+//
+// Format (all sizes in bits, cycles in CPU cycles):
+//
+//   <workflow name="rendezvous">
+//     <operation id="0" name="request" type="operational" cycles="5e6"/>
+//     <operation id="1" name="avail" type="xor-split" cycles="1e6"/>
+//     ...
+//     <transition from="0" to="1" bits="69888" weight="1"/>
+//   </workflow>
+//
+// Operation ids in the file must be the dense indices 0..M-1; transitions
+// refer to those ids. Round-tripping preserves ids, names, types, cycles,
+// message sizes and branch weights exactly.
+
+#ifndef WSFLOW_WORKFLOW_SERIALIZATION_H_
+#define WSFLOW_WORKFLOW_SERIALIZATION_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/workflow/workflow.h"
+#include "src/workflow/xml.h"
+
+namespace wsflow {
+
+/// Renders `w` as a <workflow> XML document.
+std::string WorkflowToXmlString(const Workflow& w);
+
+/// Converts `w` to its XML element form.
+XmlNode WorkflowToXml(const Workflow& w);
+
+/// Parses a workflow from XML text. Structural validation is not implied;
+/// call ValidateAll separately when well-formedness is required.
+Result<Workflow> WorkflowFromXmlString(const std::string& text);
+
+/// Converts a parsed <workflow> element to a Workflow.
+Result<Workflow> WorkflowFromXml(const XmlNode& root);
+
+/// Writes `w` to `path` in XML form.
+Status SaveWorkflow(const Workflow& w, const std::string& path);
+
+/// Loads a workflow from the XML file at `path`.
+Result<Workflow> LoadWorkflow(const std::string& path);
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_WORKFLOW_SERIALIZATION_H_

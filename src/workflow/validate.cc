@@ -1,0 +1,58 @@
+#include "src/workflow/validate.h"
+
+#include "src/workflow/blocks.h"
+
+namespace wsflow {
+
+Status ValidateWorkflow(const Workflow& w) {
+  if (w.num_operations() == 0) {
+    return Status::FailedPrecondition("workflow has no operations");
+  }
+  if (w.Sinks().size() != 1) {
+    return Status::FailedPrecondition(
+        "well-formed workflow must have exactly one sink, found " +
+        std::to_string(w.Sinks().size()));
+  }
+  // DecomposeBlocks performs the remaining checks: single source,
+  // acyclicity, connectivity, degree rules and complement matching.
+  Result<Block> blocks = DecomposeBlocks(w);
+  if (!blocks.ok()) return blocks.status();
+  return Status::OK();
+}
+
+Status ValidateQuantities(const Workflow& w) {
+  for (const Operation& op : w.operations()) {
+    if (op.cycles() < 0) {
+      return Status::InvalidArgument("operation " + op.name() +
+                                     " has negative cycles");
+    }
+  }
+  for (const Transition& t : w.transitions()) {
+    if (t.message_bits < 0) {
+      return Status::InvalidArgument("transition with negative message size");
+    }
+    if (t.branch_weight < 0) {
+      return Status::InvalidArgument("transition with negative branch weight");
+    }
+  }
+  for (const Operation& op : w.operations()) {
+    if (op.type() == OperationType::kXorSplit) {
+      double total = 0;
+      for (TransitionId t : w.out_edges(op.id())) {
+        total += w.transition(t).branch_weight;
+      }
+      if (total <= 0) {
+        return Status::InvalidArgument(
+            "XOR split " + op.name() + " has non-positive weight sum");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateAll(const Workflow& w) {
+  WSFLOW_RETURN_IF_ERROR(ValidateWorkflow(w));
+  return ValidateQuantities(w);
+}
+
+}  // namespace wsflow

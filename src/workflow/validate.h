@@ -1,0 +1,32 @@
+// wsflow: workflow well-formedness validation.
+//
+// A workflow is accepted by the deployment algorithms when it passes
+// ValidateWorkflow: it must be a non-empty, connected, acyclic digraph with a
+// single source and sink whose decision nodes nest like parentheses
+// (paper §2.2). Line workflows are a special case and always validate.
+
+#ifndef WSFLOW_WORKFLOW_VALIDATE_H_
+#define WSFLOW_WORKFLOW_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/workflow/workflow.h"
+
+namespace wsflow {
+
+/// Checks structural well-formedness (see file comment). Returns OK or a
+/// FailedPrecondition explaining the first violation found.
+Status ValidateWorkflow(const Workflow& w);
+
+/// Additional sanity checks on quantities: non-negative cycles, positive
+/// message sizes, XOR splits with positive total branch weight.
+Status ValidateQuantities(const Workflow& w);
+
+/// ValidateWorkflow + ValidateQuantities.
+Status ValidateAll(const Workflow& w);
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_WORKFLOW_VALIDATE_H_

@@ -1,0 +1,213 @@
+#include "src/workflow/workflow.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace wsflow {
+
+OperationId Workflow::AddOperation(std::string name, OperationType type,
+                                   double cycles) {
+  WSFLOW_CHECK_GE(cycles, 0.0);
+  OperationId id(static_cast<uint32_t>(operations_.size()));
+  operations_.emplace_back(id, std::move(name), type, cycles);
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+Result<TransitionId> Workflow::AddTransition(OperationId from, OperationId to,
+                                             double message_bits,
+                                             double branch_weight) {
+  if (!Contains(from) || !Contains(to)) {
+    return Status::NotFound("transition endpoint not in workflow");
+  }
+  if (from == to) {
+    return Status::InvalidArgument("self-transition on operation " +
+                                   operation(from).name());
+  }
+  if (message_bits < 0) {
+    return Status::InvalidArgument("negative message size");
+  }
+  if (branch_weight < 0) {
+    return Status::InvalidArgument("negative branch weight");
+  }
+  if (FindTransition(from, to).ok()) {
+    // Paper §2.2: each pair of operations is connected by only one message.
+    std::ostringstream os;
+    os << "duplicate transition " << from << " -> " << to;
+    return Status::AlreadyExists(os.str());
+  }
+  TransitionId id(static_cast<uint32_t>(transitions_.size()));
+  transitions_.push_back(
+      Transition{id, from, to, message_bits, branch_weight});
+  out_[from.value].push_back(id);
+  in_[to.value].push_back(id);
+  return id;
+}
+
+const Operation& Workflow::operation(OperationId id) const {
+  WSFLOW_CHECK(Contains(id));
+  return operations_[id.value];
+}
+
+Operation& Workflow::mutable_operation(OperationId id) {
+  WSFLOW_CHECK(Contains(id));
+  return operations_[id.value];
+}
+
+const Transition& Workflow::transition(TransitionId id) const {
+  WSFLOW_CHECK_LT(id.value, transitions_.size());
+  return transitions_[id.value];
+}
+
+Transition& Workflow::mutable_transition(TransitionId id) {
+  WSFLOW_CHECK_LT(id.value, transitions_.size());
+  return transitions_[id.value];
+}
+
+const std::vector<TransitionId>& Workflow::out_edges(OperationId id) const {
+  WSFLOW_CHECK(Contains(id));
+  return out_[id.value];
+}
+
+const std::vector<TransitionId>& Workflow::in_edges(OperationId id) const {
+  WSFLOW_CHECK(Contains(id));
+  return in_[id.value];
+}
+
+Result<TransitionId> Workflow::FindTransition(OperationId from,
+                                              OperationId to) const {
+  if (!Contains(from) || !Contains(to)) {
+    return Status::NotFound("transition endpoint not in workflow");
+  }
+  for (TransitionId t : out_[from.value]) {
+    if (transitions_[t.value].to == to) return t;
+  }
+  std::ostringstream os;
+  os << "no transition " << from << " -> " << to;
+  return Status::NotFound(os.str());
+}
+
+std::vector<OperationId> Workflow::Sources() const {
+  std::vector<OperationId> out;
+  for (const Operation& op : operations_) {
+    if (in_[op.id().value].empty()) out.push_back(op.id());
+  }
+  return out;
+}
+
+std::vector<OperationId> Workflow::Sinks() const {
+  std::vector<OperationId> out;
+  for (const Operation& op : operations_) {
+    if (out_[op.id().value].empty()) out.push_back(op.id());
+  }
+  return out;
+}
+
+bool Workflow::IsLine() const { return LineOrder().ok(); }
+
+Result<std::vector<OperationId>> Workflow::LineOrder() const {
+  if (operations_.empty()) {
+    return Status::FailedPrecondition("empty workflow is not a line");
+  }
+  std::vector<OperationId> sources = Sources();
+  if (sources.size() != 1) {
+    return Status::FailedPrecondition("line workflow must have one source");
+  }
+  std::vector<OperationId> order;
+  order.reserve(operations_.size());
+  OperationId cur = sources[0];
+  for (;;) {
+    order.push_back(cur);
+    const auto& outs = out_[cur.value];
+    if (outs.empty()) break;
+    if (outs.size() > 1 || in_[cur.value].size() > 1) {
+      return Status::FailedPrecondition(
+          "workflow has branching; not a line");
+    }
+    cur = transitions_[outs[0].value].to;
+    if (order.size() > operations_.size()) {
+      return Status::FailedPrecondition("workflow contains a cycle");
+    }
+  }
+  if (order.size() != operations_.size()) {
+    return Status::FailedPrecondition(
+        "workflow is disconnected; not a line");
+  }
+  return order;
+}
+
+Result<std::vector<OperationId>> Workflow::TopologicalOrder() const {
+  std::vector<size_t> indegree(operations_.size());
+  for (size_t i = 0; i < operations_.size(); ++i) indegree[i] = in_[i].size();
+  std::deque<OperationId> ready;
+  for (size_t i = 0; i < operations_.size(); ++i) {
+    if (indegree[i] == 0) ready.push_back(OperationId(static_cast<uint32_t>(i)));
+  }
+  std::vector<OperationId> order;
+  order.reserve(operations_.size());
+  while (!ready.empty()) {
+    OperationId id = ready.front();
+    ready.pop_front();
+    order.push_back(id);
+    for (TransitionId t : out_[id.value]) {
+      OperationId next = transitions_[t.value].to;
+      if (--indegree[next.value] == 0) ready.push_back(next);
+    }
+  }
+  if (order.size() != operations_.size()) {
+    return Status::FailedPrecondition("workflow contains a cycle");
+  }
+  return order;
+}
+
+double Workflow::TotalCycles() const {
+  double total = 0;
+  for (const Operation& op : operations_) total += op.cycles();
+  return total;
+}
+
+double Workflow::TotalMessageBits() const {
+  double total = 0;
+  for (const Transition& t : transitions_) total += t.message_bits;
+  return total;
+}
+
+size_t Workflow::NumDecisionNodes() const {
+  size_t n = 0;
+  for (const Operation& op : operations_) {
+    if (op.is_decision()) ++n;
+  }
+  return n;
+}
+
+Result<Workflow> MakeLineWorkflow(const std::string& name,
+                                  const std::vector<double>& cycles,
+                                  const std::vector<double>& message_bits) {
+  if (cycles.empty()) {
+    return Status::InvalidArgument("line workflow needs >= 1 operation");
+  }
+  if (message_bits.size() + 1 != cycles.size()) {
+    return Status::InvalidArgument(
+        "line workflow needs exactly one message per consecutive pair");
+  }
+  Workflow w(name);
+  std::vector<OperationId> ids;
+  ids.reserve(cycles.size());
+  for (size_t i = 0; i < cycles.size(); ++i) {
+    ids.push_back(w.AddOperation("op" + std::to_string(i + 1),
+                                 OperationType::kOperational, cycles[i]));
+  }
+  for (size_t i = 0; i + 1 < ids.size(); ++i) {
+    WSFLOW_ASSIGN_OR_RETURN(TransitionId t,
+                            w.AddTransition(ids[i], ids[i + 1],
+                                            message_bits[i]));
+    (void)t;
+  }
+  return w;
+}
+
+}  // namespace wsflow

@@ -1,0 +1,138 @@
+// wsflow: the workflow digraph W(O, E).
+//
+// A workflow is a directed graph whose nodes are web-service operations and
+// whose edges are XML messages: an edge (o_p, o_n) means the output message
+// of o_p is the input of o_n (paper §2.2). Each ordered pair of operations
+// is connected by at most one message. Message sizes are stored in bits.
+
+#ifndef WSFLOW_WORKFLOW_WORKFLOW_H_
+#define WSFLOW_WORKFLOW_WORKFLOW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/workflow/operation.h"
+
+namespace wsflow {
+
+/// Index of a transition (message edge) within its workflow.
+struct TransitionId {
+  uint32_t value = 0xFFFFFFFFu;
+
+  constexpr TransitionId() = default;
+  constexpr explicit TransitionId(uint32_t v) : value(v) {}
+  constexpr bool valid() const { return value != 0xFFFFFFFFu; }
+
+  friend constexpr bool operator==(TransitionId a, TransitionId b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator!=(TransitionId a, TransitionId b) {
+    return a.value != b.value;
+  }
+};
+
+/// A message edge: the output of `from` feeds the input of `to`.
+struct Transition {
+  TransitionId id;
+  OperationId from;
+  OperationId to;
+  /// MsgSize(from, to) in bits.
+  double message_bits = 0;
+  /// Relative weight of this branch when `from` is an XOR split; the
+  /// probability of the branch is weight / (sum of sibling weights).
+  /// Ignored (and conventionally 1) for all other edge kinds.
+  double branch_weight = 1.0;
+};
+
+/// The workflow digraph. Construction is append-only: operations and
+/// transitions are added and never removed, so OperationId / TransitionId
+/// values are dense indices and remain stable.
+class Workflow {
+ public:
+  Workflow() = default;
+  explicit Workflow(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Adds an operation; returns its id. Cycles must be non-negative.
+  OperationId AddOperation(std::string name, OperationType type,
+                           double cycles);
+
+  /// Adds a message edge. Fails if either endpoint is unknown, if the edge
+  /// would duplicate an existing (from, to) pair, or if from == to.
+  Result<TransitionId> AddTransition(OperationId from, OperationId to,
+                                     double message_bits,
+                                     double branch_weight = 1.0);
+
+  size_t num_operations() const { return operations_.size(); }
+  size_t num_transitions() const { return transitions_.size(); }
+
+  bool Contains(OperationId id) const { return id.value < operations_.size(); }
+
+  const Operation& operation(OperationId id) const;
+  Operation& mutable_operation(OperationId id);
+  const std::vector<Operation>& operations() const { return operations_; }
+
+  const Transition& transition(TransitionId id) const;
+  Transition& mutable_transition(TransitionId id);
+  const std::vector<Transition>& transitions() const { return transitions_; }
+
+  /// Ids of edges leaving / entering `id`, in insertion order.
+  const std::vector<TransitionId>& out_edges(OperationId id) const;
+  const std::vector<TransitionId>& in_edges(OperationId id) const;
+
+  size_t out_degree(OperationId id) const { return out_edges(id).size(); }
+  size_t in_degree(OperationId id) const { return in_edges(id).size(); }
+
+  /// The transition (from, to) if present.
+  Result<TransitionId> FindTransition(OperationId from, OperationId to) const;
+
+  /// Operations with no incoming / no outgoing edges.
+  std::vector<OperationId> Sources() const;
+  std::vector<OperationId> Sinks() const;
+
+  /// True when the workflow is a simple path O_1 -> O_2 -> ... -> O_M
+  /// covering all operations (the paper's "line" topology).
+  bool IsLine() const;
+
+  /// For a line workflow, the operations in path order. Fails when the
+  /// workflow is not a line.
+  Result<std::vector<OperationId>> LineOrder() const;
+
+  /// Topological order of all operations; fails when the graph has a cycle.
+  Result<std::vector<OperationId>> TopologicalOrder() const;
+
+  /// Sum of C(op) over all operations.
+  double TotalCycles() const;
+
+  /// Sum of message sizes over all transitions, in bits.
+  double TotalMessageBits() const;
+
+  /// Counts of decision vs operational nodes (splits + joins are decisions).
+  size_t NumDecisionNodes() const;
+  size_t NumOperationalNodes() const {
+    return num_operations() - NumDecisionNodes();
+  }
+
+ private:
+  std::string name_;
+  std::vector<Operation> operations_;
+  std::vector<Transition> transitions_;
+  std::vector<std::vector<TransitionId>> out_;
+  std::vector<std::vector<TransitionId>> in_;
+};
+
+/// Builds the line workflow O_1 -> ... -> O_M with the given per-operation
+/// cycles and per-edge message sizes (bits). `message_bits` must have
+/// exactly cycles.size() - 1 entries.
+Result<Workflow> MakeLineWorkflow(const std::string& name,
+                                  const std::vector<double>& cycles,
+                                  const std::vector<double>& message_bits);
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_WORKFLOW_WORKFLOW_H_

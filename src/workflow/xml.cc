@@ -1,0 +1,284 @@
+#include "src/workflow/xml.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "src/common/string_util.h"
+
+namespace wsflow {
+
+void XmlNode::SetAttr(const std::string& key, std::string value) {
+  for (auto& [k, v] : attributes_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  attributes_.emplace_back(key, std::move(value));
+}
+
+void XmlNode::SetAttr(const std::string& key, double value) {
+  SetAttr(key, FormatDouble(value, 17));
+}
+
+void XmlNode::SetAttr(const std::string& key, int64_t value) {
+  SetAttr(key, std::to_string(value));
+}
+
+Result<std::string> XmlNode::Attr(const std::string& key) const {
+  for (const auto& [k, v] : attributes_) {
+    if (k == key) return v;
+  }
+  return Status::NotFound("element <" + tag_ + "> has no attribute '" + key +
+                          "'");
+}
+
+Result<double> XmlNode::DoubleAttr(const std::string& key) const {
+  WSFLOW_ASSIGN_OR_RETURN(std::string raw, Attr(key));
+  return ParseDouble(raw);
+}
+
+Result<int64_t> XmlNode::IntAttr(const std::string& key) const {
+  WSFLOW_ASSIGN_OR_RETURN(std::string raw, Attr(key));
+  return ParseInt64(raw);
+}
+
+bool XmlNode::HasAttr(const std::string& key) const { return Attr(key).ok(); }
+
+XmlNode& XmlNode::AddChild(std::string tag) {
+  children_.emplace_back(std::move(tag));
+  return children_.back();
+}
+
+Result<const XmlNode*> XmlNode::Child(const std::string& tag) const {
+  for (const XmlNode& c : children_) {
+    if (c.tag() == tag) return &c;
+  }
+  return Status::NotFound("element <" + tag_ + "> has no child <" + tag + ">");
+}
+
+std::vector<const XmlNode*> XmlNode::Children(const std::string& tag) const {
+  std::vector<const XmlNode*> out;
+  for (const XmlNode& c : children_) {
+    if (c.tag() == tag) out.push_back(&c);
+  }
+  return out;
+}
+
+std::string XmlEscape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string XmlNode::ToString(int indent) const {
+  std::ostringstream os;
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  os << pad << "<" << tag_;
+  for (const auto& [k, v] : attributes_) {
+    os << " " << k << "=\"" << XmlEscape(v) << "\"";
+  }
+  if (children_.empty() && text_.empty()) {
+    os << "/>\n";
+    return os.str();
+  }
+  os << ">";
+  if (!text_.empty()) os << XmlEscape(text_);
+  if (!children_.empty()) {
+    os << "\n";
+    for (const XmlNode& c : children_) os << c.ToString(indent + 1);
+    os << pad;
+  }
+  os << "</" << tag_ << ">\n";
+  return os.str();
+}
+
+std::string WriteXml(const XmlNode& root) {
+  return "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n" + root.ToString();
+}
+
+namespace {
+
+/// Hand-rolled recursive-descent parser for the supported XML subset.
+class XmlParser {
+ public:
+  explicit XmlParser(std::string_view input) : in_(input) {}
+
+  Result<XmlNode> Parse() {
+    SkipProlog();
+    WSFLOW_ASSIGN_OR_RETURN(XmlNode root, ParseElement());
+    SkipWhitespaceAndComments();
+    if (pos_ != in_.size()) {
+      return Error("trailing content after the root element");
+    }
+    return root;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    size_t line = 1;
+    for (size_t i = 0; i < pos_ && i < in_.size(); ++i) {
+      if (in_[i] == '\n') ++line;
+    }
+    return Status::ParseError("XML line " + std::to_string(line) + ": " +
+                              what);
+  }
+
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+  bool Consume(std::string_view token) {
+    if (in_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+
+  void SkipWhitespaceAndComments() {
+    for (;;) {
+      SkipWhitespace();
+      if (Consume("<!--")) {
+        size_t end = in_.find("-->", pos_);
+        pos_ = end == std::string_view::npos ? in_.size() : end + 3;
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipProlog() {
+    SkipWhitespace();
+    if (Consume("<?xml")) {
+      size_t end = in_.find("?>", pos_);
+      pos_ = end == std::string_view::npos ? in_.size() : end + 2;
+    }
+    SkipWhitespaceAndComments();
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  }
+
+  Result<std::string> ParseName() {
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    if (pos_ == start) return Error("expected a name");
+    return std::string(in_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> ParseQuoted() {
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Error("expected a quoted attribute value");
+    }
+    char quote = Peek();
+    ++pos_;
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != quote) ++pos_;
+    if (AtEnd()) return Error("unterminated attribute value");
+    std::string raw(in_.substr(start, pos_ - start));
+    ++pos_;
+    return Unescape(raw);
+  }
+
+  Result<std::string> Unescape(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out += raw[i];
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) {
+        return Error("unterminated entity reference");
+      }
+      std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "amp") out += '&';
+      else if (entity == "lt") out += '<';
+      else if (entity == "gt") out += '>';
+      else if (entity == "quot") out += '"';
+      else if (entity == "apos") out += '\'';
+      else return Error("unknown entity '&" + std::string(entity) + ";'");
+      i = semi;
+    }
+    return out;
+  }
+
+  Result<XmlNode> ParseElement() {
+    if (!Consume("<")) return Error("expected '<'");
+    WSFLOW_ASSIGN_OR_RETURN(std::string tag, ParseName());
+    XmlNode node(tag);
+    for (;;) {
+      SkipWhitespace();
+      if (Consume("/>")) return node;
+      if (Consume(">")) break;
+      WSFLOW_ASSIGN_OR_RETURN(std::string key, ParseName());
+      SkipWhitespace();
+      if (!Consume("=")) return Error("expected '=' after attribute name");
+      SkipWhitespace();
+      WSFLOW_ASSIGN_OR_RETURN(std::string value, ParseQuoted());
+      node.SetAttr(key, std::move(value));
+    }
+    // Content: interleaved text, children and comments until the close tag.
+    for (;;) {
+      if (AtEnd()) return Error("unterminated element <" + tag + ">");
+      if (Consume("<!--")) {
+        size_t end = in_.find("-->", pos_);
+        if (end == std::string_view::npos) return Error("unterminated comment");
+        pos_ = end + 3;
+        continue;
+      }
+      if (in_.substr(pos_, 2) == "</") {
+        pos_ += 2;
+        WSFLOW_ASSIGN_OR_RETURN(std::string close, ParseName());
+        if (close != tag) {
+          return Error("mismatched close tag </" + close + "> for <" + tag +
+                       ">");
+        }
+        SkipWhitespace();
+        if (!Consume(">")) return Error("expected '>' after close tag");
+        // Inter-element whitespace is not significant content.
+        node.set_text(std::string(Trim(node.text())));
+        return node;
+      }
+      if (Peek() == '<') {
+        WSFLOW_ASSIGN_OR_RETURN(XmlNode child, ParseElement());
+        node.children().push_back(std::move(child));
+        continue;
+      }
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != '<') ++pos_;
+      WSFLOW_ASSIGN_OR_RETURN(std::string text,
+                              Unescape(in_.substr(start, pos_ - start)));
+      node.append_text(text);
+    }
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<XmlNode> ParseXml(std::string_view input) {
+  return XmlParser(input).Parse();
+}
+
+}  // namespace wsflow

@@ -1,0 +1,88 @@
+// wsflow: minimal XML document model, parser and writer.
+//
+// Web-service workflows are described in XML dialects (WSDL, WSFL, BPEL);
+// wsflow persists workflows in a small XML format (serialization.h). This
+// module implements the XML subset needed for that: elements with
+// attributes, nested children and text content, with entity escaping.
+// Unsupported: namespaces, DTDs, processing instructions other than the
+// leading declaration, and CDATA sections. Comments are parsed and skipped.
+
+#ifndef WSFLOW_WORKFLOW_XML_H_
+#define WSFLOW_WORKFLOW_XML_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace wsflow {
+
+/// An XML element: tag, attributes (ordered), text and child elements.
+class XmlNode {
+ public:
+  XmlNode() = default;
+  explicit XmlNode(std::string tag) : tag_(std::move(tag)) {}
+
+  const std::string& tag() const { return tag_; }
+  void set_tag(std::string tag) { tag_ = std::move(tag); }
+
+  /// Concatenated character data directly inside this element.
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+  void append_text(std::string_view text) { text_ += text; }
+
+  /// Attributes in document order.
+  const std::vector<std::pair<std::string, std::string>>& attributes() const {
+    return attributes_;
+  }
+  /// Sets (or overwrites) an attribute.
+  void SetAttr(const std::string& key, std::string value);
+  void SetAttr(const std::string& key, double value);
+  void SetAttr(const std::string& key, int64_t value);
+
+  /// Attribute lookup; NotFound when absent.
+  Result<std::string> Attr(const std::string& key) const;
+  Result<double> DoubleAttr(const std::string& key) const;
+  Result<int64_t> IntAttr(const std::string& key) const;
+  bool HasAttr(const std::string& key) const;
+
+  const std::vector<XmlNode>& children() const { return children_; }
+  std::vector<XmlNode>& children() { return children_; }
+
+  /// Appends a child element and returns a reference to it.
+  XmlNode& AddChild(std::string tag);
+
+  /// First child with the given tag; NotFound when absent. The pointer
+  /// stays valid until children are mutated.
+  Result<const XmlNode*> Child(const std::string& tag) const;
+
+  /// All children with the given tag, in order.
+  std::vector<const XmlNode*> Children(const std::string& tag) const;
+
+  /// Serializes this element (and subtree) as indented XML.
+  std::string ToString(int indent = 0) const;
+
+ private:
+  std::string tag_;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attributes_;
+  std::vector<XmlNode> children_;
+};
+
+/// Parses a document and returns its root element. Accepts an optional
+/// leading `<?xml ...?>` declaration and skips comments and inter-element
+/// whitespace.
+Result<XmlNode> ParseXml(std::string_view input);
+
+/// Serializes `root` with an XML declaration header.
+std::string WriteXml(const XmlNode& root);
+
+/// Escapes &, <, >, " and ' for use in text or attribute values.
+std::string XmlEscape(std::string_view raw);
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_WORKFLOW_XML_H_

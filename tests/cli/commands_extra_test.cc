@@ -1,0 +1,165 @@
+// Tests for the CLI commands added by the extensions: stats, failover,
+// dot, response-times, and structured-process workflow input.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/cli/commands.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow::cli {
+namespace {
+
+class CliExtraTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir();
+    workflow_path_ = dir_ + "/extra_workflow.xml";
+    process_path_ = dir_ + "/extra_process.xml";
+    network_path_ = dir_ + "/extra_network.xml";
+    std::ostringstream sink;
+    WSFLOW_ASSERT_OK(CmdGenerate({"--type", "hybrid", "--ops", "13",
+                                  "--out", workflow_path_},
+                                 sink));
+    WSFLOW_ASSERT_OK(CmdMakeNetwork(
+        {"--kind", "bus", "--powers", "1e9,2e9,3e9", "--speeds", "1e8",
+         "--out", network_path_},
+        sink));
+    std::ofstream process(process_path_);
+    process << "<process name=\"proc\" default_bits=\"1000\">"
+               "<invoke name=\"a\" cycles=\"1e6\"/>"
+               "<flow name=\"f\" cycles=\"1e6\">"
+               "<invoke name=\"l\" cycles=\"2e6\"/>"
+               "<invoke name=\"r\" cycles=\"3e6\"/>"
+               "</flow>"
+               "<invoke name=\"z\" cycles=\"1e6\"/>"
+               "</process>";
+  }
+
+  void TearDown() override {
+    std::remove(workflow_path_.c_str());
+    std::remove(process_path_.c_str());
+    std::remove(network_path_.c_str());
+  }
+
+  std::string dir_, workflow_path_, process_path_, network_path_;
+};
+
+TEST_F(CliExtraTest, StatsOnFlatWorkflow) {
+  std::ostringstream out;
+  WSFLOW_ASSERT_OK(CmdStats({"--workflow", workflow_path_}, out));
+  std::string text = out.str();
+  EXPECT_NE(text.find("operations:       13"), std::string::npos);
+  EXPECT_NE(text.find("depth:"), std::string::npos);
+  EXPECT_NE(text.find("E[ops per run]"), std::string::npos);
+}
+
+TEST_F(CliExtraTest, StatsOnStructuredProcess) {
+  std::ostringstream out;
+  WSFLOW_ASSERT_OK(CmdStats({"--workflow", process_path_}, out));
+  // a, f, l, r, f__join, z = 6 operations.
+  EXPECT_NE(out.str().find("operations:       6"), std::string::npos);
+}
+
+TEST_F(CliExtraTest, StatsRequiresWorkflow) {
+  std::ostringstream out;
+  EXPECT_TRUE(CmdStats({}, out).IsInvalidArgument());
+}
+
+TEST_F(CliExtraTest, DeployAcceptsStructuredProcess) {
+  std::ostringstream out;
+  WSFLOW_ASSERT_OK(CmdDeploy({"--workflow", process_path_, "--network",
+                              network_path_, "--algorithm", "fair-load"},
+                             out));
+  EXPECT_NE(out.str().find("f__join->"), std::string::npos);
+}
+
+TEST_F(CliExtraTest, FailoverReportsEveryServer) {
+  std::ostringstream out;
+  WSFLOW_ASSERT_OK(CmdFailover({"--workflow", workflow_path_, "--network",
+                                network_path_, "--algorithm", "fair-load"},
+                               out));
+  std::string text = out.str();
+  EXPECT_NE(text.find("s1"), std::string::npos);
+  EXPECT_NE(text.find("s3"), std::string::npos);
+  EXPECT_NE(text.find("scale-up"), std::string::npos);
+}
+
+TEST_F(CliExtraTest, FailoverStrategies) {
+  std::ostringstream out;
+  WSFLOW_ASSERT_OK(CmdFailover({"--workflow", workflow_path_, "--network",
+                                network_path_, "--strategy", "co-locate"},
+                               out));
+  EXPECT_TRUE(CmdFailover({"--workflow", workflow_path_, "--network",
+                           network_path_, "--strategy", "panic"},
+                          out)
+                  .IsInvalidArgument());
+}
+
+TEST_F(CliExtraTest, ResponseTimesListEveryOperation) {
+  std::ostringstream out;
+  WSFLOW_ASSERT_OK(CmdResponseTimes(
+      {"--workflow", process_path_, "--network", network_path_}, out));
+  std::string text = out.str();
+  for (const char* name : {"a", "f__join", "z"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(text.find("completes at"), std::string::npos);
+}
+
+TEST_F(CliExtraTest, DotWorkflowOnly) {
+  std::ostringstream out;
+  WSFLOW_ASSERT_OK(CmdDot({"--workflow", workflow_path_}, out));
+  EXPECT_EQ(out.str().find("digraph"), 0u);
+}
+
+TEST_F(CliExtraTest, DotNetworkOnly) {
+  std::ostringstream out;
+  WSFLOW_ASSERT_OK(CmdDot({"--network", network_path_}, out));
+  EXPECT_EQ(out.str().find("graph"), 0u);
+  EXPECT_NE(out.str().find("bus"), std::string::npos);
+}
+
+TEST_F(CliExtraTest, DotDeploymentColored) {
+  std::ostringstream out;
+  WSFLOW_ASSERT_OK(CmdDot({"--workflow", workflow_path_, "--network",
+                           network_path_, "--algorithm", "heavy-ops"},
+                          out));
+  EXPECT_NE(out.str().find("style=filled"), std::string::npos);
+  EXPECT_NE(out.str().find("cluster_legend"), std::string::npos);
+}
+
+TEST_F(CliExtraTest, DotWithoutInputsRejected) {
+  std::ostringstream out;
+  EXPECT_TRUE(CmdDot({}, out).IsInvalidArgument());
+}
+
+TEST_F(CliExtraTest, CompareIncludesPortfolioViaExtensions) {
+  std::ostringstream out;
+  std::vector<std::string> args{"--workflow", workflow_path_, "--network",
+                                network_path_};
+  WSFLOW_ASSERT_OK(CmdCompare(args, out));
+  // The paper set only — portfolio is not among the default comparison.
+  EXPECT_EQ(out.str().find("portfolio"), std::string::npos);
+}
+
+TEST_F(CliExtraTest, RunCliDispatchesNewCommands) {
+  std::ostringstream out, err;
+  std::string wf_flag = "--workflow=" + workflow_path_;
+  const char* stats[] = {"wsflow", "stats", wf_flag.c_str()};
+  EXPECT_EQ(RunCli(3, stats, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("operations:"), std::string::npos);
+
+  std::ostringstream out2, err2;
+  std::string net_flag = "--network=" + network_path_;
+  const char* failover[] = {"wsflow", "failover", wf_flag.c_str(),
+                            net_flag.c_str()};
+  EXPECT_EQ(RunCli(4, failover, out2, err2), 0) << err2.str();
+  EXPECT_NE(out2.str().find("orphans"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsflow::cli

@@ -1,0 +1,231 @@
+#include "src/cli/commands.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/network/serialization.h"
+#include "src/workflow/serialization.h"
+#include "src/workflow/validate.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow::cli {
+namespace {
+
+class CommandsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir();
+    workflow_path_ = dir_ + "/cmd_workflow.xml";
+    network_path_ = dir_ + "/cmd_network.xml";
+    std::ostringstream sink;
+    WSFLOW_ASSERT_OK(CmdGenerate({"--type", "line", "--ops", "7", "--out",
+                                  workflow_path_},
+                                 sink));
+    WSFLOW_ASSERT_OK(CmdMakeNetwork(
+        {"--kind", "bus", "--powers", "1e9,2e9", "--speeds", "1e8", "--out",
+         network_path_},
+        sink));
+  }
+
+  void TearDown() override {
+    std::remove(workflow_path_.c_str());
+    std::remove(network_path_.c_str());
+  }
+
+  std::vector<std::string> InputArgs() const {
+    return {"--workflow", workflow_path_, "--network", network_path_};
+  }
+
+  std::string dir_, workflow_path_, network_path_;
+};
+
+TEST_F(CommandsTest, GenerateWritesValidLineWorkflow) {
+  Workflow w = WSFLOW_UNWRAP(LoadWorkflow(workflow_path_));
+  EXPECT_EQ(w.num_operations(), 7u);
+  EXPECT_TRUE(w.IsLine());
+  WSFLOW_EXPECT_OK(ValidateAll(w));
+}
+
+TEST_F(CommandsTest, GenerateGraphShapes) {
+  for (const char* type : {"bushy", "lengthy", "hybrid"}) {
+    std::string path = dir_ + "/cmd_graph.xml";
+    std::ostringstream out;
+    WSFLOW_ASSERT_OK(CmdGenerate(
+        {"--type", type, "--ops", "15", "--seed", "3", "--out", path}, out));
+    Workflow w = WSFLOW_UNWRAP(LoadWorkflow(path));
+    EXPECT_EQ(w.num_operations(), 15u) << type;
+    WSFLOW_EXPECT_OK(ValidateAll(w));
+    std::remove(path.c_str());
+  }
+}
+
+TEST_F(CommandsTest, GenerateRejectsBadInputs) {
+  std::ostringstream out;
+  EXPECT_TRUE(CmdGenerate({"--type", "line"}, out).IsInvalidArgument());
+  EXPECT_TRUE(
+      CmdGenerate({"--type", "mesh", "--out", dir_ + "/x.xml"}, out)
+          .IsInvalidArgument());
+}
+
+TEST_F(CommandsTest, MakeNetworkKinds) {
+  std::ostringstream out;
+  std::string path = dir_ + "/cmd_net2.xml";
+  WSFLOW_ASSERT_OK(CmdMakeNetwork({"--kind", "line", "--powers", "1e9,2e9",
+                                   "--speeds", "1e8", "--out", path},
+                                  out));
+  Network line = WSFLOW_UNWRAP(LoadNetwork(path));
+  EXPECT_EQ(line.kind(), NetworkKind::kLine);
+
+  WSFLOW_ASSERT_OK(CmdMakeNetwork({"--kind", "ring", "--powers",
+                                   "1e9,1e9,1e9", "--speeds", "1e8,1e8,1e8",
+                                   "--out", path},
+                                  out));
+  EXPECT_EQ(WSFLOW_UNWRAP(LoadNetwork(path)).kind(), NetworkKind::kRing);
+  std::remove(path.c_str());
+}
+
+TEST_F(CommandsTest, MakeNetworkRejectsBusWithManySpeeds) {
+  std::ostringstream out;
+  EXPECT_TRUE(CmdMakeNetwork({"--kind", "bus", "--powers", "1e9,1e9",
+                              "--speeds", "1e8,1e8", "--out",
+                              dir_ + "/n.xml"},
+                             out)
+                  .IsInvalidArgument());
+}
+
+TEST_F(CommandsTest, DeployPrintsMappingAndCosts) {
+  std::ostringstream out;
+  std::vector<std::string> args = InputArgs();
+  args.insert(args.end(), {"--algorithm", "heavy-ops"});
+  WSFLOW_ASSERT_OK(CmdDeploy(args, out));
+  std::string text = out.str();
+  EXPECT_NE(text.find("mapping:"), std::string::npos);
+  EXPECT_NE(text.find("T_execute:"), std::string::npos);
+  EXPECT_NE(text.find("spec:"), std::string::npos);
+}
+
+TEST_F(CommandsTest, DeployUnknownAlgorithmFails) {
+  std::ostringstream out;
+  std::vector<std::string> args = InputArgs();
+  args.insert(args.end(), {"--algorithm", "bogus"});
+  EXPECT_TRUE(CmdDeploy(args, out).IsNotFound());
+}
+
+TEST_F(CommandsTest, EvaluateAcceptsSpec) {
+  std::ostringstream out;
+  std::vector<std::string> args = InputArgs();
+  args.insert(args.end(), {"--mapping", "0,1,0,1,0,1,0"});
+  WSFLOW_ASSERT_OK(CmdEvaluate(args, out));
+  EXPECT_NE(out.str().find("TimePenalty:"), std::string::npos);
+  EXPECT_NE(out.str().find("load s1"), std::string::npos);
+}
+
+TEST_F(CommandsTest, EvaluateRejectsBadSpecs) {
+  std::ostringstream out;
+  std::vector<std::string> args = InputArgs();
+  args.insert(args.end(), {"--mapping", "0,1"});  // wrong length
+  EXPECT_TRUE(CmdEvaluate(args, out).IsInvalidArgument());
+  args = InputArgs();
+  args.insert(args.end(), {"--mapping", "0,1,0,1,0,1,9"});  // bad server
+  EXPECT_TRUE(CmdEvaluate(args, out).IsOutOfRange());
+}
+
+TEST_F(CommandsTest, SimulateAgreesWithAnalytic) {
+  std::ostringstream out;
+  std::vector<std::string> args = InputArgs();
+  args.insert(args.end(), {"--runs", "5", "--trace"});
+  WSFLOW_ASSERT_OK(CmdSimulate(args, out));
+  std::string text = out.str();
+  EXPECT_NE(text.find("mean makespan"), std::string::npos);
+  EXPECT_NE(text.find("trace of run 1"), std::string::npos);
+}
+
+TEST_F(CommandsTest, SampleReportsBounds) {
+  std::ostringstream out;
+  std::vector<std::string> args = InputArgs();
+  args.insert(args.end(), {"--samples", "500"});
+  WSFLOW_ASSERT_OK(CmdSample(args, out));
+  std::string text = out.str();
+  EXPECT_NE(text.find("best T_execute"), std::string::npos);
+  EXPECT_NE(text.find("best-combined spec"), std::string::npos);
+}
+
+TEST_F(CommandsTest, CompareListsAllPaperAlgorithms) {
+  std::ostringstream out;
+  WSFLOW_ASSERT_OK(CmdCompare(InputArgs(), out));
+  std::string text = out.str();
+  for (const char* name :
+       {"fair-load", "fltr", "fltr2", "fl-merge", "heavy-ops"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+  EXPECT_EQ(text.find("annealing"), std::string::npos);
+}
+
+TEST_F(CommandsTest, CompareWithExtensions) {
+  std::ostringstream out;
+  std::vector<std::string> args = InputArgs();
+  args.push_back("--extensions");
+  WSFLOW_ASSERT_OK(CmdCompare(args, out));
+  EXPECT_NE(out.str().find("critical-path"), std::string::npos);
+  EXPECT_NE(out.str().find("annealing"), std::string::npos);
+}
+
+TEST_F(CommandsTest, ListAlgorithms) {
+  std::ostringstream out;
+  WSFLOW_ASSERT_OK(CmdListAlgorithms({}, out));
+  EXPECT_NE(out.str().find("heavy-ops"), std::string::npos);
+  EXPECT_NE(out.str().find("exhaustive"), std::string::npos);
+}
+
+TEST_F(CommandsTest, MissingInputsRejected) {
+  std::ostringstream out;
+  EXPECT_TRUE(CmdDeploy({}, out).IsInvalidArgument());
+  EXPECT_TRUE(CmdDeploy({"--workflow", workflow_path_}, out)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(CmdDeploy({"--workflow", "/no/such.xml", "--network",
+                         network_path_},
+                        out)
+                  .IsNotFound());
+}
+
+TEST(MappingSpecTest, RoundTrip) {
+  Mapping m(4);
+  m.Assign(OperationId(0), ServerId(2));
+  m.Assign(OperationId(1), ServerId(0));
+  m.Assign(OperationId(2), ServerId(1));
+  m.Assign(OperationId(3), ServerId(1));
+  std::string spec = FormatMappingSpec(m);
+  EXPECT_EQ(spec, "2,0,1,1");
+  Mapping parsed = WSFLOW_UNWRAP(ParseMappingSpec(spec, 4, 3));
+  EXPECT_TRUE(parsed == m);
+}
+
+TEST(RunCliTest, DispatchesAndReportsErrors) {
+  std::ostringstream out, err;
+  const char* help[] = {"wsflow", "help"};
+  EXPECT_EQ(RunCli(2, help, out, err), 0);
+  EXPECT_NE(out.str().find("usage:"), std::string::npos);
+
+  const char* unknown[] = {"wsflow", "frobnicate"};
+  EXPECT_EQ(RunCli(2, unknown, out, err), 2);
+  EXPECT_NE(err.str().find("unknown command"), std::string::npos);
+
+  const char* none[] = {"wsflow"};
+  EXPECT_EQ(RunCli(1, none, out, err), 2);
+
+  std::ostringstream out2, err2;
+  const char* list[] = {"wsflow", "list-algorithms"};
+  EXPECT_EQ(RunCli(2, list, out2, err2), 0);
+  EXPECT_NE(out2.str().find("fair-load"), std::string::npos);
+
+  std::ostringstream out3, err3;
+  const char* bad[] = {"wsflow", "deploy"};
+  EXPECT_EQ(RunCli(2, bad, out3, err3), 1);
+  EXPECT_NE(err3.str().find("--workflow is required"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsflow::cli

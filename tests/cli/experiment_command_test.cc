@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/cli/commands.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow::cli {
+namespace {
+
+TEST(ExperimentCommandTest, RunsDefaultClassC) {
+  std::ostringstream out;
+  WSFLOW_ASSERT_OK(CmdExperiment(
+      {"--trials", "3", "--ops", "9", "--servers", "3"}, out));
+  std::string text = out.str();
+  EXPECT_NE(text.find("class-c-line"), std::string::npos);
+  EXPECT_NE(text.find("heavy-ops"), std::string::npos);
+  EXPECT_NE(text.find("exec_mean_ms"), std::string::npos);
+}
+
+TEST(ExperimentCommandTest, GraphWorkloadAndClassSelection) {
+  std::ostringstream out;
+  WSFLOW_ASSERT_OK(CmdExperiment({"--class", "a", "--workload", "bushy",
+                                  "--trials", "2", "--ops", "11",
+                                  "--servers", "3"},
+                                 out));
+  EXPECT_NE(out.str().find("class-a-bushy"), std::string::npos);
+}
+
+TEST(ExperimentCommandTest, CustomAlgorithmList) {
+  std::ostringstream out;
+  WSFLOW_ASSERT_OK(CmdExperiment({"--trials", "2", "--ops", "7",
+                                  "--servers", "2", "--algorithms",
+                                  "round-robin, critical-path"},
+                                 out));
+  std::string text = out.str();
+  EXPECT_NE(text.find("round-robin"), std::string::npos);
+  EXPECT_NE(text.find("critical-path"), std::string::npos);
+  EXPECT_EQ(text.find("fair-load"), std::string::npos);
+}
+
+TEST(ExperimentCommandTest, FixedBusOverride) {
+  std::ostringstream out;
+  WSFLOW_ASSERT_OK(CmdExperiment({"--trials", "2", "--ops", "7",
+                                  "--servers", "2", "--bus", "1e6"},
+                                 out));
+  EXPECT_NE(out.str().find("trials"), std::string::npos);
+}
+
+TEST(ExperimentCommandTest, CsvOutput) {
+  std::string path = ::testing::TempDir() + "/wsflow_exp.csv";
+  std::ostringstream out;
+  WSFLOW_ASSERT_OK(CmdExperiment({"--trials", "2", "--ops", "7",
+                                  "--servers", "2", "--algorithms",
+                                  "fair-load", "--csv", path},
+                                 out));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "algorithm,trial,execution_time_s,time_penalty_s");
+  size_t rows = 0;
+  for (std::string line; std::getline(in, line);) ++rows;
+  EXPECT_EQ(rows, 2u);  // one algorithm x two trials
+  std::remove(path.c_str());
+}
+
+TEST(ExperimentCommandTest, BadInputsRejected) {
+  std::ostringstream out;
+  EXPECT_TRUE(CmdExperiment({"--class", "z"}, out).IsInvalidArgument());
+  EXPECT_TRUE(
+      CmdExperiment({"--workload", "circular"}, out).IsInvalidArgument());
+  EXPECT_TRUE(CmdExperiment({"--trials", "1", "--algorithms", "bogus"}, out)
+                  .IsNotFound());
+}
+
+TEST(ExperimentCommandTest, DeterministicAcrossRuns) {
+  std::ostringstream a, b;
+  std::vector<std::string> args{"--trials", "3", "--ops", "9",
+                                "--servers", "3", "--seed", "7"};
+  WSFLOW_ASSERT_OK(CmdExperiment(args, a));
+  WSFLOW_ASSERT_OK(CmdExperiment(args, b));
+  EXPECT_EQ(a.str(), b.str());
+}
+
+}  // namespace
+}  // namespace wsflow::cli

@@ -1,0 +1,111 @@
+#include "src/cli/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace wsflow::cli {
+namespace {
+
+FlagSet MakeFlags() {
+  FlagSet flags;
+  flags.AddString("name", "default", "a string");
+  flags.AddDouble("rate", 1.5, "a double");
+  flags.AddInt("count", 10, "an int");
+  flags.AddBool("verbose", false, "a bool");
+  return flags;
+}
+
+TEST(FlagSetTest, DefaultsBeforeParse) {
+  FlagSet flags = MakeFlags();
+  EXPECT_EQ(flags.GetString("name"), "default");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 1.5);
+  EXPECT_EQ(flags.GetInt("count"), 10);
+  EXPECT_FALSE(flags.GetBool("verbose"));
+  EXPECT_FALSE(flags.WasSet("name"));
+}
+
+TEST(FlagSetTest, SpaceSeparatedValues) {
+  FlagSet flags = MakeFlags();
+  auto positional =
+      flags.Parse({"--name", "x", "--rate", "2.5", "--count", "3"});
+  ASSERT_TRUE(positional.ok());
+  EXPECT_EQ(flags.GetString("name"), "x");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 2.5);
+  EXPECT_EQ(flags.GetInt("count"), 3);
+  EXPECT_TRUE(flags.WasSet("name"));
+}
+
+TEST(FlagSetTest, EqualsSeparatedValues) {
+  FlagSet flags = MakeFlags();
+  ASSERT_TRUE(flags.Parse({"--name=y", "--rate=0.5"}).ok());
+  EXPECT_EQ(flags.GetString("name"), "y");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 0.5);
+}
+
+TEST(FlagSetTest, BareBooleanSetsTrue) {
+  FlagSet flags = MakeFlags();
+  ASSERT_TRUE(flags.Parse({"--verbose"}).ok());
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagSetTest, ExplicitBooleanValues) {
+  FlagSet flags = MakeFlags();
+  ASSERT_TRUE(flags.Parse({"--verbose=true"}).ok());
+  EXPECT_TRUE(flags.GetBool("verbose"));
+  FlagSet flags2 = MakeFlags();
+  ASSERT_TRUE(flags2.Parse({"--verbose=false"}).ok());
+  EXPECT_FALSE(flags2.GetBool("verbose"));
+  FlagSet flags3 = MakeFlags();
+  EXPECT_TRUE(flags3.Parse({"--verbose=maybe"}).status().IsInvalidArgument());
+}
+
+TEST(FlagSetTest, PositionalArgumentsReturned) {
+  FlagSet flags = MakeFlags();
+  auto positional = flags.Parse({"one", "--count", "2", "two"});
+  ASSERT_TRUE(positional.ok());
+  EXPECT_EQ(*positional, (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(FlagSetTest, UnknownFlagRejected) {
+  FlagSet flags = MakeFlags();
+  EXPECT_TRUE(flags.Parse({"--bogus", "1"}).status().IsInvalidArgument());
+  EXPECT_TRUE(flags.Parse({"--bogus=1"}).status().IsInvalidArgument());
+}
+
+TEST(FlagSetTest, MissingValueRejected) {
+  FlagSet flags = MakeFlags();
+  EXPECT_TRUE(flags.Parse({"--name"}).status().IsInvalidArgument());
+}
+
+TEST(FlagSetTest, BadNumbersRejected) {
+  FlagSet flags = MakeFlags();
+  EXPECT_TRUE(flags.Parse({"--rate", "abc"}).status().IsParseError());
+  FlagSet flags2 = MakeFlags();
+  EXPECT_TRUE(flags2.Parse({"--count", "1.5"}).status().IsParseError());
+}
+
+TEST(FlagSetTest, HelpListsAllFlags) {
+  FlagSet flags = MakeFlags();
+  std::string help = flags.Help();
+  EXPECT_NE(help.find("--name"), std::string::npos);
+  EXPECT_NE(help.find("--rate"), std::string::npos);
+  EXPECT_NE(help.find("a bool"), std::string::npos);
+  EXPECT_NE(help.find("default: 'default'"), std::string::npos);
+}
+
+TEST(ParseDoubleListTest, Basic) {
+  auto list = ParseDoubleList("1e9,2e9,3.5");
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(*list, (std::vector<double>{1e9, 2e9, 3.5}));
+}
+
+TEST(ParseDoubleListTest, SingleValue) {
+  EXPECT_EQ(ParseDoubleList("7").value(), std::vector<double>{7.0});
+}
+
+TEST(ParseDoubleListTest, BadFieldRejected) {
+  EXPECT_TRUE(ParseDoubleList("1,abc").status().IsParseError());
+  EXPECT_TRUE(ParseDoubleList("1,,2").status().IsParseError());
+}
+
+}  // namespace
+}  // namespace wsflow::cli

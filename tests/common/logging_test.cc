@@ -1,0 +1,96 @@
+#include "src/common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace wsflow {
+namespace {
+
+/// RAII guard restoring the global log level after each test.
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, LevelRoundTrips) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST(LoggingTest, EmitsAtOrAboveLevel) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarning);
+  ::testing::internal::CaptureStderr();
+  WSFLOW_LOG(Warning) << "visible-warning";
+  WSFLOW_LOG(Error) << "visible-error";
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("visible-warning"), std::string::npos);
+  EXPECT_NE(out.find("visible-error"), std::string::npos);
+  EXPECT_NE(out.find("[WARN"), std::string::npos);
+  EXPECT_NE(out.find("[ERROR"), std::string::npos);
+}
+
+TEST(LoggingTest, SuppressesBelowLevel) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  WSFLOW_LOG(Debug) << "hidden-debug";
+  WSFLOW_LOG(Info) << "hidden-info";
+  WSFLOW_LOG(Warning) << "hidden-warning";
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out, "");
+}
+
+TEST(LoggingTest, SuppressedStatementsDoNotEvaluateOperands) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return "costly";
+  };
+  WSFLOW_LOG(Debug) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  ::testing::internal::CaptureStderr();
+  WSFLOW_LOG(Error) << expensive();
+  (void)::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LoggingTest, MessageIncludesFileBasename) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  WSFLOW_LOG(Info) << "locate-me";
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
+  // Only the basename — no directory separators before it.
+  EXPECT_EQ(out.find("tests/common"), std::string::npos);
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  ::testing::internal::CaptureStderr();
+  WSFLOW_CHECK(1 + 1 == 2) << "never shown";
+  WSFLOW_CHECK_EQ(4, 4);
+  WSFLOW_CHECK_LT(1, 2);
+  WSFLOW_CHECK_GE(2, 2);
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ WSFLOW_CHECK(false) << "boom-note"; }, "Check failed");
+  EXPECT_DEATH({ WSFLOW_CHECK_EQ(1, 2); }, "Check failed");
+}
+
+TEST(LoggingDeathTest, FatalLogAborts) {
+  EXPECT_DEATH({ WSFLOW_LOG(Fatal) << "fatal-path"; }, "fatal-path");
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,90 @@
+#include "src/common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wsflow {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.status().message(), "gone");
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  // Constructing a Result from an OK status is a bug; it must not silently
+  // look like success.
+  Result<int> r = Status::OK();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(ResultTest, ValueOrOnSuccess) {
+  Result<int> r = 7;
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+TEST(ResultTest, ValueOrOnError) {
+  Result<int> r = Status::Internal("x");
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  std::unique_ptr<int> p = std::move(r).value();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 5);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2};
+  r->push_back(3);
+  EXPECT_EQ(r.value().size(), 3u);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> DoublePositive(int x) {
+  WSFLOW_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultMacrosTest, AssignOrReturnSuccess) {
+  Result<int> r = DoublePositive(4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 8);
+}
+
+TEST(ResultMacrosTest, AssignOrReturnPropagatesError) {
+  Result<int> r = DoublePositive(-4);
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> r = Status::Internal("boom");
+  EXPECT_DEATH({ (void)r.value(); }, "boom");
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,126 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wsflow {
+namespace {
+
+TEST(SummaryStatsTest, EmptyIsZero) {
+  SummaryStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(SummaryStatsTest, SingleObservation) {
+  SummaryStats s;
+  s.Add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+}
+
+TEST(SummaryStatsTest, KnownSample) {
+  SummaryStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(SummaryStatsTest, NegativeValues) {
+  SummaryStats s;
+  s.Add(-3.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), -3.0);
+  EXPECT_EQ(s.max(), 3.0);
+}
+
+TEST(SummaryStatsTest, MergeMatchesCombinedStream) {
+  SummaryStats all, left, right;
+  for (double x : {1.0, 2.0, 3.0}) {
+    all.Add(x);
+    left.Add(x);
+  }
+  for (double x : {10.0, 20.0}) {
+    all.Add(x);
+    right.Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(SummaryStatsTest, MergeWithEmpty) {
+  SummaryStats a, empty;
+  a.Add(5.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.mean(), 5.0);
+}
+
+TEST(SummaryStatsTest, ToStringMentionsFields) {
+  SummaryStats s;
+  s.Add(1.0);
+  std::string str = s.ToString();
+  EXPECT_NE(str.find("n=1"), std::string::npos);
+  EXPECT_NE(str.find("mean="), std::string::npos);
+}
+
+TEST(QuantileTest, EmptyIsZero) {
+  EXPECT_EQ(Quantile({}, 0.5), 0.0);
+}
+
+TEST(QuantileTest, SingleElement) {
+  EXPECT_EQ(Quantile({7.0}, 0.0), 7.0);
+  EXPECT_EQ(Quantile({7.0}, 0.5), 7.0);
+  EXPECT_EQ(Quantile({7.0}, 1.0), 7.0);
+}
+
+TEST(QuantileTest, EndpointsAreMinMax) {
+  std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_EQ(Quantile(v, 1.0), 5.0);
+}
+
+TEST(QuantileTest, MedianInterpolates) {
+  EXPECT_DOUBLE_EQ(Quantile({1.0, 2.0, 3.0, 4.0}, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Median({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(QuantileTest, TwentiethPercentile) {
+  // Five sorted values: q=0.2 lands on index 0.8 -> between 1st and 2nd.
+  EXPECT_DOUBLE_EQ(Quantile({10, 20, 30, 40, 50}, 0.2), 18.0);
+}
+
+TEST(QuantileTest, ClampsOutOfRangeQ) {
+  std::vector<double> v{1.0, 2.0};
+  EXPECT_EQ(Quantile(v, -0.5), 1.0);
+  EXPECT_EQ(Quantile(v, 1.5), 2.0);
+}
+
+TEST(MeanTest, Basics) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0}), 3.0);
+}
+
+}  // namespace
+}  // namespace wsflow

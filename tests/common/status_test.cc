@@ -1,0 +1,132 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace wsflow {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad value");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad value");
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_FALSE(st.IsNotFound());
+}
+
+TEST(StatusTest, EveryFactoryMapsToItsCode) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::ConstraintViolation("x").IsConstraintViolation());
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  Status st = Status::NotFound("missing thing");
+  EXPECT_EQ(st.ToString(), "not-found: missing thing");
+}
+
+TEST(StatusTest, CodeToStringCoversAllCodes) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "ok");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "internal");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kParseError), "parse-error");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kConstraintViolation),
+            "constraint-violation");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status st = Status::Internal("boom");
+  Status copy = st;
+  EXPECT_EQ(copy.code(), StatusCode::kInternal);
+  EXPECT_EQ(copy.message(), "boom");
+  EXPECT_EQ(st, copy);
+}
+
+TEST(StatusTest, CopyAssignOverError) {
+  Status a = Status::Internal("one");
+  Status b = Status::NotFound("two");
+  a = b;
+  EXPECT_TRUE(a.IsNotFound());
+  EXPECT_EQ(a.message(), "two");
+}
+
+TEST(StatusTest, CopyAssignOkOverError) {
+  Status a = Status::Internal("one");
+  a = Status::OK();
+  EXPECT_TRUE(a.ok());
+}
+
+TEST(StatusTest, MovePreservesState) {
+  Status st = Status::OutOfRange("idx");
+  Status moved = std::move(st);
+  EXPECT_TRUE(moved.IsOutOfRange());
+  EXPECT_EQ(moved.message(), "idx");
+}
+
+TEST(StatusTest, SelfAssignmentIsSafe) {
+  Status st = Status::Internal("keep");
+  Status& ref = st;
+  st = ref;
+  EXPECT_EQ(st.message(), "keep");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status st = Status::ParseError("line 3");
+  Status wrapped = st.WithContext("loading config");
+  EXPECT_TRUE(wrapped.IsParseError());
+  EXPECT_EQ(wrapped.message(), "loading config: line 3");
+}
+
+TEST(StatusTest, WithContextOnOkIsOk) {
+  EXPECT_TRUE(Status::OK().WithContext("ignored").ok());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << Status::Internal("x");
+  EXPECT_EQ(os.str(), "internal: x");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Caller(int x) {
+  WSFLOW_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Caller(1).ok());
+  EXPECT_TRUE(Caller(-1).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace wsflow

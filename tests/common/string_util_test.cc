@@ -1,0 +1,104 @@
+#include "src/common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace wsflow {
+namespace {
+
+TEST(SplitTest, Basic) {
+  std::vector<std::string> parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split(",a,", ',').size(), 3u);
+  EXPECT_EQ(Split("", ',').size(), 1u);
+  EXPECT_EQ(Split("", ',')[0], "");
+}
+
+TEST(SplitTest, NoSeparator) {
+  std::vector<std::string> parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(TrimTest, Whitespace) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t\nx\r "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("no-trim"), "no-trim");
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"one"}, ","), "one");
+}
+
+TEST(StartsEndsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("workflow.xml", "work"));
+  EXPECT_FALSE(StartsWith("work", "workflow"));
+  EXPECT_TRUE(EndsWith("workflow.xml", ".xml"));
+  EXPECT_FALSE(EndsWith(".xml", "workflow.xml"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(ParseInt64Test, Valid) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64("-17").value(), -17);
+  EXPECT_EQ(ParseInt64("  8  ").value(), 8);
+  EXPECT_EQ(ParseInt64("0").value(), 0);
+}
+
+TEST(ParseInt64Test, Invalid) {
+  EXPECT_TRUE(ParseInt64("").status().IsParseError());
+  EXPECT_TRUE(ParseInt64("12x").status().IsParseError());
+  EXPECT_TRUE(ParseInt64("x12").status().IsParseError());
+  EXPECT_TRUE(ParseInt64("1.5").status().IsParseError());
+}
+
+TEST(ParseDoubleTest, Valid) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.25").value(), 3.25);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").value(), -1000.0);
+  EXPECT_DOUBLE_EQ(ParseDouble(" 7 ").value(), 7.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("0.00666").value(), 0.00666);
+}
+
+TEST(ParseDoubleTest, Invalid) {
+  EXPECT_TRUE(ParseDouble("").status().IsParseError());
+  EXPECT_TRUE(ParseDouble("abc").status().IsParseError());
+  EXPECT_TRUE(ParseDouble("1.2.3").status().IsParseError());
+}
+
+TEST(FormatDoubleTest, SignificantDigits) {
+  EXPECT_EQ(FormatDouble(1.0 / 3.0, 3), "0.333");
+  EXPECT_EQ(FormatDouble(12345.0, 3), "1.23e+04");
+  EXPECT_EQ(FormatDouble(2.0, 6), "2");
+}
+
+TEST(FormatBitsTest, Units) {
+  EXPECT_EQ(FormatBits(500), "500 bit");
+  EXPECT_EQ(FormatBits(8000), "8 Kbit");
+  EXPECT_EQ(FormatBits(2.5e6), "2.5 Mbit");
+}
+
+TEST(FormatSecondsTest, Units) {
+  EXPECT_EQ(FormatSeconds(2.0), "2 s");
+  EXPECT_EQ(FormatSeconds(0.0123), "12.3 ms");
+  EXPECT_EQ(FormatSeconds(45e-6), "45 us");
+  EXPECT_EQ(FormatSeconds(3e-9), "3 ns");
+}
+
+TEST(FormatSecondsTest, RoundTripParse) {
+  // The numeric part of the rendering parses back.
+  std::string s = FormatSeconds(0.5);
+  EXPECT_EQ(s, "500 ms");
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,208 @@
+#include "src/cost/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+using testing::AllOnServer;
+using testing::RoundRobin;
+using testing::SimpleBus;
+using testing::SimpleLine;
+
+TEST(CostModelTest, TprocIsCyclesOverPower) {
+  Workflow w = SimpleLine(2, /*cycles=*/4e9);
+  Network n = SimpleBus(2, /*power_hz=*/2e9);
+  CostModel model(w, n);
+  Mapping m = AllOnServer(2, ServerId(0));
+  EXPECT_DOUBLE_EQ(model.Tproc(OperationId(0), m), 2.0);
+  EXPECT_DOUBLE_EQ(model.TprocOn(OperationId(0), ServerId(1)), 2.0);
+}
+
+TEST(CostModelTest, TprocDependsOnServerPower) {
+  Workflow w = SimpleLine(1, 6e9);
+  Network n;
+  n.AddServer("slow", 1e9);
+  n.AddServer("fast", 3e9);
+  ASSERT_TRUE(n.SetBus(1e8).ok());
+  CostModel model(w, n);
+  EXPECT_DOUBLE_EQ(model.TprocOn(OperationId(0), ServerId(0)), 6.0);
+  EXPECT_DOUBLE_EQ(model.TprocOn(OperationId(0), ServerId(1)), 2.0);
+}
+
+TEST(CostModelTest, TcommZeroWhenCoLocated) {
+  Workflow w = SimpleLine(2, 1e6, /*msg_bits=*/1e6);
+  Network n = SimpleBus(2);
+  CostModel model(w, n);
+  Mapping m = AllOnServer(2, ServerId(1));
+  EXPECT_DOUBLE_EQ(model.Tcomm(TransitionId(0), m).value(), 0.0);
+}
+
+TEST(CostModelTest, TcommOverBus) {
+  Workflow w = SimpleLine(2, 1e6, /*msg_bits=*/1e6);
+  Network n = MakeBusNetwork({1e9, 1e9}, /*bus=*/1e6, /*prop=*/0.5).value();
+  CostModel model(w, n);
+  Mapping m = RoundRobin(2, 2);
+  // 1e6 bits over 1 Mbps = 1 s, plus 0.5 s propagation.
+  EXPECT_DOUBLE_EQ(model.Tcomm(TransitionId(0), m).value(), 1.5);
+}
+
+TEST(CostModelTest, TcommOverMultiHopLine) {
+  Workflow w = SimpleLine(2, 1e6, 1e6);
+  Network n = MakeLineNetwork({1e9, 1e9, 1e9}, {1e6, 2e6}).value();
+  CostModel model(w, n);
+  Mapping m(2);
+  m.Assign(OperationId(0), ServerId(0));
+  m.Assign(OperationId(1), ServerId(2));
+  // Store-and-forward over both links: 1.0 + 0.5 s.
+  EXPECT_DOUBLE_EQ(model.Tcomm(TransitionId(0), m).value(), 1.5);
+}
+
+TEST(CostModelTest, TcommUnassignedFails) {
+  Workflow w = SimpleLine(2);
+  Network n = SimpleBus(2);
+  CostModel model(w, n);
+  Mapping m(2);
+  m.Assign(OperationId(0), ServerId(0));
+  EXPECT_TRUE(
+      model.Tcomm(TransitionId(0), m).status().IsFailedPrecondition());
+}
+
+TEST(CostModelTest, LoadSumsAssignedTproc) {
+  Workflow w = SimpleLine(4, 2e9);
+  Network n = SimpleBus(2, 1e9);
+  CostModel model(w, n);
+  Mapping m = RoundRobin(4, 2);
+  EXPECT_DOUBLE_EQ(model.Load(ServerId(0), m), 4.0);  // ops 0,2: 2s each
+  EXPECT_DOUBLE_EQ(model.Load(ServerId(1), m), 4.0);
+  std::vector<double> loads = model.Loads(m);
+  ASSERT_EQ(loads.size(), 2u);
+  EXPECT_DOUBLE_EQ(loads[0], 4.0);
+}
+
+TEST(CostModelTest, LoadUsesExecutionProbabilities) {
+  Workflow w = testing::AllDecisionGraph(/*cycles=*/1e9);
+  ExecutionProfile profile = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  Network n = SimpleBus(1, 1e9);
+  CostModel model(w, n, &profile);
+  Mapping m = AllOnServer(w.num_operations(), ServerId(0));
+  // 12 always-executed ops at 1 s + the XOR arms at 0.7 and 0.3.
+  EXPECT_NEAR(model.Load(ServerId(0), m), 13.0, 1e-9);
+}
+
+TEST(CostModelTest, TimePenaltyZeroWhenBalanced) {
+  Workflow w = SimpleLine(4, 1e9);
+  Network n = SimpleBus(2, 1e9);
+  CostModel model(w, n);
+  EXPECT_DOUBLE_EQ(model.TimePenalty(RoundRobin(4, 2)), 0.0);
+}
+
+TEST(CostModelTest, TimePenaltyMeasuresImbalance) {
+  Workflow w = SimpleLine(4, 1e9);  // 4 ops, 1 s each on 1 GHz
+  Network n = SimpleBus(2, 1e9);
+  CostModel model(w, n);
+  Mapping m = AllOnServer(4, ServerId(0));
+  // Loads (4, 0), average 2: penalty = (2 + 2) / 2 = 2.
+  EXPECT_DOUBLE_EQ(model.TimePenalty(m), 2.0);
+}
+
+TEST(CostModelTest, TimePenaltyProportionalCapacityIsFair) {
+  // Servers of power 1 and 3 GHz; cycles split 1:3 gives equal times.
+  Workflow w = SimpleLine(4, 1e9);
+  Network n;
+  n.AddServer("weak", 1e9);
+  n.AddServer("strong", 3e9);
+  ASSERT_TRUE(n.SetBus(1e8).ok());
+  CostModel model(w, n);
+  Mapping m(4);
+  m.Assign(OperationId(0), ServerId(0));   // 1 s
+  m.Assign(OperationId(1), ServerId(1));   // 1/3 s each
+  m.Assign(OperationId(2), ServerId(1));
+  m.Assign(OperationId(3), ServerId(1));
+  EXPECT_NEAR(model.TimePenalty(m), 0.0, 1e-12);
+}
+
+TEST(CostModelTest, LineExecutionTimeAllOnOneServer) {
+  Workflow w = SimpleLine(3, 2e9, 1e6);
+  Network n = SimpleBus(2, 1e9);
+  CostModel model(w, n);
+  // No communication: 3 ops x 2 s.
+  EXPECT_DOUBLE_EQ(model.ExecutionTime(AllOnServer(3, ServerId(0))).value(),
+                   6.0);
+}
+
+TEST(CostModelTest, LineExecutionTimeWithMessages) {
+  Workflow w = SimpleLine(3, 2e9, 1e6);
+  Network n = MakeBusNetwork({1e9, 1e9}, 1e6).value();
+  CostModel model(w, n);
+  // Alternating servers: both messages cross the 1 Mbps bus (1 s each).
+  EXPECT_DOUBLE_EQ(model.ExecutionTime(RoundRobin(3, 2)).value(), 8.0);
+}
+
+TEST(CostModelTest, EvaluateCombinesWeights) {
+  Workflow w = SimpleLine(4, 1e9);
+  Network n = SimpleBus(2, 1e9);
+  CostModel model(w, n);
+  Mapping m = AllOnServer(4, ServerId(0));
+  CostBreakdown cost = model.Evaluate(m).value();
+  EXPECT_DOUBLE_EQ(cost.execution_time, 4.0);
+  EXPECT_DOUBLE_EQ(cost.time_penalty, 2.0);
+  EXPECT_DOUBLE_EQ(cost.combined, 3.0);  // equally weighted
+
+  CostOptions exec_only;
+  exec_only.execution_weight = 1.0;
+  exec_only.fairness_weight = 0.0;
+  EXPECT_DOUBLE_EQ(model.Evaluate(m, exec_only).value().combined, 4.0);
+}
+
+TEST(CostModelTest, EvaluatePartialMappingFails) {
+  Workflow w = SimpleLine(3);
+  Network n = SimpleBus(2);
+  CostModel model(w, n);
+  Mapping m(3);
+  m.Assign(OperationId(0), ServerId(0));
+  EXPECT_TRUE(model.Evaluate(m).status().IsFailedPrecondition());
+}
+
+TEST(CostModelTest, AntagonisticMetricsOnLine) {
+  // The paper's §3.1 observation: all-on-one-server optimizes execution
+  // time (no messages) but destroys fairness; spreading does the reverse.
+  Workflow w = SimpleLine(4, 1e9, 1e6);
+  Network n = MakeBusNetwork({1e9, 1e9}, 1e6).value();
+  CostModel model(w, n);
+
+  CostBreakdown packed = model.Evaluate(AllOnServer(4, ServerId(0))).value();
+  CostBreakdown spread = model.Evaluate(RoundRobin(4, 2)).value();
+  EXPECT_LT(packed.execution_time, spread.execution_time);
+  EXPECT_GT(packed.time_penalty, spread.time_penalty);
+}
+
+TEST(CostModelTest, WeightedTcommScalesByProbability) {
+  Workflow w = testing::AllDecisionGraph(1e9, /*msg_bits=*/1e6);
+  ExecutionProfile profile = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  Network n = MakeBusNetwork({1e9, 1e9}, 1e6).value();
+  CostModel model(w, n, &profile);
+
+  // Find the xor -> d entry edge (probability 0.7).
+  TransitionId edge;
+  for (const Transition& t : w.transitions()) {
+    if (w.operation(t.from).name() == "xor" &&
+        w.operation(t.to).name() == "d") {
+      edge = t.id;
+    }
+  }
+  ASSERT_TRUE(edge.valid());
+  Mapping m = RoundRobin(w.num_operations(), 2);
+  double raw = model.Tcomm(edge, m).value();
+  double weighted = model.WeightedTcomm(edge, m).value();
+  if (raw > 0) {
+    EXPECT_NEAR(weighted / raw, 0.7, 1e-12);
+  } else {
+    EXPECT_DOUBLE_EQ(weighted, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,188 @@
+#include "src/cost/execution_time.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workflow/builder.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+using testing::AllOnServer;
+using testing::SimpleBus;
+
+/// Builds a two-branch block of the given type with per-branch cycle costs
+/// (1 GHz servers make cycles == seconds). Message sizes are zero so only
+/// processing time matters.
+Workflow TwoBranchBlock(OperationType split_type, double left_cycles,
+                        double right_cycles, double w_left = 1.0,
+                        double w_right = 1.0) {
+  WorkflowBuilder b("two-branch");
+  b.Split(split_type, "s", 0);
+  b.Branch(w_left).Op("left", left_cycles);
+  b.Branch(w_right).Op("right", right_cycles);
+  b.Join("j", 0);
+  Result<Workflow> w = b.Build();
+  EXPECT_TRUE(w.ok()) << w.status().ToString();
+  return std::move(w).value();
+}
+
+TEST(LineExecutionTest, MatchesClosedForm) {
+  Workflow w = testing::SimpleLine(4, 2e9, 1e6);
+  Network n = MakeBusNetwork({1e9, 1e9}, 1e6).value();
+  CostModel model(w, n);
+  Mapping m(4);
+  m.Assign(OperationId(0), ServerId(0));
+  m.Assign(OperationId(1), ServerId(0));
+  m.Assign(OperationId(2), ServerId(1));
+  m.Assign(OperationId(3), ServerId(1));
+  // 4 x 2 s processing + one crossing message of 1 s.
+  EXPECT_DOUBLE_EQ(LineExecutionTime(model, m).value(), 9.0);
+}
+
+TEST(LineExecutionTest, RejectsGraphWorkflow) {
+  Workflow w = testing::AllDecisionGraph();
+  Network n = SimpleBus(2);
+  CostModel model(w, n);
+  Mapping m = AllOnServer(w.num_operations(), ServerId(0));
+  EXPECT_TRUE(LineExecutionTime(model, m).status().IsFailedPrecondition());
+}
+
+TEST(GraphExecutionTest, AndBlockIsMax) {
+  Workflow w = TwoBranchBlock(OperationType::kAndSplit, 2e9, 5e9);
+  Network n = SimpleBus(1, 1e9);
+  CostModel model(w, n);
+  Mapping m = AllOnServer(w.num_operations(), ServerId(0));
+  // Rendezvous: split(0) + max(2, 5) + join(0) = 5.
+  EXPECT_DOUBLE_EQ(GraphExecutionTime(model, m).value(), 5.0);
+}
+
+TEST(GraphExecutionTest, OrBlockIsMin) {
+  Workflow w = TwoBranchBlock(OperationType::kOrSplit, 2e9, 5e9);
+  Network n = SimpleBus(1, 1e9);
+  CostModel model(w, n);
+  Mapping m = AllOnServer(w.num_operations(), ServerId(0));
+  // First success: min(2, 5) = 2.
+  EXPECT_DOUBLE_EQ(GraphExecutionTime(model, m).value(), 2.0);
+}
+
+TEST(GraphExecutionTest, XorBlockIsExpectation) {
+  Workflow w =
+      TwoBranchBlock(OperationType::kXorSplit, 2e9, 6e9, /*w_left=*/0.75,
+                     /*w_right=*/0.25);
+  Network n = SimpleBus(1, 1e9);
+  CostModel model(w, n);
+  Mapping m = AllOnServer(w.num_operations(), ServerId(0));
+  // 0.75 * 2 + 0.25 * 6 = 3.
+  EXPECT_DOUBLE_EQ(GraphExecutionTime(model, m).value(), 3.0);
+}
+
+TEST(GraphExecutionTest, SplitAndJoinProcessingCounted) {
+  WorkflowBuilder b("with-decision-cost");
+  b.Split(OperationType::kAndSplit, "s", 1e9);
+  b.Branch().Op("l", 2e9);
+  b.Branch().Op("r", 3e9);
+  b.Join("j", 1e9);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  Network n = SimpleBus(1, 1e9);
+  CostModel model(w, n);
+  Mapping m = AllOnServer(4, ServerId(0));
+  EXPECT_DOUBLE_EQ(GraphExecutionTime(model, m).value(), 5.0);  // 1+3+1
+}
+
+TEST(GraphExecutionTest, BranchMessagesCounted) {
+  // Split and join on server 0, branch bodies on server 1: every branch
+  // pays its entry and exit message.
+  WorkflowBuilder b("msgs");
+  b.Split(OperationType::kAndSplit, "s", 0);
+  b.Branch().Op("l", 0, /*in_msg=*/1e6);
+  b.Branch().Op("r", 0, /*in_msg=*/1e6);
+  b.Join("j", 0, /*in_msg=*/1e6);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  Network n = MakeBusNetwork({1e9, 1e9}, 1e6).value();
+  CostModel model(w, n);
+  Mapping m(4);
+  m.Assign(WSFLOW_UNWRAP(b.Id("s")), ServerId(0));
+  m.Assign(WSFLOW_UNWRAP(b.Id("l")), ServerId(1));
+  m.Assign(WSFLOW_UNWRAP(b.Id("r")), ServerId(1));
+  m.Assign(WSFLOW_UNWRAP(b.Id("j")), ServerId(0));
+  // Each branch: 1 s entry + 0 processing + 1 s exit = 2 s; AND max = 2 s.
+  EXPECT_DOUBLE_EQ(GraphExecutionTime(model, m).value(), 2.0);
+}
+
+TEST(GraphExecutionTest, EmptyBranchUsesDirectMessage) {
+  WorkflowBuilder b("empty");
+  b.Split(OperationType::kOrSplit, "s", 0);
+  b.Branch().Op("slow", 5e9, 1e6);
+  b.Branch();  // empty: direct split -> join message
+  b.Join("j", 0, 1e6);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  Network n = MakeBusNetwork({1e9, 1e9}, 1e6).value();
+  CostModel model(w, n);
+  Mapping m(3);
+  m.Assign(WSFLOW_UNWRAP(b.Id("s")), ServerId(0));
+  m.Assign(WSFLOW_UNWRAP(b.Id("slow")), ServerId(0));
+  m.Assign(WSFLOW_UNWRAP(b.Id("j")), ServerId(1));
+  // OR: min(slow branch, direct 1 s message) = 1 s.
+  EXPECT_DOUBLE_EQ(GraphExecutionTime(model, m).value(), 1.0);
+}
+
+TEST(GraphExecutionTest, SequenceMessagesBetweenBlocks) {
+  Workflow w = testing::AllDecisionGraph(/*cycles=*/1e9, /*msg_bits=*/0);
+  Network n = SimpleBus(1, 1e9);
+  CostModel model(w, n);
+  Mapping m = AllOnServer(w.num_operations(), ServerId(0));
+  // a(1) + AND(1+1+1) + XOR(1+1+1) + OR(1+1+1) + h(1) = 11 s.
+  EXPECT_DOUBLE_EQ(GraphExecutionTime(model, m).value(), 11.0);
+}
+
+TEST(GraphExecutionTest, NestedBlocks) {
+  WorkflowBuilder b("nested");
+  b.Split(OperationType::kAndSplit, "outer", 0);
+  b.Branch();
+  b.Split(OperationType::kXorSplit, "inner", 0);
+  b.Branch(0.5).Op("fast", 2e9);
+  b.Branch(0.5).Op("slow", 4e9);
+  b.Join("inner_j", 0);
+  b.Branch().Op("other", 1e9);
+  b.Join("outer_j", 0);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  Network n = SimpleBus(1, 1e9);
+  CostModel model(w, n);
+  Mapping m = AllOnServer(w.num_operations(), ServerId(0));
+  // Inner XOR expectation = 3; outer AND = max(3, 1) = 3.
+  EXPECT_DOUBLE_EQ(GraphExecutionTime(model, m).value(), 3.0);
+}
+
+TEST(GraphExecutionTest, MappingAffectsBranchViaComm) {
+  Workflow w = TwoBranchBlock(OperationType::kAndSplit, 1e9, 1e9);
+  // Non-uniform: placing "left" remotely adds 2 message seconds.
+  WorkflowBuilder b("with-msgs");
+  b.Split(OperationType::kAndSplit, "s", 0);
+  b.Branch().Op("left", 1e9, 1e6);
+  b.Branch().Op("right", 1e9, 1e6);
+  b.Join("j", 0, 1e6);
+  Workflow w2 = WSFLOW_UNWRAP(b.Build());
+  Network n = MakeBusNetwork({1e9, 1e9}, 1e6).value();
+  CostModel model(w2, n);
+
+  Mapping local = AllOnServer(4, ServerId(0));
+  Mapping remote = local;
+  remote.Assign(WSFLOW_UNWRAP(b.Id("left")), ServerId(1));
+  double t_local = GraphExecutionTime(model, local).value();
+  double t_remote = GraphExecutionTime(model, remote).value();
+  EXPECT_DOUBLE_EQ(t_local, 1.0);
+  EXPECT_DOUBLE_EQ(t_remote, 3.0);  // entry + proc + exit on the slow bus
+  (void)w;
+}
+
+TEST(GraphExecutionTest, CostModelDispatchesGraphs) {
+  Workflow w = testing::AllDecisionGraph(1e9, 0);
+  Network n = SimpleBus(1, 1e9);
+  CostModel model(w, n);
+  Mapping m = AllOnServer(w.num_operations(), ServerId(0));
+  EXPECT_DOUBLE_EQ(model.ExecutionTime(m).value(), 11.0);
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,67 @@
+#include "src/cost/pareto.h"
+
+#include <gtest/gtest.h>
+
+namespace wsflow {
+namespace {
+
+TEST(DominatesTest, StrictBothDimensions) {
+  EXPECT_TRUE(Dominates({1, 1}, {2, 2}));
+  EXPECT_FALSE(Dominates({2, 2}, {1, 1}));
+}
+
+TEST(DominatesTest, OneDimensionTied) {
+  EXPECT_TRUE(Dominates({1, 2}, {2, 2}));
+  EXPECT_TRUE(Dominates({2, 1}, {2, 2}));
+}
+
+TEST(DominatesTest, EqualPointsDoNotDominate) {
+  EXPECT_FALSE(Dominates({1, 1}, {1, 1}));
+}
+
+TEST(DominatesTest, TradeoffPointsIncomparable) {
+  EXPECT_FALSE(Dominates({1, 3}, {3, 1}));
+  EXPECT_FALSE(Dominates({3, 1}, {1, 3}));
+}
+
+TEST(ParetoFrontTest, EmptyInput) {
+  EXPECT_TRUE(ParetoFrontIndices({}).empty());
+}
+
+TEST(ParetoFrontTest, SinglePoint) {
+  std::vector<size_t> front = ParetoFrontIndices({{1, 1}});
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0], 0u);
+}
+
+TEST(ParetoFrontTest, DominatedPointsExcluded) {
+  std::vector<ObjectivePoint> pts{{1, 3}, {3, 1}, {2, 2}, {4, 4}};
+  std::vector<size_t> front = ParetoFrontIndices(pts);
+  // (4,4) is dominated by (2,2); the rest trade off.
+  EXPECT_EQ(front, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(ParetoFrontTest, DuplicatesKeptOnce) {
+  std::vector<ObjectivePoint> pts{{1, 1}, {1, 1}, {2, 2}};
+  std::vector<size_t> front = ParetoFrontIndices(pts);
+  EXPECT_EQ(front, std::vector<size_t>{0});
+}
+
+TEST(ParetoFrontTest, ChainCollapsesToBest) {
+  std::vector<ObjectivePoint> pts{{3, 3}, {2, 2}, {1, 1}};
+  EXPECT_EQ(ParetoFrontIndices(pts), std::vector<size_t>{2});
+}
+
+TEST(DistanceTest, Euclidean) {
+  EXPECT_DOUBLE_EQ(DistanceToOrigin({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceToOrigin({0, 0}), 0.0);
+}
+
+TEST(WeightedSumTest, Weights) {
+  EXPECT_DOUBLE_EQ(WeightedSum({2, 4}, 0.5, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(WeightedSum({2, 4}, 1.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(WeightedSum({2, 4}, 0.0, 1.0), 4.0);
+}
+
+}  // namespace
+}  // namespace wsflow

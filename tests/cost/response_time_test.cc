@@ -1,0 +1,127 @@
+#include "src/cost/response_time.h"
+
+#include <gtest/gtest.h>
+
+#include "src/deploy/constraints.h"
+#include "src/workflow/builder.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+using testing::AllOnServer;
+using testing::RoundRobin;
+using testing::SimpleBus;
+
+TEST(ResponseTimeTest, LinePrefixSums) {
+  Workflow w = testing::SimpleLine(3, 2e9, 1e6);  // 2 s ops
+  Network n = MakeBusNetwork({1e9, 1e9}, 1e6).value();  // 1 s messages
+  CostModel model(w, n);
+  Mapping m = RoundRobin(3, 2);
+  ResponseTimes times = WSFLOW_UNWRAP(ComputeResponseTimes(model, m));
+  EXPECT_DOUBLE_EQ(times[0], 2.0);
+  EXPECT_DOUBLE_EQ(times[1], 5.0);  // 2 + msg 1 + 2
+  EXPECT_DOUBLE_EQ(times[2], 8.0);
+}
+
+TEST(ResponseTimeTest, SinkEqualsExecutionTime) {
+  Workflow w = testing::AllDecisionGraph(50e6, 60648);
+  Network n = MakeBusNetwork({1e9, 2e9, 3e9}, 1e7).value();
+  CostModel model(w, n);
+  Mapping m = RoundRobin(w.num_operations(), 3);
+  ResponseTimes times = WSFLOW_UNWRAP(ComputeResponseTimes(model, m));
+  double exec = WSFLOW_UNWRAP(model.ExecutionTime(m));
+  OperationId sink = w.Sinks()[0];
+  EXPECT_NEAR(times[sink.value], exec, exec * 1e-12);
+}
+
+TEST(ResponseTimeTest, AndBranchTimesIndependent) {
+  WorkflowBuilder b("and");
+  b.Split(OperationType::kAndSplit, "s", 0);
+  b.Branch().Op("fast", 1e9);
+  b.Branch().Op("slow", 5e9);
+  b.Join("j", 0);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  Network n = SimpleBus(1, 1e9);
+  CostModel model(w, n);
+  Mapping m = AllOnServer(4, ServerId(0));
+  ResponseTimes times = WSFLOW_UNWRAP(ComputeResponseTimes(model, m));
+  EXPECT_DOUBLE_EQ(times[WSFLOW_UNWRAP(b.Id("fast")).value], 1.0);
+  EXPECT_DOUBLE_EQ(times[WSFLOW_UNWRAP(b.Id("slow")).value], 5.0);
+  // The AND join waits for the slowest branch.
+  EXPECT_DOUBLE_EQ(times[WSFLOW_UNWRAP(b.Id("j")).value], 5.0);
+}
+
+TEST(ResponseTimeTest, OrJoinUsesFastestBranch) {
+  WorkflowBuilder b("or");
+  b.Split(OperationType::kOrSplit, "s", 0);
+  b.Branch().Op("fast", 1e9);
+  b.Branch().Op("slow", 5e9);
+  b.Join("j", 0);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  Network n = SimpleBus(1, 1e9);
+  CostModel model(w, n);
+  ResponseTimes times = WSFLOW_UNWRAP(
+      ComputeResponseTimes(model, AllOnServer(4, ServerId(0))));
+  EXPECT_DOUBLE_EQ(times[WSFLOW_UNWRAP(b.Id("j")).value], 1.0);
+  // The slow branch's own completion is still its conditional time.
+  EXPECT_DOUBLE_EQ(times[WSFLOW_UNWRAP(b.Id("slow")).value], 5.0);
+}
+
+TEST(ResponseTimeTest, XorJoinIsExpectation) {
+  WorkflowBuilder b("xor");
+  b.Split(OperationType::kXorSplit, "s", 0);
+  b.Branch(0.75).Op("cheap", 2e9);
+  b.Branch(0.25).Op("dear", 6e9);
+  b.Join("j", 0);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  Network n = SimpleBus(1, 1e9);
+  CostModel model(w, n);
+  ResponseTimes times = WSFLOW_UNWRAP(
+      ComputeResponseTimes(model, AllOnServer(4, ServerId(0))));
+  // Conditional completions.
+  EXPECT_DOUBLE_EQ(times[WSFLOW_UNWRAP(b.Id("cheap")).value], 2.0);
+  EXPECT_DOUBLE_EQ(times[WSFLOW_UNWRAP(b.Id("dear")).value], 6.0);
+  // Join expectation: 0.75*2 + 0.25*6 = 3.
+  EXPECT_DOUBLE_EQ(times[WSFLOW_UNWRAP(b.Id("j")).value], 3.0);
+}
+
+TEST(ResponseTimeTest, MessagesDelayDownstream) {
+  Workflow w = testing::SimpleLine(2, 1e9, 1e6);
+  Network n = MakeBusNetwork({1e9, 1e9}, 1e6).value();
+  CostModel model(w, n);
+  ResponseTimes local = WSFLOW_UNWRAP(
+      ComputeResponseTimes(model, AllOnServer(2, ServerId(0))));
+  ResponseTimes remote =
+      WSFLOW_UNWRAP(ComputeResponseTimes(model, RoundRobin(2, 2)));
+  EXPECT_DOUBLE_EQ(local[1], 2.0);
+  EXPECT_DOUBLE_EQ(remote[1], 3.0);  // + 1 s message
+}
+
+TEST(ResponseTimeTest, PartialMappingRejected) {
+  Workflow w = testing::SimpleLine(3);
+  Network n = SimpleBus(2);
+  CostModel model(w, n);
+  Mapping partial(3);
+  EXPECT_FALSE(ComputeResponseTimes(model, partial).ok());
+}
+
+TEST(ResponseTimeConstraintTest, CeilingEnforced) {
+  Workflow w = testing::SimpleLine(3, 1e9, 1e6);  // 1 s ops
+  Network n = MakeBusNetwork({1e9, 1e9}, 1e6).value();
+  CostModel model(w, n);
+  DeploymentConstraints c;
+  // op2 must complete within 2.5 s: co-located it finishes at 2 s,
+  // split across servers at 3 s.
+  c.max_response_time.push_back({OperationId(1), 2.5});
+  EXPECT_FALSE(c.empty());
+  WSFLOW_EXPECT_OK(
+      CheckConstraints(model, AllOnServer(3, ServerId(0)), c));
+  Status st = CheckConstraints(model, RoundRobin(3, 2), c);
+  EXPECT_TRUE(st.IsConstraintViolation());
+  EXPECT_DOUBLE_EQ(
+      ConstraintViolation(model, RoundRobin(3, 2), c).value(), 0.5);
+}
+
+}  // namespace
+}  // namespace wsflow

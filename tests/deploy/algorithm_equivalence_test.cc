@@ -1,0 +1,97 @@
+// Algebraic relationships between the paper's algorithms: the tie-resolver
+// family differs from Fair Load *only* in tie handling, so when no ties can
+// occur they must produce identical mappings; conversely, constructed ties
+// must make them diverge.
+
+#include <gtest/gtest.h>
+
+#include "src/deploy/fair_load.h"
+#include "src/deploy/fltr.h"
+#include "src/deploy/fltr2.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+DeployContext MakeContext(const Workflow& w, const Network& n,
+                          uint64_t seed = 1) {
+  DeployContext ctx;
+  ctx.workflow = &w;
+  ctx.network = &n;
+  ctx.seed = seed;
+  return ctx;
+}
+
+/// A line workflow with strictly distinct cycle costs (no operation ties).
+Workflow DistinctCyclesLine(size_t ops) {
+  std::vector<double> cycles;
+  for (size_t i = 0; i < ops; ++i) {
+    cycles.push_back(10e6 + static_cast<double>(i) * 1.37e6);
+  }
+  std::vector<double> msgs(ops - 1, 60648);
+  return MakeLineWorkflow("distinct", cycles, msgs).value();
+}
+
+TEST(EquivalenceTest, FltrEqualsFairLoadWithoutTies) {
+  // With all cycle costs distinct, FLTR's tie group is always a singleton
+  // and its gain function never fires: the mapping must equal Fair Load's,
+  // whatever the random init.
+  Workflow w = DistinctCyclesLine(13);
+  Network n = MakeBusNetwork({1e9, 2.3e9, 3.1e9}, 1e7).value();
+  Mapping fair =
+      WSFLOW_UNWRAP(FairLoadAlgorithm().Run(MakeContext(w, n)));
+  for (uint64_t seed : {1ull, 9ull, 77ull}) {
+    Mapping fltr = WSFLOW_UNWRAP(FltrAlgorithm().Run(MakeContext(w, n, seed)));
+    EXPECT_TRUE(fltr == fair) << "seed " << seed;
+  }
+}
+
+TEST(EquivalenceTest, Fltr2EqualsFairLoadWithoutAnyTies) {
+  // Distinct cycles *and* distinct server powers: neither tie group ever
+  // has more than one element.
+  Workflow w = DistinctCyclesLine(13);
+  Network n = MakeBusNetwork({1.0e9, 2.3e9, 3.7e9}, 1e7).value();
+  Mapping fair =
+      WSFLOW_UNWRAP(FairLoadAlgorithm().Run(MakeContext(w, n)));
+  Mapping fltr2 =
+      WSFLOW_UNWRAP(Fltr2Algorithm().Run(MakeContext(w, n, 123)));
+  EXPECT_TRUE(fltr2 == fair);
+}
+
+TEST(EquivalenceTest, TiesMakeFltrDiverge) {
+  // All-equal cycles with large messages on a *heterogeneous* farm: the
+  // strong server absorbs several consecutive assignments, so the gain
+  // function can pull workflow neighbours onto it. FLTR (empty-init,
+  // deterministic) must co-locate at least as many neighbouring pairs as
+  // Fair Load's id-order placement, and strictly some.
+  Workflow w = testing::SimpleLine(12, 10e6, 171136);
+  Network n = MakeBusNetwork({3e9, 1e9, 1e9}, 1e6).value();
+  Mapping fair =
+      WSFLOW_UNWRAP(FairLoadAlgorithm().Run(MakeContext(w, n)));
+  Mapping fltr = WSFLOW_UNWRAP(
+      FltrAlgorithm(/*random_init=*/false).Run(MakeContext(w, n)));
+  size_t fair_local = 0, fltr_local = 0;
+  for (const Transition& t : w.transitions()) {
+    if (fair.CoLocated(t.from, t.to)) ++fair_local;
+    if (fltr.CoLocated(t.from, t.to)) ++fltr_local;
+  }
+  EXPECT_GE(fltr_local, fair_local);
+  EXPECT_GT(fltr_local, 0u);
+}
+
+TEST(EquivalenceTest, RandomInitOnlyAffectsTies) {
+  // Without ties the seed is irrelevant even for the merge algorithm's
+  // base selection... but FLMME's veto can still use random neighbours, so
+  // restrict the check to FLTR/FLTR2.
+  Workflow w = DistinctCyclesLine(10);
+  Network n = MakeBusNetwork({1.1e9, 2.2e9}, 1e8).value();
+  Mapping a = WSFLOW_UNWRAP(FltrAlgorithm().Run(MakeContext(w, n, 1)));
+  Mapping b = WSFLOW_UNWRAP(FltrAlgorithm().Run(MakeContext(w, n, 2)));
+  EXPECT_TRUE(a == b);
+  Mapping c = WSFLOW_UNWRAP(Fltr2Algorithm().Run(MakeContext(w, n, 1)));
+  Mapping d = WSFLOW_UNWRAP(Fltr2Algorithm().Run(MakeContext(w, n, 2)));
+  EXPECT_TRUE(c == d);
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,83 @@
+#include "src/deploy/algorithm.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+TEST(RegistryTest, BuiltinsRegistered) {
+  RegisterBuiltinAlgorithms();
+  AlgorithmRegistry& r = AlgorithmRegistry::Global();
+  for (const char* name :
+       {"exhaustive", "random", "line-line", "line-line-nofix",
+        "line-line-bidir", "line-line-bidir-nofix", "fair-load", "fltr",
+        "fltr2", "fl-merge", "heavy-ops", "hill-climb"}) {
+    EXPECT_TRUE(r.Contains(name)) << name;
+  }
+}
+
+TEST(RegistryTest, RegistrationIsIdempotent) {
+  RegisterBuiltinAlgorithms();
+  size_t before = AlgorithmRegistry::Global().Names().size();
+  RegisterBuiltinAlgorithms();
+  EXPECT_EQ(AlgorithmRegistry::Global().Names().size(), before);
+}
+
+TEST(RegistryTest, CreateReturnsNamedAlgorithm) {
+  RegisterBuiltinAlgorithms();
+  auto algo = WSFLOW_UNWRAP(AlgorithmRegistry::Global().Create("heavy-ops"));
+  EXPECT_EQ(algo->name(), "heavy-ops");
+}
+
+TEST(RegistryTest, UnknownNameFails) {
+  RegisterBuiltinAlgorithms();
+  EXPECT_TRUE(
+      AlgorithmRegistry::Global().Create("nope").status().IsNotFound());
+}
+
+TEST(RegistryTest, DuplicateRegistrationRejected) {
+  RegisterBuiltinAlgorithms();
+  Status st = AlgorithmRegistry::Global().Register(
+      "fair-load", [] {
+        return std::unique_ptr<DeploymentAlgorithm>(nullptr);
+      });
+  EXPECT_TRUE(st.IsAlreadyExists());
+}
+
+TEST(RegistryTest, NamesAreSorted) {
+  RegisterBuiltinAlgorithms();
+  std::vector<std::string> names = AlgorithmRegistry::Global().Names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(RunAlgorithmTest, RunsByName) {
+  Workflow w = testing::SimpleLine(6);
+  Network n = testing::SimpleBus(3);
+  DeployContext ctx;
+  ctx.workflow = &w;
+  ctx.network = &n;
+  Mapping m = WSFLOW_UNWRAP(RunAlgorithm("fair-load", ctx));
+  EXPECT_TRUE(m.IsTotal());
+}
+
+TEST(RunAlgorithmTest, ChecksContext) {
+  DeployContext ctx;  // null workflow/network
+  EXPECT_TRUE(RunAlgorithm("fair-load", ctx).status().IsInvalidArgument());
+}
+
+TEST(RunAlgorithmTest, RejectsMismatchedProfile) {
+  Workflow w = testing::SimpleLine(4);
+  Network n = testing::SimpleBus(2);
+  ExecutionProfile profile;  // wrong sizes
+  profile.op_prob = {1.0};
+  DeployContext ctx;
+  ctx.workflow = &w;
+  ctx.network = &n;
+  ctx.profile = &profile;
+  EXPECT_TRUE(RunAlgorithm("fair-load", ctx).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,121 @@
+#include "src/deploy/branch_bound.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cost/cost_model.h"
+#include "src/deploy/exhaustive.h"
+#include "src/exp/config.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+DeployContext MakeContext(const Workflow& w, const Network& n) {
+  DeployContext ctx;
+  ctx.workflow = &w;
+  ctx.network = &n;
+  return ctx;
+}
+
+TEST(BranchBoundTest, MatchesExhaustiveOnRandomInstances) {
+  // The certified optimum must equal brute force's on every small
+  // instance, across weights.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+    cfg.num_operations = 7;
+    cfg.num_servers = 3;
+    cfg.seed = seed;
+    TrialInstance t = WSFLOW_UNWRAP(DrawTrial(cfg, 0));
+    CostModel model(t.workflow, t.network);
+    for (double weight : {0.0, 0.5, 1.0}) {
+      DeployContext ctx = MakeContext(t.workflow, t.network);
+      ctx.cost_options.execution_weight = weight;
+      ctx.cost_options.fairness_weight = 1.0 - weight;
+      Mapping exact = WSFLOW_UNWRAP(ExhaustiveAlgorithm().Run(ctx));
+      Mapping bb = WSFLOW_UNWRAP(BranchBoundAlgorithm().Run(ctx));
+      double exact_cost =
+          model.Evaluate(exact, ctx.cost_options).value().combined;
+      double bb_cost = model.Evaluate(bb, ctx.cost_options).value().combined;
+      EXPECT_NEAR(bb_cost, exact_cost, exact_cost * 1e-9 + 1e-15)
+          << "seed " << seed << " weight " << weight;
+    }
+  }
+}
+
+TEST(BranchBoundTest, MatchesExhaustiveOnLineNetworks) {
+  // Multi-hop communication (no bus symmetry breaking) must stay exact.
+  Workflow w = testing::SimpleLine(6, 20e6, 60648);
+  Network n = MakeLineNetwork({1e9, 2e9, 1e9}, {1e7, 1e6}).value();
+  CostModel model(w, n);
+  DeployContext ctx = MakeContext(w, n);
+  Mapping exact = WSFLOW_UNWRAP(ExhaustiveAlgorithm().Run(ctx));
+  Mapping bb = WSFLOW_UNWRAP(BranchBoundAlgorithm().Run(ctx));
+  EXPECT_NEAR(model.Evaluate(bb).value().combined,
+              model.Evaluate(exact).value().combined, 1e-12);
+}
+
+TEST(BranchBoundTest, HandlesPaperScaleInstance) {
+  // M=19, N=5 — the paper's configuration, far beyond exhaustive's reach
+  // (5^19 ~ 1.9e13). Must certify an optimum within the node budget and
+  // never be beaten by any heuristic.
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+  cfg.fixed_bus_speed_bps = paperconst::kBus10Mbps;
+  TrialInstance t = WSFLOW_UNWRAP(DrawTrial(cfg, 0));
+  CostModel model(t.workflow, t.network);
+  DeployContext ctx = MakeContext(t.workflow, t.network);
+  BranchBoundAlgorithm bb;
+  Mapping opt = WSFLOW_UNWRAP(bb.Run(ctx));
+  double opt_cost = model.Evaluate(opt).value().combined;
+  EXPECT_GT(bb.last_nodes(), 0u);
+  for (const char* name : {"fair-load", "fltr2", "fl-merge", "heavy-ops"}) {
+    ctx.seed = 3;
+    Mapping m = WSFLOW_UNWRAP(RunAlgorithm(name, ctx));
+    EXPECT_LE(opt_cost, model.Evaluate(m).value().combined + 1e-12) << name;
+  }
+}
+
+TEST(BranchBoundTest, GraphWorkflowRejected) {
+  Workflow w = testing::AllDecisionGraph();
+  Network n = testing::SimpleBus(2);
+  BranchBoundAlgorithm bb;
+  EXPECT_TRUE(bb.Run(MakeContext(w, n)).status().IsFailedPrecondition());
+}
+
+TEST(BranchBoundTest, NodeBudgetEnforced) {
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+  cfg.fixed_bus_speed_bps = paperconst::kBus100Mbps;
+  TrialInstance t = WSFLOW_UNWRAP(DrawTrial(cfg, 1));
+  BranchBoundAlgorithm tiny(/*max_nodes=*/10);
+  EXPECT_TRUE(tiny.Run(MakeContext(t.workflow, t.network))
+                  .status()
+                  .IsResourceExhausted());
+}
+
+TEST(BranchBoundTest, PrunesFarBelowExhaustive) {
+  // The whole point: on M=12, N=4 the tree has 4^12 ~ 1.7e7 leaves; with
+  // bounds and symmetry the search must explore far fewer nodes.
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+  cfg.num_operations = 12;
+  cfg.num_servers = 4;
+  TrialInstance t = WSFLOW_UNWRAP(DrawTrial(cfg, 2));
+  BranchBoundAlgorithm bb;
+  Mapping m = WSFLOW_UNWRAP(bb.Run(MakeContext(t.workflow, t.network)));
+  EXPECT_TRUE(m.IsTotal());
+  EXPECT_LT(bb.last_nodes(), 4'000'000u);
+}
+
+TEST(BranchBoundTest, SingleServer) {
+  Workflow w = testing::SimpleLine(5);
+  Network n = testing::SimpleBus(1);
+  BranchBoundAlgorithm bb;
+  Mapping m = WSFLOW_UNWRAP(bb.Run(MakeContext(w, n)));
+  EXPECT_EQ(m.OperationsOn(ServerId(0)).size(), 5u);
+}
+
+TEST(BranchBoundTest, Registered) {
+  RegisterBuiltinAlgorithms();
+  EXPECT_TRUE(AlgorithmRegistry::Global().Contains("branch-bound"));
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,112 @@
+#include "src/deploy/constraints.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+using testing::AllOnServer;
+using testing::RoundRobin;
+
+class ConstraintsTest : public ::testing::Test {
+ protected:
+  ConstraintsTest()
+      : w_(testing::SimpleLine(4, 1e9, 1e6)),          // 1 s per op at 1 GHz
+        n_(MakeBusNetwork({1e9, 1e9}, 1e6).value()),   // 1 s per message
+        model_(w_, n_) {}
+
+  Workflow w_;
+  Network n_;
+  CostModel model_;
+};
+
+TEST_F(ConstraintsTest, EmptyConstraintsAlwaysPass) {
+  DeploymentConstraints c;
+  EXPECT_TRUE(c.empty());
+  WSFLOW_EXPECT_OK(CheckConstraints(model_, RoundRobin(4, 2), c));
+  EXPECT_DOUBLE_EQ(
+      ConstraintViolation(model_, RoundRobin(4, 2), c).value(), 0.0);
+}
+
+TEST_F(ConstraintsTest, MaxExecutionTime) {
+  DeploymentConstraints c;
+  // All-on-one runs in 4 s; round-robin in 4 + 3 = 7 s.
+  c.max_execution_time = 5.0;
+  WSFLOW_EXPECT_OK(CheckConstraints(model_, AllOnServer(4, ServerId(0)), c));
+  Status st = CheckConstraints(model_, RoundRobin(4, 2), c);
+  EXPECT_TRUE(st.IsConstraintViolation());
+  EXPECT_DOUBLE_EQ(ConstraintViolation(model_, RoundRobin(4, 2), c).value(),
+                   2.0);
+}
+
+TEST_F(ConstraintsTest, MaxTimePenalty) {
+  DeploymentConstraints c;
+  c.max_time_penalty = 1.0;
+  // All-on-one: penalty 2 s. Round-robin: 0.
+  WSFLOW_EXPECT_OK(CheckConstraints(model_, RoundRobin(4, 2), c));
+  EXPECT_TRUE(CheckConstraints(model_, AllOnServer(4, ServerId(0)), c)
+                  .IsConstraintViolation());
+  EXPECT_DOUBLE_EQ(
+      ConstraintViolation(model_, AllOnServer(4, ServerId(0)), c).value(),
+      1.0);
+}
+
+TEST_F(ConstraintsTest, MaxServerLoad) {
+  DeploymentConstraints c;
+  c.max_server_load = 3.0;
+  WSFLOW_EXPECT_OK(CheckConstraints(model_, RoundRobin(4, 2), c));
+  // All-on-one: load 4 s on server 0 -> excess 1.
+  EXPECT_DOUBLE_EQ(
+      ConstraintViolation(model_, AllOnServer(4, ServerId(0)), c).value(),
+      1.0);
+}
+
+TEST_F(ConstraintsTest, PinnedPlacement) {
+  DeploymentConstraints c;
+  c.pinned.push_back({OperationId(2), ServerId(1)});
+  EXPECT_FALSE(c.empty());
+  Mapping m = AllOnServer(4, ServerId(0));
+  EXPECT_TRUE(CheckConstraints(model_, m, c).IsConstraintViolation());
+  m.Assign(OperationId(2), ServerId(1));
+  WSFLOW_EXPECT_OK(CheckConstraints(model_, m, c));
+}
+
+TEST_F(ConstraintsTest, ForbiddenPlacement) {
+  DeploymentConstraints c;
+  c.forbidden.push_back({OperationId(0), ServerId(0)});
+  EXPECT_TRUE(CheckConstraints(model_, AllOnServer(4, ServerId(0)), c)
+                  .IsConstraintViolation());
+  WSFLOW_EXPECT_OK(CheckConstraints(model_, AllOnServer(4, ServerId(1)), c));
+}
+
+TEST_F(ConstraintsTest, ViolationsAccumulate) {
+  DeploymentConstraints c;
+  c.pinned.push_back({OperationId(0), ServerId(1)});
+  c.pinned.push_back({OperationId(1), ServerId(1)});
+  c.forbidden.push_back({OperationId(2), ServerId(0)});
+  Mapping m = AllOnServer(4, ServerId(0));
+  // Two unpinned + one forbidden = 3.
+  EXPECT_DOUBLE_EQ(ConstraintViolation(model_, m, c).value(), 3.0);
+}
+
+TEST_F(ConstraintsTest, ApplyPinsRewrites) {
+  DeploymentConstraints c;
+  c.pinned.push_back({OperationId(1), ServerId(1)});
+  c.pinned.push_back({OperationId(3), ServerId(1)});
+  Mapping m = AllOnServer(4, ServerId(0));
+  ApplyPins(c, &m);
+  EXPECT_EQ(m.ServerOf(OperationId(1)), ServerId(1));
+  EXPECT_EQ(m.ServerOf(OperationId(3)), ServerId(1));
+  EXPECT_EQ(m.ServerOf(OperationId(0)), ServerId(0));
+}
+
+TEST_F(ConstraintsTest, PartialMappingRejected) {
+  DeploymentConstraints c;
+  Mapping partial(4);
+  EXPECT_FALSE(ConstraintViolation(model_, partial, c).ok());
+}
+
+}  // namespace
+}  // namespace wsflow

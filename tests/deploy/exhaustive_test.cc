@@ -1,0 +1,133 @@
+#include "src/deploy/exhaustive.h"
+
+#include <gtest/gtest.h>
+
+#include "src/deploy/random_baseline.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+DeployContext MakeContext(const Workflow& w, const Network& n) {
+  DeployContext ctx;
+  ctx.workflow = &w;
+  ctx.network = &n;
+  return ctx;
+}
+
+TEST(ExhaustiveTest, FindsTotalMapping) {
+  Workflow w = testing::SimpleLine(4);
+  Network n = testing::SimpleBus(2);
+  ExhaustiveAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  EXPECT_TRUE(m.IsTotal());
+}
+
+TEST(ExhaustiveTest, SingleServerTrivial) {
+  Workflow w = testing::SimpleLine(3);
+  Network n = testing::SimpleBus(1);
+  ExhaustiveAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  for (uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(m.ServerOf(OperationId(i)), ServerId(0));
+  }
+}
+
+TEST(ExhaustiveTest, BeatsOrMatchesEveryRandomMapping) {
+  Workflow w = testing::SimpleLine(5, 10e6, 60648);
+  Network n = MakeBusNetwork({1e9, 2e9, 3e9}, 1e7).value();
+  CostModel model(w, n);
+  DeployContext ctx = MakeContext(w, n);
+  ExhaustiveAlgorithm algo;
+  Mapping best = WSFLOW_UNWRAP(algo.Run(ctx));
+  double best_cost = model.Evaluate(best).value().combined;
+
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    Mapping m = RandomMapping(5, 3, &rng);
+    EXPECT_LE(best_cost, model.Evaluate(m).value().combined + 1e-12);
+  }
+}
+
+TEST(ExhaustiveTest, OptimizesObjectiveWeights) {
+  // With execution-only weights, the best line deployment on a slow bus
+  // avoids all communication: everything on the fastest server.
+  Workflow w = testing::SimpleLine(4, 10e6, 171136);
+  Network n = MakeBusNetwork({1e9, 3e9}, 1e6).value();
+  DeployContext ctx = MakeContext(w, n);
+  ctx.cost_options.execution_weight = 1.0;
+  ctx.cost_options.fairness_weight = 0.0;
+  ExhaustiveAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(ctx));
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(m.ServerOf(OperationId(i)), ServerId(1));
+  }
+}
+
+TEST(ExhaustiveTest, FairnessOnlyBalancesLoad) {
+  // Equal servers, 4 equal ops, fairness-only: 2/2 split is optimal.
+  Workflow w = testing::SimpleLine(4, 10e6, 0);
+  Network n = testing::SimpleBus(2);
+  DeployContext ctx = MakeContext(w, n);
+  ctx.cost_options.execution_weight = 0.0;
+  ctx.cost_options.fairness_weight = 1.0;
+  ExhaustiveAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(ctx));
+  CostModel model(w, n);
+  EXPECT_DOUBLE_EQ(model.TimePenalty(m), 0.0);
+}
+
+TEST(ExhaustiveTest, GraphWorkflowSupported) {
+  Workflow w = testing::AllDecisionGraph();
+  ExecutionProfile profile = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  Network n = testing::SimpleBus(2);
+  DeployContext ctx = MakeContext(w, n);
+  ctx.profile = &profile;
+  ExhaustiveAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(ctx));
+  EXPECT_TRUE(m.IsTotal());
+}
+
+TEST(ExhaustiveTest, RefusesHugeSearchSpace) {
+  Workflow w = testing::SimpleLine(19);
+  Network n = testing::SimpleBus(5);  // 5^19 ~ 1.9e13
+  ExhaustiveAlgorithm algo;
+  EXPECT_TRUE(
+      algo.Run(MakeContext(w, n)).status().IsResourceExhausted());
+}
+
+TEST(ExhaustiveTest, CapIsConfigurable) {
+  Workflow w = testing::SimpleLine(3);
+  Network n = testing::SimpleBus(2);  // 8 configurations
+  ExhaustiveAlgorithm tight(4.0);
+  EXPECT_TRUE(
+      tight.Run(MakeContext(w, n)).status().IsResourceExhausted());
+  ExhaustiveAlgorithm loose(8.0);
+  EXPECT_TRUE(loose.Run(MakeContext(w, n)).ok());
+}
+
+TEST(RandomBaselineTest, TotalAndSeeded) {
+  Workflow w = testing::SimpleLine(10);
+  Network n = testing::SimpleBus(3);
+  RandomDeployment algo;
+  DeployContext ctx = MakeContext(w, n);
+  ctx.seed = 7;
+  Mapping a = WSFLOW_UNWRAP(algo.Run(ctx));
+  Mapping b = WSFLOW_UNWRAP(algo.Run(ctx));
+  EXPECT_TRUE(a.IsTotal());
+  EXPECT_TRUE(a == b);  // same seed, same mapping
+  ctx.seed = 8;
+  Mapping c = WSFLOW_UNWRAP(algo.Run(ctx));
+  EXPECT_FALSE(a == c);
+}
+
+TEST(RandomBaselineTest, UsesAllServersEventually) {
+  Rng rng(3);
+  Mapping m = RandomMapping(100, 4, &rng);
+  for (uint32_t s = 0; s < 4; ++s) {
+    EXPECT_FALSE(m.OperationsOn(ServerId(s)).empty());
+  }
+}
+
+}  // namespace
+}  // namespace wsflow

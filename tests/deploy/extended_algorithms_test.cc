@@ -1,0 +1,172 @@
+// Tests for the extension algorithms: round-robin, simulated annealing and
+// the critical-path (HEFT-style) list scheduler.
+
+#include <gtest/gtest.h>
+
+#include "src/cost/cost_model.h"
+#include "src/deploy/annealing.h"
+#include "src/deploy/critical_path.h"
+#include "src/deploy/exhaustive.h"
+#include "src/deploy/round_robin.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+DeployContext MakeContext(const Workflow& w, const Network& n,
+                          uint64_t seed = 1,
+                          const ExecutionProfile* profile = nullptr) {
+  DeployContext ctx;
+  ctx.workflow = &w;
+  ctx.network = &n;
+  ctx.profile = profile;
+  ctx.seed = seed;
+  return ctx;
+}
+
+TEST(RoundRobinTest, CyclesThroughServers) {
+  Workflow w = testing::SimpleLine(7);
+  Network n = testing::SimpleBus(3);
+  RoundRobinAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  EXPECT_TRUE(m.IsTotal());
+  for (uint32_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(m.ServerOf(OperationId(i)).value, i % 3);
+  }
+}
+
+TEST(RoundRobinTest, RegisteredAndRunnable) {
+  Workflow w = testing::SimpleLine(5);
+  Network n = testing::SimpleBus(2);
+  Mapping m = WSFLOW_UNWRAP(RunAlgorithm("round-robin", MakeContext(w, n)));
+  EXPECT_TRUE(m.IsTotal());
+}
+
+TEST(AnnealingTest, TotalAndDeterministic) {
+  Workflow w = testing::SimpleLine(10, 20e6, 60648);
+  Network n = MakeBusNetwork({1e9, 2e9, 3e9}, 1e7).value();
+  AnnealingOptions options;
+  options.iterations = 2000;
+  AnnealingAlgorithm algo(options);
+  Mapping a = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n, 9)));
+  Mapping b = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n, 9)));
+  EXPECT_TRUE(a.IsTotal());
+  EXPECT_TRUE(a == b);
+}
+
+TEST(AnnealingTest, BeatsItsRandomStart) {
+  Workflow w = testing::SimpleLine(12, 20e6, 60648);
+  Network n = MakeBusNetwork({1e9, 2e9, 3e9}, 1e6).value();
+  CostModel model(w, n);
+  // The annealer starts from RandomMapping(ctx.seed) by construction, so
+  // compare against the same random mapping.
+  Mapping random = WSFLOW_UNWRAP(RunAlgorithm("random", MakeContext(w, n, 4)));
+  AnnealingOptions options;
+  options.iterations = 3000;
+  AnnealingAlgorithm algo(options);
+  Mapping annealed = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n, 4)));
+  EXPECT_LE(model.Evaluate(annealed).value().combined,
+            model.Evaluate(random).value().combined);
+}
+
+TEST(AnnealingTest, NearExhaustiveOnTinyInstance) {
+  Workflow w = testing::SimpleLine(6, 20e6, 60648);
+  Network n = MakeBusNetwork({1e9, 2e9}, 1e7).value();
+  CostModel model(w, n);
+  DeployContext ctx = MakeContext(w, n, 3);
+  Mapping opt = WSFLOW_UNWRAP(ExhaustiveAlgorithm().Run(ctx));
+  double opt_cost = model.Evaluate(opt).value().combined;
+  AnnealingOptions options;
+  options.iterations = 5000;
+  Mapping annealed = WSFLOW_UNWRAP(AnnealingAlgorithm(options).Run(ctx));
+  double cost = model.Evaluate(annealed).value().combined;
+  EXPECT_GE(cost, opt_cost - 1e-12);
+  EXPECT_LE(cost, opt_cost * 1.10);  // within 10% of optimal
+}
+
+TEST(AnnealingTest, SingleServerTrivial) {
+  Workflow w = testing::SimpleLine(4);
+  Network n = testing::SimpleBus(1);
+  AnnealingAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  EXPECT_EQ(m.OperationsOn(ServerId(0)).size(), 4u);
+}
+
+TEST(CriticalPathTest, TotalAndDeterministic) {
+  Workflow w = testing::AllDecisionGraph(50e6, 60648);
+  ExecutionProfile profile = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  Network n = MakeBusNetwork({1e9, 2e9, 3e9}, 1e7).value();
+  CriticalPathAlgorithm algo;
+  Mapping a = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n, 1, &profile)));
+  Mapping b = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n, 2, &profile)));
+  EXPECT_TRUE(a.IsTotal());
+  EXPECT_TRUE(a == b);  // seed-independent
+}
+
+TEST(CriticalPathTest, CoLocatesChattyChainOnSlowBus) {
+  // Huge messages, tiny ops: earliest-finish placement keeps the chain on
+  // one server.
+  std::vector<double> cycles(6, 1e6);
+  std::vector<double> msgs(5, 1e7);
+  Workflow w = MakeLineWorkflow("chatty", cycles, msgs).value();
+  Network n = MakeBusNetwork({1e9, 1e9}, 1e6).value();
+  CriticalPathAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  for (uint32_t i = 0; i + 1 < 6; ++i) {
+    EXPECT_TRUE(m.CoLocated(OperationId(i), OperationId(i + 1)));
+  }
+}
+
+TEST(CriticalPathTest, PrefersFastServerForSerialChain) {
+  // A serial line with free messages: everything belongs on the fastest
+  // server (no parallelism to exploit).
+  Workflow w = testing::SimpleLine(5, 100e6, 0);
+  Network n;
+  n.AddServer("slow", 1e9);
+  n.AddServer("fast", 4e9);
+  ASSERT_TRUE(n.SetBus(1e9).ok());
+  CriticalPathAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  for (uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(m.ServerOf(OperationId(i)), ServerId(1));
+  }
+}
+
+TEST(CriticalPathTest, ExploitsAndParallelism) {
+  // Two heavy AND branches, cheap messages, two equal servers: the
+  // branches must land on different servers.
+  WorkflowBuilder b("par");
+  b.Split(OperationType::kAndSplit, "s", 1e6);
+  b.Branch().Op("left", 500e6, 100);
+  b.Branch().Op("right", 500e6, 100);
+  b.Join("j", 1e6, 100);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  Network n = MakeBusNetwork({1e9, 1e9}, 1e9).value();
+  CriticalPathAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  EXPECT_NE(m.ServerOf(WSFLOW_UNWRAP(b.Id("left"))),
+            m.ServerOf(WSFLOW_UNWRAP(b.Id("right"))));
+}
+
+TEST(CriticalPathTest, GoodExecutionTimeOnLines) {
+  // Against the fairness-blind objective it optimizes, critical-path must
+  // beat round-robin's execution time on a slow bus.
+  Workflow w = testing::SimpleLine(12, 20e6, 171136);
+  Network n = MakeBusNetwork({1e9, 2e9, 3e9}, 1e6).value();
+  CostModel model(w, n);
+  Mapping cp = WSFLOW_UNWRAP(RunAlgorithm("critical-path", MakeContext(w, n)));
+  Mapping rr = WSFLOW_UNWRAP(RunAlgorithm("round-robin", MakeContext(w, n)));
+  EXPECT_LT(model.Evaluate(cp).value().execution_time,
+            model.Evaluate(rr).value().execution_time);
+}
+
+TEST(ExtendedRegistryTest, AllExtensionAlgorithmsRegistered) {
+  RegisterBuiltinAlgorithms();
+  AlgorithmRegistry& r = AlgorithmRegistry::Global();
+  for (const char* name : {"round-robin", "annealing", "critical-path"}) {
+    EXPECT_TRUE(r.Contains(name)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace wsflow

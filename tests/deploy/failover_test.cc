@@ -1,0 +1,196 @@
+#include "src/deploy/failover.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/deploy/algorithm.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+using testing::AllOnServer;
+using testing::RoundRobin;
+
+TEST(FailoverTest, ReassignsEveryOrphan) {
+  Workflow w = testing::SimpleLine(6, 10e6, 8000);
+  Network n = testing::SimpleBus(3);
+  CostModel model(w, n);
+  Mapping m = RoundRobin(6, 3);
+  FailoverReport report = WSFLOW_UNWRAP(
+      AnalyzeFailover(model, m, ServerId(1), FailoverStrategy::kWorstFit));
+  EXPECT_EQ(report.orphaned_operations, 2u);
+  EXPECT_TRUE(report.repaired.IsTotal());
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_NE(report.repaired.ServerOf(OperationId(static_cast<uint32_t>(i))),
+              ServerId(1));
+  }
+}
+
+TEST(FailoverTest, UnaffectedOperationsStayPut) {
+  Workflow w = testing::SimpleLine(6, 10e6, 8000);
+  Network n = testing::SimpleBus(3);
+  CostModel model(w, n);
+  Mapping m = RoundRobin(6, 3);
+  FailoverReport report = WSFLOW_UNWRAP(
+      AnalyzeFailover(model, m, ServerId(2), FailoverStrategy::kWorstFit));
+  for (size_t i = 0; i < 6; ++i) {
+    OperationId op(static_cast<uint32_t>(i));
+    if (m.ServerOf(op) != ServerId(2)) {
+      EXPECT_EQ(report.repaired.ServerOf(op), m.ServerOf(op));
+    }
+  }
+}
+
+TEST(FailoverTest, NoOrphansIsNoOp) {
+  Workflow w = testing::SimpleLine(4);
+  Network n = testing::SimpleBus(3);
+  CostModel model(w, n);
+  Mapping m = AllOnServer(4, ServerId(0));
+  FailoverReport report = WSFLOW_UNWRAP(
+      AnalyzeFailover(model, m, ServerId(2), FailoverStrategy::kWorstFit));
+  EXPECT_EQ(report.orphaned_operations, 0u);
+  EXPECT_TRUE(report.repaired == m);
+  EXPECT_DOUBLE_EQ(report.execution_time_after,
+                   report.execution_time_before);
+  EXPECT_DOUBLE_EQ(report.worst_load_scale_up, 1.0);
+}
+
+TEST(FailoverTest, WorstFitBalancesSurvivors) {
+  // 8 equal ops on 2-of-4 servers; failing one of them must spread its 4
+  // ops over the three survivors proportionally.
+  Workflow w = testing::SimpleLine(8, 10e6, 0);
+  Network n = testing::SimpleBus(4);
+  CostModel model(w, n);
+  Mapping m(8);
+  for (uint32_t i = 0; i < 8; ++i) {
+    m.Assign(OperationId(i), ServerId(i % 2));
+  }
+  FailoverReport report = WSFLOW_UNWRAP(
+      AnalyzeFailover(model, m, ServerId(0), FailoverStrategy::kWorstFit));
+  EXPECT_EQ(report.orphaned_operations, 4u);
+  // Survivors s1..s3: s1 already has 4; the orphans land on s2/s3.
+  EXPECT_EQ(report.repaired.OperationsOn(ServerId(1)).size(), 4u);
+  EXPECT_EQ(report.repaired.OperationsOn(ServerId(2)).size(), 2u);
+  EXPECT_EQ(report.repaired.OperationsOn(ServerId(3)).size(), 2u);
+}
+
+TEST(FailoverTest, CoLocateFollowsHeaviestMessage) {
+  // op1 on the failed server exchanges a huge message with op0 on s1;
+  // co-locate must send it there even though s2 has more headroom.
+  std::vector<double> cycles{10e6, 10e6, 10e6};
+  std::vector<double> msgs{1e9, 100.0};
+  Workflow w = MakeLineWorkflow("chain", cycles, msgs).value();
+  Network n = testing::SimpleBus(3);
+  CostModel model(w, n);
+  Mapping m(3);
+  m.Assign(OperationId(0), ServerId(1));
+  m.Assign(OperationId(1), ServerId(0));  // will fail
+  m.Assign(OperationId(2), ServerId(2));
+  FailoverReport report = WSFLOW_UNWRAP(
+      AnalyzeFailover(model, m, ServerId(0), FailoverStrategy::kCoLocate));
+  EXPECT_EQ(report.repaired.ServerOf(OperationId(1)), ServerId(1));
+}
+
+TEST(FailoverTest, CoLocateFallsBackWhenNeighborsOrphaned) {
+  // The whole chain lives on the failing server: no surviving neighbours,
+  // so co-locate degrades to worst-fit and still repairs totally.
+  Workflow w = testing::SimpleLine(4, 10e6, 8000);
+  Network n = testing::SimpleBus(3);
+  CostModel model(w, n);
+  Mapping m = AllOnServer(4, ServerId(0));
+  FailoverReport report = WSFLOW_UNWRAP(
+      AnalyzeFailover(model, m, ServerId(0), FailoverStrategy::kCoLocate));
+  EXPECT_TRUE(report.repaired.IsTotal());
+  EXPECT_EQ(report.orphaned_operations, 4u);
+}
+
+TEST(FailoverTest, ScaleUpReflectsAddedLoad) {
+  // Two servers, balanced 2/2; failing one doubles the survivor's load.
+  Workflow w = testing::SimpleLine(4, 10e6, 0);
+  Network n = testing::SimpleBus(2);
+  CostModel model(w, n);
+  Mapping m = RoundRobin(4, 2);
+  FailoverReport report = WSFLOW_UNWRAP(
+      AnalyzeFailover(model, m, ServerId(0), FailoverStrategy::kWorstFit));
+  EXPECT_DOUBLE_EQ(report.worst_load_scale_up, 2.0);
+  EXPECT_DOUBLE_EQ(report.time_penalty_after, 0.0);  // one survivor: fair
+}
+
+TEST(FailoverTest, EmptySurvivorGettingWorkIsInfiniteScaleUp) {
+  Workflow w = testing::SimpleLine(2, 10e6, 0);
+  Network n = testing::SimpleBus(2);
+  CostModel model(w, n);
+  Mapping m = AllOnServer(2, ServerId(0));
+  FailoverReport report = WSFLOW_UNWRAP(
+      AnalyzeFailover(model, m, ServerId(0), FailoverStrategy::kWorstFit));
+  EXPECT_TRUE(std::isinf(report.worst_load_scale_up));
+}
+
+TEST(FailoverTest, AllFailoversSweepsEveryServer) {
+  Workflow w = testing::SimpleLine(9, 20e6, 8000);
+  Network n = MakeBusNetwork({1e9, 2e9, 3e9}, 1e8).value();
+  CostModel model(w, n);
+  DeployContext ctx;
+  ctx.workflow = &w;
+  ctx.network = &n;
+  Mapping m = WSFLOW_UNWRAP(RunAlgorithm("fair-load", ctx));
+  std::vector<FailoverReport> reports = WSFLOW_UNWRAP(
+      AnalyzeAllFailovers(model, m, FailoverStrategy::kWorstFit));
+  ASSERT_EQ(reports.size(), 3u);
+  for (size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(reports[s].failed_server, ServerId(static_cast<uint32_t>(s)));
+    EXPECT_TRUE(reports[s].repaired.IsTotal());
+  }
+}
+
+TEST(FailoverTest, FairDeploymentBoundsScaleUpBetterThanPacked) {
+  // The paper's §2.1 motivation quantified: a fair deployment keeps the
+  // failure scale-up bounded; a packed one sends everything to one
+  // surviving host.
+  Workflow w = testing::SimpleLine(12, 20e6, 100.0);
+  Network n = testing::SimpleBus(4);
+  CostModel model(w, n);
+  DeployContext ctx;
+  ctx.workflow = &w;
+  ctx.network = &n;
+  Mapping fair = WSFLOW_UNWRAP(RunAlgorithm("fair-load", ctx));
+  Mapping packed = AllOnServer(12, ServerId(0));
+
+  double fair_worst = 1.0;
+  for (const FailoverReport& r : WSFLOW_UNWRAP(
+           AnalyzeAllFailovers(model, fair, FailoverStrategy::kWorstFit))) {
+    fair_worst = std::max(fair_worst, r.worst_load_scale_up);
+  }
+  FailoverReport packed_report = WSFLOW_UNWRAP(AnalyzeFailover(
+      model, packed, ServerId(0), FailoverStrategy::kWorstFit));
+  // Fair: each survivor absorbs one third of one quarter -> 4/3 scale-up.
+  EXPECT_NEAR(fair_worst, 4.0 / 3.0, 1e-9);
+  EXPECT_TRUE(std::isinf(packed_report.worst_load_scale_up));
+}
+
+TEST(FailoverTest, InvalidInputsRejected) {
+  Workflow w = testing::SimpleLine(3);
+  Network n = testing::SimpleBus(1);
+  CostModel model(w, n);
+  Mapping m = AllOnServer(3, ServerId(0));
+  EXPECT_TRUE(AnalyzeFailover(model, m, ServerId(0),
+                              FailoverStrategy::kWorstFit)
+                  .status()
+                  .IsFailedPrecondition());  // no survivor
+  Network n2 = testing::SimpleBus(2);
+  CostModel model2(w, n2);
+  EXPECT_TRUE(AnalyzeFailover(model2, m, ServerId(7),
+                              FailoverStrategy::kWorstFit)
+                  .status()
+                  .IsNotFound());
+  Mapping partial(3);
+  EXPECT_FALSE(AnalyzeFailover(model2, partial, ServerId(0),
+                               FailoverStrategy::kWorstFit)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace wsflow

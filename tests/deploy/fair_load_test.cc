@@ -1,0 +1,162 @@
+#include "src/deploy/fair_load.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cost/cost_model.h"
+#include "src/deploy/random_baseline.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+DeployContext MakeContext(const Workflow& w, const Network& n,
+                          const ExecutionProfile* profile = nullptr) {
+  DeployContext ctx;
+  ctx.workflow = &w;
+  ctx.network = &n;
+  ctx.profile = profile;
+  return ctx;
+}
+
+TEST(ServerLedgerTest, TopIsNeediest) {
+  Workflow w = testing::SimpleLine(4, 12e6);
+  Network n;
+  n.AddServer("weak", 1e9);
+  n.AddServer("strong", 3e9);
+  ASSERT_TRUE(n.SetBus(1e8).ok());
+  WorkflowView view(w, nullptr);
+  ServerLedger ledger(view, n);
+  // Ideal cycles: 12e6 for weak, 36e6 for strong.
+  EXPECT_EQ(ledger.Top(), ServerId(1));
+  EXPECT_DOUBLE_EQ(ledger.Remaining(ServerId(0)), 12e6);
+  EXPECT_DOUBLE_EQ(ledger.Remaining(ServerId(1)), 36e6);
+  ledger.Charge(ServerId(1), 30e6);
+  EXPECT_EQ(ledger.Top(), ServerId(0));
+}
+
+TEST(ServerLedgerTest, TopTiesGroupsEqualRemaining) {
+  Workflow w = testing::SimpleLine(4, 10e6);
+  Network n = testing::SimpleBus(3);
+  WorkflowView view(w, nullptr);
+  ServerLedger ledger(view, n);
+  EXPECT_EQ(ledger.TopTies().size(), 3u);  // all equal
+  ledger.Charge(ServerId(0), 1e6);
+  EXPECT_EQ(ledger.TopTies().size(), 2u);
+}
+
+TEST(OperationSortTest, DescendingWithStableTies) {
+  Workflow w;
+  w.AddOperation("small", OperationType::kOperational, 1.0);
+  w.AddOperation("big", OperationType::kOperational, 9.0);
+  w.AddOperation("mid1", OperationType::kOperational, 5.0);
+  w.AddOperation("mid2", OperationType::kOperational, 5.0);
+  WorkflowView view(w, nullptr);
+  std::vector<OperationId> order = OperationsByDescendingCycles(view);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0].value, 1u);
+  EXPECT_EQ(order[1].value, 2u);  // ties in id order
+  EXPECT_EQ(order[2].value, 3u);
+  EXPECT_EQ(order[3].value, 0u);
+}
+
+TEST(FairLoadTest, ProducesTotalMapping) {
+  Workflow w = testing::SimpleLine(19);
+  Network n = testing::SimpleBus(5);
+  FairLoadAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  EXPECT_TRUE(m.IsTotal());
+}
+
+TEST(FairLoadTest, PerfectBalanceWhenPossible) {
+  // 4 equal ops over 2 equal servers: worst-fit gives a 2/2 split.
+  Workflow w = testing::SimpleLine(4, 10e6);
+  Network n = testing::SimpleBus(2);
+  FairLoadAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  CostModel model(w, n);
+  EXPECT_DOUBLE_EQ(model.TimePenalty(m), 0.0);
+}
+
+TEST(FairLoadTest, RespectsHeterogeneousCapacity) {
+  // Servers of 1 and 3 GHz: the strong server should take ~3x the cycles.
+  Workflow w = testing::SimpleLine(8, 10e6);
+  Network n;
+  n.AddServer("weak", 1e9);
+  n.AddServer("strong", 3e9);
+  ASSERT_TRUE(n.SetBus(1e8).ok());
+  FairLoadAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  EXPECT_EQ(m.OperationsOn(ServerId(0)).size(), 2u);
+  EXPECT_EQ(m.OperationsOn(ServerId(1)).size(), 6u);
+}
+
+TEST(FairLoadTest, FairerThanRandomOnAverage) {
+  Workflow w = testing::SimpleLine(19, 20e6);
+  Network n = MakeBusNetwork({1e9, 2e9, 3e9, 2e9, 1e9}, 1e8).value();
+  CostModel model(w, n);
+  FairLoadAlgorithm algo;
+  Mapping fl = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  double fl_penalty = model.TimePenalty(fl);
+
+  Rng rng(11);
+  double random_total = 0;
+  const int kRuns = 50;
+  for (int i = 0; i < kRuns; ++i) {
+    random_total += model.TimePenalty(RandomMapping(19, 5, &rng));
+  }
+  EXPECT_LT(fl_penalty, random_total / kRuns);
+}
+
+TEST(FairLoadTest, HeaviestOperationGoesToLargestShare) {
+  Workflow w;
+  w.AddOperation("heavy", OperationType::kOperational, 500e6);
+  w.AddOperation("light", OperationType::kOperational, 5e6);
+  Result<TransitionId> t =
+      w.AddTransition(OperationId(0), OperationId(1), 8000);
+  ASSERT_TRUE(t.ok());
+  Network n;
+  n.AddServer("weak", 1e9);
+  n.AddServer("strong", 3e9);
+  ASSERT_TRUE(n.SetBus(1e8).ok());
+  FairLoadAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  EXPECT_EQ(m.ServerOf(OperationId(0)), ServerId(1));
+}
+
+TEST(FairLoadTest, DeterministicAcrossRuns) {
+  Workflow w = testing::SimpleLine(19);
+  Network n = testing::SimpleBus(5);
+  FairLoadAlgorithm algo;
+  Mapping a = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  Mapping b = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  EXPECT_TRUE(a == b);
+}
+
+TEST(FairLoadTest, GraphProfileWeightsLoads) {
+  // The rare XOR arm (p=0.3) weighs less; FairLoad balances weighted
+  // cycles, so penalties computed under the profile stay small.
+  Workflow w = testing::AllDecisionGraph(100e6);
+  ExecutionProfile profile = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  Network n = testing::SimpleBus(3);
+  FairLoadAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n, &profile)));
+  EXPECT_TRUE(m.IsTotal());
+  CostModel model(w, n, &profile);
+  CostModel unweighted(w, n);
+  // Weighted balancing cannot be worse than 3x the unweighted's fairness.
+  EXPECT_LE(model.TimePenalty(m), unweighted.TimePenalty(m) + 1e-9);
+}
+
+TEST(FairLoadTest, WorksWithMoreServersThanOps) {
+  Workflow w = testing::SimpleLine(2);
+  Network n = testing::SimpleBus(5);
+  FairLoadAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  EXPECT_TRUE(m.IsTotal());
+  // Two ops land on two distinct servers (worst-fit never doubles up
+  // while empty servers remain, given equal ideals).
+  EXPECT_NE(m.ServerOf(OperationId(0)), m.ServerOf(OperationId(1)));
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,228 @@
+// Tests for the tie-resolver family: FLTR, FLTR2 and FL-Merge-Messages'-Ends.
+
+#include <gtest/gtest.h>
+
+#include "src/cost/cost_model.h"
+#include "src/deploy/fair_load.h"
+#include "src/deploy/fl_merge.h"
+#include "src/deploy/fltr.h"
+#include "src/deploy/fltr2.h"
+#include "src/deploy/graph_view.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+DeployContext MakeContext(const Workflow& w, const Network& n,
+                          uint64_t seed = 1,
+                          const ExecutionProfile* profile = nullptr) {
+  DeployContext ctx;
+  ctx.workflow = &w;
+  ctx.network = &n;
+  ctx.profile = profile;
+  ctx.seed = seed;
+  return ctx;
+}
+
+TEST(GraphViewTest, UnitProfileCyclesAndBits) {
+  Workflow w = testing::SimpleLine(3, 10e6, 8000);
+  WorkflowView view(w, nullptr);
+  EXPECT_DOUBLE_EQ(view.Cycles(OperationId(0)), 10e6);
+  EXPECT_DOUBLE_EQ(view.MessageBits(TransitionId(0)), 8000);
+  EXPECT_DOUBLE_EQ(view.TotalCycles(), 30e6);
+}
+
+TEST(GraphViewTest, ProfileWeighting) {
+  Workflow w = testing::AllDecisionGraph(10e6, 8000);
+  ExecutionProfile profile = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  WorkflowView view(w, &profile);
+  for (const Operation& op : w.operations()) {
+    if (op.name() == "d") {
+      EXPECT_DOUBLE_EQ(view.Cycles(op.id()), 7e6);
+    }
+  }
+}
+
+TEST(GraphViewTest, IncidentTransitionsAndNeighbors) {
+  Workflow w = testing::SimpleLine(3);
+  WorkflowView view(w, nullptr);
+  std::vector<TransitionId> mid = view.IncidentTransitions(OperationId(1));
+  ASSERT_EQ(mid.size(), 2u);
+  EXPECT_EQ(view.Neighbor(mid[0], OperationId(1)), OperationId(0));
+  EXPECT_EQ(view.Neighbor(mid[1], OperationId(1)), OperationId(2));
+  EXPECT_EQ(view.IncidentTransitions(OperationId(0)).size(), 1u);
+}
+
+TEST(GraphViewTest, GainCountsOnlyNeighborsOnServer) {
+  Workflow w = testing::SimpleLine(3, 10e6, 500);
+  WorkflowView view(w, nullptr);
+  Mapping m(3);
+  m.Assign(OperationId(0), ServerId(0));
+  m.Assign(OperationId(2), ServerId(1));
+  // op1's gain at s0 counts only the op0-op1 message.
+  EXPECT_DOUBLE_EQ(view.GainAtServer(OperationId(1), ServerId(0), m), 500);
+  EXPECT_DOUBLE_EQ(view.GainAtServer(OperationId(1), ServerId(1), m), 500);
+  m.Assign(OperationId(2), ServerId(0));
+  EXPECT_DOUBLE_EQ(view.GainAtServer(OperationId(1), ServerId(0), m), 1000);
+}
+
+TEST(IdealCyclesTest, ProportionalToPower) {
+  Workflow w = testing::SimpleLine(4, 10e6);
+  Network n;
+  n.AddServer("a", 1e9);
+  n.AddServer("b", 3e9);
+  ASSERT_TRUE(n.SetBus(1e8).ok());
+  WorkflowView view(w, nullptr);
+  std::vector<double> ideal = IdealCycles(view, n);
+  EXPECT_DOUBLE_EQ(ideal[0], 10e6);
+  EXPECT_DOUBLE_EQ(ideal[1], 30e6);
+}
+
+template <typename Algo>
+class TieResolverTest : public ::testing::Test {};
+
+using TieResolverTypes =
+    ::testing::Types<FltrAlgorithm, Fltr2Algorithm, FlMergeAlgorithm>;
+TYPED_TEST_SUITE(TieResolverTest, TieResolverTypes);
+
+TYPED_TEST(TieResolverTest, ProducesTotalMapping) {
+  Workflow w = testing::SimpleLine(19);
+  Network n = testing::SimpleBus(5);
+  TypeParam algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  EXPECT_TRUE(m.IsTotal());
+}
+
+TYPED_TEST(TieResolverTest, DeterministicGivenSeed) {
+  Workflow w = testing::SimpleLine(19);
+  Network n = MakeBusNetwork({1e9, 2e9, 3e9, 2e9, 1e9}, 1e7).value();
+  TypeParam algo;
+  Mapping a = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n, 42)));
+  Mapping b = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n, 42)));
+  EXPECT_TRUE(a == b);
+}
+
+TYPED_TEST(TieResolverTest, GraphWorkflowSupported) {
+  Workflow w = testing::AllDecisionGraph();
+  ExecutionProfile profile = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  Network n = testing::SimpleBus(3);
+  TypeParam algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n, 1, &profile)));
+  EXPECT_TRUE(m.IsTotal());
+}
+
+template <typename Algo>
+void ExpectLoadBalanceMatchesFairLoad() {
+  // With every operation equal, tie resolution changes *which* operation
+  // lands where, not how many: per-server loads must equal FairLoad's.
+  // (FL-Merge is excluded: its big-message veto deliberately departs from
+  // the fair counts.)
+  Workflow w = testing::SimpleLine(12, 10e6, 8000);
+  Network n = testing::SimpleBus(3);
+  CostModel model(w, n);
+  FairLoadAlgorithm fair;
+  Algo algo;
+  Mapping fl = WSFLOW_UNWRAP(fair.Run(MakeContext(w, n)));
+  Mapping tr = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  EXPECT_NEAR(model.TimePenalty(tr), model.TimePenalty(fl), 1e-9);
+}
+
+TEST(FltrTest, LoadBalanceMatchesFairLoadOnUniformOps) {
+  ExpectLoadBalanceMatchesFairLoad<FltrAlgorithm>();
+}
+
+TEST(Fltr2Test, LoadBalanceMatchesFairLoadOnUniformOps) {
+  ExpectLoadBalanceMatchesFairLoad<Fltr2Algorithm>();
+}
+
+TEST(FltrTest, TieBreakPrefersNeighborOfPlacedOp) {
+  // Equal-cost operations: after op placements accumulate, the gain
+  // function must pull workflow-adjacent operations onto the same server,
+  // reducing communication vs plain FairLoad on average.
+  Workflow w = testing::SimpleLine(12, 10e6, 171136);
+  Network n = MakeBusNetwork({1e9, 1e9, 1e9}, 1e6).value();
+  CostModel model(w, n);
+  FairLoadAlgorithm fair;
+  FltrAlgorithm fltr(/*random_init=*/false);
+  Mapping fl = WSFLOW_UNWRAP(fair.Run(MakeContext(w, n)));
+  Mapping tr = WSFLOW_UNWRAP(fltr.Run(MakeContext(w, n)));
+  double fl_exec = model.Evaluate(fl).value().execution_time;
+  double tr_exec = model.Evaluate(tr).value().execution_time;
+  EXPECT_LE(tr_exec, fl_exec + 1e-9);
+}
+
+TEST(Fltr2Test, SelectByGainPicksBestPair) {
+  Workflow w = testing::SimpleLine(4, 10e6, 1000);
+  Network n = testing::SimpleBus(2);
+  WorkflowView view(w, nullptr);
+  ServerLedger ledger(view, n);
+  Mapping m(4);
+  m.Assign(OperationId(0), ServerId(1));  // op0 placed on s1
+  std::vector<OperationId> pending{OperationId(1), OperationId(2),
+                                   OperationId(3)};
+  TieSelection sel = SelectByGain(view, ledger, pending, m);
+  // op1 next to placed op0 on s1 has gain 1000; everything else 0.
+  EXPECT_EQ(pending[sel.pending_index], OperationId(1));
+  EXPECT_EQ(sel.server, ServerId(1));
+  EXPECT_DOUBLE_EQ(sel.gain, 1000);
+}
+
+TEST(Fltr2Test, ZeroGainStillSelectsFirstPair) {
+  Workflow w = testing::SimpleLine(3, 10e6, 1000);
+  Network n = testing::SimpleBus(2);
+  WorkflowView view(w, nullptr);
+  ServerLedger ledger(view, n);
+  Mapping m(3);  // nothing placed: all gains zero
+  std::vector<OperationId> pending{OperationId(0), OperationId(1),
+                                   OperationId(2)};
+  TieSelection sel = SelectByGain(view, ledger, pending, m);
+  EXPECT_EQ(sel.pending_index, 0u);
+  EXPECT_EQ(sel.server, ServerId(0));
+}
+
+TEST(FlMergeTest, BigMessageEndsMerged) {
+  // One huge message dwarfing the rest: FLMME must co-locate its ends.
+  std::vector<double> cycles(8, 10e6);
+  std::vector<double> msgs(7, 1000);
+  msgs[3] = 1e9;  // op4 -> op5 is enormous
+  Workflow w = MakeLineWorkflow("big", cycles, msgs).value();
+  Network n = MakeBusNetwork({1e9, 1e9, 1e9}, 1e6).value();
+  FlMergeAlgorithm algo(/*random_init=*/false);
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  EXPECT_TRUE(m.IsTotal());
+  EXPECT_TRUE(m.CoLocated(OperationId(3), OperationId(4)));
+}
+
+TEST(FlMergeTest, ImprovesExecutionOverFltr2OnSlowBus) {
+  // The paper: FLMME trades fairness for execution time on slow buses.
+  std::vector<double> cycles(10, 20e6);
+  std::vector<double> msgs(9, 6984);
+  msgs[2] = 171136;
+  msgs[6] = 171136;
+  Workflow w = MakeLineWorkflow("mixed", cycles, msgs).value();
+  Network n = MakeBusNetwork({1e9, 2e9, 1e9}, 1e6).value();
+  CostModel model(w, n);
+  Fltr2Algorithm fltr2;
+  FlMergeAlgorithm merge;
+  double exec2 = 0, execm = 0;
+  const int kSeeds = 10;
+  for (uint64_t seed = 0; seed < kSeeds; ++seed) {
+    Mapping a = WSFLOW_UNWRAP(fltr2.Run(MakeContext(w, n, seed)));
+    Mapping b = WSFLOW_UNWRAP(merge.Run(MakeContext(w, n, seed)));
+    exec2 += model.Evaluate(a).value().execution_time;
+    execm += model.Evaluate(b).value().execution_time;
+  }
+  EXPECT_LE(execm, exec2 + 1e-9);
+}
+
+TEST(FlMergeTest, NoMessagesDegeneratesToFltr2) {
+  // Single-operation workflow has no messages: nothing is "big".
+  Workflow w = testing::SimpleLine(1);
+  Network n = testing::SimpleBus(2);
+  FlMergeAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  EXPECT_TRUE(m.IsTotal());
+}
+
+}  // namespace
+}  // namespace wsflow

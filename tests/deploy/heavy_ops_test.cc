@@ -1,0 +1,187 @@
+#include "src/deploy/heavy_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cost/cost_model.h"
+#include "src/deploy/graph_view.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+DeployContext MakeContext(const Workflow& w, const Network& n,
+                          const ExecutionProfile* profile = nullptr) {
+  DeployContext ctx;
+  ctx.workflow = &w;
+  ctx.network = &n;
+  ctx.profile = profile;
+  return ctx;
+}
+
+TEST(HeavyOpsTest, ProducesTotalMapping) {
+  Workflow w = testing::SimpleLine(19);
+  Network n = testing::SimpleBus(5);
+  HeavyOpsAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  EXPECT_TRUE(m.IsTotal());
+}
+
+TEST(HeavyOpsTest, Deterministic) {
+  Workflow w = testing::SimpleLine(19, 20e6, 60648);
+  Network n = MakeBusNetwork({1e9, 2e9, 3e9}, 1e7).value();
+  HeavyOpsAlgorithm algo;
+  Mapping a = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  Mapping b = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  EXPECT_TRUE(a == b);
+}
+
+TEST(HeavyOpsTest, LargeMessageEndsCoLocated) {
+  // A 1 Mbps bus makes even medium messages expensive relative to the tiny
+  // operations, so communicating pairs must merge.
+  std::vector<double> cycles(6, 1e6);  // 1 ms of work each on 1 GHz
+  std::vector<double> msgs(5, 171136); // ~171 ms on the bus
+  Workflow w = MakeLineWorkflow("chatty", cycles, msgs).value();
+  Network n = MakeBusNetwork({1e9, 1e9, 1e9}, 1e6).value();
+  HeavyOpsAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  // Every message is large: the whole line collapses onto one server.
+  for (uint32_t i = 0; i + 1 < 6; ++i) {
+    EXPECT_TRUE(m.CoLocated(OperationId(i), OperationId(i + 1)))
+        << "edge " << i;
+  }
+}
+
+TEST(HeavyOpsTest, FastBusSpreadsHeavyOps) {
+  // On a 1 Gbps bus messages are nearly free: heavy operations dominate
+  // and the groups spread over the servers for fairness.
+  std::vector<double> cycles(6, 500e6);
+  std::vector<double> msgs(5, 6984);
+  Workflow w = MakeLineWorkflow("heavy", cycles, msgs).value();
+  Network n = MakeBusNetwork({1e9, 1e9, 1e9}, 1e9).value();
+  HeavyOpsAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  for (uint32_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(m.OperationsOn(ServerId(s)).size(), 2u);
+  }
+}
+
+TEST(HeavyOpsTest, GroupsNeverSplit) {
+  // Mixed workload: wherever two ops exchange a message that is large
+  // relative to their processing, they must end on the same server.
+  std::vector<double> cycles{1e6, 1e6, 500e6, 500e6, 1e6, 1e6};
+  std::vector<double> msgs{171136, 6984, 6984, 6984, 171136};
+  Workflow w = MakeLineWorkflow("mixed", cycles, msgs).value();
+  Network n = MakeBusNetwork({1e9, 2e9}, 1e6).value();
+  HeavyOpsAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  EXPECT_TRUE(m.IsTotal());
+  // The 171 ms messages join cheap (1 ms) operations: both pairs merge.
+  EXPECT_TRUE(m.CoLocated(OperationId(0), OperationId(1)));
+  EXPECT_TRUE(m.CoLocated(OperationId(4), OperationId(5)));
+}
+
+TEST(HeavyOpsTest, GraphWorkflowSupported) {
+  Workflow w = testing::AllDecisionGraph();
+  ExecutionProfile profile = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  Network n = testing::SimpleBus(3);
+  HeavyOpsAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n, &profile)));
+  EXPECT_TRUE(m.IsTotal());
+}
+
+TEST(HeavyOpsTest, SingleServer) {
+  Workflow w = testing::SimpleLine(5);
+  Network n = testing::SimpleBus(1);
+  HeavyOpsAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  EXPECT_EQ(m.OperationsOn(ServerId(0)).size(), 5u);
+}
+
+TEST(HeavyOpsTest, SingleOperation) {
+  Workflow w = testing::SimpleLine(1);
+  Network n = testing::SimpleBus(3);
+  HeavyOpsAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  EXPECT_TRUE(m.IsTotal());
+}
+
+TEST(HeavyOpsTest, ThresholdScaleShiftsDecision) {
+  // Scaling message transfer time up makes the algorithm merge more; a
+  // scale of ~0 makes it behave like pure load balancing.
+  std::vector<double> cycles(6, 50e6);
+  std::vector<double> msgs(5, 171136);
+  Workflow w = MakeLineWorkflow("scale", cycles, msgs).value();
+  Network n = MakeBusNetwork({1e9, 1e9, 1e9}, 1e7).value();
+  CostModel model(w, n);
+
+  HeavyOpsAlgorithm merge_prone(/*large_message_scale=*/100.0);
+  HeavyOpsAlgorithm spread_prone(/*large_message_scale=*/1e-9);
+  Mapping merged = WSFLOW_UNWRAP(merge_prone.Run(MakeContext(w, n)));
+  Mapping spread = WSFLOW_UNWRAP(spread_prone.Run(MakeContext(w, n)));
+  // The merge-prone variant keeps more pairs local.
+  size_t merged_crossings = 0, spread_crossings = 0;
+  for (const Transition& t : w.transitions()) {
+    if (!merged.CoLocated(t.from, t.to)) ++merged_crossings;
+    if (!spread.CoLocated(t.from, t.to)) ++spread_crossings;
+  }
+  EXPECT_LE(merged_crossings, spread_crossings);
+  EXPECT_LE(model.TimePenalty(spread), model.TimePenalty(merged) + 1e-9);
+}
+
+TEST(HeavyOpsTest, LedgerVariantRejectsBadLedger) {
+  Workflow w = testing::SimpleLine(4);
+  Network n = testing::SimpleBus(2);
+  HeavyOpsAlgorithm algo;
+  std::vector<double> wrong_size(5, 1.0);
+  EXPECT_TRUE(algo.RunWithLedger(MakeContext(w, n), &wrong_size)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(algo.RunWithLedger(MakeContext(w, n), nullptr)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(HeavyOpsTest, LedgerCarriesAcrossRuns) {
+  // Preloading server 0 as "already full" pushes work to server 1.
+  Workflow w = testing::SimpleLine(4, 10e6, 100);
+  Network n = MakeBusNetwork({1e9, 1e9}, 1e9).value();
+  HeavyOpsAlgorithm algo;
+  std::vector<double> ledger{-100e6, 40e6};  // s0 deeply over budget
+  Mapping m = WSFLOW_UNWRAP(algo.RunWithLedger(MakeContext(w, n), &ledger));
+  EXPECT_EQ(m.OperationsOn(ServerId(1)).size(), 4u);
+  EXPECT_DOUBLE_EQ(ledger[1], 0.0);
+}
+
+TEST(HeavyOpsTest, MergedGroupMovesWholesaleInCaseB1) {
+  // The prose-over-pseudocode deviation (DESIGN.md §7.1): once O1 and O2
+  // merge (their message is large), the later co-location with the already
+  // placed O0 must move the *whole* group, not just the message endpoint.
+  //
+  // Construction: O0 is heavy (0.5 s processing > 0.31 s top message), so
+  // iteration 1 places it via option (a). Iteration 2 sees the 0.31 s
+  // O1-O2 message with both ends free -> merge (b2). Iteration 3 sees the
+  // 0.30 s O0-O1 message with O0 placed -> co-locate (b1): O1 *and* O2
+  // must land on O0's server.
+  std::vector<double> cycles{500e6, 1e6, 1e6};
+  std::vector<double> msgs{3.0e5, 3.1e5};
+  Workflow w = MakeLineWorkflow("group-move", cycles, msgs).value();
+  Network n = MakeBusNetwork({1e9, 1e9}, 1e6).value();
+  HeavyOpsAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  ServerId host = m.ServerOf(OperationId(0));
+  EXPECT_EQ(m.ServerOf(OperationId(1)), host);
+  EXPECT_EQ(m.ServerOf(OperationId(2)), host);
+}
+
+TEST(HeavyOpsTest, PointToPointNetworkFallsBackToSlowestLink) {
+  // HOLM is defined for buses; on a line it must still terminate and
+  // produce a total mapping using the conservative link estimate.
+  Workflow w = testing::SimpleLine(6, 20e6, 60648);
+  Network n = MakeLineNetwork({1e9, 1e9, 1e9}, {1e7, 1e6}).value();
+  HeavyOpsAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  EXPECT_TRUE(m.IsTotal());
+}
+
+}  // namespace
+}  // namespace wsflow

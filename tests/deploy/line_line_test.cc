@@ -1,0 +1,186 @@
+#include "src/deploy/line_line.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cost/cost_model.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+DeployContext MakeContext(const Workflow& w, const Network& n) {
+  DeployContext ctx;
+  ctx.workflow = &w;
+  ctx.network = &n;
+  return ctx;
+}
+
+Network UniformLineNetwork(size_t servers, double power = 1e9,
+                           double speed = 1e8) {
+  std::vector<double> powers(servers, power);
+  std::vector<double> speeds(servers > 0 ? servers - 1 : 0, speed);
+  Result<Network> n = MakeLineNetwork(powers, speeds);
+  EXPECT_TRUE(n.ok()) << n.status().ToString();
+  return std::move(n).value();
+}
+
+TEST(LineLineTest, ProducesTotalMapping) {
+  Workflow w = testing::SimpleLine(19);
+  Network n = UniformLineNetwork(5);
+  LineLineAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  EXPECT_TRUE(m.IsTotal());
+}
+
+TEST(LineLineTest, RequiresLineWorkflow) {
+  Workflow w = testing::AllDecisionGraph();
+  Network n = UniformLineNetwork(3);
+  LineLineAlgorithm algo;
+  EXPECT_TRUE(
+      algo.Run(MakeContext(w, n)).status().IsFailedPrecondition());
+}
+
+TEST(LineLineTest, AssignmentsAreContiguousSegments) {
+  // Phase 1 walks the line: each server hosts one contiguous stretch of
+  // operations (before bridge fixing).
+  Workflow w = testing::SimpleLine(19, 20e6);
+  Network n = UniformLineNetwork(5);
+  LineLineOptions opt;
+  opt.fix_bridges = false;
+  LineLineAlgorithm algo(opt);
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+
+  uint32_t previous = m.ServerOf(OperationId(0)).value;
+  for (uint32_t i = 1; i < 19; ++i) {
+    uint32_t current = m.ServerOf(OperationId(i)).value;
+    EXPECT_GE(current, previous) << "op " << i;
+    EXPECT_LE(current, previous + 1) << "op " << i;
+    previous = current;
+  }
+}
+
+TEST(LineLineTest, EveryServerGetsWork) {
+  Workflow w = testing::SimpleLine(19, 20e6);
+  Network n = UniformLineNetwork(5);
+  LineLineAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  for (uint32_t s = 0; s < 5; ++s) {
+    EXPECT_FALSE(m.OperationsOn(ServerId(s)).empty()) << "server " << s;
+  }
+}
+
+TEST(LineLineTest, TailModeOneOpPerServer) {
+  // Exactly as many operations as servers: one each.
+  Workflow w = testing::SimpleLine(4, 20e6);
+  Network n = UniformLineNetwork(4);
+  LineLineAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  for (uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(m.OperationsOn(ServerId(s)).size(), 1u);
+  }
+}
+
+TEST(LineLineTest, FewerOpsThanServersStillTotal) {
+  Workflow w = testing::SimpleLine(3);
+  Network n = UniformLineNetwork(5);
+  LineLineAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  EXPECT_TRUE(m.IsTotal());
+}
+
+TEST(LineLineTest, RoughlyFairOnUniformWork) {
+  Workflow w = testing::SimpleLine(20, 10e6);
+  Network n = UniformLineNetwork(4);
+  LineLineOptions opt;
+  opt.fix_bridges = false;
+  LineLineAlgorithm algo(opt);
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  // Ideal is 5 ops per server; the 20% slack bounds the drift.
+  for (uint32_t s = 0; s < 4; ++s) {
+    size_t count = m.OperationsOn(ServerId(s)).size();
+    EXPECT_GE(count, 3u) << "server " << s;
+    EXPECT_LE(count, 7u) << "server " << s;
+  }
+}
+
+TEST(LineLineTest, StrongServerGetsLargerSegment) {
+  Workflow w = testing::SimpleLine(12, 10e6);
+  Network n =
+      MakeLineNetwork({3e9, 1e9, 1e9}, {1e8, 1e8}).value();
+  LineLineOptions opt;
+  opt.fix_bridges = false;
+  LineLineAlgorithm algo(opt);
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  EXPECT_GT(m.OperationsOn(ServerId(0)).size(),
+            m.OperationsOn(ServerId(1)).size());
+}
+
+TEST(LineLineTest, CriticalBridgeShiftsBoundaryOp) {
+  // A slow middle link carrying a huge crossing message, with a tiny
+  // message just behind the sender: phase 2 shifts the boundary operation
+  // so the huge message stays local.
+  std::vector<double> cycles(6, 10e6);
+  // Messages: op3 -> op4 is huge; op2 -> op3 is tiny.
+  std::vector<double> msgs{60648, 60648, 100, 1e7, 60648};
+  Workflow w = MakeLineWorkflow("bridge", cycles, msgs).value();
+  // Two servers; the single link is trivially in the slowest 20%.
+  Network n = MakeLineNetwork({1e9, 1e9}, {1e6}).value();
+  CostModel model(w, n);
+
+  LineLineOptions nofix;
+  nofix.fix_bridges = false;
+  Mapping before =
+      WSFLOW_UNWRAP(LineLineAlgorithm(nofix).Run(MakeContext(w, n)));
+  Mapping after =
+      WSFLOW_UNWRAP(LineLineAlgorithm().Run(MakeContext(w, n)));
+
+  double exec_before = model.Evaluate(before).value().execution_time;
+  double exec_after = model.Evaluate(after).value().execution_time;
+  EXPECT_LE(exec_after, exec_before);
+}
+
+TEST(LineLineTest, BothDirectionsNeverWorse) {
+  std::vector<double> cycles{5e6, 5e6, 5e6, 500e6, 500e6, 500e6};
+  std::vector<double> msgs(5, 60648);
+  Workflow w = MakeLineWorkflow("skewed", cycles, msgs).value();
+  Network n = MakeLineNetwork({3e9, 1e9}, {1e7}).value();
+  CostModel model(w, n);
+
+  LineLineOptions fwd;
+  fwd.both_directions = false;
+  LineLineOptions both;
+  both.both_directions = true;
+  Mapping f = WSFLOW_UNWRAP(LineLineAlgorithm(fwd).Run(MakeContext(w, n)));
+  Mapping b = WSFLOW_UNWRAP(LineLineAlgorithm(both).Run(MakeContext(w, n)));
+  EXPECT_LE(model.Evaluate(b).value().combined,
+            model.Evaluate(f).value().combined + 1e-12);
+}
+
+TEST(LineLineTest, WorksOnBusNetworkWithoutBridgeFix) {
+  // Phase 2 needs line bridges; on a bus it must silently skip.
+  Workflow w = testing::SimpleLine(10);
+  Network n = testing::SimpleBus(3);
+  LineLineAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  EXPECT_TRUE(m.IsTotal());
+}
+
+TEST(LineLineTest, SingleServerTakesAll) {
+  Workflow w = testing::SimpleLine(5);
+  Network n = UniformLineNetwork(1);
+  LineLineAlgorithm algo;
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  EXPECT_EQ(m.OperationsOn(ServerId(0)).size(), 5u);
+}
+
+TEST(LineLineTest, Deterministic) {
+  Workflow w = testing::SimpleLine(19, 20e6, 60648);
+  Network n = UniformLineNetwork(5);
+  LineLineAlgorithm algo;
+  Mapping a = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  Mapping b = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,147 @@
+#include "src/deploy/local_search.h"
+
+#include <gtest/gtest.h>
+
+#include "src/deploy/exhaustive.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+using testing::AllOnServer;
+
+TEST(HillClimbTest, NeverWorsensCost) {
+  Workflow w = testing::SimpleLine(6, 20e6, 60648);
+  Network n = MakeBusNetwork({1e9, 2e9}, 1e7).value();
+  CostModel model(w, n);
+  Mapping start = AllOnServer(6, ServerId(0));
+  LocalSearchStats stats;
+  Mapping end =
+      WSFLOW_UNWRAP(HillClimb(model, start, {}, {}, &stats));
+  EXPECT_LE(stats.final_cost, stats.initial_cost);
+  EXPECT_TRUE(end.IsTotal());
+}
+
+TEST(HillClimbTest, ReachesLocalOptimum) {
+  Workflow w = testing::SimpleLine(5, 20e6, 60648);
+  Network n = MakeBusNetwork({1e9, 1e9}, 1e7).value();
+  CostModel model(w, n);
+  LocalSearchStats stats;
+  Mapping end = WSFLOW_UNWRAP(
+      HillClimb(model, AllOnServer(5, ServerId(0)), {}, {}, &stats));
+  // At a local optimum no single move or swap improves: re-climbing from
+  // the end point takes zero steps.
+  LocalSearchStats again;
+  Mapping same = WSFLOW_UNWRAP(HillClimb(model, end, {}, {}, &again));
+  EXPECT_EQ(again.steps, 0u);
+  EXPECT_TRUE(same == end);
+}
+
+TEST(HillClimbTest, MatchesExhaustiveOnTinyInstance) {
+  Workflow w = testing::SimpleLine(4, 20e6, 60648);
+  Network n = MakeBusNetwork({1e9, 2e9}, 1e7).value();
+  CostModel model(w, n);
+
+  DeployContext ctx;
+  ctx.workflow = &w;
+  ctx.network = &n;
+  Mapping best = WSFLOW_UNWRAP(ExhaustiveAlgorithm().Run(ctx));
+  double best_cost = model.Evaluate(best).value().combined;
+
+  // Climbs from several starts: at least one reaches the global optimum
+  // on this tiny landscape, none beat it.
+  double reached = 1e300;
+  for (uint32_t s = 0; s < 2; ++s) {
+    LocalSearchStats stats;
+    Mapping end = WSFLOW_UNWRAP(
+        HillClimb(model, AllOnServer(4, ServerId(s)), {}, {}, &stats));
+    (void)end;
+    EXPECT_GE(stats.final_cost, best_cost - 1e-12);
+    reached = std::min(reached, stats.final_cost);
+  }
+  EXPECT_NEAR(reached, best_cost, 1e-9);
+}
+
+TEST(HillClimbTest, MaxStepsBounds) {
+  Workflow w = testing::SimpleLine(8, 20e6, 60648);
+  Network n = MakeBusNetwork({1e9, 1e9, 1e9}, 1e6).value();
+  CostModel model(w, n);
+  LocalSearchOptions options;
+  options.max_steps = 1;
+  LocalSearchStats stats;
+  Mapping end = WSFLOW_UNWRAP(
+      HillClimb(model, AllOnServer(8, ServerId(0)), {}, options, &stats));
+  EXPECT_LE(stats.steps, 1u);
+  EXPECT_TRUE(end.IsTotal());
+}
+
+TEST(HillClimbTest, SwapsCanEscapeMovePlateaus) {
+  // Sanity: enabling swaps never yields a worse local optimum than moves
+  // alone from the same start.
+  Workflow w = testing::SimpleLine(7, 20e6, 171136);
+  Network n = MakeBusNetwork({1e9, 2e9}, 1e6).value();
+  CostModel model(w, n);
+  LocalSearchOptions moves_only;
+  moves_only.use_swaps = false;
+  LocalSearchStats s1, s2;
+  (void)WSFLOW_UNWRAP(
+      HillClimb(model, AllOnServer(7, ServerId(0)), {}, moves_only, &s1));
+  (void)WSFLOW_UNWRAP(
+      HillClimb(model, AllOnServer(7, ServerId(0)), {}, {}, &s2));
+  EXPECT_LE(s2.final_cost, s1.final_cost + 1e-12);
+}
+
+TEST(HillClimbTest, RespectsConstraints) {
+  Workflow w = testing::SimpleLine(4, 20e6, 60648);
+  Network n = MakeBusNetwork({1e9, 1e9}, 1e7).value();
+  CostModel model(w, n);
+  DeploymentConstraints constraints;
+  constraints.pinned.push_back({OperationId(0), ServerId(1)});
+  LocalSearchOptions options;
+  options.constraints = &constraints;
+
+  Mapping start = AllOnServer(4, ServerId(1));
+  Mapping end = WSFLOW_UNWRAP(HillClimb(model, start, {}, options));
+  EXPECT_EQ(end.ServerOf(OperationId(0)), ServerId(1));
+}
+
+TEST(HillClimbTest, ViolatingStartRejected) {
+  Workflow w = testing::SimpleLine(4);
+  Network n = testing::SimpleBus(2);
+  CostModel model(w, n);
+  DeploymentConstraints constraints;
+  constraints.pinned.push_back({OperationId(0), ServerId(1)});
+  LocalSearchOptions options;
+  options.constraints = &constraints;
+  Mapping bad_start = AllOnServer(4, ServerId(0));
+  EXPECT_TRUE(HillClimb(model, bad_start, {}, options)
+                  .status()
+                  .IsConstraintViolation());
+}
+
+TEST(HillClimbAlgorithmTest, RegistryRunIsTotalAndSeeded) {
+  Workflow w = testing::SimpleLine(8, 20e6, 60648);
+  Network n = MakeBusNetwork({1e9, 2e9, 3e9}, 1e7).value();
+  DeployContext ctx;
+  ctx.workflow = &w;
+  ctx.network = &n;
+  ctx.seed = 9;
+  HillClimbAlgorithm algo;
+  Mapping a = WSFLOW_UNWRAP(algo.Run(ctx));
+  Mapping b = WSFLOW_UNWRAP(algo.Run(ctx));
+  EXPECT_TRUE(a.IsTotal());
+  EXPECT_TRUE(a == b);
+}
+
+TEST(HillClimbTest, EvaluationsCounted) {
+  Workflow w = testing::SimpleLine(4);
+  Network n = testing::SimpleBus(2);
+  CostModel model(w, n);
+  LocalSearchStats stats;
+  (void)WSFLOW_UNWRAP(
+      HillClimb(model, AllOnServer(4, ServerId(0)), {}, {}, &stats));
+  EXPECT_GT(stats.evaluations, 0u);
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,115 @@
+#include "src/deploy/mapping.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+TEST(MappingTest, StartsUnassigned) {
+  Mapping m(3);
+  EXPECT_EQ(m.num_operations(), 3u);
+  EXPECT_FALSE(m.IsTotal());
+  EXPECT_EQ(m.NumAssigned(), 0u);
+  EXPECT_FALSE(m.IsAssigned(OperationId(0)));
+  EXPECT_FALSE(m.ServerOf(OperationId(0)).valid());
+}
+
+TEST(MappingTest, AssignAndReassign) {
+  Mapping m(2);
+  m.Assign(OperationId(0), ServerId(1));
+  EXPECT_EQ(m.ServerOf(OperationId(0)), ServerId(1));
+  m.Assign(OperationId(0), ServerId(0));
+  EXPECT_EQ(m.ServerOf(OperationId(0)), ServerId(0));
+  EXPECT_EQ(m.NumAssigned(), 1u);
+}
+
+TEST(MappingTest, Unassign) {
+  Mapping m(2);
+  m.Assign(OperationId(0), ServerId(1));
+  m.Unassign(OperationId(0));
+  EXPECT_FALSE(m.IsAssigned(OperationId(0)));
+  m.Unassign(OperationId(1));  // no-op on unassigned
+  EXPECT_EQ(m.NumAssigned(), 0u);
+}
+
+TEST(MappingTest, TotalWhenAllAssigned) {
+  Mapping m(2);
+  m.Assign(OperationId(0), ServerId(0));
+  EXPECT_FALSE(m.IsTotal());
+  m.Assign(OperationId(1), ServerId(1));
+  EXPECT_TRUE(m.IsTotal());
+}
+
+TEST(MappingTest, EmptyMappingIsNotTotal) {
+  Mapping m;
+  EXPECT_FALSE(m.IsTotal());
+}
+
+TEST(MappingTest, CoLocated) {
+  Mapping m(3);
+  m.Assign(OperationId(0), ServerId(1));
+  m.Assign(OperationId(1), ServerId(1));
+  m.Assign(OperationId(2), ServerId(0));
+  EXPECT_TRUE(m.CoLocated(OperationId(0), OperationId(1)));
+  EXPECT_FALSE(m.CoLocated(OperationId(0), OperationId(2)));
+}
+
+TEST(MappingTest, UnassignedNeverCoLocated) {
+  Mapping m(2);
+  EXPECT_FALSE(m.CoLocated(OperationId(0), OperationId(1)));
+  m.Assign(OperationId(0), ServerId(0));
+  EXPECT_FALSE(m.CoLocated(OperationId(0), OperationId(1)));
+}
+
+TEST(MappingTest, OperationsOn) {
+  Mapping m = testing::RoundRobin(5, 2);
+  std::vector<OperationId> on0 = m.OperationsOn(ServerId(0));
+  ASSERT_EQ(on0.size(), 3u);
+  EXPECT_EQ(on0[0].value, 0u);
+  EXPECT_EQ(on0[1].value, 2u);
+  EXPECT_EQ(on0[2].value, 4u);
+  EXPECT_EQ(m.OperationsOn(ServerId(1)).size(), 2u);
+  EXPECT_TRUE(m.OperationsOn(ServerId(9)).empty());
+}
+
+TEST(MappingTest, ValidateAgainst) {
+  Workflow w = testing::SimpleLine(3);
+  Network n = testing::SimpleBus(2);
+  Mapping good = testing::RoundRobin(3, 2);
+  WSFLOW_EXPECT_OK(good.ValidateAgainst(w, n));
+
+  Mapping wrong_size(2);
+  EXPECT_TRUE(wrong_size.ValidateAgainst(w, n).IsFailedPrecondition());
+
+  Mapping partial(3);
+  partial.Assign(OperationId(0), ServerId(0));
+  EXPECT_TRUE(partial.ValidateAgainst(w, n).IsFailedPrecondition());
+
+  Mapping bad_server(3);
+  for (uint32_t i = 0; i < 3; ++i) {
+    bad_server.Assign(OperationId(i), ServerId(9));
+  }
+  EXPECT_TRUE(bad_server.ValidateAgainst(w, n).IsFailedPrecondition());
+}
+
+TEST(MappingTest, Equality) {
+  Mapping a = testing::RoundRobin(3, 2);
+  Mapping b = testing::RoundRobin(3, 2);
+  EXPECT_TRUE(a == b);
+  b.Assign(OperationId(0), ServerId(1));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(MappingTest, ToStringListsAssignments) {
+  Workflow w = testing::SimpleLine(2);
+  Network n = testing::SimpleBus(2);
+  Mapping m = testing::RoundRobin(2, 2);
+  std::string s = m.ToString(w, n);
+  EXPECT_NE(s.find("op1->s1"), std::string::npos);
+  EXPECT_NE(s.find("op2->s2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,123 @@
+#include "src/deploy/multi_workflow.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+TEST(MultiWorkflowTest, EmptyBatchRejected) {
+  Network n = testing::SimpleBus(2);
+  EXPECT_TRUE(DeployMultipleWorkflows({}, n).status().IsInvalidArgument());
+}
+
+TEST(MultiWorkflowTest, NullWorkflowRejected) {
+  Network n = testing::SimpleBus(2);
+  EXPECT_TRUE(DeployMultipleWorkflows({nullptr}, n)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(MultiWorkflowTest, ProfileCountMustMatch) {
+  Workflow w = testing::SimpleLine(4);
+  Network n = testing::SimpleBus(2);
+  MultiWorkflowOptions options;
+  options.profiles = {nullptr, nullptr};  // two profiles, one workflow
+  EXPECT_TRUE(DeployMultipleWorkflows({&w}, n, options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+class MultiWorkflowStrategyTest
+    : public ::testing::TestWithParam<MultiWorkflowStrategy> {};
+
+TEST_P(MultiWorkflowStrategyTest, AllMappingsTotal) {
+  Workflow w1 = testing::SimpleLine(6, 20e6);
+  Workflow w2 = testing::SimpleLine(9, 10e6);
+  Workflow w3 = testing::SimpleLine(3, 50e6);
+  Network n = MakeBusNetwork({1e9, 2e9, 3e9}, 1e8).value();
+  MultiWorkflowOptions options;
+  options.strategy = GetParam();
+  MultiWorkflowResult result = WSFLOW_UNWRAP(
+      DeployMultipleWorkflows({&w1, &w2, &w3}, n, options));
+  ASSERT_EQ(result.mappings.size(), 3u);
+  EXPECT_TRUE(result.mappings[0].IsTotal());
+  EXPECT_TRUE(result.mappings[1].IsTotal());
+  EXPECT_TRUE(result.mappings[2].IsTotal());
+  ASSERT_EQ(result.execution_times.size(), 3u);
+  for (double t : result.execution_times) EXPECT_GT(t, 0.0);
+}
+
+TEST_P(MultiWorkflowStrategyTest, FairerThanIndependentGreedy) {
+  // Deploying each workflow independently (ignoring the others' load)
+  // piles everything onto the same servers; shared-state deployment must
+  // produce a fairer combined load.
+  Workflow w1 = testing::SimpleLine(8, 20e6);
+  Workflow w2 = testing::SimpleLine(8, 20e6);
+  Network n = MakeBusNetwork({1e9, 1e9}, 1e9).value();
+
+  MultiWorkflowOptions options;
+  options.strategy = GetParam();
+  MultiWorkflowResult joint =
+      WSFLOW_UNWRAP(DeployMultipleWorkflows({&w1, &w2}, n, options));
+
+  // "Independent": both workflows entirely on server 0.
+  std::vector<Mapping> naive{testing::AllOnServer(8, ServerId(0)),
+                             testing::AllOnServer(8, ServerId(0))};
+  double naive_penalty = CombinedTimePenalty({&w1, &w2}, naive, n, {});
+  EXPECT_LT(joint.combined_time_penalty, naive_penalty);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, MultiWorkflowStrategyTest,
+    ::testing::Values(MultiWorkflowStrategy::kJointFairLoad,
+                      MultiWorkflowStrategy::kSequentialHeavyOps),
+    [](const ::testing::TestParamInfo<MultiWorkflowStrategy>& info) {
+      return info.param == MultiWorkflowStrategy::kJointFairLoad
+                 ? "JointFairLoad"
+                 : "SequentialHeavyOps";
+    });
+
+TEST(MultiWorkflowTest, JointFairLoadBalancesCombinedLoad) {
+  // Two identical workflows on two identical servers: perfectly fair.
+  Workflow w1 = testing::SimpleLine(4, 10e6);
+  Workflow w2 = testing::SimpleLine(4, 10e6);
+  Network n = testing::SimpleBus(2);
+  MultiWorkflowOptions options;
+  options.strategy = MultiWorkflowStrategy::kJointFairLoad;
+  MultiWorkflowResult result =
+      WSFLOW_UNWRAP(DeployMultipleWorkflows({&w1, &w2}, n, options));
+  EXPECT_NEAR(result.combined_time_penalty, 0.0, 1e-9);
+}
+
+TEST(MultiWorkflowTest, GraphProfilesSupported) {
+  Workflow g = testing::AllDecisionGraph();
+  Workflow l = testing::SimpleLine(5);
+  ExecutionProfile profile = WSFLOW_UNWRAP(ComputeExecutionProfile(g));
+  Network n = testing::SimpleBus(3);
+  MultiWorkflowOptions options;
+  options.profiles = {&profile, nullptr};
+  MultiWorkflowResult result =
+      WSFLOW_UNWRAP(DeployMultipleWorkflows({&g, &l}, n, options));
+  EXPECT_TRUE(result.mappings[0].IsTotal());
+  EXPECT_TRUE(result.mappings[1].IsTotal());
+}
+
+TEST(MultiWorkflowTest, CombinedPenaltyIsNonNegative) {
+  Workflow w1 = testing::SimpleLine(7, 30e6);
+  Workflow w2 = testing::SimpleLine(2, 500e6);
+  Network n = MakeBusNetwork({1e9, 3e9}, 1e7).value();
+  for (MultiWorkflowStrategy strategy :
+       {MultiWorkflowStrategy::kJointFairLoad,
+        MultiWorkflowStrategy::kSequentialHeavyOps}) {
+    MultiWorkflowOptions options;
+    options.strategy = strategy;
+    MultiWorkflowResult result =
+        WSFLOW_UNWRAP(DeployMultipleWorkflows({&w1, &w2}, n, options));
+    EXPECT_GE(result.combined_time_penalty, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace wsflow

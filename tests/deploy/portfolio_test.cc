@@ -1,0 +1,120 @@
+#include "src/deploy/portfolio.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cost/cost_model.h"
+#include "src/exp/config.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+DeployContext MakeContext(const Workflow& w, const Network& n,
+                          uint64_t seed = 1) {
+  DeployContext ctx;
+  ctx.workflow = &w;
+  ctx.network = &n;
+  ctx.seed = seed;
+  return ctx;
+}
+
+TEST(PortfolioTest, DefaultMembers) {
+  PortfolioAlgorithm algo;
+  EXPECT_EQ(algo.members().size(), 6u);
+  EXPECT_EQ(algo.members().front(), "fair-load");
+  EXPECT_EQ(algo.members().back(), "critical-path");
+}
+
+TEST(PortfolioTest, RegisteredInRegistry) {
+  RegisterBuiltinAlgorithms();
+  EXPECT_TRUE(AlgorithmRegistry::Global().Contains("portfolio"));
+}
+
+TEST(PortfolioTest, NeverWorseThanAnyMember) {
+  RegisterBuiltinAlgorithms();
+  for (uint64_t trial = 0; trial < 8; ++trial) {
+    ExperimentConfig cfg = MakeClassCConfig(
+        trial % 2 == 0 ? WorkloadKind::kLine : WorkloadKind::kHybridGraph);
+    cfg.num_operations = 13;
+    cfg.seed = trial;
+    TrialInstance t = WSFLOW_UNWRAP(DrawTrial(cfg, 0));
+    const ExecutionProfile* profile = t.profile ? &*t.profile : nullptr;
+    CostModel model(t.workflow, t.network, profile);
+    DeployContext ctx = MakeContext(t.workflow, t.network, trial);
+    ctx.profile = profile;
+
+    PortfolioAlgorithm portfolio;
+    Mapping best = WSFLOW_UNWRAP(portfolio.Run(ctx));
+    double best_cost = model.Evaluate(best).value().combined;
+    for (const std::string& member : portfolio.members()) {
+      Mapping m = WSFLOW_UNWRAP(RunAlgorithm(member, ctx));
+      EXPECT_LE(best_cost, model.Evaluate(m).value().combined + 1e-12)
+          << member << " trial " << trial;
+    }
+  }
+}
+
+TEST(PortfolioTest, RespectsObjectiveWeights) {
+  // With execution-only weights the portfolio must pick a mapping at least
+  // as fast as fair-load's; with fairness-only weights at least as fair as
+  // heavy-ops'.
+  Workflow w = testing::SimpleLine(12, 20e6, 171136);
+  Network n = MakeBusNetwork({1e9, 2e9, 3e9}, 1e6).value();
+  CostModel model(w, n);
+  PortfolioAlgorithm portfolio;
+
+  DeployContext exec_ctx = MakeContext(w, n);
+  exec_ctx.cost_options.execution_weight = 1.0;
+  exec_ctx.cost_options.fairness_weight = 0.0;
+  Mapping fast = WSFLOW_UNWRAP(portfolio.Run(exec_ctx));
+  Mapping fl = WSFLOW_UNWRAP(RunAlgorithm("fair-load", exec_ctx));
+  EXPECT_LE(model.Evaluate(fast).value().execution_time,
+            model.Evaluate(fl).value().execution_time + 1e-12);
+
+  DeployContext fair_ctx = MakeContext(w, n);
+  fair_ctx.cost_options.execution_weight = 0.0;
+  fair_ctx.cost_options.fairness_weight = 1.0;
+  Mapping fair = WSFLOW_UNWRAP(portfolio.Run(fair_ctx));
+  Mapping holm = WSFLOW_UNWRAP(RunAlgorithm("heavy-ops", fair_ctx));
+  EXPECT_LE(model.Evaluate(fair).value().time_penalty,
+            model.Evaluate(holm).value().time_penalty + 1e-12);
+}
+
+TEST(PortfolioTest, CustomMembers) {
+  Workflow w = testing::SimpleLine(8);
+  Network n = testing::SimpleBus(2);
+  PortfolioAlgorithm algo({"round-robin", "random"});
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  EXPECT_TRUE(m.IsTotal());
+}
+
+TEST(PortfolioTest, UnknownMemberIsConfigError) {
+  Workflow w = testing::SimpleLine(4);
+  Network n = testing::SimpleBus(2);
+  PortfolioAlgorithm algo({"fair-load", "nope"});
+  EXPECT_TRUE(algo.Run(MakeContext(w, n)).status().IsNotFound());
+}
+
+TEST(PortfolioTest, FailingMembersSkipped) {
+  // Exhaustive refuses the 5^19 space but fair-load succeeds: the
+  // portfolio must still return a mapping.
+  Workflow w = testing::SimpleLine(19);
+  Network n = testing::SimpleBus(5);
+  PortfolioAlgorithm algo({"exhaustive", "fair-load"});
+  Mapping m = WSFLOW_UNWRAP(algo.Run(MakeContext(w, n)));
+  EXPECT_TRUE(m.IsTotal());
+}
+
+TEST(PortfolioTest, AllMembersFailingReportsLastError) {
+  Workflow w = testing::SimpleLine(19);
+  Network n = testing::SimpleBus(5);
+  PortfolioAlgorithm algo({"exhaustive"});
+  EXPECT_TRUE(algo.Run(MakeContext(w, n)).status().IsResourceExhausted());
+}
+
+TEST(PortfolioDeathTest, SelfNestingForbidden) {
+  EXPECT_DEATH(PortfolioAlgorithm({"portfolio"}), "portfolio");
+}
+
+}  // namespace
+}  // namespace wsflow

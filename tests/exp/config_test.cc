@@ -1,0 +1,141 @@
+#include "src/exp/config.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workflow/validate.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+TEST(PaperConstantsTest, MessageSizesAreBytesTimesEight) {
+  EXPECT_DOUBLE_EQ(paperconst::kSimpleMessageBits, 6984.0);
+  EXPECT_DOUBLE_EQ(paperconst::kMediumMessageBits, 60648.0);
+  EXPECT_DOUBLE_EQ(paperconst::kComplexMessageBits, 171136.0);
+  // The paper quotes ~0.00666 / 0.057838 / 0.163208 Mbit with Mbit = 2^20.
+  EXPECT_NEAR(paperconst::kSimpleMessageBits / 1048576.0, 0.00666, 1e-4);
+  EXPECT_NEAR(paperconst::kComplexMessageBits / 1048576.0, 0.163208, 1e-4);
+}
+
+TEST(WorkloadKindTest, Names) {
+  EXPECT_EQ(WorkloadKindToString(WorkloadKind::kLine), "line");
+  EXPECT_EQ(WorkloadKindToString(WorkloadKind::kBushyGraph), "bushy");
+  EXPECT_EQ(WorkloadKindToString(WorkloadKind::kLengthyGraph), "lengthy");
+  EXPECT_EQ(WorkloadKindToString(WorkloadKind::kHybridGraph), "hybrid");
+}
+
+TEST(ClassCConfigTest, Table6Distributions) {
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+  EXPECT_EQ(cfg.num_operations, 19u);
+  EXPECT_EQ(cfg.num_servers, 5u);
+  EXPECT_EQ(cfg.trials, 50u);
+  EXPECT_DOUBLE_EQ(cfg.operation_cycles.Mean(), 20e6);
+  EXPECT_DOUBLE_EQ(cfg.server_power.Mean(), 2e9);
+  ASSERT_EQ(cfg.bus_speed.values().size(), 3u);
+  EXPECT_EQ(cfg.name, "class-c-line");
+}
+
+TEST(ClassAConfigTest, ComputePinned) {
+  ExperimentConfig cfg = MakeClassAConfig(WorkloadKind::kLine);
+  EXPECT_EQ(cfg.operation_cycles.values().size(), 1u);
+  EXPECT_EQ(cfg.server_power.values().size(), 1u);
+  EXPECT_EQ(cfg.message_bits.values().size(), 3u);
+  EXPECT_EQ(cfg.bus_speed.values().size(), 3u);
+}
+
+TEST(ClassBConfigTest, NetworkPinned) {
+  ExperimentConfig cfg = MakeClassBConfig(WorkloadKind::kLine);
+  EXPECT_EQ(cfg.operation_cycles.values().size(), 3u);
+  EXPECT_EQ(cfg.server_power.values().size(), 3u);
+  EXPECT_EQ(cfg.message_bits.values().size(), 1u);
+  ASSERT_TRUE(cfg.fixed_bus_speed_bps.has_value());
+}
+
+TEST(PaperBusSweepTest, FourSpeeds) {
+  std::vector<double> sweep = PaperBusSweepBps();
+  ASSERT_EQ(sweep.size(), 4u);
+  EXPECT_EQ(sweep[0], 1e6);
+  EXPECT_EQ(sweep[3], 1e9);
+}
+
+TEST(DrawTrialTest, LineTrialShape) {
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+  TrialInstance t = WSFLOW_UNWRAP(DrawTrial(cfg, 0));
+  EXPECT_EQ(t.workflow.num_operations(), 19u);
+  EXPECT_TRUE(t.workflow.IsLine());
+  EXPECT_EQ(t.network.num_servers(), 5u);
+  EXPECT_TRUE(t.network.has_bus());
+  EXPECT_FALSE(t.profile.has_value());
+}
+
+TEST(DrawTrialTest, GraphTrialHasProfile) {
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kBushyGraph);
+  TrialInstance t = WSFLOW_UNWRAP(DrawTrial(cfg, 3));
+  EXPECT_EQ(t.workflow.num_operations(), 19u);
+  EXPECT_FALSE(t.workflow.IsLine());
+  WSFLOW_EXPECT_OK(ValidateAll(t.workflow));
+  ASSERT_TRUE(t.profile.has_value());
+  EXPECT_EQ(t.profile->op_prob.size(), 19u);
+}
+
+TEST(DrawTrialTest, DeterministicPerIndex) {
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+  TrialInstance a = WSFLOW_UNWRAP(DrawTrial(cfg, 5));
+  TrialInstance b = WSFLOW_UNWRAP(DrawTrial(cfg, 5));
+  EXPECT_EQ(a.workflow.operation(OperationId(3)).cycles(),
+            b.workflow.operation(OperationId(3)).cycles());
+  EXPECT_EQ(a.network.server(ServerId(2)).power_hz(),
+            b.network.server(ServerId(2)).power_hz());
+  EXPECT_EQ(a.network.link(a.network.bus()).speed_bps,
+            b.network.link(b.network.bus()).speed_bps);
+}
+
+TEST(DrawTrialTest, TrialsDiffer) {
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+  TrialInstance a = WSFLOW_UNWRAP(DrawTrial(cfg, 0));
+  TrialInstance b = WSFLOW_UNWRAP(DrawTrial(cfg, 1));
+  bool differs = false;
+  for (uint32_t i = 0; i < 19 && !differs; ++i) {
+    if (a.workflow.operation(OperationId(i)).cycles() !=
+        b.workflow.operation(OperationId(i)).cycles()) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(DrawTrialTest, ValuesComeFromTable6) {
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+  for (size_t trial = 0; trial < 5; ++trial) {
+    TrialInstance t = WSFLOW_UNWRAP(DrawTrial(cfg, trial));
+    for (const Operation& op : t.workflow.operations()) {
+      EXPECT_TRUE(op.cycles() == 10e6 || op.cycles() == 20e6 ||
+                  op.cycles() == 30e6)
+          << op.cycles();
+    }
+    for (const Transition& tr : t.workflow.transitions()) {
+      EXPECT_TRUE(tr.message_bits == paperconst::kSimpleMessageBits ||
+                  tr.message_bits == paperconst::kMediumMessageBits ||
+                  tr.message_bits == paperconst::kComplexMessageBits);
+    }
+    for (const Server& s : t.network.servers()) {
+      EXPECT_TRUE(s.power_hz() == 1e9 || s.power_hz() == 2e9 ||
+                  s.power_hz() == 3e9);
+    }
+  }
+}
+
+TEST(DrawTrialTest, FixedBusOverridesDistribution) {
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+  cfg.fixed_bus_speed_bps = 123456.0;
+  TrialInstance t = WSFLOW_UNWRAP(DrawTrial(cfg, 0));
+  EXPECT_EQ(t.network.link(t.network.bus()).speed_bps, 123456.0);
+}
+
+TEST(DrawTrialTest, MissingDistributionRejected) {
+  ExperimentConfig cfg;
+  EXPECT_TRUE(DrawTrial(cfg, 0).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace wsflow

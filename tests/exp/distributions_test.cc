@@ -1,0 +1,78 @@
+#include "src/exp/distributions.h"
+
+#include <gtest/gtest.h>
+
+namespace wsflow {
+namespace {
+
+TEST(DiscreteDistributionTest, MakeNormalizes) {
+  DiscreteDistribution d =
+      DiscreteDistribution::Make({{1.0, 25}, {2.0, 50}, {3.0, 25}}).value();
+  ASSERT_EQ(d.values().size(), 3u);
+  EXPECT_DOUBLE_EQ(d.probabilities()[0], 0.25);
+  EXPECT_DOUBLE_EQ(d.probabilities()[1], 0.50);
+  EXPECT_DOUBLE_EQ(d.probabilities()[2], 0.25);
+}
+
+TEST(DiscreteDistributionTest, InvalidInputsRejected) {
+  EXPECT_TRUE(DiscreteDistribution::Make({}).status().IsInvalidArgument());
+  EXPECT_TRUE(DiscreteDistribution::Make({{1.0, -1.0}})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(DiscreteDistribution::Make({{1.0, 0.0}, {2.0, 0.0}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(DiscreteDistributionTest, ConstantAlwaysSame) {
+  DiscreteDistribution d = DiscreteDistribution::Constant(7.0);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(d.Sample(&rng), 7.0);
+  EXPECT_DOUBLE_EQ(d.Mean(), 7.0);
+}
+
+TEST(DiscreteDistributionTest, Mean) {
+  DiscreteDistribution d =
+      DiscreteDistribution::Make({{10.0, 0.25}, {20.0, 0.5}, {30.0, 0.25}})
+          .value();
+  EXPECT_DOUBLE_EQ(d.Mean(), 20.0);
+}
+
+TEST(DiscreteDistributionTest, SampleFrequenciesMatch) {
+  DiscreteDistribution d =
+      DiscreteDistribution::Make({{1.0, 0.25}, {2.0, 0.5}, {3.0, 0.25}})
+          .value();
+  Rng rng(42);
+  int counts[3] = {0, 0, 0};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    double v = d.Sample(&rng);
+    counts[static_cast<int>(v) - 1]++;
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.25, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.50, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.25, 0.02);
+}
+
+TEST(DiscreteDistributionTest, SamplerAdapter) {
+  DiscreteDistribution d = DiscreteDistribution::Constant(5.0);
+  Sampler s = d.ToSampler();
+  Rng rng(1);
+  EXPECT_EQ(s(&rng), 5.0);
+}
+
+TEST(DiscreteDistributionTest, ToStringShowsEntries) {
+  DiscreteDistribution d =
+      DiscreteDistribution::Make({{10.0, 0.25}, {20.0, 0.75}}).value();
+  std::string s = d.ToString();
+  EXPECT_NE(s.find("10@25%"), std::string::npos);
+  EXPECT_NE(s.find("20@75%"), std::string::npos);
+}
+
+TEST(DiscreteDistributionTest, EmptyDefault) {
+  DiscreteDistribution d;
+  EXPECT_TRUE(d.empty());
+}
+
+}  // namespace
+}  // namespace wsflow

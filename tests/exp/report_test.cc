@@ -1,0 +1,89 @@
+#include "src/exp/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "2"});
+  std::string s = t.ToString();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTableTest, RowCount) {
+  TextTable t({"x"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(SummaryTableTest, OneRowPerAlgorithm) {
+  ExperimentResult result;
+  result.name = "demo";
+  AlgorithmSummary s1;
+  s1.algorithm = "fair-load";
+  s1.execution_time.Add(0.5);
+  s1.time_penalty.Add(0.1);
+  s1.points.push_back({0.5, 0.1});
+  result.per_algorithm.push_back(s1);
+  TextTable table = SummaryTable(result);
+  EXPECT_EQ(table.num_rows(), 1u);
+  std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("fair-load"), std::string::npos);
+  EXPECT_NE(rendered.find("500"), std::string::npos);  // 0.5 s = 500 ms
+}
+
+TEST(WriteCsvTest, RoundTrip) {
+  std::string path = ::testing::TempDir() + "/wsflow_report.csv";
+  WSFLOW_ASSERT_OK(WriteCsv(path, {"a", "b"},
+                            {{"1", "x,y"}, {"2", "with \"quote\""}}));
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string content = buffer.str();
+  EXPECT_NE(content.find("a,b\n"), std::string::npos);
+  EXPECT_NE(content.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(content.find("\"with \"\"quote\"\"\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(WriteCsvTest, WidthMismatchRejected) {
+  std::string path = ::testing::TempDir() + "/wsflow_badwidth.csv";
+  EXPECT_TRUE(
+      WriteCsv(path, {"a", "b"}, {{"only-one"}}).IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(WriteCsvTest, UnwritablePathFails) {
+  EXPECT_FALSE(WriteCsv("/nonexistent/x.csv", {"a"}, {}).ok());
+}
+
+TEST(ScatterRowsTest, OneRowPerPoint) {
+  ExperimentResult result;
+  AlgorithmSummary s;
+  s.algorithm = "heavy-ops";
+  s.points.push_back({1.0, 2.0});
+  s.points.push_back({3.0, 4.0});
+  result.per_algorithm.push_back(s);
+  std::vector<std::vector<std::string>> rows = ScatterRows(result);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "heavy-ops");
+  EXPECT_EQ(rows[1][1], "1");
+  EXPECT_EQ(rows[0][2], "1");
+  EXPECT_EQ(rows[1][3], "4");
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,98 @@
+#include "src/exp/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+ExperimentConfig SmallConfig(WorkloadKind kind) {
+  ExperimentConfig cfg = MakeClassCConfig(kind);
+  cfg.trials = 5;
+  cfg.num_operations = 9;
+  cfg.num_servers = 3;
+  return cfg;
+}
+
+TEST(RunnerTest, RunsAllAlgorithmsOverAllTrials) {
+  ExperimentResult result = WSFLOW_UNWRAP(
+      RunExperiment(SmallConfig(WorkloadKind::kLine), PaperBusAlgorithms()));
+  ASSERT_EQ(result.per_algorithm.size(), 5u);
+  for (const AlgorithmSummary& s : result.per_algorithm) {
+    EXPECT_EQ(s.points.size(), 5u) << s.algorithm;
+    EXPECT_EQ(s.failures, 0u) << s.algorithm;
+    EXPECT_GT(s.execution_time.mean(), 0.0) << s.algorithm;
+    EXPECT_GE(s.time_penalty.mean(), 0.0) << s.algorithm;
+  }
+}
+
+TEST(RunnerTest, GraphWorkloadRuns) {
+  ExperimentResult result = WSFLOW_UNWRAP(RunExperiment(
+      SmallConfig(WorkloadKind::kHybridGraph), PaperBusAlgorithms()));
+  for (const AlgorithmSummary& s : result.per_algorithm) {
+    EXPECT_EQ(s.failures, 0u) << s.algorithm;
+  }
+}
+
+TEST(RunnerTest, UnknownAlgorithmFatal) {
+  EXPECT_TRUE(RunExperiment(SmallConfig(WorkloadKind::kLine), {"bogus"})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(RunnerTest, FindLocatesSummary) {
+  ExperimentResult result = WSFLOW_UNWRAP(
+      RunExperiment(SmallConfig(WorkloadKind::kLine), {"heavy-ops"}));
+  EXPECT_TRUE(result.Find("heavy-ops").ok());
+  EXPECT_TRUE(result.Find("fair-load").status().IsNotFound());
+}
+
+TEST(RunnerTest, DeterministicAcrossRuns) {
+  ExperimentConfig cfg = SmallConfig(WorkloadKind::kLine);
+  ExperimentResult a = WSFLOW_UNWRAP(RunExperiment(cfg, {"fltr2"}));
+  ExperimentResult b = WSFLOW_UNWRAP(RunExperiment(cfg, {"fltr2"}));
+  ASSERT_EQ(a.per_algorithm[0].points.size(),
+            b.per_algorithm[0].points.size());
+  for (size_t i = 0; i < a.per_algorithm[0].points.size(); ++i) {
+    EXPECT_EQ(a.per_algorithm[0].points[i].execution_time,
+              b.per_algorithm[0].points[i].execution_time);
+  }
+}
+
+TEST(RunnerTest, MeanPointAggregates) {
+  AlgorithmSummary s;
+  s.execution_time.Add(1.0);
+  s.execution_time.Add(3.0);
+  s.time_penalty.Add(0.5);
+  s.time_penalty.Add(1.5);
+  ObjectivePoint p = s.MeanPoint();
+  EXPECT_DOUBLE_EQ(p.execution_time, 2.0);
+  EXPECT_DOUBLE_EQ(p.time_penalty, 1.0);
+}
+
+TEST(RunnerTest, AlgorithmFailuresAreCountedNotFatal) {
+  // Exhaustive refuses every 19-operation trial (5^19 space); the runner
+  // must record the failures and keep the experiment alive.
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+  cfg.trials = 3;
+  ExperimentResult result =
+      WSFLOW_UNWRAP(RunExperiment(cfg, {"exhaustive", "fair-load"}));
+  const AlgorithmSummary* exhaustive =
+      WSFLOW_UNWRAP(result.Find("exhaustive"));
+  const AlgorithmSummary* fair = WSFLOW_UNWRAP(result.Find("fair-load"));
+  EXPECT_EQ(exhaustive->failures, 3u);
+  EXPECT_TRUE(exhaustive->points.empty());
+  EXPECT_EQ(fair->failures, 0u);
+  EXPECT_EQ(fair->points.size(), 3u);
+}
+
+TEST(PaperBusAlgorithmsTest, PaperOrder) {
+  std::vector<std::string> algos = PaperBusAlgorithms();
+  ASSERT_EQ(algos.size(), 5u);
+  EXPECT_EQ(algos.front(), "fair-load");
+  EXPECT_EQ(algos.back(), "heavy-ops");
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,142 @@
+#include "src/exp/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/deploy/exhaustive.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+TEST(SamplingTest, SmallSpaceEnumeratedExactly) {
+  Workflow w = testing::SimpleLine(3, 20e6, 60648);  // 2^3 = 8 mappings
+  Network n = MakeBusNetwork({1e9, 2e9}, 1e7).value();
+  CostModel model(w, n);
+  SamplingOptions options;
+  options.samples = 100;
+  SampleBest best = WSFLOW_UNWRAP(SampleSolutionSpace(model, options));
+  EXPECT_TRUE(best.exhaustive);
+  EXPECT_EQ(best.evaluated, 8u);
+
+  // The combined best must agree with the exhaustive algorithm's optimum.
+  DeployContext ctx;
+  ctx.workflow = &w;
+  ctx.network = &n;
+  Mapping opt = WSFLOW_UNWRAP(ExhaustiveAlgorithm().Run(ctx));
+  EXPECT_NEAR(best.best_combined, model.Evaluate(opt).value().combined,
+              1e-12);
+  EXPECT_TRUE(best.best_combined_mapping.IsTotal());
+}
+
+TEST(SamplingTest, PerObjectiveBestsCanComeFromDifferentMappings) {
+  Workflow w = testing::SimpleLine(4, 20e6, 171136);
+  Network n = MakeBusNetwork({1e9, 1e9}, 1e6).value();
+  CostModel model(w, n);
+  SamplingOptions options;
+  options.samples = 100;  // 16 < 100: exhaustive
+  SampleBest best = WSFLOW_UNWRAP(SampleSolutionSpace(model, options));
+  // Best execution: all co-located (no messages). Best penalty: balanced.
+  Mapping packed = testing::AllOnServer(4, ServerId(0));
+  EXPECT_NEAR(best.best_execution_time,
+              model.Evaluate(packed).value().execution_time, 1e-12);
+  EXPECT_NEAR(best.best_time_penalty, 0.0, 1e-12);
+}
+
+TEST(SamplingTest, LargeSpaceSamples) {
+  Workflow w = testing::SimpleLine(19, 20e6, 60648);
+  Network n = MakeBusNetwork({1e9, 2e9, 3e9, 2e9, 1e9}, 1e7).value();
+  CostModel model(w, n);
+  SamplingOptions options;
+  options.samples = 2000;
+  options.seed = 3;
+  SampleBest best = WSFLOW_UNWRAP(SampleSolutionSpace(model, options));
+  EXPECT_FALSE(best.exhaustive);
+  EXPECT_EQ(best.evaluated, 2000u);
+  EXPECT_GT(best.best_execution_time, 0.0);
+  EXPECT_LE(best.best_combined,
+            0.5 * best.best_execution_time + 0.5 * best.best_time_penalty +
+                1e9);  // sanity: finite
+}
+
+TEST(SamplingTest, MoreSamplesNeverWorse) {
+  Workflow w = testing::SimpleLine(10, 20e6, 60648);
+  Network n = MakeBusNetwork({1e9, 2e9, 3e9}, 1e7).value();
+  CostModel model(w, n);
+  SamplingOptions small;
+  small.samples = 200;
+  small.seed = 9;
+  SamplingOptions large;
+  large.samples = 2000;
+  large.seed = 9;  // same stream: the first 200 draws coincide
+  SampleBest a = WSFLOW_UNWRAP(SampleSolutionSpace(model, small));
+  SampleBest b = WSFLOW_UNWRAP(SampleSolutionSpace(model, large));
+  EXPECT_LE(b.best_combined, a.best_combined + 1e-12);
+  EXPECT_LE(b.best_execution_time, a.best_execution_time + 1e-12);
+  EXPECT_LE(b.best_time_penalty, a.best_time_penalty + 1e-12);
+}
+
+TEST(SamplingTest, ZeroBudgetRejected) {
+  Workflow w = testing::SimpleLine(3);
+  Network n = testing::SimpleBus(2);
+  CostModel model(w, n);
+  SamplingOptions options;
+  options.samples = 0;
+  EXPECT_TRUE(
+      SampleSolutionSpace(model, options).status().IsInvalidArgument());
+}
+
+TEST(DeviationTest, Percentages) {
+  EXPECT_DOUBLE_EQ(DeviationPct(110, 100), 10.0);
+  EXPECT_DOUBLE_EQ(DeviationPct(100, 100), 0.0);
+  EXPECT_DOUBLE_EQ(DeviationPct(90, 100), 0.0);  // better than best: clamp
+  EXPECT_DOUBLE_EQ(DeviationPct(0, 0), 0.0);
+  EXPECT_TRUE(std::isinf(DeviationPct(1, 0)));
+}
+
+TEST(DeviationTest, AccumulateTracksRangeRegret) {
+  // Ranges: execution [100, 200], penalty [10, 20]. Regret is normalized
+  // by the sampled range.
+  SampleBest best;
+  best.best_execution_time = 100;
+  best.worst_execution_time = 200;
+  best.best_time_penalty = 10;
+  best.worst_time_penalty = 20;
+  QualityDeviation record;
+  AccumulateDeviation({110, 10}, best, &record);   // 10%, 0%
+  AccumulateDeviation({105, 12}, best, &record);   // 5%, 20%
+  AccumulateDeviation({100, 11}, best, &record);   // 0%, 10%
+  EXPECT_EQ(record.trials, 3u);
+  EXPECT_DOUBLE_EQ(record.worst_execution_pct, 10.0);
+  EXPECT_DOUBLE_EQ(record.worst_penalty_pct, 20.0);
+  EXPECT_NEAR(record.mean_execution_pct, 5.0, 1e-12);
+  EXPECT_NEAR(record.mean_penalty_pct, 10.0, 1e-12);
+}
+
+TEST(DeviationTest, DegenerateRangeIsZero) {
+  SampleBest best;
+  best.best_execution_time = 100;
+  best.worst_execution_time = 100;  // all samples identical
+  best.best_time_penalty = 0;
+  best.worst_time_penalty = 0;
+  QualityDeviation record;
+  AccumulateDeviation({150, 5}, best, &record);
+  EXPECT_DOUBLE_EQ(record.worst_execution_pct, 0.0);
+  EXPECT_DOUBLE_EQ(record.worst_penalty_pct, 0.0);
+}
+
+TEST(SamplingTest, WorstTracksAboveBest) {
+  Workflow w = testing::SimpleLine(4, 20e6, 171136);
+  Network n = MakeBusNetwork({1e9, 1e9}, 1e6).value();
+  CostModel model(w, n);
+  SamplingOptions options;
+  options.samples = 100;
+  SampleBest best = WSFLOW_UNWRAP(SampleSolutionSpace(model, options));
+  EXPECT_GE(best.worst_execution_time, best.best_execution_time);
+  EXPECT_GE(best.worst_time_penalty, best.best_time_penalty);
+  EXPECT_GT(best.worst_execution_time, best.best_execution_time);
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,123 @@
+// Cross-command consistency: what one CLI command emits, another must
+// consume and agree with.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/cli/commands.h"
+#include "src/exp/config.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow::cli {
+namespace {
+
+/// Extracts the value following `label` up to end of line.
+std::string LineAfter(const std::string& text, const std::string& label) {
+  size_t pos = text.find(label);
+  if (pos == std::string::npos) return "";
+  pos += label.size();
+  while (pos < text.size() && text[pos] == ' ') ++pos;
+  size_t end = text.find('\n', pos);
+  return text.substr(pos, end - pos);
+}
+
+class CliRoundTripTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workflow_path_ = ::testing::TempDir() + "/rt_workflow.xml";
+    network_path_ = ::testing::TempDir() + "/rt_network.xml";
+    std::ostringstream sink;
+    WSFLOW_ASSERT_OK(CmdGenerate({"--type", "line", "--ops", "11", "--seed",
+                                  "5", "--out", workflow_path_},
+                                 sink));
+    WSFLOW_ASSERT_OK(CmdMakeNetwork(
+        {"--kind", "bus", "--powers", "1e9,2e9,3e9", "--speeds", "1e7",
+         "--out", network_path_},
+        sink));
+  }
+
+  void TearDown() override {
+    std::remove(workflow_path_.c_str());
+    std::remove(network_path_.c_str());
+  }
+
+  std::vector<std::string> InputArgs() const {
+    return {"--workflow", workflow_path_, "--network", network_path_};
+  }
+
+  std::string workflow_path_, network_path_;
+};
+
+TEST_F(CliRoundTripTest, DeploySpecFeedsEvaluateConsistently) {
+  // deploy prints a mapping spec and its costs; evaluate on that exact
+  // spec must report the same T_execute and TimePenalty strings.
+  std::ostringstream deploy_out;
+  std::vector<std::string> args = InputArgs();
+  args.insert(args.end(), {"--algorithm", "heavy-ops"});
+  WSFLOW_ASSERT_OK(CmdDeploy(args, deploy_out));
+  std::string spec = LineAfter(deploy_out.str(), "spec:");
+  ASSERT_FALSE(spec.empty());
+
+  std::ostringstream eval_out;
+  std::vector<std::string> eval_args = InputArgs();
+  eval_args.insert(eval_args.end(), {"--mapping", spec});
+  WSFLOW_ASSERT_OK(CmdEvaluate(eval_args, eval_out));
+
+  EXPECT_EQ(LineAfter(deploy_out.str(), "T_execute:"),
+            LineAfter(eval_out.str(), "T_execute:"));
+  EXPECT_EQ(LineAfter(deploy_out.str(), "TimePenalty:"),
+            LineAfter(eval_out.str(), "TimePenalty:"));
+}
+
+TEST_F(CliRoundTripTest, SimulateMatchesDeployedMappingAnalytics) {
+  // simulate on an explicit spec must print an analytic expectation equal
+  // to evaluate's T_execute (line workflows are deterministic, so the
+  // simulated mean matches too).
+  std::ostringstream deploy_out;
+  std::vector<std::string> args = InputArgs();
+  args.insert(args.end(), {"--algorithm", "fltr2"});
+  WSFLOW_ASSERT_OK(CmdDeploy(args, deploy_out));
+  std::string spec = LineAfter(deploy_out.str(), "spec:");
+
+  std::ostringstream sim_out;
+  std::vector<std::string> sim_args = InputArgs();
+  sim_args.insert(sim_args.end(), {"--mapping", spec, "--runs", "3"});
+  WSFLOW_ASSERT_OK(CmdSimulate(sim_args, sim_out));
+  std::string mean = LineAfter(sim_out.str(), "runs:");
+  std::string analytic = LineAfter(sim_out.str(), "analytic expectation:");
+  EXPECT_EQ(mean, analytic);
+}
+
+TEST_F(CliRoundTripTest, SampleBestSpecEvaluatesToReportedCombined) {
+  std::ostringstream sample_out;
+  std::vector<std::string> args = InputArgs();
+  args.insert(args.end(), {"--samples", "300", "--seed", "4"});
+  WSFLOW_ASSERT_OK(CmdSample(args, sample_out));
+  std::string spec = LineAfter(sample_out.str(), "best-combined spec:");
+  ASSERT_FALSE(spec.empty());
+
+  std::ostringstream eval_out;
+  std::vector<std::string> eval_args = InputArgs();
+  eval_args.insert(eval_args.end(), {"--mapping", spec});
+  WSFLOW_ASSERT_OK(CmdEvaluate(eval_args, eval_out));
+  EXPECT_EQ(LineAfter(sample_out.str(), "best combined:"),
+            LineAfter(eval_out.str(), "combined:"));
+}
+
+TEST_F(CliRoundTripTest, FailoverAcceptsDeployedSpec) {
+  std::ostringstream deploy_out;
+  std::vector<std::string> args = InputArgs();
+  WSFLOW_ASSERT_OK(CmdDeploy(args, deploy_out));
+  std::string spec = LineAfter(deploy_out.str(), "spec:");
+
+  std::ostringstream failover_out;
+  std::vector<std::string> failover_args = InputArgs();
+  failover_args.insert(failover_args.end(), {"--mapping", spec});
+  WSFLOW_ASSERT_OK(CmdFailover(failover_args, failover_out));
+  EXPECT_NE(failover_out.str().find("scale-up"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsflow::cli

@@ -1,0 +1,152 @@
+// Integration tests spanning generator -> validation -> deployment ->
+// analytic cost -> simulation -> serialization.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/cost/cost_model.h"
+#include "src/deploy/algorithm.h"
+#include "src/deploy/local_search.h"
+#include "src/exp/config.h"
+#include "src/exp/runner.h"
+#include "src/exp/sampling.h"
+#include "src/sim/simulator.h"
+#include "src/workflow/serialization.h"
+#include "src/workflow/validate.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+TEST(EndToEndTest, AnalyticEqualsSimulatedForAllAlgorithmsOnLines) {
+  // The closed-form line T_execute and the event simulation must agree for
+  // every algorithm's output mapping.
+  RegisterBuiltinAlgorithms();
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+  cfg.num_operations = 11;
+  cfg.num_servers = 4;
+  TrialInstance t = WSFLOW_UNWRAP(DrawTrial(cfg, 1));
+  CostModel model(t.workflow, t.network);
+  DeployContext ctx;
+  ctx.workflow = &t.workflow;
+  ctx.network = &t.network;
+  ctx.seed = 2;
+  for (const std::string& name : PaperBusAlgorithms()) {
+    Mapping m = WSFLOW_UNWRAP(RunAlgorithm(name, ctx));
+    double analytic = WSFLOW_UNWRAP(model.ExecutionTime(m));
+    SimResult sim = WSFLOW_UNWRAP(SimulateWorkflow(t.workflow, t.network, m));
+    EXPECT_NEAR(sim.mean_makespan, analytic, analytic * 1e-12) << name;
+  }
+}
+
+TEST(EndToEndTest, XorGraphSimulationConvergesToAnalyticExpectation) {
+  // Monte-Carlo over XOR branch draws approaches the analytic expected
+  // T_execute. OR blocks use min (first success) in both worlds; AND uses
+  // max — only XOR is stochastic.
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kHybridGraph);
+  cfg.num_operations = 15;
+  cfg.num_servers = 3;
+  TrialInstance t = WSFLOW_UNWRAP(DrawTrial(cfg, 2));
+  ASSERT_TRUE(t.profile.has_value());
+  CostModel model(t.workflow, t.network, &*t.profile);
+  DeployContext ctx;
+  ctx.workflow = &t.workflow;
+  ctx.network = &t.network;
+  ctx.profile = &*t.profile;
+  Mapping m = WSFLOW_UNWRAP(RunAlgorithm("heavy-ops", ctx));
+  double analytic = WSFLOW_UNWRAP(model.ExecutionTime(m));
+
+  SimOptions options;
+  options.num_runs = 3000;
+  options.seed = 77;
+  SimResult sim =
+      WSFLOW_UNWRAP(SimulateWorkflow(t.workflow, t.network, m, options));
+  EXPECT_NEAR(sim.mean_makespan, analytic, analytic * 0.1);
+}
+
+TEST(EndToEndTest, SerializedWorkflowDeploysIdentically) {
+  // Round-tripping through XML must not change any algorithm decision.
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kBushyGraph);
+  cfg.num_operations = 13;
+  TrialInstance t = WSFLOW_UNWRAP(DrawTrial(cfg, 4));
+  std::string path = ::testing::TempDir() + "/wsflow_e2e.xml";
+  WSFLOW_ASSERT_OK(SaveWorkflow(t.workflow, path));
+  Workflow loaded = WSFLOW_UNWRAP(LoadWorkflow(path));
+  std::remove(path.c_str());
+  WSFLOW_ASSERT_OK(ValidateAll(loaded));
+  ExecutionProfile profile = WSFLOW_UNWRAP(ComputeExecutionProfile(loaded));
+
+  DeployContext original_ctx;
+  original_ctx.workflow = &t.workflow;
+  original_ctx.network = &t.network;
+  original_ctx.profile = &*t.profile;
+  original_ctx.seed = 5;
+  DeployContext loaded_ctx = original_ctx;
+  loaded_ctx.workflow = &loaded;
+  loaded_ctx.profile = &profile;
+
+  for (const std::string& name : PaperBusAlgorithms()) {
+    Mapping a = WSFLOW_UNWRAP(RunAlgorithm(name, original_ctx));
+    Mapping b = WSFLOW_UNWRAP(RunAlgorithm(name, loaded_ctx));
+    EXPECT_TRUE(a == b) << name;
+  }
+}
+
+TEST(EndToEndTest, LocalSearchImprovesEveryHeuristic) {
+  // Hill climbing from a heuristic's output never worsens it (headroom
+  // measurement used by the ablation bench).
+  RegisterBuiltinAlgorithms();
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+  cfg.num_operations = 10;
+  cfg.num_servers = 3;
+  TrialInstance t = WSFLOW_UNWRAP(DrawTrial(cfg, 6));
+  CostModel model(t.workflow, t.network);
+  DeployContext ctx;
+  ctx.workflow = &t.workflow;
+  ctx.network = &t.network;
+  for (const std::string& name : PaperBusAlgorithms()) {
+    Mapping start = WSFLOW_UNWRAP(RunAlgorithm(name, ctx));
+    LocalSearchStats stats;
+    (void)WSFLOW_UNWRAP(HillClimb(model, start, {}, {}, &stats));
+    EXPECT_LE(stats.final_cost, stats.initial_cost + 1e-12) << name;
+  }
+}
+
+TEST(EndToEndTest, HeuristicsLandWithinSampledEnvelope) {
+  // Every heuristic's combined cost lies between the sampled best and the
+  // sampled-space maximum envelope (loose sanity bound: within 10x best).
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+  cfg.num_operations = 9;
+  cfg.num_servers = 3;
+  TrialInstance t = WSFLOW_UNWRAP(DrawTrial(cfg, 7));
+  CostModel model(t.workflow, t.network);
+  SamplingOptions soptions;
+  soptions.samples = 32000;
+  SampleBest best = WSFLOW_UNWRAP(SampleSolutionSpace(model, soptions));
+  DeployContext ctx;
+  ctx.workflow = &t.workflow;
+  ctx.network = &t.network;
+  for (const std::string& name : PaperBusAlgorithms()) {
+    Mapping m = WSFLOW_UNWRAP(RunAlgorithm(name, ctx));
+    double cost = model.Evaluate(m).value().combined;
+    EXPECT_GE(cost, best.best_combined - 1e-12) << name;
+    EXPECT_LE(cost, best.best_combined * 10 + 1e-9) << name;
+  }
+}
+
+TEST(EndToEndTest, FullExperimentPipelineRuns) {
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLengthyGraph);
+  cfg.trials = 3;
+  cfg.num_operations = 13;
+  cfg.num_servers = 4;
+  ExperimentResult result =
+      WSFLOW_UNWRAP(RunExperiment(cfg, PaperBusAlgorithms()));
+  for (const AlgorithmSummary& s : result.per_algorithm) {
+    EXPECT_EQ(s.failures, 0u) << s.algorithm;
+    EXPECT_EQ(s.points.size(), 3u) << s.algorithm;
+  }
+}
+
+}  // namespace
+}  // namespace wsflow

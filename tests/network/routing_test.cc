@@ -1,0 +1,114 @@
+#include "src/network/routing.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+TEST(RouteTest, EmptyRouteIsCoLocated) {
+  Route r;
+  EXPECT_TRUE(r.co_located());
+  Network n = MakeBusNetwork({1e9}, 1e8).value();
+  EXPECT_EQ(r.TotalPropagation(n), 0.0);
+  EXPECT_EQ(r.TransmissionTime(n, 1e6), 0.0);
+}
+
+TEST(RouterTest, SameServerEmptyRoute) {
+  Network n = MakeBusNetwork({1e9, 1e9}, 1e8).value();
+  Router router(n);
+  Route r = router.FindRoute(ServerId(0), ServerId(0)).value();
+  EXPECT_TRUE(r.co_located());
+  EXPECT_EQ(router.HopCount(ServerId(0), ServerId(0)).value(), 0u);
+}
+
+TEST(RouterTest, BusIsOneHopForAllPairs) {
+  Network n = MakeBusNetwork({1e9, 1e9, 1e9, 1e9}, 1e8).value();
+  Router router(n);
+  for (uint32_t a = 0; a < 4; ++a) {
+    for (uint32_t b = 0; b < 4; ++b) {
+      if (a == b) continue;
+      Route r = router.FindRoute(ServerId(a), ServerId(b)).value();
+      ASSERT_EQ(r.links.size(), 1u);
+      EXPECT_EQ(r.links[0], n.bus());
+    }
+  }
+}
+
+TEST(RouterTest, LineRouteFollowsChain) {
+  Network n = MakeLineNetwork({1e9, 1e9, 1e9, 1e9}, {1e8, 1e7, 1e6}).value();
+  Router router(n);
+  Route r = router.FindRoute(ServerId(0), ServerId(3)).value();
+  ASSERT_EQ(r.links.size(), 3u);
+  // Links must be in path order: s0-s1, s1-s2, s2-s3.
+  EXPECT_EQ(n.link(r.links[0]).speed_bps, 1e8);
+  EXPECT_EQ(n.link(r.links[1]).speed_bps, 1e7);
+  EXPECT_EQ(n.link(r.links[2]).speed_bps, 1e6);
+}
+
+TEST(RouterTest, ReverseRouteSameLength) {
+  Network n = MakeLineNetwork({1e9, 1e9, 1e9}, {1e8, 1e7}).value();
+  Router router(n);
+  EXPECT_EQ(router.HopCount(ServerId(0), ServerId(2)).value(), 2u);
+  EXPECT_EQ(router.HopCount(ServerId(2), ServerId(0)).value(), 2u);
+}
+
+TEST(RouterTest, TransmissionAndPropagationAccumulate) {
+  Network n =
+      MakeLineNetwork({1e9, 1e9, 1e9}, {1e6, 2e6}, /*propagation_s=*/0.01)
+          .value();
+  Router router(n);
+  Route r = router.FindRoute(ServerId(0), ServerId(2)).value();
+  EXPECT_DOUBLE_EQ(r.TotalPropagation(n), 0.02);
+  // 1e6 bits over 1 Mbps + over 2 Mbps = 1.0 + 0.5 s.
+  EXPECT_DOUBLE_EQ(r.TransmissionTime(n, 1e6), 1.5);
+}
+
+TEST(RouterTest, StarRoutesThroughHub) {
+  Network n = MakeStarNetwork({1e9, 1e9, 1e9}, {1e8, 1e8}).value();
+  Router router(n);
+  EXPECT_EQ(router.HopCount(ServerId(1), ServerId(2)).value(), 2u);
+  EXPECT_EQ(router.HopCount(ServerId(0), ServerId(2)).value(), 1u);
+}
+
+TEST(RouterTest, RingUsesShorterArc) {
+  // 5-server ring: 0 -> 4 is one hop around the closing link.
+  std::vector<double> powers(5, 1e9);
+  std::vector<double> speeds(5, 1e8);
+  Network n = MakeRingNetwork(powers, speeds).value();
+  Router router(n);
+  EXPECT_EQ(router.HopCount(ServerId(0), ServerId(4)).value(), 1u);
+  EXPECT_EQ(router.HopCount(ServerId(0), ServerId(2)).value(), 2u);
+}
+
+TEST(RouterTest, DisconnectedFails) {
+  Network n;
+  n.AddServer("a", 1e9);
+  n.AddServer("b", 1e9);
+  Router router(n);
+  EXPECT_TRUE(router.FindRoute(ServerId(0), ServerId(1))
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(RouterTest, UnknownServerFails) {
+  Network n = MakeBusNetwork({1e9}, 1e8).value();
+  Router router(n);
+  EXPECT_TRUE(
+      router.FindRoute(ServerId(0), ServerId(9)).status().IsNotFound());
+}
+
+TEST(RouterTest, RepeatedQueriesConsistent) {
+  Network n = MakeLineNetwork({1e9, 1e9, 1e9, 1e9}, {1e8, 1e8, 1e8}).value();
+  Router router(n);
+  Route first = router.FindRoute(ServerId(0), ServerId(3)).value();
+  Route second = router.FindRoute(ServerId(0), ServerId(3)).value();
+  EXPECT_EQ(first.links.size(), second.links.size());
+  for (size_t i = 0; i < first.links.size(); ++i) {
+    EXPECT_EQ(first.links[i], second.links[i]);
+  }
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,114 @@
+#include "src/network/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+bool SameNetwork(const Network& a, const Network& b) {
+  if (a.num_servers() != b.num_servers()) return false;
+  if (a.num_links() != b.num_links()) return false;
+  if (a.kind() != b.kind()) return false;
+  for (size_t i = 0; i < a.num_servers(); ++i) {
+    ServerId id(static_cast<uint32_t>(i));
+    if (a.server(id).name() != b.server(id).name()) return false;
+    if (a.server(id).power_hz() != b.server(id).power_hz()) return false;
+  }
+  for (size_t i = 0; i < a.num_links(); ++i) {
+    LinkId id(static_cast<uint32_t>(i));
+    if (a.link(id).a != b.link(id).a) return false;
+    if (a.link(id).b != b.link(id).b) return false;
+    if (a.link(id).speed_bps != b.link(id).speed_bps) return false;
+    if (a.link(id).propagation_s != b.link(id).propagation_s) return false;
+  }
+  return true;
+}
+
+TEST(NetworkSerializationTest, BusRoundTrip) {
+  Network n = MakeBusNetwork({1e9, 2e9, 3e9}, 1e8, 0.001).value();
+  Network loaded =
+      WSFLOW_UNWRAP(NetworkFromXmlString(NetworkToXmlString(n)));
+  EXPECT_TRUE(SameNetwork(n, loaded));
+  EXPECT_TRUE(loaded.has_bus());
+  EXPECT_EQ(loaded.kind(), NetworkKind::kBus);
+}
+
+TEST(NetworkSerializationTest, LineRoundTrip) {
+  Network n = MakeLineNetwork({1e9, 2e9, 3e9}, {1e7, 1e8}, 0.002).value();
+  Network loaded =
+      WSFLOW_UNWRAP(NetworkFromXmlString(NetworkToXmlString(n)));
+  EXPECT_TRUE(SameNetwork(n, loaded));
+  EXPECT_EQ(loaded.kind(), NetworkKind::kLine);
+}
+
+TEST(NetworkSerializationTest, StarAndRingRoundTrip) {
+  Network star = MakeStarNetwork({3e9, 1e9, 1e9}, {1e8, 1e7}).value();
+  EXPECT_TRUE(SameNetwork(
+      star, WSFLOW_UNWRAP(NetworkFromXmlString(NetworkToXmlString(star)))));
+  Network ring = MakeRingNetwork({1e9, 1e9, 1e9}, {1e8, 1e8, 1e8}).value();
+  EXPECT_TRUE(SameNetwork(
+      ring, WSFLOW_UNWRAP(NetworkFromXmlString(NetworkToXmlString(ring)))));
+}
+
+TEST(NetworkSerializationTest, WrongRootRejected) {
+  EXPECT_TRUE(NetworkFromXmlString("<workflow/>").status().IsParseError());
+}
+
+TEST(NetworkSerializationTest, NonDenseServerIdsRejected) {
+  const char* xml =
+      "<network name=\"n\" kind=\"bus\">"
+      "<server id=\"1\" name=\"a\" power_hz=\"1e9\"/>"
+      "</network>";
+  EXPECT_TRUE(NetworkFromXmlString(xml).status().IsParseError());
+}
+
+TEST(NetworkSerializationTest, NonPositivePowerRejected) {
+  const char* xml =
+      "<network name=\"n\" kind=\"bus\">"
+      "<server id=\"0\" name=\"a\" power_hz=\"0\"/>"
+      "</network>";
+  EXPECT_TRUE(NetworkFromXmlString(xml).status().IsParseError());
+}
+
+TEST(NetworkSerializationTest, UnknownKindRejected) {
+  const char* xml = "<network name=\"n\" kind=\"mesh\"/>";
+  EXPECT_TRUE(NetworkFromXmlString(xml).status().IsParseError());
+}
+
+TEST(NetworkSerializationTest, LinkOutOfRangeRejected) {
+  const char* xml =
+      "<network name=\"n\" kind=\"line\">"
+      "<server id=\"0\" name=\"a\" power_hz=\"1e9\"/>"
+      "<link a=\"0\" b=\"5\" speed_bps=\"1e8\"/>"
+      "</network>";
+  EXPECT_TRUE(NetworkFromXmlString(xml).status().IsParseError());
+}
+
+TEST(NetworkSerializationTest, MissingKindDefaultsToGeneral) {
+  const char* xml =
+      "<network name=\"n\">"
+      "<server id=\"0\" name=\"a\" power_hz=\"1e9\"/>"
+      "</network>";
+  Network n = WSFLOW_UNWRAP(NetworkFromXmlString(xml));
+  EXPECT_EQ(n.kind(), NetworkKind::kGeneral);
+}
+
+TEST(NetworkSerializationTest, FileRoundTrip) {
+  Network n = MakeBusNetwork({1e9, 2e9}, 1e7).value();
+  std::string path = ::testing::TempDir() + "/wsflow_network.xml";
+  WSFLOW_ASSERT_OK(SaveNetwork(n, path));
+  Network loaded = WSFLOW_UNWRAP(LoadNetwork(path));
+  EXPECT_TRUE(SameNetwork(n, loaded));
+  std::remove(path.c_str());
+}
+
+TEST(NetworkSerializationTest, LoadMissingFileFails) {
+  EXPECT_TRUE(LoadNetwork("/no/such/net.xml").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,172 @@
+#include "src/network/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+TEST(ServerIdTest, Validity) {
+  EXPECT_FALSE(ServerId().valid());
+  EXPECT_TRUE(ServerId(0).valid());
+  EXPECT_LT(ServerId(1), ServerId(2));
+}
+
+TEST(NetworkTest, AddServer) {
+  Network n;
+  ServerId s = n.AddServer("alpha", 2e9);
+  EXPECT_EQ(n.num_servers(), 1u);
+  EXPECT_EQ(n.server(s).name(), "alpha");
+  EXPECT_EQ(n.server(s).power_hz(), 2e9);
+  EXPECT_TRUE(n.Contains(s));
+  EXPECT_FALSE(n.Contains(ServerId(7)));
+}
+
+TEST(NetworkTest, AddLink) {
+  Network n;
+  ServerId a = n.AddServer("a", 1e9);
+  ServerId b = n.AddServer("b", 1e9);
+  LinkId l = n.AddLink(a, b, 1e8, 0.001).value();
+  EXPECT_EQ(n.num_links(), 1u);
+  EXPECT_EQ(n.link(l).speed_bps, 1e8);
+  EXPECT_EQ(n.link(l).propagation_s, 0.001);
+  EXPECT_FALSE(n.link(l).is_shared_medium());
+  EXPECT_EQ(n.FindLink(a, b).value(), l);
+  EXPECT_EQ(n.FindLink(b, a).value(), l);  // undirected
+  EXPECT_EQ(n.incident_links(a).size(), 1u);
+}
+
+TEST(NetworkTest, DuplicateLinkRejected) {
+  Network n;
+  ServerId a = n.AddServer("a", 1e9);
+  ServerId b = n.AddServer("b", 1e9);
+  ASSERT_TRUE(n.AddLink(a, b, 1e8).ok());
+  EXPECT_TRUE(n.AddLink(a, b, 2e8).status().IsAlreadyExists());
+  EXPECT_TRUE(n.AddLink(b, a, 2e8).status().IsAlreadyExists());
+}
+
+TEST(NetworkTest, InvalidLinksRejected) {
+  Network n;
+  ServerId a = n.AddServer("a", 1e9);
+  ServerId b = n.AddServer("b", 1e9);
+  EXPECT_TRUE(n.AddLink(a, a, 1e8).status().IsInvalidArgument());
+  EXPECT_TRUE(n.AddLink(a, ServerId(9), 1e8).status().IsNotFound());
+  EXPECT_TRUE(n.AddLink(a, b, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(n.AddLink(a, b, -5).status().IsInvalidArgument());
+  EXPECT_TRUE(n.AddLink(a, b, 1e8, -1).status().IsInvalidArgument());
+}
+
+TEST(NetworkTest, BusInstall) {
+  Network n;
+  n.AddServer("a", 1e9);
+  n.AddServer("b", 1e9);
+  LinkId bus = n.SetBus(1e8, 0.0).value();
+  EXPECT_TRUE(n.has_bus());
+  EXPECT_EQ(n.bus(), bus);
+  EXPECT_TRUE(n.link(bus).is_shared_medium());
+  EXPECT_TRUE(n.SetBus(1e8).status().IsAlreadyExists());
+}
+
+TEST(NetworkTest, BusAndPointToPointExclusive) {
+  Network n;
+  ServerId a = n.AddServer("a", 1e9);
+  ServerId b = n.AddServer("b", 1e9);
+  ASSERT_TRUE(n.SetBus(1e8).ok());
+  EXPECT_TRUE(n.AddLink(a, b, 1e8).status().IsFailedPrecondition());
+
+  Network n2;
+  ServerId c = n2.AddServer("c", 1e9);
+  ServerId d = n2.AddServer("d", 1e9);
+  ASSERT_TRUE(n2.AddLink(c, d, 1e8).ok());
+  EXPECT_TRUE(n2.SetBus(1e8).status().IsFailedPrecondition());
+}
+
+TEST(NetworkTest, TotalPower) {
+  Network n;
+  n.AddServer("a", 1e9);
+  n.AddServer("b", 2e9);
+  n.AddServer("c", 3e9);
+  EXPECT_DOUBLE_EQ(n.TotalPowerHz(), 6e9);
+}
+
+TEST(NetworkKindTest, Names) {
+  EXPECT_EQ(NetworkKindToString(NetworkKind::kBus), "bus");
+  EXPECT_EQ(NetworkKindToString(NetworkKind::kLine), "line");
+  EXPECT_EQ(NetworkKindToString(NetworkKind::kStar), "star");
+  EXPECT_EQ(NetworkKindToString(NetworkKind::kRing), "ring");
+  EXPECT_EQ(NetworkKindToString(NetworkKind::kGeneral), "general");
+}
+
+TEST(MakeLineNetworkTest, Structure) {
+  Network n =
+      MakeLineNetwork({1e9, 2e9, 3e9}, {1e7, 1e8}).value();
+  EXPECT_EQ(n.kind(), NetworkKind::kLine);
+  EXPECT_EQ(n.num_servers(), 3u);
+  EXPECT_EQ(n.num_links(), 2u);
+  EXPECT_TRUE(n.FindLink(ServerId(0), ServerId(1)).ok());
+  EXPECT_TRUE(n.FindLink(ServerId(1), ServerId(2)).ok());
+  EXPECT_TRUE(n.FindLink(ServerId(0), ServerId(2)).status().IsNotFound());
+}
+
+TEST(MakeLineNetworkTest, SizeMismatchRejected) {
+  EXPECT_TRUE(MakeLineNetwork({1e9, 1e9}, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      MakeLineNetwork({}, {}).status().IsInvalidArgument());
+}
+
+TEST(MakeLineNetworkTest, SingleServerLine) {
+  Network n = MakeLineNetwork({1e9}, {}).value();
+  EXPECT_EQ(n.num_servers(), 1u);
+  EXPECT_EQ(n.num_links(), 0u);
+}
+
+TEST(MakeBusNetworkTest, Structure) {
+  Network n = MakeBusNetwork({1e9, 2e9}, 1e8, 0.002).value();
+  EXPECT_EQ(n.kind(), NetworkKind::kBus);
+  EXPECT_TRUE(n.has_bus());
+  EXPECT_EQ(n.link(n.bus()).speed_bps, 1e8);
+  EXPECT_EQ(n.link(n.bus()).propagation_s, 0.002);
+}
+
+TEST(MakeBusNetworkTest, BadInputsRejected) {
+  EXPECT_TRUE(MakeBusNetwork({}, 1e8).status().IsInvalidArgument());
+  EXPECT_TRUE(MakeBusNetwork({1e9}, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(MakeBusNetwork({-1.0}, 1e8).status().IsInvalidArgument());
+}
+
+TEST(MakeStarNetworkTest, HubAndSpokes) {
+  Network n = MakeStarNetwork({3e9, 1e9, 1e9, 1e9}, {1e8, 1e8, 1e7}).value();
+  EXPECT_EQ(n.kind(), NetworkKind::kStar);
+  EXPECT_EQ(n.num_links(), 3u);
+  EXPECT_EQ(n.incident_links(ServerId(0)).size(), 3u);
+  EXPECT_EQ(n.incident_links(ServerId(1)).size(), 1u);
+}
+
+TEST(MakeStarNetworkTest, BadInputsRejected) {
+  EXPECT_TRUE(
+      MakeStarNetwork({1e9}, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      MakeStarNetwork({1e9, 1e9}, {1e8, 1e8}).status().IsInvalidArgument());
+}
+
+TEST(MakeRingNetworkTest, ClosedChain) {
+  Network n = MakeRingNetwork({1e9, 1e9, 1e9}, {1e8, 1e8, 1e8}).value();
+  EXPECT_EQ(n.kind(), NetworkKind::kRing);
+  EXPECT_EQ(n.num_links(), 3u);
+  EXPECT_TRUE(n.FindLink(ServerId(2), ServerId(0)).ok());
+  for (const Server& s : n.servers()) {
+    EXPECT_EQ(n.incident_links(s.id()).size(), 2u);
+  }
+}
+
+TEST(MakeRingNetworkTest, BadInputsRejected) {
+  EXPECT_TRUE(
+      MakeRingNetwork({1e9, 1e9}, {1e8, 1e8}).status().IsInvalidArgument());
+  EXPECT_TRUE(MakeRingNetwork({1e9, 1e9, 1e9}, {1e8, 1e8})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace wsflow

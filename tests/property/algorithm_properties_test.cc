@@ -1,0 +1,239 @@
+// Property tests: invariants every deployment algorithm must uphold on every
+// workload family, swept via parameterized gtest.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "src/cost/cost_model.h"
+#include "src/deploy/algorithm.h"
+#include "src/deploy/exhaustive.h"
+#include "src/deploy/random_baseline.h"
+#include "src/exp/config.h"
+#include "src/sim/simulator.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+// The heuristics under test (exhaustive and hill-climb are covered by their
+// own suites; line-line requires line workflows and is swept separately).
+const char* kBusAlgorithms[] = {"random",  "fair-load", "fltr",
+                                "fltr2",   "fl-merge",  "heavy-ops"};
+
+class AlgorithmPropertyTest
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, WorkloadKind, uint64_t>> {
+ protected:
+  void SetUp() override {
+    RegisterBuiltinAlgorithms();
+    auto [name, kind, seed] = GetParam();
+    ExperimentConfig cfg = MakeClassCConfig(kind);
+    cfg.num_operations = 13;
+    cfg.num_servers = 4;
+    cfg.seed = seed;
+    TrialInstance t = WSFLOW_UNWRAP(DrawTrial(cfg, 0));
+    workflow_ = std::move(t.workflow);
+    network_ = std::move(t.network);
+    profile_ = std::move(t.profile);
+    ctx_.workflow = &workflow_;
+    ctx_.network = &network_;
+    ctx_.profile = profile_ ? &*profile_ : nullptr;
+    ctx_.seed = seed;
+    algorithm_ = std::get<0>(GetParam());
+  }
+
+  Workflow workflow_;
+  Network network_;
+  std::optional<ExecutionProfile> profile_;
+  DeployContext ctx_;
+  std::string algorithm_;
+};
+
+TEST_P(AlgorithmPropertyTest, MappingIsTotalAndValid) {
+  Mapping m = WSFLOW_UNWRAP(RunAlgorithm(algorithm_, ctx_));
+  WSFLOW_EXPECT_OK(m.ValidateAgainst(workflow_, network_));
+}
+
+TEST_P(AlgorithmPropertyTest, DeterministicGivenSeed) {
+  Mapping a = WSFLOW_UNWRAP(RunAlgorithm(algorithm_, ctx_));
+  Mapping b = WSFLOW_UNWRAP(RunAlgorithm(algorithm_, ctx_));
+  EXPECT_TRUE(a == b);
+}
+
+TEST_P(AlgorithmPropertyTest, CostModelEvaluatesResult) {
+  Mapping m = WSFLOW_UNWRAP(RunAlgorithm(algorithm_, ctx_));
+  CostModel model(workflow_, network_, ctx_.profile);
+  CostBreakdown cost = WSFLOW_UNWRAP(model.Evaluate(m));
+  EXPECT_GT(cost.execution_time, 0.0);
+  EXPECT_GE(cost.time_penalty, 0.0);
+  EXPECT_TRUE(std::isfinite(cost.combined));
+}
+
+TEST_P(AlgorithmPropertyTest, SimulatorAcceptsResult) {
+  Mapping m = WSFLOW_UNWRAP(RunAlgorithm(algorithm_, ctx_));
+  SimOptions options;
+  options.num_runs = 3;
+  options.seed = 11;
+  SimResult r = WSFLOW_UNWRAP(SimulateWorkflow(workflow_, network_, m,
+                                               options));
+  EXPECT_GT(r.mean_makespan, 0.0);
+}
+
+TEST_P(AlgorithmPropertyTest, LoadConservation) {
+  // Total probability-weighted load is mapping-independent for fixed
+  // server powers... but powers differ per server, so instead check that
+  // the sum of per-server cycle shares equals the workflow's weighted
+  // cycles (conservation of work).
+  Mapping m = WSFLOW_UNWRAP(RunAlgorithm(algorithm_, ctx_));
+  CostModel model(workflow_, network_, ctx_.profile);
+  double total_weighted_seconds = 0;
+  std::vector<double> loads = model.Loads(m);
+  for (size_t s = 0; s < loads.size(); ++s) {
+    total_weighted_seconds +=
+        loads[s] * network_.server(ServerId(static_cast<uint32_t>(s)))
+                       .power_hz();
+  }
+  double expected = 0;
+  for (const Operation& op : workflow_.operations()) {
+    double p = ctx_.profile ? ctx_.profile->OperationProb(op.id()) : 1.0;
+    expected += p * op.cycles();
+  }
+  EXPECT_NEAR(total_weighted_seconds, expected, expected * 1e-9);
+}
+
+std::string PropertyTestName(
+    const ::testing::TestParamInfo<
+        std::tuple<const char*, WorkloadKind, uint64_t>>& info) {
+  std::string name = std::get<0>(info.param);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name + "_" +
+         std::string(WorkloadKindToString(std::get<1>(info.param))) + "_s" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BusWorkloads, AlgorithmPropertyTest,
+    ::testing::Combine(::testing::ValuesIn(kBusAlgorithms),
+                       ::testing::Values(WorkloadKind::kLine,
+                                         WorkloadKind::kBushyGraph,
+                                         WorkloadKind::kLengthyGraph,
+                                         WorkloadKind::kHybridGraph),
+                       ::testing::Values<uint64_t>(1, 2, 3)),
+    PropertyTestName);
+
+// Line-Line variants need line workflows.
+class LineLinePropertyTest
+    : public ::testing::TestWithParam<std::tuple<const char*, uint64_t>> {};
+
+TEST_P(LineLinePropertyTest, TotalDeterministicEvaluable) {
+  RegisterBuiltinAlgorithms();
+  auto [name, seed] = GetParam();
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+  cfg.num_operations = 17;
+  cfg.seed = seed;
+  TrialInstance t = WSFLOW_UNWRAP(DrawTrial(cfg, 0));
+  Network line = WSFLOW_UNWRAP(MakeLineNetwork(
+      {1e9, 2e9, 3e9, 2e9, 1e9}, {1e7, 1e8, 1e8, 1e6}));
+  DeployContext ctx;
+  ctx.workflow = &t.workflow;
+  ctx.network = &line;
+  ctx.seed = seed;
+  Mapping a = WSFLOW_UNWRAP(RunAlgorithm(name, ctx));
+  Mapping b = WSFLOW_UNWRAP(RunAlgorithm(name, ctx));
+  WSFLOW_EXPECT_OK(a.ValidateAgainst(t.workflow, line));
+  EXPECT_TRUE(a == b);
+  CostModel model(t.workflow, line);
+  EXPECT_TRUE(model.Evaluate(a).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, LineLinePropertyTest,
+    ::testing::Combine(::testing::Values("line-line", "line-line-nofix",
+                                         "line-line-bidir",
+                                         "line-line-bidir-nofix"),
+                       ::testing::Values<uint64_t>(1, 2, 3)),
+    [](const ::testing::TestParamInfo<std::tuple<const char*, uint64_t>>&
+           info) {
+      std::string name = std::get<0>(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_s" + std::to_string(std::get<1>(info.param));
+    });
+
+// Heuristics can never beat the exhaustive optimum (small instances).
+class OptimalityTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(OptimalityTest, NeverBeatsExhaustive) {
+  RegisterBuiltinAlgorithms();
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+    cfg.num_operations = 6;
+    cfg.num_servers = 3;
+    cfg.seed = seed;
+    TrialInstance t = WSFLOW_UNWRAP(DrawTrial(cfg, 0));
+    CostModel model(t.workflow, t.network);
+    DeployContext ctx;
+    ctx.workflow = &t.workflow;
+    ctx.network = &t.network;
+    ctx.seed = seed;
+    Mapping opt = WSFLOW_UNWRAP(ExhaustiveAlgorithm().Run(ctx));
+    double opt_cost = model.Evaluate(opt).value().combined;
+    Mapping m = WSFLOW_UNWRAP(RunAlgorithm(GetParam(), ctx));
+    EXPECT_GE(model.Evaluate(m).value().combined, opt_cost - 1e-12)
+        << GetParam() << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHeuristics, OptimalityTest,
+                         ::testing::ValuesIn(kBusAlgorithms),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           std::string name = i.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// Fairness property: the FairLoad family beats random on time penalty when
+// averaged over seeds.
+class FairnessTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FairnessTest, BeatsRandomPenaltyOnAverage) {
+  RegisterBuiltinAlgorithms();
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+  cfg.num_operations = 19;
+  cfg.num_servers = 5;
+  double algo_total = 0, random_total = 0;
+  const int kTrials = 10;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    TrialInstance t = WSFLOW_UNWRAP(DrawTrial(cfg, trial));
+    CostModel model(t.workflow, t.network);
+    DeployContext ctx;
+    ctx.workflow = &t.workflow;
+    ctx.network = &t.network;
+    ctx.seed = trial;
+    Mapping a = WSFLOW_UNWRAP(RunAlgorithm(GetParam(), ctx));
+    Mapping r = WSFLOW_UNWRAP(RunAlgorithm("random", ctx));
+    algo_total += model.TimePenalty(a);
+    random_total += model.TimePenalty(r);
+  }
+  EXPECT_LT(algo_total, random_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(FairLoadFamily, FairnessTest,
+                         ::testing::Values("fair-load", "fltr", "fltr2"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           std::string name = i.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,160 @@
+// Randomized sweep tests: invariants that must hold for *every* generated
+// workflow, exercised across many seeds, shapes and sizes.
+
+#include <gtest/gtest.h>
+
+#include "src/cost/cost_model.h"
+#include "src/cost/response_time.h"
+#include "src/deploy/random_baseline.h"
+#include "src/exp/config.h"
+#include "src/sim/simulator.h"
+#include "src/workflow/blocks.h"
+#include "src/workflow/dot.h"
+#include "src/workflow/serialization.h"
+#include "src/workflow/validate.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+class GeneratedWorkflowSweep
+    : public ::testing::TestWithParam<std::tuple<WorkloadKind, uint64_t>> {
+ protected:
+  void SetUp() override {
+    auto [kind, seed] = GetParam();
+    ExperimentConfig cfg = MakeClassCConfig(kind);
+    cfg.num_operations = 17;
+    cfg.num_servers = 4;
+    cfg.seed = seed;
+    TrialInstance t = WSFLOW_UNWRAP(DrawTrial(cfg, 0));
+    workflow_ = std::move(t.workflow);
+    network_ = std::move(t.network);
+    profile_ = std::move(t.profile);
+  }
+
+  Workflow workflow_;
+  Network network_;
+  std::optional<ExecutionProfile> profile_;
+};
+
+TEST_P(GeneratedWorkflowSweep, SerializationRoundTripsExactly) {
+  Workflow loaded =
+      WSFLOW_UNWRAP(WorkflowFromXmlString(WorkflowToXmlString(workflow_)));
+  ASSERT_EQ(loaded.num_operations(), workflow_.num_operations());
+  ASSERT_EQ(loaded.num_transitions(), workflow_.num_transitions());
+  for (size_t i = 0; i < workflow_.num_operations(); ++i) {
+    OperationId id(static_cast<uint32_t>(i));
+    EXPECT_EQ(loaded.operation(id).name(), workflow_.operation(id).name());
+    EXPECT_EQ(loaded.operation(id).type(), workflow_.operation(id).type());
+    EXPECT_EQ(loaded.operation(id).cycles(),
+              workflow_.operation(id).cycles());
+  }
+  for (size_t i = 0; i < workflow_.num_transitions(); ++i) {
+    TransitionId id(static_cast<uint32_t>(i));
+    EXPECT_EQ(loaded.transition(id).message_bits,
+              workflow_.transition(id).message_bits);
+    EXPECT_EQ(loaded.transition(id).branch_weight,
+              workflow_.transition(id).branch_weight);
+  }
+  WSFLOW_EXPECT_OK(ValidateAll(loaded));
+}
+
+TEST_P(GeneratedWorkflowSweep, BlockDecompositionCoversAllOperations) {
+  Block root = WSFLOW_UNWRAP(DecomposeBlocks(workflow_));
+  EXPECT_EQ(root.CountOperations(), workflow_.num_operations());
+}
+
+TEST_P(GeneratedWorkflowSweep, ProbabilityInvariants) {
+  ExecutionProfile profile =
+      WSFLOW_UNWRAP(ComputeExecutionProfile(workflow_));
+  // Source and sink always execute; everything lies in (0, 1].
+  EXPECT_DOUBLE_EQ(profile.OperationProb(workflow_.Sources()[0]), 1.0);
+  EXPECT_DOUBLE_EQ(profile.OperationProb(workflow_.Sinks()[0]), 1.0);
+  for (double p : profile.op_prob) {
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  // XOR splits: arm probabilities sum to the split's own probability.
+  for (const Operation& op : workflow_.operations()) {
+    if (op.type() != OperationType::kXorSplit) continue;
+    double sum = 0;
+    for (TransitionId t : workflow_.out_edges(op.id())) {
+      sum += profile.TransitionProb(t);
+    }
+    EXPECT_NEAR(sum, profile.OperationProb(op.id()), 1e-12) << op.name();
+  }
+}
+
+TEST_P(GeneratedWorkflowSweep, ResponseTimesAreCausallyOrdered) {
+  CostModel model(workflow_, network_, profile_ ? &*profile_ : nullptr);
+  Rng rng(7);
+  Mapping m = RandomMapping(workflow_.num_operations(),
+                            network_.num_servers(), &rng);
+  ResponseTimes times = WSFLOW_UNWRAP(ComputeResponseTimes(model, m));
+  // Every operation completes no earlier than any of its predecessors
+  // (conditional XOR expectations can only delay the join further).
+  for (const Transition& t : workflow_.transitions()) {
+    OperationType from_type = workflow_.operation(t.from).type();
+    if (from_type == OperationType::kOrSplit ||
+        from_type == OperationType::kXorSplit) {
+      // OR joins take the fastest branch and XOR joins an expectation, so
+      // a *specific* slow branch may finish after the join; skip edges
+      // into such joins.
+      continue;
+    }
+    if (IsJoin(workflow_.operation(t.to).type()) &&
+        workflow_.operation(t.to).type() != OperationType::kAndJoin) {
+      continue;
+    }
+    EXPECT_LE(times[t.from.value], times[t.to.value] + 1e-12)
+        << workflow_.operation(t.from).name() << " -> "
+        << workflow_.operation(t.to).name();
+  }
+  // The sink's response time is the analytic T_execute.
+  double exec = WSFLOW_UNWRAP(model.ExecutionTime(m));
+  EXPECT_NEAR(times[workflow_.Sinks()[0].value], exec,
+              exec * 1e-9 + 1e-15);
+}
+
+TEST_P(GeneratedWorkflowSweep, SimulatorMeanTracksAnalytic) {
+  CostModel model(workflow_, network_, profile_ ? &*profile_ : nullptr);
+  Rng rng(11);
+  Mapping m = RandomMapping(workflow_.num_operations(),
+                            network_.num_servers(), &rng);
+  double analytic = WSFLOW_UNWRAP(model.ExecutionTime(m));
+  SimOptions options;
+  options.num_runs = workflow_.IsLine() ? 1 : 800;
+  options.seed = 13;
+  SimResult sim =
+      WSFLOW_UNWRAP(SimulateWorkflow(workflow_, network_, m, options));
+  double tolerance = workflow_.IsLine() ? analytic * 1e-12 : analytic * 0.2;
+  EXPECT_NEAR(sim.mean_makespan, analytic, tolerance);
+}
+
+TEST_P(GeneratedWorkflowSweep, DotExportAlwaysRenders) {
+  std::string dot = WorkflowToDot(workflow_);
+  EXPECT_EQ(dot.find("digraph"), 0u);
+  // One node line per operation, one edge line per transition.
+  size_t arrows = 0;
+  for (size_t pos = dot.find(" -> "); pos != std::string::npos;
+       pos = dot.find(" -> ", pos + 1)) {
+    ++arrows;
+  }
+  EXPECT_EQ(arrows, workflow_.num_transitions());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndSeeds, GeneratedWorkflowSweep,
+    ::testing::Combine(::testing::Values(WorkloadKind::kLine,
+                                         WorkloadKind::kBushyGraph,
+                                         WorkloadKind::kLengthyGraph,
+                                         WorkloadKind::kHybridGraph),
+                       ::testing::Values<uint64_t>(11, 22, 33, 44, 55)),
+    [](const ::testing::TestParamInfo<std::tuple<WorkloadKind, uint64_t>>&
+           info) {
+      return std::string(WorkloadKindToString(std::get<0>(info.param))) +
+             "_s" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,234 @@
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cost/cost_model.h"
+#include "src/workflow/builder.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+using testing::AllOnServer;
+using testing::RoundRobin;
+
+TEST(SimulatorTest, LineAllOnOneServer) {
+  Workflow w = testing::SimpleLine(3, 2e9, 1e6);
+  Network n = testing::SimpleBus(2);
+  Mapping m = AllOnServer(3, ServerId(0));
+  SimResult r = WSFLOW_UNWRAP(SimulateWorkflow(w, n, m));
+  EXPECT_DOUBLE_EQ(r.mean_makespan, 6.0);
+  EXPECT_DOUBLE_EQ(r.server_busy[0], 6.0);
+  EXPECT_DOUBLE_EQ(r.server_busy[1], 0.0);
+}
+
+TEST(SimulatorTest, LineWithCrossingMessages) {
+  Workflow w = testing::SimpleLine(3, 2e9, 1e6);
+  Network n = MakeBusNetwork({1e9, 1e9}, 1e6).value();
+  SimResult r = WSFLOW_UNWRAP(SimulateWorkflow(w, n, RoundRobin(3, 2)));
+  EXPECT_DOUBLE_EQ(r.mean_makespan, 8.0);  // 6 s work + two 1 s messages
+}
+
+TEST(SimulatorTest, MatchesAnalyticLineModel) {
+  Workflow w = testing::SimpleLine(7, 20e6, 60648);
+  Network n = MakeBusNetwork({1e9, 2e9, 3e9}, 1e7).value();
+  CostModel model(w, n);
+  for (uint32_t variant = 0; variant < 3; ++variant) {
+    Mapping m(7);
+    for (uint32_t i = 0; i < 7; ++i) {
+      m.Assign(OperationId(i), ServerId((i + variant) % 3));
+    }
+    double analytic = model.ExecutionTime(m).value();
+    SimResult r = WSFLOW_UNWRAP(SimulateWorkflow(w, n, m));
+    EXPECT_NEAR(r.mean_makespan, analytic, 1e-12) << "variant " << variant;
+  }
+}
+
+TEST(SimulatorTest, AndJoinWaitsForSlowestBranch) {
+  WorkflowBuilder b("and");
+  b.Split(OperationType::kAndSplit, "s", 0);
+  b.Branch().Op("fast", 1e9);
+  b.Branch().Op("slow", 5e9);
+  b.Join("j", 0);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  Network n = testing::SimpleBus(1);
+  SimResult r = WSFLOW_UNWRAP(
+      SimulateWorkflow(w, n, AllOnServer(4, ServerId(0))));
+  EXPECT_DOUBLE_EQ(r.mean_makespan, 5.0);
+}
+
+TEST(SimulatorTest, OrJoinFiresOnFirstArrival) {
+  WorkflowBuilder b("or");
+  b.Split(OperationType::kOrSplit, "s", 0);
+  b.Branch().Op("fast", 1e9);
+  b.Branch().Op("slow", 5e9);
+  b.Join("j", 0);
+  b.Op("after", 1e9, 0);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  Network n = testing::SimpleBus(1);
+  SimResult r = WSFLOW_UNWRAP(
+      SimulateWorkflow(w, n, AllOnServer(5, ServerId(0))));
+  // join at t=1, after at t=2; the slow branch still burns CPU.
+  EXPECT_DOUBLE_EQ(r.mean_makespan, 2.0);
+  EXPECT_DOUBLE_EQ(r.server_busy[0], 7.0);  // 1 + 5 + 1
+}
+
+TEST(SimulatorTest, XorTakesExactlyOneBranch) {
+  WorkflowBuilder b("xor");
+  b.Split(OperationType::kXorSplit, "s", 0);
+  b.Branch(1.0).Op("always", 2e9);
+  b.Branch(0.0).Op("never", 7e9);
+  b.Join("j", 0);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  Network n = testing::SimpleBus(1);
+  SimResult r = WSFLOW_UNWRAP(
+      SimulateWorkflow(w, n, AllOnServer(4, ServerId(0))));
+  EXPECT_DOUBLE_EQ(r.mean_makespan, 2.0);
+  EXPECT_DOUBLE_EQ(r.server_busy[0], 2.0);  // "never" never ran
+}
+
+TEST(SimulatorTest, XorMonteCarloConvergesToExpectation) {
+  WorkflowBuilder b("xor-mc");
+  b.Split(OperationType::kXorSplit, "s", 0);
+  b.Branch(0.7).Op("cheap", 1e9);
+  b.Branch(0.3).Op("dear", 11e9);
+  b.Join("j", 0);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  Network n = testing::SimpleBus(1);
+  CostModel model(w, n);
+  Mapping m = AllOnServer(4, ServerId(0));
+  double analytic = model.ExecutionTime(m).value();  // 0.7*1 + 0.3*11 = 4
+  EXPECT_DOUBLE_EQ(analytic, 4.0);
+
+  SimOptions options;
+  options.num_runs = 4000;
+  options.seed = 17;
+  SimResult r = WSFLOW_UNWRAP(SimulateWorkflow(w, n, m, options));
+  EXPECT_NEAR(r.mean_makespan, analytic, 0.25);
+  EXPECT_EQ(r.makespans.size(), 4000u);
+}
+
+TEST(SimulatorTest, MatchesAnalyticOnDeterministicGraph) {
+  // AND/OR graph without XOR: analytic and simulated must agree exactly,
+  // across several mappings.
+  WorkflowBuilder b("det-graph");
+  b.Op("a", 1e9);
+  b.Split(OperationType::kAndSplit, "s", 5e8, 1e6);
+  b.Branch().Op("l1", 2e9, 1e6).Op("l2", 1e9, 1e6);
+  b.Branch().Op("r", 3e9, 1e6);
+  b.Join("j", 5e8, 1e6);
+  b.Op("z", 1e9, 1e6);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  Network n = MakeBusNetwork({1e9, 2e9}, 1e6).value();
+  CostModel model(w, n);
+  for (uint32_t variant = 0; variant < 4; ++variant) {
+    Mapping m(w.num_operations());
+    for (uint32_t i = 0; i < w.num_operations(); ++i) {
+      m.Assign(OperationId(i), ServerId((i / (variant + 1)) % 2));
+    }
+    double analytic = model.ExecutionTime(m).value();
+    SimResult r = WSFLOW_UNWRAP(SimulateWorkflow(w, n, m));
+    EXPECT_NEAR(r.mean_makespan, analytic, 1e-9) << "variant " << variant;
+  }
+}
+
+TEST(SimulatorTest, ServerContentionSerializesSharedHost) {
+  // Two parallel 1 s branches on the same server: 1 s without contention,
+  // 2 s with it.
+  WorkflowBuilder b("contended");
+  b.Split(OperationType::kAndSplit, "s", 0);
+  b.Branch().Op("l", 1e9);
+  b.Branch().Op("r", 1e9);
+  b.Join("j", 0);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  Network n = testing::SimpleBus(1);
+  Mapping m = AllOnServer(4, ServerId(0));
+
+  SimResult free = WSFLOW_UNWRAP(SimulateWorkflow(w, n, m));
+  SimOptions contended;
+  contended.server_contention = true;
+  SimResult serial = WSFLOW_UNWRAP(SimulateWorkflow(w, n, m, contended));
+  EXPECT_DOUBLE_EQ(free.mean_makespan, 1.0);
+  EXPECT_DOUBLE_EQ(serial.mean_makespan, 2.0);
+}
+
+TEST(SimulatorTest, BusContentionSerializesTransfers) {
+  // Two branch messages racing over the bus: with contention the second
+  // transfer queues behind the first.
+  WorkflowBuilder b("bus");
+  b.Split(OperationType::kAndSplit, "s", 0);
+  b.Branch().Op("l", 0, 1e6);
+  b.Branch().Op("r", 0, 1e6);
+  b.Join("j", 0, 1e6);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  Network n = MakeBusNetwork({1e9, 1e9}, 1e6).value();
+  Mapping m(4);
+  m.Assign(WSFLOW_UNWRAP(b.Id("s")), ServerId(0));
+  m.Assign(WSFLOW_UNWRAP(b.Id("l")), ServerId(1));
+  m.Assign(WSFLOW_UNWRAP(b.Id("r")), ServerId(1));
+  m.Assign(WSFLOW_UNWRAP(b.Id("j")), ServerId(0));
+
+  SimResult free = WSFLOW_UNWRAP(SimulateWorkflow(w, n, m));
+  SimOptions contended;
+  contended.bus_contention = true;
+  SimResult serial = WSFLOW_UNWRAP(SimulateWorkflow(w, n, m, contended));
+  EXPECT_DOUBLE_EQ(free.mean_makespan, 2.0);   // entry + exit, in parallel
+  // Entry transfers serialize (1 + 1), exits serialize again.
+  EXPECT_GT(serial.mean_makespan, free.mean_makespan);
+}
+
+TEST(SimulatorTest, TraceRecordsLifecycle) {
+  Workflow w = testing::SimpleLine(2, 1e9, 1e6);
+  Network n = MakeBusNetwork({1e9, 1e9}, 1e6).value();
+  SimOptions options;
+  options.record_trace = true;
+  SimResult r =
+      WSFLOW_UNWRAP(SimulateWorkflow(w, n, RoundRobin(2, 2), options));
+  EXPECT_FALSE(r.trace.empty());
+  EXPECT_EQ(r.trace.EventsOfType(TraceEventType::kOperationStart).size(), 2u);
+  EXPECT_EQ(r.trace.EventsOfType(TraceEventType::kOperationComplete).size(),
+            2u);
+  EXPECT_EQ(r.trace.EventsOfType(TraceEventType::kMessageSent).size(), 1u);
+  EXPECT_EQ(r.trace.EventsOfType(TraceEventType::kMessageDelivered).size(),
+            1u);
+  // Events are chronological.
+  for (size_t i = 1; i < r.trace.events().size(); ++i) {
+    EXPECT_LE(r.trace.events()[i - 1].time, r.trace.events()[i].time);
+  }
+  std::string rendered = r.trace.ToString(w, n);
+  EXPECT_NE(rendered.find("start op1"), std::string::npos);
+}
+
+TEST(SimulatorTest, SeedMakesXorRunsReproducible) {
+  Workflow w = testing::AllDecisionGraph();
+  Network n = testing::SimpleBus(2);
+  Mapping m = RoundRobin(w.num_operations(), 2);
+  SimOptions options;
+  options.num_runs = 20;
+  options.seed = 5;
+  SimResult a = WSFLOW_UNWRAP(SimulateWorkflow(w, n, m, options));
+  SimResult b = WSFLOW_UNWRAP(SimulateWorkflow(w, n, m, options));
+  EXPECT_EQ(a.makespans, b.makespans);
+}
+
+TEST(SimulatorTest, InvalidInputsRejected) {
+  Workflow w = testing::SimpleLine(3);
+  Network n = testing::SimpleBus(2);
+  Mapping partial(3);
+  EXPECT_FALSE(SimulateWorkflow(w, n, partial).ok());
+
+  SimOptions zero_runs;
+  zero_runs.num_runs = 0;
+  EXPECT_TRUE(SimulateWorkflow(w, n, testing::RoundRobin(3, 2), zero_runs)
+                  .status()
+                  .IsInvalidArgument());
+
+  Workflow malformed;
+  malformed.AddOperation("a", OperationType::kOperational, 1.0);
+  malformed.AddOperation("b", OperationType::kOperational, 1.0);
+  Mapping m2 = testing::RoundRobin(2, 2);
+  EXPECT_FALSE(SimulateWorkflow(malformed, n, m2).ok());
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,143 @@
+#include "src/sim/stream.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cost/cost_model.h"
+#include "src/sim/simulator.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+using testing::AllOnServer;
+using testing::RoundRobin;
+
+StreamOptions Opts(size_t instances, double rate, uint64_t seed = 1) {
+  StreamOptions o;
+  o.num_instances = instances;
+  o.arrival_rate = rate;
+  o.seed = seed;
+  return o;
+}
+
+TEST(StreamTest, SingleInstanceMatchesAnalytic) {
+  Workflow w = testing::SimpleLine(4, 2e9, 1e6);
+  Network n = MakeBusNetwork({1e9, 1e9}, 1e6).value();
+  CostModel model(w, n);
+  Mapping m = RoundRobin(4, 2);
+  StreamResult r =
+      WSFLOW_UNWRAP(SimulateWorkflowStream(w, n, m, Opts(1, 1.0)));
+  ASSERT_EQ(r.latencies.size(), 1u);
+  EXPECT_NEAR(r.latencies[0], model.ExecutionTime(m).value(), 1e-12);
+}
+
+TEST(StreamTest, LowRateLatencyApproachesMakespan) {
+  // With arrivals far apart, instances never overlap: every latency equals
+  // the single-instance makespan.
+  Workflow w = testing::SimpleLine(4, 1e9, 0);
+  Network n = testing::SimpleBus(2);
+  CostModel model(w, n);
+  Mapping m = RoundRobin(4, 2);
+  double makespan = model.ExecutionTime(m).value();  // 4 s
+  StreamResult r = WSFLOW_UNWRAP(
+      SimulateWorkflowStream(w, n, m, Opts(20, /*rate=*/0.01)));
+  for (double latency : r.latencies) {
+    EXPECT_NEAR(latency, makespan, 1e-9);
+  }
+}
+
+TEST(StreamTest, HighRateQueueingInflatesLatency) {
+  // Service demand per instance: 4 s of CPU over 2 servers => capacity
+  // 0.5/s. Offered load 5/s drives the queue length up: later instances
+  // wait far longer than the bare makespan.
+  Workflow w = testing::SimpleLine(4, 1e9, 0);
+  Network n = testing::SimpleBus(2);
+  Mapping m = RoundRobin(4, 2);
+  StreamResult r = WSFLOW_UNWRAP(
+      SimulateWorkflowStream(w, n, m, Opts(50, /*rate=*/5.0)));
+  EXPECT_GT(r.p95_latency, 4.0 * 3);
+  EXPECT_GT(r.mean_latency, 4.0);
+}
+
+TEST(StreamTest, ThroughputCapsAtServiceCapacity) {
+  // 2 s CPU per instance on two 1 GHz servers (balanced): capacity 1/s.
+  Workflow w = testing::SimpleLine(2, 1e9, 0);
+  Network n = testing::SimpleBus(2);
+  Mapping m = RoundRobin(2, 2);
+  StreamResult r = WSFLOW_UNWRAP(
+      SimulateWorkflowStream(w, n, m, Opts(100, /*rate=*/50.0)));
+  EXPECT_LE(r.throughput, 1.05);  // capacity plus epsilon
+  EXPECT_GE(r.throughput, 0.8);   // but the system stays busy
+}
+
+TEST(StreamTest, BalancedBeatsPackedUnderLoad) {
+  // The fairness argument under sustained load: the packed deployment
+  // (faster for one instance when messages are dear) saturates one server
+  // and loses on throughput to the balanced one.
+  Workflow w = testing::SimpleLine(4, 1e9, 100.0);
+  Network n = testing::SimpleBus(2, 1e9, 1e9);
+  Mapping packed = AllOnServer(4, ServerId(0));
+  Mapping balanced = RoundRobin(4, 2);
+  StreamOptions opts = Opts(60, /*rate=*/2.0);
+  StreamResult rp = WSFLOW_UNWRAP(SimulateWorkflowStream(w, n, packed, opts));
+  StreamResult rb =
+      WSFLOW_UNWRAP(SimulateWorkflowStream(w, n, balanced, opts));
+  EXPECT_GT(rb.throughput, rp.throughput);
+  EXPECT_LT(rb.mean_latency, rp.mean_latency);
+}
+
+TEST(StreamTest, UtilizationBoundedByOne) {
+  Workflow w = testing::SimpleLine(5, 2e9, 8000);
+  Network n = MakeBusNetwork({1e9, 2e9}, 1e8).value();
+  Mapping m = RoundRobin(5, 2);
+  StreamResult r = WSFLOW_UNWRAP(
+      SimulateWorkflowStream(w, n, m, Opts(80, /*rate=*/3.0)));
+  ASSERT_EQ(r.server_utilization.size(), 2u);
+  for (double u : r.server_utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-9);
+  }
+  EXPECT_GT(r.total_time, 0.0);
+}
+
+TEST(StreamTest, DeterministicGivenSeed) {
+  Workflow w = testing::AllDecisionGraph();
+  Network n = testing::SimpleBus(3);
+  Mapping m = RoundRobin(w.num_operations(), 3);
+  StreamResult a = WSFLOW_UNWRAP(
+      SimulateWorkflowStream(w, n, m, Opts(30, 100.0, 9)));
+  StreamResult b = WSFLOW_UNWRAP(
+      SimulateWorkflowStream(w, n, m, Opts(30, 100.0, 9)));
+  EXPECT_EQ(a.latencies, b.latencies);
+  StreamResult c = WSFLOW_UNWRAP(
+      SimulateWorkflowStream(w, n, m, Opts(30, 100.0, 10)));
+  EXPECT_NE(a.latencies, c.latencies);
+}
+
+TEST(StreamTest, XorGraphInstancesDiverge) {
+  Workflow w = testing::AllDecisionGraph(1e9);
+  Network n = testing::SimpleBus(4);
+  Mapping m = RoundRobin(w.num_operations(), 4);
+  StreamResult r = WSFLOW_UNWRAP(
+      SimulateWorkflowStream(w, n, m, Opts(50, 0.001, 3)));
+  // With XOR arms of different lengths (same cycles here, so same time) —
+  // all latencies equal; but the run must complete all 50.
+  EXPECT_EQ(r.latencies.size(), 50u);
+}
+
+TEST(StreamTest, InvalidInputsRejected) {
+  Workflow w = testing::SimpleLine(3);
+  Network n = testing::SimpleBus(2);
+  Mapping m = RoundRobin(3, 2);
+  EXPECT_TRUE(SimulateWorkflowStream(w, n, m, Opts(0, 1.0))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(SimulateWorkflowStream(w, n, m, Opts(5, 0.0))
+                  .status()
+                  .IsInvalidArgument());
+  Mapping partial(3);
+  EXPECT_FALSE(SimulateWorkflowStream(w, n, partial, Opts(5, 1.0)).ok());
+}
+
+}  // namespace
+}  // namespace wsflow

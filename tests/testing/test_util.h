@@ -1,0 +1,110 @@
+// wsflow: shared fixtures and helpers for the test suite.
+
+#ifndef WSFLOW_TESTS_TESTING_TEST_UTIL_H_
+#define WSFLOW_TESTS_TESTING_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/deploy/mapping.h"
+#include "src/network/topology.h"
+#include "src/workflow/builder.h"
+#include "src/workflow/workflow.h"
+
+namespace wsflow::testing {
+
+/// ASSERT that a Status is OK, printing it otherwise.
+#define WSFLOW_ASSERT_OK(expr)                          \
+  do {                                                  \
+    ::wsflow::Status _st = (expr);                      \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();            \
+  } while (0)
+
+#define WSFLOW_EXPECT_OK(expr)                          \
+  do {                                                  \
+    ::wsflow::Status _st = (expr);                      \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();            \
+  } while (0)
+
+/// Unwraps a Result<T> or fails the test. Usage:
+///   auto v = WSFLOW_UNWRAP(SomeResult());
+template <typename T>
+T UnwrapOrDie(Result<T> result, const char* expr) {
+  if (!result.ok()) {
+    ADD_FAILURE() << expr << " failed: " << result.status().ToString();
+  }
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+#define WSFLOW_UNWRAP(expr) ::wsflow::testing::UnwrapOrDie((expr), #expr)
+
+/// Line workflow op1 -> ... -> opM with uniform cycles and message sizes.
+inline Workflow SimpleLine(size_t ops, double cycles = 10e6,
+                           double msg_bits = 8000) {
+  std::vector<double> c(ops, cycles);
+  std::vector<double> m(ops > 0 ? ops - 1 : 0, msg_bits);
+  Result<Workflow> w = MakeLineWorkflow("line", c, m);
+  EXPECT_TRUE(w.ok()) << w.status().ToString();
+  return std::move(w).value();
+}
+
+/// Bus network with `servers` hosts of uniform power.
+inline Network SimpleBus(size_t servers, double power_hz = 1e9,
+                         double bus_bps = 100e6) {
+  std::vector<double> powers(servers, power_hz);
+  Result<Network> n = MakeBusNetwork(powers, bus_bps);
+  EXPECT_TRUE(n.ok()) << n.status().ToString();
+  return std::move(n).value();
+}
+
+/// A small well-formed graph exercising all three decision types:
+///
+///   a -> AND( b | c ) -> XOR( d @0.7 | e @0.3 ) -> OR( f | g ) -> h
+inline Workflow AllDecisionGraph(double cycles = 10e6,
+                                 double msg_bits = 8000) {
+  WorkflowBuilder b("all-decisions");
+  b.Op("a", cycles);
+  b.Split(OperationType::kAndSplit, "and", cycles, msg_bits);
+  b.Branch().Op("b", cycles, msg_bits);
+  b.Branch().Op("c", cycles, msg_bits);
+  b.Join("and_j", cycles, msg_bits);
+  b.Split(OperationType::kXorSplit, "xor", cycles, msg_bits);
+  b.Branch(0.7).Op("d", cycles, msg_bits);
+  b.Branch(0.3).Op("e", cycles, msg_bits);
+  b.Join("xor_j", cycles, msg_bits);
+  b.Split(OperationType::kOrSplit, "or", cycles, msg_bits);
+  b.Branch().Op("f", cycles, msg_bits);
+  b.Branch().Op("g", cycles, msg_bits);
+  b.Join("or_j", cycles, msg_bits);
+  b.Op("h", cycles, msg_bits);
+  Result<Workflow> w = b.Build();
+  EXPECT_TRUE(w.ok()) << w.status().ToString();
+  return std::move(w).value();
+}
+
+/// Mapping that puts every operation on one server.
+inline Mapping AllOnServer(size_t ops, ServerId s) {
+  Mapping m(ops);
+  for (size_t i = 0; i < ops; ++i) {
+    m.Assign(OperationId(static_cast<uint32_t>(i)), s);
+  }
+  return m;
+}
+
+/// Mapping that round-robins operations over `servers` hosts.
+inline Mapping RoundRobin(size_t ops, size_t servers) {
+  Mapping m(ops);
+  for (size_t i = 0; i < ops; ++i) {
+    m.Assign(OperationId(static_cast<uint32_t>(i)),
+             ServerId(static_cast<uint32_t>(i % servers)));
+  }
+  return m;
+}
+
+}  // namespace wsflow::testing
+
+#endif  // WSFLOW_TESTS_TESTING_TEST_UTIL_H_

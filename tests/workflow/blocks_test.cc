@@ -1,0 +1,189 @@
+#include "src/workflow/blocks.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workflow/builder.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+using testing::SimpleLine;
+
+TEST(BlocksTest, LineDecomposesToSequenceOfLeaves) {
+  Workflow w = SimpleLine(4);
+  Block root = WSFLOW_UNWRAP(DecomposeBlocks(w));
+  ASSERT_EQ(root.kind, Block::Kind::kSequence);
+  ASSERT_EQ(root.children.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(root.children[i].kind, Block::Kind::kLeaf);
+    EXPECT_EQ(root.children[i].op.value, i);
+  }
+  EXPECT_EQ(root.CountOperations(), 4u);
+}
+
+TEST(BlocksTest, SingleOperation) {
+  Workflow w = SimpleLine(1);
+  Block root = WSFLOW_UNWRAP(DecomposeBlocks(w));
+  ASSERT_EQ(root.kind, Block::Kind::kSequence);
+  ASSERT_EQ(root.children.size(), 1u);
+  EXPECT_EQ(root.CountOperations(), 1u);
+}
+
+TEST(BlocksTest, EmptyWorkflowRejected) {
+  Workflow w;
+  EXPECT_TRUE(DecomposeBlocks(w).status().IsFailedPrecondition());
+}
+
+TEST(BlocksTest, AndBlockStructure) {
+  WorkflowBuilder b("and");
+  b.Split(OperationType::kAndSplit, "s", 1.0);
+  b.Branch().Op("l", 1.0, 1.0);
+  b.Branch().Op("r", 1.0, 1.0);
+  b.Join("j", 1.0, 1.0);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+
+  Block root = WSFLOW_UNWRAP(DecomposeBlocks(w));
+  ASSERT_EQ(root.kind, Block::Kind::kSequence);
+  ASSERT_EQ(root.children.size(), 1u);
+  const Block& blk = root.children[0];
+  EXPECT_EQ(blk.kind, Block::Kind::kBranch);
+  EXPECT_EQ(blk.branch_type, OperationType::kAndSplit);
+  EXPECT_EQ(w.operation(blk.split).name(), "s");
+  EXPECT_EQ(w.operation(blk.join).name(), "j");
+  ASSERT_EQ(blk.children.size(), 2u);
+  EXPECT_EQ(blk.branch_probs, (std::vector<double>{1.0, 1.0}));
+  EXPECT_EQ(blk.CountOperations(), 4u);
+}
+
+TEST(BlocksTest, XorProbabilitiesNormalized) {
+  WorkflowBuilder b("xor");
+  b.Split(OperationType::kXorSplit, "s", 1.0);
+  b.Branch(3.0).Op("hot", 1.0, 1.0);
+  b.Branch(1.0).Op("cold", 1.0, 1.0);
+  b.Join("j", 1.0, 1.0);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+
+  Block root = WSFLOW_UNWRAP(DecomposeBlocks(w));
+  const Block& blk = root.children[0];
+  ASSERT_EQ(blk.branch_probs.size(), 2u);
+  EXPECT_DOUBLE_EQ(blk.branch_probs[0], 0.75);
+  EXPECT_DOUBLE_EQ(blk.branch_probs[1], 0.25);
+}
+
+TEST(BlocksTest, EmptyBranchGivesEmptySequenceBody) {
+  WorkflowBuilder b("empty");
+  b.Split(OperationType::kXorSplit, "s", 1.0);
+  b.Branch(0.5).Op("work", 1.0, 1.0);
+  b.Branch(0.5);
+  b.Join("j", 1.0, 1.0);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+
+  Block root = WSFLOW_UNWRAP(DecomposeBlocks(w));
+  const Block& blk = root.children[0];
+  ASSERT_EQ(blk.children.size(), 2u);
+  bool found_empty = false;
+  for (const Block& body : blk.children) {
+    if (body.kind == Block::Kind::kSequence && body.children.empty()) {
+      found_empty = true;
+    }
+  }
+  EXPECT_TRUE(found_empty);
+  EXPECT_EQ(blk.CountOperations(), 3u);
+}
+
+TEST(BlocksTest, NestedBlocksCounted) {
+  Workflow w = testing::AllDecisionGraph();
+  Block root = WSFLOW_UNWRAP(DecomposeBlocks(w));
+  EXPECT_EQ(root.CountOperations(), w.num_operations());
+  // a, AND-block, XOR-block, OR-block, h -> 5 top-level children.
+  EXPECT_EQ(root.children.size(), 5u);
+  EXPECT_EQ(root.children[1].branch_type, OperationType::kAndSplit);
+  EXPECT_EQ(root.children[2].branch_type, OperationType::kXorSplit);
+  EXPECT_EQ(root.children[3].branch_type, OperationType::kOrSplit);
+}
+
+TEST(BlocksTest, MismatchedComplementRejected) {
+  // AND split closed by an XOR join.
+  Workflow w;
+  OperationId s = w.AddOperation("s", OperationType::kAndSplit, 1.0);
+  OperationId a = w.AddOperation("a", OperationType::kOperational, 1.0);
+  OperationId b = w.AddOperation("b", OperationType::kOperational, 1.0);
+  OperationId j = w.AddOperation("j", OperationType::kXorJoin, 1.0);
+  ASSERT_TRUE(w.AddTransition(s, a, 1.0).ok());
+  ASSERT_TRUE(w.AddTransition(s, b, 1.0).ok());
+  ASSERT_TRUE(w.AddTransition(a, j, 1.0).ok());
+  ASSERT_TRUE(w.AddTransition(b, j, 1.0).ok());
+  EXPECT_TRUE(DecomposeBlocks(w).status().IsFailedPrecondition());
+}
+
+TEST(BlocksTest, BranchesNotReconvergingRejected) {
+  // Split whose branches end in two different sinks.
+  Workflow w;
+  OperationId s = w.AddOperation("s", OperationType::kAndSplit, 1.0);
+  OperationId a = w.AddOperation("a", OperationType::kOperational, 1.0);
+  OperationId b = w.AddOperation("b", OperationType::kOperational, 1.0);
+  ASSERT_TRUE(w.AddTransition(s, a, 1.0).ok());
+  ASSERT_TRUE(w.AddTransition(s, b, 1.0).ok());
+  EXPECT_FALSE(DecomposeBlocks(w).ok());
+}
+
+TEST(BlocksTest, OperationalBranchingRejected) {
+  // An operational node with two successors is not allowed.
+  Workflow w;
+  OperationId a = w.AddOperation("a", OperationType::kOperational, 1.0);
+  OperationId b = w.AddOperation("b", OperationType::kOperational, 1.0);
+  OperationId c = w.AddOperation("c", OperationType::kOperational, 1.0);
+  OperationId j = w.AddOperation("j", OperationType::kAndJoin, 1.0);
+  ASSERT_TRUE(w.AddTransition(a, b, 1.0).ok());
+  ASSERT_TRUE(w.AddTransition(a, c, 1.0).ok());
+  ASSERT_TRUE(w.AddTransition(b, j, 1.0).ok());
+  ASSERT_TRUE(w.AddTransition(c, j, 1.0).ok());
+  EXPECT_TRUE(DecomposeBlocks(w).status().IsFailedPrecondition());
+}
+
+TEST(BlocksTest, MultipleSourcesRejected) {
+  Workflow w;
+  OperationId a = w.AddOperation("a", OperationType::kOperational, 1.0);
+  OperationId b = w.AddOperation("b", OperationType::kOperational, 1.0);
+  OperationId j = w.AddOperation("j", OperationType::kAndJoin, 1.0);
+  ASSERT_TRUE(w.AddTransition(a, j, 1.0).ok());
+  ASSERT_TRUE(w.AddTransition(b, j, 1.0).ok());
+  EXPECT_TRUE(DecomposeBlocks(w).status().IsFailedPrecondition());
+}
+
+TEST(BlocksTest, CycleRejected) {
+  Workflow w;
+  OperationId a = w.AddOperation("a", OperationType::kOperational, 1.0);
+  OperationId b = w.AddOperation("b", OperationType::kOperational, 1.0);
+  OperationId c = w.AddOperation("c", OperationType::kOperational, 1.0);
+  ASSERT_TRUE(w.AddTransition(a, b, 1.0).ok());
+  ASSERT_TRUE(w.AddTransition(b, c, 1.0).ok());
+  ASSERT_TRUE(w.AddTransition(c, a, 1.0).ok());
+  EXPECT_FALSE(DecomposeBlocks(w).ok());
+}
+
+TEST(BlocksTest, ZeroWeightXorRejected) {
+  Workflow w;
+  OperationId s = w.AddOperation("s", OperationType::kXorSplit, 1.0);
+  OperationId a = w.AddOperation("a", OperationType::kOperational, 1.0);
+  OperationId b = w.AddOperation("b", OperationType::kOperational, 1.0);
+  OperationId j = w.AddOperation("j", OperationType::kXorJoin, 1.0);
+  ASSERT_TRUE(w.AddTransition(s, a, 1.0, 0.0).ok());
+  ASSERT_TRUE(w.AddTransition(s, b, 1.0, 0.0).ok());
+  ASSERT_TRUE(w.AddTransition(a, j, 1.0).ok());
+  ASSERT_TRUE(w.AddTransition(b, j, 1.0).ok());
+  EXPECT_TRUE(DecomposeBlocks(w).status().IsFailedPrecondition());
+}
+
+TEST(BlocksTest, ToStringRendersTree) {
+  Workflow w = testing::AllDecisionGraph();
+  Block root = WSFLOW_UNWRAP(DecomposeBlocks(w));
+  std::string str = root.ToString(w);
+  EXPECT_NE(str.find("sequence"), std::string::npos);
+  EXPECT_NE(str.find("branch and-split"), std::string::npos);
+  EXPECT_NE(str.find("leaf a"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,211 @@
+#include "src/workflow/bpel_import.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/workflow/metrics.h"
+#include "src/workflow/probability.h"
+#include "src/workflow/validate.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+TEST(ProcessImportTest, FlatSequence) {
+  const char* xml =
+      "<process name=\"p\" default_bits=\"1000\">"
+      "  <invoke name=\"a\" cycles=\"1e6\"/>"
+      "  <invoke name=\"b\" cycles=\"2e6\"/>"
+      "  <invoke name=\"c\" cycles=\"3e6\" in_bits=\"7777\"/>"
+      "</process>";
+  Workflow w = WSFLOW_UNWRAP(WorkflowFromProcessString(xml));
+  EXPECT_EQ(w.name(), "p");
+  EXPECT_EQ(w.num_operations(), 3u);
+  EXPECT_TRUE(w.IsLine());
+  // Default and explicit in_bits.
+  EXPECT_DOUBLE_EQ(w.transition(TransitionId(0)).message_bits, 1000.0);
+  EXPECT_DOUBLE_EQ(w.transition(TransitionId(1)).message_bits, 7777.0);
+}
+
+TEST(ProcessImportTest, FlowMakesAndBlock) {
+  const char* xml =
+      "<process name=\"p\">"
+      "  <flow name=\"par\" cycles=\"1e6\">"
+      "    <invoke name=\"left\" cycles=\"2e6\"/>"
+      "    <sequence>"
+      "      <invoke name=\"r1\" cycles=\"3e6\"/>"
+      "      <invoke name=\"r2\" cycles=\"4e6\"/>"
+      "    </sequence>"
+      "  </flow>"
+      "</process>";
+  Workflow w = WSFLOW_UNWRAP(WorkflowFromProcessString(xml));
+  WSFLOW_EXPECT_OK(ValidateAll(w));
+  // par(split) + left + r1 + r2 + par__join.
+  EXPECT_EQ(w.num_operations(), 5u);
+}
+
+TEST(ProcessImportTest, FlowOperationCount) {
+  const char* xml =
+      "<process name=\"p\">"
+      "  <flow name=\"par\" cycles=\"1e6\">"
+      "    <invoke name=\"left\" cycles=\"2e6\"/>"
+      "    <invoke name=\"right\" cycles=\"3e6\"/>"
+      "  </flow>"
+      "</process>";
+  Workflow w = WSFLOW_UNWRAP(WorkflowFromProcessString(xml));
+  EXPECT_EQ(w.num_operations(), 4u);  // split + 2 + join
+  OperationId split(0);
+  EXPECT_EQ(w.operation(split).type(), OperationType::kAndSplit);
+  bool has_join = false;
+  for (const Operation& op : w.operations()) {
+    if (op.name() == "par__join") {
+      has_join = true;
+      EXPECT_EQ(op.type(), OperationType::kAndJoin);
+      EXPECT_EQ(op.cycles(), 1e6);  // defaults to the split's cycles
+    }
+  }
+  EXPECT_TRUE(has_join);
+}
+
+TEST(ProcessImportTest, SwitchMakesXorWithProbabilities) {
+  const char* xml =
+      "<process name=\"p\">"
+      "  <switch name=\"s\" cycles=\"1e6\">"
+      "    <case probability=\"0.8\"><invoke name=\"hot\" cycles=\"1e6\"/>"
+      "    </case>"
+      "    <case probability=\"0.2\"><invoke name=\"cold\" cycles=\"1e6\"/>"
+      "    </case>"
+      "  </switch>"
+      "</process>";
+  Workflow w = WSFLOW_UNWRAP(WorkflowFromProcessString(xml));
+  ExecutionProfile profile = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  for (const Operation& op : w.operations()) {
+    if (op.name() == "hot") {
+      EXPECT_DOUBLE_EQ(profile.OperationProb(op.id()), 0.8);
+    }
+    if (op.name() == "cold") {
+      EXPECT_DOUBLE_EQ(profile.OperationProb(op.id()), 0.2);
+    }
+  }
+}
+
+TEST(ProcessImportTest, EmptyCaseIsSkipBranch) {
+  const char* xml =
+      "<process name=\"p\">"
+      "  <switch name=\"s\" cycles=\"1e6\" join_bits=\"500\">"
+      "    <case probability=\"0.9\"><invoke name=\"work\" cycles=\"1e6\"/>"
+      "    </case>"
+      "    <case probability=\"0.1\"/>"
+      "  </switch>"
+      "</process>";
+  Workflow w = WSFLOW_UNWRAP(WorkflowFromProcessString(xml));
+  WSFLOW_EXPECT_OK(ValidateAll(w));
+  // Direct split -> join edge exists.
+  OperationId split, join;
+  for (const Operation& op : w.operations()) {
+    if (op.name() == "s") split = op.id();
+    if (op.name() == "s__join") join = op.id();
+  }
+  TransitionId direct = WSFLOW_UNWRAP(w.FindTransition(split, join));
+  EXPECT_DOUBLE_EQ(w.transition(direct).branch_weight, 0.1);
+  EXPECT_DOUBLE_EQ(w.transition(direct).message_bits, 500.0);
+}
+
+TEST(ProcessImportTest, PickMakesOrBlock) {
+  const char* xml =
+      "<process name=\"p\">"
+      "  <pick name=\"race\" cycles=\"0\">"
+      "    <branch><invoke name=\"sms\" cycles=\"1e6\"/></branch>"
+      "    <branch><invoke name=\"mail\" cycles=\"2e6\"/></branch>"
+      "  </pick>"
+      "</process>";
+  Workflow w = WSFLOW_UNWRAP(WorkflowFromProcessString(xml));
+  EXPECT_EQ(w.operation(OperationId(0)).type(), OperationType::kOrSplit);
+}
+
+TEST(ProcessImportTest, NestedBlocksValidate) {
+  const char* xml =
+      "<process name=\"p\" default_bits=\"100\">"
+      "  <invoke name=\"start\" cycles=\"1e6\"/>"
+      "  <flow name=\"outer\" cycles=\"1e6\">"
+      "    <switch name=\"inner\" cycles=\"1e6\">"
+      "      <case probability=\"0.5\"><invoke name=\"x\" cycles=\"1e6\"/>"
+      "      </case>"
+      "      <case probability=\"0.5\"><invoke name=\"y\" cycles=\"1e6\"/>"
+      "      </case>"
+      "    </switch>"
+      "    <invoke name=\"z\" cycles=\"1e6\"/>"
+      "  </flow>"
+      "  <invoke name=\"end\" cycles=\"1e6\"/>"
+      "</process>";
+  Workflow w = WSFLOW_UNWRAP(WorkflowFromProcessString(xml));
+  WSFLOW_EXPECT_OK(ValidateAll(w));
+  WorkflowMetrics metrics = WSFLOW_UNWRAP(ComputeWorkflowMetrics(w));
+  EXPECT_EQ(metrics.max_nesting, 2u);
+  // start, outer, inner, x, y, inner__join, z, outer__join, end.
+  EXPECT_EQ(metrics.num_operations, 9u);
+}
+
+TEST(ProcessImportTest, ErrorsAreDiagnosed) {
+  EXPECT_TRUE(
+      WorkflowFromProcessString("<flow name=\"x\" cycles=\"1\"/>")
+          .status()
+          .IsParseError());  // wrong root
+  EXPECT_TRUE(WorkflowFromProcessString(
+                  "<process name=\"p\"><frobnicate/></process>")
+                  .status()
+                  .IsParseError());  // unknown element
+  EXPECT_TRUE(WorkflowFromProcessString(
+                  "<process name=\"p\">"
+                  "<invoke name=\"a\"/>"
+                  "</process>")
+                  .status()
+                  .IsNotFound());  // missing cycles attribute
+  EXPECT_TRUE(WorkflowFromProcessString(
+                  "<process name=\"p\">"
+                  "<flow name=\"f\" cycles=\"1\"/>"
+                  "</process>")
+                  .status()
+                  .IsParseError());  // block without branches
+  EXPECT_TRUE(WorkflowFromProcessString(
+                  "<process name=\"p\">"
+                  "<switch name=\"s\" cycles=\"1\">"
+                  "<invoke name=\"a\" cycles=\"1\"/>"
+                  "</switch>"
+                  "</process>")
+                  .status()
+                  .IsParseError());  // switch child must be <case>
+}
+
+TEST(ProcessImportTest, SingleBranchFlowRejectedByBuilder) {
+  const char* xml =
+      "<process name=\"p\">"
+      "  <flow name=\"f\" cycles=\"1\">"
+      "    <invoke name=\"only\" cycles=\"1\"/>"
+      "  </flow>"
+      "</process>";
+  Result<Workflow> w = WorkflowFromProcessString(xml);
+  ASSERT_FALSE(w.ok());
+  EXPECT_TRUE(w.status().IsFailedPrecondition());
+}
+
+TEST(ProcessImportTest, FileLoading) {
+  std::string path = ::testing::TempDir() + "/wsflow_process.xml";
+  {
+    std::ofstream out(path);
+    out << "<process name=\"filed\">"
+           "<invoke name=\"a\" cycles=\"1e6\"/>"
+           "<invoke name=\"b\" cycles=\"1e6\"/>"
+           "</process>";
+  }
+  Workflow w = WSFLOW_UNWRAP(LoadProcessWorkflow(path));
+  EXPECT_EQ(w.name(), "filed");
+  EXPECT_EQ(w.num_operations(), 2u);
+  std::remove(path.c_str());
+  EXPECT_TRUE(LoadProcessWorkflow(path).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,203 @@
+#include "src/workflow/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workflow/validate.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+TEST(BuilderTest, LinearSequence) {
+  WorkflowBuilder b("seq");
+  b.Op("a", 1.0).Op("b", 2.0, 10.0).Op("c", 3.0, 20.0);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  EXPECT_EQ(w.num_operations(), 3u);
+  EXPECT_EQ(w.num_transitions(), 2u);
+  EXPECT_TRUE(w.IsLine());
+  EXPECT_EQ(w.transition(TransitionId(0)).message_bits, 10.0);
+}
+
+TEST(BuilderTest, SingleOperation) {
+  WorkflowBuilder b("one");
+  b.Op("only", 5.0);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  EXPECT_EQ(w.num_operations(), 1u);
+  EXPECT_TRUE(w.IsLine());
+}
+
+TEST(BuilderTest, AndBlock) {
+  WorkflowBuilder b("and");
+  b.Op("start", 1.0);
+  b.Split(OperationType::kAndSplit, "split", 1.0, 5.0);
+  b.Branch().Op("left", 1.0, 5.0);
+  b.Branch().Op("right", 1.0, 5.0);
+  b.Join("join", 1.0, 5.0);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  EXPECT_EQ(w.num_operations(), 5u);
+  EXPECT_EQ(w.num_transitions(), 5u);
+  WSFLOW_EXPECT_OK(ValidateAll(w));
+
+  OperationId split = w.Sources().size() == 1
+                          ? w.operation(OperationId(1)).id()
+                          : OperationId();
+  EXPECT_EQ(w.operation(split).type(), OperationType::kAndSplit);
+  EXPECT_EQ(w.out_degree(split), 2u);
+}
+
+TEST(BuilderTest, XorWeightsOnEntryEdges) {
+  WorkflowBuilder b("xor");
+  b.Split(OperationType::kXorSplit, "split", 1.0);
+  b.Branch(0.7).Op("hot", 1.0, 5.0);
+  b.Branch(0.3).Op("cold", 1.0, 5.0);
+  b.Join("join", 1.0, 5.0);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  OperationId split(0);
+  const auto& outs = w.out_edges(split);
+  ASSERT_EQ(outs.size(), 2u);
+  EXPECT_DOUBLE_EQ(w.transition(outs[0]).branch_weight, 0.7);
+  EXPECT_DOUBLE_EQ(w.transition(outs[1]).branch_weight, 0.3);
+}
+
+TEST(BuilderTest, EmptyBranchWiresSplitToJoin) {
+  WorkflowBuilder b("empty-branch");
+  b.Split(OperationType::kXorSplit, "split", 1.0);
+  b.Branch(0.9).Op("work", 1.0, 5.0);
+  b.Branch(0.1);  // nothing: skip path
+  b.Join("join", 1.0, 5.0);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  OperationId split(0);
+  OperationId join = WSFLOW_UNWRAP(b.Id("join"));
+  (void)join;
+  // There must be a direct split -> join transition.
+  bool direct = false;
+  for (TransitionId t : w.out_edges(split)) {
+    if (w.operation(w.transition(t).to).type() == OperationType::kXorJoin) {
+      direct = true;
+      EXPECT_DOUBLE_EQ(w.transition(t).branch_weight, 0.1);
+    }
+  }
+  EXPECT_TRUE(direct);
+  WSFLOW_EXPECT_OK(ValidateAll(w));
+}
+
+TEST(BuilderTest, NestedBlocks) {
+  WorkflowBuilder b("nested");
+  b.Op("start", 1.0);
+  b.Split(OperationType::kAndSplit, "outer", 1.0, 5.0);
+  b.Branch();
+  b.Split(OperationType::kXorSplit, "inner", 1.0, 5.0);
+  b.Branch(0.5).Op("x", 1.0, 5.0);
+  b.Branch(0.5).Op("y", 1.0, 5.0);
+  b.Join("inner_j", 1.0, 5.0);
+  b.Branch().Op("z", 1.0, 5.0);
+  b.Join("outer_j", 1.0, 5.0);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  EXPECT_EQ(w.num_operations(), 8u);
+  WSFLOW_EXPECT_OK(ValidateAll(w));
+}
+
+TEST(BuilderTest, ThreeWayBranch) {
+  WorkflowBuilder b("three");
+  b.Split(OperationType::kOrSplit, "split", 1.0);
+  b.Branch().Op("a", 1.0, 5.0);
+  b.Branch().Op("bb", 1.0, 5.0);
+  b.Branch().Op("ccc", 1.0, 5.0);
+  b.Join("join", 1.0, 5.0);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  EXPECT_EQ(w.out_degree(OperationId(0)), 3u);
+  EXPECT_EQ(w.in_degree(WSFLOW_UNWRAP(b.Id("join"))), 3u);
+}
+
+TEST(BuilderTest, IdLookup) {
+  WorkflowBuilder b("lookup");
+  b.Op("first", 1.0).Op("second", 1.0, 1.0);
+  EXPECT_EQ(WSFLOW_UNWRAP(b.Id("first")).value, 0u);
+  EXPECT_EQ(WSFLOW_UNWRAP(b.Id("second")).value, 1u);
+  EXPECT_TRUE(b.Id("third").status().IsNotFound());
+}
+
+TEST(BuilderTest, DuplicateNameRejected) {
+  WorkflowBuilder b("dup");
+  b.Op("x", 1.0).Op("x", 1.0, 1.0);
+  EXPECT_TRUE(b.Build().status().IsAlreadyExists());
+}
+
+TEST(BuilderTest, UnclosedSplitRejected) {
+  WorkflowBuilder b("open");
+  b.Split(OperationType::kAndSplit, "split", 1.0);
+  b.Branch().Op("a", 1.0);
+  EXPECT_TRUE(b.Build().status().IsFailedPrecondition());
+}
+
+TEST(BuilderTest, JoinWithoutSplitRejected) {
+  WorkflowBuilder b("noj");
+  b.Op("a", 1.0);
+  b.Join("j", 1.0);
+  EXPECT_TRUE(b.Build().status().IsFailedPrecondition());
+}
+
+TEST(BuilderTest, BranchWithoutSplitRejected) {
+  WorkflowBuilder b("nob");
+  b.Branch();
+  EXPECT_TRUE(b.Build().status().IsFailedPrecondition());
+}
+
+TEST(BuilderTest, ElementAfterSplitWithoutBranchRejected) {
+  WorkflowBuilder b("nobranch");
+  b.Split(OperationType::kAndSplit, "split", 1.0);
+  b.Op("a", 1.0);
+  EXPECT_TRUE(b.Build().status().IsFailedPrecondition());
+}
+
+TEST(BuilderTest, SingleBranchBlockRejected) {
+  WorkflowBuilder b("single");
+  b.Split(OperationType::kAndSplit, "split", 1.0);
+  b.Branch().Op("a", 1.0, 1.0);
+  b.Join("j", 1.0, 1.0);
+  EXPECT_TRUE(b.Build().status().IsFailedPrecondition());
+}
+
+TEST(BuilderTest, TwoEmptyBranchesRejected) {
+  // Two empty branches would need two identical split->join messages,
+  // which the one-message-per-pair rule forbids.
+  WorkflowBuilder b("twoempty");
+  b.Split(OperationType::kXorSplit, "split", 1.0);
+  b.Branch(0.5);
+  b.Branch(0.5);
+  b.Join("j", 1.0, 1.0);
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(BuilderTest, NonSplitTypeRejected) {
+  WorkflowBuilder b("badtype");
+  b.Split(OperationType::kAndJoin, "notasplit", 1.0);
+  EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+}
+
+TEST(BuilderTest, NegativeWeightRejected) {
+  WorkflowBuilder b("negw");
+  b.Split(OperationType::kXorSplit, "split", 1.0);
+  b.Branch(-0.5).Op("a", 1.0, 1.0);
+  b.Branch(0.5).Op("b", 1.0, 1.0);
+  b.Join("j", 1.0, 1.0);
+  EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+}
+
+TEST(BuilderTest, ErrorIsSticky) {
+  WorkflowBuilder b("sticky");
+  b.Join("j", 1.0);          // error
+  b.Op("a", 1.0);            // ignored
+  Result<Workflow> w = b.Build();
+  ASSERT_FALSE(w.ok());
+  EXPECT_TRUE(w.status().IsFailedPrecondition());
+}
+
+TEST(BuilderTest, HelperGraphIsWellFormed) {
+  Workflow w = testing::AllDecisionGraph();
+  WSFLOW_EXPECT_OK(ValidateAll(w));
+  EXPECT_EQ(w.num_operations(), 14u);
+}
+
+}  // namespace
+}  // namespace wsflow

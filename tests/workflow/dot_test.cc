@@ -1,0 +1,92 @@
+#include "src/workflow/dot.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+TEST(DotTest, WorkflowContainsAllNodesAndEdges) {
+  Workflow w = testing::SimpleLine(3, 10e6, 8000);
+  std::string dot = WorkflowToDot(w);
+  EXPECT_EQ(dot.find("digraph"), 0u);
+  EXPECT_NE(dot.find("op0"), std::string::npos);
+  EXPECT_NE(dot.find("op2"), std::string::npos);
+  EXPECT_NE(dot.find("op0 -> op1"), std::string::npos);
+  EXPECT_NE(dot.find("op1 -> op2"), std::string::npos);
+  EXPECT_NE(dot.find("8 Kbit"), std::string::npos);
+}
+
+TEST(DotTest, DecisionNodesAreDiamonds) {
+  Workflow w = testing::AllDecisionGraph();
+  std::string dot = WorkflowToDot(w);
+  EXPECT_NE(dot.find("shape=diamond"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("(xor-split)"), std::string::npos);
+}
+
+TEST(DotTest, XorEdgesCarryWeights) {
+  Workflow w = testing::AllDecisionGraph();
+  std::string dot = WorkflowToDot(w);
+  EXPECT_NE(dot.find("w=0.7"), std::string::npos);
+  EXPECT_NE(dot.find("w=0.3"), std::string::npos);
+}
+
+TEST(DotTest, NamesAreEscaped) {
+  Workflow w("has \"quotes\"");
+  w.AddOperation("op \"x\"", OperationType::kOperational, 1.0);
+  std::string dot = WorkflowToDot(w);
+  EXPECT_NE(dot.find("\\\"x\\\""), std::string::npos);
+}
+
+TEST(DotTest, DeploymentColorsByServer) {
+  Workflow w = testing::SimpleLine(4);
+  Network n = testing::SimpleBus(2);
+  Mapping m = testing::RoundRobin(4, 2);
+  std::string dot = DeploymentToDot(w, n, m);
+  EXPECT_NE(dot.find("style=filled"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_legend"), std::string::npos);
+  EXPECT_NE(dot.find("s1"), std::string::npos);
+  EXPECT_NE(dot.find("s2"), std::string::npos);
+}
+
+TEST(DotTest, UnassignedOperationsUncolored) {
+  Workflow w = testing::SimpleLine(2);
+  Network n = testing::SimpleBus(2);
+  Mapping m(2);
+  m.Assign(OperationId(0), ServerId(0));
+  std::string dot = DeploymentToDot(w, n, m);
+  // The assigned node is filled, the unassigned one is not. Search for the
+  // node-definition lines (ids "op0"/"op1"), not the labels, which happen
+  // to also read "op1"/"op2".
+  size_t first = dot.find("\n  op0 ");
+  size_t second = dot.find("\n  op1 ");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  std::string op0_line = dot.substr(first, dot.find('\n', first + 1) - first);
+  std::string op1_line =
+      dot.substr(second, dot.find('\n', second + 1) - second);
+  EXPECT_NE(op0_line.find("style=filled"), std::string::npos);
+  EXPECT_EQ(op1_line.find("style=filled"), std::string::npos);
+}
+
+TEST(DotTest, BusNetworkHasSharedNode) {
+  Network n = testing::SimpleBus(3, 1e9, 1e8);
+  std::string dot = NetworkToDot(n);
+  EXPECT_EQ(dot.find("graph"), 0u);
+  EXPECT_NE(dot.find("bus"), std::string::npos);
+  EXPECT_NE(dot.find("100 Mbps"), std::string::npos);
+  EXPECT_NE(dot.find("s0 -- bus"), std::string::npos);
+}
+
+TEST(DotTest, LineNetworkHasPointToPointEdges) {
+  Network n = MakeLineNetwork({1e9, 2e9}, {1e7}).value();
+  std::string dot = NetworkToDot(n);
+  EXPECT_NE(dot.find("s0 -- s1"), std::string::npos);
+  EXPECT_NE(dot.find("10 Mbps"), std::string::npos);
+  EXPECT_NE(dot.find("2 GHz"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsflow

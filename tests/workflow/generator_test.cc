@@ -1,0 +1,226 @@
+#include "src/workflow/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workflow/validate.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+Sampler Fixed(double v) { return ConstantSampler(v); }
+
+LineWorkflowParams LineParams(size_t ops) {
+  LineWorkflowParams p;
+  p.num_operations = ops;
+  p.cycles = Fixed(10e6);
+  p.message_bits = Fixed(8000);
+  return p;
+}
+
+RandomGraphParams GraphParams(GraphShape shape, size_t ops) {
+  RandomGraphParams p = ParamsForShape(shape, ops);
+  p.cycles = Fixed(10e6);
+  p.message_bits = Fixed(8000);
+  return p;
+}
+
+TEST(LineGeneratorTest, ProducesRequestedSize) {
+  Rng rng(1);
+  Workflow w = WSFLOW_UNWRAP(GenerateLineWorkflow(LineParams(19), &rng));
+  EXPECT_EQ(w.num_operations(), 19u);
+  EXPECT_EQ(w.num_transitions(), 18u);
+  EXPECT_TRUE(w.IsLine());
+}
+
+TEST(LineGeneratorTest, UsesSamplers) {
+  Rng rng(1);
+  LineWorkflowParams p = LineParams(5);
+  p.cycles = [](Rng*) { return 42.0; };
+  p.message_bits = [](Rng*) { return 7.0; };
+  Workflow w = WSFLOW_UNWRAP(GenerateLineWorkflow(p, &rng));
+  for (const Operation& op : w.operations()) EXPECT_EQ(op.cycles(), 42.0);
+  for (const Transition& t : w.transitions()) {
+    EXPECT_EQ(t.message_bits, 7.0);
+  }
+}
+
+TEST(LineGeneratorTest, ZeroOperationsRejected) {
+  Rng rng(1);
+  EXPECT_TRUE(GenerateLineWorkflow(LineParams(0), &rng)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(LineGeneratorTest, MissingSamplerRejected) {
+  Rng rng(1);
+  LineWorkflowParams p = LineParams(3);
+  p.cycles = nullptr;
+  EXPECT_TRUE(
+      GenerateLineWorkflow(p, &rng).status().IsInvalidArgument());
+}
+
+TEST(ParamsForShapeTest, PaperFractions) {
+  EXPECT_DOUBLE_EQ(ParamsForShape(GraphShape::kBushy, 19).decision_fraction,
+                   0.50);
+  EXPECT_DOUBLE_EQ(ParamsForShape(GraphShape::kLengthy, 19).decision_fraction,
+                   0.16);
+  EXPECT_DOUBLE_EQ(ParamsForShape(GraphShape::kHybrid, 19).decision_fraction,
+                   0.35);
+}
+
+TEST(GraphShapeTest, Names) {
+  EXPECT_EQ(GraphShapeToString(GraphShape::kBushy), "bushy");
+  EXPECT_EQ(GraphShapeToString(GraphShape::kLengthy), "lengthy");
+  EXPECT_EQ(GraphShapeToString(GraphShape::kHybrid), "hybrid");
+}
+
+class GraphGeneratorShapeTest
+    : public ::testing::TestWithParam<std::tuple<GraphShape, size_t>> {};
+
+TEST_P(GraphGeneratorShapeTest, GeneratesWellFormedExactSize) {
+  auto [shape, ops] = GetParam();
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    Result<Workflow> w =
+        GenerateRandomGraphWorkflow(GraphParams(shape, ops), &rng);
+    ASSERT_TRUE(w.ok()) << w.status().ToString() << " seed=" << seed;
+    EXPECT_EQ(w->num_operations(), ops) << "seed=" << seed;
+    WSFLOW_EXPECT_OK(ValidateAll(*w));
+  }
+}
+
+TEST_P(GraphGeneratorShapeTest, DecisionFractionMatches) {
+  auto [shape, ops] = GetParam();
+  double fraction = ParamsForShape(shape, ops).decision_fraction;
+  size_t expected_decisions =
+      2 * static_cast<size_t>(fraction * static_cast<double>(ops) / 2.0);
+  Rng rng(7);
+  Workflow w =
+      WSFLOW_UNWRAP(GenerateRandomGraphWorkflow(GraphParams(shape, ops), &rng));
+  EXPECT_EQ(w.NumDecisionNodes(), expected_decisions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndSizes, GraphGeneratorShapeTest,
+    ::testing::Combine(::testing::Values(GraphShape::kBushy,
+                                         GraphShape::kLengthy,
+                                         GraphShape::kHybrid),
+                       ::testing::Values<size_t>(7, 13, 19, 31, 53)),
+    [](const ::testing::TestParamInfo<std::tuple<GraphShape, size_t>>& info) {
+      return std::string(GraphShapeToString(std::get<0>(info.param))) + "_" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(GraphGeneratorTest, DeterministicGivenSeed) {
+  Rng rng1(99);
+  Rng rng2(99);
+  Workflow a = WSFLOW_UNWRAP(
+      GenerateRandomGraphWorkflow(GraphParams(GraphShape::kHybrid, 19), &rng1));
+  Workflow b = WSFLOW_UNWRAP(
+      GenerateRandomGraphWorkflow(GraphParams(GraphShape::kHybrid, 19), &rng2));
+  ASSERT_EQ(a.num_operations(), b.num_operations());
+  ASSERT_EQ(a.num_transitions(), b.num_transitions());
+  for (size_t i = 0; i < a.num_operations(); ++i) {
+    OperationId id(static_cast<uint32_t>(i));
+    EXPECT_EQ(a.operation(id).type(), b.operation(id).type());
+    EXPECT_EQ(a.operation(id).cycles(), b.operation(id).cycles());
+  }
+  for (size_t i = 0; i < a.num_transitions(); ++i) {
+    TransitionId id(static_cast<uint32_t>(i));
+    EXPECT_EQ(a.transition(id).from, b.transition(id).from);
+    EXPECT_EQ(a.transition(id).to, b.transition(id).to);
+  }
+}
+
+TEST(GraphGeneratorTest, DifferentSeedsProduceDifferentGraphs) {
+  Rng rng1(1);
+  Rng rng2(2);
+  Workflow a = WSFLOW_UNWRAP(
+      GenerateRandomGraphWorkflow(GraphParams(GraphShape::kBushy, 19), &rng1));
+  Workflow b = WSFLOW_UNWRAP(
+      GenerateRandomGraphWorkflow(GraphParams(GraphShape::kBushy, 19), &rng2));
+  bool differs = a.num_transitions() != b.num_transitions();
+  if (!differs) {
+    for (size_t i = 0; i < a.num_transitions(); ++i) {
+      TransitionId id(static_cast<uint32_t>(i));
+      if (a.transition(id).from != b.transition(id).from ||
+          a.transition(id).to != b.transition(id).to) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GraphGeneratorTest, ZeroDecisionFractionIsALine) {
+  RandomGraphParams p = GraphParams(GraphShape::kHybrid, 10);
+  p.decision_fraction = 0.0;
+  Rng rng(3);
+  Workflow w = WSFLOW_UNWRAP(GenerateRandomGraphWorkflow(p, &rng));
+  EXPECT_TRUE(w.IsLine());
+  EXPECT_EQ(w.NumDecisionNodes(), 0u);
+}
+
+TEST(GraphGeneratorTest, DecisionCyclesSamplerUsed) {
+  RandomGraphParams p = GraphParams(GraphShape::kBushy, 15);
+  p.cycles = Fixed(100.0);
+  p.decision_cycles = Fixed(7.0);
+  Rng rng(5);
+  Workflow w = WSFLOW_UNWRAP(GenerateRandomGraphWorkflow(p, &rng));
+  for (const Operation& op : w.operations()) {
+    if (op.is_decision()) {
+      EXPECT_EQ(op.cycles(), 7.0) << op.name();
+    } else {
+      EXPECT_EQ(op.cycles(), 100.0) << op.name();
+    }
+  }
+}
+
+TEST(GraphGeneratorTest, XorWeightsPositive) {
+  RandomGraphParams p = GraphParams(GraphShape::kBushy, 19);
+  p.and_weight = 0;
+  p.or_weight = 0;
+  p.xor_weight = 1;  // all blocks XOR
+  Rng rng(11);
+  Workflow w = WSFLOW_UNWRAP(GenerateRandomGraphWorkflow(p, &rng));
+  for (const Operation& op : w.operations()) {
+    if (op.type() == OperationType::kXorSplit) {
+      for (TransitionId t : w.out_edges(op.id())) {
+        EXPECT_GT(w.transition(t).branch_weight, 0.0);
+      }
+    }
+    // With and/or weights zero, no AND or OR splits may appear.
+    EXPECT_NE(op.type(), OperationType::kAndSplit);
+    EXPECT_NE(op.type(), OperationType::kOrSplit);
+  }
+}
+
+TEST(GraphGeneratorTest, InvalidParamsRejected) {
+  Rng rng(1);
+  RandomGraphParams p = GraphParams(GraphShape::kHybrid, 0);
+  EXPECT_TRUE(
+      GenerateRandomGraphWorkflow(p, &rng).status().IsInvalidArgument());
+
+  p = GraphParams(GraphShape::kHybrid, 10);
+  p.decision_fraction = 1.5;
+  EXPECT_TRUE(
+      GenerateRandomGraphWorkflow(p, &rng).status().IsInvalidArgument());
+
+  p = GraphParams(GraphShape::kHybrid, 10);
+  p.max_branches = 1;
+  EXPECT_TRUE(
+      GenerateRandomGraphWorkflow(p, &rng).status().IsInvalidArgument());
+}
+
+TEST(GraphGeneratorTest, AllDecisionFractionInfeasible) {
+  RandomGraphParams p = GraphParams(GraphShape::kHybrid, 4);
+  p.decision_fraction = 1.0;  // 2 blocks, 0 operational nodes
+  Rng rng(1);
+  EXPECT_TRUE(
+      GenerateRandomGraphWorkflow(p, &rng).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,111 @@
+#include "src/workflow/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "src/exp/config.h"
+#include "src/workflow/builder.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+TEST(MetricsTest, LineWorkflow) {
+  Workflow w = testing::SimpleLine(5, 10e6, 8000);
+  WorkflowMetrics m = WSFLOW_UNWRAP(ComputeWorkflowMetrics(w));
+  EXPECT_EQ(m.num_operations, 5u);
+  EXPECT_EQ(m.num_transitions, 4u);
+  EXPECT_EQ(m.num_decision_nodes, 0u);
+  EXPECT_DOUBLE_EQ(m.decision_fraction, 0.0);
+  EXPECT_EQ(m.depth, 5u);
+  EXPECT_EQ(m.max_fan_out, 0u);
+  EXPECT_EQ(m.max_nesting, 0u);
+  EXPECT_DOUBLE_EQ(m.expected_executed_operations, 5.0);
+  EXPECT_DOUBLE_EQ(m.total_cycles, 50e6);
+  EXPECT_DOUBLE_EQ(m.expected_cycles, 50e6);
+  EXPECT_DOUBLE_EQ(m.total_message_bits, 32000.0);
+  EXPECT_DOUBLE_EQ(m.expected_message_bits, 32000.0);
+}
+
+TEST(MetricsTest, AllDecisionGraph) {
+  Workflow w = testing::AllDecisionGraph(10e6, 8000);
+  WorkflowMetrics m = WSFLOW_UNWRAP(ComputeWorkflowMetrics(w));
+  EXPECT_EQ(m.num_operations, 14u);
+  EXPECT_EQ(m.num_decision_nodes, 6u);
+  EXPECT_NEAR(m.decision_fraction, 6.0 / 14.0, 1e-12);
+  // Longest path: a, AND(split,b,join), XOR(split,d,join), OR(split,f,join),
+  // h = 1 + 3 + 3 + 3 + 1 = 11.
+  EXPECT_EQ(m.depth, 11u);
+  EXPECT_EQ(m.max_fan_out, 2u);
+  EXPECT_EQ(m.max_nesting, 1u);
+  // 12 unconditional ops + XOR arms at 0.7/0.3.
+  EXPECT_NEAR(m.expected_executed_operations, 13.0, 1e-12);
+  EXPECT_NEAR(m.expected_cycles, 13.0 * 10e6, 1e-3);
+  EXPECT_LT(m.expected_message_bits, m.total_message_bits);
+}
+
+TEST(MetricsTest, NestedBlocksCountNesting) {
+  WorkflowBuilder b("nested");
+  b.Split(OperationType::kAndSplit, "outer", 1.0);
+  b.Branch();
+  b.Split(OperationType::kXorSplit, "inner", 1.0, 1.0);
+  b.Branch(0.5).Op("x", 1.0, 1.0);
+  b.Branch(0.5).Op("y", 1.0, 1.0);
+  b.Join("inner_j", 1.0, 1.0);
+  b.Branch().Op("z", 1.0, 1.0);
+  b.Join("outer_j", 1.0, 1.0);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  WorkflowMetrics m = WSFLOW_UNWRAP(ComputeWorkflowMetrics(w));
+  EXPECT_EQ(m.max_nesting, 2u);
+  // Longest path: outer split, inner split, x, inner join, outer join = 5.
+  EXPECT_EQ(m.depth, 5u);
+}
+
+TEST(MetricsTest, FanOutTracksWidestSplit) {
+  WorkflowBuilder b("wide");
+  b.Split(OperationType::kOrSplit, "s", 1.0);
+  b.Branch().Op("a", 1.0, 1.0);
+  b.Branch().Op("bb", 1.0, 1.0);
+  b.Branch().Op("c", 1.0, 1.0);
+  b.Branch().Op("d", 1.0, 1.0);
+  b.Join("j", 1.0, 1.0);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  WorkflowMetrics m = WSFLOW_UNWRAP(ComputeWorkflowMetrics(w));
+  EXPECT_EQ(m.max_fan_out, 4u);
+  EXPECT_EQ(m.depth, 3u);  // split, one op, join
+}
+
+TEST(MetricsTest, BushyShallowerThanLengthy) {
+  // The §4.2 taxonomy in numbers: for equal operation counts, bushy graphs
+  // are shallower than lengthy ones (averaged over seeds).
+  double bushy_depth = 0, lengthy_depth = 0;
+  const int kTrials = 10;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    ExperimentConfig bushy = MakeClassCConfig(WorkloadKind::kBushyGraph);
+    ExperimentConfig lengthy = MakeClassCConfig(WorkloadKind::kLengthyGraph);
+    TrialInstance tb = WSFLOW_UNWRAP(DrawTrial(bushy, trial));
+    TrialInstance tl = WSFLOW_UNWRAP(DrawTrial(lengthy, trial));
+    bushy_depth += static_cast<double>(
+        WSFLOW_UNWRAP(ComputeWorkflowMetrics(tb.workflow)).depth);
+    lengthy_depth += static_cast<double>(
+        WSFLOW_UNWRAP(ComputeWorkflowMetrics(tl.workflow)).depth);
+  }
+  EXPECT_LT(bushy_depth, lengthy_depth);
+}
+
+TEST(MetricsTest, MalformedWorkflowRejected) {
+  Workflow w;
+  w.AddOperation("a", OperationType::kOperational, 1.0);
+  w.AddOperation("stray", OperationType::kOperational, 1.0);
+  EXPECT_FALSE(ComputeWorkflowMetrics(w).ok());
+}
+
+TEST(MetricsTest, ToStringMentionsKeyFields) {
+  Workflow w = testing::SimpleLine(3);
+  WorkflowMetrics m = WSFLOW_UNWRAP(ComputeWorkflowMetrics(w));
+  std::string s = m.ToString();
+  EXPECT_NE(s.find("ops=3"), std::string::npos);
+  EXPECT_NE(s.find("depth=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,114 @@
+#include "src/workflow/operation.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace wsflow {
+namespace {
+
+TEST(OperationIdTest, DefaultIsInvalid) {
+  OperationId id;
+  EXPECT_FALSE(id.valid());
+}
+
+TEST(OperationIdTest, ExplicitIsValid) {
+  OperationId id(3);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value, 3u);
+}
+
+TEST(OperationIdTest, Comparisons) {
+  EXPECT_EQ(OperationId(1), OperationId(1));
+  EXPECT_NE(OperationId(1), OperationId(2));
+  EXPECT_LT(OperationId(1), OperationId(2));
+}
+
+TEST(OperationIdTest, Hashable) {
+  std::unordered_set<OperationId> set;
+  set.insert(OperationId(1));
+  set.insert(OperationId(1));
+  set.insert(OperationId(2));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(OperationIdTest, StreamFormat) {
+  std::ostringstream os;
+  os << OperationId(5) << " " << OperationId();
+  EXPECT_EQ(os.str(), "O5 O<invalid>");
+}
+
+TEST(OperationTypeTest, DecisionClassification) {
+  EXPECT_FALSE(IsDecision(OperationType::kOperational));
+  for (OperationType t :
+       {OperationType::kAndSplit, OperationType::kAndJoin,
+        OperationType::kOrSplit, OperationType::kOrJoin,
+        OperationType::kXorSplit, OperationType::kXorJoin}) {
+    EXPECT_TRUE(IsDecision(t)) << OperationTypeToString(t);
+  }
+}
+
+TEST(OperationTypeTest, SplitJoinClassification) {
+  EXPECT_TRUE(IsSplit(OperationType::kAndSplit));
+  EXPECT_TRUE(IsSplit(OperationType::kOrSplit));
+  EXPECT_TRUE(IsSplit(OperationType::kXorSplit));
+  EXPECT_FALSE(IsSplit(OperationType::kAndJoin));
+  EXPECT_FALSE(IsSplit(OperationType::kOperational));
+
+  EXPECT_TRUE(IsJoin(OperationType::kAndJoin));
+  EXPECT_TRUE(IsJoin(OperationType::kOrJoin));
+  EXPECT_TRUE(IsJoin(OperationType::kXorJoin));
+  EXPECT_FALSE(IsJoin(OperationType::kXorSplit));
+  EXPECT_FALSE(IsJoin(OperationType::kOperational));
+}
+
+TEST(OperationTypeTest, ComplementIsInvolution) {
+  for (OperationType t :
+       {OperationType::kOperational, OperationType::kAndSplit,
+        OperationType::kAndJoin, OperationType::kOrSplit,
+        OperationType::kOrJoin, OperationType::kXorSplit,
+        OperationType::kXorJoin}) {
+    EXPECT_EQ(ComplementType(ComplementType(t)), t);
+  }
+}
+
+TEST(OperationTypeTest, ComplementPairsSplitWithJoin) {
+  EXPECT_EQ(ComplementType(OperationType::kAndSplit),
+            OperationType::kAndJoin);
+  EXPECT_EQ(ComplementType(OperationType::kOrSplit), OperationType::kOrJoin);
+  EXPECT_EQ(ComplementType(OperationType::kXorSplit),
+            OperationType::kXorJoin);
+}
+
+TEST(OperationTypeTest, Names) {
+  EXPECT_EQ(OperationTypeToString(OperationType::kOperational),
+            "operational");
+  EXPECT_EQ(OperationTypeToString(OperationType::kXorSplit), "xor-split");
+  EXPECT_EQ(OperationTypeToString(OperationType::kOrJoin), "or-join");
+}
+
+TEST(OperationTest, Accessors) {
+  Operation op(OperationId(2), "book", OperationType::kOperational, 5e6);
+  EXPECT_EQ(op.id(), OperationId(2));
+  EXPECT_EQ(op.name(), "book");
+  EXPECT_EQ(op.type(), OperationType::kOperational);
+  EXPECT_EQ(op.cycles(), 5e6);
+  EXPECT_FALSE(op.is_decision());
+}
+
+TEST(OperationTest, DecisionFlags) {
+  Operation split(OperationId(0), "x", OperationType::kXorSplit, 1e6);
+  EXPECT_TRUE(split.is_decision());
+  EXPECT_TRUE(split.is_split());
+  EXPECT_FALSE(split.is_join());
+}
+
+TEST(OperationTest, SetCycles) {
+  Operation op(OperationId(0), "x", OperationType::kOperational, 1.0);
+  op.set_cycles(2.0);
+  EXPECT_EQ(op.cycles(), 2.0);
+}
+
+}  // namespace
+}  // namespace wsflow

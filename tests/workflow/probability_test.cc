@@ -1,0 +1,149 @@
+#include "src/workflow/probability.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workflow/builder.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+TEST(ProbabilityTest, LineIsAllOnes) {
+  Workflow w = testing::SimpleLine(5);
+  ExecutionProfile p = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  for (double v : p.op_prob) EXPECT_EQ(v, 1.0);
+  for (double v : p.edge_prob) EXPECT_EQ(v, 1.0);
+}
+
+TEST(ProbabilityTest, UnitProfileShape) {
+  Workflow w = testing::AllDecisionGraph();
+  ExecutionProfile p = UnitProfile(w);
+  EXPECT_EQ(p.op_prob.size(), w.num_operations());
+  EXPECT_EQ(p.edge_prob.size(), w.num_transitions());
+  for (double v : p.op_prob) EXPECT_EQ(v, 1.0);
+}
+
+TEST(ProbabilityTest, XorSplitsProbability) {
+  WorkflowBuilder b("xor");
+  b.Op("start", 1.0);
+  b.Split(OperationType::kXorSplit, "s", 1.0, 1.0);
+  b.Branch(0.7).Op("hot", 1.0, 1.0);
+  b.Branch(0.3).Op("cold", 1.0, 1.0);
+  b.Join("j", 1.0, 1.0);
+  b.Op("end", 1.0, 1.0);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  ExecutionProfile p = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+
+  EXPECT_DOUBLE_EQ(p.OperationProb(WSFLOW_UNWRAP(b.Id("start"))), 1.0);
+  EXPECT_DOUBLE_EQ(p.OperationProb(WSFLOW_UNWRAP(b.Id("s"))), 1.0);
+  EXPECT_DOUBLE_EQ(p.OperationProb(WSFLOW_UNWRAP(b.Id("hot"))), 0.7);
+  EXPECT_DOUBLE_EQ(p.OperationProb(WSFLOW_UNWRAP(b.Id("cold"))), 0.3);
+  EXPECT_DOUBLE_EQ(p.OperationProb(WSFLOW_UNWRAP(b.Id("j"))), 1.0);
+  EXPECT_DOUBLE_EQ(p.OperationProb(WSFLOW_UNWRAP(b.Id("end"))), 1.0);
+}
+
+TEST(ProbabilityTest, AndOrBranchesInheritProbability) {
+  Workflow w = testing::AllDecisionGraph();
+  ExecutionProfile p = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  // AND and OR branches are always started; only the XOR arms dip below 1.
+  size_t below_one = 0;
+  for (const Operation& op : w.operations()) {
+    double prob = p.OperationProb(op.id());
+    if (op.name() == "d") EXPECT_DOUBLE_EQ(prob, 0.7);
+    else if (op.name() == "e") EXPECT_DOUBLE_EQ(prob, 0.3);
+    else EXPECT_DOUBLE_EQ(prob, 1.0);
+    if (prob < 1.0) ++below_one;
+  }
+  EXPECT_EQ(below_one, 2u);
+}
+
+TEST(ProbabilityTest, NestedXorMultiplies) {
+  WorkflowBuilder b("nested");
+  b.Split(OperationType::kXorSplit, "outer", 1.0);
+  b.Branch(0.5);
+  b.Split(OperationType::kXorSplit, "inner", 1.0, 1.0);
+  b.Branch(0.4).Op("deep", 1.0, 1.0);
+  b.Branch(0.6).Op("deep2", 1.0, 1.0);
+  b.Join("inner_j", 1.0, 1.0);
+  b.Branch(0.5).Op("flat", 1.0, 1.0);
+  b.Join("outer_j", 1.0, 1.0);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  ExecutionProfile p = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+
+  EXPECT_DOUBLE_EQ(p.OperationProb(WSFLOW_UNWRAP(b.Id("inner"))), 0.5);
+  EXPECT_DOUBLE_EQ(p.OperationProb(WSFLOW_UNWRAP(b.Id("deep"))), 0.2);
+  EXPECT_DOUBLE_EQ(p.OperationProb(WSFLOW_UNWRAP(b.Id("deep2"))), 0.3);
+  EXPECT_DOUBLE_EQ(p.OperationProb(WSFLOW_UNWRAP(b.Id("flat"))), 0.5);
+  EXPECT_DOUBLE_EQ(p.OperationProb(WSFLOW_UNWRAP(b.Id("outer_j"))), 1.0);
+}
+
+TEST(ProbabilityTest, EmptyXorBranchEdgeCarriesBranchProbability) {
+  // The direct split->join message of an empty XOR branch executes only
+  // when that branch is picked, even though both endpoints always execute.
+  WorkflowBuilder b("skip");
+  b.Split(OperationType::kXorSplit, "s", 1.0);
+  b.Branch(0.9).Op("work", 1.0, 1.0);
+  b.Branch(0.1);
+  b.Join("j", 1.0, 1.0);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  ExecutionProfile p = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  TransitionId skip = WSFLOW_UNWRAP(
+      w.FindTransition(WSFLOW_UNWRAP(b.Id("s")), WSFLOW_UNWRAP(b.Id("j"))));
+  EXPECT_DOUBLE_EQ(p.TransitionProb(skip), 0.1);
+}
+
+TEST(ProbabilityTest, BranchEdgesCarryBranchProbability) {
+  WorkflowBuilder b("edges");
+  b.Split(OperationType::kXorSplit, "s", 1.0);
+  b.Branch(0.25).Op("rare", 1.0, 1.0);
+  b.Branch(0.75).Op("common", 1.0, 1.0);
+  b.Join("j", 1.0, 1.0);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  ExecutionProfile p = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+
+  OperationId s = WSFLOW_UNWRAP(b.Id("s"));
+  OperationId rare = WSFLOW_UNWRAP(b.Id("rare"));
+  OperationId j = WSFLOW_UNWRAP(b.Id("j"));
+  TransitionId entry = WSFLOW_UNWRAP(w.FindTransition(s, rare));
+  TransitionId exit = WSFLOW_UNWRAP(w.FindTransition(rare, j));
+  EXPECT_DOUBLE_EQ(p.TransitionProb(entry), 0.25);
+  EXPECT_DOUBLE_EQ(p.TransitionProb(exit), 0.25);
+}
+
+TEST(ProbabilityTest, WeightedHelpers) {
+  WorkflowBuilder b("weights");
+  b.Split(OperationType::kXorSplit, "s", 8.0);
+  b.Branch(0.5).Op("a", 10.0, 100.0);
+  b.Branch(0.5).Op("bb", 20.0, 200.0);
+  b.Join("j", 8.0, 100.0);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  ExecutionProfile p = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+
+  OperationId a = WSFLOW_UNWRAP(b.Id("a"));
+  EXPECT_DOUBLE_EQ(p.WeightedCycles(w, a), 5.0);  // 0.5 * 10
+  TransitionId entry =
+      WSFLOW_UNWRAP(w.FindTransition(WSFLOW_UNWRAP(b.Id("s")), a));
+  EXPECT_DOUBLE_EQ(p.WeightedMessageBits(w, entry), 50.0);  // 0.5 * 100
+}
+
+TEST(ProbabilityTest, ProbabilitiesSumToOneAcrossXorArms) {
+  Workflow w = testing::AllDecisionGraph();
+  ExecutionProfile p = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  // d and e are the two XOR arms: their probabilities sum to the split's.
+  double d = 0, e = 0;
+  for (const Operation& op : w.operations()) {
+    if (op.name() == "d") d = p.OperationProb(op.id());
+    if (op.name() == "e") e = p.OperationProb(op.id());
+  }
+  EXPECT_DOUBLE_EQ(d + e, 1.0);
+}
+
+TEST(ProbabilityTest, MalformedWorkflowFails) {
+  Workflow w;
+  w.AddOperation("a", OperationType::kOperational, 1.0);
+  w.AddOperation("stray", OperationType::kOperational, 1.0);
+  EXPECT_FALSE(ComputeExecutionProfile(w).ok());
+}
+
+}  // namespace
+}  // namespace wsflow

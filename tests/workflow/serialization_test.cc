@@ -1,0 +1,138 @@
+#include "src/workflow/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/workflow/validate.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+bool SameWorkflow(const Workflow& a, const Workflow& b) {
+  if (a.num_operations() != b.num_operations()) return false;
+  if (a.num_transitions() != b.num_transitions()) return false;
+  for (size_t i = 0; i < a.num_operations(); ++i) {
+    OperationId id(static_cast<uint32_t>(i));
+    if (a.operation(id).name() != b.operation(id).name()) return false;
+    if (a.operation(id).type() != b.operation(id).type()) return false;
+    if (a.operation(id).cycles() != b.operation(id).cycles()) return false;
+  }
+  for (size_t i = 0; i < a.num_transitions(); ++i) {
+    TransitionId id(static_cast<uint32_t>(i));
+    if (a.transition(id).from != b.transition(id).from) return false;
+    if (a.transition(id).to != b.transition(id).to) return false;
+    if (a.transition(id).message_bits != b.transition(id).message_bits) {
+      return false;
+    }
+    if (a.transition(id).branch_weight != b.transition(id).branch_weight) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(SerializationTest, LineRoundTrip) {
+  Workflow original = testing::SimpleLine(5, 10e6, 8000);
+  std::string xml = WorkflowToXmlString(original);
+  Workflow loaded = WSFLOW_UNWRAP(WorkflowFromXmlString(xml));
+  EXPECT_TRUE(SameWorkflow(original, loaded));
+  EXPECT_EQ(loaded.name(), original.name());
+}
+
+TEST(SerializationTest, GraphRoundTripPreservesTypesAndWeights) {
+  Workflow original = testing::AllDecisionGraph();
+  Workflow loaded =
+      WSFLOW_UNWRAP(WorkflowFromXmlString(WorkflowToXmlString(original)));
+  EXPECT_TRUE(SameWorkflow(original, loaded));
+  WSFLOW_EXPECT_OK(ValidateAll(loaded));
+}
+
+TEST(SerializationTest, XmlMentionsAllOperations) {
+  Workflow w = testing::SimpleLine(3);
+  std::string xml = WorkflowToXmlString(w);
+  EXPECT_NE(xml.find("op1"), std::string::npos);
+  EXPECT_NE(xml.find("op3"), std::string::npos);
+  EXPECT_NE(xml.find("<workflow"), std::string::npos);
+}
+
+TEST(SerializationTest, WrongRootTagRejected) {
+  EXPECT_TRUE(WorkflowFromXmlString("<network/>").status().IsParseError());
+}
+
+TEST(SerializationTest, NonDenseIdsRejected) {
+  const char* xml =
+      "<workflow name=\"w\">"
+      "<operation id=\"1\" name=\"a\" type=\"operational\" cycles=\"1\"/>"
+      "</workflow>";
+  EXPECT_TRUE(WorkflowFromXmlString(xml).status().IsParseError());
+}
+
+TEST(SerializationTest, UnknownTypeRejected) {
+  const char* xml =
+      "<workflow name=\"w\">"
+      "<operation id=\"0\" name=\"a\" type=\"quantum\" cycles=\"1\"/>"
+      "</workflow>";
+  EXPECT_TRUE(WorkflowFromXmlString(xml).status().IsParseError());
+}
+
+TEST(SerializationTest, NegativeCyclesRejected) {
+  const char* xml =
+      "<workflow name=\"w\">"
+      "<operation id=\"0\" name=\"a\" type=\"operational\" cycles=\"-5\"/>"
+      "</workflow>";
+  EXPECT_TRUE(WorkflowFromXmlString(xml).status().IsParseError());
+}
+
+TEST(SerializationTest, TransitionOutOfRangeRejected) {
+  const char* xml =
+      "<workflow name=\"w\">"
+      "<operation id=\"0\" name=\"a\" type=\"operational\" cycles=\"1\"/>"
+      "<transition from=\"0\" to=\"5\" bits=\"1\"/>"
+      "</workflow>";
+  EXPECT_TRUE(WorkflowFromXmlString(xml).status().IsParseError());
+}
+
+TEST(SerializationTest, MissingWeightDefaultsToOne) {
+  const char* xml =
+      "<workflow name=\"w\">"
+      "<operation id=\"0\" name=\"a\" type=\"operational\" cycles=\"1\"/>"
+      "<operation id=\"1\" name=\"b\" type=\"operational\" cycles=\"1\"/>"
+      "<transition from=\"0\" to=\"1\" bits=\"9\"/>"
+      "</workflow>";
+  Workflow w = WSFLOW_UNWRAP(WorkflowFromXmlString(xml));
+  EXPECT_DOUBLE_EQ(w.transition(TransitionId(0)).branch_weight, 1.0);
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  Workflow original = testing::AllDecisionGraph();
+  std::string path = ::testing::TempDir() + "/wsflow_roundtrip.xml";
+  WSFLOW_ASSERT_OK(SaveWorkflow(original, path));
+  Workflow loaded = WSFLOW_UNWRAP(LoadWorkflow(path));
+  EXPECT_TRUE(SameWorkflow(original, loaded));
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, LoadMissingFileFails) {
+  EXPECT_TRUE(
+      LoadWorkflow("/nonexistent/dir/w.xml").status().IsNotFound());
+}
+
+TEST(SerializationTest, SaveToUnwritablePathFails) {
+  Workflow w = testing::SimpleLine(2);
+  EXPECT_FALSE(SaveWorkflow(w, "/nonexistent/dir/w.xml").ok());
+}
+
+TEST(SerializationTest, SpecialCharactersInNamesSurvive) {
+  Workflow w("name with \"quotes\" & <angles>");
+  w.AddOperation("op <1>", OperationType::kOperational, 1.0);
+  Workflow loaded =
+      WSFLOW_UNWRAP(WorkflowFromXmlString(WorkflowToXmlString(w)));
+  EXPECT_EQ(loaded.name(), "name with \"quotes\" & <angles>");
+  EXPECT_EQ(loaded.operation(OperationId(0)).name(), "op <1>");
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,90 @@
+#include "src/workflow/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workflow/builder.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+TEST(ValidateTest, LineIsWellFormed) {
+  WSFLOW_EXPECT_OK(ValidateWorkflow(testing::SimpleLine(5)));
+}
+
+TEST(ValidateTest, AllDecisionGraphIsWellFormed) {
+  WSFLOW_EXPECT_OK(ValidateAll(testing::AllDecisionGraph()));
+}
+
+TEST(ValidateTest, EmptyRejected) {
+  Workflow w;
+  EXPECT_TRUE(ValidateWorkflow(w).IsFailedPrecondition());
+}
+
+TEST(ValidateTest, TwoSinksRejected) {
+  Workflow w;
+  OperationId a = w.AddOperation("a", OperationType::kOperational, 1.0);
+  OperationId b = w.AddOperation("b", OperationType::kOperational, 1.0);
+  OperationId c = w.AddOperation("c", OperationType::kOperational, 1.0);
+  ASSERT_TRUE(w.AddTransition(a, b, 1.0).ok());
+  ASSERT_TRUE(w.AddTransition(b, c, 1.0).ok());
+  w.AddOperation("stray", OperationType::kOperational, 1.0);
+  // The stray node is both a second source and a second sink.
+  EXPECT_TRUE(ValidateWorkflow(w).IsFailedPrecondition());
+}
+
+TEST(ValidateTest, QuantitiesAcceptZeroCycles) {
+  Workflow w;
+  w.AddOperation("free", OperationType::kOperational, 0.0);
+  WSFLOW_EXPECT_OK(ValidateQuantities(w));
+}
+
+TEST(ValidateTest, ValidateAllComposesBothChecks) {
+  // Structurally fine but an XOR with all-zero weights must fail.
+  Workflow w;
+  OperationId s = w.AddOperation("s", OperationType::kXorSplit, 1.0);
+  OperationId a = w.AddOperation("a", OperationType::kOperational, 1.0);
+  OperationId b = w.AddOperation("b", OperationType::kOperational, 1.0);
+  OperationId j = w.AddOperation("j", OperationType::kXorJoin, 1.0);
+  ASSERT_TRUE(w.AddTransition(s, a, 1.0, 0.0).ok());
+  ASSERT_TRUE(w.AddTransition(s, b, 1.0, 0.0).ok());
+  ASSERT_TRUE(w.AddTransition(a, j, 1.0).ok());
+  ASSERT_TRUE(w.AddTransition(b, j, 1.0).ok());
+  EXPECT_FALSE(ValidateAll(w).ok());
+}
+
+TEST(ValidateTest, XorWithPositiveWeightSumAccepted) {
+  WorkflowBuilder b("ok");
+  b.Split(OperationType::kXorSplit, "s", 1.0);
+  b.Branch(1.0).Op("a", 1.0, 1.0);
+  b.Branch(2.0).Op("bb", 1.0, 1.0);
+  b.Join("j", 1.0, 1.0);
+  Workflow w = WSFLOW_UNWRAP(b.Build());
+  WSFLOW_EXPECT_OK(ValidateAll(w));
+}
+
+TEST(ValidateTest, JoinReachedOutsideBlockRejected) {
+  // A bare join with a single predecessor: unbalanced complement.
+  Workflow w;
+  OperationId a = w.AddOperation("a", OperationType::kOperational, 1.0);
+  OperationId j = w.AddOperation("j", OperationType::kAndJoin, 1.0);
+  ASSERT_TRUE(w.AddTransition(a, j, 1.0).ok());
+  EXPECT_TRUE(ValidateWorkflow(w).IsFailedPrecondition());
+}
+
+TEST(ValidateTest, SplitNeverClosedRejected) {
+  Workflow w;
+  OperationId s = w.AddOperation("s", OperationType::kOrSplit, 1.0);
+  OperationId a = w.AddOperation("a", OperationType::kOperational, 1.0);
+  OperationId b = w.AddOperation("b", OperationType::kOperational, 1.0);
+  OperationId z = w.AddOperation("z", OperationType::kOperational, 1.0);
+  ASSERT_TRUE(w.AddTransition(s, a, 1.0).ok());
+  ASSERT_TRUE(w.AddTransition(s, b, 1.0).ok());
+  ASSERT_TRUE(w.AddTransition(a, z, 1.0).ok());
+  ASSERT_TRUE(w.AddTransition(b, z, 1.0).ok());
+  // z is operational, not /OR: complement missing.
+  EXPECT_TRUE(ValidateWorkflow(w).IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace wsflow

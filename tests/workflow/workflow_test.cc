@@ -1,0 +1,175 @@
+#include "src/workflow/workflow.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+using testing::SimpleLine;
+
+TEST(WorkflowTest, EmptyWorkflow) {
+  Workflow w("empty");
+  EXPECT_EQ(w.name(), "empty");
+  EXPECT_EQ(w.num_operations(), 0u);
+  EXPECT_EQ(w.num_transitions(), 0u);
+  EXPECT_FALSE(w.IsLine());
+}
+
+TEST(WorkflowTest, AddOperationAssignsDenseIds) {
+  Workflow w;
+  OperationId a = w.AddOperation("a", OperationType::kOperational, 1.0);
+  OperationId b = w.AddOperation("b", OperationType::kOperational, 2.0);
+  EXPECT_EQ(a.value, 0u);
+  EXPECT_EQ(b.value, 1u);
+  EXPECT_EQ(w.operation(a).name(), "a");
+  EXPECT_EQ(w.operation(b).cycles(), 2.0);
+}
+
+TEST(WorkflowTest, AddTransitionLinks) {
+  Workflow w;
+  OperationId a = w.AddOperation("a", OperationType::kOperational, 1.0);
+  OperationId b = w.AddOperation("b", OperationType::kOperational, 1.0);
+  TransitionId t = w.AddTransition(a, b, 100.0).value();
+  EXPECT_EQ(w.transition(t).from, a);
+  EXPECT_EQ(w.transition(t).to, b);
+  EXPECT_EQ(w.transition(t).message_bits, 100.0);
+  EXPECT_EQ(w.out_degree(a), 1u);
+  EXPECT_EQ(w.in_degree(b), 1u);
+  EXPECT_EQ(w.in_degree(a), 0u);
+  EXPECT_EQ(w.out_degree(b), 0u);
+}
+
+TEST(WorkflowTest, DuplicateTransitionRejected) {
+  Workflow w;
+  OperationId a = w.AddOperation("a", OperationType::kOperational, 1.0);
+  OperationId b = w.AddOperation("b", OperationType::kOperational, 1.0);
+  ASSERT_TRUE(w.AddTransition(a, b, 1.0).ok());
+  // Paper §2.2: at most one message per operation pair.
+  EXPECT_TRUE(w.AddTransition(a, b, 2.0).status().IsAlreadyExists());
+  // The reverse edge is a different pair.
+  EXPECT_TRUE(w.AddTransition(b, a, 2.0).ok());
+}
+
+TEST(WorkflowTest, SelfTransitionRejected) {
+  Workflow w;
+  OperationId a = w.AddOperation("a", OperationType::kOperational, 1.0);
+  EXPECT_TRUE(w.AddTransition(a, a, 1.0).status().IsInvalidArgument());
+}
+
+TEST(WorkflowTest, TransitionToUnknownOperationRejected) {
+  Workflow w;
+  OperationId a = w.AddOperation("a", OperationType::kOperational, 1.0);
+  EXPECT_TRUE(w.AddTransition(a, OperationId(9), 1.0).status().IsNotFound());
+}
+
+TEST(WorkflowTest, NegativeMessageRejected) {
+  Workflow w;
+  OperationId a = w.AddOperation("a", OperationType::kOperational, 1.0);
+  OperationId b = w.AddOperation("b", OperationType::kOperational, 1.0);
+  EXPECT_TRUE(w.AddTransition(a, b, -1.0).status().IsInvalidArgument());
+  EXPECT_TRUE(w.AddTransition(a, b, 1.0, -0.5).status().IsInvalidArgument());
+}
+
+TEST(WorkflowTest, FindTransition) {
+  Workflow w;
+  OperationId a = w.AddOperation("a", OperationType::kOperational, 1.0);
+  OperationId b = w.AddOperation("b", OperationType::kOperational, 1.0);
+  OperationId c = w.AddOperation("c", OperationType::kOperational, 1.0);
+  TransitionId ab = w.AddTransition(a, b, 1.0).value();
+  EXPECT_EQ(w.FindTransition(a, b).value(), ab);
+  EXPECT_TRUE(w.FindTransition(a, c).status().IsNotFound());
+  EXPECT_TRUE(w.FindTransition(b, a).status().IsNotFound());
+}
+
+TEST(WorkflowTest, SourcesAndSinks) {
+  Workflow w = SimpleLine(4);
+  ASSERT_EQ(w.Sources().size(), 1u);
+  ASSERT_EQ(w.Sinks().size(), 1u);
+  EXPECT_EQ(w.Sources()[0].value, 0u);
+  EXPECT_EQ(w.Sinks()[0].value, 3u);
+}
+
+TEST(WorkflowTest, LineDetection) {
+  EXPECT_TRUE(SimpleLine(1).IsLine());
+  EXPECT_TRUE(SimpleLine(5).IsLine());
+}
+
+TEST(WorkflowTest, LineOrderReturnsPathOrder) {
+  Workflow w = SimpleLine(5);
+  std::vector<OperationId> order = w.LineOrder().value();
+  ASSERT_EQ(order.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(order[i].value, i);
+}
+
+TEST(WorkflowTest, BranchingIsNotLine) {
+  Workflow w;
+  OperationId a = w.AddOperation("a", OperationType::kAndSplit, 1.0);
+  OperationId b = w.AddOperation("b", OperationType::kOperational, 1.0);
+  OperationId c = w.AddOperation("c", OperationType::kOperational, 1.0);
+  ASSERT_TRUE(w.AddTransition(a, b, 1.0).ok());
+  ASSERT_TRUE(w.AddTransition(a, c, 1.0).ok());
+  EXPECT_FALSE(w.IsLine());
+}
+
+TEST(WorkflowTest, DisconnectedIsNotLine) {
+  Workflow w;
+  w.AddOperation("a", OperationType::kOperational, 1.0);
+  w.AddOperation("b", OperationType::kOperational, 1.0);
+  EXPECT_FALSE(w.IsLine());
+}
+
+TEST(WorkflowTest, CycleIsNotLineAndFailsTopo) {
+  Workflow w;
+  OperationId a = w.AddOperation("a", OperationType::kOperational, 1.0);
+  OperationId b = w.AddOperation("b", OperationType::kOperational, 1.0);
+  OperationId c = w.AddOperation("c", OperationType::kOperational, 1.0);
+  ASSERT_TRUE(w.AddTransition(a, b, 1.0).ok());
+  ASSERT_TRUE(w.AddTransition(b, c, 1.0).ok());
+  ASSERT_TRUE(w.AddTransition(c, b, 1.0).ok());
+  EXPECT_FALSE(w.IsLine());
+  EXPECT_TRUE(w.TopologicalOrder().status().IsFailedPrecondition());
+}
+
+TEST(WorkflowTest, TopologicalOrderRespectsEdges) {
+  Workflow w = testing::AllDecisionGraph();
+  std::vector<OperationId> order = w.TopologicalOrder().value();
+  ASSERT_EQ(order.size(), w.num_operations());
+  std::vector<size_t> position(w.num_operations());
+  for (size_t i = 0; i < order.size(); ++i) position[order[i].value] = i;
+  for (const Transition& t : w.transitions()) {
+    EXPECT_LT(position[t.from.value], position[t.to.value]);
+  }
+}
+
+TEST(WorkflowTest, Totals) {
+  Workflow w = SimpleLine(3, 10.0, 100.0);
+  EXPECT_DOUBLE_EQ(w.TotalCycles(), 30.0);
+  EXPECT_DOUBLE_EQ(w.TotalMessageBits(), 200.0);
+}
+
+TEST(WorkflowTest, DecisionNodeCounts) {
+  Workflow w = testing::AllDecisionGraph();
+  EXPECT_EQ(w.NumDecisionNodes(), 6u);  // 3 splits + 3 joins
+  EXPECT_EQ(w.NumOperationalNodes(), w.num_operations() - 6);
+}
+
+TEST(MakeLineWorkflowTest, SizesMustMatch) {
+  EXPECT_TRUE(MakeLineWorkflow("w", {1.0, 2.0}, {})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      MakeLineWorkflow("w", {}, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(MakeLineWorkflow("w", {1.0}, {}).ok());
+}
+
+TEST(MakeLineWorkflowTest, PreservesValues) {
+  Workflow w = MakeLineWorkflow("w", {1.0, 2.0, 3.0}, {10.0, 20.0}).value();
+  EXPECT_EQ(w.operation(OperationId(1)).cycles(), 2.0);
+  EXPECT_EQ(w.transition(TransitionId(1)).message_bits, 20.0);
+  EXPECT_TRUE(w.IsLine());
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,141 @@
+// Robustness sweep for the XML parser and the two workflow loaders:
+// deterministic random corruptions of valid documents must never crash or
+// hang — every input either parses or fails with a clean ParseError-class
+// Status.
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/workflow/bpel_import.h"
+#include "src/workflow/serialization.h"
+#include "src/workflow/xml.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+std::string Corrupt(const std::string& base, Rng* rng, int edits) {
+  std::string out = base;
+  for (int e = 0; e < edits && !out.empty(); ++e) {
+    size_t pos = rng->NextBounded(out.size());
+    switch (rng->NextBounded(4)) {
+      case 0:  // flip to a random printable character
+        out[pos] = static_cast<char>(32 + rng->NextBounded(95));
+        break;
+      case 1:  // delete
+        out.erase(pos, 1);
+        break;
+      case 2:  // duplicate a structural character
+        out.insert(pos, 1, "<>&\"="[rng->NextBounded(5)]);
+        break;
+      case 3: {  // transpose with a neighbour
+        if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+TEST(XmlFuzzTest, CorruptedDocumentsNeverCrashParser) {
+  std::string base = WorkflowToXmlString(testing::AllDecisionGraph());
+  Rng rng(2024);
+  int parsed = 0, rejected = 0;
+  for (int i = 0; i < 500; ++i) {
+    std::string mutated = Corrupt(base, &rng, 1 + static_cast<int>(i % 7));
+    Result<XmlNode> r = ParseXml(mutated);
+    if (r.ok()) {
+      ++parsed;
+    } else {
+      ++rejected;
+      EXPECT_TRUE(r.status().IsParseError()) << r.status().ToString();
+    }
+  }
+  // Structural corruption must overwhelmingly be caught.
+  EXPECT_GT(rejected, 250);
+  EXPECT_EQ(parsed + rejected, 500);
+}
+
+TEST(XmlFuzzTest, CorruptedWorkflowsLoadOrFailCleanly) {
+  std::string base = WorkflowToXmlString(testing::AllDecisionGraph());
+  Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = Corrupt(base, &rng, 1 + static_cast<int>(i % 5));
+    Result<Workflow> r = WorkflowFromXmlString(mutated);
+    if (!r.ok()) {
+      // Any error category is fine (parse, validation, range); the point
+      // is a clean Status instead of a crash.
+      EXPECT_FALSE(r.status().ok());
+    }
+  }
+}
+
+TEST(XmlFuzzTest, CorruptedProcessesLoadOrFailCleanly) {
+  const std::string base =
+      "<process name=\"p\" default_bits=\"100\">"
+      "<invoke name=\"a\" cycles=\"1e6\"/>"
+      "<switch name=\"s\" cycles=\"1e6\">"
+      "<case probability=\"0.5\"><invoke name=\"x\" cycles=\"1e6\"/></case>"
+      "<case probability=\"0.5\"><invoke name=\"y\" cycles=\"1e6\"/></case>"
+      "</switch>"
+      "</process>";
+  Rng rng(99);
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = Corrupt(base, &rng, 1 + static_cast<int>(i % 5));
+    Result<Workflow> r = WorkflowFromProcessString(mutated);
+    if (!r.ok()) {
+      EXPECT_FALSE(r.status().ok());
+    }
+  }
+}
+
+TEST(XmlFuzzTest, PathologicalInputs) {
+  // Hand-picked nasties: each must return, not hang or crash.
+  const char* inputs[] = {
+      "",
+      "   ",
+      "<",
+      "<>",
+      "<a",
+      "<a/",
+      "<a b=/>",
+      "<a b=\">",
+      "<!---->",
+      "<!--",
+      "<?xml",
+      "<?xml?><a/>",
+      "<a>&;</a>",
+      "<a>&#x41;</a>",  // numeric entities are unsupported -> error
+      "<a><a><a><a></a></a></a></a>",
+      "<a xmlns:b=\"urn:x\" b:c=\"1\"/>",
+  };
+  for (const char* input : inputs) {
+    Result<XmlNode> r = ParseXml(input);
+    if (!r.ok()) {
+      EXPECT_TRUE(r.status().IsParseError()) << input;
+    }
+  }
+}
+
+TEST(XmlFuzzTest, DeeplyNestedDocumentParses) {
+  // 2000 levels of nesting: recursion depth must be manageable and the
+  // structure preserved.
+  std::string open, close;
+  const int kDepth = 2000;
+  for (int i = 0; i < kDepth; ++i) {
+    open += "<n>";
+    close += "</n>";
+  }
+  Result<XmlNode> r = ParseXml(open + close);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const XmlNode* node = &*r;
+  int depth = 1;
+  while (!node->children().empty()) {
+    node = &node->children()[0];
+    ++depth;
+  }
+  EXPECT_EQ(depth, kDepth);
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,156 @@
+#include "src/workflow/xml.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+TEST(XmlNodeTest, AttributesSetAndGet) {
+  XmlNode node("op");
+  node.SetAttr("name", std::string("request"));
+  node.SetAttr("cycles", 5e6);
+  node.SetAttr("id", static_cast<int64_t>(3));
+  EXPECT_EQ(node.Attr("name").value(), "request");
+  EXPECT_DOUBLE_EQ(node.DoubleAttr("cycles").value(), 5e6);
+  EXPECT_EQ(node.IntAttr("id").value(), 3);
+  EXPECT_TRUE(node.HasAttr("name"));
+  EXPECT_FALSE(node.HasAttr("nope"));
+  EXPECT_TRUE(node.Attr("nope").status().IsNotFound());
+}
+
+TEST(XmlNodeTest, SetAttrOverwrites) {
+  XmlNode node("x");
+  node.SetAttr("k", std::string("a"));
+  node.SetAttr("k", std::string("b"));
+  EXPECT_EQ(node.Attr("k").value(), "b");
+  EXPECT_EQ(node.attributes().size(), 1u);
+}
+
+TEST(XmlNodeTest, ChildrenNavigation) {
+  XmlNode root("workflow");
+  root.AddChild("operation").SetAttr("name", std::string("a"));
+  root.AddChild("operation").SetAttr("name", std::string("b"));
+  root.AddChild("transition");
+  EXPECT_EQ(root.Children("operation").size(), 2u);
+  EXPECT_EQ(root.Children("transition").size(), 1u);
+  EXPECT_EQ(root.Child("operation").value()->Attr("name").value(), "a");
+  EXPECT_TRUE(root.Child("missing").status().IsNotFound());
+}
+
+TEST(XmlEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(XmlEscape("a<b>&\"'c"), "a&lt;b&gt;&amp;&quot;&apos;c");
+  EXPECT_EQ(XmlEscape("plain"), "plain");
+}
+
+TEST(XmlWriteTest, SelfClosingEmptyElement) {
+  XmlNode node("empty");
+  node.SetAttr("k", std::string("v"));
+  EXPECT_EQ(node.ToString(), "<empty k=\"v\"/>\n");
+}
+
+TEST(XmlWriteTest, DeclarationHeader) {
+  XmlNode node("root");
+  std::string doc = WriteXml(node);
+  EXPECT_EQ(doc.find("<?xml version=\"1.0\""), 0u);
+}
+
+TEST(XmlParseTest, SimpleElement) {
+  XmlNode root = WSFLOW_UNWRAP(ParseXml("<a k=\"v\"/>"));
+  EXPECT_EQ(root.tag(), "a");
+  EXPECT_EQ(root.Attr("k").value(), "v");
+}
+
+TEST(XmlParseTest, NestedElements) {
+  XmlNode root = WSFLOW_UNWRAP(ParseXml("<a><b x=\"1\"/><c/></a>"));
+  ASSERT_EQ(root.children().size(), 2u);
+  EXPECT_EQ(root.children()[0].tag(), "b");
+  EXPECT_EQ(root.children()[1].tag(), "c");
+}
+
+TEST(XmlParseTest, TextContent) {
+  XmlNode root = WSFLOW_UNWRAP(ParseXml("<a>  hello world  </a>"));
+  EXPECT_EQ(root.text(), "hello world");
+}
+
+TEST(XmlParseTest, EntitiesUnescaped) {
+  XmlNode root =
+      WSFLOW_UNWRAP(ParseXml("<a k=\"&lt;&amp;&gt;\">&quot;x&apos;</a>"));
+  EXPECT_EQ(root.Attr("k").value(), "<&>");
+  EXPECT_EQ(root.text(), "\"x'");
+}
+
+TEST(XmlParseTest, SingleQuotedAttributes) {
+  XmlNode root = WSFLOW_UNWRAP(ParseXml("<a k='v'/>"));
+  EXPECT_EQ(root.Attr("k").value(), "v");
+}
+
+TEST(XmlParseTest, DeclarationAndCommentsSkipped) {
+  XmlNode root = WSFLOW_UNWRAP(ParseXml(
+      "<?xml version=\"1.0\"?>\n<!-- header -->\n<a><!-- inner --><b/></a>"));
+  EXPECT_EQ(root.tag(), "a");
+  ASSERT_EQ(root.children().size(), 1u);
+}
+
+TEST(XmlParseTest, WhitespaceBetweenElementsIgnored) {
+  XmlNode root = WSFLOW_UNWRAP(ParseXml("<a>\n  <b/>\n  <c/>\n</a>"));
+  EXPECT_EQ(root.children().size(), 2u);
+  EXPECT_EQ(root.text(), "");
+}
+
+TEST(XmlParseTest, MismatchedCloseTagRejected) {
+  Result<XmlNode> r = ParseXml("<a><b></a></b>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError());
+}
+
+TEST(XmlParseTest, UnterminatedElementRejected) {
+  EXPECT_TRUE(ParseXml("<a><b/>").status().IsParseError());
+}
+
+TEST(XmlParseTest, TrailingContentRejected) {
+  EXPECT_TRUE(ParseXml("<a/><b/>").status().IsParseError());
+}
+
+TEST(XmlParseTest, UnknownEntityRejected) {
+  EXPECT_TRUE(ParseXml("<a>&bogus;</a>").status().IsParseError());
+}
+
+TEST(XmlParseTest, UnterminatedAttributeRejected) {
+  EXPECT_TRUE(ParseXml("<a k=\"v/>").status().IsParseError());
+}
+
+TEST(XmlParseTest, ErrorMentionsLineNumber) {
+  Status st = ParseXml("<a>\n<b>\n</c>\n</a>").status();
+  ASSERT_TRUE(st.IsParseError());
+  EXPECT_NE(st.message().find("line 3"), std::string::npos);
+}
+
+TEST(XmlRoundTripTest, WriteParsePreservesStructure) {
+  XmlNode root("workflow");
+  root.SetAttr("name", std::string("demo & test"));
+  XmlNode& op = root.AddChild("operation");
+  op.SetAttr("name", std::string("a<b"));
+  op.SetAttr("cycles", 12345.678);
+  root.AddChild("transition").SetAttr("bits", static_cast<int64_t>(100));
+
+  XmlNode parsed = WSFLOW_UNWRAP(ParseXml(WriteXml(root)));
+  EXPECT_EQ(parsed.tag(), "workflow");
+  EXPECT_EQ(parsed.Attr("name").value(), "demo & test");
+  ASSERT_EQ(parsed.children().size(), 2u);
+  EXPECT_EQ(parsed.children()[0].Attr("name").value(), "a<b");
+  EXPECT_DOUBLE_EQ(parsed.children()[0].DoubleAttr("cycles").value(),
+                   12345.678);
+}
+
+TEST(XmlRoundTripTest, DoubleAttrExactRoundTrip) {
+  XmlNode node("x");
+  double value = 0.1 + 0.2;  // not exactly representable in decimal
+  node.SetAttr("v", value);
+  XmlNode parsed = WSFLOW_UNWRAP(ParseXml(node.ToString()));
+  EXPECT_EQ(parsed.DoubleAttr("v").value(), value);
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,11 @@
+// The `wsflow` command-line tool: generate workflows and networks, deploy,
+// evaluate, simulate, sample and compare. All logic lives in
+// src/cli/commands.cc; this translation unit only dispatches.
+
+#include <iostream>
+
+#include "src/cli/commands.h"
+
+int main(int argc, char** argv) {
+  return wsflow::cli::RunCli(argc, argv, std::cout, std::cerr);
+}
