@@ -1,0 +1,229 @@
+// Throughput and latency of the concurrent deployment service (src/serve).
+//
+// Phase A — scaling: a fresh service per worker-thread count answers the
+// same cold-heavy request stream; wall time and requests/sec show how the
+// worker pool parallelizes the algorithm runs.
+//
+// Phase B — cache economics: one warm service answers a repeat-heavy
+// stream; the metrics registry separates hit latency from cold (miss)
+// latency, and the ratio quantifies what the result cache buys.
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/common/random.h"
+#include "src/deploy/algorithm.h"
+#include "src/exp/config.h"
+#include "src/serve/fingerprint.h"
+#include "src/serve/service.h"
+
+namespace {
+
+using namespace wsflow;
+using namespace wsflow::serve;
+
+struct Instance {
+  std::shared_ptr<const Workflow> workflow;
+  std::shared_ptr<const Network> network;
+  std::shared_ptr<const ExecutionProfile> profile;
+  uint64_t workflow_digest = 0;
+  uint64_t network_digest = 0;
+};
+
+/// Draws `n` distinct Class C hybrid-graph trials and digests each once,
+/// the way a front-end would digest a request body on arrival.
+std::vector<Instance> MakePool(size_t n, uint64_t seed, size_t ops = 19,
+                               size_t servers = 5) {
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kHybridGraph);
+  cfg.num_operations = ops;
+  cfg.num_servers = servers;
+  cfg.seed = seed;
+  std::vector<Instance> pool;
+  pool.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    TrialInstance t = DrawTrial(cfg, i).value();
+    Instance inst;
+    inst.workflow = std::make_shared<const Workflow>(std::move(t.workflow));
+    inst.network = std::make_shared<const Network>(std::move(t.network));
+    if (t.profile) {
+      inst.profile =
+          std::make_shared<const ExecutionProfile>(std::move(*t.profile));
+    }
+    inst.workflow_digest = WorkflowDigest(*inst.workflow);
+    inst.network_digest = NetworkDigest(*inst.network);
+    pool.push_back(std::move(inst));
+  }
+  return pool;
+}
+
+DeployRequest MakeRequest(const Instance& inst,
+                          const std::string& algorithm) {
+  DeployRequest req;
+  req.workflow = inst.workflow;
+  req.network = inst.network;
+  req.profile = inst.profile;
+  req.algorithm = algorithm;
+  req.workflow_digest = inst.workflow_digest;
+  req.network_digest = inst.network_digest;
+  return req;
+}
+
+/// A deployment backend with a fixed 2ms service time: stands in for the
+/// I/O-bound backends (remote solvers, planner RPCs) a deployment service
+/// fronts in production. Wall-clock scaling across worker counts is then a
+/// property of the service's concurrency, not of how many cores this
+/// machine happens to have.
+class SimulatedBackendAlgorithm : public DeploymentAlgorithm {
+ public:
+  static constexpr std::chrono::milliseconds kServiceTime{2};
+
+  std::string_view name() const override { return "sim-backend"; }
+
+  Result<Mapping> Run(const DeployContext& ctx) const override {
+    std::this_thread::sleep_for(kServiceTime);
+    return RunAlgorithm("fair-load", ctx);
+  }
+};
+
+/// Submits one request per index in `stream`, retrying on backpressure,
+/// and blocks until every response arrives. Returns the wall time.
+double DriveStream(DeploymentService& service,
+                   const std::vector<Instance>& pool,
+                   const std::vector<size_t>& stream,
+                   const std::string& algorithm) {
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::future<DeployResponse>> futures;
+  futures.reserve(stream.size());
+  for (size_t which : stream) {
+    for (;;) {
+      Result<std::future<DeployResponse>> f =
+          service.Submit(MakeRequest(pool[which], algorithm));
+      if (f.ok()) {
+        futures.push_back(std::move(*f));
+        break;
+      }
+      std::this_thread::yield();  // queue full: backpressure
+    }
+  }
+  for (auto& f : futures) {
+    DeployResponse resp = f.get();
+    if (!resp.status.ok()) {
+      std::fprintf(stderr, "request failed: %s\n",
+                   resp.status.ToString().c_str());
+    }
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void PhaseScaling() {
+  std::printf("\n--- Phase A: worker scaling (all-cold, 2ms simulated "
+              "backend) ---\n");
+  // Every request is a distinct instance (no cache hits) against the
+  // sim-backend algorithm, so wall time measures how many 2ms service
+  // times the worker pool keeps in flight concurrently.
+  constexpr size_t kRequests = 96;
+  std::vector<Instance> pool = MakePool(kRequests, /*seed=*/7);
+
+  std::vector<size_t> stream;
+  stream.reserve(kRequests);
+  for (size_t i = 0; i < kRequests; ++i) stream.push_back(i);
+
+  std::printf("%8s %10s %12s %10s\n", "threads", "wall_s", "req/s",
+              "speedup");
+  double single_rps = 0.0;
+  for (size_t threads : {1, 2, 4}) {
+    ServiceOptions options;
+    options.num_threads = threads;
+    options.queue_capacity = 256;
+    options.cache_capacity = 1024;
+    DeploymentService service(options);
+    if (!service.Start().ok()) continue;
+    double wall = DriveStream(service, pool, stream, "sim-backend");
+    service.Stop();
+    double rps = static_cast<double>(kRequests) / wall;
+    if (threads == 1) single_rps = rps;
+    std::printf("%8zu %10.3f %12.1f %9.2fx\n", threads, wall, rps,
+                single_rps > 0.0 ? rps / single_rps : 0.0);
+  }
+}
+
+void PrintLatencyLine(const char* label, const LatencySummary& lat) {
+  std::printf("%10s  n=%-6zu mean=%.1fus  p50=%.1fus  p95=%.1fus  "
+              "p99=%.1fus  max=%.1fus\n",
+              label, lat.count, lat.mean * 1e6, lat.p50 * 1e6, lat.p95 * 1e6,
+              lat.p99 * 1e6, lat.max * 1e6);
+}
+
+void PhaseCache() {
+  std::printf("\n--- Phase B: cache hit vs cold latency (4 workers) ---\n");
+  constexpr size_t kUnique = 16;
+  constexpr size_t kRepeats = 2000;
+  std::vector<Instance> pool = MakePool(kUnique, /*seed=*/11);
+
+  ServiceOptions options;
+  options.num_threads = 4;
+  options.queue_capacity = 256;
+  options.cache_capacity = 1024;
+  DeploymentService service(options);
+  if (!service.Start().ok()) {
+    std::fprintf(stderr, "cannot start service\n");
+    return;
+  }
+
+  // Warm pass: every instance exactly once — these are the cold samples.
+  std::vector<size_t> warm;
+  for (size_t i = 0; i < kUnique; ++i) warm.push_back(i);
+  DriveStream(service, pool, warm, "portfolio");
+
+  // Hot pass: uniform repeats, all hits.
+  std::vector<size_t> hot;
+  hot.reserve(kRepeats);
+  Rng rng(0xcafeull);
+  for (size_t i = 0; i < kRepeats; ++i) {
+    hot.push_back(static_cast<size_t>(rng.NextBounded(kUnique)));
+  }
+  double hot_wall = DriveStream(service, pool, hot, "portfolio");
+  service.Stop();
+
+  MetricsSnapshot snap = service.metrics().Snapshot();
+  PrintLatencyLine("cold", snap.miss_latency);
+  PrintLatencyLine("hit", snap.hit_latency);
+  PrintLatencyLine("queue", snap.queue_wait);
+  std::printf("hot pass: %zu requests in %.3fs = %.0f req/s, "
+              "hit rate %.1f%%\n",
+              kRepeats, hot_wall, static_cast<double>(kRepeats) / hot_wall,
+              100.0 * snap.HitRate());
+  if (snap.hit_latency.mean > 0.0) {
+    std::printf("cold/hit mean service-time ratio: %.1fx\n",
+                snap.miss_latency.mean / snap.hit_latency.mean);
+  }
+  std::printf("\n%s", snap.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner("SERVE",
+                     "Deployment service: worker scaling and result-cache "
+                     "hit/cold latency (Class C hybrid graphs, portfolio)");
+  RegisterBuiltinAlgorithms();
+  Status st = AlgorithmRegistry::Global().Register(
+      "sim-backend", [] { return std::make_unique<SimulatedBackendAlgorithm>(); });
+  if (!st.ok()) {
+    std::fprintf(stderr, "cannot register sim-backend: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  PhaseScaling();
+  PhaseCache();
+  return 0;
+}

@@ -1,12 +1,19 @@
 #include "src/cli/commands.h"
 
+#include <chrono>
+#include <future>
 #include <iomanip>
+#include <memory>
 #include <sstream>
+#include <thread>
 
 #include <fstream>
 
 #include "src/cli/flags.h"
+#include "src/common/random.h"
 #include "src/common/string_util.h"
+#include "src/serve/fingerprint.h"
+#include "src/serve/service.h"
 #include "src/workflow/bpel_import.h"
 #include "src/cost/cost_model.h"
 #include "src/cost/response_time.h"
@@ -91,6 +98,22 @@ void PrintCosts(std::ostream& out, const CostBreakdown& cost) {
   out << "T_execute:    " << FormatSeconds(cost.execution_time) << "\n"
       << "TimePenalty:  " << FormatSeconds(cost.time_penalty) << "\n"
       << "combined:     " << FormatSeconds(cost.combined) << "\n";
+}
+
+Result<WorkloadKind> ParseWorkload(const std::string& name) {
+  if (name == "line") return WorkloadKind::kLine;
+  if (name == "bushy") return WorkloadKind::kBushyGraph;
+  if (name == "lengthy") return WorkloadKind::kLengthyGraph;
+  if (name == "hybrid") return WorkloadKind::kHybridGraph;
+  return Status::InvalidArgument("unknown --workload '" + name + "'");
+}
+
+Result<ExperimentConfig> MakeClassConfig(const std::string& cls,
+                                         WorkloadKind workload) {
+  if (cls == "a") return MakeClassAConfig(workload);
+  if (cls == "b") return MakeClassBConfig(workload);
+  if (cls == "c") return MakeClassCConfig(workload);
+  return Status::InvalidArgument("unknown --class '" + cls + "'");
 }
 
 }  // namespace
@@ -423,31 +446,11 @@ Status CmdExperiment(const std::vector<std::string>& args,
                           flags.Parse(args));
   (void)positional;
 
-  WorkloadKind workload;
-  const std::string& workload_str = flags.GetString("workload");
-  if (workload_str == "line") {
-    workload = WorkloadKind::kLine;
-  } else if (workload_str == "bushy") {
-    workload = WorkloadKind::kBushyGraph;
-  } else if (workload_str == "lengthy") {
-    workload = WorkloadKind::kLengthyGraph;
-  } else if (workload_str == "hybrid") {
-    workload = WorkloadKind::kHybridGraph;
-  } else {
-    return Status::InvalidArgument("unknown --workload '" + workload_str +
-                                   "'");
-  }
-  ExperimentConfig cfg;
-  const std::string& cls = flags.GetString("class");
-  if (cls == "a") {
-    cfg = MakeClassAConfig(workload);
-  } else if (cls == "b") {
-    cfg = MakeClassBConfig(workload);
-  } else if (cls == "c") {
-    cfg = MakeClassCConfig(workload);
-  } else {
-    return Status::InvalidArgument("unknown --class '" + cls + "'");
-  }
+  WSFLOW_ASSIGN_OR_RETURN(WorkloadKind workload,
+                          ParseWorkload(flags.GetString("workload")));
+  WSFLOW_ASSIGN_OR_RETURN(
+      ExperimentConfig cfg,
+      MakeClassConfig(flags.GetString("class"), workload));
   cfg.trials = static_cast<size_t>(flags.GetInt("trials"));
   cfg.num_operations = static_cast<size_t>(flags.GetInt("ops"));
   cfg.num_servers = static_cast<size_t>(flags.GetInt("servers"));
@@ -648,6 +651,153 @@ Status CmdListAlgorithms(const std::vector<std::string>& args,
   return Status::OK();
 }
 
+Status CmdServeBench(const std::vector<std::string>& args,
+                     std::ostream& out) {
+  FlagSet flags;
+  flags.AddString("workload", "line", "line | bushy | lengthy | hybrid");
+  flags.AddString("class", "c", "experiment class: a | b | c (paper §4.1)");
+  flags.AddInt("ops", 19, "operations per workflow");
+  flags.AddInt("servers", 5, "servers in the farm");
+  flags.AddInt("unique", 8, "distinct (workflow, network) instances");
+  flags.AddInt("requests", 200, "total requests in the stream");
+  flags.AddString("algorithm", "portfolio", "deployment algorithm to serve");
+  flags.AddInt("queue-capacity", 256, "bounded request queue capacity");
+  flags.AddInt("cache-capacity", 1024, "result cache entries");
+  flags.AddInt("seed", 42, "instance and stream seed");
+  flags.AddDouble("deadline-ms", 0,
+                  "per-request deadline in milliseconds (0 = none)");
+  flags.AddDouble("exec-weight", 0.5, "objective weight of T_execute");
+  flags.AddDouble("fair-weight", 0.5, "objective weight of TimePenalty");
+  AddThreadsFlag(&flags);
+  WSFLOW_ASSIGN_OR_RETURN(std::vector<std::string> positional,
+                          flags.Parse(args));
+  (void)positional;
+
+  const size_t unique = static_cast<size_t>(flags.GetInt("unique"));
+  const size_t requests = static_cast<size_t>(flags.GetInt("requests"));
+  if (unique == 0 || requests == 0) {
+    return Status::InvalidArgument("--unique and --requests must be > 0");
+  }
+
+  WSFLOW_ASSIGN_OR_RETURN(WorkloadKind workload,
+                          ParseWorkload(flags.GetString("workload")));
+  WSFLOW_ASSIGN_OR_RETURN(
+      ExperimentConfig cfg,
+      MakeClassConfig(flags.GetString("class"), workload));
+  cfg.num_operations = static_cast<size_t>(flags.GetInt("ops"));
+  cfg.num_servers = static_cast<size_t>(flags.GetInt("servers"));
+  cfg.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  // Draw the instance pool once; a real deployment front-end would likewise
+  // digest each uploaded artifact once and reuse the digest per query.
+  struct Instance {
+    std::shared_ptr<const Workflow> workflow;
+    std::shared_ptr<const Network> network;
+    std::shared_ptr<const ExecutionProfile> profile;
+    uint64_t workflow_digest = 0;
+    uint64_t network_digest = 0;
+  };
+  std::vector<Instance> instances;
+  instances.reserve(unique);
+  for (size_t i = 0; i < unique; ++i) {
+    WSFLOW_ASSIGN_OR_RETURN(TrialInstance t, DrawTrial(cfg, i));
+    Instance inst;
+    inst.workflow = std::make_shared<Workflow>(std::move(t.workflow));
+    inst.network = std::make_shared<Network>(std::move(t.network));
+    if (t.profile) {
+      inst.profile =
+          std::make_shared<ExecutionProfile>(std::move(*t.profile));
+    }
+    inst.workflow_digest = serve::WorkflowDigest(*inst.workflow);
+    inst.network_digest = serve::NetworkDigest(*inst.network);
+    instances.push_back(std::move(inst));
+  }
+
+  serve::ServiceOptions options;
+  options.num_threads = static_cast<size_t>(flags.GetInt("threads"));
+  options.queue_capacity =
+      static_cast<size_t>(flags.GetInt("queue-capacity"));
+  options.cache_capacity =
+      static_cast<size_t>(flags.GetInt("cache-capacity"));
+  serve::DeploymentService service(options);
+  WSFLOW_RETURN_IF_ERROR(service.Start());
+
+  CostOptions cost_options;
+  cost_options.execution_weight = flags.GetDouble("exec-weight");
+  cost_options.fairness_weight = flags.GetDouble("fair-weight");
+  const double deadline_ms = flags.GetDouble("deadline-ms");
+
+  auto make_request = [&](const Instance& inst) {
+    serve::DeployRequest req;
+    req.workflow = inst.workflow;
+    req.network = inst.network;
+    req.profile = inst.profile;
+    req.workflow_digest = inst.workflow_digest;
+    req.network_digest = inst.network_digest;
+    req.algorithm = flags.GetString("algorithm");
+    req.cost_options = cost_options;
+    req.seed = cfg.seed;
+    if (deadline_ms > 0) {
+      req.deadline =
+          serve::ServiceClock::now() +
+          std::chrono::duration_cast<serve::ServiceClock::duration>(
+              std::chrono::duration<double, std::milli>(deadline_ms));
+    }
+    return req;
+  };
+
+  // Stream: each instance once cold, then uniform repeats (cache hits).
+  Rng stream_rng(cfg.seed ^ 0x5e5e5e5eull);
+  std::vector<std::future<serve::DeployResponse>> futures;
+  futures.reserve(requests);
+  auto bench_start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < requests; ++i) {
+    const Instance& inst =
+        instances[i < unique ? i
+                             : static_cast<size_t>(
+                                   stream_rng.NextBounded(unique))];
+    // Backpressure loop: yield and retry while the queue is full.
+    for (;;) {
+      Result<std::future<serve::DeployResponse>> f =
+          service.Submit(make_request(inst));
+      if (f.ok()) {
+        futures.push_back(std::move(*f));
+        break;
+      }
+      if (!f.status().IsResourceExhausted()) return f.status();
+      std::this_thread::yield();
+    }
+  }
+
+  size_t ok = 0, expired = 0, failed = 0;
+  for (std::future<serve::DeployResponse>& f : futures) {
+    serve::DeployResponse resp = f.get();
+    if (resp.status.ok()) {
+      ++ok;
+    } else if (resp.status.IsDeadlineExceeded()) {
+      ++expired;
+    } else {
+      ++failed;
+    }
+  }
+  double elapsed_s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - bench_start)
+                         .count();
+  service.Stop();
+
+  serve::MetricsSnapshot snap = service.metrics().Snapshot();
+  out << "serve-bench: " << requests << " requests over " << unique
+      << " instances, " << service.num_threads() << " worker threads, "
+      << "algorithm=" << flags.GetString("algorithm") << "\n";
+  out << "  wall time " << FormatSeconds(elapsed_s) << ", throughput "
+      << FormatDouble(static_cast<double>(requests) / elapsed_s, 6)
+      << " req/s\n";
+  out << "  responses: ok=" << ok << " deadline-exceeded=" << expired
+      << " failed=" << failed << "\n";
+  out << snap.ToString();
+  return Status::OK();
+}
+
 int RunCli(int argc, const char* const* argv, std::ostream& out,
            std::ostream& err) {
   static constexpr const char* kUsage =
@@ -665,7 +815,8 @@ int RunCli(int argc, const char* const* argv, std::ostream& out,
       "  stats            structural workflow metrics\n"
       "  failover         per-server failure impact of a deployment\n"
       "  dot              GraphViz export (workflow/network/deployment)\n"
-      "  list-algorithms  show the algorithm registry\n";
+      "  list-algorithms  show the algorithm registry\n"
+      "  serve-bench      drive the concurrent deployment service\n";
   if (argc < 2) {
     err << kUsage;
     return 2;
@@ -701,6 +852,8 @@ int RunCli(int argc, const char* const* argv, std::ostream& out,
     st = CmdDot(args, out);
   } else if (command == "list-algorithms") {
     st = CmdListAlgorithms(args, out);
+  } else if (command == "serve-bench") {
+    st = CmdServeBench(args, out);
   } else if (command == "help" || command == "--help") {
     out << kUsage;
     return 0;

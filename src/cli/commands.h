@@ -19,6 +19,9 @@
 //   failover        per-server failure impact of a deployment
 //   dot             GraphViz export of a workflow, network or deployment
 //   list-algorithms registry contents
+//   serve-bench     drive the concurrent deployment service (src/serve)
+//                   with a synthetic request stream, report throughput,
+//                   cache hit rate and latency percentiles
 
 #ifndef WSFLOW_CLI_COMMANDS_H_
 #define WSFLOW_CLI_COMMANDS_H_
@@ -49,6 +52,7 @@ Status CmdFailover(const std::vector<std::string>& args, std::ostream& out);
 Status CmdDot(const std::vector<std::string>& args, std::ostream& out);
 Status CmdListAlgorithms(const std::vector<std::string>& args,
                          std::ostream& out);
+Status CmdServeBench(const std::vector<std::string>& args, std::ostream& out);
 
 /// Top-level dispatcher; argv[0] is ignored, argv[1] selects the
 /// subcommand. Prints usage on errors. Returns the process exit code.

@@ -1,6 +1,7 @@
 #include "src/cli/flags.h"
 
 #include <sstream>
+#include <thread>
 
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
@@ -173,6 +174,16 @@ std::string FlagSet::Help() const {
     os << ")\n      " << flag.help << "\n";
   }
   return os.str();
+}
+
+int64_t DefaultThreadCount() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int64_t>(hw);
+}
+
+void AddThreadsFlag(FlagSet* flags) {
+  flags->AddInt("threads", DefaultThreadCount(),
+                "worker threads (default: hardware concurrency)");
 }
 
 Result<std::vector<double>> ParseDoubleList(const std::string& csv) {

@@ -67,6 +67,13 @@ class FlagSet {
 /// Parses a comma-separated list of doubles ("1e9,2e9,3e9").
 Result<std::vector<double>> ParseDoubleList(const std::string& csv);
 
+/// Hardware concurrency clamped to at least 1 — the default of --threads.
+int64_t DefaultThreadCount();
+
+/// Declares the shared `--threads` flag (worker thread count, default:
+/// hardware concurrency) on `flags`.
+void AddThreadsFlag(FlagSet* flags);
+
 }  // namespace wsflow::cli
 
 #endif  // WSFLOW_CLI_FLAGS_H_

@@ -57,15 +57,39 @@ std::string SummaryStats::ToString() const {
   return os.str();
 }
 
+namespace {
+
+/// Interpolated order statistic of an already-sorted, non-empty vector.
+double SortedQuantile(const std::vector<double>& sorted, double q) {
+  q = std::clamp(q, 0.0, 1.0);
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
 double Quantile(std::vector<double> values, double q) {
   if (values.empty()) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
   std::sort(values.begin(), values.end());
-  double pos = q * static_cast<double>(values.size() - 1);
-  size_t lo = static_cast<size_t>(pos);
-  size_t hi = std::min(lo + 1, values.size() - 1);
-  double frac = pos - static_cast<double>(lo);
-  return values[lo] + frac * (values[hi] - values[lo]);
+  return SortedQuantile(values, q);
+}
+
+std::vector<double> Quantiles(std::vector<double> values,
+                              const std::vector<double>& qs) {
+  std::vector<double> out(qs.size(), 0.0);
+  if (values.empty()) return out;
+  std::sort(values.begin(), values.end());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    out[i] = SortedQuantile(values, qs[i]);
+  }
+  return out;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  return Quantile(std::move(values), p / 100.0);
 }
 
 double Mean(const std::vector<double>& values) {

@@ -47,6 +47,16 @@ class SummaryStats {
 /// interpolation between order statistics. Empty input yields 0.
 double Quantile(std::vector<double> values, double q);
 
+/// Evaluates many quantiles on one sorted copy of `values` — exact order
+/// statistics with linear interpolation, like Quantile, but sorting only
+/// once. Returns one entry per q in `qs` (each clamped to [0,1]); an empty
+/// input yields all zeros. Used by the serving metrics for p50/p95/p99.
+std::vector<double> Quantiles(std::vector<double> values,
+                              const std::vector<double>& qs);
+
+/// Percentile shorthand: Quantile(values, p / 100) with p in [0,100].
+double Percentile(std::vector<double> values, double p);
+
 /// Arithmetic mean of `values`; 0 for empty input.
 double Mean(const std::vector<double>& values);
 

@@ -22,6 +22,7 @@ std::string_view StatusCodeToString(StatusCode code) {
     case StatusCode::kResourceExhausted: return "resource-exhausted";
     case StatusCode::kParseError: return "parse-error";
     case StatusCode::kConstraintViolation: return "constraint-violation";
+    case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
   }
   return "unknown";
 }

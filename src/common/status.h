@@ -28,6 +28,7 @@ enum class StatusCode : int {
   kResourceExhausted = 8, ///< A configured limit was exceeded.
   kParseError = 9,        ///< Input text could not be parsed.
   kConstraintViolation = 10, ///< A user deployment constraint cannot be met.
+  kDeadlineExceeded = 11, ///< The operation's deadline passed before it ran.
 };
 
 /// Returns a stable lower-case name for a code ("ok", "invalid-argument", ...).
@@ -83,6 +84,9 @@ class Status {
   static Status ConstraintViolation(std::string msg) {
     return Status(StatusCode::kConstraintViolation, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : rep_->code; }
@@ -104,6 +108,9 @@ class Status {
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsConstraintViolation() const {
     return code() == StatusCode::kConstraintViolation;
+  }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
   }
 
   /// "OK" or "<code>: <message>".

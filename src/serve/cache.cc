@@ -1,0 +1,73 @@
+#include "src/serve/cache.h"
+
+#include <algorithm>
+
+namespace wsflow::serve {
+
+ResultCache::ResultCache(Options options) {
+  size_t shards = std::clamp<size_t>(options.shards, 1,
+                                     std::max<size_t>(options.capacity, 1));
+  per_shard_capacity_ =
+      std::max<size_t>(1, (std::max<size_t>(options.capacity, 1) + shards - 1)
+                              / shards);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const Fingerprint& key) {
+  // hi is an independent hash stream from lo, so its low bits pick shards
+  // uniformly without correlating with the in-shard hash (which folds lo).
+  return *shards_[key.hi % shards_.size()];
+}
+
+std::shared_ptr<const CacheEntry> ResultCache::Lookup(const Fingerprint& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return nullptr;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->second;
+}
+
+void ResultCache::Insert(const Fingerprint& key, CacheEntry entry) {
+  auto value = std::make_shared<const CacheEntry>(std::move(entry));
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+  }
+  shard.lru.emplace_front(key, std::move(value));
+  shard.index.emplace(key, shard.lru.begin());
+}
+
+size_t ResultCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+size_t ResultCache::capacity() const {
+  return per_shard_capacity_ * shards_.size();
+}
+
+void ResultCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->index.clear();
+    shard->lru.clear();
+  }
+}
+
+}  // namespace wsflow::serve

@@ -1,0 +1,85 @@
+// wsflow: sharded LRU result cache of the deployment service.
+//
+// Keyed by the canonical request fingerprint (serve/fingerprint.h), so a
+// hit is guaranteed to carry exactly the response the cold path would
+// recompute. Sharding spreads lock contention: each shard owns an
+// independent mutex, hash map and recency list, and a key's shard is a
+// pure function of its fingerprint. Entries are immutable and handed out
+// as shared_ptr, so a reader keeps its entry alive even if the shard
+// evicts it concurrently.
+
+#ifndef WSFLOW_SERVE_CACHE_H_
+#define WSFLOW_SERVE_CACHE_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cost/cost_model.h"
+#include "src/deploy/mapping.h"
+#include "src/serve/fingerprint.h"
+
+namespace wsflow::serve {
+
+/// Immutable cached outcome of one cold placement run.
+struct CacheEntry {
+  Mapping mapping;
+  CostBreakdown cost;
+};
+
+struct CacheOptions {
+  /// Total entry budget across all shards (minimum one per shard).
+  size_t capacity = 4096;
+  /// Number of independent shards; clamped to [1, capacity].
+  size_t shards = 16;
+};
+
+class ResultCache {
+ public:
+  using Options = CacheOptions;
+
+  explicit ResultCache(Options options = Options());
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the entry for `key` and marks it most-recently-used; null on
+  /// miss.
+  std::shared_ptr<const CacheEntry> Lookup(const Fingerprint& key);
+
+  /// Inserts (or refreshes) `key`, evicting the shard's least-recently-used
+  /// entry when the shard is at capacity.
+  void Insert(const Fingerprint& key, CacheEntry entry);
+
+  /// Entries currently resident, summed over shards.
+  size_t size() const;
+
+  /// Total capacity actually provisioned (shards * per-shard capacity).
+  size_t capacity() const;
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Drops every entry.
+  void Clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used.
+    std::list<std::pair<Fingerprint, std::shared_ptr<const CacheEntry>>> lru;
+    std::unordered_map<Fingerprint, decltype(lru)::iterator,
+                       Fingerprint::Hash>
+        index;
+  };
+
+  Shard& ShardFor(const Fingerprint& key);
+
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace wsflow::serve
+
+#endif  // WSFLOW_SERVE_CACHE_H_

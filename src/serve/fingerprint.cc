@@ -1,0 +1,103 @@
+#include "src/serve/fingerprint.h"
+
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/network/serialization.h"
+#include "src/workflow/serialization.h"
+
+namespace wsflow::serve {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xCBF29CE484222325ull;
+constexpr uint64_t kFnvPrime = 0x00000100000001B3ull;
+// A second, independent starting state for the hi stream (splitmix64 of
+// the FNV offset basis).
+constexpr uint64_t kHiOffset = 0x2545F4914F6CDD1Dull;
+
+uint64_t HashU64(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= v & 0xFF;
+    h *= kFnvPrime;
+    v >>= 8;
+  }
+  return h;
+}
+
+uint64_t HashDouble(uint64_t h, double d) {
+  // Hash the bit pattern: distinguishes -0.0/0.0 and round-trips NaNs,
+  // which is exactly the "identical inputs" contract a cache key needs.
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return HashU64(h, bits);
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(std::string_view bytes, uint64_t seed) {
+  uint64_t h = seed;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::string Fingerprint::ToHex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(32, '0');
+  uint64_t parts[2] = {hi, lo};
+  for (int p = 0; p < 2; ++p) {
+    for (int i = 0; i < 16; ++i) {
+      out[p * 16 + i] =
+          kDigits[(parts[p] >> (60 - 4 * i)) & 0xF];
+    }
+  }
+  return out;
+}
+
+uint64_t WorkflowDigest(const Workflow& w) {
+  uint64_t h = Fnv1a64(WorkflowToXmlString(w), kFnvOffset);
+  return h == 0 ? 1 : h;
+}
+
+uint64_t NetworkDigest(const Network& n) {
+  uint64_t h = Fnv1a64(NetworkToXmlString(n), kFnvOffset);
+  return h == 0 ? 1 : h;
+}
+
+Fingerprint RequestFingerprint(const DeployRequest& request) {
+  uint64_t wf = request.workflow_digest;
+  if (wf == 0) {
+    WSFLOW_CHECK(request.workflow != nullptr)
+        << "fingerprint needs a workflow or a precomputed digest";
+    wf = WorkflowDigest(*request.workflow);
+  }
+  uint64_t net = request.network_digest;
+  if (net == 0) {
+    WSFLOW_CHECK(request.network != nullptr)
+        << "fingerprint needs a network or a precomputed digest";
+    net = NetworkDigest(*request.network);
+  }
+
+  Fingerprint fp;
+  for (uint64_t offset : {kFnvOffset, kHiOffset}) {
+    uint64_t h = offset;
+    h = HashU64(h, wf);
+    h = HashU64(h, net);
+    h = Fnv1a64(request.algorithm, h);
+    // Separator so that ("ab", weights) never collides with ("a",
+    // b-prefixed weights) — the algorithm name is variable-length.
+    h ^= 0xFF;
+    h *= kFnvPrime;
+    h = HashDouble(h, request.cost_options.execution_weight);
+    h = HashDouble(h, request.cost_options.fairness_weight);
+    h = HashU64(h, request.seed);
+    (offset == kFnvOffset ? fp.lo : fp.hi) = h;
+  }
+  return fp;
+}
+
+}  // namespace wsflow::serve

@@ -1,0 +1,70 @@
+// wsflow: canonical request fingerprints for the result cache.
+//
+// Two requests that must produce identical responses — same workflow
+// content, same network content, same algorithm, same objective weights,
+// same seed — hash to the same 128-bit Fingerprint; anything that can
+// change the answer perturbs it. Workflow and network content is digested
+// through the canonical XML serialization (src/workflow/serialization,
+// src/network/serialization), so logically equal objects fingerprint
+// equally regardless of how they were built.
+
+#ifndef WSFLOW_SERVE_FINGERPRINT_H_
+#define WSFLOW_SERVE_FINGERPRINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/network/topology.h"
+#include "src/serve/request.h"
+#include "src/workflow/workflow.h"
+
+namespace wsflow::serve {
+
+/// 128-bit content hash: two independent 64-bit FNV-1a streams. The pair
+/// makes accidental collisions in a long-lived cache implausible.
+struct Fingerprint {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  friend bool operator==(const Fingerprint& a, const Fingerprint& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend bool operator!=(const Fingerprint& a, const Fingerprint& b) {
+    return !(a == b);
+  }
+
+  /// 32 hex digits, hi first.
+  std::string ToHex() const;
+
+  struct Hash {
+    size_t operator()(const Fingerprint& f) const {
+      // lo and hi are already uniform; fold them.
+      return static_cast<size_t>(f.lo ^ (f.hi * 0x9E3779B97F4A7C15ull));
+    }
+  };
+};
+
+/// 64-bit FNV-1a over `bytes`, chained from `seed` (pass the previous hash
+/// to extend a stream).
+uint64_t Fnv1a64(std::string_view bytes, uint64_t seed);
+
+/// Content digest of a workflow (FNV-1a over its canonical XML form).
+/// Never returns 0, so 0 can mean "not precomputed" in DeployRequest.
+uint64_t WorkflowDigest(const Workflow& w);
+
+/// Content digest of a network (FNV-1a over its canonical XML form).
+/// Never returns 0.
+uint64_t NetworkDigest(const Network& n);
+
+/// Cache key of a request: combines the workflow digest, network digest,
+/// algorithm name, objective weights and seed. Uses the request's
+/// precomputed digests when set (non-zero), otherwise serializes and
+/// digests the referenced objects. The workflow and network pointers must
+/// be non-null unless both digests are precomputed.
+Fingerprint RequestFingerprint(const DeployRequest& request);
+
+}  // namespace wsflow::serve
+
+#endif  // WSFLOW_SERVE_FINGERPRINT_H_

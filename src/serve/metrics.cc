@@ -1,0 +1,107 @@
+#include "src/serve/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/stats.h"
+#include "src/common/string_util.h"
+
+namespace wsflow::serve {
+
+void ServeMetrics::SampleWindow::Add(double x) {
+  std::lock_guard<std::mutex> lock(mu);
+  if (samples.size() < kMaxSamples) {
+    samples.push_back(x);
+  } else {
+    samples[total % kMaxSamples] = x;
+  }
+  ++total;
+  sum += x;
+  max = std::max(max, x);
+}
+
+LatencySummary ServeMetrics::SampleWindow::Summarize() const {
+  std::vector<double> copy;
+  LatencySummary out;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (total == 0) return out;
+    copy = samples;
+    out.count = static_cast<size_t>(total);
+    out.mean = sum / static_cast<double>(total);
+    out.max = max;
+  }
+  std::vector<double> q = Quantiles(std::move(copy), {0.50, 0.95, 0.99});
+  out.p50 = q[0];
+  out.p95 = q[1];
+  out.p99 = q[2];
+  return out;
+}
+
+void ServeMetrics::RecordHit(double service_s) {
+  cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  hit_latency_.Add(service_s);
+}
+
+void ServeMetrics::RecordMiss(double service_s) {
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  miss_latency_.Add(service_s);
+}
+
+void ServeMetrics::RecordQueueWait(double wait_s) {
+  queue_wait_.Add(wait_s);
+}
+
+MetricsSnapshot ServeMetrics::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.submitted = submitted_.load(std::memory_order_relaxed);
+  snap.rejected_queue_full =
+      rejected_queue_full_.load(std::memory_order_relaxed);
+  snap.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  snap.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  snap.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  snap.failures = failures_.load(std::memory_order_relaxed);
+  snap.completed = completed_.load(std::memory_order_relaxed);
+  snap.hit_latency = hit_latency_.Summarize();
+  snap.miss_latency = miss_latency_.Summarize();
+  snap.queue_wait = queue_wait_.Summarize();
+  return snap;
+}
+
+double MetricsSnapshot::HitRate() const {
+  uint64_t resolved = cache_hits + cache_misses;
+  if (resolved == 0) return 0.0;
+  return static_cast<double>(cache_hits) / static_cast<double>(resolved);
+}
+
+namespace {
+
+void AppendLatencyLine(std::ostringstream& os, const char* label,
+                       const LatencySummary& s) {
+  os << "  " << label << ": n=" << s.count;
+  if (s.count > 0) {
+    os << " mean=" << FormatSeconds(s.mean) << " p50=" << FormatSeconds(s.p50)
+       << " p95=" << FormatSeconds(s.p95) << " p99=" << FormatSeconds(s.p99)
+       << " max=" << FormatSeconds(s.max);
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToString() const {
+  std::ostringstream os;
+  os << "serve metrics:\n"
+     << "  submitted=" << submitted << " completed=" << completed
+     << " rejected(queue-full)=" << rejected_queue_full
+     << " deadline-exceeded=" << deadline_exceeded
+     << " failures=" << failures << "\n"
+     << "  cache: hits=" << cache_hits << " misses=" << cache_misses
+     << " hit-rate=" << FormatDouble(HitRate() * 100, 4) << "%\n";
+  AppendLatencyLine(os, "hit latency ", hit_latency);
+  AppendLatencyLine(os, "miss latency", miss_latency);
+  AppendLatencyLine(os, "queue wait  ", queue_wait);
+  return os.str();
+}
+
+}  // namespace wsflow::serve

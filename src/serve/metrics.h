@@ -1,0 +1,105 @@
+// wsflow: metrics registry of the deployment service.
+//
+// Counters are lock-free atomics bumped on every event; latency samples go
+// into per-kind ring buffers behind a mutex (a bounded sliding window, so
+// a long-running service never grows without bound). Snapshot() renders a
+// consistent point-in-time view with p50/p95/p99 computed exactly on a
+// sorted copy (src/common/stats) — histogram maintenance costs nothing on
+// the hot path, the sort happens only when someone asks.
+
+#ifndef WSFLOW_SERVE_METRICS_H_
+#define WSFLOW_SERVE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wsflow::serve {
+
+/// Point-in-time percentile summary of one latency population (seconds).
+struct LatencySummary {
+  size_t count = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
+/// Consistent snapshot of every counter and histogram.
+struct MetricsSnapshot {
+  uint64_t submitted = 0;          ///< Requests accepted into the queue.
+  uint64_t rejected_queue_full = 0;///< Submissions refused (backpressure).
+  uint64_t deadline_exceeded = 0;  ///< Popped after their deadline.
+  uint64_t cache_hits = 0;         ///< Served from the result cache.
+  uint64_t cache_misses = 0;       ///< Cold runs (successful or failed).
+  uint64_t failures = 0;           ///< Cold runs that returned an error.
+  uint64_t completed = 0;          ///< Responses delivered with OK status.
+
+  LatencySummary hit_latency;   ///< Worker time of cache-hit requests.
+  LatencySummary miss_latency;  ///< Worker time of cold requests.
+  LatencySummary queue_wait;    ///< Time from Submit to worker pickup.
+
+  /// cache_hits / (cache_hits + cache_misses); 0 when nothing resolved.
+  double HitRate() const;
+
+  /// Multi-line text report.
+  std::string ToString() const;
+};
+
+class ServeMetrics {
+ public:
+  /// Latency samples kept per population; older samples are overwritten
+  /// once the window is full (percentiles then describe the recent past).
+  static constexpr size_t kMaxSamples = 1 << 16;
+
+  void RecordSubmitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordRejected() {
+    rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordDeadlineExceeded() {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordCompleted() { completed_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordFailure() { failures_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// A cache hit served in `service_s` worker seconds.
+  void RecordHit(double service_s);
+  /// A cold run taking `service_s` worker seconds.
+  void RecordMiss(double service_s);
+  /// Queue residency of one request, Submit to pickup.
+  void RecordQueueWait(double wait_s);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  /// Mutex-guarded sliding window of samples.
+  struct SampleWindow {
+    mutable std::mutex mu;
+    std::vector<double> samples;
+    uint64_t total = 0;    ///< Lifetime count (>= samples.size()).
+    double sum = 0;        ///< Lifetime sum, for the true mean.
+    double max = 0;        ///< Lifetime max.
+
+    void Add(double x);
+    LatencySummary Summarize() const;
+  };
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_queue_full_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> failures_{0};
+  std::atomic<uint64_t> completed_{0};
+
+  SampleWindow hit_latency_;
+  SampleWindow miss_latency_;
+  SampleWindow queue_wait_;
+};
+
+}  // namespace wsflow::serve
+
+#endif  // WSFLOW_SERVE_METRICS_H_

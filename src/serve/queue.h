@@ -1,0 +1,108 @@
+// wsflow: bounded multi-producer multi-consumer queue with backpressure.
+//
+// The service's admission point. Producers never block: TryPush fails fast
+// with ResourceExhausted when the queue is at capacity, which is the
+// backpressure signal a caller can act on (shed, retry, degrade).
+// Consumers block in Pop until an item arrives or the queue is closed and
+// drained — Close() is the shutdown handshake that lets workers finish
+// every accepted request before exiting.
+
+#ifndef WSFLOW_SERVE_QUEUE_H_
+#define WSFLOW_SERVE_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/status.h"
+
+namespace wsflow::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    WSFLOW_CHECK_GT(capacity_, 0u) << "queue capacity must be positive";
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues `item` if there is room. Fails with ResourceExhausted when
+  /// full (backpressure) and FailedPrecondition after Close(). On failure
+  /// `item` is left unmoved so the caller can retry.
+  Status TryPush(T& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        return Status::FailedPrecondition("queue is closed");
+      }
+      if (items_.size() >= capacity_) {
+        return Status::ResourceExhausted("queue is full");
+      }
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return Status::OK();
+  }
+
+  /// Rvalue convenience; the item is lost on failure, so use the lvalue
+  /// overload when retrying.
+  Status TryPush(T&& item) { return TryPush(item); }
+
+  /// Blocks until an item is available and moves it into `*out`, returning
+  /// true. Returns false once the queue is closed and fully drained.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Non-blocking variant.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> out(std::move(items_.front()));
+    items_.pop_front();
+    return out;
+  }
+
+  /// Rejects further pushes and wakes every blocked consumer. Items already
+  /// accepted remain poppable.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace wsflow::serve
+
+#endif  // WSFLOW_SERVE_QUEUE_H_

@@ -1,0 +1,41 @@
+#include "src/serve/request.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "src/workflow/operation.h"
+
+namespace wsflow::serve {
+
+namespace {
+
+/// Round-trip exact double rendering ("%.17g") so that payload equality is
+/// bit-for-bit, not print-precision equality.
+std::string ExactDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string DeployResponse::CanonicalPayload() const {
+  std::ostringstream os;
+  os << "status=" << status.ToString() << ";mapping=";
+  for (size_t i = 0; i < mapping.num_operations(); ++i) {
+    if (i > 0) os << ",";
+    ServerId s = mapping.ServerOf(OperationId(static_cast<uint32_t>(i)));
+    if (s.valid()) {
+      os << s.value;
+    } else {
+      os << "-";
+    }
+  }
+  os << ";exec=" << ExactDouble(cost.execution_time)
+     << ";penalty=" << ExactDouble(cost.time_penalty)
+     << ";combined=" << ExactDouble(cost.combined);
+  return os.str();
+}
+
+}  // namespace wsflow::serve

@@ -1,0 +1,74 @@
+// wsflow: request/response types of the deployment service.
+//
+// A DeployRequest bundles everything one placement query needs: the
+// workflow, the server network, the algorithm to run, the objective
+// weights and an optional deadline. Requests own their inputs through
+// shared_ptr so that a caller may enqueue a request and move on — the
+// service keeps the data alive until the response is delivered.
+
+#ifndef WSFLOW_SERVE_REQUEST_H_
+#define WSFLOW_SERVE_REQUEST_H_
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/cost/cost_model.h"
+#include "src/deploy/mapping.h"
+#include "src/network/topology.h"
+#include "src/workflow/probability.h"
+#include "src/workflow/workflow.h"
+
+namespace wsflow::serve {
+
+/// Clock used for deadlines and latency accounting.
+using ServiceClock = std::chrono::steady_clock;
+
+/// One placement query.
+struct DeployRequest {
+  std::shared_ptr<const Workflow> workflow;
+  std::shared_ptr<const Network> network;
+  /// Execution probabilities for graph workflows; when null the service
+  /// computes a profile on the cold path (line workflows need none).
+  std::shared_ptr<const ExecutionProfile> profile;
+  /// Registry name of the algorithm to run.
+  std::string algorithm = "portfolio";
+  /// Objective weights forwarded into DeployContext::cost_options.
+  CostOptions cost_options;
+  /// Seed for randomized algorithm steps; part of the cache key.
+  uint64_t seed = 0;
+  /// Absolute deadline; requests popped after it return DeadlineExceeded
+  /// without running. max() means "no deadline".
+  ServiceClock::time_point deadline = ServiceClock::time_point::max();
+  /// Optional precomputed content digests (see serve/fingerprint.h). A
+  /// caller issuing many queries against the same artifacts digests them
+  /// once; 0 means "compute from the object".
+  uint64_t workflow_digest = 0;
+  uint64_t network_digest = 0;
+};
+
+/// Outcome of one placement query.
+struct DeployResponse {
+  /// OK, DeadlineExceeded, or the algorithm / cost-model error.
+  Status status;
+  /// Total mapping; meaningful only when status is OK.
+  Mapping mapping;
+  /// Costs under the request's weights; meaningful only when status is OK.
+  CostBreakdown cost;
+  /// True when the response was served from the result cache.
+  bool cache_hit = false;
+  /// Seconds spent queued before a worker picked the request up.
+  double queue_wait_s = 0;
+  /// Seconds of worker processing (fingerprint + cache or cold run).
+  double service_time_s = 0;
+
+  /// Canonical rendering of the result payload (status, mapping, costs) —
+  /// excludes delivery metadata (cache_hit, timings) so that a cache hit
+  /// and the cold computation it replays render byte-identically.
+  std::string CanonicalPayload() const;
+};
+
+}  // namespace wsflow::serve
+
+#endif  // WSFLOW_SERVE_REQUEST_H_

@@ -1,0 +1,175 @@
+#include "src/serve/service.h"
+
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "src/cost/cost_model.h"
+#include "src/deploy/algorithm.h"
+#include "src/workflow/probability.h"
+
+namespace wsflow::serve {
+
+namespace {
+
+double SecondsSince(ServiceClock::time_point start,
+                    ServiceClock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace
+
+DeploymentService::DeploymentService(ServiceOptions options)
+    : options_(options),
+      queue_(options.queue_capacity),
+      cache_({.capacity = options.cache_capacity,
+              .shards = options.cache_shards}) {
+  if (options_.num_threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    options_.num_threads = hw == 0 ? 1 : hw;
+  }
+  // Populate the registry before any worker can race a lazy registration.
+  RegisterBuiltinAlgorithms();
+}
+
+DeploymentService::~DeploymentService() { Stop(); }
+
+Status DeploymentService::Start() {
+  if (stopped_) return Status::FailedPrecondition("service already stopped");
+  if (started_) return Status::FailedPrecondition("service already started");
+  started_ = true;
+  workers_.reserve(options_.num_threads);
+  for (size_t i = 0; i < options_.num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void DeploymentService::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  queue_.Close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  // Never started: drain inline so every accepted request still gets its
+  // response (started workers have already drained the queue via Pop).
+  while (auto item = queue_.TryPop()) {
+    Pending& p = *item;
+    metrics_.RecordQueueWait(
+        SecondsSince(p.enqueued_at, ServiceClock::now()));
+    p.promise.set_value(Process(p.request));
+  }
+}
+
+Result<std::future<DeployResponse>> DeploymentService::Submit(
+    DeployRequest request) {
+  if (request.workflow == nullptr || request.network == nullptr) {
+    // Digests alone cannot serve a cold miss; the objects are mandatory.
+    return Status::InvalidArgument(
+        "request needs both a workflow and a network");
+  }
+  if (!AlgorithmRegistry::Global().Contains(request.algorithm)) {
+    return Status::NotFound("no algorithm named '" + request.algorithm + "'");
+  }
+
+  Pending pending;
+  pending.request = std::move(request);
+  pending.enqueued_at = ServiceClock::now();
+  std::future<DeployResponse> future = pending.promise.get_future();
+  Status st = queue_.TryPush(pending);
+  if (!st.ok()) {
+    if (st.IsResourceExhausted()) metrics_.RecordRejected();
+    return st;
+  }
+  metrics_.RecordSubmitted();
+  return future;
+}
+
+void DeploymentService::WorkerLoop() {
+  Pending pending;
+  while (queue_.Pop(&pending)) {
+    ServiceClock::time_point picked_up = ServiceClock::now();
+    double wait_s = SecondsSince(pending.enqueued_at, picked_up);
+    metrics_.RecordQueueWait(wait_s);
+    DeployResponse response = Process(pending.request);
+    response.queue_wait_s = wait_s;
+    pending.promise.set_value(std::move(response));
+  }
+}
+
+DeployResponse DeploymentService::Process(const DeployRequest& request) {
+  DeployResponse response;
+  ServiceClock::time_point start = ServiceClock::now();
+  if (start >= request.deadline) {
+    metrics_.RecordDeadlineExceeded();
+    response.status =
+        Status::DeadlineExceeded("request expired before execution");
+    response.service_time_s = SecondsSince(start, ServiceClock::now());
+    return response;
+  }
+
+  Fingerprint fp = RequestFingerprint(request);
+  if (std::shared_ptr<const CacheEntry> entry = cache_.Lookup(fp)) {
+    response.mapping = entry->mapping;
+    response.cost = entry->cost;
+    response.cache_hit = true;
+    response.service_time_s = SecondsSince(start, ServiceClock::now());
+    metrics_.RecordHit(response.service_time_s);
+    metrics_.RecordCompleted();
+    return response;
+  }
+
+  // Cold path: build the context, compute a profile if the workflow needs
+  // one and the caller did not provide it, run the algorithm, cost the
+  // mapping under the request's weights.
+  DeployContext ctx;
+  ctx.workflow = request.workflow.get();
+  ctx.network = request.network.get();
+  ctx.profile = request.profile.get();
+  ctx.seed = request.seed;
+  ctx.cost_options = request.cost_options;
+
+  std::optional<ExecutionProfile> local_profile;
+  Status st;
+  if (ctx.profile == nullptr && !request.workflow->IsLine()) {
+    Result<ExecutionProfile> profile =
+        ComputeExecutionProfile(*request.workflow);
+    if (profile.ok()) {
+      local_profile = std::move(*profile);
+      ctx.profile = &*local_profile;
+    } else {
+      st = profile.status().WithContext("execution profile");
+    }
+  }
+
+  if (st.ok()) {
+    Result<Mapping> mapping = RunAlgorithm(request.algorithm, ctx);
+    if (mapping.ok()) {
+      CostModel model(*ctx.workflow, *ctx.network, ctx.profile);
+      Result<CostBreakdown> cost =
+          model.Evaluate(*mapping, ctx.cost_options);
+      if (cost.ok()) {
+        response.mapping = std::move(*mapping);
+        response.cost = *cost;
+        cache_.Insert(fp, CacheEntry{response.mapping, response.cost});
+      } else {
+        st = cost.status().WithContext("cost evaluation");
+      }
+    } else {
+      st = mapping.status().WithContext(request.algorithm);
+    }
+  }
+
+  response.status = st;
+  response.service_time_s = SecondsSince(start, ServiceClock::now());
+  metrics_.RecordMiss(response.service_time_s);
+  if (st.ok()) {
+    metrics_.RecordCompleted();
+  } else {
+    metrics_.RecordFailure();
+  }
+  return response;
+}
+
+}  // namespace wsflow::serve

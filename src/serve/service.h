@@ -1,0 +1,96 @@
+// wsflow: the concurrent deployment service.
+//
+// A long-running engine that answers placement queries: callers Submit a
+// DeployRequest and receive a future<DeployResponse>. Requests flow through
+// a bounded MPMC queue (serve/queue.h) into a pool of worker threads; each
+// worker fingerprints the request (serve/fingerprint.h), consults the
+// sharded LRU result cache (serve/cache.h) and only on a miss runs the
+// requested deployment algorithm cold. Every step is accounted in
+// ServeMetrics (serve/metrics.h).
+//
+// Semantics:
+//   - Backpressure: Submit never blocks; a full queue fails fast with
+//     ResourceExhausted, leaving retry policy to the caller.
+//   - Deadlines: a request popped after its deadline resolves to
+//     DeadlineExceeded without running the algorithm.
+//   - Shutdown: Stop() (also run by the destructor) closes the queue and
+//     joins the workers, which first drain every accepted request — an
+//     accepted request always gets exactly one response.
+//   - Submitting before Start() is allowed; requests wait in the queue.
+
+#ifndef WSFLOW_SERVE_SERVICE_H_
+#define WSFLOW_SERVE_SERVICE_H_
+
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/serve/cache.h"
+#include "src/serve/metrics.h"
+#include "src/serve/queue.h"
+#include "src/serve/request.h"
+
+namespace wsflow::serve {
+
+struct ServiceOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency.
+  size_t num_threads = 0;
+  /// Bounded queue capacity — the backpressure limit.
+  size_t queue_capacity = 1024;
+  /// Result cache entry budget and shard count.
+  size_t cache_capacity = 4096;
+  size_t cache_shards = 16;
+};
+
+class DeploymentService {
+ public:
+  explicit DeploymentService(ServiceOptions options = ServiceOptions());
+  ~DeploymentService();
+
+  DeploymentService(const DeploymentService&) = delete;
+  DeploymentService& operator=(const DeploymentService&) = delete;
+
+  /// Spawns the worker pool. Fails with FailedPrecondition when already
+  /// started or stopped.
+  Status Start();
+
+  /// Closes the queue, lets workers drain accepted requests, joins them.
+  /// Idempotent.
+  void Stop();
+
+  /// Validates and enqueues a request. Errors:
+  ///   InvalidArgument    null workflow/network
+  ///   NotFound           unknown algorithm name
+  ///   ResourceExhausted  queue full (backpressure — retry later)
+  ///   FailedPrecondition service stopped
+  /// The returned future resolves when a worker finishes the request.
+  Result<std::future<DeployResponse>> Submit(DeployRequest request);
+
+  const ServeMetrics& metrics() const { return metrics_; }
+  ResultCache& cache() { return cache_; }
+  const ServiceOptions& options() const { return options_; }
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  struct Pending {
+    DeployRequest request;
+    std::promise<DeployResponse> promise;
+    ServiceClock::time_point enqueued_at;
+  };
+
+  void WorkerLoop();
+  DeployResponse Process(const DeployRequest& request);
+
+  ServiceOptions options_;
+  BoundedQueue<Pending> queue_;
+  ResultCache cache_;
+  ServeMetrics metrics_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace wsflow::serve
+
+#endif  // WSFLOW_SERVE_SERVICE_H_

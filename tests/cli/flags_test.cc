@@ -107,5 +107,22 @@ TEST(ParseDoubleListTest, BadFieldRejected) {
   EXPECT_TRUE(ParseDoubleList("1,,2").status().IsParseError());
 }
 
+TEST(ThreadsFlagTest, DefaultsToHardwareConcurrency) {
+  EXPECT_GE(DefaultThreadCount(), 1);
+  FlagSet flags;
+  AddThreadsFlag(&flags);
+  EXPECT_EQ(flags.GetInt("threads"), DefaultThreadCount());
+  EXPECT_FALSE(flags.WasSet("threads"));
+  EXPECT_NE(flags.Help().find("--threads"), std::string::npos);
+}
+
+TEST(ThreadsFlagTest, ExplicitValueOverrides) {
+  FlagSet flags;
+  AddThreadsFlag(&flags);
+  ASSERT_TRUE(flags.Parse({"--threads", "3"}).ok());
+  EXPECT_EQ(flags.GetInt("threads"), 3);
+  EXPECT_TRUE(flags.WasSet("threads"));
+}
+
 }  // namespace
 }  // namespace wsflow::cli

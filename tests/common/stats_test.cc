@@ -122,5 +122,41 @@ TEST(MeanTest, Basics) {
   EXPECT_DOUBLE_EQ(Mean({2.0, 4.0}), 3.0);
 }
 
+TEST(QuantilesTest, EmptyInputYieldsZeros) {
+  std::vector<double> q = Quantiles({}, {0.5, 0.95, 0.99});
+  EXPECT_EQ(q, (std::vector<double>{0.0, 0.0, 0.0}));
+  EXPECT_TRUE(Quantiles({1.0}, {}).empty());
+}
+
+TEST(QuantilesTest, SingleValueIsEveryQuantile) {
+  std::vector<double> q = Quantiles({42.0}, {0.0, 0.5, 0.99, 1.0});
+  EXPECT_EQ(q, (std::vector<double>{42.0, 42.0, 42.0, 42.0}));
+}
+
+TEST(QuantilesTest, InterpolatesLikeQuantile) {
+  std::vector<double> values{4.0, 1.0, 3.0, 2.0};
+  std::vector<double> qs{0.0, 0.25, 0.5, 0.95, 1.0};
+  std::vector<double> many = Quantiles(values, qs);
+  ASSERT_EQ(many.size(), qs.size());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(many[i], Quantile(values, qs[i])) << "q=" << qs[i];
+  }
+  EXPECT_DOUBLE_EQ(many[2], 2.5);    // interpolated median
+  EXPECT_DOUBLE_EQ(many[3], 3.85);   // 0.95 * 3 = idx 2.85
+}
+
+TEST(QuantilesTest, ClampsOutOfRangeQ) {
+  std::vector<double> q = Quantiles({1.0, 2.0}, {-1.0, 2.0});
+  EXPECT_EQ(q, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(PercentileTest, MatchesQuantileScale) {
+  std::vector<double> v{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 30.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 20), Quantile(v, 0.2));
+  EXPECT_EQ(Percentile({}, 99), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 99), 7.0);
+}
+
 }  // namespace
 }  // namespace wsflow

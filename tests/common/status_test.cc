@@ -38,6 +38,7 @@ TEST(StatusTest, EveryFactoryMapsToItsCode) {
   EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
   EXPECT_TRUE(Status::ParseError("x").IsParseError());
   EXPECT_TRUE(Status::ConstraintViolation("x").IsConstraintViolation());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
 }
 
 TEST(StatusTest, ToStringIncludesCodeName) {
@@ -51,6 +52,8 @@ TEST(StatusTest, CodeToStringCoversAllCodes) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kParseError), "parse-error");
   EXPECT_EQ(StatusCodeToString(StatusCode::kConstraintViolation),
             "constraint-violation");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "deadline-exceeded");
 }
 
 TEST(StatusTest, CopyPreservesState) {

@@ -112,6 +112,31 @@ TEST(PortfolioTest, AllMembersFailingReportsLastError) {
   EXPECT_TRUE(algo.Run(MakeContext(w, n)).status().IsResourceExhausted());
 }
 
+TEST(PortfolioTest, TieBreakGoesToEarliestMember) {
+  // With both weights zero every mapping costs exactly 0.0, so every
+  // member ties and the portfolio must keep the first member's mapping
+  // (strict < comparison). Run with both member orders on an instance
+  // where the two candidates genuinely disagree, under non-default
+  // weights, to pin the tie-breaking rule.
+  Workflow w = testing::SimpleLine(9, 20e6, 171136);
+  Network n = MakeBusNetwork({1e9, 2e9, 4e9}, 1e6).value();
+
+  DeployContext ctx = MakeContext(w, n);
+  ctx.cost_options.execution_weight = 0.0;
+  ctx.cost_options.fairness_weight = 0.0;
+
+  Mapping heavy = WSFLOW_UNWRAP(RunAlgorithm("heavy-ops", ctx));
+  Mapping fair = WSFLOW_UNWRAP(RunAlgorithm("fair-load", ctx));
+  ASSERT_FALSE(heavy == fair)
+      << "instance too easy: members agree, tie-break unobservable";
+
+  PortfolioAlgorithm heavy_first({"heavy-ops", "fair-load"});
+  EXPECT_TRUE(WSFLOW_UNWRAP(heavy_first.Run(ctx)) == heavy);
+
+  PortfolioAlgorithm fair_first({"fair-load", "heavy-ops"});
+  EXPECT_TRUE(WSFLOW_UNWRAP(fair_first.Run(ctx)) == fair);
+}
+
 TEST(PortfolioDeathTest, SelfNestingForbidden) {
   EXPECT_DEATH(PortfolioAlgorithm({"portfolio"}), "portfolio");
 }

@@ -1,0 +1,111 @@
+#include "src/serve/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace wsflow::serve {
+namespace {
+
+Fingerprint Key(uint64_t i) {
+  // Distinct hi values spread keys across shards deterministically.
+  return Fingerprint{i * 0x9E3779B97F4A7C15ull + 1, i};
+}
+
+CacheEntry EntryWithCost(double combined) {
+  CacheEntry e;
+  e.cost.combined = combined;
+  return e;
+}
+
+TEST(ServeCacheTest, MissThenHit) {
+  ResultCache cache({.capacity = 8, .shards = 2});
+  EXPECT_EQ(cache.Lookup(Key(1)), nullptr);
+  cache.Insert(Key(1), EntryWithCost(1.5));
+  auto entry = cache.Lookup(Key(1));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_DOUBLE_EQ(entry->cost.combined, 1.5);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ServeCacheTest, InsertRefreshesExistingKey) {
+  ResultCache cache({.capacity = 8, .shards = 1});
+  cache.Insert(Key(1), EntryWithCost(1.0));
+  cache.Insert(Key(1), EntryWithCost(2.0));
+  EXPECT_EQ(cache.size(), 1u);
+  auto entry = cache.Lookup(Key(1));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_DOUBLE_EQ(entry->cost.combined, 2.0);
+}
+
+TEST(ServeCacheTest, EvictsLeastRecentlyUsed) {
+  // One shard of capacity 2: inserting a third key evicts the LRU one.
+  ResultCache cache({.capacity = 2, .shards = 1});
+  cache.Insert(Key(1), EntryWithCost(1));
+  cache.Insert(Key(2), EntryWithCost(2));
+  ASSERT_NE(cache.Lookup(Key(1)), nullptr);  // 1 is now most recent
+  cache.Insert(Key(3), EntryWithCost(3));    // evicts 2
+  EXPECT_NE(cache.Lookup(Key(1)), nullptr);
+  EXPECT_EQ(cache.Lookup(Key(2)), nullptr);
+  EXPECT_NE(cache.Lookup(Key(3)), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ServeCacheTest, CapacityIsRespectedAcrossManyInserts) {
+  ResultCache cache({.capacity = 16, .shards = 4});
+  for (uint64_t i = 0; i < 1000; ++i) {
+    cache.Insert(Key(i), EntryWithCost(static_cast<double>(i)));
+  }
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_GT(cache.size(), 0u);
+}
+
+TEST(ServeCacheTest, ShardCountClampedToCapacity) {
+  ResultCache cache({.capacity = 2, .shards = 64});
+  EXPECT_LE(cache.num_shards(), 2u);
+  EXPECT_GE(cache.capacity(), 2u);
+}
+
+TEST(ServeCacheTest, ClearDropsEverything) {
+  ResultCache cache({.capacity = 8, .shards = 2});
+  cache.Insert(Key(1), EntryWithCost(1));
+  cache.Insert(Key(2), EntryWithCost(2));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup(Key(1)), nullptr);
+}
+
+TEST(ServeCacheTest, EntryOutlivesEviction) {
+  ResultCache cache({.capacity = 1, .shards = 1});
+  cache.Insert(Key(1), EntryWithCost(1.25));
+  auto held = cache.Lookup(Key(1));
+  ASSERT_NE(held, nullptr);
+  cache.Insert(Key(2), EntryWithCost(2));  // evicts key 1
+  EXPECT_EQ(cache.Lookup(Key(1)), nullptr);
+  EXPECT_DOUBLE_EQ(held->cost.combined, 1.25);  // still valid
+}
+
+TEST(ServeCacheTest, ConcurrentReadersAndWriters) {
+  ResultCache cache({.capacity = 64, .shards = 8});
+  constexpr int kThreads = 8;
+  constexpr uint64_t kKeys = 32;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int round = 0; round < 200; ++round) {
+        uint64_t k = static_cast<uint64_t>((round * (t + 1)) % kKeys);
+        if ((round + t) % 3 == 0) {
+          cache.Insert(Key(k), EntryWithCost(static_cast<double>(k)));
+        } else if (auto e = cache.Lookup(Key(k))) {
+          EXPECT_DOUBLE_EQ(e->cost.combined, static_cast<double>(k));
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+}  // namespace
+}  // namespace wsflow::serve

@@ -1,0 +1,100 @@
+#include "src/serve/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/serve/request.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow::serve {
+namespace {
+
+DeployRequest MakeRequest(size_t ops = 5, size_t servers = 3) {
+  DeployRequest req;
+  req.workflow = std::make_shared<Workflow>(testing::SimpleLine(ops));
+  req.network = std::make_shared<Network>(testing::SimpleBus(servers));
+  req.algorithm = "heavy-ops";
+  return req;
+}
+
+TEST(ServeFingerprintTest, DeterministicForEqualRequests) {
+  DeployRequest a = MakeRequest();
+  DeployRequest b = MakeRequest();
+  EXPECT_EQ(RequestFingerprint(a), RequestFingerprint(b));
+}
+
+TEST(ServeFingerprintTest, LogicallyEqualObjectsFingerprintEqually) {
+  // Two independently built but identical workflows digest equally because
+  // the digest goes through the canonical XML serialization.
+  Workflow w1 = testing::SimpleLine(7);
+  Workflow w2 = testing::SimpleLine(7);
+  EXPECT_EQ(WorkflowDigest(w1), WorkflowDigest(w2));
+  Network n1 = testing::SimpleBus(4);
+  Network n2 = testing::SimpleBus(4);
+  EXPECT_EQ(NetworkDigest(n1), NetworkDigest(n2));
+}
+
+TEST(ServeFingerprintTest, SensitiveToEveryKeyComponent) {
+  DeployRequest base = MakeRequest();
+  Fingerprint fp = RequestFingerprint(base);
+
+  DeployRequest different_workflow = MakeRequest(/*ops=*/6);
+  EXPECT_NE(RequestFingerprint(different_workflow), fp);
+
+  DeployRequest different_network = MakeRequest(5, /*servers=*/4);
+  EXPECT_NE(RequestFingerprint(different_network), fp);
+
+  DeployRequest different_algorithm = MakeRequest();
+  different_algorithm.algorithm = "fair-load";
+  EXPECT_NE(RequestFingerprint(different_algorithm), fp);
+
+  DeployRequest different_weights = MakeRequest();
+  different_weights.cost_options.execution_weight = 0.9;
+  different_weights.cost_options.fairness_weight = 0.1;
+  EXPECT_NE(RequestFingerprint(different_weights), fp);
+
+  DeployRequest different_seed = MakeRequest();
+  different_seed.seed = 99;
+  EXPECT_NE(RequestFingerprint(different_seed), fp);
+}
+
+TEST(ServeFingerprintTest, DeadlineDoesNotPerturbTheKey) {
+  // The deadline changes delivery, never the answer — two requests that
+  // differ only in deadline must share a cache line.
+  DeployRequest a = MakeRequest();
+  DeployRequest b = MakeRequest();
+  b.deadline = ServiceClock::now() + std::chrono::seconds(5);
+  EXPECT_EQ(RequestFingerprint(a), RequestFingerprint(b));
+}
+
+TEST(ServeFingerprintTest, PrecomputedDigestsMatchComputed) {
+  DeployRequest computed = MakeRequest();
+  DeployRequest precomputed = MakeRequest();
+  precomputed.workflow_digest = WorkflowDigest(*precomputed.workflow);
+  precomputed.network_digest = NetworkDigest(*precomputed.network);
+  EXPECT_EQ(RequestFingerprint(computed), RequestFingerprint(precomputed));
+}
+
+TEST(ServeFingerprintTest, DigestsAreNeverZero) {
+  // 0 is the "not precomputed" sentinel in DeployRequest.
+  EXPECT_NE(WorkflowDigest(testing::SimpleLine(1)), 0u);
+  EXPECT_NE(NetworkDigest(testing::SimpleBus(1)), 0u);
+}
+
+TEST(ServeFingerprintTest, ToHexRendersBothWords) {
+  Fingerprint fp{0x0123456789ABCDEFull, 0xFEDCBA9876543210ull};
+  EXPECT_EQ(fp.ToHex(), "fedcba98765432100123456789abcdef");
+  EXPECT_EQ(Fingerprint{}.ToHex(), std::string(32, '0'));
+}
+
+TEST(ServeFingerprintTest, Fnv1a64MatchesReferenceVector) {
+  // Standard FNV-1a test vectors (offset basis as seed).
+  constexpr uint64_t kOffset = 0xCBF29CE484222325ull;
+  EXPECT_EQ(Fnv1a64("", kOffset), kOffset);
+  EXPECT_EQ(Fnv1a64("a", kOffset), 0xAF63DC4C8601EC8Cull);
+  EXPECT_EQ(Fnv1a64("foobar", kOffset), 0x85944171F73967E8ull);
+}
+
+}  // namespace
+}  // namespace wsflow::serve

@@ -1,0 +1,112 @@
+#include "src/serve/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace wsflow::serve {
+namespace {
+
+TEST(ServeMetricsTest, FreshSnapshotIsAllZero) {
+  ServeMetrics metrics;
+  MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.submitted, 0u);
+  EXPECT_EQ(snap.cache_hits, 0u);
+  EXPECT_EQ(snap.cache_misses, 0u);
+  EXPECT_EQ(snap.hit_latency.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.HitRate(), 0.0);
+}
+
+TEST(ServeMetricsTest, CountersAccumulate) {
+  ServeMetrics metrics;
+  metrics.RecordSubmitted();
+  metrics.RecordSubmitted();
+  metrics.RecordRejected();
+  metrics.RecordDeadlineExceeded();
+  metrics.RecordFailure();
+  metrics.RecordCompleted();
+  MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.submitted, 2u);
+  EXPECT_EQ(snap.rejected_queue_full, 1u);
+  EXPECT_EQ(snap.deadline_exceeded, 1u);
+  EXPECT_EQ(snap.failures, 1u);
+  EXPECT_EQ(snap.completed, 1u);
+}
+
+TEST(ServeMetricsTest, HitRate) {
+  ServeMetrics metrics;
+  metrics.RecordHit(0.001);
+  metrics.RecordHit(0.001);
+  metrics.RecordHit(0.001);
+  metrics.RecordMiss(0.010);
+  MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.cache_hits, 3u);
+  EXPECT_EQ(snap.cache_misses, 1u);
+  EXPECT_DOUBLE_EQ(snap.HitRate(), 0.75);
+}
+
+TEST(ServeMetricsTest, LatencyPercentiles) {
+  ServeMetrics metrics;
+  // 1..100 ms: p50 = 50.5ms (interpolated), p99 = 99.01ms, max = 100ms.
+  for (int i = 1; i <= 100; ++i) {
+    metrics.RecordMiss(static_cast<double>(i) / 1000.0);
+  }
+  MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.miss_latency.count, 100u);
+  EXPECT_NEAR(snap.miss_latency.mean, 0.0505, 1e-9);
+  EXPECT_NEAR(snap.miss_latency.p50, 0.0505, 1e-9);
+  EXPECT_NEAR(snap.miss_latency.p95, 0.09505, 1e-9);
+  EXPECT_NEAR(snap.miss_latency.p99, 0.09901, 1e-9);
+  EXPECT_NEAR(snap.miss_latency.max, 0.100, 1e-12);
+}
+
+TEST(ServeMetricsTest, QueueWaitTrackedSeparately) {
+  ServeMetrics metrics;
+  metrics.RecordQueueWait(0.002);
+  MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.queue_wait.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.queue_wait.p50, 0.002);
+  EXPECT_EQ(snap.hit_latency.count, 0u);
+}
+
+TEST(ServeMetricsTest, ReportMentionsEverySection) {
+  ServeMetrics metrics;
+  metrics.RecordSubmitted();
+  metrics.RecordHit(0.0001);
+  metrics.RecordMiss(0.01);
+  std::string report = metrics.Snapshot().ToString();
+  EXPECT_NE(report.find("hit-rate"), std::string::npos);
+  EXPECT_NE(report.find("p95"), std::string::npos);
+  EXPECT_NE(report.find("queue wait"), std::string::npos);
+  EXPECT_NE(report.find("submitted=1"), std::string::npos);
+}
+
+TEST(ServeMetricsTest, ConcurrentRecordingIsConsistent) {
+  ServeMetrics metrics;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&metrics] {
+      for (int i = 0; i < kPerThread; ++i) {
+        metrics.RecordSubmitted();
+        if (i % 2 == 0) {
+          metrics.RecordHit(0.001);
+        } else {
+          metrics.RecordMiss(0.002);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.submitted, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(snap.cache_hits + snap.cache_misses,
+            static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(snap.hit_latency.count + snap.miss_latency.count,
+            static_cast<size_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace wsflow::serve

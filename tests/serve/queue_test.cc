@@ -1,0 +1,113 @@
+#include "src/serve/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "tests/testing/test_util.h"
+
+namespace wsflow::serve {
+namespace {
+
+TEST(ServeQueueTest, FifoOrder) {
+  BoundedQueue<int> q(4);
+  WSFLOW_EXPECT_OK(q.TryPush(1));
+  WSFLOW_EXPECT_OK(q.TryPush(2));
+  WSFLOW_EXPECT_OK(q.TryPush(3));
+  int out = 0;
+  EXPECT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out, 3);
+}
+
+TEST(ServeQueueTest, BackpressureWhenFull) {
+  BoundedQueue<int> q(2);
+  WSFLOW_EXPECT_OK(q.TryPush(1));
+  WSFLOW_EXPECT_OK(q.TryPush(2));
+  Status st = q.TryPush(3);
+  EXPECT_TRUE(st.IsResourceExhausted()) << st.ToString();
+  EXPECT_EQ(q.size(), 2u);
+  // Popping frees a slot.
+  int out = 0;
+  EXPECT_TRUE(q.Pop(&out));
+  WSFLOW_EXPECT_OK(q.TryPush(3));
+}
+
+TEST(ServeQueueTest, LvaluePushKeepsItemOnFailure) {
+  BoundedQueue<std::string> q(1);
+  std::string a = "first";
+  WSFLOW_EXPECT_OK(q.TryPush(a));
+  std::string b = "second";
+  Status st = q.TryPush(b);
+  EXPECT_TRUE(st.IsResourceExhausted());
+  EXPECT_EQ(b, "second");  // untouched, caller can retry
+}
+
+TEST(ServeQueueTest, CloseRejectsPushesButDrains) {
+  BoundedQueue<int> q(4);
+  WSFLOW_EXPECT_OK(q.TryPush(7));
+  q.Close();
+  EXPECT_TRUE(q.closed());
+  Status st = q.TryPush(8);
+  EXPECT_TRUE(st.IsFailedPrecondition()) << st.ToString();
+  int out = 0;
+  EXPECT_TRUE(q.Pop(&out));  // accepted item still poppable
+  EXPECT_EQ(out, 7);
+  EXPECT_FALSE(q.Pop(&out));  // drained + closed
+}
+
+TEST(ServeQueueTest, CloseWakesBlockedConsumers) {
+  BoundedQueue<int> q(4);
+  std::thread consumer([&q] {
+    int out = 0;
+    EXPECT_FALSE(q.Pop(&out));
+  });
+  // Give the consumer a chance to block, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  consumer.join();
+}
+
+TEST(ServeQueueTest, TryPopNonBlocking) {
+  BoundedQueue<int> q(2);
+  EXPECT_FALSE(q.TryPop().has_value());
+  WSFLOW_EXPECT_OK(q.TryPush(5));
+  std::optional<int> out = q.TryPop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, 5);
+}
+
+TEST(ServeQueueTest, ManyProducersOneConsumerLosesNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> q(8);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int item = p * kPerProducer + i;
+        while (!q.TryPush(item).ok()) std::this_thread::yield();
+      }
+    });
+  }
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  int received = 0;
+  while (received < kProducers * kPerProducer) {
+    int out = -1;
+    ASSERT_TRUE(q.Pop(&out));
+    ASSERT_GE(out, 0);
+    ASSERT_LT(out, kProducers * kPerProducer);
+    EXPECT_FALSE(seen[out]) << "duplicate item " << out;
+    seen[out] = true;
+    ++received;
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+}  // namespace
+}  // namespace wsflow::serve

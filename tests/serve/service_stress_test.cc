@@ -1,0 +1,167 @@
+// Multi-threaded stress of the deployment service: many producers over a
+// deliberately tiny bounded queue, workers racing on the shared cache and
+// metrics. Asserts the service's core delivery guarantee — every accepted
+// request resolves to exactly one response, none lost, none duplicated —
+// and that cache hits replay the cold payload byte-for-byte. Run under
+// -fsanitize=thread in CI to certify the queue/cache/metrics locking.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/serve/service.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow::serve {
+namespace {
+
+struct SharedInstance {
+  std::shared_ptr<const Workflow> workflow;
+  std::shared_ptr<const Network> network;
+};
+
+std::vector<SharedInstance> MakeInstancePool(size_t n) {
+  std::vector<SharedInstance> pool;
+  pool.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pool.push_back(
+        {std::make_shared<Workflow>(testing::SimpleLine(4 + i)),
+         std::make_shared<Network>(testing::SimpleBus(3))});
+  }
+  return pool;
+}
+
+TEST(ServeStressTest, NoLostOrDuplicatedResponses) {
+  constexpr size_t kProducers = 8;
+  constexpr size_t kPerProducer = 150;
+  constexpr size_t kInstances = 6;
+
+  ServiceOptions options;
+  options.num_threads = 4;
+  options.queue_capacity = 8;  // small on purpose: force backpressure
+  options.cache_capacity = 32;
+  options.cache_shards = 4;
+  DeploymentService service(options);
+  WSFLOW_ASSERT_OK(service.Start());
+
+  std::vector<SharedInstance> pool = MakeInstancePool(kInstances);
+  std::atomic<uint64_t> rejections{0};
+  std::vector<std::vector<std::future<DeployResponse>>> futures(kProducers);
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      futures[p].reserve(kPerProducer);
+      for (size_t i = 0; i < kPerProducer; ++i) {
+        const SharedInstance& inst = pool[(p + i) % kInstances];
+        for (;;) {
+          DeployRequest req;
+          req.workflow = inst.workflow;
+          req.network = inst.network;
+          req.algorithm = "heavy-ops";
+          Result<std::future<DeployResponse>> f =
+              service.Submit(std::move(req));
+          if (f.ok()) {
+            futures[p].push_back(std::move(*f));
+            break;
+          }
+          ASSERT_TRUE(f.status().IsResourceExhausted())
+              << f.status().ToString();
+          rejections.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+
+  // Exactly one response per accepted request, all successful. A lost
+  // request would hang here (futures never resolve); a duplicated
+  // response would have thrown inside promise::set_value.
+  size_t responses = 0;
+  for (auto& per_producer : futures) {
+    for (auto& f : per_producer) {
+      DeployResponse resp = f.get();
+      WSFLOW_ASSERT_OK(resp.status);
+      EXPECT_TRUE(resp.mapping.IsTotal());
+      ++responses;
+    }
+  }
+  EXPECT_EQ(responses, kProducers * kPerProducer);
+
+  service.Stop();
+  MetricsSnapshot snap = service.metrics().Snapshot();
+  EXPECT_EQ(snap.submitted, kProducers * kPerProducer);
+  EXPECT_EQ(snap.completed, kProducers * kPerProducer);
+  EXPECT_EQ(snap.cache_hits + snap.cache_misses,
+            kProducers * kPerProducer);
+  EXPECT_EQ(snap.rejected_queue_full,
+            rejections.load(std::memory_order_relaxed));
+  // Six distinct fingerprints over 1200 requests: overwhelmingly hits.
+  EXPECT_GE(snap.cache_hits, snap.cache_misses);
+}
+
+TEST(ServeStressTest, CacheHitsAreByteIdenticalUnderConcurrency) {
+  constexpr size_t kProducers = 8;
+  constexpr size_t kPerProducer = 60;
+  constexpr size_t kInstances = 4;
+
+  ServiceOptions options;
+  options.num_threads = 4;
+  options.queue_capacity = 16;
+  DeploymentService service(options);
+  WSFLOW_ASSERT_OK(service.Start());
+
+  std::vector<SharedInstance> pool = MakeInstancePool(kInstances);
+  std::vector<std::vector<std::pair<size_t, std::future<DeployResponse>>>>
+      futures(kProducers);
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (size_t i = 0; i < kPerProducer; ++i) {
+        size_t which = (p * kPerProducer + i) % kInstances;
+        for (;;) {
+          DeployRequest req;
+          req.workflow = pool[which].workflow;
+          req.network = pool[which].network;
+          req.algorithm = "fair-load";
+          Result<std::future<DeployResponse>> f =
+              service.Submit(std::move(req));
+          if (f.ok()) {
+            futures[p].emplace_back(which, std::move(*f));
+            break;
+          }
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+
+  // Every response for one instance — cold or hit, any worker — must
+  // render the identical payload bytes.
+  std::unordered_map<size_t, std::string> reference;
+  size_t hits = 0;
+  for (auto& per_producer : futures) {
+    for (auto& [which, f] : per_producer) {
+      DeployResponse resp = f.get();
+      WSFLOW_ASSERT_OK(resp.status);
+      if (resp.cache_hit) ++hits;
+      std::string payload = resp.CanonicalPayload();
+      auto [it, inserted] = reference.emplace(which, payload);
+      if (!inserted) {
+        EXPECT_EQ(it->second, payload) << "instance " << which;
+      }
+    }
+  }
+  EXPECT_GT(hits, 0u);
+  service.Stop();
+}
+
+}  // namespace
+}  // namespace wsflow::serve

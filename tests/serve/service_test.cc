@@ -1,0 +1,199 @@
+#include "src/serve/service.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+
+#include "src/cost/cost_model.h"
+#include "src/deploy/algorithm.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow::serve {
+namespace {
+
+DeployRequest MakeRequest(size_t ops = 6, size_t servers = 3,
+                          const std::string& algorithm = "heavy-ops") {
+  DeployRequest req;
+  req.workflow = std::make_shared<Workflow>(testing::SimpleLine(ops));
+  req.network = std::make_shared<Network>(testing::SimpleBus(servers));
+  req.algorithm = algorithm;
+  return req;
+}
+
+ServiceOptions SmallService(size_t threads = 2) {
+  ServiceOptions options;
+  options.num_threads = threads;
+  options.queue_capacity = 16;
+  options.cache_capacity = 64;
+  options.cache_shards = 4;
+  return options;
+}
+
+TEST(ServeServiceTest, AnswersMatchDirectAlgorithmRun) {
+  DeploymentService service(SmallService());
+  WSFLOW_ASSERT_OK(service.Start());
+  DeployRequest req = MakeRequest();
+  // Keep handles for the reference computation before the move.
+  auto workflow = req.workflow;
+  auto network = req.network;
+  auto future = WSFLOW_UNWRAP(service.Submit(std::move(req)));
+  DeployResponse resp = future.get();
+  WSFLOW_ASSERT_OK(resp.status);
+  EXPECT_FALSE(resp.cache_hit);
+
+  DeployContext ctx;
+  ctx.workflow = workflow.get();
+  ctx.network = network.get();
+  Mapping expected = WSFLOW_UNWRAP(RunAlgorithm("heavy-ops", ctx));
+  EXPECT_TRUE(resp.mapping == expected);
+  CostModel model(*workflow, *network);
+  CostBreakdown cost = WSFLOW_UNWRAP(model.Evaluate(expected));
+  EXPECT_DOUBLE_EQ(resp.cost.combined, cost.combined);
+}
+
+TEST(ServeServiceTest, SecondIdenticalRequestHitsTheCache) {
+  DeploymentService service(SmallService());
+  WSFLOW_ASSERT_OK(service.Start());
+  DeployResponse cold =
+      WSFLOW_UNWRAP(service.Submit(MakeRequest())).get();
+  WSFLOW_ASSERT_OK(cold.status);
+  EXPECT_FALSE(cold.cache_hit);
+
+  DeployResponse hot = WSFLOW_UNWRAP(service.Submit(MakeRequest())).get();
+  WSFLOW_ASSERT_OK(hot.status);
+  EXPECT_TRUE(hot.cache_hit);
+
+  MetricsSnapshot snap = service.metrics().Snapshot();
+  EXPECT_EQ(snap.cache_hits, 1u);
+  EXPECT_EQ(snap.cache_misses, 1u);
+  EXPECT_EQ(snap.completed, 2u);
+}
+
+TEST(ServeServiceTest, CacheHitPayloadIsByteIdenticalToColdPayload) {
+  DeploymentService service(SmallService());
+  WSFLOW_ASSERT_OK(service.Start());
+  DeployResponse cold =
+      WSFLOW_UNWRAP(service.Submit(MakeRequest())).get();
+  DeployResponse hot = WSFLOW_UNWRAP(service.Submit(MakeRequest())).get();
+  ASSERT_TRUE(hot.cache_hit);
+  EXPECT_EQ(cold.CanonicalPayload(), hot.CanonicalPayload());
+}
+
+TEST(ServeServiceTest, GraphWorkflowComputesProfileOnColdPath) {
+  DeploymentService service(SmallService());
+  WSFLOW_ASSERT_OK(service.Start());
+  DeployRequest req;
+  req.workflow = std::make_shared<Workflow>(testing::AllDecisionGraph());
+  req.network = std::make_shared<Network>(testing::SimpleBus(3));
+  req.algorithm = "heavy-ops";
+  DeployResponse resp = WSFLOW_UNWRAP(service.Submit(std::move(req))).get();
+  WSFLOW_ASSERT_OK(resp.status);
+  EXPECT_TRUE(resp.mapping.IsTotal());
+}
+
+TEST(ServeServiceTest, ExpiredDeadlineSkipsExecution) {
+  DeploymentService service(SmallService());
+  WSFLOW_ASSERT_OK(service.Start());
+  DeployRequest req = MakeRequest();
+  req.deadline = ServiceClock::now() - std::chrono::milliseconds(1);
+  DeployResponse resp = WSFLOW_UNWRAP(service.Submit(std::move(req))).get();
+  EXPECT_TRUE(resp.status.IsDeadlineExceeded()) << resp.status.ToString();
+  MetricsSnapshot snap = service.metrics().Snapshot();
+  EXPECT_EQ(snap.deadline_exceeded, 1u);
+  // The algorithm never ran: neither hit nor miss was recorded.
+  EXPECT_EQ(snap.cache_hits + snap.cache_misses, 0u);
+}
+
+TEST(ServeServiceTest, FullQueueRejectsWithResourceExhausted) {
+  ServiceOptions options = SmallService();
+  options.queue_capacity = 2;
+  DeploymentService service(options);
+  // Not started: nothing drains the queue while we fill it.
+  auto f1 = WSFLOW_UNWRAP(service.Submit(MakeRequest()));
+  auto f2 = WSFLOW_UNWRAP(service.Submit(MakeRequest(7)));
+  Result<std::future<DeployResponse>> rejected =
+      service.Submit(MakeRequest(8));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsResourceExhausted())
+      << rejected.status().ToString();
+  MetricsSnapshot snap = service.metrics().Snapshot();
+  EXPECT_EQ(snap.submitted, 2u);
+  EXPECT_EQ(snap.rejected_queue_full, 1u);
+
+  // Accepted requests are still answered at shutdown.
+  service.Stop();
+  WSFLOW_EXPECT_OK(f1.get().status);
+  WSFLOW_EXPECT_OK(f2.get().status);
+}
+
+TEST(ServeServiceTest, SubmitValidatesRequest) {
+  DeploymentService service(SmallService());
+  DeployRequest no_workflow;
+  no_workflow.network = std::make_shared<Network>(testing::SimpleBus(2));
+  EXPECT_TRUE(service.Submit(std::move(no_workflow))
+                  .status()
+                  .IsInvalidArgument());
+
+  DeployRequest unknown = MakeRequest();
+  unknown.algorithm = "no-such-algorithm";
+  EXPECT_TRUE(service.Submit(std::move(unknown)).status().IsNotFound());
+}
+
+TEST(ServeServiceTest, AlgorithmFailureSurfacesInResponse) {
+  DeploymentService service(SmallService());
+  WSFLOW_ASSERT_OK(service.Start());
+  // Exhaustive refuses the 5^19 mapping space with ResourceExhausted.
+  DeployRequest req = MakeRequest(19, 5, "exhaustive");
+  DeployResponse resp = WSFLOW_UNWRAP(service.Submit(std::move(req))).get();
+  EXPECT_TRUE(resp.status.IsResourceExhausted()) << resp.status.ToString();
+  MetricsSnapshot snap = service.metrics().Snapshot();
+  EXPECT_EQ(snap.failures, 1u);
+  EXPECT_EQ(snap.completed, 0u);
+}
+
+TEST(ServeServiceTest, FailedRunsAreNotCached) {
+  DeploymentService service(SmallService());
+  WSFLOW_ASSERT_OK(service.Start());
+  DeployResponse first =
+      WSFLOW_UNWRAP(service.Submit(MakeRequest(19, 5, "exhaustive"))).get();
+  EXPECT_FALSE(first.status.ok());
+  DeployResponse second =
+      WSFLOW_UNWRAP(service.Submit(MakeRequest(19, 5, "exhaustive"))).get();
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_EQ(service.metrics().Snapshot().cache_misses, 2u);
+}
+
+TEST(ServeServiceTest, StartTwiceFails) {
+  DeploymentService service(SmallService(1));
+  WSFLOW_ASSERT_OK(service.Start());
+  EXPECT_TRUE(service.Start().IsFailedPrecondition());
+  service.Stop();
+  EXPECT_TRUE(service.Start().IsFailedPrecondition());
+}
+
+TEST(ServeServiceTest, SubmitAfterStopFails) {
+  DeploymentService service(SmallService(1));
+  WSFLOW_ASSERT_OK(service.Start());
+  service.Stop();
+  Result<std::future<DeployResponse>> r = service.Submit(MakeRequest());
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsFailedPrecondition());
+}
+
+TEST(ServeServiceTest, HonorsRequestWeightsInEvaluation) {
+  DeploymentService service(SmallService());
+  WSFLOW_ASSERT_OK(service.Start());
+  DeployRequest req = MakeRequest();
+  req.cost_options.execution_weight = 1.0;
+  req.cost_options.fairness_weight = 0.0;
+  auto workflow = req.workflow;
+  auto network = req.network;
+  DeployResponse resp = WSFLOW_UNWRAP(service.Submit(std::move(req))).get();
+  WSFLOW_ASSERT_OK(resp.status);
+  // With w_f = 0 the combined cost equals the execution time.
+  EXPECT_DOUBLE_EQ(resp.cost.combined, resp.cost.execution_time);
+}
+
+}  // namespace
+}  // namespace wsflow::serve
