@@ -1,0 +1,195 @@
+// Evaluation-throughput bench: how many candidate mappings per second the
+// cost layer can score over a single-op-move neighborhood — the inner loop
+// of every search in src/deploy. Compares the cold path (copy the mapping,
+// CostModel::Evaluate from scratch) against the incremental path
+// (IncrementalEvaluator Apply / Evaluate / Undo on working state), on a
+// line workload (closed-form T_execute) and on graph workloads (block-tree
+// recursion), at the paper's scale and at a larger instance. Results land
+// in bench_results/eval_throughput.json for CI trending; the docs/perf.md
+// methodology section describes the setup.
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/logging.h"
+#include "src/cost/cost_model.h"
+#include "src/cost/incremental.h"
+#include "src/exp/config.h"
+
+namespace wsflow {
+namespace {
+
+/// Minimum wall time per measurement; sweeps repeat until it is exceeded.
+constexpr double kMinSeconds = 0.25;
+
+struct ScenarioResult {
+  std::string name;
+  std::string workload;
+  size_t num_operations = 0;
+  size_t num_servers = 0;
+  double cold_per_sec = 0;
+  double incremental_per_sec = 0;
+  double speedup = 0;
+};
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Cold: every neighbor is a fresh mapping copy evaluated from scratch.
+double ColdRate(const CostModel& model, const Mapping& base,
+                double* checksum) {
+  const size_t M = model.workflow().num_operations();
+  const size_t N = model.network().num_servers();
+  size_t evals = 0;
+  auto start = std::chrono::steady_clock::now();
+  double elapsed = 0;
+  do {
+    for (uint32_t op = 0; op < M; ++op) {
+      ServerId from = base.ServerOf(OperationId(op));
+      for (uint32_t s = 0; s < N; ++s) {
+        if (ServerId(s) == from) continue;
+        Mapping candidate = base;
+        candidate.Assign(OperationId(op), ServerId(s));
+        Result<CostBreakdown> cost = model.Evaluate(candidate);
+        WSFLOW_CHECK(cost.ok()) << cost.status().ToString();
+        *checksum += cost->combined;
+        ++evals;
+      }
+    }
+    elapsed = Seconds(start);
+  } while (elapsed < kMinSeconds);
+  return static_cast<double>(evals) / elapsed;
+}
+
+/// Incremental: the same neighborhood walked as Apply / Evaluate / Undo on
+/// one working evaluator.
+double IncrementalRate(const CostModel& model, const Mapping& base,
+                       double* checksum) {
+  const size_t M = model.workflow().num_operations();
+  const size_t N = model.network().num_servers();
+  Result<IncrementalEvaluator> bound = IncrementalEvaluator::Bind(model, base);
+  WSFLOW_CHECK(bound.ok()) << bound.status().ToString();
+  IncrementalEvaluator& eval = *bound;
+  size_t evals = 0;
+  auto start = std::chrono::steady_clock::now();
+  double elapsed = 0;
+  do {
+    for (uint32_t op = 0; op < M; ++op) {
+      ServerId from = eval.mapping().ServerOf(OperationId(op));
+      for (uint32_t s = 0; s < N; ++s) {
+        if (ServerId(s) == from) continue;
+        WSFLOW_CHECK(eval.Apply(OperationId(op), ServerId(s)).ok());
+        Result<CostBreakdown> cost = eval.Evaluate();
+        WSFLOW_CHECK(cost.ok()) << cost.status().ToString();
+        *checksum += cost->combined;
+        WSFLOW_CHECK(eval.Undo().ok());
+        ++evals;
+      }
+    }
+    elapsed = Seconds(start);
+  } while (elapsed < kMinSeconds);
+  return static_cast<double>(evals) / elapsed;
+}
+
+ScenarioResult RunScenario(const std::string& name, WorkloadKind kind,
+                           size_t num_operations, size_t num_servers) {
+  ExperimentConfig cfg = MakeClassCConfig(kind);
+  cfg.num_operations = num_operations;
+  cfg.num_servers = num_servers;
+  cfg.fixed_bus_speed_bps = paperconst::kBus100Mbps;
+  cfg.seed = 7;
+  Result<TrialInstance> trial = DrawTrial(cfg, 0);
+  WSFLOW_CHECK(trial.ok()) << trial.status().ToString();
+  const ExecutionProfile* profile =
+      trial->profile.has_value() ? &*trial->profile : nullptr;
+  CostModel model(trial->workflow, trial->network, profile);
+  const size_t M = trial->workflow.num_operations();
+
+  Mapping base(M);
+  for (uint32_t op = 0; op < M; ++op) {
+    base.Assign(OperationId(op), ServerId(op % num_servers));
+  }
+
+  double checksum = 0;
+  ScenarioResult out;
+  out.name = name;
+  out.workload = std::string(WorkloadKindToString(kind));
+  out.num_operations = M;
+  out.num_servers = num_servers;
+  out.cold_per_sec = ColdRate(model, base, &checksum);
+  out.incremental_per_sec = IncrementalRate(model, base, &checksum);
+  out.speedup = out.incremental_per_sec / out.cold_per_sec;
+  std::printf("%-18s %-8s M=%-3zu N=%-2zu %12.0f %12.0f %8.1fx\n",
+              out.name.c_str(), out.workload.c_str(), out.num_operations,
+              out.num_servers, out.cold_per_sec, out.incremental_per_sec,
+              out.speedup);
+  // Keep the scored costs observable so the loops cannot be elided.
+  std::printf("  (checksum %.6g)\n", checksum);
+  return out;
+}
+
+void WriteJson(const std::vector<ScenarioResult>& results) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  if (ec) {
+    std::fprintf(stderr, "note: cannot create bench_results/: %s\n",
+                 ec.message().c_str());
+    return;
+  }
+  const char* path = "bench_results/eval_throughput.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "note: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"eval_throughput\",\n  \"unit\": "
+                  "\"mappings_per_second\",\n  \"scenarios\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"workload\": \"%s\", "
+        "\"num_operations\": %zu, \"num_servers\": %zu, "
+        "\"cold_per_sec\": %.1f, \"incremental_per_sec\": %.1f, "
+        "\"speedup\": %.2f}%s\n",
+        r.name.c_str(), r.workload.c_str(), r.num_operations, r.num_servers,
+        r.cold_per_sec, r.incremental_per_sec, r.speedup,
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("(json -> %s)\n", path);
+}
+
+}  // namespace
+}  // namespace wsflow
+
+int main() {
+  using namespace wsflow;
+  bench::PrintBanner(
+      "EVAL",
+      "single-op-move neighborhood scoring, cold CostModel::Evaluate vs "
+      "IncrementalEvaluator (Apply/Evaluate/Undo); Class C instances, "
+      "100 Mbps bus");
+  std::printf("%-18s %-8s %-10s %12s %12s %9s\n", "scenario", "workload",
+              "size", "cold/s", "incr/s", "speedup");
+
+  std::vector<ScenarioResult> results;
+  results.push_back(
+      RunScenario("line_m19_n5", WorkloadKind::kLine, 19, 5));
+  results.push_back(
+      RunScenario("bushy_m24_n8", WorkloadKind::kBushyGraph, 24, 8));
+  results.push_back(
+      RunScenario("hybrid_m24_n8", WorkloadKind::kHybridGraph, 24, 8));
+  results.push_back(
+      RunScenario("hybrid_m48_n12", WorkloadKind::kHybridGraph, 48, 12));
+  WriteJson(results);
+  return 0;
+}

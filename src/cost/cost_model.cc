@@ -89,16 +89,25 @@ double CostModel::TimePenalty(const Mapping& m) const {
   return penalty;
 }
 
-Result<double> CostModel::ExecutionTime(const Mapping& m) const {
+bool CostModel::IsLineWorkflow() const {
   if (!is_line_.has_value()) is_line_ = workflow_.IsLine();
-  if (*is_line_) {
-    return LineExecutionTime(*this, m);
-  }
+  return *is_line_;
+}
+
+Result<const Block*> CostModel::BlockRoot() const {
   if (!root_.has_value()) {
     WSFLOW_ASSIGN_OR_RETURN(Block root, DecomposeBlocks(workflow_));
     root_ = std::move(root);
   }
-  return GraphExecutionTime(*this, *root_, m);
+  return &*root_;
+}
+
+Result<double> CostModel::ExecutionTime(const Mapping& m) const {
+  if (IsLineWorkflow()) {
+    return LineExecutionTime(*this, m);
+  }
+  WSFLOW_ASSIGN_OR_RETURN(const Block* root, BlockRoot());
+  return GraphExecutionTime(*this, *root, m);
 }
 
 Result<CostBreakdown> CostModel::Evaluate(const Mapping& m,

@@ -87,6 +87,15 @@ class CostModel {
   /// Sum over servers of |Load(s) - avg| / 2.
   double TimePenalty(const Mapping& m) const;
 
+  /// True when the workflow is a simple path (cached; the evaluators pick
+  /// the closed-form line formula over the block recursion in that case).
+  bool IsLineWorkflow() const;
+
+  /// The cached block decomposition of a graph workflow. Fails when the
+  /// workflow is not well-formed. The pointer stays valid for the model's
+  /// lifetime.
+  Result<const Block*> BlockRoot() const;
+
   /// T_execute: line workflows use the closed form Sum T_proc + Sum T_comm;
   /// graph workflows use the recursive block evaluation (execution_time.h).
   /// The mapping must be total.

@@ -1,0 +1,425 @@
+#include "src/cost/incremental.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "src/common/logging.h"
+#include "src/network/routing.h"
+
+namespace wsflow {
+
+namespace {
+
+/// Moves between re-anchoring passes. Running sums accumulate one rounding
+/// error per update; re-summing in cold evaluation order every few thousand
+/// moves keeps the worst-case deviation far below the 1e-9 the property
+/// suite (and the search tie tolerances) rely on.
+constexpr size_t kReanchorInterval = 4096;
+
+Status Disconnected() {
+  return Status::FailedPrecondition(
+      "mapping routes a message between disconnected servers");
+}
+
+}  // namespace
+
+IncrementalEvaluator::IncrementalEvaluator(const CostModel& model,
+                                           Mapping mapping,
+                                           const CostOptions& options)
+    : model_(&model), options_(options), mapping_(std::move(mapping)) {}
+
+Result<IncrementalEvaluator> IncrementalEvaluator::Bind(
+    const CostModel& model, Mapping initial, const CostOptions& options) {
+  IncrementalEvaluator eval(model, std::move(initial), options);
+  WSFLOW_RETURN_IF_ERROR(eval.ColdStart());
+  return eval;
+}
+
+Status IncrementalEvaluator::Rebind(Mapping mapping) {
+  Mapping previous = std::move(mapping_);
+  mapping_ = std::move(mapping);
+  Status st = ColdStart();
+  if (!st.ok()) {
+    // ColdStart validates before touching any state, so the caches still
+    // describe the previous mapping; restore it and report the error.
+    mapping_ = std::move(previous);
+  }
+  return st;
+}
+
+Status IncrementalEvaluator::ColdStart() {
+  const Workflow& w = model_->workflow();
+  const Network& n = model_->network();
+  WSFLOW_RETURN_IF_ERROR(mapping_.ValidateAgainst(w, n));
+
+  if (pair_prop_.empty()) {
+    model_->router().WarmAllPairs();
+    WSFLOW_RETURN_IF_ERROR(BuildPairTable());
+  }
+  line_ = model_->IsLineWorkflow();
+  if (!line_ && nodes_.empty()) {
+    WSFLOW_ASSIGN_OR_RETURN(const Block* root, model_->BlockRoot());
+    tproc_reader_.assign(w.num_operations(), -1);
+    edge_consumer_.assign(w.num_transitions(), -1);
+    int root_index = -1;
+    WSFLOW_RETURN_IF_ERROR(FlattenBlocks(*root, -1, &root_index));
+    WSFLOW_CHECK_EQ(root_index, 0);
+  }
+
+  tcomm_.resize(w.num_transitions());
+  for (const Transition& t : w.transitions()) {
+    tcomm_[t.id.value] = ComputeEdge(t.id);
+  }
+  loads_.assign(n.num_servers(), 0.0);
+  Reanchor();  // loads_ and the line sums, freshly summed
+  if (!line_) {
+    dirty_.clear();
+    for (size_t i = nodes_.size(); i-- > 0;) {
+      nodes_[i].dirty = false;
+      RecomputeNode(nodes_[i]);
+    }
+  }
+  undo_.clear();
+  ++counters_.full_evaluations;
+  return Status::OK();
+}
+
+Status IncrementalEvaluator::BuildPairTable() {
+  const Network& n = model_->network();
+  const size_t N = n.num_servers();
+  pair_prop_.assign(N * N, 0.0);
+  pair_secs_per_bit_.assign(N * N, 0.0);
+  pair_reachable_.assign(N * N, 1);
+  for (uint32_t a = 0; a < N; ++a) {
+    for (uint32_t b = 0; b < N; ++b) {
+      if (a == b) continue;
+      size_t idx = static_cast<size_t>(a) * N + b;
+      Result<Route> route =
+          model_->router().FindRoute(ServerId(a), ServerId(b));
+      if (!route.ok()) {
+        pair_reachable_[idx] = 0;
+        continue;
+      }
+      pair_prop_[idx] = route->TotalPropagation(n);
+      double secs_per_bit = 0;
+      for (LinkId l : route->links) secs_per_bit += 1.0 / n.link(l).speed_bps;
+      pair_secs_per_bit_[idx] = secs_per_bit;
+    }
+  }
+  return Status::OK();
+}
+
+Status IncrementalEvaluator::FlattenBlocks(const Block& block, int parent,
+                                           int* out_index) {
+  const Workflow& w = model_->workflow();
+  int index = static_cast<int>(nodes_.size());
+  *out_index = index;
+  nodes_.push_back(Node{});
+  nodes_[index].block = &block;
+  nodes_[index].parent = parent;
+  switch (block.kind) {
+    case Block::Kind::kLeaf:
+      tproc_reader_[block.op.value] = index;
+      break;
+    case Block::Kind::kSequence: {
+      std::vector<int> children;
+      children.reserve(block.children.size());
+      for (const Block& child : block.children) {
+        int child_index = -1;
+        WSFLOW_RETURN_IF_ERROR(FlattenBlocks(child, index, &child_index));
+        children.push_back(child_index);
+      }
+      std::vector<TransitionId> seq_edges;
+      for (size_t i = 0; i + 1 < block.children.size(); ++i) {
+        WSFLOW_ASSIGN_OR_RETURN(
+            TransitionId t,
+            w.FindTransition(TailOperation(block.children[i]),
+                             HeadOperation(block.children[i + 1])));
+        edge_consumer_[t.value] = index;
+        seq_edges.push_back(t);
+      }
+      nodes_[index].children = std::move(children);
+      nodes_[index].seq_edges = std::move(seq_edges);
+      break;
+    }
+    case Block::Kind::kBranch: {
+      tproc_reader_[block.split.value] = index;
+      tproc_reader_[block.join.value] = index;
+      std::vector<Arm> arms;
+      arms.reserve(block.children.size());
+      for (const Block& body : block.children) {
+        Arm arm;
+        if (body.kind == Block::Kind::kSequence && body.children.empty()) {
+          WSFLOW_ASSIGN_OR_RETURN(TransitionId t,
+                                  w.FindTransition(block.split, block.join));
+          edge_consumer_[t.value] = index;
+          arm.direct = t;
+        } else {
+          WSFLOW_ASSIGN_OR_RETURN(
+              TransitionId entry,
+              w.FindTransition(block.split, HeadOperation(body)));
+          WSFLOW_ASSIGN_OR_RETURN(
+              TransitionId exit,
+              w.FindTransition(TailOperation(body), block.join));
+          edge_consumer_[entry.value] = index;
+          edge_consumer_[exit.value] = index;
+          arm.entry = entry;
+          arm.exit = exit;
+          WSFLOW_RETURN_IF_ERROR(FlattenBlocks(body, index, &arm.node));
+        }
+        arms.push_back(arm);
+      }
+      nodes_[index].arms = std::move(arms);
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status IncrementalEvaluator::CheckMove(OperationId op, ServerId server) const {
+  if (op.value >= mapping_.num_operations()) {
+    return Status::InvalidArgument("operation not in the bound workflow");
+  }
+  if (!model_->network().Contains(server)) {
+    return Status::InvalidArgument("server not in the bound network");
+  }
+  return Status::OK();
+}
+
+Status IncrementalEvaluator::Apply(OperationId op, ServerId server) {
+  WSFLOW_RETURN_IF_ERROR(CheckMove(op, server));
+  undo_.push_back(
+      UndoRecord{op, mapping_.ServerOf(op), OperationId(), ServerId()});
+  MoveInternal(op, server);
+  return Status::OK();
+}
+
+Status IncrementalEvaluator::Move(OperationId op, ServerId server) {
+  WSFLOW_RETURN_IF_ERROR(CheckMove(op, server));
+  MoveInternal(op, server);
+  return Status::OK();
+}
+
+Status IncrementalEvaluator::Swap(OperationId a, OperationId b) {
+  if (a.value >= mapping_.num_operations() ||
+      b.value >= mapping_.num_operations()) {
+    return Status::InvalidArgument("operation not in the bound workflow");
+  }
+  ServerId sa = mapping_.ServerOf(a);
+  ServerId sb = mapping_.ServerOf(b);
+  undo_.push_back(UndoRecord{a, sa, b, sb});
+  MoveInternal(a, sb);
+  MoveInternal(b, sa);
+  return Status::OK();
+}
+
+Status IncrementalEvaluator::Undo() {
+  if (undo_.empty()) {
+    return Status::FailedPrecondition("nothing to undo");
+  }
+  UndoRecord record = undo_.back();
+  undo_.pop_back();
+  if (record.b.valid()) MoveInternal(record.b, record.b_old);
+  MoveInternal(record.a, record.a_old);
+  return Status::OK();
+}
+
+void IncrementalEvaluator::MoveInternal(OperationId op, ServerId to) {
+  ServerId from = mapping_.ServerOf(op);
+  if (from == to) return;
+  ++moves_since_anchor_;
+  double prob = model_->OperationProb(op);
+  double tproc_from = model_->TprocOn(op, from);
+  double tproc_to = model_->TprocOn(op, to);
+  loads_[from.value] -= prob * tproc_from;
+  loads_[to.value] += prob * tproc_to;
+  mapping_.Assign(op, to);
+  if (line_) {
+    line_exec_ += tproc_to - tproc_from;
+  } else if (tproc_reader_[op.value] >= 0) {
+    MarkDirty(tproc_reader_[op.value]);
+  }
+  const Workflow& w = model_->workflow();
+  for (TransitionId t : w.in_edges(op)) RefreshEdge(t);
+  for (TransitionId t : w.out_edges(op)) RefreshEdge(t);
+}
+
+IncrementalEvaluator::EdgeCache IncrementalEvaluator::ComputeEdge(
+    TransitionId t) const {
+  const Transition& edge = model_->workflow().transition(t);
+  ServerId from = mapping_.ServerOf(edge.from);
+  ServerId to = mapping_.ServerOf(edge.to);
+  if (from == to) return EdgeCache{0.0, true};
+  size_t idx = static_cast<size_t>(from.value) *
+                   model_->network().num_servers() +
+               to.value;
+  if (!pair_reachable_[idx]) return EdgeCache{0.0, false};
+  return EdgeCache{
+      pair_prop_[idx] + edge.message_bits * pair_secs_per_bit_[idx], true};
+}
+
+void IncrementalEvaluator::RefreshEdge(TransitionId t) {
+  EdgeCache next = ComputeEdge(t);
+  EdgeCache& current = tcomm_[t.value];
+  if (line_) {
+    line_exec_ +=
+        (next.ok ? next.value : 0.0) - (current.ok ? current.value : 0.0);
+    if (!next.ok && current.ok) ++bad_edges_;
+    if (next.ok && !current.ok) --bad_edges_;
+  } else if (edge_consumer_[t.value] >= 0) {
+    MarkDirty(edge_consumer_[t.value]);
+  }
+  current = next;
+}
+
+void IncrementalEvaluator::MarkDirty(int node) {
+  while (node >= 0 && !nodes_[node].dirty) {
+    nodes_[node].dirty = true;
+    dirty_.push_back(node);
+    node = nodes_[node].parent;
+  }
+}
+
+void IncrementalEvaluator::Flush() {
+  if (dirty_.empty()) return;
+  // Parents precede children in index order, so a descending sweep
+  // recomputes every dirty child before the parent that reads it.
+  std::sort(dirty_.begin(), dirty_.end(), std::greater<int>());
+  for (int index : dirty_) {
+    RecomputeNode(nodes_[index]);
+    nodes_[index].dirty = false;
+  }
+  dirty_.clear();
+}
+
+double IncrementalEvaluator::EdgeContribution(TransitionId t,
+                                              bool* ok) const {
+  const EdgeCache& cache = tcomm_[t.value];
+  if (!cache.ok) {
+    *ok = false;
+    return 0.0;
+  }
+  return cache.value;
+}
+
+void IncrementalEvaluator::RecomputeNode(Node& node) {
+  const Block& block = *node.block;
+  node.ok = true;
+  switch (block.kind) {
+    case Block::Kind::kLeaf:
+      node.value = TprocHere(block.op);
+      return;
+    case Block::Kind::kSequence: {
+      double total = 0;
+      for (int child : node.children) {
+        total += nodes_[child].value;
+        node.ok = node.ok && nodes_[child].ok;
+      }
+      for (TransitionId t : node.seq_edges) {
+        total += EdgeContribution(t, &node.ok);
+      }
+      node.value = total;
+      return;
+    }
+    case Block::Kind::kBranch: {
+      double combined = 0;
+      bool first = true;
+      for (size_t i = 0; i < node.arms.size(); ++i) {
+        const Arm& arm = node.arms[i];
+        double arm_time;
+        if (arm.node < 0) {
+          arm_time = EdgeContribution(arm.direct, &node.ok);
+        } else {
+          arm_time = EdgeContribution(arm.entry, &node.ok) +
+                     nodes_[arm.node].value +
+                     EdgeContribution(arm.exit, &node.ok);
+          node.ok = node.ok && nodes_[arm.node].ok;
+        }
+        switch (block.branch_type) {
+          case OperationType::kAndSplit:
+            combined = first ? arm_time : std::max(combined, arm_time);
+            break;
+          case OperationType::kOrSplit:
+            combined = first ? arm_time : std::min(combined, arm_time);
+            break;
+          case OperationType::kXorSplit:
+            combined += block.branch_probs[i] * arm_time;
+            break;
+          default:
+            // DecomposeBlocks only emits split-typed branch blocks.
+            WSFLOW_CHECK(false) << "branch block with non-split type";
+        }
+        first = false;
+      }
+      node.value =
+          TprocHere(block.split) + combined + TprocHere(block.join);
+      return;
+    }
+  }
+}
+
+void IncrementalEvaluator::Reanchor() {
+  moves_since_anchor_ = 0;
+  const Workflow& w = model_->workflow();
+  std::fill(loads_.begin(), loads_.end(), 0.0);
+  for (const Operation& op : w.operations()) {
+    ServerId s = mapping_.ServerOf(op.id());
+    loads_[s.value] += model_->OperationProb(op.id()) *
+                       model_->TprocOn(op.id(), s);
+  }
+  if (line_) {
+    line_exec_ = 0;
+    bad_edges_ = 0;
+    for (const Operation& op : w.operations()) {
+      line_exec_ += TprocHere(op.id());
+    }
+    for (const Transition& t : w.transitions()) {
+      const EdgeCache& cache = tcomm_[t.id.value];
+      if (cache.ok) {
+        line_exec_ += cache.value;
+      } else {
+        ++bad_edges_;
+      }
+    }
+  }
+}
+
+Result<double> IncrementalEvaluator::ExecutionTime() {
+  if (moves_since_anchor_ >= kReanchorInterval) Reanchor();
+  if (line_) {
+    if (bad_edges_ > 0) return Disconnected();
+    return line_exec_;
+  }
+  Flush();
+  if (!nodes_[0].ok) return Disconnected();
+  return nodes_[0].value;
+}
+
+double IncrementalEvaluator::TimePenalty() const {
+  if (loads_.empty()) return 0.0;
+  double avg = 0;
+  for (double load : loads_) avg += load;
+  avg /= static_cast<double>(loads_.size());
+  double penalty = 0;
+  for (double load : loads_) penalty += std::fabs(load - avg) / 2.0;
+  return penalty;
+}
+
+Result<CostBreakdown> IncrementalEvaluator::Evaluate() {
+  ++counters_.delta_evaluations;
+  WSFLOW_ASSIGN_OR_RETURN(double exec, ExecutionTime());
+  CostBreakdown out;
+  out.execution_time = exec;
+  out.time_penalty = TimePenalty();
+  out.combined = options_.execution_weight * out.execution_time +
+                 options_.fairness_weight * out.time_penalty;
+  return out;
+}
+
+Result<double> IncrementalEvaluator::Combined() {
+  WSFLOW_ASSIGN_OR_RETURN(CostBreakdown breakdown, Evaluate());
+  return breakdown.combined;
+}
+
+}  // namespace wsflow

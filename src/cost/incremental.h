@@ -1,0 +1,200 @@
+// wsflow: incremental (delta) evaluation of deployment mappings.
+//
+// Every neighborhood search in src/deploy (hill climb, annealing,
+// exhaustive enumeration, ...) explores mappings that differ from the
+// previous candidate by one operation move or one swap. A cold
+// CostModel::Evaluate re-derives everything — all server loads, every
+// T_comm term and the full recursive block execution time — so the cost of
+// scoring a neighbor is O(M + E + N) plus routing. IncrementalEvaluator
+// binds a CostModel to a *working* mapping and keeps the evaluation state
+// alive across moves:
+//
+//   * per-server probability-weighted loads, updated in O(1) per move; the
+//     fairness TimePenalty is re-derived from them in O(N) per score;
+//   * a per-transition T_comm cache backed by an all-pairs route table
+//     (propagation seconds + seconds-per-bit per server pair), refreshed
+//     only for the edges incident to a moved operation;
+//   * for line workflows, the closed-form T_execute = Sum T_proc +
+//     Sum T_comm maintained as a running sum;
+//   * for graph workflows, a flattened copy of the block tree in which
+//     each block caches its execution time; a move dirties only the blocks
+//     that directly read the moved operation (its leaf / its split-join
+//     branch / the blocks consuming its incident messages) plus their
+//     ancestors, and only that root path is re-evaluated.
+//
+// A move therefore costs O(deg(op)) cache refreshes plus the dirty path to
+// the block root, and a score costs O(N) on top. To keep the running sums
+// from drifting away from a cold evaluation, the evaluator re-anchors them
+// (fresh summation in cold evaluation order) every few thousand moves; the
+// property suite asserts agreement with CostModel::Evaluate to 1e-9 at
+// every step of long random move/swap/undo replays.
+//
+// The evaluator is a mutable working object: Apply/Swap record an undo
+// entry, Undo reverts the most recent one, and the counters separate full
+// (re)binds from delta evaluations so search statistics can report both.
+
+#ifndef WSFLOW_COST_INCREMENTAL_H_
+#define WSFLOW_COST_INCREMENTAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/cost/cost_model.h"
+#include "src/deploy/mapping.h"
+#include "src/workflow/blocks.h"
+
+namespace wsflow {
+
+/// How often evaluation state was rebuilt from scratch vs delta-scored.
+struct EvalCounters {
+  size_t full_evaluations = 0;   ///< Bind/Rebind cold passes.
+  size_t delta_evaluations = 0;  ///< Evaluate() calls on delta state.
+};
+
+class IncrementalEvaluator {
+ public:
+  /// Binds `model` to a copy of `initial` (which must be total and valid
+  /// against the model's workflow/network) and performs the one cold
+  /// evaluation pass. The model must outlive the evaluator. Warms the
+  /// model's router so no later score pays first-touch routing.
+  static Result<IncrementalEvaluator> Bind(const CostModel& model,
+                                           Mapping initial,
+                                           const CostOptions& options = {});
+
+  /// Replaces the working mapping wholesale (one full evaluation pass) and
+  /// clears the undo history.
+  Status Rebind(Mapping mapping);
+
+  /// Moves `op` to `server` and records an undo entry.
+  Status Apply(OperationId op, ServerId server);
+
+  /// Moves `op` to `server` WITHOUT recording undo history. For
+  /// enumeration loops (odometers) that never back up.
+  Status Move(OperationId op, ServerId server);
+
+  /// Exchanges the servers of `a` and `b`; one undo entry.
+  Status Swap(OperationId a, OperationId b);
+
+  /// Reverts the most recent un-undone Apply/Swap.
+  Status Undo();
+
+  /// Number of revertible entries.
+  size_t undo_depth() const { return undo_.size(); }
+
+  /// Drops the undo history (e.g. after a search accepts a move for good).
+  void ClearHistory() { undo_.clear(); }
+
+  const Mapping& mapping() const { return mapping_; }
+  const CostModel& model() const { return *model_; }
+  const CostOptions& options() const { return options_; }
+
+  /// T_execute of the working mapping; fails when some message crosses
+  /// disconnected servers (matching the cold evaluator).
+  Result<double> ExecutionTime();
+
+  /// Fairness penalty of the working mapping, O(num servers).
+  double TimePenalty() const;
+
+  /// Probability-weighted per-server loads, indexed by ServerId::value.
+  const std::vector<double>& Loads() const { return loads_; }
+
+  /// Full breakdown under the bound CostOptions; counted as one delta
+  /// evaluation.
+  Result<CostBreakdown> Evaluate();
+
+  /// Convenience: Evaluate().combined.
+  Result<double> Combined();
+
+  const EvalCounters& counters() const { return counters_; }
+
+ private:
+  /// One cached T_comm term; `ok` is false when the hosting servers are
+  /// disconnected.
+  struct EdgeCache {
+    double value = 0;
+    bool ok = true;
+  };
+
+  /// One branch arm of a flattened branch block. `node` < 0 marks the
+  /// empty branch (a single direct split->join message).
+  struct Arm {
+    int node = -1;
+    TransitionId entry;
+    TransitionId exit;
+    TransitionId direct;
+  };
+
+  /// Flattened block-tree node with a cached execution time. Parents have
+  /// smaller indices than their children, so a reverse index sweep
+  /// recomputes children before parents.
+  struct Node {
+    const Block* block = nullptr;
+    int parent = -1;
+    bool dirty = false;
+    bool ok = true;
+    double value = 0;
+    std::vector<int> children;            ///< kSequence element nodes.
+    std::vector<TransitionId> seq_edges;  ///< Messages linking children.
+    std::vector<Arm> arms;                ///< kBranch bodies.
+  };
+
+  IncrementalEvaluator(const CostModel& model, Mapping mapping,
+                       const CostOptions& options);
+
+  Status ColdStart();
+  Status BuildPairTable();
+  Status FlattenBlocks(const Block& block, int parent, int* out_index);
+
+  Status CheckMove(OperationId op, ServerId server) const;
+  void MoveInternal(OperationId op, ServerId to);
+  void RefreshEdge(TransitionId t);
+  EdgeCache ComputeEdge(TransitionId t) const;
+  void MarkDirty(int node);
+  void Flush();
+  void RecomputeNode(Node& node);
+  double EdgeContribution(TransitionId t, bool* ok) const;
+  void Reanchor();
+
+  double TprocHere(OperationId op) const {
+    return model_->TprocOn(op, mapping_.ServerOf(op));
+  }
+
+  const CostModel* model_;
+  CostOptions options_;
+  Mapping mapping_;
+  bool line_ = false;
+
+  // All-pairs route table, row-major [from * N + to].
+  std::vector<double> pair_prop_;
+  std::vector<double> pair_secs_per_bit_;
+  std::vector<char> pair_reachable_;
+
+  std::vector<EdgeCache> tcomm_;  // per transition
+  std::vector<double> loads_;    // per server
+
+  // Line state.
+  double line_exec_ = 0;
+  size_t bad_edges_ = 0;
+
+  // Graph state.
+  std::vector<Node> nodes_;          // nodes_[0] is the root
+  std::vector<int> tproc_reader_;    // op -> node reading its T_proc
+  std::vector<int> edge_consumer_;   // transition -> node using its T_comm
+  std::vector<int> dirty_;
+
+  struct UndoRecord {
+    OperationId a;
+    ServerId a_old;
+    OperationId b;  // invalid for single moves
+    ServerId b_old;
+  };
+  std::vector<UndoRecord> undo_;
+
+  size_t moves_since_anchor_ = 0;
+  EvalCounters counters_;
+};
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_COST_INCREMENTAL_H_

@@ -117,6 +117,19 @@ void RegisterBuiltinAlgorithms() {
     add("fltr2", [] { return std::make_unique<Fltr2Algorithm>(); });
     add("fl-merge", [] { return std::make_unique<FlMergeAlgorithm>(); });
     add("heavy-ops", [] { return std::make_unique<HeavyOpsAlgorithm>(); });
+    // Greedy constructions refined by a short delta-evaluated hill climb.
+    add("fltr-polish", [] {
+      return std::make_unique<FltrAlgorithm>(/*random_init=*/true,
+                                             /*polish_steps=*/50);
+    });
+    add("fltr2-polish", [] {
+      return std::make_unique<Fltr2Algorithm>(/*random_init=*/true,
+                                              /*polish_steps=*/50);
+    });
+    add("heavy-ops-polish", [] {
+      return std::make_unique<HeavyOpsAlgorithm>(/*large_message_scale=*/1.0,
+                                                 /*polish_steps=*/50);
+    });
     add("hill-climb", [] {
       return std::make_unique<HillClimbAlgorithm>(LocalSearchOptions{});
     });

@@ -3,55 +3,71 @@
 #include <cmath>
 
 #include "src/common/random.h"
+#include "src/cost/incremental.h"
 #include "src/deploy/random_baseline.h"
 
 namespace wsflow {
 
 Result<Mapping> AnnealingAlgorithm::Run(const DeployContext& ctx) const {
+  return RunWithStats(ctx, nullptr);
+}
+
+Result<Mapping> AnnealingAlgorithm::RunWithStats(const DeployContext& ctx,
+                                                 AnnealingStats* stats) const {
   WSFLOW_RETURN_IF_ERROR(CheckContext(ctx));
   const size_t ops = ctx.workflow->num_operations();
   const size_t servers = ctx.network->num_servers();
   CostModel model(*ctx.workflow, *ctx.network, ctx.profile);
   Rng rng(ctx.seed);
 
-  Mapping current = RandomMapping(ops, servers, &rng);
-  WSFLOW_ASSIGN_OR_RETURN(CostBreakdown cost,
-                          model.Evaluate(current, ctx.cost_options));
-  double current_cost = cost.combined;
-  Mapping best = current;
+  AnnealingStats local;
+  WSFLOW_ASSIGN_OR_RETURN(
+      IncrementalEvaluator eval,
+      IncrementalEvaluator::Bind(model, RandomMapping(ops, servers, &rng),
+                                 ctx.cost_options));
+  WSFLOW_ASSIGN_OR_RETURN(double current_cost, eval.Combined());
+  local.initial_cost = current_cost;
+  Mapping best = eval.mapping();
   double best_cost = current_cost;
 
-  if (servers < 2) return best;  // nothing to move
-
-  double temperature =
-      std::max(current_cost * options_.initial_temperature_factor, 1e-12);
-  for (size_t i = 0; i < options_.iterations; ++i) {
-    if (i > 0 && i % options_.cooling_interval == 0) {
-      temperature *= options_.cooling_rate;
-    }
-    OperationId op(static_cast<uint32_t>(rng.NextBounded(ops)));
-    ServerId old_server = current.ServerOf(op);
-    // Propose a different server.
-    uint32_t shift =
-        static_cast<uint32_t>(1 + rng.NextBounded(servers - 1));
-    ServerId new_server(
-        static_cast<uint32_t>((old_server.value + shift) % servers));
-    current.Assign(op, new_server);
-    WSFLOW_ASSIGN_OR_RETURN(CostBreakdown proposal,
-                            model.Evaluate(current, ctx.cost_options));
-    double delta = proposal.combined - current_cost;
-    bool accept =
-        delta <= 0 || rng.NextDouble() < std::exp(-delta / temperature);
-    if (accept) {
-      current_cost = proposal.combined;
-      if (current_cost < best_cost) {
-        best_cost = current_cost;
-        best = current;
+  if (servers >= 2) {
+    double temperature =
+        std::max(current_cost * options_.initial_temperature_factor, 1e-12);
+    for (size_t i = 0; i < options_.iterations; ++i) {
+      if (i > 0 && i % options_.cooling_interval == 0) {
+        temperature *= options_.cooling_rate;
       }
-    } else {
-      current.Assign(op, old_server);  // revert
+      OperationId op(static_cast<uint32_t>(rng.NextBounded(ops)));
+      ServerId old_server = eval.mapping().ServerOf(op);
+      // Propose a different server.
+      uint32_t shift =
+          static_cast<uint32_t>(1 + rng.NextBounded(servers - 1));
+      ServerId new_server(
+          static_cast<uint32_t>((old_server.value + shift) % servers));
+      WSFLOW_RETURN_IF_ERROR(eval.Apply(op, new_server));
+      WSFLOW_ASSIGN_OR_RETURN(double proposal_cost, eval.Combined());
+      ++local.proposals;
+      double delta = proposal_cost - current_cost;
+      bool accept =
+          delta <= 0 || rng.NextDouble() < std::exp(-delta / temperature);
+      if (accept) {
+        eval.ClearHistory();
+        ++local.accepted;
+        current_cost = proposal_cost;
+        if (current_cost < best_cost) {
+          best_cost = current_cost;
+          best = eval.mapping();
+        }
+      } else {
+        WSFLOW_RETURN_IF_ERROR(eval.Undo());
+      }
     }
   }
+
+  local.best_cost = best_cost;
+  local.full_evaluations = eval.counters().full_evaluations;
+  local.delta_evaluations = eval.counters().delta_evaluations;
+  if (stats != nullptr) *stats = local;
   return best;
 }
 

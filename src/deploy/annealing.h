@@ -17,7 +17,8 @@
 namespace wsflow {
 
 struct AnnealingOptions {
-  /// Proposal count. Each proposal costs one full cost evaluation.
+  /// Proposal count. Each proposal costs one delta evaluation of the
+  /// working mapping (one cold evaluation binds the random start).
   size_t iterations = 20000;
   /// Initial temperature as a fraction of the start mapping's cost.
   double initial_temperature_factor = 0.5;
@@ -27,6 +28,16 @@ struct AnnealingOptions {
   size_t cooling_interval = 100;
 };
 
+/// Statistics of one annealing run.
+struct AnnealingStats {
+  size_t proposals = 0;          ///< Neighbour mappings proposed.
+  size_t accepted = 0;           ///< Proposals kept (improving or lucky).
+  size_t full_evaluations = 0;   ///< Cold evaluator (re)binds.
+  size_t delta_evaluations = 0;  ///< Proposals scored by delta update.
+  double initial_cost = 0;       ///< Combined cost of the random start.
+  double best_cost = 0;          ///< Combined cost of the returned mapping.
+};
+
 class AnnealingAlgorithm : public DeploymentAlgorithm {
  public:
   explicit AnnealingAlgorithm(AnnealingOptions options = {})
@@ -34,6 +45,10 @@ class AnnealingAlgorithm : public DeploymentAlgorithm {
 
   std::string_view name() const override { return "annealing"; }
   Result<Mapping> Run(const DeployContext& ctx) const override;
+
+  /// Run with statistics; `stats` may be null.
+  Result<Mapping> RunWithStats(const DeployContext& ctx,
+                               AnnealingStats* stats) const;
 
  private:
   AnnealingOptions options_;

@@ -37,6 +37,7 @@ class Search {
     }
     // Per-pair communication seconds for each chain edge; bus networks are
     // uniform, so precompute one seconds-per-bit figure per server pair.
+    router_.WarmAllPairs();
     pair_seconds_.assign(N * N, 0.0);
     for (uint32_t a = 0; a < N; ++a) {
       for (uint32_t b = 0; b < N; ++b) {

@@ -52,6 +52,39 @@ Result<double> ConstraintViolation(const CostModel& model, const Mapping& m,
   return violation;
 }
 
+Result<double> ConstraintViolation(IncrementalEvaluator& eval,
+                                   const DeploymentConstraints& constraints) {
+  double violation = 0;
+  if (constraints.max_execution_time) {
+    WSFLOW_ASSIGN_OR_RETURN(double exec, eval.ExecutionTime());
+    violation += std::max(0.0, exec - *constraints.max_execution_time);
+  }
+  if (constraints.max_time_penalty) {
+    violation +=
+        std::max(0.0, eval.TimePenalty() - *constraints.max_time_penalty);
+  }
+  if (constraints.max_server_load) {
+    for (double load : eval.Loads()) {
+      violation += std::max(0.0, load - *constraints.max_server_load);
+    }
+  }
+  const Mapping& m = eval.mapping();
+  for (const auto& [op, server] : constraints.pinned) {
+    if (m.ServerOf(op) != server) violation += 1.0;
+  }
+  for (const auto& [op, server] : constraints.forbidden) {
+    if (m.ServerOf(op) == server) violation += 1.0;
+  }
+  if (!constraints.max_response_time.empty()) {
+    WSFLOW_ASSIGN_OR_RETURN(ResponseTimes times,
+                            ComputeResponseTimes(eval.model(), m));
+    for (const auto& [op, ceiling] : constraints.max_response_time) {
+      violation += std::max(0.0, times[op.value] - ceiling);
+    }
+  }
+  return violation;
+}
+
 void ApplyPins(const DeploymentConstraints& constraints, Mapping* m) {
   for (const auto& [op, server] : constraints.pinned) {
     m->Assign(op, server);

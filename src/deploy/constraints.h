@@ -16,6 +16,7 @@
 
 #include "src/common/status.h"
 #include "src/cost/cost_model.h"
+#include "src/cost/incremental.h"
 #include "src/deploy/mapping.h"
 
 namespace wsflow {
@@ -51,6 +52,13 @@ Status CheckConstraints(const CostModel& model, const Mapping& m,
 /// constraint excesses (seconds) plus 1 per placement violation. Used as a
 /// penalty term by search-based repair.
 Result<double> ConstraintViolation(const CostModel& model, const Mapping& m,
+                                   const DeploymentConstraints& constraints);
+
+/// Same violation measure against an IncrementalEvaluator's working mapping:
+/// execution time, penalty and loads come from the delta state instead of a
+/// cold re-evaluation. Per-operation response-time ceilings still cost a
+/// cold pass (they need the full response-time recursion).
+Result<double> ConstraintViolation(IncrementalEvaluator& eval,
                                    const DeploymentConstraints& constraints);
 
 /// Enforces pins by rewriting `m` in place (placement constraints only;

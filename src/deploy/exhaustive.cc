@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/cost/incremental.h"
 
 namespace wsflow {
 
@@ -21,34 +22,39 @@ Result<Mapping> ExhaustiveAlgorithm::Run(const DeployContext& ctx) const {
   }
 
   CostModel model(w, n, ctx.profile);
-  // Odometer over server indices, least-significant digit first.
+  // Odometer over server indices, least-significant digit first. Each
+  // advance changes one digit (plus rollover resets), so the working
+  // mapping is delta-scored instead of cold-evaluated per configuration.
   std::vector<uint32_t> digits(M, 0);
-  Mapping current(M);
+  Mapping start(M);
   for (size_t i = 0; i < M; ++i) {
-    current.Assign(OperationId(static_cast<uint32_t>(i)), ServerId(0));
+    start.Assign(OperationId(static_cast<uint32_t>(i)), ServerId(0));
   }
+  WSFLOW_ASSIGN_OR_RETURN(
+      IncrementalEvaluator eval,
+      IncrementalEvaluator::Bind(model, std::move(start), ctx.cost_options));
 
   Mapping best;
   double best_cost = 0;
   bool have_best = false;
   for (;;) {
-    WSFLOW_ASSIGN_OR_RETURN(CostBreakdown cost,
-                            model.Evaluate(current, ctx.cost_options));
-    if (!have_best || cost.combined < best_cost) {
-      best = current;
-      best_cost = cost.combined;
+    WSFLOW_ASSIGN_OR_RETURN(double cost, eval.Combined());
+    if (!have_best || cost < best_cost) {
+      best = eval.mapping();
+      best_cost = cost;
       have_best = true;
     }
     // Advance the odometer.
     size_t pos = 0;
     while (pos < M) {
       if (++digits[pos] < N) {
-        current.Assign(OperationId(static_cast<uint32_t>(pos)),
-                       ServerId(digits[pos]));
+        WSFLOW_RETURN_IF_ERROR(eval.Move(
+            OperationId(static_cast<uint32_t>(pos)), ServerId(digits[pos])));
         break;
       }
       digits[pos] = 0;
-      current.Assign(OperationId(static_cast<uint32_t>(pos)), ServerId(0));
+      WSFLOW_RETURN_IF_ERROR(
+          eval.Move(OperationId(static_cast<uint32_t>(pos)), ServerId(0)));
       ++pos;
     }
     if (pos == M) break;

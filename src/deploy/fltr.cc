@@ -5,6 +5,7 @@
 #include "src/common/random.h"
 #include "src/deploy/fair_load.h"
 #include "src/deploy/graph_view.h"
+#include "src/deploy/local_search.h"
 #include "src/deploy/random_baseline.h"
 
 namespace wsflow {
@@ -53,7 +54,7 @@ Result<Mapping> FltrAlgorithm::Run(const DeployContext& ctx) const {
     m.Assign(chosen, s1);  // overwrites any random placement
     ledger.Charge(s1, view.Cycles(chosen));
   }
-  return m;
+  return PolishMapping(ctx, std::move(m), polish_steps_);
 }
 
 }  // namespace wsflow

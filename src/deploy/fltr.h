@@ -22,15 +22,20 @@ class FltrAlgorithm : public DeploymentAlgorithm {
  public:
   /// `random_init` = false replaces the paper's random initial mapping with
   /// an empty one (gains then only see properly assigned neighbours);
-  /// exposed for the ablation bench.
-  explicit FltrAlgorithm(bool random_init = true)
-      : random_init_(random_init) {}
+  /// exposed for the ablation bench. `polish_steps` > 0 refines the greedy
+  /// result with that many delta-evaluated hill-climb improvements
+  /// (registered separately as "fltr-polish"); 0 keeps the paper's output.
+  explicit FltrAlgorithm(bool random_init = true, size_t polish_steps = 0)
+      : random_init_(random_init), polish_steps_(polish_steps) {}
 
-  std::string_view name() const override { return "fltr"; }
+  std::string_view name() const override {
+    return polish_steps_ > 0 ? "fltr-polish" : "fltr";
+  }
   Result<Mapping> Run(const DeployContext& ctx) const override;
 
  private:
   bool random_init_;
+  size_t polish_steps_;
 };
 
 }  // namespace wsflow

@@ -3,6 +3,7 @@
 #include "src/common/random.h"
 #include "src/deploy/fair_load.h"
 #include "src/deploy/graph_view.h"
+#include "src/deploy/local_search.h"
 #include "src/deploy/random_baseline.h"
 
 namespace wsflow {
@@ -51,7 +52,7 @@ Result<Mapping> Fltr2Algorithm::Run(const DeployContext& ctx) const {
     m.Assign(chosen, sel.server);
     ledger.Charge(sel.server, view.Cycles(chosen));
   }
-  return m;
+  return PolishMapping(ctx, std::move(m), polish_steps_);
 }
 
 }  // namespace wsflow

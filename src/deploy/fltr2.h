@@ -15,15 +15,18 @@ namespace wsflow {
 
 class Fltr2Algorithm : public DeploymentAlgorithm {
  public:
-  /// See FltrAlgorithm for `random_init`.
-  explicit Fltr2Algorithm(bool random_init = true)
-      : random_init_(random_init) {}
+  /// See FltrAlgorithm for `random_init` and `polish_steps`.
+  explicit Fltr2Algorithm(bool random_init = true, size_t polish_steps = 0)
+      : random_init_(random_init), polish_steps_(polish_steps) {}
 
-  std::string_view name() const override { return "fltr2"; }
+  std::string_view name() const override {
+    return polish_steps_ > 0 ? "fltr2-polish" : "fltr2";
+  }
   Result<Mapping> Run(const DeployContext& ctx) const override;
 
  private:
   bool random_init_;
+  size_t polish_steps_;
 };
 
 /// One FLTR2 selection step, shared with FL-Merge-Messages'-Ends: among

@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/deploy/graph_view.h"
+#include "src/deploy/local_search.h"
 
 namespace wsflow {
 
@@ -71,7 +72,8 @@ Result<Mapping> HeavyOpsAlgorithm::Run(const DeployContext& ctx) const {
   WSFLOW_RETURN_IF_ERROR(CheckContext(ctx));
   WorkflowView view(*ctx.workflow, ctx.profile);
   std::vector<double> remaining = IdealCycles(view, *ctx.network);
-  return RunWithLedger(ctx, &remaining);
+  WSFLOW_ASSIGN_OR_RETURN(Mapping m, RunWithLedger(ctx, &remaining));
+  return PolishMapping(ctx, std::move(m), polish_steps_);
 }
 
 Result<Mapping> HeavyOpsAlgorithm::RunWithLedger(

@@ -40,11 +40,17 @@ class HeavyOpsAlgorithm : public DeploymentAlgorithm {
  public:
   /// `large_message_scale` multiplies the message transfer time before the
   /// (a)/(b) comparison; 1.0 reproduces the paper. Exposed for the
-  /// threshold-sensitivity ablation.
-  explicit HeavyOpsAlgorithm(double large_message_scale = 1.0)
-      : large_message_scale_(large_message_scale) {}
+  /// threshold-sensitivity ablation. `polish_steps` > 0 refines the result
+  /// with that many delta-evaluated hill-climb improvements (registered
+  /// separately as "heavy-ops-polish"); 0 keeps the paper's output.
+  explicit HeavyOpsAlgorithm(double large_message_scale = 1.0,
+                             size_t polish_steps = 0)
+      : large_message_scale_(large_message_scale),
+        polish_steps_(polish_steps) {}
 
-  std::string_view name() const override { return "heavy-ops"; }
+  std::string_view name() const override {
+    return polish_steps_ > 0 ? "heavy-ops-polish" : "heavy-ops";
+  }
   Result<Mapping> Run(const DeployContext& ctx) const override;
 
   /// As Run(), but starts from (and updates) an external remaining-ideal-
@@ -55,6 +61,7 @@ class HeavyOpsAlgorithm : public DeploymentAlgorithm {
 
  private:
   double large_message_scale_;
+  size_t polish_steps_;
 };
 
 }  // namespace wsflow

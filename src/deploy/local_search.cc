@@ -4,26 +4,25 @@
 #include <limits>
 
 #include "src/common/random.h"
+#include "src/cost/incremental.h"
 #include "src/deploy/random_baseline.h"
 
 namespace wsflow {
 
 namespace {
 
-/// Combined cost; infinity for constraint-violating mappings so they are
-/// never accepted.
-Result<double> CostOf(const CostModel& model, const Mapping& m,
-                      const CostOptions& cost_options,
-                      const LocalSearchOptions& options, size_t* evaluations) {
+/// Combined cost of the evaluator's working mapping; infinity for
+/// constraint-violating mappings so they are never accepted.
+Result<double> ScoreWorking(IncrementalEvaluator& eval,
+                            const LocalSearchOptions& options,
+                            size_t* evaluations) {
   ++*evaluations;
   if (options.constraints != nullptr && !options.constraints->empty()) {
-    WSFLOW_ASSIGN_OR_RETURN(
-        double violation,
-        ConstraintViolation(model, m, *options.constraints));
+    WSFLOW_ASSIGN_OR_RETURN(double violation,
+                            ConstraintViolation(eval, *options.constraints));
     if (violation > 0) return std::numeric_limits<double>::infinity();
   }
-  WSFLOW_ASSIGN_OR_RETURN(CostBreakdown cost, model.Evaluate(m, cost_options));
-  return cost.combined;
+  return eval.Combined();
 }
 
 }  // namespace
@@ -32,41 +31,49 @@ Result<Mapping> HillClimb(const CostModel& model, const Mapping& start,
                           const CostOptions& cost_options,
                           const LocalSearchOptions& options,
                           LocalSearchStats* stats) {
-  WSFLOW_RETURN_IF_ERROR(
-      start.ValidateAgainst(model.workflow(), model.network()));
   const size_t M = model.workflow().num_operations();
   const size_t N = model.network().num_servers();
 
   LocalSearchStats local;
-  Mapping current = start;
   WSFLOW_ASSIGN_OR_RETURN(
-      double current_cost,
-      CostOf(model, current, cost_options, options, &local.evaluations));
+      IncrementalEvaluator eval,
+      IncrementalEvaluator::Bind(model, start, cost_options));
+  WSFLOW_ASSIGN_OR_RETURN(double current_cost,
+                          ScoreWorking(eval, options, &local.evaluations));
   if (std::isinf(current_cost)) {
     return Status::ConstraintViolation(
         "hill climb started from a constraint-violating mapping");
   }
   local.initial_cost = current_cost;
 
+  enum class MoveKind { kNone, kMove, kSwap };
+  auto accepts = [&options](double cost, double incumbent) {
+    return cost <
+           incumbent - options.min_improvement * (1.0 + std::fabs(incumbent));
+  };
+
   while (local.steps < options.max_steps) {
     double best_cost = current_cost;
-    Mapping best = current;
-    bool improved = false;
+    MoveKind best_kind = MoveKind::kNone;
+    OperationId best_a;
+    OperationId best_b;
+    ServerId best_server;
 
-    // Moves: reassign one operation.
+    // Moves: reassign one operation. Each candidate is applied to the
+    // working state, scored by delta evaluation, and undone.
     for (uint32_t op = 0; op < M; ++op) {
-      ServerId from = current.ServerOf(OperationId(op));
+      ServerId from = eval.mapping().ServerOf(OperationId(op));
       for (uint32_t s = 0; s < N; ++s) {
         if (ServerId(s) == from) continue;
-        Mapping candidate = current;
-        candidate.Assign(OperationId(op), ServerId(s));
+        WSFLOW_RETURN_IF_ERROR(eval.Apply(OperationId(op), ServerId(s)));
         WSFLOW_ASSIGN_OR_RETURN(
-            double cost, CostOf(model, candidate, cost_options, options,
-                                &local.evaluations));
-        if (cost < best_cost) {
+            double cost, ScoreWorking(eval, options, &local.evaluations));
+        WSFLOW_RETURN_IF_ERROR(eval.Undo());
+        if (accepts(cost, best_cost)) {
           best_cost = cost;
-          best = std::move(candidate);
-          improved = true;
+          best_kind = MoveKind::kMove;
+          best_a = OperationId(op);
+          best_server = ServerId(s);
         }
       }
     }
@@ -74,33 +81,49 @@ Result<Mapping> HillClimb(const CostModel& model, const Mapping& start,
     if (options.use_swaps) {
       for (uint32_t a = 0; a < M; ++a) {
         for (uint32_t b = a + 1; b < M; ++b) {
-          ServerId sa = current.ServerOf(OperationId(a));
-          ServerId sb = current.ServerOf(OperationId(b));
-          if (sa == sb) continue;
-          Mapping candidate = current;
-          candidate.Assign(OperationId(a), sb);
-          candidate.Assign(OperationId(b), sa);
+          if (eval.mapping().ServerOf(OperationId(a)) ==
+              eval.mapping().ServerOf(OperationId(b))) {
+            continue;
+          }
+          WSFLOW_RETURN_IF_ERROR(eval.Swap(OperationId(a), OperationId(b)));
           WSFLOW_ASSIGN_OR_RETURN(
-              double cost, CostOf(model, candidate, cost_options, options,
-                                  &local.evaluations));
-          if (cost < best_cost) {
+              double cost, ScoreWorking(eval, options, &local.evaluations));
+          WSFLOW_RETURN_IF_ERROR(eval.Undo());
+          if (accepts(cost, best_cost)) {
             best_cost = cost;
-            best = std::move(candidate);
-            improved = true;
+            best_kind = MoveKind::kSwap;
+            best_a = OperationId(a);
+            best_b = OperationId(b);
           }
         }
       }
     }
 
-    if (!improved) break;
-    current = std::move(best);
+    if (best_kind == MoveKind::kNone) break;
+    if (best_kind == MoveKind::kMove) {
+      WSFLOW_RETURN_IF_ERROR(eval.Move(best_a, best_server));
+    } else {
+      WSFLOW_RETURN_IF_ERROR(eval.Swap(best_a, best_b));
+      eval.ClearHistory();
+    }
     current_cost = best_cost;
     ++local.steps;
   }
 
   local.final_cost = current_cost;
+  local.full_evaluations = eval.counters().full_evaluations;
+  local.delta_evaluations = eval.counters().delta_evaluations;
   if (stats != nullptr) *stats = local;
-  return current;
+  return eval.mapping();
+}
+
+Result<Mapping> PolishMapping(const DeployContext& ctx, Mapping m,
+                              size_t steps) {
+  if (steps == 0) return m;
+  CostModel model(*ctx.workflow, *ctx.network, ctx.profile);
+  LocalSearchOptions options;
+  options.max_steps = steps;
+  return HillClimb(model, m, ctx.cost_options, options);
 }
 
 Result<Mapping> HillClimbAlgorithm::Run(const DeployContext& ctx) const {

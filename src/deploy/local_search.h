@@ -24,14 +24,22 @@ struct LocalSearchOptions {
   /// Optional hard constraints; violating neighbours are skipped and a
   /// violating start fails with ConstraintViolation.
   const DeploymentConstraints* constraints = nullptr;
+  /// Relative improvement a neighbour must deliver to be accepted:
+  /// cost < incumbent - min_improvement * (1 + |incumbent|). The climb
+  /// scores neighbours by delta evaluation, which may differ from a cold
+  /// evaluation by a few ulps; without the margin a mathematically equal
+  /// neighbour can look "one ulp better" and keep a plateaued climb alive.
+  double min_improvement = 1e-12;
 };
 
 /// Statistics of one climb.
 struct LocalSearchStats {
-  size_t steps = 0;          ///< Accepted improvements.
-  size_t evaluations = 0;    ///< Candidate mappings costed.
-  double initial_cost = 0;   ///< Combined cost of the start mapping.
-  double final_cost = 0;     ///< Combined cost of the local optimum.
+  size_t steps = 0;              ///< Accepted improvements.
+  size_t evaluations = 0;        ///< Candidate mappings costed.
+  size_t full_evaluations = 0;   ///< Cold evaluator (re)binds.
+  size_t delta_evaluations = 0;  ///< Candidates scored by delta update.
+  double initial_cost = 0;       ///< Combined cost of the start mapping.
+  double final_cost = 0;         ///< Combined cost of the local optimum.
 };
 
 /// Climbs from `start` to a local optimum of the weighted combined cost.
@@ -40,6 +48,13 @@ Result<Mapping> HillClimb(const CostModel& model, const Mapping& start,
                           const CostOptions& cost_options,
                           const LocalSearchOptions& options,
                           LocalSearchStats* stats = nullptr);
+
+/// Runs up to `steps` hill-climb improvements on `m` under the context's
+/// cost options; a no-op when `steps` is 0. Lets the constructive
+/// heuristics (fltr, fltr2, heavy-ops) bolt a delta-evaluated refinement
+/// pass onto their output without re-implementing a search loop.
+Result<Mapping> PolishMapping(const DeployContext& ctx, Mapping m,
+                              size_t steps);
 
 /// Random restart + climb, registered as "hill-climb".
 class HillClimbAlgorithm : public DeploymentAlgorithm {

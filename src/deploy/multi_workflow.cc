@@ -7,6 +7,7 @@
 #include "src/deploy/algorithm.h"
 #include "src/deploy/graph_view.h"
 #include "src/deploy/heavy_ops.h"
+#include "src/deploy/local_search.h"
 
 namespace wsflow {
 
@@ -167,6 +168,13 @@ Result<MultiWorkflowResult> DeployMultipleWorkflows(
 
   for (size_t i = 0; i < workflows.size(); ++i) {
     CostModel model(*workflows[i], network, ProfileFor(options, i));
+    if (options.polish_steps > 0) {
+      LocalSearchOptions search;
+      search.max_steps = options.polish_steps;
+      WSFLOW_ASSIGN_OR_RETURN(
+          result.mappings[i],
+          HillClimb(model, result.mappings[i], CostOptions{}, search));
+    }
     WSFLOW_ASSIGN_OR_RETURN(double exec,
                             model.ExecutionTime(result.mappings[i]));
     result.execution_times.push_back(exec);

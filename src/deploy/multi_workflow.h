@@ -35,6 +35,12 @@ struct MultiWorkflowOptions {
   /// Profiles parallel to the workflows; empty means probability 1 for all.
   std::vector<const ExecutionProfile*> profiles;
   uint64_t seed = 0;
+  /// When > 0, each workflow's mapping is refined by up to this many
+  /// delta-evaluated hill-climb improvements of its own (equally weighted)
+  /// combined cost before the result is reported. The climb sees only one
+  /// workflow at a time, so it can shift the *combined* fairness penalty;
+  /// 0 keeps the strategies' raw output.
+  size_t polish_steps = 0;
 };
 
 struct MultiWorkflowResult {

@@ -1,7 +1,11 @@
 #include "src/deploy/portfolio.h"
 
+#include <optional>
+#include <utility>
+
 #include "src/common/logging.h"
 #include "src/cost/cost_model.h"
+#include "src/cost/incremental.h"
 
 namespace wsflow {
 
@@ -24,6 +28,10 @@ Result<Mapping> PortfolioAlgorithm::Run(const DeployContext& ctx) const {
   Mapping best;
   double best_cost = 0;
   bool have_best = false;
+  // One evaluator scores every member: the first successful candidate
+  // binds it (warming the router and building the all-pairs/block caches),
+  // later candidates rebind the shared state instead of re-deriving it.
+  std::optional<IncrementalEvaluator> eval;
   Status last_error = Status::Internal("portfolio has no members");
   for (const std::string& member : members_) {
     Result<std::unique_ptr<DeploymentAlgorithm>> algo =
@@ -34,15 +42,30 @@ Result<Mapping> PortfolioAlgorithm::Run(const DeployContext& ctx) const {
       last_error = m.status().WithContext(member);
       continue;
     }
-    Result<CostBreakdown> cost = model.Evaluate(*m, ctx.cost_options);
+    if (!eval.has_value()) {
+      Result<IncrementalEvaluator> bound =
+          IncrementalEvaluator::Bind(model, std::move(*m), ctx.cost_options);
+      if (!bound.ok()) {
+        last_error = bound.status().WithContext(member);
+        continue;
+      }
+      eval.emplace(std::move(*bound));
+    } else {
+      Status rebound = eval->Rebind(std::move(*m));
+      if (!rebound.ok()) {
+        last_error = rebound.WithContext(member);
+        continue;
+      }
+    }
+    Result<double> cost = eval->Combined();
     if (!cost.ok()) {
       last_error = cost.status().WithContext(member);
       continue;
     }
-    if (!have_best || cost->combined < best_cost) {
+    if (!have_best || *cost < best_cost) {
       have_best = true;
-      best_cost = cost->combined;
-      best = std::move(*m);
+      best_cost = *cost;
+      best = eval->mapping();
     }
   }
   if (!have_best) return last_error;

@@ -81,4 +81,11 @@ Result<size_t> Router::HopCount(ServerId from, ServerId to) const {
   return route.links.size();
 }
 
+void Router::WarmAllPairs() const {
+  if (network_.has_bus()) return;
+  for (uint32_t s = 0; s < network_.num_servers(); ++s) {
+    EnsureSource(ServerId(s));
+  }
+}
+
 }  // namespace wsflow

@@ -43,6 +43,12 @@ class Router {
   /// Number of links on the route (0 for co-located, 1 on a bus).
   Result<size_t> HopCount(ServerId from, ServerId to) const;
 
+  /// Eagerly runs the per-source BFS for every server so that no later
+  /// FindRoute pays the first-touch cost. O(N * (N + L)); a no-op on bus
+  /// networks (every route is the single shared link) and for sources
+  /// already warmed.
+  void WarmAllPairs() const;
+
   const Network& network() const { return network_; }
 
  private:

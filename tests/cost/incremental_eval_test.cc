@@ -1,0 +1,209 @@
+// Unit tests of IncrementalEvaluator: the delta-evaluated state must agree
+// with a cold CostModel::Evaluate after any Apply/Move/Swap/Undo sequence,
+// the undo log must be exact, and the counters must separate cold binds
+// from delta scores. The long randomized replays live in
+// tests/property/incremental_property_test.cc.
+
+#include "src/cost/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/cost/cost_model.h"
+#include "src/workflow/probability.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+/// Agreement bound for delta vs cold evaluation: the two sum the same terms
+/// in different orders (and the evaluator's route table multiplies
+/// seconds-per-bit instead of dividing per link), so they differ by ulps.
+constexpr double kTol = 1e-9;
+
+void ExpectNear(double delta_value, double cold_value) {
+  EXPECT_LE(std::fabs(delta_value - cold_value),
+            kTol * (1.0 + std::fabs(cold_value)))
+      << "delta=" << delta_value << " cold=" << cold_value;
+}
+
+void ExpectAgreesWithCold(IncrementalEvaluator& eval, const CostModel& model) {
+  CostBreakdown cold =
+      WSFLOW_UNWRAP(model.Evaluate(eval.mapping(), eval.options()));
+  CostBreakdown delta = WSFLOW_UNWRAP(eval.Evaluate());
+  ExpectNear(delta.execution_time, cold.execution_time);
+  ExpectNear(delta.time_penalty, cold.time_penalty);
+  ExpectNear(delta.combined, cold.combined);
+}
+
+TEST(IncrementalEvalTest, LineBindMatchesCold) {
+  Workflow w = testing::SimpleLine(8, 20e6, 60648);
+  Network n = testing::SimpleBus(3, 1e9, 100e6);
+  CostModel model(w, n);
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, testing::RoundRobin(8, 3)));
+  ExpectAgreesWithCold(eval, model);
+  EXPECT_EQ(eval.counters().full_evaluations, 1u);
+}
+
+TEST(IncrementalEvalTest, GraphBindMatchesCold) {
+  Workflow w = testing::AllDecisionGraph(50e6, 60648);
+  ExecutionProfile profile = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  Network n = testing::SimpleBus(4, 1e9, 100e6);
+  CostModel model(w, n, &profile);
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(IncrementalEvaluator::Bind(
+      model, testing::RoundRobin(w.num_operations(), 4)));
+  ExpectAgreesWithCold(eval, model);
+}
+
+TEST(IncrementalEvalTest, ApplyTracksColdAndUndoRestores) {
+  Workflow w = testing::SimpleLine(8, 20e6, 60648);
+  Network n = testing::SimpleBus(3, 1e9, 100e6);
+  CostModel model(w, n);
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, testing::RoundRobin(8, 3)));
+  double initial = WSFLOW_UNWRAP(eval.Combined());
+
+  WSFLOW_EXPECT_OK(eval.Apply(OperationId(2), ServerId(0)));
+  EXPECT_EQ(eval.mapping().ServerOf(OperationId(2)), ServerId(0));
+  ExpectAgreesWithCold(eval, model);
+
+  WSFLOW_EXPECT_OK(eval.Apply(OperationId(5), ServerId(1)));
+  ExpectAgreesWithCold(eval, model);
+  EXPECT_EQ(eval.undo_depth(), 2u);
+
+  WSFLOW_EXPECT_OK(eval.Undo());
+  WSFLOW_EXPECT_OK(eval.Undo());
+  EXPECT_EQ(eval.undo_depth(), 0u);
+  EXPECT_EQ(eval.mapping().ServerOf(OperationId(2)), ServerId(2));
+  ExpectNear(WSFLOW_UNWRAP(eval.Combined()), initial);
+}
+
+TEST(IncrementalEvalTest, SwapTracksColdAndUndoRestores) {
+  Workflow w = testing::AllDecisionGraph(50e6, 60648);
+  Network n = testing::SimpleBus(4, 1e9, 100e6);
+  CostModel model(w, n);
+  const size_t M = w.num_operations();
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, testing::RoundRobin(M, 4)));
+  Mapping before = eval.mapping();
+
+  WSFLOW_EXPECT_OK(eval.Swap(OperationId(0), OperationId(3)));
+  EXPECT_EQ(eval.mapping().ServerOf(OperationId(0)),
+            before.ServerOf(OperationId(3)));
+  EXPECT_EQ(eval.mapping().ServerOf(OperationId(3)),
+            before.ServerOf(OperationId(0)));
+  ExpectAgreesWithCold(eval, model);
+
+  WSFLOW_EXPECT_OK(eval.Undo());
+  EXPECT_TRUE(eval.mapping() == before);
+  ExpectAgreesWithCold(eval, model);
+}
+
+TEST(IncrementalEvalTest, MoveRecordsNoHistory) {
+  Workflow w = testing::SimpleLine(6);
+  Network n = testing::SimpleBus(3);
+  CostModel model(w, n);
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, testing::RoundRobin(6, 3)));
+  WSFLOW_EXPECT_OK(eval.Move(OperationId(1), ServerId(0)));
+  EXPECT_EQ(eval.undo_depth(), 0u);
+  EXPECT_TRUE(eval.Undo().IsFailedPrecondition());
+  ExpectAgreesWithCold(eval, model);
+}
+
+TEST(IncrementalEvalTest, LoadsAndPenaltyMatchCold) {
+  Workflow w = testing::SimpleLine(9, 20e6, 60648);
+  Network n = WSFLOW_UNWRAP(MakeBusNetwork({1e9, 2e9, 4e9}, 100e6));
+  CostModel model(w, n);
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, testing::RoundRobin(9, 3)));
+  WSFLOW_EXPECT_OK(eval.Apply(OperationId(4), ServerId(2)));
+  std::vector<double> cold = model.Loads(eval.mapping());
+  ASSERT_EQ(eval.Loads().size(), cold.size());
+  for (size_t s = 0; s < cold.size(); ++s) {
+    ExpectNear(eval.Loads()[s], cold[s]);
+  }
+  ExpectNear(eval.TimePenalty(), model.TimePenalty(eval.mapping()));
+}
+
+TEST(IncrementalEvalTest, CountersSeparateFullAndDelta) {
+  Workflow w = testing::SimpleLine(6);
+  Network n = testing::SimpleBus(2);
+  CostModel model(w, n);
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, testing::RoundRobin(6, 2)));
+  EXPECT_EQ(eval.counters().full_evaluations, 1u);
+  EXPECT_EQ(eval.counters().delta_evaluations, 0u);
+  WSFLOW_EXPECT_OK(eval.Apply(OperationId(0), ServerId(1)));
+  (void)WSFLOW_UNWRAP(eval.Evaluate());
+  (void)WSFLOW_UNWRAP(eval.Combined());
+  EXPECT_EQ(eval.counters().full_evaluations, 1u);
+  EXPECT_EQ(eval.counters().delta_evaluations, 2u);
+}
+
+TEST(IncrementalEvalTest, RebindReplacesMappingAndClearsHistory) {
+  Workflow w = testing::SimpleLine(6);
+  Network n = testing::SimpleBus(3);
+  CostModel model(w, n);
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, testing::RoundRobin(6, 3)));
+  WSFLOW_EXPECT_OK(eval.Apply(OperationId(0), ServerId(1)));
+  WSFLOW_EXPECT_OK(eval.Rebind(testing::AllOnServer(6, ServerId(2))));
+  EXPECT_EQ(eval.undo_depth(), 0u);
+  EXPECT_EQ(eval.counters().full_evaluations, 2u);
+  ExpectAgreesWithCold(eval, model);
+}
+
+TEST(IncrementalEvalTest, RebindRejectsInvalidMappingAndKeepsState) {
+  Workflow w = testing::SimpleLine(6);
+  Network n = testing::SimpleBus(3);
+  CostModel model(w, n);
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, testing::RoundRobin(6, 3)));
+  EXPECT_FALSE(eval.Rebind(Mapping(6)).ok());  // partial mapping
+  ExpectAgreesWithCold(eval, model);           // old state intact
+}
+
+TEST(IncrementalEvalTest, RejectsUnknownOperationOrServer) {
+  Workflow w = testing::SimpleLine(4);
+  Network n = testing::SimpleBus(2);
+  CostModel model(w, n);
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, testing::RoundRobin(4, 2)));
+  EXPECT_TRUE(eval.Apply(OperationId(99), ServerId(0)).IsInvalidArgument());
+  EXPECT_TRUE(eval.Apply(OperationId(0), ServerId(9)).IsInvalidArgument());
+  EXPECT_TRUE(eval.Swap(OperationId(0), OperationId(77)).IsInvalidArgument());
+  EXPECT_EQ(eval.undo_depth(), 0u);
+  ExpectAgreesWithCold(eval, model);
+}
+
+TEST(IncrementalEvalTest, DisconnectedStateFailsAndRecovers) {
+  // Two linked pairs with no path between them: mappings that split a
+  // message across components must fail like the cold evaluator, and moving
+  // back must restore a finite cost.
+  Workflow w = testing::SimpleLine(4, 20e6, 60648);
+  Network n("split");
+  ServerId s0 = n.AddServer("s0", 1e9);
+  ServerId s1 = n.AddServer("s1", 1e9);
+  ServerId s2 = n.AddServer("s2", 1e9);
+  ServerId s3 = n.AddServer("s3", 1e9);
+  WSFLOW_UNWRAP(n.AddLink(s0, s1, 100e6));
+  WSFLOW_UNWRAP(n.AddLink(s2, s3, 100e6));
+  CostModel model(w, n);
+
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, testing::AllOnServer(4, s0)));
+  ExpectAgreesWithCold(eval, model);
+
+  WSFLOW_EXPECT_OK(eval.Apply(OperationId(3), s2));
+  EXPECT_TRUE(eval.ExecutionTime().status().IsFailedPrecondition());
+  EXPECT_FALSE(model.Evaluate(eval.mapping()).ok());  // cold agrees
+
+  WSFLOW_EXPECT_OK(eval.Undo());
+  ExpectAgreesWithCold(eval, model);
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,146 @@
+// Property tests of the incremental evaluator: replay long random
+// move/swap/undo sequences on every workload family and assert that the
+// delta-evaluated state agrees with a cold CostModel::Evaluate at every
+// step — the invariant the deploy-layer searches (hill climb, annealing,
+// exhaustive) stand on. A separate suite walks mappings through
+// disconnected (infinite-cost) states on a partitioned network and checks
+// that delta and cold evaluation fail and recover together.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/cost/cost_model.h"
+#include "src/cost/incremental.h"
+#include "src/exp/config.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+/// Delta vs cold agreement bound (same terms summed in different orders).
+constexpr double kTol = 1e-9;
+
+void ExpectNear(double delta_value, double cold_value, size_t step) {
+  EXPECT_LE(std::fabs(delta_value - cold_value),
+            kTol * (1.0 + std::fabs(cold_value)))
+      << "step " << step << ": delta=" << delta_value
+      << " cold=" << cold_value;
+}
+
+void ExpectAgreement(IncrementalEvaluator& eval, const CostModel& model,
+                     size_t step) {
+  Result<CostBreakdown> cold = model.Evaluate(eval.mapping(), eval.options());
+  Result<CostBreakdown> delta = eval.Evaluate();
+  ASSERT_EQ(cold.ok(), delta.ok())
+      << "step " << step << ": cold and delta disagree on evaluability";
+  if (!cold.ok()) return;
+  ExpectNear(delta->execution_time, cold->execution_time, step);
+  ExpectNear(delta->time_penalty, cold->time_penalty, step);
+  ExpectNear(delta->combined, cold->combined, step);
+}
+
+class IncrementalReplayTest
+    : public ::testing::TestWithParam<std::tuple<WorkloadKind, uint64_t>> {};
+
+TEST_P(IncrementalReplayTest, RandomReplayAgreesWithColdEvaluate) {
+  auto [kind, seed] = GetParam();
+  ExperimentConfig cfg = MakeClassCConfig(kind);
+  cfg.num_operations = 13;
+  cfg.num_servers = 4;
+  cfg.seed = seed;
+  TrialInstance trial = WSFLOW_UNWRAP(DrawTrial(cfg, 0));
+  const ExecutionProfile* profile =
+      trial.profile.has_value() ? &*trial.profile : nullptr;
+  CostModel model(trial.workflow, trial.network, profile);
+
+  const size_t M = trial.workflow.num_operations();
+  const size_t N = trial.network.num_servers();
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, testing::RoundRobin(M, N)));
+  ExpectAgreement(eval, model, 0);
+
+  Rng rng(seed * 7919 + 17);
+  for (size_t step = 1; step <= 300; ++step) {
+    double dice = rng.NextDouble();
+    if (dice < 0.55) {
+      OperationId op(static_cast<uint32_t>(rng.NextBounded(M)));
+      ServerId server(static_cast<uint32_t>(rng.NextBounded(N)));
+      WSFLOW_ASSERT_OK(eval.Apply(op, server));
+    } else if (dice < 0.75) {
+      OperationId a(static_cast<uint32_t>(rng.NextBounded(M)));
+      OperationId b(static_cast<uint32_t>(rng.NextBounded(M)));
+      WSFLOW_ASSERT_OK(eval.Swap(a, b));
+    } else if (eval.undo_depth() > 0) {
+      WSFLOW_ASSERT_OK(eval.Undo());
+    } else {
+      OperationId op(static_cast<uint32_t>(rng.NextBounded(M)));
+      WSFLOW_ASSERT_OK(eval.Move(op, ServerId(0)));
+    }
+    ExpectAgreement(eval, model, step);
+    if (HasFatalFailure() || HasNonfatalFailure()) return;
+  }
+
+  // Unwind whatever history remains; agreement must survive the rewind too.
+  size_t step = 301;
+  while (eval.undo_depth() > 0) {
+    WSFLOW_ASSERT_OK(eval.Undo());
+    ExpectAgreement(eval, model, step++);
+    if (HasFatalFailure() || HasNonfatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, IncrementalReplayTest,
+    ::testing::Combine(::testing::Values(WorkloadKind::kLine,
+                                         WorkloadKind::kBushyGraph,
+                                         WorkloadKind::kLengthyGraph,
+                                         WorkloadKind::kHybridGraph),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const ::testing::TestParamInfo<std::tuple<WorkloadKind, uint64_t>>&
+           info) {
+      return std::string(WorkloadKindToString(std::get<0>(info.param))) +
+             "_s" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(IncrementalDisconnectedReplayTest, FailsAndRecoversWithColdEvaluate) {
+  // Two two-server islands: random replays routinely place linked
+  // operations on different components, where both evaluators must report
+  // FailedPrecondition, and must recover the moment the mapping reconnects.
+  Workflow w = testing::SimpleLine(6, 20e6, 60648);
+  Network n("islands");
+  ServerId s0 = n.AddServer("s0", 1e9);
+  ServerId s1 = n.AddServer("s1", 2e9);
+  ServerId s2 = n.AddServer("s2", 1e9);
+  ServerId s3 = n.AddServer("s3", 2e9);
+  WSFLOW_UNWRAP(n.AddLink(s0, s1, 100e6));
+  WSFLOW_UNWRAP(n.AddLink(s2, s3, 100e6));
+  CostModel model(w, n);
+
+  const size_t M = w.num_operations();
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, testing::AllOnServer(M, s0)));
+
+  Rng rng(99);
+  size_t disconnected_steps = 0;
+  for (size_t step = 1; step <= 200; ++step) {
+    OperationId op(static_cast<uint32_t>(rng.NextBounded(M)));
+    ServerId server(static_cast<uint32_t>(rng.NextBounded(4)));
+    if (rng.NextDouble() < 0.7 || eval.undo_depth() == 0) {
+      WSFLOW_ASSERT_OK(eval.Apply(op, server));
+    } else {
+      WSFLOW_ASSERT_OK(eval.Undo());
+    }
+    ExpectAgreement(eval, model, step);
+    if (!model.Evaluate(eval.mapping()).ok()) ++disconnected_steps;
+    if (HasFatalFailure() || HasNonfatalFailure()) return;
+  }
+  // The walk must actually have crossed infinite-cost territory.
+  EXPECT_GT(disconnected_steps, 0u);
+}
+
+}  // namespace
+}  // namespace wsflow
