@@ -1,23 +1,29 @@
 // Evaluation-throughput bench: how many candidate mappings per second the
 // cost layer can score over a single-op-move neighborhood — the inner loop
 // of every search in src/deploy. Compares the cold path (copy the mapping,
-// CostModel::Evaluate from scratch) against the incremental path
-// (IncrementalEvaluator Apply / Evaluate / Undo on working state), on a
-// line workload (closed-form T_execute) and on graph workloads (block-tree
-// recursion), at the paper's scale and at a larger instance. Results land
-// in bench_results/eval_throughput.json for CI trending; the docs/perf.md
-// methodology section describes the setup.
+// CostModel::Evaluate from scratch), the incremental path
+// (IncrementalEvaluator Apply / Evaluate / Undo on working state) and the
+// batched path (ScoreMoves sweeping each operation's whole server fan in
+// one call), on a line workload (closed-form T_execute) and on graph
+// workloads (block-tree recursion), at the paper's scale and at a larger
+// instance. A second section measures the parallel multi-chain annealing
+// (annealing-par) at an equal total proposal budget for 1..8 chains —
+// wall-clock scaling there depends on the host's core count, which the
+// JSON records. Results land in bench_results/eval_throughput.json for CI
+// trending; the docs/perf.md methodology section describes the setup.
 
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/common/logging.h"
 #include "src/cost/cost_model.h"
 #include "src/cost/incremental.h"
+#include "src/deploy/parallel.h"
 #include "src/exp/config.h"
 
 namespace wsflow {
@@ -33,7 +39,20 @@ struct ScenarioResult {
   size_t num_servers = 0;
   double cold_per_sec = 0;
   double incremental_per_sec = 0;
-  double speedup = 0;
+  double batched_per_sec = 0;
+  double speedup = 0;        ///< incremental vs cold
+  double batch_speedup = 0;  ///< batched vs incremental
+};
+
+/// One point of the chains-vs-1 annealing scaling curve.
+struct ChainScalingResult {
+  std::string scenario;
+  size_t chains = 0;
+  size_t threads = 0;
+  size_t total_iterations = 0;
+  double seconds = 0;
+  double best_cost = 0;
+  double speedup_vs_1 = 0;  ///< wall-clock, equal total budget
 };
 
 double Seconds(std::chrono::steady_clock::time_point start) {
@@ -98,6 +117,38 @@ double IncrementalRate(const CostModel& model, const Mapping& base,
   return static_cast<double>(evals) / elapsed;
 }
 
+/// Batched: the same neighborhood scored as one ScoreMoves fan per
+/// operation — the bookkeeping for each op is pinned once, not per
+/// candidate.
+double BatchedRate(const CostModel& model, const Mapping& base,
+                   double* checksum) {
+  const size_t M = model.workflow().num_operations();
+  const size_t N = model.network().num_servers();
+  Result<IncrementalEvaluator> bound = IncrementalEvaluator::Bind(model, base);
+  WSFLOW_CHECK(bound.ok()) << bound.status().ToString();
+  IncrementalEvaluator& eval = *bound;
+  std::vector<ServerId> fan;
+  std::vector<double> costs;
+  size_t evals = 0;
+  auto start = std::chrono::steady_clock::now();
+  double elapsed = 0;
+  do {
+    for (uint32_t op = 0; op < M; ++op) {
+      ServerId from = eval.mapping().ServerOf(OperationId(op));
+      fan.clear();
+      for (uint32_t s = 0; s < N; ++s) {
+        if (ServerId(s) != from) fan.push_back(ServerId(s));
+      }
+      costs.resize(fan.size());
+      WSFLOW_CHECK(eval.ScoreMoves(OperationId(op), fan, costs).ok());
+      for (double c : costs) *checksum += c;
+      evals += fan.size();
+    }
+    elapsed = Seconds(start);
+  } while (elapsed < kMinSeconds);
+  return static_cast<double>(evals) / elapsed;
+}
+
 ScenarioResult RunScenario(const std::string& name, WorkloadKind kind,
                            size_t num_operations, size_t num_servers) {
   ExperimentConfig cfg = MakeClassCConfig(kind);
@@ -125,17 +176,73 @@ ScenarioResult RunScenario(const std::string& name, WorkloadKind kind,
   out.num_servers = num_servers;
   out.cold_per_sec = ColdRate(model, base, &checksum);
   out.incremental_per_sec = IncrementalRate(model, base, &checksum);
+  out.batched_per_sec = BatchedRate(model, base, &checksum);
   out.speedup = out.incremental_per_sec / out.cold_per_sec;
-  std::printf("%-18s %-8s M=%-3zu N=%-2zu %12.0f %12.0f %8.1fx\n",
+  out.batch_speedup = out.batched_per_sec / out.incremental_per_sec;
+  std::printf("%-18s %-8s M=%-3zu N=%-2zu %12.0f %12.0f %12.0f %7.1fx %7.1fx\n",
               out.name.c_str(), out.workload.c_str(), out.num_operations,
               out.num_servers, out.cold_per_sec, out.incremental_per_sec,
-              out.speedup);
+              out.batched_per_sec, out.speedup, out.batch_speedup);
   // Keep the scored costs observable so the loops cannot be elided.
   std::printf("  (checksum %.6g)\n", checksum);
   return out;
 }
 
-void WriteJson(const std::vector<ScenarioResult>& results) {
+/// Times annealing-par at a fixed total budget for several chain counts.
+/// Equal budgets mean the curve isolates parallel wall-clock scaling from
+/// extra search effort; on a single-core host the curve is flat, which the
+/// recorded hardware_concurrency lets readers interpret.
+std::vector<ChainScalingResult> RunChainScaling(const std::string& scenario,
+                                                WorkloadKind kind,
+                                                size_t num_operations,
+                                                size_t num_servers,
+                                                size_t total_iterations) {
+  ExperimentConfig cfg = MakeClassCConfig(kind);
+  cfg.num_operations = num_operations;
+  cfg.num_servers = num_servers;
+  cfg.fixed_bus_speed_bps = paperconst::kBus100Mbps;
+  cfg.seed = 7;
+  Result<TrialInstance> trial = DrawTrial(cfg, 0);
+  WSFLOW_CHECK(trial.ok()) << trial.status().ToString();
+  DeployContext ctx;
+  ctx.workflow = &trial->workflow;
+  ctx.network = &trial->network;
+  ctx.profile = trial->profile.has_value() ? &*trial->profile : nullptr;
+  ctx.seed = 42;
+
+  std::vector<ChainScalingResult> curve;
+  double base_seconds = 0;
+  for (size_t chains : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    ParallelSearchOptions options;
+    options.chains = chains;
+    options.threads = chains;
+    options.total_iterations = total_iterations;
+    ParallelSearchStats stats;
+    auto start = std::chrono::steady_clock::now();
+    Result<Mapping> m =
+        ParallelAnnealingAlgorithm(options).RunWithStats(ctx, &stats);
+    double seconds = Seconds(start);
+    WSFLOW_CHECK(m.ok()) << m.status().ToString();
+
+    ChainScalingResult point;
+    point.scenario = scenario;
+    point.chains = chains;
+    point.threads = stats.threads;
+    point.total_iterations = total_iterations;
+    point.seconds = seconds;
+    point.best_cost = stats.best_cost;
+    if (chains == 1) base_seconds = seconds;
+    point.speedup_vs_1 = base_seconds / seconds;
+    curve.push_back(point);
+    std::printf("%-18s chains=%zu threads=%zu %10.3fs best=%.6g %7.2fx\n",
+                scenario.c_str(), point.chains, point.threads, point.seconds,
+                point.best_cost, point.speedup_vs_1);
+  }
+  return curve;
+}
+
+void WriteJson(const std::vector<ScenarioResult>& results,
+               const std::vector<ChainScalingResult>& scaling) {
   std::error_code ec;
   std::filesystem::create_directories("bench_results", ec);
   if (ec) {
@@ -150,7 +257,9 @@ void WriteJson(const std::vector<ScenarioResult>& results) {
     return;
   }
   std::fprintf(f, "{\n  \"bench\": \"eval_throughput\",\n  \"unit\": "
-                  "\"mappings_per_second\",\n  \"scenarios\": [\n");
+                  "\"mappings_per_second\",\n"
+                  "  \"hardware_concurrency\": %u,\n  \"scenarios\": [\n",
+               std::thread::hardware_concurrency());
   for (size_t i = 0; i < results.size(); ++i) {
     const ScenarioResult& r = results[i];
     std::fprintf(
@@ -158,10 +267,23 @@ void WriteJson(const std::vector<ScenarioResult>& results) {
         "    {\"name\": \"%s\", \"workload\": \"%s\", "
         "\"num_operations\": %zu, \"num_servers\": %zu, "
         "\"cold_per_sec\": %.1f, \"incremental_per_sec\": %.1f, "
-        "\"speedup\": %.2f}%s\n",
+        "\"batched_per_sec\": %.1f, \"speedup\": %.2f, "
+        "\"batch_speedup\": %.2f}%s\n",
         r.name.c_str(), r.workload.c_str(), r.num_operations, r.num_servers,
-        r.cold_per_sec, r.incremental_per_sec, r.speedup,
-        i + 1 < results.size() ? "," : "");
+        r.cold_per_sec, r.incremental_per_sec, r.batched_per_sec, r.speedup,
+        r.batch_speedup, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"chain_scaling\": [\n");
+  for (size_t i = 0; i < scaling.size(); ++i) {
+    const ChainScalingResult& r = scaling[i];
+    std::fprintf(
+        f,
+        "    {\"scenario\": \"%s\", \"chains\": %zu, \"threads\": %zu, "
+        "\"total_iterations\": %zu, \"seconds\": %.4f, "
+        "\"best_cost\": %.6g, \"speedup_vs_1\": %.2f}%s\n",
+        r.scenario.c_str(), r.chains, r.threads, r.total_iterations,
+        r.seconds, r.best_cost, r.speedup_vs_1,
+        i + 1 < scaling.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -176,10 +298,11 @@ int main() {
   bench::PrintBanner(
       "EVAL",
       "single-op-move neighborhood scoring, cold CostModel::Evaluate vs "
-      "IncrementalEvaluator (Apply/Evaluate/Undo); Class C instances, "
-      "100 Mbps bus");
-  std::printf("%-18s %-8s %-10s %12s %12s %9s\n", "scenario", "workload",
-              "size", "cold/s", "incr/s", "speedup");
+      "IncrementalEvaluator (Apply/Evaluate/Undo) vs batched ScoreMoves; "
+      "Class C instances, 100 Mbps bus");
+  std::printf("%-18s %-8s %-10s %12s %12s %12s %8s %8s\n", "scenario",
+              "workload", "size", "cold/s", "incr/s", "batch/s", "incr-x",
+              "batch-x");
 
   std::vector<ScenarioResult> results;
   results.push_back(
@@ -190,6 +313,12 @@ int main() {
       RunScenario("hybrid_m24_n8", WorkloadKind::kHybridGraph, 24, 8));
   results.push_back(
       RunScenario("hybrid_m48_n12", WorkloadKind::kHybridGraph, 48, 12));
-  WriteJson(results);
+
+  std::printf("\nannealing-par scaling, equal total budget "
+              "(hardware_concurrency=%u)\n",
+              std::thread::hardware_concurrency());
+  std::vector<ChainScalingResult> scaling = RunChainScaling(
+      "hybrid_m24_n8", WorkloadKind::kHybridGraph, 24, 8, 40000);
+  WriteJson(results, scaling);
   return 0;
 }

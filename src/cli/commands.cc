@@ -18,7 +18,9 @@
 #include "src/cost/cost_model.h"
 #include "src/cost/response_time.h"
 #include "src/deploy/algorithm.h"
+#include "src/deploy/annealing.h"
 #include "src/deploy/failover.h"
+#include "src/deploy/parallel.h"
 #include "src/exp/config.h"
 #include "src/exp/report.h"
 #include "src/exp/runner.h"
@@ -256,6 +258,11 @@ Status CmdDeploy(const std::vector<std::string>& args, std::ostream& out) {
   flags.AddInt("seed", 1, "seed for randomized steps");
   flags.AddDouble("exec-weight", 0.5, "objective weight of T_execute");
   flags.AddDouble("fair-weight", 0.5, "objective weight of TimePenalty");
+  flags.AddInt("chains", 8,
+               "chains / restarts for annealing-par and climb-par");
+  AddThreadsFlag(&flags);
+  flags.AddBool("stats", false,
+                "print search statistics (annealing and the -par searches)");
   WSFLOW_ASSIGN_OR_RETURN(std::vector<std::string> positional,
                           flags.Parse(args));
   (void)positional;
@@ -264,8 +271,64 @@ Status CmdDeploy(const std::vector<std::string>& args, std::ostream& out) {
                                            flags.GetInt("seed")));
   ctx.cost_options.execution_weight = flags.GetDouble("exec-weight");
   ctx.cost_options.fairness_weight = flags.GetDouble("fair-weight");
-  WSFLOW_ASSIGN_OR_RETURN(Mapping m,
-                          RunAlgorithm(flags.GetString("algorithm"), ctx));
+
+  const std::string& algo_name = flags.GetString("algorithm");
+  const bool parallel_algo =
+      algo_name == "annealing-par" || algo_name == "climb-par";
+  if (flags.WasSet("chains") && !parallel_algo) {
+    return Status::InvalidArgument(
+        "--chains only applies to annealing-par and climb-par");
+  }
+  if (flags.GetBool("stats") && !parallel_algo && algo_name != "annealing") {
+    return Status::InvalidArgument(
+        "--stats is supported for annealing, annealing-par and climb-par");
+  }
+
+  Mapping m;
+  if (parallel_algo) {
+    if (flags.GetInt("chains") < 1) {
+      return Status::InvalidArgument("--chains must be at least 1");
+    }
+    ParallelSearchOptions options;
+    options.chains = static_cast<size_t>(flags.GetInt("chains"));
+    options.threads = static_cast<size_t>(flags.GetInt("threads"));
+    ParallelSearchStats stats;
+    if (algo_name == "annealing-par") {
+      WSFLOW_ASSIGN_OR_RETURN(
+          m, ParallelAnnealingAlgorithm(options).RunWithStats(ctx, &stats));
+    } else {
+      WSFLOW_ASSIGN_OR_RETURN(
+          m, ParallelHillClimbAlgorithm(options).RunWithStats(ctx, &stats));
+    }
+    if (flags.GetBool("stats")) {
+      out << "chains:       " << stats.chains << " on " << stats.threads
+          << " thread(s), winner chain " << stats.winner_chain << "\n";
+      if (algo_name == "annealing-par") {
+        out << "proposals:    " << stats.proposals << " (" << stats.accepted
+            << " accepted, " << stats.exchanges << " exchanges over "
+            << stats.rounds << " rounds)\n";
+      } else {
+        out << "climb:        " << stats.steps << " steps, "
+            << stats.evaluations << " candidates\n";
+      }
+      out << "evaluations:  " << stats.full_evaluations << " full, "
+          << stats.delta_evaluations << " delta\n";
+      out << "search cost:  " << FormatSeconds(stats.initial_cost) << " -> "
+          << FormatSeconds(stats.best_cost) << "\n";
+    }
+  } else if (flags.GetBool("stats") && algo_name == "annealing") {
+    AnnealingStats stats;
+    WSFLOW_ASSIGN_OR_RETURN(
+        m, AnnealingAlgorithm().RunWithStats(ctx, &stats));
+    out << "proposals:    " << stats.proposals << " (" << stats.accepted
+        << " accepted)\n";
+    out << "evaluations:  " << stats.full_evaluations << " full, "
+        << stats.delta_evaluations << " delta\n";
+    out << "search cost:  " << FormatSeconds(stats.initial_cost) << " -> "
+        << FormatSeconds(stats.best_cost) << "\n";
+  } else {
+    WSFLOW_ASSIGN_OR_RETURN(m, RunAlgorithm(algo_name, ctx));
+  }
   out << "mapping: " << m.ToString(in.workflow, in.network) << "\n";
   out << "spec:    " << FormatMappingSpec(m) << "\n";
   CostModel model(in.workflow, in.network, in.profile_ptr());

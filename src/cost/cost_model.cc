@@ -102,6 +102,14 @@ Result<const Block*> CostModel::BlockRoot() const {
   return &*root_;
 }
 
+Status CostModel::Warm() const {
+  router_.WarmAllPairs();
+  if (!IsLineWorkflow()) {
+    WSFLOW_RETURN_IF_ERROR(BlockRoot().status());
+  }
+  return Status::OK();
+}
+
 Result<double> CostModel::ExecutionTime(const Mapping& m) const {
   if (IsLineWorkflow()) {
     return LineExecutionTime(*this, m);

@@ -105,6 +105,14 @@ class CostModel {
   Result<CostBreakdown> Evaluate(const Mapping& m,
                                  const CostOptions& options = {}) const;
 
+  /// Eagerly fills every lazily cached structure: the router's all-pairs
+  /// tables, the line/graph classification and (for graph workflows) the
+  /// block decomposition. After a successful Warm the model is safe to
+  /// share across threads read-only — concurrent Evaluate calls and
+  /// IncrementalEvaluator binds no longer race on first-touch cache
+  /// fills. Fails when the workflow is not well-formed.
+  Status Warm() const;
+
  private:
   const Workflow& workflow_;
   const Network& network_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <limits>
 
 #include "src/common/logging.h"
 #include "src/network/routing.h"
@@ -420,6 +421,241 @@ Result<CostBreakdown> IncrementalEvaluator::Evaluate() {
 Result<double> IncrementalEvaluator::Combined() {
   WSFLOW_ASSIGN_OR_RETURN(CostBreakdown breakdown, Evaluate());
   return breakdown.combined;
+}
+
+void IncrementalEvaluator::PrepareBatchBase() {
+  if (moves_since_anchor_ >= kReanchorInterval) Reanchor();
+  if (!line_) Flush();
+}
+
+void IncrementalEvaluator::CollectOpEdges(OperationId op) {
+  // May append an edge another CollectOpEdges call already added (a swap of
+  // adjacent operations shares their connecting transition): the duplicate
+  // is intentional, so the refresh replay touches it once per move exactly
+  // like Swap does. Saves happen before any mutation, so duplicate save
+  // slots hold the same original value and restore order cannot matter.
+  const Workflow& w = model_->workflow();
+  for (TransitionId t : w.in_edges(op)) batch_edges_.push_back(t);
+  for (TransitionId t : w.out_edges(op)) batch_edges_.push_back(t);
+}
+
+void IncrementalEvaluator::SaveBatchEdges() {
+  batch_saved_edges_.clear();
+  for (TransitionId t : batch_edges_) {
+    batch_saved_edges_.push_back(tcomm_[t.value]);
+  }
+}
+
+void IncrementalEvaluator::BuildBatchPath(std::span<const OperationId> ops) {
+  batch_path_.clear();
+  batch_saved_nodes_.clear();
+  if (line_) return;
+  // Reuse the dirty-marking machinery to take the ancestor closure, then
+  // freeze it: the same path serves every candidate of the batch.
+  for (OperationId op : ops) {
+    if (tproc_reader_[op.value] >= 0) MarkDirty(tproc_reader_[op.value]);
+  }
+  for (TransitionId t : batch_edges_) {
+    if (edge_consumer_[t.value] >= 0) MarkDirty(edge_consumer_[t.value]);
+  }
+  std::sort(dirty_.begin(), dirty_.end(), std::greater<int>());
+  for (int index : dirty_) {
+    nodes_[index].dirty = false;
+    batch_path_.push_back(index);
+    batch_saved_nodes_.push_back(
+        NodeSnapshot{nodes_[index].value, nodes_[index].ok});
+  }
+  dirty_.clear();
+}
+
+void IncrementalEvaluator::RestoreBatchState() {
+  for (size_t i = 0; i < batch_edges_.size(); ++i) {
+    tcomm_[batch_edges_[i].value] = batch_saved_edges_[i];
+  }
+  for (size_t i = 0; i < batch_path_.size(); ++i) {
+    Node& node = nodes_[batch_path_[i]];
+    node.value = batch_saved_nodes_[i].value;
+    node.ok = batch_saved_nodes_[i].ok;
+  }
+}
+
+double IncrementalEvaluator::ScoreProvisionalGraph() {
+  for (int index : batch_path_) {
+    RecomputeNode(nodes_[index]);
+  }
+  return CombineScore(nodes_[0].value, nodes_[0].ok);
+}
+
+double IncrementalEvaluator::CombineScore(double exec, bool ok) const {
+  if (!ok) return std::numeric_limits<double>::infinity();
+  return options_.execution_weight * exec +
+         options_.fairness_weight * TimePenalty();
+}
+
+Status IncrementalEvaluator::ScoreMoves(OperationId op,
+                                        std::span<const ServerId> servers,
+                                        std::span<double> costs) {
+  if (servers.size() != costs.size()) {
+    return Status::InvalidArgument(
+        "ScoreMoves needs one cost slot per candidate server");
+  }
+  if (op.value >= mapping_.num_operations()) {
+    return Status::InvalidArgument("operation not in the bound workflow");
+  }
+  for (ServerId s : servers) {
+    if (!model_->network().Contains(s)) {
+      return Status::InvalidArgument("server not in the bound network");
+    }
+  }
+  if (servers.empty()) return Status::OK();
+  PrepareBatchBase();
+
+  const ServerId from = mapping_.ServerOf(op);
+  const double prob = model_->OperationProb(op);
+  const double tproc_from = model_->TprocOn(op, from);
+
+  batch_edges_.clear();
+  CollectOpEdges(op);
+  SaveBatchEdges();
+  const OperationId moved[] = {op};
+  BuildBatchPath(moved);
+
+  const double base_line_exec = line_exec_;
+  const size_t base_bad_edges = bad_edges_;
+  const double load_from_base = loads_[from.value];
+
+  for (size_t i = 0; i < servers.size(); ++i) {
+    const ServerId to = servers[i];
+    const double tproc_to = model_->TprocOn(op, to);
+    mapping_.Assign(op, to);
+    const double load_to_base = loads_[to.value];
+    if (to != from) {
+      // Mirror MoveInternal's arithmetic exactly so batch scores agree
+      // bit-for-bit with the Apply round-trip.
+      loads_[from.value] = load_from_base - prob * tproc_from;
+      loads_[to.value] = load_to_base + prob * tproc_to;
+    }
+    if (line_) {
+      double exec = base_line_exec;
+      size_t bad = base_bad_edges;
+      if (to != from) exec += tproc_to - tproc_from;
+      for (size_t e = 0; e < batch_edges_.size(); ++e) {
+        const EdgeCache next = ComputeEdge(batch_edges_[e]);
+        const EdgeCache& prev = batch_saved_edges_[e];
+        exec += (next.ok ? next.value : 0.0) - (prev.ok ? prev.value : 0.0);
+        if (!next.ok && prev.ok) ++bad;
+        if (next.ok && !prev.ok) --bad;
+      }
+      costs[i] = CombineScore(exec, bad == 0);
+    } else {
+      for (TransitionId t : batch_edges_) {
+        tcomm_[t.value] = ComputeEdge(t);
+      }
+      costs[i] = ScoreProvisionalGraph();
+    }
+    ++counters_.delta_evaluations;
+    if (to != from) {
+      loads_[from.value] = load_from_base;
+      loads_[to.value] = load_to_base;
+    }
+  }
+  mapping_.Assign(op, from);
+  RestoreBatchState();
+  return Status::OK();
+}
+
+Status IncrementalEvaluator::ScoreSwaps(OperationId a,
+                                        std::span<const OperationId> partners,
+                                        std::span<double> costs) {
+  if (partners.size() != costs.size()) {
+    return Status::InvalidArgument(
+        "ScoreSwaps needs one cost slot per partner");
+  }
+  if (a.value >= mapping_.num_operations()) {
+    return Status::InvalidArgument("operation not in the bound workflow");
+  }
+  for (OperationId b : partners) {
+    if (b.value >= mapping_.num_operations()) {
+      return Status::InvalidArgument("operation not in the bound workflow");
+    }
+  }
+  if (partners.empty()) return Status::OK();
+  PrepareBatchBase();
+
+  const double base_line_exec = line_exec_;
+  const size_t base_bad_edges = bad_edges_;
+  const ServerId sa = mapping_.ServerOf(a);
+  const double prob_a = model_->OperationProb(a);
+
+  for (size_t i = 0; i < partners.size(); ++i) {
+    const OperationId b = partners[i];
+    const ServerId sb = mapping_.ServerOf(b);
+    if (b == a || sb == sa) {
+      // The swap is a no-op; score the working mapping as-is.
+      costs[i] = CombineScore(line_ ? base_line_exec : nodes_[0].value,
+                              line_ ? base_bad_edges == 0 : nodes_[0].ok);
+      ++counters_.delta_evaluations;
+      continue;
+    }
+    const double prob_b = model_->OperationProb(b);
+    batch_edges_.clear();
+    CollectOpEdges(a);
+    const size_t a_edge_count = batch_edges_.size();
+    CollectOpEdges(b);
+    SaveBatchEdges();
+    const OperationId swapped[] = {a, b};
+    BuildBatchPath(swapped);
+
+    const double load_a_base = loads_[sa.value];
+    const double load_b_base = loads_[sb.value];
+    double exec = base_line_exec;
+    size_t bad = base_bad_edges;
+
+    // Replay Swap's two MoveInternal calls in order: a -> sb first (b still
+    // on sb), then b -> sa, refreshing each op's edges against the caches
+    // as they stood at that point. This keeps the running-sum arithmetic
+    // bit-identical to the round-trip.
+    mapping_.Assign(a, sb);
+    loads_[sa.value] -= prob_a * model_->TprocOn(a, sa);
+    loads_[sb.value] += prob_a * model_->TprocOn(a, sb);
+    if (line_) exec += model_->TprocOn(a, sb) - model_->TprocOn(a, sa);
+    for (size_t e = 0; e < a_edge_count; ++e) {
+      const TransitionId t = batch_edges_[e];
+      const EdgeCache next = ComputeEdge(t);
+      const EdgeCache& prev = tcomm_[t.value];
+      if (line_) {
+        exec += (next.ok ? next.value : 0.0) - (prev.ok ? prev.value : 0.0);
+        if (!next.ok && prev.ok) ++bad;
+        if (next.ok && !prev.ok) --bad;
+      }
+      tcomm_[t.value] = next;
+    }
+    mapping_.Assign(b, sa);
+    loads_[sb.value] -= prob_b * model_->TprocOn(b, sb);
+    loads_[sa.value] += prob_b * model_->TprocOn(b, sa);
+    if (line_) exec += model_->TprocOn(b, sa) - model_->TprocOn(b, sb);
+    for (size_t e = a_edge_count; e < batch_edges_.size(); ++e) {
+      const TransitionId t = batch_edges_[e];
+      const EdgeCache next = ComputeEdge(t);
+      const EdgeCache& prev = tcomm_[t.value];
+      if (line_) {
+        exec += (next.ok ? next.value : 0.0) - (prev.ok ? prev.value : 0.0);
+        if (!next.ok && prev.ok) ++bad;
+        if (next.ok && !prev.ok) --bad;
+      }
+      tcomm_[t.value] = next;
+    }
+
+    costs[i] = line_ ? CombineScore(exec, bad == 0) : ScoreProvisionalGraph();
+    ++counters_.delta_evaluations;
+
+    mapping_.Assign(a, sa);
+    mapping_.Assign(b, sb);
+    loads_[sa.value] = load_a_base;
+    loads_[sb.value] = load_b_base;
+    RestoreBatchState();
+  }
+  return Status::OK();
 }
 
 }  // namespace wsflow

@@ -37,6 +37,7 @@
 #define WSFLOW_COST_INCREMENTAL_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "src/common/result.h"
@@ -106,6 +107,27 @@ class IncrementalEvaluator {
   /// Convenience: Evaluate().combined.
   Result<double> Combined();
 
+  /// Batch-scores moving `op` to each of `servers`, writing the combined
+  /// cost of each candidate into the matching `costs` slot. Candidates
+  /// whose mapping routes a message between disconnected servers score
+  /// +infinity (where Apply + Evaluate would fail instead). The dirty-path
+  /// and edge bookkeeping for `op` is pinned once and reused across the
+  /// whole fan, so a candidate costs one edge refresh per incident
+  /// transition plus one sweep of the pre-resolved block path — no undo
+  /// records, no per-candidate dirty marking. Scores agree bit-for-bit
+  /// with the Apply / Evaluate / Undo round-trip, each candidate counts as
+  /// one delta evaluation, and the working state is left untouched.
+  Status ScoreMoves(OperationId op, std::span<const ServerId> servers,
+                    std::span<double> costs);
+
+  /// Batch-scores swapping `a` with each of `partners` under the same
+  /// contract as ScoreMoves (combined cost per candidate, +infinity for
+  /// disconnected states, bit-parity with Swap + Evaluate + Undo, working
+  /// state restored). Partners hosted on `a`'s own server score the
+  /// current mapping (the swap is a no-op).
+  Status ScoreSwaps(OperationId a, std::span<const OperationId> partners,
+                    std::span<double> costs);
+
   const EvalCounters& counters() const { return counters_; }
 
  private:
@@ -156,6 +178,26 @@ class IncrementalEvaluator {
   double EdgeContribution(TransitionId t, bool* ok) const;
   void Reanchor();
 
+  /// Brings the working state to a clean, fully flushed base so batch
+  /// scoring can snapshot it (mirrors what Evaluate would do first).
+  void PrepareBatchBase();
+  /// Collects `op`'s incident transitions into batch_edges_ (dedup'd).
+  void CollectOpEdges(OperationId op);
+  /// Saves the tcomm_ entries of batch_edges_ into batch_saved_edges_.
+  void SaveBatchEdges();
+  /// Resolves the ancestor-closed block path read by batch_edges_ and the
+  /// tproc readers of `ops` into batch_path_ (descending index order) and
+  /// snapshots those nodes' values. Graph workflows only.
+  void BuildBatchPath(std::span<const OperationId> ops);
+  /// Restores the tcomm_ caches and block-path snapshots taken by
+  /// SaveBatchEdges / BuildBatchPath.
+  void RestoreBatchState();
+  /// Combined cost of the current (provisionally mutated) graph state:
+  /// recomputes batch_path_ and folds in the fairness penalty.
+  double ScoreProvisionalGraph();
+  /// Combined cost from a line execution sum and bad-edge count.
+  double CombineScore(double exec, bool ok) const;
+
   double TprocHere(OperationId op) const {
     return model_->TprocOn(op, mapping_.ServerOf(op));
   }
@@ -190,6 +232,16 @@ class IncrementalEvaluator {
     ServerId b_old;
   };
   std::vector<UndoRecord> undo_;
+
+  // Batch-scoring scratch, reused across ScoreMoves/ScoreSwaps calls.
+  struct NodeSnapshot {
+    double value = 0;
+    bool ok = true;
+  };
+  std::vector<TransitionId> batch_edges_;
+  std::vector<EdgeCache> batch_saved_edges_;
+  std::vector<int> batch_path_;              // descending node indices
+  std::vector<NodeSnapshot> batch_saved_nodes_;
 
   size_t moves_since_anchor_ = 0;
   EvalCounters counters_;

@@ -15,6 +15,7 @@
 #include "src/deploy/heavy_ops.h"
 #include "src/deploy/line_line.h"
 #include "src/deploy/local_search.h"
+#include "src/deploy/parallel.h"
 #include "src/deploy/portfolio.h"
 #include "src/deploy/random_baseline.h"
 #include "src/deploy/round_robin.h"
@@ -139,7 +140,23 @@ void RegisterBuiltinAlgorithms() {
     });
     add("critical-path",
         [] { return std::make_unique<CriticalPathAlgorithm>(); });
+    add("annealing-par", [] {
+      return std::make_unique<ParallelAnnealingAlgorithm>(
+          ParallelSearchOptions{});
+    });
+    add("climb-par", [] {
+      return std::make_unique<ParallelHillClimbAlgorithm>(
+          ParallelSearchOptions{});
+    });
     add("portfolio", [] { return std::make_unique<PortfolioAlgorithm>(); });
+    // Default portfolio plus the parallel searches: the heuristics give a
+    // strong fast floor, the multi-chain searches spend the remaining
+    // budget refining it.
+    add("portfolio-par", [] {
+      return std::make_unique<PortfolioAlgorithm>(std::vector<std::string>{
+          "fair-load", "fltr", "fltr2", "fl-merge", "heavy-ops",
+          "critical-path", "climb-par", "annealing-par"});
+    });
     add("branch-bound",
         [] { return std::make_unique<BranchBoundAlgorithm>(); });
   });

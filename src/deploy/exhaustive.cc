@@ -22,9 +22,11 @@ Result<Mapping> ExhaustiveAlgorithm::Run(const DeployContext& ctx) const {
   }
 
   CostModel model(w, n, ctx.profile);
-  // Odometer over server indices, least-significant digit first. Each
-  // advance changes one digit (plus rollover resets), so the working
-  // mapping is delta-scored instead of cold-evaluated per configuration.
+  // Odometer over server indices, least-significant digit first. The
+  // innermost digit (operation 0) never steps one server at a time:
+  // its whole fan of N placements is batch-scored against the working
+  // state — one dirty-path pin per outer configuration — and only the
+  // outer digits advance by delta moves.
   std::vector<uint32_t> digits(M, 0);
   Mapping start(M);
   for (size_t i = 0; i < M; ++i) {
@@ -34,18 +36,28 @@ Result<Mapping> ExhaustiveAlgorithm::Run(const DeployContext& ctx) const {
       IncrementalEvaluator eval,
       IncrementalEvaluator::Bind(model, std::move(start), ctx.cost_options));
 
+  std::vector<ServerId> fan(N);
+  for (uint32_t s = 0; s < N; ++s) fan[s] = ServerId(s);
+  std::vector<double> fan_costs(N);
+
   Mapping best;
   double best_cost = 0;
   bool have_best = false;
   for (;;) {
-    WSFLOW_ASSIGN_OR_RETURN(double cost, eval.Combined());
-    if (!have_best || cost < best_cost) {
-      best = eval.mapping();
-      best_cost = cost;
-      have_best = true;
+    WSFLOW_RETURN_IF_ERROR(eval.ScoreMoves(OperationId(0), fan, fan_costs));
+    for (uint32_t s = 0; s < N; ++s) {
+      double cost = fan_costs[s];
+      if (std::isinf(cost)) continue;  // disconnected placement
+      if (!have_best || cost < best_cost) {
+        best = eval.mapping();
+        best.Assign(OperationId(0), fan[s]);
+        best_cost = cost;
+        have_best = true;
+      }
     }
-    // Advance the odometer.
-    size_t pos = 0;
+    // Advance the outer digits; digit 0 stays pinned at server 0, its fan
+    // having been fully scored above.
+    size_t pos = 1;
     while (pos < M) {
       if (++digits[pos] < N) {
         WSFLOW_RETURN_IF_ERROR(eval.Move(
@@ -59,7 +71,10 @@ Result<Mapping> ExhaustiveAlgorithm::Run(const DeployContext& ctx) const {
     }
     if (pos == M) break;
   }
-  WSFLOW_CHECK(have_best);
+  if (!have_best) {
+    return Status::FailedPrecondition(
+        "every configuration routes a message between disconnected servers");
+  }
   return best;
 }
 

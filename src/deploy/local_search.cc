@@ -51,6 +51,13 @@ Result<Mapping> HillClimb(const CostModel& model, const Mapping& start,
     return cost <
            incumbent - options.min_improvement * (1.0 + std::fabs(incumbent));
   };
+  // Constraint checks need the per-candidate working state, so only the
+  // unconstrained climb can use batch scoring.
+  const bool batched =
+      options.constraints == nullptr || options.constraints->empty();
+  std::vector<ServerId> move_fan;
+  std::vector<OperationId> swap_fan;
+  std::vector<double> fan_costs;
 
   while (local.steps < options.max_steps) {
     double best_cost = current_cost;
@@ -59,10 +66,30 @@ Result<Mapping> HillClimb(const CostModel& model, const Mapping& start,
     OperationId best_b;
     ServerId best_server;
 
-    // Moves: reassign one operation. Each candidate is applied to the
-    // working state, scored by delta evaluation, and undone.
+    // Moves: reassign one operation. Batched scoring pins the operation's
+    // bookkeeping once and sweeps its whole server fan; the constrained
+    // path applies, scores and undoes each candidate individually.
     for (uint32_t op = 0; op < M; ++op) {
       ServerId from = eval.mapping().ServerOf(OperationId(op));
+      if (batched) {
+        move_fan.clear();
+        for (uint32_t s = 0; s < N; ++s) {
+          if (ServerId(s) != from) move_fan.push_back(ServerId(s));
+        }
+        fan_costs.resize(move_fan.size());
+        WSFLOW_RETURN_IF_ERROR(
+            eval.ScoreMoves(OperationId(op), move_fan, fan_costs));
+        local.evaluations += move_fan.size();
+        for (size_t i = 0; i < move_fan.size(); ++i) {
+          if (accepts(fan_costs[i], best_cost)) {
+            best_cost = fan_costs[i];
+            best_kind = MoveKind::kMove;
+            best_a = OperationId(op);
+            best_server = move_fan[i];
+          }
+        }
+        continue;
+      }
       for (uint32_t s = 0; s < N; ++s) {
         if (ServerId(s) == from) continue;
         WSFLOW_RETURN_IF_ERROR(eval.Apply(OperationId(op), ServerId(s)));
@@ -80,6 +107,28 @@ Result<Mapping> HillClimb(const CostModel& model, const Mapping& start,
     // Swaps: exchange the servers of two operations on distinct servers.
     if (options.use_swaps) {
       for (uint32_t a = 0; a < M; ++a) {
+        if (batched) {
+          swap_fan.clear();
+          for (uint32_t b = a + 1; b < M; ++b) {
+            if (eval.mapping().ServerOf(OperationId(a)) !=
+                eval.mapping().ServerOf(OperationId(b))) {
+              swap_fan.push_back(OperationId(b));
+            }
+          }
+          fan_costs.resize(swap_fan.size());
+          WSFLOW_RETURN_IF_ERROR(
+              eval.ScoreSwaps(OperationId(a), swap_fan, fan_costs));
+          local.evaluations += swap_fan.size();
+          for (size_t i = 0; i < swap_fan.size(); ++i) {
+            if (accepts(fan_costs[i], best_cost)) {
+              best_cost = fan_costs[i];
+              best_kind = MoveKind::kSwap;
+              best_a = OperationId(a);
+              best_b = swap_fan[i];
+            }
+          }
+          continue;
+        }
         for (uint32_t b = a + 1; b < M; ++b) {
           if (eval.mapping().ServerOf(OperationId(a)) ==
               eval.mapping().ServerOf(OperationId(b))) {
@@ -104,8 +153,10 @@ Result<Mapping> HillClimb(const CostModel& model, const Mapping& start,
       WSFLOW_RETURN_IF_ERROR(eval.Move(best_a, best_server));
     } else {
       WSFLOW_RETURN_IF_ERROR(eval.Swap(best_a, best_b));
-      eval.ClearHistory();
     }
+    // The accepted move is permanent: drop the undo entry Swap just
+    // recorded so a long climb cannot grow the history without bound.
+    eval.ClearHistory();
     current_cost = best_cost;
     ++local.steps;
   }

@@ -1,0 +1,328 @@
+#include "src/deploy/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/random.h"
+#include "src/cost/incremental.h"
+#include "src/deploy/constraints.h"
+#include "src/deploy/random_baseline.h"
+
+namespace wsflow {
+
+namespace {
+
+size_t ResolveThreads(size_t requested, size_t chains) {
+  size_t threads = requested;
+  if (threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : hw;
+  }
+  if (threads > chains) threads = chains;
+  return threads == 0 ? 1 : threads;
+}
+
+/// Runs fn(0..tasks-1), spreading the calls over `threads` workers pulling
+/// task indices from a shared counter. With one thread the calls happen
+/// inline. fn must only touch per-index state; results are reduced by the
+/// caller afterwards, so the interleaving cannot affect the outcome.
+void RunOnThreads(size_t threads, size_t tasks,
+                  const std::function<void(size_t)>& fn) {
+  if (tasks == 0) return;
+  if (threads <= 1 || tasks == 1) {
+    for (size_t i = 0; i < tasks; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&next, tasks, &fn] {
+    for (size_t i = next.fetch_add(1); i < tasks; i = next.fetch_add(1)) {
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (size_t t = 0; t + 1 < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+}
+
+/// Per-chain seeds derived on the main thread so they depend only on the
+/// context seed and the chain index, never on scheduling.
+std::vector<uint64_t> ChainSeeds(uint64_t seed, size_t chains) {
+  Rng parent(seed);
+  std::vector<uint64_t> seeds;
+  seeds.reserve(chains);
+  for (size_t i = 0; i < chains; ++i) seeds.push_back(parent.NextUint64());
+  return seeds;
+}
+
+/// One annealing chain: private evaluator, RNG stream and temperature
+/// schedule. Only the owning worker touches it between barriers.
+struct AnnealChain {
+  explicit AnnealChain(IncrementalEvaluator evaluator, Rng rng_in)
+      : eval(std::move(evaluator)), rng(std::move(rng_in)) {}
+
+  IncrementalEvaluator eval;
+  Rng rng;
+  double current_cost = 0;
+  Mapping best;
+  double best_cost = 0;
+  double temperature = 0;
+  size_t iterations = 0;  ///< Budget share of this chain.
+  size_t next_iter = 0;   ///< Proposals already run (schedule position).
+  size_t proposals = 0;
+  size_t accepted = 0;
+  size_t adoptions = 0;
+  Status error = Status::OK();
+};
+
+/// Runs proposals [chain.next_iter, segment_end) of one chain's schedule;
+/// exactly the sequential AnnealingAlgorithm inner loop.
+void RunAnnealSegment(AnnealChain& chain, size_t segment_end,
+                      const AnnealingOptions& schedule, size_t ops,
+                      size_t servers) {
+  for (size_t i = chain.next_iter; i < segment_end; ++i) {
+    if (i > 0 && i % schedule.cooling_interval == 0) {
+      chain.temperature *= schedule.cooling_rate;
+    }
+    OperationId op(static_cast<uint32_t>(chain.rng.NextBounded(ops)));
+    ServerId old_server = chain.eval.mapping().ServerOf(op);
+    uint32_t shift =
+        static_cast<uint32_t>(1 + chain.rng.NextBounded(servers - 1));
+    ServerId new_server(
+        static_cast<uint32_t>((old_server.value + shift) % servers));
+    Status applied = chain.eval.Apply(op, new_server);
+    if (!applied.ok()) {
+      chain.error = applied;
+      return;
+    }
+    Result<double> proposal_cost = chain.eval.Combined();
+    if (!proposal_cost.ok()) {
+      chain.error = proposal_cost.status();
+      return;
+    }
+    ++chain.proposals;
+    double delta = *proposal_cost - chain.current_cost;
+    bool accept = delta <= 0 ||
+                  chain.rng.NextDouble() < std::exp(-delta / chain.temperature);
+    if (accept) {
+      chain.eval.ClearHistory();
+      ++chain.accepted;
+      chain.current_cost = *proposal_cost;
+      if (chain.current_cost < chain.best_cost) {
+        chain.best_cost = chain.current_cost;
+        chain.best = chain.eval.mapping();
+      }
+    } else {
+      Status undone = chain.eval.Undo();
+      if (!undone.ok()) {
+        chain.error = undone;
+        return;
+      }
+    }
+  }
+  chain.next_iter = segment_end;
+}
+
+}  // namespace
+
+Result<Mapping> ParallelAnnealingAlgorithm::Run(const DeployContext& ctx) const {
+  return RunWithStats(ctx, nullptr);
+}
+
+Result<Mapping> ParallelAnnealingAlgorithm::RunWithStats(
+    const DeployContext& ctx, ParallelSearchStats* stats) const {
+  WSFLOW_RETURN_IF_ERROR(CheckContext(ctx));
+  const size_t ops = ctx.workflow->num_operations();
+  const size_t servers = ctx.network->num_servers();
+  const size_t chains = options_.chains == 0 ? 1 : options_.chains;
+  const size_t threads = ResolveThreads(options_.threads, chains);
+  const size_t rounds = options_.exchange_rounds == 0
+                            ? 1
+                            : options_.exchange_rounds;
+
+  CostModel model(*ctx.workflow, *ctx.network, ctx.profile);
+  // Warm every lazy cache before any worker thread can touch the model;
+  // afterwards the model is strictly read-only.
+  WSFLOW_RETURN_IF_ERROR(model.Warm());
+
+  // Chain setup is sequential and main-thread: seeds, random starts and
+  // the cold binds all happen in chain-index order, so the parallel phase
+  // starts from a state that is a pure function of (ctx.seed, chains).
+  std::vector<uint64_t> seeds = ChainSeeds(ctx.seed, chains);
+  std::vector<AnnealChain> chain_states;
+  chain_states.reserve(chains);
+  const size_t budget = options_.total_iterations / chains;
+  const size_t remainder = options_.total_iterations % chains;
+  for (size_t c = 0; c < chains; ++c) {
+    Rng rng(seeds[c]);
+    Mapping start = RandomMapping(ops, servers, &rng);
+    WSFLOW_ASSIGN_OR_RETURN(
+        IncrementalEvaluator eval,
+        IncrementalEvaluator::Bind(model, std::move(start),
+                                   ctx.cost_options));
+    AnnealChain chain(std::move(eval), std::move(rng));
+    WSFLOW_ASSIGN_OR_RETURN(chain.current_cost, chain.eval.Combined());
+    chain.best = chain.eval.mapping();
+    chain.best_cost = chain.current_cost;
+    chain.temperature = std::max(
+        chain.current_cost * options_.annealing.initial_temperature_factor,
+        1e-12);
+    chain.iterations = budget + (c < remainder ? 1 : 0);
+    chain_states.push_back(std::move(chain));
+  }
+
+  ParallelSearchStats local;
+  local.chains = chains;
+  local.threads = threads;
+  local.initial_cost = std::numeric_limits<double>::infinity();
+  for (const AnnealChain& chain : chain_states) {
+    if (chain.current_cost < local.initial_cost) {
+      local.initial_cost = chain.current_cost;
+    }
+  }
+
+  if (servers >= 2) {
+    for (size_t round = 1; round <= rounds; ++round) {
+      RunOnThreads(threads, chains, [&](size_t c) {
+        AnnealChain& chain = chain_states[c];
+        if (!chain.error.ok()) return;
+        size_t segment_end = round == rounds
+                                 ? chain.iterations
+                                 : chain.iterations * round / rounds;
+        RunAnnealSegment(chain, segment_end, options_.annealing, ops,
+                         servers);
+      });
+      for (const AnnealChain& chain : chain_states) {
+        WSFLOW_RETURN_IF_ERROR(chain.error);
+      }
+      ++local.rounds;
+      if (round == rounds) break;
+      // Deterministic exchange: the global best so far (ties to the lowest
+      // chain index) is adopted by every chain whose own current state
+      // trails it by more than the margin.
+      size_t best_chain = 0;
+      for (size_t c = 1; c < chains; ++c) {
+        if (chain_states[c].best_cost < chain_states[best_chain].best_cost) {
+          best_chain = c;
+        }
+      }
+      const Mapping& global_best = chain_states[best_chain].best;
+      const double global_cost = chain_states[best_chain].best_cost;
+      const double bar =
+          global_cost + options_.adopt_margin * (1.0 + std::fabs(global_cost));
+      for (size_t c = 0; c < chains; ++c) {
+        AnnealChain& chain = chain_states[c];
+        if (c == best_chain || chain.current_cost <= bar) continue;
+        WSFLOW_RETURN_IF_ERROR(chain.eval.Rebind(global_best));
+        WSFLOW_ASSIGN_OR_RETURN(chain.current_cost, chain.eval.Combined());
+        if (chain.current_cost < chain.best_cost) {
+          chain.best_cost = chain.current_cost;
+          chain.best = chain.eval.mapping();
+        }
+        ++chain.adoptions;
+        ++local.exchanges;
+      }
+    }
+  }
+
+  // Deterministic reduction: lowest chain-local best, ties to the lowest
+  // chain index — byte-identical for every thread count.
+  size_t winner = 0;
+  for (size_t c = 1; c < chains; ++c) {
+    if (chain_states[c].best_cost < chain_states[winner].best_cost) {
+      winner = c;
+    }
+  }
+  for (const AnnealChain& chain : chain_states) {
+    local.proposals += chain.proposals;
+    local.accepted += chain.accepted;
+    local.full_evaluations += chain.eval.counters().full_evaluations;
+    local.delta_evaluations += chain.eval.counters().delta_evaluations;
+  }
+  local.winner_chain = winner;
+  local.best_cost = chain_states[winner].best_cost;
+  if (stats != nullptr) *stats = local;
+  return chain_states[winner].best;
+}
+
+Result<Mapping> ParallelHillClimbAlgorithm::Run(const DeployContext& ctx) const {
+  return RunWithStats(ctx, nullptr);
+}
+
+Result<Mapping> ParallelHillClimbAlgorithm::RunWithStats(
+    const DeployContext& ctx, ParallelSearchStats* stats) const {
+  WSFLOW_RETURN_IF_ERROR(CheckContext(ctx));
+  const size_t ops = ctx.workflow->num_operations();
+  const size_t servers = ctx.network->num_servers();
+  const size_t chains = options_.chains == 0 ? 1 : options_.chains;
+  const size_t threads = ResolveThreads(options_.threads, chains);
+
+  CostModel model(*ctx.workflow, *ctx.network, ctx.profile);
+  WSFLOW_RETURN_IF_ERROR(model.Warm());
+
+  // Starts drawn sequentially from per-chain streams; the climbs
+  // themselves are deterministic given their start, so each restart is a
+  // pure function of (ctx.seed, chain index).
+  std::vector<uint64_t> seeds = ChainSeeds(ctx.seed, chains);
+  std::vector<Mapping> starts;
+  starts.reserve(chains);
+  for (size_t c = 0; c < chains; ++c) {
+    Rng rng(seeds[c]);
+    Mapping start = RandomMapping(ops, servers, &rng);
+    if (options_.climb.constraints != nullptr) {
+      ApplyPins(*options_.climb.constraints, &start);
+    }
+    starts.push_back(std::move(start));
+  }
+
+  struct Restart {
+    Result<Mapping> result = Status::Internal("restart not run");
+    LocalSearchStats stats;
+  };
+  std::vector<Restart> restarts(chains);
+  RunOnThreads(threads, chains, [&](size_t c) {
+    restarts[c].result = HillClimb(model, starts[c], ctx.cost_options,
+                                   options_.climb, &restarts[c].stats);
+  });
+
+  ParallelSearchStats local;
+  local.chains = chains;
+  local.threads = threads;
+  local.initial_cost = std::numeric_limits<double>::infinity();
+  std::optional<size_t> winner;
+  Status last_error = Status::Internal("no restarts were run");
+  for (size_t c = 0; c < chains; ++c) {
+    const Restart& restart = restarts[c];
+    if (!restart.result.ok()) {
+      last_error = restart.result.status();
+      continue;
+    }
+    local.steps += restart.stats.steps;
+    local.evaluations += restart.stats.evaluations;
+    local.full_evaluations += restart.stats.full_evaluations;
+    local.delta_evaluations += restart.stats.delta_evaluations;
+    if (restart.stats.initial_cost < local.initial_cost) {
+      local.initial_cost = restart.stats.initial_cost;
+    }
+    if (!winner.has_value() ||
+        restart.stats.final_cost < restarts[*winner].stats.final_cost) {
+      winner = c;
+    }
+  }
+  if (!winner.has_value()) return last_error;
+  local.winner_chain = *winner;
+  local.best_cost = restarts[*winner].stats.final_cost;
+  if (stats != nullptr) *stats = local;
+  return restarts[*winner].result;
+}
+
+}  // namespace wsflow

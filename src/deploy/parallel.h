@@ -1,0 +1,123 @@
+// wsflow: parallel multi-chain search over one shared CostModel.
+//
+// The annealing and hill-climb searches are embarrassingly parallel at the
+// chain level: every chain is a pure function of (model, its own seed, its
+// own working evaluator), and chains only need to talk when exchanging the
+// best state found so far. This driver runs K chains on a small worker
+// pool over ONE read-only CostModel whose lazy caches (router all-pairs
+// tables, line classification, block decomposition) are warmed once up
+// front — after that, worker threads only read the model and mutate their
+// chain-private IncrementalEvaluator.
+//
+// Determinism contract: results depend on the chain count and the context
+// seed, NEVER on the thread count or the interleaving. Chains advance in
+// synchronized rounds; between rounds the main thread performs the
+// deterministic reduction (lowest cost, ties to the lowest chain index)
+// and the deterministic exchange rule (a chain adopts the global best when
+// its own current cost trails by more than the adopt margin). Two runs
+// with equal seeds and equal chain counts produce byte-identical winning
+// mappings whether they run on 1 thread or 64.
+//
+//   * "annealing-par": K annealing chains, each with its own temperature
+//     schedule and RNG stream, splitting a fixed TOTAL proposal budget
+//     evenly so K chains cost the same move budget as one sequential run.
+//     Periodic best-state exchange re-seeds trailing chains.
+//   * "climb-par": K independent random restarts of the batched hill
+//     climb; the reduction keeps the best local optimum.
+//
+// EvalCounters are aggregated across chains, so search statistics remain
+// truthful under parallelism: the reported full/delta evaluation counts
+// are the sums over every chain's evaluator.
+
+#ifndef WSFLOW_DEPLOY_PARALLEL_H_
+#define WSFLOW_DEPLOY_PARALLEL_H_
+
+#include <cstddef>
+
+#include "src/deploy/annealing.h"
+#include "src/deploy/local_search.h"
+
+namespace wsflow {
+
+struct ParallelSearchOptions {
+  /// Chains (annealing) or random restarts (climb). Part of the result:
+  /// different chain counts explore different trajectories.
+  size_t chains = 8;
+  /// Worker threads; 0 means hardware concurrency. Clamped to the chain
+  /// count. NOT part of the result — any thread count yields the same
+  /// winner.
+  size_t threads = 0;
+  /// Annealing only: total proposal budget summed over all chains; each
+  /// chain runs total_iterations / chains proposals (the remainder goes to
+  /// the lowest-indexed chains). Equal budgets make "K chains" and "one
+  /// chain" comparable in work, so the bench's scaling curves measure
+  /// parallelism, not extra search effort.
+  size_t total_iterations = 160000;
+  /// Annealing only: rounds of best-state exchange. Each round runs every
+  /// chain for its share of the budget, then trailing chains adopt the
+  /// global best state.
+  size_t exchange_rounds = 10;
+  /// A chain adopts the global best when its current cost exceeds
+  /// best + adopt_margin * (1 + |best|).
+  double adopt_margin = 0.05;
+  /// Per-chain annealing schedule (the iterations field is ignored; the
+  /// budget comes from total_iterations).
+  AnnealingOptions annealing;
+  /// Per-restart climb options for "climb-par".
+  LocalSearchOptions climb;
+};
+
+/// Statistics of one parallel search, aggregated across chains.
+struct ParallelSearchStats {
+  size_t chains = 0;             ///< Chains / restarts actually run.
+  size_t threads = 0;            ///< Worker threads used.
+  size_t rounds = 0;             ///< Exchange rounds executed (annealing).
+  size_t proposals = 0;          ///< Annealing proposals, summed.
+  size_t accepted = 0;           ///< Accepted proposals, summed.
+  size_t steps = 0;              ///< Climb improvements, summed.
+  size_t evaluations = 0;        ///< Climb candidates costed, summed.
+  size_t full_evaluations = 0;   ///< Cold evaluator (re)binds, summed.
+  size_t delta_evaluations = 0;  ///< Delta-scored candidates, summed.
+  size_t exchanges = 0;          ///< Best-state adoptions across rounds.
+  size_t winner_chain = 0;       ///< Chain index that produced the winner.
+  double initial_cost = 0;       ///< Best start cost across chains.
+  double best_cost = 0;          ///< Combined cost of the winner.
+};
+
+/// K annealing chains with periodic best-state exchange.
+class ParallelAnnealingAlgorithm : public DeploymentAlgorithm {
+ public:
+  explicit ParallelAnnealingAlgorithm(ParallelSearchOptions options = {})
+      : options_(options) {}
+
+  std::string_view name() const override { return "annealing-par"; }
+  Result<Mapping> Run(const DeployContext& ctx) const override;
+
+  /// Run with aggregated statistics; `stats` may be null.
+  Result<Mapping> RunWithStats(const DeployContext& ctx,
+                               ParallelSearchStats* stats) const;
+
+ private:
+  ParallelSearchOptions options_;
+};
+
+/// K-restart batched hill climb with a deterministic reduction.
+class ParallelHillClimbAlgorithm : public DeploymentAlgorithm {
+ public:
+  explicit ParallelHillClimbAlgorithm(ParallelSearchOptions options = {})
+      : options_(options) {}
+
+  std::string_view name() const override { return "climb-par"; }
+  Result<Mapping> Run(const DeployContext& ctx) const override;
+
+  /// Run with aggregated statistics; `stats` may be null.
+  Result<Mapping> RunWithStats(const DeployContext& ctx,
+                               ParallelSearchStats* stats) const;
+
+ private:
+  ParallelSearchOptions options_;
+};
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_DEPLOY_PARALLEL_H_

@@ -179,6 +179,175 @@ TEST(IncrementalEvalTest, RejectsUnknownOperationOrServer) {
   ExpectAgreesWithCold(eval, model);
 }
 
+TEST(IncrementalEvalTest, ScoreMovesMatchesRoundTripOnLine) {
+  Workflow w = testing::SimpleLine(8, 20e6, 60648);
+  Network n = WSFLOW_UNWRAP(MakeBusNetwork({1e9, 2e9, 4e9}, 100e6));
+  CostModel model(w, n);
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, testing::RoundRobin(8, 3)));
+  std::vector<ServerId> fan = {ServerId(0), ServerId(1), ServerId(2)};
+  std::vector<double> costs(fan.size());
+  for (uint32_t op = 0; op < 8; ++op) {
+    WSFLOW_ASSERT_OK(eval.ScoreMoves(OperationId(op), fan, costs));
+    for (size_t i = 0; i < fan.size(); ++i) {
+      WSFLOW_ASSERT_OK(eval.Apply(OperationId(op), fan[i]));
+      double round_trip = WSFLOW_UNWRAP(eval.Combined());
+      WSFLOW_ASSERT_OK(eval.Undo());
+      ExpectNear(costs[i], round_trip);
+    }
+  }
+}
+
+TEST(IncrementalEvalTest, ScoreMovesMatchesRoundTripOnGraph) {
+  Workflow w = testing::AllDecisionGraph(50e6, 60648);
+  ExecutionProfile profile = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  Network n = testing::SimpleBus(4, 1e9, 100e6);
+  CostModel model(w, n, &profile);
+  const size_t M = w.num_operations();
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, testing::RoundRobin(M, 4)));
+  std::vector<ServerId> fan = {ServerId(0), ServerId(1), ServerId(2),
+                               ServerId(3)};
+  std::vector<double> costs(fan.size());
+  for (uint32_t op = 0; op < M; ++op) {
+    WSFLOW_ASSERT_OK(eval.ScoreMoves(OperationId(op), fan, costs));
+    for (size_t i = 0; i < fan.size(); ++i) {
+      WSFLOW_ASSERT_OK(eval.Apply(OperationId(op), fan[i]));
+      double round_trip = WSFLOW_UNWRAP(eval.Combined());
+      WSFLOW_ASSERT_OK(eval.Undo());
+      ExpectNear(costs[i], round_trip);
+    }
+  }
+}
+
+TEST(IncrementalEvalTest, ScoreSwapsMatchesRoundTrip) {
+  Workflow w = testing::AllDecisionGraph(50e6, 60648);
+  ExecutionProfile profile = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  Network n = testing::SimpleBus(4, 1e9, 100e6);
+  CostModel model(w, n, &profile);
+  const size_t M = w.num_operations();
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, testing::RoundRobin(M, 4)));
+  for (uint32_t a = 0; a < M; ++a) {
+    std::vector<OperationId> partners;
+    for (uint32_t b = 0; b < M; ++b) {
+      if (b != a) partners.push_back(OperationId(b));
+    }
+    std::vector<double> costs(partners.size());
+    WSFLOW_ASSERT_OK(eval.ScoreSwaps(OperationId(a), partners, costs));
+    for (size_t i = 0; i < partners.size(); ++i) {
+      WSFLOW_ASSERT_OK(eval.Swap(OperationId(a), partners[i]));
+      double round_trip = WSFLOW_UNWRAP(eval.Combined());
+      WSFLOW_ASSERT_OK(eval.Undo());
+      ExpectNear(costs[i], round_trip);
+    }
+  }
+}
+
+TEST(IncrementalEvalTest, ScoreSwapsNoOpPartnerScoresCurrentState) {
+  Workflow w = testing::SimpleLine(6, 20e6, 60648);
+  Network n = testing::SimpleBus(3, 1e9, 100e6);
+  CostModel model(w, n);
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, testing::RoundRobin(6, 3)));
+  double current = WSFLOW_UNWRAP(eval.Combined());
+  // Operations 0 and 3 share server 0 under round-robin: the swap is a
+  // no-op, and swapping 0 with itself is too.
+  std::vector<OperationId> partners = {OperationId(3), OperationId(0)};
+  std::vector<double> costs(partners.size());
+  WSFLOW_ASSERT_OK(eval.ScoreSwaps(OperationId(0), partners, costs));
+  EXPECT_EQ(costs[0], current);
+  EXPECT_EQ(costs[1], current);
+}
+
+TEST(IncrementalEvalTest, BatchScoringLeavesStateUntouched) {
+  Workflow w = testing::AllDecisionGraph(50e6, 60648);
+  ExecutionProfile profile = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  Network n = testing::SimpleBus(4, 1e9, 100e6);
+  CostModel model(w, n, &profile);
+  const size_t M = w.num_operations();
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, testing::RoundRobin(M, 4)));
+  WSFLOW_EXPECT_OK(eval.Apply(OperationId(1), ServerId(3)));
+  Mapping before = eval.mapping();
+  double cost_before = WSFLOW_UNWRAP(eval.Combined());
+
+  std::vector<ServerId> fan = {ServerId(0), ServerId(1), ServerId(2)};
+  std::vector<OperationId> partners = {OperationId(0), OperationId(2)};
+  std::vector<double> costs(3);
+  std::vector<double> swap_costs(2);
+  WSFLOW_ASSERT_OK(eval.ScoreMoves(OperationId(1), fan, costs));
+  WSFLOW_ASSERT_OK(eval.ScoreSwaps(OperationId(1), partners, swap_costs));
+
+  EXPECT_TRUE(eval.mapping() == before);
+  EXPECT_EQ(eval.undo_depth(), 1u);  // the Apply above is still undoable
+  EXPECT_EQ(WSFLOW_UNWRAP(eval.Combined()), cost_before);
+  WSFLOW_EXPECT_OK(eval.Undo());
+  ExpectAgreesWithCold(eval, model);
+}
+
+TEST(IncrementalEvalTest, BatchScoringCountsDeltaEvaluations) {
+  Workflow w = testing::SimpleLine(6);
+  Network n = testing::SimpleBus(3);
+  CostModel model(w, n);
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, testing::RoundRobin(6, 3)));
+  std::vector<ServerId> fan = {ServerId(0), ServerId(1), ServerId(2)};
+  std::vector<double> costs(fan.size());
+  WSFLOW_ASSERT_OK(eval.ScoreMoves(OperationId(2), fan, costs));
+  EXPECT_EQ(eval.counters().full_evaluations, 1u);
+  EXPECT_EQ(eval.counters().delta_evaluations, fan.size());
+}
+
+TEST(IncrementalEvalTest, BatchScoringRejectsBadArguments) {
+  Workflow w = testing::SimpleLine(4);
+  Network n = testing::SimpleBus(2);
+  CostModel model(w, n);
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, testing::RoundRobin(4, 2)));
+  std::vector<ServerId> fan = {ServerId(0), ServerId(1)};
+  std::vector<double> too_small(1);
+  EXPECT_TRUE(eval.ScoreMoves(OperationId(0), fan, too_small)
+                  .IsInvalidArgument());
+  std::vector<double> costs(2);
+  EXPECT_TRUE(eval.ScoreMoves(OperationId(99), fan, costs)
+                  .IsInvalidArgument());
+  std::vector<ServerId> bad_fan = {ServerId(0), ServerId(9)};
+  EXPECT_TRUE(eval.ScoreMoves(OperationId(0), bad_fan, costs)
+                  .IsInvalidArgument());
+  std::vector<OperationId> bad_partners = {OperationId(77)};
+  std::vector<double> one(1);
+  EXPECT_TRUE(eval.ScoreSwaps(OperationId(0), bad_partners, one)
+                  .IsInvalidArgument());
+  ExpectAgreesWithCold(eval, model);
+}
+
+TEST(IncrementalEvalTest, ScoreMovesDisconnectedCandidateIsInfinite) {
+  // Two islands; moving operation 3 to the far island must score +infinity
+  // in the batch where Apply + Evaluate would fail, and the connected
+  // candidates must still match their round trips.
+  Workflow w = testing::SimpleLine(4, 20e6, 60648);
+  Network n("split");
+  ServerId s0 = n.AddServer("s0", 1e9);
+  ServerId s1 = n.AddServer("s1", 1e9);
+  ServerId s2 = n.AddServer("s2", 1e9);
+  ServerId s3 = n.AddServer("s3", 1e9);
+  WSFLOW_UNWRAP(n.AddLink(s0, s1, 100e6));
+  WSFLOW_UNWRAP(n.AddLink(s2, s3, 100e6));
+  CostModel model(w, n);
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, testing::AllOnServer(4, s0)));
+  std::vector<ServerId> fan = {s1, s2, s3};
+  std::vector<double> costs(fan.size());
+  WSFLOW_ASSERT_OK(eval.ScoreMoves(OperationId(3), fan, costs));
+  WSFLOW_ASSERT_OK(eval.Apply(OperationId(3), s1));
+  double connected = WSFLOW_UNWRAP(eval.Combined());
+  WSFLOW_ASSERT_OK(eval.Undo());
+  ExpectNear(costs[0], connected);
+  EXPECT_TRUE(std::isinf(costs[1]));
+  EXPECT_TRUE(std::isinf(costs[2]));
+}
+
 TEST(IncrementalEvalTest, DisconnectedStateFailsAndRecovers) {
   // Two linked pairs with no path between them: mappings that split a
   // message across components must fail like the cold evaluator, and moving

@@ -13,7 +13,8 @@ TEST(RegistryTest, BuiltinsRegistered) {
   for (const char* name :
        {"exhaustive", "random", "line-line", "line-line-nofix",
         "line-line-bidir", "line-line-bidir-nofix", "fair-load", "fltr",
-        "fltr2", "fl-merge", "heavy-ops", "hill-climb"}) {
+        "fltr2", "fl-merge", "heavy-ops", "hill-climb", "annealing-par",
+        "climb-par", "portfolio-par"}) {
     EXPECT_TRUE(r.Contains(name)) << name;
   }
 }

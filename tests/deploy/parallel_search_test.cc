@@ -1,0 +1,230 @@
+// Tests of the parallel multi-chain searches: the determinism contract
+// (identical winners for any thread count), the truthfulness of the
+// aggregated statistics, and the registry / portfolio wiring. Suite names
+// start with "Parallel" so CI can select them for the TSan build with
+// `ctest -R '^Parallel'`.
+
+#include "src/deploy/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/deploy/algorithm.h"
+#include "src/workflow/probability.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+ParallelSearchOptions SmallOptions(size_t chains, size_t threads) {
+  ParallelSearchOptions options;
+  options.chains = chains;
+  options.threads = threads;
+  options.total_iterations = 2000;
+  options.exchange_rounds = 4;
+  options.climb.max_steps = 50;
+  return options;
+}
+
+TEST(ParallelRegistryTest, ParallelAlgorithmsRegistered) {
+  RegisterBuiltinAlgorithms();
+  AlgorithmRegistry& r = AlgorithmRegistry::Global();
+  for (const char* name : {"annealing-par", "climb-par", "portfolio-par"}) {
+    EXPECT_TRUE(r.Contains(name)) << name;
+  }
+  auto annealing = WSFLOW_UNWRAP(r.Create("annealing-par"));
+  EXPECT_EQ(annealing->name(), "annealing-par");
+  auto climb = WSFLOW_UNWRAP(r.Create("climb-par"));
+  EXPECT_EQ(climb->name(), "climb-par");
+}
+
+TEST(ParallelAnnealingTest, DeterministicAcrossThreadCounts) {
+  Workflow w = testing::SimpleLine(10, 20e6, 60648);
+  Network n = testing::SimpleBus(4, 1e9, 100e6);
+  DeployContext ctx;
+  ctx.workflow = &w;
+  ctx.network = &n;
+  ctx.seed = 11;
+
+  ParallelSearchStats stats1;
+  ParallelSearchStats stats4;
+  Mapping one_thread = WSFLOW_UNWRAP(
+      ParallelAnnealingAlgorithm(SmallOptions(4, 1)).RunWithStats(ctx,
+                                                                  &stats1));
+  Mapping four_threads = WSFLOW_UNWRAP(
+      ParallelAnnealingAlgorithm(SmallOptions(4, 4)).RunWithStats(ctx,
+                                                                  &stats4));
+  EXPECT_TRUE(one_thread == four_threads);
+  EXPECT_EQ(stats1.best_cost, stats4.best_cost);
+  EXPECT_EQ(stats1.winner_chain, stats4.winner_chain);
+  EXPECT_EQ(stats1.proposals, stats4.proposals);
+  EXPECT_EQ(stats1.accepted, stats4.accepted);
+  EXPECT_EQ(stats1.exchanges, stats4.exchanges);
+
+  // Repeating the run must reproduce the winner byte for byte.
+  Mapping again = WSFLOW_UNWRAP(
+      ParallelAnnealingAlgorithm(SmallOptions(4, 4)).Run(ctx));
+  EXPECT_TRUE(again == one_thread);
+}
+
+TEST(ParallelAnnealingTest, DeterministicOnGraphWorkflow) {
+  Workflow w = testing::AllDecisionGraph(50e6, 60648);
+  ExecutionProfile profile = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  Network n = testing::SimpleBus(4, 1e9, 100e6);
+  DeployContext ctx;
+  ctx.workflow = &w;
+  ctx.network = &n;
+  ctx.profile = &profile;
+  ctx.seed = 23;
+
+  Mapping one_thread = WSFLOW_UNWRAP(
+      ParallelAnnealingAlgorithm(SmallOptions(3, 1)).Run(ctx));
+  Mapping four_threads = WSFLOW_UNWRAP(
+      ParallelAnnealingAlgorithm(SmallOptions(3, 4)).Run(ctx));
+  EXPECT_TRUE(one_thread == four_threads);
+  EXPECT_TRUE(one_thread.IsTotal());
+}
+
+TEST(ParallelAnnealingTest, StatsAggregateAcrossChains) {
+  Workflow w = testing::SimpleLine(10, 20e6, 60648);
+  Network n = testing::SimpleBus(4, 1e9, 100e6);
+  DeployContext ctx;
+  ctx.workflow = &w;
+  ctx.network = &n;
+  ctx.seed = 5;
+
+  ParallelSearchStats stats;
+  Mapping m = WSFLOW_UNWRAP(
+      ParallelAnnealingAlgorithm(SmallOptions(4, 2)).RunWithStats(ctx,
+                                                                  &stats));
+  EXPECT_TRUE(m.IsTotal());
+  EXPECT_EQ(stats.chains, 4u);
+  EXPECT_EQ(stats.threads, 2u);
+  EXPECT_EQ(stats.rounds, 4u);
+  // The total proposal budget is split exactly across the chains.
+  EXPECT_EQ(stats.proposals, 2000u);
+  EXPECT_GE(stats.accepted, 1u);
+  EXPECT_LE(stats.accepted, stats.proposals);
+  // Each chain binds once cold; adoption rebinds add to the full count.
+  EXPECT_GE(stats.full_evaluations, 4u);
+  // Every proposal is delta-scored (plus the per-chain start scores).
+  EXPECT_GE(stats.delta_evaluations, stats.proposals);
+  EXPECT_LT(stats.winner_chain, 4u);
+  EXPECT_LE(stats.best_cost, stats.initial_cost);
+  EXPECT_TRUE(std::isfinite(stats.best_cost));
+}
+
+TEST(ParallelAnnealingTest, BudgetSplitsAcrossUnevenChains) {
+  Workflow w = testing::SimpleLine(8, 20e6, 60648);
+  Network n = testing::SimpleBus(3, 1e9, 100e6);
+  DeployContext ctx;
+  ctx.workflow = &w;
+  ctx.network = &n;
+  ctx.seed = 3;
+
+  ParallelSearchOptions options = SmallOptions(3, 2);
+  options.total_iterations = 1000;  // not divisible by 3
+  ParallelSearchStats stats;
+  (void)WSFLOW_UNWRAP(
+      ParallelAnnealingAlgorithm(options).RunWithStats(ctx, &stats));
+  EXPECT_EQ(stats.proposals, 1000u);
+}
+
+TEST(ParallelAnnealingTest, SingleServerDegeneratesGracefully) {
+  Workflow w = testing::SimpleLine(5);
+  Network n = testing::SimpleBus(1);
+  DeployContext ctx;
+  ctx.workflow = &w;
+  ctx.network = &n;
+  ctx.seed = 1;
+  ParallelSearchStats stats;
+  Mapping m = WSFLOW_UNWRAP(
+      ParallelAnnealingAlgorithm(SmallOptions(2, 2)).RunWithStats(ctx,
+                                                                  &stats));
+  EXPECT_TRUE(m.IsTotal());
+  EXPECT_EQ(stats.proposals, 0u);  // no alternative servers to propose
+}
+
+TEST(ParallelClimbTest, DeterministicAcrossThreadCounts) {
+  Workflow w = testing::SimpleLine(10, 20e6, 60648);
+  Network n = testing::SimpleBus(4, 1e9, 100e6);
+  DeployContext ctx;
+  ctx.workflow = &w;
+  ctx.network = &n;
+  ctx.seed = 17;
+
+  ParallelSearchStats stats1;
+  ParallelSearchStats stats4;
+  Mapping one_thread = WSFLOW_UNWRAP(
+      ParallelHillClimbAlgorithm(SmallOptions(4, 1)).RunWithStats(ctx,
+                                                                  &stats1));
+  Mapping four_threads = WSFLOW_UNWRAP(
+      ParallelHillClimbAlgorithm(SmallOptions(4, 4)).RunWithStats(ctx,
+                                                                  &stats4));
+  EXPECT_TRUE(one_thread == four_threads);
+  EXPECT_EQ(stats1.best_cost, stats4.best_cost);
+  EXPECT_EQ(stats1.winner_chain, stats4.winner_chain);
+  EXPECT_EQ(stats1.steps, stats4.steps);
+  EXPECT_EQ(stats1.evaluations, stats4.evaluations);
+}
+
+TEST(ParallelClimbTest, StatsAggregateAcrossRestarts) {
+  Workflow w = testing::AllDecisionGraph(50e6, 60648);
+  ExecutionProfile profile = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  Network n = testing::SimpleBus(4, 1e9, 100e6);
+  DeployContext ctx;
+  ctx.workflow = &w;
+  ctx.network = &n;
+  ctx.profile = &profile;
+  ctx.seed = 7;
+
+  ParallelSearchStats stats;
+  Mapping m = WSFLOW_UNWRAP(
+      ParallelHillClimbAlgorithm(SmallOptions(4, 2)).RunWithStats(ctx,
+                                                                  &stats));
+  EXPECT_TRUE(m.IsTotal());
+  EXPECT_EQ(stats.chains, 4u);
+  // One cold bind per restart; every candidate was delta-scored.
+  EXPECT_EQ(stats.full_evaluations, 4u);
+  EXPECT_GE(stats.evaluations, 1u);
+  EXPECT_GE(stats.delta_evaluations, stats.evaluations);
+  EXPECT_LE(stats.best_cost, stats.initial_cost);
+}
+
+TEST(ParallelClimbTest, MoreRestartsNeverLoseToFewer) {
+  // Chain seeds are drawn sequentially from the context seed, so a K-chain
+  // run's restart set is a superset of a 1-chain run's: with the reduction
+  // keeping the minimum, more chains can only match or improve the winner.
+  Workflow w = testing::SimpleLine(10, 20e6, 60648);
+  Network n = WSFLOW_UNWRAP(MakeBusNetwork({1e9, 2e9, 4e9, 2e9}, 100e6));
+  DeployContext ctx;
+  ctx.workflow = &w;
+  ctx.network = &n;
+  ctx.seed = 29;
+
+  ParallelSearchStats one;
+  ParallelSearchStats six;
+  (void)WSFLOW_UNWRAP(
+      ParallelHillClimbAlgorithm(SmallOptions(1, 1)).RunWithStats(ctx, &one));
+  (void)WSFLOW_UNWRAP(
+      ParallelHillClimbAlgorithm(SmallOptions(6, 2)).RunWithStats(ctx, &six));
+  EXPECT_LE(six.best_cost, one.best_cost);
+}
+
+TEST(ParallelPortfolioTest, PortfolioParRunsAndIsTotal) {
+  RegisterBuiltinAlgorithms();
+  Workflow w = testing::AllDecisionGraph(50e6, 60648);
+  ExecutionProfile profile = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  Network n = testing::SimpleBus(3, 1e9, 100e6);
+  DeployContext ctx;
+  ctx.workflow = &w;
+  ctx.network = &n;
+  ctx.profile = &profile;
+  ctx.seed = 2;
+  Mapping m = WSFLOW_UNWRAP(RunAlgorithm("portfolio-par", ctx));
+  EXPECT_TRUE(m.IsTotal());
+}
+
+}  // namespace
+}  // namespace wsflow

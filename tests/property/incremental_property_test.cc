@@ -106,6 +106,137 @@ INSTANTIATE_TEST_SUITE_P(
              "_s" + std::to_string(std::get<1>(info.param));
     });
 
+/// Batch parity: ScoreMoves / ScoreSwaps must reproduce the per-candidate
+/// Apply / Evaluate / Undo round-trip on every workload family, while a
+/// random walk drags the working state through arbitrary mappings.
+class IncrementalBatchParityTest
+    : public ::testing::TestWithParam<std::tuple<WorkloadKind, uint64_t>> {};
+
+TEST_P(IncrementalBatchParityTest, BatchScoresMatchRoundTrip) {
+  auto [kind, seed] = GetParam();
+  ExperimentConfig cfg = MakeClassCConfig(kind);
+  cfg.num_operations = 13;
+  cfg.num_servers = 4;
+  cfg.seed = seed;
+  TrialInstance trial = WSFLOW_UNWRAP(DrawTrial(cfg, 0));
+  const ExecutionProfile* profile =
+      trial.profile.has_value() ? &*trial.profile : nullptr;
+  CostModel model(trial.workflow, trial.network, profile);
+
+  const size_t M = trial.workflow.num_operations();
+  const size_t N = trial.network.num_servers();
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, testing::RoundRobin(M, N)));
+
+  std::vector<ServerId> fan;
+  for (uint32_t s = 0; s < N; ++s) fan.push_back(ServerId(s));
+  std::vector<double> move_costs(fan.size());
+
+  Rng rng(seed * 6151 + 29);
+  for (size_t step = 0; step < 60; ++step) {
+    // Moves: every server (the current one included) for a random op.
+    OperationId op(static_cast<uint32_t>(rng.NextBounded(M)));
+    WSFLOW_ASSERT_OK(eval.ScoreMoves(op, fan, move_costs));
+    for (size_t i = 0; i < fan.size(); ++i) {
+      WSFLOW_ASSERT_OK(eval.Apply(op, fan[i]));
+      Result<double> round_trip = eval.Combined();
+      WSFLOW_ASSERT_OK(eval.Undo());
+      if (round_trip.ok()) {
+        ExpectNear(move_costs[i], *round_trip, step);
+      } else {
+        EXPECT_TRUE(std::isinf(move_costs[i]))
+            << "step " << step << ": round trip failed ("
+            << round_trip.status().ToString() << ") but batch scored "
+            << move_costs[i];
+      }
+    }
+    // Swaps: every partner (self and same-server partners included).
+    OperationId a(static_cast<uint32_t>(rng.NextBounded(M)));
+    std::vector<OperationId> partners;
+    for (uint32_t b = 0; b < M; ++b) partners.push_back(OperationId(b));
+    std::vector<double> swap_costs(partners.size());
+    WSFLOW_ASSERT_OK(eval.ScoreSwaps(a, partners, swap_costs));
+    for (size_t i = 0; i < partners.size(); ++i) {
+      WSFLOW_ASSERT_OK(eval.Swap(a, partners[i]));
+      Result<double> round_trip = eval.Combined();
+      WSFLOW_ASSERT_OK(eval.Undo());
+      if (round_trip.ok()) {
+        ExpectNear(swap_costs[i], *round_trip, step);
+      } else {
+        EXPECT_TRUE(std::isinf(swap_costs[i]))
+            << "step " << step << ": round trip failed but batch scored "
+            << swap_costs[i];
+      }
+    }
+    if (HasFatalFailure() || HasNonfatalFailure()) return;
+    // Advance the walk and re-check the state batch scoring left behind.
+    OperationId walk_op(static_cast<uint32_t>(rng.NextBounded(M)));
+    ServerId walk_server(static_cast<uint32_t>(rng.NextBounded(N)));
+    WSFLOW_ASSERT_OK(eval.Apply(walk_op, walk_server));
+    eval.ClearHistory();
+    ExpectAgreement(eval, model, step);
+    if (HasFatalFailure() || HasNonfatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, IncrementalBatchParityTest,
+    ::testing::Combine(::testing::Values(WorkloadKind::kLine,
+                                         WorkloadKind::kBushyGraph,
+                                         WorkloadKind::kLengthyGraph,
+                                         WorkloadKind::kHybridGraph),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const ::testing::TestParamInfo<std::tuple<WorkloadKind, uint64_t>>&
+           info) {
+      return std::string(WorkloadKindToString(std::get<0>(info.param))) +
+             "_s" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(IncrementalBatchDisconnectedTest, BatchAgreesAcrossIslands) {
+  // Partitioned network: batch scores must go infinite exactly where the
+  // round trip fails, and recover the moment a candidate reconnects.
+  Workflow w = testing::SimpleLine(6, 20e6, 60648);
+  Network n("islands");
+  ServerId s0 = n.AddServer("s0", 1e9);
+  ServerId s1 = n.AddServer("s1", 2e9);
+  ServerId s2 = n.AddServer("s2", 1e9);
+  ServerId s3 = n.AddServer("s3", 2e9);
+  WSFLOW_UNWRAP(n.AddLink(s0, s1, 100e6));
+  WSFLOW_UNWRAP(n.AddLink(s2, s3, 100e6));
+  CostModel model(w, n);
+
+  const size_t M = w.num_operations();
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, testing::AllOnServer(M, s0)));
+  std::vector<ServerId> fan = {s0, s1, s2, s3};
+  std::vector<double> costs(fan.size());
+
+  Rng rng(173);
+  size_t infinite_candidates = 0;
+  for (size_t step = 0; step < 80; ++step) {
+    OperationId op(static_cast<uint32_t>(rng.NextBounded(M)));
+    WSFLOW_ASSERT_OK(eval.ScoreMoves(op, fan, costs));
+    for (size_t i = 0; i < fan.size(); ++i) {
+      WSFLOW_ASSERT_OK(eval.Apply(op, fan[i]));
+      Result<double> round_trip = eval.Combined();
+      WSFLOW_ASSERT_OK(eval.Undo());
+      if (round_trip.ok()) {
+        ExpectNear(costs[i], *round_trip, step);
+      } else {
+        EXPECT_TRUE(std::isinf(costs[i])) << "step " << step;
+        ++infinite_candidates;
+      }
+    }
+    if (HasFatalFailure() || HasNonfatalFailure()) return;
+    OperationId walk_op(static_cast<uint32_t>(rng.NextBounded(M)));
+    ServerId walk_server(static_cast<uint32_t>(rng.NextBounded(4)));
+    WSFLOW_ASSERT_OK(eval.Apply(walk_op, walk_server));
+    eval.ClearHistory();
+  }
+  // The walk must actually have scored disconnected candidates.
+  EXPECT_GT(infinite_candidates, 0u);
+}
+
 TEST(IncrementalDisconnectedReplayTest, FailsAndRecoversWithColdEvaluate) {
   // Two two-server islands: random replays routinely place linked
   // operations on different components, where both evaluators must report
