@@ -6,7 +6,12 @@
 // batched path (ScoreMoves sweeping each operation's whole server fan in
 // one call), on a line workload (closed-form T_execute) and on graph
 // workloads (block-tree recursion), at the paper's scale and at a larger
-// instance. A second section measures the parallel multi-chain annealing
+// instance. A `penalty` section sweeps the server count N at fixed M and
+// compares the default tuning (O(log N) load-index fairness penalty plus
+// the per-fan edge memo) against the legacy tuning (O(N) penalty pass, no
+// memo) on batched move and swap fans — the curve that certifies the
+// penalty query no longer scales with N. A second section measures the
+// parallel multi-chain annealing
 // (annealing-par) at an equal total proposal budget for 1..8 chains —
 // wall-clock scaling there depends on the host's core count, which the
 // JSON records. Results land in bench_results/eval_throughput.json for CI
@@ -42,6 +47,20 @@ struct ScenarioResult {
   double batched_per_sec = 0;
   double speedup = 0;        ///< incremental vs cold
   double batch_speedup = 0;  ///< batched vs incremental
+};
+
+/// One point of the penalty N-scaling curve: batched scoring throughput at
+/// a fixed operation count, default tuning vs the legacy (PR 3) tuning.
+struct PenaltyScalingResult {
+  std::string workload;
+  size_t num_operations = 0;
+  size_t num_servers = 0;
+  double fast_moves_per_sec = 0;    ///< ScoreMoves, load index + memo
+  double legacy_moves_per_sec = 0;  ///< ScoreMoves, O(N) penalty, no memo
+  double moves_speedup = 0;
+  double fast_swaps_per_sec = 0;    ///< ScoreSwaps, load index + memo
+  double legacy_swaps_per_sec = 0;  ///< ScoreSwaps, O(N) penalty, no memo
+  double swaps_speedup = 0;
 };
 
 /// One point of the chains-vs-1 annealing scaling curve.
@@ -149,6 +168,130 @@ double BatchedRate(const CostModel& model, const Mapping& base,
   return static_cast<double>(evals) / elapsed;
 }
 
+/// Batched move fans under an explicit tuning; the neighborhood matches
+/// BatchedRate so the two are directly comparable.
+double TunedMovesRate(const CostModel& model, const Mapping& base,
+                      const EvalTuning& tuning, double* checksum) {
+  const size_t M = model.workflow().num_operations();
+  const size_t N = model.network().num_servers();
+  Result<IncrementalEvaluator> bound =
+      IncrementalEvaluator::Bind(model, base, {}, tuning);
+  WSFLOW_CHECK(bound.ok()) << bound.status().ToString();
+  IncrementalEvaluator& eval = *bound;
+  std::vector<ServerId> fan;
+  std::vector<double> costs;
+  size_t evals = 0;
+  auto start = std::chrono::steady_clock::now();
+  double elapsed = 0;
+  do {
+    for (uint32_t op = 0; op < M; ++op) {
+      ServerId from = eval.mapping().ServerOf(OperationId(op));
+      fan.clear();
+      for (uint32_t s = 0; s < N; ++s) {
+        if (ServerId(s) != from) fan.push_back(ServerId(s));
+      }
+      costs.resize(fan.size());
+      WSFLOW_CHECK(eval.ScoreMoves(OperationId(op), fan, costs).ok());
+      for (double c : costs) *checksum += c;
+      evals += fan.size();
+    }
+    elapsed = Seconds(start);
+  } while (elapsed < kMinSeconds);
+  return static_cast<double>(evals) / elapsed;
+}
+
+/// Batched swap fans under an explicit tuning: each operation sweeps all
+/// higher-numbered partners on other servers, the hill-climb neighborhood.
+/// With M > N, partners pile onto shared servers, which is where the edge
+/// memo earns its keep.
+double TunedSwapsRate(const CostModel& model, const Mapping& base,
+                      const EvalTuning& tuning, double* checksum) {
+  const size_t M = model.workflow().num_operations();
+  Result<IncrementalEvaluator> bound =
+      IncrementalEvaluator::Bind(model, base, {}, tuning);
+  WSFLOW_CHECK(bound.ok()) << bound.status().ToString();
+  IncrementalEvaluator& eval = *bound;
+  std::vector<OperationId> fan;
+  std::vector<double> costs;
+  size_t evals = 0;
+  auto start = std::chrono::steady_clock::now();
+  double elapsed = 0;
+  do {
+    for (uint32_t a = 0; a < M; ++a) {
+      fan.clear();
+      for (uint32_t b = a + 1; b < M; ++b) {
+        if (eval.mapping().ServerOf(OperationId(a)) !=
+            eval.mapping().ServerOf(OperationId(b))) {
+          fan.push_back(OperationId(b));
+        }
+      }
+      if (fan.empty()) continue;
+      costs.resize(fan.size());
+      WSFLOW_CHECK(eval.ScoreSwaps(OperationId(a), fan, costs).ok());
+      for (double c : costs) *checksum += c;
+      evals += fan.size();
+    }
+    elapsed = Seconds(start);
+  } while (elapsed < kMinSeconds);
+  return static_cast<double>(evals) / elapsed;
+}
+
+/// Sweeps the server count at fixed M: if the load index does its job, the
+/// fast batched throughput is nearly flat in N while the legacy tuning
+/// decays with its O(N) penalty pass per candidate.
+std::vector<PenaltyScalingResult> RunPenaltyScaling(WorkloadKind kind,
+                                                    size_t num_operations) {
+  EvalTuning fast;  // defaults: load index + edge memo on
+  EvalTuning legacy;
+  legacy.use_load_index = false;
+  legacy.use_edge_memo = false;
+
+  std::vector<PenaltyScalingResult> curve;
+  for (size_t num_servers : {size_t{8}, size_t{16}, size_t{64}, size_t{256}}) {
+    ExperimentConfig cfg = MakeClassCConfig(kind);
+    cfg.num_operations = num_operations;
+    cfg.num_servers = num_servers;
+    cfg.fixed_bus_speed_bps = paperconst::kBus100Mbps;
+    cfg.seed = 7;
+    Result<TrialInstance> trial = DrawTrial(cfg, 0);
+    WSFLOW_CHECK(trial.ok()) << trial.status().ToString();
+    const ExecutionProfile* profile =
+        trial->profile.has_value() ? &*trial->profile : nullptr;
+    CostModel model(trial->workflow, trial->network, profile);
+    const size_t M = trial->workflow.num_operations();
+
+    Mapping base(M);
+    for (uint32_t op = 0; op < M; ++op) {
+      base.Assign(OperationId(op), ServerId(op % num_servers));
+    }
+
+    double checksum = 0;
+    PenaltyScalingResult point;
+    point.workload = std::string(WorkloadKindToString(kind));
+    point.num_operations = M;
+    point.num_servers = num_servers;
+    point.fast_moves_per_sec = TunedMovesRate(model, base, fast, &checksum);
+    point.legacy_moves_per_sec =
+        TunedMovesRate(model, base, legacy, &checksum);
+    point.moves_speedup =
+        point.fast_moves_per_sec / point.legacy_moves_per_sec;
+    point.fast_swaps_per_sec = TunedSwapsRate(model, base, fast, &checksum);
+    point.legacy_swaps_per_sec =
+        TunedSwapsRate(model, base, legacy, &checksum);
+    point.swaps_speedup =
+        point.fast_swaps_per_sec / point.legacy_swaps_per_sec;
+    curve.push_back(point);
+    std::printf("penalty M=%-3zu N=%-4zu moves %12.0f vs %12.0f (%5.2fx)  "
+                "swaps %12.0f vs %12.0f (%5.2fx)\n",
+                point.num_operations, point.num_servers,
+                point.fast_moves_per_sec, point.legacy_moves_per_sec,
+                point.moves_speedup, point.fast_swaps_per_sec,
+                point.legacy_swaps_per_sec, point.swaps_speedup);
+    std::printf("  (checksum %.6g)\n", checksum);
+  }
+  return curve;
+}
+
 ScenarioResult RunScenario(const std::string& name, WorkloadKind kind,
                            size_t num_operations, size_t num_servers) {
   ExperimentConfig cfg = MakeClassCConfig(kind);
@@ -242,6 +385,7 @@ std::vector<ChainScalingResult> RunChainScaling(const std::string& scenario,
 }
 
 void WriteJson(const std::vector<ScenarioResult>& results,
+               const std::vector<PenaltyScalingResult>& penalty,
                const std::vector<ChainScalingResult>& scaling) {
   std::error_code ec;
   std::filesystem::create_directories("bench_results", ec);
@@ -272,6 +416,21 @@ void WriteJson(const std::vector<ScenarioResult>& results,
         r.name.c_str(), r.workload.c_str(), r.num_operations, r.num_servers,
         r.cold_per_sec, r.incremental_per_sec, r.batched_per_sec, r.speedup,
         r.batch_speedup, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"penalty_scaling\": [\n");
+  for (size_t i = 0; i < penalty.size(); ++i) {
+    const PenaltyScalingResult& r = penalty[i];
+    std::fprintf(
+        f,
+        "    {\"workload\": \"%s\", \"num_operations\": %zu, "
+        "\"num_servers\": %zu, \"fast_moves_per_sec\": %.1f, "
+        "\"legacy_moves_per_sec\": %.1f, \"moves_speedup\": %.2f, "
+        "\"fast_swaps_per_sec\": %.1f, \"legacy_swaps_per_sec\": %.1f, "
+        "\"swaps_speedup\": %.2f}%s\n",
+        r.workload.c_str(), r.num_operations, r.num_servers,
+        r.fast_moves_per_sec, r.legacy_moves_per_sec, r.moves_speedup,
+        r.fast_swaps_per_sec, r.legacy_swaps_per_sec, r.swaps_speedup,
+        i + 1 < penalty.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"chain_scaling\": [\n");
   for (size_t i = 0; i < scaling.size(); ++i) {
@@ -314,11 +473,16 @@ int main() {
   results.push_back(
       RunScenario("hybrid_m48_n12", WorkloadKind::kHybridGraph, 48, 12));
 
+  std::printf("\npenalty N-scaling, batched fans, default tuning (load "
+              "index + memo) vs legacy (O(N) penalty, no memo)\n");
+  std::vector<PenaltyScalingResult> penalty =
+      RunPenaltyScaling(WorkloadKind::kHybridGraph, 32);
+
   std::printf("\nannealing-par scaling, equal total budget "
               "(hardware_concurrency=%u)\n",
               std::thread::hardware_concurrency());
   std::vector<ChainScalingResult> scaling = RunChainScaling(
       "hybrid_m24_n8", WorkloadKind::kHybridGraph, 24, 8, 40000);
-  WriteJson(results, scaling);
+  WriteJson(results, penalty, scaling);
   return 0;
 }

@@ -313,6 +313,10 @@ Status CmdDeploy(const std::vector<std::string>& args, std::ostream& out) {
       }
       out << "evaluations:  " << stats.full_evaluations << " full, "
           << stats.delta_evaluations << " delta\n";
+      out << "penalty:      " << stats.penalty_fast << " fast, "
+          << stats.penalty_full << " full\n";
+      out << "edge memo:    " << stats.edge_memo_hits << " hits, "
+          << stats.edge_memo_misses << " misses\n";
       out << "search cost:  " << FormatSeconds(stats.initial_cost) << " -> "
           << FormatSeconds(stats.best_cost) << "\n";
     }
@@ -324,6 +328,8 @@ Status CmdDeploy(const std::vector<std::string>& args, std::ostream& out) {
         << " accepted)\n";
     out << "evaluations:  " << stats.full_evaluations << " full, "
         << stats.delta_evaluations << " delta\n";
+    out << "penalty:      " << stats.penalty_fast << " fast, "
+        << stats.penalty_full << " full\n";
     out << "search cost:  " << FormatSeconds(stats.initial_cost) << " -> "
         << FormatSeconds(stats.best_cost) << "\n";
   } else {

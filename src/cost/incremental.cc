@@ -12,12 +12,6 @@ namespace wsflow {
 
 namespace {
 
-/// Moves between re-anchoring passes. Running sums accumulate one rounding
-/// error per update; re-summing in cold evaluation order every few thousand
-/// moves keeps the worst-case deviation far below the 1e-9 the property
-/// suite (and the search tie tolerances) rely on.
-constexpr size_t kReanchorInterval = 4096;
-
 Status Disconnected() {
   return Status::FailedPrecondition(
       "mapping routes a message between disconnected servers");
@@ -27,12 +21,23 @@ Status Disconnected() {
 
 IncrementalEvaluator::IncrementalEvaluator(const CostModel& model,
                                            Mapping mapping,
-                                           const CostOptions& options)
-    : model_(&model), options_(options), mapping_(std::move(mapping)) {}
+                                           const CostOptions& options,
+                                           const EvalTuning& tuning)
+    : model_(&model),
+      options_(options),
+      tuning_(tuning),
+      mapping_(std::move(mapping)) {
+  // Running sums accumulate one rounding error per update; re-summing in
+  // cold evaluation order every few thousand moves keeps the worst-case
+  // deviation far below the 1e-9 the property suite (and the search tie
+  // tolerances) rely on.
+  if (tuning_.reanchor_interval == 0) tuning_.reanchor_interval = 1;
+}
 
 Result<IncrementalEvaluator> IncrementalEvaluator::Bind(
-    const CostModel& model, Mapping initial, const CostOptions& options) {
-  IncrementalEvaluator eval(model, std::move(initial), options);
+    const CostModel& model, Mapping initial, const CostOptions& options,
+    const EvalTuning& tuning) {
+  IncrementalEvaluator eval(model, std::move(initial), options, tuning);
   WSFLOW_RETURN_IF_ERROR(eval.ColdStart());
   return eval;
 }
@@ -226,6 +231,41 @@ Status IncrementalEvaluator::Undo() {
   return Status::OK();
 }
 
+void IncrementalEvaluator::SetLoad(uint32_t server, double value) {
+  loads_[server] = value;
+  if (!tuning_.use_load_index) return;
+  if (load_dirty_[server]) {
+    if (value == index_value_[server]) {
+      // The cell came back to the tree's snapshot (a batch restore, or an
+      // undo that cancels exactly): no patch needed after all.
+      load_dirty_[server] = 0;
+      for (size_t i = 0; i < dirty_loads_.size(); ++i) {
+        if (dirty_loads_[i] == server) {
+          dirty_loads_[i] = dirty_loads_.back();
+          dirty_loads_.pop_back();
+          break;
+        }
+      }
+    }
+    return;
+  }
+  if (value == index_value_[server]) return;
+  load_dirty_[server] = 1;
+  dirty_loads_.push_back(server);
+  if (dirty_loads_.size() > kMaxPendingLoads) FlushLoadIndex();
+}
+
+void IncrementalEvaluator::FlushLoadIndex() {
+  // Flush order is irrelevant to the result: the tree shape is a pure
+  // function of the final key set.
+  for (uint32_t s : dirty_loads_) {
+    load_index_.Update(s, index_value_[s], loads_[s]);
+    index_value_[s] = loads_[s];
+    load_dirty_[s] = 0;
+  }
+  dirty_loads_.clear();
+}
+
 void IncrementalEvaluator::MoveInternal(OperationId op, ServerId to) {
   ServerId from = mapping_.ServerOf(op);
   if (from == to) return;
@@ -233,8 +273,8 @@ void IncrementalEvaluator::MoveInternal(OperationId op, ServerId to) {
   double prob = model_->OperationProb(op);
   double tproc_from = model_->TprocOn(op, from);
   double tproc_to = model_->TprocOn(op, to);
-  loads_[from.value] -= prob * tproc_from;
-  loads_[to.value] += prob * tproc_to;
+  SetLoad(from.value, loads_[from.value] - prob * tproc_from);
+  SetLoad(to.value, loads_[to.value] + prob * tproc_to);
   mapping_.Assign(op, to);
   if (line_) {
     line_exec_ += tproc_to - tproc_from;
@@ -369,6 +409,15 @@ void IncrementalEvaluator::Reanchor() {
     loads_[s.value] += model_->OperationProb(op.id()) *
                        model_->TprocOn(op.id(), s);
   }
+  // Rebuilding from the freshly summed cells resets any drift between the
+  // index's tree-order total and the cold-order loads, so the fast
+  // penalty re-agrees with the O(N) pass at every re-anchor point.
+  if (tuning_.use_load_index) {
+    load_index_.Rebuild(loads_);
+    index_value_.assign(loads_.begin(), loads_.end());
+    load_dirty_.assign(loads_.size(), 0);
+    dirty_loads_.clear();
+  }
   if (line_) {
     line_exec_ = 0;
     bad_edges_ = 0;
@@ -387,7 +436,7 @@ void IncrementalEvaluator::Reanchor() {
 }
 
 Result<double> IncrementalEvaluator::ExecutionTime() {
-  if (moves_since_anchor_ >= kReanchorInterval) Reanchor();
+  if (moves_since_anchor_ >= tuning_.reanchor_interval) Reanchor();
   if (line_) {
     if (bad_edges_ > 0) return Disconnected();
     return line_exec_;
@@ -399,6 +448,12 @@ Result<double> IncrementalEvaluator::ExecutionTime() {
 
 double IncrementalEvaluator::TimePenalty() const {
   if (loads_.empty()) return 0.0;
+  if (tuning_.use_load_index) {
+    ++counters_.penalty_fast;
+    if (dirty_loads_.empty()) return load_index_.Penalty();
+    return load_index_.PenaltyPatched(dirty_loads_, index_value_, loads_);
+  }
+  ++counters_.penalty_full;
   double avg = 0;
   for (double load : loads_) avg += load;
   avg /= static_cast<double>(loads_.size());
@@ -424,8 +479,11 @@ Result<double> IncrementalEvaluator::Combined() {
 }
 
 void IncrementalEvaluator::PrepareBatchBase() {
-  if (moves_since_anchor_ >= kReanchorInterval) Reanchor();
+  if (moves_since_anchor_ >= tuning_.reanchor_interval) Reanchor();
   if (!line_) Flush();
+  // Fold pending cells in up front so every candidate's penalty query
+  // patches only the two cells that candidate mutates.
+  if (tuning_.use_load_index) FlushLoadIndex();
 }
 
 void IncrementalEvaluator::CollectOpEdges(OperationId op) {
@@ -492,6 +550,37 @@ double IncrementalEvaluator::CombineScore(double exec, bool ok) const {
          options_.fairness_weight * TimePenalty();
 }
 
+void IncrementalEvaluator::BeginFanMemo(size_t slots) {
+  if (!tuning_.use_edge_memo) return;
+  const size_t need = slots * model_->network().num_servers();
+  if (fan_memo_.size() < need) {
+    fan_memo_.resize(need);
+    fan_memo_epoch_.resize(need, 0);
+  }
+  ++memo_epoch_;
+  if (memo_epoch_ == 0) {
+    // Epoch counter wrapped: flush so a stale entry cannot masquerade as
+    // current. Entries start at 0, so epoch 0 itself is never valid.
+    std::fill(fan_memo_epoch_.begin(), fan_memo_epoch_.end(), 0u);
+    memo_epoch_ = 1;
+  }
+}
+
+IncrementalEvaluator::EdgeCache IncrementalEvaluator::MemoizedEdge(
+    size_t slot, TransitionId t, ServerId dest) {
+  if (!tuning_.use_edge_memo) return ComputeEdge(t);
+  const size_t idx = slot * model_->network().num_servers() + dest.value;
+  if (fan_memo_epoch_[idx] == memo_epoch_) {
+    ++counters_.edge_memo_hits;
+    return fan_memo_[idx];
+  }
+  ++counters_.edge_memo_misses;
+  const EdgeCache computed = ComputeEdge(t);
+  fan_memo_epoch_[idx] = memo_epoch_;
+  fan_memo_[idx] = computed;
+  return computed;
+}
+
 Status IncrementalEvaluator::ScoreMoves(OperationId op,
                                         std::span<const ServerId> servers,
                                         std::span<double> costs) {
@@ -519,6 +608,7 @@ Status IncrementalEvaluator::ScoreMoves(OperationId op,
   SaveBatchEdges();
   const OperationId moved[] = {op};
   BuildBatchPath(moved);
+  BeginFanMemo(batch_edges_.size());
 
   const double base_line_exec = line_exec_;
   const size_t base_bad_edges = bad_edges_;
@@ -532,15 +622,15 @@ Status IncrementalEvaluator::ScoreMoves(OperationId op,
     if (to != from) {
       // Mirror MoveInternal's arithmetic exactly so batch scores agree
       // bit-for-bit with the Apply round-trip.
-      loads_[from.value] = load_from_base - prob * tproc_from;
-      loads_[to.value] = load_to_base + prob * tproc_to;
+      SetLoad(from.value, load_from_base - prob * tproc_from);
+      SetLoad(to.value, load_to_base + prob * tproc_to);
     }
     if (line_) {
       double exec = base_line_exec;
       size_t bad = base_bad_edges;
       if (to != from) exec += tproc_to - tproc_from;
       for (size_t e = 0; e < batch_edges_.size(); ++e) {
-        const EdgeCache next = ComputeEdge(batch_edges_[e]);
+        const EdgeCache next = MemoizedEdge(e, batch_edges_[e], to);
         const EdgeCache& prev = batch_saved_edges_[e];
         exec += (next.ok ? next.value : 0.0) - (prev.ok ? prev.value : 0.0);
         if (!next.ok && prev.ok) ++bad;
@@ -548,15 +638,16 @@ Status IncrementalEvaluator::ScoreMoves(OperationId op,
       }
       costs[i] = CombineScore(exec, bad == 0);
     } else {
-      for (TransitionId t : batch_edges_) {
-        tcomm_[t.value] = ComputeEdge(t);
+      for (size_t e = 0; e < batch_edges_.size(); ++e) {
+        tcomm_[batch_edges_[e].value] =
+            MemoizedEdge(e, batch_edges_[e], to);
       }
       costs[i] = ScoreProvisionalGraph();
     }
     ++counters_.delta_evaluations;
     if (to != from) {
-      loads_[from.value] = load_from_base;
-      loads_[to.value] = load_to_base;
+      SetLoad(from.value, load_from_base);
+      SetLoad(to.value, load_to_base);
     }
   }
   mapping_.Assign(op, from);
@@ -587,6 +678,16 @@ Status IncrementalEvaluator::ScoreSwaps(OperationId a,
   const ServerId sa = mapping_.ServerOf(a);
   const double prob_a = model_->OperationProb(a);
 
+  // `a`'s edge slots are shared by every partner, so the per-fan memo can
+  // serve stage-1 T_comm terms across partners hosted on the same server.
+  // Stage-2 terms (the partner's own edges) are never memoized: there `a`
+  // sits displaced on the partner's server, so the "other endpoints at
+  // base" precondition of the memo key does not hold.
+  batch_edges_.clear();
+  CollectOpEdges(a);
+  const size_t a_edge_count = batch_edges_.size();
+  BeginFanMemo(a_edge_count);
+
   for (size_t i = 0; i < partners.size(); ++i) {
     const OperationId b = partners[i];
     const ServerId sb = mapping_.ServerOf(b);
@@ -598,9 +699,7 @@ Status IncrementalEvaluator::ScoreSwaps(OperationId a,
       continue;
     }
     const double prob_b = model_->OperationProb(b);
-    batch_edges_.clear();
-    CollectOpEdges(a);
-    const size_t a_edge_count = batch_edges_.size();
+    batch_edges_.resize(a_edge_count);
     CollectOpEdges(b);
     SaveBatchEdges();
     const OperationId swapped[] = {a, b};
@@ -616,12 +715,12 @@ Status IncrementalEvaluator::ScoreSwaps(OperationId a,
     // as they stood at that point. This keeps the running-sum arithmetic
     // bit-identical to the round-trip.
     mapping_.Assign(a, sb);
-    loads_[sa.value] -= prob_a * model_->TprocOn(a, sa);
-    loads_[sb.value] += prob_a * model_->TprocOn(a, sb);
+    SetLoad(sa.value, loads_[sa.value] - prob_a * model_->TprocOn(a, sa));
+    SetLoad(sb.value, loads_[sb.value] + prob_a * model_->TprocOn(a, sb));
     if (line_) exec += model_->TprocOn(a, sb) - model_->TprocOn(a, sa);
     for (size_t e = 0; e < a_edge_count; ++e) {
       const TransitionId t = batch_edges_[e];
-      const EdgeCache next = ComputeEdge(t);
+      const EdgeCache next = MemoizedEdge(e, t, sb);
       const EdgeCache& prev = tcomm_[t.value];
       if (line_) {
         exec += (next.ok ? next.value : 0.0) - (prev.ok ? prev.value : 0.0);
@@ -631,8 +730,8 @@ Status IncrementalEvaluator::ScoreSwaps(OperationId a,
       tcomm_[t.value] = next;
     }
     mapping_.Assign(b, sa);
-    loads_[sb.value] -= prob_b * model_->TprocOn(b, sb);
-    loads_[sa.value] += prob_b * model_->TprocOn(b, sa);
+    SetLoad(sb.value, loads_[sb.value] - prob_b * model_->TprocOn(b, sb));
+    SetLoad(sa.value, loads_[sa.value] + prob_b * model_->TprocOn(b, sa));
     if (line_) exec += model_->TprocOn(b, sa) - model_->TprocOn(b, sb);
     for (size_t e = a_edge_count; e < batch_edges_.size(); ++e) {
       const TransitionId t = batch_edges_[e];
@@ -651,8 +750,8 @@ Status IncrementalEvaluator::ScoreSwaps(OperationId a,
 
     mapping_.Assign(a, sa);
     mapping_.Assign(b, sb);
-    loads_[sa.value] = load_a_base;
-    loads_[sb.value] = load_b_base;
+    SetLoad(sa.value, load_a_base);
+    SetLoad(sb.value, load_b_base);
     RestoreBatchState();
   }
   return Status::OK();

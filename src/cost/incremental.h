@@ -10,7 +10,9 @@
 // alive across moves:
 //
 //   * per-server probability-weighted loads, updated in O(1) per move; the
-//     fairness TimePenalty is re-derived from them in O(N) per score;
+//     fairness TimePenalty is answered in O(log N) per score by an
+//     order-statistic load index (src/cost/load_index.h) maintained with
+//     O(log N) point updates on the two load cells a move touches;
 //   * a per-transition T_comm cache backed by an all-pairs route table
 //     (propagation seconds + seconds-per-bit per server pair), refreshed
 //     only for the edges incident to a moved operation;
@@ -37,20 +39,43 @@
 #define WSFLOW_COST_INCREMENTAL_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "src/common/result.h"
 #include "src/cost/cost_model.h"
+#include "src/cost/load_index.h"
 #include "src/deploy/mapping.h"
 #include "src/workflow/blocks.h"
 
 namespace wsflow {
 
-/// How often evaluation state was rebuilt from scratch vs delta-scored.
+/// How often evaluation state was rebuilt from scratch vs delta-scored,
+/// and how the fairness / edge fast paths performed.
 struct EvalCounters {
   size_t full_evaluations = 0;   ///< Bind/Rebind cold passes.
   size_t delta_evaluations = 0;  ///< Evaluate() calls on delta state.
+  size_t penalty_fast = 0;       ///< TimePenalty answered by the load index.
+  size_t penalty_full = 0;       ///< TimePenalty recomputed by the O(N) pass.
+  size_t edge_memo_hits = 0;     ///< Batch T_comm terms served by the memo.
+  size_t edge_memo_misses = 0;   ///< Batch T_comm terms computed and cached.
+};
+
+/// Performance knobs of the delta evaluator. The defaults are the fast
+/// paths; the flags exist so benches and parity tests can reproduce the
+/// pre-index behaviour from the same binary.
+struct EvalTuning {
+  /// Answer TimePenalty from the O(log N) load index instead of the O(N)
+  /// summation over the load array.
+  bool use_load_index = true;
+  /// Memoize (edge, landing server) T_comm terms across one batch fan so
+  /// candidates landing on the same server never recompute them.
+  bool use_edge_memo = true;
+  /// Moves between re-anchoring passes (fresh cold-order summation of the
+  /// running sums and a load-index rebuild). Tests shrink this to walk
+  /// the re-anchor boundary cheaply.
+  size_t reanchor_interval = 4096;
 };
 
 class IncrementalEvaluator {
@@ -61,7 +86,8 @@ class IncrementalEvaluator {
   /// model's router so no later score pays first-touch routing.
   static Result<IncrementalEvaluator> Bind(const CostModel& model,
                                            Mapping initial,
-                                           const CostOptions& options = {});
+                                           const CostOptions& options = {},
+                                           const EvalTuning& tuning = {});
 
   /// Replaces the working mapping wholesale (one full evaluation pass) and
   /// clears the undo history.
@@ -89,12 +115,14 @@ class IncrementalEvaluator {
   const Mapping& mapping() const { return mapping_; }
   const CostModel& model() const { return *model_; }
   const CostOptions& options() const { return options_; }
+  const EvalTuning& tuning() const { return tuning_; }
 
   /// T_execute of the working mapping; fails when some message crosses
   /// disconnected servers (matching the cold evaluator).
   Result<double> ExecutionTime();
 
-  /// Fairness penalty of the working mapping, O(num servers).
+  /// Fairness penalty of the working mapping: O(log N) via the load index
+  /// (default), O(N) over the load array when the index is tuned off.
   double TimePenalty() const;
 
   /// Probability-weighted per-server loads, indexed by ServerId::value.
@@ -162,7 +190,7 @@ class IncrementalEvaluator {
   };
 
   IncrementalEvaluator(const CostModel& model, Mapping mapping,
-                       const CostOptions& options);
+                       const CostOptions& options, const EvalTuning& tuning);
 
   Status ColdStart();
   Status BuildPairTable();
@@ -198,12 +226,32 @@ class IncrementalEvaluator {
   /// Combined cost from a line execution sum and bad-edge count.
   double CombineScore(double exec, bool ok) const;
 
+  /// Writes one load cell, keeping the load index in sync. Every load
+  /// mutation outside Reanchor (which rebuilds the index wholesale) must
+  /// go through here.
+  void SetLoad(uint32_t server, double value);
+
+  /// Folds every pending load cell into the tree (Update per cell) so
+  /// subsequent penalty queries patch nothing. Called when the pending set
+  /// outgrows kMaxPendingLoads and before each batch fan, so per-candidate
+  /// queries patch only the two cells the candidate itself touches.
+  void FlushLoadIndex();
+
+  /// Opens a fresh per-fan memo epoch sized for `slots` batch edges.
+  void BeginFanMemo(size_t slots);
+  /// T_comm of batch edge `slot` (transition `t`) with the moving
+  /// operation landing on `dest`, served from the per-fan memo when the
+  /// same (slot, dest) was already computed this fan. Only valid while
+  /// every other operation the edge reads sits at its base placement.
+  EdgeCache MemoizedEdge(size_t slot, TransitionId t, ServerId dest);
+
   double TprocHere(OperationId op) const {
     return model_->TprocOn(op, mapping_.ServerOf(op));
   }
 
   const CostModel* model_;
   CostOptions options_;
+  EvalTuning tuning_;
   Mapping mapping_;
   bool line_ = false;
 
@@ -214,6 +262,18 @@ class IncrementalEvaluator {
 
   std::vector<EdgeCache> tcomm_;  // per transition
   std::vector<double> loads_;    // per server
+
+  // Order-statistic view of loads_, kept at a recent snapshot rather than
+  // eagerly in sync: index_value_ mirrors what the tree holds per server,
+  // dirty_loads_ lists the cells where loads_ has moved on (bounded by
+  // kMaxPendingLoads before a flush folds them in). Penalty queries read
+  // the tree once and correct for the pending cells, so tree surgery
+  // happens only on flush and re-anchor, never per scored candidate.
+  static constexpr size_t kMaxPendingLoads = 16;
+  LoadIndex load_index_;
+  std::vector<double> index_value_;   // per server: value the tree holds
+  std::vector<uint8_t> load_dirty_;   // per server: pending membership
+  std::vector<uint32_t> dirty_loads_; // pending cells, unordered
 
   // Line state.
   double line_exec_ = 0;
@@ -243,8 +303,16 @@ class IncrementalEvaluator {
   std::vector<int> batch_path_;              // descending node indices
   std::vector<NodeSnapshot> batch_saved_nodes_;
 
+  // Per-fan (edge slot, landing server) memo: a slot-major table of
+  // cached T_comm terms, invalidated wholesale by bumping the epoch.
+  std::vector<EdgeCache> fan_memo_;
+  std::vector<uint32_t> fan_memo_epoch_;
+  uint32_t memo_epoch_ = 0;
+
   size_t moves_since_anchor_ = 0;
-  EvalCounters counters_;
+  // Mutable: TimePenalty() is logically const but tallies its fast/full
+  // split into the counters.
+  mutable EvalCounters counters_;
 };
 
 }  // namespace wsflow

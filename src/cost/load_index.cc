@@ -1,0 +1,209 @@
+#include "src/cost/load_index.h"
+
+#include <bit>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace wsflow {
+
+uint64_t LoadIndex::Priority(double load, uint32_t server) {
+  // Normalize the zero sign so keys that compare equal hash equal; beyond
+  // that the priority is a pure function of the key bits, which makes the
+  // treap shape a pure function of the stored key set.
+  if (load == 0.0) load = 0.0;
+  uint64_t x = std::bit_cast<uint64_t>(load) +
+               0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(server) + 1);
+  // splitmix64 finalizer.
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+bool LoadIndex::KeyLess(double load_a, uint32_t server_a,
+                        const Node& b) const {
+  if (load_a != b.load) return load_a < b.load;
+  return server_a < b.server;
+}
+
+int LoadIndex::NewNode(double load, uint32_t server) {
+  int index;
+  if (!free_.empty()) {
+    index = free_.back();
+    free_.pop_back();
+  } else {
+    index = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  Node& node = nodes_[index];
+  node.load = load;
+  node.server = server;
+  node.priority = Priority(load, server);
+  node.left = -1;
+  node.right = -1;
+  node.count = 1;
+  node.sum = load;
+  return index;
+}
+
+void LoadIndex::Pull(int t) {
+  Node& node = nodes_[t];
+  node.count = 1;
+  node.sum = node.load;
+  if (node.left >= 0) {
+    node.count += nodes_[node.left].count;
+    node.sum += nodes_[node.left].sum;
+  }
+  if (node.right >= 0) {
+    node.count += nodes_[node.right].count;
+    node.sum += nodes_[node.right].sum;
+  }
+}
+
+void LoadIndex::Split(int t, double load, uint32_t server, int* lo, int* hi) {
+  if (t < 0) {
+    *lo = -1;
+    *hi = -1;
+    return;
+  }
+  Node& node = nodes_[t];
+  const bool node_below = node.load != load ? node.load < load
+                                            : node.server < server;
+  if (node_below) {
+    Split(node.right, load, server, &node.right, hi);
+    *lo = t;
+  } else {
+    Split(node.left, load, server, lo, &node.left);
+    *hi = t;
+  }
+  Pull(t);
+}
+
+int LoadIndex::Merge(int lo, int hi) {
+  if (lo < 0) return hi;
+  if (hi < 0) return lo;
+  if (nodes_[lo].priority > nodes_[hi].priority) {
+    nodes_[lo].right = Merge(nodes_[lo].right, hi);
+    Pull(lo);
+    return lo;
+  }
+  nodes_[hi].left = Merge(lo, nodes_[hi].left);
+  Pull(hi);
+  return hi;
+}
+
+int LoadIndex::InsertAt(int t, int node) {
+  if (t < 0) return node;
+  if (nodes_[node].priority > nodes_[t].priority) {
+    Split(t, nodes_[node].load, nodes_[node].server, &nodes_[node].left,
+          &nodes_[node].right);
+    Pull(node);
+    return node;
+  }
+  if (KeyLess(nodes_[node].load, nodes_[node].server, nodes_[t])) {
+    nodes_[t].left = InsertAt(nodes_[t].left, node);
+  } else {
+    nodes_[t].right = InsertAt(nodes_[t].right, node);
+  }
+  Pull(t);
+  return t;
+}
+
+int LoadIndex::RemoveAt(int t, double load, uint32_t server) {
+  WSFLOW_CHECK(t >= 0) << "LoadIndex: removing a key that is not present";
+  Node& node = nodes_[t];
+  if (node.load == load && node.server == server) {
+    int merged = Merge(node.left, node.right);
+    free_.push_back(t);
+    return merged;
+  }
+  if (KeyLess(load, server, node)) {
+    node.left = RemoveAt(node.left, load, server);
+  } else {
+    node.right = RemoveAt(node.right, load, server);
+  }
+  Pull(t);
+  return t;
+}
+
+void LoadIndex::Rebuild(std::span<const double> loads) {
+  nodes_.clear();
+  free_.clear();
+  root_ = -1;
+  nodes_.reserve(loads.size());
+  for (size_t s = 0; s < loads.size(); ++s) {
+    root_ = InsertAt(root_, NewNode(loads[s], static_cast<uint32_t>(s)));
+  }
+}
+
+void LoadIndex::Update(uint32_t server, double old_load, double new_load) {
+  root_ = RemoveAt(root_, old_load, server);
+  root_ = InsertAt(root_, NewNode(new_load, server));
+}
+
+void LoadIndex::BelowPrefix(double threshold, int64_t* count,
+                            double* sum) const {
+  // Keys are ordered by (load, server), so "load < threshold" selects a
+  // key prefix and one root-to-leaf descent collects its aggregates.
+  *count = 0;
+  *sum = 0;
+  int t = root_;
+  while (t >= 0) {
+    const Node& node = nodes_[t];
+    if (node.load < threshold) {
+      if (node.left >= 0) {
+        *count += nodes_[node.left].count;
+        *sum += nodes_[node.left].sum;
+      }
+      *count += 1;
+      *sum += node.load;
+      t = node.right;
+    } else {
+      t = node.left;
+    }
+  }
+}
+
+double LoadIndex::Penalty() const {
+  if (root_ < 0) return 0.0;
+  const Node& root = nodes_[root_];
+  const double total = root.sum;
+  const double n = static_cast<double>(root.count);
+  const double avg = total / n;
+  int64_t count_below = 0;
+  double sum_below = 0;
+  BelowPrefix(avg, &count_below, &sum_below);
+  const double below = avg * static_cast<double>(count_below) - sum_below;
+  const double above =
+      (total - sum_below) - avg * (n - static_cast<double>(count_below));
+  return (below + above) / 2.0;
+}
+
+double LoadIndex::PenaltyPatched(std::span<const uint32_t> servers,
+                                 std::span<const double> stored,
+                                 std::span<const double> current) const {
+  if (root_ < 0) return 0.0;
+  const Node& root = nodes_[root_];
+  const double tree_total = root.sum;
+  const double n = static_cast<double>(root.count);
+  double total = tree_total;
+  for (uint32_t s : servers) total += current[s] - stored[s];
+  const double avg = total / n;
+  int64_t count_below = 0;
+  double sum_below = 0;
+  BelowPrefix(avg, &count_below, &sum_below);
+  // Absolute deviation of the snapshot the tree holds, then swap each
+  // patched cell's contribution from its stored value to its current one.
+  double abs_sum =
+      (avg * static_cast<double>(count_below) - sum_below) +
+      ((tree_total - sum_below) - avg * (n - static_cast<double>(count_below)));
+  for (uint32_t s : servers) {
+    abs_sum += std::fabs(current[s] - avg) - std::fabs(stored[s] - avg);
+  }
+  return abs_sum / 2.0;
+}
+
+}  // namespace wsflow

@@ -1,0 +1,113 @@
+// wsflow: order-statistic index over per-server loads.
+//
+// The fairness half of the paper's objective is
+//
+//   TimePenalty = Sum over servers of |Load(s) - avg| / 2
+//
+// which a naive pass recomputes in O(N) per score even though a move
+// changes only two load cells. LoadIndex keeps the N loads in an
+// augmented balanced tree (a treap keyed by (load, server) with subtree
+// (count, sum) aggregates), so the penalty folds out of two prefix
+// aggregates at the average:
+//
+//   below = avg * count_below - sum_below
+//   above = (total - sum_below) - avg * (count - count_below)
+//   TimePenalty = (below + above) / 2
+//
+// with O(log N) point updates on the two cells a move touches.
+//
+// Point updates cost two split/merge passes, which is far more than the
+// descent a query costs, so the owner keeps the tree at a recent snapshot
+// of the load array and queries through PenaltyPatched: one descent over
+// the snapshot plus an O(k) correction for the k cells that currently
+// differ from it. Batch scoring and rejected search proposals then never
+// touch the tree at all; pending cells are folded in (Update per cell)
+// only when the patch set grows past a small cap.
+//
+// Determinism contract: node priorities are hashed from the key bits, so
+// the tree shape — and therefore every floating-point accumulation order
+// the index produces — is a pure function of the stored (load, server)
+// set, never of the update history. Two evaluators holding the same loads
+// return bit-identical penalties regardless of how they got there, which
+// is what keeps batched scoring bit-identical to the Apply/Evaluate/Undo
+// round-trip and `annealing-par` winners byte-identical at any thread
+// count. Against the O(N) pass the index agrees to 1e-9 relative
+// tolerance (same terms, different summation order); exact parity with
+// the cold order is restored whenever the owner rebuilds the index at a
+// re-anchor point.
+
+#ifndef WSFLOW_COST_LOAD_INDEX_H_
+#define WSFLOW_COST_LOAD_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wsflow {
+
+class LoadIndex {
+ public:
+  LoadIndex() = default;
+
+  /// Rebuilds the tree from `loads` (position = ServerId::value),
+  /// discarding any previous contents. Called at bind and at re-anchor
+  /// points, where the owner has just re-summed the loads in cold
+  /// evaluation order.
+  void Rebuild(std::span<const double> loads);
+
+  /// Replaces server `s`'s load. `old_load` must be the exact value
+  /// (same bits up to -0.0 == 0.0) passed for `s` at the last Rebuild or
+  /// Update; the caller keeps the authoritative load array.
+  void Update(uint32_t server, double old_load, double new_load);
+
+  /// Number of indexed servers.
+  size_t size() const { return root_ < 0 ? 0 : nodes_[root_].count; }
+
+  /// Sum of all loads, accumulated in tree order.
+  double TotalLoad() const { return root_ < 0 ? 0.0 : nodes_[root_].sum; }
+
+  /// TimePenalty of the indexed loads; 0 for an empty index.
+  double Penalty() const;
+
+  /// TimePenalty of the indexed loads with the cells in `servers`
+  /// substituted: the tree is assumed to hold `stored[s]` for each such
+  /// cell while the authoritative value is `current[s]` (both spans are
+  /// full arrays indexed by server). One descent plus O(|servers|)
+  /// corrections; the tree itself is not modified.
+  double PenaltyPatched(std::span<const uint32_t> servers,
+                        std::span<const double> stored,
+                        std::span<const double> current) const;
+
+ private:
+  struct Node {
+    double load = 0;
+    uint32_t server = 0;
+    uint64_t priority = 0;
+    int left = -1;
+    int right = -1;
+    int count = 1;     ///< Subtree size.
+    double sum = 0;    ///< Subtree load sum (tree-order accumulation).
+  };
+
+  static uint64_t Priority(double load, uint32_t server);
+  /// Count and tree-order sum of the stored loads strictly below
+  /// `threshold` (one root-to-leaf descent).
+  void BelowPrefix(double threshold, int64_t* count, double* sum) const;
+  bool KeyLess(double load_a, uint32_t server_a, const Node& b) const;
+  int NewNode(double load, uint32_t server);
+  void Pull(int t);
+  /// Splits `t` into keys < (load, server) and the rest.
+  void Split(int t, double load, uint32_t server, int* lo, int* hi);
+  int Merge(int lo, int hi);
+  int InsertAt(int t, int node);
+  int RemoveAt(int t, double load, uint32_t server);
+
+  std::vector<Node> nodes_;
+  std::vector<int> free_;
+  int root_ = -1;
+};
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_COST_LOAD_INDEX_H_

@@ -67,6 +67,8 @@ Result<Mapping> AnnealingAlgorithm::RunWithStats(const DeployContext& ctx,
   local.best_cost = best_cost;
   local.full_evaluations = eval.counters().full_evaluations;
   local.delta_evaluations = eval.counters().delta_evaluations;
+  local.penalty_fast = eval.counters().penalty_fast;
+  local.penalty_full = eval.counters().penalty_full;
   if (stats != nullptr) *stats = local;
   return best;
 }

@@ -34,6 +34,8 @@ struct AnnealingStats {
   size_t accepted = 0;           ///< Proposals kept (improving or lucky).
   size_t full_evaluations = 0;   ///< Cold evaluator (re)binds.
   size_t delta_evaluations = 0;  ///< Proposals scored by delta update.
+  size_t penalty_fast = 0;       ///< TimePenalty via the O(log N) index.
+  size_t penalty_full = 0;       ///< TimePenalty via the O(N) pass.
   double initial_cost = 0;       ///< Combined cost of the random start.
   double best_cost = 0;          ///< Combined cost of the returned mapping.
 };

@@ -164,6 +164,10 @@ Result<Mapping> HillClimb(const CostModel& model, const Mapping& start,
   local.final_cost = current_cost;
   local.full_evaluations = eval.counters().full_evaluations;
   local.delta_evaluations = eval.counters().delta_evaluations;
+  local.penalty_fast = eval.counters().penalty_fast;
+  local.penalty_full = eval.counters().penalty_full;
+  local.edge_memo_hits = eval.counters().edge_memo_hits;
+  local.edge_memo_misses = eval.counters().edge_memo_misses;
   if (stats != nullptr) *stats = local;
   return eval.mapping();
 }

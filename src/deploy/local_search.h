@@ -38,6 +38,10 @@ struct LocalSearchStats {
   size_t evaluations = 0;        ///< Candidate mappings costed.
   size_t full_evaluations = 0;   ///< Cold evaluator (re)binds.
   size_t delta_evaluations = 0;  ///< Candidates scored by delta update.
+  size_t penalty_fast = 0;       ///< TimePenalty via the O(log N) index.
+  size_t penalty_full = 0;       ///< TimePenalty via the O(N) pass.
+  size_t edge_memo_hits = 0;     ///< Batch T_comm terms served by the memo.
+  size_t edge_memo_misses = 0;   ///< Batch T_comm terms computed fresh.
   double initial_cost = 0;       ///< Combined cost of the start mapping.
   double final_cost = 0;         ///< Combined cost of the local optimum.
 };

@@ -247,6 +247,10 @@ Result<Mapping> ParallelAnnealingAlgorithm::RunWithStats(
     local.accepted += chain.accepted;
     local.full_evaluations += chain.eval.counters().full_evaluations;
     local.delta_evaluations += chain.eval.counters().delta_evaluations;
+    local.penalty_fast += chain.eval.counters().penalty_fast;
+    local.penalty_full += chain.eval.counters().penalty_full;
+    local.edge_memo_hits += chain.eval.counters().edge_memo_hits;
+    local.edge_memo_misses += chain.eval.counters().edge_memo_misses;
   }
   local.winner_chain = winner;
   local.best_cost = chain_states[winner].best_cost;
@@ -310,6 +314,10 @@ Result<Mapping> ParallelHillClimbAlgorithm::RunWithStats(
     local.evaluations += restart.stats.evaluations;
     local.full_evaluations += restart.stats.full_evaluations;
     local.delta_evaluations += restart.stats.delta_evaluations;
+    local.penalty_fast += restart.stats.penalty_fast;
+    local.penalty_full += restart.stats.penalty_full;
+    local.edge_memo_hits += restart.stats.edge_memo_hits;
+    local.edge_memo_misses += restart.stats.edge_memo_misses;
     if (restart.stats.initial_cost < local.initial_cost) {
       local.initial_cost = restart.stats.initial_cost;
     }

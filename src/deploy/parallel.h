@@ -78,6 +78,10 @@ struct ParallelSearchStats {
   size_t evaluations = 0;        ///< Climb candidates costed, summed.
   size_t full_evaluations = 0;   ///< Cold evaluator (re)binds, summed.
   size_t delta_evaluations = 0;  ///< Delta-scored candidates, summed.
+  size_t penalty_fast = 0;       ///< Index-answered TimePenalty, summed.
+  size_t penalty_full = 0;       ///< O(N)-pass TimePenalty, summed.
+  size_t edge_memo_hits = 0;     ///< Batch T_comm memo hits, summed.
+  size_t edge_memo_misses = 0;   ///< Batch T_comm memo misses, summed.
   size_t exchanges = 0;          ///< Best-state adoptions across rounds.
   size_t winner_chain = 0;       ///< Chain index that produced the winner.
   double initial_cost = 0;       ///< Best start cost across chains.

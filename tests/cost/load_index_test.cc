@@ -1,0 +1,183 @@
+// Unit tests of the order-statistic load index: the O(log N) fairness
+// penalty must track a naive O(N) recompute through arbitrary update
+// histories, and — because node priorities are hashed from the key bits —
+// the tree shape, and therefore every returned bit pattern, must be a
+// pure function of the stored loads, never of how they were reached.
+
+#include "src/cost/load_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace wsflow {
+namespace {
+
+double NaivePenalty(const std::vector<double>& loads) {
+  if (loads.empty()) return 0.0;
+  double avg = 0;
+  for (double l : loads) avg += l;
+  avg /= static_cast<double>(loads.size());
+  double penalty = 0;
+  for (double l : loads) penalty += std::fabs(l - avg) / 2.0;
+  return penalty;
+}
+
+void ExpectNear(double index_value, double naive_value) {
+  EXPECT_LE(std::fabs(index_value - naive_value),
+            1e-12 * (1.0 + std::fabs(naive_value)))
+      << "index=" << index_value << " naive=" << naive_value;
+}
+
+TEST(LoadIndexTest, EmptyIndexHasZeroPenalty) {
+  LoadIndex index;
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.TotalLoad(), 0.0);
+  EXPECT_EQ(index.Penalty(), 0.0);
+}
+
+TEST(LoadIndexTest, SingleServerHasZeroPenalty) {
+  LoadIndex index;
+  index.Rebuild(std::vector<double>{3.5});
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_EQ(index.Penalty(), 0.0);
+}
+
+TEST(LoadIndexTest, EqualLoadsHaveZeroPenalty) {
+  LoadIndex index;
+  index.Rebuild(std::vector<double>(16, 2.25));
+  EXPECT_EQ(index.Penalty(), 0.0);
+}
+
+TEST(LoadIndexTest, MatchesNaivePenaltyAfterRebuild) {
+  for (size_t n : {2u, 3u, 5u, 8u, 64u, 256u}) {
+    Rng rng(n * 31 + 7);
+    std::vector<double> loads(n);
+    for (double& l : loads) l = rng.NextDouble() * 10.0;
+    LoadIndex index;
+    index.Rebuild(loads);
+    EXPECT_EQ(index.size(), n);
+    ExpectNear(index.Penalty(), NaivePenalty(loads));
+  }
+}
+
+TEST(LoadIndexTest, TracksNaivePenaltyThroughRandomUpdates) {
+  constexpr size_t kServers = 24;
+  Rng rng(4242);
+  std::vector<double> loads(kServers);
+  for (double& l : loads) l = rng.NextDouble() * 5.0;
+  LoadIndex index;
+  index.Rebuild(loads);
+  for (size_t step = 0; step < 2000; ++step) {
+    uint32_t s = static_cast<uint32_t>(rng.NextBounded(kServers));
+    // Mix fresh values with duplicates of other cells and exact zeros so
+    // equal keys and ties get exercised, not just generic doubles.
+    double next;
+    double dice = rng.NextDouble();
+    if (dice < 0.1) {
+      next = 0.0;
+    } else if (dice < 0.3) {
+      next = loads[rng.NextBounded(kServers)];
+    } else {
+      next = rng.NextDouble() * 5.0;
+    }
+    index.Update(s, loads[s], next);
+    loads[s] = next;
+    ExpectNear(index.Penalty(), NaivePenalty(loads));
+    ExpectNear(index.TotalLoad(), [&] {
+      double sum = 0;
+      for (double l : loads) sum += l;
+      return sum;
+    }());
+    if (HasNonfatalFailure()) {
+      ADD_FAILURE() << "diverged at step " << step;
+      return;
+    }
+  }
+}
+
+TEST(LoadIndexTest, PenaltyIsAPureFunctionOfTheStoredLoads) {
+  // Drive two indexes to the same load vector along different update
+  // histories; every aggregate must come back bit-identical, because the
+  // treap shape depends only on the stored keys.
+  constexpr size_t kServers = 17;
+  Rng rng(99);
+  std::vector<double> start(kServers), target(kServers);
+  for (double& l : start) l = rng.NextDouble();
+  for (double& l : target) l = rng.NextDouble();
+
+  LoadIndex direct;
+  direct.Rebuild(target);
+
+  LoadIndex updated;
+  updated.Rebuild(start);
+  std::vector<double> current = start;
+  // Walk to the target in a scrambled order, with a detour per cell.
+  for (size_t i = 0; i < kServers; ++i) {
+    uint32_t s = static_cast<uint32_t>((i * 5 + 3) % kServers);
+    double detour = rng.NextDouble() * 7.0;
+    updated.Update(s, current[s], detour);
+    updated.Update(s, detour, target[s]);
+    current[s] = target[s];
+  }
+
+  EXPECT_EQ(direct.Penalty(), updated.Penalty());
+  EXPECT_EQ(direct.TotalLoad(), updated.TotalLoad());
+  EXPECT_EQ(direct.size(), updated.size());
+}
+
+TEST(LoadIndexTest, PatchedPenaltyMatchesNaiveOnPatchedLoads) {
+  // The tree stays at a snapshot while a handful of cells move on; the
+  // patched query must equal a naive recompute over the current values.
+  constexpr size_t kServers = 32;
+  Rng rng(777);
+  std::vector<double> stored(kServers);
+  for (double& l : stored) l = rng.NextDouble() * 4.0;
+  LoadIndex index;
+  index.Rebuild(stored);
+
+  std::vector<double> current = stored;
+  for (size_t round = 0; round < 200; ++round) {
+    std::vector<uint32_t> patched;
+    size_t k = rng.NextBounded(9);  // 0..8 patched cells
+    for (size_t i = 0; i < k; ++i) {
+      uint32_t s = static_cast<uint32_t>(rng.NextBounded(kServers));
+      bool seen = false;
+      for (uint32_t p : patched) seen = seen || p == s;
+      if (seen) continue;
+      patched.push_back(s);
+      current[s] = rng.NextDouble() * 4.0;
+    }
+    ExpectNear(index.PenaltyPatched(patched, stored, current),
+               NaivePenalty(current));
+    // An empty patch set must degrade to the plain query.
+    if (patched.empty()) {
+      EXPECT_EQ(index.PenaltyPatched(patched, stored, current),
+                index.Penalty());
+    }
+    for (uint32_t s : patched) current[s] = stored[s];
+    if (HasNonfatalFailure()) {
+      ADD_FAILURE() << "diverged at round " << round;
+      return;
+    }
+  }
+}
+
+TEST(LoadIndexTest, HandlesNegativeZeroUpdates) {
+  LoadIndex index;
+  std::vector<double> loads = {0.0, 1.0, 2.0};
+  index.Rebuild(loads);
+  // A drifted running sum can leave -0.0 in a cell; removing it again must
+  // find the key (-0.0 == 0.0 under the ordering).
+  index.Update(0, 0.0, -0.0);
+  ExpectNear(index.Penalty(), NaivePenalty(loads));
+  index.Update(0, -0.0, 3.0);
+  loads[0] = 3.0;
+  ExpectNear(index.Penalty(), NaivePenalty(loads));
+}
+
+}  // namespace
+}  // namespace wsflow

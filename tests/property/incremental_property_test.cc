@@ -5,6 +5,12 @@
 // exhaustive) stand on. A separate suite walks mappings through
 // disconnected (infinite-cost) states on a partitioned network and checks
 // that delta and cold evaluation fail and recover together.
+//
+// The load-index suites drive a default-tuned evaluator (O(log N) fairness
+// penalty, per-fan edge memo) and a legacy-tuned twin (O(N) penalty, no
+// memo) through identical walks: penalties must agree to 1e-9 everywhere —
+// including across re-anchor boundaries — and batch scores with the memo
+// enabled must be bit-identical to the memo-less path.
 
 #include <gtest/gtest.h>
 
@@ -271,6 +277,304 @@ TEST(IncrementalDisconnectedReplayTest, FailsAndRecoversWithColdEvaluate) {
   }
   // The walk must actually have crossed infinite-cost territory.
   EXPECT_GT(disconnected_steps, 0u);
+}
+
+/// Legacy tuning: the PR 3 evaluation path — O(N) penalty, no edge memo.
+EvalTuning LegacyTuning() {
+  EvalTuning tuning;
+  tuning.use_load_index = false;
+  tuning.use_edge_memo = false;
+  return tuning;
+}
+
+/// Load-index walks: a default-tuned evaluator and a legacy-tuned twin
+/// replay the same random move/swap/undo sequence; the O(log N) penalty
+/// must track the O(N) recompute to 1e-9 at every state. The fast twin
+/// re-anchors every 17 moves so the walk crosses many rebuild points.
+class IncrementalLoadIndexWalkTest
+    : public ::testing::TestWithParam<std::tuple<WorkloadKind, uint64_t>> {};
+
+TEST_P(IncrementalLoadIndexWalkTest, FastPenaltyTracksLegacyRecompute) {
+  auto [kind, seed] = GetParam();
+  ExperimentConfig cfg = MakeClassCConfig(kind);
+  cfg.num_operations = 13;
+  cfg.num_servers = 4;
+  cfg.seed = seed;
+  TrialInstance trial = WSFLOW_UNWRAP(DrawTrial(cfg, 0));
+  const ExecutionProfile* profile =
+      trial.profile.has_value() ? &*trial.profile : nullptr;
+  CostModel model(trial.workflow, trial.network, profile);
+
+  const size_t M = trial.workflow.num_operations();
+  const size_t N = trial.network.num_servers();
+  EvalTuning fast_tuning;
+  fast_tuning.reanchor_interval = 17;
+  IncrementalEvaluator fast = WSFLOW_UNWRAP(IncrementalEvaluator::Bind(
+      model, testing::RoundRobin(M, N), {}, fast_tuning));
+  IncrementalEvaluator legacy = WSFLOW_UNWRAP(IncrementalEvaluator::Bind(
+      model, testing::RoundRobin(M, N), {}, LegacyTuning()));
+  ExpectNear(fast.TimePenalty(), legacy.TimePenalty(), 0);
+
+  Rng rng(seed * 7919 + 17);
+  for (size_t step = 1; step <= 300; ++step) {
+    double dice = rng.NextDouble();
+    if (dice < 0.55) {
+      OperationId op(static_cast<uint32_t>(rng.NextBounded(M)));
+      ServerId server(static_cast<uint32_t>(rng.NextBounded(N)));
+      WSFLOW_ASSERT_OK(fast.Apply(op, server));
+      WSFLOW_ASSERT_OK(legacy.Apply(op, server));
+    } else if (dice < 0.75) {
+      OperationId a(static_cast<uint32_t>(rng.NextBounded(M)));
+      OperationId b(static_cast<uint32_t>(rng.NextBounded(M)));
+      WSFLOW_ASSERT_OK(fast.Swap(a, b));
+      WSFLOW_ASSERT_OK(legacy.Swap(a, b));
+    } else if (fast.undo_depth() > 0) {
+      WSFLOW_ASSERT_OK(fast.Undo());
+      WSFLOW_ASSERT_OK(legacy.Undo());
+    } else {
+      OperationId op(static_cast<uint32_t>(rng.NextBounded(M)));
+      WSFLOW_ASSERT_OK(fast.Move(op, ServerId(0)));
+      WSFLOW_ASSERT_OK(legacy.Move(op, ServerId(0)));
+    }
+    ExpectNear(fast.TimePenalty(), legacy.TimePenalty(), step);
+    // Combined() runs the re-anchor schedule (every 17 moves on the fast
+    // twin); the two paths may re-sum at different points, so agreement is
+    // to tolerance, not bitwise.
+    Result<double> fast_cost = fast.Combined();
+    Result<double> legacy_cost = legacy.Combined();
+    ASSERT_EQ(fast_cost.ok(), legacy_cost.ok()) << "step " << step;
+    if (fast_cost.ok()) ExpectNear(*fast_cost, *legacy_cost, step);
+    ExpectAgreement(fast, model, step);
+    if (HasFatalFailure() || HasNonfatalFailure()) return;
+  }
+  EXPECT_GT(fast.counters().penalty_fast, 0u);
+  EXPECT_EQ(fast.counters().penalty_full, 0u);
+  EXPECT_GT(legacy.counters().penalty_full, 0u);
+  EXPECT_EQ(legacy.counters().penalty_fast, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, IncrementalLoadIndexWalkTest,
+    ::testing::Combine(::testing::Values(WorkloadKind::kLine,
+                                         WorkloadKind::kBushyGraph,
+                                         WorkloadKind::kLengthyGraph,
+                                         WorkloadKind::kHybridGraph),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const ::testing::TestParamInfo<std::tuple<WorkloadKind, uint64_t>>&
+           info) {
+      return std::string(WorkloadKindToString(std::get<0>(info.param))) +
+             "_s" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(IncrementalLoadIndexWalkTest, FastPenaltyTracksLegacyAcrossIslands) {
+  // Disconnected states: the fairness penalty stays finite and well-defined
+  // even where execution time is infinite, so the index must keep tracking
+  // the O(N) recompute straight through infeasible territory.
+  Workflow w = testing::SimpleLine(6, 20e6, 60648);
+  Network n("islands");
+  ServerId s0 = n.AddServer("s0", 1e9);
+  ServerId s1 = n.AddServer("s1", 2e9);
+  ServerId s2 = n.AddServer("s2", 1e9);
+  ServerId s3 = n.AddServer("s3", 2e9);
+  WSFLOW_UNWRAP(n.AddLink(s0, s1, 100e6));
+  WSFLOW_UNWRAP(n.AddLink(s2, s3, 100e6));
+  CostModel model(w, n);
+
+  const size_t M = w.num_operations();
+  IncrementalEvaluator fast = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, testing::AllOnServer(M, s0)));
+  IncrementalEvaluator legacy = WSFLOW_UNWRAP(IncrementalEvaluator::Bind(
+      model, testing::AllOnServer(M, s0), {}, LegacyTuning()));
+
+  Rng rng(99);
+  size_t disconnected_steps = 0;
+  for (size_t step = 1; step <= 200; ++step) {
+    OperationId op(static_cast<uint32_t>(rng.NextBounded(M)));
+    ServerId server(static_cast<uint32_t>(rng.NextBounded(4)));
+    if (rng.NextDouble() < 0.7 || fast.undo_depth() == 0) {
+      WSFLOW_ASSERT_OK(fast.Apply(op, server));
+      WSFLOW_ASSERT_OK(legacy.Apply(op, server));
+    } else {
+      WSFLOW_ASSERT_OK(fast.Undo());
+      WSFLOW_ASSERT_OK(legacy.Undo());
+    }
+    ExpectNear(fast.TimePenalty(), legacy.TimePenalty(), step);
+    ExpectAgreement(fast, model, step);
+    if (!model.Evaluate(fast.mapping()).ok()) ++disconnected_steps;
+    if (HasFatalFailure() || HasNonfatalFailure()) return;
+  }
+  EXPECT_GT(disconnected_steps, 0u);
+}
+
+TEST(IncrementalLoadIndexReanchorTest, AgreementHoldsAcrossDefaultBoundary) {
+  // The default tuning re-anchors (cold-order re-summation plus an index
+  // rebuild) every 4096 moves; drift accumulated in the running sums and
+  // the index resets there. Walk well past the boundary and hold the fast
+  // penalty to the legacy recompute at every step, with cold-evaluation
+  // spot checks concentrated around the re-anchor point.
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kHybridGraph);
+  cfg.num_operations = 13;
+  cfg.num_servers = 4;
+  cfg.seed = 5;
+  TrialInstance trial = WSFLOW_UNWRAP(DrawTrial(cfg, 0));
+  const ExecutionProfile* profile =
+      trial.profile.has_value() ? &*trial.profile : nullptr;
+  CostModel model(trial.workflow, trial.network, profile);
+
+  const size_t M = trial.workflow.num_operations();
+  const size_t N = trial.network.num_servers();
+  IncrementalEvaluator fast = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, testing::RoundRobin(M, N)));
+  IncrementalEvaluator legacy = WSFLOW_UNWRAP(IncrementalEvaluator::Bind(
+      model, testing::RoundRobin(M, N), {}, LegacyTuning()));
+  ASSERT_EQ(fast.tuning().reanchor_interval, 4096u);
+
+  Rng rng(515);
+  for (size_t step = 1; step <= 4200; ++step) {
+    OperationId op(static_cast<uint32_t>(rng.NextBounded(M)));
+    ServerId server(static_cast<uint32_t>(rng.NextBounded(N)));
+    WSFLOW_ASSERT_OK(fast.Apply(op, server));
+    WSFLOW_ASSERT_OK(legacy.Apply(op, server));
+    fast.ClearHistory();
+    legacy.ClearHistory();
+    // Combined() is what advances the re-anchor schedule.
+    Result<double> fast_cost = fast.Combined();
+    Result<double> legacy_cost = legacy.Combined();
+    ASSERT_EQ(fast_cost.ok(), legacy_cost.ok()) << "step " << step;
+    if (fast_cost.ok()) ExpectNear(*fast_cost, *legacy_cost, step);
+    ExpectNear(fast.TimePenalty(), legacy.TimePenalty(), step);
+    if (step % 64 == 0 || (step >= 4060 && step <= 4140)) {
+      ExpectAgreement(fast, model, step);
+    }
+    if (HasFatalFailure() || HasNonfatalFailure()) return;
+  }
+}
+
+/// Memo bit-identity: with the edge memo on, batch fans must return the
+/// exact bit patterns of the memo-less path — the memo may only skip
+/// recomputation, never change arithmetic.
+class IncrementalMemoParityTest
+    : public ::testing::TestWithParam<std::tuple<WorkloadKind, uint64_t>> {};
+
+TEST_P(IncrementalMemoParityTest, BatchScoresBitIdenticalWithMemoOff) {
+  auto [kind, seed] = GetParam();
+  ExperimentConfig cfg = MakeClassCConfig(kind);
+  cfg.num_operations = 13;
+  cfg.num_servers = 4;
+  cfg.seed = seed;
+  TrialInstance trial = WSFLOW_UNWRAP(DrawTrial(cfg, 0));
+  const ExecutionProfile* profile =
+      trial.profile.has_value() ? &*trial.profile : nullptr;
+  CostModel model(trial.workflow, trial.network, profile);
+
+  const size_t M = trial.workflow.num_operations();
+  const size_t N = trial.network.num_servers();
+  IncrementalEvaluator with_memo = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, testing::RoundRobin(M, N)));
+  EvalTuning no_memo_tuning;
+  no_memo_tuning.use_edge_memo = false;
+  IncrementalEvaluator no_memo = WSFLOW_UNWRAP(IncrementalEvaluator::Bind(
+      model, testing::RoundRobin(M, N), {}, no_memo_tuning));
+
+  // Duplicate fan entries force memo hits even on fans wider than the
+  // server count.
+  std::vector<ServerId> fan;
+  for (uint32_t s = 0; s < N; ++s) fan.push_back(ServerId(s));
+  for (uint32_t s = 0; s < N; ++s) fan.push_back(ServerId(s));
+  std::vector<double> memo_costs(fan.size());
+  std::vector<double> plain_costs(fan.size());
+
+  Rng rng(seed * 6151 + 29);
+  for (size_t step = 0; step < 60; ++step) {
+    OperationId op(static_cast<uint32_t>(rng.NextBounded(M)));
+    WSFLOW_ASSERT_OK(with_memo.ScoreMoves(op, fan, memo_costs));
+    WSFLOW_ASSERT_OK(no_memo.ScoreMoves(op, fan, plain_costs));
+    for (size_t i = 0; i < fan.size(); ++i) {
+      EXPECT_EQ(memo_costs[i], plain_costs[i])
+          << "step " << step << " move candidate " << i;
+    }
+    OperationId a(static_cast<uint32_t>(rng.NextBounded(M)));
+    std::vector<OperationId> partners;
+    for (uint32_t b = 0; b < M; ++b) partners.push_back(OperationId(b));
+    std::vector<double> memo_swaps(partners.size());
+    std::vector<double> plain_swaps(partners.size());
+    WSFLOW_ASSERT_OK(with_memo.ScoreSwaps(a, partners, memo_swaps));
+    WSFLOW_ASSERT_OK(no_memo.ScoreSwaps(a, partners, plain_swaps));
+    for (size_t i = 0; i < partners.size(); ++i) {
+      EXPECT_EQ(memo_swaps[i], plain_swaps[i])
+          << "step " << step << " swap partner " << i;
+    }
+    if (HasFatalFailure() || HasNonfatalFailure()) return;
+    OperationId walk_op(static_cast<uint32_t>(rng.NextBounded(M)));
+    ServerId walk_server(static_cast<uint32_t>(rng.NextBounded(N)));
+    WSFLOW_ASSERT_OK(with_memo.Apply(walk_op, walk_server));
+    WSFLOW_ASSERT_OK(no_memo.Apply(walk_op, walk_server));
+    with_memo.ClearHistory();
+    no_memo.ClearHistory();
+  }
+  EXPECT_GT(with_memo.counters().edge_memo_hits, 0u);
+  EXPECT_EQ(no_memo.counters().edge_memo_hits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, IncrementalMemoParityTest,
+    ::testing::Combine(::testing::Values(WorkloadKind::kLine,
+                                         WorkloadKind::kBushyGraph,
+                                         WorkloadKind::kLengthyGraph,
+                                         WorkloadKind::kHybridGraph),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const ::testing::TestParamInfo<std::tuple<WorkloadKind, uint64_t>>&
+           info) {
+      return std::string(WorkloadKindToString(std::get<0>(info.param))) +
+             "_s" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(IncrementalMemoParityTest, BitIdenticalAcrossIslands) {
+  // The memo caches the disconnected flag alongside the T_comm value, so
+  // infinite candidates must stay bit-identical too.
+  Workflow w = testing::SimpleLine(6, 20e6, 60648);
+  Network n("islands");
+  ServerId s0 = n.AddServer("s0", 1e9);
+  ServerId s1 = n.AddServer("s1", 2e9);
+  ServerId s2 = n.AddServer("s2", 1e9);
+  ServerId s3 = n.AddServer("s3", 2e9);
+  WSFLOW_UNWRAP(n.AddLink(s0, s1, 100e6));
+  WSFLOW_UNWRAP(n.AddLink(s2, s3, 100e6));
+  CostModel model(w, n);
+
+  const size_t M = w.num_operations();
+  IncrementalEvaluator with_memo = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, testing::AllOnServer(M, s0)));
+  EvalTuning no_memo_tuning;
+  no_memo_tuning.use_edge_memo = false;
+  IncrementalEvaluator no_memo = WSFLOW_UNWRAP(IncrementalEvaluator::Bind(
+      model, testing::AllOnServer(M, s0), {}, no_memo_tuning));
+
+  std::vector<ServerId> fan = {s0, s1, s2, s3, s1, s3};
+  std::vector<double> memo_costs(fan.size());
+  std::vector<double> plain_costs(fan.size());
+
+  Rng rng(173);
+  size_t infinite_candidates = 0;
+  for (size_t step = 0; step < 80; ++step) {
+    OperationId op(static_cast<uint32_t>(rng.NextBounded(M)));
+    WSFLOW_ASSERT_OK(with_memo.ScoreMoves(op, fan, memo_costs));
+    WSFLOW_ASSERT_OK(no_memo.ScoreMoves(op, fan, plain_costs));
+    for (size_t i = 0; i < fan.size(); ++i) {
+      EXPECT_EQ(memo_costs[i], plain_costs[i])
+          << "step " << step << " candidate " << i;
+      if (std::isinf(memo_costs[i])) ++infinite_candidates;
+    }
+    if (HasFatalFailure() || HasNonfatalFailure()) return;
+    OperationId walk_op(static_cast<uint32_t>(rng.NextBounded(M)));
+    ServerId walk_server(static_cast<uint32_t>(rng.NextBounded(4)));
+    WSFLOW_ASSERT_OK(with_memo.Apply(walk_op, walk_server));
+    WSFLOW_ASSERT_OK(no_memo.Apply(walk_op, walk_server));
+    with_memo.ClearHistory();
+    no_memo.ClearHistory();
+  }
+  EXPECT_GT(infinite_candidates, 0u);
+  EXPECT_GT(with_memo.counters().edge_memo_hits, 0u);
 }
 
 }  // namespace
