@@ -10,10 +10,14 @@
 #include <fstream>
 
 #include "src/cli/flags.h"
+#include "src/common/backoff.h"
 #include "src/common/random.h"
 #include "src/common/string_util.h"
+#include "src/deploy/repair.h"
 #include "src/serve/fingerprint.h"
+#include "src/serve/health.h"
 #include "src/serve/service.h"
+#include "src/sim/faults.h"
 #include "src/workflow/bpel_import.h"
 #include "src/cost/cost_model.h"
 #include "src/cost/response_time.h"
@@ -867,6 +871,221 @@ Status CmdServeBench(const std::vector<std::string>& args,
   return Status::OK();
 }
 
+Status CmdChaos(const std::vector<std::string>& args, std::ostream& out) {
+  FlagSet flags;
+  flags.AddString("workload", "line", "line | bushy | lengthy | hybrid");
+  flags.AddString("class", "c", "experiment class: a | b | c (paper §4.1)");
+  flags.AddInt("ops", 19, "operations per workflow");
+  flags.AddInt("servers", 8, "servers in the farm");
+  flags.AddInt("requests", 100, "requests spread over the horizon");
+  flags.AddInt("kill", 0,
+               "crash/recover pairs to inject (0 = ceil(servers/4))");
+  flags.AddInt("slowdowns", 0, "soft slowdown events to inject");
+  flags.AddDouble("horizon", 100.0, "virtual-time length of the run (s)");
+  flags.AddString("algorithm", "portfolio", "deployment algorithm to serve");
+  flags.AddInt("repair-budget", 2048,
+               "delta-evaluation budget of each repair (0 = unlimited)");
+  flags.AddInt("seed", 42, "instance, schedule and stream seed");
+  flags.AddDouble("exec-weight", 0.5, "objective weight of T_execute");
+  flags.AddDouble("fair-weight", 0.5, "objective weight of TimePenalty");
+  AddThreadsFlag(&flags);
+  WSFLOW_ASSIGN_OR_RETURN(std::vector<std::string> positional,
+                          flags.Parse(args));
+  (void)positional;
+
+  const size_t requests = static_cast<size_t>(flags.GetInt("requests"));
+  if (requests == 0) return Status::InvalidArgument("--requests must be > 0");
+  const double horizon_s = flags.GetDouble("horizon");
+
+  WSFLOW_ASSIGN_OR_RETURN(WorkloadKind workload,
+                          ParseWorkload(flags.GetString("workload")));
+  WSFLOW_ASSIGN_OR_RETURN(
+      ExperimentConfig cfg,
+      MakeClassConfig(flags.GetString("class"), workload));
+  cfg.num_operations = static_cast<size_t>(flags.GetInt("ops"));
+  cfg.num_servers = static_cast<size_t>(flags.GetInt("servers"));
+  cfg.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  WSFLOW_ASSIGN_OR_RETURN(TrialInstance trial, DrawTrial(cfg, 0));
+  auto workflow = std::make_shared<Workflow>(std::move(trial.workflow));
+  auto network = std::make_shared<Network>(std::move(trial.network));
+  std::shared_ptr<const ExecutionProfile> profile;
+  if (trial.profile) {
+    profile = std::make_shared<ExecutionProfile>(std::move(*trial.profile));
+  }
+  const size_t N = network->num_servers();
+
+  // The fault schedule: deterministic from the seed, replayable verbatim.
+  FaultScheduleOptions fault_options;
+  fault_options.seed = cfg.seed ^ 0xC4A05ull;
+  fault_options.horizon_s = horizon_s;
+  size_t kill = static_cast<size_t>(flags.GetInt("kill"));
+  fault_options.crashes = kill == 0 ? (N + 3) / 4 : kill;
+  fault_options.slowdowns = static_cast<size_t>(flags.GetInt("slowdowns"));
+  fault_options.min_downtime_s = 0.1 * horizon_s;
+  fault_options.max_downtime_s = 0.25 * horizon_s;
+  WSFLOW_ASSIGN_OR_RETURN(FaultSchedule schedule,
+                          FaultSchedule::Generate(*network, fault_options));
+
+  auto health = std::make_shared<serve::HealthTracker>(N);
+  serve::ServiceOptions options;
+  options.num_threads = static_cast<size_t>(flags.GetInt("threads"));
+  options.health = health;
+  options.repair_eval_budget =
+      static_cast<size_t>(flags.GetInt("repair-budget"));
+  serve::DeploymentService service(options);
+  WSFLOW_RETURN_IF_ERROR(service.Start());
+
+  CostOptions cost_options;
+  cost_options.execution_weight = flags.GetDouble("exec-weight");
+  cost_options.fairness_weight = flags.GetDouble("fair-weight");
+
+  serve::DeployRequest base;
+  base.workflow = workflow;
+  base.network = network;
+  base.profile = profile;
+  base.workflow_digest = serve::WorkflowDigest(*workflow);
+  base.network_digest = serve::NetworkDigest(*network);
+  base.algorithm = flags.GetString("algorithm");
+  base.cost_options = cost_options;
+  base.seed = cfg.seed;
+
+  // Drive the run in virtual time: advance the fault timeline, feed the
+  // health tracker, then submit-and-wait one request. The serialized
+  // submit→wait makes the whole transcript independent of --threads.
+  FaultTimeline timeline(schedule);
+  size_t ok = 0, degraded = 0, repaired = 0, failed = 0, unanswered = 0;
+  for (size_t i = 0; i < requests; ++i) {
+    double t = horizon_s * static_cast<double>(i + 1) /
+               static_cast<double>(requests);
+    for (const FaultEvent& e : timeline.AdvanceTo(t)) {
+      switch (e.kind) {
+        case FaultKind::kCrash:
+          health->ReportCrash(e.server);
+          break;
+        case FaultKind::kRecover:
+          health->ReportRecovery(e.server);
+          break;
+        case FaultKind::kSlowdown:
+          health->ReportFailure(e.server);
+          break;
+      }
+    }
+
+    ExponentialBackoff backoff(BackoffOptions{}, cfg.seed ^ i);
+    Result<std::future<serve::DeployResponse>> f = service.Submit(base);
+    while (!f.ok() && f.status().IsResourceExhausted() &&
+           backoff.ShouldRetry()) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(backoff.NextDelay()));
+      f = service.Submit(base);
+    }
+    if (!f.ok()) {
+      ++unanswered;
+      continue;
+    }
+    serve::DeployResponse resp = f->get();
+    if (!resp.status.ok()) {
+      ++failed;
+      continue;
+    }
+    ++ok;
+    if (resp.degraded) ++degraded;
+    if (resp.repaired) ++repaired;
+    if (!resp.degraded) {
+      // A clean response exercised exactly its mapping's servers; the
+      // successes walk recovering servers back to healthy.
+      std::vector<bool> used(N, false);
+      for (size_t op = 0; op < resp.mapping.num_operations(); ++op) {
+        ServerId s = resp.mapping.ServerOf(OperationId(
+            static_cast<uint32_t>(op)));
+        if (s.valid() && !used[s.value]) {
+          used[s.value] = true;
+          health->ReportSuccess(s);
+        }
+      }
+    }
+  }
+  service.Stop();
+
+  serve::MetricsSnapshot snap = service.metrics().Snapshot();
+  out << "chaos: " << N << " servers, " << requests << " requests over "
+      << FormatSeconds(horizon_s) << " virtual, algorithm="
+      << base.algorithm << "\n";
+  out << "fault schedule (seed " << fault_options.seed << "): "
+      << schedule.num_crashes() << " crash/recover pairs, "
+      << fault_options.slowdowns << " slowdowns\n";
+  for (const std::string& line : Split(schedule.ToString(), '\n')) {
+    if (!line.empty()) out << "  " << line << "\n";
+  }
+  out << "responses: ok=" << ok << " degraded=" << degraded
+      << " repaired=" << repaired << " failed=" << failed
+      << " unanswered=" << unanswered << "\n";
+  out << "service: hits=" << snap.cache_hits << " misses="
+      << snap.cache_misses << " repairs=" << snap.repairs
+      << " repair-failures=" << snap.repair_failures << "\n";
+  out << "health: " << health->ToString() << "\n";
+
+  // Repair quality at peak churn: heal the full-health deployment against
+  // the worst mask of the schedule, with the budgeted repair search vs. a
+  // from-scratch re-optimization (quality and evaluation-cost yardstick).
+  ServerMask peak = ServerMask::AllAlive(N);
+  {
+    ServerMask current = ServerMask::AllAlive(N);
+    for (const FaultEvent& e : schedule.events()) {
+      if (e.kind == FaultKind::kCrash) {
+        current.SetAlive(e.server, false);
+      } else if (e.kind == FaultKind::kRecover) {
+        current.SetAlive(e.server, true);
+      }
+      if (current.num_down() > peak.num_down()) peak = current;
+    }
+  }
+  if (peak.num_down() == 0) {
+    out << "repair quality: no churn injected\n";
+    return Status::OK();
+  }
+
+  RegisterBuiltinAlgorithms();
+  DeployContext ctx;
+  ctx.workflow = workflow.get();
+  ctx.network = network.get();
+  ctx.profile = profile.get();
+  ctx.seed = cfg.seed;
+  ctx.cost_options = cost_options;
+  WSFLOW_ASSIGN_OR_RETURN(Mapping baseline,
+                          RunAlgorithm(base.algorithm, ctx));
+
+  RepairOptions repair_options;
+  repair_options.eval_budget = options.repair_eval_budget;
+  repair_options.cost_options = cost_options;
+  WSFLOW_ASSIGN_OR_RETURN(RepairResult healed,
+                          RepairMapping(CostModel(*workflow, *network,
+                                                  profile.get()),
+                                        baseline, peak, repair_options));
+  RepairOptions scratch_options = repair_options;
+  scratch_options.eval_budget = 0;  // the yardstick runs unbudgeted
+  WSFLOW_ASSIGN_OR_RETURN(RepairResult scratch,
+                          ReoptimizeFromScratch(CostModel(*workflow, *network,
+                                                          profile.get()),
+                                                peak, scratch_options));
+  out << "repair quality at peak churn (" << peak.ToString() << "):\n"
+      << "  repaired:     combined=" << FormatSeconds(healed.cost.combined)
+      << " evals=" << healed.polish_evaluations << "\n"
+      << "  from-scratch: combined=" << FormatSeconds(scratch.cost.combined)
+      << " evals=" << scratch.polish_evaluations << "\n";
+  if (scratch.cost.combined > 0 && scratch.polish_evaluations > 0) {
+    out << "  ratios: cost x"
+        << FormatDouble(healed.cost.combined / scratch.cost.combined, 4)
+        << ", evals x"
+        << FormatDouble(static_cast<double>(healed.polish_evaluations) /
+                            static_cast<double>(scratch.polish_evaluations),
+                        4)
+        << "\n";
+  }
+  return Status::OK();
+}
+
 int RunCli(int argc, const char* const* argv, std::ostream& out,
            std::ostream& err) {
   static constexpr const char* kUsage =
@@ -885,7 +1104,8 @@ int RunCli(int argc, const char* const* argv, std::ostream& out,
       "  failover         per-server failure impact of a deployment\n"
       "  dot              GraphViz export (workflow/network/deployment)\n"
       "  list-algorithms  show the algorithm registry\n"
-      "  serve-bench      drive the concurrent deployment service\n";
+      "  serve-bench      drive the concurrent deployment service\n"
+      "  chaos            serve under seeded fault injection\n";
   if (argc < 2) {
     err << kUsage;
     return 2;
@@ -923,6 +1143,8 @@ int RunCli(int argc, const char* const* argv, std::ostream& out,
     st = CmdListAlgorithms(args, out);
   } else if (command == "serve-bench") {
     st = CmdServeBench(args, out);
+  } else if (command == "chaos") {
+    st = CmdChaos(args, out);
   } else if (command == "help" || command == "--help") {
     out << kUsage;
     return 0;

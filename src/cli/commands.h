@@ -22,6 +22,10 @@
 //   serve-bench     drive the concurrent deployment service (src/serve)
 //                   with a synthetic request stream, report throughput,
 //                   cache hit rate and latency percentiles
+//   chaos           drive the service under a seeded fault schedule
+//                   (src/sim/faults) with health tracking and self-healing
+//                   repair; fully deterministic output, byte-identical
+//                   across --threads
 
 #ifndef WSFLOW_CLI_COMMANDS_H_
 #define WSFLOW_CLI_COMMANDS_H_
@@ -53,6 +57,7 @@ Status CmdDot(const std::vector<std::string>& args, std::ostream& out);
 Status CmdListAlgorithms(const std::vector<std::string>& args,
                          std::ostream& out);
 Status CmdServeBench(const std::vector<std::string>& args, std::ostream& out);
+Status CmdChaos(const std::vector<std::string>& args, std::ostream& out);
 
 /// Top-level dispatcher; argv[0] is ignored, argv[1] selects the
 /// subcommand. Prints usage on errors. Returns the process exit code.

@@ -1,0 +1,28 @@
+#include "src/common/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace wsflow {
+
+ExponentialBackoff::ExponentialBackoff(const BackoffOptions& options,
+                                       uint64_t seed)
+    : options_(options), rng_(seed) {
+  WSFLOW_CHECK(options_.initial_delay_s > 0);
+  WSFLOW_CHECK(options_.multiplier >= 1.0);
+  WSFLOW_CHECK(options_.max_delay_s >= options_.initial_delay_s);
+  WSFLOW_CHECK(options_.jitter >= 0 && options_.jitter < 1.0);
+}
+
+double ExponentialBackoff::NextDelay() {
+  double base = options_.initial_delay_s *
+                std::pow(options_.multiplier, static_cast<double>(attempts_));
+  base = std::min(base, options_.max_delay_s);
+  double swing = rng_.NextDouble(-options_.jitter, options_.jitter);
+  ++attempts_;
+  return base * (1.0 + swing);
+}
+
+}  // namespace wsflow

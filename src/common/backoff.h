@@ -1,0 +1,57 @@
+// wsflow: deterministic exponential backoff with jitter.
+//
+// Retry pacing for transient failures (a full serve queue, a server mid-
+// recovery): delays grow geometrically from `initial_delay_s`, are capped
+// at `max_delay_s`, and carry a symmetric jitter fraction drawn from the
+// explicitly seeded Rng — so a retry schedule replays bit-for-bit given
+// the same seed, matching the library's determinism contract.
+
+#ifndef WSFLOW_COMMON_BACKOFF_H_
+#define WSFLOW_COMMON_BACKOFF_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/random.h"
+
+namespace wsflow {
+
+struct BackoffOptions {
+  double initial_delay_s = 0.01;
+  double multiplier = 2.0;
+  /// Cap applied to the un-jittered base delay.
+  double max_delay_s = 1.0;
+  /// Attempts allowed before ShouldRetry() turns false; 0 = never retry.
+  size_t max_retries = 5;
+  /// Symmetric jitter fraction: the delay is base * (1 ± jitter).
+  double jitter = 0.1;
+};
+
+class ExponentialBackoff {
+ public:
+  explicit ExponentialBackoff(const BackoffOptions& options, uint64_t seed);
+
+  /// True while fewer than max_retries delays have been taken.
+  bool ShouldRetry() const { return attempts_ < options_.max_retries; }
+
+  /// The next delay in seconds — base * multiplier^attempts, capped at
+  /// max_delay_s, jittered — and advances the attempt counter. The jitter
+  /// draw happens even with jitter == 0 so schedules with and without
+  /// jitter consume the same random stream.
+  double NextDelay();
+
+  size_t attempts() const { return attempts_; }
+
+  /// Back to attempt zero; the random stream is NOT rewound, so a reset
+  /// schedule continues the jitter sequence rather than repeating it.
+  void Reset() { attempts_ = 0; }
+
+ private:
+  BackoffOptions options_;
+  Rng rng_;
+  size_t attempts_ = 0;
+};
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_COMMON_BACKOFF_H_

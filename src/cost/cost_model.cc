@@ -89,6 +89,27 @@ double CostModel::TimePenalty(const Mapping& m) const {
   return penalty;
 }
 
+double CostModel::TimePenalty(const Mapping& m, const ServerMask& mask) const {
+  if (mask.trivial()) return TimePenalty(m);
+  WSFLOW_CHECK_EQ(mask.size(), network_.num_servers());
+  std::vector<double> loads = Loads(m);
+  double avg = 0;
+  size_t alive = 0;
+  for (size_t s = 0; s < loads.size(); ++s) {
+    if (!mask.alive(ServerId(static_cast<uint32_t>(s)))) continue;
+    avg += loads[s];
+    ++alive;
+  }
+  if (alive == 0) return 0.0;
+  avg /= static_cast<double>(alive);
+  double penalty = 0;
+  for (size_t s = 0; s < loads.size(); ++s) {
+    if (!mask.alive(ServerId(static_cast<uint32_t>(s)))) continue;
+    penalty += std::fabs(loads[s] - avg) / 2.0;
+  }
+  return penalty;
+}
+
 bool CostModel::IsLineWorkflow() const {
   if (!is_line_.has_value()) is_line_ = workflow_.IsLine();
   return *is_line_;
@@ -118,6 +139,35 @@ Result<double> CostModel::ExecutionTime(const Mapping& m) const {
   return GraphExecutionTime(*this, *root, m);
 }
 
+Result<double> CostModel::ExecutionTime(const Mapping& m,
+                                        const ServerMask& mask) const {
+  if (mask.trivial()) return ExecutionTime(m);
+  if (mask.size() != network_.num_servers()) {
+    return Status::InvalidArgument(
+        "server mask size does not match the network");
+  }
+  for (const Operation& op : workflow_.operations()) {
+    ServerId s = m.ServerOf(op.id());
+    if (s.valid() && !mask.alive(s)) {
+      return Status::FailedPrecondition("operation '" + op.name() +
+                                        "' is hosted on a down server");
+    }
+  }
+  for (const Transition& t : workflow_.transitions()) {
+    ServerId from = m.ServerOf(t.from);
+    ServerId to = m.ServerOf(t.to);
+    if (!from.valid() || !to.valid() || from == to) continue;
+    WSFLOW_ASSIGN_OR_RETURN(Route route, router_.FindRoute(from, to));
+    if (!RouteAvoidsDown(route, network_, from, to, mask)) {
+      return Status::FailedPrecondition(
+          "mapping routes a message through a down server");
+    }
+  }
+  // Every route is clear of the down set, so the surviving subnetwork
+  // carries the same link sequences: the unmasked value is exact.
+  return ExecutionTime(m);
+}
+
 Result<CostBreakdown> CostModel::Evaluate(const Mapping& m,
                                           const CostOptions& options) const {
   WSFLOW_RETURN_IF_ERROR(m.ValidateAgainst(workflow_, network_));
@@ -127,6 +177,33 @@ Result<CostBreakdown> CostModel::Evaluate(const Mapping& m,
   out.combined = options.execution_weight * out.execution_time +
                  options.fairness_weight * out.time_penalty;
   return out;
+}
+
+Result<CostBreakdown> CostModel::Evaluate(const Mapping& m,
+                                          const CostOptions& options,
+                                          const ServerMask& mask) const {
+  if (mask.trivial()) return Evaluate(m, options);
+  WSFLOW_RETURN_IF_ERROR(m.ValidateAgainst(workflow_, network_));
+  CostBreakdown out;
+  WSFLOW_ASSIGN_OR_RETURN(out.execution_time, ExecutionTime(m, mask));
+  out.time_penalty = TimePenalty(m, mask);
+  out.combined = options.execution_weight * out.execution_time +
+                 options.fairness_weight * out.time_penalty;
+  return out;
+}
+
+ExecutionProfile CostModel::ProfileSnapshot() const {
+  ExecutionProfile profile;
+  profile.op_prob.resize(workflow_.num_operations());
+  profile.edge_prob.resize(workflow_.num_transitions());
+  for (size_t i = 0; i < workflow_.num_operations(); ++i) {
+    profile.op_prob[i] = OperationProb(OperationId(static_cast<uint32_t>(i)));
+  }
+  for (size_t i = 0; i < workflow_.num_transitions(); ++i) {
+    profile.edge_prob[i] =
+        TransitionProb(TransitionId(static_cast<uint32_t>(i)));
+  }
+  return profile;
 }
 
 }  // namespace wsflow

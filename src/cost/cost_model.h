@@ -26,6 +26,7 @@
 #include "src/common/result.h"
 #include "src/deploy/mapping.h"
 #include "src/network/routing.h"
+#include "src/network/server_mask.h"
 #include "src/network/topology.h"
 #include "src/workflow/blocks.h"
 #include "src/workflow/probability.h"
@@ -87,6 +88,12 @@ class CostModel {
   /// Sum over servers of |Load(s) - avg| / 2.
   double TimePenalty(const Mapping& m) const;
 
+  /// Fairness penalty over the mask-alive servers only: the average and
+  /// the deviations run over the survivors, matching the paper's "a server
+  /// fails" reading of fairness. Equals TimePenalty(m) for a trivial mask.
+  /// A sized mask must match the network's server count.
+  double TimePenalty(const Mapping& m, const ServerMask& mask) const;
+
   /// True when the workflow is a simple path (cached; the evaluators pick
   /// the closed-form line formula over the block recursion in that case).
   bool IsLineWorkflow() const;
@@ -101,9 +108,29 @@ class CostModel {
   /// The mapping must be total.
   Result<double> ExecutionTime(const Mapping& m) const;
 
+  /// T_execute scored against the surviving subnetwork: every operation
+  /// must sit on a mask-alive server and every cross-server message must
+  /// route clear of the down servers. The full-network routes are reused
+  /// (no rebuild) — a route through a down transit server *severs* the
+  /// mapping and fails with FailedPrecondition. When intact, the value
+  /// equals ExecutionTime(m) exactly: the surviving routes are unchanged.
+  Result<double> ExecutionTime(const Mapping& m, const ServerMask& mask) const;
+
   /// Full evaluation under the given objective weights.
   Result<CostBreakdown> Evaluate(const Mapping& m,
                                  const CostOptions& options = {}) const;
+
+  /// Full evaluation against the surviving subnetwork: masked execution
+  /// time plus the survivor-only fairness penalty. Identical to the
+  /// unmasked Evaluate for a trivial mask.
+  Result<CostBreakdown> Evaluate(const Mapping& m, const CostOptions& options,
+                                 const ServerMask& mask) const;
+
+  /// The active execution probabilities rebuilt as a value: probability 1
+  /// everywhere when the model was built without a profile. For helpers
+  /// (failover seeding, repair) that need a WorkflowView over exactly the
+  /// probabilities this model evaluates with.
+  ExecutionProfile ProfileSnapshot() const;
 
   /// Eagerly fills every lazily cached structure: the router's all-pairs
   /// tables, the line/graph classification and (for graph workflows) the

@@ -32,6 +32,9 @@ IncrementalEvaluator::IncrementalEvaluator(const CostModel& model,
   // deviation far below the 1e-9 the property suite (and the search tie
   // tolerances) rely on.
   if (tuning_.reanchor_interval == 0) tuning_.reanchor_interval = 1;
+  // The load index holds one cell per server; the masked penalty runs
+  // over the survivors only, so fall back to the O(alive) pass.
+  if (!tuning_.mask.trivial()) tuning_.use_load_index = false;
 }
 
 Result<IncrementalEvaluator> IncrementalEvaluator::Bind(
@@ -58,6 +61,24 @@ Status IncrementalEvaluator::ColdStart() {
   const Workflow& w = model_->workflow();
   const Network& n = model_->network();
   WSFLOW_RETURN_IF_ERROR(mapping_.ValidateAgainst(w, n));
+
+  if (!tuning_.mask.trivial()) {
+    if (tuning_.mask.size() != n.num_servers()) {
+      return Status::InvalidArgument(
+          "server mask size does not match the network");
+    }
+    for (const Operation& op : w.operations()) {
+      if (!tuning_.mask.alive(mapping_.ServerOf(op.id()))) {
+        return Status::FailedPrecondition("operation '" + op.name() +
+                                          "' is hosted on a down server");
+      }
+    }
+    if (alive_servers_.empty()) {
+      for (uint32_t s = 0; s < n.num_servers(); ++s) {
+        if (tuning_.mask.alive(ServerId(s))) alive_servers_.push_back(s);
+      }
+    }
+  }
 
   if (pair_prop_.empty()) {
     model_->router().WarmAllPairs();
@@ -111,6 +132,30 @@ Status IncrementalEvaluator::BuildPairTable() {
       double secs_per_bit = 0;
       for (LinkId l : route->links) secs_per_bit += 1.0 / n.link(l).speed_bps;
       pair_secs_per_bit_[idx] = secs_per_bit;
+    }
+  }
+  if (!tuning_.mask.trivial()) {
+    // Sever every pair whose endpoints or transit servers are down. The
+    // BFS tables above describe the full network and are kept as-is; the
+    // mask is a filter pass, never a rebuild.
+    for (uint32_t a = 0; a < N; ++a) {
+      for (uint32_t b = 0; b < N; ++b) {
+        if (a == b) continue;
+        size_t idx = static_cast<size_t>(a) * N + b;
+        if (!pair_reachable_[idx]) continue;
+        if (!tuning_.mask.alive(ServerId(a)) ||
+            !tuning_.mask.alive(ServerId(b))) {
+          pair_reachable_[idx] = 0;
+          continue;
+        }
+        Result<Route> route =
+            model_->router().FindRoute(ServerId(a), ServerId(b));
+        WSFLOW_CHECK(route.ok());  // reachable above, router is warm
+        if (!RouteAvoidsDown(*route, n, ServerId(a), ServerId(b),
+                             tuning_.mask)) {
+          pair_reachable_[idx] = 0;
+        }
+      }
     }
   }
   return Status::OK();
@@ -189,6 +234,10 @@ Status IncrementalEvaluator::CheckMove(OperationId op, ServerId server) const {
   }
   if (!model_->network().Contains(server)) {
     return Status::InvalidArgument("server not in the bound network");
+  }
+  if (!tuning_.mask.alive(server)) {
+    return Status::FailedPrecondition(
+        "server is down under the bound server mask");
   }
   return Status::OK();
 }
@@ -448,6 +497,18 @@ Result<double> IncrementalEvaluator::ExecutionTime() {
 
 double IncrementalEvaluator::TimePenalty() const {
   if (loads_.empty()) return 0.0;
+  if (!tuning_.mask.trivial()) {
+    // Survivor-only fairness: average and deviations over the alive cells.
+    ++counters_.penalty_full;
+    double avg = 0;
+    for (uint32_t s : alive_servers_) avg += loads_[s];
+    avg /= static_cast<double>(alive_servers_.size());
+    double penalty = 0;
+    for (uint32_t s : alive_servers_) {
+      penalty += std::fabs(loads_[s] - avg) / 2.0;
+    }
+    return penalty;
+  }
   if (tuning_.use_load_index) {
     ++counters_.penalty_fast;
     if (dirty_loads_.empty()) return load_index_.Penalty();
@@ -616,6 +677,13 @@ Status IncrementalEvaluator::ScoreMoves(OperationId op,
 
   for (size_t i = 0; i < servers.size(); ++i) {
     const ServerId to = servers[i];
+    if (!tuning_.mask.alive(to)) {
+      // A down landing server scores like a disconnected state: the
+      // candidate is unusable, not an error (Apply would reject it).
+      costs[i] = std::numeric_limits<double>::infinity();
+      ++counters_.delta_evaluations;
+      continue;
+    }
     const double tproc_to = model_->TprocOn(op, to);
     mapping_.Assign(op, to);
     const double load_to_base = loads_[to.value];

@@ -76,6 +76,17 @@ struct EvalTuning {
   /// running sums and a load-index rebuild). Tests shrink this to walk
   /// the re-anchor boundary cheaply.
   size_t reanchor_interval = 4096;
+  /// Alive/down view of the server set (trivial by default). Binding with
+  /// a non-trivial mask scores against the surviving subnetwork: every
+  /// operation must sit on an alive server, moves to down servers are
+  /// rejected (batch candidates score +infinity), pairs whose full-network
+  /// route crosses a down server are severed, and the fairness penalty
+  /// averages over the survivors only. The route tables themselves are
+  /// built once for the full network and filtered — never rebuilt per
+  /// mask. A non-trivial mask forces use_load_index off: the load index
+  /// accumulates over every server cell, while the masked penalty runs
+  /// over the survivors (repair fans are short; the O(N) pass is fine).
+  ServerMask mask;
 };
 
 class IncrementalEvaluator {
@@ -262,6 +273,9 @@ class IncrementalEvaluator {
 
   std::vector<EdgeCache> tcomm_;  // per transition
   std::vector<double> loads_;    // per server
+  // Alive server ids (ascending) when the mask is non-trivial; empty
+  // otherwise. The masked TimePenalty sums over exactly these cells.
+  std::vector<uint32_t> alive_servers_;
 
   // Order-statistic view of loads_, kept at a recent snapshot rather than
   // eagerly in sync: index_value_ mirrors what the tree holds per server,

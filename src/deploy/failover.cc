@@ -5,49 +5,48 @@
 #include <limits>
 
 #include "src/common/logging.h"
-#include "src/deploy/graph_view.h"
 
 namespace wsflow {
 
 namespace {
 
-/// Ideal-cycles headroom of the surviving servers under the partial
-/// mapping: share of the total weighted cycles proportional to power,
-/// minus what each survivor already hosts.
-std::vector<double> SurvivorHeadroom(const WorkflowView& view,
-                                     const Network& n, const Mapping& m,
-                                     ServerId failed) {
-  double surviving_power = 0;
+/// Ideal-cycles headroom of the alive servers under the partial mapping:
+/// share of the total weighted cycles proportional to power, minus what
+/// each alive server already hosts. Down servers sit at -infinity so the
+/// worst-fit argmax can scan the whole array.
+std::vector<double> AliveHeadroom(const WorkflowView& view, const Network& n,
+                                  const Mapping& m, const ServerMask& alive) {
+  double alive_power = 0;
   for (const Server& s : n.servers()) {
-    if (s.id() != failed) surviving_power += s.power_hz();
+    if (alive.alive(s.id())) alive_power += s.power_hz();
   }
   double total_cycles = view.TotalCycles();
   std::vector<double> headroom(n.num_servers(),
                                -std::numeric_limits<double>::infinity());
   for (const Server& s : n.servers()) {
-    if (s.id() == failed) continue;
-    headroom[s.id().value] = total_cycles * s.power_hz() / surviving_power;
+    if (!alive.alive(s.id())) continue;
+    headroom[s.id().value] = total_cycles * s.power_hz() / alive_power;
   }
   for (size_t i = 0; i < m.num_operations(); ++i) {
     OperationId op(static_cast<uint32_t>(i));
     ServerId s = m.ServerOf(op);
-    if (s.valid() && s != failed) {
+    if (s.valid() && alive.alive(s)) {
       headroom[s.value] -= view.Cycles(op);
     }
   }
   return headroom;
 }
 
-/// The survivor hosting the neighbour connected to `op` by the biggest
+/// The alive server hosting the neighbour connected to `op` by the biggest
 /// (weighted) message; invalid when every neighbour is orphaned too.
-ServerId HeaviestSurvivingNeighbor(const WorkflowView& view, OperationId op,
-                                   const Mapping& m, ServerId failed) {
+ServerId HeaviestAliveNeighbor(const WorkflowView& view, OperationId op,
+                               const Mapping& m, const ServerMask& alive) {
   ServerId best;
   double best_bits = -1;
   for (TransitionId t : view.IncidentTransitions(op)) {
     OperationId peer = view.Neighbor(t, op);
     ServerId s = m.ServerOf(peer);
-    if (!s.valid() || s == failed) continue;
+    if (!s.valid() || !alive.alive(s)) continue;
     double bits = view.MessageBits(t);
     if (bits > best_bits) {
       best_bits = bits;
@@ -58,6 +57,61 @@ ServerId HeaviestSurvivingNeighbor(const WorkflowView& view, OperationId op,
 }
 
 }  // namespace
+
+Result<size_t> RedistributeOrphans(const WorkflowView& view, const Network& n,
+                                   const ServerMask& alive,
+                                   FailoverStrategy strategy, Mapping* m) {
+  if (m == nullptr) {
+    return Status::InvalidArgument("RedistributeOrphans needs a mapping");
+  }
+  if (!alive.trivial() && alive.size() != n.num_servers()) {
+    return Status::InvalidArgument(
+        "server mask size does not match the network");
+  }
+  size_t num_alive = alive.trivial() ? n.num_servers() : alive.num_alive();
+  if (num_alive == 0) {
+    return Status::FailedPrecondition("no alive server to redistribute onto");
+  }
+
+  // Collect and detach the orphans, heaviest first.
+  std::vector<OperationId> orphans;
+  for (size_t i = 0; i < m->num_operations(); ++i) {
+    OperationId op(static_cast<uint32_t>(i));
+    ServerId s = m->ServerOf(op);
+    if (!s.valid() || !alive.alive(s)) {
+      orphans.push_back(op);
+      m->Unassign(op);
+    }
+  }
+  std::stable_sort(orphans.begin(), orphans.end(),
+                   [&view](OperationId a, OperationId b) {
+                     return view.Cycles(a) > view.Cycles(b);
+                   });
+
+  std::vector<double> headroom = AliveHeadroom(view, n, *m, alive);
+  for (OperationId op : orphans) {
+    ServerId target;
+    if (strategy == FailoverStrategy::kCoLocate) {
+      target = HeaviestAliveNeighbor(view, op, *m, alive);
+    }
+    if (!target.valid()) {
+      // Worst fit over the alive servers.
+      size_t best = 0;
+      double best_headroom = -std::numeric_limits<double>::infinity();
+      for (size_t s = 0; s < headroom.size(); ++s) {
+        if (!alive.alive(ServerId(static_cast<uint32_t>(s)))) continue;
+        if (headroom[s] > best_headroom) {
+          best_headroom = headroom[s];
+          best = s;
+        }
+      }
+      target = ServerId(static_cast<uint32_t>(best));
+    }
+    m->Assign(op, target);
+    headroom[target.value] -= view.Cycles(op);
+  }
+  return orphans.size();
+}
 
 Result<FailoverReport> AnalyzeFailover(const CostModel& model,
                                        const Mapping& m, ServerId failed,
@@ -79,84 +133,31 @@ Result<FailoverReport> AnalyzeFailover(const CostModel& model,
                           model.ExecutionTime(m));
   std::vector<double> loads_before = model.Loads(m);
 
-  // Profile-aware view: reuse the model's probabilities via a thin shim.
-  // CostModel does not expose its profile, so rebuild weighted cycles from
-  // it: OperationProb is available.
-  // (WorkflowView wants an ExecutionProfile*, so assemble one.)
-  ExecutionProfile profile;
-  profile.op_prob.resize(w.num_operations());
-  profile.edge_prob.resize(w.num_transitions());
-  for (size_t i = 0; i < w.num_operations(); ++i) {
-    profile.op_prob[i] =
-        model.OperationProb(OperationId(static_cast<uint32_t>(i)));
-  }
-  for (size_t i = 0; i < w.num_transitions(); ++i) {
-    profile.edge_prob[i] =
-        model.TransitionProb(TransitionId(static_cast<uint32_t>(i)));
-  }
+  // Probability-aware view over exactly the model's profile.
+  ExecutionProfile profile = model.ProfileSnapshot();
   WorkflowView view(w, &profile);
 
-  // Collect and detach the orphans, heaviest first.
+  ServerMask alive = ServerMask::AllAlive(n.num_servers());
+  alive.SetAlive(failed, false);
+
   Mapping repaired = m;
-  std::vector<OperationId> orphans;
-  for (size_t i = 0; i < w.num_operations(); ++i) {
-    OperationId op(static_cast<uint32_t>(i));
-    if (m.ServerOf(op) == failed) {
-      orphans.push_back(op);
-      repaired.Unassign(op);
-    }
-  }
-  report.orphaned_operations = orphans.size();
-  std::stable_sort(orphans.begin(), orphans.end(),
-                   [&view](OperationId a, OperationId b) {
-                     return view.Cycles(a) > view.Cycles(b);
-                   });
-
-  std::vector<double> headroom = SurvivorHeadroom(view, n, repaired, failed);
-  for (OperationId op : orphans) {
-    ServerId target;
-    if (strategy == FailoverStrategy::kCoLocate) {
-      target = HeaviestSurvivingNeighbor(view, op, repaired, failed);
-    }
-    if (!target.valid()) {
-      // Worst fit over the survivors.
-      size_t best = 0;
-      double best_headroom = -std::numeric_limits<double>::infinity();
-      for (size_t s = 0; s < headroom.size(); ++s) {
-        if (ServerId(static_cast<uint32_t>(s)) == failed) continue;
-        if (headroom[s] > best_headroom) {
-          best_headroom = headroom[s];
-          best = s;
-        }
-      }
-      target = ServerId(static_cast<uint32_t>(best));
-    }
-    repaired.Assign(op, target);
-    headroom[target.value] -= view.Cycles(op);
-  }
-
+  WSFLOW_ASSIGN_OR_RETURN(
+      report.orphaned_operations,
+      RedistributeOrphans(view, n, alive, strategy, &repaired));
   WSFLOW_RETURN_IF_ERROR(repaired.ValidateAgainst(w, n));
   report.repaired = repaired;
-  WSFLOW_ASSIGN_OR_RETURN(report.execution_time_after,
-                          model.ExecutionTime(repaired));
 
-  // Fairness among survivors only.
+  // Score against the surviving subnetwork: a message whose only route
+  // crosses the failed server leaves the repaired mapping severed, which
+  // the report carries as an infinite execution time (the sweep over all
+  // servers must not abort on one articulation point).
+  Result<double> exec_after = model.ExecutionTime(repaired, alive);
+  report.execution_time_after =
+      exec_after.ok() ? *exec_after
+                      : std::numeric_limits<double>::infinity();
+  report.time_penalty_after = model.TimePenalty(repaired, alive);
+
   std::vector<double> loads_after = model.Loads(repaired);
-  double avg = 0;
-  size_t survivors = 0;
-  for (size_t s = 0; s < loads_after.size(); ++s) {
-    if (ServerId(static_cast<uint32_t>(s)) == failed) continue;
-    avg += loads_after[s];
-    ++survivors;
-  }
-  avg /= static_cast<double>(survivors);
-  double penalty = 0;
-  for (size_t s = 0; s < loads_after.size(); ++s) {
-    if (ServerId(static_cast<uint32_t>(s)) == failed) continue;
-    penalty += std::fabs(loads_after[s] - avg) / 2.0;
-  }
-  report.time_penalty_after = penalty;
-
   double worst = 1.0;
   for (size_t s = 0; s < loads_after.size(); ++s) {
     if (ServerId(static_cast<uint32_t>(s)) == failed) continue;

@@ -24,7 +24,9 @@
 
 #include "src/common/result.h"
 #include "src/cost/cost_model.h"
+#include "src/deploy/graph_view.h"
 #include "src/deploy/mapping.h"
+#include "src/network/server_mask.h"
 
 namespace wsflow {
 
@@ -39,7 +41,9 @@ struct FailoverReport {
   /// their hosts).
   Mapping repaired;
   size_t orphaned_operations = 0;
-  /// T_execute before and after the failure.
+  /// T_execute before and after the failure. The post-failure value is
+  /// scored against the surviving subnetwork: +infinity when some message
+  /// has no route clear of the failed server (a severed mapping).
   double execution_time_before = 0;
   double execution_time_after = 0;
   /// Fairness penalty among the *surviving* servers after repair.
@@ -49,6 +53,18 @@ struct FailoverReport {
   /// that receive work report as +infinity; ones that stay empty as 1).
   double worst_load_scale_up = 1.0;
 };
+
+/// Reassigns every orphaned operation of `m` — unassigned, or hosted on a
+/// server `alive` marks down — onto the alive servers, heaviest
+/// (probability-weighted cycles) first. kWorstFit sends each orphan to the
+/// alive server with the most capacity-proportional headroom; kCoLocate
+/// follows the heaviest-message neighbour sitting on an alive server,
+/// falling back to worst fit. Deterministic. Returns the number of orphans
+/// reassigned. The repair search (src/deploy/repair.h) uses this as its
+/// seeding phase; AnalyzeFailover as its redistribution step.
+Result<size_t> RedistributeOrphans(const WorkflowView& view, const Network& n,
+                                   const ServerMask& alive,
+                                   FailoverStrategy strategy, Mapping* m);
 
 /// Analyzes the failure of `failed` under `m`. The network must keep at
 /// least one surviving server.

@@ -1,0 +1,275 @@
+#include "src/deploy/repair.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/deploy/graph_view.h"
+
+namespace wsflow {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+CostBreakdown InfiniteBreakdown() {
+  return CostBreakdown{kInf, kInf, kInf};
+}
+
+/// Strict improvement with the relative ulp margin; a finite cost always
+/// beats an infinite incumbent (the margin arithmetic would produce NaN).
+bool Accepts(double cost, double incumbent, double margin) {
+  if (!std::isfinite(incumbent)) return cost < incumbent;
+  return cost < incumbent - margin * (1.0 + std::fabs(incumbent));
+}
+
+/// Best-improvement descent on a masked evaluator: sweeps batched move
+/// (and optionally swap) fans, applies the best strictly-improving
+/// candidate per pass, stops at a local optimum or the eval budget.
+Status Polish(const CostModel& model, const ServerMask& alive,
+              const RepairOptions& options, Mapping* mapping,
+              RepairResult* result) {
+  EvalTuning tuning = options.tuning;
+  tuning.mask = alive;
+  WSFLOW_ASSIGN_OR_RETURN(
+      IncrementalEvaluator eval,
+      IncrementalEvaluator::Bind(model, *mapping, options.cost_options,
+                                 tuning));
+
+  const size_t M = model.workflow().num_operations();
+  const size_t N = model.network().num_servers();
+  std::vector<ServerId> candidates;
+  for (uint32_t s = 0; s < N; ++s) {
+    if (alive.alive(ServerId(s))) candidates.push_back(ServerId(s));
+  }
+
+  const size_t budget = options.eval_budget;
+  auto used = [&eval] { return eval.counters().delta_evaluations; };
+  auto budget_allows = [&](size_t fan) {
+    return budget == 0 || used() + fan <= budget;
+  };
+
+  // A severed seed has no finite combined cost; start from +infinity and
+  // let the first routable candidate take over.
+  double incumbent = kInf;
+  if (budget_allows(1)) {
+    Result<double> start = eval.Combined();
+    if (start.ok()) incumbent = *start;
+  }
+
+  std::vector<double> costs;
+  std::vector<OperationId> partners;
+  bool improved = true;
+  while (improved && !result->budget_exhausted) {
+    improved = false;
+    double best_cost = incumbent;
+    bool best_is_swap = false;
+    OperationId best_a;
+    OperationId best_b;
+    ServerId best_server;
+
+    for (uint32_t op = 0; op < M && !result->budget_exhausted; ++op) {
+      if (!budget_allows(candidates.size())) {
+        result->budget_exhausted = true;
+        break;
+      }
+      costs.resize(candidates.size());
+      WSFLOW_RETURN_IF_ERROR(
+          eval.ScoreMoves(OperationId(op), candidates, costs));
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if (Accepts(costs[i], best_cost, options.min_improvement)) {
+          best_cost = costs[i];
+          best_is_swap = false;
+          best_a = OperationId(op);
+          best_server = candidates[i];
+        }
+      }
+    }
+    if (options.use_swaps) {
+      for (uint32_t a = 0; a < M && !result->budget_exhausted; ++a) {
+        partners.clear();
+        for (uint32_t b = a + 1; b < M; ++b) {
+          if (eval.mapping().ServerOf(OperationId(a)) !=
+              eval.mapping().ServerOf(OperationId(b))) {
+            partners.push_back(OperationId(b));
+          }
+        }
+        if (partners.empty()) continue;
+        if (!budget_allows(partners.size())) {
+          result->budget_exhausted = true;
+          break;
+        }
+        costs.resize(partners.size());
+        WSFLOW_RETURN_IF_ERROR(eval.ScoreSwaps(OperationId(a), partners,
+                                               costs));
+        for (size_t i = 0; i < partners.size(); ++i) {
+          if (Accepts(costs[i], best_cost, options.min_improvement)) {
+            best_cost = costs[i];
+            best_is_swap = true;
+            best_a = OperationId(a);
+            best_b = partners[i];
+          }
+        }
+      }
+    }
+
+    if (best_a.valid()) {
+      if (best_is_swap) {
+        WSFLOW_RETURN_IF_ERROR(eval.Swap(best_a, best_b));
+      } else {
+        WSFLOW_RETURN_IF_ERROR(eval.Apply(best_a, best_server));
+      }
+      eval.ClearHistory();
+      incumbent = best_cost;
+      improved = true;
+    }
+  }
+
+  *mapping = eval.mapping();
+  result->polish_evaluations = used();
+  result->counters = eval.counters();
+  return Status::OK();
+}
+
+Status CheckInputs(const CostModel& model, const ServerMask& alive) {
+  const Network& n = model.network();
+  if (!alive.trivial() && alive.size() != n.num_servers()) {
+    return Status::InvalidArgument(
+        "server mask size does not match the network");
+  }
+  size_t num_alive = alive.trivial() ? n.num_servers() : alive.num_alive();
+  if (num_alive == 0) {
+    return Status::FailedPrecondition("no alive server to repair onto");
+  }
+  return Status::OK();
+}
+
+/// Final masked breakdown; an unroutable mapping reports infinities
+/// rather than an error so chaos reports can tabulate it.
+CostBreakdown FinalCost(const CostModel& model, const Mapping& m,
+                        const CostOptions& options, const ServerMask& alive) {
+  Result<CostBreakdown> cost = model.Evaluate(m, options, alive);
+  return cost.ok() ? *cost : InfiniteBreakdown();
+}
+
+double ColdCost(const CostModel& model, const Mapping& m,
+                const CostOptions& options, const ServerMask& alive) {
+  Result<CostBreakdown> cost = model.Evaluate(m, options, alive);
+  return cost.ok() ? cost->combined : kInf;
+}
+
+/// A severed seed cannot be escaped by single-move descent: every
+/// intermediate mapping still routes some message through a down server
+/// and scores +infinity, so Polish sits at an infinite local optimum.
+/// Reseed from blank — every operation an orphan — racing both failover
+/// strategies; kCoLocate chains operations onto one connected component,
+/// which is what heals a partitioned surviving subnetwork.
+void ReseedIfSevered(const CostModel& model, const WorkflowView& view,
+                     const ServerMask& alive, const RepairOptions& options,
+                     Mapping* seed, double* seed_cost, RepairResult* result) {
+  if (std::isfinite(*seed_cost)) return;
+  const size_t M = model.workflow().num_operations();
+  Mapping worst_fit(M);
+  Mapping co_locate(M);
+  if (!RedistributeOrphans(view, model.network(), alive,
+                           FailoverStrategy::kWorstFit, &worst_fit)
+           .ok() ||
+      !RedistributeOrphans(view, model.network(), alive,
+                           FailoverStrategy::kCoLocate, &co_locate)
+           .ok()) {
+    return;
+  }
+  double wf = ColdCost(model, worst_fit, options.cost_options, alive);
+  double cl = ColdCost(model, co_locate, options.cost_options, alive);
+  if (!std::isfinite(wf) && !std::isfinite(cl)) return;
+  result->orphans_reassigned = M;
+  if (cl < wf) {
+    *seed = std::move(co_locate);
+    *seed_cost = cl;
+    result->seed_strategy = FailoverStrategy::kCoLocate;
+  } else {
+    *seed = std::move(worst_fit);
+    *seed_cost = wf;
+    result->seed_strategy = FailoverStrategy::kWorstFit;
+  }
+}
+
+}  // namespace
+
+Result<RepairResult> RepairMapping(const CostModel& model,
+                                   const Mapping& current,
+                                   const ServerMask& alive,
+                                   const RepairOptions& options) {
+  const Workflow& w = model.workflow();
+  const Network& n = model.network();
+  WSFLOW_RETURN_IF_ERROR(CheckInputs(model, alive));
+  if (current.num_operations() != w.num_operations()) {
+    return Status::InvalidArgument(
+        "mapping does not match the model's workflow");
+  }
+
+  ExecutionProfile profile = model.ProfileSnapshot();
+  WorkflowView view(w, &profile);
+
+  RepairResult result;
+  Mapping seed = current;
+  WSFLOW_ASSIGN_OR_RETURN(
+      result.orphans_reassigned,
+      RedistributeOrphans(view, n, alive, FailoverStrategy::kWorstFit,
+                          &seed));
+  double seed_cost;
+  if (result.orphans_reassigned > 0) {
+    // Race the two failover strategies cold; the cheaper seed wins, worst
+    // fit on ties (both evaluations are outside the polish budget).
+    Mapping co_locate = current;
+    WSFLOW_RETURN_IF_ERROR(
+        RedistributeOrphans(view, n, alive, FailoverStrategy::kCoLocate,
+                            &co_locate)
+            .status());
+    double wf = ColdCost(model, seed, options.cost_options, alive);
+    double cl = ColdCost(model, co_locate, options.cost_options, alive);
+    seed_cost = wf;
+    if (cl < wf) {
+      seed = std::move(co_locate);
+      seed_cost = cl;
+      result.seed_strategy = FailoverStrategy::kCoLocate;
+    }
+  } else {
+    seed_cost = ColdCost(model, seed, options.cost_options, alive);
+  }
+  ReseedIfSevered(model, view, alive, options, &seed, &seed_cost, &result);
+
+  WSFLOW_RETURN_IF_ERROR(Polish(model, alive, options, &seed, &result));
+  result.mapping = std::move(seed);
+  result.cost = FinalCost(model, result.mapping, options.cost_options, alive);
+  return result;
+}
+
+Result<RepairResult> ReoptimizeFromScratch(const CostModel& model,
+                                           const ServerMask& alive,
+                                           const RepairOptions& options) {
+  const Workflow& w = model.workflow();
+  const Network& n = model.network();
+  WSFLOW_RETURN_IF_ERROR(CheckInputs(model, alive));
+
+  ExecutionProfile profile = model.ProfileSnapshot();
+  WorkflowView view(w, &profile);
+
+  RepairResult result;
+  Mapping seed(w.num_operations());  // blank: every operation is an orphan
+  WSFLOW_ASSIGN_OR_RETURN(
+      result.orphans_reassigned,
+      RedistributeOrphans(view, n, alive, FailoverStrategy::kWorstFit,
+                          &seed));
+  double seed_cost = ColdCost(model, seed, options.cost_options, alive);
+  ReseedIfSevered(model, view, alive, options, &seed, &seed_cost, &result);
+
+  WSFLOW_RETURN_IF_ERROR(Polish(model, alive, options, &seed, &result));
+  result.mapping = std::move(seed);
+  result.cost = FinalCost(model, result.mapping, options.cost_options, alive);
+  return result;
+}
+
+}  // namespace wsflow

@@ -1,0 +1,88 @@
+// wsflow: self-healing redeployment onto the surviving subnetwork.
+//
+// When servers churn at serving time (src/serve/health.h), a deployed
+// mapping can strand operations on down servers. RepairMapping heals it in
+// two phases:
+//
+//   1. *Seed* — the orphans are redistributed with both offline failover
+//     strategies (kWorstFit and kCoLocate, src/deploy/failover.h); the
+//     cheaper seed under the masked cold evaluation wins. With no orphans
+//     (a recovery) the current mapping is its own seed, making the call
+//     the re-balance pass that drains load back onto recovered servers.
+//     A seed left severed — some message with no route clear of the down
+//     servers — is reseeded from blank, because single-move descent can
+//     never cross the infinite-cost valley between two network partitions.
+//   2. *Polish* — best-improvement descent with the batched ScoreMoves /
+//     ScoreSwaps machinery on an IncrementalEvaluator bound with the
+//     alive mask, stopped at a local optimum or at `eval_budget` delta
+//     evaluations — the knob that makes repair latency predictable.
+//
+// Everything is deterministic: no randomness anywhere, strict-improvement
+// acceptance with first-best tie-breaks, so a repair replays bit-for-bit.
+// ReoptimizeFromScratch is the quality yardstick: the same machinery run
+// from a blank mapping with an unlimited budget.
+
+#ifndef WSFLOW_DEPLOY_REPAIR_H_
+#define WSFLOW_DEPLOY_REPAIR_H_
+
+#include <cstddef>
+
+#include "src/common/result.h"
+#include "src/cost/cost_model.h"
+#include "src/cost/incremental.h"
+#include "src/deploy/failover.h"
+#include "src/deploy/mapping.h"
+#include "src/network/server_mask.h"
+
+namespace wsflow {
+
+struct RepairOptions {
+  /// Delta-evaluation budget of the polish phase (the seeding phase's two
+  /// cold evaluations are not charged); 0 means unlimited.
+  size_t eval_budget = 2048;
+  /// Also sweep ScoreSwaps fans in each polish pass.
+  bool use_swaps = false;
+  /// Objective weights of the masked evaluation.
+  CostOptions cost_options;
+  /// Evaluator knobs; the mask field is overwritten with `alive`.
+  EvalTuning tuning;
+  /// Relative strict-improvement margin (the ulp guard local search uses).
+  double min_improvement = 1e-12;
+};
+
+struct RepairResult {
+  Mapping mapping;
+  /// Masked breakdown of `mapping`; every field +infinity when some
+  /// message still has no route clear of the down servers.
+  CostBreakdown cost;
+  /// Orphans the seeding phase reassigned (0 for a pure re-balance).
+  size_t orphans_reassigned = 0;
+  /// Strategy whose seed won the cold comparison (kWorstFit when there
+  /// was nothing to seed).
+  FailoverStrategy seed_strategy = FailoverStrategy::kWorstFit;
+  /// Delta evaluations the polish phase consumed (incumbent included).
+  size_t polish_evaluations = 0;
+  /// True when polish stopped on the budget instead of a local optimum.
+  bool budget_exhausted = false;
+  /// The polish evaluator's counters (full/delta/penalty/memo split).
+  EvalCounters counters;
+};
+
+/// Heals `current` against the alive mask. `current` must be total over
+/// the model's workflow; the mask must match the network and keep at
+/// least one server alive.
+Result<RepairResult> RepairMapping(const CostModel& model,
+                                   const Mapping& current,
+                                   const ServerMask& alive,
+                                   const RepairOptions& options = {});
+
+/// The quality reference for RepairMapping: deploys from scratch on the
+/// surviving subnetwork — every operation seeded by worst fit, then the
+/// same polish (unlimited unless options.eval_budget says otherwise).
+Result<RepairResult> ReoptimizeFromScratch(const CostModel& model,
+                                           const ServerMask& alive,
+                                           const RepairOptions& options = {});
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_DEPLOY_REPAIR_H_

@@ -88,4 +88,21 @@ void Router::WarmAllPairs() const {
   }
 }
 
+bool RouteAvoidsDown(const Route& route, const Network& n, ServerId from,
+                     ServerId to, const ServerMask& mask) {
+  if (!mask.alive(from) || !mask.alive(to)) return false;
+  ServerId cur = from;
+  for (LinkId l : route.links) {
+    const Link& link = n.link(l);
+    if (link.is_shared_medium()) {
+      cur = to;
+      continue;
+    }
+    ServerId next = link.a == cur ? link.b : link.a;
+    if (next != to && !mask.alive(next)) return false;
+    cur = next;
+  }
+  return true;
+}
+
 }  // namespace wsflow

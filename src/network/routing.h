@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/network/server_mask.h"
 #include "src/network/topology.h"
 
 namespace wsflow {
@@ -29,6 +30,14 @@ struct Route {
   /// (store-and-forward; each hop retransmits the full message).
   double TransmissionTime(const Network& n, double bits) const;
 };
+
+/// True when `route` (a FindRoute result for `from` -> `to`) touches only
+/// mask-alive servers: both endpoints and every transit server of a
+/// point-to-point path. A shared-medium hop has no transit servers. Lets
+/// churn-aware evaluation reuse the full-network route tables — a route
+/// through a down server is *severed*, not recomputed around the hole.
+bool RouteAvoidsDown(const Route& route, const Network& n, ServerId from,
+                     ServerId to, const ServerMask& mask);
 
 /// Router with per-network all-pairs cache. Routes are computed lazily per
 /// source with BFS (O(N + L)) and memoized; bus networks answer in O(1).

@@ -1,0 +1,81 @@
+#include "src/network/server_mask.h"
+
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace wsflow {
+
+ServerMask ServerMask::AllAlive(size_t num_servers) {
+  ServerMask mask;
+  mask.alive_.assign(num_servers, 1);
+  return mask;
+}
+
+void ServerMask::SetAlive(ServerId s, bool alive) {
+  WSFLOW_CHECK(s.value < alive_.size())
+      << "ServerMask::SetAlive out of range";
+  uint8_t next = alive ? 1 : 0;
+  if (alive_[s.value] == next) return;
+  alive_[s.value] = next;
+  if (next) {
+    --num_down_;
+  } else {
+    ++num_down_;
+  }
+}
+
+std::vector<ServerId> ServerMask::AliveServers() const {
+  std::vector<ServerId> out;
+  out.reserve(num_alive());
+  for (size_t i = 0; i < alive_.size(); ++i) {
+    if (alive_[i]) out.push_back(ServerId(static_cast<uint32_t>(i)));
+  }
+  return out;
+}
+
+std::vector<ServerId> ServerMask::DownServers() const {
+  std::vector<ServerId> out;
+  out.reserve(num_down_);
+  for (size_t i = 0; i < alive_.size(); ++i) {
+    if (!alive_[i]) out.push_back(ServerId(static_cast<uint32_t>(i)));
+  }
+  return out;
+}
+
+uint64_t ServerMask::Digest() const {
+  if (num_down_ == 0) return 0;
+  // FNV-1a over (size, ascending down ids): a canonical form, so masks
+  // with equal down sets digest equally regardless of mutation history.
+  constexpr uint64_t kPrime = 0x00000100000001B3ull;
+  uint64_t h = 0xCBF29CE484222325ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= v & 0xFF;
+      h *= kPrime;
+      v >>= 8;
+    }
+  };
+  mix(alive_.size());
+  for (size_t i = 0; i < alive_.size(); ++i) {
+    if (!alive_[i]) mix(i);
+  }
+  return h == 0 ? 1 : h;
+}
+
+std::string ServerMask::ToString() const {
+  if (trivial()) return "all-alive";
+  std::ostringstream os;
+  os << "alive=" << num_alive() << "/" << alive_.size() << " down=[";
+  bool first = true;
+  for (size_t i = 0; i < alive_.size(); ++i) {
+    if (alive_[i]) continue;
+    if (!first) os << ",";
+    os << i;
+    first = false;
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace wsflow

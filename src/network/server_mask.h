@@ -1,0 +1,87 @@
+// wsflow: alive/down view of the server set.
+//
+// A ServerMask records which servers of a network are currently alive. The
+// default-constructed (empty) mask is *trivial*: every server counts as
+// alive and every mask-aware API degenerates to its unmasked sibling, so
+// callers can thread a mask unconditionally without paying for it in the
+// healthy case. Producers and consumers:
+//
+//   * the health tracker (src/serve/health.h) folds fault observations
+//     into a mask;
+//   * the cost layer scores mappings against the surviving subnetwork
+//     (EvalTuning::mask, the masked CostModel overloads);
+//   * the repair search (src/deploy/repair.h) heals mappings onto it;
+//   * the serve layer mixes Digest() into cache keys so results computed
+//     under different alive sets never alias.
+
+#ifndef WSFLOW_NETWORK_SERVER_MASK_H_
+#define WSFLOW_NETWORK_SERVER_MASK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/network/server.h"
+
+namespace wsflow {
+
+class ServerMask {
+ public:
+  /// The trivial mask: no server set tracked, everything alive.
+  ServerMask() = default;
+
+  /// A sized mask with every server alive. Sized masks render the same
+  /// answers as the trivial mask until a server is marked down, but carry
+  /// the network size so num_alive()/num_down() are meaningful.
+  static ServerMask AllAlive(size_t num_servers);
+
+  /// True when no server is marked down (the empty mask included). All
+  /// masked evaluation paths short-circuit to the unmasked ones here.
+  bool trivial() const { return num_down_ == 0; }
+
+  /// Tracked server count; 0 for the trivial empty mask.
+  size_t size() const { return alive_.size(); }
+
+  /// True when `s` is alive. The empty mask reports every server alive;
+  /// a sized mask reports out-of-range ids as down.
+  bool alive(ServerId s) const {
+    if (alive_.empty()) return true;
+    return s.value < alive_.size() && alive_[s.value] != 0;
+  }
+
+  /// Flips one server's state. The mask must be sized and `s` in range.
+  void SetAlive(ServerId s, bool alive);
+
+  size_t num_alive() const { return alive_.size() - num_down_; }
+  size_t num_down() const { return num_down_; }
+
+  /// Alive server ids in ascending order (empty for the trivial empty
+  /// mask — callers treating that as "all" must consult the network).
+  std::vector<ServerId> AliveServers() const;
+
+  /// Down server ids in ascending order.
+  std::vector<ServerId> DownServers() const;
+
+  /// Order-independent content hash of the down set. 0 whenever the mask
+  /// is trivial, so mixing the digest into a cache key is the identity
+  /// while every server is alive.
+  uint64_t Digest() const;
+
+  /// "all-alive" or "alive=6/8 down=[2,5]".
+  std::string ToString() const;
+
+  friend bool operator==(const ServerMask& a, const ServerMask& b) {
+    return a.alive_ == b.alive_;
+  }
+  friend bool operator!=(const ServerMask& a, const ServerMask& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::vector<uint8_t> alive_;
+  size_t num_down_ = 0;
+};
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_NETWORK_SERVER_MASK_H_

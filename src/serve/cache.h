@@ -27,6 +27,10 @@ namespace wsflow::serve {
 struct CacheEntry {
   Mapping mapping;
   CostBreakdown cost;
+  /// True when the mapping came out of the self-healing repair search
+  /// rather than a from-scratch placement (serve/service.h degradation
+  /// flow); hits on it propagate the flag into DeployResponse::repaired.
+  bool repaired = false;
 };
 
 struct CacheOptions {

@@ -100,4 +100,12 @@ Fingerprint RequestFingerprint(const DeployRequest& request) {
   return fp;
 }
 
+Fingerprint WithMaskDigest(const Fingerprint& base, uint64_t mask_digest) {
+  if (mask_digest == 0) return base;
+  Fingerprint fp;
+  fp.lo = HashU64(base.lo, mask_digest);
+  fp.hi = HashU64(base.hi, mask_digest);
+  return fp;
+}
+
 }  // namespace wsflow::serve

@@ -65,6 +65,12 @@ uint64_t NetworkDigest(const Network& n);
 /// be non-null unless both digests are precomputed.
 Fingerprint RequestFingerprint(const DeployRequest& request);
 
+/// Derives the cache key of `base` under a server mask: mixes the mask's
+/// digest into both streams. A digest of 0 (the trivial all-alive mask,
+/// ServerMask::Digest) is the identity — the masked key IS the base key,
+/// so full-health serving never pays a second cache population.
+Fingerprint WithMaskDigest(const Fingerprint& base, uint64_t mask_digest);
+
 }  // namespace wsflow::serve
 
 #endif  // WSFLOW_SERVE_FINGERPRINT_H_

@@ -1,0 +1,147 @@
+#include "src/serve/health.h"
+
+#include "src/common/logging.h"
+
+namespace wsflow::serve {
+
+std::string_view ServerHealthToString(ServerHealth state) {
+  switch (state) {
+    case ServerHealth::kHealthy:
+      return "healthy";
+    case ServerHealth::kSuspected:
+      return "suspected";
+    case ServerHealth::kDown:
+      return "down";
+    case ServerHealth::kRecovering:
+      return "recovering";
+  }
+  return "unknown";
+}
+
+HealthTracker::HealthTracker(size_t num_servers, const HealthOptions& options)
+    : options_(options), cells_(num_servers) {
+  WSFLOW_CHECK(num_servers > 0);
+  WSFLOW_CHECK(options_.failure_threshold >= 1);
+  WSFLOW_CHECK(options_.recovery_threshold >= 1);
+}
+
+void HealthTracker::SetState(Cell* cell, ServerHealth next) {
+  bool was_alive = cell->state != ServerHealth::kDown;
+  bool is_alive = next != ServerHealth::kDown;
+  cell->state = next;
+  if (was_alive != is_alive) ++epoch_;
+}
+
+void HealthTracker::ReportCrash(ServerId server) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WSFLOW_CHECK(server.value < cells_.size());
+  Cell& cell = cells_[server.value];
+  cell.fail_streak = 0;
+  cell.ok_streak = 0;
+  SetState(&cell, ServerHealth::kDown);
+}
+
+void HealthTracker::ReportRecovery(ServerId server) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WSFLOW_CHECK(server.value < cells_.size());
+  Cell& cell = cells_[server.value];
+  if (cell.state != ServerHealth::kDown) return;
+  cell.fail_streak = 0;
+  cell.ok_streak = 0;
+  SetState(&cell, ServerHealth::kRecovering);
+}
+
+void HealthTracker::ReportFailure(ServerId server) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WSFLOW_CHECK(server.value < cells_.size());
+  Cell& cell = cells_[server.value];
+  cell.ok_streak = 0;
+  switch (cell.state) {
+    case ServerHealth::kHealthy:
+      cell.fail_streak = 1;
+      SetState(&cell, ServerHealth::kSuspected);
+      break;
+    case ServerHealth::kSuspected:
+      if (++cell.fail_streak >= options_.failure_threshold) {
+        cell.fail_streak = 0;
+        SetState(&cell, ServerHealth::kDown);
+      }
+      break;
+    case ServerHealth::kRecovering:
+      // A failure during recovery is a relapse, not the start of a new
+      // suspicion window.
+      cell.fail_streak = 0;
+      SetState(&cell, ServerHealth::kDown);
+      break;
+    case ServerHealth::kDown:
+      break;
+  }
+}
+
+void HealthTracker::ReportSuccess(ServerId server) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WSFLOW_CHECK(server.value < cells_.size());
+  Cell& cell = cells_[server.value];
+  cell.fail_streak = 0;
+  switch (cell.state) {
+    case ServerHealth::kHealthy:
+      break;
+    case ServerHealth::kSuspected:
+      cell.ok_streak = 0;
+      SetState(&cell, ServerHealth::kHealthy);
+      break;
+    case ServerHealth::kRecovering:
+      if (++cell.ok_streak >= options_.recovery_threshold) {
+        cell.ok_streak = 0;
+        SetState(&cell, ServerHealth::kHealthy);
+      }
+      break;
+    case ServerHealth::kDown:
+      break;
+  }
+}
+
+ServerHealth HealthTracker::StateOf(ServerId server) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WSFLOW_CHECK(server.value < cells_.size());
+  return cells_[server.value].state;
+}
+
+ServerMask HealthTracker::AliveMask() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool any_down = false;
+  for (const Cell& cell : cells_) {
+    if (cell.state == ServerHealth::kDown) {
+      any_down = true;
+      break;
+    }
+  }
+  if (!any_down) return ServerMask();  // trivial: scores exactly unmasked
+  ServerMask mask = ServerMask::AllAlive(cells_.size());
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].state == ServerHealth::kDown) {
+      mask.SetAlive(ServerId(static_cast<uint32_t>(i)), false);
+    }
+  }
+  return mask;
+}
+
+uint64_t HealthTracker::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+std::string HealthTracker::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t counts[4] = {0, 0, 0, 0};
+  for (const Cell& cell : cells_) {
+    ++counts[static_cast<size_t>(cell.state)];
+  }
+  return "healthy=" + std::to_string(counts[0]) +
+         " suspected=" + std::to_string(counts[1]) +
+         " down=" + std::to_string(counts[2]) +
+         " recovering=" + std::to_string(counts[3]) +
+         " epoch=" + std::to_string(epoch_);
+}
+
+}  // namespace wsflow::serve

@@ -1,0 +1,102 @@
+// wsflow: per-server health tracking for the deployment service.
+//
+// Each server walks a four-state machine:
+//
+//     healthy --failure*k--> suspected --failure--> down
+//       ^                        |                   |
+//       |<------success----------+                   crash reports jump
+//       |                                            straight here
+//       +--success*k-- recovering <----recovery------+
+//
+// Failures are debounced: `failure_threshold` consecutive failures take a
+// healthy server through suspected to down, and `recovery_threshold`
+// consecutive successes walk a recovering server back to healthy. Hard
+// crash/recovery reports (e.g. from a fault timeline, src/sim/faults.h)
+// bypass the debouncing.
+//
+// AliveMask() projects the state into the ServerMask the cost layer scores
+// against: only kDown servers are dead — a suspected or recovering server
+// still accepts placements. The epoch counter bumps on every alive-set
+// change so callers can cheaply detect churn between requests.
+//
+// Thread-safe; every method may be called concurrently.
+
+#ifndef WSFLOW_SERVE_HEALTH_H_
+#define WSFLOW_SERVE_HEALTH_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/network/server_mask.h"
+#include "src/network/topology.h"
+
+namespace wsflow::serve {
+
+enum class ServerHealth : uint8_t {
+  kHealthy,
+  kSuspected,
+  kDown,
+  kRecovering,
+};
+
+std::string_view ServerHealthToString(ServerHealth state);
+
+struct HealthOptions {
+  /// Consecutive soft failures that take a server from healthy to down
+  /// (the first moves it to suspected; the rest count it out).
+  int failure_threshold = 3;
+  /// Consecutive successes that take a recovering server back to healthy.
+  int recovery_threshold = 2;
+};
+
+class HealthTracker {
+ public:
+  explicit HealthTracker(size_t num_servers,
+                         const HealthOptions& options = {});
+
+  /// Hard crash report: the server is down now, regardless of streaks.
+  void ReportCrash(ServerId server);
+  /// Hard recovery report: a down server re-enters as recovering and
+  /// immediately counts as alive again.
+  void ReportRecovery(ServerId server);
+
+  /// Soft signals, debounced by the thresholds.
+  void ReportFailure(ServerId server);
+  void ReportSuccess(ServerId server);
+
+  ServerHealth StateOf(ServerId server) const;
+
+  /// Mask with exactly the non-kDown servers alive; trivial (all-alive)
+  /// when nothing is down.
+  ServerMask AliveMask() const;
+
+  /// Bumps whenever the alive set changes; equal epochs mean the mask is
+  /// unchanged since the last call.
+  uint64_t epoch() const;
+
+  size_t num_servers() const { return cells_.size(); }
+
+  /// e.g. "healthy=6 suspected=1 down=1 recovering=0 epoch=4".
+  std::string ToString() const;
+
+ private:
+  struct Cell {
+    ServerHealth state = ServerHealth::kHealthy;
+    int fail_streak = 0;
+    int ok_streak = 0;
+  };
+
+  void SetState(Cell* cell, ServerHealth next);  // bumps epoch on churn
+
+  HealthOptions options_;
+  mutable std::mutex mu_;
+  std::vector<Cell> cells_;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace wsflow::serve
+
+#endif  // WSFLOW_SERVE_HEALTH_H_

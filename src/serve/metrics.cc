@@ -52,6 +52,11 @@ void ServeMetrics::RecordQueueWait(double wait_s) {
   queue_wait_.Add(wait_s);
 }
 
+void ServeMetrics::RecordDeadlineExceeded(double queue_wait_s) {
+  deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  shed_queue_wait_.Add(queue_wait_s);
+}
+
 MetricsSnapshot ServeMetrics::Snapshot() const {
   MetricsSnapshot snap;
   snap.submitted = submitted_.load(std::memory_order_relaxed);
@@ -62,9 +67,13 @@ MetricsSnapshot ServeMetrics::Snapshot() const {
   snap.cache_misses = cache_misses_.load(std::memory_order_relaxed);
   snap.failures = failures_.load(std::memory_order_relaxed);
   snap.completed = completed_.load(std::memory_order_relaxed);
+  snap.degraded = degraded_.load(std::memory_order_relaxed);
+  snap.repairs = repairs_.load(std::memory_order_relaxed);
+  snap.repair_failures = repair_failures_.load(std::memory_order_relaxed);
   snap.hit_latency = hit_latency_.Summarize();
   snap.miss_latency = miss_latency_.Summarize();
   snap.queue_wait = queue_wait_.Summarize();
+  snap.shed_queue_wait = shed_queue_wait_.Summarize();
   return snap;
 }
 
@@ -97,10 +106,15 @@ std::string MetricsSnapshot::ToString() const {
      << " deadline-exceeded=" << deadline_exceeded
      << " failures=" << failures << "\n"
      << "  cache: hits=" << cache_hits << " misses=" << cache_misses
-     << " hit-rate=" << FormatDouble(HitRate() * 100, 4) << "%\n";
+     << " hit-rate=" << FormatDouble(HitRate() * 100, 4) << "%\n"
+     << "  churn: degraded=" << degraded << " repairs=" << repairs
+     << " repair-failures=" << repair_failures << "\n";
   AppendLatencyLine(os, "hit latency ", hit_latency);
   AppendLatencyLine(os, "miss latency", miss_latency);
   AppendLatencyLine(os, "queue wait  ", queue_wait);
+  if (shed_queue_wait.count > 0) {
+    AppendLatencyLine(os, "shed wait   ", shed_queue_wait);
+  }
   return os.str();
 }
 

@@ -37,10 +37,15 @@ struct MetricsSnapshot {
   uint64_t cache_misses = 0;       ///< Cold runs (successful or failed).
   uint64_t failures = 0;           ///< Cold runs that returned an error.
   uint64_t completed = 0;          ///< Responses delivered with OK status.
+  uint64_t degraded = 0;           ///< Stale last-good responses (churn).
+  uint64_t repairs = 0;            ///< Successful repair-search runs.
+  uint64_t repair_failures = 0;    ///< Repair runs ending still severed.
 
   LatencySummary hit_latency;   ///< Worker time of cache-hit requests.
   LatencySummary miss_latency;  ///< Worker time of cold requests.
   LatencySummary queue_wait;    ///< Time from Submit to worker pickup.
+  LatencySummary shed_queue_wait;  ///< Queue residency of shed requests
+                                   ///< (deadline already exceeded at pickup).
 
   /// cache_hits / (cache_hits + cache_misses); 0 when nothing resolved.
   double HitRate() const;
@@ -62,8 +67,20 @@ class ServeMetrics {
   void RecordDeadlineExceeded() {
     deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// Shed request with its queue residency — how long it sat before the
+  /// service noticed its deadline had passed (the observability gap the
+  /// bare counter left open: was the deadline tight, or the queue deep?).
+  void RecordDeadlineExceeded(double queue_wait_s);
   void RecordCompleted() { completed_.fetch_add(1, std::memory_order_relaxed); }
   void RecordFailure() { failures_.fetch_add(1, std::memory_order_relaxed); }
+  /// A stale last-good mapping served while repair catches up with churn.
+  void RecordDegraded() { degraded_.fetch_add(1, std::memory_order_relaxed); }
+  /// A repair search that produced a routable mapping.
+  void RecordRepair() { repairs_.fetch_add(1, std::memory_order_relaxed); }
+  /// A repair search that ended with the mapping still severed.
+  void RecordRepairFailure() {
+    repair_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// A cache hit served in `service_s` worker seconds.
   void RecordHit(double service_s);
@@ -94,10 +111,14 @@ class ServeMetrics {
   std::atomic<uint64_t> cache_misses_{0};
   std::atomic<uint64_t> failures_{0};
   std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> repairs_{0};
+  std::atomic<uint64_t> repair_failures_{0};
 
   SampleWindow hit_latency_;
   SampleWindow miss_latency_;
   SampleWindow queue_wait_;
+  SampleWindow shed_queue_wait_;
 };
 
 }  // namespace wsflow::serve

@@ -58,6 +58,14 @@ struct DeployResponse {
   CostBreakdown cost;
   /// True when the response was served from the result cache.
   bool cache_hit = false;
+  /// True when the mapping is a stale last-good answer served while the
+  /// repair search catches up with server churn — it may still place
+  /// operations on down servers. Status stays OK.
+  bool degraded = false;
+  /// True when the mapping came from the self-healing repair search
+  /// against the surviving subnetwork (directly or via a cached repaired
+  /// entry).
+  bool repaired = false;
   /// Seconds spent queued before a worker picked the request up.
   double queue_wait_s = 0;
   /// Seconds of worker processing (fingerprint + cache or cold run).

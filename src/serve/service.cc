@@ -1,11 +1,14 @@
 #include "src/serve/service.h"
 
 #include <chrono>
+#include <cmath>
 #include <optional>
 #include <utility>
 
+#include "src/common/string_util.h"
 #include "src/cost/cost_model.h"
 #include "src/deploy/algorithm.h"
+#include "src/deploy/repair.h"
 #include "src/workflow/probability.h"
 
 namespace wsflow::serve {
@@ -56,9 +59,11 @@ void DeploymentService::Stop() {
   // response (started workers have already drained the queue via Pop).
   while (auto item = queue_.TryPop()) {
     Pending& p = *item;
-    metrics_.RecordQueueWait(
-        SecondsSince(p.enqueued_at, ServiceClock::now()));
-    p.promise.set_value(Process(p.request));
+    double wait_s = SecondsSince(p.enqueued_at, ServiceClock::now());
+    metrics_.RecordQueueWait(wait_s);
+    DeployResponse response = Process(p.request, wait_s);
+    response.queue_wait_s = wait_s;
+    p.promise.set_value(std::move(response));
   }
 }
 
@@ -92,56 +97,124 @@ void DeploymentService::WorkerLoop() {
     ServiceClock::time_point picked_up = ServiceClock::now();
     double wait_s = SecondsSince(pending.enqueued_at, picked_up);
     metrics_.RecordQueueWait(wait_s);
-    DeployResponse response = Process(pending.request);
+    DeployResponse response = Process(pending.request, wait_s);
     response.queue_wait_s = wait_s;
     pending.promise.set_value(std::move(response));
   }
 }
 
-DeployResponse DeploymentService::Process(const DeployRequest& request) {
+DeployResponse DeploymentService::Process(const DeployRequest& request,
+                                          double queue_wait_s) {
   DeployResponse response;
   ServiceClock::time_point start = ServiceClock::now();
   if (start >= request.deadline) {
-    metrics_.RecordDeadlineExceeded();
-    response.status =
-        Status::DeadlineExceeded("request expired before execution");
+    metrics_.RecordDeadlineExceeded(queue_wait_s);
+    response.status = Status::DeadlineExceeded(
+        "request expired before execution (queued " +
+        FormatSeconds(queue_wait_s) + ")");
     response.service_time_s = SecondsSince(start, ServiceClock::now());
     return response;
   }
 
-  Fingerprint fp = RequestFingerprint(request);
+  // The alive mask salts the cache key (WithMaskDigest is the identity at
+  // full health), so answers under different churn states never collide
+  // and recovery falls straight back to the full-health entries. A tracker
+  // sized for a different network than this request's is ignored.
+  Fingerprint base_fp = RequestFingerprint(request);
+  ServerMask alive;
+  if (options_.health != nullptr &&
+      options_.health->num_servers() == request.network->num_servers()) {
+    alive = options_.health->AliveMask();
+  }
+  const bool masked = !alive.trivial();
+  Fingerprint fp = masked ? WithMaskDigest(base_fp, alive.Digest()) : base_fp;
+
   if (std::shared_ptr<const CacheEntry> entry = cache_.Lookup(fp)) {
     response.mapping = entry->mapping;
     response.cost = entry->cost;
     response.cache_hit = true;
+    response.repaired = entry->repaired;
     response.service_time_s = SecondsSince(start, ServiceClock::now());
     metrics_.RecordHit(response.service_time_s);
     metrics_.RecordCompleted();
     return response;
   }
 
-  // Cold path: build the context, compute a profile if the workflow needs
-  // one and the caller did not provide it, run the algorithm, cost the
-  // mapping under the request's weights.
+  // Resolve the execution profile once; the churn paths and the cold path
+  // all need a cost model.
+  std::optional<ExecutionProfile> local_profile;
+  const ExecutionProfile* profile = request.profile.get();
+  Status st;
+  if (profile == nullptr && !request.workflow->IsLine()) {
+    Result<ExecutionProfile> computed =
+        ComputeExecutionProfile(*request.workflow);
+    if (computed.ok()) {
+      local_profile = std::move(*computed);
+      profile = &*local_profile;
+    } else {
+      st = computed.status().WithContext("execution profile");
+    }
+  }
+
+  if (masked && st.ok()) {
+    if (std::shared_ptr<const CacheEntry> last_good = cache_.Lookup(base_fp)) {
+      CostModel model(*request.workflow, *request.network, profile);
+      Result<CostBreakdown> masked_cost =
+          model.Evaluate(last_good->mapping, request.cost_options, alive);
+      if (masked_cost.ok()) {
+        // The last-good mapping survives the churn untouched — re-key it
+        // under the masked fingerprint with its surviving-subnetwork cost.
+        response.mapping = last_good->mapping;
+        response.cost = *masked_cost;
+        response.cache_hit = true;
+        response.repaired = last_good->repaired;
+        cache_.Insert(fp, CacheEntry{response.mapping, response.cost,
+                                     last_good->repaired});
+        response.service_time_s = SecondsSince(start, ServiceClock::now());
+        metrics_.RecordHit(response.service_time_s);
+        metrics_.RecordCompleted();
+        return response;
+      }
+
+      // Graceful degradation: the stale last-good answer goes out now —
+      // status OK, flagged degraded — and the repair search heals the
+      // entry before this response returns, so the next request under the
+      // same mask is served repaired. Synchronous on purpose: the healed
+      // entry is visible the moment the caller's future resolves, which
+      // keeps serialized chaos runs byte-identical across worker counts.
+      response.mapping = last_good->mapping;
+      response.cost = last_good->cost;
+      response.cache_hit = true;
+      response.degraded = true;
+      metrics_.RecordDegraded();
+
+      RepairOptions ropts;
+      ropts.eval_budget = options_.repair_eval_budget;
+      ropts.cost_options = request.cost_options;
+      Result<RepairResult> rep =
+          RepairMapping(model, last_good->mapping, alive, ropts);
+      if (rep.ok() && std::isfinite(rep->cost.combined)) {
+        cache_.Insert(fp, CacheEntry{rep->mapping, rep->cost, true});
+        metrics_.RecordRepair();
+      } else {
+        metrics_.RecordRepairFailure();
+      }
+
+      response.service_time_s = SecondsSince(start, ServiceClock::now());
+      metrics_.RecordHit(response.service_time_s);
+      metrics_.RecordCompleted();
+      return response;
+    }
+  }
+
+  // Cold path: build the context, run the algorithm, cost the mapping
+  // under the request's weights.
   DeployContext ctx;
   ctx.workflow = request.workflow.get();
   ctx.network = request.network.get();
-  ctx.profile = request.profile.get();
+  ctx.profile = profile;
   ctx.seed = request.seed;
   ctx.cost_options = request.cost_options;
-
-  std::optional<ExecutionProfile> local_profile;
-  Status st;
-  if (ctx.profile == nullptr && !request.workflow->IsLine()) {
-    Result<ExecutionProfile> profile =
-        ComputeExecutionProfile(*request.workflow);
-    if (profile.ok()) {
-      local_profile = std::move(*profile);
-      ctx.profile = &*local_profile;
-    } else {
-      st = profile.status().WithContext("execution profile");
-    }
-  }
 
   if (st.ok()) {
     Result<Mapping> mapping = RunAlgorithm(request.algorithm, ctx);
@@ -152,7 +225,35 @@ DeployResponse DeploymentService::Process(const DeployRequest& request) {
       if (cost.ok()) {
         response.mapping = std::move(*mapping);
         response.cost = *cost;
-        cache_.Insert(fp, CacheEntry{response.mapping, response.cost});
+        cache_.Insert(base_fp, CacheEntry{response.mapping, response.cost});
+        if (masked) {
+          // The algorithm placed over the full network; score the answer
+          // against the survivors, repairing it when churn severed it.
+          Result<CostBreakdown> masked_cost =
+              model.Evaluate(response.mapping, ctx.cost_options, alive);
+          if (masked_cost.ok()) {
+            response.cost = *masked_cost;
+            cache_.Insert(fp, CacheEntry{response.mapping, response.cost});
+          } else {
+            RepairOptions ropts;
+            ropts.eval_budget = options_.repair_eval_budget;
+            ropts.cost_options = ctx.cost_options;
+            Result<RepairResult> rep =
+                RepairMapping(model, response.mapping, alive, ropts);
+            if (rep.ok() && std::isfinite(rep->cost.combined)) {
+              response.mapping = rep->mapping;
+              response.cost = rep->cost;
+              response.repaired = true;
+              cache_.Insert(fp, CacheEntry{response.mapping, response.cost,
+                                           true});
+              metrics_.RecordRepair();
+            } else {
+              metrics_.RecordRepairFailure();
+              st = (rep.ok() ? masked_cost.status() : rep.status())
+                       .WithContext("repair on the surviving subnetwork");
+            }
+          }
+        }
       } else {
         st = cost.status().WithContext("cost evaluation");
       }

@@ -17,16 +17,27 @@
 //     joins the workers, which first drain every accepted request — an
 //     accepted request always gets exactly one response.
 //   - Submitting before Start() is allowed; requests wait in the queue.
+//   - Server churn: with a HealthTracker attached (ServiceOptions::health,
+//     serve/health.h), every request is answered against the current alive
+//     mask. A cached mapping that still routes on the surviving subnetwork
+//     is re-costed and served; one that doesn't is served stale — status
+//     OK, DeployResponse::degraded set — while the repair search
+//     (deploy/repair.h) synchronously heals it for subsequent requests.
+//     Repaired entries are cached under a mask-salted fingerprint, so
+//     full-health answers are never polluted and recovery falls back to
+//     the original entries automatically.
 
 #ifndef WSFLOW_SERVE_SERVICE_H_
 #define WSFLOW_SERVE_SERVICE_H_
 
 #include <future>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "src/common/result.h"
 #include "src/serve/cache.h"
+#include "src/serve/health.h"
 #include "src/serve/metrics.h"
 #include "src/serve/queue.h"
 #include "src/serve/request.h"
@@ -41,6 +52,13 @@ struct ServiceOptions {
   /// Result cache entry budget and shard count.
   size_t cache_capacity = 4096;
   size_t cache_shards = 16;
+  /// Live server-health signal; null serves every request at full health.
+  /// The tracker's size must match the networks the requests carry —
+  /// requests over differently-sized networks are served unmasked.
+  std::shared_ptr<HealthTracker> health;
+  /// Delta-evaluation budget handed to RepairMapping when churn severs a
+  /// cached mapping; 0 polishes to a local optimum.
+  size_t repair_eval_budget = 2048;
 };
 
 class DeploymentService {
@@ -80,7 +98,10 @@ class DeploymentService {
   };
 
   void WorkerLoop();
-  DeployResponse Process(const DeployRequest& request);
+  /// `queue_wait_s` is how long the request sat queued before pickup —
+  /// reported alongside DeadlineExceeded so shed requests are attributable
+  /// (deep queue vs. tight deadline).
+  DeployResponse Process(const DeployRequest& request, double queue_wait_s);
 
   ServiceOptions options_;
   BoundedQueue<Pending> queue_;

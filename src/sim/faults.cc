@@ -1,0 +1,242 @@
+#include "src/sim/faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/random.h"
+#include "src/common/string_util.h"
+
+namespace wsflow {
+
+namespace {
+
+/// Canonical event order: time, then server, then kind, so equal-seed
+/// schedules serialize identically and FromEvents validation is
+/// deterministic for simultaneous events.
+bool EventLess(const FaultEvent& a, const FaultEvent& b) {
+  if (a.time_s != b.time_s) return a.time_s < b.time_s;
+  if (a.server.value != b.server.value) return a.server.value < b.server.value;
+  return static_cast<uint8_t>(a.kind) < static_cast<uint8_t>(b.kind);
+}
+
+struct DownSpan {
+  double start_s = 0;
+  double end_s = 0;
+  uint32_t server = 0;
+};
+
+bool Overlaps(const DownSpan& span, double start_s, double end_s) {
+  return span.start_s < end_s && start_s < span.end_s;
+}
+
+/// Largest number of accepted spans simultaneously down at any instant of
+/// [start_s, end_s). Concurrency only changes where a span starts, so it
+/// suffices to probe start_s and every overlapping span's start.
+size_t MaxConcurrentDown(const std::vector<DownSpan>& spans, double start_s,
+                         double end_s) {
+  std::vector<double> probes = {start_s};
+  for (const DownSpan& span : spans) {
+    if (Overlaps(span, start_s, end_s) && span.start_s > start_s) {
+      probes.push_back(span.start_s);
+    }
+  }
+  size_t worst = 0;
+  for (double t : probes) {
+    size_t down = 0;
+    for (const DownSpan& span : spans) {
+      if (span.start_s <= t && t < span.end_s) ++down;
+    }
+    worst = std::max(worst, down);
+  }
+  return worst;
+}
+
+}  // namespace
+
+std::string_view FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kRecover:
+      return "recover";
+    case FaultKind::kSlowdown:
+      return "slowdown";
+  }
+  return "unknown";
+}
+
+Result<FaultSchedule> FaultSchedule::Generate(
+    const Network& n, const FaultScheduleOptions& options) {
+  const size_t N = n.num_servers();
+  if (N == 0) {
+    return Status::InvalidArgument("fault schedule needs a non-empty network");
+  }
+  if (!(options.horizon_s > 0) || !std::isfinite(options.horizon_s)) {
+    return Status::InvalidArgument("horizon must be positive and finite");
+  }
+  if (options.min_downtime_s <= 0 ||
+      options.max_downtime_s < options.min_downtime_s) {
+    return Status::InvalidArgument("downtime range is empty or non-positive");
+  }
+  if (options.min_alive == 0 || options.min_alive > N) {
+    return Status::InvalidArgument(
+        "min_alive must be in [1, num_servers]");
+  }
+  if (options.slowdowns > 0 && options.max_severity <= 1.0) {
+    return Status::InvalidArgument("slowdown severity must exceed 1");
+  }
+
+  Rng rng(options.seed);
+  std::vector<FaultEvent> events;
+  std::vector<DownSpan> spans;
+  const size_t max_down = N - options.min_alive;
+
+  // Place each crash/recover pair by bounded rejection sampling: the span
+  // must not overlap another outage of the same server and must keep at
+  // least min_alive servers up at every instant it covers. An unplaceable
+  // pair is skipped, not an error — a saturated schedule simply achieves
+  // fewer crashes than requested.
+  constexpr int kAttempts = 64;
+  for (size_t c = 0; c < options.crashes; ++c) {
+    for (int attempt = 0; attempt < kAttempts; ++attempt) {
+      uint32_t server = static_cast<uint32_t>(rng.NextBounded(N));
+      double start =
+          rng.NextDouble(0.05 * options.horizon_s, 0.70 * options.horizon_s);
+      double downtime =
+          rng.NextDouble(options.min_downtime_s, options.max_downtime_s);
+      double end = std::min(start + downtime, 0.95 * options.horizon_s);
+      if (end <= start) continue;
+
+      bool clash = false;
+      for (const DownSpan& span : spans) {
+        if (span.server == server && Overlaps(span, start, end)) {
+          clash = true;
+          break;
+        }
+      }
+      if (clash) continue;
+      if (MaxConcurrentDown(spans, start, end) + 1 > max_down) continue;
+
+      spans.push_back(DownSpan{start, end, server});
+      events.push_back(
+          FaultEvent{start, ServerId(server), FaultKind::kCrash, 1.0});
+      events.push_back(
+          FaultEvent{end, ServerId(server), FaultKind::kRecover, 1.0});
+      break;
+    }
+  }
+
+  for (size_t i = 0; i < options.slowdowns; ++i) {
+    uint32_t server = static_cast<uint32_t>(rng.NextBounded(N));
+    double t = rng.NextDouble(0.0, 0.90 * options.horizon_s);
+    double severity = rng.NextDouble(1.0, options.max_severity);
+    if (severity <= 1.0) severity = options.max_severity;
+    events.push_back(
+        FaultEvent{t, ServerId(server), FaultKind::kSlowdown, severity});
+  }
+
+  return FromEvents(N, std::move(events));
+}
+
+Result<FaultSchedule> FaultSchedule::FromEvents(
+    size_t num_servers, std::vector<FaultEvent> events) {
+  if (num_servers == 0) {
+    return Status::InvalidArgument("fault schedule needs at least one server");
+  }
+  std::sort(events.begin(), events.end(), EventLess);
+
+  std::vector<uint8_t> down(num_servers, 0);
+  size_t num_down = 0;
+  for (const FaultEvent& e : events) {
+    if (e.server.value >= num_servers) {
+      return Status::InvalidArgument("fault event names an unknown server");
+    }
+    if (!std::isfinite(e.time_s) || e.time_s < 0) {
+      return Status::InvalidArgument("fault event time must be >= 0");
+    }
+    switch (e.kind) {
+      case FaultKind::kCrash:
+        if (down[e.server.value]) {
+          return Status::InvalidArgument("crash of an already-down server");
+        }
+        down[e.server.value] = 1;
+        ++num_down;
+        if (num_down == num_servers) {
+          return Status::FailedPrecondition(
+              "fault schedule takes every server down at once");
+        }
+        break;
+      case FaultKind::kRecover:
+        if (!down[e.server.value]) {
+          return Status::InvalidArgument("recovery of an alive server");
+        }
+        down[e.server.value] = 0;
+        --num_down;
+        break;
+      case FaultKind::kSlowdown:
+        if (!(e.severity > 1.0) || !std::isfinite(e.severity)) {
+          return Status::InvalidArgument("slowdown severity must exceed 1");
+        }
+        break;
+    }
+  }
+
+  FaultSchedule schedule;
+  schedule.num_servers_ = num_servers;
+  schedule.events_ = std::move(events);
+  return schedule;
+}
+
+size_t FaultSchedule::num_crashes() const {
+  size_t crashes = 0;
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kCrash) ++crashes;
+  }
+  return crashes;
+}
+
+std::string FaultSchedule::ToString() const {
+  std::string out;
+  for (const FaultEvent& e : events_) {
+    out += "t=" + FormatDouble(e.time_s, 3) + "s " +
+           std::string(FaultKindToString(e.kind)) + " s" +
+           std::to_string(e.server.value);
+    if (e.kind == FaultKind::kSlowdown) {
+      out += " x" + FormatDouble(e.severity, 3);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+FaultTimeline::FaultTimeline(const FaultSchedule& schedule)
+    : schedule_(&schedule),
+      mask_(ServerMask::AllAlive(schedule.num_servers())),
+      last_t_(-std::numeric_limits<double>::infinity()) {}
+
+std::span<const FaultEvent> FaultTimeline::AdvanceTo(double t) {
+  WSFLOW_CHECK(t >= last_t_);
+  last_t_ = t;
+  const std::vector<FaultEvent>& events = schedule_->events();
+  size_t first = next_;
+  while (next_ < events.size() && events[next_].time_s <= t) {
+    const FaultEvent& e = events[next_];
+    switch (e.kind) {
+      case FaultKind::kCrash:
+        mask_.SetAlive(e.server, false);
+        break;
+      case FaultKind::kRecover:
+        mask_.SetAlive(e.server, true);
+        break;
+      case FaultKind::kSlowdown:
+        break;  // observational; the mask is about placeability
+    }
+    ++next_;
+  }
+  return std::span<const FaultEvent>(events.data() + first, next_ - first);
+}
+
+}  // namespace wsflow

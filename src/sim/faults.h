@@ -1,0 +1,114 @@
+// wsflow: deterministic fault injection over virtual time.
+//
+// A FaultSchedule is a sorted list of (time, server, kind) events — crash,
+// recover, slowdown — generated from an explicit seed, so every chaos run
+// replays bit-for-bit: the same seed and options produce the same byte
+// sequence of events on every platform, thread count, and run. Generation
+// guarantees the crash/recover pairing never leaves the network below
+// `min_alive` servers.
+//
+// A FaultTimeline is a forward-only cursor over a schedule: AdvanceTo(t)
+// applies every event up to t and maintains the current ServerMask, which
+// the serve layer feeds into its health tracker (src/serve/health.h) and
+// the cost layer scores against (EvalTuning::mask).
+
+#ifndef WSFLOW_SIM_FAULTS_H_
+#define WSFLOW_SIM_FAULTS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/network/server_mask.h"
+#include "src/network/topology.h"
+
+namespace wsflow {
+
+enum class FaultKind : uint8_t {
+  kCrash,     ///< The server goes down; placements on it are orphaned.
+  kRecover,   ///< The server comes back and may take load again.
+  kSlowdown,  ///< The server degrades (observational; it stays placeable).
+};
+
+std::string_view FaultKindToString(FaultKind kind);
+
+struct FaultEvent {
+  double time_s = 0;
+  ServerId server;
+  FaultKind kind = FaultKind::kCrash;
+  /// For kSlowdown: multiplicative service-time factor (> 1 is slower).
+  double severity = 1.0;
+};
+
+struct FaultScheduleOptions {
+  uint64_t seed = 0;
+  /// Virtual-time length of the run; crashes land in [5%, 70%] of it and
+  /// every recovery by 95%, so a full run always ends fully recovered.
+  double horizon_s = 100.0;
+  /// Crash/recover pairs to schedule. A pair that cannot be placed without
+  /// violating min_alive (or double-crashing a server) after bounded
+  /// retries is skipped — count the events to learn the achieved number.
+  size_t crashes = 0;
+  double min_downtime_s = 5.0;
+  double max_downtime_s = 20.0;
+  /// Independent slowdown events in [0, 90%] of the horizon.
+  size_t slowdowns = 0;
+  /// Slowdown severities are drawn uniformly from (1, max_severity].
+  double max_severity = 4.0;
+  /// Never leave fewer than this many servers alive.
+  size_t min_alive = 1;
+};
+
+class FaultSchedule {
+ public:
+  /// Seeded generation against `n`; see FaultScheduleOptions.
+  static Result<FaultSchedule> Generate(const Network& n,
+                                        const FaultScheduleOptions& options);
+
+  /// Wraps explicit events (sorted canonically first). Rejects servers out
+  /// of range, non-finite or negative times, crashes of already-down
+  /// servers, recoveries of alive ones, and any instant with every server
+  /// down.
+  static Result<FaultSchedule> FromEvents(size_t num_servers,
+                                          std::vector<FaultEvent> events);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  size_t num_servers() const { return num_servers_; }
+
+  /// Crash events in the schedule (== recoveries, by construction).
+  size_t num_crashes() const;
+
+  /// One line per event: "t=12.345s crash s3".
+  std::string ToString() const;
+
+ private:
+  size_t num_servers_ = 0;
+  std::vector<FaultEvent> events_;
+};
+
+/// Forward-only cursor over a schedule, maintaining the alive mask.
+class FaultTimeline {
+ public:
+  explicit FaultTimeline(const FaultSchedule& schedule);
+
+  /// Applies every event with time_s <= t; `t` must be non-decreasing
+  /// across calls. Returns the events applied by this call.
+  std::span<const FaultEvent> AdvanceTo(double t);
+
+  const ServerMask& alive() const { return mask_; }
+  bool done() const { return next_ >= schedule_->events().size(); }
+  size_t next_index() const { return next_; }
+
+ private:
+  const FaultSchedule* schedule_;
+  ServerMask mask_;
+  size_t next_ = 0;
+  double last_t_;
+};
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_SIM_FAULTS_H_

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/cli/commands.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow::cli {
+namespace {
+
+std::string RunChaos(const std::vector<std::string>& extra) {
+  std::vector<std::string> args = {"--servers", "6",    "--ops",  "12",
+                                   "--requests", "20",  "--seed", "42",
+                                   "--horizon",  "50"};
+  args.insert(args.end(), extra.begin(), extra.end());
+  std::ostringstream out;
+  WSFLOW_EXPECT_OK(CmdChaos(args, out));
+  return out.str();
+}
+
+TEST(ChaosCommandTest, AnswersEveryRequestUnderChurn) {
+  std::string out = RunChaos({});
+  EXPECT_NE(out.find("unanswered=0"), std::string::npos) << out;
+  EXPECT_NE(out.find("failed=0"), std::string::npos) << out;
+  EXPECT_NE(out.find("repair quality"), std::string::npos) << out;
+}
+
+TEST(ChaosCommandTest, OutputIsIdenticalAcrossThreadCounts) {
+  std::string one = RunChaos({"--threads", "1"});
+  std::string two = RunChaos({"--threads", "2"});
+  std::string four = RunChaos({"--threads", "4"});
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, four);
+}
+
+TEST(ChaosCommandTest, SeedChangesTheSchedule) {
+  std::string a = RunChaos({"--seed", "1"});
+  std::string b = RunChaos({"--seed", "2"});
+  EXPECT_NE(a, b);
+}
+
+TEST(ChaosCommandTest, RejectsBadFlags) {
+  std::ostringstream out;
+  EXPECT_FALSE(CmdChaos({"--servers", "0"}, out).ok());
+  EXPECT_FALSE(CmdChaos({"--requests", "0"}, out).ok());
+  EXPECT_FALSE(
+      CmdChaos({"--requests", "1", "--algorithm", "no-such-algo"}, out).ok());
+}
+
+}  // namespace
+}  // namespace wsflow::cli

@@ -1,0 +1,90 @@
+#include "src/common/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace wsflow {
+namespace {
+
+TEST(BackoffTest, SameSeedReplaysTheSameSchedule) {
+  BackoffOptions options;
+  options.jitter = 0.25;
+  ExponentialBackoff a(options, 99);
+  ExponentialBackoff b(options, 99);
+  for (size_t i = 0; i < options.max_retries; ++i) {
+    ASSERT_TRUE(a.ShouldRetry());
+    ASSERT_TRUE(b.ShouldRetry());
+    EXPECT_EQ(a.NextDelay(), b.NextDelay());
+  }
+  EXPECT_FALSE(a.ShouldRetry());
+}
+
+TEST(BackoffTest, DifferentSeedsJitterDifferently) {
+  BackoffOptions options;
+  options.jitter = 0.25;
+  ExponentialBackoff a(options, 1);
+  ExponentialBackoff b(options, 2);
+  bool any_diff = false;
+  for (size_t i = 0; i < options.max_retries; ++i) {
+    if (a.NextDelay() != b.NextDelay()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(BackoffTest, ZeroJitterGrowsGeometricallyToTheCap) {
+  BackoffOptions options;
+  options.initial_delay_s = 0.01;
+  options.multiplier = 2.0;
+  options.max_delay_s = 0.05;
+  options.max_retries = 6;
+  options.jitter = 0.0;
+  ExponentialBackoff backoff(options, 7);
+  // 0.01, 0.02, 0.04, then capped at 0.05.
+  EXPECT_DOUBLE_EQ(backoff.NextDelay(), 0.01);
+  EXPECT_DOUBLE_EQ(backoff.NextDelay(), 0.02);
+  EXPECT_DOUBLE_EQ(backoff.NextDelay(), 0.04);
+  EXPECT_DOUBLE_EQ(backoff.NextDelay(), 0.05);
+  EXPECT_DOUBLE_EQ(backoff.NextDelay(), 0.05);
+}
+
+TEST(BackoffTest, JitterStaysWithinTheFraction) {
+  BackoffOptions options;
+  options.initial_delay_s = 0.1;
+  options.multiplier = 1.0;  // constant base isolates the jitter
+  options.max_retries = 50;
+  options.jitter = 0.2;
+  ExponentialBackoff backoff(options, 3);
+  while (backoff.ShouldRetry()) {
+    double d = backoff.NextDelay();
+    EXPECT_GE(d, 0.1 * 0.8);
+    EXPECT_LE(d, 0.1 * 1.2);
+  }
+  EXPECT_EQ(backoff.attempts(), 50u);
+}
+
+TEST(BackoffTest, ZeroRetriesNeverRetries) {
+  BackoffOptions options;
+  options.max_retries = 0;
+  ExponentialBackoff backoff(options, 5);
+  EXPECT_FALSE(backoff.ShouldRetry());
+  EXPECT_EQ(backoff.attempts(), 0u);
+}
+
+TEST(BackoffTest, ResetRestartsTheGrowthNotTheStream) {
+  BackoffOptions options;
+  options.jitter = 0.0;
+  options.initial_delay_s = 0.01;
+  options.multiplier = 2.0;
+  ExponentialBackoff backoff(options, 11);
+  EXPECT_DOUBLE_EQ(backoff.NextDelay(), 0.01);
+  EXPECT_DOUBLE_EQ(backoff.NextDelay(), 0.02);
+  backoff.Reset();
+  EXPECT_EQ(backoff.attempts(), 0u);
+  EXPECT_TRUE(backoff.ShouldRetry());
+  EXPECT_DOUBLE_EQ(backoff.NextDelay(), 0.01);
+}
+
+}  // namespace
+}  // namespace wsflow

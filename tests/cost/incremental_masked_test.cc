@@ -1,0 +1,247 @@
+// Masked scoring: the IncrementalEvaluator and CostModel overloads bound
+// to a ServerMask must agree with each other bit-for-bit and implement the
+// surviving-subnetwork semantics (down hosts reject placements, severed
+// routes score +infinity, the fairness penalty averages over survivors).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "src/cost/cost_model.h"
+#include "src/cost/incremental.h"
+#include "src/network/routing.h"
+#include "src/network/server_mask.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+ServerMask MaskWithout(size_t n, std::initializer_list<uint32_t> down) {
+  ServerMask mask = ServerMask::AllAlive(n);
+  for (uint32_t s : down) mask.SetAlive(ServerId(s), false);
+  return mask;
+}
+
+Network TransitLine(size_t servers) {
+  std::vector<double> powers(servers, 1e9);
+  std::vector<double> speeds(servers - 1, 100e6);
+  return WSFLOW_UNWRAP(MakeLineNetwork(powers, speeds));
+}
+
+TEST(IncrementalMaskedTest, ServerMaskBasics) {
+  ServerMask trivial;
+  EXPECT_TRUE(trivial.trivial());
+  EXPECT_TRUE(trivial.alive(ServerId(7)));
+  EXPECT_EQ(trivial.Digest(), 0u);
+  EXPECT_EQ(trivial.ToString(), "all-alive");
+
+  ServerMask mask = MaskWithout(8, {2, 5});
+  EXPECT_FALSE(mask.trivial());
+  EXPECT_EQ(mask.num_alive(), 6u);
+  EXPECT_EQ(mask.num_down(), 2u);
+  EXPECT_FALSE(mask.alive(ServerId(2)));
+  EXPECT_TRUE(mask.alive(ServerId(3)));
+  EXPECT_NE(mask.Digest(), 0u);
+  EXPECT_EQ(mask.ToString(), "alive=6/8 down=[2,5]");
+  EXPECT_EQ(mask.DownServers(),
+            (std::vector<ServerId>{ServerId(2), ServerId(5)}));
+
+  // All-alive sized mask is still trivial and digests to 0.
+  EXPECT_TRUE(ServerMask::AllAlive(8).trivial());
+  EXPECT_EQ(ServerMask::AllAlive(8).Digest(), 0u);
+  // Digests distinguish masks.
+  EXPECT_NE(mask.Digest(), MaskWithout(8, {2}).Digest());
+}
+
+TEST(IncrementalMaskedTest, RouteAvoidsDownOnTransitLines) {
+  Network n = TransitLine(4);  // s0 - s1 - s2 - s3
+  Router router(n);
+  Route route = WSFLOW_UNWRAP(router.FindRoute(ServerId(0), ServerId(3)));
+  EXPECT_TRUE(RouteAvoidsDown(route, n, ServerId(0), ServerId(3),
+                              ServerMask()));
+  EXPECT_FALSE(RouteAvoidsDown(route, n, ServerId(0), ServerId(3),
+                               MaskWithout(4, {1})));
+  EXPECT_FALSE(RouteAvoidsDown(route, n, ServerId(0), ServerId(3),
+                               MaskWithout(4, {2})));
+  // Down endpoints fail too.
+  EXPECT_FALSE(RouteAvoidsDown(route, n, ServerId(0), ServerId(3),
+                               MaskWithout(4, {0})));
+  // A bus hop has no transit servers: only endpoints matter.
+  Network bus = testing::SimpleBus(4);
+  Router bus_router(bus);
+  Route hop = WSFLOW_UNWRAP(bus_router.FindRoute(ServerId(0), ServerId(3)));
+  EXPECT_TRUE(RouteAvoidsDown(hop, bus, ServerId(0), ServerId(3),
+                              MaskWithout(4, {1, 2})));
+}
+
+TEST(IncrementalMaskedTest, TrivialMaskScoresExactlyUnmasked) {
+  Workflow w = testing::SimpleLine(8);
+  Network n = testing::SimpleBus(4);
+  CostModel model(w, n);
+  Mapping m = testing::RoundRobin(8, 4);
+
+  CostBreakdown plain = WSFLOW_UNWRAP(model.Evaluate(m));
+  CostBreakdown masked =
+      WSFLOW_UNWRAP(model.Evaluate(m, CostOptions{}, ServerMask::AllAlive(4)));
+  EXPECT_EQ(plain.combined, masked.combined);
+  EXPECT_EQ(plain.execution_time, masked.execution_time);
+  EXPECT_EQ(plain.time_penalty, masked.time_penalty);
+}
+
+TEST(IncrementalMaskedTest, EvaluatorAgreesWithColdModelUnderMask) {
+  Workflow w = testing::SimpleLine(9);
+  Network n = testing::SimpleBus(5);
+  CostModel model(w, n);
+  ServerMask mask = MaskWithout(5, {3});
+  Mapping m = Mapping(9);
+  for (uint32_t i = 0; i < 9; ++i) {
+    // Round-robin over the alive servers {0, 1, 2, 4}.
+    static constexpr uint32_t kAlive[] = {0, 1, 2, 4};
+    m.Assign(OperationId(i), ServerId(kAlive[i % 4]));
+  }
+
+  EvalTuning tuning;
+  tuning.mask = mask;
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, m, CostOptions{}, tuning));
+  CostBreakdown cold =
+      WSFLOW_UNWRAP(model.Evaluate(m, CostOptions{}, mask));
+  EXPECT_EQ(WSFLOW_UNWRAP(eval.Combined()), cold.combined);
+  EXPECT_EQ(eval.TimePenalty(), cold.time_penalty);
+  EXPECT_EQ(WSFLOW_UNWRAP(eval.ExecutionTime()), cold.execution_time);
+}
+
+TEST(IncrementalMaskedTest, MaskedPenaltyAveragesOverSurvivors) {
+  Workflow w = testing::SimpleLine(6, 10e6, 0);
+  Network n = testing::SimpleBus(4);
+  CostModel model(w, n);
+  Mapping m = testing::AllOnServer(6, ServerId(0));
+  ServerMask mask = MaskWithout(4, {3});
+
+  std::vector<double> loads = model.Loads(m);
+  double avg = (loads[0] + loads[1] + loads[2]) / 3.0;
+  double expected = (std::fabs(loads[0] - avg) + std::fabs(loads[1] - avg) +
+                     std::fabs(loads[2] - avg)) /
+                    2.0;
+  EXPECT_NEAR(model.TimePenalty(m, mask), expected, 1e-12);
+  EXPECT_NE(model.TimePenalty(m, mask), model.TimePenalty(m))
+      << "the survivor average must differ from the all-server average";
+}
+
+TEST(IncrementalMaskedTest, BindRejectsAnOperationOnADownServer) {
+  Workflow w = testing::SimpleLine(4);
+  Network n = testing::SimpleBus(3);
+  CostModel model(w, n);
+  EvalTuning tuning;
+  tuning.mask = MaskWithout(3, {1});
+  Result<IncrementalEvaluator> eval = IncrementalEvaluator::Bind(
+      model, testing::RoundRobin(4, 3), CostOptions{}, tuning);
+  ASSERT_FALSE(eval.ok());
+  EXPECT_TRUE(eval.status().IsFailedPrecondition());
+  // The masked CostModel overload agrees.
+  Result<CostBreakdown> cold = model.Evaluate(
+      testing::RoundRobin(4, 3), CostOptions{}, tuning.mask);
+  EXPECT_FALSE(cold.ok());
+}
+
+TEST(IncrementalMaskedTest, MovesToDownServersAreRejectedAndScoreInfinite) {
+  Workflow w = testing::SimpleLine(5);
+  Network n = testing::SimpleBus(4);
+  CostModel model(w, n);
+  EvalTuning tuning;
+  tuning.mask = MaskWithout(4, {2});
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(IncrementalEvaluator::Bind(
+      model, testing::AllOnServer(5, ServerId(0)), CostOptions{}, tuning));
+
+  Status st = eval.Apply(OperationId(0), ServerId(2));
+  EXPECT_TRUE(st.IsFailedPrecondition()) << st.ToString();
+
+  std::vector<ServerId> candidates = {ServerId(1), ServerId(2), ServerId(3)};
+  std::vector<double> costs(candidates.size());
+  WSFLOW_ASSERT_OK(eval.ScoreMoves(OperationId(0), candidates, costs));
+  EXPECT_TRUE(std::isfinite(costs[0]));
+  EXPECT_EQ(costs[1], kInf);
+  EXPECT_TRUE(std::isfinite(costs[2]));
+}
+
+TEST(IncrementalMaskedTest, SeveredCandidatesScoreInfinite) {
+  // s0 - s1 - s2: with s1 down, an op moved to s2 cannot talk to s0.
+  Workflow w = testing::SimpleLine(4);
+  Network n = TransitLine(3);
+  CostModel model(w, n);
+  EvalTuning tuning;
+  tuning.mask = MaskWithout(3, {1});
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(IncrementalEvaluator::Bind(
+      model, testing::AllOnServer(4, ServerId(0)), CostOptions{}, tuning));
+
+  std::vector<ServerId> candidates = {ServerId(0), ServerId(2)};
+  std::vector<double> costs(candidates.size());
+  WSFLOW_ASSERT_OK(eval.ScoreMoves(OperationId(1), candidates, costs));
+  EXPECT_TRUE(std::isfinite(costs[0]));
+  EXPECT_EQ(costs[1], kInf);
+
+  // The cold model overload reports the severed mapping as an error.
+  Mapping severed = testing::AllOnServer(4, ServerId(0));
+  severed.Assign(OperationId(1), ServerId(2));
+  EXPECT_FALSE(model.Evaluate(severed, CostOptions{}, tuning.mask).ok());
+}
+
+TEST(IncrementalMaskedTest, BatchScoresMatchApplyEvaluateUndoUnderMask) {
+  Workflow w = testing::AllDecisionGraph();
+  ExecutionProfile profile = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  Network n = testing::SimpleBus(5);
+  CostModel model(w, n, &profile);
+  ServerMask mask = MaskWithout(5, {4});
+
+  Mapping m(w.num_operations());
+  static constexpr uint32_t kAlive[] = {0, 1, 2, 3};
+  for (uint32_t i = 0; i < w.num_operations(); ++i) {
+    m.Assign(OperationId(i), ServerId(kAlive[i % 4]));
+  }
+  EvalTuning tuning;
+  tuning.mask = mask;
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, m, CostOptions{}, tuning));
+
+  std::vector<ServerId> candidates = {ServerId(0), ServerId(1), ServerId(2),
+                                      ServerId(3)};
+  std::vector<double> costs(candidates.size());
+  for (uint32_t op = 0; op < w.num_operations(); ++op) {
+    WSFLOW_ASSERT_OK(eval.ScoreMoves(OperationId(op), candidates, costs));
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      WSFLOW_ASSERT_OK(eval.Apply(OperationId(op), candidates[i]));
+      double reference = WSFLOW_UNWRAP(eval.Combined());
+      WSFLOW_ASSERT_OK(eval.Undo());
+      EXPECT_EQ(costs[i], reference)
+          << "op " << op << " -> s" << candidates[i].value;
+    }
+  }
+}
+
+TEST(IncrementalMaskedTest, MaskForcesThePenaltyOffTheLoadIndex) {
+  Workflow w = testing::SimpleLine(6);
+  Network n = testing::SimpleBus(4);
+  CostModel model(w, n);
+  EvalTuning tuning;
+  tuning.use_load_index = true;  // must be overridden by the mask
+  tuning.mask = MaskWithout(4, {3});
+  Mapping m(6);
+  for (uint32_t i = 0; i < 6; ++i) {
+    m.Assign(OperationId(i), ServerId(i % 3));
+  }
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, m, CostOptions{}, tuning));
+  EXPECT_FALSE(eval.tuning().use_load_index);
+  std::vector<ServerId> candidates = {ServerId(0), ServerId(1), ServerId(2)};
+  std::vector<double> costs(candidates.size());
+  WSFLOW_ASSERT_OK(eval.ScoreMoves(OperationId(0), candidates, costs));
+  EXPECT_EQ(eval.counters().penalty_fast, 0u);
+  EXPECT_GT(eval.counters().penalty_full, 0u);
+}
+
+}  // namespace
+}  // namespace wsflow

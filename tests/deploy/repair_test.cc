@@ -1,0 +1,252 @@
+#include "src/deploy/repair.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "src/deploy/algorithm.h"
+#include "src/deploy/failover.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+ServerMask MaskWithout(size_t n, std::initializer_list<uint32_t> down) {
+  ServerMask mask = ServerMask::AllAlive(n);
+  for (uint32_t s : down) mask.SetAlive(ServerId(s), false);
+  return mask;
+}
+
+// ---------------------------------------------------------------------------
+// RepairParity: the failover report's after-numbers must equal a cold
+// re-scoring of its repaired mapping on the surviving subnetwork.
+// ---------------------------------------------------------------------------
+
+void ExpectReportMatchesColdRescore(const CostModel& model, const Mapping& m,
+                                    FailoverStrategy strategy) {
+  const size_t N = model.network().num_servers();
+  for (uint32_t failed = 0; failed < N; ++failed) {
+    FailoverReport report = WSFLOW_UNWRAP(
+        AnalyzeFailover(model, m, ServerId(failed), strategy));
+    ServerMask alive = MaskWithout(N, {failed});
+
+    Result<double> exec = model.ExecutionTime(report.repaired, alive);
+    if (exec.ok()) {
+      EXPECT_NEAR(report.execution_time_after, *exec, 1e-9)
+          << "failed=s" << failed;
+    } else {
+      EXPECT_EQ(report.execution_time_after, kInf) << "failed=s" << failed;
+    }
+    EXPECT_NEAR(report.time_penalty_after,
+                model.TimePenalty(report.repaired, alive), 1e-9)
+        << "failed=s" << failed;
+  }
+}
+
+TEST(RepairParityTest, FailoverReportMatchesColdRescoreOnLines) {
+  Workflow w = testing::SimpleLine(9, 12e6, 9000);
+  Network n = testing::SimpleBus(4);
+  CostModel model(w, n);
+  Mapping m = testing::RoundRobin(9, 4);
+  ExpectReportMatchesColdRescore(model, m, FailoverStrategy::kWorstFit);
+  ExpectReportMatchesColdRescore(model, m, FailoverStrategy::kCoLocate);
+}
+
+TEST(RepairParityTest, FailoverReportMatchesColdRescoreOnGraphs) {
+  Workflow w = testing::AllDecisionGraph();
+  ExecutionProfile profile = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  std::vector<double> powers = {1e9, 2e9, 1.5e9, 0.8e9, 1.2e9};
+  Network n = WSFLOW_UNWRAP(MakeBusNetwork(powers, 80e6));
+  CostModel model(w, n, &profile);
+  Mapping m = testing::RoundRobin(w.num_operations(), 5);
+  ExpectReportMatchesColdRescore(model, m, FailoverStrategy::kWorstFit);
+  ExpectReportMatchesColdRescore(model, m, FailoverStrategy::kCoLocate);
+}
+
+TEST(RepairParityTest, RedistributeOrphansHandlesUnassignedAndDownHosts) {
+  Workflow w = testing::SimpleLine(6);
+  Network n = testing::SimpleBus(3);
+  CostModel model(w, n);
+  ExecutionProfile profile = model.ProfileSnapshot();
+  WorkflowView view(w, &profile);
+
+  Mapping m(6);  // everything unassigned
+  m.Assign(OperationId(0), ServerId(1));  // one op on a soon-down server
+  ServerMask alive = MaskWithout(3, {1});
+  size_t moved = WSFLOW_UNWRAP(RedistributeOrphans(
+      view, n, alive, FailoverStrategy::kWorstFit, &m));
+  EXPECT_EQ(moved, 6u);
+  EXPECT_TRUE(m.IsTotal());
+  for (uint32_t i = 0; i < 6; ++i) {
+    EXPECT_NE(m.ServerOf(OperationId(i)), ServerId(1));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RepairSearch: seeding + budgeted polish.
+// ---------------------------------------------------------------------------
+
+TEST(RepairSearchTest, HealsOrphansOntoAliveServersWithFiniteCost) {
+  Workflow w = testing::SimpleLine(10);
+  Network n = testing::SimpleBus(5);
+  CostModel model(w, n);
+  Mapping m = testing::RoundRobin(10, 5);
+  ServerMask alive = MaskWithout(5, {2});
+
+  RepairResult r = WSFLOW_UNWRAP(RepairMapping(model, m, alive));
+  EXPECT_EQ(r.orphans_reassigned, 2u);
+  EXPECT_TRUE(r.mapping.IsTotal());
+  for (uint32_t i = 0; i < 10; ++i) {
+    EXPECT_NE(r.mapping.ServerOf(OperationId(i)), ServerId(2));
+  }
+  EXPECT_TRUE(std::isfinite(r.cost.combined));
+  // The reported cost is exactly the masked cold evaluation.
+  CostBreakdown cold =
+      WSFLOW_UNWRAP(model.Evaluate(r.mapping, CostOptions{}, alive));
+  EXPECT_EQ(r.cost.combined, cold.combined);
+}
+
+TEST(RepairSearchTest, IsDeterministic) {
+  Workflow w = testing::AllDecisionGraph();
+  ExecutionProfile profile = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  Network n = testing::SimpleBus(6);
+  CostModel model(w, n, &profile);
+  Mapping m = testing::RoundRobin(w.num_operations(), 6);
+  ServerMask alive = MaskWithout(6, {0, 4});
+
+  RepairResult a = WSFLOW_UNWRAP(RepairMapping(model, m, alive));
+  RepairResult b = WSFLOW_UNWRAP(RepairMapping(model, m, alive));
+  EXPECT_TRUE(a.mapping == b.mapping);
+  EXPECT_EQ(a.cost.combined, b.cost.combined);
+  EXPECT_EQ(a.polish_evaluations, b.polish_evaluations);
+  EXPECT_EQ(a.seed_strategy, b.seed_strategy);
+}
+
+TEST(RepairSearchTest, TinyBudgetExhaustsAndStillReturnsASeed) {
+  Workflow w = testing::SimpleLine(12);
+  Network n = testing::SimpleBus(6);
+  CostModel model(w, n);
+  Mapping m = testing::RoundRobin(12, 6);
+  ServerMask alive = MaskWithout(6, {1});
+
+  RepairOptions options;
+  options.eval_budget = 1;  // room for the incumbent, not for any fan
+  RepairResult r = WSFLOW_UNWRAP(RepairMapping(model, m, alive, options));
+  EXPECT_TRUE(r.budget_exhausted);
+  EXPECT_LE(r.polish_evaluations, 1u);
+  EXPECT_TRUE(r.mapping.IsTotal());
+  EXPECT_TRUE(std::isfinite(r.cost.combined));
+}
+
+TEST(RepairSearchTest, BudgetedRepairStaysCloseToFromScratchQuality) {
+  // The acceptance bar of the chaos issue: repairing a previously
+  // optimized deployment after a crash must land within 10% of a full
+  // from-scratch re-optimization while consuming at most 20% of its
+  // evaluations.
+  Workflow w = testing::SimpleLine(16, 14e6, 12000);
+  std::vector<double> powers = {1e9, 2e9, 1.2e9, 0.9e9, 1.6e9, 1.1e9,
+                                1.4e9, 0.8e9};
+  Network n = WSFLOW_UNWRAP(MakeBusNetwork(powers, 90e6));
+  CostModel model(w, n);
+
+  // Full-health optimum (the deployment that was serving traffic).
+  RepairOptions unbounded;
+  unbounded.eval_budget = 0;
+  RepairResult healthy = WSFLOW_UNWRAP(
+      ReoptimizeFromScratch(model, ServerMask::AllAlive(8), unbounded));
+
+  ServerMask alive = MaskWithout(8, {1});  // the strongest server dies
+  RepairResult scratch =
+      WSFLOW_UNWRAP(ReoptimizeFromScratch(model, alive, unbounded));
+  ASSERT_TRUE(std::isfinite(scratch.cost.combined));
+  ASSERT_GT(scratch.polish_evaluations, 0u);
+
+  RepairOptions budgeted;
+  budgeted.eval_budget = scratch.polish_evaluations / 5;
+  RepairResult repaired =
+      WSFLOW_UNWRAP(RepairMapping(model, healthy.mapping, alive, budgeted));
+  ASSERT_TRUE(std::isfinite(repaired.cost.combined));
+  EXPECT_LE(repaired.polish_evaluations, budgeted.eval_budget);
+  EXPECT_LE(repaired.cost.combined, 1.10 * scratch.cost.combined)
+      << "repaired=" << repaired.cost.combined
+      << " scratch=" << scratch.cost.combined
+      << " budget=" << budgeted.eval_budget;
+}
+
+TEST(RepairSearchTest, RecoveryRebalancesWithoutOrphans) {
+  // After a crash everything sits on 2 of 3 servers; when the third comes
+  // back, a repair with the full mask is the re-balance pass.
+  Workflow w = testing::SimpleLine(9, 10e6, 0);
+  Network n = testing::SimpleBus(3);
+  CostModel model(w, n);
+  Mapping crammed(9);
+  for (uint32_t i = 0; i < 9; ++i) {
+    crammed.Assign(OperationId(i), ServerId(i % 2));
+  }
+  CostBreakdown before = WSFLOW_UNWRAP(model.Evaluate(crammed));
+
+  RepairResult r = WSFLOW_UNWRAP(
+      RepairMapping(model, crammed, ServerMask::AllAlive(3)));
+  EXPECT_EQ(r.orphans_reassigned, 0u);
+  EXPECT_LT(r.cost.combined, before.combined);
+  EXPECT_FALSE(r.mapping.OperationsOn(ServerId(2)).empty())
+      << "the recovered server must take load back";
+}
+
+TEST(RepairSearchTest, SeveredSeedIsHealedByCoLocation) {
+  // s0 - s1 - s2 with the transit server down: any mapping that talks
+  // across the cut is severed, so the repair must converge onto one side.
+  Workflow w = testing::SimpleLine(6);
+  std::vector<double> powers(3, 1e9);
+  std::vector<double> speeds(2, 100e6);
+  Network n = WSFLOW_UNWRAP(MakeLineNetwork(powers, speeds));
+  CostModel model(w, n);
+  Mapping split(6);
+  for (uint32_t i = 0; i < 6; ++i) {
+    split.Assign(OperationId(i), ServerId(i < 3 ? 0 : 2));
+  }
+  ServerMask alive = MaskWithout(3, {1});
+
+  RepairResult r = WSFLOW_UNWRAP(RepairMapping(model, split, alive));
+  ASSERT_TRUE(std::isfinite(r.cost.combined))
+      << "repair must escape the severed seed";
+  ServerId host = r.mapping.ServerOf(OperationId(0));
+  for (uint32_t i = 1; i < 6; ++i) {
+    EXPECT_EQ(r.mapping.ServerOf(OperationId(i)), host)
+        << "every op must land on one side of the cut";
+  }
+}
+
+TEST(RepairSearchTest, RejectsAnAllDownMask) {
+  Workflow w = testing::SimpleLine(4);
+  Network n = testing::SimpleBus(2);
+  CostModel model(w, n);
+  ServerMask alive = MaskWithout(2, {0, 1});
+  Result<RepairResult> r =
+      RepairMapping(model, testing::RoundRobin(4, 2), alive);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsFailedPrecondition());
+}
+
+TEST(RepairSearchTest, SwapsCanOnlyImproveTheResult) {
+  Workflow w = testing::AllDecisionGraph();
+  ExecutionProfile profile = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  Network n = testing::SimpleBus(5);
+  CostModel model(w, n, &profile);
+  Mapping m = testing::RoundRobin(w.num_operations(), 5);
+  ServerMask alive = MaskWithout(5, {3});
+
+  RepairOptions moves_only;
+  RepairOptions with_swaps;
+  with_swaps.use_swaps = true;
+  RepairResult a = WSFLOW_UNWRAP(RepairMapping(model, m, alive, moves_only));
+  RepairResult b = WSFLOW_UNWRAP(RepairMapping(model, m, alive, with_swaps));
+  EXPECT_LE(b.cost.combined, a.cost.combined + 1e-12);
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "src/deploy/algorithm.h"
+#include "src/serve/health.h"
+#include "src/serve/service.h"
+#include "src/sim/faults.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow::serve {
+namespace {
+
+DeployRequest MakeRequest(size_t ops = 6, size_t servers = 3,
+                          const std::string& algorithm = "heavy-ops") {
+  DeployRequest req;
+  req.workflow = std::make_shared<Workflow>(testing::SimpleLine(ops));
+  req.network = std::make_shared<Network>(testing::SimpleBus(servers));
+  req.algorithm = algorithm;
+  return req;
+}
+
+ServiceOptions ChurnService(std::shared_ptr<HealthTracker> health,
+                            size_t threads = 2) {
+  ServiceOptions options;
+  options.num_threads = threads;
+  options.queue_capacity = 32;
+  options.cache_capacity = 64;
+  options.cache_shards = 4;
+  options.health = std::move(health);
+  return options;
+}
+
+DeployResponse Ask(DeploymentService& service, size_t ops = 6,
+                   size_t servers = 3) {
+  return WSFLOW_UNWRAP(service.Submit(MakeRequest(ops, servers))).get();
+}
+
+TEST(ChaosServiceTest, HealthyTrackerServesExactlyLikeNoTracker) {
+  auto health = std::make_shared<HealthTracker>(3);
+  DeploymentService with(ChurnService(health));
+  DeploymentService without(ChurnService(nullptr));
+  WSFLOW_ASSERT_OK(with.Start());
+  WSFLOW_ASSERT_OK(without.Start());
+  DeployResponse a = Ask(with);
+  DeployResponse b = Ask(without);
+  WSFLOW_ASSERT_OK(a.status);
+  EXPECT_FALSE(a.degraded);
+  EXPECT_FALSE(a.repaired);
+  EXPECT_EQ(a.CanonicalPayload(), b.CanonicalPayload());
+}
+
+TEST(ChaosServiceTest, CrashServesStaleDegradedThenRepairedFromCache) {
+  auto health = std::make_shared<HealthTracker>(3);
+  DeploymentService service(ChurnService(health));
+  WSFLOW_ASSERT_OK(service.Start());
+
+  DeployResponse cold = Ask(service);
+  WSFLOW_ASSERT_OK(cold.status);
+  ASSERT_FALSE(cold.degraded);
+
+  // Kill the server hosting the first operation: the cached mapping no
+  // longer validates against the surviving subnetwork.
+  ServerId victim = cold.mapping.ServerOf(OperationId(0));
+  health->ReportCrash(victim);
+
+  DeployResponse stale = Ask(service);
+  ASSERT_TRUE(stale.status.ok()) << "degraded answers keep status OK: "
+                                 << stale.status.ToString();
+  EXPECT_TRUE(stale.degraded);
+  EXPECT_FALSE(stale.repaired);
+  EXPECT_TRUE(stale.mapping == cold.mapping) << "stale = last good";
+
+  DeployResponse healed = Ask(service);
+  WSFLOW_ASSERT_OK(healed.status);
+  EXPECT_TRUE(healed.cache_hit);
+  EXPECT_FALSE(healed.degraded);
+  EXPECT_TRUE(healed.repaired);
+  for (uint32_t i = 0; i < 6; ++i) {
+    EXPECT_NE(healed.mapping.ServerOf(OperationId(i)), victim);
+  }
+
+  MetricsSnapshot snap = service.metrics().Snapshot();
+  EXPECT_EQ(snap.degraded, 1u);
+  EXPECT_EQ(snap.repairs, 1u);
+  EXPECT_EQ(snap.repair_failures, 0u);
+}
+
+TEST(ChaosServiceTest, SurvivingCachedMappingIsRecostedNotDegraded) {
+  auto health = std::make_shared<HealthTracker>(3);
+  DeploymentService service(ChurnService(health));
+  WSFLOW_ASSERT_OK(service.Start());
+
+  // Two operations over three servers: at least one server is unused, so
+  // its crash leaves the cached mapping routable (a bus network keeps
+  // every surviving pair connected).
+  DeployResponse cold = Ask(service, /*ops=*/2);
+  WSFLOW_ASSERT_OK(cold.status);
+  ServerId unused(0);
+  for (uint32_t s = 0; s < 3; ++s) {
+    if (cold.mapping.OperationsOn(ServerId(s)).empty()) {
+      unused = ServerId(s);
+      break;
+    }
+  }
+  health->ReportCrash(unused);
+
+  DeployResponse resp = Ask(service, /*ops=*/2);
+  WSFLOW_ASSERT_OK(resp.status);
+  EXPECT_FALSE(resp.degraded);
+  EXPECT_FALSE(resp.repaired);
+  EXPECT_TRUE(resp.mapping == cold.mapping);
+}
+
+TEST(ChaosServiceTest, RecoveryFallsBackToTheFullHealthEntry) {
+  auto health = std::make_shared<HealthTracker>(3);
+  DeploymentService service(ChurnService(health));
+  WSFLOW_ASSERT_OK(service.Start());
+
+  DeployResponse cold = Ask(service);
+  ServerId victim = cold.mapping.ServerOf(OperationId(0));
+  health->ReportCrash(victim);
+  (void)Ask(service);  // degraded + synchronous repair
+  DeployResponse repaired = Ask(service);
+  EXPECT_TRUE(repaired.repaired);
+
+  // The server comes back: the mask turns trivial and the original
+  // full-health entry answers again, untouched by the churn.
+  health->ReportRecovery(victim);
+  DeployResponse back = Ask(service);
+  WSFLOW_ASSERT_OK(back.status);
+  EXPECT_TRUE(back.cache_hit);
+  EXPECT_FALSE(back.degraded);
+  EXPECT_FALSE(back.repaired);
+  EXPECT_EQ(back.CanonicalPayload(), cold.CanonicalPayload());
+}
+
+TEST(ChaosServiceTest, MismatchedTrackerSizeServesUnmasked) {
+  auto health = std::make_shared<HealthTracker>(8);  // requests use 3
+  DeploymentService service(ChurnService(health));
+  WSFLOW_ASSERT_OK(service.Start());
+  health->ReportCrash(ServerId(1));
+
+  DeployResponse resp = Ask(service);
+  WSFLOW_ASSERT_OK(resp.status);
+  EXPECT_FALSE(resp.degraded);
+  EXPECT_FALSE(resp.repaired);
+}
+
+TEST(ChaosServiceTest, ColdRequestUnderChurnAvoidsDownServers) {
+  auto health = std::make_shared<HealthTracker>(4);
+  DeploymentService service(ChurnService(health));
+  WSFLOW_ASSERT_OK(service.Start());
+  health->ReportCrash(ServerId(2));
+
+  DeployResponse resp = Ask(service, /*ops=*/8, /*servers=*/4);
+  WSFLOW_ASSERT_OK(resp.status);
+  EXPECT_FALSE(resp.degraded) << "a cold run has no stale answer to serve";
+  for (uint32_t i = 0; i < 8; ++i) {
+    EXPECT_NE(resp.mapping.ServerOf(OperationId(i)), ServerId(2));
+  }
+}
+
+TEST(ChaosServiceTest, DeadlineShedReportsTimeInQueue) {
+  DeploymentService service(ChurnService(nullptr));
+  WSFLOW_ASSERT_OK(service.Start());
+  DeployRequest req = MakeRequest();
+  req.deadline = ServiceClock::now() - std::chrono::seconds(1);
+  DeployResponse resp =
+      WSFLOW_UNWRAP(service.Submit(std::move(req))).get();
+  ASSERT_TRUE(resp.status.IsDeadlineExceeded());
+  EXPECT_NE(resp.status.message().find("queued"), std::string::npos)
+      << resp.status.message();
+  EXPECT_GE(resp.queue_wait_s, 0.0);
+  MetricsSnapshot snap = service.metrics().Snapshot();
+  EXPECT_EQ(snap.deadline_exceeded, 1u);
+}
+
+// The chaos acceptance bar: a seeded churn run answers every request, and
+// the answer transcript is byte-identical whatever the worker count.
+std::string ChurnTranscript(size_t num_threads) {
+  FaultScheduleOptions fopts;
+  fopts.seed = 17;
+  fopts.horizon_s = 100.0;
+  fopts.crashes = 2;  // ceil(8/4) on the 8-server farm
+  Network farm = testing::SimpleBus(8);
+  FaultSchedule schedule =
+      WSFLOW_UNWRAP(FaultSchedule::Generate(farm, fopts));
+  FaultTimeline timeline(schedule);
+
+  auto health = std::make_shared<HealthTracker>(8);
+  DeploymentService service(ChurnService(health, num_threads));
+  WSFLOW_EXPECT_OK(service.Start());
+
+  std::ostringstream transcript;
+  size_t unanswered = 0;
+  constexpr size_t kRequests = 24;
+  for (size_t i = 0; i < kRequests; ++i) {
+    double t = (i + 1) * fopts.horizon_s / kRequests;
+    for (const FaultEvent& e : timeline.AdvanceTo(t)) {
+      if (e.kind == FaultKind::kCrash) health->ReportCrash(e.server);
+      if (e.kind == FaultKind::kRecover) health->ReportRecovery(e.server);
+    }
+    auto future = service.Submit(MakeRequest(/*ops=*/10, /*servers=*/8));
+    if (!future.ok()) {
+      ++unanswered;
+      continue;
+    }
+    DeployResponse resp = future->get();
+    transcript << "req " << i << " ok=" << resp.status.ok()
+               << " degraded=" << resp.degraded
+               << " repaired=" << resp.repaired << "\n"
+               << resp.CanonicalPayload() << "\n";
+  }
+  EXPECT_EQ(unanswered, 0u) << "threads=" << num_threads;
+  return transcript.str();
+}
+
+TEST(ChaosServiceTest, SeededChurnRunIsByteIdenticalAcrossThreadCounts) {
+  std::string one = ChurnTranscript(1);
+  std::string two = ChurnTranscript(2);
+  std::string four = ChurnTranscript(4);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, four);
+  EXPECT_NE(one.find("ok=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsflow::serve

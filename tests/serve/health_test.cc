@@ -1,0 +1,142 @@
+#include "src/serve/health.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace wsflow::serve {
+namespace {
+
+TEST(HealthTrackerTest, StartsAllHealthyWithATrivialMask) {
+  HealthTracker tracker(4);
+  for (uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(tracker.StateOf(ServerId(s)), ServerHealth::kHealthy);
+  }
+  EXPECT_TRUE(tracker.AliveMask().trivial());
+  EXPECT_EQ(tracker.epoch(), 0u);
+}
+
+TEST(HealthTrackerTest, CrashTakesTheServerDownImmediately) {
+  HealthTracker tracker(4);
+  tracker.ReportCrash(ServerId(2));
+  EXPECT_EQ(tracker.StateOf(ServerId(2)), ServerHealth::kDown);
+  ServerMask mask = tracker.AliveMask();
+  EXPECT_FALSE(mask.trivial());
+  EXPECT_FALSE(mask.alive(ServerId(2)));
+  EXPECT_EQ(mask.num_alive(), 3u);
+  EXPECT_EQ(tracker.epoch(), 1u);
+}
+
+TEST(HealthTrackerTest, SoftFailuresDebounceThroughSuspected) {
+  HealthOptions options;
+  options.failure_threshold = 3;
+  HealthTracker tracker(2, options);
+  ServerId s(0);
+  tracker.ReportFailure(s);  // streak 1: healthy -> suspected
+  EXPECT_EQ(tracker.StateOf(s), ServerHealth::kSuspected);
+  EXPECT_TRUE(tracker.AliveMask().trivial()) << "suspected is still alive";
+  tracker.ReportFailure(s);  // streak 2
+  EXPECT_EQ(tracker.StateOf(s), ServerHealth::kSuspected);
+  tracker.ReportFailure(s);  // streak 3: suspected -> down
+  EXPECT_EQ(tracker.StateOf(s), ServerHealth::kDown);
+  EXPECT_FALSE(tracker.AliveMask().alive(s));
+}
+
+TEST(HealthTrackerTest, SuccessClearsSuspicion) {
+  HealthTracker tracker(2);
+  ServerId s(1);
+  tracker.ReportFailure(s);
+  tracker.ReportFailure(s);
+  tracker.ReportSuccess(s);  // back to healthy, streak cleared
+  EXPECT_EQ(tracker.StateOf(s), ServerHealth::kHealthy);
+  tracker.ReportFailure(s);
+  tracker.ReportFailure(s);
+  EXPECT_EQ(tracker.StateOf(s), ServerHealth::kSuspected)
+      << "the old streak must not carry over";
+}
+
+TEST(HealthTrackerTest, RecoveryWalksBackThroughRecovering) {
+  HealthOptions options;
+  options.recovery_threshold = 2;
+  HealthTracker tracker(3, options);
+  ServerId s(0);
+  tracker.ReportCrash(s);
+  uint64_t epoch_down = tracker.epoch();
+  tracker.ReportRecovery(s);
+  EXPECT_EQ(tracker.StateOf(s), ServerHealth::kRecovering);
+  EXPECT_TRUE(tracker.AliveMask().trivial())
+      << "a recovering server takes load again";
+  EXPECT_GT(tracker.epoch(), epoch_down);
+  tracker.ReportSuccess(s);
+  EXPECT_EQ(tracker.StateOf(s), ServerHealth::kRecovering);
+  tracker.ReportSuccess(s);
+  EXPECT_EQ(tracker.StateOf(s), ServerHealth::kHealthy);
+}
+
+TEST(HealthTrackerTest, RelapseDuringRecoveryGoesStraightDown) {
+  HealthTracker tracker(2);
+  ServerId s(0);
+  tracker.ReportCrash(s);
+  tracker.ReportRecovery(s);
+  tracker.ReportFailure(s);
+  EXPECT_EQ(tracker.StateOf(s), ServerHealth::kDown);
+}
+
+TEST(HealthTrackerTest, RecoveryOfAnAliveServerIsANoOp) {
+  HealthTracker tracker(2);
+  tracker.ReportRecovery(ServerId(0));
+  EXPECT_EQ(tracker.StateOf(ServerId(0)), ServerHealth::kHealthy);
+  EXPECT_EQ(tracker.epoch(), 0u);
+}
+
+TEST(HealthTrackerTest, EpochBumpsOnlyWhenTheAliveSetChanges) {
+  HealthTracker tracker(3);
+  tracker.ReportFailure(ServerId(0));  // healthy -> suspected: still alive
+  tracker.ReportSuccess(ServerId(0));  // suspected -> healthy
+  EXPECT_EQ(tracker.epoch(), 0u);
+  tracker.ReportCrash(ServerId(1));
+  EXPECT_EQ(tracker.epoch(), 1u);
+  tracker.ReportCrash(ServerId(1));  // already down: no change
+  EXPECT_EQ(tracker.epoch(), 1u);
+  tracker.ReportRecovery(ServerId(1));
+  EXPECT_EQ(tracker.epoch(), 2u);
+}
+
+TEST(HealthTrackerTest, ToStringCountsStates) {
+  HealthTracker tracker(4);
+  tracker.ReportCrash(ServerId(0));
+  tracker.ReportFailure(ServerId(1));
+  EXPECT_EQ(tracker.ToString(),
+            "healthy=2 suspected=1 down=1 recovering=0 epoch=1");
+}
+
+TEST(HealthTrackerTest, ConcurrentReportsKeepTheInvariants) {
+  // TSan target: hammer the tracker from many threads; afterwards every
+  // cell must be in a legal state and the mask consistent with it.
+  HealthTracker tracker(8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&tracker, t] {
+      for (int i = 0; i < 500; ++i) {
+        ServerId s(static_cast<uint32_t>((t + i) % 8));
+        switch (i % 5) {
+          case 0: tracker.ReportFailure(s); break;
+          case 1: tracker.ReportSuccess(s); break;
+          case 2: tracker.ReportCrash(s); break;
+          case 3: tracker.ReportRecovery(s); break;
+          default: (void)tracker.AliveMask(); break;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ServerMask mask = tracker.AliveMask();
+  for (uint32_t s = 0; s < 8; ++s) {
+    bool down = tracker.StateOf(ServerId(s)) == ServerHealth::kDown;
+    EXPECT_EQ(mask.alive(ServerId(s)), !down);
+  }
+}
+
+}  // namespace
+}  // namespace wsflow::serve

@@ -1,0 +1,158 @@
+#include "src/sim/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+FaultScheduleOptions ChurnOptions(uint64_t seed, size_t crashes,
+                                  size_t min_alive = 1) {
+  FaultScheduleOptions options;
+  options.seed = seed;
+  options.horizon_s = 100.0;
+  options.crashes = crashes;
+  options.min_alive = min_alive;
+  return options;
+}
+
+TEST(FaultScheduleTest, GenerationIsDeterministic) {
+  Network n = testing::SimpleBus(6);
+  FaultSchedule a =
+      WSFLOW_UNWRAP(FaultSchedule::Generate(n, ChurnOptions(42, 3)));
+  FaultSchedule b =
+      WSFLOW_UNWRAP(FaultSchedule::Generate(n, ChurnOptions(42, 3)));
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].time_s, b.events()[i].time_s);
+    EXPECT_EQ(a.events()[i].server, b.events()[i].server);
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].severity, b.events()[i].severity);
+  }
+  EXPECT_EQ(a.ToString(), b.ToString());
+}
+
+TEST(FaultScheduleTest, DifferentSeedsDiffer) {
+  Network n = testing::SimpleBus(6);
+  FaultSchedule a =
+      WSFLOW_UNWRAP(FaultSchedule::Generate(n, ChurnOptions(1, 3)));
+  FaultSchedule b =
+      WSFLOW_UNWRAP(FaultSchedule::Generate(n, ChurnOptions(2, 3)));
+  EXPECT_NE(a.ToString(), b.ToString());
+}
+
+TEST(FaultScheduleTest, EveryCrashPairsWithARecoveryInsideTheHorizon) {
+  Network n = testing::SimpleBus(8);
+  FaultScheduleOptions options = ChurnOptions(7, 4);
+  FaultSchedule s = WSFLOW_UNWRAP(FaultSchedule::Generate(n, options));
+  size_t crashes = 0, recoveries = 0;
+  for (const FaultEvent& e : s.events()) {
+    EXPECT_GE(e.time_s, 0.0);
+    EXPECT_LE(e.time_s, 0.95 * options.horizon_s);
+    if (e.kind == FaultKind::kCrash) ++crashes;
+    if (e.kind == FaultKind::kRecover) ++recoveries;
+  }
+  EXPECT_EQ(crashes, recoveries);
+  EXPECT_EQ(s.num_crashes(), crashes);
+  EXPECT_GT(crashes, 0u);
+}
+
+TEST(FaultScheduleTest, RespectsMinAlive) {
+  // Saturate a 4-server farm with far more crash requests than fit; at no
+  // instant may more than one server (min_alive = 3) be down.
+  Network n = testing::SimpleBus(4);
+  FaultSchedule s = WSFLOW_UNWRAP(
+      FaultSchedule::Generate(n, ChurnOptions(13, 16, /*min_alive=*/3)));
+  FaultTimeline timeline(s);
+  for (const FaultEvent& e : s.events()) {
+    timeline.AdvanceTo(e.time_s);
+    EXPECT_GE(timeline.alive().num_alive(), 3u) << "at t=" << e.time_s;
+  }
+}
+
+TEST(FaultScheduleTest, SlowdownsCarrySeverity) {
+  Network n = testing::SimpleBus(4);
+  FaultScheduleOptions options = ChurnOptions(21, 0);
+  options.slowdowns = 5;
+  options.max_severity = 3.0;
+  FaultSchedule s = WSFLOW_UNWRAP(FaultSchedule::Generate(n, options));
+  ASSERT_EQ(s.events().size(), 5u);
+  for (const FaultEvent& e : s.events()) {
+    EXPECT_EQ(e.kind, FaultKind::kSlowdown);
+    EXPECT_GT(e.severity, 1.0);
+    EXPECT_LE(e.severity, 3.0);
+  }
+}
+
+TEST(FaultScheduleTest, FromEventsRejectsInvalidSequences) {
+  // Double crash.
+  EXPECT_FALSE(FaultSchedule::FromEvents(
+                   3, {{1.0, ServerId(0), FaultKind::kCrash},
+                       {2.0, ServerId(0), FaultKind::kCrash}})
+                   .ok());
+  // Recovery of an alive server.
+  EXPECT_FALSE(
+      FaultSchedule::FromEvents(3, {{1.0, ServerId(1), FaultKind::kRecover}})
+          .ok());
+  // Unknown server.
+  EXPECT_FALSE(
+      FaultSchedule::FromEvents(3, {{1.0, ServerId(9), FaultKind::kCrash}})
+          .ok());
+  // Every server down at once.
+  EXPECT_FALSE(FaultSchedule::FromEvents(
+                   2, {{1.0, ServerId(0), FaultKind::kCrash},
+                       {2.0, ServerId(1), FaultKind::kCrash}})
+                   .ok());
+  // Negative time.
+  EXPECT_FALSE(
+      FaultSchedule::FromEvents(3, {{-1.0, ServerId(0), FaultKind::kCrash}})
+          .ok());
+  // Slowdown severity must exceed 1.
+  EXPECT_FALSE(FaultSchedule::FromEvents(
+                   3, {{1.0, ServerId(0), FaultKind::kSlowdown, 1.0}})
+                   .ok());
+}
+
+TEST(FaultScheduleTest, FromEventsSortsCanonically) {
+  FaultSchedule s = WSFLOW_UNWRAP(FaultSchedule::FromEvents(
+      3, {{5.0, ServerId(1), FaultKind::kRecover},
+          {1.0, ServerId(1), FaultKind::kCrash},
+          {3.0, ServerId(0), FaultKind::kSlowdown, 2.0}}));
+  ASSERT_EQ(s.events().size(), 3u);
+  EXPECT_EQ(s.events()[0].time_s, 1.0);
+  EXPECT_EQ(s.events()[1].time_s, 3.0);
+  EXPECT_EQ(s.events()[2].time_s, 5.0);
+}
+
+TEST(FaultTimelineTest, TracksTheAliveMaskThroughChurn) {
+  FaultSchedule s = WSFLOW_UNWRAP(FaultSchedule::FromEvents(
+      3, {{1.0, ServerId(2), FaultKind::kCrash},
+          {2.0, ServerId(0), FaultKind::kCrash},
+          {3.0, ServerId(2), FaultKind::kRecover},
+          {4.0, ServerId(0), FaultKind::kRecover}}));
+  FaultTimeline timeline(s);
+  EXPECT_TRUE(timeline.alive().trivial());
+
+  auto applied = timeline.AdvanceTo(1.5);
+  EXPECT_EQ(applied.size(), 1u);
+  EXPECT_FALSE(timeline.alive().alive(ServerId(2)));
+  EXPECT_TRUE(timeline.alive().alive(ServerId(0)));
+
+  applied = timeline.AdvanceTo(2.0);  // inclusive boundary
+  EXPECT_EQ(applied.size(), 1u);
+  EXPECT_EQ(timeline.alive().num_alive(), 1u);
+
+  applied = timeline.AdvanceTo(10.0);
+  EXPECT_EQ(applied.size(), 2u);
+  EXPECT_EQ(timeline.alive().num_down(), 0u);
+  EXPECT_TRUE(timeline.done());
+
+  // Advancing further applies nothing.
+  EXPECT_EQ(timeline.AdvanceTo(11.0).size(), 0u);
+}
+
+}  // namespace
+}  // namespace wsflow
