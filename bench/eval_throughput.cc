@@ -400,10 +400,18 @@ void WriteJson(const std::vector<ScenarioResult>& results,
     std::fprintf(stderr, "note: cannot write %s\n", path);
     return;
   }
+  // detected_cores and single_core_timesharing make the scaling section
+  // self-describing: on a 1-core host K threads timeshare one core, so a
+  // flat chain-scaling curve is expected rather than a parallelism bug.
+  const unsigned detected_cores = std::thread::hardware_concurrency();
   std::fprintf(f, "{\n  \"bench\": \"eval_throughput\",\n  \"unit\": "
                   "\"mappings_per_second\",\n"
-                  "  \"hardware_concurrency\": %u,\n  \"scenarios\": [\n",
-               std::thread::hardware_concurrency());
+                  "  \"hardware_concurrency\": %u,\n"
+                  "  \"detected_cores\": %u,\n"
+                  "  \"single_core_timesharing\": %s,\n"
+                  "  \"scenarios\": [\n",
+               detected_cores, detected_cores,
+               detected_cores <= 1 ? "true" : "false");
   for (size_t i = 0; i < results.size(); ++i) {
     const ScenarioResult& r = results[i];
     std::fprintf(

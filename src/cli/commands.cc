@@ -1,6 +1,7 @@
 #include "src/cli/commands.h"
 
 #include <chrono>
+#include <deque>
 #include <future>
 #include <iomanip>
 #include <memory>
@@ -27,6 +28,7 @@
 #include "src/deploy/parallel.h"
 #include "src/exp/config.h"
 #include "src/exp/report.h"
+#include "src/fleet/controller.h"
 #include "src/exp/runner.h"
 #include "src/exp/sampling.h"
 #include "src/network/serialization.h"
@@ -1086,6 +1088,199 @@ Status CmdChaos(const std::vector<std::string>& args, std::ostream& out) {
   return Status::OK();
 }
 
+Status CmdFleet(const std::vector<std::string>& args, std::ostream& out) {
+  FlagSet flags;
+  flags.AddString("workload", "line", "line | bushy | lengthy | hybrid");
+  flags.AddString("class", "c", "experiment class: a | b | c (paper §4.1)");
+  flags.AddInt("ops", 12, "operations per archetype workflow");
+  flags.AddInt("servers", 8, "servers in the shared farm");
+  flags.AddInt("archetypes", 4, "workflow templates tenants instantiate");
+  flags.AddInt("tenants", 200, "tenants submitted before the first epoch");
+  flags.AddInt("epochs", 50, "drift epochs to run");
+  flags.AddInt("seed", 42, "instance, weight and drift-stream seed");
+  flags.AddDouble("drift", 0.2, "sigma of the per-epoch traffic drift walk");
+  flags.AddDouble("drift-threshold", 0.1,
+                  "relative cost regression that triggers migration");
+  flags.AddInt("max-migrations", 8,
+               "migration churn bound per epoch (0 = unlimited)");
+  flags.AddInt("migration-budget", 256,
+               "delta-evaluation budget per warm migration (0 = unlimited)");
+  flags.AddInt("deploy-budget", 1024,
+               "delta-evaluation budget per initial deployment");
+  flags.AddDouble("max-share", 0.25,
+                  "per-tenant quota as a fraction of farm capacity");
+  flags.AddDouble("max-util", 0.9,
+                  "farm capacity budget as a fraction of total power");
+  flags.AddDouble("exec-weight", 0.5, "objective weight of T_execute");
+  flags.AddDouble("fair-weight", 0.5, "objective weight of FarmPenalty");
+  flags.AddInt("report-every", 10, "print every k-th epoch (and the last)");
+  AddThreadsFlag(&flags);
+  WSFLOW_ASSIGN_OR_RETURN(std::vector<std::string> positional,
+                          flags.Parse(args));
+  (void)positional;
+
+  const size_t tenants = static_cast<size_t>(flags.GetInt("tenants"));
+  const size_t epochs = static_cast<size_t>(flags.GetInt("epochs"));
+  const size_t archetypes = static_cast<size_t>(flags.GetInt("archetypes"));
+  if (tenants == 0) return Status::InvalidArgument("--tenants must be > 0");
+  if (archetypes == 0) {
+    return Status::InvalidArgument("--archetypes must be > 0");
+  }
+  if (epochs == 0) return Status::InvalidArgument("--epochs must be > 0");
+  if (flags.GetInt("ops") <= 0) {
+    return Status::InvalidArgument("--ops must be > 0");
+  }
+  if (flags.GetInt("servers") <= 0) {
+    return Status::InvalidArgument("--servers must be > 0");
+  }
+  if (flags.GetDouble("max-share") <= 0) {
+    return Status::InvalidArgument("--max-share must be > 0");
+  }
+  if (flags.GetDouble("max-util") <= 0) {
+    return Status::InvalidArgument("--max-util must be > 0");
+  }
+  if (flags.GetDouble("drift") < 0) {
+    return Status::InvalidArgument("--drift must be >= 0");
+  }
+
+  WSFLOW_ASSIGN_OR_RETURN(WorkloadKind workload,
+                          ParseWorkload(flags.GetString("workload")));
+  WSFLOW_ASSIGN_OR_RETURN(
+      ExperimentConfig cfg,
+      MakeClassConfig(flags.GetString("class"), workload));
+  cfg.num_operations = static_cast<size_t>(flags.GetInt("ops"));
+  cfg.num_servers = static_cast<size_t>(flags.GetInt("servers"));
+  cfg.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  // Archetype trials share the farm of trial 0; their workflows (and
+  // profiles) vary per trial index. Storage is filled completely before
+  // any CostModel takes a reference.
+  Network network;
+  std::vector<Workflow> workflows;
+  std::vector<std::optional<ExecutionProfile>> profiles;
+  workflows.reserve(archetypes);
+  profiles.reserve(archetypes);
+  for (size_t k = 0; k < archetypes; ++k) {
+    WSFLOW_ASSIGN_OR_RETURN(TrialInstance trial, DrawTrial(cfg, k));
+    if (k == 0) network = std::move(trial.network);
+    workflows.push_back(std::move(trial.workflow));
+    profiles.push_back(std::move(trial.profile));
+  }
+  std::deque<CostModel> models;
+  std::vector<const CostModel*> model_ptrs;
+  for (size_t k = 0; k < archetypes; ++k) {
+    models.emplace_back(workflows[k], network,
+                        profiles[k] ? &*profiles[k] : nullptr);
+    WSFLOW_RETURN_IF_ERROR(models.back().Warm());
+    model_ptrs.push_back(&models.back());
+  }
+
+  fleet::FleetOptions options;
+  options.budget.max_utilization = flags.GetDouble("max-util");
+  options.budget.max_tenant_share = flags.GetDouble("max-share");
+  options.drift.sigma = flags.GetDouble("drift");
+  options.cost_options.execution_weight = flags.GetDouble("exec-weight");
+  options.cost_options.fairness_weight = flags.GetDouble("fair-weight");
+  options.drift_threshold = flags.GetDouble("drift-threshold");
+  options.max_migrations_per_epoch =
+      static_cast<size_t>(flags.GetInt("max-migrations"));
+  options.migration_eval_budget =
+      static_cast<size_t>(flags.GetInt("migration-budget"));
+  options.deploy_eval_budget =
+      static_cast<size_t>(flags.GetInt("deploy-budget"));
+  options.threads = static_cast<size_t>(flags.GetInt("threads"));
+
+  serve::ServeMetrics metrics;
+  fleet::FleetController controller(model_ptrs, options, &metrics);
+
+  // Tenant roster: archetypes round-robin, initial weights and drift seeds
+  // from one parent stream — a pure function of --seed.
+  Rng parent(cfg.seed ^ 0xF1EE7ull);
+  for (size_t i = 0; i < tenants; ++i) {
+    fleet::TenantSpec spec;
+    spec.archetype = i % archetypes;
+    spec.weight = parent.NextDouble(0.5, 2.0);
+    spec.drift_seed = parent.NextUint64();
+    WSFLOW_RETURN_IF_ERROR(controller.Submit(spec).status());
+  }
+
+  out << "fleet: " << tenants << " tenants over " << archetypes
+      << " archetypes, " << network.num_servers() << " servers, " << epochs
+      << " epochs, seed " << cfg.seed << "\n";
+  {
+    size_t deployed = 0, queued = 0, rejected = 0;
+    for (size_t id = 0; id < controller.num_tenants(); ++id) {
+      switch (controller.tenant(id).status) {
+        case fleet::TenantStatus::kDeployed: ++deployed; break;
+        case fleet::TenantStatus::kQueued: ++queued; break;
+        case fleet::TenantStatus::kRejected: ++rejected; break;
+      }
+    }
+    out << "admission: deployed=" << deployed << " queued=" << queued
+        << " rejected=" << rejected << " utilization="
+        << FormatDouble(controller.admission().utilization() * 100, 4)
+        << "%\n";
+  }
+
+  const size_t report_every =
+      std::max<size_t>(1, static_cast<size_t>(flags.GetInt("report-every")));
+  for (size_t e = 0; e < epochs; ++e) {
+    WSFLOW_ASSIGN_OR_RETURN(fleet::EpochReport report, controller.RunEpoch());
+    if (report.epoch % report_every == 0 || e + 1 == epochs) {
+      out << "epoch " << report.epoch << ": deployed=" << report.deployed
+          << " queued=" << report.queued
+          << " migrations=" << report.migrations << "/"
+          << report.migration_attempts << " clamps=" << report.weight_clamps
+          << " evals=" << report.polish_evaluations
+          << " p50=" << FormatSeconds(report.p50)
+          << " p95=" << FormatSeconds(report.p95)
+          << " p99=" << FormatSeconds(report.p99) << " util="
+          << FormatDouble(report.utilization * 100, 4) << "%\n";
+    }
+  }
+
+  // Independent quota audit: recompute every deployed tenant's demand from
+  // its archetype and current weight, against the budget the controller
+  // was configured with. The controller enforces these by construction;
+  // this recount would expose any bookkeeping drift.
+  std::vector<double> unit_demand;
+  unit_demand.reserve(archetypes);
+  for (size_t k = 0; k < archetypes; ++k) {
+    ExecutionProfile profile = models[k].ProfileSnapshot();
+    WorkflowView view(workflows[k], &profile);
+    unit_demand.push_back(fleet::TenantDemandHz(view, 1.0));
+  }
+  const double capacity = controller.admission().capacity_hz();
+  size_t violations = 0;
+  double committed = 0;
+  for (size_t id = 0; id < controller.num_tenants(); ++id) {
+    const fleet::TenantState& t = controller.tenant(id);
+    if (t.status != fleet::TenantStatus::kDeployed) continue;
+    const double demand = t.weight * unit_demand[t.spec.archetype];
+    committed += demand;
+    if (demand > options.budget.max_tenant_share * capacity * (1 + 1e-9)) {
+      ++violations;
+    }
+  }
+  if (committed > options.budget.max_utilization * capacity * (1 + 1e-9)) {
+    ++violations;
+  }
+
+  serve::MetricsSnapshot snap = metrics.Snapshot();
+  out << "totals: migrations=" << controller.total_migrations()
+      << " rejections=" << controller.total_rejections()
+      << " clamps=" << controller.total_clamps()
+      << " evals=" << controller.total_evaluations() << "\n";
+  out << "metrics: admitted=" << snap.tenants_admitted
+      << " queued=" << snap.tenants_queued
+      << " rejected=" << snap.tenants_rejected
+      << " migrations=" << snap.migrations
+      << " stalls=" << snap.migration_stalls
+      << " degraded=" << snap.degraded << "\n";
+  out << "quota violations: " << violations << "\n";
+  return Status::OK();
+}
+
 int RunCli(int argc, const char* const* argv, std::ostream& out,
            std::ostream& err) {
   static constexpr const char* kUsage =
@@ -1105,7 +1300,8 @@ int RunCli(int argc, const char* const* argv, std::ostream& out,
       "  dot              GraphViz export (workflow/network/deployment)\n"
       "  list-algorithms  show the algorithm registry\n"
       "  serve-bench      drive the concurrent deployment service\n"
-      "  chaos            serve under seeded fault injection\n";
+      "  chaos            serve under seeded fault injection\n"
+      "  fleet            multi-tenant shared-farm serving under drift\n";
   if (argc < 2) {
     err << kUsage;
     return 2;
@@ -1145,6 +1341,8 @@ int RunCli(int argc, const char* const* argv, std::ostream& out,
     st = CmdServeBench(args, out);
   } else if (command == "chaos") {
     st = CmdChaos(args, out);
+  } else if (command == "fleet") {
+    st = CmdFleet(args, out);
   } else if (command == "help" || command == "--help") {
     out << kUsage;
     return 0;

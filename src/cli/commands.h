@@ -26,6 +26,10 @@
 //                   (src/sim/faults) with health tracking and self-healing
 //                   repair; fully deterministic output, byte-identical
 //                   across --threads
+//   fleet           run the multi-tenant fleet controller (src/fleet): N
+//                   tenants on one shared farm, seeded traffic drift,
+//                   admission quotas, drift-triggered warm migration;
+//                   deterministic output, byte-identical across --threads
 
 #ifndef WSFLOW_CLI_COMMANDS_H_
 #define WSFLOW_CLI_COMMANDS_H_
@@ -58,6 +62,7 @@ Status CmdListAlgorithms(const std::vector<std::string>& args,
                          std::ostream& out);
 Status CmdServeBench(const std::vector<std::string>& args, std::ostream& out);
 Status CmdChaos(const std::vector<std::string>& args, std::ostream& out);
+Status CmdFleet(const std::vector<std::string>& args, std::ostream& out);
 
 /// Top-level dispatcher; argv[0] is ignored, argv[1] selects the
 /// subcommand. Prints usage on errors. Returns the process exit code.

@@ -32,9 +32,6 @@ IncrementalEvaluator::IncrementalEvaluator(const CostModel& model,
   // deviation far below the 1e-9 the property suite (and the search tie
   // tolerances) rely on.
   if (tuning_.reanchor_interval == 0) tuning_.reanchor_interval = 1;
-  // The load index holds one cell per server; the masked penalty runs
-  // over the survivors only, so fall back to the O(alive) pass.
-  if (!tuning_.mask.trivial()) tuning_.use_load_index = false;
 }
 
 Result<IncrementalEvaluator> IncrementalEvaluator::Bind(
@@ -61,6 +58,22 @@ Status IncrementalEvaluator::ColdStart() {
   const Workflow& w = model_->workflow();
   const Network& n = model_->network();
   WSFLOW_RETURN_IF_ERROR(mapping_.ValidateAgainst(w, n));
+
+  if (!std::isfinite(tuning_.load_scale) || tuning_.load_scale <= 0) {
+    return Status::InvalidArgument("load_scale must be finite and > 0");
+  }
+  if (!tuning_.base_loads.empty()) {
+    if (tuning_.base_loads.size() != n.num_servers()) {
+      return Status::InvalidArgument(
+          "base_loads size does not match the network");
+    }
+    for (double base : tuning_.base_loads) {
+      if (!std::isfinite(base) || base < 0) {
+        return Status::InvalidArgument(
+            "base_loads entries must be finite and non-negative");
+      }
+    }
+  }
 
   if (!tuning_.mask.trivial()) {
     if (tuning_.mask.size() != n.num_servers()) {
@@ -319,7 +332,7 @@ void IncrementalEvaluator::MoveInternal(OperationId op, ServerId to) {
   ServerId from = mapping_.ServerOf(op);
   if (from == to) return;
   ++moves_since_anchor_;
-  double prob = model_->OperationProb(op);
+  double prob = LoadProb(op);
   double tproc_from = model_->TprocOn(op, from);
   double tproc_to = model_->TprocOn(op, to);
   SetLoad(from.value, loads_[from.value] - prob * tproc_from);
@@ -452,17 +465,26 @@ void IncrementalEvaluator::RecomputeNode(Node& node) {
 void IncrementalEvaluator::Reanchor() {
   moves_since_anchor_ = 0;
   const Workflow& w = model_->workflow();
-  std::fill(loads_.begin(), loads_.end(), 0.0);
+  if (tuning_.base_loads.empty()) {
+    std::fill(loads_.begin(), loads_.end(), 0.0);
+  } else {
+    loads_.assign(tuning_.base_loads.begin(), tuning_.base_loads.end());
+  }
   for (const Operation& op : w.operations()) {
     ServerId s = mapping_.ServerOf(op.id());
-    loads_[s.value] += model_->OperationProb(op.id()) *
-                       model_->TprocOn(op.id(), s);
+    loads_[s.value] += LoadProb(op.id()) * model_->TprocOn(op.id(), s);
   }
   // Rebuilding from the freshly summed cells resets any drift between the
   // index's tree-order total and the cold-order loads, so the fast
-  // penalty re-agrees with the O(N) pass at every re-anchor point.
+  // penalty re-agrees with the O(N) pass at every re-anchor point. Under a
+  // non-trivial mask the tree indexes the survivor cells only — a fresh
+  // per-mask-epoch treap whose Penalty() is exactly the masked statistic.
   if (tuning_.use_load_index) {
-    load_index_.Rebuild(loads_);
+    if (tuning_.mask.trivial()) {
+      load_index_.Rebuild(loads_);
+    } else {
+      load_index_.Rebuild(loads_, alive_servers_);
+    }
     index_value_.assign(loads_.begin(), loads_.end());
     load_dirty_.assign(loads_.size(), 0);
     dirty_loads_.clear();
@@ -497,7 +519,7 @@ Result<double> IncrementalEvaluator::ExecutionTime() {
 
 double IncrementalEvaluator::TimePenalty() const {
   if (loads_.empty()) return 0.0;
-  if (!tuning_.mask.trivial()) {
+  if (!tuning_.mask.trivial() && !tuning_.use_load_index) {
     // Survivor-only fairness: average and deviations over the alive cells.
     ++counters_.penalty_full;
     double avg = 0;
@@ -510,6 +532,9 @@ double IncrementalEvaluator::TimePenalty() const {
     return penalty;
   }
   if (tuning_.use_load_index) {
+    // With a mask the tree was rebuilt over the survivor cells (bind /
+    // re-anchor), so the same descent answers the masked statistic; dirty
+    // cells are always alive (moves to down servers are rejected).
     ++counters_.penalty_fast;
     if (dirty_loads_.empty()) return load_index_.Penalty();
     return load_index_.PenaltyPatched(dirty_loads_, index_value_, loads_);
@@ -661,7 +686,7 @@ Status IncrementalEvaluator::ScoreMoves(OperationId op,
   PrepareBatchBase();
 
   const ServerId from = mapping_.ServerOf(op);
-  const double prob = model_->OperationProb(op);
+  const double prob = LoadProb(op);
   const double tproc_from = model_->TprocOn(op, from);
 
   batch_edges_.clear();
@@ -744,7 +769,7 @@ Status IncrementalEvaluator::ScoreSwaps(OperationId a,
   const double base_line_exec = line_exec_;
   const size_t base_bad_edges = bad_edges_;
   const ServerId sa = mapping_.ServerOf(a);
-  const double prob_a = model_->OperationProb(a);
+  const double prob_a = LoadProb(a);
 
   // `a`'s edge slots are shared by every partner, so the per-fan memo can
   // serve stage-1 T_comm terms across partners hosted on the same server.
@@ -766,7 +791,7 @@ Status IncrementalEvaluator::ScoreSwaps(OperationId a,
       ++counters_.delta_evaluations;
       continue;
     }
-    const double prob_b = model_->OperationProb(b);
+    const double prob_b = LoadProb(b);
     batch_edges_.resize(a_edge_count);
     CollectOpEdges(b);
     SaveBatchEdges();

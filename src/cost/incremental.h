@@ -83,10 +83,23 @@ struct EvalTuning {
   /// route crosses a down server are severed, and the fairness penalty
   /// averages over the survivors only. The route tables themselves are
   /// built once for the full network and filtered — never rebuilt per
-  /// mask. A non-trivial mask forces use_load_index off: the load index
-  /// accumulates over every server cell, while the masked penalty runs
-  /// over the survivors (repair fans are short; the O(N) pass is fine).
+  /// mask. With use_load_index on, the index is rebuilt per mask epoch
+  /// over the survivor cells only (bind and re-anchor), so the O(log N)
+  /// fast path serves the masked penalty too.
   ServerMask mask;
+
+  /// Per-server background loads (e.g. the other tenants of a shared farm,
+  /// already QPS-weighted), added as constant offsets under every fairness
+  /// query. Empty means zero everywhere; otherwise one finite entry per
+  /// server of the bound network. The execution time is unaffected.
+  std::vector<double> base_loads;
+
+  /// Multiplier on the bound workflow's own load contributions — a
+  /// tenant's QPS weight in shared-farm serving. Scales load (and hence
+  /// the fairness penalty), never T_execute: a hotter tenant occupies more
+  /// of every server it touches while each request still takes the same
+  /// wall-clock path. Must be finite and > 0.
+  double load_scale = 1.0;
 };
 
 class IncrementalEvaluator {
@@ -258,6 +271,12 @@ class IncrementalEvaluator {
 
   double TprocHere(OperationId op) const {
     return model_->TprocOn(op, mapping_.ServerOf(op));
+  }
+
+  /// Probability weight of `op`'s load contribution, including the
+  /// tenant's load scale.
+  double LoadProb(OperationId op) const {
+    return tuning_.load_scale * model_->OperationProb(op);
   }
 
   const CostModel* model_;

@@ -139,6 +139,17 @@ void LoadIndex::Rebuild(std::span<const double> loads) {
   }
 }
 
+void LoadIndex::Rebuild(std::span<const double> loads,
+                        std::span<const uint32_t> servers) {
+  nodes_.clear();
+  free_.clear();
+  root_ = -1;
+  nodes_.reserve(servers.size());
+  for (uint32_t s : servers) {
+    root_ = InsertAt(root_, NewNode(loads[s], s));
+  }
+}
+
 void LoadIndex::Update(uint32_t server, double old_load, double new_load) {
   root_ = RemoveAt(root_, old_load, server);
   root_ = InsertAt(root_, NewNode(new_load, server));

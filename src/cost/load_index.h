@@ -56,6 +56,14 @@ class LoadIndex {
   /// evaluation order.
   void Rebuild(std::span<const double> loads);
 
+  /// Rebuilds the tree over a subset of cells: only `servers` (ascending
+  /// ids into the full `loads` array) are indexed. This is the per-mask
+  /// survivor view — Penalty() then averages and deviates over exactly
+  /// the indexed cells, matching the masked O(N) fairness statistic.
+  /// Updates and patches may only reference indexed servers.
+  void Rebuild(std::span<const double> loads,
+               std::span<const uint32_t> servers);
+
   /// Replaces server `s`'s load. `old_load` must be the exact value
   /// (same bits up to -0.0 == 0.0) passed for `s` at the last Rebuild or
   /// Update; the caller keeps the authoritative load array.

@@ -1,0 +1,107 @@
+#include "src/cost/shared_load.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace wsflow {
+
+TenantLoadVector ComputeTenantLoad(const CostModel& model, const Mapping& m) {
+  const Workflow& w = model.workflow();
+  // Dense accumulation first: several operations usually share a server,
+  // and summing in server order keeps the vector canonical.
+  std::vector<double> dense(model.network().num_servers(), 0.0);
+  for (const Operation& op : w.operations()) {
+    ServerId s = m.ServerOf(op.id());
+    WSFLOW_CHECK(s.valid()) << "ComputeTenantLoad needs a total mapping";
+    dense[s.value] += model.OperationProb(op.id()) * model.TprocOn(op.id(), s);
+  }
+  TenantLoadVector out;
+  for (uint32_t s = 0; s < dense.size(); ++s) {
+    if (dense[s] != 0.0) {
+      out.servers.push_back(s);
+      out.loads.push_back(dense[s]);
+      out.total += dense[s];
+    }
+  }
+  return out;
+}
+
+void FarmLoadLedger::Clear() {
+  std::fill(loads_.begin(), loads_.end(), 0.0);
+}
+
+void FarmLoadLedger::Add(const TenantLoadVector& tenant, double weight) {
+  for (size_t i = 0; i < tenant.servers.size(); ++i) {
+    loads_[tenant.servers[i]] += weight * tenant.loads[i];
+  }
+}
+
+std::vector<double> FarmLoadLedger::Excluding(const TenantLoadVector& tenant,
+                                              double weight) const {
+  std::vector<double> out = loads_;
+  for (size_t i = 0; i < tenant.servers.size(); ++i) {
+    out[tenant.servers[i]] -= weight * tenant.loads[i];
+    // Clamp the cancellation residue: a cell holding only this tenant must
+    // come back to exactly zero, not to -1e-17 (base_loads reject
+    // negatives).
+    if (out[tenant.servers[i]] < 0) out[tenant.servers[i]] = 0;
+  }
+  return out;
+}
+
+double FarmLoadLedger::FarmPenalty() const {
+  if (loads_.empty()) return 0.0;
+  double avg = 0;
+  for (double l : loads_) avg += l;
+  avg /= static_cast<double>(loads_.size());
+  double penalty = 0;
+  for (double l : loads_) penalty += std::fabs(l - avg) / 2.0;
+  return penalty;
+}
+
+double FarmLoadLedger::TotalLoad() const {
+  double total = 0;
+  for (double l : loads_) total += l;
+  return total;
+}
+
+Result<CostBreakdown> SharedEvaluate(const CostModel& model, const Mapping& m,
+                                     double weight,
+                                     std::span<const double> base_loads,
+                                     const CostOptions& options) {
+  const size_t N = model.network().num_servers();
+  if (!base_loads.empty() && base_loads.size() != N) {
+    return Status::InvalidArgument(
+        "base_loads size does not match the network");
+  }
+  if (!std::isfinite(weight) || weight <= 0) {
+    return Status::InvalidArgument("tenant weight must be finite and > 0");
+  }
+  WSFLOW_ASSIGN_OR_RETURN(double exec, model.ExecutionTime(m));
+
+  std::vector<double> combined(N, 0.0);
+  if (!base_loads.empty()) {
+    combined.assign(base_loads.begin(), base_loads.end());
+  }
+  for (const Operation& op : model.workflow().operations()) {
+    ServerId s = m.ServerOf(op.id());
+    combined[s.value] +=
+        weight * model.OperationProb(op.id()) * model.TprocOn(op.id(), s);
+  }
+  double avg = 0;
+  for (double l : combined) avg += l;
+  avg /= static_cast<double>(N);
+  double penalty = 0;
+  for (double l : combined) penalty += std::fabs(l - avg) / 2.0;
+
+  CostBreakdown out;
+  out.execution_time = exec;
+  out.time_penalty = penalty;
+  out.combined = options.execution_weight * exec +
+                 options.fairness_weight * penalty;
+  return out;
+}
+
+}  // namespace wsflow

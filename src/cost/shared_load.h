@@ -1,0 +1,95 @@
+// wsflow: shared-load cost model for multi-tenant farms.
+//
+// The paper costs one workflow on one network; shared-farm serving costs
+// many tenant workflows on the *same* servers, each scaled by its traffic.
+// A tenant with QPS weight w occupies w times its per-request load on every
+// server it touches, while each of its requests still takes the same
+// wall-clock path:
+//
+//   L(s)        = Sum over tenants t of w_t * Load_t(s)
+//   FarmPenalty = Sum over servers of |L(s) - avg L| / 2
+//   c_t         = w_e * T_execute(m_t) + w_f * FarmPenalty
+//
+// Load_t(s) is the paper's probability-weighted per-server load of tenant
+// t's mapping (p(op) * T_proc(op) summed over its operations on s). The
+// per-tenant cost c_t is exactly what an IncrementalEvaluator bound with
+// EvalTuning{base_loads = L - w_t * Load_t, load_scale = w_t} reports, so
+// one tenant's re-optimization sees the whole farm's fairness while moving
+// only its own operations.
+//
+// TenantLoadVector keeps a tenant's contribution sparse (a small workflow
+// touches at most M servers); FarmLoadLedger accumulates the weighted
+// combination. The fleet controller re-sums the ledger from scratch in
+// tenant order every epoch — O(total operations), deterministic by
+// construction, immune to incremental-update drift.
+
+#ifndef WSFLOW_COST_SHARED_LOAD_H_
+#define WSFLOW_COST_SHARED_LOAD_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/cost/cost_model.h"
+#include "src/deploy/mapping.h"
+
+namespace wsflow {
+
+/// One tenant's per-server load contribution at weight 1, kept sparse.
+/// Servers are ascending and unique; `total` is the sum of `loads`.
+struct TenantLoadVector {
+  std::vector<uint32_t> servers;
+  std::vector<double> loads;
+  double total = 0;
+};
+
+/// Builds the sparse load vector of `m` under `model` (p(op) * T_proc(op)
+/// accumulated per hosting server, in server order). The mapping must be
+/// total.
+TenantLoadVector ComputeTenantLoad(const CostModel& model, const Mapping& m);
+
+/// Dense per-server farm loads combined across tenants.
+class FarmLoadLedger {
+ public:
+  explicit FarmLoadLedger(size_t num_servers) : loads_(num_servers, 0.0) {}
+
+  size_t num_servers() const { return loads_.size(); }
+  const std::vector<double>& loads() const { return loads_; }
+
+  /// Zeroes every cell (start of a fresh epoch re-sum).
+  void Clear();
+
+  /// Adds `weight` times the tenant's contribution.
+  void Add(const TenantLoadVector& tenant, double weight);
+
+  /// Farm loads minus one tenant's weighted contribution — the base_loads
+  /// a re-optimization of that tenant evaluates against. Prefer re-summing
+  /// the other tenants with Clear()/Add() when exactness matters; this
+  /// subtraction is the O(M) shortcut.
+  std::vector<double> Excluding(const TenantLoadVector& tenant,
+                                double weight) const;
+
+  /// Sum over servers of |L(s) - avg L| / 2.
+  double FarmPenalty() const;
+
+  /// Sum of all cells.
+  double TotalLoad() const;
+
+ private:
+  std::vector<double> loads_;
+};
+
+/// Cold shared-load evaluation of one tenant: execution_time is
+/// T_execute(m); time_penalty is the fairness penalty of
+/// base_loads + weight * Load_m; combined weighs them per `options`.
+/// `base_loads` must be empty (all zero) or one entry per server. The
+/// reference implementation for the delta-evaluated shared scores.
+Result<CostBreakdown> SharedEvaluate(const CostModel& model, const Mapping& m,
+                                     double weight,
+                                     std::span<const double> base_loads,
+                                     const CostOptions& options = {});
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_COST_SHARED_LOAD_H_

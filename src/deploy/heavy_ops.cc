@@ -1,6 +1,7 @@
 #include "src/deploy/heavy_ops.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "src/common/logging.h"
@@ -77,7 +78,8 @@ Result<Mapping> HeavyOpsAlgorithm::Run(const DeployContext& ctx) const {
 }
 
 Result<Mapping> HeavyOpsAlgorithm::RunWithLedger(
-    const DeployContext& ctx, std::vector<double>* remaining_cycles) const {
+    const DeployContext& ctx, std::vector<double>* remaining_cycles,
+    double ledger_scale) const {
   WSFLOW_RETURN_IF_ERROR(CheckContext(ctx));
   const Workflow& w = *ctx.workflow;
   const Network& n = *ctx.network;
@@ -85,6 +87,9 @@ Result<Mapping> HeavyOpsAlgorithm::RunWithLedger(
       remaining_cycles->size() != n.num_servers()) {
     return Status::InvalidArgument(
         "remaining-cycles ledger must have one entry per server");
+  }
+  if (!std::isfinite(ledger_scale) || ledger_scale <= 0) {
+    return Status::InvalidArgument("ledger scale must be finite and > 0");
   }
   WorkflowView view(w, ctx.profile);
   std::vector<double>& remaining = *remaining_cycles;
@@ -126,7 +131,7 @@ Result<Mapping> HeavyOpsAlgorithm::RunWithLedger(
       m.Assign(op, server);
       --unassigned;
     }
-    remaining[server.value] -= groups.CyclesOf(root);
+    remaining[server.value] -= ledger_scale * groups.CyclesOf(root);
     members[root].clear();
   };
 

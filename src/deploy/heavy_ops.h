@@ -56,8 +56,13 @@ class HeavyOpsAlgorithm : public DeploymentAlgorithm {
   /// As Run(), but starts from (and updates) an external remaining-ideal-
   /// cycles ledger, letting several workflows share the servers (the multi-
   /// workflow extension). `remaining_cycles` is indexed by ServerId::value.
+  /// `ledger_scale` multiplies the cycles drawn down per placement — a
+  /// workflow's QPS weight in shared-farm deployment (it scales capacity
+  /// consumption only; the heavy-vs-large comparison stays per-request).
+  /// Must be finite and > 0.
   Result<Mapping> RunWithLedger(const DeployContext& ctx,
-                                std::vector<double>* remaining_cycles) const;
+                                std::vector<double>* remaining_cycles,
+                                double ledger_scale = 1.0) const;
 
  private:
   double large_message_scale_;

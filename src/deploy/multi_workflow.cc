@@ -32,12 +32,28 @@ Status CheckInputs(const std::vector<const Workflow*>& workflows,
     return Status::InvalidArgument(
         "profiles must be empty or match the workflow count");
   }
+  if (!options.weights.empty()) {
+    if (options.weights.size() != workflows.size()) {
+      return Status::InvalidArgument(
+          "weights must be empty or match the workflow count");
+    }
+    for (double w : options.weights) {
+      if (!std::isfinite(w) || w <= 0) {
+        return Status::InvalidArgument(
+            "workflow weights must be finite and > 0");
+      }
+    }
+  }
   return Status::OK();
 }
 
 const ExecutionProfile* ProfileFor(const MultiWorkflowOptions& options,
                                    size_t index) {
   return options.profiles.empty() ? nullptr : options.profiles[index];
+}
+
+double WeightFor(const MultiWorkflowOptions& options, size_t index) {
+  return options.weights.empty() ? 1.0 : options.weights[index];
 }
 
 Result<std::vector<Mapping>> JointFairLoad(
@@ -56,8 +72,9 @@ Result<std::vector<Mapping>> JointFairLoad(
   views.reserve(workflows.size());
   for (size_t i = 0; i < workflows.size(); ++i) {
     views.emplace_back(*workflows[i], ProfileFor(options, i));
+    const double weight = WeightFor(options, i);
     for (const Operation& op : workflows[i]->operations()) {
-      double cycles = views[i].Cycles(op.id());
+      double cycles = weight * views[i].Cycles(op.id());
       pool.push_back(PooledOp{i, op.id(), cycles});
       sum_cycles += cycles;
     }
@@ -98,7 +115,7 @@ Result<std::vector<Mapping>> SequentialHeavyOps(
   double sum_cycles = 0;
   for (size_t i = 0; i < workflows.size(); ++i) {
     WorkflowView view(*workflows[i], ProfileFor(options, i));
-    sum_cycles += view.TotalCycles();
+    sum_cycles += WeightFor(options, i) * view.TotalCycles();
   }
   double sum_capacity = network.TotalPowerHz();
   std::vector<double> remaining(network.num_servers());
@@ -115,7 +132,9 @@ Result<std::vector<Mapping>> SequentialHeavyOps(
     ctx.network = &network;
     ctx.profile = ProfileFor(options, i);
     ctx.seed = options.seed + i;
-    WSFLOW_ASSIGN_OR_RETURN(Mapping m, holm.RunWithLedger(ctx, &remaining));
+    WSFLOW_ASSIGN_OR_RETURN(
+        Mapping m,
+        holm.RunWithLedger(ctx, &remaining, WeightFor(options, i)));
     mappings.push_back(std::move(m));
   }
   return mappings;
@@ -126,16 +145,19 @@ Result<std::vector<Mapping>> SequentialHeavyOps(
 double CombinedTimePenalty(
     const std::vector<const Workflow*>& workflows,
     const std::vector<Mapping>& mappings, const Network& network,
-    const std::vector<const ExecutionProfile*>& profiles) {
+    const std::vector<const ExecutionProfile*>& profiles,
+    const std::vector<double>& weights) {
   std::vector<double> loads(network.num_servers(), 0.0);
   for (size_t i = 0; i < workflows.size(); ++i) {
     const ExecutionProfile* profile =
         profiles.empty() ? nullptr : profiles[i];
+    const double weight = weights.empty() ? 1.0 : weights[i];
     WorkflowView view(*workflows[i], profile);
     for (const Operation& op : workflows[i]->operations()) {
       ServerId s = mappings[i].ServerOf(op.id());
       if (s.valid()) {
-        loads[s.value] += view.Cycles(op.id()) / network.server(s).power_hz();
+        loads[s.value] +=
+            weight * view.Cycles(op.id()) / network.server(s).power_hz();
       }
     }
   }
@@ -180,7 +202,7 @@ Result<MultiWorkflowResult> DeployMultipleWorkflows(
     result.execution_times.push_back(exec);
   }
   result.combined_time_penalty = CombinedTimePenalty(
-      workflows, result.mappings, network, options.profiles);
+      workflows, result.mappings, network, options.profiles, options.weights);
   return result;
 }
 

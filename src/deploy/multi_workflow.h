@@ -34,6 +34,13 @@ struct MultiWorkflowOptions {
   MultiWorkflowStrategy strategy = MultiWorkflowStrategy::kSequentialHeavyOps;
   /// Profiles parallel to the workflows; empty means probability 1 for all.
   std::vector<const ExecutionProfile*> profiles;
+  /// Per-workflow QPS weights scaling each workflow's load contribution
+  /// (the shared-load model of src/cost/shared_load.h): both strategies
+  /// budget weight * cycles of farm capacity per workflow, and the
+  /// combined fairness penalty weighs loads the same way. Execution times
+  /// are per-request and stay unweighted. Empty means weight 1 everywhere;
+  /// otherwise one finite positive entry per workflow.
+  std::vector<double> weights;
   uint64_t seed = 0;
   /// When > 0, each workflow's mapping is refined by up to this many
   /// delta-evaluated hill-climb improvements of its own (equally weighted)
@@ -60,11 +67,13 @@ Result<MultiWorkflowResult> DeployMultipleWorkflows(
     const MultiWorkflowOptions& options = {});
 
 /// Fairness penalty of combined loads: sum_s |load(s) - avg| / 2 where
-/// load(s) accumulates over all (workflow, mapping) pairs.
+/// load(s) accumulates weight * cycles / power over all (workflow,
+/// mapping) pairs. `weights` empty means weight 1 for every workflow.
 double CombinedTimePenalty(const std::vector<const Workflow*>& workflows,
                            const std::vector<Mapping>& mappings,
                            const Network& network,
-                           const std::vector<const ExecutionProfile*>& profiles);
+                           const std::vector<const ExecutionProfile*>& profiles,
+                           const std::vector<double>& weights = {});
 
 }  // namespace wsflow
 

@@ -1,0 +1,47 @@
+#include "src/fleet/admission.h"
+
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace wsflow::fleet {
+
+double TenantDemandHz(const WorkflowView& view, double weight) {
+  return weight * view.TotalCycles();
+}
+
+AdmissionController::AdmissionController(double capacity_hz,
+                                         const FarmBudget& budget)
+    : capacity_hz_(capacity_hz), budget_(budget) {
+  WSFLOW_CHECK(capacity_hz_ > 0) << "farm has no capacity";
+}
+
+AdmissionDecision AdmissionController::Decide(double demand_hz) const {
+  if (demand_hz > budget_.max_tenant_share * capacity_hz_) {
+    return AdmissionDecision::kRejected;
+  }
+  if (committed_hz_ + demand_hz > budget_.max_utilization * capacity_hz_) {
+    return AdmissionDecision::kQueued;
+  }
+  return AdmissionDecision::kAdmitted;
+}
+
+void AdmissionController::Commit(double demand_hz) {
+  committed_hz_ += demand_hz;
+}
+
+void AdmissionController::Release(double demand_hz) {
+  committed_hz_ -= demand_hz;
+  if (committed_hz_ < 0) committed_hz_ = 0;
+}
+
+double AdmissionController::MaxWeightForQuota(double unit_demand_hz) const {
+  if (unit_demand_hz <= 0) return std::numeric_limits<double>::infinity();
+  return budget_.max_tenant_share * capacity_hz_ / unit_demand_hz;
+}
+
+double AdmissionController::utilization() const {
+  return committed_hz_ / capacity_hz_;
+}
+
+}  // namespace wsflow::fleet

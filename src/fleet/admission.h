@@ -1,0 +1,81 @@
+// wsflow: per-tenant admission control and quotas for the shared farm.
+//
+// Admission reasons about *projected demand*, not placements: a tenant at
+// weight w needs w * Sum p(op) * C(op) cycles per second no matter where
+// its operations land, and the farm supplies Sum P(s) cycles per second.
+// That makes the admission decision O(1), mapping-free and safe to take
+// before any deployment work is spent:
+//
+//   * reject — the tenant alone would exceed its quota share of the farm
+//     (max_tenant_share); growing the farm is the only fix, so the tenant
+//     is never re-considered;
+//   * queue  — the tenant fits its quota but the farm's committed demand
+//     would exceed the capacity budget (max_utilization); queued tenants
+//     are retried in submission order whenever drift frees capacity;
+//   * admit  — demand is committed against the budget.
+//
+// The same quota also caps drift: a deployed tenant whose traffic grows
+// past its share is clamped to it (counted, never violated), so a noisy
+// neighbour cannot squeeze the farm no matter what its drift stream does.
+
+#ifndef WSFLOW_FLEET_ADMISSION_H_
+#define WSFLOW_FLEET_ADMISSION_H_
+
+#include <cstddef>
+
+#include "src/common/result.h"
+#include "src/deploy/graph_view.h"
+#include "src/network/topology.h"
+
+namespace wsflow::fleet {
+
+/// Farm-level capacity policy, both knobs fractions of total farm Hz.
+struct FarmBudget {
+  /// Committed demand may not exceed this fraction of farm capacity.
+  double max_utilization = 0.9;
+  /// No single tenant's demand may exceed this fraction of farm capacity.
+  double max_tenant_share = 0.25;
+};
+
+enum class AdmissionDecision : uint8_t { kAdmitted, kQueued, kRejected };
+
+/// Cycles per second tenant demand at `weight` (mapping-independent):
+/// weight * Sum over operations of p(op) * C(op).
+double TenantDemandHz(const WorkflowView& view, double weight);
+
+/// Tracks committed demand against the farm capacity budget.
+class AdmissionController {
+ public:
+  /// `capacity_hz` is the farm's total power (Network::TotalPowerHz).
+  AdmissionController(double capacity_hz, const FarmBudget& budget);
+
+  /// Classifies `demand_hz` against the quota and the remaining budget.
+  /// Does not commit — call Commit on kAdmitted.
+  AdmissionDecision Decide(double demand_hz) const;
+
+  /// Books admitted demand against the budget.
+  void Commit(double demand_hz);
+
+  /// Returns demand to the pool (a shrunk or evicted tenant). Clamped at 0.
+  void Release(double demand_hz);
+
+  /// Largest weight multiplier the per-tenant quota allows for a tenant of
+  /// `unit_demand_hz` (its demand at weight 1). Infinity when the unit
+  /// demand is 0.
+  double MaxWeightForQuota(double unit_demand_hz) const;
+
+  double capacity_hz() const { return capacity_hz_; }
+  double committed_hz() const { return committed_hz_; }
+  /// committed / capacity.
+  double utilization() const;
+  const FarmBudget& budget() const { return budget_; }
+
+ private:
+  double capacity_hz_;
+  FarmBudget budget_;
+  double committed_hz_ = 0;
+};
+
+}  // namespace wsflow::fleet
+
+#endif  // WSFLOW_FLEET_ADMISSION_H_

@@ -1,0 +1,342 @@
+#include "src/fleet/controller.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <thread>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/stats.h"
+#include "src/deploy/graph_view.h"
+
+namespace wsflow::fleet {
+
+namespace {
+
+size_t ResolveThreads(size_t requested, size_t tasks) {
+  size_t threads = requested;
+  if (threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : hw;
+  }
+  if (threads > tasks) threads = tasks;
+  return threads == 0 ? 1 : threads;
+}
+
+/// Runs fn(0..tasks-1) over a worker pool pulling indices from a shared
+/// counter (src/deploy/parallel.cc's pattern). fn writes only per-index
+/// state, so the interleaving cannot affect the outcome.
+void RunOnThreads(size_t threads, size_t tasks,
+                  const std::function<void(size_t)>& fn) {
+  if (tasks == 0) return;
+  if (threads <= 1 || tasks == 1) {
+    for (size_t i = 0; i < tasks; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&next, tasks, &fn] {
+    for (size_t i = next.fetch_add(1); i < tasks; i = next.fetch_add(1)) {
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (size_t t = 0; t + 1 < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace
+
+FleetController::FleetController(std::vector<const CostModel*> archetypes,
+                                 const FleetOptions& options,
+                                 serve::ServeMetrics* metrics)
+    : archetypes_(std::move(archetypes)),
+      options_(options),
+      metrics_(metrics),
+      admission_(archetypes_.empty()
+                     ? 1.0
+                     : archetypes_.front()->network().TotalPowerHz(),
+                 options.budget),
+      ledger_(archetypes_.empty()
+                  ? 0
+                  : archetypes_.front()->network().num_servers()) {
+  WSFLOW_CHECK(!archetypes_.empty()) << "fleet needs at least one archetype";
+  const Network* net = &archetypes_.front()->network();
+  unit_demand_hz_.reserve(archetypes_.size());
+  for (const CostModel* model : archetypes_) {
+    WSFLOW_CHECK(model != nullptr) << "null archetype model";
+    WSFLOW_CHECK(&model->network() == net)
+        << "archetypes must share one farm network";
+    ExecutionProfile profile = model->ProfileSnapshot();
+    WorkflowView view(model->workflow(), &profile);
+    unit_demand_hz_.push_back(TenantDemandHz(view, 1.0));
+  }
+}
+
+Status FleetController::DeployTenant(size_t id, size_t* evaluations) {
+  TenantState& t = tenants_[id];
+  MigrationOptions opt;
+  opt.eval_budget = options_.deploy_eval_budget;
+  opt.use_swaps = options_.use_swaps;
+  opt.cost_options = options_.cost_options;
+  WSFLOW_ASSIGN_OR_RETURN(
+      MigrationResult placed,
+      RedeployTenantFromScratch(ModelOf(t), t.weight, ledger_.loads(), opt));
+  t.mapping = std::move(placed.mapping);
+  t.own_load = ComputeTenantLoad(ModelOf(t), t.mapping);
+  t.execution_time = placed.cost.execution_time;
+  t.deployed_cost = placed.cost.combined;
+  t.current_cost = placed.cost.combined;
+  t.status = TenantStatus::kDeployed;
+  ledger_.Add(t.own_load, t.weight);
+  *evaluations += placed.polish_evaluations;
+  return Status::OK();
+}
+
+Result<size_t> FleetController::Submit(const TenantSpec& spec) {
+  if (spec.archetype >= archetypes_.size()) {
+    return Status::InvalidArgument("unknown archetype");
+  }
+  if (!std::isfinite(spec.weight) || spec.weight <= 0) {
+    return Status::InvalidArgument("tenant weight must be finite and > 0");
+  }
+  const size_t id = tenants_.size();
+  TenantState t;
+  t.spec = spec;
+  t.weight = spec.weight;
+  tenants_.push_back(std::move(t));
+  drift_.emplace_back(spec.drift_seed, options_.drift);
+
+  const double demand = spec.weight * unit_demand_hz_[spec.archetype];
+  switch (admission_.Decide(demand)) {
+    case AdmissionDecision::kRejected:
+      tenants_[id].status = TenantStatus::kRejected;
+      ++total_rejections_;
+      if (metrics_ != nullptr) metrics_->RecordTenantRejected();
+      break;
+    case AdmissionDecision::kQueued:
+      tenants_[id].status = TenantStatus::kQueued;
+      queue_.push_back(id);
+      if (metrics_ != nullptr) metrics_->RecordTenantQueued();
+      break;
+    case AdmissionDecision::kAdmitted: {
+      admission_.Commit(demand);
+      size_t evaluations = 0;
+      Status deployed = DeployTenant(id, &evaluations);
+      total_evaluations_ += evaluations;
+      if (!deployed.ok()) {
+        admission_.Release(demand);
+        tenants_.pop_back();
+        drift_.pop_back();
+        return deployed;
+      }
+      if (metrics_ != nullptr) metrics_->RecordTenantAdmitted();
+      break;
+    }
+  }
+  return id;
+}
+
+void FleetController::ResumLedger() {
+  ledger_.Clear();
+  for (const TenantState& t : tenants_) {
+    if (t.status == TenantStatus::kDeployed) {
+      ledger_.Add(t.own_load, t.weight);
+    }
+  }
+}
+
+Result<EpochReport> FleetController::RunEpoch() {
+  EpochReport report;
+  report.epoch = ++epoch_;
+
+  // 1. Drift, in tenant order. Growth is clamped twice: to the per-tenant
+  // quota (a noisy neighbour never exceeds its share) and to the farm's
+  // remaining capacity budget (committed demand never exceeds the budget).
+  // Shrinking always goes through — freed capacity feeds the queue below.
+  for (size_t id = 0; id < tenants_.size(); ++id) {
+    TenantState& t = tenants_[id];
+    if (t.status != TenantStatus::kDeployed) continue;
+    const double unit = UnitDemand(t);
+    const double old_weight = t.weight;
+    double next = drift_[id].Next(old_weight);
+    bool clamped = false;
+    const double quota_cap = admission_.MaxWeightForQuota(unit);
+    if (next > quota_cap) {
+      next = quota_cap;
+      clamped = true;
+    }
+    if (next > old_weight && unit > 0) {
+      const double headroom = admission_.budget().max_utilization *
+                                  admission_.capacity_hz() -
+                              admission_.committed_hz();
+      const double budget_cap = old_weight + std::max(0.0, headroom) / unit;
+      if (next > budget_cap) {
+        next = std::max(old_weight, budget_cap);
+        clamped = true;
+      }
+    }
+    if (clamped) {
+      ++report.weight_clamps;
+      ++total_clamps_;
+    }
+    admission_.Release(old_weight * unit);
+    admission_.Commit(next * unit);
+    t.weight = next;
+  }
+
+  // 2. Promote queued tenants in submission order while capacity lasts.
+  std::vector<size_t> still_queued;
+  still_queued.reserve(queue_.size());
+  for (size_t id : queue_) {
+    TenantState& t = tenants_[id];
+    const double demand = t.weight * UnitDemand(t);
+    if (admission_.Decide(demand) == AdmissionDecision::kAdmitted) {
+      admission_.Commit(demand);
+      size_t evaluations = 0;
+      Status deployed = DeployTenant(id, &evaluations);
+      total_evaluations_ += evaluations;
+      report.polish_evaluations += evaluations;
+      if (!deployed.ok()) return deployed;
+      ++report.admitted;
+      if (metrics_ != nullptr) metrics_->RecordTenantAdmitted();
+    } else {
+      still_queued.push_back(id);
+    }
+  }
+  queue_ = std::move(still_queued);
+
+  // 3. Fresh farm ledger and per-tenant shared costs under the new
+  // weights. The fairness penalty is a farm-global statistic; each
+  // tenant's cost pairs it with that tenant's own execution time.
+  ResumLedger();
+  double penalty = ledger_.FarmPenalty();
+  auto shared_cost = [&](const TenantState& t) {
+    return options_.cost_options.execution_weight * t.execution_time +
+           options_.cost_options.fairness_weight * penalty;
+  };
+  for (TenantState& t : tenants_) {
+    if (t.status == TenantStatus::kDeployed) t.current_cost = shared_cost(t);
+  }
+
+  // 4. Regression watch: collect tenants past the drift threshold, worst
+  // relative regression first (ties to the lower id), churn-bounded.
+  std::vector<size_t> wave;
+  for (size_t id = 0; id < tenants_.size(); ++id) {
+    const TenantState& t = tenants_[id];
+    if (t.status != TenantStatus::kDeployed) continue;
+    if (t.current_cost >
+        (1.0 + options_.drift_threshold) * t.deployed_cost) {
+      wave.push_back(id);
+    }
+  }
+  auto regression = [&](size_t id) {
+    const TenantState& t = tenants_[id];
+    return t.deployed_cost > 0 ? t.current_cost / t.deployed_cost
+                               : std::numeric_limits<double>::infinity();
+  };
+  std::stable_sort(wave.begin(), wave.end(), [&](size_t a, size_t b) {
+    return regression(a) > regression(b);
+  });
+  if (options_.max_migrations_per_epoch > 0 &&
+      wave.size() > options_.max_migrations_per_epoch) {
+    wave.resize(options_.max_migrations_per_epoch);
+  }
+
+  // 5. Migration wave. Every migration reads frozen epoch-start state (its
+  // own mapping plus the ledger minus its own contribution) and writes its
+  // own slot; the pool interleaving cannot leak into the results.
+  struct WaveSlot {
+    size_t id = 0;
+    std::vector<double> base;
+    Result<MigrationResult> result = Status::Internal("migration not run");
+  };
+  std::vector<WaveSlot> slots(wave.size());
+  for (size_t i = 0; i < wave.size(); ++i) {
+    slots[i].id = wave[i];
+    const TenantState& t = tenants_[wave[i]];
+    slots[i].base = ledger_.Excluding(t.own_load, t.weight);
+  }
+  MigrationOptions mopt;
+  mopt.eval_budget = options_.migration_eval_budget;
+  mopt.use_swaps = options_.use_swaps;
+  mopt.cost_options = options_.cost_options;
+  RunOnThreads(ResolveThreads(options_.threads, slots.size()), slots.size(),
+               [&](size_t i) {
+                 const TenantState& t = tenants_[slots[i].id];
+                 slots[i].result =
+                     MigrateTenant(ModelOf(t), t.mapping, t.weight,
+                                   slots[i].base, mopt);
+               });
+
+  // Apply in wave order (fixed above), accepting only strict improvements
+  // over the cost the watcher saw. A migrated tenant serves its stale
+  // mapping while the move lands — one degraded epoch.
+  for (WaveSlot& slot : slots) {
+    WSFLOW_RETURN_IF_ERROR(slot.result.status());
+    MigrationResult& moved = *slot.result;
+    TenantState& t = tenants_[slot.id];
+    ++report.migration_attempts;
+    report.polish_evaluations += moved.polish_evaluations;
+    total_evaluations_ += moved.polish_evaluations;
+    if (moved.moved && moved.cost.combined < t.current_cost) {
+      t.mapping = std::move(moved.mapping);
+      t.own_load = ComputeTenantLoad(ModelOf(t), t.mapping);
+      t.execution_time = moved.cost.execution_time;
+      ++t.migrations;
+      ++t.degraded_epochs;
+      ++report.migrations;
+      ++total_migrations_;
+      if (metrics_ != nullptr) {
+        metrics_->RecordMigration();
+        metrics_->RecordDegraded();
+      }
+    } else if (metrics_ != nullptr) {
+      metrics_->RecordMigrationStall();
+    }
+  }
+
+  // 6. Re-sum with the migrated mappings and re-anchor every attempted
+  // tenant's baseline, improved or not — a tenant already at its budgeted
+  // local optimum must not re-trigger the watcher every epoch.
+  if (!slots.empty()) {
+    ResumLedger();
+    penalty = ledger_.FarmPenalty();
+    for (TenantState& t : tenants_) {
+      if (t.status == TenantStatus::kDeployed) t.current_cost = shared_cost(t);
+    }
+    for (const WaveSlot& slot : slots) {
+      tenants_[slot.id].deployed_cost = tenants_[slot.id].current_cost;
+    }
+  }
+
+  // 7. Report.
+  std::vector<double> costs;
+  for (const TenantState& t : tenants_) {
+    switch (t.status) {
+      case TenantStatus::kDeployed:
+        ++report.deployed;
+        costs.push_back(t.current_cost);
+        break;
+      case TenantStatus::kQueued:
+        ++report.queued;
+        break;
+      case TenantStatus::kRejected:
+        ++report.rejected;
+        break;
+    }
+  }
+  std::vector<double> q = Quantiles(std::move(costs), {0.5, 0.95, 0.99});
+  report.p50 = q[0];
+  report.p95 = q[1];
+  report.p99 = q[2];
+  report.farm_penalty = penalty;
+  report.utilization = admission_.utilization();
+  return report;
+}
+
+}  // namespace wsflow::fleet

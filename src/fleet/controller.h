@@ -1,0 +1,152 @@
+// wsflow: the multi-tenant fleet controller.
+//
+// One controller owns a shared farm: tenants are admitted against the
+// capacity budget (src/fleet/admission.h), placed with the shared-load
+// migration engine (src/fleet/migration.h), and watched as their seeded
+// traffic drift (src/fleet/tenant.h) erodes the fairness their mappings
+// were optimized for. The epoch loop is the serving story of the paper's
+// static deployment problem:
+//
+//   drift -> admit from the queue -> re-sum the farm ledger -> watch
+//   per-tenant cost regression -> migrate the worst offenders -> re-anchor
+//
+// A tenant migrates when its shared cost regresses past drift_threshold
+// relative to the cost recorded at its last (re)deployment. Migrations are
+// budgeted warm-start polishes and at most max_migrations_per_epoch run
+// per epoch, so redeployment churn is bounded no matter how hard traffic
+// moves. Tenants that migrate serve stale answers for that epoch; the
+// degraded epochs are counted per tenant and in the serve metrics.
+//
+// Determinism contract (mirrors src/deploy/parallel.h): every epoch is a
+// pure function of (archetypes, options, submission order, drift seeds).
+// The migration wave runs on a worker pool, but each migration reads only
+// frozen epoch-start state and writes its own slot; results are applied in
+// a fixed order, and the ledger is re-summed from scratch in tenant order
+// — byte-identical reports on 1 thread or 64.
+
+#ifndef WSFLOW_FLEET_CONTROLLER_H_
+#define WSFLOW_FLEET_CONTROLLER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/cost/cost_model.h"
+#include "src/cost/shared_load.h"
+#include "src/fleet/admission.h"
+#include "src/fleet/migration.h"
+#include "src/fleet/tenant.h"
+#include "src/serve/metrics.h"
+
+namespace wsflow::fleet {
+
+struct FleetOptions {
+  /// Farm capacity policy.
+  FarmBudget budget;
+  /// Traffic drift applied to every deployed tenant each epoch.
+  DriftOptions drift;
+  /// Objective weights of the shared per-tenant cost.
+  CostOptions cost_options;
+  /// Migrate when current cost exceeds (1 + drift_threshold) times the
+  /// cost recorded at the tenant's last (re)deployment.
+  double drift_threshold = 0.10;
+  /// Concurrent-churn bound: migrations attempted per epoch (0 = all
+  /// regressed tenants).
+  size_t max_migrations_per_epoch = 8;
+  /// Eval budget of each warm migration polish (0 = unlimited).
+  size_t migration_eval_budget = 256;
+  /// Eval budget of each first-time deployment (0 = unlimited).
+  size_t deploy_eval_budget = 1024;
+  /// Also sweep swap fans in the polishes.
+  bool use_swaps = false;
+  /// Worker threads of the migration wave; 0 = hardware concurrency.
+  /// NOT part of the result — any thread count yields identical epochs.
+  size_t threads = 1;
+};
+
+/// What one epoch did, in deterministic counters and cost percentiles.
+struct EpochReport {
+  size_t epoch = 0;             ///< 1-based epoch number.
+  size_t deployed = 0;          ///< Tenants serving at epoch end.
+  size_t queued = 0;            ///< Tenants still waiting for capacity.
+  size_t rejected = 0;          ///< Tenants rejected so far (lifetime).
+  size_t admitted = 0;          ///< Queue promotions this epoch.
+  size_t migration_attempts = 0;///< Polishes run this epoch.
+  size_t migrations = 0;        ///< Polishes that landed a better mapping.
+  size_t weight_clamps = 0;     ///< Drift steps clamped by quota/budget.
+  size_t polish_evaluations = 0;///< Delta evals spent this epoch.
+  double p50 = 0;               ///< Per-tenant shared cost percentiles
+  double p95 = 0;               ///< over the deployed population, at
+  double p99 = 0;               ///< epoch end.
+  double farm_penalty = 0;      ///< Fairness penalty of the farm ledger.
+  double utilization = 0;       ///< Committed / capacity.
+};
+
+class FleetController {
+ public:
+  /// `archetypes` are warmed cost models over the SAME network, one per
+  /// workflow template tenants instantiate; they must outlive the
+  /// controller. `metrics` may be null; when set, admission and migration
+  /// events are also recorded there.
+  FleetController(std::vector<const CostModel*> archetypes,
+                  const FleetOptions& options,
+                  serve::ServeMetrics* metrics = nullptr);
+
+  /// Submits a tenant: decides admission, deploys immediately when the
+  /// farm has room, queues or rejects otherwise. Returns the tenant id.
+  Result<size_t> Submit(const TenantSpec& spec);
+
+  /// One epoch of the serving loop: drift, queue promotion, regression
+  /// watch, bounded migration wave, re-anchor, report.
+  Result<EpochReport> RunEpoch();
+
+  size_t num_tenants() const { return tenants_.size(); }
+  const TenantState& tenant(size_t id) const { return tenants_[id]; }
+  const AdmissionController& admission() const { return admission_; }
+  const FarmLoadLedger& ledger() const { return ledger_; }
+  const FleetOptions& options() const { return options_; }
+
+  size_t epochs_run() const { return epoch_; }
+  /// Lifetime totals across every epoch (and initial deployments).
+  size_t total_migrations() const { return total_migrations_; }
+  size_t total_rejections() const { return total_rejections_; }
+  size_t total_clamps() const { return total_clamps_; }
+  size_t total_evaluations() const { return total_evaluations_; }
+
+ private:
+  const CostModel& ModelOf(const TenantState& t) const {
+    return *archetypes_[t.spec.archetype];
+  }
+  double UnitDemand(const TenantState& t) const {
+    return unit_demand_hz_[t.spec.archetype];
+  }
+
+  /// From-scratch placement against the current ledger; commits the
+  /// tenant's load and marks it deployed.
+  Status DeployTenant(size_t id, size_t* evaluations);
+
+  /// Clear + Add over deployed tenants in id order.
+  void ResumLedger();
+
+  std::vector<const CostModel*> archetypes_;
+  std::vector<double> unit_demand_hz_;  ///< Demand at weight 1, per archetype.
+  FleetOptions options_;
+  serve::ServeMetrics* metrics_;  // may be null
+
+  AdmissionController admission_;
+  FarmLoadLedger ledger_;
+  std::vector<TenantState> tenants_;
+  std::vector<DriftStream> drift_;   ///< Parallel to tenants_.
+  std::vector<size_t> queue_;        ///< Queued tenant ids, submission order.
+
+  size_t epoch_ = 0;
+  size_t total_migrations_ = 0;
+  size_t total_rejections_ = 0;
+  size_t total_clamps_ = 0;
+  size_t total_evaluations_ = 0;
+};
+
+}  // namespace wsflow::fleet
+
+#endif  // WSFLOW_FLEET_CONTROLLER_H_

@@ -1,0 +1,231 @@
+#include "src/fleet/migration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/deploy/graph_view.h"
+
+namespace wsflow::fleet {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Strict improvement with the relative ulp margin (repair.cc's guard).
+bool Accepts(double cost, double incumbent, double margin) {
+  if (!std::isfinite(incumbent)) return cost < incumbent;
+  return cost < incumbent - margin * (1.0 + std::fabs(incumbent));
+}
+
+Status CheckInputs(const CostModel& model, double weight,
+                   std::span<const double> base_loads) {
+  if (!std::isfinite(weight) || weight <= 0) {
+    return Status::InvalidArgument("tenant weight must be finite and > 0");
+  }
+  if (!base_loads.empty() &&
+      base_loads.size() != model.network().num_servers()) {
+    return Status::InvalidArgument(
+        "base_loads size does not match the network");
+  }
+  for (double l : base_loads) {
+    if (!std::isfinite(l) || l < 0) {
+      return Status::InvalidArgument("base loads must be finite and >= 0");
+    }
+  }
+  return Status::OK();
+}
+
+/// Best-improvement descent on the shared-load evaluator: the repair
+/// polish minus the mask, plus the farm context in the tuning.
+Status Polish(const CostModel& model, double weight,
+              std::span<const double> base_loads,
+              const MigrationOptions& options, Mapping* mapping,
+              MigrationResult* result) {
+  EvalTuning tuning = options.tuning;
+  tuning.base_loads.assign(base_loads.begin(), base_loads.end());
+  tuning.load_scale = weight;
+  WSFLOW_ASSIGN_OR_RETURN(
+      IncrementalEvaluator eval,
+      IncrementalEvaluator::Bind(model, *mapping, options.cost_options,
+                                 tuning));
+
+  const size_t M = model.workflow().num_operations();
+  const size_t N = model.network().num_servers();
+  std::vector<ServerId> candidates;
+  candidates.reserve(N);
+  for (uint32_t s = 0; s < N; ++s) {
+    if (tuning.mask.alive(ServerId(s))) candidates.push_back(ServerId(s));
+  }
+
+  const size_t budget = options.eval_budget;
+  auto used = [&eval] { return eval.counters().delta_evaluations; };
+  auto budget_allows = [&](size_t fan) {
+    return budget == 0 || used() + fan <= budget;
+  };
+
+  double incumbent = kInf;
+  if (budget_allows(1)) {
+    Result<double> start = eval.Combined();
+    if (start.ok()) incumbent = *start;
+  }
+
+  std::vector<double> costs;
+  std::vector<OperationId> partners;
+  bool improved = true;
+  while (improved && !result->budget_exhausted) {
+    improved = false;
+    double best_cost = incumbent;
+    bool best_is_swap = false;
+    OperationId best_a;
+    OperationId best_b;
+    ServerId best_server;
+
+    for (uint32_t op = 0; op < M && !result->budget_exhausted; ++op) {
+      if (!budget_allows(candidates.size())) {
+        result->budget_exhausted = true;
+        break;
+      }
+      costs.resize(candidates.size());
+      WSFLOW_RETURN_IF_ERROR(
+          eval.ScoreMoves(OperationId(op), candidates, costs));
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if (Accepts(costs[i], best_cost, options.min_improvement)) {
+          best_cost = costs[i];
+          best_is_swap = false;
+          best_a = OperationId(op);
+          best_server = candidates[i];
+        }
+      }
+    }
+    if (options.use_swaps) {
+      for (uint32_t a = 0; a < M && !result->budget_exhausted; ++a) {
+        partners.clear();
+        for (uint32_t b = a + 1; b < M; ++b) {
+          if (eval.mapping().ServerOf(OperationId(a)) !=
+              eval.mapping().ServerOf(OperationId(b))) {
+            partners.push_back(OperationId(b));
+          }
+        }
+        if (partners.empty()) continue;
+        if (!budget_allows(partners.size())) {
+          result->budget_exhausted = true;
+          break;
+        }
+        costs.resize(partners.size());
+        WSFLOW_RETURN_IF_ERROR(eval.ScoreSwaps(OperationId(a), partners,
+                                               costs));
+        for (size_t i = 0; i < partners.size(); ++i) {
+          if (Accepts(costs[i], best_cost, options.min_improvement)) {
+            best_cost = costs[i];
+            best_is_swap = true;
+            best_a = OperationId(a);
+            best_b = partners[i];
+          }
+        }
+      }
+    }
+
+    if (best_a.valid()) {
+      if (best_is_swap) {
+        WSFLOW_RETURN_IF_ERROR(eval.Swap(best_a, best_b));
+      } else {
+        WSFLOW_RETURN_IF_ERROR(eval.Apply(best_a, best_server));
+      }
+      eval.ClearHistory();
+      incumbent = best_cost;
+      improved = true;
+    }
+  }
+
+  *mapping = eval.mapping();
+  result->polish_evaluations = used();
+  result->counters = eval.counters();
+  return Status::OK();
+}
+
+Result<MigrationResult> Run(const CostModel& model, Mapping seed,
+                            double weight, std::span<const double> base_loads,
+                            const MigrationOptions& options) {
+  MigrationResult result;
+  const Mapping before = seed;
+  WSFLOW_RETURN_IF_ERROR(
+      Polish(model, weight, base_loads, options, &seed, &result));
+  result.moved = !(seed == before);
+  result.mapping = std::move(seed);
+  WSFLOW_ASSIGN_OR_RETURN(
+      result.cost, SharedEvaluate(model, result.mapping, weight, base_loads,
+                                  options.cost_options));
+  return result;
+}
+
+}  // namespace
+
+Mapping SeedSharedMapping(const CostModel& model, double weight,
+                          std::span<const double> base_loads) {
+  const Workflow& w = model.workflow();
+  const Network& n = model.network();
+  const size_t M = w.num_operations();
+  const size_t N = n.num_servers();
+
+  // Heaviest-first worst fit against the combined farm loads: big
+  // operations choose their server while the farm is emptiest, the tail
+  // fills the valleys they leave.
+  ExecutionProfile profile = model.ProfileSnapshot();
+  WorkflowView view(w, &profile);
+  std::vector<uint32_t> order(M);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return view.Cycles(OperationId(a)) > view.Cycles(OperationId(b));
+  });
+
+  std::vector<double> loads(base_loads.begin(), base_loads.end());
+  loads.resize(N, 0.0);
+  Mapping m(M);
+  for (uint32_t op : order) {
+    const double prob = model.OperationProb(OperationId(op));
+    uint32_t best = 0;
+    double best_load = kInf;
+    for (uint32_t s = 0; s < N; ++s) {
+      const double after =
+          loads[s] + weight * prob * model.TprocOn(OperationId(op),
+                                                   ServerId(s));
+      if (after < best_load) {
+        best_load = after;
+        best = s;
+      }
+    }
+    m.Assign(OperationId(op), ServerId(best));
+    loads[best] = best_load;
+  }
+  return m;
+}
+
+Result<MigrationResult> MigrateTenant(const CostModel& model,
+                                      const Mapping& current, double weight,
+                                      std::span<const double> base_loads,
+                                      const MigrationOptions& options) {
+  WSFLOW_RETURN_IF_ERROR(CheckInputs(model, weight, base_loads));
+  if (current.num_operations() != model.workflow().num_operations()) {
+    return Status::InvalidArgument(
+        "mapping does not match the model's workflow");
+  }
+  if (!current.IsTotal()) {
+    return Status::InvalidArgument("migration needs a total warm mapping");
+  }
+  return Run(model, current, weight, base_loads, options);
+}
+
+Result<MigrationResult> RedeployTenantFromScratch(
+    const CostModel& model, double weight,
+    std::span<const double> base_loads, const MigrationOptions& options) {
+  WSFLOW_RETURN_IF_ERROR(CheckInputs(model, weight, base_loads));
+  return Run(model, SeedSharedMapping(model, weight, base_loads), weight,
+             base_loads, options);
+}
+
+}  // namespace wsflow::fleet

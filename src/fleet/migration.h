@@ -1,0 +1,86 @@
+// wsflow: drift-driven tenant re-deployment on the shared farm.
+//
+// Traffic drift is a softer fault: nothing is orphaned, the current
+// mapping still routes, it is merely no longer near-optimal under the new
+// weights. MigrateTenant therefore runs the RepairMapping recipe minus the
+// seeding phase — the drifted mapping *is* the warm seed — as an
+// eval-budgeted best-improvement descent over the batched ScoreMoves /
+// ScoreSwaps fans of an IncrementalEvaluator bound with the shared-load
+// tuning (base_loads = the rest of the farm, load_scale = the tenant's QPS
+// weight). The budget makes migration latency predictable; the warm start
+// is what makes continuous redeployment affordable at fleet scale.
+//
+// RedeployTenantFromScratch is the quality yardstick (and the cold path
+// for first-time placement): a greedy shared-load seed polished with the
+// same machinery, unbudgeted unless told otherwise. The fleet test suite
+// enforces the RepairMapping bar against it: warm-start migration reaches
+// <= 110% of the from-scratch cost at <= 20% of its evaluations.
+//
+// Everything is deterministic — no randomness, strict-improvement
+// acceptance, first-best tie-breaks — so a migration replays bit-for-bit.
+
+#ifndef WSFLOW_FLEET_MIGRATION_H_
+#define WSFLOW_FLEET_MIGRATION_H_
+
+#include <cstddef>
+#include <span>
+
+#include "src/common/result.h"
+#include "src/cost/cost_model.h"
+#include "src/cost/incremental.h"
+#include "src/cost/shared_load.h"
+#include "src/deploy/mapping.h"
+
+namespace wsflow::fleet {
+
+struct MigrationOptions {
+  /// Delta-evaluation budget of the polish (0 = unlimited).
+  size_t eval_budget = 256;
+  /// Also sweep ScoreSwaps fans in each polish pass.
+  bool use_swaps = false;
+  /// Objective weights of the shared evaluation.
+  CostOptions cost_options;
+  /// Evaluator knobs; base_loads and load_scale are overwritten with the
+  /// migration's farm context.
+  EvalTuning tuning;
+  /// Relative strict-improvement margin (the ulp guard local search uses).
+  double min_improvement = 1e-12;
+};
+
+struct MigrationResult {
+  Mapping mapping;
+  /// Shared-load breakdown of `mapping` (execution time + farm penalty).
+  CostBreakdown cost;
+  /// Delta evaluations the polish consumed (incumbent included).
+  size_t polish_evaluations = 0;
+  /// True when polish stopped on the budget instead of a local optimum.
+  bool budget_exhausted = false;
+  /// True when the polished mapping differs from the seed.
+  bool moved = false;
+  /// The polish evaluator's counters.
+  EvalCounters counters;
+};
+
+/// Greedy shared-load seed: operations in descending weighted cycle order,
+/// each placed on the server where the combined load (base + already
+/// placed operations) ends up smallest. Deterministic; O(M log M + M * N).
+Mapping SeedSharedMapping(const CostModel& model, double weight,
+                          std::span<const double> base_loads);
+
+/// Warm-start re-deployment of one tenant: polishes `current` (which must
+/// be total) against the farm context. `base_loads` must be empty or one
+/// finite non-negative entry per server; `weight` finite and > 0.
+Result<MigrationResult> MigrateTenant(const CostModel& model,
+                                      const Mapping& current, double weight,
+                                      std::span<const double> base_loads,
+                                      const MigrationOptions& options = {});
+
+/// The quality yardstick and cold-placement path: greedy seed, then the
+/// same polish (unlimited unless options.eval_budget says otherwise).
+Result<MigrationResult> RedeployTenantFromScratch(
+    const CostModel& model, double weight,
+    std::span<const double> base_loads, const MigrationOptions& options = {});
+
+}  // namespace wsflow::fleet
+
+#endif  // WSFLOW_FLEET_MIGRATION_H_

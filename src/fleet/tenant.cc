@@ -1,0 +1,16 @@
+#include "src/fleet/tenant.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wsflow::fleet {
+
+double DriftStream::Next(double current) {
+  // One draw per epoch even at sigma 0 keeps trajectories comparable
+  // across drift settings (the stream position depends only on the epoch).
+  const double u = rng_.NextDouble(-1.0, 1.0);
+  double next = current * std::exp(options_.sigma * u);
+  return std::clamp(next, options_.min_weight, options_.max_weight);
+}
+
+}  // namespace wsflow::fleet

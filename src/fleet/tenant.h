@@ -1,0 +1,92 @@
+// wsflow: tenant registry types and seeded traffic drift.
+//
+// A tenant is one workflow instance admitted onto the shared farm with a
+// QPS weight that scales its load contribution (src/cost/shared_load.h).
+// Thousands of tenants typically instantiate a few workflow *archetypes*
+// (the same service template sold to many customers), so the controller
+// shares one warmed CostModel per archetype and keeps per-tenant state to
+// a mapping, a weight and a drift stream.
+//
+// DriftStream models traffic drift as a seeded multiplicative random walk:
+// each epoch multiplies the weight by exp(sigma * u), u uniform in [-1, 1),
+// clamped into [min_weight, max_weight]. The walk is deterministic in its
+// seed — the same tenant replays the same traffic trajectory on every run,
+// platform and thread count, which is what makes fleet runs byte-identical.
+
+#ifndef WSFLOW_FLEET_TENANT_H_
+#define WSFLOW_FLEET_TENANT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/random.h"
+#include "src/cost/shared_load.h"
+#include "src/deploy/mapping.h"
+
+namespace wsflow::fleet {
+
+struct DriftOptions {
+  /// Step size of the multiplicative walk; 0 freezes every weight.
+  double sigma = 0.2;
+  /// Weight clamp range (quota clamping may restrict further).
+  double min_weight = 0.05;
+  double max_weight = 20.0;
+};
+
+/// Seeded, replayable per-tenant traffic drift.
+class DriftStream {
+ public:
+  DriftStream(uint64_t seed, const DriftOptions& options)
+      : rng_(seed), options_(options) {}
+
+  /// The next epoch's weight given the current one.
+  double Next(double current);
+
+ private:
+  Rng rng_;
+  DriftOptions options_;
+};
+
+/// What a tenant asks for at admission time.
+struct TenantSpec {
+  /// Index into the controller's archetype registry.
+  size_t archetype = 0;
+  /// Initial QPS weight.
+  double weight = 1.0;
+  /// Seed of this tenant's drift stream.
+  uint64_t drift_seed = 0;
+};
+
+/// Lifecycle of a submitted tenant.
+enum class TenantStatus : uint8_t {
+  kQueued,    ///< Waiting for farm capacity.
+  kDeployed,  ///< Admitted and placed.
+  kRejected,  ///< Demand breaches the per-tenant quota; never admitted.
+};
+
+/// Controller-side state of one tenant.
+struct TenantState {
+  TenantSpec spec;
+  TenantStatus status = TenantStatus::kQueued;
+  /// Current QPS weight (drifted, quota-clamped).
+  double weight = 1.0;
+  /// Current mapping on the farm (total once deployed).
+  Mapping mapping;
+  /// Sparse per-server load contribution of `mapping` at weight 1.
+  TenantLoadVector own_load;
+  /// T_execute of `mapping` (request latency; weight-independent).
+  double execution_time = 0;
+  /// Shared cost recorded when the mapping was last (re)deployed — the
+  /// baseline the drift watcher compares against.
+  double deployed_cost = 0;
+  /// Shared cost under the current epoch's weights.
+  double current_cost = 0;
+  /// Times this tenant was migrated.
+  size_t migrations = 0;
+  /// Epochs this tenant served stale answers while a migration landed.
+  size_t degraded_epochs = 0;
+};
+
+}  // namespace wsflow::fleet
+
+#endif  // WSFLOW_FLEET_TENANT_H_

@@ -70,6 +70,11 @@ MetricsSnapshot ServeMetrics::Snapshot() const {
   snap.degraded = degraded_.load(std::memory_order_relaxed);
   snap.repairs = repairs_.load(std::memory_order_relaxed);
   snap.repair_failures = repair_failures_.load(std::memory_order_relaxed);
+  snap.tenants_admitted = tenants_admitted_.load(std::memory_order_relaxed);
+  snap.tenants_queued = tenants_queued_.load(std::memory_order_relaxed);
+  snap.tenants_rejected = tenants_rejected_.load(std::memory_order_relaxed);
+  snap.migrations = migrations_.load(std::memory_order_relaxed);
+  snap.migration_stalls = migration_stalls_.load(std::memory_order_relaxed);
   snap.hit_latency = hit_latency_.Summarize();
   snap.miss_latency = miss_latency_.Summarize();
   snap.queue_wait = queue_wait_.Summarize();
@@ -109,6 +114,14 @@ std::string MetricsSnapshot::ToString() const {
      << " hit-rate=" << FormatDouble(HitRate() * 100, 4) << "%\n"
      << "  churn: degraded=" << degraded << " repairs=" << repairs
      << " repair-failures=" << repair_failures << "\n";
+  if (tenants_admitted + tenants_queued + tenants_rejected + migrations +
+          migration_stalls >
+      0) {
+    os << "  fleet: admitted=" << tenants_admitted
+       << " queued=" << tenants_queued << " rejected=" << tenants_rejected
+       << " migrations=" << migrations << " stalls=" << migration_stalls
+       << "\n";
+  }
   AppendLatencyLine(os, "hit latency ", hit_latency);
   AppendLatencyLine(os, "miss latency", miss_latency);
   AppendLatencyLine(os, "queue wait  ", queue_wait);

@@ -41,6 +41,13 @@ struct MetricsSnapshot {
   uint64_t repairs = 0;            ///< Successful repair-search runs.
   uint64_t repair_failures = 0;    ///< Repair runs ending still severed.
 
+  // Fleet-controller events (multi-tenant serving, src/fleet).
+  uint64_t tenants_admitted = 0;   ///< Tenants deployed onto the farm.
+  uint64_t tenants_queued = 0;     ///< Tenants parked for lack of capacity.
+  uint64_t tenants_rejected = 0;   ///< Tenants refused on the quota.
+  uint64_t migrations = 0;         ///< Drift migrations that landed.
+  uint64_t migration_stalls = 0;   ///< Migration polishes with no better map.
+
   LatencySummary hit_latency;   ///< Worker time of cache-hit requests.
   LatencySummary miss_latency;  ///< Worker time of cold requests.
   LatencySummary queue_wait;    ///< Time from Submit to worker pickup.
@@ -82,6 +89,28 @@ class ServeMetrics {
     repair_failures_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// A tenant admitted and deployed onto the shared farm.
+  void RecordTenantAdmitted() {
+    tenants_admitted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// A tenant queued until drift frees farm capacity.
+  void RecordTenantQueued() {
+    tenants_queued_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// A tenant whose demand breaches the per-tenant quota.
+  void RecordTenantRejected() {
+    tenants_rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// A drift migration that landed a strictly better mapping.
+  void RecordMigration() {
+    migrations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// A migration polish that found nothing better (already optimal or out
+  /// of budget).
+  void RecordMigrationStall() {
+    migration_stalls_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// A cache hit served in `service_s` worker seconds.
   void RecordHit(double service_s);
   /// A cold run taking `service_s` worker seconds.
@@ -114,6 +143,11 @@ class ServeMetrics {
   std::atomic<uint64_t> degraded_{0};
   std::atomic<uint64_t> repairs_{0};
   std::atomic<uint64_t> repair_failures_{0};
+  std::atomic<uint64_t> tenants_admitted_{0};
+  std::atomic<uint64_t> tenants_queued_{0};
+  std::atomic<uint64_t> tenants_rejected_{0};
+  std::atomic<uint64_t> migrations_{0};
+  std::atomic<uint64_t> migration_stalls_{0};
 
   SampleWindow hit_latency_;
   SampleWindow miss_latency_;

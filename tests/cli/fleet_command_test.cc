@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/cli/commands.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow::cli {
+namespace {
+
+std::string RunFleet(const std::vector<std::string>& extra) {
+  std::vector<std::string> args = {"--servers", "6",  "--ops",    "10",
+                                   "--tenants", "60", "--epochs", "15",
+                                   "--seed",    "42"};
+  args.insert(args.end(), extra.begin(), extra.end());
+  std::ostringstream out;
+  WSFLOW_EXPECT_OK(CmdFleet(args, out));
+  return out.str();
+}
+
+TEST(FleetCommandTest, ReportsEpochsTotalsAndCleanQuotaAudit) {
+  std::string out = RunFleet({});
+  EXPECT_NE(out.find("epoch"), std::string::npos) << out;
+  EXPECT_NE(out.find("totals:"), std::string::npos) << out;
+  // The independent audit recomputes every demand; it must come back clean.
+  EXPECT_NE(out.find("quota violations: 0"), std::string::npos) << out;
+}
+
+TEST(FleetCommandTest, OutputIsIdenticalAcrossThreadCounts) {
+  std::string one = RunFleet({"--threads", "1"});
+  std::string two = RunFleet({"--threads", "2"});
+  std::string four = RunFleet({"--threads", "4"});
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, four);
+}
+
+TEST(FleetCommandTest, SeedChangesTheRun) {
+  std::string a = RunFleet({"--seed", "1"});
+  std::string b = RunFleet({"--seed", "2"});
+  EXPECT_NE(a, b);
+}
+
+TEST(FleetCommandTest, DriftlessFleetNeverClamps) {
+  std::string out = RunFleet({"--drift", "0"});
+  EXPECT_NE(out.find(" clamps=0 "), std::string::npos) << out;
+  EXPECT_NE(out.find("quota violations: 0"), std::string::npos) << out;
+}
+
+TEST(FleetCommandTest, RejectsBadFlags) {
+  std::ostringstream out;
+  EXPECT_FALSE(CmdFleet({"--servers", "0"}, out).ok());
+  EXPECT_FALSE(CmdFleet({"--tenants", "0"}, out).ok());
+  EXPECT_FALSE(CmdFleet({"--epochs", "0"}, out).ok());
+  EXPECT_FALSE(CmdFleet({"--archetypes", "0"}, out).ok());
+  EXPECT_FALSE(CmdFleet({"--max-share", "0"}, out).ok());
+}
+
+}  // namespace
+}  // namespace wsflow::cli

@@ -104,15 +104,31 @@ TEST(IncrementalMaskedTest, EvaluatorAgreesWithColdModelUnderMask) {
     m.Assign(OperationId(i), ServerId(kAlive[i % 4]));
   }
 
-  EvalTuning tuning;
-  tuning.mask = mask;
-  IncrementalEvaluator eval = WSFLOW_UNWRAP(
-      IncrementalEvaluator::Bind(model, m, CostOptions{}, tuning));
   CostBreakdown cold =
       WSFLOW_UNWRAP(model.Evaluate(m, CostOptions{}, mask));
+
+  // The linear masked path reproduces the cold model bit-for-bit.
+  EvalTuning linear;
+  linear.mask = mask;
+  linear.use_load_index = false;
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, m, CostOptions{}, linear));
   EXPECT_EQ(WSFLOW_UNWRAP(eval.Combined()), cold.combined);
   EXPECT_EQ(eval.TimePenalty(), cold.time_penalty);
   EXPECT_EQ(WSFLOW_UNWRAP(eval.ExecutionTime()), cold.execution_time);
+
+  // The survivor load index sums deviations in tree order — same statistic
+  // to rounding, exact on the execution time (same guarantee the unmasked
+  // index tests assert).
+  EvalTuning indexed;
+  indexed.mask = mask;
+  IncrementalEvaluator fast = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, m, CostOptions{}, indexed));
+  EXPECT_NEAR(fast.TimePenalty(), cold.time_penalty,
+              1e-12 * (1 + std::fabs(cold.time_penalty)));
+  EXPECT_NEAR(WSFLOW_UNWRAP(fast.Combined()), cold.combined,
+              1e-12 * (1 + std::fabs(cold.combined)));
+  EXPECT_EQ(WSFLOW_UNWRAP(fast.ExecutionTime()), cold.execution_time);
 }
 
 TEST(IncrementalMaskedTest, MaskedPenaltyAveragesOverSurvivors) {
@@ -222,12 +238,15 @@ TEST(IncrementalMaskedTest, BatchScoresMatchApplyEvaluateUndoUnderMask) {
   }
 }
 
-TEST(IncrementalMaskedTest, MaskForcesThePenaltyOffTheLoadIndex) {
+TEST(IncrementalMaskedTest, MaskedLoadIndexStaysOnAndAnswersFast) {
+  // A non-trivial mask no longer forces the evaluator off the load index:
+  // the treap is rebuilt over the survivor cells, so masked fairness keeps
+  // the O(log N) path.
   Workflow w = testing::SimpleLine(6);
   Network n = testing::SimpleBus(4);
   CostModel model(w, n);
   EvalTuning tuning;
-  tuning.use_load_index = true;  // must be overridden by the mask
+  tuning.use_load_index = true;
   tuning.mask = MaskWithout(4, {3});
   Mapping m(6);
   for (uint32_t i = 0; i < 6; ++i) {
@@ -235,12 +254,62 @@ TEST(IncrementalMaskedTest, MaskForcesThePenaltyOffTheLoadIndex) {
   }
   IncrementalEvaluator eval = WSFLOW_UNWRAP(
       IncrementalEvaluator::Bind(model, m, CostOptions{}, tuning));
-  EXPECT_FALSE(eval.tuning().use_load_index);
+  EXPECT_TRUE(eval.tuning().use_load_index);
   std::vector<ServerId> candidates = {ServerId(0), ServerId(1), ServerId(2)};
   std::vector<double> costs(candidates.size());
   WSFLOW_ASSERT_OK(eval.ScoreMoves(OperationId(0), candidates, costs));
-  EXPECT_EQ(eval.counters().penalty_fast, 0u);
-  EXPECT_GT(eval.counters().penalty_full, 0u);
+  EXPECT_GT(eval.counters().penalty_fast, 0u);
+  EXPECT_EQ(eval.counters().penalty_full, 0u);
+}
+
+TEST(IncrementalMaskedTest, MaskedIndexMatchesMaskedLinearPathBitForBit) {
+  // Bit-parity of the survivor-treap fast path against the masked O(N)
+  // reference: same mapping, same move sequence, every batched score and
+  // every applied Combined() must agree exactly — not approximately.
+  Workflow w = testing::AllDecisionGraph();
+  ExecutionProfile profile = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  Network n = testing::SimpleBus(6);
+  CostModel model(w, n, &profile);
+  ServerMask mask = MaskWithout(6, {2, 5});
+
+  Mapping m(w.num_operations());
+  static constexpr uint32_t kAlive[] = {0, 1, 3, 4};
+  for (uint32_t i = 0; i < w.num_operations(); ++i) {
+    m.Assign(OperationId(i), ServerId(kAlive[i % 4]));
+  }
+  EvalTuning with_index;
+  with_index.mask = mask;
+  with_index.use_load_index = true;
+  EvalTuning linear;
+  linear.mask = mask;
+  linear.use_load_index = false;
+  IncrementalEvaluator fast = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, m, CostOptions{}, with_index));
+  IncrementalEvaluator slow = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, m, CostOptions{}, linear));
+
+  std::vector<ServerId> candidates = {ServerId(0), ServerId(1), ServerId(3),
+                                      ServerId(4)};
+  std::vector<double> fast_costs(candidates.size());
+  std::vector<double> slow_costs(candidates.size());
+  for (uint32_t op = 0; op < w.num_operations(); ++op) {
+    WSFLOW_ASSERT_OK(fast.ScoreMoves(OperationId(op), candidates, fast_costs));
+    WSFLOW_ASSERT_OK(slow.ScoreMoves(OperationId(op), candidates, slow_costs));
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      EXPECT_EQ(fast_costs[i], slow_costs[i])
+          << "op " << op << " -> s" << candidates[i].value;
+    }
+    // Walk both evaluators through the same accepted move.
+    ServerId pick = candidates[op % candidates.size()];
+    WSFLOW_ASSERT_OK(fast.Apply(OperationId(op), pick));
+    WSFLOW_ASSERT_OK(slow.Apply(OperationId(op), pick));
+    fast.ClearHistory();
+    slow.ClearHistory();
+    EXPECT_EQ(WSFLOW_UNWRAP(fast.Combined()), WSFLOW_UNWRAP(slow.Combined()));
+    EXPECT_EQ(fast.TimePenalty(), slow.TimePenalty());
+  }
+  EXPECT_GT(fast.counters().penalty_fast, 0u);
+  EXPECT_GT(slow.counters().penalty_full, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,191 @@
+// Shared-load cost model: tenant load vectors, the farm ledger and the
+// cold SharedEvaluate reference, plus agreement with the base_loads /
+// load_scale tuning of the IncrementalEvaluator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/cost/cost_model.h"
+#include "src/cost/incremental.h"
+#include "src/cost/shared_load.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+TEST(SharedLoadTest, TenantLoadVectorIsSparseSortedAndSumsToLoads) {
+  Workflow w = testing::SimpleLine(6);
+  Network n = testing::SimpleBus(4);
+  CostModel model(w, n);
+  Mapping m(6);
+  // Only servers 0 and 2 host anything.
+  for (uint32_t i = 0; i < 6; ++i) {
+    m.Assign(OperationId(i), ServerId(i % 2 == 0 ? 0 : 2));
+  }
+  TenantLoadVector v = ComputeTenantLoad(model, m);
+  ASSERT_EQ(v.servers.size(), 2u);
+  EXPECT_EQ(v.servers[0], 0u);
+  EXPECT_EQ(v.servers[1], 2u);
+  std::vector<double> dense = model.Loads(m);
+  EXPECT_DOUBLE_EQ(v.loads[0], dense[0]);
+  EXPECT_DOUBLE_EQ(v.loads[1], dense[2]);
+  EXPECT_DOUBLE_EQ(v.total, dense[0] + dense[2]);
+}
+
+TEST(SharedLoadTest, LedgerCombinesWeightedTenantsAndExcludes) {
+  Workflow w = testing::SimpleLine(4);
+  Network n = testing::SimpleBus(3);
+  CostModel model(w, n);
+  Mapping a = testing::RoundRobin(4, 3);
+  Mapping b = testing::AllOnServer(4, ServerId(1));
+  TenantLoadVector va = ComputeTenantLoad(model, a);
+  TenantLoadVector vb = ComputeTenantLoad(model, b);
+
+  FarmLoadLedger ledger(3);
+  ledger.Add(va, 2.0);
+  ledger.Add(vb, 0.5);
+  std::vector<double> la = model.Loads(a);
+  std::vector<double> lb = model.Loads(b);
+  for (size_t s = 0; s < 3; ++s) {
+    EXPECT_NEAR(ledger.loads()[s], 2.0 * la[s] + 0.5 * lb[s], 1e-15);
+  }
+  // Excluding tenant b leaves exactly tenant a's weighted loads.
+  std::vector<double> base = ledger.Excluding(vb, 0.5);
+  for (size_t s = 0; s < 3; ++s) {
+    EXPECT_NEAR(base[s], 2.0 * la[s], 1e-12);
+  }
+  // Penalty matches the hand-computed fairness statistic.
+  double avg = ledger.TotalLoad() / 3.0;
+  double expected = 0;
+  for (double l : ledger.loads()) expected += std::fabs(l - avg) / 2.0;
+  EXPECT_DOUBLE_EQ(ledger.FarmPenalty(), expected);
+
+  ledger.Clear();
+  EXPECT_EQ(ledger.TotalLoad(), 0.0);
+}
+
+TEST(SharedLoadTest, SharedEvaluateMatchesPlainEvaluateWhenAlone) {
+  // One tenant at weight 1 with no background load is exactly the paper's
+  // single-workflow evaluation.
+  Workflow w = testing::AllDecisionGraph();
+  ExecutionProfile profile = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  Network n = testing::SimpleBus(4);
+  CostModel model(w, n, &profile);
+  Mapping m = testing::RoundRobin(w.num_operations(), 4);
+
+  CostBreakdown plain = WSFLOW_UNWRAP(model.Evaluate(m));
+  CostBreakdown shared = WSFLOW_UNWRAP(SharedEvaluate(model, m, 1.0, {}));
+  EXPECT_EQ(shared.execution_time, plain.execution_time);
+  EXPECT_EQ(shared.time_penalty, plain.time_penalty);
+  EXPECT_EQ(shared.combined, plain.combined);
+}
+
+TEST(SharedLoadTest, WeightScalesLoadButNeverExecutionTime) {
+  Workflow w = testing::SimpleLine(6);
+  Network n = testing::SimpleBus(3);
+  CostModel model(w, n);
+  Mapping m = testing::AllOnServer(6, ServerId(0));
+
+  CostBreakdown one = WSFLOW_UNWRAP(SharedEvaluate(model, m, 1.0, {}));
+  CostBreakdown four = WSFLOW_UNWRAP(SharedEvaluate(model, m, 4.0, {}));
+  EXPECT_EQ(four.execution_time, one.execution_time)
+      << "QPS weight must not change per-request latency";
+  EXPECT_NEAR(four.time_penalty, 4.0 * one.time_penalty, 1e-12)
+      << "an all-on-one-server load profile scales linearly in the weight";
+}
+
+TEST(SharedLoadTest, BaseLoadsShiftThePenaltyOnly) {
+  Workflow w = testing::SimpleLine(4);
+  Network n = testing::SimpleBus(2);
+  CostModel model(w, n);
+  Mapping m = testing::AllOnServer(4, ServerId(0));
+
+  // Background load exactly mirroring the tenant's own profile onto the
+  // other server flattens the farm: penalty drops to zero.
+  std::vector<double> own = model.Loads(m);
+  std::vector<double> base = {0.0, own[0]};
+  CostBreakdown balanced = WSFLOW_UNWRAP(SharedEvaluate(model, m, 1.0, base));
+  EXPECT_NEAR(balanced.time_penalty, 0.0, 1e-15);
+  CostBreakdown alone = WSFLOW_UNWRAP(SharedEvaluate(model, m, 1.0, {}));
+  EXPECT_EQ(balanced.execution_time, alone.execution_time);
+  EXPECT_GT(alone.time_penalty, 0.0);
+}
+
+TEST(SharedLoadTest, SharedEvaluateRejectsBadArguments) {
+  Workflow w = testing::SimpleLine(3);
+  Network n = testing::SimpleBus(2);
+  CostModel model(w, n);
+  Mapping m = testing::AllOnServer(3, ServerId(0));
+  EXPECT_FALSE(SharedEvaluate(model, m, 0.0, {}).ok());
+  EXPECT_FALSE(SharedEvaluate(model, m, -1.0, {}).ok());
+  std::vector<double> short_base = {1.0};
+  EXPECT_FALSE(SharedEvaluate(model, m, 1.0, short_base).ok());
+}
+
+TEST(SharedLoadTest, EvaluatorWithSharedTuningMatchesColdReference) {
+  // The delta evaluator bound with base_loads + load_scale must report the
+  // exact shared breakdown for every scored candidate.
+  Workflow w = testing::AllDecisionGraph();
+  ExecutionProfile profile = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  Network n = testing::SimpleBus(4);
+  CostModel model(w, n, &profile);
+  Mapping m = testing::RoundRobin(w.num_operations(), 4);
+  const double weight = 2.5;
+  std::vector<double> base = {0.01, 0.0, 0.004, 0.02};
+
+  EvalTuning tuning;
+  tuning.base_loads = base;
+  tuning.load_scale = weight;
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, m, CostOptions{}, tuning));
+  CostBreakdown cold = WSFLOW_UNWRAP(SharedEvaluate(model, m, weight, base));
+  EXPECT_NEAR(WSFLOW_UNWRAP(eval.Combined()), cold.combined, 1e-12);
+  EXPECT_NEAR(eval.TimePenalty(), cold.time_penalty, 1e-12);
+
+  // Every batched move score equals the cold shared evaluation of the
+  // moved mapping.
+  std::vector<ServerId> candidates = {ServerId(0), ServerId(1), ServerId(2),
+                                      ServerId(3)};
+  std::vector<double> costs(candidates.size());
+  for (uint32_t op = 0; op < w.num_operations(); ++op) {
+    WSFLOW_ASSERT_OK(eval.ScoreMoves(OperationId(op), candidates, costs));
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      Mapping moved = m;
+      moved.Assign(OperationId(op), candidates[i]);
+      CostBreakdown ref =
+          WSFLOW_UNWRAP(SharedEvaluate(model, moved, weight, base));
+      EXPECT_NEAR(costs[i], ref.combined, 1e-9)
+          << "op " << op << " -> s" << candidates[i].value;
+    }
+  }
+}
+
+TEST(SharedLoadTest, EvaluatorRejectsBadSharedTuning) {
+  Workflow w = testing::SimpleLine(3);
+  Network n = testing::SimpleBus(2);
+  CostModel model(w, n);
+  Mapping m = testing::AllOnServer(3, ServerId(0));
+  {
+    EvalTuning tuning;
+    tuning.load_scale = 0.0;
+    EXPECT_FALSE(
+        IncrementalEvaluator::Bind(model, m, CostOptions{}, tuning).ok());
+  }
+  {
+    EvalTuning tuning;
+    tuning.base_loads = {1.0};  // wrong size
+    EXPECT_FALSE(
+        IncrementalEvaluator::Bind(model, m, CostOptions{}, tuning).ok());
+  }
+  {
+    EvalTuning tuning;
+    tuning.base_loads = {1.0, -0.5};  // negative
+    EXPECT_FALSE(
+        IncrementalEvaluator::Bind(model, m, CostOptions{}, tuning).ok());
+  }
+}
+
+}  // namespace
+}  // namespace wsflow

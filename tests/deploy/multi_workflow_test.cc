@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/deploy/graph_view.h"
+
 #include "tests/testing/test_util.h"
 
 namespace wsflow {
@@ -102,6 +104,129 @@ TEST(MultiWorkflowTest, GraphProfilesSupported) {
       WSFLOW_UNWRAP(DeployMultipleWorkflows({&g, &l}, n, options));
   EXPECT_TRUE(result.mappings[0].IsTotal());
   EXPECT_TRUE(result.mappings[1].IsTotal());
+}
+
+TEST(MultiWorkflowTest, WeightsMustBeValid) {
+  Workflow w1 = testing::SimpleLine(4);
+  Workflow w2 = testing::SimpleLine(4);
+  Network n = testing::SimpleBus(2);
+  MultiWorkflowOptions options;
+  options.weights = {1.0};  // two workflows, one weight
+  EXPECT_TRUE(DeployMultipleWorkflows({&w1, &w2}, n, options)
+                  .status()
+                  .IsInvalidArgument());
+  options.weights = {1.0, 0.0};
+  EXPECT_TRUE(DeployMultipleWorkflows({&w1, &w2}, n, options)
+                  .status()
+                  .IsInvalidArgument());
+  options.weights = {1.0, -2.0};
+  EXPECT_TRUE(DeployMultipleWorkflows({&w1, &w2}, n, options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(MultiWorkflowTest, UnitWeightsMatchUnweightedExactly) {
+  // weights = {1, 1, 1} must reproduce the unweighted deployment: same
+  // mappings, penalties within 1e-9.
+  Workflow w1 = testing::SimpleLine(6, 20e6);
+  Workflow w2 = testing::SimpleLine(9, 10e6);
+  Workflow w3 = testing::SimpleLine(3, 50e6);
+  Network n = MakeBusNetwork({1e9, 2e9, 3e9}, 1e8).value();
+  for (MultiWorkflowStrategy strategy :
+       {MultiWorkflowStrategy::kJointFairLoad,
+        MultiWorkflowStrategy::kSequentialHeavyOps}) {
+    MultiWorkflowOptions plain;
+    plain.strategy = strategy;
+    MultiWorkflowOptions unit = plain;
+    unit.weights = {1.0, 1.0, 1.0};
+    MultiWorkflowResult a =
+        WSFLOW_UNWRAP(DeployMultipleWorkflows({&w1, &w2, &w3}, n, plain));
+    MultiWorkflowResult b =
+        WSFLOW_UNWRAP(DeployMultipleWorkflows({&w1, &w2, &w3}, n, unit));
+    ASSERT_EQ(a.mappings.size(), b.mappings.size());
+    for (size_t i = 0; i < a.mappings.size(); ++i) {
+      EXPECT_TRUE(a.mappings[i] == b.mappings[i]) << "workflow " << i;
+      EXPECT_NEAR(a.execution_times[i], b.execution_times[i], 1e-9);
+    }
+    EXPECT_NEAR(a.combined_time_penalty, b.combined_time_penalty, 1e-9);
+  }
+}
+
+TEST(MultiWorkflowTest, WeightedPenaltyCountsLoadsByWeight) {
+  // Two identical 4-op lines pinned to opposite servers: unweighted the
+  // farm is perfectly fair; at weights {3, 1} the imbalance is exactly one
+  // unit load L = 4 * 10e6 / 1e9.
+  Workflow w1 = testing::SimpleLine(4, 10e6);
+  Workflow w2 = testing::SimpleLine(4, 10e6);
+  Network n = testing::SimpleBus(2);
+  std::vector<Mapping> pinned{testing::AllOnServer(4, ServerId(0)),
+                              testing::AllOnServer(4, ServerId(1))};
+  double unweighted = CombinedTimePenalty({&w1, &w2}, pinned, n, {});
+  EXPECT_NEAR(unweighted, 0.0, 1e-12);
+  double weighted =
+      CombinedTimePenalty({&w1, &w2}, pinned, n, {}, {3.0, 1.0});
+  EXPECT_NEAR(weighted, 4 * 10e6 / 1e9, 1e-12);
+}
+
+// Farm-load share of workflow `t` under the deployed mappings: its
+// weighted per-server load (recomputed from the actual placements) over
+// the whole farm's.
+double FarmLoadShare(const std::vector<const Workflow*>& workflows,
+                     const MultiWorkflowResult& result, const Network& n,
+                     const std::vector<double>& weights, size_t t) {
+  double own = 0, total = 0;
+  for (size_t i = 0; i < workflows.size(); ++i) {
+    WorkflowView view(*workflows[i], nullptr);
+    double load = 0;
+    for (const Operation& op : workflows[i]->operations()) {
+      ServerId s = result.mappings[i].ServerOf(op.id());
+      load += view.Cycles(op.id()) / n.server(s).power_hz();
+    }
+    total += weights[i] * load;
+    if (i == t) own = weights[i] * load;
+  }
+  return own / total;
+}
+
+TEST(MultiWorkflowTest, DoublingAWeightNeverShrinksItsFarmLoadShare) {
+  // The satellite property: doubling one tenant's QPS weight never
+  // decreases its share of the deployed farm load, whichever strategy
+  // placed it. Server powers stay within a factor sqrt(2) so the property
+  // is required, not incidental, while the shares are still measured from
+  // the real placements.
+  Workflow w1 = testing::SimpleLine(6, 20e6);
+  Workflow w2 = testing::SimpleLine(8, 10e6);
+  Workflow w3 = testing::SimpleLine(4, 30e6);
+  std::vector<const Workflow*> batch = {&w1, &w2, &w3};
+  Network n = MakeBusNetwork({1e9, 1.2e9, 1.4e9}, 1e8).value();
+
+  const std::vector<std::vector<double>> bases = {
+      {1.0, 1.0, 1.0}, {0.5, 2.0, 1.0}, {4.0, 0.25, 1.5}};
+  for (MultiWorkflowStrategy strategy :
+       {MultiWorkflowStrategy::kJointFairLoad,
+        MultiWorkflowStrategy::kSequentialHeavyOps}) {
+    for (const std::vector<double>& base : bases) {
+      for (size_t t = 0; t < batch.size(); ++t) {
+        MultiWorkflowOptions before;
+        before.strategy = strategy;
+        before.weights = base;
+        MultiWorkflowOptions after = before;
+        after.weights[t] *= 2.0;
+
+        MultiWorkflowResult rb =
+            WSFLOW_UNWRAP(DeployMultipleWorkflows(batch, n, before));
+        MultiWorkflowResult ra =
+            WSFLOW_UNWRAP(DeployMultipleWorkflows(batch, n, after));
+        double share_before =
+            FarmLoadShare(batch, rb, n, before.weights, t);
+        double share_after = FarmLoadShare(batch, ra, n, after.weights, t);
+        EXPECT_GE(share_after, share_before - 1e-12)
+            << "strategy " << static_cast<int>(strategy) << " base {"
+            << base[0] << "," << base[1] << "," << base[2] << "} tenant "
+            << t;
+      }
+    }
+  }
 }
 
 TEST(MultiWorkflowTest, CombinedPenaltyIsNonNegative) {

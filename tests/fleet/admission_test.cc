@@ -1,0 +1,69 @@
+// AdmissionController: quota and capacity-budget decisions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/cost/cost_model.h"
+#include "src/deploy/graph_view.h"
+#include "src/fleet/admission.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow::fleet {
+namespace {
+
+TEST(FleetAdmissionTest, TenantDemandScalesWithWeightAndMatchesView) {
+  Workflow w = testing::AllDecisionGraph();
+  ExecutionProfile profile = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  WorkflowView view(w, &profile);
+  double unit = TenantDemandHz(view, 1.0);
+  EXPECT_GT(unit, 0.0);
+  EXPECT_DOUBLE_EQ(unit, view.TotalCycles());
+  EXPECT_DOUBLE_EQ(TenantDemandHz(view, 2.5), 2.5 * unit);
+}
+
+TEST(FleetAdmissionTest, DecideClassifiesAgainstQuotaAndBudget) {
+  FarmBudget budget;
+  budget.max_utilization = 0.8;
+  budget.max_tenant_share = 0.25;
+  AdmissionController ac(1000.0, budget);
+
+  // Over the per-tenant quota: rejected regardless of free capacity.
+  EXPECT_EQ(ac.Decide(251.0), AdmissionDecision::kRejected);
+  // Within quota and budget: admitted.
+  EXPECT_EQ(ac.Decide(250.0), AdmissionDecision::kAdmitted);
+
+  // Fill the farm to the utilization budget; further tenants queue.
+  ac.Commit(250.0);
+  ac.Commit(250.0);
+  ac.Commit(250.0);
+  EXPECT_DOUBLE_EQ(ac.committed_hz(), 750.0);
+  EXPECT_EQ(ac.Decide(100.0), AdmissionDecision::kQueued);
+  EXPECT_EQ(ac.Decide(50.0), AdmissionDecision::kAdmitted);
+}
+
+TEST(FleetAdmissionTest, ReleaseFreesCapacityAndClampsAtZero) {
+  AdmissionController ac(1000.0, FarmBudget{});
+  ac.Commit(400.0);
+  EXPECT_DOUBLE_EQ(ac.utilization(), 0.4);
+  ac.Release(150.0);
+  EXPECT_DOUBLE_EQ(ac.committed_hz(), 250.0);
+  // Releasing more than committed never goes negative.
+  ac.Release(1e9);
+  EXPECT_DOUBLE_EQ(ac.committed_hz(), 0.0);
+}
+
+TEST(FleetAdmissionTest, MaxWeightForQuotaBoundsTheDriftClamp) {
+  FarmBudget budget;
+  budget.max_tenant_share = 0.2;
+  AdmissionController ac(1000.0, budget);
+  // Quota is 200 Hz; a tenant of unit demand 50 Hz may grow to weight 4.
+  EXPECT_DOUBLE_EQ(ac.MaxWeightForQuota(50.0), 4.0);
+  // A weight at the cap passes Decide exactly.
+  EXPECT_EQ(ac.Decide(50.0 * ac.MaxWeightForQuota(50.0)),
+            AdmissionDecision::kAdmitted);
+  EXPECT_TRUE(std::isinf(ac.MaxWeightForQuota(0.0)));
+}
+
+}  // namespace
+}  // namespace wsflow::fleet

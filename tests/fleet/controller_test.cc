@@ -1,0 +1,337 @@
+// FleetController: admission lifecycle, quota invariants, churn bounds and
+// the cross-thread determinism contract.
+//
+// Suite names all start with "Fleet" on purpose: CI runs them under TSan
+// with -R '^Fleet', and the FleetDeterminism suite additionally runs under
+// ASan/UBSan next to the evaluator parity suites.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/random.h"
+
+#include "src/cost/cost_model.h"
+#include "src/deploy/graph_view.h"
+#include "src/fleet/controller.h"
+#include "src/serve/metrics.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow::fleet {
+namespace {
+
+/// Two archetypes (a line and a decision graph) on one 6-server bus, plus
+/// a deterministic tenant roster — the shared scaffolding of every
+/// controller test.
+class FleetFixture {
+ public:
+  FleetFixture()
+      : line_(testing::SimpleLine(8)),
+        graph_(testing::AllDecisionGraph()),
+        graph_profile_(WSFLOW_UNWRAP(ComputeExecutionProfile(graph_))),
+        network_(testing::SimpleBus(6)),
+        line_model_(line_, network_),
+        graph_model_(graph_, network_, &graph_profile_) {
+    WSFLOW_EXPECT_OK(line_model_.Warm());
+    WSFLOW_EXPECT_OK(graph_model_.Warm());
+  }
+
+  std::vector<const CostModel*> archetypes() const {
+    return {&line_model_, &graph_model_};
+  }
+
+  /// Unit (weight-1) demand of an archetype, recomputed from first
+  /// principles so the controller's bookkeeping is audited, not echoed.
+  double UnitDemandOf(size_t archetype) const {
+    if (archetype == 0) {
+      return WorkflowView(line_, nullptr).TotalCycles();
+    }
+    return WorkflowView(graph_, &graph_profile_).TotalCycles();
+  }
+
+  /// Submits `n` tenants with seeded weights alternating archetypes.
+  static void SubmitRoster(FleetController& fc, size_t n) {
+    Rng rng(0xF1EE7ull);
+    for (size_t i = 0; i < n; ++i) {
+      TenantSpec spec;
+      spec.archetype = i % 2;
+      spec.weight = rng.NextDouble(0.5, 2.0);
+      spec.drift_seed = rng.NextUint64();
+      WSFLOW_ASSERT_OK(fc.Submit(spec).status());
+    }
+  }
+
+ private:
+  Workflow line_;
+  Workflow graph_;
+  ExecutionProfile graph_profile_;
+  Network network_;
+  CostModel line_model_;
+  CostModel graph_model_;
+};
+
+FleetOptions SmallFleetOptions() {
+  FleetOptions options;
+  options.drift.sigma = 0.25;
+  options.max_migrations_per_epoch = 4;
+  options.migration_eval_budget = 64;
+  options.deploy_eval_budget = 128;
+  options.threads = 1;
+  return options;
+}
+
+TEST(FleetControllerTest, SubmitDeploysWithinQuotaAndBudget) {
+  FleetFixture fx;
+  FleetController fc(fx.archetypes(), SmallFleetOptions());
+  TenantSpec spec;
+  spec.weight = 1.0;
+  size_t id = WSFLOW_UNWRAP(fc.Submit(spec));
+  EXPECT_EQ(id, 0u);
+  EXPECT_EQ(fc.tenant(id).status, TenantStatus::kDeployed);
+  EXPECT_TRUE(fc.tenant(id).mapping.IsTotal());
+  EXPECT_GT(fc.tenant(id).execution_time, 0.0);
+  EXPECT_GT(fc.admission().committed_hz(), 0.0);
+}
+
+TEST(FleetControllerTest, SubmitRejectsOversizedAndQueuesOverflow) {
+  FleetFixture fx;
+  FleetOptions options = SmallFleetOptions();
+  options.budget.max_tenant_share = 0.05;
+  options.budget.max_utilization = 0.2;
+  FleetController fc(fx.archetypes(), options);
+
+  // A tenant whose lone demand breaches the 5% quota is rejected outright.
+  TenantSpec whale;
+  whale.weight = 1e6;
+  size_t whale_id = WSFLOW_UNWRAP(fc.Submit(whale));
+  EXPECT_EQ(fc.tenant(whale_id).status, TenantStatus::kRejected);
+  EXPECT_EQ(fc.total_rejections(), 1u);
+
+  // Small tenants are admitted until the 20% utilization budget fills,
+  // then queue.
+  size_t deployed = 0, queued = 0;
+  for (int i = 0; i < 200; ++i) {
+    TenantSpec spec;
+    spec.weight = 0.5;
+    size_t id = WSFLOW_UNWRAP(fc.Submit(spec));
+    if (fc.tenant(id).status == TenantStatus::kDeployed) ++deployed;
+    if (fc.tenant(id).status == TenantStatus::kQueued) ++queued;
+  }
+  EXPECT_GT(deployed, 0u);
+  EXPECT_GT(queued, 0u);
+  double cap = fc.admission().capacity_hz();
+  EXPECT_LE(fc.admission().committed_hz(),
+            options.budget.max_utilization * cap * (1 + 1e-9));
+}
+
+TEST(FleetControllerTest, QuotaInvariantsHoldUnderDrift) {
+  FleetFixture fx;
+  FleetOptions options = SmallFleetOptions();
+  options.drift.sigma = 0.4;  // violent traffic swings
+  options.drift.max_weight = 100.0;
+  FleetController fc(fx.archetypes(), options);
+  FleetFixture::SubmitRoster(fc, 60);
+
+  const double cap = fc.admission().capacity_hz();
+  const double tol = 1 + 1e-9;
+  for (int e = 0; e < 25; ++e) {
+    EpochReport report = WSFLOW_UNWRAP(fc.RunEpoch());
+    // Farm budget: committed demand never exceeds max_utilization.
+    EXPECT_LE(fc.admission().committed_hz(),
+              options.budget.max_utilization * cap * tol)
+        << "epoch " << report.epoch;
+    // Per-tenant quota: recompute every deployed tenant's demand from its
+    // archetype view — the controller's own bookkeeping is not trusted.
+    double committed = 0;
+    for (size_t id = 0; id < fc.num_tenants(); ++id) {
+      const TenantState& t = fc.tenant(id);
+      if (t.status != TenantStatus::kDeployed) continue;
+      double demand = fx.UnitDemandOf(t.spec.archetype) * t.weight;
+      EXPECT_LE(demand, options.budget.max_tenant_share * cap * tol)
+          << "tenant " << id << " epoch " << report.epoch;
+      committed += demand;
+    }
+    EXPECT_NEAR(committed, fc.admission().committed_hz(),
+                1e-6 * (1 + committed))
+        << "bookkeeping drifted from recomputed demand, epoch "
+        << report.epoch;
+  }
+}
+
+TEST(FleetControllerTest, MigrationChurnIsBoundedPerEpoch) {
+  FleetFixture fx;
+  FleetOptions options = SmallFleetOptions();
+  options.drift.sigma = 0.5;
+  options.drift_threshold = 0.01;  // hair trigger: many regressions
+  options.max_migrations_per_epoch = 3;
+  FleetController fc(fx.archetypes(), options);
+  FleetFixture::SubmitRoster(fc, 40);
+
+  for (int e = 0; e < 20; ++e) {
+    EpochReport report = WSFLOW_UNWRAP(fc.RunEpoch());
+    EXPECT_LE(report.migration_attempts, options.max_migrations_per_epoch)
+        << "epoch " << report.epoch;
+    EXPECT_LE(report.migrations, report.migration_attempts);
+  }
+  // The hair trigger must have actually exercised the wave.
+  EXPECT_GT(fc.total_migrations(), 0u);
+}
+
+TEST(FleetControllerTest, FrozenWeightsSettleAndNeverClamp) {
+  // With sigma = 0 nothing clamps, and once the settling waves triggered
+  // by deployment-time baselines have re-anchored every tenant, the
+  // watcher goes quiet for good.
+  FleetFixture fx;
+  FleetOptions options = SmallFleetOptions();
+  options.drift.sigma = 0.0;
+  FleetController fc(fx.archetypes(), options);
+  FleetFixture::SubmitRoster(fc, 20);
+  for (int e = 0; e < 12; ++e) {
+    EpochReport report = WSFLOW_UNWRAP(fc.RunEpoch());
+    EXPECT_EQ(report.weight_clamps, 0u);
+    // 20 tenants at 4 attempts per epoch re-anchor within 5 epochs; after
+    // that every baseline matches the current cost exactly.
+    if (e >= 6) {
+      EXPECT_EQ(report.migration_attempts, 0u) << "epoch " << report.epoch;
+    }
+  }
+  EXPECT_EQ(fc.total_clamps(), 0u);
+}
+
+TEST(FleetControllerTest, MetricsRecordAdmissionAndMigrationEvents) {
+  FleetFixture fx;
+  serve::ServeMetrics metrics;
+  FleetOptions options = SmallFleetOptions();
+  options.drift.sigma = 0.5;
+  options.drift_threshold = 0.01;
+  FleetController fc(fx.archetypes(), options, &metrics);
+  FleetFixture::SubmitRoster(fc, 30);
+  for (int e = 0; e < 15; ++e) {
+    WSFLOW_ASSERT_OK(fc.RunEpoch().status());
+  }
+  serve::MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_GT(snap.tenants_admitted, 0u);
+  EXPECT_EQ(snap.migrations, fc.total_migrations());
+  EXPECT_GT(snap.migrations + snap.migration_stalls, 0u);
+}
+
+TEST(FleetControllerTest, ReportsCostPercentilesAndUtilization) {
+  FleetFixture fx;
+  FleetController fc(fx.archetypes(), SmallFleetOptions());
+  FleetFixture::SubmitRoster(fc, 25);
+  EpochReport report = WSFLOW_UNWRAP(fc.RunEpoch());
+  EXPECT_EQ(report.epoch, 1u);
+  EXPECT_GT(report.deployed, 0u);
+  EXPECT_GT(report.p50, 0.0);
+  EXPECT_LE(report.p50, report.p95);
+  EXPECT_LE(report.p95, report.p99);
+  EXPECT_GT(report.utilization, 0.0);
+  EXPECT_LE(report.utilization, 1.0);
+}
+
+void ExpectReportsEqual(const EpochReport& a, const EpochReport& b) {
+  EXPECT_EQ(a.epoch, b.epoch);
+  EXPECT_EQ(a.deployed, b.deployed);
+  EXPECT_EQ(a.queued, b.queued);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.migration_attempts, b.migration_attempts);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.weight_clamps, b.weight_clamps);
+  EXPECT_EQ(a.polish_evaluations, b.polish_evaluations);
+  // Bitwise double equality — the determinism contract is byte-identity,
+  // not approximate agreement.
+  EXPECT_EQ(a.p50, b.p50);
+  EXPECT_EQ(a.p95, b.p95);
+  EXPECT_EQ(a.p99, b.p99);
+  EXPECT_EQ(a.farm_penalty, b.farm_penalty);
+  EXPECT_EQ(a.utilization, b.utilization);
+}
+
+TEST(FleetDeterminismTest, EpochReportsAreIdenticalAcrossThreadCounts) {
+  FleetFixture fx;
+  FleetOptions options;
+  options.drift.sigma = 0.35;
+  options.drift_threshold = 0.05;
+  options.max_migrations_per_epoch = 6;
+  options.migration_eval_budget = 64;
+  options.deploy_eval_budget = 128;
+
+  std::vector<EpochReport> reference;
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    options.threads = threads;
+    FleetController fc(fx.archetypes(), options);
+    FleetFixture::SubmitRoster(fc, 50);
+    std::vector<EpochReport> reports;
+    for (int e = 0; e < 20; ++e) {
+      reports.push_back(WSFLOW_UNWRAP(fc.RunEpoch()));
+    }
+    if (reference.empty()) {
+      reference = reports;
+      continue;
+    }
+    ASSERT_EQ(reports.size(), reference.size());
+    for (size_t i = 0; i < reports.size(); ++i) {
+      SCOPED_TRACE(::testing::Message() << "threads=" << threads
+                                        << " epoch " << i + 1);
+      ExpectReportsEqual(reference[i], reports[i]);
+    }
+  }
+}
+
+TEST(FleetDeterminismTest, ReplayFromTheSameSeedsIsIdentical) {
+  FleetFixture fx;
+  FleetOptions options;
+  options.drift.sigma = 0.3;
+  options.threads = 2;
+  std::vector<EpochReport> first, second;
+  for (int run = 0; run < 2; ++run) {
+    FleetController fc(fx.archetypes(), options);
+    FleetFixture::SubmitRoster(fc, 30);
+    auto& sink = run == 0 ? first : second;
+    for (int e = 0; e < 12; ++e) {
+      sink.push_back(WSFLOW_UNWRAP(fc.RunEpoch()));
+    }
+  }
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "epoch " << i + 1);
+    ExpectReportsEqual(first[i], second[i]);
+  }
+}
+
+TEST(FleetDeterminismTest, TenantMappingsMatchAcrossThreadCounts) {
+  // Beyond the reports: every tenant's final mapping and weight must agree
+  // bit-for-bit between a serial and a parallel run.
+  FleetFixture fx;
+  FleetOptions options;
+  options.drift.sigma = 0.35;
+  options.drift_threshold = 0.05;
+
+  auto run = [&](size_t threads) {
+    options.threads = threads;
+    auto fc = std::make_unique<FleetController>(fx.archetypes(), options);
+    FleetFixture::SubmitRoster(*fc, 40);
+    for (int e = 0; e < 15; ++e) {
+      WSFLOW_EXPECT_OK(fc->RunEpoch().status());
+    }
+    return fc;
+  };
+  auto serial = run(1);
+  auto parallel = run(4);
+  ASSERT_EQ(serial->num_tenants(), parallel->num_tenants());
+  for (size_t id = 0; id < serial->num_tenants(); ++id) {
+    const TenantState& a = serial->tenant(id);
+    const TenantState& b = parallel->tenant(id);
+    EXPECT_EQ(a.status, b.status) << "tenant " << id;
+    EXPECT_EQ(a.weight, b.weight) << "tenant " << id;
+    EXPECT_TRUE(a.mapping == b.mapping) << "tenant " << id;
+    EXPECT_EQ(a.current_cost, b.current_cost) << "tenant " << id;
+    EXPECT_EQ(a.migrations, b.migrations) << "tenant " << id;
+  }
+}
+
+}  // namespace
+}  // namespace wsflow::fleet

@@ -1,0 +1,87 @@
+// DriftStream: seeded multiplicative traffic drift.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/fleet/tenant.h"
+
+namespace wsflow::fleet {
+namespace {
+
+TEST(FleetDriftTest, SameSeedReplaysTheSameTrajectory) {
+  DriftOptions opts;
+  DriftStream a(1234, opts);
+  DriftStream b(1234, opts);
+  double wa = 1.0, wb = 1.0;
+  for (int i = 0; i < 200; ++i) {
+    wa = a.Next(wa);
+    wb = b.Next(wb);
+    ASSERT_EQ(wa, wb) << "step " << i;
+  }
+}
+
+TEST(FleetDriftTest, DifferentSeedsDiverge) {
+  DriftOptions opts;
+  DriftStream a(1, opts);
+  DriftStream b(2, opts);
+  double wa = 1.0, wb = 1.0;
+  bool diverged = false;
+  for (int i = 0; i < 50 && !diverged; ++i) {
+    wa = a.Next(wa);
+    wb = b.Next(wb);
+    diverged = (wa != wb);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FleetDriftTest, StepsStayWithinOneSigmaFactorAndClamp) {
+  DriftOptions opts;
+  opts.sigma = 0.3;
+  opts.min_weight = 0.5;
+  opts.max_weight = 3.0;
+  DriftStream s(99, opts);
+  double w = 1.0;
+  const double max_factor = std::exp(opts.sigma);
+  for (int i = 0; i < 500; ++i) {
+    double next = s.Next(w);
+    EXPECT_GE(next, opts.min_weight);
+    EXPECT_LE(next, opts.max_weight);
+    // Unclamped, one step moves by at most exp(+-sigma).
+    if (next > opts.min_weight && next < opts.max_weight) {
+      EXPECT_LE(next, w * max_factor * (1 + 1e-12));
+      EXPECT_GE(next, w / max_factor * (1 - 1e-12));
+    }
+    w = next;
+  }
+}
+
+TEST(FleetDriftTest, ZeroSigmaFreezesTheWeight) {
+  DriftOptions opts;
+  opts.sigma = 0.0;
+  DriftStream s(7, opts);
+  double w = 1.7;
+  for (int i = 0; i < 20; ++i) {
+    w = s.Next(w);
+    EXPECT_DOUBLE_EQ(w, 1.7);
+  }
+}
+
+TEST(FleetDriftTest, WalkEventuallyMovesBothDirections) {
+  DriftOptions opts;
+  DriftStream s(5, opts);
+  double w = 1.0;
+  bool up = false, down = false;
+  for (int i = 0; i < 200 && !(up && down); ++i) {
+    double next = s.Next(w);
+    up = up || next > w;
+    down = down || next < w;
+    w = next;
+  }
+  EXPECT_TRUE(up);
+  EXPECT_TRUE(down);
+}
+
+}  // namespace
+}  // namespace wsflow::fleet

@@ -1,0 +1,173 @@
+// Warm-start tenant migration vs the from-scratch yardstick.
+//
+// FleetMigrationTest.WarmStartMeetsTheRepairBar is the acceptance bound of
+// the fleet subsystem: a drift-triggered warm migration must reach <= 110%
+// of the from-scratch re-deployment cost while spending <= 20% of its
+// evaluations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/cost/cost_model.h"
+#include "src/cost/shared_load.h"
+#include "src/fleet/migration.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow::fleet {
+namespace {
+
+class FleetMigrationTest : public ::testing::Test {
+ protected:
+  FleetMigrationTest()
+      : workflow_(testing::AllDecisionGraph()),
+        profile_(WSFLOW_UNWRAP(ComputeExecutionProfile(workflow_))),
+        network_(testing::SimpleBus(6)),
+        model_(workflow_, network_, &profile_) {
+    WSFLOW_EXPECT_OK(model_.Warm());
+    // A lopsided background farm: other tenants crowd servers 0-2.
+    base_ = {0.03, 0.02, 0.015, 0.0, 0.001, 0.0};
+  }
+
+  Workflow workflow_;
+  ExecutionProfile profile_;
+  Network network_;
+  CostModel model_;
+  std::vector<double> base_;
+};
+
+TEST_F(FleetMigrationTest, SeedIsTotalAndAvoidsLoadedServers) {
+  Mapping seed = SeedSharedMapping(model_, 1.0, base_);
+  EXPECT_TRUE(seed.IsTotal());
+  // With heavy background load on server 0 and idle capacity elsewhere,
+  // the greedy seed should not pile everything onto server 0.
+  size_t on_zero = 0;
+  for (uint32_t op = 0; op < workflow_.num_operations(); ++op) {
+    if (seed.ServerOf(OperationId(op)).value == 0) ++on_zero;
+  }
+  EXPECT_LT(on_zero, workflow_.num_operations());
+}
+
+TEST_F(FleetMigrationTest, FromScratchBeatsOrMatchesItsOwnSeed) {
+  MigrationOptions opts;
+  opts.eval_budget = 0;  // unlimited
+  MigrationResult r =
+      WSFLOW_UNWRAP(RedeployTenantFromScratch(model_, 1.0, base_, opts));
+  EXPECT_TRUE(r.mapping.IsTotal());
+  Mapping seed = SeedSharedMapping(model_, 1.0, base_);
+  CostBreakdown seed_cost =
+      WSFLOW_UNWRAP(SharedEvaluate(model_, seed, 1.0, base_));
+  EXPECT_LE(r.cost.combined, seed_cost.combined);
+  EXPECT_GT(r.polish_evaluations, 0u);
+  EXPECT_FALSE(r.budget_exhausted);
+}
+
+TEST_F(FleetMigrationTest, MigrationIsDeterministic) {
+  Mapping warm = SeedSharedMapping(model_, 1.0, base_);
+  MigrationOptions opts;
+  opts.eval_budget = 64;
+  MigrationResult a =
+      WSFLOW_UNWRAP(MigrateTenant(model_, warm, 3.0, base_, opts));
+  MigrationResult b =
+      WSFLOW_UNWRAP(MigrateTenant(model_, warm, 3.0, base_, opts));
+  EXPECT_TRUE(a.mapping == b.mapping);
+  EXPECT_EQ(a.cost.combined, b.cost.combined);
+  EXPECT_EQ(a.polish_evaluations, b.polish_evaluations);
+  EXPECT_EQ(a.budget_exhausted, b.budget_exhausted);
+}
+
+TEST_F(FleetMigrationTest, BudgetIsRespectedAndReported) {
+  Mapping warm = testing::AllOnServer(workflow_.num_operations(), ServerId(0));
+  MigrationOptions opts;
+  opts.eval_budget = 24;
+  MigrationResult r =
+      WSFLOW_UNWRAP(MigrateTenant(model_, warm, 2.0, base_, opts));
+  EXPECT_LE(r.polish_evaluations, opts.eval_budget);
+  // The all-on-one-server warm seed is bad enough that 24 evals cannot
+  // finish the descent on this instance.
+  EXPECT_TRUE(r.budget_exhausted);
+}
+
+TEST_F(FleetMigrationTest, AlreadyOptimalMappingDoesNotMove) {
+  MigrationOptions opts;
+  opts.eval_budget = 0;
+  MigrationResult scratch =
+      WSFLOW_UNWRAP(RedeployTenantFromScratch(model_, 1.5, base_, opts));
+  MigrationResult again = WSFLOW_UNWRAP(
+      MigrateTenant(model_, scratch.mapping, 1.5, base_, opts));
+  EXPECT_FALSE(again.moved);
+  EXPECT_EQ(again.cost.combined, scratch.cost.combined);
+}
+
+TEST_F(FleetMigrationTest, RejectsInvalidInputs) {
+  Mapping partial(workflow_.num_operations());
+  EXPECT_FALSE(MigrateTenant(model_, partial, 1.0, base_).ok());
+  Mapping warm = SeedSharedMapping(model_, 1.0, base_);
+  EXPECT_FALSE(MigrateTenant(model_, warm, 0.0, base_).ok());
+  EXPECT_FALSE(MigrateTenant(model_, warm, -2.0, base_).ok());
+  std::vector<double> short_base = {1.0};
+  EXPECT_FALSE(MigrateTenant(model_, warm, 1.0, short_base).ok());
+  std::vector<double> negative_base = {0, 0, 0, 0, 0, -1.0};
+  EXPECT_FALSE(MigrateTenant(model_, warm, 1.0, negative_base).ok());
+}
+
+TEST_F(FleetMigrationTest, WarmStartMeetsTheRepairBar) {
+  // A tenant deployed at weight 1 whose traffic then grows ~60% over a few
+  // drift epochs while the background farm shifts — the magnitude the
+  // 10%-regression watcher actually fires on.
+  MigrationOptions unbudgeted;
+  unbudgeted.eval_budget = 0;
+  MigrationResult deployed =
+      WSFLOW_UNWRAP(RedeployTenantFromScratch(model_, 1.0, base_, unbudgeted));
+
+  const double drifted_weight = 1.6;
+  std::vector<double> drifted_base = {0.02, 0.03, 0.01, 0.005, 0.002, 0.0};
+
+  // Yardstick: from-scratch re-deployment under the new conditions.
+  MigrationResult scratch = WSFLOW_UNWRAP(RedeployTenantFromScratch(
+      model_, drifted_weight, drifted_base, unbudgeted));
+  ASSERT_GE(scratch.polish_evaluations, 5u)
+      << "instance too small to make the 20% budget meaningful";
+
+  // Warm migration at one fifth of the from-scratch evaluation spend.
+  MigrationOptions budgeted;
+  budgeted.eval_budget = scratch.polish_evaluations / 5;
+  MigrationResult warm = WSFLOW_UNWRAP(MigrateTenant(
+      model_, deployed.mapping, drifted_weight, drifted_base, budgeted));
+
+  EXPECT_LE(warm.polish_evaluations, scratch.polish_evaluations / 5)
+      << "warm start must spend <= 20% of the from-scratch evaluations";
+  EXPECT_LE(warm.cost.combined, 1.10 * scratch.cost.combined)
+      << "warm start must land within 110% of the from-scratch cost "
+      << "(warm=" << warm.cost.combined
+      << " scratch=" << scratch.cost.combined << ")";
+}
+
+TEST_F(FleetMigrationTest, WarmBarHoldsAcrossWeightsAndSwaps) {
+  // The bar is not a lucky instance: sweep drift magnitudes and the swap
+  // toggle.
+  MigrationOptions unbudgeted;
+  unbudgeted.eval_budget = 0;
+  MigrationResult deployed =
+      WSFLOW_UNWRAP(RedeployTenantFromScratch(model_, 1.0, base_, unbudgeted));
+  for (double weight : {0.7, 1.3, 2.0}) {
+    for (bool swaps : {false, true}) {
+      MigrationOptions opts;
+      opts.eval_budget = 0;
+      opts.use_swaps = swaps;
+      MigrationResult scratch = WSFLOW_UNWRAP(
+          RedeployTenantFromScratch(model_, weight, base_, opts));
+      if (scratch.polish_evaluations < 5) continue;
+      MigrationOptions budgeted = opts;
+      budgeted.eval_budget = scratch.polish_evaluations / 5;
+      MigrationResult warm = WSFLOW_UNWRAP(MigrateTenant(
+          model_, deployed.mapping, weight, base_, budgeted));
+      EXPECT_LE(warm.cost.combined, 1.10 * scratch.cost.combined)
+          << "weight=" << weight << " swaps=" << swaps;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wsflow::fleet
