@@ -293,11 +293,24 @@ std::vector<PenaltyScalingResult> RunPenaltyScaling(WorkloadKind kind,
 }
 
 ScenarioResult RunScenario(const std::string& name, WorkloadKind kind,
-                           size_t num_operations, size_t num_servers) {
+                           size_t num_operations, size_t num_servers,
+                           ExperimentTopology topology = ExperimentTopology::kBus) {
   ExperimentConfig cfg = MakeClassCConfig(kind);
   cfg.num_operations = num_operations;
   cfg.num_servers = num_servers;
-  cfg.fixed_bus_speed_bps = paperconst::kBus100Mbps;
+  cfg.topology = topology;
+  if (topology == ExperimentTopology::kBus) {
+    cfg.fixed_bus_speed_bps = paperconst::kBus100Mbps;
+  } else if (topology == ExperimentTopology::kHierarchical) {
+    // 2 regions x 2 clusters x 3 servers = 12 servers, multi-hop routes.
+    cfg.hierarchical.regions = 2;
+    cfg.hierarchical.clusters_per_region = 2;
+    cfg.hierarchical.cluster_size = 3;
+  } else {
+    cfg.fat_tree.spines = 2;
+    cfg.fat_tree.racks = 2;
+    cfg.fat_tree.rack_size = 5;
+  }
   cfg.seed = 7;
   Result<TrialInstance> trial = DrawTrial(cfg, 0);
   WSFLOW_CHECK(trial.ok()) << trial.status().ToString();
@@ -305,10 +318,12 @@ ScenarioResult RunScenario(const std::string& name, WorkloadKind kind,
       trial->profile.has_value() ? &*trial->profile : nullptr;
   CostModel model(trial->workflow, trial->network, profile);
   const size_t M = trial->workflow.num_operations();
+  // WAN topologies derive the server count from their shape knobs.
+  const size_t N = trial->network.num_servers();
 
   Mapping base(M);
   for (uint32_t op = 0; op < M; ++op) {
-    base.Assign(OperationId(op), ServerId(op % num_servers));
+    base.Assign(OperationId(op), ServerId(op % N));
   }
 
   double checksum = 0;
@@ -316,7 +331,7 @@ ScenarioResult RunScenario(const std::string& name, WorkloadKind kind,
   out.name = name;
   out.workload = std::string(WorkloadKindToString(kind));
   out.num_operations = M;
-  out.num_servers = num_servers;
+  out.num_servers = N;
   out.cold_per_sec = ColdRate(model, base, &checksum);
   out.incremental_per_sec = IncrementalRate(model, base, &checksum);
   out.batched_per_sec = BatchedRate(model, base, &checksum);
@@ -480,6 +495,17 @@ int main() {
       RunScenario("hybrid_m24_n8", WorkloadKind::kHybridGraph, 24, 8));
   results.push_back(
       RunScenario("hybrid_m48_n12", WorkloadKind::kHybridGraph, 48, 12));
+
+  // WAN topologies: the same scoring loops over weighted multi-hop routes
+  // (hierarchical 2x2x3 and a 2-spine fat tree) instead of the 1-hop bus —
+  // route lookups stay table-driven, so throughput should hold up.
+  std::printf("\nhierarchical/fat-tree topologies, weighted multi-hop "
+              "routing\n");
+  results.push_back(RunScenario("hier_2x2x3_m24", WorkloadKind::kHybridGraph,
+                                24, 0, ExperimentTopology::kHierarchical));
+  results.push_back(RunScenario("fattree_2x2x5_m24",
+                                WorkloadKind::kHybridGraph, 24, 0,
+                                ExperimentTopology::kFatTree));
 
   std::printf("\npenalty N-scaling, batched fans, default tuning (load "
               "index + memo) vs legacy (O(N) penalty, no memo)\n");

@@ -211,12 +211,24 @@ Status CmdGenerate(const std::vector<std::string>& args, std::ostream& out) {
 Status CmdMakeNetwork(const std::vector<std::string>& args,
                       std::ostream& out) {
   FlagSet flags;
-  flags.AddString("kind", "bus", "bus | line | star | ring");
+  flags.AddString("kind", "bus", "bus | line | star | ring | fat-tree | "
+                  "hier");
   flags.AddString("powers", "1e9,2e9,3e9,2e9,1e9",
-                  "comma-separated server powers in Hz");
+                  "comma-separated server powers in Hz (fat-tree/hier: one "
+                  "broadcast value or one per server in canonical order)");
   flags.AddString("speeds", "1e8",
-                  "link speeds bps: one value for bus, a list otherwise");
-  flags.AddDouble("propagation", 0.0, "per-link propagation delay, seconds");
+                  "link speeds bps: one value for bus, two for fat-tree "
+                  "(edge,spine), three for hier (cluster,region,wan), a "
+                  "per-link list otherwise");
+  flags.AddDouble("propagation", 0.0, "per-link propagation delay, seconds "
+                  "(bus/line/star/ring; the WAN kinds use per-tier "
+                  "defaults)");
+  flags.AddInt("spines", 2, "fat-tree: spine servers");
+  flags.AddInt("racks", 2, "fat-tree: racks");
+  flags.AddInt("rack-size", 4, "fat-tree: servers per rack");
+  flags.AddInt("regions", 2, "hier: regions");
+  flags.AddInt("clusters", 2, "hier: clusters per region");
+  flags.AddInt("cluster-size", 3, "hier: servers per cluster");
   flags.AddString("out", "", "output network XML path (required)");
   WSFLOW_ASSIGN_OR_RETURN(std::vector<std::string> positional,
                           flags.Parse(args));
@@ -247,6 +259,33 @@ Status CmdMakeNetwork(const std::vector<std::string>& args,
   } else if (kind == "ring") {
     WSFLOW_ASSIGN_OR_RETURN(network,
                             MakeRingNetwork(powers, speeds, propagation));
+  } else if (kind == "fat-tree") {
+    if (speeds.size() != 2) {
+      return Status::InvalidArgument(
+          "fat-tree takes two --speeds values: edge,spine");
+    }
+    FatTreeOptions opts;
+    opts.spines = static_cast<size_t>(flags.GetInt("spines"));
+    opts.racks = static_cast<size_t>(flags.GetInt("racks"));
+    opts.rack_size = static_cast<size_t>(flags.GetInt("rack-size"));
+    opts.powers_hz = powers;
+    opts.edge_speed_bps = speeds[0];
+    opts.spine_speed_bps = speeds[1];
+    WSFLOW_ASSIGN_OR_RETURN(network, MakeFatTreeNetwork(opts));
+  } else if (kind == "hier") {
+    if (speeds.size() != 3) {
+      return Status::InvalidArgument(
+          "hier takes three --speeds values: cluster,region,wan");
+    }
+    HierarchicalOptions opts;
+    opts.regions = static_cast<size_t>(flags.GetInt("regions"));
+    opts.clusters_per_region = static_cast<size_t>(flags.GetInt("clusters"));
+    opts.cluster_size = static_cast<size_t>(flags.GetInt("cluster-size"));
+    opts.powers_hz = powers;
+    opts.cluster_speed_bps = speeds[0];
+    opts.region_speed_bps = speeds[1];
+    opts.wan_speed_bps = speeds[2];
+    WSFLOW_ASSIGN_OR_RETURN(network, MakeHierarchicalNetwork(opts));
   } else {
     return Status::InvalidArgument("unknown --kind '" + kind + "'");
   }
@@ -509,10 +548,20 @@ Status CmdExperiment(const std::vector<std::string>& args,
   flags.AddString("workload", "line", "line | bushy | lengthy | hybrid");
   flags.AddInt("trials", 50, "independently drawn instances");
   flags.AddInt("ops", 19, "operations per workflow");
-  flags.AddInt("servers", 5, "servers in the farm");
+  flags.AddInt("servers", 5, "servers in the farm (bus topology only)");
   flags.AddInt("seed", 42, "experiment seed");
   flags.AddDouble("bus", 0.0, "fixed bus speed bps (0 = draw from the "
                   "class distribution)");
+  flags.AddString("topology", "bus", "network family: bus | fat-tree | "
+                  "hier (WAN families ignore --servers)");
+  flags.AddInt("spines", 2, "fat-tree: spine servers");
+  flags.AddInt("racks", 2, "fat-tree: racks");
+  flags.AddInt("rack-size", 4, "fat-tree: servers per rack");
+  flags.AddInt("regions", 2, "hier: regions");
+  flags.AddInt("clusters", 2, "hier: clusters per region");
+  flags.AddInt("cluster-size", 3, "hier: servers per cluster");
+  flags.AddDouble("wan-speed", 0.0,
+                  "hier: inter-region WAN link speed bps (0 = default)");
   flags.AddString("algorithms", "",
                   "comma-separated registry names (default: the paper's "
                   "five bus algorithms)");
@@ -533,6 +582,19 @@ Status CmdExperiment(const std::vector<std::string>& args,
   if (flags.GetDouble("bus") > 0) {
     cfg.fixed_bus_speed_bps = flags.GetDouble("bus");
   }
+  WSFLOW_ASSIGN_OR_RETURN(
+      cfg.topology, ExperimentTopologyFromString(flags.GetString("topology")));
+  cfg.fat_tree.spines = static_cast<size_t>(flags.GetInt("spines"));
+  cfg.fat_tree.racks = static_cast<size_t>(flags.GetInt("racks"));
+  cfg.fat_tree.rack_size = static_cast<size_t>(flags.GetInt("rack-size"));
+  cfg.hierarchical.regions = static_cast<size_t>(flags.GetInt("regions"));
+  cfg.hierarchical.clusters_per_region =
+      static_cast<size_t>(flags.GetInt("clusters"));
+  cfg.hierarchical.cluster_size =
+      static_cast<size_t>(flags.GetInt("cluster-size"));
+  if (flags.GetDouble("wan-speed") > 0) {
+    cfg.hierarchical.wan_speed_bps = flags.GetDouble("wan-speed");
+  }
 
   std::vector<std::string> algorithms = PaperBusAlgorithms();
   if (!flags.GetString("algorithms").empty()) {
@@ -545,8 +607,18 @@ Status CmdExperiment(const std::vector<std::string>& args,
 
   WSFLOW_ASSIGN_OR_RETURN(ExperimentResult result,
                           RunExperiment(cfg, algorithms));
+  size_t n_servers = cfg.num_servers;
+  if (cfg.topology == ExperimentTopology::kFatTree) {
+    n_servers = cfg.fat_tree.spines + cfg.fat_tree.racks *
+                cfg.fat_tree.rack_size;
+  } else if (cfg.topology == ExperimentTopology::kHierarchical) {
+    n_servers = cfg.hierarchical.regions *
+                cfg.hierarchical.clusters_per_region *
+                cfg.hierarchical.cluster_size;
+  }
   out << "experiment " << cfg.name << ": " << cfg.trials << " trials, M="
-      << cfg.num_operations << ", N=" << cfg.num_servers << "\n";
+      << cfg.num_operations << ", N=" << n_servers << " ("
+      << ExperimentTopologyToString(cfg.topology) << ")\n";
   out << SummaryTable(result).ToString();
   if (!flags.GetString("csv").empty()) {
     WSFLOW_RETURN_IF_ERROR(WriteCsv(

@@ -12,6 +12,7 @@
 #include "src/deploy/fl_merge.h"
 #include "src/deploy/fltr.h"
 #include "src/deploy/fltr2.h"
+#include "src/deploy/geo.h"
 #include "src/deploy/heavy_ops.h"
 #include "src/deploy/line_line.h"
 #include "src/deploy/local_search.h"
@@ -159,6 +160,17 @@ void RegisterBuiltinAlgorithms() {
     });
     add("branch-bound",
         [] { return std::make_unique<BranchBoundAlgorithm>(); });
+    // Locality-aware wrappers for geo-distributed (zoned) networks: run
+    // the base heuristic AND a zone-aware seed, keep the cheaper mapping.
+    add("heavy-ops-geo", [] {
+      return std::make_unique<GeoLocalityAlgorithm>("heavy-ops");
+    });
+    add("fltr2-geo", [] {
+      return std::make_unique<GeoLocalityAlgorithm>("fltr2");
+    });
+    add("fair-load-geo", [] {
+      return std::make_unique<GeoLocalityAlgorithm>("fair-load");
+    });
   });
 }
 

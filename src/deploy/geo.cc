@@ -1,0 +1,258 @@
+#include "src/deploy/geo.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/deploy/local_search.h"
+
+namespace wsflow {
+
+namespace {
+
+// Union-find over operation ids (path halving, union by size, and a
+// deterministic representative: the smallest member id).
+class Dsu {
+ public:
+  explicit Dsu(size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+};
+
+struct ZoneInfo {
+  std::string label;
+  std::vector<ServerId> servers;
+  double power_hz = 0;
+  double capacity_cycles = 0;  // fair share of the total weighted cycles
+  double assigned_cycles = 0;
+};
+
+double OpProb(const DeployContext& ctx, size_t op) {
+  return ctx.profile ? ctx.profile->op_prob[op] : 1.0;
+}
+
+double EdgeProb(const DeployContext& ctx, size_t t) {
+  return ctx.profile ? ctx.profile->edge_prob[t] : 1.0;
+}
+
+}  // namespace
+
+std::optional<Mapping> BuildZoneLocalitySeed(const DeployContext& ctx) {
+  const Workflow& w = *ctx.workflow;
+  const Network& n = *ctx.network;
+
+  // Collect zones in first-appearance order; bail when the network carries
+  // no locality signal.
+  std::vector<ZoneInfo> zones;
+  std::unordered_map<std::string, size_t> zone_index;
+  for (const Server& s : n.servers()) {
+    if (s.zone().empty()) return std::nullopt;
+    auto [it, inserted] = zone_index.emplace(s.zone(), zones.size());
+    if (inserted) {
+      zones.push_back(ZoneInfo{s.zone(), {}, 0, 0, 0});
+    }
+    ZoneInfo& z = zones[it->second];
+    z.servers.push_back(s.id());
+    z.power_hz += s.power_hz();
+  }
+  if (zones.size() < 2) return std::nullopt;
+
+  const size_t M = w.num_operations();
+  std::vector<double> op_cycles(M);
+  double total_cycles = 0;
+  for (size_t i = 0; i < M; ++i) {
+    op_cycles[i] = OpProb(ctx, i) * w.operations()[i].cycles();
+    total_cycles += op_cycles[i];
+  }
+  const double total_power = n.TotalPowerHz();
+  double max_capacity = 0;
+  for (ZoneInfo& z : zones) {
+    z.capacity_cycles = total_cycles * (z.power_hz / total_power);
+    max_capacity = std::max(max_capacity, z.capacity_cycles);
+  }
+
+  // 1. Cluster by chattiest edges first; a merge is taken only while the
+  // merged cluster still fits the largest zone's fair share (so no cluster
+  // is forced to straddle a zone boundary later).
+  std::vector<TransitionId> edges(w.num_transitions());
+  for (size_t t = 0; t < edges.size(); ++t) edges[t] = TransitionId(t);
+  auto edge_weight = [&](TransitionId t) {
+    return EdgeProb(ctx, t.value) * w.transition(t).message_bits;
+  };
+  std::stable_sort(edges.begin(), edges.end(),
+                   [&](TransitionId a, TransitionId b) {
+                     double wa = edge_weight(a), wb = edge_weight(b);
+                     if (wa != wb) return wa > wb;
+                     return a.value < b.value;
+                   });
+  Dsu dsu(M);
+  std::vector<double> cluster_cycles = op_cycles;
+  for (TransitionId t : edges) {
+    const Transition& tr = w.transition(t);
+    uint32_t a = dsu.Find(tr.from.value);
+    uint32_t b = dsu.Find(tr.to.value);
+    if (a == b) continue;
+    if (cluster_cycles[a] + cluster_cycles[b] > max_capacity) continue;
+    dsu.Union(a, b);
+    uint32_t root = dsu.Find(a);
+    cluster_cycles[root] = cluster_cycles[a] + cluster_cycles[b];
+  }
+
+  // Materialize clusters keyed by root, members in op-id order.
+  std::unordered_map<uint32_t, size_t> cluster_of_root;
+  struct Cluster {
+    std::vector<uint32_t> ops;
+    double cycles = 0;
+  };
+  std::vector<Cluster> clusters;
+  std::vector<size_t> cluster_of_op(M);
+  for (uint32_t op = 0; op < M; ++op) {
+    uint32_t root = dsu.Find(op);
+    auto [it, inserted] = cluster_of_root.emplace(root, clusters.size());
+    if (inserted) clusters.push_back(Cluster{});
+    Cluster& c = clusters[it->second];
+    c.ops.push_back(op);
+    c.cycles += op_cycles[op];
+    cluster_of_op[op] = it->second;
+  }
+
+  // 2. Assign clusters to zones, heaviest first. A cluster prefers the
+  // zone it already exchanges the most (probability-weighted) bits with;
+  // zones it would overflow are skipped when any fitting zone exists; the
+  // final tie-break is most remaining capacity, then zone order.
+  std::vector<size_t> order(clusters.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (clusters[a].cycles != clusters[b].cycles) {
+      return clusters[a].cycles > clusters[b].cycles;
+    }
+    return clusters[a].ops.front() < clusters[b].ops.front();
+  });
+  std::vector<size_t> zone_of_cluster(clusters.size(),
+                                      std::numeric_limits<size_t>::max());
+  for (size_t c : order) {
+    std::vector<double> affinity(zones.size(), 0);
+    for (uint32_t op : clusters[c].ops) {
+      OperationId oid(op);
+      for (TransitionId t : w.out_edges(oid)) {
+        size_t other = cluster_of_op[w.transition(t).to.value];
+        if (other != c && zone_of_cluster[other] < zones.size()) {
+          affinity[zone_of_cluster[other]] += edge_weight(t);
+        }
+      }
+      for (TransitionId t : w.in_edges(oid)) {
+        size_t other = cluster_of_op[w.transition(t).from.value];
+        if (other != c && zone_of_cluster[other] < zones.size()) {
+          affinity[zone_of_cluster[other]] += edge_weight(t);
+        }
+      }
+    }
+    auto fits = [&](size_t z) {
+      return zones[z].assigned_cycles + clusters[c].cycles <=
+             zones[z].capacity_cycles;
+    };
+    bool any_fit = false;
+    for (size_t z = 0; z < zones.size(); ++z) any_fit = any_fit || fits(z);
+    size_t best = zones.size();
+    for (size_t z = 0; z < zones.size(); ++z) {
+      if (any_fit && !fits(z)) continue;
+      if (best == zones.size()) {
+        best = z;
+        continue;
+      }
+      double rb = zones[best].capacity_cycles - zones[best].assigned_cycles;
+      double rz = zones[z].capacity_cycles - zones[z].assigned_cycles;
+      if (affinity[z] > affinity[best] ||
+          (affinity[z] == affinity[best] && rz > rb)) {
+        best = z;
+      }
+    }
+    zone_of_cluster[c] = best;
+    zones[best].assigned_cycles += clusters[c].cycles;
+  }
+
+  // 3. LPT within each zone: operations heaviest-first onto the zone
+  // server that finishes them earliest (load measured in seconds of
+  // probability-weighted processing).
+  Mapping m(M);
+  std::vector<double> server_load(n.num_servers(), 0);
+  std::vector<uint32_t> op_order(M);
+  std::iota(op_order.begin(), op_order.end(), 0u);
+  std::stable_sort(op_order.begin(), op_order.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     if (op_cycles[a] != op_cycles[b]) {
+                       return op_cycles[a] > op_cycles[b];
+                     }
+                     return a < b;
+                   });
+  for (uint32_t op : op_order) {
+    const ZoneInfo& z = zones[zone_of_cluster[cluster_of_op[op]]];
+    ServerId best;
+    double best_finish = 0;
+    for (ServerId s : z.servers) {
+      double finish =
+          server_load[s.value] + op_cycles[op] / n.server(s).power_hz();
+      if (!best.valid() || finish < best_finish) {
+        best = s;
+        best_finish = finish;
+      }
+    }
+    m.Assign(OperationId(op), best);
+    server_load[best.value] = best_finish;
+  }
+  return m;
+}
+
+GeoLocalityAlgorithm::GeoLocalityAlgorithm(std::string base_name,
+                                           size_t polish_steps)
+    : base_name_(std::move(base_name)),
+      name_(base_name_ + "-geo"),
+      polish_steps_(polish_steps) {}
+
+Result<Mapping> GeoLocalityAlgorithm::Run(const DeployContext& ctx) const {
+  WSFLOW_RETURN_IF_ERROR(CheckContext(ctx));
+  WSFLOW_ASSIGN_OR_RETURN(Mapping base, RunAlgorithm(base_name_, ctx));
+  std::optional<Mapping> seed = BuildZoneLocalitySeed(ctx);
+  if (!seed.has_value()) return base;
+  WSFLOW_ASSIGN_OR_RETURN(Mapping geo,
+                          PolishMapping(ctx, std::move(*seed), polish_steps_));
+
+  // Never-lose guarantee: score both candidates with the same evaluator
+  // and keep the cheaper; ties (and any geo evaluation failure, e.g. a
+  // disconnected placement) keep the base mapping.
+  CostModel model(*ctx.workflow, *ctx.network, ctx.profile);
+  WSFLOW_ASSIGN_OR_RETURN(CostBreakdown base_cost,
+                          model.Evaluate(base, ctx.cost_options));
+  Result<CostBreakdown> geo_cost = model.Evaluate(geo, ctx.cost_options);
+  if (geo_cost.ok() && geo_cost.value().combined < base_cost.combined) {
+    return geo;
+  }
+  return base;
+}
+
+}  // namespace wsflow

@@ -1,0 +1,68 @@
+// wsflow: locality-aware deployment for geo-distributed farms (extension).
+//
+// The paper's heuristics are oblivious to *where* servers sit: on a
+// hierarchical WAN (MakeHierarchicalNetwork) they happily split a chatty
+// pair of operations across regions and pay the 30 ms WAN round trip per
+// message. GeoLocalityAlgorithm wraps any registered base algorithm and
+// adds a zone-aware candidate:
+//
+//   1. Cluster operations by their chattiest edges (probability-weighted
+//      message bits, descending) with a union-find, capping each cluster at
+//      the largest zone's fair capacity share so every cluster fits inside
+//      some zone. Cross-cluster edges are the light ones — the cheap cut
+//      points where crossing a region boundary hurts least.
+//   2. Assign clusters to zones: chattiest-affinity first (a cluster goes
+//      to the zone it already exchanges the most bits with), capacity
+//      otherwise, all ties broken by zone order.
+//   3. Place each cluster's operations on its zone's servers by LPT
+//      (longest processing time first, earliest-finishing server wins).
+//   4. Refine with a short delta-evaluated hill climb (PolishMapping).
+//
+// The wrapper then evaluates BOTH the base mapping and the zone-aware one
+// under the context's cost options and returns the cheaper (ties keep the
+// base). It therefore *never loses* to its locality-blind counterpart by
+// construction, and wins whenever locality matters. On networks without
+// zone labels (fewer than two distinct zones) it degenerates to the base
+// algorithm exactly. Deterministic: every sort and argmin carries an
+// explicit id tie-break.
+//
+// Registered as the "-geo" variants: heavy-ops-geo, fltr2-geo,
+// fair-load-geo.
+
+#ifndef WSFLOW_DEPLOY_GEO_H_
+#define WSFLOW_DEPLOY_GEO_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/deploy/algorithm.h"
+
+namespace wsflow {
+
+/// Builds the zone-aware seed mapping (steps 1–3 above) without the polish
+/// or the argmin. Returns nullopt when the network offers no locality
+/// signal: fewer than two distinct zones, or any server without a zone
+/// label. Exposed for tests and for the locality ablation bench.
+std::optional<Mapping> BuildZoneLocalitySeed(const DeployContext& ctx);
+
+class GeoLocalityAlgorithm : public DeploymentAlgorithm {
+ public:
+  /// Wraps the registered algorithm `base_name`; the published name is
+  /// "<base_name>-geo". `polish_steps` bounds the hill-climb refinement of
+  /// the zone-aware candidate.
+  explicit GeoLocalityAlgorithm(std::string base_name,
+                                size_t polish_steps = 80);
+
+  std::string_view name() const override { return name_; }
+  Result<Mapping> Run(const DeployContext& ctx) const override;
+
+ private:
+  std::string base_name_;
+  std::string name_;
+  size_t polish_steps_;
+};
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_DEPLOY_GEO_H_

@@ -16,6 +16,25 @@ std::string_view WorkloadKindToString(WorkloadKind kind) {
   return "unknown";
 }
 
+std::string_view ExperimentTopologyToString(ExperimentTopology t) {
+  switch (t) {
+    case ExperimentTopology::kBus: return "bus";
+    case ExperimentTopology::kFatTree: return "fat-tree";
+    case ExperimentTopology::kHierarchical: return "hier";
+  }
+  return "unknown";
+}
+
+Result<ExperimentTopology> ExperimentTopologyFromString(
+    const std::string& s) {
+  for (ExperimentTopology t :
+       {ExperimentTopology::kBus, ExperimentTopology::kFatTree,
+        ExperimentTopology::kHierarchical}) {
+    if (ExperimentTopologyToString(t) == s) return t;
+  }
+  return Status::InvalidArgument("unknown --topology '" + s + "'");
+}
+
 namespace {
 
 DiscreteDistribution MustMake(
@@ -97,7 +116,8 @@ Result<TrialInstance> DrawTrial(const ExperimentConfig& config,
     return Status::InvalidArgument(
         "experiment config is missing a distribution");
   }
-  if (!config.fixed_bus_speed_bps && config.bus_speed.empty()) {
+  if (config.topology == ExperimentTopology::kBus &&
+      !config.fixed_bus_speed_bps && config.bus_speed.empty()) {
     return Status::InvalidArgument("experiment config has no bus speed");
   }
   // One independent stream per trial: reordering or subsetting trials does
@@ -131,13 +151,40 @@ Result<TrialInstance> DrawTrial(const ExperimentConfig& config,
     instance.profile = std::move(profile);
   }
 
-  std::vector<double> powers(config.num_servers);
+  size_t num_servers = config.num_servers;
+  if (config.topology == ExperimentTopology::kFatTree) {
+    num_servers = config.fat_tree.spines +
+                  config.fat_tree.racks * config.fat_tree.rack_size;
+  } else if (config.topology == ExperimentTopology::kHierarchical) {
+    num_servers = config.hierarchical.regions *
+                  config.hierarchical.clusters_per_region *
+                  config.hierarchical.cluster_size;
+  }
+  std::vector<double> powers(num_servers);
   for (double& p : powers) p = config.server_power.Sample(&rng);
-  double bus = config.fixed_bus_speed_bps ? *config.fixed_bus_speed_bps
-                                          : config.bus_speed.Sample(&rng);
-  WSFLOW_ASSIGN_OR_RETURN(
-      instance.network,
-      MakeBusNetwork(powers, bus, config.bus_propagation_s));
+  switch (config.topology) {
+    case ExperimentTopology::kBus: {
+      double bus = config.fixed_bus_speed_bps ? *config.fixed_bus_speed_bps
+                                              : config.bus_speed.Sample(&rng);
+      WSFLOW_ASSIGN_OR_RETURN(
+          instance.network,
+          MakeBusNetwork(powers, bus, config.bus_propagation_s));
+      break;
+    }
+    case ExperimentTopology::kFatTree: {
+      FatTreeOptions opts = config.fat_tree;
+      opts.powers_hz = powers;
+      WSFLOW_ASSIGN_OR_RETURN(instance.network, MakeFatTreeNetwork(opts));
+      break;
+    }
+    case ExperimentTopology::kHierarchical: {
+      HierarchicalOptions opts = config.hierarchical;
+      opts.powers_hz = powers;
+      WSFLOW_ASSIGN_OR_RETURN(instance.network,
+                              MakeHierarchicalNetwork(opts));
+      break;
+    }
+  }
   return instance;
 }
 

@@ -64,11 +64,27 @@ enum class WorkloadKind {
 
 std::string_view WorkloadKindToString(WorkloadKind kind);
 
+/// Network family drawn per trial. kBus reproduces the paper's shared
+/// medium; the WAN families build zoned weighted topologies so the Class
+/// A/B/C matrix also exercises the weighted router and the locality-aware
+/// deployment variants.
+enum class ExperimentTopology : uint8_t {
+  kBus = 0,
+  kFatTree,
+  kHierarchical,
+};
+
+std::string_view ExperimentTopologyToString(ExperimentTopology t);
+Result<ExperimentTopology> ExperimentTopologyFromString(const std::string& s);
+
 /// One experiment: `trials` independently drawn (workflow, network) pairs.
 struct ExperimentConfig {
   std::string name = "experiment";
   WorkloadKind workload = WorkloadKind::kLine;
   size_t num_operations = 19;
+  /// Server count for kBus. The WAN families derive their count from the
+  /// shape knobs below (spines + racks * rack_size, or regions * clusters *
+  /// cluster_size) and ignore this field.
   size_t num_servers = 5;
   size_t trials = 50;
   uint64_t seed = 42;
@@ -77,10 +93,18 @@ struct ExperimentConfig {
   DiscreteDistribution operation_cycles;
   DiscreteDistribution server_power;
   /// Bus speed per trial; set `fixed_bus_speed_bps` to sweep specific
-  /// speeds instead.
+  /// speeds instead. Only consulted for kBus.
   DiscreteDistribution bus_speed;
   std::optional<double> fixed_bus_speed_bps;
   double bus_propagation_s = 0;
+
+  /// Network family; kBus unless a WAN topology is requested.
+  ExperimentTopology topology = ExperimentTopology::kBus;
+  /// Shape and link-speed knobs for the WAN families. `powers_hz` inside
+  /// is ignored — per-server powers are drawn from `server_power` in
+  /// canonical server order, exactly like the bus draws them.
+  FatTreeOptions fat_tree;
+  HierarchicalOptions hierarchical;
 };
 
 /// Table 6 distributions (Class C): everything varies.

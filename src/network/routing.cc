@@ -1,8 +1,11 @@
 #include "src/network/routing.h"
 
 #include <algorithm>
-#include <deque>
+#include <cstdint>
+#include <limits>
+#include <queue>
 #include <sstream>
+#include <tuple>
 
 #include "src/common/logging.h"
 
@@ -20,6 +23,12 @@ double Route::TransmissionTime(const Network& n, double bits) const {
   return total;
 }
 
+double Route::RoutingWeight(const Network& n) const {
+  double total = 0;
+  for (LinkId l : links) total += LinkRoutingWeight(n.link(l));
+  return total;
+}
+
 Router::Router(const Network& network)
     : network_(network),
       parent_link_(network.num_servers()),
@@ -27,21 +36,47 @@ Router::Router(const Network& network)
 
 void Router::EnsureSource(ServerId from) const {
   if (source_done_[from.value]) return;
+  const size_t N = network_.num_servers();
   std::vector<LinkId>& parents = parent_link_[from.value];
-  parents.assign(network_.num_servers(), LinkId());
-  std::vector<bool> visited(network_.num_servers(), false);
-  visited[from.value] = true;
-  std::deque<ServerId> queue{from};
+  parents.assign(N, LinkId());
+
+  // Dijkstra over LinkRoutingWeight with a fully deterministic tie-break:
+  // a relaxation wins on strictly smaller distance, then on fewer hops,
+  // then on a smaller upstream link id. The comparisons are exact double
+  // comparisons over values derived identically on every run, so the
+  // parent table — and hence every route — is byte-identical across runs
+  // and thread schedules.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(N, kInf);
+  std::vector<uint32_t> hops(N, 0);
+  std::vector<char> done(N, 0);
+  dist[from.value] = 0;
+
+  using Entry = std::tuple<double, uint32_t, uint32_t>;  // dist, hops, node
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  queue.emplace(0.0, 0u, from.value);
   while (!queue.empty()) {
-    ServerId cur = queue.front();
-    queue.pop_front();
-    for (LinkId l : network_.incident_links(cur)) {
+    auto [d, h, u] = queue.top();
+    queue.pop();
+    if (done[u]) continue;
+    done[u] = 1;
+    for (LinkId l : network_.incident_links(ServerId(u))) {
       const Link& link = network_.link(l);
-      ServerId next = link.a == cur ? link.b : link.a;
-      if (!visited[next.value]) {
-        visited[next.value] = true;
-        parents[next.value] = l;
-        queue.push_back(next);
+      ServerId next = link.a == ServerId(u) ? link.b : link.a;
+      const uint32_t v = next.value;
+      if (done[v]) continue;
+      const double nd = d + LinkRoutingWeight(link);
+      const uint32_t nh = h + 1;
+      bool better = nd < dist[v];
+      if (!better && nd == dist[v]) {
+        better = nh < hops[v] ||
+                 (nh == hops[v] && l.value < parents[v].value);
+      }
+      if (better) {
+        dist[v] = nd;
+        hops[v] = nh;
+        parents[v] = l;
+        queue.emplace(nd, nh, v);
       }
     }
   }
@@ -79,6 +114,11 @@ Result<Route> Router::FindRoute(ServerId from, ServerId to) const {
 Result<size_t> Router::HopCount(ServerId from, ServerId to) const {
   WSFLOW_ASSIGN_OR_RETURN(Route route, FindRoute(from, to));
   return route.links.size();
+}
+
+Result<double> Router::RouteWeight(ServerId from, ServerId to) const {
+  WSFLOW_ASSIGN_OR_RETURN(Route route, FindRoute(from, to));
+  return route.RoutingWeight(network_);
 }
 
 void Router::WarmAllPairs() const {

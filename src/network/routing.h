@@ -3,8 +3,22 @@
 // Path(s, s') in the paper's cost model (Table 1) is the sequence of links a
 // message traverses from the server of the sending operation to the server
 // of the receiving one. On a bus every pair shares the single medium; on
-// point-to-point topologies the route is the shortest path by hop count,
-// with total propagation delay as the tie-breaker.
+// point-to-point topologies the route is the *weighted* shortest path that
+// minimizes the sum of per-link routing weights
+//
+//   w(l) = T_refl(l) + 1 / Line_Speed(l)
+//
+// (seconds for a 1-bit message; see LinkRoutingWeight). On the paper's
+// uniform-speed line/star/ring networks this degenerates to the hop-count
+// rule, while on geo-distributed WAN topologies it detours around slow or
+// high-latency links when a cheaper multi-hop path exists.
+//
+// Deterministic tie-break (route tables are byte-identical across runs and
+// platforms): among equal-weight paths the Router prefers the one with
+// fewer hops, and among equal-weight equal-hop paths each node adopts the
+// candidate upstream link with the smallest LinkId. Equal-cost multipath
+// fabrics (fat trees) therefore always pin the same spine for a given
+// (source, destination) pair.
 
 #ifndef WSFLOW_NETWORK_ROUTING_H_
 #define WSFLOW_NETWORK_ROUTING_H_
@@ -23,24 +37,31 @@ struct Route {
 
   bool co_located() const { return links.empty(); }
 
-  /// Sum of T_refl over the route's links.
+  /// Sum of T_refl over the route's links (the latency component of the
+  /// weighted route cost; independent of the message size).
   double TotalPropagation(const Network& n) const;
 
   /// Transmission time of `bits` over the route: Sum of bits/speed per link
   /// (store-and-forward; each hop retransmits the full message).
   double TransmissionTime(const Network& n, double bits) const;
+
+  /// Sum of LinkRoutingWeight over the route's links — the quantity the
+  /// Router minimizes.
+  double RoutingWeight(const Network& n) const;
 };
 
 /// True when `route` (a FindRoute result for `from` -> `to`) touches only
 /// mask-alive servers: both endpoints and every transit server of a
 /// point-to-point path. A shared-medium hop has no transit servers. Lets
 /// churn-aware evaluation reuse the full-network route tables — a route
-/// through a down server is *severed*, not recomputed around the hole.
+/// through a down server is *severed*, not recomputed around the hole,
+/// even when an all-alive (possibly heavier) detour exists.
 bool RouteAvoidsDown(const Route& route, const Network& n, ServerId from,
                      ServerId to, const ServerMask& mask);
 
 /// Router with per-network all-pairs cache. Routes are computed lazily per
-/// source with BFS (O(N + L)) and memoized; bus networks answer in O(1).
+/// source with Dijkstra over the link routing weights (O((N + L) log N))
+/// and memoized; bus networks answer in O(1).
 class Router {
  public:
   explicit Router(const Network& network);
@@ -52,10 +73,14 @@ class Router {
   /// Number of links on the route (0 for co-located, 1 on a bus).
   Result<size_t> HopCount(ServerId from, ServerId to) const;
 
-  /// Eagerly runs the per-source BFS for every server so that no later
-  /// FindRoute pays the first-touch cost. O(N * (N + L)); a no-op on bus
-  /// networks (every route is the single shared link) and for sources
-  /// already warmed.
+  /// Total routing weight of the route from `from` to `to` (0 for
+  /// co-located endpoints; the single shared-medium weight on a bus).
+  Result<double> RouteWeight(ServerId from, ServerId to) const;
+
+  /// Eagerly runs the per-source Dijkstra for every server so that no
+  /// later FindRoute pays the first-touch cost. O(N * (N + L) log N); a
+  /// no-op on bus networks (every route is the single shared link) and
+  /// for sources already warmed.
   void WarmAllPairs() const;
 
   const Network& network() const { return network_; }
@@ -64,8 +89,8 @@ class Router {
   void EnsureSource(ServerId from) const;
 
   const Network& network_;
-  // parent_link_[src][dst]: link towards dst's BFS parent, per source;
-  // lazily filled. An invalid id marks "unvisited".
+  // parent_link_[src][dst]: link towards dst's shortest-path parent, per
+  // source; lazily filled. An invalid id marks "unreachable".
   mutable std::vector<std::vector<LinkId>> parent_link_;
   mutable std::vector<bool> source_done_;
 };

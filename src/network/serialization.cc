@@ -10,7 +10,8 @@ namespace {
 Result<NetworkKind> KindFromString(const std::string& s) {
   for (NetworkKind k : {NetworkKind::kGeneral, NetworkKind::kLine,
                         NetworkKind::kBus, NetworkKind::kStar,
-                        NetworkKind::kRing}) {
+                        NetworkKind::kRing, NetworkKind::kFatTree,
+                        NetworkKind::kHierarchical}) {
     if (NetworkKindToString(k) == s) return k;
   }
   return Status::ParseError("unknown network kind '" + s + "'");
@@ -27,6 +28,7 @@ XmlNode NetworkToXml(const Network& n) {
     node.SetAttr("id", static_cast<int64_t>(s.id().value));
     node.SetAttr("name", s.name());
     node.SetAttr("power_hz", s.power_hz());
+    if (!s.zone().empty()) node.SetAttr("zone", s.zone());
   }
   for (const Link& link : n.links()) {
     if (link.is_shared_medium()) {
@@ -73,7 +75,8 @@ Result<Network> NetworkFromXml(const XmlNode& root) {
       return Status::ParseError("server '" + name +
                                 "' has non-positive power");
     }
-    n.AddServer(name, power);
+    std::string zone = node.Attr("zone").value_or("");
+    n.AddServer(name, power, std::move(zone));
   }
   for (const XmlNode* node : root.Children("bus")) {
     WSFLOW_ASSIGN_OR_RETURN(double speed, node->DoubleAttr("speed_bps"));

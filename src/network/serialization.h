@@ -3,14 +3,17 @@
 // Format:
 //
 //   <network name="farm" kind="bus">
-//     <server id="0" name="s1" power_hz="1e9"/>
+//     <server id="0" name="s1" power_hz="1e9" zone="r0.c0"/>
 //     ...
 //     <bus speed_bps="1e8" propagation_s="0"/>        (bus networks)
 //     <link a="0" b="1" speed_bps="1e7" propagation_s="0"/>  (otherwise)
 //   </network>
 //
-// Server ids must be the dense indices 0..N-1. Round-tripping preserves
-// names, powers, kind, link speeds and propagation delays exactly.
+// Server ids must be the dense indices 0..N-1. The `zone` attribute is the
+// optional locality label of hierarchical topologies; it is omitted when
+// empty. Round-tripping preserves names, powers, zones, kind, link speeds
+// and propagation delays exactly — saved WAN networks reload
+// bit-identically.
 
 #ifndef WSFLOW_NETWORK_SERIALIZATION_H_
 #define WSFLOW_NETWORK_SERIALIZATION_H_

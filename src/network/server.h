@@ -56,9 +56,17 @@ class Server {
   double power_hz() const { return power_hz_; }
   void set_power_hz(double hz) { power_hz_ = hz; }
 
+  /// Locality zone label, e.g. "r0.c1" for region 0 / cluster 1 in a
+  /// hierarchical network. Empty (the default) means "no locality
+  /// information"; the flat paper topologies leave it empty. The
+  /// geo-aware deployment heuristics group servers by this label.
+  const std::string& zone() const { return zone_; }
+  void set_zone(std::string zone) { zone_ = std::move(zone); }
+
  private:
   ServerId id_;
   std::string name_;
+  std::string zone_;
   double power_hz_ = 0;
 };
 

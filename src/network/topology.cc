@@ -1,8 +1,11 @@
 #include "src/network/topology.h"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "src/common/logging.h"
+#include "src/common/random.h"
 
 namespace wsflow {
 
@@ -13,16 +16,31 @@ std::string_view NetworkKindToString(NetworkKind kind) {
     case NetworkKind::kBus: return "bus";
     case NetworkKind::kStar: return "star";
     case NetworkKind::kRing: return "ring";
+    case NetworkKind::kFatTree: return "fat-tree";
+    case NetworkKind::kHierarchical: return "hier";
   }
   return "unknown";
 }
 
-ServerId Network::AddServer(std::string name, double power_hz) {
+ServerId Network::AddServer(std::string name, double power_hz,
+                            std::string zone) {
   WSFLOW_CHECK_GT(power_hz, 0.0);
   ServerId id(static_cast<uint32_t>(servers_.size()));
   servers_.emplace_back(id, std::move(name), power_hz);
+  servers_.back().set_zone(std::move(zone));
   incident_.emplace_back();
   return id;
+}
+
+std::vector<std::string> Network::Zones() const {
+  std::vector<std::string> zones;
+  for (const Server& s : servers_) {
+    if (s.zone().empty()) continue;
+    if (std::find(zones.begin(), zones.end(), s.zone()) == zones.end()) {
+      zones.push_back(s.zone());
+    }
+  }
+  return zones;
 }
 
 Result<LinkId> Network::AddLink(ServerId a, ServerId b, double speed_bps,
@@ -209,6 +227,209 @@ Result<Network> MakeRingNetwork(const std::vector<double>& powers_hz,
                 ServerId(0), link_speeds_bps.back(), propagation_s));
   (void)closing;
   n.set_kind(NetworkKind::kRing);
+  return n;
+}
+
+namespace {
+
+/// Resolves the canonical power vector: either one broadcast entry or
+/// exactly `total` positive entries.
+Result<std::vector<double>> ResolvePowers(const std::vector<double>& powers,
+                                          size_t total) {
+  if (powers.empty()) {
+    return Status::InvalidArgument("powers_hz must not be empty");
+  }
+  std::vector<double> out;
+  if (powers.size() == 1) {
+    out.assign(total, powers[0]);
+  } else if (powers.size() == total) {
+    out = powers;
+  } else {
+    return Status::InvalidArgument(
+        "powers_hz needs 1 (broadcast) or " + std::to_string(total) +
+        " entries, got " + std::to_string(powers.size()));
+  }
+  for (double p : out) {
+    if (p <= 0) {
+      return Status::InvalidArgument("server power must be positive");
+    }
+  }
+  return out;
+}
+
+Status CheckLink(double speed_bps, double propagation_s, const char* what) {
+  if (speed_bps <= 0) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " speed must be positive");
+  }
+  if (propagation_s < 0) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " propagation must be non-negative");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Network> MakeFatTreeNetwork(const FatTreeOptions& options) {
+  if (options.spines == 0 || options.racks == 0 || options.rack_size == 0) {
+    return Status::InvalidArgument(
+        "fat tree needs spines, racks and rack_size >= 1");
+  }
+  WSFLOW_RETURN_IF_ERROR(
+      CheckLink(options.edge_speed_bps, options.edge_propagation_s, "edge"));
+  WSFLOW_RETURN_IF_ERROR(CheckLink(options.spine_speed_bps,
+                                   options.spine_propagation_s, "spine"));
+  const size_t total =
+      options.spines + options.racks * options.rack_size;
+  WSFLOW_ASSIGN_OR_RETURN(std::vector<double> powers,
+                          ResolvePowers(options.powers_hz, total));
+
+  Network n("fat-tree");
+  // Canonical order: spines first, then rack-major members.
+  std::vector<ServerId> spines;
+  for (size_t s = 0; s < options.spines; ++s) {
+    spines.push_back(n.AddServer("spine" + std::to_string(s),
+                                 powers[spines.size()], "spine"));
+  }
+  size_t next_power = options.spines;
+  for (size_t r = 0; r < options.racks; ++r) {
+    std::string zone = "rack" + std::to_string(r);
+    ServerId head;
+    for (size_t m = 0; m < options.rack_size; ++m) {
+      ServerId id = n.AddServer(
+          "r" + std::to_string(r) + "s" + std::to_string(m),
+          powers[next_power++], zone);
+      if (m == 0) {
+        head = id;
+        for (ServerId spine : spines) {
+          WSFLOW_RETURN_IF_ERROR(
+              n.AddLink(head, spine, options.spine_speed_bps,
+                        options.spine_propagation_s)
+                  .status());
+        }
+      } else {
+        WSFLOW_RETURN_IF_ERROR(n.AddLink(head, id, options.edge_speed_bps,
+                                         options.edge_propagation_s)
+                                   .status());
+      }
+    }
+  }
+  n.set_kind(NetworkKind::kFatTree);
+  return n;
+}
+
+Result<Network> MakeHierarchicalNetwork(const HierarchicalOptions& options) {
+  if (options.regions == 0 || options.clusters_per_region == 0 ||
+      options.cluster_size == 0) {
+    return Status::InvalidArgument(
+        "hierarchical network needs regions, clusters and cluster_size >= 1");
+  }
+  WSFLOW_RETURN_IF_ERROR(CheckLink(options.cluster_speed_bps,
+                                   options.cluster_propagation_s, "cluster"));
+  WSFLOW_RETURN_IF_ERROR(CheckLink(options.region_speed_bps,
+                                   options.region_propagation_s, "region"));
+  WSFLOW_RETURN_IF_ERROR(
+      CheckLink(options.wan_speed_bps, options.wan_propagation_s, "wan"));
+  const size_t total = options.regions * options.clusters_per_region *
+                       options.cluster_size;
+  WSFLOW_ASSIGN_OR_RETURN(std::vector<double> powers,
+                          ResolvePowers(options.powers_hz, total));
+
+  Network n("hier");
+  std::vector<ServerId> gateways;  // cluster 0's head per region
+  size_t next_power = 0;
+  for (size_t i = 0; i < options.regions; ++i) {
+    ServerId gateway;
+    for (size_t j = 0; j < options.clusters_per_region; ++j) {
+      std::string zone = "r" + std::to_string(i) + ".c" + std::to_string(j);
+      ServerId head;
+      for (size_t k = 0; k < options.cluster_size; ++k) {
+        ServerId id = n.AddServer(
+            "r" + std::to_string(i) + "c" + std::to_string(j) + "s" +
+                std::to_string(k),
+            powers[next_power++], zone);
+        if (k == 0) {
+          head = id;
+          if (j == 0) {
+            gateway = head;
+          } else {
+            WSFLOW_RETURN_IF_ERROR(
+                n.AddLink(gateway, head, options.region_speed_bps,
+                          options.region_propagation_s)
+                    .status());
+          }
+        } else {
+          WSFLOW_RETURN_IF_ERROR(
+              n.AddLink(head, id, options.cluster_speed_bps,
+                        options.cluster_propagation_s)
+                  .status());
+        }
+      }
+    }
+    for (ServerId other : gateways) {
+      WSFLOW_RETURN_IF_ERROR(n.AddLink(other, gateway, options.wan_speed_bps,
+                                       options.wan_propagation_s)
+                                 .status());
+    }
+    gateways.push_back(gateway);
+  }
+  n.set_kind(NetworkKind::kHierarchical);
+  return n;
+}
+
+Result<Network> MakeRandomConnectedNetwork(const RandomNetworkParams& params) {
+  if (params.num_servers == 0) {
+    return Status::InvalidArgument("network needs >= 1 server");
+  }
+  if (params.min_power_hz <= 0 || params.max_power_hz < params.min_power_hz ||
+      params.min_speed_bps <= 0 ||
+      params.max_speed_bps < params.min_speed_bps ||
+      params.min_propagation_s < 0 ||
+      params.max_propagation_s < params.min_propagation_s) {
+    return Status::InvalidArgument("invalid random network ranges");
+  }
+  Rng rng(params.seed * 0x9E3779B97F4A7C15ULL + 0x7F4A7C15u);
+  auto log_uniform = [&rng](double lo, double hi) {
+    if (lo == hi) return lo;
+    return lo * std::exp(rng.NextDouble() * std::log(hi / lo));
+  };
+  Network n("random");
+  for (size_t i = 0; i < params.num_servers; ++i) {
+    n.AddServer("s" + std::to_string(i + 1),
+                rng.NextDouble(params.min_power_hz, params.max_power_hz));
+  }
+  auto draw_propagation = [&]() {
+    if (params.min_propagation_s == 0 && params.max_propagation_s == 0) {
+      return 0.0;
+    }
+    double lo = std::max(params.min_propagation_s, 1e-9);
+    return log_uniform(lo, std::max(params.max_propagation_s, lo));
+  };
+  // Random spanning tree: attach each server to a uniformly chosen
+  // earlier one, so the graph is connected by construction.
+  for (uint32_t i = 1; i < params.num_servers; ++i) {
+    ServerId parent(static_cast<uint32_t>(rng.NextBounded(i)));
+    WSFLOW_RETURN_IF_ERROR(
+        n.AddLink(parent, ServerId(i),
+                  log_uniform(params.min_speed_bps, params.max_speed_bps),
+                  draw_propagation())
+            .status());
+  }
+  size_t added = 0, attempts = 0;
+  while (added < params.extra_links &&
+         attempts < 16 * (params.extra_links + 1)) {
+    ++attempts;
+    ServerId a(static_cast<uint32_t>(rng.NextBounded(params.num_servers)));
+    ServerId b(static_cast<uint32_t>(rng.NextBounded(params.num_servers)));
+    if (a == b || n.FindLink(a, b).ok()) continue;
+    WSFLOW_RETURN_IF_ERROR(
+        n.AddLink(a, b,
+                  log_uniform(params.min_speed_bps, params.max_speed_bps),
+                  draw_propagation())
+            .status());
+    ++added;
+  }
   return n;
 }
 

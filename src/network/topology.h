@@ -4,8 +4,14 @@
 // paper: the *line* (a path of point-to-point links, used for the Line-Line
 // algorithms) and the *bus* (one shared medium connecting all servers with
 // identical pairwise cost, used by the Line-Bus and Graph-Bus algorithms).
-// Star and ring builders are provided as extensions. Link speeds are in
-// bits per second; propagation delays (T_refl) in seconds.
+// Star and ring builders are provided as extensions, and two hierarchical
+// families model geo-distributed farms: the *fat tree* (racks of servers
+// behind top-of-rack heads, multipathed through a spine layer) and the
+// *hierarchical WAN* (servers -> clusters -> regions with heterogeneous
+// intra-DC vs inter-region links). Link speeds are in bits per second;
+// propagation delays (T_refl) in seconds. Every link carries a routing
+// weight (LinkRoutingWeight) that the weighted shortest-path Router
+// minimizes.
 
 #ifndef WSFLOW_NETWORK_TOPOLOGY_H_
 #define WSFLOW_NETWORK_TOPOLOGY_H_
@@ -49,6 +55,14 @@ struct Link {
   bool is_shared_medium() const { return !a.valid() && !b.valid(); }
 };
 
+/// Routing weight of a link: the cost a 1-bit message pays to cross it,
+/// propagation_s + 1/speed_bps seconds. The Router minimizes the sum of
+/// this weight over the route, so high-latency or slow WAN links are
+/// detoured around when a cheaper multi-hop path exists.
+inline double LinkRoutingWeight(const Link& link) {
+  return link.propagation_s + 1.0 / link.speed_bps;
+}
+
 /// Topology family tag; routing exploits it.
 enum class NetworkKind : uint8_t {
   kGeneral = 0,  ///< Arbitrary point-to-point links.
@@ -56,6 +70,8 @@ enum class NetworkKind : uint8_t {
   kBus,          ///< Single shared medium.
   kStar,         ///< All servers attached to a hub server.
   kRing,         ///< Closed chain.
+  kFatTree,      ///< Racks behind ToR heads, multipathed via spines.
+  kHierarchical, ///< Servers -> clusters -> regions over WAN links.
 };
 
 std::string_view NetworkKindToString(NetworkKind kind);
@@ -70,8 +86,14 @@ class Network {
   NetworkKind kind() const { return kind_; }
   void set_kind(NetworkKind kind) { kind_ = kind; }
 
-  /// Adds a server; power must be positive.
-  ServerId AddServer(std::string name, double power_hz);
+  /// Adds a server; power must be positive. `zone` is the optional
+  /// locality label (empty = no locality information).
+  ServerId AddServer(std::string name, double power_hz,
+                     std::string zone = "");
+
+  /// Distinct zone labels in first-appearance (server id) order. Servers
+  /// with an empty zone are skipped.
+  std::vector<std::string> Zones() const;
 
   /// Adds a point-to-point link between distinct existing servers.
   /// Duplicate pairs are rejected (one link per pair).
@@ -138,6 +160,68 @@ Result<Network> MakeStarNetwork(const std::vector<double>& powers_hz,
 Result<Network> MakeRingNetwork(const std::vector<double>& powers_hz,
                                 const std::vector<double>& link_speeds_bps,
                                 double propagation_s = 0);
+
+/// Fat-tree farm: `spines` spine servers plus `racks` racks of `rack_size`
+/// servers each. Within a rack every member links to the rack head (the
+/// rack's first server) over a fast edge link; every rack head links to
+/// every spine, so inter-rack traffic sees `spines` equal-cost paths —
+/// the Router's deterministic tie-break picks one reproducibly. Canonical
+/// server order: spines first (zone "spine"), then rack r's servers (zone
+/// "rack<r>"). `powers_hz` covers all servers in that order, or may hold
+/// a single entry broadcast to every server.
+struct FatTreeOptions {
+  size_t spines = 2;
+  size_t racks = 2;
+  size_t rack_size = 4;
+  std::vector<double> powers_hz = {1e9};
+  double edge_speed_bps = 10e9;    ///< member <-> rack head
+  double spine_speed_bps = 40e9;   ///< rack head <-> spine
+  double edge_propagation_s = 1e-6;
+  double spine_propagation_s = 5e-6;
+};
+Result<Network> MakeFatTreeNetwork(const FatTreeOptions& options);
+
+/// Hierarchical WAN farm: `regions` regions of `clusters_per_region`
+/// clusters of `cluster_size` servers. Within a cluster every member
+/// links to the cluster head (the cluster's first server) over a fast
+/// intra-DC link; within a region every cluster head links to the region
+/// gateway (cluster 0's head) over an aggregation link; region gateways
+/// form a full WAN mesh of slow, high-latency links. Canonical server
+/// order: region-major, cluster-major, members in order. Zones are
+/// "r<i>.c<j>" — the region is the prefix before the dot. `powers_hz`
+/// covers all servers in canonical order, or holds a single broadcast
+/// entry.
+struct HierarchicalOptions {
+  size_t regions = 2;
+  size_t clusters_per_region = 2;
+  size_t cluster_size = 3;
+  std::vector<double> powers_hz = {1e9};
+  double cluster_speed_bps = 10e9;  ///< member <-> cluster head
+  double region_speed_bps = 1e9;    ///< cluster head <-> region gateway
+  double wan_speed_bps = 100e6;     ///< gateway <-> gateway
+  double cluster_propagation_s = 1e-6;
+  double region_propagation_s = 50e-6;
+  double wan_propagation_s = 0.03;
+};
+Result<Network> MakeHierarchicalNetwork(const HierarchicalOptions& options);
+
+/// Random connected weighted graph: a random spanning tree plus
+/// `extra_links` additional random links, with speeds and propagation
+/// delays drawn log-uniformly from the given ranges. Deterministic in
+/// `seed`. For property tests and benches that need arbitrary weighted
+/// graphs rather than a named family.
+struct RandomNetworkParams {
+  size_t num_servers = 8;
+  size_t extra_links = 6;
+  uint64_t seed = 1;
+  double min_power_hz = 1e9;
+  double max_power_hz = 3e9;
+  double min_speed_bps = 10e6;
+  double max_speed_bps = 10e9;
+  double min_propagation_s = 1e-6;
+  double max_propagation_s = 0.05;
+};
+Result<Network> MakeRandomConnectedNetwork(const RandomNetworkParams& params);
 
 }  // namespace wsflow
 

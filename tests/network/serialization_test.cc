@@ -17,6 +17,7 @@ bool SameNetwork(const Network& a, const Network& b) {
     ServerId id(static_cast<uint32_t>(i));
     if (a.server(id).name() != b.server(id).name()) return false;
     if (a.server(id).power_hz() != b.server(id).power_hz()) return false;
+    if (a.server(id).zone() != b.server(id).zone()) return false;
   }
   for (size_t i = 0; i < a.num_links(); ++i) {
     LinkId id(static_cast<uint32_t>(i));

@@ -1,0 +1,201 @@
+// Hierarchical topology builders: canonical server order, zone labels,
+// link structure, deterministic random graphs, and XML round-trips of
+// heterogeneous weighted links and zones.
+
+#include <gtest/gtest.h>
+
+#include "src/network/routing.h"
+#include "src/network/serialization.h"
+#include "src/network/topology.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+bool SameNetworkWithZones(const Network& a, const Network& b) {
+  if (a.num_servers() != b.num_servers()) return false;
+  if (a.num_links() != b.num_links()) return false;
+  if (a.kind() != b.kind()) return false;
+  for (size_t i = 0; i < a.num_servers(); ++i) {
+    ServerId id(static_cast<uint32_t>(i));
+    if (a.server(id).name() != b.server(id).name()) return false;
+    if (a.server(id).power_hz() != b.server(id).power_hz()) return false;
+    if (a.server(id).zone() != b.server(id).zone()) return false;
+  }
+  for (size_t i = 0; i < a.num_links(); ++i) {
+    LinkId id(static_cast<uint32_t>(i));
+    if (a.link(id).a != b.link(id).a) return false;
+    if (a.link(id).b != b.link(id).b) return false;
+    if (a.link(id).speed_bps != b.link(id).speed_bps) return false;
+    if (a.link(id).propagation_s != b.link(id).propagation_s) return false;
+  }
+  return true;
+}
+
+TEST(TopologyFatTreeTest, CanonicalOrderAndZones) {
+  FatTreeOptions opts;
+  opts.spines = 2;
+  opts.racks = 3;
+  opts.rack_size = 4;
+  Network n = WSFLOW_UNWRAP(MakeFatTreeNetwork(opts));
+  EXPECT_EQ(n.kind(), NetworkKind::kFatTree);
+  ASSERT_EQ(n.num_servers(), 2u + 3u * 4u);
+  EXPECT_EQ(n.server(ServerId(0)).zone(), "spine");
+  EXPECT_EQ(n.server(ServerId(1)).zone(), "spine");
+  EXPECT_EQ(n.server(ServerId(2)).zone(), "rack0");
+  EXPECT_EQ(n.server(ServerId(5)).zone(), "rack0");
+  EXPECT_EQ(n.server(ServerId(6)).zone(), "rack1");
+  EXPECT_EQ(n.server(ServerId(13)).zone(), "rack2");
+  std::vector<std::string> zones = n.Zones();
+  ASSERT_EQ(zones.size(), 4u);
+  EXPECT_EQ(zones[0], "spine");
+  EXPECT_EQ(zones[1], "rack0");
+  EXPECT_EQ(zones[3], "rack2");
+  // racks * (rack_size - 1) edge links + racks * spines uplinks.
+  EXPECT_EQ(n.num_links(), 3u * 3u + 3u * 2u);
+}
+
+TEST(TopologyFatTreeTest, PerServerPowersAndBroadcast) {
+  FatTreeOptions opts;
+  opts.spines = 1;
+  opts.racks = 1;
+  opts.rack_size = 2;
+  opts.powers_hz = {3e9, 1e9, 2e9};
+  Network n = WSFLOW_UNWRAP(MakeFatTreeNetwork(opts));
+  EXPECT_EQ(n.server(ServerId(0)).power_hz(), 3e9);  // spine
+  EXPECT_EQ(n.server(ServerId(1)).power_hz(), 1e9);  // rack head
+  EXPECT_EQ(n.server(ServerId(2)).power_hz(), 2e9);
+  opts.powers_hz = {2e9};
+  Network broadcast = WSFLOW_UNWRAP(MakeFatTreeNetwork(opts));
+  for (const Server& s : broadcast.servers()) {
+    EXPECT_EQ(s.power_hz(), 2e9);
+  }
+  opts.powers_hz = {1e9, 2e9};  // neither 1 nor server count
+  EXPECT_TRUE(MakeFatTreeNetwork(opts).status().IsInvalidArgument());
+}
+
+TEST(TopologyFatTreeTest, AllPairsConnected) {
+  FatTreeOptions opts;
+  Network n = WSFLOW_UNWRAP(MakeFatTreeNetwork(opts));
+  Router router(n);
+  for (uint32_t a = 0; a < n.num_servers(); ++a) {
+    for (uint32_t b = 0; b < n.num_servers(); ++b) {
+      WSFLOW_ASSERT_OK(
+          router.FindRoute(ServerId(a), ServerId(b)).status());
+    }
+  }
+}
+
+TEST(TopologyHierTest, CanonicalOrderZonesAndLinks) {
+  HierarchicalOptions opts;
+  opts.regions = 3;
+  opts.clusters_per_region = 2;
+  opts.cluster_size = 3;
+  Network n = WSFLOW_UNWRAP(MakeHierarchicalNetwork(opts));
+  EXPECT_EQ(n.kind(), NetworkKind::kHierarchical);
+  ASSERT_EQ(n.num_servers(), 3u * 2u * 3u);
+  EXPECT_EQ(n.server(ServerId(0)).zone(), "r0.c0");
+  EXPECT_EQ(n.server(ServerId(3)).zone(), "r0.c1");
+  EXPECT_EQ(n.server(ServerId(6)).zone(), "r1.c0");
+  EXPECT_EQ(n.server(ServerId(17)).zone(), "r2.c1");
+  EXPECT_EQ(n.Zones().size(), 6u);
+  // Per region: clusters * (size-1) member links + (clusters-1) region
+  // links; plus a full WAN mesh over the 3 gateways.
+  size_t per_region = 2 * 2 + 1;
+  EXPECT_EQ(n.num_links(), 3 * per_region + 3);
+  // Intra-cluster link fast, WAN link slow and high-latency.
+  LinkId intra = WSFLOW_UNWRAP(n.FindLink(ServerId(0), ServerId(1)));
+  LinkId wan = WSFLOW_UNWRAP(n.FindLink(ServerId(0), ServerId(6)));
+  EXPECT_GT(n.link(intra).speed_bps, n.link(wan).speed_bps);
+  EXPECT_LT(n.link(intra).propagation_s, n.link(wan).propagation_s);
+  EXPECT_GT(LinkRoutingWeight(n.link(wan)),
+            LinkRoutingWeight(n.link(intra)));
+}
+
+TEST(TopologyHierTest, CrossRegionRouteTransitsGateways) {
+  HierarchicalOptions opts;
+  Network n = WSFLOW_UNWRAP(MakeHierarchicalNetwork(opts));
+  Router router(n);
+  // Member of r0.c1 to member of r1.c1: must pass both region gateways.
+  ServerId from(4), to(10);
+  Route r = WSFLOW_UNWRAP(router.FindRoute(from, to));
+  bool crosses_wan = false;
+  for (LinkId l : r.links) {
+    if (n.link(l).speed_bps == opts.wan_speed_bps) crosses_wan = true;
+  }
+  EXPECT_TRUE(crosses_wan);
+  // Intra-cluster stays local: one hop member -> head.
+  EXPECT_EQ(WSFLOW_UNWRAP(router.HopCount(ServerId(1), ServerId(0))), 1u);
+}
+
+TEST(TopologyRandomTest, DeterministicInSeedAndConnected) {
+  RandomNetworkParams params;
+  params.num_servers = 10;
+  params.extra_links = 5;
+  params.seed = 42;
+  Network a = WSFLOW_UNWRAP(MakeRandomConnectedNetwork(params));
+  Network b = WSFLOW_UNWRAP(MakeRandomConnectedNetwork(params));
+  EXPECT_TRUE(SameNetworkWithZones(a, b));
+  EXPECT_GE(a.num_links(), params.num_servers - 1);
+  Router router(a);
+  for (uint32_t i = 1; i < a.num_servers(); ++i) {
+    WSFLOW_ASSERT_OK(router.FindRoute(ServerId(0), ServerId(i)).status());
+  }
+  params.seed = 43;
+  Network c = WSFLOW_UNWRAP(MakeRandomConnectedNetwork(params));
+  EXPECT_FALSE(SameNetworkWithZones(a, c));
+}
+
+TEST(TopologySerializationTest, HierRoundTripPreservesZonesAndWeights) {
+  HierarchicalOptions opts;
+  opts.powers_hz = {1e9};
+  Network n = WSFLOW_UNWRAP(MakeHierarchicalNetwork(opts));
+  Network loaded = WSFLOW_UNWRAP(NetworkFromXmlString(NetworkToXmlString(n)));
+  EXPECT_TRUE(SameNetworkWithZones(n, loaded));
+  EXPECT_EQ(loaded.kind(), NetworkKind::kHierarchical);
+  EXPECT_EQ(loaded.Zones(), n.Zones());
+}
+
+TEST(TopologySerializationTest, FatTreeRoundTrip) {
+  FatTreeOptions opts;
+  opts.powers_hz = {1e9, 2e9, 3e9, 1e9, 2e9, 3e9, 1e9, 2e9, 3e9, 1e9};
+  Network n = WSFLOW_UNWRAP(MakeFatTreeNetwork(opts));
+  Network loaded = WSFLOW_UNWRAP(NetworkFromXmlString(NetworkToXmlString(n)));
+  EXPECT_TRUE(SameNetworkWithZones(n, loaded));
+  EXPECT_EQ(loaded.kind(), NetworkKind::kFatTree);
+}
+
+TEST(TopologySerializationTest, HeterogeneousWeightedGeneralRoundTrip) {
+  RandomNetworkParams params;
+  params.num_servers = 9;
+  params.extra_links = 7;
+  params.seed = 11;
+  Network n = WSFLOW_UNWRAP(MakeRandomConnectedNetwork(params));
+  n.mutable_server(ServerId(0)).set_zone("edge");
+  n.mutable_server(ServerId(1)).set_zone("core");
+  Network loaded = WSFLOW_UNWRAP(NetworkFromXmlString(NetworkToXmlString(n)));
+  EXPECT_TRUE(SameNetworkWithZones(n, loaded));
+  // Routes over the reloaded network are identical: same weights.
+  Router ra(n), rb(loaded);
+  for (uint32_t a = 0; a < n.num_servers(); ++a) {
+    for (uint32_t b = 0; b < n.num_servers(); ++b) {
+      Route r1 = WSFLOW_UNWRAP(ra.FindRoute(ServerId(a), ServerId(b)));
+      Route r2 = WSFLOW_UNWRAP(rb.FindRoute(ServerId(a), ServerId(b)));
+      ASSERT_EQ(r1.links.size(), r2.links.size());
+      for (size_t i = 0; i < r1.links.size(); ++i) {
+        EXPECT_EQ(r1.links[i], r2.links[i]);
+      }
+    }
+  }
+}
+
+TEST(TopologySerializationTest, EmptyZoneOmittedFromXml) {
+  Network n = WSFLOW_UNWRAP(MakeBusNetwork({1e9, 2e9}, 1e8));
+  std::string xml = NetworkToXmlString(n);
+  EXPECT_EQ(xml.find("zone"), std::string::npos);
+  Network loaded = WSFLOW_UNWRAP(NetworkFromXmlString(xml));
+  EXPECT_TRUE(loaded.server(ServerId(0)).zone().empty());
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,191 @@
+// Weighted routing: Dijkstra over LinkRoutingWeight must detour around
+// slow/high-latency links, break equal-cost ties deterministically, and
+// keep the severed-not-rerouted masked-route semantics on multi-hop
+// weighted routes.
+
+#include "src/network/routing.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+// Triangle where the direct link is a high-latency WAN hop and the
+// two-hop path through the middle server is far cheaper.
+Network DetourTriangle() {
+  Network n("triangle");
+  ServerId a = n.AddServer("a", 1e9);
+  ServerId b = n.AddServer("b", 1e9);
+  ServerId c = n.AddServer("c", 1e9);
+  // Direct a-c: weight 0.1 + 1e-6.
+  WSFLOW_UNWRAP(n.AddLink(a, c, 1e6, 0.1));
+  // a-b and b-c: weight 1e-6 + 1e-9 each.
+  WSFLOW_UNWRAP(n.AddLink(a, b, 1e9, 1e-6));
+  WSFLOW_UNWRAP(n.AddLink(b, c, 1e9, 1e-6));
+  return n;
+}
+
+TEST(RoutingWeightedTest, DetoursAroundSlowDirectLink) {
+  Network n = DetourTriangle();
+  Router router(n);
+  Route r = WSFLOW_UNWRAP(router.FindRoute(ServerId(0), ServerId(2)));
+  ASSERT_EQ(r.links.size(), 2u);  // via b, not the 1-hop direct link
+  EXPECT_DOUBLE_EQ(r.RoutingWeight(n), 2 * (1e-6 + 1e-9));
+  EXPECT_DOUBLE_EQ(WSFLOW_UNWRAP(router.RouteWeight(ServerId(0), ServerId(2))),
+                   r.RoutingWeight(n));
+}
+
+TEST(RoutingWeightedTest, UniformSpeedsDegenerateToHopCount) {
+  // On the paper's uniform line/ring the weighted rule equals hop count.
+  std::vector<double> powers(5, 1e9);
+  std::vector<double> speeds(5, 1e8);
+  Network n = WSFLOW_UNWRAP(MakeRingNetwork(powers, speeds));
+  Router router(n);
+  EXPECT_EQ(WSFLOW_UNWRAP(router.HopCount(ServerId(0), ServerId(4))), 1u);
+  EXPECT_EQ(WSFLOW_UNWRAP(router.HopCount(ServerId(0), ServerId(2))), 2u);
+}
+
+TEST(RoutingWeightedTest, PrefersFewerHopsAmongEqualWeight) {
+  // Two equal-weight routes a->d: a-d direct (weight 2w) and a-b-d
+  // (weight w + w). Make them exactly equal; the 1-hop route must win.
+  Network n("hops");
+  ServerId a = n.AddServer("a", 1e9);
+  ServerId b = n.AddServer("b", 1e9);
+  ServerId d = n.AddServer("d", 1e9);
+  // w(l) = propagation + 1/speed. Use speed 1 bps so weights are exact
+  // small integers: direct = 2.0, each detour hop = 1.0.
+  WSFLOW_UNWRAP(n.AddLink(a, d, 1.0, 1.0));  // weight 2.0
+  WSFLOW_UNWRAP(n.AddLink(a, b, 1.0, 0.0));  // weight 1.0
+  WSFLOW_UNWRAP(n.AddLink(b, d, 1.0, 0.0));  // weight 1.0
+  Router router(n);
+  Route r = WSFLOW_UNWRAP(router.FindRoute(a, d));
+  EXPECT_EQ(r.links.size(), 1u);
+}
+
+TEST(RoutingWeightedTest, FatTreeEqualCostMultipathPinsSmallestLink) {
+  // Two spines give two equal-weight equal-hop paths between rack heads;
+  // the deterministic tie-break must pin the smallest upstream link id,
+  // i.e. the spine whose link to the destination head was added first.
+  FatTreeOptions opts;
+  opts.spines = 2;
+  opts.racks = 2;
+  opts.rack_size = 2;
+  Network n = WSFLOW_UNWRAP(MakeFatTreeNetwork(opts));
+  Router router(n);
+  // Canonical order: spine0=0, spine1=1, rack0 = {2,3}, rack1 = {4,5}.
+  ServerId rack0_head(2), rack1_head(4);
+  Route r = WSFLOW_UNWRAP(router.FindRoute(rack0_head, rack1_head));
+  ASSERT_EQ(r.links.size(), 2u);
+  // Middle node of the route is the spine; both hops touch it.
+  const Link& last = n.link(r.links[1]);
+  ServerId spine = last.a == rack1_head ? last.b : last.a;
+  EXPECT_EQ(spine, ServerId(0)) << "tie must resolve to spine0";
+}
+
+TEST(RoutingDeterminismTest, RouteTablesIdenticalAcrossRouters) {
+  // Independently constructed routers over the same weighted graph must
+  // produce byte-identical routes for every ordered pair, warm or lazy.
+  RandomNetworkParams params;
+  params.num_servers = 12;
+  params.extra_links = 10;
+  params.seed = 7;
+  Network n = WSFLOW_UNWRAP(MakeRandomConnectedNetwork(params));
+  Router warm(n), lazy(n);
+  warm.WarmAllPairs();
+  for (uint32_t a = 0; a < n.num_servers(); ++a) {
+    for (uint32_t b = 0; b < n.num_servers(); ++b) {
+      Route ra = WSFLOW_UNWRAP(warm.FindRoute(ServerId(a), ServerId(b)));
+      Route rb = WSFLOW_UNWRAP(lazy.FindRoute(ServerId(a), ServerId(b)));
+      ASSERT_EQ(ra.links.size(), rb.links.size())
+          << "pair " << a << "->" << b;
+      for (size_t i = 0; i < ra.links.size(); ++i) {
+        EXPECT_EQ(ra.links[i], rb.links[i]) << "pair " << a << "->" << b;
+      }
+    }
+  }
+}
+
+TEST(RoutingDeterminismTest, HierarchicalRoutesStable) {
+  HierarchicalOptions opts;
+  Network n = WSFLOW_UNWRAP(MakeHierarchicalNetwork(opts));
+  Router r1(n), r2(n);
+  r2.WarmAllPairs();
+  for (uint32_t a = 0; a < n.num_servers(); ++a) {
+    for (uint32_t b = 0; b < n.num_servers(); ++b) {
+      Route ra = WSFLOW_UNWRAP(r1.FindRoute(ServerId(a), ServerId(b)));
+      Route rb = WSFLOW_UNWRAP(r2.FindRoute(ServerId(a), ServerId(b)));
+      ASSERT_EQ(ra.links.size(), rb.links.size());
+      for (size_t i = 0; i < ra.links.size(); ++i) {
+        EXPECT_EQ(ra.links[i], rb.links[i]);
+      }
+    }
+  }
+}
+
+TEST(RoutingMaskTest, DownTransitSeversDespiteAliveDetour) {
+  // The weighted route a->c runs through b. With b down, the route is
+  // severed — RouteAvoidsDown must NOT fall back to the all-alive (but
+  // heavier) direct link.
+  Network n = DetourTriangle();
+  Router router(n);
+  Route r = WSFLOW_UNWRAP(router.FindRoute(ServerId(0), ServerId(2)));
+  ASSERT_EQ(r.links.size(), 2u);
+  ServerMask mask = ServerMask::AllAlive(n.num_servers());
+  mask.SetAlive(ServerId(1), false);
+  EXPECT_FALSE(RouteAvoidsDown(r, n, ServerId(0), ServerId(2), mask));
+  mask.SetAlive(ServerId(1), true);
+  EXPECT_TRUE(RouteAvoidsDown(r, n, ServerId(0), ServerId(2), mask));
+}
+
+TEST(RoutingMaskTest, MultiHopWanRouteChecksEveryTransit) {
+  // Hierarchical route member -> member across regions transits cluster
+  // heads and gateways; downing any transit severs it, downing an
+  // unrelated server does not.
+  HierarchicalOptions opts;
+  opts.regions = 2;
+  opts.clusters_per_region = 2;
+  opts.cluster_size = 3;
+  Network n = WSFLOW_UNWRAP(MakeHierarchicalNetwork(opts));
+  Router router(n);
+  // r0.c1 member (id 5) -> r1.c1 member (id 11).
+  ServerId from(5), to(11);
+  Route r = WSFLOW_UNWRAP(router.FindRoute(from, to));
+  ASSERT_GE(r.links.size(), 3u);
+  // Collect the transit servers by walking the route.
+  std::vector<ServerId> transits;
+  ServerId cur = from;
+  for (LinkId l : r.links) {
+    const Link& link = n.link(l);
+    cur = link.a == cur ? link.b : link.a;
+    if (cur != to) transits.push_back(cur);
+  }
+  ASSERT_FALSE(transits.empty());
+  for (ServerId t : transits) {
+    ServerMask mask = ServerMask::AllAlive(n.num_servers());
+    mask.SetAlive(t, false);
+    EXPECT_FALSE(RouteAvoidsDown(r, n, from, to, mask))
+        << "down transit " << t << " must sever the route";
+  }
+  // A down server that is not on the route leaves it intact.
+  ServerMask mask = ServerMask::AllAlive(n.num_servers());
+  ServerId unrelated(4);  // r0.c1 head's sibling member, not a transit
+  bool is_transit = false;
+  for (ServerId t : transits) is_transit = is_transit || t == unrelated;
+  ASSERT_FALSE(is_transit);
+  mask.SetAlive(unrelated, false);
+  EXPECT_TRUE(RouteAvoidsDown(r, n, from, to, mask));
+}
+
+TEST(RoutingMaskTest, DownEndpointSevers) {
+  Network n = DetourTriangle();
+  Router router(n);
+  Route r = WSFLOW_UNWRAP(router.FindRoute(ServerId(0), ServerId(2)));
+  ServerMask mask = ServerMask::AllAlive(n.num_servers());
+  mask.SetAlive(ServerId(2), false);
+  EXPECT_FALSE(RouteAvoidsDown(r, n, ServerId(0), ServerId(2), mask));
+}
+
+}  // namespace
+}  // namespace wsflow

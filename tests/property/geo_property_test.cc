@@ -1,0 +1,315 @@
+// Geo-distributed deployment properties.
+//
+// 1. The incremental evaluator's 1e-9 delta-vs-cold contract must hold on
+//    general weighted graphs — fat trees, hierarchical WANs and random
+//    connected networks — masked and unmasked, not just on the paper's
+//    uniform bus/line topologies.
+// 2. The "-geo" locality wrappers must never lose to their locality-blind
+//    base algorithm on any hierarchical instance (argmin construction),
+//    and must strictly win on the committed WAN exemplar.
+// 3. The parallel searches stay thread-count invariant on WAN topologies:
+//    the weighted route tables are deterministic, so annealing-par and
+//    climb-par return identical mappings for any --threads.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/random.h"
+#include "src/cost/cost_model.h"
+#include "src/cost/incremental.h"
+#include "src/deploy/algorithm.h"
+#include "src/deploy/geo.h"
+#include "src/deploy/parallel.h"
+#include "src/exp/config.h"
+#include "src/network/serialization.h"
+#include "src/workflow/serialization.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+void ExpectNear(double delta_value, double cold_value, size_t step) {
+  EXPECT_LE(std::fabs(delta_value - cold_value),
+            kTol * (1.0 + std::fabs(cold_value)))
+      << "step " << step << ": delta=" << delta_value
+      << " cold=" << cold_value;
+}
+
+void ExpectAgreement(IncrementalEvaluator& eval, const CostModel& model,
+                     const ServerMask& mask, size_t step) {
+  Result<CostBreakdown> cold =
+      mask.trivial() ? model.Evaluate(eval.mapping(), eval.options())
+                     : model.Evaluate(eval.mapping(), eval.options(), mask);
+  Result<CostBreakdown> delta = eval.Evaluate();
+  ASSERT_EQ(cold.ok(), delta.ok())
+      << "step " << step << ": cold and delta disagree on evaluability";
+  if (!cold.ok()) return;
+  ExpectNear(delta->execution_time, cold->execution_time, step);
+  ExpectNear(delta->time_penalty, cold->time_penalty, step);
+  ExpectNear(delta->combined, cold->combined, step);
+}
+
+enum class WanFamily { kFatTree, kHierarchical, kRandom };
+
+const char* WanFamilyName(WanFamily f) {
+  switch (f) {
+    case WanFamily::kFatTree: return "fattree";
+    case WanFamily::kHierarchical: return "hier";
+    case WanFamily::kRandom: return "random";
+  }
+  return "unknown";
+}
+
+Network MakeWanNetwork(WanFamily family, uint64_t seed) {
+  switch (family) {
+    case WanFamily::kFatTree: {
+      FatTreeOptions opts;
+      opts.spines = 2;
+      opts.racks = 2;
+      opts.rack_size = 3;
+      opts.powers_hz = {1e9, 2e9, 3e9, 1e9, 2e9, 3e9, 1e9, 2e9};
+      return WSFLOW_UNWRAP(MakeFatTreeNetwork(opts));
+    }
+    case WanFamily::kHierarchical: {
+      HierarchicalOptions opts;
+      opts.regions = 2;
+      opts.clusters_per_region = 2;
+      opts.cluster_size = 2;
+      opts.powers_hz = {1e9, 2e9, 3e9, 1e9, 2e9, 3e9, 1e9, 2e9};
+      return WSFLOW_UNWRAP(MakeHierarchicalNetwork(opts));
+    }
+    case WanFamily::kRandom: {
+      RandomNetworkParams params;
+      params.num_servers = 8;
+      params.extra_links = 6;
+      params.seed = seed;
+      return WSFLOW_UNWRAP(MakeRandomConnectedNetwork(params));
+    }
+  }
+  WSFLOW_CHECK(false);
+}
+
+/// Random replay on weighted graphs: delta must match cold to 1e-9 at
+/// every state, masked (one down leaf, moves restricted to survivors)
+/// and unmasked.
+class IncrementalWeightedNetworkTest
+    : public ::testing::TestWithParam<
+          std::tuple<WanFamily, uint64_t, bool>> {};
+
+TEST_P(IncrementalWeightedNetworkTest, ReplayAgreesWithColdEvaluate) {
+  auto [family, seed, masked] = GetParam();
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kHybridGraph);
+  cfg.num_operations = 13;
+  cfg.seed = seed;
+  TrialInstance trial = WSFLOW_UNWRAP(DrawTrial(cfg, 0));
+  Network network = MakeWanNetwork(family, seed);
+  const ExecutionProfile* profile =
+      trial.profile.has_value() ? &*trial.profile : nullptr;
+  CostModel model(trial.workflow, network, profile);
+
+  const size_t M = trial.workflow.num_operations();
+  const size_t N = network.num_servers();
+  EvalTuning tuning;
+  if (masked) {
+    // Down the last server: a rack/cluster leaf on the structured
+    // families, an arbitrary node on the random one.
+    tuning.mask = ServerMask::AllAlive(N);
+    tuning.mask.SetAlive(ServerId(static_cast<uint32_t>(N - 1)), false);
+  }
+  std::vector<ServerId> alive;
+  for (uint32_t s = 0; s < N; ++s) {
+    if (tuning.mask.alive(ServerId(s))) alive.push_back(ServerId(s));
+  }
+  Mapping initial(M);
+  for (size_t i = 0; i < M; ++i) {
+    initial.Assign(OperationId(static_cast<uint32_t>(i)),
+                   alive[i % alive.size()]);
+  }
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, initial, {}, tuning));
+  ExpectAgreement(eval, model, tuning.mask, 0);
+
+  Rng rng(seed * 7919 + 17);
+  for (size_t step = 1; step <= 250; ++step) {
+    double dice = rng.NextDouble();
+    if (dice < 0.55) {
+      OperationId op(static_cast<uint32_t>(rng.NextBounded(M)));
+      ServerId server = alive[rng.NextBounded(alive.size())];
+      WSFLOW_ASSERT_OK(eval.Apply(op, server));
+    } else if (dice < 0.75) {
+      OperationId a(static_cast<uint32_t>(rng.NextBounded(M)));
+      OperationId b(static_cast<uint32_t>(rng.NextBounded(M)));
+      WSFLOW_ASSERT_OK(eval.Swap(a, b));
+    } else if (eval.undo_depth() > 0) {
+      WSFLOW_ASSERT_OK(eval.Undo());
+    } else {
+      OperationId op(static_cast<uint32_t>(rng.NextBounded(M)));
+      WSFLOW_ASSERT_OK(eval.Move(op, alive[0]));
+    }
+    ExpectAgreement(eval, model, tuning.mask, step);
+    if (HasFatalFailure() || HasNonfatalFailure()) return;
+  }
+  while (eval.undo_depth() > 0) {
+    WSFLOW_ASSERT_OK(eval.Undo());
+  }
+  ExpectAgreement(eval, model, tuning.mask, 9999);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WanFamilies, IncrementalWeightedNetworkTest,
+    ::testing::Combine(::testing::Values(WanFamily::kFatTree,
+                                         WanFamily::kHierarchical,
+                                         WanFamily::kRandom),
+                       ::testing::Values(1u, 2u, 3u),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<WanFamily, uint64_t, bool>>&
+           info) {
+      return std::string(WanFamilyName(std::get<0>(info.param))) + "_s" +
+             std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_masked" : "_full");
+    });
+
+/// Hierarchical instances for the geo properties, drawn through the
+/// experiment harness so powers vary per server.
+TrialInstance DrawHierTrial(WorkloadKind kind, uint64_t seed) {
+  ExperimentConfig cfg = MakeClassCConfig(kind);
+  cfg.num_operations = 13;
+  cfg.seed = seed;
+  cfg.topology = ExperimentTopology::kHierarchical;
+  cfg.hierarchical.regions = 2;
+  cfg.hierarchical.clusters_per_region = 2;
+  cfg.hierarchical.cluster_size = 2;
+  return WSFLOW_UNWRAP(DrawTrial(cfg, 0));
+}
+
+TEST(GeoSeedTest, NoZonesMeansNoSeed) {
+  Workflow w = testing::SimpleLine(5);
+  Network bus = testing::SimpleBus(4);
+  DeployContext ctx;
+  ctx.workflow = &w;
+  ctx.network = &bus;
+  EXPECT_FALSE(BuildZoneLocalitySeed(ctx).has_value());
+  // A single zone carries no locality signal either.
+  Network flat("flat");
+  flat.AddServer("a", 1e9, "only");
+  flat.AddServer("b", 1e9, "only");
+  WSFLOW_UNWRAP(flat.AddLink(ServerId(0), ServerId(1), 1e8));
+  ctx.network = &flat;
+  EXPECT_FALSE(BuildZoneLocalitySeed(ctx).has_value());
+}
+
+TEST(GeoSeedTest, HierSeedIsTotalAndValid) {
+  TrialInstance trial = DrawHierTrial(WorkloadKind::kHybridGraph, 5);
+  DeployContext ctx;
+  ctx.workflow = &trial.workflow;
+  ctx.network = &trial.network;
+  ctx.profile = trial.profile.has_value() ? &*trial.profile : nullptr;
+  std::optional<Mapping> seed = BuildZoneLocalitySeed(ctx);
+  ASSERT_TRUE(seed.has_value());
+  WSFLOW_ASSERT_OK(seed->ValidateAgainst(trial.workflow, trial.network));
+}
+
+class GeoNeverLosesTest
+    : public ::testing::TestWithParam<std::tuple<WorkloadKind, uint64_t>> {};
+
+TEST_P(GeoNeverLosesTest, GeoVariantAtMostBaseCost) {
+  auto [kind, seed] = GetParam();
+  TrialInstance trial = DrawHierTrial(kind, seed);
+  DeployContext ctx;
+  ctx.workflow = &trial.workflow;
+  ctx.network = &trial.network;
+  ctx.profile = trial.profile.has_value() ? &*trial.profile : nullptr;
+  ctx.seed = seed;
+  CostModel model(trial.workflow, trial.network, ctx.profile);
+  for (const char* base : {"heavy-ops", "fltr2", "fair-load"}) {
+    Mapping base_m = WSFLOW_UNWRAP(RunAlgorithm(base, ctx));
+    Mapping geo_m =
+        WSFLOW_UNWRAP(RunAlgorithm(std::string(base) + "-geo", ctx));
+    CostBreakdown base_cost =
+        WSFLOW_UNWRAP(model.Evaluate(base_m, ctx.cost_options));
+    CostBreakdown geo_cost =
+        WSFLOW_UNWRAP(model.Evaluate(geo_m, ctx.cost_options));
+    EXPECT_LE(geo_cost.combined, base_cost.combined)
+        << base << "-geo lost to " << base << " on seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HierInstances, GeoNeverLosesTest,
+    ::testing::Combine(::testing::Values(WorkloadKind::kLine,
+                                         WorkloadKind::kBushyGraph,
+                                         WorkloadKind::kLengthyGraph,
+                                         WorkloadKind::kHybridGraph),
+                       ::testing::Values(1u, 2u, 3u, 4u)),
+    [](const ::testing::TestParamInfo<std::tuple<WorkloadKind, uint64_t>>&
+           info) {
+      return std::string(WorkloadKindToString(std::get<0>(info.param))) +
+             "_s" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(GeoExemplarTest, StrictWinOnCommittedWanInstance) {
+  // The committed exemplar: a chatty pipeline on a two-region WAN where
+  // locality-blind fair-load splits hot edges across the 30 ms WAN hop.
+  // The geo wrapper must win strictly, not just tie.
+  const std::string dir = std::string(WSFLOW_SOURCE_DIR) + "/examples/data";
+  Workflow w = WSFLOW_UNWRAP(LoadWorkflow(dir + "/geo_wan_workflow.xml"));
+  Network n = WSFLOW_UNWRAP(LoadNetwork(dir + "/geo_wan_network.xml"));
+  ASSERT_GE(n.Zones().size(), 2u);
+  DeployContext ctx;
+  ctx.workflow = &w;
+  ctx.network = &n;
+  ctx.seed = 1;
+  CostModel model(w, n);
+  Mapping base = WSFLOW_UNWRAP(RunAlgorithm("fair-load", ctx));
+  Mapping geo = WSFLOW_UNWRAP(RunAlgorithm("fair-load-geo", ctx));
+  CostBreakdown base_cost =
+      WSFLOW_UNWRAP(model.Evaluate(base, ctx.cost_options));
+  CostBreakdown geo_cost =
+      WSFLOW_UNWRAP(model.Evaluate(geo, ctx.cost_options));
+  EXPECT_LT(geo_cost.combined, base_cost.combined)
+      << "exemplar must show a strict locality win";
+}
+
+/// Thread-count invariance of the parallel searches on a WAN topology:
+/// identical winners for 1 and 4 threads (the weighted route tables and
+/// chain schedules are deterministic).
+class GeoParallelDeterminismTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeoParallelDeterminismTest, ParallelSearchesThreadInvariantOnWan) {
+  uint64_t seed = GetParam();
+  TrialInstance trial = DrawHierTrial(WorkloadKind::kHybridGraph, seed);
+  DeployContext ctx;
+  ctx.workflow = &trial.workflow;
+  ctx.network = &trial.network;
+  ctx.profile = trial.profile.has_value() ? &*trial.profile : nullptr;
+  ctx.seed = seed;
+
+  ParallelSearchOptions one;
+  one.chains = 4;
+  one.threads = 1;
+  one.total_iterations = 8000;
+  ParallelSearchOptions four = one;
+  four.threads = 4;
+
+  Mapping a1 = WSFLOW_UNWRAP(ParallelAnnealingAlgorithm(one).Run(ctx));
+  Mapping a4 = WSFLOW_UNWRAP(ParallelAnnealingAlgorithm(four).Run(ctx));
+  EXPECT_TRUE(a1 == a4) << "annealing-par diverged across thread counts";
+
+  Mapping c1 = WSFLOW_UNWRAP(ParallelHillClimbAlgorithm(one).Run(ctx));
+  Mapping c4 = WSFLOW_UNWRAP(ParallelHillClimbAlgorithm(four).Run(ctx));
+  EXPECT_TRUE(c1 == c4) << "climb-par diverged across thread counts";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeoParallelDeterminismTest,
+                         ::testing::Values(1u, 2u));
+
+}  // namespace
+}  // namespace wsflow
