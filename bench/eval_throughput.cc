@@ -10,8 +10,11 @@
 // compares the default tuning (O(log N) load-index fairness penalty plus
 // the per-fan edge memo) against the legacy tuning (O(N) penalty pass, no
 // memo) on batched move and swap fans — the curve that certifies the
-// penalty query no longer scales with N. A second section measures the
-// parallel multi-chain annealing
+// penalty query no longer scales with N. `soa` and `arm_path` sections
+// ablate the SoA fan grid and the arm-only block-path invalidation one at
+// a time against the default tuning, isolating what each contributes to
+// batched throughput. A final section measures the parallel multi-chain
+// annealing
 // (annealing-par) at an equal total proposal budget for 1..8 chains —
 // wall-clock scaling there depends on the host's core count, which the
 // JSON records. Results land in bench_results/eval_throughput.json for CI
@@ -19,6 +22,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 #include <thread>
@@ -60,6 +64,20 @@ struct PenaltyScalingResult {
   double moves_speedup = 0;
   double fast_swaps_per_sec = 0;    ///< ScoreSwaps, load index + memo
   double legacy_swaps_per_sec = 0;  ///< ScoreSwaps, O(N) penalty, no memo
+  double swaps_speedup = 0;
+};
+
+/// One ablation point: batched fan throughput with the default tuning vs
+/// the same instance with one fast path turned off.
+struct AblationResult {
+  std::string scenario;
+  size_t num_operations = 0;
+  size_t num_servers = 0;
+  double default_moves_per_sec = 0;
+  double ablated_moves_per_sec = 0;
+  double moves_speedup = 0;
+  double default_swaps_per_sec = 0;
+  double ablated_swaps_per_sec = 0;
   double swaps_speedup = 0;
 };
 
@@ -241,10 +259,12 @@ double TunedSwapsRate(const CostModel& model, const Mapping& base,
 /// decays with its O(N) penalty pass per candidate.
 std::vector<PenaltyScalingResult> RunPenaltyScaling(WorkloadKind kind,
                                                     size_t num_operations) {
-  EvalTuning fast;  // defaults: load index + edge memo on
-  EvalTuning legacy;
+  EvalTuning fast;  // defaults: load index, SoA grid and arm path on
+  EvalTuning legacy;  // the PR 3 path: every batch fast path off
   legacy.use_load_index = false;
   legacy.use_edge_memo = false;
+  legacy.use_soa_fan = false;
+  legacy.use_arm_path = false;
 
   std::vector<PenaltyScalingResult> curve;
   for (size_t num_servers : {size_t{8}, size_t{16}, size_t{64}, size_t{256}}) {
@@ -290,6 +310,50 @@ std::vector<PenaltyScalingResult> RunPenaltyScaling(WorkloadKind kind,
     std::printf("  (checksum %.6g)\n", checksum);
   }
   return curve;
+}
+
+/// Measures one fast-path ablation on a hybrid bus instance: default
+/// tuning vs `ablated` over the same batched move and swap fans.
+AblationResult RunAblation(const std::string& scenario, WorkloadKind kind,
+                           size_t num_operations, size_t num_servers,
+                           const EvalTuning& ablated) {
+  ExperimentConfig cfg = MakeClassCConfig(kind);
+  cfg.num_operations = num_operations;
+  cfg.num_servers = num_servers;
+  cfg.fixed_bus_speed_bps = paperconst::kBus100Mbps;
+  cfg.seed = 7;
+  Result<TrialInstance> trial = DrawTrial(cfg, 0);
+  WSFLOW_CHECK(trial.ok()) << trial.status().ToString();
+  const ExecutionProfile* profile =
+      trial->profile.has_value() ? &*trial->profile : nullptr;
+  CostModel model(trial->workflow, trial->network, profile);
+  const size_t M = trial->workflow.num_operations();
+
+  Mapping base(M);
+  for (uint32_t op = 0; op < M; ++op) {
+    base.Assign(OperationId(op), ServerId(op % num_servers));
+  }
+
+  double checksum = 0;
+  AblationResult out;
+  out.scenario = scenario;
+  out.num_operations = M;
+  out.num_servers = num_servers;
+  EvalTuning defaults;
+  out.default_moves_per_sec = TunedMovesRate(model, base, defaults, &checksum);
+  out.ablated_moves_per_sec = TunedMovesRate(model, base, ablated, &checksum);
+  out.moves_speedup = out.default_moves_per_sec / out.ablated_moves_per_sec;
+  out.default_swaps_per_sec = TunedSwapsRate(model, base, defaults, &checksum);
+  out.ablated_swaps_per_sec = TunedSwapsRate(model, base, ablated, &checksum);
+  out.swaps_speedup = out.default_swaps_per_sec / out.ablated_swaps_per_sec;
+  std::printf("%-18s M=%-3zu N=%-3zu moves %12.0f vs %12.0f (%5.2fx)  "
+              "swaps %12.0f vs %12.0f (%5.2fx)\n",
+              out.scenario.c_str(), out.num_operations, out.num_servers,
+              out.default_moves_per_sec, out.ablated_moves_per_sec,
+              out.moves_speedup, out.default_swaps_per_sec,
+              out.ablated_swaps_per_sec, out.swaps_speedup);
+  std::printf("  (checksum %.6g)\n", checksum);
+  return out;
 }
 
 ScenarioResult RunScenario(const std::string& name, WorkloadKind kind,
@@ -399,8 +463,32 @@ std::vector<ChainScalingResult> RunChainScaling(const std::string& scenario,
   return curve;
 }
 
+void WriteAblationSection(std::FILE* f, const char* name,
+                          const std::vector<AblationResult>& points,
+                          const char* ablated_key, bool trailing_comma) {
+  std::fprintf(f, "  \"%s\": [\n", name);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const AblationResult& r = points[i];
+    std::fprintf(
+        f,
+        "    {\"scenario\": \"%s\", \"num_operations\": %zu, "
+        "\"num_servers\": %zu, \"default_moves_per_sec\": %.1f, "
+        "\"%s_moves_per_sec\": %.1f, \"moves_speedup\": %.2f, "
+        "\"default_swaps_per_sec\": %.1f, \"%s_swaps_per_sec\": %.1f, "
+        "\"swaps_speedup\": %.2f}%s\n",
+        r.scenario.c_str(), r.num_operations, r.num_servers,
+        r.default_moves_per_sec, ablated_key, r.ablated_moves_per_sec,
+        r.moves_speedup, r.default_swaps_per_sec, ablated_key,
+        r.ablated_swaps_per_sec, r.swaps_speedup,
+        i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]%s\n", trailing_comma ? "," : "");
+}
+
 void WriteJson(const std::vector<ScenarioResult>& results,
                const std::vector<PenaltyScalingResult>& penalty,
+               const std::vector<AblationResult>& soa,
+               const std::vector<AblationResult>& arm_path,
                const std::vector<ChainScalingResult>& scaling) {
   std::error_code ec;
   std::filesystem::create_directories("bench_results", ec);
@@ -455,7 +543,11 @@ void WriteJson(const std::vector<ScenarioResult>& results,
         r.fast_swaps_per_sec, r.legacy_swaps_per_sec, r.swaps_speedup,
         i + 1 < penalty.size() ? "," : "");
   }
-  std::fprintf(f, "  ],\n  \"chain_scaling\": [\n");
+  std::fprintf(f, "  ],\n");
+  WriteAblationSection(f, "soa", soa, "no_soa", /*trailing_comma=*/true);
+  WriteAblationSection(f, "arm_path", arm_path, "no_arm",
+                       /*trailing_comma=*/true);
+  std::fprintf(f, "  \"chain_scaling\": [\n");
   for (size_t i = 0; i < scaling.size(); ++i) {
     const ChainScalingResult& r = scaling[i];
     std::fprintf(
@@ -475,8 +567,43 @@ void WriteJson(const std::vector<ScenarioResult>& results,
 }  // namespace
 }  // namespace wsflow
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsflow;
+
+  // Guard mode for CI: --assert-min-ratio R runs only the M=48/N=12
+  // hybrid scenario and fails (exit 1) unless batched scoring beats the
+  // incremental path by at least R.
+  double assert_min_ratio = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--assert-min-ratio" && i + 1 < argc) {
+      assert_min_ratio = std::atof(argv[++i]);
+      if (assert_min_ratio <= 0) {
+        std::fprintf(stderr, "--assert-min-ratio needs a positive number\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--assert-min-ratio R]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (assert_min_ratio > 0) {
+    std::printf("%-18s %-8s %-10s %12s %12s %12s %8s %8s\n", "scenario",
+                "workload", "size", "cold/s", "incr/s", "batch/s", "incr-x",
+                "batch-x");
+    ScenarioResult guard =
+        RunScenario("hybrid_m48_n12", WorkloadKind::kHybridGraph, 48, 12);
+    if (guard.batch_speedup < assert_min_ratio) {
+      std::fprintf(stderr,
+                   "FAIL: batched/incremental ratio %.2f < required %.2f\n",
+                   guard.batch_speedup, assert_min_ratio);
+      return 1;
+    }
+    std::printf("PASS: batched/incremental ratio %.2f >= %.2f\n",
+                guard.batch_speedup, assert_min_ratio);
+    return 0;
+  }
+
   bench::PrintBanner(
       "EVAL",
       "single-op-move neighborhood scoring, cold CostModel::Evaluate vs "
@@ -512,11 +639,31 @@ int main() {
   std::vector<PenaltyScalingResult> penalty =
       RunPenaltyScaling(WorkloadKind::kHybridGraph, 32);
 
+  std::printf("\nsoa fan-grid ablation, default tuning vs use_soa_fan=false "
+              "(memo fallback)\n");
+  EvalTuning no_soa;
+  no_soa.use_soa_fan = false;
+  std::vector<AblationResult> soa;
+  soa.push_back(
+      RunAblation("hybrid_m24_n8", WorkloadKind::kHybridGraph, 24, 8, no_soa));
+  soa.push_back(RunAblation("hybrid_m48_n12", WorkloadKind::kHybridGraph, 48,
+                            12, no_soa));
+
+  std::printf("\narm-only path ablation, default tuning vs "
+              "use_arm_path=false (full ancestor closure)\n");
+  EvalTuning no_arm;
+  no_arm.use_arm_path = false;
+  std::vector<AblationResult> arm_path;
+  arm_path.push_back(
+      RunAblation("hybrid_m24_n8", WorkloadKind::kHybridGraph, 24, 8, no_arm));
+  arm_path.push_back(RunAblation("hybrid_m48_n12", WorkloadKind::kHybridGraph,
+                                 48, 12, no_arm));
+
   std::printf("\nannealing-par scaling, equal total budget "
               "(hardware_concurrency=%u)\n",
               std::thread::hardware_concurrency());
   std::vector<ChainScalingResult> scaling = RunChainScaling(
       "hybrid_m24_n8", WorkloadKind::kHybridGraph, 24, 8, 40000);
-  WriteJson(results, penalty, scaling);
+  WriteJson(results, penalty, soa, arm_path, scaling);
   return 0;
 }

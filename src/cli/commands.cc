@@ -362,6 +362,11 @@ Status CmdDeploy(const std::vector<std::string>& args, std::ostream& out) {
           << stats.penalty_full << " full\n";
       out << "edge memo:    " << stats.edge_memo_hits << " hits, "
           << stats.edge_memo_misses << " misses\n";
+      out << "soa grid:     " << stats.soa_fans << " fans, "
+          << stats.soa_candidates << " candidates, " << stats.grid_cells
+          << " cells, " << stats.grid_hits << " hits\n";
+      out << "block path:   " << stats.arm_path_nodes << " arm-only, "
+          << stats.full_path_nodes << " full\n";
       out << "search cost:  " << FormatSeconds(stats.initial_cost) << " -> "
           << FormatSeconds(stats.best_cost) << "\n";
     }

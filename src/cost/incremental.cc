@@ -105,6 +105,7 @@ Status IncrementalEvaluator::ColdStart() {
     int root_index = -1;
     WSFLOW_RETURN_IF_ERROR(FlattenBlocks(*root, -1, &root_index));
     WSFLOW_CHECK_EQ(root_index, 0);
+    node_pos_.assign(nodes_.size(), -1);
   }
 
   tcomm_.resize(w.num_transitions());
@@ -590,7 +591,8 @@ void IncrementalEvaluator::SaveBatchEdges() {
   }
 }
 
-void IncrementalEvaluator::BuildBatchPath(std::span<const OperationId> ops) {
+void IncrementalEvaluator::BuildBatchPath(std::span<const OperationId> ops,
+                                          bool annotate) {
   batch_path_.clear();
   batch_saved_nodes_.clear();
   if (line_) return;
@@ -610,6 +612,247 @@ void IncrementalEvaluator::BuildBatchPath(std::span<const OperationId> ops) {
         NodeSnapshot{nodes_[index].value, nodes_[index].ok});
   }
   dirty_.clear();
+  batch_arm_.assign(batch_path_.size(), ArmStep{});
+  if (annotate && tuning_.use_arm_path) AnnotateBatchPath(ops);
+}
+
+bool IncrementalEvaluator::AllowArmOnly(const Node& node) const {
+  if (tuning_.mask.trivial()) {
+    return node.block->kind != Block::Kind::kLeaf;
+  }
+  // Under a mask a candidate can sever edges anywhere in its fan, flipping
+  // arm ok bits — the full ancestor closure is load-bearing there
+  // (DESIGN.md §9). Only folds proven sibling-safe may go partial: AND/OR
+  // branches, whose max/min and ok-AND are exact and order-independent,
+  // so the partial fold cannot even reorder a rounding, let alone drop a
+  // severed sibling.
+  const Block& block = *node.block;
+  return block.kind == Block::Kind::kBranch &&
+         (block.branch_type == OperationType::kAndSplit ||
+          block.branch_type == OperationType::kOrSplit);
+}
+
+void IncrementalEvaluator::AnnotateBatchPath(
+    std::span<const OperationId> ops) {
+  // Classify every path node's inputs as fan-invariant (children off the
+  // path, edges outside the batch set, sibling arms — frozen into `rest`
+  // once) or live (path children and batch edges — re-read per candidate).
+  // Only nodes reading a moved op's T_proc, and branches whose changed
+  // inputs span more than one arm, keep the full per-candidate refold.
+  const size_t path_size = batch_path_.size();
+  const int n_path = static_cast<int>(path_size);
+  for (size_t i = 0; i < path_size; ++i) {
+    node_pos_[batch_path_[i]] = static_cast<int>(i);
+  }
+  batch_touched_.assign(path_size, 0);
+  for (OperationId op : ops) {
+    const int reader = tproc_reader_[op.value];
+    if (reader >= 0) batch_touched_[node_pos_[reader]] = 1;
+  }
+
+  // CSR layout of the live inputs, grouped per path node. Children land in
+  // descending node-index order (the path order), edges in batch-slot
+  // order — both deterministic per (state, fan).
+  batch_child_count_.assign(path_size + 1, 0);
+  batch_edge_count_.assign(path_size + 1, 0);
+  for (size_t i = 0; i < path_size; ++i) {
+    const int parent = nodes_[batch_path_[i]].parent;
+    // The closure is ancestor-complete: a path node's parent is on the
+    // path too (or it is the root).
+    if (parent >= 0) ++batch_child_count_[node_pos_[parent] + 1];
+  }
+  for (TransitionId t : batch_edges_) {
+    const int consumer = edge_consumer_[t.value];
+    if (consumer >= 0) ++batch_edge_count_[node_pos_[consumer] + 1];
+  }
+  for (int i = 0; i < n_path; ++i) {
+    batch_child_count_[i + 1] += batch_child_count_[i];
+    batch_edge_count_[i + 1] += batch_edge_count_[i];
+  }
+  batch_live_children_.resize(batch_child_count_[path_size]);
+  batch_live_edges_.resize(batch_edge_count_[path_size]);
+  {
+    std::vector<int> child_fill(batch_child_count_.begin(),
+                                batch_child_count_.end() - 1);
+    std::vector<int> edge_fill(batch_edge_count_.begin(),
+                               batch_edge_count_.end() - 1);
+    for (size_t i = 0; i < path_size; ++i) {
+      const int parent = nodes_[batch_path_[i]].parent;
+      if (parent < 0) continue;
+      batch_live_children_[child_fill[node_pos_[parent]]++] = batch_path_[i];
+    }
+    for (TransitionId t : batch_edges_) {
+      const int consumer = edge_consumer_[t.value];
+      if (consumer < 0) continue;
+      batch_live_edges_[edge_fill[node_pos_[consumer]]++] = t;
+    }
+  }
+
+  for (size_t i = 0; i < path_size; ++i) {
+    if (batch_touched_[i]) continue;  // split/join/leaf T_proc changes
+    const Node& node = nodes_[batch_path_[i]];
+    if (!AllowArmOnly(node)) continue;
+    const Block& block = *node.block;
+    ArmStep& s = batch_arm_[i];
+    const int cb = batch_child_count_[i], ce = batch_child_count_[i + 1];
+    const int eb = batch_edge_count_[i], ee = batch_edge_count_[i + 1];
+    if (block.kind == Block::Kind::kSequence) {
+      // rest = children off the path + linking edges outside the batch
+      // set, summed in fold order. The per-candidate combine regroups the
+      // full fold's left-to-right sum — hence the 1e-9 (not bitwise)
+      // contract of use_arm_path.
+      double rest = 0;
+      bool ok = true;
+      for (int child : node.children) {
+        if (node_pos_[child] >= 0) continue;  // live: on the path
+        rest += nodes_[child].value;
+        ok = ok && nodes_[child].ok;
+      }
+      for (TransitionId t : node.seq_edges) {
+        bool live = false;
+        for (int r = eb; r < ee && !live; ++r) {
+          live = (batch_live_edges_[r] == t);
+        }
+        if (!live) rest += EdgeContribution(t, &ok);
+      }
+      s.mode = ArmStep::Mode::kSequence;
+      s.rest = rest;
+      s.rest_ok = ok;
+      s.child_begin = cb;
+      s.child_end = ce;
+      s.edge_begin = eb;
+      s.edge_end = ee;
+      continue;
+    }
+    // Branch: every changed input must fall inside one arm, and that arm
+    // must have a body (a changed direct split->join edge implies the op
+    // is the split or join, which batch_touched_ already excluded).
+    int dirty_arm = -1;
+    bool single = true;
+    auto merge = [&dirty_arm, &single](int arm) {
+      if (arm < 0) {
+        single = false;
+      } else if (dirty_arm < 0) {
+        dirty_arm = arm;
+      } else if (dirty_arm != arm) {
+        single = false;
+      }
+    };
+    for (int r = cb; r < ce && single; ++r) {
+      int arm_of_child = -1;
+      for (size_t a = 0; a < node.arms.size(); ++a) {
+        if (node.arms[a].node == batch_live_children_[r]) {
+          arm_of_child = static_cast<int>(a);
+          break;
+        }
+      }
+      merge(arm_of_child);
+    }
+    for (int r = eb; r < ee && single; ++r) {
+      const TransitionId t = batch_live_edges_[r];
+      int arm_of_edge = -1;
+      for (size_t a = 0; a < node.arms.size(); ++a) {
+        const Arm& arm = node.arms[a];
+        if (arm.node >= 0 && (arm.entry == t || arm.exit == t)) {
+          arm_of_edge = static_cast<int>(a);
+          break;
+        }
+      }
+      merge(arm_of_edge);
+    }
+    if (!single || dirty_arm < 0 ||
+        node.arms[dirty_arm].node < 0) {
+      continue;
+    }
+    s.branch_type = block.branch_type;
+    s.pre = TprocHere(block.split);
+    s.post = TprocHere(block.join);
+    double rest = 0;
+    bool rest_ok = true;
+    bool rest_empty = true;
+    for (size_t a = 0; a < node.arms.size(); ++a) {
+      if (static_cast<int>(a) == dirty_arm) continue;
+      const Arm& arm = node.arms[a];
+      double arm_time;
+      if (arm.node < 0) {
+        arm_time = EdgeContribution(arm.direct, &rest_ok);
+      } else {
+        arm_time = EdgeContribution(arm.entry, &rest_ok) +
+                   nodes_[arm.node].value +
+                   EdgeContribution(arm.exit, &rest_ok);
+        rest_ok = rest_ok && nodes_[arm.node].ok;
+      }
+      switch (block.branch_type) {
+        case OperationType::kAndSplit:
+          rest = rest_empty ? arm_time : std::max(rest, arm_time);
+          break;
+        case OperationType::kOrSplit:
+          rest = rest_empty ? arm_time : std::min(rest, arm_time);
+          break;
+        case OperationType::kXorSplit:
+          rest += block.branch_probs[a] * arm_time;
+          break;
+        default:
+          WSFLOW_CHECK(false) << "branch block with non-split type";
+      }
+      rest_empty = false;
+    }
+    s.mode = ArmStep::Mode::kBranch;
+    s.rest = rest;
+    s.rest_ok = rest_ok;
+    s.rest_empty = rest_empty;
+    s.arm_child = node.arms[dirty_arm].node;
+    s.entry = node.arms[dirty_arm].entry;
+    s.exit = node.arms[dirty_arm].exit;
+    if (block.branch_type == OperationType::kXorSplit) {
+      s.prob = block.branch_probs[dirty_arm];
+    }
+  }
+  for (size_t i = 0; i < path_size; ++i) node_pos_[batch_path_[i]] = -1;
+}
+
+void IncrementalEvaluator::BuildFanGrid(OperationId op) {
+  const Workflow& w = model_->workflow();
+  const size_t N = model_->network().num_servers();
+  const size_t slots = batch_edges_.size();
+  if (fan_grid_value_.size() < slots * N) {
+    fan_grid_value_.resize(slots * N);
+    fan_grid_ok_.resize(slots * N);
+  }
+  for (size_t e = 0; e < slots; ++e) {
+    const Transition& edge = w.transition(batch_edges_[e]);
+    const bool op_sends = (edge.from == op);
+    const uint32_t other =
+        mapping_.ServerOf(op_sends ? edge.to : edge.from).value;
+    const double bits = edge.message_bits;
+    double* value = fan_grid_value_.data() + e * N;
+    char* ok = fan_grid_ok_.data() + e * N;
+    // A landing server equal to `other` co-locates the endpoints: the
+    // zeroed diagonal of the route tables already yields exactly +0.0
+    // (0 + bits * 0) with reachable set, matching ComputeEdge's from==to
+    // early return bit for bit, so no per-cell branch is needed.
+    if (!op_sends) {
+      // The moved op receives the message: [other -> dest] rows are
+      // contiguous, so this is a straight FMA sweep over the fan.
+      const double* prop = pair_prop_.data() + static_cast<size_t>(other) * N;
+      const double* spb =
+          pair_secs_per_bit_.data() + static_cast<size_t>(other) * N;
+      const char* reach =
+          pair_reachable_.data() + static_cast<size_t>(other) * N;
+      for (size_t d = 0; d < N; ++d) {
+        value[d] = prop[d] + bits * spb[d];
+        ok[d] = reach[d];
+      }
+    } else {
+      // The moved op sends: [dest -> other] strides by N.
+      for (size_t d = 0; d < N; ++d) {
+        const size_t idx = d * N + other;
+        value[d] = pair_prop_[idx] + bits * pair_secs_per_bit_[idx];
+        ok[d] = pair_reachable_[idx];
+      }
+    }
+  }
+  counters_.grid_cells += slots * N;
 }
 
 void IncrementalEvaluator::RestoreBatchState() {
@@ -623,17 +866,81 @@ void IncrementalEvaluator::RestoreBatchState() {
   }
 }
 
-double IncrementalEvaluator::ScoreProvisionalGraph() {
-  for (int index : batch_path_) {
-    RecomputeNode(nodes_[index]);
+void IncrementalEvaluator::SweepBatchPath() {
+  // batch_path_ is descending, so a child's fresh value is in place before
+  // the parent (full or partial) reads it.
+  for (size_t i = 0; i < batch_path_.size(); ++i) {
+    Node& node = nodes_[batch_path_[i]];
+    const ArmStep& s = batch_arm_[i];
+    switch (s.mode) {
+      case ArmStep::Mode::kFull:
+        RecomputeNode(node);
+        ++counters_.full_path_nodes;
+        break;
+      case ArmStep::Mode::kSequence: {
+        ++counters_.arm_path_nodes;
+        double value = s.rest;
+        bool ok = s.rest_ok;
+        for (int r = s.child_begin; r < s.child_end; ++r) {
+          const Node& child = nodes_[batch_live_children_[r]];
+          value += child.value;
+          ok = ok && child.ok;
+        }
+        for (int r = s.edge_begin; r < s.edge_end; ++r) {
+          value += EdgeContribution(batch_live_edges_[r], &ok);
+        }
+        node.value = value;
+        node.ok = ok;
+        break;
+      }
+      case ArmStep::Mode::kBranch: {
+        // Recombine the dirty arm — entry/exit read live from tcomm_, the
+        // body from the freshly swept child — with the frozen sibling
+        // fold, mirroring RecomputeNode's operation order exactly.
+        ++counters_.arm_path_nodes;
+        bool ok = s.rest_ok;
+        const Node& child = nodes_[s.arm_child];
+        const double arm_time = (EdgeContribution(s.entry, &ok) +
+                                 child.value) +
+                                EdgeContribution(s.exit, &ok);
+        ok = ok && child.ok;
+        double combined;
+        switch (s.branch_type) {
+          case OperationType::kAndSplit:
+            combined = s.rest_empty ? arm_time : std::max(s.rest, arm_time);
+            break;
+          case OperationType::kOrSplit:
+            combined = s.rest_empty ? arm_time : std::min(s.rest, arm_time);
+            break;
+          default:  // kXorSplit; AnnotateBatchPath rejects other types
+            combined = s.rest + s.prob * arm_time;
+            break;
+        }
+        node.value = (s.pre + combined) + s.post;
+        node.ok = ok;
+        break;
+      }
+    }
   }
-  return CombineScore(nodes_[0].value, nodes_[0].ok);
 }
 
 double IncrementalEvaluator::CombineScore(double exec, bool ok) const {
   if (!ok) return std::numeric_limits<double>::infinity();
   return options_.execution_weight * exec +
          options_.fairness_weight * TimePenalty();
+}
+
+double IncrementalEvaluator::CombineScore(double exec, bool ok,
+                                          double penalty) const {
+  if (!ok) return std::numeric_limits<double>::infinity();
+  return options_.execution_weight * exec +
+         options_.fairness_weight * penalty;
+}
+
+double IncrementalEvaluator::TwoCellPenalty(uint32_t from, uint32_t to) const {
+  ++counters_.penalty_fast;
+  const uint32_t cells[2] = {from, to};
+  return load_index_.PenaltyPatched(cells, index_value_, loads_);
 }
 
 void IncrementalEvaluator::BeginFanMemo(size_t slots) {
@@ -693,12 +1000,26 @@ Status IncrementalEvaluator::ScoreMoves(OperationId op,
   CollectOpEdges(op);
   SaveBatchEdges();
   const OperationId moved[] = {op};
-  BuildBatchPath(moved);
-  BeginFanMemo(batch_edges_.size());
+  BuildBatchPath(moved, /*annotate=*/true);
+  const bool use_grid = tuning_.use_soa_fan;
+  if (use_grid) {
+    // One vectorizable pass per edge slot precomputes the T_comm term for
+    // every landing server; the per-candidate fold below reads the grid
+    // instead of recomputing (or memo-probing) edges.
+    BuildFanGrid(op);
+    ++counters_.soa_fans;
+    counters_.soa_candidates += servers.size();
+  } else {
+    BeginFanMemo(batch_edges_.size());
+  }
 
   const double base_line_exec = line_exec_;
   const size_t base_bad_edges = bad_edges_;
   const double load_from_base = loads_[from.value];
+  // With the load index live the candidate's two cells are written
+  // directly and patched explicitly (TwoCellPenalty), skipping the
+  // pending-list bookkeeping SetLoad pays four times per candidate.
+  const bool two_cell = tuning_.use_load_index;
 
   for (size_t i = 0; i < servers.size(); ++i) {
     const ServerId to = servers[i];
@@ -715,32 +1036,52 @@ Status IncrementalEvaluator::ScoreMoves(OperationId op,
     if (to != from) {
       // Mirror MoveInternal's arithmetic exactly so batch scores agree
       // bit-for-bit with the Apply round-trip.
-      SetLoad(from.value, load_from_base - prob * tproc_from);
-      SetLoad(to.value, load_to_base + prob * tproc_to);
+      if (two_cell) {
+        loads_[from.value] = load_from_base - prob * tproc_from;
+        loads_[to.value] = load_to_base + prob * tproc_to;
+      } else {
+        SetLoad(from.value, load_from_base - prob * tproc_from);
+        SetLoad(to.value, load_to_base + prob * tproc_to);
+      }
     }
+    const auto combine = [&](double exec, bool ok) {
+      if (!ok) return std::numeric_limits<double>::infinity();
+      if (two_cell && to != from) {
+        return CombineScore(exec, true,
+                            TwoCellPenalty(from.value, to.value));
+      }
+      return CombineScore(exec, true);
+    };
     if (line_) {
       double exec = base_line_exec;
       size_t bad = base_bad_edges;
       if (to != from) exec += tproc_to - tproc_from;
       for (size_t e = 0; e < batch_edges_.size(); ++e) {
-        const EdgeCache next = MemoizedEdge(e, batch_edges_[e], to);
+        const EdgeCache next =
+            use_grid ? GridEdge(e, to) : MemoizedEdge(e, batch_edges_[e], to);
         const EdgeCache& prev = batch_saved_edges_[e];
         exec += (next.ok ? next.value : 0.0) - (prev.ok ? prev.value : 0.0);
         if (!next.ok && prev.ok) ++bad;
         if (next.ok && !prev.ok) --bad;
       }
-      costs[i] = CombineScore(exec, bad == 0);
+      costs[i] = combine(exec, bad == 0);
     } else {
       for (size_t e = 0; e < batch_edges_.size(); ++e) {
         tcomm_[batch_edges_[e].value] =
-            MemoizedEdge(e, batch_edges_[e], to);
+            use_grid ? GridEdge(e, to) : MemoizedEdge(e, batch_edges_[e], to);
       }
-      costs[i] = ScoreProvisionalGraph();
+      SweepBatchPath();
+      costs[i] = combine(nodes_[0].value, nodes_[0].ok);
     }
     ++counters_.delta_evaluations;
     if (to != from) {
-      SetLoad(from.value, load_from_base);
-      SetLoad(to.value, load_to_base);
+      if (two_cell) {
+        loads_[from.value] = load_from_base;
+        loads_[to.value] = load_to_base;
+      } else {
+        SetLoad(from.value, load_from_base);
+        SetLoad(to.value, load_to_base);
+      }
     }
   }
   mapping_.Assign(op, from);
@@ -771,15 +1112,23 @@ Status IncrementalEvaluator::ScoreSwaps(OperationId a,
   const ServerId sa = mapping_.ServerOf(a);
   const double prob_a = LoadProb(a);
 
-  // `a`'s edge slots are shared by every partner, so the per-fan memo can
-  // serve stage-1 T_comm terms across partners hosted on the same server.
-  // Stage-2 terms (the partner's own edges) are never memoized: there `a`
-  // sits displaced on the partner's server, so the "other endpoints at
-  // base" precondition of the memo key does not hold.
+  // `a`'s edge slots are shared by every partner, so stage-1 T_comm terms
+  // come from the SoA grid (or, with the grid off, the per-fan memo keyed
+  // on the partner's server). Stage-2 terms (the partner's own edges) are
+  // never grid-served or memoized: there `a` sits displaced on the
+  // partner's server, so the "other endpoints at base" precondition of
+  // both fast paths does not hold.
   batch_edges_.clear();
   CollectOpEdges(a);
   const size_t a_edge_count = batch_edges_.size();
-  BeginFanMemo(a_edge_count);
+  const bool use_grid = tuning_.use_soa_fan;
+  if (use_grid) {
+    BuildFanGrid(a);
+    ++counters_.soa_fans;
+    counters_.soa_candidates += partners.size();
+  } else {
+    BeginFanMemo(a_edge_count);
+  }
 
   for (size_t i = 0; i < partners.size(); ++i) {
     const OperationId b = partners[i];
@@ -796,24 +1145,37 @@ Status IncrementalEvaluator::ScoreSwaps(OperationId a,
     CollectOpEdges(b);
     SaveBatchEdges();
     const OperationId swapped[] = {a, b};
-    BuildBatchPath(swapped);
+    // No arm annotation: the path is rebuilt per partner (each partner
+    // dirties its own ancestors), so freezing sibling folds would cost
+    // about what it saves.
+    BuildBatchPath(swapped, /*annotate=*/false);
 
     const double load_a_base = loads_[sa.value];
     const double load_b_base = loads_[sb.value];
     double exec = base_line_exec;
     size_t bad = base_bad_edges;
+    // Same two-cell fast path as ScoreMoves: direct stores + an explicit
+    // [sa, sb] patch, the exact order MoveInternal's SetLoads would have
+    // enqueued the cells in.
+    const bool two_cell = tuning_.use_load_index;
 
     // Replay Swap's two MoveInternal calls in order: a -> sb first (b still
     // on sb), then b -> sa, refreshing each op's edges against the caches
     // as they stood at that point. This keeps the running-sum arithmetic
     // bit-identical to the round-trip.
     mapping_.Assign(a, sb);
-    SetLoad(sa.value, loads_[sa.value] - prob_a * model_->TprocOn(a, sa));
-    SetLoad(sb.value, loads_[sb.value] + prob_a * model_->TprocOn(a, sb));
+    if (two_cell) {
+      loads_[sa.value] -= prob_a * model_->TprocOn(a, sa);
+      loads_[sb.value] += prob_a * model_->TprocOn(a, sb);
+    } else {
+      SetLoad(sa.value, loads_[sa.value] - prob_a * model_->TprocOn(a, sa));
+      SetLoad(sb.value, loads_[sb.value] + prob_a * model_->TprocOn(a, sb));
+    }
     if (line_) exec += model_->TprocOn(a, sb) - model_->TprocOn(a, sa);
     for (size_t e = 0; e < a_edge_count; ++e) {
       const TransitionId t = batch_edges_[e];
-      const EdgeCache next = MemoizedEdge(e, t, sb);
+      const EdgeCache next =
+          use_grid ? GridEdge(e, sb) : MemoizedEdge(e, t, sb);
       const EdgeCache& prev = tcomm_[t.value];
       if (line_) {
         exec += (next.ok ? next.value : 0.0) - (prev.ok ? prev.value : 0.0);
@@ -823,8 +1185,13 @@ Status IncrementalEvaluator::ScoreSwaps(OperationId a,
       tcomm_[t.value] = next;
     }
     mapping_.Assign(b, sa);
-    SetLoad(sb.value, loads_[sb.value] - prob_b * model_->TprocOn(b, sb));
-    SetLoad(sa.value, loads_[sa.value] + prob_b * model_->TprocOn(b, sa));
+    if (two_cell) {
+      loads_[sb.value] -= prob_b * model_->TprocOn(b, sb);
+      loads_[sa.value] += prob_b * model_->TprocOn(b, sa);
+    } else {
+      SetLoad(sb.value, loads_[sb.value] - prob_b * model_->TprocOn(b, sb));
+      SetLoad(sa.value, loads_[sa.value] + prob_b * model_->TprocOn(b, sa));
+    }
     if (line_) exec += model_->TprocOn(b, sa) - model_->TprocOn(b, sb);
     for (size_t e = a_edge_count; e < batch_edges_.size(); ++e) {
       const TransitionId t = batch_edges_[e];
@@ -838,13 +1205,35 @@ Status IncrementalEvaluator::ScoreSwaps(OperationId a,
       tcomm_[t.value] = next;
     }
 
-    costs[i] = line_ ? CombineScore(exec, bad == 0) : ScoreProvisionalGraph();
+    double swap_exec;
+    bool swap_ok;
+    if (line_) {
+      swap_exec = exec;
+      swap_ok = (bad == 0);
+    } else {
+      SweepBatchPath();
+      swap_exec = nodes_[0].value;
+      swap_ok = nodes_[0].ok;
+    }
+    if (!swap_ok) {
+      costs[i] = std::numeric_limits<double>::infinity();
+    } else if (two_cell) {
+      costs[i] = CombineScore(swap_exec, true,
+                              TwoCellPenalty(sa.value, sb.value));
+    } else {
+      costs[i] = CombineScore(swap_exec, true);
+    }
     ++counters_.delta_evaluations;
 
     mapping_.Assign(a, sa);
     mapping_.Assign(b, sb);
-    SetLoad(sa.value, load_a_base);
-    SetLoad(sb.value, load_b_base);
+    if (two_cell) {
+      loads_[sa.value] = load_a_base;
+      loads_[sb.value] = load_b_base;
+    } else {
+      SetLoad(sa.value, load_a_base);
+      SetLoad(sb.value, load_b_base);
+    }
     RestoreBatchState();
   }
   return Status::OK();

@@ -60,6 +60,12 @@ struct EvalCounters {
   size_t penalty_full = 0;       ///< TimePenalty recomputed by the O(N) pass.
   size_t edge_memo_hits = 0;     ///< Batch T_comm terms served by the memo.
   size_t edge_memo_misses = 0;   ///< Batch T_comm terms computed and cached.
+  size_t soa_fans = 0;           ///< Batch fans scored through the SoA grid.
+  size_t soa_candidates = 0;     ///< Candidates folded across SoA fans.
+  size_t grid_cells = 0;         ///< (edge slot, server) grid cells precomputed.
+  size_t grid_hits = 0;          ///< Batch T_comm terms served from the grid.
+  size_t arm_path_nodes = 0;     ///< Path nodes folded arm-only per candidate.
+  size_t full_path_nodes = 0;    ///< Path nodes fully recomputed per candidate.
 };
 
 /// Performance knobs of the delta evaluator. The defaults are the fast
@@ -70,8 +76,30 @@ struct EvalTuning {
   /// summation over the load array.
   bool use_load_index = true;
   /// Memoize (edge, landing server) T_comm terms across one batch fan so
-  /// candidates landing on the same server never recompute them.
+  /// candidates landing on the same server never recompute them. Only
+  /// consulted when the SoA grid below is off — the grid supersedes it.
   bool use_edge_memo = true;
+  /// Score batch fans through a structure-of-arrays T_comm grid: one pass
+  /// per edge slot over the flattened route tables precomputes the term
+  /// for every landing server (a contiguous `prop + bits * spb` row the
+  /// compiler can vectorize), and per-candidate folds read the grid
+  /// instead of recomputing edges. The grid evaluates the exact
+  /// expression ComputeEdge would, so scores are bit-identical to the
+  /// memo and memo-less paths.
+  bool use_soa_fan = true;
+  /// Arm-only block-path invalidation for batched move fans on graph
+  /// workloads: ancestors on the frozen batch path that read exactly one
+  /// changed child are recomputed as (frozen sibling fold) ∘ (changed
+  /// arm) instead of re-folding every child. AND/OR branch folds are
+  /// max/min — commutative and exact, so those nodes stay bit-identical.
+  /// Sequence and XOR folds are sums, whose grouping changes; agreement
+  /// with the full-closure path (and hence the Apply/Evaluate/Undo
+  /// round-trip) is then 1e-9 relative, like the load index, and this
+  /// flag keeps the exact legacy path in the same binary. Under a
+  /// non-trivial mask only proven sibling-safe nodes (AND/OR branches)
+  /// take the partial fold; every other node keeps the full ancestor
+  /// closure, as DESIGN.md §9 requires.
+  bool use_arm_path = true;
   /// Moves between re-anchoring passes (fresh cold-order summation of the
   /// running sums and a load-index rebuild). Tests shrink this to walk
   /// the re-anchor boundary cheaply.
@@ -164,11 +192,14 @@ class IncrementalEvaluator {
   /// whose mapping routes a message between disconnected servers score
   /// +infinity (where Apply + Evaluate would fail instead). The dirty-path
   /// and edge bookkeeping for `op` is pinned once and reused across the
-  /// whole fan, so a candidate costs one edge refresh per incident
-  /// transition plus one sweep of the pre-resolved block path — no undo
-  /// records, no per-candidate dirty marking. Scores agree bit-for-bit
-  /// with the Apply / Evaluate / Undo round-trip, each candidate counts as
-  /// one delta evaluation, and the working state is left untouched.
+  /// whole fan, so a candidate costs one grid read per incident transition
+  /// plus one sweep of the pre-resolved block path (arm-only where the
+  /// node qualifies) — no undo records, no per-candidate dirty marking.
+  /// Scores agree with the Apply / Evaluate / Undo round-trip bit-for-bit
+  /// when use_arm_path is off (or the path has no partial-fold nodes), and
+  /// to 1e-9 relative otherwise (the partial fold regroups sequence/XOR
+  /// sums); each candidate counts as one delta evaluation, and the working
+  /// state is left untouched.
   Status ScoreMoves(OperationId op, std::span<const ServerId> servers,
                     std::span<double> costs);
 
@@ -213,6 +244,8 @@ class IncrementalEvaluator {
     std::vector<Arm> arms;                ///< kBranch bodies.
   };
 
+  struct ArmStep;  // defined with the batch scratch below
+
   IncrementalEvaluator(const CostModel& model, Mapping mapping,
                        const CostOptions& options, const EvalTuning& tuning);
 
@@ -239,16 +272,43 @@ class IncrementalEvaluator {
   void SaveBatchEdges();
   /// Resolves the ancestor-closed block path read by batch_edges_ and the
   /// tproc readers of `ops` into batch_path_ (descending index order) and
-  /// snapshots those nodes' values. Graph workflows only.
-  void BuildBatchPath(std::span<const OperationId> ops);
+  /// snapshots those nodes' values. Graph workflows only. With `annotate`
+  /// set (move fans, where one path serves the whole fan) and
+  /// use_arm_path on, pure ancestors — nodes that are not direct readers
+  /// of a changed input and have exactly one path child — are annotated
+  /// with a frozen fold of their untouched siblings so the per-candidate
+  /// sweep recombines them in O(1) instead of re-folding every child.
+  void BuildBatchPath(std::span<const OperationId> ops, bool annotate);
+  /// Whether `node` may take the arm-only partial fold: always under a
+  /// trivial mask; under a non-trivial mask only for block kinds whose
+  /// fold is proven sibling-safe — AND/OR branches, where max/min and the
+  /// ok-AND are exact and order-independent (DESIGN.md §9 gate).
+  bool AllowArmOnly(const Node& node) const;
+  /// Fills batch_arm_ for the current batch_path_: resolves which path
+  /// nodes read a moved op's T_proc, builds the per-node live-child /
+  /// live-edge slices, and freezes the fan-invariant rest fold of every
+  /// qualifying node. Move fans only (one path serves the whole fan).
+  void AnnotateBatchPath(std::span<const OperationId> ops);
   /// Restores the tcomm_ caches and block-path snapshots taken by
   /// SaveBatchEdges / BuildBatchPath.
   void RestoreBatchState();
-  /// Combined cost of the current (provisionally mutated) graph state:
-  /// recomputes batch_path_ and folds in the fairness penalty.
-  double ScoreProvisionalGraph();
-  /// Combined cost from a line execution sum and bad-edge count.
+  /// Recomputes the frozen batch path against the provisionally mutated
+  /// tcomm_/mapping state (full or partial per-node folds), leaving the
+  /// result in nodes_[0].
+  void SweepBatchPath();
+  /// Combined cost from an execution sum and connectivity flag; queries
+  /// TimePenalty() (which reads the pending-cell list).
   double CombineScore(double exec, bool ok) const;
+  /// Same, with a precomputed fairness penalty (the batch two-cell path,
+  /// where the candidate's loads are written directly and never enter the
+  /// pending list).
+  double CombineScore(double exec, bool ok, double penalty) const;
+  /// Fairness penalty with loads_ already holding the candidate's two
+  /// changed cells, queried as an explicit [from, to] patch against the
+  /// index snapshot — the exact inputs (and bits) TimePenalty would hand
+  /// PenaltyPatched had the cells gone through SetLoad. Requires
+  /// use_load_index and an empty pending list (PrepareBatchBase flushed).
+  double TwoCellPenalty(uint32_t from, uint32_t to) const;
 
   /// Writes one load cell, keeping the load index in sync. Every load
   /// mutation outside Reanchor (which rebuilds the index wholesale) must
@@ -260,6 +320,23 @@ class IncrementalEvaluator {
   /// outgrows kMaxPendingLoads and before each batch fan, so per-candidate
   /// queries patch only the two cells the candidate itself touches.
   void FlushLoadIndex();
+
+  /// Precomputes the SoA fan grid for the edges in batch_edges_ with `op`
+  /// as the moving endpoint: fan_grid_{value_,ok_}[slot * N + dest] holds
+  /// the T_comm term of batch edge `slot` with `op` landing on `dest` and
+  /// every other operation at its base placement — the exact bits
+  /// ComputeEdge would produce. One pass per slot over the flattened
+  /// route-table rows (contiguous when `op` is the edge head).
+  void BuildFanGrid(OperationId op);
+
+  /// Reads the precomputed SoA grid term of batch edge `slot` with the
+  /// moving operation landing on `dest`. Valid only after BuildFanGrid
+  /// for the current fan, under the same base-placement precondition.
+  EdgeCache GridEdge(size_t slot, ServerId dest) const {
+    ++counters_.grid_hits;
+    const size_t idx = slot * model_->network().num_servers() + dest.value;
+    return EdgeCache{fan_grid_value_[idx], fan_grid_ok_[idx] != 0};
+  }
 
   /// Opens a fresh per-fan memo epoch sized for `slots` batch edges.
   void BeginFanMemo(size_t slots);
@@ -331,10 +408,51 @@ class IncrementalEvaluator {
     double value = 0;
     bool ok = true;
   };
+  /// Partial-fold annotation for one batch-path node, resolved once per
+  /// move fan. kFull nodes run RecomputeNode per candidate. kSequence /
+  /// kBranch nodes recombine as frozen-rest ∘ live-parts: `rest` folds
+  /// every input that cannot change during the fan (children off the
+  /// path, edges outside the batch set, sibling arms), frozen at
+  /// annotation time, while the live parts — path children and batch
+  /// edges — are re-read per candidate from the freshly swept nodes_ /
+  /// tcomm_ state. A node qualifies only when it reads no moved op's
+  /// T_proc (so its own split/join/leaf terms are fan-invariant) and, for
+  /// branches, when every changed input falls inside one arm.
+  struct ArmStep {
+    enum class Mode : uint8_t { kFull, kSequence, kBranch };
+    Mode mode = Mode::kFull;
+    OperationType branch_type = OperationType::kOperational;
+    double rest = 0;         ///< Frozen fold of the fan-invariant inputs.
+    bool rest_ok = true;
+    bool rest_empty = true;  ///< Branch: no frozen sibling arms.
+    // kSequence: live inputs as ranges into the shared scratch arrays.
+    int child_begin = 0, child_end = 0;  ///< batch_live_children_ slice.
+    int edge_begin = 0, edge_end = 0;    ///< batch_live_edges_ slice.
+    // kBranch: the one dirty arm, re-read live per candidate.
+    int arm_child = -1;  ///< nodes_ index of the dirty arm's body.
+    TransitionId entry;  ///< Dirty arm's entry transition.
+    TransitionId exit;   ///< Dirty arm's exit transition.
+    double prob = 0;     ///< XOR: dirty arm's branch probability.
+    double pre = 0;      ///< T_proc of the split op (fan-invariant).
+    double post = 0;     ///< T_proc of the join op (fan-invariant).
+  };
+
   std::vector<TransitionId> batch_edges_;
   std::vector<EdgeCache> batch_saved_edges_;
   std::vector<int> batch_path_;              // descending node indices
   std::vector<NodeSnapshot> batch_saved_nodes_;
+  std::vector<ArmStep> batch_arm_;           // parallel to batch_path_
+  std::vector<int> node_pos_;     // node index -> position in batch_path_
+  std::vector<char> batch_touched_;      // per path node: reads moved T_proc
+  std::vector<int> batch_child_count_;   // per path node: CSR child offsets
+  std::vector<int> batch_edge_count_;    // per path node: CSR edge offsets
+  std::vector<int> batch_live_children_; // path children, grouped per node
+  std::vector<TransitionId> batch_live_edges_;  // batch edges per node
+
+  // SoA fan grid, slot-major [slot * N + dest]; valid for the current fan
+  // while every non-moving operation sits at its base placement.
+  std::vector<double> fan_grid_value_;
+  std::vector<char> fan_grid_ok_;
 
   // Per-fan (edge slot, landing server) memo: a slot-major table of
   // cached T_comm terms, invalidated wholesale by bumping the epoch.

@@ -168,6 +168,12 @@ Result<Mapping> HillClimb(const CostModel& model, const Mapping& start,
   local.penalty_full = eval.counters().penalty_full;
   local.edge_memo_hits = eval.counters().edge_memo_hits;
   local.edge_memo_misses = eval.counters().edge_memo_misses;
+  local.soa_fans = eval.counters().soa_fans;
+  local.soa_candidates = eval.counters().soa_candidates;
+  local.grid_cells = eval.counters().grid_cells;
+  local.grid_hits = eval.counters().grid_hits;
+  local.arm_path_nodes = eval.counters().arm_path_nodes;
+  local.full_path_nodes = eval.counters().full_path_nodes;
   if (stats != nullptr) *stats = local;
   return eval.mapping();
 }

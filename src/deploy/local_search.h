@@ -42,6 +42,12 @@ struct LocalSearchStats {
   size_t penalty_full = 0;       ///< TimePenalty via the O(N) pass.
   size_t edge_memo_hits = 0;     ///< Batch T_comm terms served by the memo.
   size_t edge_memo_misses = 0;   ///< Batch T_comm terms computed fresh.
+  size_t soa_fans = 0;           ///< Batch fans scored through the SoA grid.
+  size_t soa_candidates = 0;     ///< Candidates folded across SoA fans.
+  size_t grid_cells = 0;         ///< (edge, server) grid cells precomputed.
+  size_t grid_hits = 0;          ///< Batch T_comm terms read from the grid.
+  size_t arm_path_nodes = 0;     ///< Path nodes folded arm-only.
+  size_t full_path_nodes = 0;    ///< Path nodes fully recomputed.
   double initial_cost = 0;       ///< Combined cost of the start mapping.
   double final_cost = 0;         ///< Combined cost of the local optimum.
 };

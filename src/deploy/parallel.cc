@@ -251,6 +251,12 @@ Result<Mapping> ParallelAnnealingAlgorithm::RunWithStats(
     local.penalty_full += chain.eval.counters().penalty_full;
     local.edge_memo_hits += chain.eval.counters().edge_memo_hits;
     local.edge_memo_misses += chain.eval.counters().edge_memo_misses;
+    local.soa_fans += chain.eval.counters().soa_fans;
+    local.soa_candidates += chain.eval.counters().soa_candidates;
+    local.grid_cells += chain.eval.counters().grid_cells;
+    local.grid_hits += chain.eval.counters().grid_hits;
+    local.arm_path_nodes += chain.eval.counters().arm_path_nodes;
+    local.full_path_nodes += chain.eval.counters().full_path_nodes;
   }
   local.winner_chain = winner;
   local.best_cost = chain_states[winner].best_cost;
@@ -318,6 +324,12 @@ Result<Mapping> ParallelHillClimbAlgorithm::RunWithStats(
     local.penalty_full += restart.stats.penalty_full;
     local.edge_memo_hits += restart.stats.edge_memo_hits;
     local.edge_memo_misses += restart.stats.edge_memo_misses;
+    local.soa_fans += restart.stats.soa_fans;
+    local.soa_candidates += restart.stats.soa_candidates;
+    local.grid_cells += restart.stats.grid_cells;
+    local.grid_hits += restart.stats.grid_hits;
+    local.arm_path_nodes += restart.stats.arm_path_nodes;
+    local.full_path_nodes += restart.stats.full_path_nodes;
     if (restart.stats.initial_cost < local.initial_cost) {
       local.initial_cost = restart.stats.initial_cost;
     }

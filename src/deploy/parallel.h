@@ -82,6 +82,12 @@ struct ParallelSearchStats {
   size_t penalty_full = 0;       ///< O(N)-pass TimePenalty, summed.
   size_t edge_memo_hits = 0;     ///< Batch T_comm memo hits, summed.
   size_t edge_memo_misses = 0;   ///< Batch T_comm memo misses, summed.
+  size_t soa_fans = 0;           ///< SoA-grid batch fans, summed.
+  size_t soa_candidates = 0;     ///< Candidates folded over SoA fans, summed.
+  size_t grid_cells = 0;         ///< Grid cells precomputed, summed.
+  size_t grid_hits = 0;          ///< Batch T_comm grid reads, summed.
+  size_t arm_path_nodes = 0;     ///< Arm-only path folds, summed.
+  size_t full_path_nodes = 0;    ///< Full path recomputes, summed.
   size_t exchanges = 0;          ///< Best-state adoptions across rounds.
   size_t winner_chain = 0;       ///< Chain index that produced the winner.
   double initial_cost = 0;       ///< Best start cost across chains.

@@ -1,0 +1,85 @@
+// Regression test of the per-fan edge memo on wide swap fans. With M
+// operations spread over N << M servers, every partner of a swap fan
+// lands `a` on one of at most N - 1 distinct servers, so stage-1 T_comm
+// terms (a's own edges against the partner's server) repeat massively:
+// the memo must compute each (edge slot, landing server) pair exactly
+// once and serve every repeat from cache. The expected hit rate is
+// asserted, not just reported — a memo that silently stopped caching
+// would still score correctly but fail here.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/cost/cost_model.h"
+#include "src/cost/incremental.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+TEST(SwapFanMemoTest, WideSwapFanHitsMemoAtExpectedRate) {
+  // 24 line operations round-robined over 3 servers: a's stage-1 terms
+  // see only 2 distinct landing servers across 23 partners.
+  constexpr size_t kOps = 24;
+  constexpr size_t kServers = 3;
+  Workflow w = testing::SimpleLine(kOps, 20e6, 60648);
+  Network n = testing::SimpleBus(kServers);
+  CostModel model(w, n);
+
+  // The SoA grid supersedes the memo; pin it off so the memo is the
+  // stage-1 fast path under test.
+  EvalTuning tuning;
+  tuning.use_soa_fan = false;
+  ASSERT_TRUE(tuning.use_edge_memo);
+  Mapping start = testing::RoundRobin(kOps, kServers);
+  IncrementalEvaluator eval = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, start, CostOptions{}, tuning));
+
+  // Interior operation: two incident transitions, both stage-1 slots.
+  const OperationId a(5);
+  const size_t a_edges = w.in_degree(a) + w.out_degree(a);
+  ASSERT_EQ(a_edges, 2u);
+  const ServerId sa = start.ServerOf(a);
+
+  std::vector<OperationId> partners;
+  size_t off_server_partners = 0;
+  std::set<uint32_t> landing_servers;
+  for (uint32_t b = 0; b < kOps; ++b) {
+    if (OperationId(b) == a) continue;
+    partners.push_back(OperationId(b));
+    const ServerId sb = start.ServerOf(OperationId(b));
+    if (sb != sa) {
+      ++off_server_partners;
+      landing_servers.insert(sb.value);
+    }
+  }
+  ASSERT_EQ(landing_servers.size(), kServers - 1);
+  ASSERT_GT(off_server_partners, 4 * landing_servers.size())
+      << "the fan must be wide enough that repeats dominate";
+
+  std::vector<double> costs(partners.size());
+  WSFLOW_ASSERT_OK(eval.ScoreSwaps(a, partners, costs));
+
+  // Same-server partners are no-op swaps and never consult the memo;
+  // every off-server partner looks up each of a's edge slots once.
+  // Stage-2 terms (the partner's own edges with `a` displaced) are never
+  // memoized, so the counters below are exact.
+  const size_t lookups = a_edges * off_server_partners;
+  const size_t expected_misses = a_edges * landing_servers.size();
+  EXPECT_EQ(eval.counters().edge_memo_misses, expected_misses);
+  EXPECT_EQ(eval.counters().edge_memo_hits, lookups - expected_misses);
+  const double hit_rate =
+      static_cast<double>(eval.counters().edge_memo_hits) / lookups;
+  EXPECT_GE(hit_rate, 0.85) << "hits=" << eval.counters().edge_memo_hits
+                            << " of " << lookups << " stage-1 lookups";
+
+  // A second fan opens a fresh memo epoch: the counts double exactly.
+  WSFLOW_ASSERT_OK(eval.ScoreSwaps(a, partners, costs));
+  EXPECT_EQ(eval.counters().edge_memo_misses, 2 * expected_misses);
+  EXPECT_EQ(eval.counters().edge_memo_hits, 2 * (lookups - expected_misses));
+}
+
+}  // namespace
+}  // namespace wsflow

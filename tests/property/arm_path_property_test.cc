@@ -1,0 +1,368 @@
+// Property tests of the batched-fan fast paths added with the SoA fan
+// grid and arm-only block-path invalidation.
+//
+// ArmPathParityTest drives a default-tuned evaluator (arm-only partial
+// folds on) and a full-closure twin (use_arm_path off) through identical
+// batch fans on every workload family: scores must agree to 1e-9 (the
+// partial fold regroups sequence/XOR sums), and swap fans — which never
+// annotate — must stay bit-identical.
+//
+// ArmPathMaskedTest exercises the DESIGN.md §9 hazard: under a
+// non-trivial ServerMask only AND/OR branches may fold arm-only, and the
+// frozen sibling fold must stay correct even when a masked walk flips a
+// sibling arm to +infinity (severed route). Because max/min and the
+// ok-AND are exact, masked parity is asserted bitwise.
+//
+// SoaGridParityTest pins the grid's bit-identity claim on the weighted
+// topologies from the geo work (fat-tree, hierarchical WAN): grid-scored
+// fans must reproduce the per-fan memo path bit-for-bit, and the
+// default tuning must track the fully legacy path to 1e-9.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/cost/cost_model.h"
+#include "src/cost/incremental.h"
+#include "src/exp/config.h"
+#include "src/network/server_mask.h"
+#include "src/network/topology.h"
+#include "src/workflow/probability.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+constexpr double kTol = 1e-9;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void ExpectNear(double lhs, double rhs, size_t step) {
+  if (std::isinf(lhs) || std::isinf(rhs)) {
+    EXPECT_EQ(lhs, rhs) << "step " << step;
+    return;
+  }
+  EXPECT_LE(std::fabs(lhs - rhs), kTol * (1.0 + std::fabs(rhs)))
+      << "step " << step << ": arm=" << lhs << " full=" << rhs;
+}
+
+/// Arm-only partial folds vs the full ancestor closure, over random
+/// move/swap fans interleaved with a random walk of the working state.
+class ArmPathParityTest
+    : public ::testing::TestWithParam<std::tuple<WorkloadKind, uint64_t>> {};
+
+TEST_P(ArmPathParityTest, PartialFoldsTrackFullClosure) {
+  auto [kind, seed] = GetParam();
+  ExperimentConfig cfg = MakeClassCConfig(kind);
+  cfg.num_operations = 13;
+  cfg.num_servers = 4;
+  cfg.seed = seed;
+  TrialInstance trial = WSFLOW_UNWRAP(DrawTrial(cfg, 0));
+  const ExecutionProfile* profile =
+      trial.profile.has_value() ? &*trial.profile : nullptr;
+  CostModel model(trial.workflow, trial.network, profile);
+
+  const size_t M = trial.workflow.num_operations();
+  const size_t N = trial.network.num_servers();
+  IncrementalEvaluator arm_on = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, testing::RoundRobin(M, N)));
+  EvalTuning full_tuning;
+  full_tuning.use_arm_path = false;
+  IncrementalEvaluator arm_off = WSFLOW_UNWRAP(IncrementalEvaluator::Bind(
+      model, testing::RoundRobin(M, N), {}, full_tuning));
+
+  std::vector<ServerId> fan;
+  for (uint32_t s = 0; s < N; ++s) fan.push_back(ServerId(s));
+  std::vector<double> on_costs(fan.size());
+  std::vector<double> off_costs(fan.size());
+
+  Rng rng(seed * 6151 + 29);
+  for (size_t step = 0; step < 60; ++step) {
+    OperationId op(static_cast<uint32_t>(rng.NextBounded(M)));
+    WSFLOW_ASSERT_OK(arm_on.ScoreMoves(op, fan, on_costs));
+    WSFLOW_ASSERT_OK(arm_off.ScoreMoves(op, fan, off_costs));
+    for (size_t i = 0; i < fan.size(); ++i) {
+      ExpectNear(on_costs[i], off_costs[i], step);
+    }
+    // Swap fans rebuild the path per partner and never annotate, so the
+    // flag must not change a single bit there.
+    OperationId a(static_cast<uint32_t>(rng.NextBounded(M)));
+    std::vector<OperationId> partners;
+    for (uint32_t b = 0; b < M; ++b) partners.push_back(OperationId(b));
+    std::vector<double> on_swaps(partners.size());
+    std::vector<double> off_swaps(partners.size());
+    WSFLOW_ASSERT_OK(arm_on.ScoreSwaps(a, partners, on_swaps));
+    WSFLOW_ASSERT_OK(arm_off.ScoreSwaps(a, partners, off_swaps));
+    for (size_t i = 0; i < partners.size(); ++i) {
+      EXPECT_EQ(on_swaps[i], off_swaps[i])
+          << "step " << step << " swap partner " << i;
+    }
+    if (HasFatalFailure() || HasNonfatalFailure()) return;
+    OperationId walk_op(static_cast<uint32_t>(rng.NextBounded(M)));
+    ServerId walk_server(static_cast<uint32_t>(rng.NextBounded(N)));
+    WSFLOW_ASSERT_OK(arm_on.Apply(walk_op, walk_server));
+    WSFLOW_ASSERT_OK(arm_off.Apply(walk_op, walk_server));
+    arm_on.ClearHistory();
+    arm_off.ClearHistory();
+  }
+  // Graph workloads must actually exercise the partial fold; the twin
+  // must never take it. Line workflows skip the block path entirely.
+  if (kind != WorkloadKind::kLine) {
+    EXPECT_GT(arm_on.counters().arm_path_nodes, 0u);
+    EXPECT_GT(arm_on.counters().full_path_nodes, 0u);
+  }
+  EXPECT_EQ(arm_off.counters().arm_path_nodes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, ArmPathParityTest,
+    ::testing::Combine(::testing::Values(WorkloadKind::kLine,
+                                         WorkloadKind::kBushyGraph,
+                                         WorkloadKind::kLengthyGraph,
+                                         WorkloadKind::kHybridGraph),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const ::testing::TestParamInfo<std::tuple<WorkloadKind, uint64_t>>&
+           info) {
+      return std::string(WorkloadKindToString(std::get<0>(info.param))) +
+             "_s" + std::to_string(std::get<1>(info.param));
+    });
+
+ServerMask MaskWithout(size_t n, std::initializer_list<uint32_t> down) {
+  ServerMask mask = ServerMask::AllAlive(n);
+  for (uint32_t s : down) mask.SetAlive(ServerId(s), false);
+  return mask;
+}
+
+/// s0 - s1 - s2 - s3 - s4 with s1 down: s0 stays alive but severed from
+/// the {s2, s3, s4} component, so placements on s0 score +infinity.
+Network SeveredLine() {
+  std::vector<double> powers = {1e9, 2e9, 1e9, 2e9, 3e9};
+  std::vector<double> speeds(4, 100e6);
+  return WSFLOW_UNWRAP(MakeLineNetwork(powers, speeds));
+}
+
+TEST(ArmPathMaskedTest, SiblingArmAtInfinityFoldsBitIdentical) {
+  // The §9 hazard, deterministically: freeze a branch whose sibling arm
+  // is +infinity (AND sibling `c`, then OR sibling `g`, moved to the
+  // severed survivor s0) and fan the other arm. The frozen rest carries
+  // the infinite sibling; arm-only scores must match the full closure
+  // bit-for-bit.
+  Workflow w = testing::AllDecisionGraph();
+  ExecutionProfile profile = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  Network n = SeveredLine();
+  CostModel model(w, n, &profile);
+  const size_t M = w.num_operations();
+
+  EvalTuning arm_tuning;
+  arm_tuning.mask = MaskWithout(5, {1});
+  EvalTuning full_tuning = arm_tuning;
+  full_tuning.use_arm_path = false;
+  IncrementalEvaluator arm_on = WSFLOW_UNWRAP(IncrementalEvaluator::Bind(
+      model, testing::AllOnServer(M, ServerId(2)), CostOptions{}, arm_tuning));
+  IncrementalEvaluator arm_off = WSFLOW_UNWRAP(IncrementalEvaluator::Bind(
+      model, testing::AllOnServer(M, ServerId(2)), CostOptions{},
+      full_tuning));
+
+  auto by_name = [&w](std::string_view name) {
+    for (uint32_t i = 0; i < w.num_operations(); ++i) {
+      if (w.operation(OperationId(i)).name() == name) return OperationId(i);
+    }
+    ADD_FAILURE() << "no operation named " << name;
+    return OperationId(0);
+  };
+  const OperationId kAndArmB = by_name("b"), kAndArmC = by_name("c");
+  const OperationId kOrArmF = by_name("f"), kOrArmG = by_name("g");
+  std::vector<ServerId> fan = {ServerId(0), ServerId(2), ServerId(3),
+                               ServerId(4)};
+  std::vector<double> on_costs(fan.size());
+  std::vector<double> off_costs(fan.size());
+
+  struct Hazard {
+    OperationId sever;  // sibling arm flipped to +infinity
+    OperationId probe;  // op fanned in the other arm
+  };
+  for (const Hazard& h : {Hazard{kAndArmC, kAndArmB},
+                          Hazard{kOrArmG, kOrArmF}}) {
+    WSFLOW_ASSERT_OK(arm_on.Apply(h.sever, ServerId(0)));
+    WSFLOW_ASSERT_OK(arm_off.Apply(h.sever, ServerId(0)));
+    WSFLOW_ASSERT_OK(arm_on.ScoreMoves(h.probe, fan, on_costs));
+    WSFLOW_ASSERT_OK(arm_off.ScoreMoves(h.probe, fan, off_costs));
+    size_t infinite = 0;
+    for (size_t i = 0; i < fan.size(); ++i) {
+      EXPECT_EQ(on_costs[i], off_costs[i])
+          << "sever op" << h.sever.value << " probe op" << h.probe.value
+          << " candidate " << i;
+      if (std::isinf(on_costs[i])) ++infinite;
+    }
+    // The severed sibling poisons the whole block: every candidate of the
+    // probed arm is infinite, straight through the frozen rest.
+    EXPECT_EQ(infinite, fan.size());
+    WSFLOW_ASSERT_OK(arm_on.Undo());
+    WSFLOW_ASSERT_OK(arm_off.Undo());
+  }
+}
+
+TEST(ArmPathMaskedTest, MaskedWalkStaysBitIdenticalToFullClosure) {
+  // Random masked walk over the alive servers, including severed states:
+  // only AND/OR branches may fold arm-only under the mask, and those
+  // folds are exact, so every batch score must stay bit-identical.
+  Workflow w = testing::AllDecisionGraph();
+  ExecutionProfile profile = WSFLOW_UNWRAP(ComputeExecutionProfile(w));
+  Network n = SeveredLine();
+  CostModel model(w, n, &profile);
+  const size_t M = w.num_operations();
+
+  EvalTuning arm_tuning;
+  arm_tuning.mask = MaskWithout(5, {1});
+  EvalTuning full_tuning = arm_tuning;
+  full_tuning.use_arm_path = false;
+  IncrementalEvaluator arm_on = WSFLOW_UNWRAP(IncrementalEvaluator::Bind(
+      model, testing::AllOnServer(M, ServerId(2)), CostOptions{}, arm_tuning));
+  IncrementalEvaluator arm_off = WSFLOW_UNWRAP(IncrementalEvaluator::Bind(
+      model, testing::AllOnServer(M, ServerId(2)), CostOptions{},
+      full_tuning));
+
+  const std::vector<ServerId> alive = {ServerId(0), ServerId(2), ServerId(3),
+                                       ServerId(4)};
+  std::vector<double> on_costs(alive.size());
+  std::vector<double> off_costs(alive.size());
+
+  Rng rng(431);
+  size_t infinite_candidates = 0;
+  for (size_t step = 0; step < 80; ++step) {
+    OperationId op(static_cast<uint32_t>(rng.NextBounded(M)));
+    WSFLOW_ASSERT_OK(arm_on.ScoreMoves(op, alive, on_costs));
+    WSFLOW_ASSERT_OK(arm_off.ScoreMoves(op, alive, off_costs));
+    for (size_t i = 0; i < alive.size(); ++i) {
+      EXPECT_EQ(on_costs[i], off_costs[i])
+          << "step " << step << " candidate " << i;
+      if (on_costs[i] == kInf) ++infinite_candidates;
+    }
+    if (HasFatalFailure() || HasNonfatalFailure()) return;
+    OperationId walk_op(static_cast<uint32_t>(rng.NextBounded(M)));
+    ServerId walk_server = alive[rng.NextBounded(alive.size())];
+    WSFLOW_ASSERT_OK(arm_on.Apply(walk_op, walk_server));
+    WSFLOW_ASSERT_OK(arm_off.Apply(walk_op, walk_server));
+    arm_on.ClearHistory();
+    arm_off.ClearHistory();
+  }
+  // The walk must have crossed +infinity territory, and the masked gate
+  // must still have allowed some branch folds.
+  EXPECT_GT(infinite_candidates, 0u);
+  EXPECT_GT(arm_on.counters().arm_path_nodes, 0u);
+  EXPECT_EQ(arm_off.counters().arm_path_nodes, 0u);
+}
+
+/// Weighted topologies from the geo work: heterogeneous powers plus
+/// propagation-weighted links, where T_comm terms vary per server pair.
+Network WeightedFatTree() {
+  FatTreeOptions options;
+  options.spines = 2;
+  options.racks = 2;
+  options.rack_size = 2;
+  options.powers_hz = {1e9, 2e9, 1.5e9, 3e9, 2.5e9, 1e9};
+  return WSFLOW_UNWRAP(MakeFatTreeNetwork(options));
+}
+
+Network WeightedHierarchical() {
+  HierarchicalOptions options;
+  options.regions = 2;
+  options.clusters_per_region = 2;
+  options.cluster_size = 2;
+  options.powers_hz = {1e9, 2e9, 3e9, 1.5e9, 2.5e9, 1e9, 2e9, 3e9};
+  return WSFLOW_UNWRAP(MakeHierarchicalNetwork(options));
+}
+
+/// Grid vs memo bit-identity and default vs legacy 1e-9 agreement on one
+/// weighted network, over interleaved move/swap fans and a random walk.
+void RunSoaGridParity(const Network& n, uint64_t seed) {
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kHybridGraph);
+  cfg.num_operations = 13;
+  cfg.num_servers = 4;  // trial network is discarded below
+  cfg.seed = seed;
+  TrialInstance trial = WSFLOW_UNWRAP(DrawTrial(cfg, 0));
+  const ExecutionProfile* profile =
+      trial.profile.has_value() ? &*trial.profile : nullptr;
+  CostModel model(trial.workflow, n, profile);
+
+  const size_t M = trial.workflow.num_operations();
+  const size_t N = n.num_servers();
+  IncrementalEvaluator grid = WSFLOW_UNWRAP(
+      IncrementalEvaluator::Bind(model, testing::RoundRobin(M, N)));
+  EvalTuning memo_tuning;
+  memo_tuning.use_soa_fan = false;
+  IncrementalEvaluator memo = WSFLOW_UNWRAP(IncrementalEvaluator::Bind(
+      model, testing::RoundRobin(M, N), {}, memo_tuning));
+  EvalTuning legacy_tuning;
+  legacy_tuning.use_load_index = false;
+  legacy_tuning.use_edge_memo = false;
+  legacy_tuning.use_soa_fan = false;
+  legacy_tuning.use_arm_path = false;
+  IncrementalEvaluator legacy = WSFLOW_UNWRAP(IncrementalEvaluator::Bind(
+      model, testing::RoundRobin(M, N), {}, legacy_tuning));
+
+  std::vector<ServerId> fan;
+  for (uint32_t s = 0; s < N; ++s) fan.push_back(ServerId(s));
+  std::vector<double> grid_costs(fan.size());
+  std::vector<double> memo_costs(fan.size());
+  std::vector<double> legacy_costs(fan.size());
+
+  Rng rng(seed * 7919 + 17);
+  for (size_t step = 0; step < 40; ++step) {
+    OperationId op(static_cast<uint32_t>(rng.NextBounded(M)));
+    WSFLOW_ASSERT_OK(grid.ScoreMoves(op, fan, grid_costs));
+    WSFLOW_ASSERT_OK(memo.ScoreMoves(op, fan, memo_costs));
+    WSFLOW_ASSERT_OK(legacy.ScoreMoves(op, fan, legacy_costs));
+    for (size_t i = 0; i < fan.size(); ++i) {
+      EXPECT_EQ(grid_costs[i], memo_costs[i])
+          << "step " << step << " move candidate " << i;
+      ExpectNear(grid_costs[i], legacy_costs[i], step);
+    }
+    OperationId a(static_cast<uint32_t>(rng.NextBounded(M)));
+    std::vector<OperationId> partners;
+    for (uint32_t b = 0; b < M; ++b) partners.push_back(OperationId(b));
+    std::vector<double> grid_swaps(partners.size());
+    std::vector<double> memo_swaps(partners.size());
+    std::vector<double> legacy_swaps(partners.size());
+    WSFLOW_ASSERT_OK(grid.ScoreSwaps(a, partners, grid_swaps));
+    WSFLOW_ASSERT_OK(memo.ScoreSwaps(a, partners, memo_swaps));
+    WSFLOW_ASSERT_OK(legacy.ScoreSwaps(a, partners, legacy_swaps));
+    for (size_t i = 0; i < partners.size(); ++i) {
+      EXPECT_EQ(grid_swaps[i], memo_swaps[i])
+          << "step " << step << " swap partner " << i;
+      ExpectNear(grid_swaps[i], legacy_swaps[i], step);
+    }
+    if (::testing::Test::HasFailure()) return;
+    OperationId walk_op(static_cast<uint32_t>(rng.NextBounded(M)));
+    ServerId walk_server(static_cast<uint32_t>(rng.NextBounded(N)));
+    WSFLOW_ASSERT_OK(grid.Apply(walk_op, walk_server));
+    WSFLOW_ASSERT_OK(memo.Apply(walk_op, walk_server));
+    WSFLOW_ASSERT_OK(legacy.Apply(walk_op, walk_server));
+    grid.ClearHistory();
+    memo.ClearHistory();
+    legacy.ClearHistory();
+  }
+  // Each twin must have taken its intended T_comm path.
+  EXPECT_GT(grid.counters().grid_hits, 0u);
+  EXPECT_GT(grid.counters().soa_fans, 0u);
+  EXPECT_EQ(grid.counters().edge_memo_hits, 0u);
+  EXPECT_GT(memo.counters().edge_memo_hits, 0u);
+  EXPECT_EQ(memo.counters().grid_hits, 0u);
+  EXPECT_EQ(legacy.counters().grid_hits, 0u);
+  EXPECT_EQ(legacy.counters().edge_memo_hits, 0u);
+}
+
+TEST(SoaGridParityTest, BitIdenticalToMemoOnWeightedFatTree) {
+  RunSoaGridParity(WeightedFatTree(), 11);
+}
+
+TEST(SoaGridParityTest, BitIdenticalToMemoOnWeightedHierarchical) {
+  RunSoaGridParity(WeightedHierarchical(), 12);
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -469,9 +469,14 @@ TEST_P(IncrementalMemoParityTest, BatchScoresBitIdenticalWithMemoOff) {
 
   const size_t M = trial.workflow.num_operations();
   const size_t N = trial.network.num_servers();
-  IncrementalEvaluator with_memo = WSFLOW_UNWRAP(
-      IncrementalEvaluator::Bind(model, testing::RoundRobin(M, N)));
+  // The SoA grid supersedes the memo when on; pin it off on both sides so
+  // this suite keeps exercising the memo fallback path.
+  EvalTuning memo_tuning;
+  memo_tuning.use_soa_fan = false;
+  IncrementalEvaluator with_memo = WSFLOW_UNWRAP(IncrementalEvaluator::Bind(
+      model, testing::RoundRobin(M, N), {}, memo_tuning));
   EvalTuning no_memo_tuning;
+  no_memo_tuning.use_soa_fan = false;
   no_memo_tuning.use_edge_memo = false;
   IncrementalEvaluator no_memo = WSFLOW_UNWRAP(IncrementalEvaluator::Bind(
       model, testing::RoundRobin(M, N), {}, no_memo_tuning));
@@ -543,9 +548,12 @@ TEST(IncrementalMemoParityTest, BitIdenticalAcrossIslands) {
   CostModel model(w, n);
 
   const size_t M = w.num_operations();
-  IncrementalEvaluator with_memo = WSFLOW_UNWRAP(
-      IncrementalEvaluator::Bind(model, testing::AllOnServer(M, s0)));
+  EvalTuning memo_tuning;
+  memo_tuning.use_soa_fan = false;  // exercise the memo, not the grid
+  IncrementalEvaluator with_memo = WSFLOW_UNWRAP(IncrementalEvaluator::Bind(
+      model, testing::AllOnServer(M, s0), {}, memo_tuning));
   EvalTuning no_memo_tuning;
+  no_memo_tuning.use_soa_fan = false;
   no_memo_tuning.use_edge_memo = false;
   IncrementalEvaluator no_memo = WSFLOW_UNWRAP(IncrementalEvaluator::Bind(
       model, testing::AllOnServer(M, s0), {}, no_memo_tuning));
