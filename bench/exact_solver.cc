@@ -1,0 +1,404 @@
+// Exact-solver bench: nodes expanded and wall-clock for the A* solver
+// (src/deploy/astar.h) against depth-first branch-and-bound and the
+// exhaustive odometer, over the paper's Class A/B/C line matrix (M=19,
+// N=5, bus 1/10/100 Mbps) and multi-hop fat-tree / hierarchical
+// topologies. Three sections:
+//
+//   matrix    — per class x bus speed: A* (exact, 10M-generated-node
+//               budget) vs branch-and-bound (50M-node budget). Cells where
+//               branch-and-bound exhausts its budget while A* certifies an
+//               optimum in thousands of nodes are the headline: dominance
+//               merging collapses Class A's permutation blow-up, and
+//               best-first order stops at the first goal.
+//   topology  — the same comparison on a 2x2x3 fat tree and a 2x2x2
+//               hierarchy (multi-hop weighted routes, no bus symmetry
+//               breaking). The hard Class C hierarchy cell runs the
+//               anytime mode with a reduced budget to show graceful
+//               degradation (returns the incumbent, proven=false).
+//   odometer  — small instances where plain enumeration is feasible:
+//               configurations visited by the odometer vs nodes generated
+//               by the exact searches, with agreeing optima.
+//
+// Results land in bench_results/exact_solver.json. CI guard:
+// --assert-min-ratio R runs only the Class A 10 Mbps matrix cell and fails
+// unless branch-bound explores at least R times more nodes than A*
+// generates (node counts are deterministic, so the guard is immune to
+// sanitizer slowdowns).
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/logging.h"
+#include "src/cost/cost_model.h"
+#include "src/deploy/astar.h"
+#include "src/deploy/branch_bound.h"
+#include "src/deploy/exhaustive.h"
+#include "src/exp/config.h"
+
+namespace wsflow {
+namespace {
+
+constexpr size_t kBranchBoundBudget = 50'000'000;
+constexpr size_t kAStarBudget = 10'000'000;
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct SolverResult {
+  bool solved = false;
+  bool proven = false;
+  size_t nodes = 0;  ///< bb: explored; astar: generated.
+  double seconds = 0;
+  double cost = 0;  ///< Evaluated combined cost; 0 when unsolved.
+  AStarStats stats;
+};
+
+struct Cell {
+  std::string name;
+  std::string klass;
+  std::string topology;
+  size_t num_operations = 0;
+  size_t num_servers = 0;
+  double bus_mbps = 0;  ///< 0 for non-bus topologies.
+  SolverResult astar;
+  SolverResult bb;
+  double node_ratio = 0;  ///< bb nodes / astar generated.
+};
+
+double EvaluatedCost(const TrialInstance& t, const Mapping& m) {
+  const ExecutionProfile* profile =
+      t.profile.has_value() ? &*t.profile : nullptr;
+  CostModel model(t.workflow, t.network, profile);
+  Result<CostBreakdown> cost = model.Evaluate(m, CostOptions{});
+  WSFLOW_CHECK(cost.ok()) << cost.status().ToString();
+  return cost->combined;
+}
+
+SolverResult RunAStar(const TrialInstance& t, bool anytime,
+                      size_t max_nodes = kAStarBudget) {
+  DeployContext ctx;
+  ctx.workflow = &t.workflow;
+  ctx.network = &t.network;
+  ctx.profile = t.profile.has_value() ? &*t.profile : nullptr;
+  AStarOptions options;
+  options.anytime = anytime;
+  options.max_nodes = max_nodes;
+  AStarAlgorithm astar(options);
+  SolverResult out;
+  auto start = std::chrono::steady_clock::now();
+  Result<Mapping> m = astar.RunWithStats(ctx, &out.stats);
+  out.seconds = Seconds(start);
+  out.nodes = out.stats.generated;
+  out.solved = m.ok();
+  out.proven = out.stats.proven_optimal;
+  if (m.ok()) out.cost = EvaluatedCost(t, *m);
+  return out;
+}
+
+SolverResult RunBranchBound(const TrialInstance& t) {
+  DeployContext ctx;
+  ctx.workflow = &t.workflow;
+  ctx.network = &t.network;
+  ctx.profile = t.profile.has_value() ? &*t.profile : nullptr;
+  BranchBoundAlgorithm bb(kBranchBoundBudget);
+  SolverResult out;
+  auto start = std::chrono::steady_clock::now();
+  Result<Mapping> m = bb.Run(ctx);
+  out.seconds = Seconds(start);
+  out.nodes = bb.last_nodes();
+  out.solved = m.ok();
+  out.proven = m.ok();
+  if (m.ok()) out.cost = EvaluatedCost(t, *m);
+  return out;
+}
+
+void PrintCell(const Cell& c) {
+  std::printf(
+      "%-22s bb=%9zu (%7.3fs,%s) astar=%8zu (%7.3fs,%s%s) ratio=%8.1f\n",
+      c.name.c_str(), c.bb.nodes, c.bb.seconds,
+      c.bb.solved ? "ok" : "budget", c.astar.nodes, c.astar.seconds,
+      c.astar.solved ? "ok" : "budget",
+      c.astar.solved && !c.astar.proven ? ",anytime" : "", c.node_ratio);
+  std::fflush(stdout);
+}
+
+Cell RunCell(const std::string& name, const std::string& klass,
+             const std::string& topology, const TrialInstance& t,
+             double bus_mbps, bool astar_anytime = false,
+             size_t astar_budget = kAStarBudget) {
+  Cell c;
+  c.name = name;
+  c.klass = klass;
+  c.topology = topology;
+  c.num_operations = t.workflow.num_operations();
+  c.num_servers = t.network.num_servers();
+  c.bus_mbps = bus_mbps;
+  c.astar = RunAStar(t, astar_anytime, astar_budget);
+  c.bb = RunBranchBound(t);
+  c.node_ratio = c.astar.nodes == 0
+                     ? 0
+                     : static_cast<double>(c.bb.nodes) /
+                           static_cast<double>(c.astar.nodes);
+  // Both certified: the optima must agree (ulp-level tolerance).
+  if (c.astar.proven && c.bb.solved) {
+    WSFLOW_CHECK(std::abs(c.astar.cost - c.bb.cost) <=
+                 c.bb.cost * 1e-9 + 1e-15)
+        << name << ": astar " << c.astar.cost << " vs bb " << c.bb.cost;
+  }
+  PrintCell(c);
+  return c;
+}
+
+TrialInstance MustDraw(const ExperimentConfig& cfg) {
+  Result<TrialInstance> t = DrawTrial(cfg, 0);
+  WSFLOW_CHECK(t.ok()) << t.status().ToString();
+  return std::move(*t);
+}
+
+TrialInstance DrawLineBus(ExperimentConfig (*maker)(WorkloadKind),
+                          double bus_bps) {
+  ExperimentConfig cfg = maker(WorkloadKind::kLine);
+  cfg.fixed_bus_speed_bps = bus_bps;
+  return MustDraw(cfg);
+}
+
+void WriteSolver(std::FILE* f, const char* key, const SolverResult& r,
+                 bool is_astar) {
+  std::fprintf(f,
+               "\"%s\": {\"solved\": %s, \"proven_optimal\": %s, "
+               "\"nodes\": %zu, \"seconds\": %.4f, \"cost\": %.6g",
+               key, r.solved ? "true" : "false", r.proven ? "true" : "false",
+               r.nodes, r.seconds, r.cost);
+  if (is_astar) {
+    std::fprintf(f,
+                 ", \"expanded\": %zu, \"pruned_bound\": %zu, "
+                 "\"pruned_dominance\": %zu, \"tt_hits\": %zu",
+                 r.stats.expanded, r.stats.pruned_bound,
+                 r.stats.pruned_dominance, r.stats.tt_hits);
+  }
+  std::fprintf(f, "}");
+}
+
+void WriteCells(std::FILE* f, const char* section,
+                const std::vector<Cell>& cells, bool trailing_comma) {
+  std::fprintf(f, "  \"%s\": [\n", section);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"class\": \"%s\", "
+                 "\"topology\": \"%s\", \"num_operations\": %zu, "
+                 "\"num_servers\": %zu, \"bus_mbps\": %.0f, ",
+                 c.name.c_str(), c.klass.c_str(), c.topology.c_str(),
+                 c.num_operations, c.num_servers, c.bus_mbps);
+    WriteSolver(f, "astar", c.astar, /*is_astar=*/true);
+    std::fprintf(f, ", ");
+    WriteSolver(f, "branch_bound", c.bb, /*is_astar=*/false);
+    std::fprintf(f, ", \"node_ratio\": %.1f}%s\n", c.node_ratio,
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]%s\n", trailing_comma ? "," : "");
+}
+
+struct OdometerCell {
+  std::string name;
+  size_t num_operations = 0;
+  size_t num_servers = 0;
+  double configurations = 0;
+  double exhaustive_seconds = 0;
+  double cost = 0;
+  SolverResult astar;
+  SolverResult bb;  ///< Line instances only; unsolved otherwise.
+};
+
+OdometerCell RunOdometer(const std::string& name, const TrialInstance& t,
+                         bool line) {
+  DeployContext ctx;
+  ctx.workflow = &t.workflow;
+  ctx.network = &t.network;
+  ctx.profile = t.profile.has_value() ? &*t.profile : nullptr;
+  OdometerCell c;
+  c.name = name;
+  c.num_operations = t.workflow.num_operations();
+  c.num_servers = t.network.num_servers();
+  c.configurations = std::pow(static_cast<double>(c.num_servers),
+                              static_cast<double>(c.num_operations));
+  auto start = std::chrono::steady_clock::now();
+  Result<Mapping> m = ExhaustiveAlgorithm(5e7).Run(ctx);
+  c.exhaustive_seconds = Seconds(start);
+  WSFLOW_CHECK(m.ok()) << m.status().ToString();
+  c.cost = EvaluatedCost(t, *m);
+  c.astar = RunAStar(t, /*anytime=*/false);
+  if (line) c.bb = RunBranchBound(t);
+  WSFLOW_CHECK(std::abs(c.astar.cost - c.cost) <= c.cost * 1e-9 + 1e-15)
+      << name << ": astar " << c.astar.cost << " vs odometer " << c.cost;
+  std::printf("%-22s odometer=%.3g cfgs (%7.3fs) astar=%8zu (%7.3fs) "
+              "bb=%9zu\n",
+              c.name.c_str(), c.configurations, c.exhaustive_seconds,
+              c.astar.nodes, c.astar.seconds, c.bb.nodes);
+  std::fflush(stdout);
+  return c;
+}
+
+void WriteJson(const std::vector<Cell>& matrix,
+               const std::vector<Cell>& topology,
+               const std::vector<OdometerCell>& odometer) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  if (ec) {
+    std::fprintf(stderr, "note: cannot create bench_results/: %s\n",
+                 ec.message().c_str());
+    return;
+  }
+  const char* path = "bench_results/exact_solver.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "note: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"exact_solver\",\n"
+               "  \"branch_bound_node_budget\": %zu,\n"
+               "  \"astar_node_budget\": %zu,\n",
+               kBranchBoundBudget, kAStarBudget);
+  WriteCells(f, "matrix", matrix, /*trailing_comma=*/true);
+  WriteCells(f, "topology", topology, /*trailing_comma=*/true);
+  std::fprintf(f, "  \"odometer\": [\n");
+  for (size_t i = 0; i < odometer.size(); ++i) {
+    const OdometerCell& c = odometer[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"num_operations\": %zu, "
+                 "\"num_servers\": %zu, \"configurations\": %.6g, "
+                 "\"exhaustive_seconds\": %.4f, \"cost\": %.6g, ",
+                 c.name.c_str(), c.num_operations, c.num_servers,
+                 c.configurations, c.exhaustive_seconds, c.cost);
+    WriteSolver(f, "astar", c.astar, /*is_astar=*/true);
+    std::fprintf(f, ", ");
+    WriteSolver(f, "branch_bound", c.bb, /*is_astar=*/false);
+    std::fprintf(f, "}%s\n", i + 1 < odometer.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("(json -> %s)\n", path);
+}
+
+}  // namespace
+}  // namespace wsflow
+
+int main(int argc, char** argv) {
+  using namespace wsflow;
+
+  double assert_min_ratio = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--assert-min-ratio" && i + 1 < argc) {
+      assert_min_ratio = std::atof(argv[++i]);
+      if (assert_min_ratio <= 0) {
+        std::fprintf(stderr, "--assert-min-ratio needs a positive number\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--assert-min-ratio R]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (assert_min_ratio > 0) {
+    // One fast deterministic cell: Class A line, M=19, N=5, 10 Mbps bus.
+    TrialInstance t = DrawLineBus(&MakeClassAConfig, paperconst::kBus10Mbps);
+    Cell guard = RunCell("guard_a_m19_n5_10mbps", "A", "bus", t, 10);
+    WSFLOW_CHECK(guard.astar.proven);
+    if (guard.node_ratio < assert_min_ratio) {
+      std::fprintf(stderr, "FAIL: bb/astar node ratio %.2f < required %.2f\n",
+                   guard.node_ratio, assert_min_ratio);
+      return 1;
+    }
+    std::printf("PASS: bb/astar node ratio %.2f >= %.2f\n", guard.node_ratio,
+                assert_min_ratio);
+    return 0;
+  }
+
+  bench::PrintBanner(
+      "EXACT",
+      "A* over prefix assignments vs depth-first branch-and-bound vs the "
+      "exhaustive odometer; nodes and wall-clock, certified optima");
+
+  std::printf("matrix: line M=19 N=5, Class x bus speed (bb budget 50M, "
+              "astar budget 10M)\n");
+  std::vector<Cell> matrix;
+  struct ClassDef {
+    const char* name;
+    ExperimentConfig (*maker)(WorkloadKind);
+  };
+  const ClassDef classes[] = {{"A", &MakeClassAConfig},
+                              {"B", &MakeClassBConfig},
+                              {"C", &MakeClassCConfig}};
+  const double busses[] = {paperconst::kBus1Mbps, paperconst::kBus10Mbps,
+                           paperconst::kBus100Mbps};
+  for (const ClassDef& k : classes) {
+    for (double bus : busses) {
+      TrialInstance t = DrawLineBus(k.maker, bus);
+      const double mbps = bus / 1e6;
+      matrix.push_back(RunCell(std::string("class_") + k.name + "_" +
+                                   std::to_string(static_cast<int>(mbps)) +
+                                   "mbps",
+                               k.name, "bus", t, mbps));
+    }
+  }
+
+  std::printf("\ntopology: multi-hop fat-tree / hierarchy (no bus "
+              "symmetry)\n");
+  std::vector<Cell> topology;
+  {
+    ExperimentConfig cfg = MakeClassAConfig(WorkloadKind::kLine);
+    cfg.topology = ExperimentTopology::kFatTree;
+    cfg.fat_tree.spines = 2;
+    cfg.fat_tree.racks = 2;
+    cfg.fat_tree.rack_size = 3;
+    TrialInstance t = MustDraw(cfg);
+    topology.push_back(
+        RunCell("class_a_fattree_2x2x3", "A", "fat-tree", t, 0));
+  }
+  {
+    // The hard cell: Class C over a hierarchy defeats both exact budgets,
+    // so A* runs in anytime mode with a reduced budget and returns the
+    // certified-or-incumbent result instead of failing.
+    ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+    cfg.topology = ExperimentTopology::kHierarchical;
+    cfg.hierarchical.regions = 2;
+    cfg.hierarchical.clusters_per_region = 2;
+    cfg.hierarchical.cluster_size = 2;
+    TrialInstance t = MustDraw(cfg);
+    topology.push_back(RunCell("class_c_hier_2x2x2_anytime", "C",
+                               "hierarchical", t, 0, /*astar_anytime=*/true,
+                               /*astar_budget=*/2'000'000));
+  }
+
+  std::printf("\nodometer: enumeration-feasible instances, agreeing "
+              "optima\n");
+  std::vector<OdometerCell> odometer;
+  {
+    ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+    cfg.num_operations = 10;
+    cfg.num_servers = 4;
+    TrialInstance t = MustDraw(cfg);
+    odometer.push_back(RunOdometer("line_m10_n4", t, /*line=*/true));
+  }
+  {
+    ExperimentConfig cfg = MakeClassBConfig(WorkloadKind::kBushyGraph);
+    cfg.num_operations = 9;
+    cfg.num_servers = 3;
+    TrialInstance t = MustDraw(cfg);
+    odometer.push_back(RunOdometer("bushy_m9_n3", t, /*line=*/false));
+  }
+
+  WriteJson(matrix, topology, odometer);
+  return 0;
+}

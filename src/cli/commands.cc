@@ -24,6 +24,7 @@
 #include "src/cost/response_time.h"
 #include "src/deploy/algorithm.h"
 #include "src/deploy/annealing.h"
+#include "src/deploy/astar.h"
 #include "src/deploy/failover.h"
 #include "src/deploy/parallel.h"
 #include "src/exp/config.h"
@@ -307,7 +308,8 @@ Status CmdDeploy(const std::vector<std::string>& args, std::ostream& out) {
                "chains / restarts for annealing-par and climb-par");
   AddThreadsFlag(&flags);
   flags.AddBool("stats", false,
-                "print search statistics (annealing and the -par searches)");
+                "print search statistics (annealing, the -par searches and "
+                "the astar solvers)");
   WSFLOW_ASSIGN_OR_RETURN(std::vector<std::string> positional,
                           flags.Parse(args));
   (void)positional;
@@ -324,9 +326,12 @@ Status CmdDeploy(const std::vector<std::string>& args, std::ostream& out) {
     return Status::InvalidArgument(
         "--chains only applies to annealing-par and climb-par");
   }
-  if (flags.GetBool("stats") && !parallel_algo && algo_name != "annealing") {
+  const bool astar_algo = algo_name == "astar" || algo_name == "astar-anytime";
+  if (flags.GetBool("stats") && !parallel_algo && !astar_algo &&
+      algo_name != "annealing") {
     return Status::InvalidArgument(
-        "--stats is supported for annealing, annealing-par and climb-par");
+        "--stats is supported for annealing, annealing-par, climb-par, "
+        "astar and astar-anytime");
   }
 
   Mapping m;
@@ -368,6 +373,24 @@ Status CmdDeploy(const std::vector<std::string>& args, std::ostream& out) {
       out << "block path:   " << stats.arm_path_nodes << " arm-only, "
           << stats.full_path_nodes << " full\n";
       out << "search cost:  " << FormatSeconds(stats.initial_cost) << " -> "
+          << FormatSeconds(stats.best_cost) << "\n";
+    }
+  } else if (flags.GetBool("stats") && astar_algo) {
+    AStarOptions options;
+    options.anytime = algo_name == "astar-anytime";
+    AStarStats stats;
+    WSFLOW_ASSIGN_OR_RETURN(
+        m, AStarAlgorithm(options).RunWithStats(ctx, &stats));
+    out << "expanded:     " << stats.expanded << "\n";
+    out << "generated:    " << stats.generated << "\n";
+    out << "pruned:       " << stats.pruned_bound << " by bound, "
+        << stats.pruned_dominance << " by dominance\n";
+    out << "tt hits:      " << stats.tt_hits << "\n";
+    out << "optimal:      " << (stats.proven_optimal ? "proven" : "not proven")
+        << "\n";
+    if (options.anytime && stats.incumbent_cost <
+                               std::numeric_limits<double>::infinity()) {
+      out << "incumbent:    " << FormatSeconds(stats.incumbent_cost) << " -> "
           << FormatSeconds(stats.best_cost) << "\n";
     }
   } else if (flags.GetBool("stats") && algo_name == "annealing") {

@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/deploy/annealing.h"
+#include "src/deploy/astar.h"
 #include "src/deploy/branch_bound.h"
 #include "src/deploy/critical_path.h"
 #include "src/deploy/exhaustive.h"
@@ -160,6 +161,15 @@ void RegisterBuiltinAlgorithms() {
     });
     add("branch-bound",
         [] { return std::make_unique<BranchBoundAlgorithm>(); });
+    // Exact best-first search over prefix assignments; "astar" certifies
+    // optimality or fails at the node budget, "astar-anytime" seeds a
+    // heuristic incumbent and degrades to it gracefully instead.
+    add("astar", [] { return std::make_unique<AStarAlgorithm>(); });
+    add("astar-anytime", [] {
+      AStarOptions opt;
+      opt.anytime = true;
+      return std::make_unique<AStarAlgorithm>(opt);
+    });
     // Locality-aware wrappers for geo-distributed (zoned) networks: run
     // the base heuristic AND a zone-aware seed, keep the cheaper mapping.
     add("heavy-ops-geo", [] {

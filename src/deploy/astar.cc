@@ -1,0 +1,497 @@
+#include "src/deploy/astar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/deploy/bound_tables.h"
+#include "src/deploy/local_search.h"
+#include "src/deploy/portfolio.h"
+
+namespace wsflow {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+uint64_t Mix2(uint64_t h, uint64_t v) {
+  h = (h ^ v) * 0x100000001b3ULL;
+  return h ^ (h >> 29);
+}
+
+uint64_t LoadBits(double load) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(load));
+  __builtin_memcpy(&bits, &load, sizeof(bits));
+  return bits;
+}
+
+/// Open-addressing transposition table: 128-bit canonical-state key ->
+/// cheapest known prefix cost. Flat slots and linear probing keep the
+/// per-state overhead at 24 bytes; the double-width key makes an
+/// accidental collision (which could prune a non-dominated state and cost
+/// exactness) astronomically unlikely even at tens of millions of entries.
+class TranspositionTable {
+ public:
+  struct Slot {
+    uint64_t k1 = 0, k2 = 0;  // (0, 0) marks an empty slot
+    double g = 0;
+  };
+
+  void Reserve(size_t expected) {
+    size_t cap = 1024;
+    while (cap < expected * 2) cap <<= 1;
+    slots_.assign(cap, Slot{});
+    size_ = 0;
+  }
+
+  /// The slot for (k1, k2), growing the table as needed. `*found` tells
+  /// whether the key already had an entry.
+  Slot* FindOrInsert(uint64_t k1, uint64_t k2, bool* found) {
+    if (k1 == 0 && k2 == 0) k1 = 1;
+    if ((size_ + 1) * 3 > slots_.size() * 2) Grow();
+    Slot* slot = Probe(k1, k2, found);
+    if (!*found) {
+      slot->k1 = k1;
+      slot->k2 = k2;
+      ++size_;
+    }
+    return slot;
+  }
+
+  /// Lookup without insertion; nullptr when absent.
+  const Slot* Find(uint64_t k1, uint64_t k2) const {
+    if (k1 == 0 && k2 == 0) k1 = 1;
+    bool found = false;
+    const Slot* slot = const_cast<TranspositionTable*>(this)->Probe(
+        k1, k2, &found);
+    return found ? slot : nullptr;
+  }
+
+ private:
+  Slot* Probe(uint64_t k1, uint64_t k2, bool* found) {
+    const size_t mask = slots_.size() - 1;
+    size_t i = static_cast<size_t>(k1 ^ (k2 * 0x9e3779b97f4a7c15ULL)) & mask;
+    for (;;) {
+      Slot& s = slots_[i];
+      if (s.k1 == 0 && s.k2 == 0) {
+        *found = false;
+        return &s;
+      }
+      if (s.k1 == k1 && s.k2 == k2) {
+        *found = true;
+        return &s;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    size_ = 0;
+    bool found;
+    for (const Slot& s : old) {
+      if (s.k1 == 0 && s.k2 == 0) continue;
+      Slot* slot = Probe(s.k1, s.k2, &found);
+      *slot = s;
+      ++size_;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
+/// One search state: a prefix assignment reached by placing `server` at
+/// position `depth - 1` of the parent's prefix. 16 bytes; assignments are
+/// reconstructed by walking the parent chain.
+struct NodeRec {
+  int32_t parent = -1;
+  uint16_t depth = 0;
+  uint16_t server = 0;
+  double g_exec = 0;  ///< Line path: exact prefix T_proc + T_comm sum.
+};
+
+struct HeapEntry {
+  double f = 0;
+  uint32_t idx = 0;
+};
+
+/// Min-heap order on (f, insertion index): the index tie-break makes pop
+/// order — and therefore the returned optimum among cost ties — fully
+/// deterministic.
+struct HeapCmp {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    return a.f > b.f || (a.f == b.f && a.idx > b.idx);
+  }
+};
+
+class Search {
+ public:
+  Search(const DeployContext& ctx, const AStarOptions& options,
+         AStarStats* stats)
+      : ctx_(ctx), options_(options), stats_(stats) {}
+
+  Status Prepare() {
+    WSFLOW_ASSIGN_OR_RETURN(tables_,
+                            BoundTables::Build(ctx_, options_.mask));
+    if (tables_.num_servers() > 0xFFFF || tables_.num_ops() > 0xFFFF) {
+      return Status::InvalidArgument(
+          "astar supports at most 65535 operations and servers");
+    }
+    M_ = tables_.num_ops();
+    N_ = tables_.num_servers();
+    symmetric_ = ctx_.network->has_bus();
+    loads_.assign(N_, 0.0);
+    prefix_servers_.assign(M_, 0);
+    scratch_mapping_ = Mapping(ctx_.workflow->num_operations());
+    if (options_.anytime) SeedIncumbent();
+    return Status::OK();
+  }
+
+  Result<Mapping> Run() {
+    arena_.reserve(std::min<size_t>(options_.max_nodes, 1 << 20));
+    if (tables_.line()) tt_.Reserve(1 << 14);
+    // Root: the empty prefix.
+    arena_.push_back(NodeRec{});
+    ++stats_->generated;
+    PushHeap(RootBound(), 0);
+
+    while (!heap_.empty()) {
+      const HeapEntry top = PopHeap();
+      const NodeRec node = arena_[top.idx];
+      if (top.f >= incumbent_cost_ - 1e-15) {
+        if (!have_incumbent_) {
+          // incumbent_cost_ is +inf here, so top.f is too: some remaining
+          // edge has no feasible connected placement at all.
+          return Status::FailedPrecondition(
+              "every completion routes a message between disconnected "
+              "servers");
+        }
+        // Admissible f: nothing left on the frontier can beat the
+        // incumbent, which is therefore optimal.
+        stats_->proven_optimal = true;
+        return FinishWithIncumbent();
+      }
+      Reconstruct(node, top.idx);
+      if (tables_.line() && node.depth > 0 && StalePop(node)) {
+        ++stats_->pruned_dominance;
+        continue;
+      }
+      if (node.depth == M_) {
+        stats_->proven_optimal = true;
+        stats_->best_cost = top.f;
+        if (top.f < incumbent_cost_) return PrefixMapping(node.depth);
+        return FinishWithIncumbent();
+      }
+      ++stats_->expanded;
+      Status st = tables_.line() ? ExpandLine(node, top.idx)
+                                 : ExpandGraph(node, top.idx);
+      if (!st.ok()) {
+        if (st.IsResourceExhausted() && options_.anytime &&
+            have_incumbent_) {
+          return FinishWithIncumbent();
+        }
+        return st;
+      }
+    }
+    if (have_incumbent_) {
+      // Every state was pruned against the incumbent: it is optimal.
+      stats_->proven_optimal = true;
+      return FinishWithIncumbent();
+    }
+    return Status::FailedPrecondition(
+        "every completion routes a message between disconnected servers");
+  }
+
+ private:
+  // ---- incumbent ----
+
+  void SeedIncumbent() {
+    PortfolioAlgorithm portfolio;
+    Result<Mapping> m = portfolio.Run(ctx_);
+    if (!m.ok()) return;
+    CostModel model(*ctx_.workflow, *ctx_.network, ctx_.profile);
+    Result<Mapping> refined =
+        HillClimb(model, *m, ctx_.cost_options, LocalSearchOptions{});
+    Mapping best = refined.ok() ? std::move(*refined) : std::move(*m);
+    // Internal (decomposed) arithmetic keeps the incumbent comparable to
+    // search-node f values; infeasible under the mask -> +inf, no pruning.
+    const double cost =
+        tables_.PrefixLowerBound(best, ctx_.cost_options);
+    if (std::isinf(cost)) return;
+    incumbent_ = std::move(best);
+    incumbent_cost_ = cost;
+    have_incumbent_ = true;
+    stats_->incumbent_cost = cost;
+  }
+
+  Result<Mapping> FinishWithIncumbent() {
+    if (stats_->best_cost > incumbent_cost_) {
+      stats_->best_cost = incumbent_cost_;
+    }
+    if (!have_incumbent_) {
+      return Status::Internal("astar: no incumbent to return");
+    }
+    return incumbent_;
+  }
+
+  // ---- state reconstruction ----
+
+  /// Rebuilds prefix_servers_[0 .. depth) and loads_ for `node` (stored at
+  /// arena index `idx`) by walking the parent chain.
+  void Reconstruct(const NodeRec& node, uint32_t idx) {
+    std::fill(loads_.begin(), loads_.end(), 0.0);
+    uint32_t cur = idx;
+    const NodeRec* rec = &node;
+    for (size_t d = node.depth; d-- > 0;) {
+      prefix_servers_[d] = rec->server;
+      loads_[rec->server] += tables_.LoadOf(d, rec->server);
+      cur = static_cast<uint32_t>(rec->parent);
+      rec = &arena_[cur];
+    }
+  }
+
+  Mapping PrefixMapping(size_t depth) const {
+    Mapping m(ctx_.workflow->num_operations());
+    for (size_t d = 0; d < depth; ++d) {
+      m.Assign(tables_.order()[d], ServerId(prefix_servers_[d]));
+    }
+    return m;
+  }
+
+  double RootBound() {
+    std::fill(loads_.begin(), loads_.end(), 0.0);
+    if (!tables_.line()) {
+      ClearScratchMapping();
+      return tables_.PrefixLowerBound(scratch_mapping_, ctx_.cost_options);
+    }
+    const double exec =
+        tables_.SuffixMinProc(0) + (M_ > 0 ? tables_.SuffixEdgeLb(0) : 0.0);
+    const double pen =
+        tables_.PenaltyLowerBound(loads_, tables_.SuffixWeightedCycles(0));
+    return ctx_.cost_options.execution_weight * exec +
+           ctx_.cost_options.fairness_weight * pen;
+  }
+
+  // ---- dominance (line only) ----
+
+  /// Canonical-state key: depth, the frontier (last assigned) server and
+  /// the full per-server load vector, hashed twice independently. Two
+  /// line states agreeing on all three have identical completion futures.
+  void StateKey(size_t depth, uint32_t last_server, uint64_t* k1,
+                uint64_t* k2) const {
+    uint64_t a = 0x243F6A8885A308D3ULL, b = 0x13198A2E03707344ULL;
+    a = Mix(a, depth);
+    b = Mix2(b, depth);
+    a = Mix(a, last_server);
+    b = Mix2(b, last_server);
+    for (uint32_t s : tables_.alive_servers()) {
+      const uint64_t bits = LoadBits(loads_[s]);
+      a = Mix(a, bits);
+      b = Mix2(b, bits);
+    }
+    *k1 = a;
+    *k2 = b;
+  }
+
+  /// True when a strictly cheaper same-key state superseded `node` after
+  /// it was pushed (loads_ must hold the node's reconstruction).
+  bool StalePop(const NodeRec& node) const {
+    uint64_t k1, k2;
+    StateKey(node.depth, node.server, &k1, &k2);
+    const TranspositionTable::Slot* slot = tt_.Find(k1, k2);
+    return slot != nullptr && slot->g < node.g_exec;
+  }
+
+  // ---- expansion ----
+
+  Status ExpandLine(const NodeRec& node, uint32_t idx) {
+    const size_t depth = node.depth;
+    const double h_proc = tables_.SuffixMinProc(depth + 1);
+    const double h_comm = tables_.SuffixEdgeLb(depth);
+    const double remaining = tables_.SuffixWeightedCycles(depth + 1);
+    const double we = ctx_.cost_options.execution_weight;
+    const double wf = ctx_.cost_options.fairness_weight;
+    for (uint32_t s : tables_.alive_servers()) {
+      if (symmetric_ && loads_[s] == 0.0 && DuplicateEmptyServer(s)) {
+        continue;
+      }
+      double comm = 0;
+      if (depth > 0) {
+        comm = tables_.PairComm(prefix_servers_[depth - 1], s,
+                               tables_.chain_bits(depth - 1));
+        if (std::isinf(comm)) {
+          ++stats_->pruned_bound;
+          continue;
+        }
+      }
+      const double g2 = node.g_exec + tables_.Tproc(depth, s) + comm;
+      const double load_add = tables_.LoadOf(depth, s);
+      loads_[s] += load_add;
+      const double pen = tables_.PenaltyLowerBound(loads_, remaining);
+      const double f2 = we * (g2 + h_proc + h_comm) + wf * pen;
+      bool keep = f2 < incumbent_cost_ - 1e-15;
+      if (!keep) {
+        ++stats_->pruned_bound;
+      } else {
+        uint64_t k1, k2;
+        StateKey(depth + 1, s, &k1, &k2);
+        bool found = false;
+        TranspositionTable::Slot* slot = tt_.FindOrInsert(k1, k2, &found);
+        if (found) {
+          ++stats_->tt_hits;
+          if (slot->g <= g2) {
+            ++stats_->pruned_dominance;
+            keep = false;
+          } else {
+            slot->g = g2;
+          }
+        } else {
+          slot->g = g2;
+        }
+      }
+      loads_[s] -= load_add;
+      if (!keep) continue;
+      WSFLOW_RETURN_IF_ERROR(PushChild(idx, depth, s, g2, f2));
+    }
+    return Status::OK();
+  }
+
+  Status ExpandGraph(const NodeRec& node, uint32_t idx) {
+    const size_t depth = node.depth;
+    SyncScratchMapping(depth);
+    const OperationId op = tables_.order()[depth];
+    for (uint32_t s : tables_.alive_servers()) {
+      if (symmetric_ && loads_[s] == 0.0 && DuplicateEmptyServer(s)) {
+        continue;
+      }
+      scratch_mapping_.Assign(op, ServerId(s));
+      const double f2 =
+          tables_.PrefixLowerBound(scratch_mapping_, ctx_.cost_options);
+      scratch_mapping_.Unassign(op);
+      if (!(f2 < incumbent_cost_ - 1e-15)) {
+        ++stats_->pruned_bound;
+        continue;
+      }
+      WSFLOW_RETURN_IF_ERROR(PushChild(idx, depth, s, 0.0, f2));
+    }
+    return Status::OK();
+  }
+
+  /// Bus symmetry breaking (as in branch_bound): a second empty server of
+  /// equal power is interchangeable with the first, so only the first of
+  /// each class is branched on.
+  bool DuplicateEmptyServer(uint32_t s) const {
+    for (uint32_t prev : tables_.alive_servers()) {
+      if (prev >= s) break;
+      if (loads_[prev] == 0.0 &&
+          tables_.power(prev) == tables_.power(s)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Status PushChild(uint32_t parent, size_t depth, uint32_t server, double g,
+                   double f) {
+    if (arena_.size() >= options_.max_nodes) {
+      return Status::ResourceExhausted(
+          "astar exceeded " + std::to_string(options_.max_nodes) +
+          " generated nodes");
+    }
+    NodeRec child;
+    child.parent = static_cast<int32_t>(parent);
+    child.depth = static_cast<uint16_t>(depth + 1);
+    child.server = static_cast<uint16_t>(server);
+    child.g_exec = g;
+    const uint32_t child_idx = static_cast<uint32_t>(arena_.size());
+    arena_.push_back(child);
+    ++stats_->generated;
+    PushHeap(f, child_idx);
+    return Status::OK();
+  }
+
+  // ---- graph scratch mapping ----
+
+  void ClearScratchMapping() {
+    for (size_t d = 0; d < scratch_depth_; ++d) {
+      scratch_mapping_.Unassign(tables_.order()[d]);
+    }
+    scratch_depth_ = 0;
+  }
+
+  /// Brings scratch_mapping_ to exactly prefix_servers_[0 .. depth).
+  void SyncScratchMapping(size_t depth) {
+    ClearScratchMapping();
+    for (size_t d = 0; d < depth; ++d) {
+      scratch_mapping_.Assign(tables_.order()[d],
+                              ServerId(prefix_servers_[d]));
+    }
+    scratch_depth_ = depth;
+  }
+
+  // ---- frontier ----
+
+  void PushHeap(double f, uint32_t idx) {
+    heap_.push_back(HeapEntry{f, idx});
+    std::push_heap(heap_.begin(), heap_.end(), HeapCmp{});
+  }
+
+  HeapEntry PopHeap() {
+    std::pop_heap(heap_.begin(), heap_.end(), HeapCmp{});
+    HeapEntry top = heap_.back();
+    heap_.pop_back();
+    return top;
+  }
+
+  const DeployContext& ctx_;
+  AStarOptions options_;
+  AStarStats* stats_;
+  BoundTables tables_;
+  size_t M_ = 0;
+  size_t N_ = 0;
+  bool symmetric_ = false;
+
+  std::vector<NodeRec> arena_;
+  std::vector<HeapEntry> heap_;
+  TranspositionTable tt_;
+
+  std::vector<double> loads_;             // scratch, reconstructed per pop
+  std::vector<uint16_t> prefix_servers_;  // scratch, reconstructed per pop
+  Mapping scratch_mapping_;               // graph path working prefix
+  size_t scratch_depth_ = 0;
+
+  Mapping incumbent_;
+  double incumbent_cost_ = kInf;
+  bool have_incumbent_ = false;
+};
+
+}  // namespace
+
+Result<Mapping> AStarAlgorithm::RunWithStats(const DeployContext& ctx,
+                                             AStarStats* stats) const {
+  *stats = AStarStats{};
+  WSFLOW_RETURN_IF_ERROR(CheckContext(ctx));
+  Search search(ctx, options_, stats);
+  WSFLOW_RETURN_IF_ERROR(search.Prepare());
+  Result<Mapping> result = search.Run();
+  if (result.ok() && stats->best_cost == kInf) {
+    // Defensive: Run always sets it on success, but keep the stats sane.
+    stats->best_cost = stats->incumbent_cost;
+  }
+  return result;
+}
+
+Result<Mapping> AStarAlgorithm::Run(const DeployContext& ctx) const {
+  return RunWithStats(ctx, &last_stats_);
+}
+
+}  // namespace wsflow

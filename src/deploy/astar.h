@@ -1,0 +1,110 @@
+// wsflow: exact A* deployment solver over partial mappings
+// (extension; not in the paper).
+//
+// The paper validates its heuristics only at sizes the exhaustive odometer
+// reaches; branch-and-bound (branch_bound.h) pushed certified optima to
+// mid-size *line* instances but re-derives weak bounds depth-first.
+// Following Vorhemus & Schikuta ("Blackboard Meets Dijkstra", PAPERS.md),
+// this solver recasts deployment as shortest-path search over a state
+// graph of *prefix assignments*: a state assigns the first k operations of
+// the topological order to servers, an edge places operation k on one
+// feasible server, and the goal layer holds total mappings.
+//
+//   f(state) = lower bound on the combined cost of every completion,
+//              computed from the shared BoundTables: exact T_proc / T_comm
+//              where assigned, fastest-alive-server and zero-or-min-route
+//              bounds where not, plus the unavoidable-excess/deficit
+//              fairness bound. f is exact at goal states, so the first
+//              goal popped from the best-first frontier is optimal.
+//
+// Line workflows additionally get *dominance pruning*: two states with the
+// same depth, the same frontier server (the chain's only live endpoint)
+// and the same per-server load vector have identical completion futures,
+// so only the cheapest-prefix one survives. A canonical-state
+// transposition table keyed on (depth, frontier server, load-vector bits)
+// merges them — on uniform-cycle workloads (Class A) this collapses the
+// permutation blow-up to the much smaller space of load compositions,
+// which is where the order-of-magnitude node savings over branch-and-bound
+// come from. Graph workflows skip the table: AND/OR rendezvous couples a
+// completion's cost to interior placements, so the load-vector key is not
+// a sound equivalence there, and a fixed-order prefix tree never revisits
+// a state anyway.
+//
+// The *anytime* mode seeds the incumbent with the portfolio + hill-climb
+// heuristic solution and prunes generated states against it. Run to
+// exhaustion it is a provable-optimality certificate for the heuristic
+// result; stopped at the node budget it returns the best mapping seen with
+// proven_optimal = false instead of failing.
+
+#ifndef WSFLOW_DEPLOY_ASTAR_H_
+#define WSFLOW_DEPLOY_ASTAR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "src/deploy/algorithm.h"
+#include "src/network/server_mask.h"
+
+namespace wsflow {
+
+struct AStarOptions {
+  /// Cap on *generated* search states (arena size); the dominant memory
+  /// driver at 16 bytes per state plus frontier and table entries. Exact
+  /// mode fails with ResourceExhausted beyond it; anytime mode returns the
+  /// incumbent.
+  size_t max_nodes = 10'000'000;
+  /// Seed the incumbent with the best heuristic solution (portfolio +
+  /// hill climb), prune against it, and return it instead of failing when
+  /// the budget runs out.
+  bool anytime = false;
+  /// Score against the surviving subnetwork: down servers are infeasible
+  /// placements and routes through them are severed (trivial = unmasked).
+  ServerMask mask;
+};
+
+struct AStarStats {
+  size_t expanded = 0;          ///< States popped and expanded.
+  size_t generated = 0;         ///< States created (arena entries).
+  size_t pruned_bound = 0;      ///< Children cut by f >= incumbent (or
+                                ///< infeasible placements scoring +inf).
+  size_t pruned_dominance = 0;  ///< Children (or stale pops) cut by a
+                                ///< cheaper same-key state.
+  size_t tt_hits = 0;           ///< Transposition-table lookups that found
+                                ///< an existing entry.
+  bool proven_optimal = false;  ///< Search ran to exhaustion within budget.
+  /// Best combined cost found (internal decomposed arithmetic).
+  double best_cost = std::numeric_limits<double>::infinity();
+  /// Anytime seed's combined cost; +inf in exact mode.
+  double incumbent_cost = std::numeric_limits<double>::infinity();
+};
+
+class AStarAlgorithm : public DeploymentAlgorithm {
+ public:
+  explicit AStarAlgorithm(AStarOptions options = {}) : options_(options) {}
+
+  std::string_view name() const override {
+    return options_.anytime ? "astar-anytime" : "astar";
+  }
+
+  /// Returns a provably optimal mapping under ctx.cost_options (line and
+  /// well-formed graph workflows alike). Exact mode fails with
+  /// ResourceExhausted at the node budget; anytime mode then returns the
+  /// best mapping seen (stats.proven_optimal tells them apart).
+  Result<Mapping> Run(const DeployContext& ctx) const override;
+
+  /// Run + fill `stats` (never null).
+  Result<Mapping> RunWithStats(const DeployContext& ctx,
+                               AStarStats* stats) const;
+
+  /// Stats of the last Run on this instance (not thread-safe).
+  const AStarStats& last_stats() const { return last_stats_; }
+
+ private:
+  AStarOptions options_;
+  mutable AStarStats last_stats_;
+};
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_DEPLOY_ASTAR_H_

@@ -1,0 +1,363 @@
+#include "src/deploy/bound_tables.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/network/routing.h"
+#include "src/workflow/blocks.h"
+
+namespace wsflow {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Result<BoundTables> BoundTables::Build(const DeployContext& ctx,
+                                       const ServerMask& mask) {
+  if (ctx.workflow == nullptr || ctx.network == nullptr) {
+    return Status::InvalidArgument("bound tables need a workflow and network");
+  }
+  const Workflow& w = *ctx.workflow;
+  const Network& n = *ctx.network;
+  if (!mask.trivial() && mask.size() != n.num_servers()) {
+    return Status::InvalidArgument("mask size does not match the network");
+  }
+
+  BoundTables t;
+  t.mask_ = mask;
+  t.line_ = w.IsLine();
+  if (t.line_) {
+    WSFLOW_ASSIGN_OR_RETURN(t.order_, w.LineOrder());
+  } else {
+    WSFLOW_ASSIGN_OR_RETURN(t.order_, w.TopologicalOrder());
+  }
+  t.pos_of_.assign(w.num_operations(), 0);
+  for (size_t i = 0; i < t.order_.size(); ++i) {
+    t.pos_of_[t.order_[i].value] = static_cast<uint32_t>(i);
+  }
+
+  const size_t N = n.num_servers();
+  t.power_.resize(N);
+  t.is_alive_.assign(N, 0);
+  t.max_alive_power_ = 0;
+  t.min_alive_power_ = kInf;
+  for (const Server& s : n.servers()) {
+    t.power_[s.id().value] = s.power_hz();
+    if (mask.alive(s.id())) {
+      t.is_alive_[s.id().value] = 1;
+      t.alive_.push_back(s.id().value);
+      t.max_alive_power_ = std::max(t.max_alive_power_, s.power_hz());
+      t.min_alive_power_ = std::min(t.min_alive_power_, s.power_hz());
+    }
+  }
+  if (t.alive_.empty()) {
+    return Status::FailedPrecondition("every server is down");
+  }
+
+  // All-pairs route table, severed by the mask exactly like the
+  // incremental evaluator's (filtering, never rebuilding).
+  Router router(n);
+  router.WarmAllPairs();
+  t.pair_prop_.assign(N * N, 0.0);
+  t.pair_spb_.assign(N * N, 0.0);
+  t.pair_ok_.assign(N * N, 1);
+  for (uint32_t a = 0; a < N; ++a) {
+    for (uint32_t b = 0; b < N; ++b) {
+      if (a == b) continue;
+      const size_t idx = static_cast<size_t>(a) * N + b;
+      Result<Route> route = router.FindRoute(ServerId(a), ServerId(b));
+      if (!route.ok()) {
+        t.pair_ok_[idx] = 0;
+        continue;
+      }
+      if (!mask.trivial() &&
+          (!mask.alive(ServerId(a)) || !mask.alive(ServerId(b)) ||
+           !RouteAvoidsDown(*route, n, ServerId(a), ServerId(b), mask))) {
+        t.pair_ok_[idx] = 0;
+        continue;
+      }
+      t.pair_prop_[idx] = route->TotalPropagation(n);
+      double spb = 0;
+      for (LinkId l : route->links) spb += 1.0 / n.link(l).speed_bps;
+      t.pair_spb_[idx] = spb;
+    }
+  }
+
+  const size_t M = t.order_.size();
+  t.cycles_.resize(M);
+  t.wcycles_.resize(M);
+  t.min_tproc_.resize(M);
+  for (size_t i = 0; i < M; ++i) {
+    const OperationId op = t.order_[i];
+    const double p =
+        ctx.profile == nullptr ? 1.0 : ctx.profile->OperationProb(op);
+    t.cycles_[i] = w.operation(op).cycles();
+    t.wcycles_[i] = p * t.cycles_[i];
+    t.min_tproc_[i] = t.cycles_[i] / t.max_alive_power_;
+  }
+  t.suffix_wcycles_.assign(M + 1, 0.0);
+  t.suffix_min_proc_.assign(M + 1, 0.0);
+  for (size_t i = M; i-- > 0;) {
+    t.suffix_wcycles_[i] = t.suffix_wcycles_[i + 1] + t.wcycles_[i];
+    t.suffix_min_proc_[i] = t.suffix_min_proc_[i + 1] + t.min_tproc_[i];
+  }
+
+  // Per-transition zero-or-min-route communication bound: the cheapest
+  // feasible (alive x alive) placement of the endpoints. Co-location is
+  // always feasible with a shared alive set, so the bound is 0 there —
+  // it turns positive only when constraints make co-location impossible,
+  // and +infinity when no feasible pair is connected.
+  t.edge_bits_.resize(w.num_transitions());
+  t.edge_lb_.resize(w.num_transitions());
+  t.edge_from_pos_.resize(w.num_transitions());
+  t.edge_to_pos_.resize(w.num_transitions());
+  for (const Transition& tr : w.transitions()) {
+    t.edge_bits_[tr.id.value] = tr.message_bits;
+    t.edge_from_pos_[tr.id.value] = t.pos_of_[tr.from.value];
+    t.edge_to_pos_[tr.id.value] = t.pos_of_[tr.to.value];
+    double lb = kInf;
+    for (uint32_t a : t.alive_) {
+      for (uint32_t b : t.alive_) {
+        lb = std::min(lb, t.PairComm(a, b, tr.message_bits));
+        if (lb == 0.0) break;
+      }
+      if (lb == 0.0) break;
+    }
+    t.edge_lb_[tr.id.value] = lb;
+  }
+  if (t.line_) {
+    t.suffix_edge_lb_.assign(M, 0.0);
+    t.chain_bits_.assign(M, 0.0);
+    for (size_t i = M - 1; i-- > 0;) {
+      // Chain edge i links positions i and i+1.
+      Result<TransitionId> tr = w.FindTransition(t.order_[i], t.order_[i + 1]);
+      WSFLOW_CHECK(tr.ok());
+      t.chain_bits_[i] = t.edge_bits_[tr->value];
+      t.suffix_edge_lb_[i] = t.suffix_edge_lb_[i + 1] + t.edge_lb_[tr->value];
+    }
+  } else {
+    WSFLOW_ASSIGN_OR_RETURN(Block root, DecomposeBlocks(w));
+    Status st = Status::OK();
+    int root_index = t.FlattenBlock(w, root, &st);
+    WSFLOW_RETURN_IF_ERROR(st);
+    WSFLOW_CHECK_EQ(root_index, 0);
+  }
+  return t;
+}
+
+int BoundTables::FlattenBlock(const Workflow& w, const Block& block,
+                              Status* status) {
+  const int index = static_cast<int>(bnodes_.size());
+  bnodes_.emplace_back();
+  // Fill a local copy and assign at the end: recursion reallocates bnodes_.
+  BNode node;
+  switch (block.kind) {
+    case Block::Kind::kLeaf:
+      node.kind = BNode::Kind::kLeaf;
+      node.leaf_pos = pos_of_[block.op.value];
+      break;
+    case Block::Kind::kSequence: {
+      node.kind = BNode::Kind::kSequence;
+      for (size_t i = 0; i < block.children.size(); ++i) {
+        node.children.push_back(FlattenBlock(w, block.children[i], status));
+        if (i + 1 < block.children.size()) {
+          Result<TransitionId> tr =
+              w.FindTransition(TailOperation(block.children[i]),
+                               HeadOperation(block.children[i + 1]));
+          if (!tr.ok()) {
+            *status = tr.status();
+            return index;
+          }
+          node.seq_edges.push_back(*tr);
+        }
+      }
+      break;
+    }
+    case Block::Kind::kBranch: {
+      node.kind = BNode::Kind::kBranch;
+      node.branch_type = block.branch_type;
+      node.split_pos = pos_of_[block.split.value];
+      node.join_pos = pos_of_[block.join.value];
+      node.probs = block.branch_probs;
+      for (const Block& body : block.children) {
+        if (body.kind == Block::Kind::kSequence && body.children.empty()) {
+          node.children.push_back(-1);
+          node.entry.emplace_back();
+          node.exit.emplace_back();
+          Result<TransitionId> direct =
+              w.FindTransition(block.split, block.join);
+          if (!direct.ok()) {
+            *status = direct.status();
+            return index;
+          }
+          node.direct.push_back(*direct);
+          continue;
+        }
+        Result<TransitionId> entry =
+            w.FindTransition(block.split, HeadOperation(body));
+        Result<TransitionId> exit =
+            w.FindTransition(TailOperation(body), block.join);
+        if (!entry.ok() || !exit.ok()) {
+          *status = entry.ok() ? exit.status() : entry.status();
+          return index;
+        }
+        node.children.push_back(FlattenBlock(w, body, status));
+        node.entry.push_back(*entry);
+        node.exit.push_back(*exit);
+        node.direct.emplace_back();
+      }
+      break;
+    }
+  }
+  bnodes_[index] = std::move(node);
+  return index;
+}
+
+double BoundTables::PenaltyLowerBound(std::span<const double> loads,
+                                      double remaining_wcycles) const {
+  // Two admissible views of "penalty = total above-average excess = total
+  // below-average deficit" over the alive servers:
+  //   excess  — loads only grow and the final average is at most avg_max
+  //             (everything remaining on the slowest alive server), so a
+  //             server's current excess over avg_max is unavoidable;
+  //   deficit — server s can end at most at l_s + remaining / P(s), and
+  //             the final average is at least avg_min (everything
+  //             remaining on the fastest alive server), so shortfalls
+  //             against avg_min are unavoidable too.
+  // With remaining == 0 both collapse to the exact penalty.
+  double total = 0;
+  for (uint32_t s : alive_) total += loads[s];
+  const double n = static_cast<double>(alive_.size());
+  const double avg_max = (total + remaining_wcycles / min_alive_power_) / n;
+  const double avg_min = (total + remaining_wcycles / max_alive_power_) / n;
+  double excess = 0, deficit = 0;
+  for (uint32_t s : alive_) {
+    excess += std::max(0.0, loads[s] - avg_max);
+    deficit +=
+        std::max(0.0, avg_min - (loads[s] + remaining_wcycles / power_[s]));
+  }
+  return std::max(excess, deficit);
+}
+
+double BoundTables::TprocTerm(uint32_t pos, const Mapping& m) const {
+  const ServerId s = m.ServerOf(order_[pos]);
+  return s.valid() ? cycles_[pos] / power_[s.value] : min_tproc_[pos];
+}
+
+double BoundTables::EdgeTerm(TransitionId t, const Mapping& m,
+                             bool* ok) const {
+  const OperationId from_op = order_[edge_from_pos_[t.value]];
+  const OperationId to_op = order_[edge_to_pos_[t.value]];
+  const ServerId a = m.ServerOf(from_op);
+  const ServerId b = m.ServerOf(to_op);
+  if (a.valid() && b.valid()) {
+    const double c = PairComm(a.value, b.value, edge_bits_[t.value]);
+    if (std::isinf(c)) {
+      *ok = false;
+      return 0.0;
+    }
+    return c;
+  }
+  const double lb = edge_lb_[t.value];
+  if (std::isinf(lb)) {
+    *ok = false;
+    return 0.0;
+  }
+  return lb;
+}
+
+double BoundTables::EvalBNode(int node, const Mapping& m, bool* ok) const {
+  const BNode& b = bnodes_[node];
+  switch (b.kind) {
+    case BNode::Kind::kLeaf:
+      return TprocTerm(b.leaf_pos, m);
+    case BNode::Kind::kSequence: {
+      double total = 0;
+      for (size_t i = 0; i < b.children.size(); ++i) {
+        total += EvalBNode(b.children[i], m, ok);
+        if (i < b.seq_edges.size()) total += EdgeTerm(b.seq_edges[i], m, ok);
+      }
+      return total;
+    }
+    case BNode::Kind::kBranch: {
+      const double split_time = TprocTerm(b.split_pos, m);
+      const double join_time = TprocTerm(b.join_pos, m);
+      double combined = 0;
+      bool first = true;
+      for (size_t i = 0; i < b.children.size(); ++i) {
+        double arm;
+        if (b.children[i] < 0) {
+          arm = EdgeTerm(b.direct[i], m, ok);
+        } else {
+          arm = EdgeTerm(b.entry[i], m, ok) + EvalBNode(b.children[i], m, ok) +
+                EdgeTerm(b.exit[i], m, ok);
+        }
+        switch (b.branch_type) {
+          case OperationType::kAndSplit:
+            combined = first ? arm : std::max(combined, arm);
+            break;
+          case OperationType::kOrSplit:
+            combined = first ? arm : std::min(combined, arm);
+            break;
+          default:  // kXorSplit
+            combined += b.probs[i] * arm;
+            break;
+        }
+        first = false;
+      }
+      return split_time + combined + join_time;
+    }
+  }
+  return 0;
+}
+
+double BoundTables::ExecLowerBound(const Mapping& partial) const {
+  if (line_) {
+    double total = 0;
+    for (size_t i = 0; i < order_.size(); ++i) {
+      const ServerId s = partial.ServerOf(order_[i]);
+      if (!s.valid()) {
+        // Everything from the frontier on is bounded by the suffix tables:
+        // remaining T_proc at fastest-alive speed, remaining chain edges
+        // (including the one into the frontier) at their zero-or-min-route
+        // bounds.
+        total += suffix_min_proc_[i];
+        total += suffix_edge_lb_[i == 0 ? 0 : i - 1];
+        return total;
+      }
+      total += cycles_[i] / power_[s.value];
+      if (i + 1 < order_.size()) {
+        const ServerId next = partial.ServerOf(order_[i + 1]);
+        if (next.valid()) {
+          const double c = PairComm(s.value, next.value, chain_bits_[i]);
+          if (std::isinf(c)) return kInf;
+          total += c;
+        }
+      }
+    }
+    return total;
+  }
+  bool ok = true;
+  const double exec = EvalBNode(0, partial, &ok);
+  return ok ? exec : kInf;
+}
+
+double BoundTables::PrefixLowerBound(const Mapping& partial,
+                                     const CostOptions& options) const {
+  const double exec = ExecLowerBound(partial);
+  if (std::isinf(exec)) return kInf;
+  std::vector<double> loads(num_servers(), 0.0);
+  size_t depth = 0;
+  for (size_t i = 0; i < order_.size(); ++i) {
+    const ServerId s = partial.ServerOf(order_[i]);
+    if (!s.valid()) break;
+    loads[s.value] += wcycles_[i] / power_[s.value];
+    depth = i + 1;
+  }
+  const double penalty =
+      PenaltyLowerBound(loads, suffix_wcycles_[depth]);
+  return options.execution_weight * exec + options.fairness_weight * penalty;
+}
+
+}  // namespace wsflow

@@ -1,0 +1,202 @@
+// wsflow: shared admissible lower-bound tables for the exact solvers.
+//
+// Both exact searches — the A* solver (astar.h) and depth-first
+// branch-and-bound (branch_bound.h) — prune with lower bounds on the cost
+// of completing a *prefix assignment*: operations assigned in topological
+// order, everything after the frontier still free. BoundTables precomputes
+// every instance-level quantity those bounds read so that evaluating a
+// bound at a search node costs O(remaining ops) or less instead of
+// re-deriving routing and suffix aggregates per node:
+//
+//   * an all-pairs route table (propagation seconds + seconds-per-bit per
+//     server pair, reachability), filtered by an optional ServerMask the
+//     same way the incremental evaluator filters its tables;
+//   * per-position (topological order) raw cycles, probability-weighted
+//     cycles, and the minimum feasible T_proc (the op on its fastest
+//     *alive* server), plus suffix sums of the latter two;
+//   * per-transition message bits and a zero-or-min-route communication
+//     lower bound (0 whenever the endpoints can be co-located on an alive
+//     server, the cheapest feasible pair otherwise), plus line-order
+//     suffix sums;
+//   * the fairness-penalty lower bound of branch_bound generalized to the
+//     masked (survivor-only) view: max of the unavoidable-excess and
+//     unavoidable-deficit forms, exact when no cycles remain.
+//
+// For graph workflows the execution-time bound cannot be a suffix sum —
+// OR blocks take the fastest arm and XOR blocks an expectation, so summing
+// every remaining operation would overestimate. Instead BoundTables keeps
+// a flattened copy of the block tree and evaluates the block recursion
+// with mixed terms: exact T_proc / T_comm where both endpoints are
+// assigned, the per-op / per-edge lower bounds where they are not. Every
+// block combinator (sum, max, min, probability-weighted sum) is monotone
+// non-decreasing in its inputs, so the mixed evaluation is a valid lower
+// bound on the execution time of every completion — and bit-for-bit the
+// real evaluation once the mapping is total.
+
+#ifndef WSFLOW_DEPLOY_BOUND_TABLES_H_
+#define WSFLOW_DEPLOY_BOUND_TABLES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/deploy/algorithm.h"
+#include "src/deploy/mapping.h"
+#include "src/network/server_mask.h"
+
+namespace wsflow {
+
+class BoundTables {
+ public:
+  /// Builds the tables for `ctx`, optionally scoring against the surviving
+  /// subnetwork of a non-trivial `mask` (routes through down servers are
+  /// severed, down servers are infeasible placements, the penalty bound
+  /// averages over the survivors). Fails when the context is invalid, the
+  /// workflow has a cycle, or no server is alive.
+  static Result<BoundTables> Build(const DeployContext& ctx,
+                                   const ServerMask& mask = {});
+
+  size_t num_ops() const { return order_.size(); }
+  size_t num_servers() const { return power_.size(); }
+  bool line() const { return line_; }
+  const ServerMask& mask() const { return mask_; }
+
+  /// Topological order the prefix assignments follow (LineOrder for line
+  /// workflows, so the chain decomposition applies edge-by-edge).
+  const std::vector<OperationId>& order() const { return order_; }
+  /// Position of `op` in order().
+  size_t PosOf(OperationId op) const { return pos_of_[op.value]; }
+
+  double power(uint32_t server) const { return power_[server]; }
+  bool alive(uint32_t server) const { return is_alive_[server] != 0; }
+  /// Alive server ids, ascending.
+  const std::vector<uint32_t>& alive_servers() const { return alive_; }
+  double max_alive_power() const { return max_alive_power_; }
+
+  /// T_proc of the operation at position `pos` on `server`.
+  double Tproc(size_t pos, uint32_t server) const {
+    return cycles_[pos] / power_[server];
+  }
+  /// Probability-weighted load contribution of position `pos` on `server`.
+  double LoadOf(size_t pos, uint32_t server) const {
+    return wcycles_[pos] / power_[server];
+  }
+  /// Lower bound on T_proc of position `pos` over the alive servers.
+  double MinTproc(size_t pos) const { return min_tproc_[pos]; }
+
+  /// Sum of probability-weighted cycles of positions >= `depth` (the load
+  /// still to be distributed below a depth-`depth` frontier).
+  double SuffixWeightedCycles(size_t depth) const {
+    return suffix_wcycles_[depth];
+  }
+  /// Sum of MinTproc over positions >= `depth`.
+  double SuffixMinProc(size_t depth) const { return suffix_min_proc_[depth]; }
+
+  /// Line workflows: sum of EdgeLb over chain edges (order position i ->
+  /// i+1) with index >= `edge`.
+  double SuffixEdgeLb(size_t edge) const { return suffix_edge_lb_[edge]; }
+
+  bool PairOk(uint32_t a, uint32_t b) const {
+    return pair_ok_[static_cast<size_t>(a) * num_servers() + b] != 0;
+  }
+  /// T_comm of a `bits`-sized message from server `a` to `b`; 0 when
+  /// co-located, +infinity when unreachable (or severed by the mask).
+  double PairComm(uint32_t a, uint32_t b, double bits) const {
+    if (a == b) return 0.0;
+    const size_t idx = static_cast<size_t>(a) * num_servers() + b;
+    if (pair_ok_[idx] == 0) return std::numeric_limits<double>::infinity();
+    return pair_prop_[idx] + bits * pair_spb_[idx];
+  }
+
+  double edge_bits(TransitionId t) const { return edge_bits_[t.value]; }
+  /// Line workflows: message bits of the chain edge order()[i] -> [i+1].
+  double chain_bits(size_t edge) const { return chain_bits_[edge]; }
+  /// Zero-or-min-route lower bound on T_comm of transition `t` over every
+  /// feasible placement of its endpoints. +infinity when no feasible
+  /// server pair is connected.
+  double EdgeLb(TransitionId t) const { return edge_lb_[t.value]; }
+
+  /// Admissible lower bound on the final fairness penalty: current alive
+  /// loads plus `remaining_wcycles` still to be placed. Exact (the true
+  /// penalty over the alive servers) when remaining_wcycles == 0.
+  double PenaltyLowerBound(std::span<const double> loads,
+                           double remaining_wcycles) const;
+
+  /// Lower bound on T_execute over every completion of `partial`, whose
+  /// assigned operations must form a prefix of order() (on alive servers).
+  /// Exact when `partial` is total. +infinity when an assigned pair is
+  /// severed or some remaining edge has no feasible connected placement.
+  double ExecLowerBound(const Mapping& partial) const;
+
+  /// Combined-objective lower bound over every completion of `partial`
+  /// (assigned ops a prefix of order()): execution_weight * ExecLowerBound
+  /// + fairness_weight * PenaltyLowerBound. Exact when `partial` is total.
+  double PrefixLowerBound(const Mapping& partial,
+                          const CostOptions& options) const;
+
+ private:
+  /// Flattened block-tree node for the graph execution bound. Children
+  /// have larger indices than their parent.
+  struct BNode {
+    enum class Kind : uint8_t { kLeaf, kSequence, kBranch };
+    Kind kind = Kind::kLeaf;
+    OperationType branch_type = OperationType::kOperational;
+    uint32_t leaf_pos = 0;           ///< kLeaf: position in order().
+    uint32_t split_pos = 0;          ///< kBranch.
+    uint32_t join_pos = 0;           ///< kBranch.
+    std::vector<double> probs;       ///< kBranch: normalized arm weights.
+    std::vector<int> children;       ///< kSequence elements / kBranch arm
+                                     ///< bodies (-1 marks an empty arm).
+    std::vector<TransitionId> seq_edges;  ///< kSequence inter-child links.
+    std::vector<TransitionId> entry;      ///< kBranch: split -> arm head.
+    std::vector<TransitionId> exit;       ///< kBranch: arm tail -> join.
+    std::vector<TransitionId> direct;     ///< kBranch: split -> join for
+                                          ///< empty arms.
+  };
+
+  int FlattenBlock(const Workflow& w, const struct Block& block,
+                   Status* status);
+
+  /// Mixed exact/lower-bound T_proc of position `pos` under the working
+  /// assignment, and the matching T_comm term of transition `t`.
+  double TprocTerm(uint32_t pos, const Mapping& m) const;
+  double EdgeTerm(TransitionId t, const Mapping& m, bool* ok) const;
+  double EvalBNode(int node, const Mapping& m, bool* ok) const;
+
+  bool line_ = false;
+  ServerMask mask_;
+  std::vector<OperationId> order_;
+  std::vector<uint32_t> pos_of_;
+
+  std::vector<double> power_;
+  std::vector<char> is_alive_;
+  std::vector<uint32_t> alive_;
+  double max_alive_power_ = 0;
+  double min_alive_power_ = 0;
+
+  std::vector<double> pair_prop_;
+  std::vector<double> pair_spb_;
+  std::vector<char> pair_ok_;
+
+  std::vector<double> cycles_;           // per position, raw
+  std::vector<double> wcycles_;          // per position, probability-weighted
+  std::vector<double> min_tproc_;        // per position
+  std::vector<double> suffix_wcycles_;   // size M+1
+  std::vector<double> suffix_min_proc_;  // size M+1
+
+  std::vector<double> edge_bits_;      // per transition
+  std::vector<double> edge_lb_;        // per transition
+  std::vector<uint32_t> edge_from_pos_;  // per transition: PosOf(from)
+  std::vector<uint32_t> edge_to_pos_;    // per transition: PosOf(to)
+  std::vector<double> chain_bits_;     // line: bits of chain edge i -> i+1
+  std::vector<double> suffix_edge_lb_; // line: per chain-edge index, size M
+
+  std::vector<BNode> bnodes_;  // graph workflows; bnodes_[0] is the root
+};
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_DEPLOY_BOUND_TABLES_H_

@@ -3,12 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <unordered_map>
 
 #include "src/common/logging.h"
+#include "src/deploy/bound_tables.h"
 #include "src/deploy/local_search.h"
 #include "src/deploy/portfolio.h"
-#include "src/network/routing.h"
 
 namespace wsflow {
 
@@ -16,87 +15,18 @@ namespace {
 
 class Search {
  public:
-  Search(const DeployContext& ctx, const std::vector<OperationId>& order,
-         size_t max_nodes)
-      : ctx_(ctx),
-        w_(*ctx.workflow),
-        n_(*ctx.network),
-        order_(order),
-        router_(n_),
-        max_nodes_(max_nodes) {}
+  Search(const DeployContext& ctx, BoundTables tables, size_t max_nodes)
+      : ctx_(ctx), tables_(std::move(tables)), max_nodes_(max_nodes) {}
 
   Status Prepare() {
-    const size_t N = n_.num_servers();
-    power_.resize(N);
-    max_power_ = 0;
-    min_power_ = std::numeric_limits<double>::infinity();
-    for (const Server& s : n_.servers()) {
-      power_[s.id().value] = s.power_hz();
-      max_power_ = std::max(max_power_, s.power_hz());
-      min_power_ = std::min(min_power_, s.power_hz());
-    }
-    // Per-pair communication seconds for each chain edge; bus networks are
-    // uniform, so precompute one seconds-per-bit figure per server pair.
-    router_.WarmAllPairs();
-    pair_seconds_.assign(N * N, 0.0);
-    for (uint32_t a = 0; a < N; ++a) {
-      for (uint32_t b = 0; b < N; ++b) {
-        if (a == b) continue;
-        WSFLOW_ASSIGN_OR_RETURN(Route route,
-                                router_.FindRoute(ServerId(a), ServerId(b)));
-        double seconds_per_bit = 0;
-        double propagation = route.TotalPropagation(n_);
-        for (LinkId l : route.links) {
-          seconds_per_bit += 1.0 / n_.link(l).speed_bps;
-        }
-        pair_prop_[a * N + b] = propagation;
-        pair_seconds_[a * N + b] = seconds_per_bit;
-      }
-    }
-    // Weighted cycles along the chain and message bits between steps.
-    cycles_.resize(order_.size());
-    suffix_cycles_.assign(order_.size() + 1, 0.0);
-    for (size_t i = 0; i < order_.size(); ++i) {
-      double p = ctx_.profile == nullptr
-                     ? 1.0
-                     : ctx_.profile->OperationProb(order_[i]);
-      cycles_[i] = p * w_.operation(order_[i]).cycles();
-    }
-    for (size_t i = order_.size(); i-- > 0;) {
-      suffix_cycles_[i] = suffix_cycles_[i + 1] + cycles_[i];
-    }
-    msg_bits_.assign(order_.size(), 0.0);
-    for (size_t i = 0; i + 1 < order_.size(); ++i) {
-      WSFLOW_ASSIGN_OR_RETURN(
-          TransitionId t, w_.FindTransition(order_[i], order_[i + 1]));
-      double p = ctx_.profile == nullptr
-                     ? 1.0
-                     : ctx_.profile->TransitionProb(t);
-      msg_bits_[i] = p * w_.transition(t).message_bits;
-    }
-    loads_.assign(N, 0.0);
-    assignment_.assign(order_.size(), 0);
-    best_assignment_.assign(order_.size(), 0);
+    const size_t M = tables_.num_ops();
+    loads_.assign(tables_.num_servers(), 0.0);
+    assignment_.assign(M, 0);
+    best_assignment_.assign(M, 0);
     // Only bus networks are pairwise-symmetric; symmetry breaking over
     // empty equal-power servers is sound there.
-    symmetric_ = n_.has_bus();
+    symmetric_ = ctx_.network->has_bus();
     return Status::OK();
-  }
-
-  /// Combined cost of a full mapping under the decomposed model.
-  double CostOf(const Mapping& m) const {
-    double exec = 0;
-    std::vector<double> loads(n_.num_servers(), 0.0);
-    for (size_t i = 0; i < order_.size(); ++i) {
-      uint32_t s = m.ServerOf(order_[i]).value;
-      exec += cycles_[i] / power_[s];
-      loads[s] += cycles_[i] / power_[s];
-      if (i + 1 < order_.size()) {
-        exec += Comm(i, s, m.ServerOf(order_[i + 1]).value);
-      }
-    }
-    return ctx_.cost_options.execution_weight * exec +
-           ctx_.cost_options.fairness_weight * Penalty(loads);
   }
 
   /// Seeds the incumbent with the hill-climb-refined portfolio solution —
@@ -105,13 +35,15 @@ class Search {
     PortfolioAlgorithm portfolio;
     Result<Mapping> m = portfolio.Run(ctx_);
     if (!m.ok()) return;
-    CostModel model(w_, n_, ctx_.profile);
+    CostModel model(*ctx_.workflow, *ctx_.network, ctx_.profile);
     Result<Mapping> refined =
         HillClimb(model, *m, ctx_.cost_options, LocalSearchOptions{});
     const Mapping& incumbent = refined.ok() ? *refined : *m;
-    best_cost_ = CostOf(incumbent);
-    for (size_t i = 0; i < order_.size(); ++i) {
-      best_assignment_[i] = incumbent.ServerOf(order_[i]).value;
+    const double cost = tables_.PrefixLowerBound(incumbent, ctx_.cost_options);
+    if (std::isinf(cost)) return;
+    best_cost_ = cost;
+    for (size_t i = 0; i < tables_.num_ops(); ++i) {
+      best_assignment_[i] = incumbent.ServerOf(tables_.order()[i]).value;
     }
     have_best_ = true;
   }
@@ -122,9 +54,9 @@ class Search {
     if (!have_best_) {
       return Status::Internal("branch and bound found no mapping");
     }
-    Mapping m(w_.num_operations());
-    for (size_t i = 0; i < order_.size(); ++i) {
-      m.Assign(order_[i], ServerId(best_assignment_[i]));
+    Mapping m(ctx_.workflow->num_operations());
+    for (size_t i = 0; i < tables_.num_ops(); ++i) {
+      m.Assign(tables_.order()[i], ServerId(best_assignment_[i]));
     }
     return m;
   }
@@ -132,48 +64,9 @@ class Search {
   size_t nodes() const { return nodes_; }
 
  private:
-  double Comm(size_t edge, uint32_t from, uint32_t to) const {
-    if (from == to) return 0.0;
-    size_t idx = static_cast<size_t>(from) * n_.num_servers() + to;
-    auto prop = pair_prop_.find(idx);
-    return (prop == pair_prop_.end() ? 0.0 : prop->second) +
-           msg_bits_[edge] * pair_seconds_[idx];
-  }
-
-  double Penalty(const std::vector<double>& loads) const {
-    double avg = 0;
-    for (double l : loads) avg += l;
-    avg /= static_cast<double>(loads.size());
-    double p = 0;
-    for (double l : loads) p += std::fabs(l - avg) / 2.0;
-    return p;
-  }
-
-  /// Admissible lower bound on the final fairness penalty given the
-  /// current loads and the remaining (weighted) cycles. Two admissible
-  /// views, both exact forms of "penalty = total above-average excess =
-  /// total below-average deficit":
-  ///   excess  — loads only grow and the final average is at most avg_max
-  ///             (everything remaining on the slowest server), so each
-  ///             server's current excess over avg_max is unavoidable;
-  ///   deficit — server s can end at most at l_s + remaining/P(s), and the
-  ///             final average is at least avg_min (everything remaining
-  ///             on the fastest server), so shortfalls against avg_min
-  ///             are unavoidable too.
-  double PenaltyLowerBound(double remaining_cycles) const {
-    double total_seconds = 0;
-    for (double l : loads_) total_seconds += l;
-    double n = static_cast<double>(loads_.size());
-    double avg_max = (total_seconds + remaining_cycles / min_power_) / n;
-    double avg_min = (total_seconds + remaining_cycles / max_power_) / n;
-    double excess = 0, deficit = 0;
-    for (size_t s = 0; s < loads_.size(); ++s) {
-      excess += std::max(0.0, loads_[s] - avg_max);
-      deficit += std::max(
-          0.0, avg_min - (loads_[s] + remaining_cycles / power_[s]));
-    }
-    return std::max(excess, deficit);
-  }
+  /// Exact penalty of the current total assignment (remaining == 0
+  /// collapses the lower bound to the true value).
+  double Penalty() const { return tables_.PenaltyLowerBound(loads_, 0.0); }
 
   Status Dfs(size_t depth, double exec_so_far) {
     if (++nodes_ > max_nodes_) {
@@ -181,9 +74,10 @@ class Search {
           "branch and bound exceeded " + std::to_string(max_nodes_) +
           " nodes");
     }
-    if (depth == order_.size()) {
+    const size_t M = tables_.num_ops();
+    if (depth == M) {
       double cost = ctx_.cost_options.execution_weight * exec_so_far +
-                    ctx_.cost_options.fairness_weight * Penalty(loads_);
+                    ctx_.cost_options.fairness_weight * Penalty();
       if (!have_best_ || cost < best_cost_) {
         best_cost_ = cost;
         best_assignment_ = assignment_;
@@ -192,68 +86,56 @@ class Search {
       return Status::OK();
     }
 
-    const size_t N = n_.num_servers();
     // Branch in order of immediate incremental execution cost: good
     // solutions surface early and tighten the incumbent for the rest of
     // the subtree.
     std::pair<double, uint32_t> candidates[64];
     size_t num_candidates = 0;
-    for (uint32_t s = 0; s < N; ++s) {
+    for (uint32_t s : tables_.alive_servers()) {
       if (symmetric_ && loads_[s] == 0.0) {
         // Skip later empty servers identical in power to an earlier empty
         // one: interchangeable on a bus.
         bool duplicate = false;
-        for (uint32_t prev = 0; prev < s; ++prev) {
-          if (loads_[prev] == 0.0 && power_[prev] == power_[s]) {
+        for (uint32_t prev : tables_.alive_servers()) {
+          if (prev >= s) break;
+          if (loads_[prev] == 0.0 &&
+              tables_.power(prev) == tables_.power(s)) {
             duplicate = true;
             break;
           }
         }
         if (duplicate) continue;
       }
-      double step = cycles_[depth] / power_[s];
-      double comm =
-          depth == 0 ? 0.0 : Comm(depth - 1, assignment_[depth - 1], s);
-      candidates[num_candidates++] = {step + comm, s};
+      double comm = depth == 0 ? 0.0
+                               : tables_.PairComm(assignment_[depth - 1], s,
+                                                  tables_.chain_bits(depth - 1));
+      if (std::isinf(comm)) continue;
+      candidates[num_candidates++] = {tables_.Tproc(depth, s) + comm, s};
     }
     std::sort(&candidates[0], &candidates[num_candidates]);
     for (size_t c = 0; c < num_candidates; ++c) {
       uint32_t s = candidates[c].second;
-      double step = cycles_[depth] / power_[s];
-      double comm =
-          depth == 0 ? 0.0 : Comm(depth - 1, assignment_[depth - 1], s);
-      double exec_next = exec_so_far + step + comm;
+      double exec_next = exec_so_far + candidates[c].first;
 
-      loads_[s] += step;
-      double bound =
-          ctx_.cost_options.execution_weight *
-              (exec_next + suffix_cycles_[depth + 1] / max_power_) +
-          ctx_.cost_options.fairness_weight *
-              PenaltyLowerBound(suffix_cycles_[depth + 1]);
+      loads_[s] += tables_.LoadOf(depth, s);
+      double bound = ctx_.cost_options.execution_weight *
+                         (exec_next + tables_.SuffixMinProc(depth + 1) +
+                          tables_.SuffixEdgeLb(depth)) +
+                     ctx_.cost_options.fairness_weight *
+                         tables_.PenaltyLowerBound(
+                             loads_, tables_.SuffixWeightedCycles(depth + 1));
       if (!have_best_ || bound < best_cost_ - 1e-15) {
         assignment_[depth] = s;
         WSFLOW_RETURN_IF_ERROR(Dfs(depth + 1, exec_next));
       }
-      loads_[s] -= step;
+      loads_[s] -= tables_.LoadOf(depth, s);
     }
     return Status::OK();
   }
 
   const DeployContext& ctx_;
-  const Workflow& w_;
-  const Network& n_;
-  const std::vector<OperationId>& order_;
-  Router router_;
+  BoundTables tables_;
   size_t max_nodes_;
-
-  std::vector<double> power_;
-  double max_power_ = 0;
-  double min_power_ = 0;
-  std::vector<double> pair_seconds_;
-  std::unordered_map<size_t, double> pair_prop_;
-  std::vector<double> cycles_;
-  std::vector<double> suffix_cycles_;
-  std::vector<double> msg_bits_;
 
   std::vector<double> loads_;
   std::vector<uint32_t> assignment_;
@@ -268,18 +150,17 @@ class Search {
 
 Result<Mapping> BranchBoundAlgorithm::Run(const DeployContext& ctx) const {
   WSFLOW_RETURN_IF_ERROR(CheckContext(ctx));
-  Result<std::vector<OperationId>> order = ctx.workflow->LineOrder();
-  if (!order.ok()) {
+  if (!ctx.workflow->IsLine()) {
     return Status::FailedPrecondition(
-        "branch-bound requires a line workflow: " +
-        order.status().message());
+        "branch-bound requires a line workflow");
   }
   if (ctx.network->num_servers() > 64) {
     // The DFS keeps its per-node candidate list on the stack.
     return Status::InvalidArgument(
         "branch-bound supports at most 64 servers");
   }
-  Search search(ctx, *order, max_nodes_);
+  WSFLOW_ASSIGN_OR_RETURN(BoundTables tables, BoundTables::Build(ctx));
+  Search search(ctx, std::move(tables), max_nodes_);
   WSFLOW_RETURN_IF_ERROR(search.Prepare());
   Result<Mapping> result = search.Run();
   last_nodes_ = search.nodes();

@@ -9,15 +9,14 @@
 // 5 servers in well under a second) — replacing sampled bounds with true
 // ones in the quality studies.
 //
-// Bounds for a prefix assignment O_0..O_{k-1}:
+// Bounds for a prefix assignment O_0..O_{k-1} come from the shared
+// BoundTables (bound_tables.h, also behind the A* solver in astar.h):
 //   execution  — accumulated T_proc + T_comm of the prefix, plus every
-//                unassigned operation at the fastest server's speed
-//                (future messages cost >= 0);
-//   fairness   — sum of each server's load excess over the largest
-//                possible final average (current total seconds plus the
-//                remaining cycles run on the slowest server, averaged);
-//                the true penalty equals the total above-average excess,
-//                which can only be larger.
+//                unassigned operation at the fastest server's speed and
+//                every remaining chain edge at its zero-or-min-route
+//                bound;
+//   fairness   — the unavoidable-excess / unavoidable-deficit penalty
+//                bound (BoundTables::PenaltyLowerBound).
 // Additionally, on bus networks (uniform pairwise communication) empty
 // servers of equal power are interchangeable, so only the first of each
 // such class is branched on.

@@ -1,0 +1,301 @@
+#include "src/deploy/astar.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "src/cost/cost_model.h"
+#include "src/deploy/branch_bound.h"
+#include "src/deploy/exhaustive.h"
+#include "src/exp/config.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+DeployContext MakeContext(const Workflow& w, const Network& n,
+                          const ExecutionProfile* profile = nullptr) {
+  DeployContext ctx;
+  ctx.workflow = &w;
+  ctx.network = &n;
+  ctx.profile = profile;
+  return ctx;
+}
+
+TEST(AStarTest, MatchesExhaustiveOnRandomLineInstances) {
+  // The certified optimum must equal brute force's on every small
+  // instance, across objective weights.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+    cfg.num_operations = 7;
+    cfg.num_servers = 3;
+    cfg.seed = seed;
+    TrialInstance t = WSFLOW_UNWRAP(DrawTrial(cfg, 0));
+    CostModel model(t.workflow, t.network);
+    for (double weight : {0.0, 0.5, 1.0}) {
+      DeployContext ctx = MakeContext(t.workflow, t.network);
+      ctx.cost_options.execution_weight = weight;
+      ctx.cost_options.fairness_weight = 1.0 - weight;
+      Mapping exact = WSFLOW_UNWRAP(ExhaustiveAlgorithm().Run(ctx));
+      AStarAlgorithm astar;
+      Mapping found = WSFLOW_UNWRAP(astar.Run(ctx));
+      double exact_cost =
+          model.Evaluate(exact, ctx.cost_options).value().combined;
+      double astar_cost =
+          model.Evaluate(found, ctx.cost_options).value().combined;
+      EXPECT_NEAR(astar_cost, exact_cost, exact_cost * 1e-9 + 1e-15)
+          << "seed " << seed << " weight " << weight;
+      EXPECT_TRUE(astar.last_stats().proven_optimal);
+    }
+  }
+}
+
+TEST(AStarTest, MatchesExhaustiveOnGraphWorkflows) {
+  // Graph workflows take the mixed block-recursion bound; the optimum must
+  // still match brute force (AND/OR/XOR combinators included).
+  Workflow w = testing::AllDecisionGraph();
+  Network n = testing::SimpleBus(3, /*power_hz=*/1e9, /*bus_bps=*/10e6);
+  CostModel model(w, n);
+  DeployContext ctx = MakeContext(w, n);
+  Mapping exact = WSFLOW_UNWRAP(ExhaustiveAlgorithm(5e7).Run(ctx));
+  AStarAlgorithm astar;
+  Mapping found = WSFLOW_UNWRAP(astar.Run(ctx));
+  EXPECT_NEAR(model.Evaluate(found).value().combined,
+              model.Evaluate(exact).value().combined,
+              model.Evaluate(exact).value().combined * 1e-9);
+  EXPECT_TRUE(astar.last_stats().proven_optimal);
+}
+
+TEST(AStarTest, MatchesExhaustiveOnDrawnGraphTrials) {
+  for (WorkloadKind kind :
+       {WorkloadKind::kBushyGraph, WorkloadKind::kLengthyGraph}) {
+    ExperimentConfig cfg = MakeClassBConfig(kind);
+    cfg.num_operations = 9;
+    cfg.num_servers = 3;
+    TrialInstance t = WSFLOW_UNWRAP(DrawTrial(cfg, 0));
+    const ExecutionProfile* profile =
+        t.profile.has_value() ? &*t.profile : nullptr;
+    CostModel model(t.workflow, t.network, profile);
+    DeployContext ctx = MakeContext(t.workflow, t.network, profile);
+    Mapping exact = WSFLOW_UNWRAP(ExhaustiveAlgorithm(5e7).Run(ctx));
+    Mapping found = WSFLOW_UNWRAP(AStarAlgorithm().Run(ctx));
+    double exact_cost = model.Evaluate(exact).value().combined;
+    EXPECT_NEAR(model.Evaluate(found).value().combined, exact_cost,
+                exact_cost * 1e-9 + 1e-15)
+        << "kind " << static_cast<int>(kind);
+  }
+}
+
+TEST(AStarTest, MatchesExhaustiveOnLineNetworks) {
+  // Multi-hop communication: no bus symmetry, dominance still sound.
+  Workflow w = testing::SimpleLine(6, 20e6, 60648);
+  Network n = MakeLineNetwork({1e9, 2e9, 1e9}, {1e7, 1e6}).value();
+  CostModel model(w, n);
+  DeployContext ctx = MakeContext(w, n);
+  Mapping exact = WSFLOW_UNWRAP(ExhaustiveAlgorithm().Run(ctx));
+  Mapping found = WSFLOW_UNWRAP(AStarAlgorithm().Run(ctx));
+  EXPECT_NEAR(model.Evaluate(found).value().combined,
+              model.Evaluate(exact).value().combined, 1e-12);
+}
+
+TEST(AStarTest, MaskedOptimumMatchesMaskedBruteForce) {
+  // With a server down, the solver must place only on survivors and find
+  // the best mapping of the surviving subnetwork.
+  Workflow w = testing::SimpleLine(5, 15e6, 40000);
+  Network n = MakeLineNetwork({1e9, 2e9, 1.5e9}, {1e7, 5e6}).value();
+  ServerMask mask = ServerMask::AllAlive(3);
+  mask.SetAlive(ServerId(1), false);
+  CostModel model(w, n);
+  DeployContext ctx = MakeContext(w, n);
+
+  AStarOptions options;
+  options.mask = mask;
+  AStarAlgorithm astar(options);
+  Mapping found = WSFLOW_UNWRAP(astar.Run(ctx));
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NE(found.ServerOf(OperationId(static_cast<uint32_t>(i))).value,
+              1u);
+  }
+  double found_cost =
+      model.Evaluate(found, ctx.cost_options, mask).value().combined;
+
+  // Brute force over the survivors {0, 2}.
+  double best = std::numeric_limits<double>::infinity();
+  const uint32_t alive[] = {0, 2};
+  for (uint32_t code = 0; code < 32; ++code) {
+    Mapping m(5);
+    for (uint32_t i = 0; i < 5; ++i) {
+      m.Assign(OperationId(i), ServerId(alive[(code >> i) & 1]));
+    }
+    Result<CostBreakdown> cost = model.Evaluate(m, ctx.cost_options, mask);
+    if (cost.ok()) best = std::min(best, cost->combined);
+  }
+  EXPECT_NEAR(found_cost, best, best * 1e-9);
+}
+
+TEST(AStarTest, HandlesPaperScaleInstance) {
+  // M=19, N=5 — the paper's configuration, far beyond exhaustive's reach
+  // (5^19 ~ 1.9e13). Must certify an optimum and never lose to a
+  // heuristic.
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+  cfg.fixed_bus_speed_bps = paperconst::kBus10Mbps;
+  TrialInstance t = WSFLOW_UNWRAP(DrawTrial(cfg, 0));
+  CostModel model(t.workflow, t.network);
+  DeployContext ctx = MakeContext(t.workflow, t.network);
+  AStarAlgorithm astar;
+  Mapping opt = WSFLOW_UNWRAP(astar.Run(ctx));
+  EXPECT_TRUE(astar.last_stats().proven_optimal);
+  EXPECT_GT(astar.last_stats().expanded, 0u);
+  double opt_cost = model.Evaluate(opt).value().combined;
+  for (const char* name : {"fair-load", "fltr2", "fl-merge", "heavy-ops"}) {
+    ctx.seed = 3;
+    Mapping m = WSFLOW_UNWRAP(RunAlgorithm(name, ctx));
+    EXPECT_LE(opt_cost, model.Evaluate(m).value().combined + 1e-12) << name;
+  }
+}
+
+TEST(AStarTest, ExpandsFarFewerNodesThanBranchBound) {
+  // The headline property: best-first expansion + dominance merging must
+  // beat depth-first branch-and-bound by a wide node margin.
+  ExperimentConfig cfg = MakeClassAConfig(WorkloadKind::kLine);
+  cfg.num_operations = 16;
+  cfg.num_servers = 5;
+  cfg.fixed_bus_speed_bps = paperconst::kBus10Mbps;
+  TrialInstance t = WSFLOW_UNWRAP(DrawTrial(cfg, 0));
+  DeployContext ctx = MakeContext(t.workflow, t.network);
+  BranchBoundAlgorithm bb;
+  Mapping bb_m = WSFLOW_UNWRAP(bb.Run(ctx));
+  AStarAlgorithm astar;
+  AStarStats stats;
+  Mapping astar_m = WSFLOW_UNWRAP(astar.RunWithStats(ctx, &stats));
+  CostModel model(t.workflow, t.network);
+  EXPECT_NEAR(model.Evaluate(astar_m).value().combined,
+              model.Evaluate(bb_m).value().combined,
+              model.Evaluate(bb_m).value().combined * 1e-9);
+  EXPECT_LT(stats.generated * 5, bb.last_nodes())
+      << "astar generated " << stats.generated << " vs branch-bound "
+      << bb.last_nodes();
+  EXPECT_GT(stats.pruned_dominance, 0u);
+}
+
+TEST(AStarTest, NodeBudgetEnforcedInExactMode) {
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+  cfg.fixed_bus_speed_bps = paperconst::kBus100Mbps;
+  TrialInstance t = WSFLOW_UNWRAP(DrawTrial(cfg, 1));
+  AStarOptions options;
+  options.max_nodes = 16;
+  AStarAlgorithm tiny(options);
+  EXPECT_TRUE(tiny.Run(MakeContext(t.workflow, t.network))
+                  .status()
+                  .IsResourceExhausted());
+}
+
+TEST(AStarTest, AnytimeReturnsIncumbentOnBudget) {
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+  cfg.fixed_bus_speed_bps = paperconst::kBus100Mbps;
+  TrialInstance t = WSFLOW_UNWRAP(DrawTrial(cfg, 1));
+  AStarOptions options;
+  options.max_nodes = 16;
+  options.anytime = true;
+  AStarAlgorithm astar(options);
+  AStarStats stats;
+  Mapping m = WSFLOW_UNWRAP(
+      astar.RunWithStats(MakeContext(t.workflow, t.network), &stats));
+  EXPECT_TRUE(m.IsTotal());
+  EXPECT_FALSE(stats.proven_optimal);
+  EXPECT_LT(stats.incumbent_cost, std::numeric_limits<double>::infinity());
+}
+
+TEST(AStarTest, AnytimeCertifiesHeuristicWithFullBudget) {
+  // Run to exhaustion the anytime search is an optimality certificate: it
+  // must return a mapping whose cost matches the exact solver's.
+  ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+  cfg.num_operations = 10;
+  cfg.num_servers = 4;
+  TrialInstance t = WSFLOW_UNWRAP(DrawTrial(cfg, 2));
+  CostModel model(t.workflow, t.network);
+  DeployContext ctx = MakeContext(t.workflow, t.network);
+  AStarOptions options;
+  options.anytime = true;
+  AStarAlgorithm anytime(options);
+  AStarStats stats;
+  Mapping m = WSFLOW_UNWRAP(anytime.RunWithStats(ctx, &stats));
+  EXPECT_TRUE(stats.proven_optimal);
+  Mapping exact = WSFLOW_UNWRAP(AStarAlgorithm().Run(ctx));
+  EXPECT_NEAR(model.Evaluate(m).value().combined,
+              model.Evaluate(exact).value().combined,
+              model.Evaluate(exact).value().combined * 1e-9);
+}
+
+TEST(AStarTest, SingleServer) {
+  Workflow w = testing::SimpleLine(5);
+  Network n = testing::SimpleBus(1);
+  Mapping m = WSFLOW_UNWRAP(AStarAlgorithm().Run(MakeContext(w, n)));
+  EXPECT_EQ(m.OperationsOn(ServerId(0)).size(), 5u);
+}
+
+TEST(AStarTest, StatsPopulated) {
+  Workflow w = testing::SimpleLine(6);
+  Network n = testing::SimpleBus(3);
+  AStarAlgorithm astar;
+  AStarStats stats;
+  WSFLOW_UNWRAP(astar.RunWithStats(MakeContext(w, n), &stats));
+  EXPECT_GT(stats.expanded, 0u);
+  EXPECT_GT(stats.generated, stats.expanded / 4);
+  EXPECT_TRUE(stats.proven_optimal);
+  EXPECT_LT(stats.best_cost, std::numeric_limits<double>::infinity());
+}
+
+TEST(AStarTest, Registered) {
+  RegisterBuiltinAlgorithms();
+  EXPECT_TRUE(AlgorithmRegistry::Global().Contains("astar"));
+  EXPECT_TRUE(AlgorithmRegistry::Global().Contains("astar-anytime"));
+}
+
+// Run under TSan in CI: concurrent anytime searches over shared immutable
+// inputs must race-free produce bit-identical mappings and node counts.
+TEST(AStarDeterminismTest, ConcurrentAnytimeRunsAgree) {
+  ExperimentConfig cfg = MakeClassBConfig(WorkloadKind::kLine);
+  cfg.num_operations = 12;
+  cfg.num_servers = 4;
+  TrialInstance t = WSFLOW_UNWRAP(DrawTrial(cfg, 3));
+  DeployContext ctx = MakeContext(t.workflow, t.network);
+
+  AStarOptions options;
+  options.anytime = true;
+  AStarAlgorithm reference(options);
+  AStarStats ref_stats;
+  Mapping ref = WSFLOW_UNWRAP(reference.RunWithStats(ctx, &ref_stats));
+
+  constexpr int kThreads = 4;
+  std::vector<Mapping> results(kThreads);
+  std::vector<AStarStats> stats(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      AStarAlgorithm astar(options);
+      Result<Mapping> m = astar.RunWithStats(ctx, &stats[i]);
+      ASSERT_TRUE(m.ok()) << m.status().ToString();
+      results[i] = std::move(*m);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  for (int i = 0; i < kThreads; ++i) {
+    EXPECT_EQ(stats[i].expanded, ref_stats.expanded);
+    EXPECT_EQ(stats[i].generated, ref_stats.generated);
+    EXPECT_EQ(stats[i].pruned_dominance, ref_stats.pruned_dominance);
+    EXPECT_EQ(stats[i].best_cost, ref_stats.best_cost);
+    for (size_t op = 0; op < t.workflow.num_operations(); ++op) {
+      EXPECT_EQ(results[i].ServerOf(OperationId(static_cast<uint32_t>(op))),
+                ref.ServerOf(OperationId(static_cast<uint32_t>(op))))
+          << "thread " << i << " op " << op;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,115 @@
+// Ground-truth calibration of the heuristic suite: on instances small
+// enough for certified optima, every registered heuristic must score at or
+// above the A* optimum, and the A* optimum must equal the exhaustive one.
+// The per-heuristic optimality gap is recorded as a test property so runs
+// leave a calibration trail in the ctest XML.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/cost/cost_model.h"
+#include "src/deploy/astar.h"
+#include "src/deploy/exhaustive.h"
+#include "src/exp/config.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+DeployContext MakeContext(const TrialInstance& t) {
+  DeployContext ctx;
+  ctx.workflow = &t.workflow;
+  ctx.network = &t.network;
+  ctx.profile = t.profile.has_value() ? &*t.profile : nullptr;
+  ctx.seed = 7;
+  return ctx;
+}
+
+/// Exact solvers and wrappers that need special topologies are not part of
+/// the calibrated heuristic pool.
+bool SkipForCalibration(const std::string& name) {
+  return name == "exhaustive" || name == "branch-bound" || name == "astar" ||
+         name == "astar-anytime";
+}
+
+struct CalibrationCase {
+  const char* label;
+  ExperimentConfig config;
+};
+
+std::vector<CalibrationCase> Cases() {
+  std::vector<CalibrationCase> cases;
+  for (auto [label, maker] :
+       {std::pair{"class_a", &MakeClassAConfig},
+        std::pair{"class_b", &MakeClassBConfig},
+        std::pair{"class_c", &MakeClassCConfig}}) {
+    ExperimentConfig line = maker(WorkloadKind::kLine);
+    line.num_operations = 8;
+    line.num_servers = 3;
+    cases.push_back({label, line});
+  }
+  ExperimentConfig graph = MakeClassBConfig(WorkloadKind::kBushyGraph);
+  graph.num_operations = 9;
+  graph.num_servers = 3;
+  cases.push_back({"class_b_graph", graph});
+  return cases;
+}
+
+TEST(CalibrationTest, HeuristicsNeverBeatCertifiedOptimum) {
+  RegisterBuiltinAlgorithms();
+  const std::vector<std::string> names = AlgorithmRegistry::Global().Names();
+  double worst_gap = 0;
+  std::string worst_label;
+  for (const CalibrationCase& c : Cases()) {
+    TrialInstance t = WSFLOW_UNWRAP(DrawTrial(c.config, 0));
+    DeployContext ctx = MakeContext(t);
+    CostModel model(t.workflow, t.network, ctx.profile);
+    Mapping opt = WSFLOW_UNWRAP(AStarAlgorithm().Run(ctx));
+    const double opt_cost =
+        model.Evaluate(opt, ctx.cost_options).value().combined;
+    for (const std::string& name : names) {
+      if (SkipForCalibration(name)) continue;
+      Result<Mapping> m = RunAlgorithm(name, ctx);
+      // Heuristics with topology or shape preconditions (line-only, zoned
+      // networks) legitimately refuse some instances.
+      if (!m.ok()) continue;
+      Result<CostBreakdown> cost = model.Evaluate(*m, ctx.cost_options);
+      ASSERT_TRUE(cost.ok()) << name << " on " << c.label;
+      EXPECT_GE(cost->combined, opt_cost - opt_cost * 1e-9 - 1e-15)
+          << name << " beat the certified optimum on " << c.label;
+      const double gap = cost->combined / opt_cost - 1.0;
+      ::testing::Test::RecordProperty(
+          std::string("gap_") + c.label + "_" + name,
+          std::to_string(gap));
+      if (gap > worst_gap) {
+        worst_gap = gap;
+        worst_label = name + " on " + c.label;
+      }
+    }
+  }
+  ::testing::Test::RecordProperty("worst_gap", std::to_string(worst_gap));
+  ::testing::Test::RecordProperty("worst_case", worst_label);
+}
+
+TEST(CalibrationTest, AStarMatchesExhaustiveWhereOdometerFeasible) {
+  for (const CalibrationCase& c : Cases()) {
+    for (size_t trial = 0; trial < 2; ++trial) {
+      TrialInstance t = WSFLOW_UNWRAP(DrawTrial(c.config, trial));
+      DeployContext ctx = MakeContext(t);
+      CostModel model(t.workflow, t.network, ctx.profile);
+      Mapping exhaustive = WSFLOW_UNWRAP(ExhaustiveAlgorithm(5e7).Run(ctx));
+      Mapping astar = WSFLOW_UNWRAP(AStarAlgorithm().Run(ctx));
+      const double exact_cost =
+          model.Evaluate(exhaustive, ctx.cost_options).value().combined;
+      EXPECT_NEAR(model.Evaluate(astar, ctx.cost_options).value().combined,
+                  exact_cost, exact_cost * 1e-9 + 1e-15)
+          << c.label << " trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,152 @@
+// Admissibility of the exact solvers' shared lower bound: for sampled
+// prefix states, BoundTables::PrefixLowerBound must never exceed the cost
+// of the best completion (found by exhaustively completing the prefix),
+// and must be exact on total mappings. Masked variants check the same
+// property against the surviving subnetwork.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/cost/cost_model.h"
+#include "src/deploy/bound_tables.h"
+#include "src/exp/config.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+DeployContext MakeContext(const TrialInstance& t) {
+  DeployContext ctx;
+  ctx.workflow = &t.workflow;
+  ctx.network = &t.network;
+  ctx.profile = t.profile.has_value() ? &*t.profile : nullptr;
+  return ctx;
+}
+
+/// Minimum evaluated combined cost over every completion of `prefix_depth`
+/// assigned positions, restricted to `servers`.
+double BestCompletion(const BoundTables& tables, const CostModel& model,
+                      const CostOptions& options, const ServerMask& mask,
+                      Mapping m, size_t prefix_depth,
+                      const std::vector<uint32_t>& servers) {
+  const size_t free_ops = tables.num_ops() - prefix_depth;
+  uint64_t combos = 1;
+  for (size_t i = 0; i < free_ops; ++i) combos *= servers.size();
+  double best = std::numeric_limits<double>::infinity();
+  for (uint64_t code = 0; code < combos; ++code) {
+    uint64_t rest = code;
+    for (size_t i = 0; i < free_ops; ++i) {
+      m.Assign(tables.order()[prefix_depth + i],
+               ServerId(servers[rest % servers.size()]));
+      rest /= servers.size();
+    }
+    Result<CostBreakdown> cost = mask.trivial()
+                                     ? model.Evaluate(m, options)
+                                     : model.Evaluate(m, options, mask);
+    if (cost.ok()) best = std::min(best, cost->combined);
+  }
+  return best;
+}
+
+void CheckAdmissibleOnInstance(const TrialInstance& t, const ServerMask& mask,
+                               uint64_t seed) {
+  DeployContext ctx = MakeContext(t);
+  BoundTables tables = WSFLOW_UNWRAP(BoundTables::Build(ctx, mask));
+  CostModel model(t.workflow, t.network, ctx.profile);
+  const std::vector<uint32_t>& servers = tables.alive_servers();
+  Rng rng(seed);
+  for (int sample = 0; sample < 12; ++sample) {
+    const size_t depth = static_cast<size_t>(
+        rng.NextInt(0, static_cast<int64_t>(tables.num_ops())));
+    Mapping prefix(t.workflow.num_operations());
+    for (size_t d = 0; d < depth; ++d) {
+      prefix.Assign(tables.order()[d],
+                    ServerId(servers[rng.NextBounded(servers.size())]));
+    }
+    const double h = tables.PrefixLowerBound(prefix, ctx.cost_options);
+    const double best = BestCompletion(tables, model, ctx.cost_options, mask,
+                                       prefix, depth, servers);
+    if (std::isinf(best)) continue;  // No feasible completion to bound.
+    EXPECT_LE(h, best + best * 1e-9 + 1e-12)
+        << "depth " << depth << " sample " << sample;
+    if (depth == tables.num_ops()) {
+      // Total mapping: the bound collapses to the exact evaluated cost.
+      EXPECT_NEAR(h, best, best * 1e-9 + 1e-12);
+    }
+  }
+}
+
+TEST(AStarAdmissibilityTest, LineBoundNeverExceedsBestCompletion) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    ExperimentConfig cfg = MakeClassCConfig(WorkloadKind::kLine);
+    cfg.num_operations = 6;
+    cfg.num_servers = 3;
+    cfg.seed = seed;
+    TrialInstance t = WSFLOW_UNWRAP(DrawTrial(cfg, 0));
+    CheckAdmissibleOnInstance(t, ServerMask(), 100 + seed);
+  }
+}
+
+TEST(AStarAdmissibilityTest, GraphBoundNeverExceedsBestCompletion) {
+  // AND (max), OR (min) and XOR (expectation) combinators all in play.
+  TrialInstance t;
+  t.workflow = testing::AllDecisionGraph();
+  t.network = testing::SimpleBus(2, 1e9, 10e6);
+  CheckAdmissibleOnInstance(t, ServerMask(), 7);
+
+  ExperimentConfig cfg = MakeClassBConfig(WorkloadKind::kHybridGraph);
+  cfg.num_operations = 8;
+  cfg.num_servers = 3;
+  TrialInstance drawn = WSFLOW_UNWRAP(DrawTrial(cfg, 1));
+  CheckAdmissibleOnInstance(drawn, ServerMask(), 8);
+}
+
+TEST(AStarAdmissibilityTest, MaskedBoundNeverExceedsBestSurvivorCompletion) {
+  // A non-trivial server mask: placements restricted to survivors, routes
+  // through the down server severed, penalty averaged over survivors.
+  Workflow w = testing::SimpleLine(6, 15e6, 40000);
+  Network n = MakeLineNetwork({1e9, 2e9, 1.5e9, 1e9}, {1e7, 5e6, 8e6}).value();
+  for (uint32_t down : {0u, 1u, 3u}) {
+    ServerMask mask = ServerMask::AllAlive(4);
+    mask.SetAlive(ServerId(down), false);
+    TrialInstance t;
+    t.workflow = w;
+    t.network = n;
+    CheckAdmissibleOnInstance(t, mask, 40 + down);
+  }
+}
+
+TEST(AStarAdmissibilityTest, ExactOnTotalMappings) {
+  // Dense check that the internal decomposed arithmetic agrees with the
+  // canonical evaluator on total mappings, line and graph alike.
+  for (WorkloadKind kind : {WorkloadKind::kLine, WorkloadKind::kBushyGraph}) {
+    ExperimentConfig cfg = MakeClassAConfig(kind);
+    cfg.num_operations = 7;
+    cfg.num_servers = 3;
+    TrialInstance t = WSFLOW_UNWRAP(DrawTrial(cfg, 0));
+    DeployContext ctx = MakeContext(t);
+    BoundTables tables = WSFLOW_UNWRAP(BoundTables::Build(ctx));
+    CostModel model(t.workflow, t.network, ctx.profile);
+    Rng rng(11);
+    for (int sample = 0; sample < 25; ++sample) {
+      Mapping m(t.workflow.num_operations());
+      for (size_t i = 0; i < t.workflow.num_operations(); ++i) {
+        m.Assign(OperationId(static_cast<uint32_t>(i)),
+                 ServerId(static_cast<uint32_t>(
+                     rng.NextBounded(cfg.num_servers))));
+      }
+      const double internal = tables.PrefixLowerBound(m, ctx.cost_options);
+      const double evaluated =
+          model.Evaluate(m, ctx.cost_options).value().combined;
+      EXPECT_NEAR(internal, evaluated, evaluated * 1e-9 + 1e-15);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wsflow
