@@ -1,0 +1,317 @@
+// Chaos replay bench: availability vs churn rate for the fault-aware
+// simulator (src/sim/fault_sim.h). Two sections:
+//
+//   exemplar — the committed schedule (examples/data/chaos_schedule.txt)
+//              replayed on the exemplar instance (8-op line round-robined
+//              over a 4-server bus) under every loss policy. The
+//              retry+re-dispatch row is the acceptance gate: 100%
+//              completion at the default budget, measured degraded
+//              makespan next to the analytic masked T_execute at peak
+//              churn.
+//   sweep    — generated schedules at increasing crash counts (0, 1, 2,
+//              4, 8) on a horizon ~2x the nominal makespan, so outages
+//              intersect execution. Per policy (none / retry /
+//              retry+redispatch): completion rate, losses, recovery
+//              actions, and the measured-vs-analytic gap. The "none"
+//              column is the availability curve; the recovery columns
+//              show it pulled back to 1.0.
+//
+// Results land in bench_results/chaos_replay.json. CI guard:
+// --assert-min-completion R replays only the exemplar cell under the
+// default policy and fails unless the completion rate reaches R
+// (schedules and substreams are seeded, so the guard is deterministic).
+// --emit-trace PATH writes the exemplar's run-0 trace JSON, regenerating
+// examples/data/chaos_trace.json.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/logging.h"
+#include "src/deploy/mapping.h"
+#include "src/network/topology.h"
+#include "src/sim/fault_sim.h"
+#include "src/sim/faults.h"
+#include "src/workflow/builder.h"
+
+namespace wsflow {
+namespace {
+
+constexpr size_t kExemplarOps = 8;
+constexpr size_t kExemplarServers = 4;
+constexpr size_t kRuns = 64;
+constexpr uint64_t kSeed = 7;
+
+struct Instance {
+  Workflow workflow;
+  Network network;
+  Mapping mapping;
+};
+
+Instance MakeExemplarInstance() {
+  std::vector<double> cycles(kExemplarOps, 50e6);
+  std::vector<double> bits(kExemplarOps - 1, 8000);
+  Result<Workflow> w = MakeLineWorkflow("chaos-line", cycles, bits);
+  WSFLOW_CHECK(w.ok()) << w.status().ToString();
+  std::vector<double> powers(kExemplarServers, 1e9);
+  Result<Network> n = MakeBusNetwork(powers, 100e6);
+  WSFLOW_CHECK(n.ok()) << n.status().ToString();
+  Mapping m(kExemplarOps);
+  for (uint32_t i = 0; i < kExemplarOps; ++i) {
+    m.Assign(OperationId(i), ServerId(i % kExemplarServers));
+  }
+  return Instance{std::move(w).value(), std::move(n).value(), std::move(m)};
+}
+
+Result<FaultSchedule> LoadCommittedSchedule() {
+  const std::string path =
+      std::string(WSFLOW_SOURCE_DIR) + "/examples/data/chaos_schedule.txt";
+  std::ifstream in(path);
+  if (!in.good()) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return FaultSchedule::Parse(kExemplarServers, buf.str());
+}
+
+struct Cell {
+  std::string section;
+  std::string label;
+  size_t crashes = 0;
+  size_t slowdowns = 0;
+  std::string policy;
+  FaultSimResult result;
+};
+
+Cell RunCell(const Instance& inst, const FaultSchedule& schedule,
+             const std::string& section, const std::string& label,
+             LossPolicy policy, bool trace = false) {
+  FaultSimOptions options;
+  options.sim.num_runs = kRuns;
+  options.sim.seed = kSeed;
+  options.sim.record_trace = trace;
+  options.policy = policy;
+  Result<FaultSimResult> r = SimulateWithFaults(
+      inst.workflow, inst.network, inst.mapping, schedule, options);
+  WSFLOW_CHECK(r.ok()) << r.status().ToString();
+  Cell cell;
+  cell.section = section;
+  cell.label = label;
+  cell.crashes = schedule.num_crashes();
+  cell.slowdowns = schedule.events().size() - 2 * schedule.num_crashes();
+  cell.policy = std::string(LossPolicyToString(policy));
+  cell.result = std::move(r).value();
+  return cell;
+}
+
+void PrintHeader() {
+  std::printf(
+      "%-28s %-16s %6s %9s %7s %7s %7s %7s %9s %9s %6s\n", "cell", "policy",
+      "done%", "mean_s", "lost", "msglost", "retry", "redisp", "analytic",
+      "gap", "gaveup");
+}
+
+void PrintCell(const Cell& c) {
+  const FaultSimResult& r = c.result;
+  double gap = r.analytic_masked_makespan > 0 && r.mean_makespan > 0
+                   ? r.mean_makespan / r.analytic_masked_makespan
+                   : 0;
+  std::printf(
+      "%-28s %-16s %5.1f%% %9.4f %7zu %7zu %7zu %7zu %9.4f %9.2f %6zu\n",
+      c.label.c_str(), c.policy.c_str(), 100.0 * r.completion_rate,
+      r.mean_makespan, r.tokens_lost, r.messages_lost, r.retries,
+      r.redispatches, r.analytic_masked_makespan, gap, r.gave_up);
+  std::fflush(stdout);
+}
+
+void WriteCell(std::FILE* f, const Cell& c, bool last) {
+  const FaultSimResult& r = c.result;
+  std::fprintf(
+      f,
+      "    {\"section\": \"%s\", \"label\": \"%s\", \"policy\": \"%s\", "
+      "\"crashes\": %zu, \"slowdowns\": %zu, \"runs\": %zu, "
+      "\"completed_runs\": %zu, \"completion_rate\": %.6g, "
+      "\"mean_makespan_s\": %.6g, \"analytic_masked_makespan_s\": %.6g, "
+      "\"tokens_lost\": %zu, \"messages_lost\": %zu, \"retries\": %zu, "
+      "\"redispatches\": %zu, \"gave_up\": %zu, \"repairs\": %zu}%s\n",
+      c.section.c_str(), c.label.c_str(), c.policy.c_str(), c.crashes,
+      c.slowdowns, r.runs, r.completed_runs, r.completion_rate,
+      r.mean_makespan,
+      std::isfinite(r.analytic_masked_makespan)
+          ? r.analytic_masked_makespan
+          : -1.0,
+      r.tokens_lost, r.messages_lost, r.retries, r.redispatches, r.gave_up,
+      r.repairs, last ? "" : ",");
+}
+
+void WriteJson(const std::vector<Cell>& cells) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  if (ec) {
+    std::fprintf(stderr, "note: cannot create bench_results/: %s\n",
+                 ec.message().c_str());
+    return;
+  }
+  const char* path = "bench_results/chaos_replay.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "note: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"chaos_replay\",\n"
+               "  \"instance\": \"line M=%zu over bus N=%zu\",\n"
+               "  \"runs_per_cell\": %zu,\n  \"seed\": %zu,\n"
+               "  \"cells\": [\n",
+               kExemplarOps, kExemplarServers, kRuns,
+               static_cast<size_t>(kSeed));
+  for (size_t i = 0; i < cells.size(); ++i) {
+    WriteCell(f, cells[i], i + 1 == cells.size());
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("(json -> %s)\n", path);
+}
+
+/// Nominal (fault-free) makespan of the exemplar instance, used to scale
+/// the sweep horizon so generated outages intersect execution.
+double NominalMakespan(const Instance& inst) {
+  Result<FaultSchedule> empty =
+      FaultSchedule::FromEvents(kExemplarServers, {});
+  WSFLOW_CHECK(empty.ok()) << empty.status().ToString();
+  FaultSimOptions options;
+  options.sim.num_runs = 1;
+  Result<FaultSimResult> r = SimulateWithFaults(
+      inst.workflow, inst.network, inst.mapping, *empty, options);
+  WSFLOW_CHECK(r.ok()) << r.status().ToString();
+  return r->mean_makespan;
+}
+
+}  // namespace
+}  // namespace wsflow
+
+int main(int argc, char** argv) {
+  using namespace wsflow;
+
+  double assert_min_completion = -1;
+  std::string emit_trace;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--assert-min-completion" && i + 1 < argc) {
+      assert_min_completion = std::atof(argv[++i]);
+      if (assert_min_completion <= 0 || assert_min_completion > 1) {
+        std::fprintf(stderr,
+                     "--assert-min-completion needs a rate in (0, 1]\n");
+        return 2;
+      }
+    } else if (arg == "--emit-trace" && i + 1 < argc) {
+      emit_trace = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--assert-min-completion R] "
+                   "[--emit-trace PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  Instance inst = MakeExemplarInstance();
+  Result<FaultSchedule> committed = LoadCommittedSchedule();
+  if (!committed.ok()) {
+    std::fprintf(stderr, "FAIL: %s\n", committed.status().ToString().c_str());
+    return 2;
+  }
+
+  if (!emit_trace.empty()) {
+    FaultSimOptions options;
+    options.sim.seed = kSeed;
+    options.sim.record_trace = true;
+    Result<FaultSimResult> r = SimulateWithFaults(
+        inst.workflow, inst.network, inst.mapping, *committed, options);
+    WSFLOW_CHECK(r.ok()) << r.status().ToString();
+    std::ofstream out(emit_trace);
+    if (!out.good()) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", emit_trace.c_str());
+      return 2;
+    }
+    out << r->trace.ToJson();
+    std::printf("(trace -> %s)\n", emit_trace.c_str());
+    return 0;
+  }
+
+  if (assert_min_completion > 0) {
+    Cell gate = RunCell(inst, *committed, "exemplar", "committed_schedule",
+                        LossPolicy::kRetryRedispatch);
+    if (gate.result.completion_rate < assert_min_completion) {
+      std::fprintf(stderr, "FAIL: completion rate %.4f < required %.4f\n",
+                   gate.result.completion_rate, assert_min_completion);
+      return 1;
+    }
+    std::printf("PASS: completion rate %.4f >= %.4f\n",
+                gate.result.completion_rate, assert_min_completion);
+    return 0;
+  }
+
+  bench::PrintBanner(
+      "CHAOS-REPLAY",
+      "fault-aware simulation: availability vs churn rate, measured "
+      "degraded makespan vs analytic masked T_execute");
+
+  std::vector<Cell> cells;
+  const LossPolicy kPolicies[] = {LossPolicy::kNone, LossPolicy::kRetry,
+                                  LossPolicy::kRetryRedispatch};
+
+  std::printf("\n--- committed exemplar (%zu runs) ---\n", kRuns);
+  PrintHeader();
+  for (LossPolicy policy : kPolicies) {
+    cells.push_back(
+        RunCell(inst, *committed, "exemplar", "committed_schedule", policy));
+    PrintCell(cells.back());
+  }
+
+  // A crash that never heals: backoff retries alone cannot finish, only
+  // re-dispatch onto the surviving servers can — the one cell where the
+  // redispatch counter must be non-zero.
+  Result<FaultSchedule> dead = FaultSchedule::FromEvents(
+      kExemplarServers,
+      {FaultEvent{0.075, ServerId(1), FaultKind::kCrash, 1.0}});
+  WSFLOW_CHECK(dead.ok()) << dead.status().ToString();
+  for (LossPolicy policy : kPolicies) {
+    cells.push_back(
+        RunCell(inst, *dead, "exemplar", "unrecovered_crash", policy));
+    PrintCell(cells.back());
+  }
+
+  const double horizon = 2.0 * NominalMakespan(inst);
+  std::printf("\n--- churn sweep (horizon %.3fs, %zu runs/cell) ---\n",
+              horizon, kRuns);
+  PrintHeader();
+  for (size_t crashes : {size_t{0}, size_t{1}, size_t{2}, size_t{4},
+                         size_t{8}}) {
+    FaultScheduleOptions schedule_options;
+    schedule_options.seed = kSeed ^ (0xC4A05ull + crashes);
+    schedule_options.horizon_s = horizon;
+    schedule_options.crashes = crashes;
+    schedule_options.min_downtime_s = 0.05 * horizon;
+    schedule_options.max_downtime_s = 0.20 * horizon;
+    schedule_options.slowdowns = crashes / 2;
+    Result<FaultSchedule> schedule =
+        FaultSchedule::Generate(inst.network, schedule_options);
+    WSFLOW_CHECK(schedule.ok()) << schedule.status().ToString();
+    const std::string label = "churn_" + std::to_string(crashes);
+    for (LossPolicy policy : kPolicies) {
+      cells.push_back(RunCell(inst, *schedule, "sweep", label, policy));
+      PrintCell(cells.back());
+    }
+  }
+
+  WriteJson(cells);
+  return 0;
+}

@@ -18,6 +18,7 @@
 #include "src/serve/fingerprint.h"
 #include "src/serve/health.h"
 #include "src/serve/service.h"
+#include "src/sim/fault_sim.h"
 #include "src/sim/faults.h"
 #include "src/workflow/bpel_import.h"
 #include "src/cost/cost_model.h"
@@ -453,9 +454,30 @@ Status CmdSimulate(const std::vector<std::string>& args, std::ostream& out) {
   flags.AddInt("runs", 1000, "Monte-Carlo runs");
   flags.AddInt("seed", 1, "simulation seed");
   flags.AddBool("trace", false, "print the first run's event trace");
+  flags.AddBool("trace-json", false,
+                "dump the first run's trace as JSON instead of the report");
   flags.AddBool("server-contention", false,
                 "serialize operations sharing a server");
   flags.AddBool("bus-contention", false, "serialize bus transfers");
+  // Fault injection: a generated schedule (--faults/--slowdowns) or a
+  // committed one (--faults-file, the FaultSchedule::ToString dialect).
+  flags.AddInt("faults", 0, "crash/recover pairs to inject");
+  flags.AddInt("slowdowns", 0, "slowdown events to inject");
+  flags.AddInt("fault-seed", 0, "fault schedule generation seed");
+  flags.AddDouble("fault-horizon", 0,
+                  "fault schedule horizon in seconds (0 = 2x the analytic "
+                  "makespan)");
+  flags.AddString("faults-file", "",
+                  "replay a fault schedule file instead of generating one");
+  flags.AddString("policy", "retry+redispatch",
+                  "loss recovery: none|retry|redispatch|retry+redispatch");
+  flags.AddInt("retries", 5, "backoff retry budget per lost operation");
+  flags.AddDouble("redispatch-timeout", 0.05,
+                  "seconds before a lost operation is re-dispatched");
+  flags.AddBool("repair", false,
+                "invoke RepairMapping at crash epochs and resume cold "
+                "operations on the patched deployment");
+  flags.AddBool("stats", false, "print per-run fault recovery statistics");
   WSFLOW_ASSIGN_OR_RETURN(std::vector<std::string> positional,
                           flags.Parse(args));
   (void)positional;
@@ -473,24 +495,111 @@ Status CmdSimulate(const std::vector<std::string>& args, std::ostream& out) {
                             RunAlgorithm(flags.GetString("algorithm"), ctx));
   }
 
+  const bool trace_json = flags.GetBool("trace-json");
   SimOptions options;
   options.num_runs = static_cast<size_t>(flags.GetInt("runs"));
   options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
-  options.record_trace = flags.GetBool("trace");
+  options.record_trace = flags.GetBool("trace") || trace_json;
   options.server_contention = flags.GetBool("server-contention");
   options.bus_contention = flags.GetBool("bus-contention");
-  WSFLOW_ASSIGN_OR_RETURN(
-      SimResult result, SimulateWorkflow(in.workflow, in.network, m, options));
-  out << "mean makespan over " << result.makespans.size()
-      << " runs: " << FormatSeconds(result.mean_makespan) << "\n";
+
   CostModel model(in.workflow, in.network, in.profile_ptr());
   WSFLOW_ASSIGN_OR_RETURN(double analytic, model.ExecutionTime(m));
-  out << "analytic expectation:      " << FormatSeconds(analytic) << "\n";
-  for (const Server& s : in.network.servers()) {
-    out << "mean busy " << s.name() << ": "
-        << FormatSeconds(result.server_busy[s.id().value]) << "\n";
+
+  const bool faulted = flags.GetInt("faults") > 0 ||
+                       flags.GetInt("slowdowns") > 0 ||
+                       !flags.GetString("faults-file").empty();
+  if (!faulted) {
+    WSFLOW_ASSIGN_OR_RETURN(
+        SimResult result,
+        SimulateWorkflow(in.workflow, in.network, m, options));
+    if (trace_json) {
+      out << result.trace.ToJson();
+      return Status::OK();
+    }
+    out << "mean makespan over " << result.makespans.size()
+        << " runs: " << FormatSeconds(result.mean_makespan) << "\n";
+    out << "analytic expectation:      " << FormatSeconds(analytic) << "\n";
+    for (const Server& s : in.network.servers()) {
+      out << "mean busy " << s.name() << ": "
+          << FormatSeconds(result.server_busy[s.id().value]) << "\n";
+    }
+    if (flags.GetBool("trace")) {
+      out << "\ntrace of run 1:\n"
+          << result.trace.ToString(in.workflow, in.network);
+    }
+    return Status::OK();
   }
-  if (options.record_trace) {
+
+  FaultSchedule schedule;
+  if (!flags.GetString("faults-file").empty()) {
+    const std::string path = flags.GetString("faults-file");
+    std::ifstream file(path);
+    if (!file) return Status::NotFound("cannot open '" + path + "'");
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    WSFLOW_ASSIGN_OR_RETURN(
+        schedule,
+        FaultSchedule::Parse(in.network.num_servers(), buffer.str()));
+  } else {
+    FaultScheduleOptions schedule_options;
+    schedule_options.seed = static_cast<uint64_t>(flags.GetInt("fault-seed"));
+    double horizon = flags.GetDouble("fault-horizon");
+    if (horizon <= 0) horizon = 2.0 * analytic;
+    schedule_options.horizon_s = horizon;
+    schedule_options.crashes = static_cast<size_t>(flags.GetInt("faults"));
+    schedule_options.slowdowns =
+        static_cast<size_t>(flags.GetInt("slowdowns"));
+    schedule_options.min_downtime_s = 0.05 * horizon;
+    schedule_options.max_downtime_s = 0.20 * horizon;
+    WSFLOW_ASSIGN_OR_RETURN(
+        schedule, FaultSchedule::Generate(in.network, schedule_options));
+  }
+
+  FaultSimOptions fault_options;
+  fault_options.sim = options;
+  WSFLOW_ASSIGN_OR_RETURN(fault_options.policy,
+                          LossPolicyFromString(flags.GetString("policy")));
+  fault_options.backoff.max_retries =
+      static_cast<size_t>(flags.GetInt("retries"));
+  fault_options.redispatch_timeout_s = flags.GetDouble("redispatch-timeout");
+  fault_options.repair = flags.GetBool("repair");
+  fault_options.profile = in.profile_ptr();
+
+  WSFLOW_ASSIGN_OR_RETURN(
+      FaultSimResult result,
+      SimulateWithFaults(in.workflow, in.network, m, schedule,
+                         fault_options));
+  if (trace_json) {
+    out << result.trace.ToJson();
+    return Status::OK();
+  }
+  out << "fault schedule (" << schedule.events().size() << " events):\n"
+      << schedule.ToString();
+  out << "completion:   " << result.completed_runs << "/" << result.runs
+      << " runs (" << FormatDouble(100.0 * result.completion_rate, 4)
+      << "%)\n";
+  out << "mean makespan of completed runs: "
+      << FormatSeconds(result.mean_makespan) << "\n";
+  out << "analytic expectation (no faults): " << FormatSeconds(analytic)
+      << "\n";
+  if (result.analytic_masked_makespan > 0) {
+    out << "analytic masked (peak churn):     "
+        << FormatSeconds(result.analytic_masked_makespan) << "\n";
+  }
+  if (flags.GetBool("stats")) {
+    out << "tokens lost:     " << result.tokens_lost << "\n";
+    out << "messages lost:   " << result.messages_lost << "\n";
+    out << "retries:         " << result.retries << "\n";
+    out << "redispatches:    " << result.redispatches << "\n";
+    out << "gave up:         " << result.gave_up << "\n";
+    out << "repairs:         " << result.repairs << "\n";
+    for (const Server& s : in.network.servers()) {
+      out << "mean busy " << s.name() << ": "
+          << FormatSeconds(result.server_busy[s.id().value]) << "\n";
+    }
+  }
+  if (flags.GetBool("trace")) {
     out << "\ntrace of run 1:\n"
         << result.trace.ToString(in.workflow, in.network);
   }
@@ -1056,22 +1165,13 @@ Status CmdChaos(const std::vector<std::string>& args, std::ostream& out) {
   // health tracker, then submit-and-wait one request. The serialized
   // submit→wait makes the whole transcript independent of --threads.
   FaultTimeline timeline(schedule);
-  size_t ok = 0, degraded = 0, repaired = 0, failed = 0, unanswered = 0;
+  size_t ok = 0, degraded = 0, repaired = 0, failed = 0;
+  std::optional<Mapping> served;
   for (size_t i = 0; i < requests; ++i) {
     double t = horizon_s * static_cast<double>(i + 1) /
                static_cast<double>(requests);
     for (const FaultEvent& e : timeline.AdvanceTo(t)) {
-      switch (e.kind) {
-        case FaultKind::kCrash:
-          health->ReportCrash(e.server);
-          break;
-        case FaultKind::kRecover:
-          health->ReportRecovery(e.server);
-          break;
-        case FaultKind::kSlowdown:
-          health->ReportFailure(e.server);
-          break;
-      }
+      health->Observe(e);
     }
 
     ExponentialBackoff backoff(BackoffOptions{}, cfg.seed ^ i);
@@ -1083,7 +1183,7 @@ Status CmdChaos(const std::vector<std::string>& args, std::ostream& out) {
       f = service.Submit(base);
     }
     if (!f.ok()) {
-      ++unanswered;
+      ++failed;
       continue;
     }
     serve::DeployResponse resp = f->get();
@@ -1092,6 +1192,7 @@ Status CmdChaos(const std::vector<std::string>& args, std::ostream& out) {
       continue;
     }
     ++ok;
+    if (!served) served = resp.mapping;
     if (resp.degraded) ++degraded;
     if (resp.repaired) ++repaired;
     if (!resp.degraded) {
@@ -1121,12 +1222,30 @@ Status CmdChaos(const std::vector<std::string>& args, std::ostream& out) {
     if (!line.empty()) out << "  " << line << "\n";
   }
   out << "responses: ok=" << ok << " degraded=" << degraded
-      << " repaired=" << repaired << " failed=" << failed
-      << " unanswered=" << unanswered << "\n";
+      << " repaired=" << repaired << " failed=" << failed << "\n";
   out << "service: hits=" << snap.cache_hits << " misses="
       << snap.cache_misses << " repairs=" << snap.repairs
       << " repair-failures=" << snap.repair_failures << "\n";
   out << "health: " << health->ToString() << "\n";
+
+  // Token-level loss accounting: replay the same fault schedule through the
+  // fault-aware discrete-event simulator against the served deployment,
+  // under the default retry+re-dispatch recovery policy.
+  if (served) {
+    FaultSimOptions sim_options;
+    sim_options.sim.num_runs = 32;
+    sim_options.sim.seed = cfg.seed;
+    sim_options.profile = profile.get();
+    WSFLOW_ASSIGN_OR_RETURN(
+        FaultSimResult sim,
+        SimulateWithFaults(*workflow, *network, *served, schedule,
+                           sim_options));
+    out << "sim (retry+redispatch, " << sim.runs
+        << " runs): completion-rate="
+        << FormatDouble(100.0 * sim.completion_rate, 4)
+        << "% tokens-lost=" << sim.tokens_lost << " retries=" << sim.retries
+        << " redispatches=" << sim.redispatches << "\n";
+  }
 
   // Repair quality at peak churn: heal the full-health deployment against
   // the worst mask of the schedule, with the budgeted repair search vs. a
@@ -1390,7 +1509,8 @@ int RunCli(int argc, const char* const* argv, std::ostream& out,
       "  make-network     synthesize a network XML\n"
       "  deploy           run one deployment algorithm\n"
       "  evaluate         cost an explicit mapping\n"
-      "  simulate         event-simulate a deployment\n"
+      "  simulate (sim)   event-simulate a deployment, optionally with "
+      "fault injection\n"
       "  sample           bound the solution space by sampling\n"
       "  compare          compare algorithms on one instance\n"
       "  experiment       run a paper-style multi-trial experiment\n"
@@ -1419,7 +1539,7 @@ int RunCli(int argc, const char* const* argv, std::ostream& out,
     st = CmdDeploy(args, out);
   } else if (command == "evaluate") {
     st = CmdEvaluate(args, out);
-  } else if (command == "simulate") {
+  } else if (command == "simulate" || command == "sim") {
     st = CmdSimulate(args, out);
   } else if (command == "sample") {
     st = CmdSample(args, out);

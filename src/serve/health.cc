@@ -51,6 +51,20 @@ void HealthTracker::ReportRecovery(ServerId server) {
   SetState(&cell, ServerHealth::kRecovering);
 }
 
+void HealthTracker::Observe(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kCrash:
+      ReportCrash(event.server);
+      break;
+    case FaultKind::kRecover:
+      ReportRecovery(event.server);
+      break;
+    case FaultKind::kSlowdown:
+      ReportFailure(event.server);
+      break;
+  }
+}
+
 void HealthTracker::ReportFailure(ServerId server) {
   std::lock_guard<std::mutex> lock(mu_);
   WSFLOW_CHECK(server.value < cells_.size());

@@ -32,6 +32,7 @@
 
 #include "src/network/server_mask.h"
 #include "src/network/topology.h"
+#include "src/sim/faults.h"
 
 namespace wsflow::serve {
 
@@ -66,6 +67,12 @@ class HealthTracker {
   /// Soft signals, debounced by the thresholds.
   void ReportFailure(ServerId server);
   void ReportSuccess(ServerId server);
+
+  /// Folds one fault-timeline event into the tracker with the same mask
+  /// semantics as the fault-aware simulator (src/sim/fault_sim.h): crash
+  /// and recovery are hard reports, a slowdown is a soft failure — the
+  /// server degrades but stays placeable until the debounce counts it out.
+  void Observe(const FaultEvent& event);
 
   ServerHealth StateOf(ServerId server) const;
 

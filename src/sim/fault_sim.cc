@@ -1,0 +1,719 @@
+#include "src/sim/fault_sim.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <queue>
+
+#include "src/common/logging.h"
+#include "src/deploy/repair.h"
+#include "src/network/routing.h"
+#include "src/network/server_mask.h"
+#include "src/workflow/validate.h"
+
+namespace wsflow {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class EventKind : uint8_t {
+  kTokenArrive,
+  kOpComplete,
+  kFault,            ///< Apply one schedule event (tag = schedule index).
+  kRetry,            ///< Backoff-paced restart attempt for `op`.
+  kRedispatchTimer,  ///< Timeout-based re-dispatch attempt for `op`.
+};
+
+struct Event {
+  double time;
+  uint64_t seq;  // FIFO tie-break for simultaneous events
+  EventKind kind;
+  OperationId op;
+  OperationId sender;  // kTokenArrive: the message's sender (for tracing)
+  uint32_t tag;        // kOpComplete: attempt; kTokenArrive: flight index;
+                       // kFault: schedule index
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+enum class OpState : uint8_t { kIdle, kRunning, kDone };
+
+/// Per-operation execution cell. `attempt` invalidates scheduled
+/// completions; `epoch` invalidates in-flight deliveries — both bump when
+/// a crash destroys the operation's progress.
+struct OpCell {
+  OpState state = OpState::kIdle;
+  uint32_t attempt = 0;
+  uint32_t epoch = 0;
+  size_t tokens = 0;
+  size_t live_inflight = 0;  ///< Un-delivered messages of the current epoch.
+  double sched_completion = 0;
+  double exec_factor = 1.0;  ///< Slowdown factor the completion was priced at.
+  size_t recovery_attempts = 0;
+  bool recovering = false;  ///< A kRetry/kRedispatchTimer event is pending.
+  bool dead = false;        ///< Recovery budget spent; the run cannot heal it.
+  std::unique_ptr<ExponentialBackoff> backoff;
+};
+
+/// An in-transit message. Cancelled when the sending server crashes
+/// mid-flight; stale (epoch mismatch) when the receiver was orphaned after
+/// the send.
+struct Flight {
+  ServerId from;
+  OperationId to;
+  uint32_t epoch = 0;
+  bool cancelled = false;
+};
+
+struct RunCounters {
+  size_t tokens_lost = 0;
+  size_t messages_lost = 0;
+  size_t retries = 0;
+  size_t redispatches = 0;
+  size_t gave_up = 0;
+  size_t repairs = 0;
+};
+
+/// Seed of the per-operation backoff stream: independent of the XOR branch
+/// substream so retry jitter never perturbs branch draws.
+uint64_t BackoffSeed(uint64_t run_seed, OperationId op) {
+  return PerRunSeed(run_seed ^ 0xB0FFull, op.value);
+}
+
+/// Point-to-point latency of `bits` from `from` to `to` over routes clear
+/// of the down servers; contention-free (used for re-dispatch scoring).
+Result<double> MaskedLatency(const Router& router, const Network& n,
+                             double bits, ServerId from, ServerId to,
+                             const ServerMask& mask) {
+  if (from == to) return 0.0;
+  WSFLOW_ASSIGN_OR_RETURN(Route route, router.FindRoute(from, to));
+  if (!RouteAvoidsDown(route, n, from, to, mask)) {
+    return Status::FailedPrecondition("route severed by down servers");
+  }
+  return route.TransmissionTime(n, bits) + route.TotalPropagation(n);
+}
+
+class FaultSimRun {
+ public:
+  FaultSimRun(const Workflow& w, const Network& n, const Mapping& m,
+              const Router& router, const FaultSchedule& schedule,
+              const FaultSimOptions& options, const CostModel* model,
+              uint64_t run_seed, Rng* rng, Trace* trace)
+      : w_(w),
+        n_(n),
+        router_(router),
+        schedule_(schedule),
+        options_(options),
+        model_(model),
+        run_seed_(run_seed),
+        rng_(rng),
+        trace_(trace),
+        mapping_(m),
+        mask_(ServerMask::AllAlive(n.num_servers())),
+        factor_(n.num_servers(), 1.0),
+        cells_(w.num_operations()),
+        fired_(w.num_transitions(), 0),
+        completion_(w.num_operations(), -1),
+        server_free_(n.num_servers(), 0),
+        link_free_(n.num_links(), 0),
+        busy_(n.num_servers(), 0) {}
+
+  /// Runs to queue exhaustion. Returns the sink's completion time, or
+  /// nullopt when faults left the run incomplete.
+  Result<std::optional<double>> Run(OperationId source, OperationId sink) {
+    const auto& fault_events = schedule_.events();
+    for (uint32_t i = 0; i < fault_events.size(); ++i) {
+      Push(fault_events[i].time_s, EventKind::kFault, OperationId(),
+           OperationId(), i);
+    }
+    StartExecution(source, 0.0);
+    while (!queue_.empty()) {
+      Event e = queue_.top();
+      queue_.pop();
+      switch (e.kind) {
+        case EventKind::kTokenArrive:
+          WSFLOW_RETURN_IF_ERROR(HandleToken(e));
+          break;
+        case EventKind::kOpComplete:
+          WSFLOW_RETURN_IF_ERROR(HandleComplete(e));
+          break;
+        case EventKind::kFault:
+          WSFLOW_RETURN_IF_ERROR(HandleFault(e));
+          break;
+        case EventKind::kRetry:
+          WSFLOW_RETURN_IF_ERROR(HandleRetry(e));
+          break;
+        case EventKind::kRedispatchTimer:
+          WSFLOW_RETURN_IF_ERROR(HandleRedispatch(e));
+          break;
+      }
+    }
+    if (completion_[sink.value] < 0) return std::optional<double>();
+    return std::optional<double>(completion_[sink.value]);
+  }
+
+  const std::vector<double>& busy() const { return busy_; }
+  const RunCounters& counters() const { return counters_; }
+
+ private:
+  void Push(double time, EventKind kind, OperationId op, OperationId sender,
+            uint32_t tag = 0) {
+    queue_.push(Event{time, seq_++, kind, op, sender, tag});
+  }
+
+  void Record(double time, TraceEventType type, OperationId op,
+              OperationId peer, ServerId server) {
+    if (trace_ != nullptr) {
+      trace_->Record(TraceEvent{time, type, op, peer, server});
+    }
+  }
+
+  bool alive(ServerId s) const { return mask_.alive(s); }
+
+  /// Begins executing `op` at `ready_time` (subject to server contention
+  /// and the host's current slowdown factor).
+  void StartExecution(OperationId op, double ready_time) {
+    OpCell& cell = cells_[op.value];
+    WSFLOW_DCHECK(cell.state == OpState::kIdle);
+    ServerId s = mapping_.ServerOf(op);
+    double start = ready_time;
+    if (options_.sim.server_contention) {
+      start = std::max(start, server_free_[s.value]);
+    }
+    double proc = w_.operation(op).cycles() / n_.server(s).power_hz();
+    proc *= factor_[s.value];
+    if (options_.sim.server_contention) {
+      server_free_[s.value] = start + proc;
+    }
+    busy_[s.value] += proc;
+    cell.state = OpState::kRunning;
+    cell.exec_factor = factor_[s.value];
+    cell.sched_completion = start + proc;
+    Record(start, TraceEventType::kOperationStart, op, OperationId(), s);
+    Push(start + proc, EventKind::kOpComplete, op, OperationId(),
+         ++cell.attempt);
+  }
+
+  Status HandleToken(const Event& e) {
+    OpCell& cell = cells_[e.op.value];
+    Flight& flight = flights_[e.tag];
+    ServerId host = mapping_.ServerOf(e.op);
+    const bool stale = flight.cancelled || flight.epoch != cell.epoch;
+    if (stale) {
+      // Destroyed in transit: the sender's server crashed mid-flight, or
+      // the receiver was orphaned after the send.
+      ++counters_.messages_lost;
+      Record(e.time, TraceEventType::kTokenLost, e.op, e.sender, host);
+      return Status::OK();
+    }
+    if (cell.live_inflight > 0) --cell.live_inflight;
+    if (!alive(host)) {
+      // Delivered into a dead server: the message is destroyed and the
+      // receiver enters recovery (its eventual restart re-pulls every
+      // fired input).
+      ++counters_.messages_lost;
+      Record(e.time, TraceEventType::kTokenLost, e.op, e.sender, host);
+      if (cell.state == OpState::kIdle && !cell.dead) {
+        Orphan(e.op, e.time, /*tokens_destroyed=*/false);
+      }
+      return Status::OK();
+    }
+    Record(e.time, TraceEventType::kMessageDelivered, e.sender, e.op,
+           flight.from);
+    if (cell.state != OpState::kIdle) {
+      // OR-join semantics: the first successful arrival fired the join;
+      // stragglers are ignored. (Every other node type receives exactly as
+      // many tokens as its trigger needs.)
+      return Status::OK();
+    }
+    ++cell.tokens;
+    const Operation& op = w_.operation(e.op);
+    size_t needed =
+        op.type() == OperationType::kAndJoin ? w_.in_degree(e.op) : 1;
+    if (cell.tokens >= needed) {
+      cell.tokens = 0;
+      StartExecution(e.op, e.time);
+    }
+    return Status::OK();
+  }
+
+  Status HandleComplete(const Event& e) {
+    OpCell& cell = cells_[e.op.value];
+    if (cell.state != OpState::kRunning || e.tag != cell.attempt) {
+      return Status::OK();  // destroyed or rescheduled execution
+    }
+    cell.state = OpState::kDone;
+    completion_[e.op.value] = e.time;
+    Record(e.time, TraceEventType::kOperationComplete, e.op, OperationId(),
+           mapping_.ServerOf(e.op));
+    const Operation& op = w_.operation(e.op);
+    const auto& outs = w_.out_edges(e.op);
+    if (outs.empty()) return Status::OK();
+
+    if (op.type() == OperationType::kXorSplit) {
+      // Probabilistically weighted pick of exactly one path.
+      std::vector<double> weights;
+      weights.reserve(outs.size());
+      for (TransitionId t : outs) {
+        weights.push_back(w_.transition(t).branch_weight);
+      }
+      size_t pick = rng_->NextDiscrete(weights);
+      WSFLOW_RETURN_IF_ERROR(Send(outs[pick], e.time));
+    } else {
+      for (TransitionId t : outs) {
+        WSFLOW_RETURN_IF_ERROR(Send(t, e.time));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Send(TransitionId t, double time) {
+    const Transition& edge = w_.transition(t);
+    fired_[t.value] = 1;
+    ServerId from = mapping_.ServerOf(edge.from);
+    ServerId to = mapping_.ServerOf(edge.to);
+    OpCell& target = cells_[edge.to.value];
+    Record(time, TraceEventType::kMessageSent, edge.from, edge.to, from);
+    double arrival = time;
+    if (from != to) {
+      WSFLOW_ASSIGN_OR_RETURN(Route route, router_.FindRoute(from, to));
+      for (LinkId l : route.links) {
+        const Link& link = n_.link(l);
+        double transmit = edge.message_bits / link.speed_bps;
+        double start = arrival;
+        if (options_.sim.bus_contention) {
+          start = std::max(start, link_free_[l.value]);
+          link_free_[l.value] = start + transmit;
+        }
+        arrival = start + transmit + link.propagation_s;
+      }
+    }
+    uint32_t flight_id = static_cast<uint32_t>(flights_.size());
+    flights_.push_back(Flight{from, edge.to, target.epoch, false});
+    ++target.live_inflight;
+    Push(arrival, EventKind::kTokenArrive, edge.to, edge.from, flight_id);
+    return Status::OK();
+  }
+
+  // --- fault machinery -------------------------------------------------
+
+  Status HandleFault(const Event& e) {
+    const FaultEvent& fault = schedule_.events()[e.tag];
+    switch (fault.kind) {
+      case FaultKind::kCrash:
+        return ApplyCrash(fault.server, e.time);
+      case FaultKind::kRecover:
+        mask_.SetAlive(fault.server, true);
+        factor_[fault.server.value] = 1.0;
+        Record(e.time, TraceEventType::kServerRecover, OperationId(),
+               OperationId(), fault.server);
+        return Status::OK();
+      case FaultKind::kSlowdown:
+        return ApplySlowdown(fault.server, fault.severity, e.time);
+    }
+    return Status::OK();
+  }
+
+  Status ApplyCrash(ServerId s, double t) {
+    mask_.SetAlive(s, false);
+    Record(t, TraceEventType::kServerCrash, OperationId(), OperationId(), s);
+
+    // Destroy executions and waiting tokens hosted on the dead server.
+    for (uint32_t i = 0; i < w_.num_operations(); ++i) {
+      OperationId op(i);
+      OpCell& cell = cells_[i];
+      if (mapping_.ServerOf(op) != s || cell.dead) continue;
+      if (cell.state == OpState::kRunning) {
+        busy_[s.value] -= cell.sched_completion - t;
+        ++cell.attempt;  // invalidate the scheduled completion
+        cell.state = OpState::kIdle;
+        ++counters_.tokens_lost;
+        Record(t, TraceEventType::kTokenLost, op, OperationId(), s);
+        Orphan(op, t, /*tokens_destroyed=*/true);
+      } else if (cell.state == OpState::kIdle && cell.tokens > 0) {
+        counters_.tokens_lost += cell.tokens;
+        Record(t, TraceEventType::kTokenLost, op, OperationId(), s);
+        Orphan(op, t, /*tokens_destroyed=*/true);
+      }
+    }
+
+    // Destroy messages in flight *from* the dead server and push their
+    // receivers into recovery (their restart re-pulls the lost input).
+    for (uint32_t f = 0; f < flights_.size(); ++f) {
+      Flight& flight = flights_[f];
+      if (flight.from != s || flight.cancelled) continue;
+      OpCell& target = cells_[flight.to.value];
+      if (flight.epoch != target.epoch) continue;  // already stale
+      flight.cancelled = true;
+      if (target.live_inflight > 0) --target.live_inflight;
+      if (target.state == OpState::kIdle && !target.dead) {
+        Orphan(flight.to, t, /*tokens_destroyed=*/false);
+      }
+    }
+
+    if (options_.repair) WSFLOW_RETURN_IF_ERROR(RepairAt(t));
+    return Status::OK();
+  }
+
+  Status ApplySlowdown(ServerId s, double severity, double t) {
+    factor_[s.value] = severity;
+    Record(t, TraceEventType::kServerSlowdown, OperationId(), OperationId(),
+           s);
+    if (!alive(s)) return Status::OK();  // erased by the next recovery
+    // Stretch the remaining service time of in-flight executions.
+    for (uint32_t i = 0; i < w_.num_operations(); ++i) {
+      OpCell& cell = cells_[i];
+      OperationId op(i);
+      if (cell.state != OpState::kRunning || mapping_.ServerOf(op) != s) {
+        continue;
+      }
+      double remaining = cell.sched_completion - t;
+      if (remaining <= 0) continue;
+      double stretched = remaining * (severity / cell.exec_factor);
+      double new_completion = t + stretched;
+      busy_[s.value] += new_completion - cell.sched_completion;
+      cell.sched_completion = new_completion;
+      cell.exec_factor = severity;
+      Push(new_completion, EventKind::kOpComplete, op, OperationId(),
+           ++cell.attempt);
+    }
+    return Status::OK();
+  }
+
+  /// Resets an idle operation whose progress a crash destroyed and enters
+  /// the recovery policy. Bumping the epoch invalidates every in-flight
+  /// delivery, so the restart re-pulls the full fired input set — a lost
+  /// input aborts the whole join rendezvous.
+  void Orphan(OperationId op, double t, bool tokens_destroyed) {
+    (void)tokens_destroyed;
+    OpCell& cell = cells_[op.value];
+    WSFLOW_DCHECK(cell.state == OpState::kIdle);
+    cell.tokens = 0;
+    cell.live_inflight = 0;
+    ++cell.epoch;
+    EnterRecovery(op, t);
+  }
+
+  void EnterRecovery(OperationId op, double t) {
+    OpCell& cell = cells_[op.value];
+    if (cell.dead || cell.recovering || cell.state != OpState::kIdle) return;
+    if (options_.policy == LossPolicy::kNone) {
+      cell.dead = true;
+      ++counters_.gave_up;
+      return;
+    }
+    if (++cell.recovery_attempts > options_.max_recovery_attempts) {
+      cell.dead = true;
+      ++counters_.gave_up;
+      return;
+    }
+    const bool retries_allowed = options_.policy == LossPolicy::kRetry ||
+                                 options_.policy ==
+                                     LossPolicy::kRetryRedispatch;
+    if (retries_allowed) {
+      if (!cell.backoff) {
+        cell.backoff = std::make_unique<ExponentialBackoff>(
+            options_.backoff, BackoffSeed(run_seed_, op));
+      }
+      if (cell.backoff->ShouldRetry()) {
+        cell.recovering = true;
+        Push(t + cell.backoff->NextDelay(), EventKind::kRetry, op,
+             OperationId());
+        return;
+      }
+      if (options_.policy == LossPolicy::kRetry) {
+        cell.dead = true;
+        ++counters_.gave_up;
+        return;
+      }
+    }
+    // kRedispatch, or kRetryRedispatch past its retry budget.
+    cell.recovering = true;
+    Push(t + options_.redispatch_timeout_s, EventKind::kRedispatchTimer, op,
+         OperationId());
+  }
+
+  Status HandleRetry(const Event& e) {
+    OpCell& cell = cells_[e.op.value];
+    cell.recovering = false;
+    if (cell.dead || cell.state != OpState::kIdle) return Status::OK();
+    if (CanRestart(e.op)) {
+      ++counters_.retries;
+      Record(e.time, TraceEventType::kRetry, e.op, OperationId(),
+             mapping_.ServerOf(e.op));
+      return Restart(e.op, e.time);
+    }
+    EnterRecovery(e.op, e.time);
+    return Status::OK();
+  }
+
+  Status HandleRedispatch(const Event& e) {
+    OpCell& cell = cells_[e.op.value];
+    cell.recovering = false;
+    if (cell.dead || cell.state != OpState::kIdle) return Status::OK();
+    if (CanRestart(e.op)) {
+      // The original host recovered while the timer ran: restart in place.
+      ++counters_.retries;
+      Record(e.time, TraceEventType::kRetry, e.op, OperationId(),
+             mapping_.ServerOf(e.op));
+      return Restart(e.op, e.time);
+    }
+    std::optional<ServerId> target = BestAliveServer(e.op);
+    if (target.has_value()) {
+      mapping_.Assign(e.op, *target);
+      ++counters_.redispatches;
+      Record(e.time, TraceEventType::kRedispatch, e.op, OperationId(),
+             *target);
+      return Restart(e.op, e.time);
+    }
+    EnterRecovery(e.op, e.time);
+    return Status::OK();
+  }
+
+  /// True when `op` can restart where it sits: its host is alive and every
+  /// fired input can be re-pulled over a route clear of the down servers.
+  bool CanRestart(OperationId op) const {
+    ServerId host = mapping_.ServerOf(op);
+    if (!alive(host)) return false;
+    for (TransitionId t : w_.in_edges(op)) {
+      if (!fired_[t.value]) continue;
+      const Transition& edge = w_.transition(t);
+      ServerId from = mapping_.ServerOf(edge.from);
+      if (!alive(from)) return false;
+      Result<double> latency = MaskedLatency(
+          router_, n_, edge.message_bits, from, host, mask_);
+      if (!latency.ok()) return false;
+    }
+    return true;
+  }
+
+  /// Best alive landing for a re-dispatched operation under the masked
+  /// cost model: argmin over alive servers of T_proc there plus the masked
+  /// re-pull latency of every fired input; smallest id wins ties. Empty
+  /// when some fired sender's host is down (the data is unreachable until
+  /// it recovers) or no candidate has routes clear of the down servers.
+  std::optional<ServerId> BestAliveServer(OperationId op) const {
+    for (TransitionId t : w_.in_edges(op)) {
+      if (fired_[t.value] &&
+          !alive(mapping_.ServerOf(w_.transition(t).from))) {
+        return std::nullopt;
+      }
+    }
+    std::optional<ServerId> best;
+    double best_score = kInf;
+    for (uint32_t s = 0; s < n_.num_servers(); ++s) {
+      ServerId server(s);
+      if (!alive(server)) continue;
+      double score = model_->TprocOn(op, server);
+      bool feasible = true;
+      for (TransitionId t : w_.in_edges(op)) {
+        if (!fired_[t.value]) continue;
+        const Transition& edge = w_.transition(t);
+        Result<double> latency =
+            MaskedLatency(router_, n_, edge.message_bits,
+                          mapping_.ServerOf(edge.from), server, mask_);
+        if (!latency.ok()) {
+          feasible = false;
+          break;
+        }
+        score += *latency;
+      }
+      if (feasible && score < best_score) {
+        best_score = score;
+        best = server;
+      }
+    }
+    return best;
+  }
+
+  /// Restarts `op` on its (alive) host: re-pulls every fired input; a
+  /// source simply begins executing again.
+  Status Restart(OperationId op, double t) {
+    bool any_fired = false;
+    for (TransitionId tr : w_.in_edges(op)) {
+      if (!fired_[tr.value]) continue;
+      any_fired = true;
+      WSFLOW_RETURN_IF_ERROR(Send(tr, t));
+    }
+    if (!any_fired) {
+      WSFLOW_DCHECK(w_.in_degree(op) == 0);
+      StartExecution(op, t);
+    }
+    return Status::OK();
+  }
+
+  /// Mid-run repair hook: heal the current mapping against the alive mask
+  /// and move every cold operation (idle, no tokens arrived or in flight)
+  /// onto the patched deployment. Orphans adopt their patched host too —
+  /// their pending recovery lands there.
+  Status RepairAt(double t) {
+    RepairOptions repair_options;
+    repair_options.eval_budget = options_.repair_eval_budget;
+    Result<RepairResult> healed =
+        RepairMapping(*model_, mapping_, mask_, repair_options);
+    if (!healed.ok()) return Status::OK();  // severed: keep the mapping
+    for (uint32_t i = 0; i < w_.num_operations(); ++i) {
+      OperationId op(i);
+      OpCell& cell = cells_[i];
+      if (cell.state != OpState::kIdle || cell.dead || cell.tokens > 0 ||
+          cell.live_inflight > 0) {
+        continue;
+      }
+      ServerId target = healed->mapping.ServerOf(op);
+      if (target != mapping_.ServerOf(op)) {
+        mapping_.Assign(op, target);
+        Record(t, TraceEventType::kRedispatch, op, OperationId(), target);
+      }
+    }
+    ++counters_.repairs;
+    return Status::OK();
+  }
+
+  const Workflow& w_;
+  const Network& n_;
+  const Router& router_;
+  const FaultSchedule& schedule_;
+  const FaultSimOptions& options_;
+  const CostModel* model_;  ///< Null only when the schedule is empty.
+  uint64_t run_seed_;
+  Rng* rng_;
+  Trace* trace_;
+
+  Mapping mapping_;  ///< Per-run copy; re-dispatch and repair mutate it.
+  ServerMask mask_;
+  std::vector<double> factor_;
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  uint64_t seq_ = 0;
+  std::vector<OpCell> cells_;
+  std::vector<Flight> flights_;
+  std::vector<uint8_t> fired_;
+  std::vector<double> completion_;
+  std::vector<double> server_free_;
+  std::vector<double> link_free_;
+  std::vector<double> busy_;
+  RunCounters counters_;
+};
+
+}  // namespace
+
+std::string_view LossPolicyToString(LossPolicy policy) {
+  switch (policy) {
+    case LossPolicy::kNone: return "none";
+    case LossPolicy::kRetry: return "retry";
+    case LossPolicy::kRedispatch: return "redispatch";
+    case LossPolicy::kRetryRedispatch: return "retry+redispatch";
+  }
+  return "unknown";
+}
+
+Result<LossPolicy> LossPolicyFromString(std::string_view name) {
+  for (uint8_t k = 0;
+       k <= static_cast<uint8_t>(LossPolicy::kRetryRedispatch); ++k) {
+    LossPolicy policy = static_cast<LossPolicy>(k);
+    if (LossPolicyToString(policy) == name) return policy;
+  }
+  return Status::InvalidArgument("unknown loss policy: " +
+                                 std::string(name));
+}
+
+Result<FaultSimResult> SimulateWithFaults(const Workflow& workflow,
+                                          const Network& network,
+                                          const Mapping& m,
+                                          const FaultSchedule& schedule,
+                                          const FaultSimOptions& options) {
+  WSFLOW_RETURN_IF_ERROR(ValidateAll(workflow));
+  WSFLOW_RETURN_IF_ERROR(m.ValidateAgainst(workflow, network));
+  if (options.sim.num_runs == 0) {
+    return Status::InvalidArgument("num_runs must be >= 1");
+  }
+  if (schedule.num_servers() != network.num_servers()) {
+    return Status::InvalidArgument(
+        "fault schedule sized for a different network");
+  }
+  if (!(options.redispatch_timeout_s > 0)) {
+    return Status::InvalidArgument("redispatch timeout must be positive");
+  }
+  std::vector<OperationId> sources = workflow.Sources();
+  std::vector<OperationId> sinks = workflow.Sinks();
+  WSFLOW_CHECK_EQ(sources.size(), 1u);  // guaranteed by ValidateAll
+  WSFLOW_CHECK_EQ(sinks.size(), 1u);
+
+  Router router(network);
+  // The cost model powers re-dispatch scoring, the repair hook and the
+  // masked analytic comparison; the fault-free fast path skips it.
+  std::optional<CostModel> model;
+  if (!schedule.events().empty()) {
+    model.emplace(workflow, network, options.profile);
+  }
+
+  FaultSimResult result;
+  result.runs = options.sim.num_runs;
+  result.server_busy.assign(network.num_servers(), 0.0);
+  for (size_t run = 0; run < options.sim.num_runs; ++run) {
+    const uint64_t run_seed = PerRunSeed(options.sim.seed, run);
+    Rng rng(run_seed);
+    Trace* trace =
+        options.sim.record_trace && run == 0 ? &result.trace : nullptr;
+    FaultSimRun sim(workflow, network, m, router, schedule, options,
+                    model.has_value() ? &*model : nullptr, run_seed, &rng,
+                    trace);
+    WSFLOW_ASSIGN_OR_RETURN(std::optional<double> makespan,
+                            sim.Run(sources[0], sinks[0]));
+    if (makespan.has_value()) {
+      ++result.completed_runs;
+      result.makespans.push_back(*makespan);
+    }
+    for (size_t s = 0; s < network.num_servers(); ++s) {
+      result.server_busy[s] += sim.busy()[s];
+    }
+    const RunCounters& c = sim.counters();
+    result.tokens_lost += c.tokens_lost;
+    result.messages_lost += c.messages_lost;
+    result.retries += c.retries;
+    result.redispatches += c.redispatches;
+    result.gave_up += c.gave_up;
+    result.repairs += c.repairs;
+  }
+  result.completion_rate = static_cast<double>(result.completed_runs) /
+                           static_cast<double>(result.runs);
+  double sum = 0;
+  for (double v : result.makespans) sum += v;
+  result.mean_makespan =
+      result.makespans.empty()
+          ? 0.0
+          : sum / static_cast<double>(result.makespans.size());
+  for (double& b : result.server_busy) {
+    b /= static_cast<double>(options.sim.num_runs);
+  }
+
+  // The analytic side of the gap: masked T_execute of the repaired
+  // deployment under the schedule's peak-churn mask.
+  if (schedule.num_crashes() > 0) {
+    ServerMask peak = ServerMask::AllAlive(network.num_servers());
+    ServerMask current = ServerMask::AllAlive(network.num_servers());
+    for (const FaultEvent& e : schedule.events()) {
+      if (e.kind == FaultKind::kCrash) {
+        current.SetAlive(e.server, false);
+      } else if (e.kind == FaultKind::kRecover) {
+        current.SetAlive(e.server, true);
+      }
+      if (current.num_down() > peak.num_down()) peak = current;
+    }
+    RepairOptions repair_options;
+    Result<RepairResult> healed = RepairMapping(*model, m, peak,
+                                                repair_options);
+    result.analytic_masked_makespan =
+        healed.ok() ? healed->cost.execution_time : kInf;
+  }
+  return result;
+}
+
+}  // namespace wsflow

@@ -1,0 +1,144 @@
+// wsflow: fault-aware discrete-event simulation.
+//
+// SimulateWithFaults replays a FaultSchedule (src/sim/faults.h) on the
+// simulator's virtual clock while the deployed workflow executes:
+//
+//   * a *crash* destroys every operation execution running on the dead
+//     server, every token a waiting operation holds there, and every
+//     in-transit message touching it (sent from it or addressed to an
+//     operation hosted on it);
+//   * a *slowdown* stretches the remaining service time of in-flight
+//     executions on the server and slows later ones by the severity
+//     factor until the server next recovers;
+//   * a *recovery* restores full capacity and makes the server placeable
+//     again.
+//
+// On loss, a configurable recovery policy drives the run back to
+// completion: per-operation retry paced by ExponentialBackoff
+// (src/common/backoff.h, seeded, deterministic), timeout-based
+// re-dispatch to the best alive server under the masked cost model, and
+// an optional mid-run repair hook that invokes RepairMapping
+// (src/deploy/repair.h) at crash epochs so surviving tokens resume on the
+// patched deployment. Every run replays the same schedule on its own
+// clock; runs differ only in their XOR branch and backoff jitter draws,
+// which come from independent per-run substreams (PerRunSeed) so results
+// are reproducible run by run, in any run-count grouping.
+//
+// With an empty schedule the simulation is *byte-identical* to plain
+// SimulateWorkflow — same makespans, same traces, same busy accounting —
+// because both entry points drive the same event core (test-enforced).
+// The reported FaultSimResult puts the measured degraded makespan side by
+// side with the analytic masked T_execute of the repaired deployment at
+// peak churn, the gap the ROADMAP asks the simulator to ground-truth.
+
+#ifndef WSFLOW_SIM_FAULT_SIM_H_
+#define WSFLOW_SIM_FAULT_SIM_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/common/backoff.h"
+#include "src/common/result.h"
+#include "src/cost/cost_model.h"
+#include "src/deploy/mapping.h"
+#include "src/network/topology.h"
+#include "src/sim/faults.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+#include "src/workflow/workflow.h"
+
+namespace wsflow {
+
+/// What happens to an operation whose execution, tokens or inputs a crash
+/// destroyed.
+enum class LossPolicy : uint8_t {
+  /// Nothing: the run completes only if the sink never depended on the
+  /// loss. Measures raw in-flight instance loss.
+  kNone,
+  /// Backoff-paced re-attempts on the operation's (possibly recovered)
+  /// host; gives up when the retry budget is spent.
+  kRetry,
+  /// After redispatch_timeout_s, move the operation to the best alive
+  /// server under the masked cost model and re-pull its inputs.
+  kRedispatch,
+  /// Retry while the backoff budget lasts, then fall back to re-dispatch
+  /// — the default, and the policy the acceptance gate holds to 100%
+  /// completion on the committed exemplar.
+  kRetryRedispatch,
+};
+
+std::string_view LossPolicyToString(LossPolicy policy);
+Result<LossPolicy> LossPolicyFromString(std::string_view name);
+
+struct FaultSimOptions {
+  /// Base simulation knobs (runs, seed, contention, tracing). The seed is
+  /// split into per-run substreams; see PerRunSeed in simulator.h.
+  SimOptions sim;
+  LossPolicy policy = LossPolicy::kRetryRedispatch;
+  /// Retry pacing for kRetry / kRetryRedispatch.
+  BackoffOptions backoff;
+  /// Wait before a lost operation is re-dispatched (kRedispatch counts it
+  /// from the loss; kRetryRedispatch from the last exhausted retry).
+  double redispatch_timeout_s = 0.05;
+  /// Hard cap on recovery attempts (retries + re-dispatch probes) per
+  /// operation per run, so schedules that never recover terminate.
+  size_t max_recovery_attempts = 64;
+  /// Invoke RepairMapping at every crash epoch and move cold operations
+  /// (no tokens arrived or in flight) onto the patched deployment.
+  bool repair = false;
+  /// Delta-evaluation budget of each mid-run repair (0 = unlimited).
+  size_t repair_eval_budget = 256;
+  /// Execution probabilities for the masked analytic comparison and the
+  /// repair hook; may be null.
+  const ExecutionProfile* profile = nullptr;
+};
+
+struct FaultSimResult {
+  size_t runs = 0;
+  size_t completed_runs = 0;
+  /// completed_runs / runs.
+  double completion_rate = 0;
+  /// Makespans of the *completed* runs, in run order.
+  std::vector<double> makespans;
+  /// Mean makespan over the completed runs (0 when none completed).
+  double mean_makespan = 0;
+  /// Mean useful busy seconds per server over all runs (destroyed work is
+  /// charged only up to the crash instant).
+  std::vector<double> server_busy;
+  /// Executions destroyed mid-flight plus waiting tokens destroyed at a
+  /// crashed host, summed over runs.
+  size_t tokens_lost = 0;
+  /// In-transit messages destroyed by crashes, summed over runs.
+  size_t messages_lost = 0;
+  /// Backoff re-attempts that actually restarted an operation.
+  size_t retries = 0;
+  /// Operations moved to a new alive server.
+  size_t redispatches = 0;
+  /// Operations abandoned with their recovery budget spent.
+  size_t gave_up = 0;
+  /// Mid-run RepairMapping invocations (successful ones).
+  size_t repairs = 0;
+  /// Masked analytic T_execute of the repaired deployment under the
+  /// schedule's peak-churn mask (RepairMapping from the input mapping;
+  /// +infinity when the masked deployment is severed; 0 when the schedule
+  /// has no crash and there is nothing to mask).
+  double analytic_masked_makespan = 0;
+  /// Trace of the first run when sim.record_trace is set, including
+  /// crash/recover/slowdown, loss, retry and redispatch events.
+  Trace trace;
+};
+
+/// Simulates `options.sim.num_runs` fault-injected executions of the
+/// workflow deployed per `m` over `network`, replaying `schedule` on each
+/// run's virtual clock. The mapping must be total, the workflow
+/// well-formed and the schedule sized to the network.
+Result<FaultSimResult> SimulateWithFaults(const Workflow& workflow,
+                                          const Network& network,
+                                          const Mapping& m,
+                                          const FaultSchedule& schedule,
+                                          const FaultSimOptions& options = {});
+
+}  // namespace wsflow
+
+#endif  // WSFLOW_SIM_FAULT_SIM_H_

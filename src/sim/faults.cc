@@ -68,6 +68,14 @@ std::string_view FaultKindToString(FaultKind kind) {
   return "unknown";
 }
 
+Result<FaultKind> FaultKindFromString(std::string_view name) {
+  for (uint8_t k = 0; k <= static_cast<uint8_t>(FaultKind::kSlowdown); ++k) {
+    FaultKind kind = static_cast<FaultKind>(k);
+    if (FaultKindToString(kind) == name) return kind;
+  }
+  return Status::InvalidArgument("unknown fault kind: " + std::string(name));
+}
+
 Result<FaultSchedule> FaultSchedule::Generate(
     const Network& n, const FaultScheduleOptions& options) {
   const size_t N = n.num_servers();
@@ -188,6 +196,68 @@ Result<FaultSchedule> FaultSchedule::FromEvents(
   schedule.num_servers_ = num_servers;
   schedule.events_ = std::move(events);
   return schedule;
+}
+
+Result<FaultSchedule> FaultSchedule::Parse(size_t num_servers,
+                                           std::string_view text) {
+  std::vector<FaultEvent> events;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
+                             line.back() == '\r')) {
+      line.remove_suffix(1);
+    }
+    if (line.empty() || line.front() == '#') continue;
+
+    auto fail = [&](const std::string& what) {
+      return Status::InvalidArgument("fault schedule line " +
+                                     std::to_string(line_no) + ": " + what);
+    };
+    std::vector<std::string> fields;
+    for (std::string& f : Split(std::string(line), ' ')) {
+      if (!f.empty()) fields.push_back(std::move(f));
+    }
+    if (fields.size() < 3 || fields.size() > 4) {
+      return fail("expected 't=<sec>s <kind> s<server>[ x<factor>]'");
+    }
+    FaultEvent e;
+    const std::string& t = fields[0];
+    if (t.size() < 4 || !StartsWith(t, "t=") || t.back() != 's') {
+      return fail("bad time field: " + t);
+    }
+    WSFLOW_ASSIGN_OR_RETURN(
+        e.time_s, ParseDouble(std::string_view(t).substr(2, t.size() - 3)));
+    WSFLOW_ASSIGN_OR_RETURN(e.kind, FaultKindFromString(fields[1]));
+    const std::string& server = fields[2];
+    if (server.size() < 2 || server.front() != 's') {
+      return fail("bad server field: " + server);
+    }
+    WSFLOW_ASSIGN_OR_RETURN(
+        int64_t id, ParseInt64(std::string_view(server).substr(1)));
+    if (id < 0) return fail("bad server id: " + server);
+    e.server = ServerId(static_cast<uint32_t>(id));
+    if (fields.size() == 4) {
+      if (e.kind != FaultKind::kSlowdown || fields[3].front() != 'x') {
+        return fail("unexpected trailing field: " + fields[3]);
+      }
+      WSFLOW_ASSIGN_OR_RETURN(
+          e.severity, ParseDouble(std::string_view(fields[3]).substr(1)));
+    } else if (e.kind == FaultKind::kSlowdown) {
+      return fail("slowdown needs an x<factor> field");
+    }
+    events.push_back(e);
+  }
+  return FromEvents(num_servers, std::move(events));
 }
 
 size_t FaultSchedule::num_crashes() const {

@@ -35,6 +35,9 @@ enum class FaultKind : uint8_t {
 
 std::string_view FaultKindToString(FaultKind kind);
 
+/// Inverse of FaultKindToString; fails on unknown names.
+Result<FaultKind> FaultKindFromString(std::string_view name);
+
 struct FaultEvent {
   double time_s = 0;
   ServerId server;
@@ -74,6 +77,14 @@ class FaultSchedule {
   /// down.
   static Result<FaultSchedule> FromEvents(size_t num_servers,
                                           std::vector<FaultEvent> events);
+
+  /// Parses the dialect ToString emits, one event per line
+  /// ("t=12.345s crash s3", slowdowns with a trailing " x2.500" factor).
+  /// Blank lines and lines starting with '#' are skipped, so schedules can
+  /// live in annotated files (`wsflow simulate --faults-file`). Validates
+  /// via FromEvents.
+  static Result<FaultSchedule> Parse(size_t num_servers,
+                                     std::string_view text);
 
   const std::vector<FaultEvent>& events() const { return events_; }
   size_t num_servers() const { return num_servers_; }

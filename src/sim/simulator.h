@@ -33,7 +33,10 @@ struct SimOptions {
   /// Monte-Carlo runs; XOR branches re-sample each run. Deterministic
   /// workflows need only 1.
   size_t num_runs = 1;
-  /// Seed for XOR branch sampling.
+  /// Seed for XOR branch sampling. Each run draws from its own substream
+  /// (PerRunSeed below), so run i's makespan is the same whatever
+  /// num_runs it is grouped into — and whatever other streams (fault
+  /// retries, backoff jitter) consume.
   uint64_t seed = 0;
   /// Serialize operations sharing a server (FIFO by ready time).
   bool server_contention = false;
@@ -60,6 +63,12 @@ struct SimResult {
 Result<SimResult> SimulateWorkflow(const Workflow& workflow,
                                    const Network& network, const Mapping& m,
                                    const SimOptions& options = {});
+
+/// The seed of run `run`'s private random substream: a splitmix64-style
+/// hash of (seed, run). Separate substreams per run keep every run's
+/// draws independent — retry sampling in run i never perturbs XOR branch
+/// draws in run j, and prefixes agree across num_runs groupings.
+uint64_t PerRunSeed(uint64_t seed, size_t run);
 
 }  // namespace wsflow
 

@@ -1,5 +1,8 @@
 #include "src/sim/trace.h"
 
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "src/common/string_util.h"
@@ -12,8 +15,24 @@ std::string_view TraceEventTypeToString(TraceEventType type) {
     case TraceEventType::kOperationComplete: return "complete";
     case TraceEventType::kMessageSent: return "send";
     case TraceEventType::kMessageDelivered: return "deliver";
+    case TraceEventType::kServerCrash: return "crash";
+    case TraceEventType::kServerRecover: return "recover";
+    case TraceEventType::kServerSlowdown: return "slowdown";
+    case TraceEventType::kTokenLost: return "loss";
+    case TraceEventType::kRetry: return "retry";
+    case TraceEventType::kRedispatch: return "redispatch";
   }
   return "unknown";
+}
+
+Result<TraceEventType> TraceEventTypeFromString(std::string_view name) {
+  for (uint8_t k = 0; k <= static_cast<uint8_t>(TraceEventType::kRedispatch);
+       ++k) {
+    TraceEventType type = static_cast<TraceEventType>(k);
+    if (TraceEventTypeToString(type) == name) return type;
+  }
+  return Status::InvalidArgument("unknown trace event type: " +
+                                 std::string(name));
 }
 
 std::vector<TraceEvent> Trace::EventsOfType(TraceEventType type) const {
@@ -27,13 +46,187 @@ std::vector<TraceEvent> Trace::EventsOfType(TraceEventType type) const {
 std::string Trace::ToString(const Workflow& w, const Network& n) const {
   std::ostringstream os;
   for (const TraceEvent& e : events_) {
-    os << FormatSeconds(e.time) << "  " << TraceEventTypeToString(e.type)
-       << " " << w.operation(e.op).name();
+    os << FormatSeconds(e.time) << "  " << TraceEventTypeToString(e.type);
+    if (e.op.valid()) os << " " << w.operation(e.op).name();
     if (e.peer.valid()) os << " -> " << w.operation(e.peer).name();
     if (e.server.valid()) os << " @" << n.server(e.server).name();
     os << "\n";
   }
   return os.str();
+}
+
+namespace {
+
+int64_t IdOrMinusOne(uint32_t value, uint32_t invalid) {
+  return value == invalid ? -1 : static_cast<int64_t>(value);
+}
+
+}  // namespace
+
+std::string Trace::ToJson() const {
+  std::string out = "{\"events\": [\n";
+  char buf[192];
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"t\": %.17g, \"type\": \"%s\", \"op\": %lld, "
+                  "\"peer\": %lld, \"server\": %lld}%s\n",
+                  e.time,
+                  std::string(TraceEventTypeToString(e.type)).c_str(),
+                  static_cast<long long>(
+                      IdOrMinusOne(e.op.value, OperationId::kInvalid)),
+                  static_cast<long long>(
+                      IdOrMinusOne(e.peer.value, OperationId::kInvalid)),
+                  static_cast<long long>(
+                      IdOrMinusOne(e.server.value, ServerId::kInvalid)),
+                  i + 1 < events_.size() ? "," : "");
+    out += buf;
+  }
+  out += "]}\n";
+  return out;
+}
+
+namespace {
+
+/// Minimal cursor parser for the dialect ToJson emits. Tolerates arbitrary
+/// whitespace between tokens but requires the key order t/type/op/peer/
+/// server within each event object.
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Status::InvalidArgument(
+          std::string("trace json: expected '") + c + "' at offset " +
+          std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+  Status ExpectKey(std::string_view key) {
+    WSFLOW_RETURN_IF_ERROR(Expect('"'));
+    if (text_.substr(pos_, key.size()) != key) {
+      return Status::InvalidArgument("trace json: expected key \"" +
+                                     std::string(key) + "\"");
+    }
+    pos_ += key.size();
+    WSFLOW_RETURN_IF_ERROR(Expect('"'));
+    return Expect(':');
+  }
+
+  Result<double> ParseNumber() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == 'n' || text_[pos_] == 'a' ||
+            text_[pos_] == 'i' || text_[pos_] == 'f')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("trace json: expected a number");
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end == token.c_str()) {
+      return Status::InvalidArgument("trace json: bad number: " + token);
+    }
+    return value;
+  }
+
+  Result<std::string> ParseString() {
+    WSFLOW_RETURN_IF_ERROR(Expect('"'));
+    size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') ++pos_;
+    if (pos_ == text_.size()) {
+      return Status::InvalidArgument("trace json: unterminated string");
+    }
+    std::string value(text_.substr(start, pos_ - start));
+    ++pos_;  // closing quote
+    return value;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+uint32_t IdFromInt64(double value, uint32_t invalid) {
+  if (value < 0) return invalid;
+  return static_cast<uint32_t>(value);
+}
+
+}  // namespace
+
+Result<Trace> ParseTraceJson(std::string_view json) {
+  JsonCursor cur(json);
+  WSFLOW_RETURN_IF_ERROR(cur.Expect('{'));
+  WSFLOW_RETURN_IF_ERROR(cur.ExpectKey("events"));
+  WSFLOW_RETURN_IF_ERROR(cur.Expect('['));
+  Trace trace;
+  if (!cur.Peek(']')) {
+    do {
+      WSFLOW_RETURN_IF_ERROR(cur.Expect('{'));
+      TraceEvent e;
+      WSFLOW_RETURN_IF_ERROR(cur.ExpectKey("t"));
+      WSFLOW_ASSIGN_OR_RETURN(e.time, cur.ParseNumber());
+      WSFLOW_RETURN_IF_ERROR(cur.Expect(','));
+      WSFLOW_RETURN_IF_ERROR(cur.ExpectKey("type"));
+      WSFLOW_ASSIGN_OR_RETURN(std::string type_name, cur.ParseString());
+      WSFLOW_ASSIGN_OR_RETURN(e.type, TraceEventTypeFromString(type_name));
+      WSFLOW_RETURN_IF_ERROR(cur.Expect(','));
+      WSFLOW_RETURN_IF_ERROR(cur.ExpectKey("op"));
+      WSFLOW_ASSIGN_OR_RETURN(double op, cur.ParseNumber());
+      e.op = OperationId(IdFromInt64(op, OperationId::kInvalid));
+      WSFLOW_RETURN_IF_ERROR(cur.Expect(','));
+      WSFLOW_RETURN_IF_ERROR(cur.ExpectKey("peer"));
+      WSFLOW_ASSIGN_OR_RETURN(double peer, cur.ParseNumber());
+      e.peer = OperationId(IdFromInt64(peer, OperationId::kInvalid));
+      WSFLOW_RETURN_IF_ERROR(cur.Expect(','));
+      WSFLOW_RETURN_IF_ERROR(cur.ExpectKey("server"));
+      WSFLOW_ASSIGN_OR_RETURN(double server, cur.ParseNumber());
+      e.server = ServerId(IdFromInt64(server, ServerId::kInvalid));
+      WSFLOW_RETURN_IF_ERROR(cur.Expect('}'));
+      trace.Record(e);
+    } while (cur.Consume(','));
+  }
+  WSFLOW_RETURN_IF_ERROR(cur.Expect(']'));
+  WSFLOW_RETURN_IF_ERROR(cur.Expect('}'));
+  if (!cur.AtEnd()) {
+    return Status::InvalidArgument("trace json: trailing content");
+  }
+  return trace;
 }
 
 }  // namespace wsflow

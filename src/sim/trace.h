@@ -2,7 +2,11 @@
 //
 // The simulator optionally records every event it processes; traces are
 // used by tests to assert ordering properties and by examples to show the
-// workflow unfolding over the server farm.
+// workflow unfolding over the server farm. Fault-aware simulation
+// (src/sim/fault_sim.h) adds churn events — server crash/recover/slowdown
+// plus token loss, backoff retries and re-dispatches — so a trace is a
+// complete account of a degraded run. ToJson/ParseTraceJson round-trip a
+// trace through a line-oriented JSON dump (`wsflow simulate --trace-json`).
 
 #ifndef WSFLOW_SIM_TRACE_H_
 #define WSFLOW_SIM_TRACE_H_
@@ -10,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/result.h"
 #include "src/network/server.h"
 #include "src/network/topology.h"
 #include "src/workflow/operation.h"
@@ -22,16 +27,38 @@ enum class TraceEventType : uint8_t {
   kOperationComplete,
   kMessageSent,
   kMessageDelivered,
+  // Fault-aware kinds (src/sim/fault_sim.h). Server events carry no
+  // operation; loss/retry/redispatch carry the affected operation and the
+  // server it was lost on / re-attempted on / re-dispatched to.
+  kServerCrash,
+  kServerRecover,
+  kServerSlowdown,
+  kTokenLost,
+  kRetry,
+  kRedispatch,
 };
 
 std::string_view TraceEventTypeToString(TraceEventType type);
 
+/// Inverse of TraceEventTypeToString; fails on unknown names.
+Result<TraceEventType> TraceEventTypeFromString(std::string_view name);
+
 struct TraceEvent {
   double time = 0;  ///< Simulation seconds.
   TraceEventType type = TraceEventType::kOperationStart;
-  OperationId op;       ///< The acting operation (sender for messages).
+  OperationId op;       ///< The acting operation (sender for messages);
+                        ///< invalid for server fault events.
   OperationId peer;     ///< Message receiver; invalid for operation events.
-  ServerId server;      ///< Host of `op` at event time.
+  ServerId server;      ///< Host of `op` at event time, or the faulting
+                        ///< server for server events.
+
+  friend bool operator==(const TraceEvent& a, const TraceEvent& b) {
+    return a.time == b.time && a.type == b.type && a.op == b.op &&
+           a.peer == b.peer && a.server == b.server;
+  }
+  friend bool operator!=(const TraceEvent& a, const TraceEvent& b) {
+    return !(a == b);
+  }
 };
 
 /// Chronological list of simulation events.
@@ -49,9 +76,25 @@ class Trace {
   /// Multi-line human-readable rendering.
   std::string ToString(const Workflow& w, const Network& n) const;
 
+  /// One JSON object per event under an "events" array. Times print with
+  /// %.17g so every double survives the round-trip bit-for-bit; invalid
+  /// op/peer/server ids serialize as -1.
+  std::string ToJson() const;
+
+  friend bool operator==(const Trace& a, const Trace& b) {
+    return a.events_ == b.events_;
+  }
+  friend bool operator!=(const Trace& a, const Trace& b) {
+    return !(a == b);
+  }
+
  private:
   std::vector<TraceEvent> events_;
 };
+
+/// Parses the exact dialect Trace::ToJson emits (whitespace-tolerant).
+/// ParseTraceJson(t.ToJson()) == t for every trace.
+Result<Trace> ParseTraceJson(std::string_view json);
 
 }  // namespace wsflow
 

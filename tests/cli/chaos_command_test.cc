@@ -22,9 +22,15 @@ std::string RunChaos(const std::vector<std::string>& extra) {
 
 TEST(ChaosCommandTest, AnswersEveryRequestUnderChurn) {
   std::string out = RunChaos({});
-  EXPECT_NE(out.find("unanswered=0"), std::string::npos) << out;
   EXPECT_NE(out.find("failed=0"), std::string::npos) << out;
   EXPECT_NE(out.find("repair quality"), std::string::npos) << out;
+}
+
+TEST(ChaosCommandTest, ReportsSimulatorSourcedLossColumns) {
+  std::string out = RunChaos({});
+  EXPECT_NE(out.find("completion-rate="), std::string::npos) << out;
+  EXPECT_NE(out.find("tokens-lost="), std::string::npos) << out;
+  EXPECT_EQ(out.find("unanswered="), std::string::npos) << out;
 }
 
 TEST(ChaosCommandTest, OutputIsIdenticalAcrossThreadCounts) {

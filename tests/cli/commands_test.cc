@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "src/network/serialization.h"
+#include "src/sim/trace.h"
 #include "src/workflow/serialization.h"
 #include "src/workflow/validate.h"
 #include "tests/testing/test_util.h"
@@ -141,6 +142,53 @@ TEST_F(CommandsTest, SimulateAgreesWithAnalytic) {
   std::string text = out.str();
   EXPECT_NE(text.find("mean makespan"), std::string::npos);
   EXPECT_NE(text.find("trace of run 1"), std::string::npos);
+}
+
+TEST_F(CommandsTest, SimulateWithGeneratedFaultsReportsRecovery) {
+  std::ostringstream out;
+  std::vector<std::string> args = InputArgs();
+  args.insert(args.end(), {"--runs", "8", "--seed", "7", "--faults", "1",
+                           "--fault-seed", "3", "--policy",
+                           "retry+redispatch", "--stats"});
+  WSFLOW_ASSERT_OK(CmdSimulate(args, out));
+  std::string text = out.str();
+  EXPECT_NE(text.find("fault schedule"), std::string::npos) << text;
+  EXPECT_NE(text.find("completion:"), std::string::npos) << text;
+  EXPECT_NE(text.find("tokens lost:"), std::string::npos) << text;
+}
+
+TEST_F(CommandsTest, SimulateReplaysAFaultScheduleFile) {
+  std::string path = dir_ + "/cmd_faults.txt";
+  {
+    std::ofstream file(path);
+    file << "# one transient crash\n"
+         << "t=0.01s crash s0\n"
+         << "t=0.2s recover s0\n";
+  }
+  std::ostringstream out;
+  std::vector<std::string> args = InputArgs();
+  args.insert(args.end(), {"--runs", "4", "--faults-file", path, "--policy",
+                           "retry"});
+  WSFLOW_ASSERT_OK(CmdSimulate(args, out));
+  EXPECT_NE(out.str().find("crash s0"), std::string::npos) << out.str();
+  std::remove(path.c_str());
+}
+
+TEST_F(CommandsTest, SimulateTraceJsonRoundTrips) {
+  std::ostringstream out;
+  std::vector<std::string> args = InputArgs();
+  args.insert(args.end(), {"--runs", "2", "--trace-json"});
+  WSFLOW_ASSERT_OK(CmdSimulate(args, out));
+  Trace parsed = WSFLOW_UNWRAP(ParseTraceJson(out.str()));
+  EXPECT_FALSE(parsed.events().empty());
+  EXPECT_EQ(parsed.ToJson(), out.str());
+}
+
+TEST_F(CommandsTest, SimulateRejectsUnknownPolicy) {
+  std::ostringstream out;
+  std::vector<std::string> args = InputArgs();
+  args.insert(args.end(), {"--faults", "1", "--policy", "bogus"});
+  EXPECT_TRUE(CmdSimulate(args, out).IsInvalidArgument());
 }
 
 TEST_F(CommandsTest, SampleReportsBounds) {

@@ -1,0 +1,115 @@
+// Zero-schedule bit-parity: SimulateWithFaults with an empty FaultSchedule
+// must produce makespans, traces and busy accounting *byte-identical* to
+// plain SimulateWorkflow — across every workload family, every topology
+// family, and both contention switches. Both entry points drive the same
+// event core, so this pins the fault machinery's zero-cost property: the
+// fault hooks may not perturb a single double, RNG draw, or trace record
+// when no fault ever fires.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/exp/config.h"
+#include "src/sim/fault_sim.h"
+#include "src/sim/faults.h"
+#include "src/sim/simulator.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+using testing::RoundRobin;
+
+void ExpectByteParity(const Workflow& w, const Network& n, const Mapping& m,
+                      const SimOptions& sim_options) {
+  FaultSchedule empty =
+      WSFLOW_UNWRAP(FaultSchedule::FromEvents(n.num_servers(), {}));
+  FaultSimOptions fault_options;
+  fault_options.sim = sim_options;
+
+  SimResult plain = WSFLOW_UNWRAP(SimulateWorkflow(w, n, m, sim_options));
+  FaultSimResult faulted =
+      WSFLOW_UNWRAP(SimulateWithFaults(w, n, m, empty, fault_options));
+
+  ASSERT_EQ(faulted.completion_rate, 1.0);
+  EXPECT_EQ(faulted.makespans, plain.makespans);
+  EXPECT_EQ(faulted.mean_makespan, plain.mean_makespan);
+  EXPECT_EQ(faulted.server_busy, plain.server_busy);
+  EXPECT_EQ(faulted.trace, plain.trace);
+  EXPECT_EQ(faulted.tokens_lost, 0u);
+  EXPECT_EQ(faulted.messages_lost, 0u);
+  EXPECT_EQ(faulted.retries, 0u);
+  EXPECT_EQ(faulted.redispatches, 0u);
+}
+
+SimOptions ParitySimOptions(uint64_t seed, bool contention) {
+  SimOptions options;
+  options.num_runs = 5;
+  options.seed = seed;
+  options.record_trace = true;
+  options.server_contention = contention;
+  options.bus_contention = contention;
+  return options;
+}
+
+TEST(FaultSimParityTest, HandBuiltWorkloads) {
+  for (bool contention : {false, true}) {
+    Workflow line = testing::SimpleLine(6, 50e6, 8000);
+    Network bus = testing::SimpleBus(3);
+    ExpectByteParity(line, bus, RoundRobin(6, 3),
+                     ParitySimOptions(11, contention));
+
+    Workflow graph = testing::AllDecisionGraph();
+    Network wide = testing::SimpleBus(4);
+    ExpectByteParity(graph, wide,
+                     RoundRobin(graph.num_operations(), 4),
+                     ParitySimOptions(12, contention));
+  }
+}
+
+class FaultSimParityFamilyTest
+    : public ::testing::TestWithParam<
+          std::tuple<WorkloadKind, ExperimentTopology, uint64_t>> {};
+
+TEST_P(FaultSimParityFamilyTest, EmptyScheduleIsByteIdentical) {
+  auto [kind, topology, seed] = GetParam();
+  ExperimentConfig cfg = MakeClassCConfig(kind);
+  cfg.num_operations = 13;
+  cfg.num_servers = 4;
+  cfg.topology = topology;
+  cfg.seed = seed;
+  TrialInstance trial = WSFLOW_UNWRAP(DrawTrial(cfg, 0));
+  Mapping m = RoundRobin(trial.workflow.num_operations(),
+                         trial.network.num_servers());
+  ExpectByteParity(trial.workflow, trial.network, m,
+                   ParitySimOptions(seed, false));
+  ExpectByteParity(trial.workflow, trial.network, m,
+                   ParitySimOptions(seed, true));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, FaultSimParityFamilyTest,
+    ::testing::Combine(
+        ::testing::Values(WorkloadKind::kLine, WorkloadKind::kBushyGraph,
+                          WorkloadKind::kLengthyGraph,
+                          WorkloadKind::kHybridGraph),
+        ::testing::Values(ExperimentTopology::kBus,
+                          ExperimentTopology::kFatTree,
+                          ExperimentTopology::kHierarchical),
+        ::testing::Values(1u, 2u)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<WorkloadKind, ExperimentTopology, uint64_t>>& info) {
+      std::string name =
+          std::string(WorkloadKindToString(std::get<0>(info.param))) + "_" +
+          std::string(
+              ExperimentTopologyToString(std::get<1>(info.param))) +
+          "_s" + std::to_string(std::get<2>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace wsflow

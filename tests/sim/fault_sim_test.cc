@@ -1,0 +1,346 @@
+// Fault-aware simulation: crash/slowdown/recovery semantics, the recovery
+// policies (backoff retry, re-dispatch, mid-run repair), the committed
+// chaos exemplar's acceptance gate, and determinism of the per-run seed
+// substreams. The empty-schedule byte-parity property lives in
+// tests/property/fault_sim_parity_test.cc.
+
+#include "src/sim/fault_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "src/sim/faults.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+using testing::AllOnServer;
+using testing::RoundRobin;
+
+/// The committed exemplar instance: an 8-op line round-robined over a
+/// 4-server bus; see examples/data/chaos_schedule.txt.
+constexpr size_t kExemplarOps = 8;
+constexpr size_t kExemplarServers = 4;
+
+Workflow ExemplarWorkflow() {
+  return testing::SimpleLine(kExemplarOps, 50e6, 8000);
+}
+
+Network ExemplarNetwork() { return testing::SimpleBus(kExemplarServers); }
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+FaultSchedule LoadExemplarSchedule() {
+  const std::string path =
+      std::string(WSFLOW_SOURCE_DIR) + "/examples/data/chaos_schedule.txt";
+  return WSFLOW_UNWRAP(
+      FaultSchedule::Parse(kExemplarServers, ReadFileOrDie(path)));
+}
+
+TEST(FaultSimTest, EmptyScheduleMatchesPlainSimulator) {
+  Workflow w = testing::SimpleLine(4, 50e6, 8000);
+  Network n = testing::SimpleBus(2);
+  Mapping m = RoundRobin(4, 2);
+  FaultSchedule empty = WSFLOW_UNWRAP(FaultSchedule::FromEvents(2, {}));
+  FaultSimOptions options;
+  options.sim.record_trace = true;
+  SimOptions plain_options;
+  plain_options.record_trace = true;
+
+  FaultSimResult faulted =
+      WSFLOW_UNWRAP(SimulateWithFaults(w, n, m, empty, options));
+  SimResult plain = WSFLOW_UNWRAP(SimulateWorkflow(w, n, m, plain_options));
+  EXPECT_EQ(faulted.completion_rate, 1.0);
+  EXPECT_EQ(faulted.makespans, plain.makespans);
+  EXPECT_EQ(faulted.server_busy, plain.server_busy);
+  EXPECT_EQ(faulted.trace, plain.trace);
+  EXPECT_EQ(faulted.tokens_lost, 0u);
+  EXPECT_EQ(faulted.messages_lost, 0u);
+  EXPECT_EQ(faulted.analytic_masked_makespan, 0.0);
+}
+
+TEST(FaultSimTest, CrashWithoutPolicyLosesTheRun) {
+  // op1 runs on s1 in [0.05, 0.10]; the crash at 0.06 destroys it and
+  // kNone never recovers, so the sink is unreachable.
+  Workflow w = testing::SimpleLine(4, 50e6, 8000);
+  Network n = testing::SimpleBus(2);
+  Mapping m = RoundRobin(4, 2);
+  FaultSchedule schedule = WSFLOW_UNWRAP(FaultSchedule::FromEvents(
+      2, {FaultEvent{0.06, ServerId(1), FaultKind::kCrash, 1.0},
+          FaultEvent{0.20, ServerId(1), FaultKind::kRecover, 1.0}}));
+  FaultSimOptions options;
+  options.policy = LossPolicy::kNone;
+
+  FaultSimResult r =
+      WSFLOW_UNWRAP(SimulateWithFaults(w, n, m, schedule, options));
+  EXPECT_EQ(r.completed_runs, 0u);
+  EXPECT_EQ(r.completion_rate, 0.0);
+  EXPECT_TRUE(r.makespans.empty());
+  EXPECT_GE(r.tokens_lost, 1u);
+  EXPECT_GE(r.gave_up, 1u);
+  EXPECT_EQ(r.retries, 0u);
+  EXPECT_EQ(r.redispatches, 0u);
+}
+
+TEST(FaultSimTest, RetryRestartsOnRecoveredServer) {
+  Workflow w = testing::SimpleLine(4, 50e6, 8000);
+  Network n = testing::SimpleBus(2);
+  Mapping m = RoundRobin(4, 2);
+  FaultSchedule schedule = WSFLOW_UNWRAP(FaultSchedule::FromEvents(
+      2, {FaultEvent{0.06, ServerId(1), FaultKind::kCrash, 1.0},
+          FaultEvent{0.10, ServerId(1), FaultKind::kRecover, 1.0}}));
+  FaultSimOptions options;
+  options.policy = LossPolicy::kRetry;
+  options.sim.record_trace = true;
+
+  FaultSimResult r =
+      WSFLOW_UNWRAP(SimulateWithFaults(w, n, m, schedule, options));
+  EXPECT_EQ(r.completion_rate, 1.0);
+  EXPECT_GE(r.retries, 1u);
+  EXPECT_EQ(r.redispatches, 0u);
+  EXPECT_GE(r.tokens_lost, 1u);
+  // The lost execution replays after the recovery: strictly slower than
+  // the crash-free run, and never finished before the server came back.
+  SimResult plain = WSFLOW_UNWRAP(SimulateWorkflow(w, n, m));
+  EXPECT_GT(r.mean_makespan, plain.mean_makespan);
+  EXPECT_GT(r.mean_makespan, 0.10);
+  EXPECT_EQ(r.trace.EventsOfType(TraceEventType::kServerCrash).size(), 1u);
+  EXPECT_EQ(r.trace.EventsOfType(TraceEventType::kServerRecover).size(), 1u);
+  EXPECT_GE(r.trace.EventsOfType(TraceEventType::kRetry).size(), 1u);
+}
+
+TEST(FaultSimTest, RedispatchMovesWorkOffDeadServer) {
+  // s1 never recovers: only re-dispatch can finish the line.
+  Workflow w = testing::SimpleLine(4, 50e6, 8000);
+  Network n = testing::SimpleBus(2);
+  Mapping m = RoundRobin(4, 2);
+  FaultSchedule schedule = WSFLOW_UNWRAP(FaultSchedule::FromEvents(
+      2, {FaultEvent{0.06, ServerId(1), FaultKind::kCrash, 1.0}}));
+  FaultSimOptions options;
+  options.policy = LossPolicy::kRetryRedispatch;
+  options.sim.record_trace = true;
+
+  FaultSimResult r =
+      WSFLOW_UNWRAP(SimulateWithFaults(w, n, m, schedule, options));
+  EXPECT_EQ(r.completion_rate, 1.0);
+  EXPECT_GE(r.redispatches, 1u);
+  // Every re-dispatch lands on the only alive server.
+  for (const TraceEvent& e :
+       r.trace.EventsOfType(TraceEventType::kRedispatch)) {
+    EXPECT_EQ(e.server, ServerId(0));
+  }
+}
+
+TEST(FaultSimTest, SlowdownStretchesRemainingServiceTime) {
+  // ops 1 and 3 live on s1; the slowdown lands mid-execution of op1
+  // (remaining 0.025 s doubles to 0.05 s) and op3 runs fully degraded.
+  Workflow w = testing::SimpleLine(4, 50e6, 8000);
+  Network n = testing::SimpleBus(2);
+  Mapping m = RoundRobin(4, 2);
+  FaultSchedule schedule = WSFLOW_UNWRAP(FaultSchedule::FromEvents(
+      2, {FaultEvent{0.075, ServerId(1), FaultKind::kSlowdown, 2.0}}));
+
+  FaultSimResult r = WSFLOW_UNWRAP(SimulateWithFaults(w, n, m, schedule));
+  SimResult plain = WSFLOW_UNWRAP(SimulateWorkflow(w, n, m));
+  EXPECT_EQ(r.completion_rate, 1.0);
+  EXPECT_EQ(r.tokens_lost, 0u);
+  EXPECT_EQ(r.messages_lost, 0u);
+  // op1 starts at 0.05008 (one 8e-5 s message after op0), so 0.02508 s of
+  // it plus all 0.05 s of op3 stretch by 2x: +0.07508 s end to end.
+  EXPECT_NEAR(r.mean_makespan, plain.mean_makespan + 0.07508, 1e-9);
+  EXPECT_NEAR(r.server_busy[1], plain.server_busy[1] + 0.07508, 1e-9);
+}
+
+TEST(FaultSimTest, RepairHookMovesColdOperationsBeforeLoss) {
+  // s1 dies before any token reaches it; the crash-epoch repair relocates
+  // the still-cold ops 1 and 3, so the run completes with zero losses
+  // even under the no-recovery policy.
+  Workflow w = testing::SimpleLine(4, 50e6, 8000);
+  Network n = testing::SimpleBus(2);
+  Mapping m = RoundRobin(4, 2);
+  FaultSchedule schedule = WSFLOW_UNWRAP(FaultSchedule::FromEvents(
+      2, {FaultEvent{0.01, ServerId(1), FaultKind::kCrash, 1.0}}));
+  FaultSimOptions options;
+  options.policy = LossPolicy::kNone;
+  options.repair = true;
+  options.sim.record_trace = true;
+
+  FaultSimResult r =
+      WSFLOW_UNWRAP(SimulateWithFaults(w, n, m, schedule, options));
+  EXPECT_EQ(r.completion_rate, 1.0);
+  EXPECT_GE(r.repairs, 1u);
+  EXPECT_EQ(r.tokens_lost, 0u);
+  EXPECT_GE(r.trace.EventsOfType(TraceEventType::kRedispatch).size(), 2u);
+}
+
+TEST(FaultSimTest, CommittedExemplarCompletesWithBoundedGap) {
+  // The acceptance gate: 100% completion under the default
+  // retry+re-dispatch budget, and a measured degraded makespan within a
+  // small factor of the analytic masked T_execute at peak churn.
+  Workflow w = ExemplarWorkflow();
+  Network n = ExemplarNetwork();
+  Mapping m = RoundRobin(kExemplarOps, kExemplarServers);
+  FaultSchedule schedule = LoadExemplarSchedule();
+  FaultSimOptions options;
+  options.sim.num_runs = 16;
+  options.sim.seed = 7;
+
+  FaultSimResult r =
+      WSFLOW_UNWRAP(SimulateWithFaults(w, n, m, schedule, options));
+  EXPECT_EQ(r.completion_rate, 1.0);
+  EXPECT_EQ(r.completed_runs, 16u);
+  EXPECT_GE(r.tokens_lost, 1u);
+  ASSERT_TRUE(std::isfinite(r.analytic_masked_makespan));
+  ASSERT_GT(r.analytic_masked_makespan, 0.0);
+  double gap = r.mean_makespan / r.analytic_masked_makespan;
+  EXPECT_GE(gap, 1.0) << "degraded run beat the crash-free analytic bound";
+  EXPECT_LE(gap, 4.0) << "measured makespan drifted from the masked model";
+}
+
+TEST(FaultSimTest, ExemplarScheduleRoundTripsThroughToString) {
+  FaultSchedule parsed = LoadExemplarSchedule();
+  EXPECT_EQ(parsed.events().size(), 5u);
+  EXPECT_EQ(parsed.num_crashes(), 2u);
+  FaultSchedule again = WSFLOW_UNWRAP(
+      FaultSchedule::Parse(kExemplarServers, parsed.ToString()));
+  EXPECT_EQ(parsed.ToString(), again.ToString());
+}
+
+TEST(FaultSimTest, ParseRejectsMalformedLines) {
+  EXPECT_FALSE(FaultSchedule::Parse(2, "t=1s crash").ok());
+  EXPECT_FALSE(FaultSchedule::Parse(2, "1.0 crash s1").ok());
+  EXPECT_FALSE(FaultSchedule::Parse(2, "t=1s explode s1").ok());
+  EXPECT_FALSE(FaultSchedule::Parse(2, "t=1s crash s7").ok());
+  EXPECT_FALSE(FaultSchedule::Parse(2, "t=1s slowdown s1").ok());
+  EXPECT_FALSE(FaultSchedule::Parse(2, "t=1s crash s1 x2").ok());
+  EXPECT_TRUE(FaultSchedule::Parse(2, "# only a comment\n\n").ok());
+}
+
+TEST(FaultSimTest, InvalidInputsRejected) {
+  Workflow w = testing::SimpleLine(3, 50e6, 8000);
+  Network n = testing::SimpleBus(2);
+  FaultSchedule schedule = WSFLOW_UNWRAP(FaultSchedule::FromEvents(2, {}));
+
+  Mapping partial(3);
+  EXPECT_FALSE(SimulateWithFaults(w, n, partial, schedule).ok());
+
+  FaultSimOptions zero_runs;
+  zero_runs.sim.num_runs = 0;
+  EXPECT_TRUE(SimulateWithFaults(w, n, RoundRobin(3, 2), schedule, zero_runs)
+                  .status()
+                  .IsInvalidArgument());
+
+  FaultSchedule wrong_size = WSFLOW_UNWRAP(FaultSchedule::FromEvents(5, {}));
+  EXPECT_TRUE(SimulateWithFaults(w, n, RoundRobin(3, 2), wrong_size)
+                  .status()
+                  .IsInvalidArgument());
+
+  FaultSimOptions bad_timeout;
+  bad_timeout.redispatch_timeout_s = 0;
+  EXPECT_TRUE(SimulateWithFaults(w, n, RoundRobin(3, 2), schedule, bad_timeout)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(FaultSimTest, LossPolicyStringsRoundTrip) {
+  for (LossPolicy policy :
+       {LossPolicy::kNone, LossPolicy::kRetry, LossPolicy::kRedispatch,
+        LossPolicy::kRetryRedispatch}) {
+    EXPECT_EQ(WSFLOW_UNWRAP(
+                  LossPolicyFromString(LossPolicyToString(policy))),
+              policy);
+  }
+  EXPECT_FALSE(LossPolicyFromString("crash-only").ok());
+}
+
+// --- determinism of the per-run substreams (also run under TSan) --------
+
+FaultSimOptions ExemplarMonteCarloOptions(size_t runs) {
+  FaultSimOptions options;
+  options.sim.num_runs = runs;
+  options.sim.seed = 21;
+  options.sim.record_trace = true;
+  return options;
+}
+
+TEST(FaultSimDeterminismTest, RepeatedRunsAreBitIdentical) {
+  Workflow w = testing::AllDecisionGraph();
+  Network n = testing::SimpleBus(kExemplarServers);
+  Mapping m = RoundRobin(w.num_operations(), kExemplarServers);
+  FaultSchedule schedule = WSFLOW_UNWRAP(FaultSchedule::FromEvents(
+      kExemplarServers,
+      {FaultEvent{0.02, ServerId(1), FaultKind::kCrash, 1.0},
+       FaultEvent{0.05, ServerId(1), FaultKind::kRecover, 1.0}}));
+
+  FaultSimResult a = WSFLOW_UNWRAP(
+      SimulateWithFaults(w, n, m, schedule, ExemplarMonteCarloOptions(16)));
+  FaultSimResult b = WSFLOW_UNWRAP(
+      SimulateWithFaults(w, n, m, schedule, ExemplarMonteCarloOptions(16)));
+  EXPECT_EQ(a.makespans, b.makespans);
+  EXPECT_EQ(a.server_busy, b.server_busy);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.redispatches, b.redispatches);
+  EXPECT_EQ(a.tokens_lost, b.tokens_lost);
+  EXPECT_EQ(a.trace, b.trace);
+}
+
+TEST(FaultSimDeterminismTest, RunPrefixAgreesAcrossRunCountGroupings) {
+  // Run i draws from substream PerRunSeed(seed, i) whatever num_runs is,
+  // so a 4-run batch is a prefix of a 16-run batch — retry and backoff
+  // sampling in later runs never perturbs earlier ones.
+  Workflow w = testing::AllDecisionGraph();
+  Network n = testing::SimpleBus(kExemplarServers);
+  Mapping m = RoundRobin(w.num_operations(), kExemplarServers);
+  FaultSchedule schedule = WSFLOW_UNWRAP(FaultSchedule::FromEvents(
+      kExemplarServers,
+      {FaultEvent{0.02, ServerId(1), FaultKind::kCrash, 1.0},
+       FaultEvent{0.05, ServerId(1), FaultKind::kRecover, 1.0}}));
+
+  FaultSimResult small = WSFLOW_UNWRAP(
+      SimulateWithFaults(w, n, m, schedule, ExemplarMonteCarloOptions(4)));
+  FaultSimResult big = WSFLOW_UNWRAP(
+      SimulateWithFaults(w, n, m, schedule, ExemplarMonteCarloOptions(16)));
+  ASSERT_EQ(small.makespans.size(), 4u);
+  ASSERT_EQ(big.makespans.size(), 16u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(small.makespans[i], big.makespans[i]) << "run " << i;
+  }
+  EXPECT_EQ(small.trace, big.trace);  // both trace run 0
+}
+
+TEST(FaultSimDeterminismTest, PlainSimulatorSharesThePrefixProperty) {
+  Workflow w = testing::AllDecisionGraph();
+  Network n = testing::SimpleBus(2);
+  Mapping m = RoundRobin(w.num_operations(), 2);
+  SimOptions small_options;
+  small_options.num_runs = 5;
+  small_options.seed = 3;
+  SimOptions big_options = small_options;
+  big_options.num_runs = 20;
+  SimResult small = WSFLOW_UNWRAP(SimulateWorkflow(w, n, m, small_options));
+  SimResult big = WSFLOW_UNWRAP(SimulateWorkflow(w, n, m, big_options));
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(small.makespans[i], big.makespans[i]) << "run " << i;
+  }
+}
+
+TEST(FaultSimDeterminismTest, PerRunSeedsAreDistinct) {
+  EXPECT_NE(PerRunSeed(0, 0), PerRunSeed(0, 1));
+  EXPECT_NE(PerRunSeed(0, 0), PerRunSeed(1, 0));
+  EXPECT_EQ(PerRunSeed(42, 7), PerRunSeed(42, 7));
+}
+
+}  // namespace
+}  // namespace wsflow

@@ -1,0 +1,107 @@
+// Trace JSON round-trip: ToJson/ParseTraceJson are exact inverses (times
+// print with %.17g, so every double survives bit-for-bit), and the
+// committed chaos exemplar trace both re-parses to a byte-identical dump
+// and matches what the fault simulator emits for the committed schedule —
+// keeping the on-disk exemplar in lockstep with the simulator.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "src/sim/fault_sim.h"
+#include "src/sim/faults.h"
+#include "src/sim/trace.h"
+#include "tests/testing/test_util.h"
+
+namespace wsflow {
+namespace {
+
+using testing::RoundRobin;
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string ExemplarPath(const char* name) {
+  return std::string(WSFLOW_SOURCE_DIR) + "/examples/data/" + name;
+}
+
+TEST(TraceJsonTest, RoundTripsEveryEventKind) {
+  Trace trace;
+  trace.Record({0.0, TraceEventType::kOperationStart, OperationId(0),
+                OperationId(), ServerId(0)});
+  trace.Record({0.012345678901234567, TraceEventType::kMessageSent,
+                OperationId(0), OperationId(1), ServerId(0)});
+  trace.Record({0.05, TraceEventType::kMessageDelivered, OperationId(0),
+                OperationId(1), ServerId(0)});
+  trace.Record({0.06, TraceEventType::kServerCrash, OperationId(),
+                OperationId(), ServerId(1)});
+  trace.Record({0.06, TraceEventType::kTokenLost, OperationId(1),
+                OperationId(), ServerId(1)});
+  trace.Record({0.07, TraceEventType::kServerSlowdown, OperationId(),
+                OperationId(), ServerId(2)});
+  trace.Record({0.1, TraceEventType::kServerRecover, OperationId(),
+                OperationId(), ServerId(1)});
+  trace.Record({0.11, TraceEventType::kRetry, OperationId(1), OperationId(),
+                ServerId(1)});
+  trace.Record({0.2, TraceEventType::kRedispatch, OperationId(1),
+                OperationId(), ServerId(2)});
+  trace.Record({0.25, TraceEventType::kOperationComplete, OperationId(1),
+                OperationId(), ServerId(2)});
+
+  Trace parsed = WSFLOW_UNWRAP(ParseTraceJson(trace.ToJson()));
+  EXPECT_EQ(parsed, trace);
+  EXPECT_EQ(parsed.ToJson(), trace.ToJson());
+}
+
+TEST(TraceJsonTest, RoundTripsEmptyTrace) {
+  Trace empty;
+  Trace parsed = WSFLOW_UNWRAP(ParseTraceJson(empty.ToJson()));
+  EXPECT_EQ(parsed, empty);
+}
+
+TEST(TraceJsonTest, CommittedExemplarIsAFixedPoint) {
+  std::string json = ReadFileOrDie(ExemplarPath("chaos_trace.json"));
+  Trace parsed = WSFLOW_UNWRAP(ParseTraceJson(json));
+  EXPECT_FALSE(parsed.empty());
+  EXPECT_EQ(parsed.ToJson(), json);
+}
+
+TEST(TraceJsonTest, CommittedExemplarMatchesSimulatorOutput) {
+  // Regenerate the committed trace: the exemplar schedule replayed on the
+  // exemplar instance (8-op line over a 4-server bus, seed 7, run 0) must
+  // emit the committed bytes. `bench/chaos_replay --emit-trace` writes
+  // this file.
+  Workflow w = testing::SimpleLine(8, 50e6, 8000);
+  Network n = testing::SimpleBus(4);
+  Mapping m = RoundRobin(8, 4);
+  FaultSchedule schedule = WSFLOW_UNWRAP(FaultSchedule::Parse(
+      4, ReadFileOrDie(ExemplarPath("chaos_schedule.txt"))));
+  FaultSimOptions options;
+  options.sim.seed = 7;
+  options.sim.record_trace = true;
+
+  FaultSimResult r =
+      WSFLOW_UNWRAP(SimulateWithFaults(w, n, m, schedule, options));
+  EXPECT_EQ(r.trace.ToJson(), ReadFileOrDie(ExemplarPath("chaos_trace.json")));
+}
+
+TEST(TraceJsonTest, ParseRejectsMalformedDumps) {
+  EXPECT_FALSE(ParseTraceJson("").ok());
+  EXPECT_FALSE(ParseTraceJson("{}").ok());
+  EXPECT_FALSE(ParseTraceJson("{\"events\": [").ok());
+  EXPECT_FALSE(
+      ParseTraceJson("{\"events\": [{\"t\": 1, \"type\": \"warp\", "
+                     "\"op\": 0, \"peer\": -1, \"server\": 0}]}")
+          .ok());
+  EXPECT_FALSE(ParseTraceJson("{\"events\": []} trailing").ok());
+  EXPECT_TRUE(ParseTraceJson("{\"events\": []}").ok());
+}
+
+}  // namespace
+}  // namespace wsflow
